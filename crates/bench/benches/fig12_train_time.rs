@@ -1,0 +1,50 @@
+//! Figure 12 (training times): criterion benchmarks of each algorithm's
+//! `fit` on a representative small dataset per category archetype.
+//!
+//! The reproduce binary (`reproduce fig12`) regenerates the full
+//! category × algorithm table; these benches measure the per-algorithm
+//! training cost precisely on fixed inputs so relative ordering
+//! (S-WEASEL fastest, ECO-K cheap, ECEC/EDSC expensive, S-MLSTM slow)
+//! can be compared against the paper's Figure 12.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use etsc_bench::ScalePreset;
+use etsc_datasets::PaperDataset;
+use etsc_eval::experiment::{AlgoSpec, RunConfig};
+
+fn train_benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig12_train");
+    group.sample_size(10);
+    let config = RunConfig::fast();
+    // One small and one "wide-ish" dataset to expose the L-dependence.
+    let cases = [
+        (PaperDataset::PowerCons, "PowerCons"),
+        (PaperDataset::HouseTwenty, "HouseTwenty"),
+    ];
+    for (ds, ds_name) in cases {
+        let data = ds.generate(ScalePreset::Quick.options(ds, 7));
+        for algo in [
+            AlgoSpec::EcoK,
+            AlgoSpec::Ects,
+            AlgoSpec::Edsc,
+            AlgoSpec::Teaser,
+            AlgoSpec::SWeasel,
+            AlgoSpec::SMini,
+        ] {
+            group.bench_with_input(BenchmarkId::new(algo.name(), ds_name), &data, |b, data| {
+                b.iter(|| {
+                    let mut clf = algo.build(data, &config);
+                    // EDSC may DNF under a tight budget; both outcomes
+                    // are valid costs to measure.
+                    let _ = black_box(clf.fit(data));
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, train_benches);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Figure 13 (online feasibility): criterion benchmarks of the
+//! per-instance early-prediction latency — the numerator of the paper's
+//! testing-time/observation-frequency ratio.
+//!
+//! EDSC's distance checks should be the cheapest by far (the paper
+//! measures 0.003 s average); the WEASEL-based methods pay the bag
+//! transform at every evaluated prefix.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use etsc_bench::ScalePreset;
+use etsc_datasets::PaperDataset;
+use etsc_eval::experiment::{AlgoSpec, RunConfig};
+
+fn test_time_benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig13_predict");
+    group.sample_size(10);
+    let config = RunConfig::fast();
+    let ds = PaperDataset::PowerCons;
+    let data = ds.generate(ScalePreset::Quick.options(ds, 11));
+    for algo in [
+        AlgoSpec::EcoK,
+        AlgoSpec::Ects,
+        AlgoSpec::Edsc,
+        AlgoSpec::Teaser,
+        AlgoSpec::Ecec,
+        AlgoSpec::SWeasel,
+        AlgoSpec::SMini,
+    ] {
+        let mut clf = algo.build(&data, &config);
+        if clf.fit(&data).is_err() {
+            continue; // DNF under the tight budget: nothing to measure
+        }
+        let instance = data.instance(0).clone();
+        group.bench_with_input(
+            BenchmarkId::new(algo.name(), "PowerCons"),
+            &instance,
+            |b, inst| {
+                b.iter(|| black_box(clf.predict_early(inst).expect("fitted model predicts")));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, test_time_benches);
+criterion_main!(benches);

@@ -1,0 +1,96 @@
+//! Micro-benchmarks of the feature transforms behind the algorithms:
+//! WEASEL bag construction and MiniROCKET convolution. These expose the
+//! substrate costs that drive the Figure 12/13 orderings.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use etsc_data::{MultiSeries, Series};
+use etsc_transforms::minirocket::{MiniRocket, MiniRocketConfig};
+use etsc_transforms::weasel::{Weasel, WeaselConfig};
+
+fn signal(len: usize, phase: f64) -> Vec<f64> {
+    (0..len).map(|t| ((t as f64 * 0.3) + phase).sin()).collect()
+}
+
+fn weasel_benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("weasel");
+    group.sample_size(10);
+    for &len in &[64usize, 256] {
+        let series: Vec<Vec<f64>> = (0..20).map(|i| signal(len, i as f64 * 0.2)).collect();
+        let labels: Vec<usize> = (0..20).map(|i| i % 2).collect();
+        let refs: Vec<&[f64]> = series.iter().map(|s| s.as_slice()).collect();
+        group.bench_with_input(BenchmarkId::new("fit", len), &len, |b, _| {
+            b.iter(|| {
+                let mut w = Weasel::new(WeaselConfig::default());
+                w.fit(black_box(&refs), black_box(&labels), 2).unwrap();
+                black_box(w.n_features())
+            });
+        });
+        let mut fitted = Weasel::new(WeaselConfig::default());
+        fitted.fit(&refs, &labels, 2).unwrap();
+        group.bench_with_input(BenchmarkId::new("transform", len), &len, |b, _| {
+            b.iter(|| black_box(fitted.transform(&series[0]).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+fn minirocket_benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("minirocket");
+    group.sample_size(10);
+    for &len in &[64usize, 256] {
+        let samples: Vec<MultiSeries> = (0..20)
+            .map(|i| MultiSeries::univariate(Series::new(signal(len, i as f64 * 0.2))))
+            .collect();
+        let config = MiniRocketConfig {
+            num_features: 500,
+            ..MiniRocketConfig::default()
+        };
+        group.bench_with_input(BenchmarkId::new("fit", len), &len, |b, _| {
+            b.iter(|| {
+                let mut mr = MiniRocket::new(config.clone());
+                mr.fit(black_box(&samples)).unwrap();
+                black_box(mr.n_features())
+            });
+        });
+        let mut fitted = MiniRocket::new(config.clone());
+        fitted.fit(&samples).unwrap();
+        group.bench_with_input(BenchmarkId::new("transform", len), &len, |b, _| {
+            b.iter(|| black_box(fitted.transform(&samples[0]).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+fn mft_benches(c: &mut Criterion) {
+    // The incremental momentary Fourier transform vs the direct per-window
+    // DFT it replaces: the speedup grows with the window length.
+    let mut group = c.benchmark_group("sliding_dft");
+    group.sample_size(10);
+    let series = signal(2048, 0.0);
+    for &win in &[32usize, 128] {
+        group.bench_with_input(BenchmarkId::new("mft", win), &win, |b, &win| {
+            b.iter(|| {
+                black_box(etsc_transforms::fourier::sliding_dft(
+                    black_box(&series),
+                    win,
+                    4,
+                ))
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("direct", win), &win, |b, &win| {
+            b.iter(|| {
+                let out: Vec<Vec<f64>> = series
+                    .windows(win)
+                    .map(|w| etsc_transforms::fourier::dft_features(black_box(w), 4))
+                    .collect();
+                black_box(out)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, weasel_benches, minirocket_benches, mft_benches);
+criterion_main!(benches);

@@ -1,0 +1,324 @@
+//! `reproduce` — regenerates every table and figure of the paper.
+//!
+//! ```text
+//! reproduce <target> [--preset quick|standard|full] [--seed N] [--out DIR]
+//!
+//! targets:
+//!   table2       algorithm characteristics
+//!   table3       dataset characteristics & categories
+//!   table4       algorithm parameter values
+//!   table5       worst-case training complexities
+//!   fig9         accuracy & F1 per dataset category        (sweep)
+//!   fig10        earliness per category                    (sweep)
+//!   fig11        harmonic mean per category                (sweep)
+//!   fig12        training minutes per category             (sweep)
+//!   fig13        online-feasibility heatmap                (sweep)
+//!   figures      fig9-fig13 from a single shared sweep
+//!   bio-savings  Section 6.3: early identification of
+//!                non-interesting biological simulations
+//!   supplementary  per-dataset results (the paper's supplementary
+//!                material layout)                          (sweep)
+//!   all          everything above
+//! ```
+//!
+//! Sweep targets run the full (8 algorithms × 12 datasets × k-fold CV)
+//! experiment at the chosen preset and print the same category × algorithm
+//! series the paper plots; CSVs are written next to the text output when
+//! `--out` is given.
+
+use etsc_bench::{
+    biological_early_savings, render_table2, render_table3, render_table4, render_table5,
+    run_sweep, run_sweep_parallel, ScalePreset, SweepOutput,
+};
+use etsc_datasets::PaperDataset;
+use etsc_eval::aggregate::aggregate_by_category;
+use etsc_eval::experiment::AlgoSpec;
+use etsc_eval::online::online_cell;
+use etsc_eval::report::{figure_csv, render_figure, render_online_heatmap, FigureMetric};
+
+struct Args {
+    target: String,
+    preset: ScalePreset,
+    seed: u64,
+    out_dir: Option<std::path::PathBuf>,
+    /// Worker threads for the sweep (1 = sequential, timing-faithful).
+    threads: usize,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = std::env::args().skip(1);
+    let target = args.next().ok_or("missing target (try `reproduce all`)")?;
+    let mut preset = ScalePreset::Quick;
+    let mut seed = 2024u64;
+    let mut out_dir = None;
+    let mut threads = 1usize;
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--parallel" => {
+                let v = args.next().ok_or("--parallel needs a thread count")?;
+                threads = v.parse().map_err(|_| format!("bad thread count {v:?}"))?;
+            }
+            "--preset" => {
+                let v = args.next().ok_or("--preset needs a value")?;
+                preset = ScalePreset::parse(&v).ok_or(format!("unknown preset {v:?}"))?;
+            }
+            "--seed" => {
+                let v = args.next().ok_or("--seed needs a value")?;
+                seed = v.parse().map_err(|_| format!("bad seed {v:?}"))?;
+            }
+            "--out" => {
+                let v = args.next().ok_or("--out needs a directory")?;
+                out_dir = Some(std::path::PathBuf::from(v));
+            }
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    Ok(Args {
+        target,
+        preset,
+        seed,
+        out_dir,
+        threads,
+    })
+}
+
+fn write_out(dir: &Option<std::path::PathBuf>, name: &str, content: &str) {
+    if let Some(dir) = dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("warning: cannot create {dir:?}: {e}");
+            return;
+        }
+        let path = dir.join(name);
+        if let Err(e) = std::fs::write(&path, content) {
+            eprintln!("warning: cannot write {path:?}: {e}");
+        } else {
+            println!("wrote {path:?}");
+        }
+    }
+}
+
+fn sweep(args: &Args) -> SweepOutput {
+    println!(
+        "running sweep: 8 algorithms x 12 datasets, preset {:?}, seed {}, threads {}",
+        args.preset, args.seed, args.threads
+    );
+    let result = if args.threads > 1 {
+        println!(
+            "note: parallel timings include CPU contention; use --parallel 1 for Figures 12/13"
+        );
+        run_sweep_parallel(
+            &PaperDataset::ALL,
+            &AlgoSpec::ALL,
+            args.preset,
+            args.seed,
+            args.threads,
+            |line| println!("{line}"),
+        )
+    } else {
+        run_sweep(
+            &PaperDataset::ALL,
+            &AlgoSpec::ALL,
+            args.preset,
+            args.seed,
+            |line| println!("{line}"),
+        )
+    };
+    result.unwrap_or_else(|e| {
+        eprintln!("sweep failed: {e}");
+        std::process::exit(1);
+    })
+}
+
+fn print_figures(out: &SweepOutput, args: &Args, which: &[&str]) {
+    let aggregated = aggregate_by_category(&out.results, &out.categories);
+    let figures: [(&str, FigureMetric, &str); 5] = [
+        ("fig9", FigureMetric::Accuracy, "fig9_accuracy"),
+        ("fig9", FigureMetric::F1, "fig9_f1"),
+        ("fig10", FigureMetric::Earliness, "fig10_earliness"),
+        ("fig11", FigureMetric::HarmonicMean, "fig11_harmonic_mean"),
+        (
+            "fig12",
+            FigureMetric::TrainMinutes,
+            "fig12_training_minutes",
+        ),
+    ];
+    for (fig, metric, file) in figures {
+        if !which.contains(&fig) {
+            continue;
+        }
+        println!("\n=== {} ({}) ===", fig, metric.label());
+        let table = render_figure(&aggregated, metric);
+        println!("{table}");
+        write_out(
+            &args.out_dir,
+            &format!("{file}.csv"),
+            &figure_csv(&aggregated, metric),
+        );
+    }
+    if which.contains(&"fig13") {
+        println!("\n=== fig13 (online feasibility heatmap) ===");
+        let mut cells = Vec::new();
+        let mut datasets: Vec<String> = Vec::new();
+        for r in &out.results {
+            let Some(&(freq, len)) = out.dataset_meta.get(&r.dataset) else {
+                continue;
+            };
+            cells.push(online_cell(r, freq, len, &out.config));
+            if !datasets.contains(&r.dataset) {
+                datasets.push(r.dataset.clone());
+            }
+        }
+        let heatmap = render_online_heatmap(&cells, &datasets);
+        println!("{heatmap}");
+        let mut csv = String::from("dataset,algorithm,ratio,feasible\n");
+        for c in &cells {
+            csv.push_str(&format!(
+                "{},{},{},{}\n",
+                c.dataset,
+                c.algo.name(),
+                c.ratio.map(|r| format!("{r:.6e}")).unwrap_or_default(),
+                c.feasible()
+            ));
+        }
+        write_out(&args.out_dir, "fig13_online.csv", &csv);
+    }
+}
+
+/// Per-dataset results in the paper's supplementary-material layout:
+/// one block per dataset, one row per algorithm.
+fn print_supplementary(out: &SweepOutput, args: &Args) {
+    println!("\n=== supplementary: per-dataset results ===");
+    let mut csv = String::from(
+        "dataset,algorithm,accuracy,f1,earliness,harmonic_mean,train_secs,test_secs,dnf\n",
+    );
+    let mut datasets: Vec<String> = Vec::new();
+    for r in &out.results {
+        if !datasets.contains(&r.dataset) {
+            datasets.push(r.dataset.clone());
+        }
+    }
+    for ds in &datasets {
+        println!("\n{ds}");
+        println!(
+            "  {:<10}{:>9}{:>9}{:>11}{:>9}{:>11}{:>11}",
+            "Algorithm", "Acc", "F1", "Earliness", "HM", "Train (s)", "Test (ms)"
+        );
+        for r in out.results.iter().filter(|r| &r.dataset == ds) {
+            match &r.metrics {
+                Some(m) => {
+                    println!(
+                        "  {:<10}{:>9.3}{:>9.3}{:>11.3}{:>9.3}{:>11.2}{:>11.3}",
+                        r.algo.name(),
+                        m.accuracy,
+                        m.f1,
+                        m.earliness,
+                        m.harmonic_mean,
+                        r.train_secs,
+                        r.test_secs_per_instance * 1000.0
+                    );
+                    csv.push_str(&format!(
+                        "{ds},{},{:.6},{:.6},{:.6},{:.6},{:.6},{:.6},false\n",
+                        r.algo.name(),
+                        m.accuracy,
+                        m.f1,
+                        m.earliness,
+                        m.harmonic_mean,
+                        r.train_secs,
+                        r.test_secs_per_instance
+                    ));
+                }
+                None => {
+                    println!("  {:<10}{:>9}", r.algo.name(), "DNF");
+                    csv.push_str(&format!("{ds},{},,,,,,,true\n", r.algo.name()));
+                }
+            }
+        }
+    }
+    write_out(&args.out_dir, "supplementary.csv", &csv);
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("usage: reproduce <table2|table3|table4|table5|fig9|fig10|fig11|fig12|fig13|figures|supplementary|bio-savings|all> [--preset quick|standard|full] [--seed N] [--out DIR] [--parallel THREADS]");
+            std::process::exit(2);
+        }
+    };
+    match args.target.as_str() {
+        "table2" => {
+            println!("=== Table 2: algorithm characteristics ===");
+            print!("{}", render_table2());
+        }
+        "table3" => {
+            println!(
+                "=== Table 3: dataset characteristics (preset {:?}) ===",
+                args.preset
+            );
+            print!("{}", render_table3(args.preset, args.seed));
+        }
+        "table4" => {
+            println!("=== Table 4: parameter values ===");
+            print!("{}", render_table4(args.preset));
+        }
+        "table5" => {
+            println!("=== Table 5: worst-case training complexity ===");
+            print!("{}", render_table5());
+        }
+        "fig9" | "fig10" | "fig11" | "fig12" | "fig13" => {
+            let out = sweep(&args);
+            print_figures(&out, &args, &[args.target.as_str()]);
+        }
+        "supplementary" => {
+            let out = sweep(&args);
+            print_supplementary(&out, &args);
+        }
+        "figures" => {
+            let out = sweep(&args);
+            print_figures(&out, &args, &["fig9", "fig10", "fig11", "fig12", "fig13"]);
+        }
+        "bio-savings" => {
+            println!("=== Section 6.3: biological early-termination savings ===");
+            match biological_early_savings(args.preset, args.seed) {
+                Ok(fraction) => {
+                    println!(
+                        "non-interesting simulations identified before completion: {:.1}% (paper: 65%)",
+                        fraction * 100.0
+                    );
+                }
+                Err(e) => {
+                    eprintln!("failed: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        "all" => {
+            println!("=== Table 2: algorithm characteristics ===");
+            print!("{}", render_table2());
+            println!(
+                "\n=== Table 3: dataset characteristics (preset {:?}) ===",
+                args.preset
+            );
+            print!("{}", render_table3(args.preset, args.seed));
+            println!("\n=== Table 4: parameter values ===");
+            print!("{}", render_table4(args.preset));
+            println!("\n=== Table 5: worst-case training complexity ===");
+            print!("{}", render_table5());
+            let out = sweep(&args);
+            print_figures(&out, &args, &["fig9", "fig10", "fig11", "fig12", "fig13"]);
+            println!("\n=== Section 6.3: biological early-termination savings ===");
+            match biological_early_savings(args.preset, args.seed) {
+                Ok(fraction) => println!(
+                    "non-interesting simulations identified before completion: {:.1}% (paper: 65%)",
+                    fraction * 100.0
+                ),
+                Err(e) => eprintln!("bio-savings failed: {e}"),
+            }
+        }
+        other => {
+            eprintln!("unknown target {other:?}");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,373 @@
+//! Implementation of the `etsc` command-line interface (see `main.rs`
+//! for the command grammar). The logic lives in the library so the test
+//! suite can drive every command against an in-memory writer.
+
+use std::collections::HashMap;
+use std::io::Write;
+
+use etsc_core::EarlyClassifier;
+use etsc_data::loader::{load_csv, write_csv};
+use etsc_data::{train_validation_split, Dataset};
+use etsc_datasets::{GenOptions, PaperDataset};
+use etsc_eval::experiment::{run_cv, AlgoSpec, RunConfig};
+
+/// Usage text shown on argument errors.
+pub const USAGE: &str = "\
+usage: etsc <command> [--flag value ...]
+
+commands:
+  list-algorithms    the eight evaluated algorithms and their traits
+  list-datasets      the twelve paper datasets and their shapes
+  generate           write a generated dataset as interchange CSV
+                     --dataset NAME --out FILE
+                     [--height-scale S] [--length-scale S] [--seed N]
+  evaluate           cross-validated metrics for one algorithm
+                     (--dataset NAME | --data FILE --vars K) --algo NAME
+                     [--folds N] [--seed N]
+  stream             replay one instance point-by-point
+                     (--dataset NAME | --data FILE --vars K) --algo NAME
+                     [--instance I] [--seed N]";
+
+/// CLI failure modes.
+#[derive(Debug)]
+pub enum CliError {
+    /// Bad arguments; print usage.
+    Usage(String),
+    /// The command itself failed.
+    Runtime(String),
+}
+
+type Flags = HashMap<String, String>;
+
+fn parse<T: std::str::FromStr>(flags: &Flags, name: &str, default: T) -> Result<T, CliError> {
+    match flags.get(name) {
+        None => Ok(default),
+        Some(v) => v
+            .parse()
+            .map_err(|_| CliError::Usage(format!("invalid --{name} value {v:?}"))),
+    }
+}
+
+fn required<'a>(flags: &'a Flags, name: &str) -> Result<&'a str, CliError> {
+    flags
+        .get(name)
+        .map(String::as_str)
+        .ok_or_else(|| CliError::Usage(format!("--{name} is required")))
+}
+
+/// Loads the dataset named by `--dataset` (generated) or `--data`+`--vars`
+/// (CSV file).
+fn load_input(flags: &Flags) -> Result<Dataset, CliError> {
+    if let Some(name) = flags.get("dataset") {
+        let ds = PaperDataset::by_name(name)
+            .ok_or_else(|| CliError::Usage(format!("unknown dataset {name:?}")))?;
+        let options = GenOptions {
+            height_scale: parse(flags, "height-scale", 0.2_f64)?,
+            length_scale: parse(flags, "length-scale", 0.5_f64)?,
+            seed: parse(flags, "seed", 7_u64)?,
+        };
+        Ok(ds.generate(options))
+    } else if let Some(path) = flags.get("data") {
+        let vars = parse(flags, "vars", 1_usize)?;
+        load_csv(path, vars).map_err(|e| CliError::Runtime(format!("loading {path:?}: {e}")))
+    } else {
+        Err(CliError::Usage(
+            "provide --dataset NAME or --data FILE [--vars K]".into(),
+        ))
+    }
+}
+
+fn build_algo(flags: &Flags, data: &Dataset) -> Result<Box<dyn EarlyClassifier>, CliError> {
+    let name = required(flags, "algo")?;
+    let spec = AlgoSpec::by_name(name)
+        .ok_or_else(|| CliError::Usage(format!("unknown algorithm {name:?}")))?;
+    Ok(spec.build(data, &RunConfig::fast()))
+}
+
+/// Runs one CLI command, writing human-readable output to `out`.
+///
+/// # Errors
+/// [`CliError::Usage`] for bad arguments, [`CliError::Runtime`] for
+/// execution failures.
+pub fn run(command: &str, flags: &Flags, out: &mut dyn Write) -> Result<(), CliError> {
+    let emit = |out: &mut dyn Write, s: String| {
+        out.write_all(s.as_bytes())
+            .map_err(|e| CliError::Runtime(format!("write failed: {e}")))
+    };
+    match command {
+        "list-algorithms" => {
+            let mut s = format!(
+                "{:<10}{:<14}{:<22}\n",
+                "Name", "Kind", "Multivariate support"
+            );
+            for a in AlgoSpec::ALL {
+                s.push_str(&format!(
+                    "{:<10}{:<14}{:<22}\n",
+                    a.name(),
+                    if a.univariate_only() { "ETSC" } else { "STRUT" },
+                    if a.univariate_only() {
+                        "via voting adapter"
+                    } else {
+                        "native"
+                    },
+                ));
+            }
+            emit(out, s)
+        }
+        "list-datasets" => {
+            let mut s = format!(
+                "{:<24}{:>8}{:>8}{:>6}{:>9}  {}\n",
+                "Name", "height", "length", "vars", "classes", "frequency (s/obs)"
+            );
+            for d in PaperDataset::ALL {
+                let spec = d.spec();
+                s.push_str(&format!(
+                    "{:<24}{:>8}{:>8}{:>6}{:>9}  {}\n",
+                    spec.name,
+                    spec.height,
+                    spec.length,
+                    spec.vars,
+                    spec.n_classes,
+                    spec.obs_frequency_secs
+                ));
+            }
+            emit(out, s)
+        }
+        "generate" => {
+            let data = load_input(flags)?;
+            let path = required(flags, "out")?;
+            let file = std::fs::File::create(path)
+                .map_err(|e| CliError::Runtime(format!("creating {path:?}: {e}")))?;
+            write_csv(&data, std::io::BufWriter::new(file))
+                .map_err(|e| CliError::Runtime(format!("writing {path:?}: {e}")))?;
+            emit(
+                out,
+                format!(
+                    "wrote {} instances x {} vars x {} points to {path}\n",
+                    data.len(),
+                    data.vars(),
+                    data.max_len()
+                ),
+            )
+        }
+        "evaluate" => {
+            let data = load_input(flags)?;
+            let name = required(flags, "algo")?;
+            let spec = AlgoSpec::by_name(name)
+                .ok_or_else(|| CliError::Usage(format!("unknown algorithm {name:?}")))?;
+            let config = RunConfig {
+                folds: parse(flags, "folds", 3_usize)?,
+                seed: parse(flags, "seed", 2024_u64)?,
+                ..RunConfig::fast()
+            };
+            let r = run_cv(spec, &data, &config)
+                .map_err(|e| CliError::Runtime(format!("evaluation failed: {e}")))?;
+            match r.metrics {
+                Some(m) => emit(
+                    out,
+                    format!(
+                        "{} on {} ({} folds)\n\
+                         accuracy       {:.4}\n\
+                         f1 (macro)     {:.4}\n\
+                         earliness      {:.4}\n\
+                         harmonic mean  {:.4}\n\
+                         train          {:.2} s/fold\n\
+                         test           {:.3} ms/instance\n",
+                        spec.name(),
+                        data.name(),
+                        config.folds,
+                        m.accuracy,
+                        m.f1,
+                        m.earliness,
+                        m.harmonic_mean,
+                        r.train_secs,
+                        r.test_secs_per_instance * 1000.0
+                    ),
+                ),
+                None => emit(
+                    out,
+                    format!(
+                        "{} on {}: DNF (training budget exceeded)\n",
+                        spec.name(),
+                        data.name()
+                    ),
+                ),
+            }
+        }
+        "stream" => {
+            let data = load_input(flags)?;
+            let instance_idx = parse(flags, "instance", 0_usize)?;
+            if instance_idx >= data.len() {
+                return Err(CliError::Usage(format!(
+                    "--instance {instance_idx} out of range (dataset has {})",
+                    data.len()
+                )));
+            }
+            let seed = parse(flags, "seed", 2024_u64)?;
+            // Train on everything except a stratified quarter containing
+            // the chosen instance being held out manually.
+            let (mut train_idx, _) = train_validation_split(&data, 0.1, seed)
+                .map_err(|e| CliError::Runtime(e.to_string()))?;
+            train_idx.retain(|&i| i != instance_idx);
+            let train = data.subset(&train_idx);
+            let mut clf = build_algo(flags, &data)?;
+            clf.fit(&train)
+                .map_err(|e| CliError::Runtime(format!("training failed: {e}")))?;
+            let inst = data.instance(instance_idx);
+            let mut stream = clf
+                .start_stream()
+                .map_err(|e| CliError::Runtime(e.to_string()))?;
+            let mut s = format!(
+                "streaming instance {instance_idx} (true class: {})\n",
+                data.class_names()[data.label(instance_idx)]
+            );
+            for t in 1..=inst.len() {
+                let prefix = inst
+                    .prefix(t)
+                    .map_err(|e| CliError::Runtime(e.to_string()))?;
+                match stream
+                    .observe(&prefix, t == inst.len())
+                    .map_err(|e| CliError::Runtime(e.to_string()))?
+                {
+                    Some(label) => {
+                        s.push_str(&format!(
+                            "t={t:>4}: COMMITTED -> {} (earliness {:.3})\n",
+                            data.class_names()[label],
+                            t as f64 / inst.len() as f64
+                        ));
+                        return emit(out, s);
+                    }
+                    None => {
+                        if t % (inst.len() / 8).max(1) == 0 {
+                            s.push_str(&format!("t={t:>4}: waiting for more data\n"));
+                        }
+                    }
+                }
+            }
+            Err(CliError::Runtime(
+                "stream ended without a decision (algorithm bug)".into(),
+            ))
+        }
+        other => Err(CliError::Usage(format!("unknown command {other:?}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flags(pairs: &[(&str, &str)]) -> Flags {
+        pairs
+            .iter()
+            .map(|&(k, v)| (k.to_owned(), v.to_owned()))
+            .collect()
+    }
+
+    fn run_to_string(command: &str, f: &Flags) -> Result<String, CliError> {
+        let mut buf = Vec::new();
+        run(command, f, &mut buf)?;
+        Ok(String::from_utf8(buf).expect("utf-8 output"))
+    }
+
+    #[test]
+    fn lists_algorithms_and_datasets() {
+        let out = run_to_string("list-algorithms", &flags(&[])).unwrap();
+        assert!(out.contains("ECEC"));
+        assert!(out.contains("S-MLSTM"));
+        let out = run_to_string("list-datasets", &flags(&[])).unwrap();
+        assert!(out.contains("Maritime"));
+        assert!(out.contains("80591"));
+    }
+
+    #[test]
+    fn evaluate_generated_dataset() {
+        let out = run_to_string(
+            "evaluate",
+            &flags(&[
+                ("dataset", "PowerCons"),
+                ("algo", "ECTS"),
+                ("height-scale", "0.2"),
+                ("length-scale", "0.3"),
+                ("folds", "3"),
+            ]),
+        )
+        .unwrap();
+        assert!(out.contains("accuracy"), "{out}");
+        assert!(out.contains("harmonic mean"));
+    }
+
+    #[test]
+    fn generate_then_evaluate_csv_roundtrip() {
+        let dir = std::env::temp_dir().join("etsc-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("powercons.csv");
+        let path_str = path.to_str().unwrap();
+        run_to_string(
+            "generate",
+            &flags(&[
+                ("dataset", "PowerCons"),
+                ("out", path_str),
+                ("height-scale", "0.15"),
+                ("length-scale", "0.3"),
+            ]),
+        )
+        .unwrap();
+        let out = run_to_string(
+            "evaluate",
+            &flags(&[("data", path_str), ("vars", "1"), ("algo", "ECTS")]),
+        )
+        .unwrap();
+        assert!(out.contains("accuracy"), "{out}");
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn stream_commits() {
+        let out = run_to_string(
+            "stream",
+            &flags(&[
+                ("dataset", "PowerCons"),
+                ("algo", "ECTS"),
+                ("height-scale", "0.15"),
+                ("length-scale", "0.3"),
+                ("instance", "3"),
+            ]),
+        )
+        .unwrap();
+        assert!(out.contains("COMMITTED"), "{out}");
+    }
+
+    #[test]
+    fn usage_errors() {
+        assert!(matches!(
+            run_to_string("evaluate", &flags(&[("algo", "ECTS")])),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run_to_string("evaluate", &flags(&[("dataset", "nope"), ("algo", "ECTS")])),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run_to_string(
+                "evaluate",
+                &flags(&[("dataset", "PowerCons"), ("algo", "nope")])
+            ),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run_to_string("frobnicate", &flags(&[])),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run_to_string(
+                "stream",
+                &flags(&[
+                    ("dataset", "PowerCons"),
+                    ("algo", "ECTS"),
+                    ("instance", "999999")
+                ])
+            ),
+            Err(CliError::Usage(_))
+        ));
+    }
+}

@@ -1,0 +1,51 @@
+//! `etsc-cli` — the framework's command-line interface, mirroring the
+//! reference implementation's `cli.py` (paper Section 5.5): list the
+//! available algorithms and datasets, export/import datasets in the CSV
+//! interchange format, run cross-validated evaluations, and stream a
+//! single instance through an early classifier.
+//!
+//! ```text
+//! etsc list-algorithms
+//! etsc list-datasets
+//! etsc generate --dataset Maritime --out maritime.csv [--height-scale S] [--length-scale S] [--seed N]
+//! etsc evaluate (--dataset NAME | --data FILE --vars K) --algo NAME [--folds N] [--seed N]
+//! etsc stream   (--dataset NAME | --data FILE --vars K) --algo NAME [--instance I] [--seed N]
+//! ```
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+use etsc_cli::{run, CliError};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, rest)) = args.split_first() else {
+        eprintln!("{}", etsc_cli::USAGE);
+        return ExitCode::from(2);
+    };
+    let mut flags: HashMap<String, String> = HashMap::new();
+    let mut it = rest.iter();
+    while let Some(flag) = it.next() {
+        let Some(name) = flag.strip_prefix("--") else {
+            eprintln!("error: expected a --flag, got {flag:?}");
+            return ExitCode::from(2);
+        };
+        let Some(value) = it.next() else {
+            eprintln!("error: --{name} needs a value");
+            return ExitCode::from(2);
+        };
+        flags.insert(name.to_owned(), value.clone());
+    }
+    match run(command, &flags, &mut std::io::stdout()) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(CliError::Usage(msg)) => {
+            eprintln!("error: {msg}");
+            eprintln!("{}", etsc_cli::USAGE);
+            ExitCode::from(2)
+        }
+        Err(CliError::Runtime(msg)) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

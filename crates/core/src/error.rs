@@ -1,0 +1,92 @@
+//! Error type for the ETSC algorithms.
+
+use std::fmt;
+
+use etsc_data::DataError;
+use etsc_ml::MlError;
+
+/// Errors produced while fitting or querying ETSC algorithms.
+#[derive(Debug)]
+pub enum EtscError {
+    /// Underlying data-layer failure.
+    Data(DataError),
+    /// Underlying model failure.
+    Ml(MlError),
+    /// Algorithm queried before `fit`.
+    NotFitted,
+    /// Invalid algorithm configuration.
+    Config(String),
+    /// Training exceeded the configured budget (the framework's 48-hour
+    /// rule; EDSC hits this on "Wide" datasets).
+    TrainingBudgetExceeded {
+        /// The configured budget.
+        budget: std::time::Duration,
+    },
+    /// A univariate algorithm received multivariate data without the
+    /// voting adapter.
+    UnivariateOnly {
+        /// Offending variable count.
+        vars: usize,
+    },
+    /// A test instance is incompatible with the fitted model (length or
+    /// variable count).
+    IncompatibleInstance(String),
+}
+
+impl fmt::Display for EtscError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EtscError::Data(e) => write!(f, "data error: {e}"),
+            EtscError::Ml(e) => write!(f, "model error: {e}"),
+            EtscError::NotFitted => write!(f, "algorithm used before fit"),
+            EtscError::Config(msg) => write!(f, "invalid configuration: {msg}"),
+            EtscError::TrainingBudgetExceeded { budget } => {
+                write!(f, "training exceeded budget of {budget:?}")
+            }
+            EtscError::UnivariateOnly { vars } => write!(
+                f,
+                "univariate algorithm got {vars} variables; wrap it in VotingAdapter"
+            ),
+            EtscError::IncompatibleInstance(msg) => write!(f, "incompatible instance: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for EtscError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EtscError::Data(e) => Some(e),
+            EtscError::Ml(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DataError> for EtscError {
+    fn from(e: DataError) -> Self {
+        EtscError::Data(e)
+    }
+}
+
+impl From<MlError> for EtscError {
+    fn from(e: MlError) -> Self {
+        EtscError::Ml(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_sources() {
+        let e: EtscError = MlError::NotFitted.into();
+        assert!(matches!(e, EtscError::Ml(_)));
+        assert!(std::error::Error::source(&e).is_some());
+        let e: EtscError = DataError::Empty("x").into();
+        assert!(e.to_string().contains("data error"));
+        assert!(EtscError::UnivariateOnly { vars: 3 }
+            .to_string()
+            .contains("VotingAdapter"));
+    }
+}

@@ -1,0 +1,118 @@
+//! MiniROCKET + ridge classifier (the reference pairing; Section 4).
+
+use etsc_data::{Dataset, Label, MultiSeries};
+use etsc_ml::ridge::{RidgeClassifier, RidgeConfig};
+use etsc_ml::{Classifier, Matrix};
+use etsc_transforms::minirocket::{MiniRocket, MiniRocketConfig};
+
+use crate::error::EtscError;
+use crate::traits::FullClassifierTrait;
+
+/// Hyper-parameters for [`MiniRocketClassifier`].
+#[derive(Debug, Clone, Default)]
+pub struct MiniRocketClassifierConfig {
+    /// Transform configuration.
+    pub transform: MiniRocketConfig,
+    /// Ridge-head configuration.
+    pub ridge: RidgeConfig,
+}
+
+/// MiniROCKET transform + ridge regression head.
+#[derive(Debug, Clone)]
+pub struct MiniRocketClassifier {
+    config: MiniRocketClassifierConfig,
+    transform: Option<MiniRocket>,
+    head: RidgeClassifier,
+}
+
+impl MiniRocketClassifier {
+    /// Untrained classifier.
+    pub fn new(config: MiniRocketClassifierConfig) -> Self {
+        let ridge = config.ridge.clone();
+        MiniRocketClassifier {
+            config,
+            transform: None,
+            head: RidgeClassifier::new(ridge),
+        }
+    }
+
+    /// Untrained classifier with defaults (~1000 PPV features).
+    pub fn with_defaults() -> Self {
+        Self::new(MiniRocketClassifierConfig::default())
+    }
+}
+
+impl FullClassifierTrait for MiniRocketClassifier {
+    fn name(&self) -> String {
+        "MiniROCKET".into()
+    }
+
+    fn fit(&mut self, data: &Dataset) -> Result<(), EtscError> {
+        let mut transform = MiniRocket::new(self.config.transform.clone());
+        transform.fit(data.instances())?;
+        let rows: Vec<Vec<f64>> = data
+            .instances()
+            .iter()
+            .map(|s| transform.transform(s))
+            .collect::<Result<_, _>>()?;
+        let x = Matrix::from_rows(&rows)?;
+        self.head = RidgeClassifier::new(self.config.ridge.clone());
+        self.head.fit(&x, data.labels(), data.n_classes())?;
+        self.transform = Some(transform);
+        Ok(())
+    }
+
+    fn predict(&self, instance: &MultiSeries) -> Result<Label, EtscError> {
+        let transform = self.transform.as_ref().ok_or(EtscError::NotFitted)?;
+        let features = transform.transform(instance)?;
+        Ok(self.head.predict(&features)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use etsc_data::{DatasetBuilder, Series};
+
+    fn dataset() -> Dataset {
+        let mut b = DatasetBuilder::new("toy");
+        for i in 0..10 {
+            let phase = i as f64 * 0.31;
+            let slow: Vec<f64> = (0..48).map(|t| ((t as f64 * 0.25) + phase).sin()).collect();
+            let fast: Vec<f64> = (0..48).map(|t| ((t as f64 * 1.3) + phase).sin()).collect();
+            b.push_named(MultiSeries::univariate(Series::new(slow)), "slow");
+            b.push_named(MultiSeries::univariate(Series::new(fast)), "fast");
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn separates_frequencies() {
+        let d = dataset();
+        let mut clf = MiniRocketClassifier::new(MiniRocketClassifierConfig {
+            transform: MiniRocketConfig {
+                num_features: 300,
+                max_dilations: 4,
+                seed: 3,
+            },
+            ..MiniRocketClassifierConfig::default()
+        });
+        clf.fit(&d).unwrap();
+        let correct = d
+            .iter()
+            .filter(|(inst, l)| clf.predict(inst).unwrap() == *l)
+            .count();
+        assert!(
+            correct as f64 / d.len() as f64 > 0.9,
+            "{correct}/{}",
+            d.len()
+        );
+    }
+
+    #[test]
+    fn unfitted_errors() {
+        let clf = MiniRocketClassifier::with_defaults();
+        let inst = MultiSeries::univariate(Series::new(vec![0.0; 10]));
+        assert!(matches!(clf.predict(&inst), Err(EtscError::NotFitted)));
+    }
+}

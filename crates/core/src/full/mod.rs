@@ -1,0 +1,11 @@
+//! Full time-series classifiers (Section 3.4 and 4): the models STRUT
+//! truncates and the WEASEL+logistic pipeline ECEC and TEASER embed.
+
+mod minirocket_clf;
+mod mlstm_clf;
+mod weasel_clf;
+
+pub use crate::traits::FullClassifierTrait as FullClassifier;
+pub use minirocket_clf::{MiniRocketClassifier, MiniRocketClassifierConfig};
+pub use mlstm_clf::{MlstmClassifier, MlstmClassifierConfig};
+pub use weasel_clf::{WeaselClassifier, WeaselClassifierConfig, WeaselPipeline};

@@ -1,0 +1,197 @@
+//! WEASEL / WEASEL+MUSE + logistic regression as a full-TSC classifier.
+//!
+//! Univariate inputs go through the plain WEASEL bag; multivariate ones
+//! through WEASEL+MUSE with derivative channels (Section 4: "WEASEL and
+//! WEASEL+MUSE, which we use in univariate and multivariate cases
+//! respectively"). Both keep the streaming-unfriendly z-normalisation
+//! removed, matching the paper's modification.
+
+use etsc_data::{Dataset, Label, MultiSeries};
+use etsc_ml::logistic::{LogisticConfig, LogisticRegression};
+use etsc_ml::{Classifier, Matrix};
+use etsc_transforms::muse::{Muse, MuseConfig};
+use etsc_transforms::weasel::{Weasel, WeaselConfig};
+
+use crate::error::EtscError;
+use crate::traits::FullClassifierTrait;
+
+/// Hyper-parameters for [`WeaselClassifier`].
+#[derive(Debug, Clone, Default)]
+pub struct WeaselClassifierConfig {
+    /// Bag-of-patterns configuration (shared by the MUSE path).
+    pub weasel: WeaselConfig,
+    /// Logistic-regression head configuration.
+    pub logistic: LogisticConfig,
+}
+
+/// The fitted transform behind a [`WeaselClassifier`].
+#[derive(Debug, Clone)]
+pub enum WeaselPipeline {
+    /// Univariate bag.
+    Univariate(Weasel),
+    /// Multivariate WEASEL+MUSE bag.
+    Multivariate(Muse),
+}
+
+/// WEASEL(+MUSE) + logistic regression.
+#[derive(Debug, Clone)]
+pub struct WeaselClassifier {
+    config: WeaselClassifierConfig,
+    pipeline: Option<WeaselPipeline>,
+    head: LogisticRegression,
+    n_classes: usize,
+}
+
+impl WeaselClassifier {
+    /// Untrained classifier.
+    pub fn new(config: WeaselClassifierConfig) -> Self {
+        let logistic = config.logistic.clone();
+        WeaselClassifier {
+            config,
+            pipeline: None,
+            head: LogisticRegression::new(logistic),
+            n_classes: 0,
+        }
+    }
+
+    /// Untrained classifier with default hyper-parameters.
+    pub fn with_defaults() -> Self {
+        Self::new(WeaselClassifierConfig::default())
+    }
+
+    /// Class-probability vector for one instance (used by ECEC/TEASER).
+    ///
+    /// # Errors
+    /// [`EtscError::NotFitted`] / transform failures.
+    pub fn predict_proba(&self, instance: &MultiSeries) -> Result<Vec<f64>, EtscError> {
+        let features = self.features(instance)?;
+        Ok(self.head.predict_proba(&features)?)
+    }
+
+    fn features(&self, instance: &MultiSeries) -> Result<Vec<f64>, EtscError> {
+        match self.pipeline.as_ref().ok_or(EtscError::NotFitted)? {
+            WeaselPipeline::Univariate(w) => Ok(w.transform(instance.var(0))?),
+            WeaselPipeline::Multivariate(m) => Ok(m.transform(instance)?),
+        }
+    }
+}
+
+impl FullClassifierTrait for WeaselClassifier {
+    fn name(&self) -> String {
+        "WEASEL".into()
+    }
+
+    fn fit(&mut self, data: &Dataset) -> Result<(), EtscError> {
+        let n_classes = data.n_classes();
+        self.n_classes = n_classes;
+        let pipeline = if data.vars() == 1 {
+            let rows: Vec<&[f64]> = data.instances().iter().map(|s| s.var(0)).collect();
+            let mut w = Weasel::new(self.config.weasel.clone());
+            w.fit(&rows, data.labels(), n_classes)?;
+            WeaselPipeline::Univariate(w)
+        } else {
+            let mut m = Muse::new(MuseConfig {
+                weasel: self.config.weasel.clone(),
+                ..MuseConfig::default()
+            });
+            m.fit(data.instances(), data.labels(), n_classes)?;
+            WeaselPipeline::Multivariate(m)
+        };
+        // Transform all instances and fit the head.
+        let rows: Vec<Vec<f64>> = match &pipeline {
+            WeaselPipeline::Univariate(w) => data
+                .instances()
+                .iter()
+                .map(|s| w.transform(s.var(0)))
+                .collect::<Result<_, _>>()?,
+            WeaselPipeline::Multivariate(m) => data
+                .instances()
+                .iter()
+                .map(|s| m.transform(s))
+                .collect::<Result<_, _>>()?,
+        };
+        let x = Matrix::from_rows(&rows)?;
+        self.head = LogisticRegression::new(self.config.logistic.clone());
+        self.head.fit(&x, data.labels(), n_classes)?;
+        self.pipeline = Some(pipeline);
+        Ok(())
+    }
+
+    fn predict(&self, instance: &MultiSeries) -> Result<Label, EtscError> {
+        let features = self.features(instance)?;
+        Ok(self.head.predict(&features)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use etsc_data::{DatasetBuilder, Series};
+
+    fn sine_dataset(vars: usize) -> Dataset {
+        let mut b = DatasetBuilder::new("sines");
+        for i in 0..12 {
+            let phase = i as f64 * 0.19;
+            for (freq, class) in [(0.2, "slow"), (1.5, "fast")] {
+                let rows: Vec<Vec<f64>> = (0..vars)
+                    .map(|v| {
+                        (0..40)
+                            .map(|t| ((t as f64 * freq) + phase + v as f64).sin())
+                            .collect()
+                    })
+                    .collect();
+                b.push_named(MultiSeries::from_rows(rows).unwrap(), class);
+            }
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn univariate_train_accuracy() {
+        let d = sine_dataset(1);
+        let mut clf = WeaselClassifier::with_defaults();
+        clf.fit(&d).unwrap();
+        let correct = d
+            .iter()
+            .filter(|(inst, l)| clf.predict(inst).unwrap() == *l)
+            .count();
+        assert!(
+            correct as f64 / d.len() as f64 > 0.9,
+            "{correct}/{}",
+            d.len()
+        );
+    }
+
+    #[test]
+    fn multivariate_uses_muse() {
+        let d = sine_dataset(2);
+        let mut clf = WeaselClassifier::with_defaults();
+        clf.fit(&d).unwrap();
+        assert!(matches!(
+            clf.pipeline,
+            Some(WeaselPipeline::Multivariate(_))
+        ));
+        let correct = d
+            .iter()
+            .filter(|(inst, l)| clf.predict(inst).unwrap() == *l)
+            .count();
+        assert!(correct as f64 / d.len() as f64 > 0.9);
+    }
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        let d = sine_dataset(1);
+        let mut clf = WeaselClassifier::with_defaults();
+        clf.fit(&d).unwrap();
+        let p = clf.predict_proba(d.instance(0)).unwrap();
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn unfitted_errors() {
+        let clf = WeaselClassifier::with_defaults();
+        let inst = MultiSeries::univariate(Series::new(vec![0.0; 10]));
+        assert!(matches!(clf.predict(&inst), Err(EtscError::NotFitted)));
+    }
+}

@@ -1,0 +1,166 @@
+//! Static algorithm metadata: the characteristics matrix of Table 2 and
+//! the worst-case training complexities of Table 5.
+
+/// The taxonomy of Gupta et al. used by the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AlgoFamily {
+    /// Estimates conditional probabilities with mathematical models.
+    ModelBased,
+    /// Seeks the minimum prefix length for accurate prediction.
+    PrefixBased,
+    /// Extracts class-characteristic subseries.
+    ShapeletBased,
+    /// Deep learning / other.
+    Miscellaneous,
+}
+
+impl AlgoFamily {
+    /// Column label used in Table 2.
+    pub fn label(self) -> &'static str {
+        match self {
+            AlgoFamily::ModelBased => "Model-based",
+            AlgoFamily::PrefixBased => "Prefix-based",
+            AlgoFamily::ShapeletBased => "Shapelet-based",
+            AlgoFamily::Miscellaneous => "Miscellaneous",
+        }
+    }
+}
+
+/// One row of the Table 2 characteristics matrix (plus Table 5's
+/// complexity column).
+#[derive(Debug, Clone)]
+pub struct AlgoInfo {
+    /// Paper spelling of the name.
+    pub name: &'static str,
+    /// Taxonomy family.
+    pub family: AlgoFamily,
+    /// Natively handles multivariate series.
+    pub multivariate: bool,
+    /// Produces early predictions (vs full-TSC).
+    pub early: bool,
+    /// Implementation language of the *reference* implementation the
+    /// paper evaluated (this repository re-implements all of them in
+    /// Rust — the paper's own stated future work).
+    pub reference_language: &'static str,
+    /// Worst-case training complexity (Table 5; N = dataset height,
+    /// L = series length).
+    pub complexity: &'static str,
+}
+
+/// Every algorithm row of Table 2, in the paper's order.
+pub fn all_algorithms() -> Vec<AlgoInfo> {
+    vec![
+        AlgoInfo {
+            name: "ECEC",
+            family: AlgoFamily::ModelBased,
+            multivariate: false,
+            early: true,
+            reference_language: "Java",
+            complexity: "O(N * L^3 * #classifiers * #classes * #vars)",
+        },
+        AlgoInfo {
+            name: "ECONOMY-K",
+            family: AlgoFamily::ModelBased,
+            multivariate: false,
+            early: true,
+            reference_language: "Python",
+            complexity: "O(L*logN + 2*N*L + #classes * #groups * N * #vars)",
+        },
+        AlgoInfo {
+            name: "ECTS",
+            family: AlgoFamily::PrefixBased,
+            multivariate: false,
+            early: true,
+            reference_language: "Python",
+            complexity: "O(N^3 * L * #vars)",
+        },
+        AlgoInfo {
+            name: "EDSC",
+            family: AlgoFamily::ShapeletBased,
+            multivariate: false,
+            early: true,
+            reference_language: "C++",
+            complexity: "O(N^2 * L^3 * #vars)",
+        },
+        AlgoInfo {
+            name: "MiniROCKET",
+            family: AlgoFamily::Miscellaneous,
+            multivariate: true,
+            early: false,
+            reference_language: "Python",
+            complexity: "O(N * L * log(L) * #kernels)",
+        },
+        AlgoInfo {
+            name: "MLSTM",
+            family: AlgoFamily::Miscellaneous,
+            multivariate: true,
+            early: false,
+            reference_language: "Python",
+            complexity: "O(N * #epochs * L)",
+        },
+        AlgoInfo {
+            name: "WEASEL",
+            family: AlgoFamily::ShapeletBased,
+            multivariate: false,
+            early: false,
+            reference_language: "Python",
+            complexity: "O(N * L^2 * log(L) * #vars)",
+        },
+        AlgoInfo {
+            name: "TEASER",
+            family: AlgoFamily::PrefixBased,
+            multivariate: false,
+            early: true,
+            reference_language: "Java",
+            complexity: "O(L/S * L^2 * #vars)",
+        },
+    ]
+}
+
+/// Looks an algorithm up by name (case-insensitive).
+pub fn algorithm(name: &str) -> Option<AlgoInfo> {
+    all_algorithms()
+        .into_iter()
+        .find(|a| a.name.eq_ignore_ascii_case(name))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_has_eight_rows() {
+        let rows = all_algorithms();
+        assert_eq!(rows.len(), 8);
+        let early: Vec<&str> = rows.iter().filter(|a| a.early).map(|a| a.name).collect();
+        assert_eq!(early, vec!["ECEC", "ECONOMY-K", "ECTS", "EDSC", "TEASER"]);
+        let full: Vec<&str> = rows.iter().filter(|a| !a.early).map(|a| a.name).collect();
+        assert_eq!(full, vec!["MiniROCKET", "MLSTM", "WEASEL"]);
+    }
+
+    #[test]
+    fn families_match_table2() {
+        assert_eq!(algorithm("ECEC").unwrap().family, AlgoFamily::ModelBased);
+        assert_eq!(algorithm("ects").unwrap().family, AlgoFamily::PrefixBased);
+        assert_eq!(algorithm("EDSC").unwrap().family, AlgoFamily::ShapeletBased);
+        assert_eq!(algorithm("TEASER").unwrap().family, AlgoFamily::PrefixBased);
+        assert!(algorithm("nope").is_none());
+    }
+
+    #[test]
+    fn univariate_flags_match_table2() {
+        for name in ["ECEC", "ECONOMY-K", "ECTS", "EDSC", "TEASER", "WEASEL"] {
+            assert!(!algorithm(name).unwrap().multivariate, "{name}");
+        }
+        for name in ["MiniROCKET", "MLSTM"] {
+            assert!(algorithm(name).unwrap().multivariate, "{name}");
+        }
+    }
+
+    #[test]
+    fn complexities_present_for_all() {
+        for a in all_algorithms() {
+            assert!(a.complexity.starts_with("O("), "{}", a.name);
+        }
+    }
+}

@@ -1,0 +1,388 @@
+//! The dataset catalogue: one entry per paper dataset, with full-scale
+//! shape specs, observation frequencies (Figure 13), pinned Table 3
+//! categories, and scaled generation.
+
+use etsc_data::stats::Category;
+use etsc_data::Dataset;
+
+use crate::generators;
+
+/// The 12 evaluation datasets of the paper.
+///
+/// ```
+/// use etsc_datasets::{GenOptions, PaperDataset};
+///
+/// let data = PaperDataset::PowerCons.generate(GenOptions {
+///     height_scale: 0.1,
+///     length_scale: 0.2,
+///     seed: 1,
+/// });
+/// assert_eq!(data.name(), "PowerCons");
+/// assert_eq!(data.vars(), 1);
+/// assert_eq!(data.n_classes(), 2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum PaperDataset {
+    /// UEA BasicMotions (accelerometer activities).
+    BasicMotions,
+    /// The paper's cancer-cell drug-treatment simulations.
+    Biological,
+    /// UCR DodgerLoopDay (traffic, day-of-week).
+    DodgerLoopDay,
+    /// UCR DodgerLoopGame (traffic, game day).
+    DodgerLoopGame,
+    /// UCR DodgerLoopWeekend (traffic, weekend).
+    DodgerLoopWeekend,
+    /// UCR HouseTwenty (household electricity).
+    HouseTwenty,
+    /// UEA LSST (astronomical transients).
+    Lsst,
+    /// The paper's vessel-position dataset around Brest.
+    Maritime,
+    /// UCR PickupGestureWiimoteZ (gestures).
+    PickupGestureWiimoteZ,
+    /// UCR PLAID (appliance signatures).
+    Plaid,
+    /// UCR PowerCons (seasonal power consumption).
+    PowerCons,
+    /// UCR SharePriceIncrease (price momentum).
+    SharePriceIncrease,
+}
+
+/// Full-scale shape of a dataset plus benchmark metadata.
+#[derive(Debug, Clone)]
+pub struct GeneratorSpec {
+    /// Dataset display name (paper spelling).
+    pub name: &'static str,
+    /// Instance count at full scale ("height").
+    pub height: usize,
+    /// Series length at full scale.
+    pub length: usize,
+    /// Variables per instance.
+    pub vars: usize,
+    /// Number of classes.
+    pub n_classes: usize,
+    /// Seconds between consecutive observations (Figure 13's parenthetical
+    /// frequency; values for the UCR sets are documented approximations).
+    pub obs_frequency_secs: f64,
+    /// Table 3 categories at full scale.
+    pub categories: &'static [Category],
+}
+
+/// Scaling options for [`PaperDataset::generate`].
+#[derive(Debug, Clone, Copy)]
+pub struct GenOptions {
+    /// Multiplier on the instance count, in `(0, 1]`.
+    pub height_scale: f64,
+    /// Multiplier on the series length, in `(0, 1]`.
+    pub length_scale: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for GenOptions {
+    fn default() -> Self {
+        GenOptions {
+            height_scale: 1.0,
+            length_scale: 1.0,
+            seed: 7,
+        }
+    }
+}
+
+use Category::*;
+
+impl PaperDataset {
+    /// Every dataset, in the paper's Table 3 order.
+    pub const ALL: [PaperDataset; 12] = [
+        PaperDataset::BasicMotions,
+        PaperDataset::Biological,
+        PaperDataset::DodgerLoopDay,
+        PaperDataset::DodgerLoopGame,
+        PaperDataset::DodgerLoopWeekend,
+        PaperDataset::HouseTwenty,
+        PaperDataset::Lsst,
+        PaperDataset::Maritime,
+        PaperDataset::PickupGestureWiimoteZ,
+        PaperDataset::Plaid,
+        PaperDataset::PowerCons,
+        PaperDataset::SharePriceIncrease,
+    ];
+
+    /// Full-scale spec.
+    pub fn spec(self) -> GeneratorSpec {
+        match self {
+            PaperDataset::BasicMotions => GeneratorSpec {
+                name: "BasicMotions",
+                height: 80,
+                length: 100,
+                vars: 6,
+                n_classes: 4,
+                obs_frequency_secs: 0.1,
+                categories: &[Unstable, Multiclass, Multivariate],
+            },
+            PaperDataset::Biological => GeneratorSpec {
+                name: "Biological",
+                height: 644,
+                length: 48,
+                vars: 3,
+                n_classes: 2,
+                obs_frequency_secs: 1800.0,
+                categories: &[Imbalanced, Multivariate],
+            },
+            PaperDataset::DodgerLoopDay => GeneratorSpec {
+                name: "DodgerLoopDay",
+                height: 158,
+                length: 288,
+                vars: 1,
+                n_classes: 7,
+                obs_frequency_secs: 300.0,
+                categories: &[Multiclass, Univariate],
+            },
+            PaperDataset::DodgerLoopGame => GeneratorSpec {
+                name: "DodgerLoopGame",
+                height: 158,
+                length: 288,
+                vars: 1,
+                n_classes: 2,
+                obs_frequency_secs: 300.0,
+                categories: &[Common, Univariate],
+            },
+            PaperDataset::DodgerLoopWeekend => GeneratorSpec {
+                name: "DodgerLoopWeekend",
+                height: 158,
+                length: 288,
+                vars: 1,
+                n_classes: 2,
+                obs_frequency_secs: 300.0,
+                categories: &[Imbalanced, Univariate],
+            },
+            PaperDataset::HouseTwenty => GeneratorSpec {
+                name: "HouseTwenty",
+                height: 159,
+                length: 2000,
+                vars: 1,
+                n_classes: 2,
+                obs_frequency_secs: 8.0,
+                categories: &[Wide, Unstable, Univariate],
+            },
+            PaperDataset::Lsst => GeneratorSpec {
+                name: "LSST",
+                height: 4925,
+                length: 36,
+                vars: 6,
+                n_classes: 14,
+                obs_frequency_secs: 86_400.0,
+                categories: &[Large, Unstable, Imbalanced, Multiclass, Multivariate],
+            },
+            PaperDataset::Maritime => GeneratorSpec {
+                name: "Maritime",
+                height: 80_591,
+                length: 30,
+                vars: 7,
+                n_classes: 2,
+                obs_frequency_secs: 60.0,
+                categories: &[Large, Unstable, Imbalanced, Multivariate],
+            },
+            PaperDataset::PickupGestureWiimoteZ => GeneratorSpec {
+                name: "PickupGestureWiimoteZ",
+                height: 100,
+                length: 361,
+                vars: 1,
+                n_classes: 10,
+                obs_frequency_secs: 0.1,
+                categories: &[Multiclass, Univariate],
+            },
+            PaperDataset::Plaid => GeneratorSpec {
+                name: "PLAID",
+                height: 1074,
+                length: 1345,
+                vars: 1,
+                n_classes: 11,
+                obs_frequency_secs: 0.033,
+                categories: &[Wide, Large, Unstable, Imbalanced, Multiclass, Univariate],
+            },
+            PaperDataset::PowerCons => GeneratorSpec {
+                name: "PowerCons",
+                height: 360,
+                length: 144,
+                vars: 1,
+                n_classes: 2,
+                obs_frequency_secs: 600.0,
+                categories: &[Common, Univariate],
+            },
+            PaperDataset::SharePriceIncrease => GeneratorSpec {
+                name: "SharePriceIncrease",
+                height: 1931,
+                length: 60,
+                vars: 1,
+                n_classes: 2,
+                obs_frequency_secs: 86_400.0,
+                categories: &[Large, Unstable, Imbalanced, Univariate],
+            },
+        }
+    }
+
+    /// Looks a dataset up by its paper name (case-insensitive).
+    pub fn by_name(name: &str) -> Option<PaperDataset> {
+        PaperDataset::ALL
+            .into_iter()
+            .find(|d| d.spec().name.eq_ignore_ascii_case(name))
+    }
+
+    /// Generates the dataset at the given scale. Heights are floored at
+    /// `4 × n_classes` and lengths at 16 points so every algorithm has
+    /// something to work with.
+    pub fn generate(self, options: GenOptions) -> Dataset {
+        let spec = self.spec();
+        let height = ((spec.height as f64 * options.height_scale.clamp(0.0, 1.0)) as usize)
+            .max(4 * spec.n_classes);
+        let length = ((spec.length as f64 * options.length_scale.clamp(0.0, 1.0)) as usize).max(16);
+        let seed = options.seed;
+        match self {
+            PaperDataset::BasicMotions => generators::basic_motions::generate(height, length, seed),
+            PaperDataset::Biological => generators::biological::generate(height, length, seed),
+            PaperDataset::DodgerLoopDay => generators::dodger::generate_day(height, length, seed),
+            PaperDataset::DodgerLoopGame => generators::dodger::generate_game(height, length, seed),
+            PaperDataset::DodgerLoopWeekend => {
+                generators::dodger::generate_weekend(height, length, seed)
+            }
+            PaperDataset::HouseTwenty => generators::house_twenty::generate(height, length, seed),
+            PaperDataset::Lsst => generators::lsst::generate(height, length, seed),
+            PaperDataset::Maritime => generators::maritime::generate(height, length, seed),
+            PaperDataset::PickupGestureWiimoteZ => {
+                generators::pickup::generate(height, length, seed)
+            }
+            PaperDataset::Plaid => generators::plaid::generate(height, length, seed),
+            PaperDataset::PowerCons => generators::power_cons::generate(height, length, seed),
+            PaperDataset::SharePriceIncrease => {
+                generators::share_price::generate(height, length, seed)
+            }
+        }
+    }
+
+    /// Generates at full paper scale.
+    pub fn generate_full(self, seed: u64) -> Dataset {
+        self.generate(GenOptions {
+            seed,
+            ..GenOptions::default()
+        })
+    }
+}
+
+impl std::fmt::Display for PaperDataset {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.spec().name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twelve_datasets_with_unique_names() {
+        let names: std::collections::BTreeSet<&str> =
+            PaperDataset::ALL.iter().map(|d| d.spec().name).collect();
+        assert_eq!(names.len(), 12);
+    }
+
+    #[test]
+    fn by_name_roundtrip() {
+        for d in PaperDataset::ALL {
+            assert_eq!(PaperDataset::by_name(d.spec().name), Some(d));
+        }
+        assert_eq!(
+            PaperDataset::by_name("maritime"),
+            Some(PaperDataset::Maritime)
+        );
+        assert_eq!(PaperDataset::by_name("nope"), None);
+    }
+
+    #[test]
+    fn scaled_generation_respects_spec_shape() {
+        for d in PaperDataset::ALL {
+            let spec = d.spec();
+            let ds = d.generate(GenOptions {
+                height_scale: 0.1,
+                length_scale: 0.5,
+                seed: 1,
+            });
+            assert_eq!(ds.vars(), spec.vars, "{}", spec.name);
+            assert!(ds.len() <= spec.height, "{}", spec.name);
+            assert!(ds.max_len() <= spec.length.max(16), "{}", spec.name);
+            assert!(ds.n_classes() <= spec.n_classes, "{}", spec.name);
+            assert_eq!(ds.name(), spec.name);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = PaperDataset::PowerCons.generate(GenOptions {
+            height_scale: 0.2,
+            length_scale: 1.0,
+            seed: 9,
+        });
+        let b = PaperDataset::PowerCons.generate(GenOptions {
+            height_scale: 0.2,
+            length_scale: 1.0,
+            seed: 9,
+        });
+        assert_eq!(a.instance(3).flat(), b.instance(3).flat());
+    }
+
+    #[test]
+    fn floors_keep_tiny_scales_usable() {
+        let ds = PaperDataset::Lsst.generate(GenOptions {
+            height_scale: 0.001,
+            length_scale: 0.001,
+            seed: 2,
+        });
+        assert!(ds.len() >= 4 * 14);
+        assert!(ds.max_len() >= 16);
+    }
+
+    /// The central substitution check: at a representative scale, each
+    /// generator's computed categories must cover the paper's Table 3
+    /// entry (Large needs enough instances, so heights are kept above the
+    /// threshold where the spec demands it).
+    #[test]
+    fn generated_categories_match_table3() {
+        use etsc_data::stats::categorize;
+        for d in PaperDataset::ALL {
+            let spec = d.spec();
+            // Enough height to preserve Large where applicable but small
+            // enough to keep the test fast.
+            let height_scale = if spec.height > 1000 {
+                (1100.0 / spec.height as f64).min(1.0)
+            } else {
+                1.0
+            };
+            let ds = d.generate(GenOptions {
+                height_scale,
+                length_scale: 1.0,
+                seed: 5,
+            });
+            let got = categorize(&ds);
+            for want in spec.categories {
+                assert!(
+                    got.contains(want),
+                    "{}: expected {:?} in {:?}",
+                    spec.name,
+                    want,
+                    got
+                );
+            }
+            // And no spurious extra category beyond the pinned set.
+            for have in &got {
+                assert!(
+                    spec.categories.contains(have),
+                    "{}: unexpected {:?} (pinned {:?})",
+                    spec.name,
+                    have,
+                    spec.categories
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,214 @@
+//! Biological: cancer-cell drug-treatment simulations (the paper's first
+//! new dataset). Shape: 644 × 3 × 48, classes *interesting* (20%) /
+//! *non-interesting* (80%).
+//!
+//! This is a small mechanistic tumour model in place of the
+//! PhysiBoSS simulator (DESIGN.md, Substitution 1): three compartments —
+//! Alive, Necrotic, Apoptotic cells — evolve under logistic growth,
+//! natural apoptosis, and a drug-kill term parameterised by dose,
+//! administration frequency and duration (the paper's treatment
+//! configuration). *Interesting* runs use an effective configuration: the
+//! drug takes effect after roughly 30% of the horizon (matching the
+//! paper's observation that classes are indistinguishable before that),
+//! alive counts shrink and necrotic counts rise. *Non-interesting* runs
+//! have sub-therapeutic dosing: the tumour keeps growing.
+
+use etsc_data::{Dataset, DatasetBuilder, MultiSeries};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::signals::{noise, quota_class};
+
+/// Fraction of instances in the *interesting* class (paper: 20%).
+pub const INTERESTING_FRACTION: f64 = 0.2;
+
+/// One simulated treatment configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct Treatment {
+    /// Drug concentration per administration.
+    pub dose: f64,
+    /// Administrations per simulated day (every `48/frequency` steps).
+    pub frequency: f64,
+    /// Steps each administration stays active.
+    pub duration: f64,
+}
+
+/// Simulates one tumour run; returns (alive, necrotic, apoptotic).
+pub fn simulate(
+    rng: &mut StdRng,
+    length: usize,
+    treatment: Treatment,
+) -> (Vec<f64>, Vec<f64>, Vec<f64>) {
+    let mut alive = 1000.0 + noise(rng, 80.0);
+    let mut necrotic = 0.0f64;
+    let mut apoptotic = 0.0f64;
+    let capacity = 2600.0;
+    let growth = 0.060 + noise(rng, 0.004);
+    let natural_apoptosis = 0.012;
+    // Drug concentration in the tissue (pharmacokinetic decay).
+    let mut drug = 0.0;
+    let admin_interval = (length as f64 / treatment.frequency.max(0.5)).max(1.0);
+    // Administration starts after an observation window, so every run —
+    // effective or not — looks identical early on (the paper notes the
+    // classes only diverge after ~30% of the horizon).
+    let admin_start = length as f64 * 0.22;
+
+    let mut a_row = Vec::with_capacity(length);
+    let mut n_row = Vec::with_capacity(length);
+    let mut p_row = Vec::with_capacity(length);
+    for t in 0..length {
+        a_row.push(alive.max(0.0));
+        n_row.push(necrotic.max(0.0));
+        p_row.push(apoptotic.max(0.0));
+        // Administration pulses (after the observation window).
+        let since_start = t as f64 - admin_start;
+        if since_start >= 0.0 && since_start % admin_interval < treatment.duration {
+            drug += treatment.dose;
+        }
+        drug *= 0.82; // clearance
+                      // Drug needs to accumulate past a threshold before it kills
+                      // (this produces the ~30% dead zone at the start of the series).
+        let kill = 0.10 * (drug - 1.0).max(0.0).tanh();
+        let grown = growth * alive * (1.0 - alive / capacity);
+        let killed = kill * alive;
+        let died = natural_apoptosis * alive;
+        alive += grown - killed - died + noise(rng, 6.0);
+        necrotic += killed + noise(rng, 2.0);
+        apoptotic += died + noise(rng, 2.0);
+        alive = alive.max(0.0);
+        necrotic = necrotic.max(0.0);
+        apoptotic = apoptotic.max(0.0);
+    }
+    (a_row, n_row, p_row)
+}
+
+/// Generates a scaled Biological dataset.
+pub fn generate(height: usize, length: usize, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = DatasetBuilder::new("Biological");
+    let weights = [1.0 - INTERESTING_FRACTION, INTERESTING_FRACTION];
+    for i in 0..height {
+        let class = quota_class(i, height, &weights);
+        let treatment = if class == 1 {
+            // Effective: therapeutic dose, sustained administration.
+            Treatment {
+                dose: 0.9 + rng.random::<f64>() * 0.6,
+                frequency: 6.0 + rng.random::<f64>() * 4.0,
+                duration: 2.0 + rng.random::<f64>() * 2.0,
+            }
+        } else {
+            // Sub-therapeutic: low dose or sparse administration.
+            Treatment {
+                dose: 0.05 + rng.random::<f64>() * 0.3,
+                frequency: 1.0 + rng.random::<f64>() * 2.0,
+                duration: 1.0 + rng.random::<f64>(),
+            }
+        };
+        let (a, n, p) = simulate(&mut rng, length, treatment);
+        let label = b.class(if class == 1 {
+            "interesting"
+        } else {
+            "non-interesting"
+        });
+        b.push(
+            MultiSeries::from_rows(vec![a, n, p]).expect("equal rows"),
+            label,
+        );
+    }
+    b.build().expect("non-empty dataset")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use etsc_data::stats::{categorize, Category, DatasetStats};
+
+    #[test]
+    fn shape_and_imbalance() {
+        let d = generate(644, 48, 1);
+        assert_eq!(d.len(), 644);
+        assert_eq!(d.vars(), 3);
+        assert_eq!(d.max_len(), 48);
+        assert_eq!(d.n_classes(), 2);
+        let s = DatasetStats::compute(&d);
+        assert!((s.cir - 4.0).abs() < 0.3, "CIR {}", s.cir);
+    }
+
+    #[test]
+    fn matches_paper_categories() {
+        let d = generate(644, 48, 2);
+        let cats = categorize(&d);
+        assert!(cats.contains(&Category::Imbalanced));
+        assert!(cats.contains(&Category::Multivariate));
+        assert!(!cats.contains(&Category::Unstable));
+        assert!(!cats.contains(&Category::Large));
+        assert!(!cats.contains(&Category::Wide));
+        assert!(!cats.contains(&Category::Multiclass));
+    }
+
+    #[test]
+    fn interesting_runs_shrink_the_tumour() {
+        let d = generate(200, 48, 3);
+        let interesting = d
+            .class_names()
+            .iter()
+            .position(|c| c == "interesting")
+            .unwrap();
+        let mut shrink = 0.0;
+        let mut grow = 0.0;
+        let mut n_i = 0;
+        let mut n_n = 0;
+        for (inst, l) in d.iter() {
+            let alive = inst.var(0);
+            let delta = alive[47] - alive[0];
+            if l == interesting {
+                shrink += delta;
+                n_i += 1;
+            } else {
+                grow += delta;
+                n_n += 1;
+            }
+        }
+        assert!((shrink / n_i as f64) < 0.0, "interesting mean delta");
+        assert!(grow / n_n as f64 > 200.0, "non-interesting mean delta");
+    }
+
+    #[test]
+    fn classes_overlap_early_in_the_series() {
+        // The paper: instances are similar during the first ~30% of the
+        // horizon. Check the alive-count class means are close at t=10
+        // relative to their separation at t=47.
+        let d = generate(400, 48, 4);
+        let interesting = d
+            .class_names()
+            .iter()
+            .position(|c| c == "interesting")
+            .unwrap();
+        let mean_at = |t: usize, cls: usize| -> f64 {
+            let mut sum = 0.0;
+            let mut n = 0;
+            for (inst, l) in d.iter() {
+                if l == cls {
+                    sum += inst.var(0)[t];
+                    n += 1;
+                }
+            }
+            sum / n as f64
+        };
+        let other = 1 - interesting;
+        let early_gap = (mean_at(8, interesting) - mean_at(8, other)).abs();
+        let late_gap = (mean_at(47, interesting) - mean_at(47, other)).abs();
+        assert!(
+            late_gap > 4.0 * early_gap,
+            "early {early_gap:.1} vs late {late_gap:.1}"
+        );
+    }
+
+    #[test]
+    fn counts_are_non_negative() {
+        let d = generate(50, 48, 5);
+        for (inst, _) in d.iter() {
+            assert!(inst.flat().iter().all(|&v| v >= 0.0));
+        }
+    }
+}

@@ -1,0 +1,208 @@
+//! The DodgerLoop family (UCR): traffic sensor counts near Dodger
+//! Stadium at 5-minute resolution, 288 points per day, 158 days.
+//!
+//! * **DodgerLoopDay** — 7 classes, the day of the week;
+//! * **DodgerLoopGame** — 2 balanced classes, game day or not ("Common");
+//! * **DodgerLoopWeekend** — 2 imbalanced classes, weekday vs weekend.
+//!
+//! The synthetic profile is the classic double-hump commuter curve
+//! (morning + evening peaks); weekends flatten the morning peak, game
+//! days add a late-afternoon surge. The real datasets contain missing
+//! values — the generators inject NaN gaps at the same ~3% rate and the
+//! public constructors impute them with the paper's rule, mirroring the
+//! framework's preprocessing. `generate_*_raw` variants keep the gaps for
+//! testing the imputation path.
+
+use etsc_data::impute::impute_dataset;
+use etsc_data::{Dataset, DatasetBuilder, MultiSeries, Series};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::signals::{add_noise, bump, clamp_min, inject_gaps};
+
+const DAYS: [&str; 7] = ["mon", "tue", "wed", "thu", "fri", "sat", "sun"];
+const GAP_FRACTION: f64 = 0.03;
+
+/// Base commuter traffic curve for a given day-of-week (0 = Monday).
+fn day_profile(rng: &mut StdRng, length: usize, day: usize) -> Vec<f64> {
+    let weekend = day >= 5;
+    let l = length as f64;
+    // Baseline load.
+    let mut s = vec![8.0; length];
+    // Morning peak (suppressed on weekends), evening peak.
+    let morning = bump(
+        length,
+        l * 0.33,
+        l * 0.05,
+        if weekend { 6.0 } else { 28.0 + day as f64 },
+    );
+    let evening = bump(length, l * 0.72, l * 0.06, 24.0 + (day % 3) as f64 * 2.0);
+    // Weekend midday leisure bump.
+    let midday = bump(length, l * 0.55, l * 0.1, if weekend { 14.0 } else { 4.0 });
+    for i in 0..length {
+        s[i] += morning[i] + evening[i] + midday[i];
+    }
+    add_noise(rng, &mut s, 2.5);
+    clamp_min(&mut s, 0.0);
+    s
+}
+
+fn build(name: &str, rows: Vec<(Vec<f64>, String)>) -> Dataset {
+    let mut b = DatasetBuilder::new(name);
+    for (row, class) in rows {
+        b.push_named(MultiSeries::univariate(Series::new(row)), &class);
+    }
+    b.build().expect("non-empty dataset")
+}
+
+/// DodgerLoopDay with NaN gaps left in place.
+pub fn generate_day_raw(height: usize, length: usize, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rows = Vec::with_capacity(height);
+    for i in 0..height {
+        let day = i % 7;
+        let mut s = day_profile(&mut rng, length, day);
+        inject_gaps(&mut rng, &mut s, GAP_FRACTION);
+        rows.push((s, DAYS[day].to_owned()));
+    }
+    build("DodgerLoopDay", rows)
+}
+
+/// DodgerLoopDay (gaps imputed).
+pub fn generate_day(height: usize, length: usize, seed: u64) -> Dataset {
+    impute_dataset(&generate_day_raw(height, length, seed))
+        .expect("imputation cannot fail on generated data")
+        .0
+}
+
+/// DodgerLoopGame with NaN gaps left in place.
+pub fn generate_game_raw(height: usize, length: usize, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rows = Vec::with_capacity(height);
+    let l = length as f64;
+    for i in 0..height {
+        let day = i % 7;
+        let game = i % 2 == 0;
+        let mut s = day_profile(&mut rng, length, day);
+        if game {
+            // Pre-game arrival surge and post-game exodus.
+            let start = l * (0.6 + rng.random::<f64>() * 0.15);
+            let arrive = bump(length, start, l * 0.03, 30.0);
+            let leave = bump(length, (start + l * 0.12).min(l - 1.0), l * 0.025, 35.0);
+            for j in 0..length {
+                s[j] += arrive[j] + leave[j];
+            }
+        }
+        inject_gaps(&mut rng, &mut s, GAP_FRACTION);
+        rows.push((s, (if game { "game" } else { "no-game" }).to_owned()));
+    }
+    build("DodgerLoopGame", rows)
+}
+
+/// DodgerLoopGame (gaps imputed).
+pub fn generate_game(height: usize, length: usize, seed: u64) -> Dataset {
+    impute_dataset(&generate_game_raw(height, length, seed))
+        .expect("imputation cannot fail on generated data")
+        .0
+}
+
+/// DodgerLoopWeekend with NaN gaps left in place (5:2 weekday:weekend).
+pub fn generate_weekend_raw(height: usize, length: usize, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rows = Vec::with_capacity(height);
+    for i in 0..height {
+        let day = i % 7;
+        let mut s = day_profile(&mut rng, length, day);
+        inject_gaps(&mut rng, &mut s, GAP_FRACTION);
+        let class = if day >= 5 { "weekend" } else { "weekday" };
+        rows.push((s, class.to_owned()));
+    }
+    build("DodgerLoopWeekend", rows)
+}
+
+/// DodgerLoopWeekend (gaps imputed).
+pub fn generate_weekend(height: usize, length: usize, seed: u64) -> Dataset {
+    impute_dataset(&generate_weekend_raw(height, length, seed))
+        .expect("imputation cannot fail on generated data")
+        .0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use etsc_data::stats::{categorize, Category, DatasetStats};
+
+    #[test]
+    fn day_shape_and_classes() {
+        let d = generate_day(158, 288, 1);
+        assert_eq!(d.len(), 158);
+        assert_eq!(d.n_classes(), 7);
+        assert_eq!(d.max_len(), 288);
+        let cats = categorize(&d);
+        assert!(cats.contains(&Category::Multiclass));
+        assert!(cats.contains(&Category::Univariate));
+        assert!(!cats.contains(&Category::Unstable));
+    }
+
+    #[test]
+    fn game_is_common_category() {
+        let d = generate_game(158, 288, 2);
+        let cats = categorize(&d);
+        assert_eq!(cats, vec![Category::Common, Category::Univariate]);
+    }
+
+    #[test]
+    fn weekend_is_imbalanced() {
+        let d = generate_weekend(158, 288, 3);
+        let s = DatasetStats::compute(&d);
+        assert!(s.cir > 1.73, "CIR {}", s.cir);
+        assert!((s.cir - 2.5).abs() < 0.5);
+        assert!(categorize(&d).contains(&Category::Imbalanced));
+    }
+
+    #[test]
+    fn raw_variants_contain_gaps_and_public_ones_do_not() {
+        let raw = generate_day_raw(30, 288, 4);
+        let nans: usize = raw
+            .instances()
+            .iter()
+            .map(|s| s.flat().iter().filter(|v| v.is_nan()).count())
+            .sum();
+        assert!(nans > 0, "raw variant must contain gaps");
+        let clean = generate_day(30, 288, 4);
+        let nans: usize = clean
+            .instances()
+            .iter()
+            .map(|s| s.flat().iter().filter(|v| v.is_nan()).count())
+            .sum();
+        assert_eq!(nans, 0, "public variant must be imputed");
+    }
+
+    #[test]
+    fn game_days_carry_extra_traffic() {
+        let d = generate_game(100, 288, 5);
+        let game = d.class_names().iter().position(|c| c == "game").unwrap();
+        let mut game_total = 0.0;
+        let mut other_total = 0.0;
+        let (mut ng, mut no) = (0, 0);
+        for (inst, l) in d.iter() {
+            let sum: f64 = inst.flat().iter().sum();
+            if l == game {
+                game_total += sum;
+                ng += 1;
+            } else {
+                other_total += sum;
+                no += 1;
+            }
+        }
+        assert!(game_total / ng as f64 > other_total / no as f64 + 100.0);
+    }
+
+    #[test]
+    fn counts_never_negative() {
+        let d = generate_weekend(40, 288, 6);
+        for (inst, _) in d.iter() {
+            assert!(inst.flat().iter().all(|&v| v >= 0.0));
+        }
+    }
+}

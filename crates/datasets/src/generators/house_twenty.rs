@@ -1,0 +1,107 @@
+//! HouseTwenty (UCR): household electricity consumption at 8-second
+//! resolution. Shape: 159 × 1 × 2000, 2 balanced classes — aggregate
+//! household load vs. tumble-dryer-dominated load.
+//!
+//! The synthetic signal is a low baseline with appliance duty cycles:
+//! class "household" mixes many small appliances switching at random,
+//! class "dryer" shows the dryer's characteristic long high-power heater
+//! cycles. Large spikes over a small baseline put the dataset in the
+//! paper's "Wide" and "Unstable" categories.
+
+use etsc_data::{Dataset, DatasetBuilder, MultiSeries, Series};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::signals::{add_noise, clamp_min};
+
+/// Adds a rectangular appliance pulse.
+fn pulse(signal: &mut [f64], start: usize, len: usize, level: f64) {
+    for v in signal.iter_mut().skip(start).take(len) {
+        *v += level;
+    }
+}
+
+/// Generates a scaled HouseTwenty-like dataset.
+pub fn generate(height: usize, length: usize, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = DatasetBuilder::new("HouseTwenty");
+    for i in 0..height {
+        let dryer = i % 2 == 1;
+        let mut s = vec![60.0; length]; // standby baseline (watts)
+        if dryer {
+            // Dryer: 2-3 long heater cycles at ~2 kW with thermostat gaps.
+            let cycles = 2 + rng.random_range(0..2usize);
+            for _ in 0..cycles {
+                let start = rng.random_range(0..length.saturating_sub(length / 6).max(1));
+                let mut pos = start;
+                // Heater duty cycling inside the run.
+                for _ in 0..4 {
+                    let on = length / 40 + rng.random_range(0..length / 40 + 1);
+                    pulse(&mut s, pos, on, 2000.0 + rng.random::<f64>() * 200.0);
+                    pos += on + length / 80 + rng.random_range(0..length / 80 + 1);
+                    if pos >= length {
+                        break;
+                    }
+                }
+            }
+        } else {
+            // Household: many short random appliance events.
+            let events = 10 + rng.random_range(0..10usize);
+            for _ in 0..events {
+                let start = rng.random_range(0..length);
+                let len = length / 100 + rng.random_range(0..length / 50 + 1);
+                let level = 150.0 + rng.random::<f64>() * 900.0;
+                pulse(&mut s, start, len, level);
+            }
+        }
+        add_noise(&mut rng, &mut s, 10.0);
+        clamp_min(&mut s, 0.0);
+        let label = b.class(if dryer { "dryer" } else { "household" });
+        b.push(MultiSeries::univariate(Series::new(s)), label);
+    }
+    b.build().expect("non-empty dataset")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use etsc_data::stats::{categorize, Category};
+
+    #[test]
+    fn full_scale_shape_and_categories() {
+        let d = generate(159, 2000, 1);
+        assert_eq!(d.len(), 159);
+        assert_eq!(d.max_len(), 2000);
+        assert_eq!(d.n_classes(), 2);
+        let cats = categorize(&d);
+        assert!(cats.contains(&Category::Wide));
+        assert!(cats.contains(&Category::Unstable));
+        assert!(cats.contains(&Category::Univariate));
+        assert!(!cats.contains(&Category::Large));
+        assert!(!cats.contains(&Category::Imbalanced));
+    }
+
+    #[test]
+    fn dryer_class_has_higher_peak_power() {
+        let d = generate(40, 2000, 2);
+        let dryer = d.class_names().iter().position(|c| c == "dryer").unwrap();
+        let peak = |want: bool| -> f64 {
+            let mut peaks = Vec::new();
+            for (inst, l) in d.iter() {
+                if (l == dryer) == want {
+                    peaks.push(inst.flat().iter().cloned().fold(f64::MIN, f64::max));
+                }
+            }
+            peaks.iter().sum::<f64>() / peaks.len() as f64
+        };
+        assert!(peak(true) > peak(false) + 500.0);
+    }
+
+    #[test]
+    fn power_is_non_negative() {
+        let d = generate(10, 500, 3);
+        for (inst, _) in d.iter() {
+            assert!(inst.flat().iter().all(|&v| v >= 0.0));
+        }
+    }
+}

@@ -1,0 +1,109 @@
+//! LSST (UEA): simulated astronomical transient light curves in six
+//! photometric bands. Shape: 4925 × 6 × 36, 14 imbalanced classes.
+//!
+//! Each synthetic class is a transient template — a flux burst with a
+//! class-specific rise time, decay constant, peak epoch distribution and
+//! per-band colour ratio — over a near-zero sky baseline (which drives
+//! the "Unstable" CoV). Class sizes follow a power law to reproduce the
+//! "Imbalanced" category.
+
+use etsc_data::{Dataset, DatasetBuilder, MultiSeries};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::signals::{noise, quota_class};
+
+/// Number of transient classes (paper: 14).
+pub const N_CLASSES: usize = 14;
+
+/// Generates a scaled LSST-like dataset.
+pub fn generate(height: usize, length: usize, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = DatasetBuilder::new("LSST");
+    // Power-law class weights: class c gets weight ~ 1/(c+1)^0.8.
+    let weights: Vec<f64> = (0..N_CLASSES)
+        .map(|c| 1.0 / ((c + 1) as f64).powf(0.8))
+        .collect();
+    for i in 0..height {
+        let class = quota_class(i, height, &weights);
+        // Class-specific transient template.
+        let rise = 1.0 + (class % 5) as f64 * 0.8;
+        let decay = 2.0 + (class % 7) as f64 * 1.5;
+        let peak_flux = 20.0 + (class % 4) as f64 * 25.0;
+        let peak_t = length as f64 * (0.25 + 0.4 * ((class as f64 * 0.37).sin().abs()))
+            + noise(&mut rng, 1.5);
+        let mut rows = Vec::with_capacity(6);
+        for band in 0..6 {
+            // Colour: how strongly this band sees the transient.
+            let colour = 0.3 + 0.7 * (((class * 7 + band * 3) % 11) as f64 / 10.0);
+            let row: Vec<f64> = (0..length)
+                .map(|t| {
+                    let dt = t as f64 - peak_t;
+                    let flux = if dt < 0.0 {
+                        peak_flux * (dt / rise).exp()
+                    } else {
+                        peak_flux * (-dt / decay).exp()
+                    };
+                    colour * flux + noise(&mut rng, 1.2)
+                })
+                .collect();
+            rows.push(row);
+        }
+        let label = b.class(&format!("class{class}"));
+        b.push(MultiSeries::from_rows(rows).expect("equal rows"), label);
+    }
+    b.build().expect("non-empty dataset")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use etsc_data::stats::{categorize, Category};
+
+    #[test]
+    fn full_scale_shape() {
+        let d = generate(4925, 36, 1);
+        assert_eq!(d.len(), 4925);
+        assert_eq!(d.vars(), 6);
+        assert_eq!(d.max_len(), 36);
+        assert_eq!(d.n_classes(), N_CLASSES);
+    }
+
+    #[test]
+    fn matches_paper_categories() {
+        let d = generate(2000, 36, 2);
+        let cats = categorize(&d);
+        assert!(cats.contains(&Category::Large));
+        assert!(cats.contains(&Category::Unstable));
+        assert!(cats.contains(&Category::Imbalanced));
+        assert!(cats.contains(&Category::Multiclass));
+        assert!(cats.contains(&Category::Multivariate));
+    }
+
+    #[test]
+    fn class_sizes_follow_power_law() {
+        let d = generate(4925, 36, 3);
+        let counts = d.class_counts();
+        let max = *counts.iter().max().unwrap();
+        let min = *counts.iter().filter(|&&c| c > 0).min().unwrap();
+        assert!(max as f64 / min as f64 > 1.73);
+        // Class 0 (heaviest weight) is the most populated.
+        let c0 = d.class_names().iter().position(|c| c == "class0").unwrap();
+        assert_eq!(counts[c0], max);
+    }
+
+    #[test]
+    fn transients_rise_and_fall() {
+        let d = generate(100, 36, 4);
+        // The per-band max should exceed both endpoints for most instances.
+        let mut peaked = 0;
+        for (inst, _) in d.iter() {
+            let row = inst.var(0);
+            let max = row.iter().cloned().fold(f64::MIN, f64::max);
+            if max > row[0] + 3.0 && max > row[35] + 3.0 {
+                peaked += 1;
+            }
+        }
+        assert!(peaked > 60, "{peaked}/100 instances look like transients");
+    }
+}

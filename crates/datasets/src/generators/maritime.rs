@@ -1,0 +1,202 @@
+//! Maritime: vessel position signals around the port of Brest (the
+//! paper's second new dataset). Shape: 80 591 × 7 × 30, classes
+//! *in-port* (19.2%) / *not-in-port* (80.8%), CIR ≈ 4.21.
+//!
+//! A kinematic trajectory simulator stands in for the AIS data
+//! (DESIGN.md, Substitution 1). Each instance is a 30-minute window of a
+//! vessel track sampled once per minute with the paper's seven
+//! attributes: timestamp, ship id, longitude, latitude, speed, heading,
+//! and course over ground. Positive instances head toward the port
+//! polygon and are inside it at the window's end (decelerating on
+//! approach, as real traffic does); negative instances transit past or
+//! loiter offshore.
+
+use etsc_data::{Dataset, DatasetBuilder, MultiSeries};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::signals::{noise, quota_class};
+
+/// Port of Brest reference position (degrees).
+pub const PORT_LON: f64 = -4.49;
+/// Port latitude.
+pub const PORT_LAT: f64 = 48.38;
+/// Port polygon half-width (degrees) — a square around the reference.
+pub const PORT_RADIUS: f64 = 0.02;
+
+/// Fraction of positive (vessel ends in port) instances: 15 467 / 80 591.
+pub const POSITIVE_FRACTION: f64 = 0.1919;
+
+/// `true` when a position lies inside the port polygon.
+pub fn in_port(lon: f64, lat: f64) -> bool {
+    (lon - PORT_LON).abs() <= PORT_RADIUS && (lat - PORT_LAT).abs() <= PORT_RADIUS
+}
+
+/// Generates a scaled Maritime dataset.
+pub fn generate(height: usize, length: usize, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = DatasetBuilder::new("Maritime");
+    let weights = [1.0 - POSITIVE_FRACTION, POSITIVE_FRACTION];
+    for i in 0..height {
+        let class = quota_class(i, height, &weights);
+        let ship_id = (i % 9 + 1) as f64;
+        // Start offshore at a random bearing 0.05-0.25 degrees out.
+        let bearing = rng.random::<f64>() * std::f64::consts::TAU;
+        let dist0 = 0.05 + rng.random::<f64>() * 0.20;
+        let mut lon = PORT_LON + dist0 * bearing.cos();
+        let mut lat = PORT_LAT + dist0 * bearing.sin();
+        // Knots → degrees/minute (rough, fine for a synthetic benchmark).
+        let mut speed = 6.0 + rng.random::<f64>() * 10.0;
+        let deg_per_knot_min = 1.0 / 3600.0;
+
+        let mut t_row = Vec::with_capacity(length);
+        let mut id_row = Vec::with_capacity(length);
+        let mut lon_row = Vec::with_capacity(length);
+        let mut lat_row = Vec::with_capacity(length);
+        let mut speed_row = Vec::with_capacity(length);
+        let mut heading_row = Vec::with_capacity(length);
+        let mut cog_row = Vec::with_capacity(length);
+
+        // Transit course for negatives: roughly tangential to the port.
+        let transit_course = bearing + std::f64::consts::FRAC_PI_2 + noise(&mut rng, 0.3);
+        for t in 0..length {
+            let (to_port_x, to_port_y) = (PORT_LON - lon, PORT_LAT - lat);
+            let dist = (to_port_x * to_port_x + to_port_y * to_port_y).sqrt();
+            let course = if class == 1 {
+                // Approach: steer at the port, slow down when close.
+                let approach = to_port_y.atan2(to_port_x);
+                if dist < 0.04 {
+                    speed = (speed * 0.88).max(1.0);
+                }
+                approach + noise(&mut rng, 0.08)
+            } else {
+                // Transit/loiter: hold course with wobble; occasionally slow.
+                if t % 10 == 9 {
+                    speed = (speed + noise(&mut rng, 1.0)).clamp(3.0, 18.0);
+                }
+                transit_course + noise(&mut rng, 0.15)
+            };
+            let step = speed
+                * deg_per_knot_min
+                * if class == 1 {
+                    // Scale the approach so positives reliably arrive.
+                    (dist0 / (length as f64 * speed * deg_per_knot_min)).max(1.0) * 1.15
+                } else {
+                    1.0
+                };
+            t_row.push((t * 60) as f64);
+            id_row.push(ship_id);
+            lon_row.push(lon);
+            lat_row.push(lat);
+            speed_row.push(speed.max(0.0));
+            heading_row.push((course.to_degrees().rem_euclid(360.0)) + noise(&mut rng, 2.0));
+            cog_row.push(course.to_degrees().rem_euclid(360.0));
+            lon += step * course.cos();
+            lat += step * course.sin();
+        }
+        // Positives are defined by ending inside the port; nudge the last
+        // samples in if the kinematics fell marginally short.
+        if class == 1 && !in_port(lon_row[length - 1], lat_row[length - 1]) {
+            let lon_end = lon_row[length - 1];
+            let lat_end = lat_row[length - 1];
+            let fix_x = PORT_LON - lon_end;
+            let fix_y = PORT_LAT - lat_end;
+            for k in 0..length {
+                let w = (k as f64 / (length - 1) as f64).powi(2);
+                lon_row[k] += w * fix_x;
+                lat_row[k] += w * fix_y;
+            }
+        }
+        let label = b.class(if class == 1 { "in-port" } else { "not-in-port" });
+        b.push(
+            MultiSeries::from_rows(vec![
+                t_row,
+                id_row,
+                lon_row,
+                lat_row,
+                speed_row,
+                heading_row,
+                cog_row,
+            ])
+            .expect("equal rows"),
+            label,
+        );
+    }
+    b.build().expect("non-empty dataset")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use etsc_data::stats::{categorize, Category, DatasetStats};
+
+    #[test]
+    fn shape_and_imbalance() {
+        let d = generate(2000, 30, 1);
+        assert_eq!(d.vars(), 7);
+        assert_eq!(d.max_len(), 30);
+        let s = DatasetStats::compute(&d);
+        assert!((s.cir - 4.21).abs() < 0.3, "CIR {}", s.cir);
+    }
+
+    #[test]
+    fn matches_paper_categories() {
+        let d = generate(1200, 30, 2);
+        let cats = categorize(&d);
+        assert!(cats.contains(&Category::Large));
+        assert!(cats.contains(&Category::Unstable));
+        assert!(cats.contains(&Category::Imbalanced));
+        assert!(cats.contains(&Category::Multivariate));
+        assert!(!cats.contains(&Category::Multiclass));
+    }
+
+    #[test]
+    fn positive_instances_end_inside_the_port() {
+        let d = generate(400, 30, 3);
+        let pos = d.class_names().iter().position(|c| c == "in-port").unwrap();
+        for (inst, l) in d.iter() {
+            let lon = inst.var(2)[29];
+            let lat = inst.var(3)[29];
+            if l == pos {
+                assert!(in_port(lon, lat), "positive ends at ({lon}, {lat})");
+            }
+        }
+    }
+
+    #[test]
+    fn most_negative_instances_stay_out() {
+        let d = generate(400, 30, 4);
+        let neg = d
+            .class_names()
+            .iter()
+            .position(|c| c == "not-in-port")
+            .unwrap();
+        let (mut out, mut total) = (0, 0);
+        for (inst, l) in d.iter() {
+            if l == neg {
+                total += 1;
+                if !in_port(inst.var(2)[29], inst.var(3)[29]) {
+                    out += 1;
+                }
+            }
+        }
+        assert!(out as f64 / total as f64 > 0.95, "{out}/{total}");
+    }
+
+    #[test]
+    fn approaching_vessels_decelerate() {
+        let d = generate(300, 30, 5);
+        let pos = d.class_names().iter().position(|c| c == "in-port").unwrap();
+        let mut early = 0.0;
+        let mut late = 0.0;
+        let mut n = 0.0;
+        for (inst, l) in d.iter() {
+            if l == pos {
+                early += inst.var(4)[2];
+                late += inst.var(4)[28];
+                n += 1.0;
+            }
+        }
+        assert!(late / n < early / n, "mean speed must drop on approach");
+    }
+}

@@ -1,0 +1,15 @@
+//! One generator module per paper dataset. Each exposes
+//! `generate(height, length, seed) -> Dataset` where `height` and
+//! `length` are the (possibly scaled) instance count and series length;
+//! class proportions and variable counts are fixed by the dataset.
+
+pub mod basic_motions;
+pub mod biological;
+pub mod dodger;
+pub mod house_twenty;
+pub mod lsst;
+pub mod maritime;
+pub mod pickup;
+pub mod plaid;
+pub mod power_cons;
+pub mod share_price;

@@ -1,0 +1,110 @@
+//! PickupGestureWiimoteZ (UCR): z-axis accelerometer traces of ten pickup
+//! gestures. Shape: 100 × 1 × 361, 10 balanced classes.
+//!
+//! Each class is a gesture template: a sequence of acceleration bumps
+//! whose count, timing and polarity depend on the class, over a gravity
+//! baseline (the positive offset keeps CoV below the "Unstable"
+//! threshold, matching Table 3 where this dataset is only Multiclass +
+//! Univariate).
+
+use etsc_data::{Dataset, DatasetBuilder, MultiSeries, Series};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::signals::{add_noise, bump};
+
+/// Number of gesture classes.
+pub const N_CLASSES: usize = 10;
+
+/// Generates a scaled PickupGestureWiimoteZ-like dataset.
+pub fn generate(height: usize, length: usize, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = DatasetBuilder::new("PickupGestureWiimoteZ");
+    let l = length as f64;
+    for i in 0..height {
+        let class = i % N_CLASSES;
+        // Gravity baseline ~ 1g.
+        let mut s = vec![1.0; length];
+        // Gesture template: (1 + class/3) bumps, spacing and sign by class.
+        let n_bumps = 1 + class / 3;
+        let spacing = l * (0.12 + 0.05 * (class % 3) as f64);
+        let start = l * (0.15 + 0.02 * class as f64) + rng.random::<f64>() * l * 0.05;
+        for k in 0..=n_bumps {
+            let center = start + k as f64 * spacing;
+            let sign = if (class + k).is_multiple_of(2) {
+                1.0
+            } else {
+                -0.7
+            };
+            let height_k = (0.5 + 0.08 * class as f64) * sign;
+            let width = l * (0.015 + 0.004 * (class % 4) as f64);
+            let g = bump(length, center, width, height_k);
+            for (v, w) in s.iter_mut().zip(g) {
+                *v += w;
+            }
+        }
+        add_noise(&mut rng, &mut s, 0.04);
+        let label = b.class(&format!("gesture{class}"));
+        b.push(MultiSeries::univariate(Series::new(s)), label);
+    }
+    b.build().expect("non-empty dataset")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use etsc_data::stats::{categorize, Category};
+
+    #[test]
+    fn shape_and_categories() {
+        let d = generate(100, 361, 1);
+        assert_eq!(d.len(), 100);
+        assert_eq!(d.max_len(), 361);
+        assert_eq!(d.n_classes(), 10);
+        let cats = categorize(&d);
+        assert!(cats.contains(&Category::Multiclass));
+        assert!(cats.contains(&Category::Univariate));
+        assert!(
+            !cats.contains(&Category::Unstable),
+            "gravity baseline keeps CoV low"
+        );
+        assert!(!cats.contains(&Category::Imbalanced));
+    }
+
+    #[test]
+    fn gestures_differ_between_classes() {
+        let d = generate(100, 361, 2);
+        // Mean series per class; pairwise distance should be noticeable.
+        let mut means = vec![vec![0.0; 361]; 10];
+        let mut counts = vec![0usize; 10];
+        for (inst, l) in d.iter() {
+            for (m, &v) in means[l].iter_mut().zip(inst.var(0)) {
+                *m += v;
+            }
+            counts[l] += 1;
+        }
+        for (m, &c) in means.iter_mut().zip(&counts) {
+            for v in m.iter_mut() {
+                *v /= c as f64;
+            }
+        }
+        let dist = |a: &[f64], b: &[f64]| -> f64 {
+            a.iter()
+                .zip(b)
+                .map(|(x, y)| (x - y) * (x - y))
+                .sum::<f64>()
+                .sqrt()
+        };
+        assert!(dist(&means[0], &means[9]) > 1.0);
+        assert!(dist(&means[2], &means[7]) > 1.0);
+    }
+
+    #[test]
+    fn baseline_is_near_gravity() {
+        let d = generate(20, 361, 3);
+        for (inst, _) in d.iter() {
+            let first = inst.var(0)[0];
+            assert!((first - 1.0).abs() < 0.3, "baseline {first}");
+        }
+    }
+}

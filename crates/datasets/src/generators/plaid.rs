@@ -1,0 +1,98 @@
+//! PLAID (UCR): plug-level appliance current signatures. Shape:
+//! 1074 × 1 × 1345 (variable length in the original; we generate the
+//! maximum), 11 imbalanced classes.
+//!
+//! Each class is an appliance: a current waveform with class-specific
+//! fundamental amplitude, harmonic content and startup transient. The
+//! zero-centred AC waveform gives the "Unstable" CoV; power-law class
+//! sizes give the imbalance; 1345 points put it in "Wide".
+
+use etsc_data::{Dataset, DatasetBuilder, MultiSeries, Series};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::signals::{add_noise, quota_class};
+
+/// Appliance classes.
+pub const APPLIANCES: [&str; 11] = [
+    "air-conditioner",
+    "compact-fluorescent",
+    "fan",
+    "fridge",
+    "hairdryer",
+    "heater",
+    "incandescent",
+    "laptop",
+    "microwave",
+    "vacuum",
+    "washing-machine",
+];
+
+/// Generates a scaled PLAID-like dataset.
+pub fn generate(height: usize, length: usize, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = DatasetBuilder::new("PLAID");
+    let weights: Vec<f64> = (0..APPLIANCES.len())
+        .map(|c| 1.0 / ((c + 1) as f64).powf(0.7))
+        .collect();
+    for i in 0..height {
+        let class = quota_class(i, height, &weights);
+        let fundamental = 8.0 + (class % 6) as f64 * 3.0; // cycles per series
+        let amp = 0.5 + (class % 5) as f64 * 0.9;
+        let third_harmonic = 0.1 + 0.08 * (class % 4) as f64;
+        // Startup transient: inrush current that decays.
+        let inrush = 1.5 + (class % 3) as f64 * 2.0;
+        let tau = length as f64 * (0.03 + 0.02 * (class % 4) as f64);
+        let phase = rng.random::<f64>() * std::f64::consts::TAU;
+        let mut s: Vec<f64> = (0..length)
+            .map(|t| {
+                let x = std::f64::consts::TAU * fundamental * t as f64 / length as f64 + phase;
+                let envelope = 1.0 + inrush * (-(t as f64) / tau).exp();
+                envelope * (amp * x.sin() + amp * third_harmonic * (3.0 * x).sin())
+            })
+            .collect();
+        add_noise(&mut rng, &mut s, 0.05);
+        let label = b.class(APPLIANCES[class]);
+        b.push(MultiSeries::univariate(Series::new(s)), label);
+    }
+    b.build().expect("non-empty dataset")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use etsc_data::stats::{categorize, Category, DatasetStats};
+
+    #[test]
+    fn full_scale_shape_and_categories() {
+        let d = generate(1074, 1345, 1);
+        assert_eq!(d.len(), 1074);
+        assert_eq!(d.max_len(), 1345);
+        assert_eq!(d.n_classes(), 11);
+        let cats = categorize(&d);
+        assert!(cats.contains(&Category::Wide));
+        assert!(cats.contains(&Category::Large));
+        assert!(cats.contains(&Category::Unstable));
+        assert!(cats.contains(&Category::Imbalanced));
+        assert!(cats.contains(&Category::Multiclass));
+        assert!(cats.contains(&Category::Univariate));
+    }
+
+    #[test]
+    fn startup_transient_decays() {
+        let d = generate(60, 600, 2);
+        for (inst, _) in d.iter() {
+            let row = inst.var(0);
+            let early_amp: f64 = row[..60].iter().map(|v| v.abs()).sum::<f64>() / 60.0;
+            let late_amp: f64 = row[540..].iter().map(|v| v.abs()).sum::<f64>() / 60.0;
+            assert!(early_amp > late_amp, "inrush must exceed steady state");
+        }
+    }
+
+    #[test]
+    fn imbalance_ratio_is_power_law() {
+        let d = generate(1074, 200, 3);
+        let s = DatasetStats::compute(&d);
+        assert!(s.cir > 1.73, "CIR {}", s.cir);
+    }
+}

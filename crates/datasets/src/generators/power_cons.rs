@@ -1,0 +1,87 @@
+//! PowerCons (UCR): household power consumption over one day, warm vs
+//! cold season. Shape: 360 × 1 × 144 (10-minute resolution), 2 balanced
+//! classes. The paper's "Common" example: small, short, balanced, stable.
+//!
+//! Both classes share the daily consumption rhythm; the cold season adds
+//! an electric-heating load that is strongest in the morning and evening.
+
+use etsc_data::{Dataset, DatasetBuilder, MultiSeries, Series};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::signals::{add_noise, bump, clamp_min};
+
+/// Generates a scaled PowerCons-like dataset.
+pub fn generate(height: usize, length: usize, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = DatasetBuilder::new("PowerCons");
+    let l = length as f64;
+    for i in 0..height {
+        let cold = i % 2 == 1;
+        // Shared daily rhythm: night trough, morning and evening peaks.
+        let mut s = vec![1.2; length];
+        let morning = bump(length, l * 0.33, l * 0.06, 1.4);
+        let evening = bump(length, l * 0.80, l * 0.07, 1.8);
+        for j in 0..length {
+            s[j] += morning[j] + evening[j];
+        }
+        if cold {
+            // Heating: elevated base plus stronger peaks.
+            let heat_morning = bump(length, l * 0.30, l * 0.09, 1.3);
+            let heat_evening = bump(length, l * 0.82, l * 0.10, 1.5);
+            for j in 0..length {
+                s[j] += 0.6 + heat_morning[j] + heat_evening[j];
+            }
+        }
+        let noise_std = 0.15 + rng.random::<f64>() * 0.05;
+        add_noise(&mut rng, &mut s, noise_std);
+        clamp_min(&mut s, 0.0);
+        let label = b.class(if cold { "cold" } else { "warm" });
+        b.push(MultiSeries::univariate(Series::new(s)), label);
+    }
+    b.build().expect("non-empty dataset")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use etsc_data::stats::{categorize, Category};
+
+    #[test]
+    fn shape_and_common_category() {
+        let d = generate(360, 144, 1);
+        assert_eq!(d.len(), 360);
+        assert_eq!(d.max_len(), 144);
+        assert_eq!(d.n_classes(), 2);
+        let cats = categorize(&d);
+        assert_eq!(cats, vec![Category::Common, Category::Univariate]);
+    }
+
+    #[test]
+    fn cold_season_uses_more_power() {
+        let d = generate(100, 144, 2);
+        let cold = d.class_names().iter().position(|c| c == "cold").unwrap();
+        let mut cold_sum = 0.0;
+        let mut warm_sum = 0.0;
+        let (mut nc, mut nw) = (0, 0);
+        for (inst, l) in d.iter() {
+            let total: f64 = inst.flat().iter().sum();
+            if l == cold {
+                cold_sum += total;
+                nc += 1;
+            } else {
+                warm_sum += total;
+                nw += 1;
+            }
+        }
+        assert!(cold_sum / nc as f64 > warm_sum / nw as f64 + 30.0);
+    }
+
+    #[test]
+    fn consumption_non_negative() {
+        let d = generate(30, 144, 3);
+        for (inst, _) in d.iter() {
+            assert!(inst.flat().iter().all(|&v| v >= 0.0));
+        }
+    }
+}

@@ -1,0 +1,98 @@
+//! SharePriceIncrease (UCR): daily share-price percentage changes over 60
+//! trading days; the label says whether the price jumped afterwards.
+//! Shape: 1931 × 1 × 60, 2 imbalanced classes (≈ 65/35).
+//!
+//! Percentage changes oscillate around zero (hence "Unstable"); positive
+//! instances develop a momentum drift in the final third of the window —
+//! late class signal, which is exactly what makes this a hard earliness
+//! benchmark.
+
+use etsc_data::{Dataset, DatasetBuilder, MultiSeries, Series};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::signals::{noise, quota_class};
+
+/// Fraction of "increase" instances (minority class).
+pub const INCREASE_FRACTION: f64 = 0.35;
+
+/// Generates a scaled SharePriceIncrease-like dataset.
+pub fn generate(height: usize, length: usize, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = DatasetBuilder::new("SharePriceIncrease");
+    let weights = [1.0 - INCREASE_FRACTION, INCREASE_FRACTION];
+    for i in 0..height {
+        let class = quota_class(i, height, &weights);
+        let onset = (length as f64 * 0.65) as usize;
+        let s: Vec<f64> = (0..length)
+            .map(|t| {
+                let drift = if class == 1 && t >= onset {
+                    0.55 // momentum building before the jump
+                } else {
+                    0.0
+                };
+                drift + noise(&mut rng, 1.0)
+            })
+            .collect();
+        let label = b.class(if class == 1 {
+            "increase"
+        } else {
+            "no-increase"
+        });
+        b.push(MultiSeries::univariate(Series::new(s)), label);
+    }
+    b.build().expect("non-empty dataset")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use etsc_data::stats::{categorize, Category, DatasetStats};
+
+    #[test]
+    fn full_scale_shape_and_categories() {
+        let d = generate(1931, 60, 1);
+        assert_eq!(d.len(), 1931);
+        assert_eq!(d.max_len(), 60);
+        assert_eq!(d.n_classes(), 2);
+        let cats = categorize(&d);
+        assert!(cats.contains(&Category::Large));
+        assert!(cats.contains(&Category::Unstable));
+        assert!(cats.contains(&Category::Imbalanced));
+        assert!(cats.contains(&Category::Univariate));
+        assert!(!cats.contains(&Category::Wide));
+    }
+
+    #[test]
+    fn imbalance_near_paper_value() {
+        let d = generate(1931, 60, 2);
+        let s = DatasetStats::compute(&d);
+        assert!((s.cir - 1.857).abs() < 0.1, "CIR {}", s.cir);
+    }
+
+    #[test]
+    fn signal_appears_only_late() {
+        let d = generate(1000, 60, 3);
+        let inc = d
+            .class_names()
+            .iter()
+            .position(|c| c == "increase")
+            .unwrap();
+        let mean_window = |cls: usize, range: std::ops::Range<usize>| -> f64 {
+            let mut sum = 0.0;
+            let mut n = 0.0;
+            for (inst, l) in d.iter() {
+                if l == cls {
+                    sum += inst.var(0)[range.clone()].iter().sum::<f64>();
+                    n += range.len() as f64;
+                }
+            }
+            sum / n
+        };
+        let other = 1 - inc;
+        let early_gap = (mean_window(inc, 0..30) - mean_window(other, 0..30)).abs();
+        let late_gap = (mean_window(inc, 45..60) - mean_window(other, 45..60)).abs();
+        assert!(early_gap < 0.1, "early gap {early_gap}");
+        assert!(late_gap > 0.3, "late gap {late_gap}");
+    }
+}

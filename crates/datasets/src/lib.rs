@@ -1,0 +1,23 @@
+//! # etsc-datasets
+//!
+//! Synthetic generators replicating the 12 evaluation datasets of the
+//! EDBT 2024 ETSC benchmark (see DESIGN.md, Substitution 1: the raw
+//! UEA/UCR archives and the authors' two new datasets are not available
+//! offline, so each dataset is replaced by a parameterised generator that
+//! reproduces its published shape — instance count, variable count,
+//! length, class count and ratios — and the temporal structure that
+//! drives the paper's analysis, e.g. *where in time* the class signal
+//! appears).
+//!
+//! The entry point is [`PaperDataset`]: an enum over the 12 datasets with
+//! a [`spec`](PaperDataset::spec) describing the full-scale shape and a
+//! [`generate`](PaperDataset::generate) that accepts scale factors so the
+//! benchmark harness can run the whole matrix in CI time. Category labels
+//! (Table 3) are pinned to the full-scale shape and verified by tests
+//! against `etsc_data::stats`.
+
+pub mod catalog;
+pub mod generators;
+pub mod signals;
+
+pub use catalog::{GenOptions, GeneratorSpec, PaperDataset};

@@ -1,0 +1,241 @@
+//! Shared signal-generation primitives for the dataset generators.
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+/// Standard normal draw (Box–Muller).
+pub fn gauss(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.random::<f64>().max(1e-12);
+    let u2: f64 = rng.random();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Gaussian noise with the given standard deviation.
+pub fn noise(rng: &mut StdRng, std: f64) -> f64 {
+    gauss(rng) * std
+}
+
+/// A sinusoid sampled at `len` points: `amp · sin(2π·freq·t/len + phase)`.
+pub fn sinusoid(len: usize, freq: f64, amp: f64, phase: f64) -> Vec<f64> {
+    (0..len)
+        .map(|t| amp * (2.0 * std::f64::consts::PI * freq * t as f64 / len as f64 + phase).sin())
+        .collect()
+}
+
+/// A Gaussian bump centred at `center` with the given width and height.
+pub fn bump(len: usize, center: f64, width: f64, height: f64) -> Vec<f64> {
+    (0..len)
+        .map(|t| {
+            let d = (t as f64 - center) / width.max(1e-9);
+            height * (-0.5 * d * d).exp()
+        })
+        .collect()
+}
+
+/// Logistic (sigmoidal) transition from `low` to `high` around `center`
+/// with the given steepness.
+pub fn logistic_transition(
+    len: usize,
+    center: f64,
+    steepness: f64,
+    low: f64,
+    high: f64,
+) -> Vec<f64> {
+    (0..len)
+        .map(|t| {
+            let z = steepness * (t as f64 - center);
+            low + (high - low) / (1.0 + (-z).exp())
+        })
+        .collect()
+}
+
+/// A Gaussian random walk starting at `start` with per-step drift and
+/// volatility.
+pub fn random_walk(rng: &mut StdRng, len: usize, start: f64, drift: f64, vol: f64) -> Vec<f64> {
+    let mut x = start;
+    let mut out = Vec::with_capacity(len);
+    for _ in 0..len {
+        out.push(x);
+        x += drift + noise(rng, vol);
+    }
+    out
+}
+
+/// Adds i.i.d. Gaussian noise to a signal in place.
+pub fn add_noise(rng: &mut StdRng, signal: &mut [f64], std: f64) {
+    for v in signal.iter_mut() {
+        *v += noise(rng, std);
+    }
+}
+
+/// Element-wise sum of two equal-length signals.
+///
+/// # Panics
+/// When lengths differ (programming error in a generator).
+pub fn add(a: &[f64], b: &[f64]) -> Vec<f64> {
+    assert_eq!(a.len(), b.len(), "signal length mismatch");
+    a.iter().zip(b).map(|(x, y)| x + y).collect()
+}
+
+/// Clamps a signal to a minimum value in place (e.g. counts can't go
+/// negative).
+pub fn clamp_min(signal: &mut [f64], min: f64) {
+    for v in signal.iter_mut() {
+        if *v < min {
+            *v = min;
+        }
+    }
+}
+
+/// Injects `fraction` of NaN gaps into a signal (contiguous runs of 1-3
+/// points), mimicking the missing values of the DodgerLoop datasets.
+pub fn inject_gaps(rng: &mut StdRng, signal: &mut [f64], fraction: f64) {
+    let n = signal.len();
+    let target = ((n as f64) * fraction) as usize;
+    let mut injected = 0;
+    while injected < target {
+        let start = rng.random_range(0..n);
+        let run = 1 + rng.random_range(0..3usize);
+        for v in signal.iter_mut().skip(start).take(run) {
+            if !v.is_nan() {
+                *v = f64::NAN;
+                injected += 1;
+            }
+        }
+    }
+}
+
+/// Picks a class for an instance index so that class `c` receives
+/// `weights[c] / Σweights` of the instances, deterministically.
+///
+/// Indices are mapped through a golden-ratio (low-discrepancy) sequence,
+/// so classes are *interleaved* through the index space instead of
+/// forming contiguous blocks — head/tail splits of a generated dataset
+/// then stay roughly stratified. Proportions are exact to within the
+/// sequence's discrepancy (a few instances).
+pub fn quota_class(index: usize, _total: usize, weights: &[f64]) -> usize {
+    let sum: f64 = weights.iter().sum();
+    debug_assert!(sum > 0.0);
+    const GOLDEN: f64 = 0.618_033_988_749_894_9;
+    let pos = ((index as f64 + 0.5) * GOLDEN).fract();
+    let mut acc = 0.0;
+    for (c, &w) in weights.iter().enumerate() {
+        acc += w / sum;
+        if pos < acc {
+            return c;
+        }
+    }
+    weights.len() - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn gauss_has_roughly_standard_moments() {
+        let mut r = rng();
+        let xs: Vec<f64> = (0..20_000).map(|_| gauss(&mut r)).collect();
+        let mean: f64 = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var: f64 = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / xs.len() as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn sinusoid_amplitude_and_length() {
+        let s = sinusoid(100, 2.0, 3.0, 0.0);
+        assert_eq!(s.len(), 100);
+        let max = s.iter().cloned().fold(f64::MIN, f64::max);
+        assert!((max - 3.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn bump_peaks_at_center() {
+        let b = bump(50, 20.0, 3.0, 5.0);
+        let peak = b
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        assert_eq!(peak, 20);
+        assert!(b[0] < 0.01);
+    }
+
+    #[test]
+    fn logistic_transition_endpoints() {
+        let t = logistic_transition(100, 50.0, 0.5, 1.0, 9.0);
+        assert!(t[0] < 1.5);
+        assert!(t[99] > 8.5);
+        assert!((t[50] - 5.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn random_walk_starts_at_start() {
+        let mut r = rng();
+        let w = random_walk(&mut r, 10, 7.0, 0.0, 0.1);
+        assert_eq!(w[0], 7.0);
+        assert_eq!(w.len(), 10);
+    }
+
+    #[test]
+    fn drifting_walk_trends() {
+        let mut r = rng();
+        let w = random_walk(&mut r, 500, 0.0, 0.5, 0.1);
+        assert!(w[499] > 200.0);
+    }
+
+    #[test]
+    fn clamp_min_floors_values() {
+        let mut s = vec![-1.0, 0.5, -0.2];
+        clamp_min(&mut s, 0.0);
+        assert_eq!(s, vec![0.0, 0.5, 0.0]);
+    }
+
+    #[test]
+    fn gaps_injected_at_requested_rate() {
+        let mut r = rng();
+        let mut s = vec![1.0; 1000];
+        inject_gaps(&mut r, &mut s, 0.05);
+        let nans = s.iter().filter(|v| v.is_nan()).count();
+        assert!((50..120).contains(&nans), "nans {nans}");
+    }
+
+    #[test]
+    fn quota_class_respects_proportions() {
+        let weights = [0.8, 0.2];
+        let n = 1000;
+        let counts = (0..n).fold([0usize; 2], |mut acc, i| {
+            acc[quota_class(i, n, &weights)] += 1;
+            acc
+        });
+        assert!((counts[0] as i64 - 800).abs() <= 3, "{counts:?}");
+        assert!((counts[1] as i64 - 200).abs() <= 3, "{counts:?}");
+    }
+
+    #[test]
+    fn quota_class_never_starves_with_small_totals() {
+        let weights = [5.0, 1.0];
+        let counts = (0..6).fold([0usize; 2], |mut acc, i| {
+            acc[quota_class(i, 6, &weights)] += 1;
+            acc
+        });
+        assert!(counts[1] >= 1);
+    }
+
+    #[test]
+    fn quota_class_interleaves_classes() {
+        // Both classes must appear in the first handful of indices, so a
+        // head/tail split of generated data stays roughly stratified.
+        let weights = [0.8, 0.2];
+        let head: Vec<usize> = (0..10).map(|i| quota_class(i, 1000, &weights)).collect();
+        assert!(head.contains(&0));
+        assert!(head.contains(&1));
+    }
+}

@@ -1,0 +1,163 @@
+//! Per-category aggregation (the grouping behind Figures 9-12).
+//!
+//! Each dataset belongs to one or more of the eight Table 3 categories;
+//! a category's score for an algorithm is the average over the datasets
+//! in that category for which the algorithm finished (DNF runs are
+//! excluded, matching the paper's missing EDSC bars on Wide datasets).
+
+use std::collections::BTreeMap;
+
+use etsc_data::stats::Category;
+
+use crate::experiment::{AlgoSpec, RunResult};
+use crate::metrics::Metrics;
+
+/// Averaged scores of one algorithm within one category.
+#[derive(Debug, Clone)]
+pub struct CategoryScore {
+    /// Averaged metrics over the finished datasets of the category.
+    pub metrics: Metrics,
+    /// Mean training minutes.
+    pub train_minutes: f64,
+    /// Datasets contributing (finished runs).
+    pub n_datasets: usize,
+    /// Datasets skipped because the run was DNF.
+    pub n_dnf: usize,
+}
+
+/// Aggregates per-dataset results into per-category averages.
+///
+/// `dataset_categories` maps each dataset name to its Table 3 categories.
+/// Returns `category → algorithm → score`; categories or algorithms with
+/// no finished run are absent.
+pub fn aggregate_by_category(
+    results: &[RunResult],
+    dataset_categories: &BTreeMap<String, Vec<Category>>,
+) -> BTreeMap<Category, BTreeMap<AlgoSpec, CategoryScore>> {
+    let mut out: BTreeMap<Category, BTreeMap<AlgoSpec, CategoryScore>> = BTreeMap::new();
+    // Accumulate sums first.
+    struct Acc {
+        acc: f64,
+        f1: f64,
+        earl: f64,
+        hm: f64,
+        train_min: f64,
+        n: usize,
+        dnf: usize,
+    }
+    let mut sums: BTreeMap<(Category, AlgoSpec), Acc> = BTreeMap::new();
+    for r in results {
+        let Some(cats) = dataset_categories.get(&r.dataset) else {
+            continue;
+        };
+        for &cat in cats {
+            let entry = sums.entry((cat, r.algo)).or_insert(Acc {
+                acc: 0.0,
+                f1: 0.0,
+                earl: 0.0,
+                hm: 0.0,
+                train_min: 0.0,
+                n: 0,
+                dnf: 0,
+            });
+            match &r.metrics {
+                Some(m) => {
+                    entry.acc += m.accuracy;
+                    entry.f1 += m.f1;
+                    entry.earl += m.earliness;
+                    entry.hm += m.harmonic_mean;
+                    entry.train_min += r.train_minutes();
+                    entry.n += 1;
+                }
+                None => entry.dnf += 1,
+            }
+        }
+    }
+    for ((cat, algo), acc) in sums {
+        if acc.n == 0 && acc.dnf == 0 {
+            continue;
+        }
+        let nf = acc.n.max(1) as f64;
+        let score = CategoryScore {
+            metrics: Metrics {
+                accuracy: acc.acc / nf,
+                f1: acc.f1 / nf,
+                earliness: acc.earl / nf,
+                harmonic_mean: acc.hm / nf,
+            },
+            train_minutes: acc.train_min / nf,
+            n_datasets: acc.n,
+            n_dnf: acc.dnf,
+        };
+        out.entry(cat).or_default().insert(algo, score);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result(algo: AlgoSpec, dataset: &str, acc: f64, dnf: bool) -> RunResult {
+        RunResult {
+            algo,
+            dataset: dataset.to_owned(),
+            metrics: if dnf {
+                None
+            } else {
+                Some(Metrics {
+                    accuracy: acc,
+                    f1: acc,
+                    earliness: 0.5,
+                    harmonic_mean: acc,
+                })
+            },
+            train_secs: 60.0,
+            test_secs_per_instance: 0.01,
+            dnf,
+        }
+    }
+
+    fn categories() -> BTreeMap<String, Vec<Category>> {
+        let mut m = BTreeMap::new();
+        m.insert("A".to_owned(), vec![Category::Wide, Category::Univariate]);
+        m.insert("B".to_owned(), vec![Category::Wide]);
+        m
+    }
+
+    #[test]
+    fn averages_within_category() {
+        let results = vec![
+            result(AlgoSpec::Ects, "A", 0.8, false),
+            result(AlgoSpec::Ects, "B", 0.6, false),
+        ];
+        let agg = aggregate_by_category(&results, &categories());
+        let wide = &agg[&Category::Wide][&AlgoSpec::Ects];
+        assert_eq!(wide.n_datasets, 2);
+        assert!((wide.metrics.accuracy - 0.7).abs() < 1e-12);
+        assert!((wide.train_minutes - 1.0).abs() < 1e-12);
+        let uni = &agg[&Category::Univariate][&AlgoSpec::Ects];
+        assert_eq!(uni.n_datasets, 1);
+        assert!((uni.metrics.accuracy - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dnf_runs_are_counted_but_not_averaged() {
+        let results = vec![
+            result(AlgoSpec::Edsc, "A", 0.9, false),
+            result(AlgoSpec::Edsc, "B", 0.0, true),
+        ];
+        let agg = aggregate_by_category(&results, &categories());
+        let wide = &agg[&Category::Wide][&AlgoSpec::Edsc];
+        assert_eq!(wide.n_datasets, 1);
+        assert_eq!(wide.n_dnf, 1);
+        assert!((wide.metrics.accuracy - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unknown_dataset_ignored() {
+        let results = vec![result(AlgoSpec::Ects, "unknown", 0.5, false)];
+        let agg = aggregate_by_category(&results, &categories());
+        assert!(agg.is_empty());
+    }
+}

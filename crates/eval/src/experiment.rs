@@ -1,0 +1,587 @@
+//! Cross-validated experiment runner (Section 6.1).
+//!
+//! Every (algorithm, dataset) pair is evaluated with stratified
+//! random-sampling 5-fold cross-validation; univariate algorithms are
+//! automatically wrapped in the voting adapter on multivariate datasets;
+//! EDSC runs under the framework's (scaled) training budget and records
+//! a DNF exactly like the paper's "did not produce results within 48
+//! hours" entries.
+
+use std::time::{Duration, Instant};
+
+use etsc_core::full::{MiniRocketClassifierConfig, MlstmClassifierConfig, WeaselClassifierConfig};
+use etsc_core::{
+    EarlyClassifier, Ecec, EcecConfig, EconomyK, EconomyKConfig, Ects, EctsConfig, Edsc,
+    EdscConfig, EtscError, Strut, StrutConfig, Teaser, TeaserConfig, VotingAdapter,
+};
+use etsc_data::{Dataset, StratifiedKFold};
+use etsc_ml::logistic::LogisticConfig;
+use etsc_ml::nn::MlstmFcnConfig;
+use etsc_transforms::minirocket::MiniRocketConfig;
+use etsc_transforms::weasel::WeaselConfig;
+
+use crate::metrics::{EvalOutcome, Metrics};
+
+/// The eight algorithms of the empirical comparison (Section 6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum AlgoSpec {
+    /// ECEC (Lv et al.).
+    Ecec,
+    /// ECONOMY-K.
+    EcoK,
+    /// ECTS.
+    Ects,
+    /// EDSC.
+    Edsc,
+    /// TEASER.
+    Teaser,
+    /// STRUT + MiniROCKET.
+    SMini,
+    /// STRUT + MLSTM-FCN.
+    SMlstm,
+    /// STRUT + WEASEL(+MUSE).
+    SWeasel,
+}
+
+impl AlgoSpec {
+    /// All algorithms in the paper's reporting order.
+    pub const ALL: [AlgoSpec; 8] = [
+        AlgoSpec::Ecec,
+        AlgoSpec::EcoK,
+        AlgoSpec::Ects,
+        AlgoSpec::Edsc,
+        AlgoSpec::Teaser,
+        AlgoSpec::SMini,
+        AlgoSpec::SMlstm,
+        AlgoSpec::SWeasel,
+    ];
+
+    /// Display name (paper spelling).
+    pub fn name(self) -> &'static str {
+        match self {
+            AlgoSpec::Ecec => "ECEC",
+            AlgoSpec::EcoK => "ECO-K",
+            AlgoSpec::Ects => "ECTS",
+            AlgoSpec::Edsc => "EDSC",
+            AlgoSpec::Teaser => "TEASER",
+            AlgoSpec::SMini => "S-MINI",
+            AlgoSpec::SMlstm => "S-MLSTM",
+            AlgoSpec::SWeasel => "S-WEASEL",
+        }
+    }
+
+    /// Looks an algorithm up by display name (case-insensitive).
+    pub fn by_name(name: &str) -> Option<AlgoSpec> {
+        AlgoSpec::ALL
+            .into_iter()
+            .find(|a| a.name().eq_ignore_ascii_case(name))
+    }
+
+    /// `true` when the underlying algorithm is univariate-only and needs
+    /// the voting adapter for multivariate datasets.
+    pub fn univariate_only(self) -> bool {
+        !matches!(self, AlgoSpec::SMini | AlgoSpec::SMlstm | AlgoSpec::SWeasel)
+    }
+
+    /// Decision batch length for the Figure 13 heatmap: ECEC and TEASER
+    /// evaluate every `L/N` points, the rest every point.
+    pub fn decision_batch(self, series_len: usize, config: &RunConfig) -> usize {
+        match self {
+            AlgoSpec::Ecec => (series_len / config.ecec_prefixes.max(1)).max(1),
+            AlgoSpec::Teaser => (series_len / config.teaser_prefixes_ucr.max(1)).max(1),
+            _ => 1,
+        }
+    }
+
+    /// Builds an untrained classifier for a dataset, wrapping in the
+    /// voting adapter when needed.
+    pub fn build(self, dataset: &Dataset, config: &RunConfig) -> Box<dyn EarlyClassifier> {
+        let multivariate = dataset.vars() > 1;
+        // TEASER's S parameter is dataset-dependent (Table 4): 10 for the
+        // Biological and Maritime datasets, 20 for UCR/UEA.
+        let teaser_s = if dataset.name() == "Biological" || dataset.name() == "Maritime" {
+            config.teaser_prefixes_new
+        } else {
+            config.teaser_prefixes_ucr
+        };
+        let c = config.clone();
+        match self {
+            AlgoSpec::Ecec => {
+                let make = move || Ecec::new(c.ecec_config());
+                wrap(multivariate, make)
+            }
+            AlgoSpec::EcoK => {
+                let make = move || EconomyK::new(c.economy_config());
+                wrap(multivariate, make)
+            }
+            AlgoSpec::Ects => {
+                let make = move || Ects::new(EctsConfig { support: 0 });
+                wrap(multivariate, make)
+            }
+            AlgoSpec::Edsc => {
+                let make = move || Edsc::new(c.edsc_config());
+                wrap(multivariate, make)
+            }
+            AlgoSpec::Teaser => {
+                let make = move || Teaser::new(c.teaser_config(teaser_s));
+                wrap(multivariate, make)
+            }
+            AlgoSpec::SMini => Box::new(Strut::s_mini_with(
+                c.strut_config(),
+                MiniRocketClassifierConfig {
+                    transform: c.minirocket_config(),
+                    ..MiniRocketClassifierConfig::default()
+                },
+            )),
+            AlgoSpec::SMlstm => Box::new(Strut::s_mlstm_with(
+                StrutConfig {
+                    search: etsc_core::TruncationSearch::FixedGrid(vec![
+                        0.05, 0.2, 0.4, 0.6, 0.8, 1.0,
+                    ]),
+                    ..c.strut_config()
+                },
+                MlstmClassifierConfig {
+                    network: c.mlstm_config(),
+                    lstm_grid: c.mlstm_lstm_grid.clone(),
+                },
+            )),
+            AlgoSpec::SWeasel => Box::new(Strut::s_weasel_with(
+                c.strut_config(),
+                WeaselClassifierConfig {
+                    weasel: c.weasel_config(),
+                    logistic: c.logistic_config(),
+                },
+            )),
+        }
+    }
+}
+
+fn wrap<C: EarlyClassifier + 'static>(
+    multivariate: bool,
+    make: impl Fn() -> C + Send + Sync + 'static,
+) -> Box<dyn EarlyClassifier> {
+    if multivariate {
+        Box::new(VotingAdapter::new(make))
+    } else {
+        Box::new(make())
+    }
+}
+
+/// Global run configuration: cross-validation, algorithm parameters
+/// (Table 4 defaults), and the scaled training budget.
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    /// Cross-validation folds (paper: 5).
+    pub folds: usize,
+    /// Seed for CV shuffling and stochastic components.
+    pub seed: u64,
+    /// ECEC prefix count N (Table 4: 20).
+    pub ecec_prefixes: usize,
+    /// TEASER S for UCR/UEA datasets (Table 4: 20).
+    pub teaser_prefixes_ucr: usize,
+    /// TEASER S for the Biological and Maritime datasets (Table 4: 10).
+    pub teaser_prefixes_new: usize,
+    /// EDSC training budget — the framework's 48-hour rule, scaled.
+    pub edsc_budget: Duration,
+    /// EDSC candidate budget.
+    pub edsc_candidates: usize,
+    /// WEASEL feature budget (affects ECEC/TEASER/S-WEASEL).
+    pub weasel_features: usize,
+    /// WEASEL window-size count.
+    pub weasel_windows: usize,
+    /// Logistic-regression epochs.
+    pub logistic_epochs: usize,
+    /// MiniROCKET feature budget.
+    pub minirocket_features: usize,
+    /// MLSTM epochs.
+    pub mlstm_epochs: usize,
+    /// MLSTM conv filter counts.
+    pub mlstm_filters: [usize; 3],
+    /// MLSTM cell-count grid (paper: {8, 64, 128}).
+    pub mlstm_lstm_grid: Vec<usize>,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig {
+            folds: 5,
+            seed: 2024,
+            ecec_prefixes: 20,
+            teaser_prefixes_ucr: 20,
+            teaser_prefixes_new: 10,
+            edsc_budget: Duration::from_secs(120),
+            edsc_candidates: 1500,
+            weasel_features: 256,
+            weasel_windows: 6,
+            logistic_epochs: 120,
+            minirocket_features: 500,
+            mlstm_epochs: 30,
+            mlstm_filters: [8, 16, 8],
+            mlstm_lstm_grid: vec![8],
+        }
+    }
+}
+
+impl RunConfig {
+    /// A reduced profile for CI-speed sweeps: fewer prefixes/features/
+    /// epochs, tight EDSC budget. Scaling is reported by the harness.
+    pub fn fast() -> RunConfig {
+        RunConfig {
+            folds: 3,
+            ecec_prefixes: 8,
+            teaser_prefixes_ucr: 8,
+            teaser_prefixes_new: 5,
+            edsc_budget: Duration::from_secs(20),
+            edsc_candidates: 400,
+            weasel_features: 128,
+            weasel_windows: 4,
+            logistic_epochs: 60,
+            minirocket_features: 250,
+            mlstm_epochs: 15,
+            mlstm_filters: [4, 8, 4],
+            mlstm_lstm_grid: vec![4],
+            ..RunConfig::default()
+        }
+    }
+
+    fn weasel_config(&self) -> WeaselConfig {
+        WeaselConfig {
+            top_features: self.weasel_features,
+            max_windows: self.weasel_windows,
+            ..WeaselConfig::default()
+        }
+    }
+
+    fn logistic_config(&self) -> LogisticConfig {
+        LogisticConfig {
+            max_epochs: self.logistic_epochs,
+            seed: self.seed,
+            ..LogisticConfig::default()
+        }
+    }
+
+    fn ecec_config(&self) -> EcecConfig {
+        EcecConfig {
+            n_prefixes: self.ecec_prefixes,
+            cv_folds: 3,
+            weasel: self.weasel_config(),
+            logistic: self.logistic_config(),
+            seed: self.seed,
+            ..EcecConfig::default()
+        }
+    }
+
+    fn economy_config(&self) -> EconomyKConfig {
+        EconomyKConfig {
+            seed: self.seed,
+            ..EconomyKConfig::default()
+        }
+    }
+
+    fn edsc_config(&self) -> EdscConfig {
+        EdscConfig {
+            max_candidates: self.edsc_candidates,
+            train_budget: Some(self.edsc_budget),
+            ..EdscConfig::default()
+        }
+    }
+
+    fn teaser_config(&self, s: usize) -> TeaserConfig {
+        TeaserConfig {
+            s_prefixes: s,
+            weasel: self.weasel_config(),
+            logistic: self.logistic_config(),
+            ..TeaserConfig::default()
+        }
+    }
+
+    fn strut_config(&self) -> StrutConfig {
+        StrutConfig {
+            seed: self.seed,
+            ..StrutConfig::default()
+        }
+    }
+
+    fn minirocket_config(&self) -> MiniRocketConfig {
+        MiniRocketConfig {
+            num_features: self.minirocket_features,
+            seed: self.seed,
+            ..MiniRocketConfig::default()
+        }
+    }
+
+    fn mlstm_config(&self) -> MlstmFcnConfig {
+        MlstmFcnConfig {
+            epochs: self.mlstm_epochs,
+            filters: self.mlstm_filters,
+            seed: self.seed,
+            ..MlstmFcnConfig::default()
+        }
+    }
+}
+
+/// Result of one (algorithm, dataset) cross-validated run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Algorithm evaluated.
+    pub algo: AlgoSpec,
+    /// Dataset name.
+    pub dataset: String,
+    /// Averaged metrics; `None` when the run did not finish (DNF).
+    pub metrics: Option<Metrics>,
+    /// Mean wall-clock training time per fold, seconds.
+    pub train_secs: f64,
+    /// Mean wall-clock testing time per instance, seconds.
+    pub test_secs_per_instance: f64,
+    /// `true` when training exceeded the budget (the paper's hatched
+    /// cells / missing bars).
+    pub dnf: bool,
+}
+
+impl RunResult {
+    /// Training time in minutes, the unit of Figure 12.
+    pub fn train_minutes(&self) -> f64 {
+        self.train_secs / 60.0
+    }
+}
+
+/// Runs one algorithm on one dataset with stratified K-fold CV.
+///
+/// A training-budget overrun in any fold marks the whole run DNF
+/// (matching the paper's treatment of EDSC on Wide datasets); any other
+/// error propagates.
+///
+/// # Errors
+/// Data/model failures other than budget overruns.
+pub fn run_cv(
+    algo: AlgoSpec,
+    dataset: &Dataset,
+    config: &RunConfig,
+) -> Result<RunResult, EtscError> {
+    let folds = StratifiedKFold::new(config.folds, config.seed)
+        .map_err(EtscError::from)?
+        .split(dataset)
+        .map_err(EtscError::from)?;
+    let mut outcomes = Vec::new();
+    let mut train_total = 0.0;
+    let mut test_total = 0.0;
+    let mut test_count = 0usize;
+    for fold in &folds {
+        let train = dataset.subset(&fold.train);
+        let mut clf = algo.build(dataset, config);
+        let t0 = Instant::now();
+        match clf.fit(&train) {
+            Ok(()) => {}
+            Err(EtscError::TrainingBudgetExceeded { .. }) => {
+                return Ok(RunResult {
+                    algo,
+                    dataset: dataset.name().to_owned(),
+                    metrics: None,
+                    train_secs: t0.elapsed().as_secs_f64(),
+                    test_secs_per_instance: 0.0,
+                    dnf: true,
+                });
+            }
+            Err(e) => return Err(e),
+        }
+        train_total += t0.elapsed().as_secs_f64();
+        for &i in &fold.test {
+            let inst = dataset.instance(i);
+            let t1 = Instant::now();
+            let p = clf.predict_early(inst)?;
+            test_total += t1.elapsed().as_secs_f64();
+            test_count += 1;
+            outcomes.push(EvalOutcome {
+                truth: dataset.label(i),
+                predicted: p.label,
+                prefix_len: p.prefix_len,
+                full_len: inst.len(),
+            });
+        }
+    }
+    let metrics = Metrics::compute(&outcomes, dataset.n_classes());
+    Ok(RunResult {
+        algo,
+        dataset: dataset.name().to_owned(),
+        metrics: Some(metrics),
+        train_secs: train_total / folds.len() as f64,
+        test_secs_per_instance: test_total / test_count.max(1) as f64,
+        dnf: false,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use etsc_data::{DatasetBuilder, MultiSeries};
+
+    fn toy(vars: usize) -> Dataset {
+        let mut b = DatasetBuilder::new("toy");
+        for i in 0..12 {
+            let phase = i as f64 * 0.29;
+            for (freq, class) in [(0.3, "slow"), (1.6, "fast")] {
+                let rows: Vec<Vec<f64>> = (0..vars)
+                    .map(|v| {
+                        (0..24)
+                            .map(|t| ((t as f64 * freq) + phase + v as f64).sin())
+                            .collect()
+                    })
+                    .collect();
+                b.push_named(MultiSeries::from_rows(rows).unwrap(), class);
+            }
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn names_roundtrip() {
+        for a in AlgoSpec::ALL {
+            assert_eq!(AlgoSpec::by_name(a.name()), Some(a));
+        }
+        assert_eq!(AlgoSpec::by_name("eco-k"), Some(AlgoSpec::EcoK));
+        assert!(AlgoSpec::by_name("nope").is_none());
+    }
+
+    #[test]
+    fn univariate_flags() {
+        assert!(AlgoSpec::Ecec.univariate_only());
+        assert!(!AlgoSpec::SMini.univariate_only());
+    }
+
+    #[test]
+    fn decision_batches() {
+        let cfg = RunConfig::default();
+        assert_eq!(AlgoSpec::Ecec.decision_batch(100, &cfg), 5);
+        assert_eq!(AlgoSpec::Ects.decision_batch(100, &cfg), 1);
+    }
+
+    #[test]
+    fn run_cv_ects_on_univariate() {
+        let d = toy(1);
+        let r = run_cv(AlgoSpec::Ects, &d, &RunConfig::fast()).unwrap();
+        assert!(!r.dnf);
+        let m = r.metrics.unwrap();
+        assert!(m.accuracy > 0.7, "accuracy {}", m.accuracy);
+        assert!(r.train_secs >= 0.0);
+        assert!(r.test_secs_per_instance >= 0.0);
+    }
+
+    #[test]
+    fn run_cv_wraps_univariate_algo_on_multivariate_data() {
+        let d = toy(2);
+        let r = run_cv(AlgoSpec::Ects, &d, &RunConfig::fast()).unwrap();
+        let m = r.metrics.unwrap();
+        assert!(m.accuracy > 0.6, "accuracy {}", m.accuracy);
+    }
+
+    #[test]
+    fn edsc_budget_yields_dnf() {
+        let d = toy(1);
+        let cfg = RunConfig {
+            edsc_budget: Duration::from_nanos(0),
+            ..RunConfig::fast()
+        };
+        let r = run_cv(AlgoSpec::Edsc, &d, &cfg).unwrap();
+        assert!(r.dnf);
+        assert!(r.metrics.is_none());
+    }
+
+    #[test]
+    fn build_produces_named_algorithms() {
+        let d = toy(1);
+        let cfg = RunConfig::fast();
+        for a in AlgoSpec::ALL {
+            let clf = a.build(&d, &cfg);
+            assert!(!clf.name().is_empty());
+        }
+    }
+}
+
+/// Runs the full (dataset × algorithm) matrix with a bounded worker pool
+/// (crossbeam scoped threads pulling jobs from a shared queue).
+///
+/// Results come back in `(dataset, algorithm)` row-major order, exactly
+/// as the sequential double loop would produce them. Wall-clock
+/// train/test timings are still measured per job, so heavy parallelism
+/// inflates them through CPU contention — use the sequential path when
+/// timing fidelity matters (the `reproduce` binary defaults to it).
+///
+/// # Errors
+/// The first job failure, after all workers finish.
+pub fn run_matrix_parallel(
+    datasets: &[Dataset],
+    algos: &[AlgoSpec],
+    config: &RunConfig,
+    max_threads: usize,
+) -> Result<Vec<RunResult>, EtscError> {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+
+    let jobs: Vec<(usize, usize)> = (0..datasets.len())
+        .flat_map(|d| (0..algos.len()).map(move |a| (d, a)))
+        .collect();
+    let next = AtomicUsize::new(0);
+    let results: Vec<Mutex<Option<Result<RunResult, EtscError>>>> =
+        jobs.iter().map(|_| Mutex::new(None)).collect();
+    let workers = max_threads
+        .max(1)
+        .min(jobs.len().max(1))
+        .min(std::thread::available_parallelism().map_or(4, |p| p.get()));
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|_| loop {
+                let j = next.fetch_add(1, Ordering::SeqCst);
+                if j >= jobs.len() {
+                    break;
+                }
+                let (d, a) = jobs[j];
+                let outcome = run_cv(algos[a], &datasets[d], config);
+                *results[j].lock().expect("result slot poisoned") = Some(outcome);
+            });
+        }
+    })
+    .expect("worker thread panicked");
+    results
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("every job was executed")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod parallel_tests {
+    use super::*;
+    use etsc_datasets::{GenOptions, PaperDataset};
+
+    #[test]
+    fn parallel_matrix_matches_sequential() {
+        let datasets: Vec<Dataset> = [PaperDataset::PowerCons, PaperDataset::DodgerLoopGame]
+            .iter()
+            .map(|d| {
+                d.generate(GenOptions {
+                    height_scale: 0.15,
+                    length_scale: 0.25,
+                    seed: 5,
+                })
+            })
+            .collect();
+        let algos = [AlgoSpec::Ects, AlgoSpec::EcoK];
+        let config = RunConfig::fast();
+        let parallel = run_matrix_parallel(&datasets, &algos, &config, 4).unwrap();
+        assert_eq!(parallel.len(), 4);
+        let mut k = 0;
+        for ds in &datasets {
+            for &algo in &algos {
+                let sequential = run_cv(algo, ds, &config).unwrap();
+                let p = &parallel[k];
+                assert_eq!(p.algo, algo);
+                assert_eq!(p.dataset, sequential.dataset);
+                assert_eq!(p.metrics.unwrap(), sequential.metrics.unwrap());
+                k += 1;
+            }
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//! # etsc-eval
+//!
+//! The evaluation harness of the framework (Section 6):
+//!
+//! * [`metrics`] — accuracy, macro-F1, earliness, the harmonic mean of
+//!   accuracy and (1 − earliness), and timing records (Section 2.2);
+//! * [`experiment`] — stratified 5-fold cross-validated runs of any
+//!   algorithm on any dataset, with wall-clock training/testing times and
+//!   the framework's training-budget (DNF) handling;
+//! * [`aggregate`] — per-category averaging across datasets (the grouping
+//!   behind Figures 9-12);
+//! * [`online`] — the Figure 13 online-feasibility ratio (testing time per
+//!   decision over the dataset's observation frequency);
+//! * [`report`] — plain-text and CSV renderers matching the layout of the
+//!   paper's tables and figures;
+//! * [`tuning`] — hyper-parameter grid search over any algorithm (the
+//!   paper's MultiETSC-style future-work item);
+//! * [`moo`] — NSGA-II multi-objective optimisation of the
+//!   accuracy/earliness Pareto front (the paper's MOO-ETSC item).
+
+pub mod aggregate;
+pub mod experiment;
+pub mod metrics;
+pub mod moo;
+pub mod online;
+pub mod report;
+pub mod tuning;
+
+pub use aggregate::aggregate_by_category;
+pub use experiment::{run_cv, AlgoSpec, RunConfig, RunResult};
+pub use metrics::{EvalOutcome, Metrics};

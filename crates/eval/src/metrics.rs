@@ -1,0 +1,186 @@
+//! The paper's evaluation metrics (Section 2.2).
+//!
+//! * **Accuracy** — correct predictions over all predictions;
+//! * **F1-score** — per-class `TP / (TP + (FP + FN)/2)`, averaged over
+//!   classes (macro);
+//! * **Earliness** — observed prefix length over full length, averaged
+//!   over test instances (lower is better);
+//! * **Harmonic mean** — `2·acc·(1−earliness) / (acc + (1−earliness))`;
+//! * training times (minutes) and testing times (seconds).
+
+// Indexed loops keep the gradient/index math readable here.
+#![allow(clippy::needless_range_loop)]
+/// One test-instance outcome: truth, prediction, and the consumed prefix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EvalOutcome {
+    /// Ground-truth label.
+    pub truth: usize,
+    /// Predicted label.
+    pub predicted: usize,
+    /// Time points consumed before committing.
+    pub prefix_len: usize,
+    /// Full instance length.
+    pub full_len: usize,
+}
+
+/// Aggregated metrics over a set of outcomes.
+///
+/// ```
+/// use etsc_eval::metrics::{EvalOutcome, Metrics};
+///
+/// let outcomes = [
+///     EvalOutcome { truth: 0, predicted: 0, prefix_len: 5, full_len: 10 },
+///     EvalOutcome { truth: 1, predicted: 0, prefix_len: 10, full_len: 10 },
+/// ];
+/// let m = Metrics::compute(&outcomes, 2);
+/// assert_eq!(m.accuracy, 0.5);
+/// assert_eq!(m.earliness, 0.75);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Metrics {
+    /// Classification accuracy in `[0, 1]`.
+    pub accuracy: f64,
+    /// Macro-averaged F1 in `[0, 1]`.
+    pub f1: f64,
+    /// Mean earliness in `(0, 1]` (lower is better).
+    pub earliness: f64,
+    /// Harmonic mean of accuracy and `1 − earliness`.
+    pub harmonic_mean: f64,
+}
+
+impl Metrics {
+    /// Computes all Section 2.2 metrics from per-instance outcomes.
+    ///
+    /// `n_classes` sizes the confusion matrix (labels must be below it).
+    ///
+    /// # Panics
+    /// When `outcomes` is empty or a label is out of range (programming
+    /// errors in the harness).
+    pub fn compute(outcomes: &[EvalOutcome], n_classes: usize) -> Metrics {
+        assert!(!outcomes.is_empty(), "no outcomes to score");
+        let mut confusion = vec![vec![0usize; n_classes]; n_classes];
+        let mut earliness_sum = 0.0;
+        for o in outcomes {
+            confusion[o.truth][o.predicted] += 1;
+            earliness_sum += o.prefix_len as f64 / o.full_len.max(1) as f64;
+        }
+        let correct: usize = (0..n_classes).map(|c| confusion[c][c]).sum();
+        let accuracy = correct as f64 / outcomes.len() as f64;
+        let f1 = macro_f1(&confusion);
+        let earliness = earliness_sum / outcomes.len() as f64;
+        Metrics {
+            accuracy,
+            f1,
+            earliness,
+            harmonic_mean: harmonic_mean(accuracy, earliness),
+        }
+    }
+}
+
+/// Macro-averaged F1 from a confusion matrix
+/// (`confusion[truth][predicted]`), using the paper's per-class formula
+/// `TP / (TP + (FP + FN)/2)` averaged over **all** classes (absent
+/// classes contribute 0, matching the paper's division by |C|).
+pub fn macro_f1(confusion: &[Vec<usize>]) -> f64 {
+    let c_count = confusion.len();
+    if c_count == 0 {
+        return 0.0;
+    }
+    let mut sum = 0.0;
+    for c in 0..c_count {
+        let tp = confusion[c][c] as f64;
+        let fp: f64 = (0..c_count)
+            .filter(|&o| o != c)
+            .map(|o| confusion[o][c] as f64)
+            .sum();
+        let fn_: f64 = (0..c_count)
+            .filter(|&o| o != c)
+            .map(|o| confusion[c][o] as f64)
+            .sum();
+        let denom = tp + 0.5 * (fp + fn_);
+        if denom > 0.0 {
+            sum += tp / denom;
+        }
+    }
+    sum / c_count as f64
+}
+
+/// The paper's harmonic mean of accuracy and `1 − earliness`.
+pub fn harmonic_mean(accuracy: f64, earliness: f64) -> f64 {
+    let inv = 1.0 - earliness;
+    let denom = accuracy + inv;
+    if denom <= 0.0 {
+        0.0
+    } else {
+        2.0 * accuracy * inv / denom
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn o(truth: usize, predicted: usize, prefix: usize, full: usize) -> EvalOutcome {
+        EvalOutcome {
+            truth,
+            predicted,
+            prefix_len: prefix,
+            full_len: full,
+        }
+    }
+
+    #[test]
+    fn perfect_predictions() {
+        let outcomes = vec![o(0, 0, 5, 10), o(1, 1, 5, 10)];
+        let m = Metrics::compute(&outcomes, 2);
+        assert_eq!(m.accuracy, 1.0);
+        assert_eq!(m.f1, 1.0);
+        assert_eq!(m.earliness, 0.5);
+        assert!((m.harmonic_mean - 2.0 * 0.5 / 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn accuracy_counts_all_classes() {
+        let outcomes = vec![o(0, 0, 1, 2), o(0, 1, 1, 2), o(1, 1, 1, 2), o(1, 1, 1, 2)];
+        let m = Metrics::compute(&outcomes, 2);
+        assert_eq!(m.accuracy, 0.75);
+    }
+
+    #[test]
+    fn f1_matches_hand_computation() {
+        // Class 0: TP=1 FP=0 FN=1 → f1 = 1/(1+1) = 2/3... recompute:
+        // TP/(TP+0.5(FP+FN)) = 1/(1+0.5·1) = 2/3.
+        // Class 1: TP=2 FP=1 FN=0 → 2/(2+0.5) = 0.8.
+        let outcomes = vec![o(0, 0, 1, 2), o(0, 1, 1, 2), o(1, 1, 1, 2), o(1, 1, 1, 2)];
+        let m = Metrics::compute(&outcomes, 2);
+        assert!((m.f1 - (2.0 / 3.0 + 0.8) / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn absent_class_lowers_macro_f1() {
+        // 3 declared classes but only 2 appear: |C|=3 divisor.
+        let outcomes = vec![o(0, 0, 1, 2), o(1, 1, 1, 2)];
+        let m = Metrics::compute(&outcomes, 3);
+        assert!((m.f1 - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn earliness_one_means_no_harmonic_credit() {
+        let outcomes = vec![o(0, 0, 10, 10)];
+        let m = Metrics::compute(&outcomes, 1);
+        assert_eq!(m.earliness, 1.0);
+        assert_eq!(m.harmonic_mean, 0.0);
+    }
+
+    #[test]
+    fn zero_accuracy_zero_harmonic() {
+        assert_eq!(harmonic_mean(0.0, 0.2), 0.0);
+        assert_eq!(harmonic_mean(1.0, 0.0), 1.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_outcomes_panic() {
+        let _ = Metrics::compute(&[], 2);
+    }
+}

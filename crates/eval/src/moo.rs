@@ -1,0 +1,385 @@
+//! Multi-objective optimisation of ETSC configurations — the paper's
+//! future-work item **MOO-ETSC** (Mori et al. 2019: "Early classification
+//! of time series using multi-objective optimization techniques").
+//!
+//! A compact NSGA-II searches a bounded real-valued gene space that the
+//! caller maps to classifier configurations; every individual is scored
+//! by cross-validated **error** (1 − accuracy) and **earliness**, both
+//! minimised. The result is the Pareto front of accuracy/earliness
+//! trade-offs instead of a single scalarised pick — exactly the framing
+//! the harmonic mean collapses.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use etsc_core::{EarlyClassifier, EtscError};
+use etsc_data::{Dataset, StratifiedKFold};
+
+use crate::metrics::{EvalOutcome, Metrics};
+
+/// NSGA-II settings.
+#[derive(Debug, Clone)]
+pub struct MooConfig {
+    /// Population size (kept even).
+    pub population: usize,
+    /// Generations to evolve.
+    pub generations: usize,
+    /// Per-gene mutation probability.
+    pub mutation_rate: f64,
+    /// Mutation step as a fraction of the gene range.
+    pub mutation_step: f64,
+    /// Internal cross-validation folds per evaluation.
+    pub folds: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for MooConfig {
+    fn default() -> Self {
+        MooConfig {
+            population: 12,
+            generations: 5,
+            mutation_rate: 0.3,
+            mutation_step: 0.25,
+            folds: 2,
+            seed: 71,
+        }
+    }
+}
+
+/// One evaluated individual.
+#[derive(Debug, Clone)]
+pub struct Individual {
+    /// The genes in `[lo, hi]` per dimension.
+    pub genes: Vec<f64>,
+    /// Objective 1: `1 − accuracy` (minimised).
+    pub error: f64,
+    /// Objective 2: earliness (minimised).
+    pub earliness: f64,
+    /// Full cross-validated metrics.
+    pub metrics: Metrics,
+}
+
+impl Individual {
+    /// Pareto dominance: at least as good in both objectives, strictly
+    /// better in one.
+    pub fn dominates(&self, other: &Individual) -> bool {
+        (self.error <= other.error && self.earliness <= other.earliness)
+            && (self.error < other.error || self.earliness < other.earliness)
+    }
+}
+
+/// Result of an optimisation run.
+#[derive(Debug, Clone)]
+pub struct ParetoFront {
+    /// Non-dominated individuals, sorted by earliness (ascending).
+    pub front: Vec<Individual>,
+    /// Total configurations evaluated.
+    pub evaluated: usize,
+}
+
+/// Evolves classifier configurations toward the accuracy/earliness
+/// Pareto front.
+///
+/// `bounds` gives `[lo, hi]` per gene; `build` maps genes to an untrained
+/// classifier. Invalid gene combinations may return an error from `fit`,
+/// which scores the individual as worst-case instead of aborting.
+///
+/// # Errors
+/// [`EtscError::Config`] on empty bounds or zero population/generations;
+/// propagated data-layer failures.
+pub fn optimize(
+    dataset: &Dataset,
+    bounds: &[(f64, f64)],
+    mut build: impl FnMut(&[f64]) -> Box<dyn EarlyClassifier>,
+    config: &MooConfig,
+) -> Result<ParetoFront, EtscError> {
+    if bounds.is_empty() {
+        return Err(EtscError::Config("empty gene bounds".into()));
+    }
+    if config.population < 2 || config.generations == 0 {
+        return Err(EtscError::Config(
+            "population must be >= 2 and generations >= 1".into(),
+        ));
+    }
+    let splits = StratifiedKFold::new(config.folds.max(2), config.seed)
+        .map_err(EtscError::from)?
+        .split(dataset)
+        .map_err(EtscError::from)?;
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let pop_size = config.population + config.population % 2;
+    let mut evaluated = 0usize;
+
+    let evaluate = |genes: &[f64],
+                    build: &mut dyn FnMut(&[f64]) -> Box<dyn EarlyClassifier>,
+                    evaluated: &mut usize|
+     -> Result<Individual, EtscError> {
+        *evaluated += 1;
+        let mut outcomes = Vec::new();
+        for fold in &splits {
+            let train = dataset.subset(&fold.train);
+            let mut clf = build(genes);
+            match clf.fit(&train) {
+                Ok(()) => {}
+                Err(EtscError::TrainingBudgetExceeded { .. }) | Err(EtscError::Config(_)) => {
+                    // Infeasible individual: worst-case objectives.
+                    return Ok(Individual {
+                        genes: genes.to_vec(),
+                        error: 1.0,
+                        earliness: 1.0,
+                        metrics: Metrics {
+                            accuracy: 0.0,
+                            f1: 0.0,
+                            earliness: 1.0,
+                            harmonic_mean: 0.0,
+                        },
+                    });
+                }
+                Err(e) => return Err(e),
+            }
+            for &i in &fold.test {
+                let inst = dataset.instance(i);
+                let p = clf.predict_early(inst)?;
+                outcomes.push(EvalOutcome {
+                    truth: dataset.label(i),
+                    predicted: p.label,
+                    prefix_len: p.prefix_len,
+                    full_len: inst.len(),
+                });
+            }
+        }
+        let metrics = Metrics::compute(&outcomes, dataset.n_classes());
+        Ok(Individual {
+            genes: genes.to_vec(),
+            error: 1.0 - metrics.accuracy,
+            earliness: metrics.earliness,
+            metrics,
+        })
+    };
+
+    // --- Initial population: uniform in the bounds ---
+    let mut population: Vec<Individual> = Vec::with_capacity(pop_size);
+    for _ in 0..pop_size {
+        let genes: Vec<f64> = bounds
+            .iter()
+            .map(|&(lo, hi)| lo + rng.random::<f64>() * (hi - lo))
+            .collect();
+        population.push(evaluate(&genes, &mut build, &mut evaluated)?);
+    }
+
+    for _gen in 0..config.generations {
+        // --- Offspring: binary tournament + blend crossover + mutation ---
+        let mut offspring = Vec::with_capacity(pop_size);
+        while offspring.len() < pop_size {
+            let pick = |rng: &mut StdRng, pop: &[Individual]| -> usize {
+                let a = rng.random_range(0..pop.len());
+                let b = rng.random_range(0..pop.len());
+                if pop[a].dominates(&pop[b]) {
+                    a
+                } else {
+                    b
+                }
+            };
+            let pa = pick(&mut rng, &population);
+            let pb = pick(&mut rng, &population);
+            let mut genes = Vec::with_capacity(bounds.len());
+            for (g, &(lo, hi)) in bounds.iter().enumerate() {
+                let alpha = rng.random::<f64>();
+                let mut v =
+                    population[pa].genes[g] * alpha + population[pb].genes[g] * (1.0 - alpha);
+                if rng.random::<f64>() < config.mutation_rate {
+                    v += (rng.random::<f64>() * 2.0 - 1.0) * config.mutation_step * (hi - lo);
+                }
+                genes.push(v.clamp(lo, hi));
+            }
+            offspring.push(evaluate(&genes, &mut build, &mut evaluated)?);
+        }
+        // --- Environmental selection: non-dominated sorting + crowding ---
+        population.extend(offspring);
+        population = select(population, pop_size);
+    }
+
+    // Final front: non-dominated members of the final population.
+    let mut front: Vec<Individual> = Vec::new();
+    for ind in &population {
+        if !population.iter().any(|other| other.dominates(ind)) {
+            front.push(ind.clone());
+        }
+    }
+    // Deduplicate identical objective points, sort by earliness.
+    front.sort_by(|a, b| {
+        a.earliness
+            .partial_cmp(&b.earliness)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    front.dedup_by(|a, b| {
+        (a.error - b.error).abs() < 1e-12 && (a.earliness - b.earliness).abs() < 1e-12
+    });
+    Ok(ParetoFront { front, evaluated })
+}
+
+/// NSGA-II environmental selection: rank by non-dominated fronts, break
+/// the final front by crowding distance.
+fn select(mut pool: Vec<Individual>, keep: usize) -> Vec<Individual> {
+    let mut out: Vec<Individual> = Vec::with_capacity(keep);
+    while out.len() < keep && !pool.is_empty() {
+        // Current non-dominated front within the pool.
+        let front_idx: Vec<usize> = (0..pool.len())
+            .filter(|&i| !pool.iter().any(|o| o.dominates(&pool[i])))
+            .collect();
+        let mut front: Vec<Individual> = front_idx.iter().map(|&i| pool[i].clone()).collect();
+        // Remove the front from the pool (descending index order).
+        for &i in front_idx.iter().rev() {
+            pool.swap_remove(i);
+        }
+        if out.len() + front.len() <= keep {
+            out.extend(front);
+        } else {
+            // Crowding distance on (error, earliness).
+            let remaining = keep - out.len();
+            let mut scored: Vec<(f64, Individual)> = {
+                let n = front.len();
+                let mut crowd = vec![0.0f64; n];
+                for objective in 0..2 {
+                    let val = |ind: &Individual| {
+                        if objective == 0 {
+                            ind.error
+                        } else {
+                            ind.earliness
+                        }
+                    };
+                    let mut order: Vec<usize> = (0..n).collect();
+                    order.sort_by(|&a, &b| {
+                        val(&front[a])
+                            .partial_cmp(&val(&front[b]))
+                            .unwrap_or(std::cmp::Ordering::Equal)
+                    });
+                    crowd[order[0]] = f64::INFINITY;
+                    crowd[order[n - 1]] = f64::INFINITY;
+                    let span = (val(&front[order[n - 1]]) - val(&front[order[0]])).max(1e-12);
+                    for w in 1..n - 1 {
+                        crowd[order[w]] +=
+                            (val(&front[order[w + 1]]) - val(&front[order[w - 1]])) / span;
+                    }
+                }
+                crowd.into_iter().zip(front.drain(..)).collect()
+            };
+            scored.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+            out.extend(scored.into_iter().take(remaining).map(|(_, ind)| ind));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use etsc_core::{Ecec, EcecConfig};
+    use etsc_data::{DatasetBuilder, MultiSeries, Series};
+
+    fn toy() -> Dataset {
+        let mut b = DatasetBuilder::new("moo");
+        for i in 0..10 {
+            let phase = i as f64 * 0.31;
+            let slow: Vec<f64> = (0..20).map(|t| ((t as f64 * 0.3) + phase).sin()).collect();
+            let fast: Vec<f64> = (0..20).map(|t| ((t as f64 * 1.5) + phase).sin()).collect();
+            b.push_named(MultiSeries::univariate(Series::new(slow)), "slow");
+            b.push_named(MultiSeries::univariate(Series::new(fast)), "fast");
+        }
+        b.build().unwrap()
+    }
+
+    fn ecec_from_genes(genes: &[f64]) -> Box<dyn EarlyClassifier> {
+        Box::new(Ecec::new(EcecConfig {
+            alpha: genes[0].clamp(0.0, 1.0),
+            n_prefixes: 4,
+            cv_folds: 2,
+            ..EcecConfig::default()
+        }))
+    }
+
+    #[test]
+    fn produces_a_nondominated_front() {
+        let data = toy();
+        let result = optimize(
+            &data,
+            &[(0.1, 0.95)],
+            ecec_from_genes,
+            &MooConfig {
+                population: 6,
+                generations: 2,
+                ..MooConfig::default()
+            },
+        )
+        .unwrap();
+        assert!(!result.front.is_empty());
+        assert!(result.evaluated >= 6);
+        // Pairwise non-domination.
+        for a in &result.front {
+            for b in &result.front {
+                assert!(!a.dominates(b), "front contains dominated members");
+            }
+        }
+        // Sorted by earliness.
+        for w in result.front.windows(2) {
+            assert!(w[0].earliness <= w[1].earliness + 1e-12);
+        }
+    }
+
+    #[test]
+    fn dominance_definition() {
+        let mk = |e: f64, earl: f64| Individual {
+            genes: vec![],
+            error: e,
+            earliness: earl,
+            metrics: Metrics {
+                accuracy: 1.0 - e,
+                f1: 0.0,
+                earliness: earl,
+                harmonic_mean: 0.0,
+            },
+        };
+        assert!(mk(0.1, 0.1).dominates(&mk(0.2, 0.2)));
+        assert!(mk(0.1, 0.2).dominates(&mk(0.1, 0.3)));
+        assert!(!mk(0.1, 0.3).dominates(&mk(0.2, 0.2)));
+        assert!(!mk(0.1, 0.1).dominates(&mk(0.1, 0.1)));
+    }
+
+    #[test]
+    fn selection_keeps_the_best_front() {
+        let mk = |e: f64, earl: f64| Individual {
+            genes: vec![],
+            error: e,
+            earliness: earl,
+            metrics: Metrics {
+                accuracy: 1.0 - e,
+                f1: 0.0,
+                earliness: earl,
+                harmonic_mean: 0.0,
+            },
+        };
+        let pool = vec![mk(0.1, 0.9), mk(0.9, 0.1), mk(0.5, 0.5), mk(0.95, 0.95)];
+        let kept = select(pool, 3);
+        assert_eq!(kept.len(), 3);
+        // The dominated straggler (0.95, 0.95) must be dropped.
+        assert!(kept
+            .iter()
+            .all(|i| !((i.error - 0.95).abs() < 1e-12 && (i.earliness - 0.95).abs() < 1e-12)));
+    }
+
+    #[test]
+    fn config_validation() {
+        let data = toy();
+        assert!(optimize(&data, &[], ecec_from_genes, &MooConfig::default()).is_err());
+        assert!(optimize(
+            &data,
+            &[(0.0, 1.0)],
+            ecec_from_genes,
+            &MooConfig {
+                population: 1,
+                ..MooConfig::default()
+            }
+        )
+        .is_err());
+    }
+}

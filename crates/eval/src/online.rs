@@ -1,0 +1,121 @@
+//! Online-feasibility analysis (Figure 13).
+//!
+//! An algorithm can run online when it produces each decision before the
+//! next observation (or batch of observations) arrives. The heatmap
+//! quantity is
+//!
+//! ```text
+//! ratio = test_time_per_decision / (obs_frequency · batch_len)
+//! ```
+//!
+//! where `batch_len` is 1 for per-point algorithms and `L / N` for ECEC
+//! and TEASER, which only re-evaluate once a full prefix batch has
+//! arrived. Ratios below 1 are feasible (blue cells); hatched cells mark
+//! algorithms that failed to train.
+
+use crate::experiment::{AlgoSpec, RunConfig, RunResult};
+
+/// One heatmap cell.
+#[derive(Debug, Clone)]
+pub struct OnlineCell {
+    /// Algorithm of the cell.
+    pub algo: AlgoSpec,
+    /// Dataset name.
+    pub dataset: String,
+    /// The Figure 13 ratio; `None` for DNF runs (hatched).
+    pub ratio: Option<f64>,
+}
+
+impl OnlineCell {
+    /// `true` when the algorithm keeps up with the stream.
+    pub fn feasible(&self) -> bool {
+        matches!(self.ratio, Some(r) if r < 1.0)
+    }
+}
+
+/// Computes the heatmap cell for one run result.
+///
+/// `obs_frequency_secs` is the dataset's seconds-per-observation
+/// (the parenthetical values of Figure 13); `series_len` its horizon.
+pub fn online_cell(
+    result: &RunResult,
+    obs_frequency_secs: f64,
+    series_len: usize,
+    config: &RunConfig,
+) -> OnlineCell {
+    let ratio = if result.dnf {
+        None
+    } else {
+        // Paper: testing time divided by the observation frequency; for
+        // ECEC/TEASER additionally by the prefix batch length, since they
+        // only re-evaluate once a whole batch has arrived.
+        let batch = result.algo.decision_batch(series_len, config) as f64;
+        Some(result.test_secs_per_instance / (obs_frequency_secs * batch))
+    };
+    OnlineCell {
+        algo: result.algo,
+        dataset: result.dataset.clone(),
+        ratio,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Metrics;
+
+    fn result(algo: AlgoSpec, test_secs: f64, dnf: bool) -> RunResult {
+        RunResult {
+            algo,
+            dataset: "D".into(),
+            metrics: if dnf {
+                None
+            } else {
+                Some(Metrics {
+                    accuracy: 1.0,
+                    f1: 1.0,
+                    earliness: 0.5,
+                    harmonic_mean: 1.0,
+                })
+            },
+            train_secs: 1.0,
+            test_secs_per_instance: test_secs,
+            dnf,
+        }
+    }
+
+    #[test]
+    fn fast_algorithm_is_feasible() {
+        let cfg = RunConfig::default();
+        // 100 points at 1s per observation, instance cost 0.1s → each of
+        // the 100 decisions costs 0.001s << 1s.
+        let cell = online_cell(&result(AlgoSpec::Ects, 0.1, false), 1.0, 100, &cfg);
+        assert!(cell.feasible());
+    }
+
+    #[test]
+    fn slow_algorithm_is_infeasible() {
+        let cfg = RunConfig::default();
+        // Each decision costs 2s against 0.01s arrivals.
+        let cell = online_cell(&result(AlgoSpec::Ects, 200.0, false), 0.01, 100, &cfg);
+        assert!(!cell.feasible());
+        assert!(cell.ratio.unwrap() > 1.0);
+    }
+
+    #[test]
+    fn batched_algorithms_get_batch_credit() {
+        let cfg = RunConfig::default();
+        let per_point = online_cell(&result(AlgoSpec::Ects, 1.0, false), 0.1, 100, &cfg);
+        let batched = online_cell(&result(AlgoSpec::Ecec, 1.0, false), 0.1, 100, &cfg);
+        // ECEC (batch = 100/20 = 5) has fewer, larger windows per decision.
+        assert!(batched.ratio.unwrap() < per_point.ratio.unwrap());
+    }
+
+    #[test]
+    fn dnf_yields_hatched_cell() {
+        let cfg = RunConfig::default();
+        let cell = online_cell(&result(AlgoSpec::Edsc, 0.0, true), 1.0, 100, &cfg);
+        assert!(cell.ratio.is_none());
+        assert!(!cell.feasible());
+    }
+}

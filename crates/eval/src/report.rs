@@ -1,0 +1,232 @@
+//! Plain-text and CSV renderers matching the layout of the paper's
+//! tables and figures.
+//!
+//! Figures 9-12 are grouped bar charts (category × algorithm); the
+//! renderers emit one aligned text table per figure with categories as
+//! rows and algorithms as columns — the same series the paper plots —
+//! plus machine-readable CSV.
+
+use std::collections::BTreeMap;
+
+use etsc_data::stats::Category;
+
+use crate::aggregate::CategoryScore;
+use crate::experiment::AlgoSpec;
+use crate::online::OnlineCell;
+
+/// Which figure quantity to extract from a [`CategoryScore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FigureMetric {
+    /// Figure 9 (left): accuracy.
+    Accuracy,
+    /// Figure 9 (right): F1-score.
+    F1,
+    /// Figure 10: earliness (lower is better).
+    Earliness,
+    /// Figure 11: harmonic mean.
+    HarmonicMean,
+    /// Figure 12: training minutes.
+    TrainMinutes,
+}
+
+impl FigureMetric {
+    fn extract(self, s: &CategoryScore) -> f64 {
+        match self {
+            FigureMetric::Accuracy => s.metrics.accuracy,
+            FigureMetric::F1 => s.metrics.f1,
+            FigureMetric::Earliness => s.metrics.earliness,
+            FigureMetric::HarmonicMean => s.metrics.harmonic_mean,
+            FigureMetric::TrainMinutes => s.train_minutes,
+        }
+    }
+
+    /// Column header for the rendered table.
+    pub fn label(self) -> &'static str {
+        match self {
+            FigureMetric::Accuracy => "Accuracy",
+            FigureMetric::F1 => "F1-score",
+            FigureMetric::Earliness => "Earliness",
+            FigureMetric::HarmonicMean => "Harmonic mean",
+            FigureMetric::TrainMinutes => "Training minutes",
+        }
+    }
+}
+
+type Aggregated = BTreeMap<Category, BTreeMap<AlgoSpec, CategoryScore>>;
+
+/// Renders one figure's category × algorithm matrix as an aligned text
+/// table ("--" marks category/algorithm pairs with no finished run).
+pub fn render_figure(aggregated: &Aggregated, metric: FigureMetric) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("{:<14}", metric.label()));
+    for algo in AlgoSpec::ALL {
+        out.push_str(&format!("{:>10}", algo.name()));
+    }
+    out.push('\n');
+    for cat in Category::ALL {
+        let Some(row) = aggregated.get(&cat) else {
+            continue;
+        };
+        out.push_str(&format!("{:<14}", cat.name()));
+        for algo in AlgoSpec::ALL {
+            match row.get(&algo) {
+                Some(score) if score.n_datasets > 0 => {
+                    out.push_str(&format!("{:>10.3}", metric.extract(score)));
+                }
+                _ => out.push_str(&format!("{:>10}", "--")),
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// CSV version of [`render_figure`] (`category,algorithm,value,n,dnf`).
+pub fn figure_csv(aggregated: &Aggregated, metric: FigureMetric) -> String {
+    let mut out = String::from("category,algorithm,value,n_datasets,n_dnf\n");
+    for cat in Category::ALL {
+        let Some(row) = aggregated.get(&cat) else {
+            continue;
+        };
+        for algo in AlgoSpec::ALL {
+            if let Some(score) = row.get(&algo) {
+                let value = if score.n_datasets > 0 {
+                    format!("{:.6}", metric.extract(score))
+                } else {
+                    String::new()
+                };
+                out.push_str(&format!(
+                    "{},{},{},{},{}\n",
+                    cat.name(),
+                    algo.name(),
+                    value,
+                    score.n_datasets,
+                    score.n_dnf
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// Renders the Figure 13 heatmap: datasets as rows, algorithms as
+/// columns; `*` suffix marks feasible cells, `DNF` hatched ones.
+pub fn render_online_heatmap(cells: &[OnlineCell], datasets: &[String]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("{:<24}", "Online ratio"));
+    for algo in AlgoSpec::ALL {
+        out.push_str(&format!("{:>12}", algo.name()));
+    }
+    out.push('\n');
+    for ds in datasets {
+        out.push_str(&format!("{ds:<24}"));
+        for algo in AlgoSpec::ALL {
+            let cell = cells.iter().find(|c| c.algo == algo && &c.dataset == ds);
+            match cell {
+                Some(c) => match c.ratio {
+                    Some(r) => {
+                        let marker = if r < 1.0 { "*" } else { " " };
+                        out.push_str(&format!("{:>11.2e}{marker}", r));
+                    }
+                    None => out.push_str(&format!("{:>12}", "DNF")),
+                },
+                None => out.push_str(&format!("{:>12}", "--")),
+            }
+        }
+        out.push('\n');
+    }
+    out.push_str("(* = feasible: decision produced before the next observation batch)\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Metrics;
+
+    fn aggregated() -> Aggregated {
+        let mut inner = BTreeMap::new();
+        inner.insert(
+            AlgoSpec::Ects,
+            CategoryScore {
+                metrics: Metrics {
+                    accuracy: 0.8,
+                    f1: 0.75,
+                    earliness: 0.4,
+                    harmonic_mean: 0.68,
+                },
+                train_minutes: 1.5,
+                n_datasets: 3,
+                n_dnf: 0,
+            },
+        );
+        inner.insert(
+            AlgoSpec::Edsc,
+            CategoryScore {
+                metrics: Metrics {
+                    accuracy: 0.0,
+                    f1: 0.0,
+                    earliness: 0.0,
+                    harmonic_mean: 0.0,
+                },
+                train_minutes: 0.0,
+                n_datasets: 0,
+                n_dnf: 2,
+            },
+        );
+        let mut agg = BTreeMap::new();
+        agg.insert(Category::Wide, inner);
+        agg
+    }
+
+    #[test]
+    fn figure_table_includes_values_and_dnf_markers() {
+        let text = render_figure(&aggregated(), FigureMetric::Accuracy);
+        assert!(text.contains("Wide"));
+        assert!(text.contains("0.800"));
+        assert!(text.contains("--"), "DNF-only cell must be blank: {text}");
+    }
+
+    #[test]
+    fn every_metric_extracts_its_field() {
+        let agg = aggregated();
+        let s = &agg[&Category::Wide][&AlgoSpec::Ects];
+        assert_eq!(FigureMetric::Accuracy.extract(s), 0.8);
+        assert_eq!(FigureMetric::F1.extract(s), 0.75);
+        assert_eq!(FigureMetric::Earliness.extract(s), 0.4);
+        assert_eq!(FigureMetric::HarmonicMean.extract(s), 0.68);
+        assert_eq!(FigureMetric::TrainMinutes.extract(s), 1.5);
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let csv = figure_csv(&aggregated(), FigureMetric::F1);
+        let mut lines = csv.lines();
+        assert_eq!(
+            lines.next().unwrap(),
+            "category,algorithm,value,n_datasets,n_dnf"
+        );
+        assert!(csv.contains("Wide,ECTS,0.750000,3,0"));
+        assert!(csv.contains("Wide,EDSC,,0,2"));
+    }
+
+    #[test]
+    fn heatmap_renders_feasible_and_dnf() {
+        let cells = vec![
+            OnlineCell {
+                algo: AlgoSpec::Ects,
+                dataset: "D1".into(),
+                ratio: Some(0.5),
+            },
+            OnlineCell {
+                algo: AlgoSpec::Edsc,
+                dataset: "D1".into(),
+                ratio: None,
+            },
+        ];
+        let text = render_online_heatmap(&cells, &["D1".to_owned()]);
+        assert!(text.contains("D1"));
+        assert!(text.contains('*'));
+        assert!(text.contains("DNF"));
+    }
+}

@@ -1,0 +1,230 @@
+//! Hyper-parameter tuning (the paper's Section 7 future work: "we plan
+//! to incorporate hyper parameter tuning techniques as in MultiETSC").
+//!
+//! [`grid_search`] evaluates each candidate configuration with an
+//! internal stratified cross-validation and returns the configuration
+//! optimising the chosen [`Objective`] — for ETSC usually the harmonic
+//! mean, MultiETSC's scalarised accuracy/earliness trade-off.
+
+use etsc_core::{EarlyClassifier, EtscError};
+use etsc_data::{Dataset, StratifiedKFold};
+
+use crate::metrics::{EvalOutcome, Metrics};
+
+/// The tuning objective.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Objective {
+    /// Maximise accuracy.
+    Accuracy,
+    /// Maximise macro-F1.
+    MacroF1,
+    /// Maximise the harmonic mean of accuracy and (1 − earliness).
+    HarmonicMean,
+}
+
+impl Objective {
+    fn score(self, m: &Metrics) -> f64 {
+        match self {
+            Objective::Accuracy => m.accuracy,
+            Objective::MacroF1 => m.f1,
+            Objective::HarmonicMean => m.harmonic_mean,
+        }
+    }
+}
+
+/// One evaluated candidate.
+#[derive(Debug, Clone)]
+pub struct Trial<P> {
+    /// The candidate parameters.
+    pub params: P,
+    /// Cross-validated metrics.
+    pub metrics: Metrics,
+    /// The objective value.
+    pub score: f64,
+}
+
+/// Result of a grid search.
+#[derive(Debug, Clone)]
+pub struct TuningResult<P> {
+    /// Every candidate with its cross-validated metrics, in input order.
+    pub trials: Vec<Trial<P>>,
+    /// Index of the best trial (ties → first).
+    pub best: usize,
+}
+
+impl<P> TuningResult<P> {
+    /// The winning trial.
+    pub fn best_trial(&self) -> &Trial<P> {
+        &self.trials[self.best]
+    }
+}
+
+/// Cross-validates every candidate configuration and returns all trials
+/// plus the best one.
+///
+/// # Errors
+/// * [`EtscError::Config`] when `candidates` is empty;
+/// * propagated fit/predict failures. A candidate whose training exceeds
+///   its budget scores 0 instead of failing the whole search.
+pub fn grid_search<P: Clone>(
+    dataset: &Dataset,
+    candidates: &[P],
+    mut build: impl FnMut(&P) -> Box<dyn EarlyClassifier>,
+    objective: Objective,
+    folds: usize,
+    seed: u64,
+) -> Result<TuningResult<P>, EtscError> {
+    if candidates.is_empty() {
+        return Err(EtscError::Config("empty candidate grid".into()));
+    }
+    let splits = StratifiedKFold::new(folds.max(2), seed)
+        .map_err(EtscError::from)?
+        .split(dataset)
+        .map_err(EtscError::from)?;
+    let mut trials = Vec::with_capacity(candidates.len());
+    for params in candidates {
+        let mut outcomes = Vec::new();
+        let mut dnf = false;
+        'folds: for fold in &splits {
+            let train = dataset.subset(&fold.train);
+            let mut clf = build(params);
+            match clf.fit(&train) {
+                Ok(()) => {}
+                Err(EtscError::TrainingBudgetExceeded { .. }) => {
+                    dnf = true;
+                    break 'folds;
+                }
+                Err(e) => return Err(e),
+            }
+            for &i in &fold.test {
+                let inst = dataset.instance(i);
+                let p = clf.predict_early(inst)?;
+                outcomes.push(EvalOutcome {
+                    truth: dataset.label(i),
+                    predicted: p.label,
+                    prefix_len: p.prefix_len,
+                    full_len: inst.len(),
+                });
+            }
+        }
+        let metrics = if dnf || outcomes.is_empty() {
+            Metrics {
+                accuracy: 0.0,
+                f1: 0.0,
+                earliness: 1.0,
+                harmonic_mean: 0.0,
+            }
+        } else {
+            Metrics::compute(&outcomes, dataset.n_classes())
+        };
+        let score = if dnf { 0.0 } else { objective.score(&metrics) };
+        trials.push(Trial {
+            params: params.clone(),
+            metrics,
+            score,
+        });
+    }
+    let best = trials
+        .iter()
+        .enumerate()
+        .max_by(|a, b| {
+            a.1.score
+                .partial_cmp(&b.1.score)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(b.0.cmp(&a.0)) // ties → first candidate
+        })
+        .map(|(i, _)| i)
+        .unwrap_or(0);
+    Ok(TuningResult { trials, best })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use etsc_core::{Ecec, EcecConfig, Ects, EctsConfig};
+    use etsc_data::{DatasetBuilder, MultiSeries, Series};
+
+    fn toy() -> Dataset {
+        let mut b = DatasetBuilder::new("tune");
+        for i in 0..12 {
+            let phase = i as f64 * 0.31;
+            let slow: Vec<f64> = (0..24).map(|t| ((t as f64 * 0.3) + phase).sin()).collect();
+            let fast: Vec<f64> = (0..24).map(|t| ((t as f64 * 1.5) + phase).sin()).collect();
+            b.push_named(MultiSeries::univariate(Series::new(slow)), "slow");
+            b.push_named(MultiSeries::univariate(Series::new(fast)), "fast");
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn tunes_ecec_alpha() {
+        let data = toy();
+        let grid = [0.2, 0.8];
+        let result = grid_search(
+            &data,
+            &grid,
+            |&alpha| {
+                Box::new(Ecec::new(EcecConfig {
+                    alpha,
+                    n_prefixes: 4,
+                    cv_folds: 2,
+                    ..EcecConfig::default()
+                }))
+            },
+            Objective::HarmonicMean,
+            3,
+            7,
+        )
+        .unwrap();
+        assert_eq!(result.trials.len(), 2);
+        let best = result.best_trial();
+        assert!(grid.contains(&best.params));
+        assert!(best.score >= result.trials[0].score.min(result.trials[1].score));
+    }
+
+    #[test]
+    fn objective_selects_different_fields() {
+        let m = Metrics {
+            accuracy: 0.9,
+            f1: 0.7,
+            earliness: 0.5,
+            harmonic_mean: 0.6,
+        };
+        assert_eq!(Objective::Accuracy.score(&m), 0.9);
+        assert_eq!(Objective::MacroF1.score(&m), 0.7);
+        assert_eq!(Objective::HarmonicMean.score(&m), 0.6);
+    }
+
+    #[test]
+    fn empty_grid_rejected() {
+        let data = toy();
+        let empty: [usize; 0] = [];
+        assert!(matches!(
+            grid_search(
+                &data,
+                &empty,
+                |_| Box::new(Ects::new(EctsConfig { support: 0 })),
+                Objective::Accuracy,
+                3,
+                1,
+            ),
+            Err(EtscError::Config(_))
+        ));
+    }
+
+    #[test]
+    fn ties_prefer_the_first_candidate() {
+        let data = toy();
+        // Identical candidates → identical scores → index 0 wins.
+        let result = grid_search(
+            &data,
+            &[0usize, 0usize],
+            |_| Box::new(Ects::new(EctsConfig { support: 0 })),
+            Objective::Accuracy,
+            3,
+            7,
+        )
+        .unwrap();
+        assert_eq!(result.best, 0);
+    }
+}

@@ -1,0 +1,188 @@
+//! Gaussian naive Bayes — a cheap, calibrated per-time-point base learner.
+//!
+//! ECONOMY-K trains one classifier per time-point per variable; a model
+//! that fits in one pass over the data keeps that tractable. Variances are
+//! floored at a small epsilon so constant features don't blow up the
+//! likelihood.
+
+use crate::classifier::{validate_training, Classifier};
+use crate::error::MlError;
+use crate::linalg::Matrix;
+use crate::logistic::softmax;
+
+/// Gaussian naive Bayes classifier.
+#[derive(Debug, Clone, Default)]
+pub struct GaussianNb {
+    /// Per-class log prior.
+    log_prior: Vec<f64>,
+    /// Per-class per-feature mean (`n_classes × d`).
+    means: Vec<Vec<f64>>,
+    /// Per-class per-feature variance.
+    vars: Vec<Vec<f64>>,
+    n_features: usize,
+    fitted: bool,
+}
+
+/// Variance floor preventing degenerate likelihoods on constant features.
+const VAR_FLOOR: f64 = 1e-9;
+
+impl GaussianNb {
+    /// Untrained model.
+    pub fn new() -> Self {
+        GaussianNb::default()
+    }
+}
+
+impl Classifier for GaussianNb {
+    fn fit(&mut self, x: &Matrix, y: &[usize], n_classes: usize) -> Result<(), MlError> {
+        validate_training(x, y, n_classes)?;
+        let d = x.cols();
+        let mut counts = vec![0usize; n_classes];
+        let mut sums = vec![vec![0.0; d]; n_classes];
+        let mut sumsqs = vec![vec![0.0; d]; n_classes];
+        for (i, &c) in y.iter().enumerate() {
+            counts[c] += 1;
+            let row = x.row(i);
+            for (j, &v) in row.iter().enumerate() {
+                sums[c][j] += v;
+                sumsqs[c][j] += v * v;
+            }
+        }
+        let n = x.rows() as f64;
+        // Laplace-smoothed priors keep absent classes representable.
+        self.log_prior = counts
+            .iter()
+            .map(|&c| ((c as f64 + 1.0) / (n + n_classes as f64)).ln())
+            .collect();
+        self.means = vec![vec![0.0; d]; n_classes];
+        self.vars = vec![vec![1.0; d]; n_classes];
+        // Pooled variance fallback for classes absent from the sample.
+        let mut pooled_mean = vec![0.0; d];
+        let mut pooled_sq = vec![0.0; d];
+        for i in 0..x.rows() {
+            for (j, &v) in x.row(i).iter().enumerate() {
+                pooled_mean[j] += v;
+                pooled_sq[j] += v * v;
+            }
+        }
+        for j in 0..d {
+            pooled_mean[j] /= n;
+            pooled_sq[j] = (pooled_sq[j] / n - pooled_mean[j] * pooled_mean[j]).max(VAR_FLOOR);
+        }
+        for c in 0..n_classes {
+            if counts[c] == 0 {
+                self.means[c] = pooled_mean.clone();
+                self.vars[c] = pooled_sq.clone();
+                continue;
+            }
+            let nc = counts[c] as f64;
+            for j in 0..d {
+                let m = sums[c][j] / nc;
+                self.means[c][j] = m;
+                self.vars[c][j] = (sumsqs[c][j] / nc - m * m).max(VAR_FLOOR);
+            }
+        }
+        self.n_features = d;
+        self.fitted = true;
+        Ok(())
+    }
+
+    fn predict_proba(&self, x: &[f64]) -> Result<Vec<f64>, MlError> {
+        if !self.fitted {
+            return Err(MlError::NotFitted);
+        }
+        if x.len() != self.n_features {
+            return Err(MlError::DimensionMismatch {
+                expected: self.n_features,
+                got: x.len(),
+            });
+        }
+        let mut log_post = self.log_prior.clone();
+        for (c, lp) in log_post.iter_mut().enumerate() {
+            for (j, &v) in x.iter().enumerate() {
+                let var = self.vars[c][j];
+                let diff = v - self.means[c][j];
+                *lp += -0.5 * ((2.0 * std::f64::consts::PI * var).ln() + diff * diff / var);
+            }
+        }
+        Ok(softmax(&log_post))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn separates_shifted_gaussians() {
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..30 {
+            let eps = (i as f64 * 0.7).sin() * 0.3;
+            rows.push(vec![0.0 + eps, 1.0 - eps]);
+            y.push(0);
+            rows.push(vec![5.0 + eps, -3.0 + eps]);
+            y.push(1);
+        }
+        let x = Matrix::from_rows(&rows).unwrap();
+        let mut nb = GaussianNb::new();
+        nb.fit(&x, &y, 2).unwrap();
+        assert_eq!(nb.predict(&[0.1, 0.9]).unwrap(), 0);
+        assert_eq!(nb.predict(&[4.8, -2.9]).unwrap(), 1);
+        let p = nb.predict_proba(&[0.1, 0.9]).unwrap();
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(p[0] > 0.99);
+    }
+
+    #[test]
+    fn constant_feature_does_not_explode() {
+        let x = Matrix::from_rows(&[
+            vec![1.0, 7.0],
+            vec![1.0, 7.5],
+            vec![1.0, -7.0],
+            vec![1.0, -7.5],
+        ])
+        .unwrap();
+        let mut nb = GaussianNb::new();
+        nb.fit(&x, &[0, 0, 1, 1], 2).unwrap();
+        let p = nb.predict_proba(&[1.0, 7.2]).unwrap();
+        assert!(p.iter().all(|v| v.is_finite()));
+        assert!(p[0] > 0.5);
+    }
+
+    #[test]
+    fn absent_class_gets_pooled_stats_and_low_prior() {
+        let x = Matrix::from_rows(&[vec![0.0], vec![0.1], vec![5.0], vec![5.1]]).unwrap();
+        let mut nb = GaussianNb::new();
+        // Three classes declared, class 2 never appears.
+        nb.fit(&x, &[0, 0, 1, 1], 3).unwrap();
+        let p = nb.predict_proba(&[0.05]).unwrap();
+        assert_eq!(p.len(), 3);
+        assert!(p[0] > p[2], "seen class must beat unseen class");
+    }
+
+    #[test]
+    fn priors_influence_ties() {
+        // Same feature distribution, imbalanced priors: majority wins.
+        let x = Matrix::from_rows(&[vec![0.0], vec![0.0], vec![0.0], vec![0.0]]).unwrap();
+        let mut nb = GaussianNb::new();
+        nb.fit(&x, &[0, 0, 0, 1], 2).unwrap();
+        assert_eq!(nb.predict(&[0.0]).unwrap(), 0);
+    }
+
+    #[test]
+    fn error_paths() {
+        let nb = GaussianNb::new();
+        assert!(matches!(
+            nb.predict_proba(&[1.0]).unwrap_err(),
+            MlError::NotFitted
+        ));
+        let x = Matrix::from_rows(&[vec![1.0, 2.0]]).unwrap();
+        let mut nb = GaussianNb::new();
+        nb.fit(&x, &[0], 1).unwrap();
+        assert!(matches!(
+            nb.predict_proba(&[1.0]).unwrap_err(),
+            MlError::DimensionMismatch { .. }
+        ));
+    }
+}

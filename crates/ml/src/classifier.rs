@@ -1,0 +1,105 @@
+//! The common probabilistic-classifier interface.
+
+use crate::error::MlError;
+use crate::linalg::Matrix;
+
+/// Index of the largest element; ties resolve to the lowest index
+/// (matching the paper's "in case of equal votes select the first label").
+pub fn argmax(xs: &[f64]) -> usize {
+    let mut best = 0;
+    let mut best_v = f64::NEG_INFINITY;
+    for (i, &x) in xs.iter().enumerate() {
+        if x > best_v {
+            best_v = x;
+            best = i;
+        }
+    }
+    best
+}
+
+/// A tabular probabilistic classifier over dense feature vectors.
+///
+/// `fit` receives the design matrix (rows = samples), dense labels in
+/// `0..n_classes`, and the class count (which may exceed the classes that
+/// actually appear in `y` — prefix classifiers are often trained on folds
+/// that miss a rare class).
+pub trait Classifier {
+    /// Trains the model. Must be called before any prediction.
+    ///
+    /// # Errors
+    /// Implementation-specific validation/numerical failures.
+    fn fit(&mut self, x: &Matrix, y: &[usize], n_classes: usize) -> Result<(), MlError>;
+
+    /// Class-probability vector for one feature vector; sums to 1.
+    ///
+    /// # Errors
+    /// [`MlError::NotFitted`] before `fit`;
+    /// [`MlError::DimensionMismatch`] on wrong feature count.
+    fn predict_proba(&self, x: &[f64]) -> Result<Vec<f64>, MlError>;
+
+    /// Hard label prediction (argmax of probabilities).
+    ///
+    /// # Errors
+    /// Propagates [`Classifier::predict_proba`].
+    fn predict(&self, x: &[f64]) -> Result<usize, MlError> {
+        Ok(argmax(&self.predict_proba(x)?))
+    }
+
+    /// Convenience: hard predictions for every row of a matrix.
+    ///
+    /// # Errors
+    /// Propagates [`Classifier::predict`].
+    fn predict_batch(&self, x: &Matrix) -> Result<Vec<usize>, MlError> {
+        (0..x.rows()).map(|i| self.predict(x.row(i))).collect()
+    }
+}
+
+/// Validates a `(x, y, n_classes)` training triple; shared by the
+/// implementations.
+///
+/// # Errors
+/// Empty data, label/sample count mismatch, out-of-range labels, or fewer
+/// than one class.
+pub(crate) fn validate_training(x: &Matrix, y: &[usize], n_classes: usize) -> Result<(), MlError> {
+    if x.rows() == 0 || x.cols() == 0 {
+        return Err(MlError::EmptyTrainingSet);
+    }
+    if y.len() != x.rows() {
+        return Err(MlError::DimensionMismatch {
+            expected: x.rows(),
+            got: y.len(),
+        });
+    }
+    if n_classes == 0 {
+        return Err(MlError::InvalidLabels("n_classes must be positive".into()));
+    }
+    if let Some(&bad) = y.iter().find(|&&l| l >= n_classes) {
+        return Err(MlError::InvalidLabels(format!(
+            "label {bad} out of range 0..{n_classes}"
+        )));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn argmax_breaks_ties_low() {
+        assert_eq!(argmax(&[0.3, 0.3, 0.2]), 0);
+        assert_eq!(argmax(&[0.1, 0.5, 0.4]), 1);
+        assert_eq!(argmax(&[f64::NEG_INFINITY, -1.0]), 1);
+    }
+
+    #[test]
+    fn validation_catches_all_failures() {
+        let x = Matrix::from_rows(&[vec![1.0], vec![2.0]]).unwrap();
+        assert!(validate_training(&x, &[0, 1], 2).is_ok());
+        assert!(validate_training(&x, &[0], 2).is_err());
+        assert!(validate_training(&x, &[0, 2], 2).is_err());
+        assert!(validate_training(&x, &[0, 1], 0).is_err());
+        let empty = Matrix::zeros(0, 3);
+        assert!(validate_training(&empty, &[], 2).is_err());
+    }
+}

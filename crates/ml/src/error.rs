@@ -1,0 +1,71 @@
+//! Error type for model fitting and prediction.
+
+use std::fmt;
+
+/// Errors produced by the machine-learning substrate.
+#[derive(Debug)]
+pub enum MlError {
+    /// Training data was empty or degenerate.
+    EmptyTrainingSet,
+    /// Feature dimensionality mismatch between fit and predict, or
+    /// between samples.
+    DimensionMismatch {
+        /// Expected number of features.
+        expected: usize,
+        /// Provided number of features.
+        got: usize,
+    },
+    /// Labels outside `0..n_classes`, or `n_classes < 2` where a
+    /// discriminative model needs at least two classes.
+    InvalidLabels(String),
+    /// Hyper-parameter outside its valid range.
+    InvalidParameter {
+        /// Parameter name.
+        name: &'static str,
+        /// Description of the violation.
+        message: String,
+    },
+    /// Numerical failure (e.g. Cholesky of a non-PD matrix).
+    Numerical(String),
+    /// Model used before `fit`.
+    NotFitted,
+}
+
+impl fmt::Display for MlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MlError::EmptyTrainingSet => write!(f, "empty training set"),
+            MlError::DimensionMismatch { expected, got } => {
+                write!(
+                    f,
+                    "dimension mismatch: expected {expected} features, got {got}"
+                )
+            }
+            MlError::InvalidLabels(msg) => write!(f, "invalid labels: {msg}"),
+            MlError::InvalidParameter { name, message } => {
+                write!(f, "invalid parameter {name}: {message}")
+            }
+            MlError::Numerical(msg) => write!(f, "numerical failure: {msg}"),
+            MlError::NotFitted => write!(f, "model used before fit"),
+        }
+    }
+}
+
+impl std::error::Error for MlError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(MlError::EmptyTrainingSet.to_string().contains("empty"));
+        assert!(MlError::DimensionMismatch {
+            expected: 3,
+            got: 5
+        }
+        .to_string()
+        .contains('5'));
+        assert!(MlError::NotFitted.to_string().contains("fit"));
+    }
+}

@@ -1,0 +1,200 @@
+//! Random forest: bootstrap-aggregated CART trees with feature subsampling.
+//!
+//! Probabilities are the average of the member trees' leaf distributions
+//! (soft voting), which gives ECONOMY-K the calibrated per-time-point
+//! posteriors its cost function needs.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::classifier::{validate_training, Classifier};
+use crate::error::MlError;
+use crate::linalg::Matrix;
+use crate::tree::{DecisionTree, TreeConfig};
+
+/// Hyper-parameters for [`RandomForest`].
+#[derive(Debug, Clone)]
+pub struct ForestConfig {
+    /// Number of trees.
+    pub n_trees: usize,
+    /// Per-tree configuration template (its `max_features`/`seed` are
+    /// overridden per member).
+    pub tree: TreeConfig,
+    /// RNG seed (bootstrap sampling + per-tree seeds).
+    pub seed: u64,
+}
+
+impl Default for ForestConfig {
+    fn default() -> Self {
+        ForestConfig {
+            n_trees: 25,
+            tree: TreeConfig {
+                max_depth: 10,
+                ..TreeConfig::default()
+            },
+            seed: 13,
+        }
+    }
+}
+
+/// Random-forest classifier with soft voting.
+#[derive(Debug, Clone)]
+pub struct RandomForest {
+    config: ForestConfig,
+    trees: Vec<DecisionTree>,
+    n_features: usize,
+    n_classes: usize,
+}
+
+impl RandomForest {
+    /// Untrained forest with the given hyper-parameters.
+    pub fn new(config: ForestConfig) -> Self {
+        RandomForest {
+            config,
+            trees: Vec::new(),
+            n_features: 0,
+            n_classes: 0,
+        }
+    }
+
+    /// Untrained forest with defaults (25 trees, depth 10, sqrt features).
+    pub fn with_defaults() -> Self {
+        Self::new(ForestConfig::default())
+    }
+
+    /// Number of fitted member trees.
+    pub fn n_trees(&self) -> usize {
+        self.trees.len()
+    }
+}
+
+impl Classifier for RandomForest {
+    fn fit(&mut self, x: &Matrix, y: &[usize], n_classes: usize) -> Result<(), MlError> {
+        validate_training(x, y, n_classes)?;
+        if self.config.n_trees == 0 {
+            return Err(MlError::InvalidParameter {
+                name: "n_trees",
+                message: "must be positive".into(),
+            });
+        }
+        let n = x.rows();
+        let d = x.cols();
+        let max_features = (d as f64).sqrt().ceil() as usize;
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        self.trees.clear();
+        for t in 0..self.config.n_trees {
+            // Bootstrap sample with replacement.
+            let idx: Vec<usize> = (0..n).map(|_| rng.random_range(0..n)).collect();
+            let rows: Vec<Vec<f64>> = idx.iter().map(|&i| x.row(i).to_vec()).collect();
+            let yb: Vec<usize> = idx.iter().map(|&i| y[i]).collect();
+            let xb = Matrix::from_rows(&rows)?;
+            let mut tree = DecisionTree::new(TreeConfig {
+                max_features: Some(max_features),
+                seed: self.config.seed.wrapping_add(t as u64 * 7919),
+                ..self.config.tree.clone()
+            });
+            tree.fit(&xb, &yb, n_classes)?;
+            self.trees.push(tree);
+        }
+        self.n_features = d;
+        self.n_classes = n_classes;
+        Ok(())
+    }
+
+    fn predict_proba(&self, x: &[f64]) -> Result<Vec<f64>, MlError> {
+        if self.trees.is_empty() {
+            return Err(MlError::NotFitted);
+        }
+        if x.len() != self.n_features {
+            return Err(MlError::DimensionMismatch {
+                expected: self.n_features,
+                got: x.len(),
+            });
+        }
+        let mut probs = vec![0.0; self.n_classes];
+        for tree in &self.trees {
+            let p = tree.predict_proba(x)?;
+            for (acc, v) in probs.iter_mut().zip(p) {
+                *acc += v;
+            }
+        }
+        let scale = 1.0 / self.trees.len() as f64;
+        for p in &mut probs {
+            *p *= scale;
+        }
+        Ok(probs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ring_data() -> (Matrix, Vec<usize>) {
+        // Class 0 inside a ring, class 1 outside: needs a non-linear model.
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..40 {
+            let a = i as f64 * 0.157;
+            rows.push(vec![0.3 * a.cos(), 0.3 * a.sin()]);
+            y.push(0);
+            rows.push(vec![2.0 * a.cos(), 2.0 * a.sin()]);
+            y.push(1);
+        }
+        (Matrix::from_rows(&rows).unwrap(), y)
+    }
+
+    #[test]
+    fn fits_nonlinear_rings() {
+        let (x, y) = ring_data();
+        let mut f = RandomForest::with_defaults();
+        f.fit(&x, &y, 2).unwrap();
+        let acc = f
+            .predict_batch(&x)
+            .unwrap()
+            .iter()
+            .zip(&y)
+            .filter(|(p, t)| p == t)
+            .count() as f64
+            / y.len() as f64;
+        assert!(acc > 0.95, "forest train accuracy {acc}");
+    }
+
+    #[test]
+    fn probabilities_average_to_one() {
+        let (x, y) = ring_data();
+        let mut f = RandomForest::with_defaults();
+        f.fit(&x, &y, 2).unwrap();
+        let p = f.predict_proba(&[0.1, 0.1]).unwrap();
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (x, y) = ring_data();
+        let mut a = RandomForest::with_defaults();
+        let mut b = RandomForest::with_defaults();
+        a.fit(&x, &y, 2).unwrap();
+        b.fit(&x, &y, 2).unwrap();
+        assert_eq!(
+            a.predict_proba(&[1.0, 0.0]).unwrap(),
+            b.predict_proba(&[1.0, 0.0]).unwrap()
+        );
+    }
+
+    #[test]
+    fn zero_trees_rejected() {
+        let (x, y) = ring_data();
+        let mut f = RandomForest::new(ForestConfig {
+            n_trees: 0,
+            ..ForestConfig::default()
+        });
+        assert!(f.fit(&x, &y, 2).is_err());
+    }
+
+    #[test]
+    fn unfitted_error() {
+        let f = RandomForest::with_defaults();
+        assert!(matches!(f.predict_proba(&[0.0]), Err(MlError::NotFitted)));
+    }
+}

@@ -1,0 +1,393 @@
+//! Gradient-boosted decision trees (softmax multiclass boosting).
+//!
+//! The ECONOMY-K reference implementation uses XGBoost as its per-time-
+//! point base classifier; this module provides the closest from-scratch
+//! equivalent (DESIGN.md, Substitution 2): K parallel regression-tree
+//! ensembles fit the negative softmax gradient (`y_k − p_k`) at a
+//! shrinkage-scaled learning rate — classic multiclass gradient boosting
+//! with variance-reduction splits.
+
+use crate::classifier::{validate_training, Classifier};
+use crate::error::MlError;
+use crate::linalg::Matrix;
+use crate::logistic::softmax;
+
+/// Hyper-parameters for [`GradientBoosting`].
+#[derive(Debug, Clone)]
+pub struct GbmConfig {
+    /// Boosting rounds.
+    pub n_rounds: usize,
+    /// Shrinkage (learning rate).
+    pub learning_rate: f64,
+    /// Maximum depth of each regression tree.
+    pub max_depth: usize,
+    /// Minimum samples required to split a node.
+    pub min_samples_split: usize,
+}
+
+impl Default for GbmConfig {
+    fn default() -> Self {
+        GbmConfig {
+            n_rounds: 40,
+            learning_rate: 0.2,
+            max_depth: 3,
+            min_samples_split: 4,
+        }
+    }
+}
+
+/// Regression-tree node (variance-reduction CART).
+#[derive(Debug, Clone)]
+enum RNode {
+    Leaf {
+        value: f64,
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: usize,
+        right: usize,
+    },
+}
+
+/// A small regression tree fit to residuals.
+#[derive(Debug, Clone)]
+struct RegressionTree {
+    nodes: Vec<RNode>,
+}
+
+impl RegressionTree {
+    fn fit(
+        x: &Matrix,
+        targets: &[f64],
+        idx: Vec<usize>,
+        max_depth: usize,
+        min_split: usize,
+    ) -> RegressionTree {
+        let mut tree = RegressionTree { nodes: Vec::new() };
+        tree.build(x, targets, idx, 0, max_depth, min_split);
+        tree
+    }
+
+    fn mean(targets: &[f64], idx: &[usize]) -> f64 {
+        if idx.is_empty() {
+            return 0.0;
+        }
+        idx.iter().map(|&i| targets[i]).sum::<f64>() / idx.len() as f64
+    }
+
+    fn build(
+        &mut self,
+        x: &Matrix,
+        targets: &[f64],
+        idx: Vec<usize>,
+        depth: usize,
+        max_depth: usize,
+        min_split: usize,
+    ) -> usize {
+        let value = Self::mean(targets, &idx);
+        if depth >= max_depth || idx.len() < min_split {
+            self.nodes.push(RNode::Leaf { value });
+            return self.nodes.len() - 1;
+        }
+        // Best split by squared-error reduction.
+        let parent_sse: f64 = idx.iter().map(|&i| (targets[i] - value).powi(2)).sum();
+        if parent_sse < 1e-12 {
+            self.nodes.push(RNode::Leaf { value });
+            return self.nodes.len() - 1;
+        }
+        let mut best: Option<(usize, f64, f64)> = None;
+        let mut sorted = idx.clone();
+        for f in 0..x.cols() {
+            sorted.sort_unstable_by(|&a, &b| {
+                x[(a, f)]
+                    .partial_cmp(&x[(b, f)])
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            });
+            let mut left_sum = 0.0;
+            let mut left_sq = 0.0;
+            let total_sum: f64 = idx.iter().map(|&i| targets[i]).sum();
+            let total_sq: f64 = idx.iter().map(|&i| targets[i] * targets[i]).sum();
+            for w in 0..sorted.len() - 1 {
+                let t = targets[sorted[w]];
+                left_sum += t;
+                left_sq += t * t;
+                let cur = x[(sorted[w], f)];
+                let next = x[(sorted[w + 1], f)];
+                if next <= cur {
+                    continue;
+                }
+                let nl = (w + 1) as f64;
+                let nr = (sorted.len() - w - 1) as f64;
+                let right_sum = total_sum - left_sum;
+                let right_sq = total_sq - left_sq;
+                let sse =
+                    (left_sq - left_sum * left_sum / nl) + (right_sq - right_sum * right_sum / nr);
+                let gain = parent_sse - sse;
+                if gain > 1e-12 && best.is_none_or(|(_, _, g)| gain > g) {
+                    best = Some((f, (cur + next) / 2.0, gain));
+                }
+            }
+        }
+        let Some((feature, threshold, _)) = best else {
+            self.nodes.push(RNode::Leaf { value });
+            return self.nodes.len() - 1;
+        };
+        let (left_idx, right_idx): (Vec<usize>, Vec<usize>) =
+            idx.into_iter().partition(|&i| x[(i, feature)] <= threshold);
+        if left_idx.is_empty() || right_idx.is_empty() {
+            self.nodes.push(RNode::Leaf { value });
+            return self.nodes.len() - 1;
+        }
+        let left = self.build(x, targets, left_idx, depth + 1, max_depth, min_split);
+        let right = self.build(x, targets, right_idx, depth + 1, max_depth, min_split);
+        self.nodes.push(RNode::Split {
+            feature,
+            threshold,
+            left,
+            right,
+        });
+        self.nodes.len() - 1
+    }
+
+    fn predict(&self, x: &[f64]) -> f64 {
+        let mut node = self.nodes.len() - 1;
+        loop {
+            match &self.nodes[node] {
+                RNode::Leaf { value } => return *value,
+                RNode::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    node = if x[*feature] <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
+                }
+            }
+        }
+    }
+}
+
+/// Multiclass gradient-boosted trees.
+#[derive(Debug, Clone)]
+pub struct GradientBoosting {
+    config: GbmConfig,
+    /// `rounds × n_classes` trees.
+    trees: Vec<Vec<RegressionTree>>,
+    /// Initial per-class log-prior scores.
+    base_scores: Vec<f64>,
+    n_features: usize,
+    n_classes: usize,
+}
+
+impl GradientBoosting {
+    /// Untrained model.
+    pub fn new(config: GbmConfig) -> Self {
+        GradientBoosting {
+            config,
+            trees: Vec::new(),
+            base_scores: Vec::new(),
+            n_features: 0,
+            n_classes: 0,
+        }
+    }
+
+    /// Untrained model with defaults (40 rounds, depth 3, η = 0.2).
+    pub fn with_defaults() -> Self {
+        Self::new(GbmConfig::default())
+    }
+
+    /// Number of fitted boosting rounds.
+    pub fn n_rounds(&self) -> usize {
+        self.trees.len()
+    }
+
+    fn raw_scores(&self, x: &[f64]) -> Vec<f64> {
+        let mut scores = self.base_scores.clone();
+        for round in &self.trees {
+            for (c, tree) in round.iter().enumerate() {
+                scores[c] += self.config.learning_rate * tree.predict(x);
+            }
+        }
+        scores
+    }
+}
+
+impl Classifier for GradientBoosting {
+    fn fit(&mut self, x: &Matrix, y: &[usize], n_classes: usize) -> Result<(), MlError> {
+        validate_training(x, y, n_classes)?;
+        if self.config.n_rounds == 0 {
+            return Err(MlError::InvalidParameter {
+                name: "n_rounds",
+                message: "must be positive".into(),
+            });
+        }
+        let n = x.rows();
+        self.n_features = x.cols();
+        self.n_classes = n_classes;
+        // Base scores: smoothed class log-priors.
+        let mut counts = vec![1.0f64; n_classes];
+        for &l in y {
+            counts[l] += 1.0;
+        }
+        let total: f64 = counts.iter().sum();
+        self.base_scores = counts.iter().map(|&c| (c / total).ln()).collect();
+
+        // Running raw scores per sample.
+        let mut scores: Vec<Vec<f64>> = vec![self.base_scores.clone(); n];
+        self.trees.clear();
+        for _ in 0..self.config.n_rounds {
+            let mut round = Vec::with_capacity(n_classes);
+            // Per-class negative gradient: y_k − p_k.
+            let probs: Vec<Vec<f64>> = scores.iter().map(|s| softmax(s)).collect();
+            for c in 0..n_classes {
+                let targets: Vec<f64> = (0..n)
+                    .map(|i| (if y[i] == c { 1.0 } else { 0.0 }) - probs[i][c])
+                    .collect();
+                let tree = RegressionTree::fit(
+                    x,
+                    &targets,
+                    (0..n).collect(),
+                    self.config.max_depth,
+                    self.config.min_samples_split,
+                );
+                for (i, s) in scores.iter_mut().enumerate() {
+                    s[c] += self.config.learning_rate * tree.predict(x.row(i));
+                }
+                round.push(tree);
+            }
+            self.trees.push(round);
+        }
+        Ok(())
+    }
+
+    fn predict_proba(&self, x: &[f64]) -> Result<Vec<f64>, MlError> {
+        if self.trees.is_empty() {
+            return Err(MlError::NotFitted);
+        }
+        if x.len() != self.n_features {
+            return Err(MlError::DimensionMismatch {
+                expected: self.n_features,
+                got: x.len(),
+            });
+        }
+        Ok(softmax(&self.raw_scores(x)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rings() -> (Matrix, Vec<usize>) {
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..30 {
+            let a = i as f64 * 0.21;
+            rows.push(vec![0.3 * a.cos(), 0.3 * a.sin()]);
+            y.push(0);
+            rows.push(vec![2.0 * a.cos(), 2.0 * a.sin()]);
+            y.push(1);
+        }
+        (Matrix::from_rows(&rows).unwrap(), y)
+    }
+
+    #[test]
+    fn fits_nonlinear_rings() {
+        let (x, y) = rings();
+        let mut g = GradientBoosting::with_defaults();
+        g.fit(&x, &y, 2).unwrap();
+        let acc = g
+            .predict_batch(&x)
+            .unwrap()
+            .iter()
+            .zip(&y)
+            .filter(|(p, t)| p == t)
+            .count() as f64
+            / y.len() as f64;
+        assert!(acc > 0.95, "accuracy {acc}");
+    }
+
+    #[test]
+    fn three_classes() {
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        for (c, &(cx, cy)) in [(0.0, 0.0), (4.0, 0.0), (2.0, 4.0)].iter().enumerate() {
+            for i in 0..15 {
+                let e = (i as f64 * 0.41).sin() * 0.4;
+                rows.push(vec![cx + e, cy - e]);
+                y.push(c);
+            }
+        }
+        let x = Matrix::from_rows(&rows).unwrap();
+        let mut g = GradientBoosting::with_defaults();
+        g.fit(&x, &y, 3).unwrap();
+        let acc = g
+            .predict_batch(&x)
+            .unwrap()
+            .iter()
+            .zip(&y)
+            .filter(|(p, t)| p == t)
+            .count() as f64
+            / y.len() as f64;
+        assert!(acc > 0.95, "accuracy {acc}");
+    }
+
+    #[test]
+    fn probabilities_are_calibratedish() {
+        let (x, y) = rings();
+        let mut g = GradientBoosting::with_defaults();
+        g.fit(&x, &y, 2).unwrap();
+        let p = g.predict_proba(&[0.0, 0.0]).unwrap();
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(
+            p[0] > 0.8,
+            "inner point should be confidently class 0: {p:?}"
+        );
+    }
+
+    #[test]
+    fn more_rounds_do_not_hurt_training_fit() {
+        let (x, y) = rings();
+        let mut small = GradientBoosting::new(GbmConfig {
+            n_rounds: 3,
+            ..GbmConfig::default()
+        });
+        let mut large = GradientBoosting::new(GbmConfig {
+            n_rounds: 60,
+            ..GbmConfig::default()
+        });
+        small.fit(&x, &y, 2).unwrap();
+        large.fit(&x, &y, 2).unwrap();
+        let acc = |g: &GradientBoosting| {
+            g.predict_batch(&x)
+                .unwrap()
+                .iter()
+                .zip(&y)
+                .filter(|(p, t)| p == t)
+                .count() as f64
+                / y.len() as f64
+        };
+        assert!(acc(&large) >= acc(&small));
+    }
+
+    #[test]
+    fn error_paths() {
+        let g = GradientBoosting::with_defaults();
+        assert!(matches!(g.predict_proba(&[0.0]), Err(MlError::NotFitted)));
+        let (x, y) = rings();
+        let mut g = GradientBoosting::new(GbmConfig {
+            n_rounds: 0,
+            ..GbmConfig::default()
+        });
+        assert!(g.fit(&x, &y, 2).is_err());
+        let mut g = GradientBoosting::with_defaults();
+        g.fit(&x, &y, 2).unwrap();
+        assert!(g.predict_proba(&[1.0]).is_err());
+        assert!(g.n_rounds() > 0);
+    }
+}

@@ -1,0 +1,198 @@
+//! Agglomerative hierarchical clustering (average linkage).
+//!
+//! ECTS merges training series bottom-up to lower their Minimum Prediction
+//! Lengths. The implementation exposes the full merge history so callers
+//! can process every merge step (ECTS recomputes RNN consistency per
+//! merge), and uses the Lance–Williams update for average linkage so each
+//! merge costs `O(clusters)`.
+
+use crate::error::MlError;
+
+/// One merge step of the dendrogram.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Merge {
+    /// First merged cluster id.
+    pub a: usize,
+    /// Second merged cluster id.
+    pub b: usize,
+    /// Id assigned to the merged cluster (`n + step`).
+    pub into: usize,
+    /// Average-linkage distance at which the merge happened.
+    pub distance: f64,
+}
+
+/// Result of a hierarchical clustering run: the merge history plus the
+/// members of every cluster id ever formed (leaves are `0..n`).
+#[derive(Debug, Clone)]
+pub struct Dendrogram {
+    /// Merge steps in order of increasing distance.
+    pub merges: Vec<Merge>,
+    /// `members[id]` = training indices inside cluster `id`.
+    pub members: Vec<Vec<usize>>,
+}
+
+/// Runs average-linkage agglomerative clustering on a condensed pairwise
+/// distance matrix.
+///
+/// `dist` is indexed `dist[i][j]` for `i != j` (only `i < j` is read);
+/// `n` is the number of items. Merging continues until one cluster
+/// remains, so the dendrogram always has `n - 1` merges.
+///
+/// # Errors
+/// * [`MlError::EmptyTrainingSet`] when `n == 0`;
+/// * [`MlError::DimensionMismatch`] when `dist` is not `n × n`.
+pub fn average_linkage(dist: &[Vec<f64>], n: usize) -> Result<Dendrogram, MlError> {
+    if n == 0 {
+        return Err(MlError::EmptyTrainingSet);
+    }
+    if dist.len() != n || dist.iter().any(|row| row.len() != n) {
+        return Err(MlError::DimensionMismatch {
+            expected: n,
+            got: dist.len(),
+        });
+    }
+    // Working copy of distances between *active* clusters, keyed by id.
+    // Ids: leaves 0..n, merged clusters n..2n-1.
+    let total = 2 * n - 1;
+    let mut members: Vec<Vec<usize>> = (0..n).map(|i| vec![i]).collect();
+    members.resize(total.max(n), Vec::new());
+    let mut active: Vec<usize> = (0..n).collect();
+    // d[id_a][id_b]: dense lookup over all possible ids.
+    let mut d = vec![vec![f64::INFINITY; total]; total];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            d[i][j] = dist[i][j];
+            d[j][i] = dist[i][j];
+        }
+    }
+    let mut merges = Vec::with_capacity(n.saturating_sub(1));
+    let mut next_id = n;
+    while active.len() > 1 {
+        // Find the closest active pair.
+        let mut best = (0usize, 0usize, f64::INFINITY);
+        for (ai, &ca) in active.iter().enumerate() {
+            for &cb in &active[ai + 1..] {
+                if d[ca][cb] < best.2 {
+                    best = (ca, cb, d[ca][cb]);
+                }
+            }
+        }
+        let (a, b, dab) = best;
+        let na = members[a].len() as f64;
+        let nb = members[b].len() as f64;
+        // Lance–Williams for average linkage:
+        // d(new, x) = (na*d(a,x) + nb*d(b,x)) / (na+nb)
+        for &x in &active {
+            if x == a || x == b {
+                continue;
+            }
+            let mixed = (na * d[a][x] + nb * d[b][x]) / (na + nb);
+            d[next_id][x] = mixed;
+            d[x][next_id] = mixed;
+        }
+        let mut merged = members[a].clone();
+        merged.extend_from_slice(&members[b]);
+        merged.sort_unstable();
+        members[next_id] = merged;
+        active.retain(|&c| c != a && c != b);
+        active.push(next_id);
+        merges.push(Merge {
+            a,
+            b,
+            into: next_id,
+            distance: dab,
+        });
+        next_id += 1;
+    }
+    Ok(Dendrogram { merges, members })
+}
+
+/// Condensed pairwise Euclidean distances between equal-length rows.
+pub fn pairwise_euclidean(rows: &[&[f64]]) -> Vec<Vec<f64>> {
+    let n = rows.len();
+    let mut d = vec![vec![0.0; n]; n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let dist = rows[i]
+                .iter()
+                .zip(rows[j])
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum::<f64>()
+                .sqrt();
+            d[i][j] = dist;
+            d[j][i] = dist;
+        }
+    }
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merges_closest_pairs_first() {
+        // Points on a line: 0, 0.1, 5, 5.1, 20.
+        let rows: Vec<Vec<f64>> = vec![vec![0.0], vec![0.1], vec![5.0], vec![5.1], vec![20.0]];
+        let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        let d = pairwise_euclidean(&refs);
+        let dendro = average_linkage(&d, 5).unwrap();
+        assert_eq!(dendro.merges.len(), 4);
+        // First two merges are the tight pairs.
+        let first: std::collections::BTreeSet<usize> =
+            [dendro.merges[0].a, dendro.merges[0].b].into();
+        let second: std::collections::BTreeSet<usize> =
+            [dendro.merges[1].a, dendro.merges[1].b].into();
+        let pairs: Vec<std::collections::BTreeSet<usize>> = vec![[0, 1].into(), [2, 3].into()];
+        assert!(pairs.contains(&first));
+        assert!(pairs.contains(&second));
+        // Distances are non-decreasing for well-separated data like this.
+        for w in dendro.merges.windows(2) {
+            assert!(w[0].distance <= w[1].distance + 1e-9);
+        }
+        // Final cluster holds everyone.
+        assert_eq!(dendro.members[dendro.merges.last().unwrap().into].len(), 5);
+    }
+
+    #[test]
+    fn members_are_unions_of_children() {
+        let rows: Vec<Vec<f64>> = vec![vec![0.0], vec![1.0], vec![10.0]];
+        let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        let d = pairwise_euclidean(&refs);
+        let dendro = average_linkage(&d, 3).unwrap();
+        for m in &dendro.merges {
+            let mut union = dendro.members[m.a].clone();
+            union.extend_from_slice(&dendro.members[m.b]);
+            union.sort_unstable();
+            assert_eq!(dendro.members[m.into], union);
+        }
+    }
+
+    #[test]
+    fn average_linkage_uses_mean_distance() {
+        // Clusters {0,1} and {2}: d(new,2) must average d(0,2), d(1,2).
+        let d = vec![
+            vec![0.0, 1.0, 4.0],
+            vec![1.0, 0.0, 6.0],
+            vec![4.0, 6.0, 0.0],
+        ];
+        let dendro = average_linkage(&d, 3).unwrap();
+        assert_eq!((dendro.merges[0].a, dendro.merges[0].b), (0, 1));
+        assert!((dendro.merges[1].distance - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_item_yields_no_merges() {
+        let d = vec![vec![0.0]];
+        let dendro = average_linkage(&d, 1).unwrap();
+        assert!(dendro.merges.is_empty());
+        assert_eq!(dendro.members[0], vec![0]);
+    }
+
+    #[test]
+    fn error_paths() {
+        assert!(average_linkage(&[], 0).is_err());
+        let d = vec![vec![0.0, 1.0]];
+        assert!(average_linkage(&d, 2).is_err());
+    }
+}

@@ -1,0 +1,323 @@
+//! k-means clustering with k-means++ initialisation.
+//!
+//! ECONOMY-K's first step groups the full-length training series into `k`
+//! clusters; new prefixes are then soft-assigned by distance so the
+//! expected-cost function can weight per-cluster confusion matrices.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::error::MlError;
+use crate::linalg::Matrix;
+
+/// Hyper-parameters for [`KMeans`].
+#[derive(Debug, Clone)]
+pub struct KMeansConfig {
+    /// Number of clusters.
+    pub k: usize,
+    /// Maximum Lloyd iterations.
+    pub max_iters: usize,
+    /// Convergence tolerance on total centroid movement.
+    pub tolerance: f64,
+    /// RNG seed for k-means++ seeding.
+    pub seed: u64,
+}
+
+impl Default for KMeansConfig {
+    fn default() -> Self {
+        KMeansConfig {
+            k: 3,
+            max_iters: 100,
+            tolerance: 1e-8,
+            seed: 17,
+        }
+    }
+}
+
+/// Fitted k-means model.
+#[derive(Debug, Clone)]
+pub struct KMeans {
+    config: KMeansConfig,
+    /// `k × d` centroid matrix (empty before fit).
+    centroids: Vec<Vec<f64>>,
+    n_features: usize,
+}
+
+impl KMeans {
+    /// Untrained model with the given hyper-parameters.
+    pub fn new(config: KMeansConfig) -> Self {
+        KMeans {
+            config,
+            centroids: Vec::new(),
+            n_features: 0,
+        }
+    }
+
+    /// Fitted centroids.
+    pub fn centroids(&self) -> &[Vec<f64>] {
+        &self.centroids
+    }
+
+    /// Effective number of clusters after fitting (≤ requested `k` when
+    /// the data has fewer distinct points).
+    pub fn k(&self) -> usize {
+        self.centroids.len()
+    }
+
+    /// Runs Lloyd's algorithm with k-means++ seeding.
+    ///
+    /// # Errors
+    /// * [`MlError::EmptyTrainingSet`] on no samples;
+    /// * [`MlError::InvalidParameter`] when `k == 0`.
+    pub fn fit(&mut self, x: &Matrix) -> Result<(), MlError> {
+        if x.rows() == 0 || x.cols() == 0 {
+            return Err(MlError::EmptyTrainingSet);
+        }
+        if self.config.k == 0 {
+            return Err(MlError::InvalidParameter {
+                name: "k",
+                message: "must be positive".into(),
+            });
+        }
+        let n = x.rows();
+        let k = self.config.k.min(n);
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+
+        // --- k-means++ seeding ---
+        let mut centroids: Vec<Vec<f64>> = Vec::with_capacity(k);
+        centroids.push(x.row(rng.random_range(0..n)).to_vec());
+        let mut dist2: Vec<f64> = (0..n).map(|i| sq_dist(x.row(i), &centroids[0])).collect();
+        while centroids.len() < k {
+            let total: f64 = dist2.iter().sum();
+            let next = if total <= 0.0 {
+                // All points coincide with existing centroids.
+                rng.random_range(0..n)
+            } else {
+                let mut target = rng.random::<f64>() * total;
+                let mut chosen = n - 1;
+                for (i, &d) in dist2.iter().enumerate() {
+                    target -= d;
+                    if target <= 0.0 {
+                        chosen = i;
+                        break;
+                    }
+                }
+                chosen
+            };
+            let c = x.row(next).to_vec();
+            for (i, d) in dist2.iter_mut().enumerate() {
+                *d = d.min(sq_dist(x.row(i), &c));
+            }
+            centroids.push(c);
+        }
+
+        // --- Lloyd iterations ---
+        let d = x.cols();
+        let mut assign = vec![0usize; n];
+        for _ in 0..self.config.max_iters {
+            for (i, a) in assign.iter_mut().enumerate() {
+                *a = nearest(x.row(i), &centroids).0;
+            }
+            let mut sums = vec![vec![0.0; d]; centroids.len()];
+            let mut counts = vec![0usize; centroids.len()];
+            for (i, &a) in assign.iter().enumerate() {
+                counts[a] += 1;
+                for (s, &v) in sums[a].iter_mut().zip(x.row(i)) {
+                    *s += v;
+                }
+            }
+            let mut movement = 0.0;
+            for (c, (sum, &count)) in centroids.iter_mut().zip(sums.iter().zip(&counts)) {
+                if count == 0 {
+                    continue; // keep empty cluster's centroid in place
+                }
+                for (cv, &sv) in c.iter_mut().zip(sum) {
+                    let newv = sv / count as f64;
+                    movement += (newv - *cv).abs();
+                    *cv = newv;
+                }
+            }
+            if movement < self.config.tolerance {
+                break;
+            }
+        }
+        self.centroids = centroids;
+        self.n_features = x.cols();
+        Ok(())
+    }
+
+    /// Hard cluster assignment for one point.
+    ///
+    /// # Errors
+    /// [`MlError::NotFitted`] / [`MlError::DimensionMismatch`].
+    pub fn assign(&self, x: &[f64]) -> Result<usize, MlError> {
+        self.check(x)?;
+        Ok(nearest(x, &self.centroids).0)
+    }
+
+    /// Soft membership probabilities, computed from inverse distances
+    /// (the scheme ECONOMY-K uses for cluster membership of a prefix).
+    ///
+    /// A point exactly on a centroid gets probability 1 for that cluster.
+    ///
+    /// # Errors
+    /// [`MlError::NotFitted`] / [`MlError::DimensionMismatch`].
+    pub fn membership(&self, x: &[f64]) -> Result<Vec<f64>, MlError> {
+        self.check(x)?;
+        let dists: Vec<f64> = self
+            .centroids
+            .iter()
+            .map(|c| sq_dist(x, c).sqrt())
+            .collect();
+        if let Some(hit) = dists.iter().position(|&d| d < 1e-12) {
+            let mut p = vec![0.0; dists.len()];
+            p[hit] = 1.0;
+            return Ok(p);
+        }
+        let inv: Vec<f64> = dists.iter().map(|&d| 1.0 / d).collect();
+        let total: f64 = inv.iter().sum();
+        Ok(inv.into_iter().map(|v| v / total).collect())
+    }
+
+    fn check(&self, x: &[f64]) -> Result<(), MlError> {
+        if self.centroids.is_empty() {
+            return Err(MlError::NotFitted);
+        }
+        if x.len() != self.n_features {
+            return Err(MlError::DimensionMismatch {
+                expected: self.n_features,
+                got: x.len(),
+            });
+        }
+        Ok(())
+    }
+}
+
+fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+fn nearest(x: &[f64], centroids: &[Vec<f64>]) -> (usize, f64) {
+    let mut best = (0, f64::INFINITY);
+    for (i, c) in centroids.iter().enumerate() {
+        let d = sq_dist(x, c);
+        if d < best.1 {
+            best = (i, d);
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn three_blobs() -> Matrix {
+        let mut rows = Vec::new();
+        for i in 0..15 {
+            let e = (i as f64 * 0.7).sin() * 0.2;
+            rows.push(vec![0.0 + e, 0.0 - e]);
+            rows.push(vec![10.0 + e, 0.0 + e]);
+            rows.push(vec![5.0 - e, 8.0 + e]);
+        }
+        Matrix::from_rows(&rows).unwrap()
+    }
+
+    #[test]
+    fn recovers_three_blobs() {
+        let x = three_blobs();
+        let mut km = KMeans::new(KMeansConfig {
+            k: 3,
+            ..KMeansConfig::default()
+        });
+        km.fit(&x).unwrap();
+        assert_eq!(km.k(), 3);
+        // Each blob's members agree on a cluster, blobs get distinct clusters.
+        let a = km.assign(&[0.0, 0.0]).unwrap();
+        let b = km.assign(&[10.0, 0.0]).unwrap();
+        let c = km.assign(&[5.0, 8.0]).unwrap();
+        assert_ne!(a, b);
+        assert_ne!(b, c);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn membership_sums_to_one_and_prefers_nearest() {
+        let x = three_blobs();
+        let mut km = KMeans::new(KMeansConfig {
+            k: 3,
+            ..KMeansConfig::default()
+        });
+        km.fit(&x).unwrap();
+        let m = km.membership(&[0.5, 0.5]).unwrap();
+        assert!((m.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        let nearest_cluster = km.assign(&[0.5, 0.5]).unwrap();
+        let max = m.iter().cloned().fold(f64::MIN, f64::max);
+        assert!((m[nearest_cluster] - max).abs() < 1e-12);
+    }
+
+    #[test]
+    fn membership_on_centroid_is_one_hot() {
+        let x = three_blobs();
+        let mut km = KMeans::new(KMeansConfig {
+            k: 2,
+            ..KMeansConfig::default()
+        });
+        km.fit(&x).unwrap();
+        let c0 = km.centroids()[0].clone();
+        let m = km.membership(&c0).unwrap();
+        assert!((m[0] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn k_capped_at_sample_count() {
+        let x = Matrix::from_rows(&[vec![0.0], vec![1.0]]).unwrap();
+        let mut km = KMeans::new(KMeansConfig {
+            k: 5,
+            ..KMeansConfig::default()
+        });
+        km.fit(&x).unwrap();
+        assert_eq!(km.k(), 2);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let x = three_blobs();
+        let cfg = KMeansConfig {
+            k: 3,
+            seed: 5,
+            ..KMeansConfig::default()
+        };
+        let mut a = KMeans::new(cfg.clone());
+        let mut b = KMeans::new(cfg);
+        a.fit(&x).unwrap();
+        b.fit(&x).unwrap();
+        assert_eq!(a.centroids(), b.centroids());
+    }
+
+    #[test]
+    fn error_paths() {
+        let mut km = KMeans::new(KMeansConfig {
+            k: 0,
+            ..KMeansConfig::default()
+        });
+        let x = Matrix::from_rows(&[vec![0.0]]).unwrap();
+        assert!(km.fit(&x).is_err());
+        let km2 = KMeans::new(KMeansConfig::default());
+        assert!(matches!(km2.assign(&[0.0]), Err(MlError::NotFitted)));
+        assert!(KMeans::new(KMeansConfig::default())
+            .fit(&Matrix::zeros(0, 2))
+            .is_err());
+    }
+
+    #[test]
+    fn identical_points_dont_crash_seeding() {
+        let x = Matrix::from_rows(&vec![vec![1.0, 1.0]; 6]).unwrap();
+        let mut km = KMeans::new(KMeansConfig {
+            k: 3,
+            ..KMeansConfig::default()
+        });
+        km.fit(&x).unwrap();
+        assert!(km.k() >= 1);
+    }
+}

@@ -1,0 +1,45 @@
+//! # etsc-ml
+//!
+//! From-scratch machine-learning substrate for the ETSC framework.
+//!
+//! The paper's algorithm implementations lean on sklearn, sktime, pyts and
+//! Java libraries; this crate rebuilds every model they need in pure Rust:
+//!
+//! * [`linalg`] — dense matrices, Cholesky solves, small BLAS-like helpers;
+//! * [`logistic`] — multinomial (softmax) logistic regression, the
+//!   classifier behind WEASEL / TEASER / ECEC;
+//! * [`ridge`] — closed-form ridge regression classifier (MiniROCKET's
+//!   default head);
+//! * [`bayes`] — Gaussian naive Bayes (fast per-time-point base learner);
+//! * [`tree`] / [`forest`] / [`gbm`] — CART decision trees, random
+//!   forests and multiclass gradient boosting (ECONOMY-K base-classifier
+//!   options, standing in for XGBoost);
+//! * [`kmeans`] — k-means++ (ECONOMY-K's grouping step);
+//! * [`knn`] — 1-nearest-neighbour with incremental prefix distances
+//!   (ECTS's core primitive);
+//! * [`hclust`] — agglomerative hierarchical clustering (ECTS);
+//! * [`ocsvm`] — RBF one-class SVM / SVDD (TEASER's acceptance gate);
+//! * [`nn`] — neural layers with manual backprop (Conv1d, BatchNorm,
+//!   squeeze-and-excite, LSTM, dense) composing into MLSTM-FCN.
+//!
+//! All models implement the common [`Classifier`] trait where it makes
+//! sense, take explicit seeds, and avoid panicking on user data.
+
+pub mod bayes;
+pub mod classifier;
+pub mod error;
+pub mod forest;
+pub mod gbm;
+pub mod hclust;
+pub mod kmeans;
+pub mod knn;
+pub mod linalg;
+pub mod logistic;
+pub mod nn;
+pub mod ocsvm;
+pub mod ridge;
+pub mod tree;
+
+pub use classifier::{argmax, Classifier};
+pub use error::MlError;
+pub use linalg::Matrix;

@@ -1,0 +1,418 @@
+//! Dense matrices and the small set of linear-algebra kernels the models
+//! need: mat-vec / mat-mat products, Gram matrices, and Cholesky solves.
+//!
+//! Row-major storage; hot loops are written over contiguous row slices so
+//! the compiler can vectorise them (see the Rust Performance Book's advice
+//! on bounds-check elision through slices).
+
+use crate::error::MlError;
+
+/// Dense row-major matrix of `f64`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    data: Vec<f64>,
+    rows: usize,
+    cols: usize,
+}
+
+impl Matrix {
+    /// An all-zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Matrix {
+        Matrix {
+            data: vec![0.0; rows * cols],
+            rows,
+            cols,
+        }
+    }
+
+    /// Builds a matrix from a flat row-major vector.
+    ///
+    /// # Errors
+    /// [`MlError::DimensionMismatch`] when `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Result<Matrix, MlError> {
+        if data.len() != rows * cols {
+            return Err(MlError::DimensionMismatch {
+                expected: rows * cols,
+                got: data.len(),
+            });
+        }
+        Ok(Matrix { data, rows, cols })
+    }
+
+    /// Builds a matrix from row vectors.
+    ///
+    /// # Errors
+    /// [`MlError::DimensionMismatch`] on ragged rows,
+    /// [`MlError::EmptyTrainingSet`] on no rows.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Result<Matrix, MlError> {
+        let first = rows.first().ok_or(MlError::EmptyTrainingSet)?;
+        let cols = first.len();
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for r in rows {
+            if r.len() != cols {
+                return Err(MlError::DimensionMismatch {
+                    expected: cols,
+                    got: r.len(),
+                });
+            }
+            data.extend_from_slice(r);
+        }
+        Ok(Matrix {
+            data,
+            rows: rows.len(),
+            cols,
+        })
+    }
+
+    /// The identity matrix of order `n`.
+    pub fn identity(n: usize) -> Matrix {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Number of rows (samples).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns (features).
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Borrow row `i` as a slice.
+    ///
+    /// # Panics
+    /// When `i >= rows`.
+    pub fn row(&self, i: usize) -> &[f64] {
+        assert!(i < self.rows, "row {i} out of range ({})", self.rows);
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Mutably borrow row `i`.
+    ///
+    /// # Panics
+    /// When `i >= rows`.
+    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        assert!(i < self.rows, "row {i} out of range ({})", self.rows);
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Flat row-major view of all entries.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Flat mutable row-major view of all entries.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Transposed copy.
+    pub fn transpose(&self) -> Matrix {
+        let mut t = Matrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            let row = self.row(i);
+            for (j, &x) in row.iter().enumerate() {
+                t[(j, i)] = x;
+            }
+        }
+        t
+    }
+
+    /// `self * v` for a column vector `v`.
+    ///
+    /// # Panics
+    /// When `v.len() != cols` (programming error).
+    pub fn matvec(&self, v: &[f64]) -> Vec<f64> {
+        assert_eq!(v.len(), self.cols, "matvec dimension mismatch");
+        (0..self.rows).map(|i| dot(self.row(i), v)).collect()
+    }
+
+    /// `self * other` (naive triple loop with row-major accumulation,
+    /// k-in-the-middle ordering for cache friendliness).
+    ///
+    /// # Panics
+    /// When inner dimensions disagree (programming error).
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.rows, "matmul dimension mismatch");
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            let a_row = self.row(i);
+            for (k, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let b_row = other.row(k);
+                let o_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
+                for (o, &b) in o_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// The Gram matrix `selfᵀ · self` (symmetric `cols × cols`), computed
+    /// without materialising the transpose.
+    pub fn gram(&self) -> Matrix {
+        let mut g = Matrix::zeros(self.cols, self.cols);
+        for i in 0..self.rows {
+            let row = self.row(i);
+            for (a, &xa) in row.iter().enumerate() {
+                if xa == 0.0 {
+                    continue;
+                }
+                let g_row = &mut g.data[a * self.cols..(a + 1) * self.cols];
+                for (gv, &xb) in g_row.iter_mut().zip(row) {
+                    *gv += xa * xb;
+                }
+            }
+        }
+        g
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for Matrix {
+    type Output = f64;
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+/// Dot product of two equal-length slices.
+///
+/// # Panics
+/// When lengths differ (programming error).
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dot of unequal lengths");
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// `y += alpha * x` in place.
+///
+/// # Panics
+/// When lengths differ (programming error).
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "axpy of unequal lengths");
+    for (yi, &xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// In-place Cholesky factorisation of a symmetric positive-definite matrix;
+/// returns the lower-triangular factor `L` with `L·Lᵀ = a`.
+///
+/// # Errors
+/// [`MlError::Numerical`] when the matrix is not positive definite
+/// (within a small jitter tolerance).
+pub fn cholesky(a: &Matrix) -> Result<Matrix, MlError> {
+    if a.rows() != a.cols() {
+        return Err(MlError::DimensionMismatch {
+            expected: a.rows(),
+            got: a.cols(),
+        });
+    }
+    let n = a.rows();
+    let mut l = Matrix::zeros(n, n);
+    for j in 0..n {
+        let mut diag = a[(j, j)];
+        for k in 0..j {
+            diag -= l[(j, k)] * l[(j, k)];
+        }
+        if diag <= 0.0 {
+            return Err(MlError::Numerical(format!(
+                "matrix not positive definite at pivot {j} (value {diag:.3e})"
+            )));
+        }
+        let ljj = diag.sqrt();
+        l[(j, j)] = ljj;
+        for i in (j + 1)..n {
+            let mut s = a[(i, j)];
+            // Row-slice based inner product over the already-computed columns.
+            let (ri, rj) = (i * n, j * n);
+            for k in 0..j {
+                s -= l.data[ri + k] * l.data[rj + k];
+            }
+            l[(i, j)] = s / ljj;
+        }
+    }
+    Ok(l)
+}
+
+/// Solves `A x = b` for symmetric positive-definite `A` via Cholesky.
+///
+/// # Errors
+/// Propagates [`cholesky`] failures and dimension mismatches.
+pub fn solve_spd(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, MlError> {
+    if b.len() != a.rows() {
+        return Err(MlError::DimensionMismatch {
+            expected: a.rows(),
+            got: b.len(),
+        });
+    }
+    let l = cholesky(a)?;
+    let n = a.rows();
+    // Forward solve L y = b.
+    let mut y = vec![0.0; n];
+    for i in 0..n {
+        let mut s = b[i];
+        for k in 0..i {
+            s -= l[(i, k)] * y[k];
+        }
+        y[i] = s / l[(i, i)];
+    }
+    // Back solve Lᵀ x = y.
+    let mut x = vec![0.0; n];
+    for i in (0..n).rev() {
+        let mut s = y[i];
+        for k in (i + 1)..n {
+            s -= l[(k, i)] * x[k];
+        }
+        x[i] = s / l[(i, i)];
+    }
+    Ok(x)
+}
+
+/// Solves `A X = B` column-by-column for SPD `A`; `B` is given as columns.
+///
+/// # Errors
+/// Propagates [`solve_spd`] failures.
+pub fn solve_spd_multi(a: &Matrix, b_cols: &[Vec<f64>]) -> Result<Vec<Vec<f64>>, MlError> {
+    let l = cholesky(a)?;
+    let n = a.rows();
+    let mut out = Vec::with_capacity(b_cols.len());
+    for b in b_cols {
+        if b.len() != n {
+            return Err(MlError::DimensionMismatch {
+                expected: n,
+                got: b.len(),
+            });
+        }
+        let mut y = vec![0.0; n];
+        for i in 0..n {
+            let mut s = b[i];
+            for k in 0..i {
+                s -= l[(i, k)] * y[k];
+            }
+            y[i] = s / l[(i, i)];
+        }
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut s = y[i];
+            for k in (i + 1)..n {
+                s -= l[(k, i)] * x[k];
+            }
+            x[i] = s / l[(i, i)];
+        }
+        out.push(x);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_indexing() {
+        let m = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.cols(), 3);
+        assert_eq!(m[(1, 2)], 6.0);
+        assert_eq!(m.row(0), &[1.0, 2.0, 3.0]);
+        assert!(Matrix::from_vec(2, 2, vec![1.0]).is_err());
+    }
+
+    #[test]
+    fn from_rows_rejects_ragged() {
+        assert!(Matrix::from_rows(&[vec![1.0], vec![1.0, 2.0]]).is_err());
+        assert!(Matrix::from_rows(&[]).is_err());
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let m = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
+        let t = m.transpose();
+        assert_eq!(t.rows(), 3);
+        assert_eq!(t[(2, 1)], 6.0);
+        assert_eq!(t.transpose(), m);
+    }
+
+    #[test]
+    fn matvec_and_matmul() {
+        let m = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert_eq!(m.matvec(&[1.0, 1.0]), vec![3.0, 7.0]);
+        let p = m.matmul(&Matrix::identity(2));
+        assert_eq!(p, m);
+        let q = m.matmul(&m);
+        assert_eq!(q.as_slice(), &[7.0, 10.0, 15.0, 22.0]);
+    }
+
+    #[test]
+    fn gram_equals_transpose_times_self() {
+        let m = Matrix::from_vec(3, 2, vec![1.0, 2.0, 0.0, 1.0, -1.0, 3.0]).unwrap();
+        let g = m.gram();
+        let expected = m.transpose().matmul(&m);
+        for i in 0..2 {
+            for j in 0..2 {
+                assert!((g[(i, j)] - expected[(i, j)]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn cholesky_of_known_matrix() {
+        // A = [[4, 2], [2, 3]] => L = [[2, 0], [1, sqrt(2)]]
+        let a = Matrix::from_vec(2, 2, vec![4.0, 2.0, 2.0, 3.0]).unwrap();
+        let l = cholesky(&a).unwrap();
+        assert!((l[(0, 0)] - 2.0).abs() < 1e-12);
+        assert!((l[(1, 0)] - 1.0).abs() < 1e-12);
+        assert!((l[(1, 1)] - 2.0_f64.sqrt()).abs() < 1e-12);
+        assert_eq!(l[(0, 1)], 0.0);
+    }
+
+    #[test]
+    fn cholesky_rejects_indefinite() {
+        let a = Matrix::from_vec(2, 2, vec![1.0, 2.0, 2.0, 1.0]).unwrap();
+        assert!(cholesky(&a).is_err());
+    }
+
+    #[test]
+    fn spd_solve_recovers_solution() {
+        let a = Matrix::from_vec(3, 3, vec![6.0, 2.0, 1.0, 2.0, 5.0, 2.0, 1.0, 2.0, 4.0]).unwrap();
+        let x_true = [1.0, -2.0, 3.0];
+        let b = a.matvec(&x_true);
+        let x = solve_spd(&a, &b).unwrap();
+        for (xi, ti) in x.iter().zip(x_true.iter()) {
+            assert!((xi - ti).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn spd_multi_solve_matches_single() {
+        let a = Matrix::from_vec(2, 2, vec![4.0, 1.0, 1.0, 3.0]).unwrap();
+        let b1 = vec![1.0, 0.0];
+        let b2 = vec![0.0, 1.0];
+        let multi = solve_spd_multi(&a, &[b1.clone(), b2.clone()]).unwrap();
+        assert_eq!(multi[0], solve_spd(&a, &b1).unwrap());
+        assert_eq!(multi[1], solve_spd(&a, &b2).unwrap());
+    }
+
+    #[test]
+    fn dot_and_axpy() {
+        assert_eq!(dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+        let mut y = vec![1.0, 1.0];
+        axpy(2.0, &[1.0, -1.0], &mut y);
+        assert_eq!(y, vec![3.0, -1.0]);
+    }
+}

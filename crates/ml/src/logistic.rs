@@ -1,0 +1,324 @@
+//! Multinomial (softmax) logistic regression trained with mini-batch Adam.
+//!
+//! This is the linear classifier behind WEASEL, TEASER and ECEC in the
+//! reference implementations (sklearn's `LogisticRegression` / liblinear).
+//! Dense weights, L2 regularisation, early stopping on training loss.
+
+// Indexed loops keep the gradient/index math readable here.
+#![allow(clippy::needless_range_loop)]
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::classifier::{validate_training, Classifier};
+use crate::error::MlError;
+use crate::linalg::Matrix;
+
+/// Hyper-parameters for [`LogisticRegression`].
+#[derive(Debug, Clone)]
+pub struct LogisticConfig {
+    /// L2 penalty strength (applied to weights, not biases).
+    pub l2: f64,
+    /// Adam learning rate.
+    pub learning_rate: f64,
+    /// Maximum passes over the training data.
+    pub max_epochs: usize,
+    /// Mini-batch size (clamped to the sample count).
+    pub batch_size: usize,
+    /// Stop when the epoch loss improves by less than this.
+    pub tolerance: f64,
+    /// RNG seed for shuffling.
+    pub seed: u64,
+}
+
+impl Default for LogisticConfig {
+    fn default() -> Self {
+        LogisticConfig {
+            l2: 1e-4,
+            learning_rate: 0.05,
+            max_epochs: 200,
+            batch_size: 64,
+            tolerance: 1e-5,
+            seed: 7,
+        }
+    }
+}
+
+/// Multinomial logistic regression classifier.
+#[derive(Debug, Clone)]
+pub struct LogisticRegression {
+    config: LogisticConfig,
+    /// `n_classes × n_features` weight matrix.
+    weights: Option<Matrix>,
+    /// Per-class bias.
+    bias: Vec<f64>,
+    n_features: usize,
+    n_classes: usize,
+}
+
+impl LogisticRegression {
+    /// Creates an untrained model with the given hyper-parameters.
+    pub fn new(config: LogisticConfig) -> Self {
+        LogisticRegression {
+            config,
+            weights: None,
+            bias: Vec::new(),
+            n_features: 0,
+            n_classes: 0,
+        }
+    }
+
+    /// Untrained model with default hyper-parameters.
+    pub fn with_defaults() -> Self {
+        Self::new(LogisticConfig::default())
+    }
+
+    /// Number of classes seen at fit time (0 before fit).
+    pub fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    fn logits(&self, x: &[f64], weights: &Matrix) -> Vec<f64> {
+        let mut z = self.bias.clone();
+        for (c, zc) in z.iter_mut().enumerate() {
+            *zc += crate::linalg::dot(weights.row(c), x);
+        }
+        z
+    }
+}
+
+/// Numerically stable softmax (subtracts the max logit).
+pub fn softmax(z: &[f64]) -> Vec<f64> {
+    let max = z.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let exps: Vec<f64> = z.iter().map(|&v| (v - max).exp()).collect();
+    let sum: f64 = exps.iter().sum();
+    if sum <= 0.0 || !sum.is_finite() {
+        return vec![1.0 / z.len() as f64; z.len()];
+    }
+    exps.into_iter().map(|e| e / sum).collect()
+}
+
+impl Classifier for LogisticRegression {
+    fn fit(&mut self, x: &Matrix, y: &[usize], n_classes: usize) -> Result<(), MlError> {
+        validate_training(x, y, n_classes)?;
+        if n_classes < 2 {
+            return Err(MlError::InvalidLabels(
+                "logistic regression needs at least 2 classes".into(),
+            ));
+        }
+        let (n, d) = (x.rows(), x.cols());
+        self.n_features = d;
+        self.n_classes = n_classes;
+        self.bias = vec![0.0; n_classes];
+        let mut weights = Matrix::zeros(n_classes, d);
+
+        // Adam state.
+        let mut m_w = Matrix::zeros(n_classes, d);
+        let mut v_w = Matrix::zeros(n_classes, d);
+        let mut m_b = vec![0.0; n_classes];
+        let mut v_b = vec![0.0; n_classes];
+        let (beta1, beta2, eps): (f64, f64, f64) = (0.9, 0.999, 1e-8);
+        let mut step = 0usize;
+
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let mut order: Vec<usize> = (0..n).collect();
+        let batch = self.config.batch_size.max(1).min(n);
+        let mut prev_loss = f64::INFINITY;
+
+        let mut grad_w = Matrix::zeros(n_classes, d);
+        let mut grad_b = vec![0.0; n_classes];
+
+        for _epoch in 0..self.config.max_epochs {
+            order.shuffle(&mut rng);
+            let mut epoch_loss = 0.0;
+            for chunk in order.chunks(batch) {
+                // Zero gradients.
+                for c in 0..n_classes {
+                    for g in grad_w.row_mut(c) {
+                        *g = 0.0;
+                    }
+                    grad_b[c] = 0.0;
+                }
+                for &i in chunk {
+                    let xi = x.row(i);
+                    let p = softmax(&self.logits(xi, &weights));
+                    epoch_loss -= p[y[i]].max(1e-300).ln();
+                    for c in 0..n_classes {
+                        let err = p[c] - if c == y[i] { 1.0 } else { 0.0 };
+                        if err != 0.0 {
+                            crate::linalg::axpy(err, xi, grad_w.row_mut(c));
+                            grad_b[c] += err;
+                        }
+                    }
+                }
+                let scale = 1.0 / chunk.len() as f64;
+                step += 1;
+                let bc1 = 1.0 - beta1.powi(step as i32);
+                let bc2 = 1.0 - beta2.powi(step as i32);
+                for c in 0..n_classes {
+                    let l2 = self.config.l2;
+                    let w_row_ptr = weights.row(c).to_vec();
+                    let g_row = grad_w.row_mut(c);
+                    for (j, g) in g_row.iter_mut().enumerate() {
+                        *g = *g * scale + l2 * w_row_ptr[j];
+                    }
+                    for j in 0..d {
+                        let g = g_row[j];
+                        let mw = &mut m_w[(c, j)];
+                        *mw = beta1 * *mw + (1.0 - beta1) * g;
+                        let vw = &mut v_w[(c, j)];
+                        *vw = beta2 * *vw + (1.0 - beta2) * g * g;
+                        let mhat = m_w[(c, j)] / bc1;
+                        let vhat = v_w[(c, j)] / bc2;
+                        weights[(c, j)] -= self.config.learning_rate * mhat / (vhat.sqrt() + eps);
+                    }
+                    let gb = grad_b[c] * scale;
+                    m_b[c] = beta1 * m_b[c] + (1.0 - beta1) * gb;
+                    v_b[c] = beta2 * v_b[c] + (1.0 - beta2) * gb * gb;
+                    self.bias[c] -=
+                        self.config.learning_rate * (m_b[c] / bc1) / ((v_b[c] / bc2).sqrt() + eps);
+                }
+            }
+            epoch_loss /= n as f64;
+            if (prev_loss - epoch_loss).abs() < self.config.tolerance {
+                break;
+            }
+            prev_loss = epoch_loss;
+        }
+        self.weights = Some(weights);
+        Ok(())
+    }
+
+    fn predict_proba(&self, x: &[f64]) -> Result<Vec<f64>, MlError> {
+        let weights = self.weights.as_ref().ok_or(MlError::NotFitted)?;
+        if x.len() != self.n_features {
+            return Err(MlError::DimensionMismatch {
+                expected: self.n_features,
+                got: x.len(),
+            });
+        }
+        Ok(softmax(&self.logits(x, weights)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classifier::argmax;
+
+    fn blob_data() -> (Matrix, Vec<usize>) {
+        // Two well-separated 2-D blobs.
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..20 {
+            let t = i as f64 * 0.1;
+            rows.push(vec![1.0 + t.sin() * 0.1, 1.0 + t.cos() * 0.1]);
+            y.push(0);
+            rows.push(vec![-1.0 - t.sin() * 0.1, -1.0 + t.cos() * 0.1]);
+            y.push(1);
+        }
+        (Matrix::from_rows(&rows).unwrap(), y)
+    }
+
+    #[test]
+    fn separates_two_blobs() {
+        let (x, y) = blob_data();
+        let mut lr = LogisticRegression::with_defaults();
+        lr.fit(&x, &y, 2).unwrap();
+        let preds = lr.predict_batch(&x).unwrap();
+        let correct = preds.iter().zip(&y).filter(|(p, t)| p == t).count();
+        assert_eq!(correct, y.len(), "should fit separable data perfectly");
+        let p = lr.predict_proba(&[1.0, 1.0]).unwrap();
+        assert!(p[0] > 0.9);
+    }
+
+    #[test]
+    fn three_class_problem() {
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        let centers = [(0.0, 3.0), (3.0, -1.5), (-3.0, -1.5)];
+        for (c, &(cx, cy)) in centers.iter().enumerate() {
+            for i in 0..15 {
+                let j = i as f64 * 0.41;
+                rows.push(vec![cx + j.sin() * 0.3, cy + j.cos() * 0.3]);
+                y.push(c);
+            }
+        }
+        let x = Matrix::from_rows(&rows).unwrap();
+        let mut lr = LogisticRegression::with_defaults();
+        lr.fit(&x, &y, 3).unwrap();
+        let acc = lr
+            .predict_batch(&x)
+            .unwrap()
+            .iter()
+            .zip(&y)
+            .filter(|(p, t)| p == t)
+            .count() as f64
+            / y.len() as f64;
+        assert!(acc > 0.95, "3-class accuracy {acc}");
+    }
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        let (x, y) = blob_data();
+        let mut lr = LogisticRegression::with_defaults();
+        lr.fit(&x, &y, 2).unwrap();
+        let p = lr.predict_proba(&[0.3, -0.2]).unwrap();
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(p.iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn softmax_is_stable_for_huge_logits() {
+        let p = softmax(&[1000.0, 1001.0]);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(p[1] > p[0]);
+        let p = softmax(&[-1000.0, -1000.0]);
+        assert!((p[0] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unfitted_and_mismatched_errors() {
+        let lr = LogisticRegression::with_defaults();
+        assert!(matches!(
+            lr.predict_proba(&[1.0]).unwrap_err(),
+            MlError::NotFitted
+        ));
+        let (x, y) = blob_data();
+        let mut lr = LogisticRegression::with_defaults();
+        lr.fit(&x, &y, 2).unwrap();
+        assert!(matches!(
+            lr.predict_proba(&[1.0]).unwrap_err(),
+            MlError::DimensionMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn single_class_rejected() {
+        let x = Matrix::from_rows(&[vec![1.0], vec![2.0]]).unwrap();
+        let mut lr = LogisticRegression::with_defaults();
+        assert!(lr.fit(&x, &[0, 0], 1).is_err());
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let (x, y) = blob_data();
+        let mut a = LogisticRegression::with_defaults();
+        let mut b = LogisticRegression::with_defaults();
+        a.fit(&x, &y, 2).unwrap();
+        b.fit(&x, &y, 2).unwrap();
+        assert_eq!(
+            a.predict_proba(&[0.5, 0.5]).unwrap(),
+            b.predict_proba(&[0.5, 0.5]).unwrap()
+        );
+    }
+
+    #[test]
+    fn argmax_of_probs_matches_predict() {
+        let (x, y) = blob_data();
+        let mut lr = LogisticRegression::with_defaults();
+        lr.fit(&x, &y, 2).unwrap();
+        let p = lr.predict_proba(x.row(0)).unwrap();
+        assert_eq!(lr.predict(x.row(0)).unwrap(), argmax(&p));
+    }
+}

@@ -1,0 +1,81 @@
+//! Adam optimiser with per-array first/second moment state.
+
+/// Adam state for one parameter array.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    m: Vec<f64>,
+    v: Vec<f64>,
+    t: u64,
+    beta1: f64,
+    beta2: f64,
+    eps: f64,
+}
+
+impl Adam {
+    /// Fresh optimiser state for `n` parameters (standard β₁/β₂/ε).
+    pub fn new(n: usize) -> Adam {
+        Adam {
+            m: vec![0.0; n],
+            v: vec![0.0; n],
+            t: 0,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+        }
+    }
+
+    /// One Adam step: `params -= lr * m̂ / (sqrt(v̂) + ε)`.
+    ///
+    /// # Panics
+    /// When `params`, `grads` and the internal state disagree in length
+    /// (programming error in the layer).
+    pub fn step(&mut self, lr: f64, params: &mut [f64], grads: &[f64]) {
+        assert_eq!(params.len(), self.m.len(), "adam state size mismatch");
+        assert_eq!(grads.len(), self.m.len(), "adam grad size mismatch");
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for i in 0..params.len() {
+            let g = grads[i];
+            self.m[i] = self.beta1 * self.m[i] + (1.0 - self.beta1) * g;
+            self.v[i] = self.beta2 * self.v[i] + (1.0 - self.beta2) * g * g;
+            let mhat = self.m[i] / bc1;
+            let vhat = self.v[i] / bc2;
+            params[i] -= lr * mhat / (vhat.sqrt() + self.eps);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimises_a_quadratic() {
+        // f(w) = (w - 3)^2, gradient 2(w - 3).
+        let mut w = vec![0.0];
+        let mut adam = Adam::new(1);
+        for _ in 0..2000 {
+            let g = vec![2.0 * (w[0] - 3.0)];
+            adam.step(0.05, &mut w, &g);
+        }
+        assert!((w[0] - 3.0).abs() < 1e-3, "w = {}", w[0]);
+    }
+
+    #[test]
+    fn first_step_moves_by_about_lr() {
+        // Adam's bias correction makes the very first step ≈ lr * sign(g).
+        let mut w = vec![0.0];
+        let mut adam = Adam::new(1);
+        adam.step(0.1, &mut w, &[5.0]);
+        assert!((w[0] + 0.1).abs() < 1e-6, "w = {}", w[0]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_sizes_panic() {
+        let mut adam = Adam::new(2);
+        let mut w = vec![0.0];
+        adam.step(0.1, &mut w, &[1.0]);
+    }
+}

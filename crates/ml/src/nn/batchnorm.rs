@@ -1,0 +1,290 @@
+//! Batch normalisation over channels of `channels × time` feature maps.
+//!
+//! Statistics are computed per channel across the whole batch and the time
+//! axis (the Conv1d convention). Running estimates are kept for inference
+//! mode.
+
+// Indexed loops keep the gradient/index math readable here.
+#![allow(clippy::needless_range_loop)]
+use crate::linalg::Matrix;
+use crate::nn::adam::Adam;
+
+/// Batch-norm layer for 1-D feature maps.
+#[derive(Debug, Clone)]
+pub struct BatchNorm1d {
+    channels: usize,
+    gamma: Vec<f64>,
+    beta: Vec<f64>,
+    grad_gamma: Vec<f64>,
+    grad_beta: Vec<f64>,
+    running_mean: Vec<f64>,
+    running_var: Vec<f64>,
+    momentum: f64,
+    eps: f64,
+    adam_g: Adam,
+    adam_b: Adam,
+    /// Cache of the last training forward: normalised values and batch stats.
+    cache: Option<Cache>,
+}
+
+#[derive(Debug, Clone)]
+struct Cache {
+    normalized: Vec<Matrix>,
+    batch_var: Vec<f64>,
+    count: usize,
+}
+
+impl BatchNorm1d {
+    /// Fresh layer with γ=1, β=0.
+    pub fn new(channels: usize) -> BatchNorm1d {
+        BatchNorm1d {
+            channels,
+            gamma: vec![1.0; channels],
+            beta: vec![0.0; channels],
+            grad_gamma: vec![0.0; channels],
+            grad_beta: vec![0.0; channels],
+            running_mean: vec![0.0; channels],
+            running_var: vec![1.0; channels],
+            momentum: 0.1,
+            eps: 1e-5,
+            adam_g: Adam::new(channels),
+            adam_b: Adam::new(channels),
+            cache: None,
+        }
+    }
+
+    /// Training-mode forward: normalise with batch statistics, update the
+    /// running estimates, cache for backward.
+    ///
+    /// # Panics
+    /// When an input's channel count differs from construction.
+    pub fn forward_train(&mut self, batch: &[Matrix]) -> Vec<Matrix> {
+        let mut mean = vec![0.0; self.channels];
+        let mut var = vec![0.0; self.channels];
+        let mut count = 0usize;
+        for x in batch {
+            assert_eq!(x.rows(), self.channels, "batchnorm channel mismatch");
+            count += x.cols();
+            for c in 0..self.channels {
+                for &v in x.row(c) {
+                    mean[c] += v;
+                }
+            }
+        }
+        let countf = count.max(1) as f64;
+        for m in &mut mean {
+            *m /= countf;
+        }
+        for x in batch {
+            for c in 0..self.channels {
+                for &v in x.row(c) {
+                    let d = v - mean[c];
+                    var[c] += d * d;
+                }
+            }
+        }
+        for v in &mut var {
+            *v /= countf;
+        }
+        for c in 0..self.channels {
+            self.running_mean[c] =
+                (1.0 - self.momentum) * self.running_mean[c] + self.momentum * mean[c];
+            self.running_var[c] =
+                (1.0 - self.momentum) * self.running_var[c] + self.momentum * var[c];
+        }
+        let mut normalized = Vec::with_capacity(batch.len());
+        let mut outputs = Vec::with_capacity(batch.len());
+        for x in batch {
+            let mut xn = Matrix::zeros(self.channels, x.cols());
+            let mut out = Matrix::zeros(self.channels, x.cols());
+            for c in 0..self.channels {
+                let inv_std = 1.0 / (var[c] + self.eps).sqrt();
+                let xn_row = xn.row_mut(c);
+                for (j, &v) in x.row(c).iter().enumerate() {
+                    xn_row[j] = (v - mean[c]) * inv_std;
+                }
+                let g = self.gamma[c];
+                let b = self.beta[c];
+                let out_row = out.row_mut(c);
+                for (j, o) in out_row.iter_mut().enumerate() {
+                    *o = g * xn[(c, j)] + b;
+                }
+            }
+            normalized.push(xn);
+            outputs.push(out);
+        }
+        self.cache = Some(Cache {
+            normalized,
+            batch_var: var,
+            count,
+        });
+        outputs
+    }
+
+    /// Inference-mode forward using the running statistics.
+    pub fn forward_eval(&self, batch: &[Matrix]) -> Vec<Matrix> {
+        batch
+            .iter()
+            .map(|x| {
+                let mut out = Matrix::zeros(self.channels, x.cols());
+                for c in 0..self.channels {
+                    let inv_std = 1.0 / (self.running_var[c] + self.eps).sqrt();
+                    let (g, b, m) = (self.gamma[c], self.beta[c], self.running_mean[c]);
+                    let out_row = out.row_mut(c);
+                    for (j, &v) in x.row(c).iter().enumerate() {
+                        out_row[j] = g * (v - m) * inv_std + b;
+                    }
+                }
+                out
+            })
+            .collect()
+    }
+
+    /// Backward pass through the batch statistics; returns input gradients.
+    ///
+    /// # Panics
+    /// When called before `forward_train`.
+    pub fn backward(&mut self, grads: &[Matrix]) -> Vec<Matrix> {
+        let cache = self.cache.as_ref().expect("backward before forward_train");
+        let countf = cache.count.max(1) as f64;
+        self.grad_gamma.fill(0.0);
+        self.grad_beta.fill(0.0);
+        // Reductions over the batch per channel.
+        let mut sum_dy = vec![0.0; self.channels];
+        let mut sum_dy_xn = vec![0.0; self.channels];
+        for (dout, xn) in grads.iter().zip(&cache.normalized) {
+            for c in 0..self.channels {
+                for (j, &d) in dout.row(c).iter().enumerate() {
+                    sum_dy[c] += d;
+                    sum_dy_xn[c] += d * xn[(c, j)];
+                }
+            }
+        }
+        self.grad_gamma.copy_from_slice(&sum_dy_xn);
+        self.grad_beta.copy_from_slice(&sum_dy);
+        let mut input_grads = Vec::with_capacity(grads.len());
+        for (dout, xn) in grads.iter().zip(&cache.normalized) {
+            let mut dx = Matrix::zeros(self.channels, dout.cols());
+            for c in 0..self.channels {
+                let inv_std = 1.0 / (cache.batch_var[c] + self.eps).sqrt();
+                let g = self.gamma[c];
+                let dx_row = dx.row_mut(c);
+                for (j, slot) in dx_row.iter_mut().enumerate() {
+                    let d = dout[(c, j)];
+                    *slot =
+                        g * inv_std * (d - sum_dy[c] / countf - xn[(c, j)] * sum_dy_xn[c] / countf);
+                }
+            }
+            input_grads.push(dx);
+        }
+        input_grads
+    }
+
+    /// Adam update of γ and β.
+    pub fn step(&mut self, lr: f64) {
+        self.adam_g.step(lr, &mut self.gamma, &self.grad_gamma);
+        self.adam_b.step(lr, &mut self.beta, &self.grad_beta);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn training_output_has_zero_mean_unit_var() {
+        let mut bn = BatchNorm1d::new(2);
+        let batch = vec![
+            Matrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![10.0, 20.0, 30.0]]).unwrap(),
+            Matrix::from_rows(&[vec![4.0, 5.0, 6.0], vec![40.0, 50.0, 60.0]]).unwrap(),
+        ];
+        let out = bn.forward_train(&batch);
+        for c in 0..2 {
+            let all: Vec<f64> = out.iter().flat_map(|m| m.row(c).to_vec()).collect();
+            let mean: f64 = all.iter().sum::<f64>() / all.len() as f64;
+            let var: f64 =
+                all.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / all.len() as f64;
+            assert!(mean.abs() < 1e-9, "channel {c} mean {mean}");
+            assert!((var - 1.0).abs() < 1e-3, "channel {c} var {var}");
+        }
+    }
+
+    #[test]
+    fn eval_uses_running_stats() {
+        let mut bn = BatchNorm1d::new(1);
+        let batch = vec![Matrix::from_rows(&[vec![5.0, 5.0, 5.0, 7.0]]).unwrap()];
+        for _ in 0..200 {
+            bn.forward_train(&batch);
+        }
+        let out = bn.forward_eval(&batch);
+        // Running stats converge to the batch stats, so eval ≈ train output.
+        let train_out = bn.forward_train(&batch);
+        for (a, b) in out[0].as_slice().iter().zip(train_out[0].as_slice()) {
+            assert!((a - b).abs() < 0.05, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn gradient_check() {
+        let mut bn = BatchNorm1d::new(1);
+        bn.gamma[0] = 1.3;
+        bn.beta[0] = -0.2;
+        let x = Matrix::from_rows(&[vec![0.5, -1.0, 2.0]]).unwrap();
+        // Loss = Σ out², dL/dout = 2·out.
+        let out = bn.forward_train(std::slice::from_ref(&x));
+        let grad =
+            Matrix::from_vec(1, 3, out[0].as_slice().iter().map(|&v| 2.0 * v).collect()).unwrap();
+        let dx = bn.backward(&[grad])[0].clone();
+        let eps = 1e-6;
+        for t in 0..3 {
+            let loss_at = |bn: &mut BatchNorm1d, xv: &Matrix| -> f64 {
+                bn.forward_train(std::slice::from_ref(xv))[0]
+                    .as_slice()
+                    .iter()
+                    .map(|v| v * v)
+                    .sum()
+            };
+            let mut xp = x.clone();
+            xp[(0, t)] += eps;
+            let up = loss_at(&mut bn, &xp);
+            let mut xm = x.clone();
+            xm[(0, t)] -= eps;
+            let down = loss_at(&mut bn, &xm);
+            let numeric = (up - down) / (2.0 * eps);
+            assert!(
+                (numeric - dx[(0, t)]).abs() < 1e-4,
+                "dX[{t}]: numeric {numeric} analytic {}",
+                dx[(0, t)]
+            );
+        }
+    }
+
+    #[test]
+    fn gamma_beta_gradients_match_finite_difference() {
+        let mut bn = BatchNorm1d::new(1);
+        let x = Matrix::from_rows(&[vec![1.0, 3.0, -2.0]]).unwrap();
+        let out = bn.forward_train(std::slice::from_ref(&x));
+        let grad =
+            Matrix::from_vec(1, 3, out[0].as_slice().iter().map(|&v| 2.0 * v).collect()).unwrap();
+        bn.backward(&[grad]);
+        let analytic_g = bn.grad_gamma[0];
+        let eps = 1e-6;
+        let loss = |bn: &mut BatchNorm1d| -> f64 {
+            bn.forward_train(std::slice::from_ref(&x))[0]
+                .as_slice()
+                .iter()
+                .map(|v| v * v)
+                .sum()
+        };
+        bn.gamma[0] += eps;
+        let up = loss(&mut bn);
+        bn.gamma[0] -= 2.0 * eps;
+        let down = loss(&mut bn);
+        bn.gamma[0] += eps;
+        let numeric = (up - down) / (2.0 * eps);
+        assert!(
+            (numeric - analytic_g).abs() < 1e-4,
+            "{numeric} vs {analytic_g}"
+        );
+    }
+}

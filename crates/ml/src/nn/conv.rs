@@ -1,0 +1,283 @@
+//! 1-D convolution layer with "same" zero padding.
+//!
+//! Feature maps are `channels × time` matrices. Weights follow the
+//! `out_ch × (in_ch · kernel)` layout so one output channel's taps are a
+//! contiguous row.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::linalg::Matrix;
+use crate::nn::adam::Adam;
+
+/// 1-D convolution layer (stride 1, same padding).
+#[derive(Debug, Clone)]
+pub struct Conv1d {
+    in_ch: usize,
+    out_ch: usize,
+    kernel: usize,
+    /// `out_ch × (in_ch * kernel)`.
+    weights: Matrix,
+    bias: Vec<f64>,
+    grad_w: Matrix,
+    grad_b: Vec<f64>,
+    adam_w: Adam,
+    adam_b: Adam,
+    /// Cached inputs of the last forward pass (one per batch element).
+    cache: Vec<Matrix>,
+}
+
+impl Conv1d {
+    /// He-initialised convolution layer.
+    pub fn new(in_ch: usize, out_ch: usize, kernel: usize, seed: u64) -> Conv1d {
+        assert!(
+            in_ch > 0 && out_ch > 0 && kernel > 0,
+            "conv dims must be positive"
+        );
+        let mut rng = StdRng::seed_from_u64(seed);
+        let fan_in = (in_ch * kernel) as f64;
+        let scale = (2.0 / fan_in).sqrt();
+        let mut weights = Matrix::zeros(out_ch, in_ch * kernel);
+        for o in 0..out_ch {
+            for w in weights.row_mut(o) {
+                // Box-Muller standard normal.
+                let u1: f64 = rng.random::<f64>().max(1e-12);
+                let u2: f64 = rng.random();
+                *w = scale * (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+            }
+        }
+        Conv1d {
+            in_ch,
+            out_ch,
+            kernel,
+            grad_w: Matrix::zeros(out_ch, in_ch * kernel),
+            grad_b: vec![0.0; out_ch],
+            adam_w: Adam::new(out_ch * in_ch * kernel),
+            adam_b: Adam::new(out_ch),
+            weights,
+            bias: vec![0.0; out_ch],
+            cache: Vec::new(),
+        }
+    }
+
+    /// Output channel count.
+    pub fn out_channels(&self) -> usize {
+        self.out_ch
+    }
+
+    /// Forward pass over a batch; caches inputs for backward.
+    ///
+    /// # Panics
+    /// When an input's channel count differs from `in_ch`.
+    pub fn forward(&mut self, batch: &[Matrix]) -> Vec<Matrix> {
+        let pad = self.kernel / 2;
+        let mut outputs = Vec::with_capacity(batch.len());
+        for x in batch {
+            assert_eq!(x.rows(), self.in_ch, "conv input channel mismatch");
+            let t_len = x.cols();
+            let mut out = Matrix::zeros(self.out_ch, t_len);
+            for o in 0..self.out_ch {
+                let w_row = self.weights.row(o).to_vec();
+                let out_row = out.row_mut(o);
+                for (t, slot) in out_row.iter_mut().enumerate() {
+                    let mut acc = self.bias[o];
+                    for ic in 0..self.in_ch {
+                        let x_row = x.row(ic);
+                        let w_off = ic * self.kernel;
+                        for kk in 0..self.kernel {
+                            let ti = t as isize + kk as isize - pad as isize;
+                            if ti >= 0 && (ti as usize) < t_len {
+                                acc += w_row[w_off + kk] * x_row[ti as usize];
+                            }
+                        }
+                    }
+                    *slot = acc;
+                }
+            }
+            outputs.push(out);
+        }
+        self.cache = batch.to_vec();
+        outputs
+    }
+
+    /// Backward pass: consumes output gradients, accumulates averaged
+    /// parameter gradients, returns input gradients.
+    ///
+    /// # Panics
+    /// When called before `forward` or with a mismatched batch size.
+    pub fn backward(&mut self, grads: &[Matrix]) -> Vec<Matrix> {
+        assert_eq!(
+            grads.len(),
+            self.cache.len(),
+            "conv backward batch mismatch"
+        );
+        let pad = self.kernel / 2;
+        self.grad_w.as_mut_slice().fill(0.0);
+        self.grad_b.fill(0.0);
+        let scale = 1.0 / grads.len() as f64;
+        let mut input_grads = Vec::with_capacity(grads.len());
+        for (x, dout) in self.cache.iter().zip(grads) {
+            let t_len = x.cols();
+            let mut dx = Matrix::zeros(self.in_ch, t_len);
+            for o in 0..self.out_ch {
+                let d_row = dout.row(o);
+                self.grad_b[o] += scale * d_row.iter().sum::<f64>();
+                for ic in 0..self.in_ch {
+                    let x_row = x.row(ic);
+                    let w_off = ic * self.kernel;
+                    for kk in 0..self.kernel {
+                        // dW[o][ic,kk] = Σ_t dOut[o][t] * x[ic][t+kk-pad]
+                        let mut acc = 0.0;
+                        for (t, &d) in d_row.iter().enumerate() {
+                            let ti = t as isize + kk as isize - pad as isize;
+                            if ti >= 0 && (ti as usize) < t_len {
+                                acc += d * x_row[ti as usize];
+                            }
+                        }
+                        self.grad_w[(o, w_off + kk)] += scale * acc;
+                        // dX[ic][ti] += w[o][ic,kk] * dOut[o][t]
+                        let w = self.weights[(o, w_off + kk)];
+                        if w != 0.0 {
+                            let dx_row = dx.row_mut(ic);
+                            for (t, &d) in d_row.iter().enumerate() {
+                                let ti = t as isize + kk as isize - pad as isize;
+                                if ti >= 0 && (ti as usize) < t_len {
+                                    dx_row[ti as usize] += w * d;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            input_grads.push(dx);
+        }
+        input_grads
+    }
+
+    /// Adam update using the gradients accumulated by `backward`.
+    pub fn step(&mut self, lr: f64) {
+        self.adam_w
+            .step(lr, self.weights.as_mut_slice(), self.grad_w.as_slice());
+        self.adam_b.step(lr, &mut self.bias, &self.grad_b);
+    }
+
+    #[cfg(test)]
+    pub(crate) fn weights_mut(&mut self) -> &mut Matrix {
+        &mut self.weights
+    }
+
+    #[cfg(test)]
+    pub(crate) fn grad_w(&self) -> &Matrix {
+        &self.grad_w
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn single(x: Matrix) -> Vec<Matrix> {
+        vec![x]
+    }
+
+    #[test]
+    fn identity_kernel_passes_signal_through() {
+        let mut conv = Conv1d::new(1, 1, 3, 0);
+        // Set kernel to [0, 1, 0] = identity with same padding.
+        let w = conv.weights_mut();
+        w[(0, 0)] = 0.0;
+        w[(0, 1)] = 1.0;
+        w[(0, 2)] = 0.0;
+        conv.bias[0] = 0.5;
+        let x = Matrix::from_rows(&[vec![1.0, 2.0, 3.0]]).unwrap();
+        let out = conv.forward(&single(x));
+        assert_eq!(out[0].row(0), &[1.5, 2.5, 3.5]);
+    }
+
+    #[test]
+    fn same_padding_keeps_length() {
+        let mut conv = Conv1d::new(2, 4, 5, 1);
+        let x = Matrix::zeros(2, 7);
+        let out = conv.forward(&single(x));
+        assert_eq!(out[0].rows(), 4);
+        assert_eq!(out[0].cols(), 7);
+    }
+
+    #[test]
+    fn gradient_check_weights() {
+        let mut conv = Conv1d::new(2, 2, 3, 3);
+        let x = Matrix::from_rows(&[vec![0.5, -1.0, 2.0, 0.3], vec![1.0, 0.1, -0.4, 0.8]]).unwrap();
+        // Loss = sum of outputs; dLoss/dOut = ones.
+        let out = conv.forward(&single(x.clone()));
+        let ones = Matrix::from_vec(2, 4, vec![1.0; 8]).unwrap();
+        conv.backward(&[ones]);
+        let analytic = conv.grad_w().clone();
+        let eps = 1e-6;
+        for o in 0..2 {
+            for j in 0..6 {
+                let orig = conv.weights[(o, j)];
+                conv.weights[(o, j)] = orig + eps;
+                let up: f64 = conv.forward(&single(x.clone()))[0].as_slice().iter().sum();
+                conv.weights[(o, j)] = orig - eps;
+                let down: f64 = conv.forward(&single(x.clone()))[0].as_slice().iter().sum();
+                conv.weights[(o, j)] = orig;
+                let numeric = (up - down) / (2.0 * eps);
+                assert!(
+                    (numeric - analytic[(o, j)]).abs() < 1e-5,
+                    "dW[{o},{j}]: numeric {numeric} vs analytic {}",
+                    analytic[(o, j)]
+                );
+            }
+        }
+        drop(out);
+    }
+
+    #[test]
+    fn gradient_check_inputs() {
+        let mut conv = Conv1d::new(1, 2, 3, 4);
+        let x = Matrix::from_rows(&[vec![0.2, -0.7, 1.1]]).unwrap();
+        conv.forward(&single(x.clone()));
+        let ones = Matrix::from_vec(2, 3, vec![1.0; 6]).unwrap();
+        let dx = conv.backward(&[ones])[0].clone();
+        let eps = 1e-6;
+        for t in 0..3 {
+            let mut xp = x.clone();
+            xp[(0, t)] += eps;
+            let up: f64 = conv.forward(&single(xp))[0].as_slice().iter().sum();
+            let mut xm = x.clone();
+            xm[(0, t)] -= eps;
+            let down: f64 = conv.forward(&single(xm))[0].as_slice().iter().sum();
+            let numeric = (up - down) / (2.0 * eps);
+            assert!(
+                (numeric - dx[(0, t)]).abs() < 1e-5,
+                "dX[{t}]: numeric {numeric} vs analytic {}",
+                dx[(0, t)]
+            );
+        }
+    }
+
+    #[test]
+    fn training_reduces_loss_on_toy_regression() {
+        // Learn out ≈ 2 * x with a 1-tap effective kernel.
+        let mut conv = Conv1d::new(1, 1, 3, 5);
+        let x = Matrix::from_rows(&[vec![1.0, -1.0, 0.5, 2.0]]).unwrap();
+        let target = [2.0, -2.0, 1.0, 4.0];
+        let mut first_loss = None;
+        let mut last_loss = 0.0;
+        for _ in 0..300 {
+            let out = conv.forward(&single(x.clone()));
+            let mut grad = Matrix::zeros(1, 4);
+            let mut loss = 0.0;
+            for t in 0..4 {
+                let diff = out[0][(0, t)] - target[t];
+                loss += diff * diff;
+                grad[(0, t)] = 2.0 * diff;
+            }
+            conv.backward(&[grad]);
+            conv.step(0.05);
+            first_loss.get_or_insert(loss);
+            last_loss = loss;
+        }
+        assert!(last_loss < first_loss.unwrap() * 0.01, "loss {last_loss}");
+    }
+}

@@ -1,0 +1,189 @@
+//! Fully-connected layer over plain feature vectors.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::linalg::Matrix;
+use crate::nn::adam::Adam;
+
+/// Dense (fully-connected) layer: `out = W x + b`.
+#[derive(Debug, Clone)]
+pub struct Dense {
+    in_dim: usize,
+    out_dim: usize,
+    /// `out_dim × in_dim`.
+    weights: Matrix,
+    bias: Vec<f64>,
+    grad_w: Matrix,
+    grad_b: Vec<f64>,
+    adam_w: Adam,
+    adam_b: Adam,
+    cache: Vec<Vec<f64>>,
+}
+
+impl Dense {
+    /// Xavier-initialised dense layer.
+    pub fn new(in_dim: usize, out_dim: usize, seed: u64) -> Dense {
+        assert!(in_dim > 0 && out_dim > 0, "dense dims must be positive");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let scale = (1.0 / in_dim as f64).sqrt();
+        let mut weights = Matrix::zeros(out_dim, in_dim);
+        for o in 0..out_dim {
+            for w in weights.row_mut(o) {
+                *w = scale * (rng.random::<f64>() * 2.0 - 1.0);
+            }
+        }
+        Dense {
+            in_dim,
+            out_dim,
+            grad_w: Matrix::zeros(out_dim, in_dim),
+            grad_b: vec![0.0; out_dim],
+            adam_w: Adam::new(out_dim * in_dim),
+            adam_b: Adam::new(out_dim),
+            weights,
+            bias: vec![0.0; out_dim],
+            cache: Vec::new(),
+        }
+    }
+
+    /// Output dimensionality.
+    pub fn out_dim(&self) -> usize {
+        self.out_dim
+    }
+
+    /// Forward over a batch of vectors; caches inputs.
+    ///
+    /// # Panics
+    /// On input dimension mismatch.
+    pub fn forward(&mut self, batch: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        let outs = batch
+            .iter()
+            .map(|x| {
+                assert_eq!(x.len(), self.in_dim, "dense input dim mismatch");
+                (0..self.out_dim)
+                    .map(|o| crate::linalg::dot(self.weights.row(o), x) + self.bias[o])
+                    .collect()
+            })
+            .collect();
+        self.cache = batch.to_vec();
+        outs
+    }
+
+    /// Inference forward without caching.
+    pub fn forward_eval(&self, x: &[f64]) -> Vec<f64> {
+        (0..self.out_dim)
+            .map(|o| crate::linalg::dot(self.weights.row(o), x) + self.bias[o])
+            .collect()
+    }
+
+    /// Backward: accumulates averaged parameter grads, returns input grads.
+    ///
+    /// # Panics
+    /// On batch mismatch with the cached forward.
+    pub fn backward(&mut self, grads: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        assert_eq!(
+            grads.len(),
+            self.cache.len(),
+            "dense backward batch mismatch"
+        );
+        self.grad_w.as_mut_slice().fill(0.0);
+        self.grad_b.fill(0.0);
+        let scale = 1.0 / grads.len().max(1) as f64;
+        let mut input_grads = Vec::with_capacity(grads.len());
+        for (x, dout) in self.cache.iter().zip(grads) {
+            let mut dx = vec![0.0; self.in_dim];
+            for (o, &d) in dout.iter().enumerate() {
+                self.grad_b[o] += scale * d;
+                let w_row = self.weights.row(o);
+                let gw_row = self.grad_w.row_mut(o);
+                for j in 0..self.in_dim {
+                    gw_row[j] += scale * d * x[j];
+                    dx[j] += d * w_row[j];
+                }
+            }
+            input_grads.push(dx);
+        }
+        input_grads
+    }
+
+    /// Adam update.
+    pub fn step(&mut self, lr: f64) {
+        self.adam_w
+            .step(lr, self.weights.as_mut_slice(), self.grad_w.as_slice());
+        self.adam_b.step(lr, &mut self.bias, &self.grad_b);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_computes_affine_map() {
+        let mut d = Dense::new(2, 1, 0);
+        d.weights[(0, 0)] = 2.0;
+        d.weights[(0, 1)] = -1.0;
+        d.bias[0] = 0.5;
+        let out = d.forward(&[vec![3.0, 1.0]]);
+        assert!((out[0][0] - 5.5).abs() < 1e-12);
+        assert_eq!(d.forward_eval(&[3.0, 1.0]), out[0]);
+    }
+
+    #[test]
+    fn gradient_check() {
+        let mut d = Dense::new(3, 2, 1);
+        let x = vec![0.4, -1.2, 0.7];
+        let out = d.forward(std::slice::from_ref(&x));
+        // Loss = Σ out²
+        let g: Vec<f64> = out[0].iter().map(|&v| 2.0 * v).collect();
+        let dx = d.backward(&[g])[0].clone();
+        let eps = 1e-6;
+        let loss = |d: &Dense, x: &[f64]| -> f64 { d.forward_eval(x).iter().map(|v| v * v).sum() };
+        for j in 0..3 {
+            let mut xp = x.clone();
+            xp[j] += eps;
+            let mut xm = x.clone();
+            xm[j] -= eps;
+            let numeric = (loss(&d, &xp) - loss(&d, &xm)) / (2.0 * eps);
+            assert!((numeric - dx[j]).abs() < 1e-5, "dx[{j}]");
+        }
+        // Weight gradients.
+        let analytic = d.grad_w.clone();
+        for o in 0..2 {
+            for j in 0..3 {
+                let orig = d.weights[(o, j)];
+                d.weights[(o, j)] = orig + eps;
+                let up = loss(&d, &x);
+                d.weights[(o, j)] = orig - eps;
+                let down = loss(&d, &x);
+                d.weights[(o, j)] = orig;
+                let numeric = (up - down) / (2.0 * eps);
+                assert!((numeric - analytic[(o, j)]).abs() < 1e-5, "dW[{o},{j}]");
+            }
+        }
+    }
+
+    #[test]
+    fn learns_linear_target() {
+        let mut d = Dense::new(1, 1, 2);
+        let mut last = f64::INFINITY;
+        for _ in 0..500 {
+            let batch: Vec<Vec<f64>> = (0..8).map(|i| vec![i as f64 / 4.0 - 1.0]).collect();
+            let outs = d.forward(&batch);
+            let mut grads = Vec::new();
+            let mut loss = 0.0;
+            for (x, out) in batch.iter().zip(&outs) {
+                let target = 3.0 * x[0] - 1.0;
+                let diff = out[0] - target;
+                loss += diff * diff;
+                grads.push(vec![2.0 * diff]);
+            }
+            d.backward(&grads);
+            d.step(0.05);
+            last = loss;
+        }
+        assert!(last < 1e-3, "final loss {last}");
+        assert!((d.weights[(0, 0)] - 3.0).abs() < 0.05);
+        assert!((d.bias[0] + 1.0).abs() < 0.05);
+    }
+}

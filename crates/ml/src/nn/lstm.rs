@@ -1,0 +1,369 @@
+//! LSTM layer with full backpropagation-through-time.
+//!
+//! Processes `input_size × steps` feature maps column-by-column and emits
+//! the final hidden state (the summary vector MLSTM-FCN's recurrent branch
+//! concatenates with the FCN branch). The reference MLSTM-FCN uses an
+//! attention-variant in one configuration; we implement the plain LSTM
+//! configuration (see DESIGN.md, Substitution 3).
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::linalg::Matrix;
+use crate::nn::adam::Adam;
+use crate::nn::sigmoid;
+
+/// LSTM layer returning the last hidden state.
+#[derive(Debug, Clone)]
+pub struct Lstm {
+    input_size: usize,
+    hidden: usize,
+    /// Input weights `4H × D`, gate order `[i, f, g, o]`.
+    w: Matrix,
+    /// Recurrent weights `4H × H`.
+    u: Matrix,
+    /// Bias `4H` (forget-gate bias initialised to 1).
+    b: Vec<f64>,
+    grad_w: Matrix,
+    grad_u: Matrix,
+    grad_b: Vec<f64>,
+    adam_w: Adam,
+    adam_u: Adam,
+    adam_b: Adam,
+    cache: Vec<SampleCache>,
+}
+
+#[derive(Debug, Clone)]
+struct StepCache {
+    x: Vec<f64>,
+    h_prev: Vec<f64>,
+    c_prev: Vec<f64>,
+    i: Vec<f64>,
+    f: Vec<f64>,
+    g: Vec<f64>,
+    o: Vec<f64>,
+    c: Vec<f64>,
+    tanh_c: Vec<f64>,
+}
+
+#[derive(Debug, Clone)]
+struct SampleCache {
+    steps: Vec<StepCache>,
+}
+
+impl Lstm {
+    /// Xavier-initialised LSTM with forget-gate bias 1.
+    pub fn new(input_size: usize, hidden: usize, seed: u64) -> Lstm {
+        assert!(input_size > 0 && hidden > 0, "lstm dims must be positive");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut w = Matrix::zeros(4 * hidden, input_size);
+        let mut u = Matrix::zeros(4 * hidden, hidden);
+        let sw = (1.0 / input_size as f64).sqrt();
+        let su = (1.0 / hidden as f64).sqrt();
+        for r in 0..4 * hidden {
+            for v in w.row_mut(r) {
+                *v = sw * (rng.random::<f64>() * 2.0 - 1.0);
+            }
+            for v in u.row_mut(r) {
+                *v = su * (rng.random::<f64>() * 2.0 - 1.0);
+            }
+        }
+        let mut b = vec![0.0; 4 * hidden];
+        for bf in b.iter_mut().skip(hidden).take(hidden) {
+            *bf = 1.0; // forget-gate bias
+        }
+        Lstm {
+            input_size,
+            hidden,
+            grad_w: Matrix::zeros(4 * hidden, input_size),
+            grad_u: Matrix::zeros(4 * hidden, hidden),
+            grad_b: vec![0.0; 4 * hidden],
+            adam_w: Adam::new(4 * hidden * input_size),
+            adam_u: Adam::new(4 * hidden * hidden),
+            adam_b: Adam::new(4 * hidden),
+            w,
+            u,
+            b,
+            cache: Vec::new(),
+        }
+    }
+
+    /// Hidden-state size.
+    pub fn hidden(&self) -> usize {
+        self.hidden
+    }
+
+    /// Forward over a batch of `input_size × steps` maps; returns the
+    /// final hidden state per sample and caches everything for BPTT.
+    ///
+    /// # Panics
+    /// On input-size mismatch or zero-length sequences.
+    pub fn forward(&mut self, batch: &[Matrix]) -> Vec<Vec<f64>> {
+        self.cache.clear();
+        let mut outs = Vec::with_capacity(batch.len());
+        for sample in batch {
+            assert_eq!(sample.rows(), self.input_size, "lstm input size mismatch");
+            assert!(sample.cols() > 0, "lstm needs at least one step");
+            let mut h = vec![0.0; self.hidden];
+            let mut c = vec![0.0; self.hidden];
+            let mut steps = Vec::with_capacity(sample.cols());
+            for t in 0..sample.cols() {
+                let x: Vec<f64> = (0..self.input_size).map(|d| sample[(d, t)]).collect();
+                let step = self.step_forward(&x, &h, &c);
+                h = gate_elementwise(&step.o, &step.tanh_c);
+                c = step.c.clone();
+                steps.push(step);
+            }
+            self.cache.push(SampleCache { steps });
+            outs.push(h);
+        }
+        outs
+    }
+
+    fn step_forward(&self, x: &[f64], h_prev: &[f64], c_prev: &[f64]) -> StepCache {
+        let hn = self.hidden;
+        let mut pre = self.b.clone();
+        for (r, p) in pre.iter_mut().enumerate() {
+            *p += crate::linalg::dot(self.w.row(r), x) + crate::linalg::dot(self.u.row(r), h_prev);
+        }
+        let i: Vec<f64> = pre[..hn].iter().map(|&v| sigmoid(v)).collect();
+        let f: Vec<f64> = pre[hn..2 * hn].iter().map(|&v| sigmoid(v)).collect();
+        let g: Vec<f64> = pre[2 * hn..3 * hn].iter().map(|&v| v.tanh()).collect();
+        let o: Vec<f64> = pre[3 * hn..].iter().map(|&v| sigmoid(v)).collect();
+        let c: Vec<f64> = (0..hn).map(|j| f[j] * c_prev[j] + i[j] * g[j]).collect();
+        let tanh_c: Vec<f64> = c.iter().map(|&v| v.tanh()).collect();
+        StepCache {
+            x: x.to_vec(),
+            h_prev: h_prev.to_vec(),
+            c_prev: c_prev.to_vec(),
+            i,
+            f,
+            g,
+            o,
+            c,
+            tanh_c,
+        }
+    }
+
+    /// BPTT from gradients of the final hidden states; returns input
+    /// gradients shaped like the forward inputs.
+    ///
+    /// # Panics
+    /// On batch mismatch with the cached forward.
+    pub fn backward(&mut self, grads_h: &[Vec<f64>]) -> Vec<Matrix> {
+        assert_eq!(
+            grads_h.len(),
+            self.cache.len(),
+            "lstm backward batch mismatch"
+        );
+        self.grad_w.as_mut_slice().fill(0.0);
+        self.grad_u.as_mut_slice().fill(0.0);
+        self.grad_b.fill(0.0);
+        let scale = 1.0 / grads_h.len().max(1) as f64;
+        let hn = self.hidden;
+        let mut input_grads = Vec::with_capacity(grads_h.len());
+        let cache = std::mem::take(&mut self.cache);
+        for (sample, dh_last) in cache.iter().zip(grads_h) {
+            let steps = &sample.steps;
+            let t_len = steps.len();
+            let mut dx_all = Matrix::zeros(self.input_size, t_len);
+            let mut dh = dh_last.clone();
+            let mut dc = vec![0.0; hn];
+            for t in (0..t_len).rev() {
+                let s = &steps[t];
+                // h = o * tanh(c)
+                let mut d_o = vec![0.0; hn];
+                for j in 0..hn {
+                    d_o[j] = dh[j] * s.tanh_c[j];
+                    dc[j] += dh[j] * s.o[j] * (1.0 - s.tanh_c[j] * s.tanh_c[j]);
+                }
+                // c = f * c_prev + i * g
+                let mut d_i = vec![0.0; hn];
+                let mut d_f = vec![0.0; hn];
+                let mut d_g = vec![0.0; hn];
+                let mut dc_prev = vec![0.0; hn];
+                for j in 0..hn {
+                    d_f[j] = dc[j] * s.c_prev[j];
+                    d_i[j] = dc[j] * s.g[j];
+                    d_g[j] = dc[j] * s.i[j];
+                    dc_prev[j] = dc[j] * s.f[j];
+                }
+                // Pre-activation gradients (gate order [i, f, g, o]).
+                let mut dpre = vec![0.0; 4 * hn];
+                for j in 0..hn {
+                    dpre[j] = d_i[j] * s.i[j] * (1.0 - s.i[j]);
+                    dpre[hn + j] = d_f[j] * s.f[j] * (1.0 - s.f[j]);
+                    dpre[2 * hn + j] = d_g[j] * (1.0 - s.g[j] * s.g[j]);
+                    dpre[3 * hn + j] = d_o[j] * s.o[j] * (1.0 - s.o[j]);
+                }
+                // Parameter grads and upstream grads.
+                let mut dh_prev = vec![0.0; hn];
+                let mut dx = vec![0.0; self.input_size];
+                for (r, &dp) in dpre.iter().enumerate() {
+                    if dp == 0.0 {
+                        continue;
+                    }
+                    self.grad_b[r] += scale * dp;
+                    let gw_row = self.grad_w.row_mut(r);
+                    for (d, slot) in gw_row.iter_mut().enumerate() {
+                        *slot += scale * dp * s.x[d];
+                    }
+                    let gu_row = self.grad_u.row_mut(r);
+                    for (j, slot) in gu_row.iter_mut().enumerate() {
+                        *slot += scale * dp * s.h_prev[j];
+                    }
+                    let w_row = self.w.row(r);
+                    for (d, dxd) in dx.iter_mut().enumerate() {
+                        *dxd += dp * w_row[d];
+                    }
+                    let u_row = self.u.row(r);
+                    for (j, dhj) in dh_prev.iter_mut().enumerate() {
+                        *dhj += dp * u_row[j];
+                    }
+                }
+                for (d, &v) in dx.iter().enumerate() {
+                    dx_all[(d, t)] = v;
+                }
+                dh = dh_prev;
+                dc = dc_prev;
+            }
+            input_grads.push(dx_all);
+        }
+        input_grads
+    }
+
+    /// Adam update.
+    pub fn step(&mut self, lr: f64) {
+        self.adam_w
+            .step(lr, self.w.as_mut_slice(), self.grad_w.as_slice());
+        self.adam_u
+            .step(lr, self.u.as_mut_slice(), self.grad_u.as_slice());
+        self.adam_b.step(lr, &mut self.b, &self.grad_b);
+    }
+}
+
+fn gate_elementwise(a: &[f64], b: &[f64]) -> Vec<f64> {
+    a.iter().zip(b).map(|(x, y)| x * y).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_shapes_and_determinism() {
+        let mut lstm = Lstm::new(3, 4, 0);
+        let x = Matrix::zeros(3, 5);
+        let h = lstm.forward(std::slice::from_ref(&x));
+        assert_eq!(h.len(), 1);
+        assert_eq!(h[0].len(), 4);
+        let mut lstm2 = Lstm::new(3, 4, 0);
+        assert_eq!(lstm2.forward(std::slice::from_ref(&x)), h);
+    }
+
+    #[test]
+    fn hidden_state_bounded_by_tanh() {
+        let mut lstm = Lstm::new(1, 2, 1);
+        let x = Matrix::from_rows(&[vec![100.0, -100.0, 50.0]]).unwrap();
+        let h = lstm.forward(std::slice::from_ref(&x));
+        assert!(h[0].iter().all(|v| v.abs() <= 1.0));
+    }
+
+    #[test]
+    fn gradient_check_inputs() {
+        let mut lstm = Lstm::new(2, 3, 2);
+        let x = Matrix::from_rows(&[vec![0.3, -0.5, 0.8], vec![-0.2, 0.6, 0.1]]).unwrap();
+        let h = lstm.forward(std::slice::from_ref(&x));
+        // Loss = Σ h², dL/dh = 2h.
+        let gh: Vec<f64> = h[0].iter().map(|&v| 2.0 * v).collect();
+        let dx = lstm.backward(&[gh])[0].clone();
+        let eps = 1e-6;
+        let loss = |lstm: &mut Lstm, x: &Matrix| -> f64 {
+            lstm.forward(std::slice::from_ref(x))[0]
+                .iter()
+                .map(|v| v * v)
+                .sum()
+        };
+        for d in 0..2 {
+            for t in 0..3 {
+                let mut xp = x.clone();
+                xp[(d, t)] += eps;
+                let mut xm = x.clone();
+                xm[(d, t)] -= eps;
+                let numeric = (loss(&mut lstm, &xp) - loss(&mut lstm, &xm)) / (2.0 * eps);
+                assert!(
+                    (numeric - dx[(d, t)]).abs() < 1e-4,
+                    "dX[{d},{t}]: numeric {numeric} analytic {}",
+                    dx[(d, t)]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gradient_check_recurrent_weights() {
+        let mut lstm = Lstm::new(1, 2, 3);
+        let x = Matrix::from_rows(&[vec![0.5, -0.9, 0.2, 0.7]]).unwrap();
+        let h = lstm.forward(std::slice::from_ref(&x));
+        let gh: Vec<f64> = h[0].iter().map(|&v| 2.0 * v).collect();
+        lstm.backward(&[gh]);
+        let analytic = lstm.grad_u.clone();
+        let eps = 1e-6;
+        let loss = |lstm: &mut Lstm| -> f64 {
+            lstm.forward(std::slice::from_ref(&x))[0]
+                .iter()
+                .map(|v| v * v)
+                .sum()
+        };
+        for r in 0..8 {
+            for j in 0..2 {
+                let orig = lstm.u[(r, j)];
+                lstm.u[(r, j)] = orig + eps;
+                let up = loss(&mut lstm);
+                lstm.u[(r, j)] = orig - eps;
+                let down = loss(&mut lstm);
+                lstm.u[(r, j)] = orig;
+                let numeric = (up - down) / (2.0 * eps);
+                assert!(
+                    (numeric - analytic[(r, j)]).abs() < 1e-4,
+                    "dU[{r},{j}]: {numeric} vs {}",
+                    analytic[(r, j)]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn learns_sequence_sign_task() {
+        // Target: sign of the sum of the inputs, mapped to h ≈ ±0.8 on
+        // the first hidden unit. A single LSTM cell can learn this.
+        let mut lstm = Lstm::new(1, 4, 4);
+        let seqs: Vec<(Matrix, f64)> = (0..12)
+            .map(|i| {
+                let v = if i % 2 == 0 { 0.5 } else { -0.5 };
+                (
+                    Matrix::from_rows(&[vec![v, v * 0.8, v * 1.2]]).unwrap(),
+                    if v > 0.0 { 0.8 } else { -0.8 },
+                )
+            })
+            .collect();
+        let mut last_loss = f64::INFINITY;
+        for _ in 0..300 {
+            let batch: Vec<Matrix> = seqs.iter().map(|(x, _)| x.clone()).collect();
+            let hs = lstm.forward(&batch);
+            let mut grads = Vec::new();
+            let mut loss = 0.0;
+            for (h, (_, target)) in hs.iter().zip(&seqs) {
+                let diff = h[0] - target;
+                loss += diff * diff;
+                let mut g = vec![0.0; 4];
+                g[0] = 2.0 * diff;
+                grads.push(g);
+            }
+            lstm.backward(&grads);
+            lstm.step(0.02);
+            last_loss = loss;
+        }
+        assert!(last_loss < 0.05, "final loss {last_loss}");
+    }
+}

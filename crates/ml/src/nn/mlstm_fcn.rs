@@ -1,0 +1,481 @@
+//! MLSTM-FCN (Karim et al. 2019): the multivariate LSTM fully-convolutional
+//! network the paper's S-MLSTM variant wraps.
+//!
+//! Two branches over the same `vars × time` input:
+//!
+//! * **FCN**: Conv(k=8) → BN → ReLU → SE, Conv(k=5) → BN → ReLU → SE,
+//!   Conv(k=3) → BN → ReLU, global average pooling;
+//! * **LSTM**: a plain LSTM over the dimension-shuffled input (the series
+//!   is transposed so the LSTM sees `vars` steps of `time`-dimensional
+//!   features, as in the reference implementation), followed by dropout.
+//!
+//! The branch outputs are concatenated into a softmax head trained with
+//! cross-entropy and Adam. Default filter widths are reduced from the
+//! paper's 128/256/128 for CPU runtime (DESIGN.md, Substitution 3); the
+//! original sizes are available through [`MlstmFcnConfig`].
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::error::MlError;
+use crate::linalg::Matrix;
+use crate::nn::batchnorm::BatchNorm1d;
+use crate::nn::conv::Conv1d;
+use crate::nn::dense::Dense;
+use crate::nn::lstm::Lstm;
+use crate::nn::se::SqueezeExcite;
+use crate::nn::{relu_backward, relu_forward};
+
+/// Hyper-parameters for [`MlstmFcn`].
+#[derive(Debug, Clone)]
+pub struct MlstmFcnConfig {
+    /// Filter counts of the three conv blocks (paper: 128/256/128).
+    pub filters: [usize; 3],
+    /// LSTM cell count (the paper grid-searches {8, 64, 128}).
+    pub lstm_cells: usize,
+    /// Dropout rate on the LSTM branch output.
+    pub dropout: f64,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Adam learning rate.
+    pub learning_rate: f64,
+    /// Dimension shuffle: feed the LSTM `vars` steps of `time` features
+    /// (reference behaviour) instead of `time` steps of `vars` features.
+    pub dimension_shuffle: bool,
+    /// RNG seed (init, shuffling, dropout).
+    pub seed: u64,
+}
+
+impl Default for MlstmFcnConfig {
+    fn default() -> Self {
+        MlstmFcnConfig {
+            filters: [32, 64, 32],
+            lstm_cells: 8,
+            dropout: 0.3,
+            epochs: 60,
+            batch_size: 16,
+            learning_rate: 0.01,
+            dimension_shuffle: true,
+            seed: 21,
+        }
+    }
+}
+
+/// The MLSTM-FCN network.
+#[derive(Debug, Clone)]
+pub struct MlstmFcn {
+    config: MlstmFcnConfig,
+    layers: Option<Layers>,
+    n_classes: usize,
+    vars: usize,
+    len: usize,
+}
+
+#[derive(Debug, Clone)]
+struct Layers {
+    conv1: Conv1d,
+    bn1: BatchNorm1d,
+    se1: SqueezeExcite,
+    conv2: Conv1d,
+    bn2: BatchNorm1d,
+    se2: SqueezeExcite,
+    conv3: Conv1d,
+    bn3: BatchNorm1d,
+    lstm: Lstm,
+    head: Dense,
+}
+
+impl MlstmFcn {
+    /// Untrained network with the given hyper-parameters.
+    pub fn new(config: MlstmFcnConfig) -> Self {
+        MlstmFcn {
+            config,
+            layers: None,
+            n_classes: 0,
+            vars: 0,
+            len: 0,
+        }
+    }
+
+    /// Untrained network with CPU-friendly defaults.
+    pub fn with_defaults() -> Self {
+        Self::new(MlstmFcnConfig::default())
+    }
+
+    fn lstm_input(&self, sample: &Matrix) -> Matrix {
+        if self.config.dimension_shuffle {
+            sample.transpose()
+        } else {
+            sample.clone()
+        }
+    }
+
+    /// Trains on `vars × time` samples with dense labels.
+    ///
+    /// # Errors
+    /// Standard validation failures ([`MlError`] variants).
+    pub fn fit(
+        &mut self,
+        samples: &[Matrix],
+        y: &[usize],
+        n_classes: usize,
+    ) -> Result<(), MlError> {
+        if samples.is_empty() {
+            return Err(MlError::EmptyTrainingSet);
+        }
+        if samples.len() != y.len() {
+            return Err(MlError::DimensionMismatch {
+                expected: samples.len(),
+                got: y.len(),
+            });
+        }
+        if n_classes < 2 {
+            return Err(MlError::InvalidLabels("need at least 2 classes".into()));
+        }
+        if let Some(&bad) = y.iter().find(|&&l| l >= n_classes) {
+            return Err(MlError::InvalidLabels(format!("label {bad} out of range")));
+        }
+        let vars = samples[0].rows();
+        let len = samples[0].cols();
+        if len == 0 || vars == 0 {
+            return Err(MlError::EmptyTrainingSet);
+        }
+        for s in samples {
+            if s.rows() != vars || s.cols() != len {
+                return Err(MlError::DimensionMismatch {
+                    expected: vars * len,
+                    got: s.rows() * s.cols(),
+                });
+            }
+        }
+        self.vars = vars;
+        self.len = len;
+        self.n_classes = n_classes;
+        let cfg = &self.config;
+        let seed = cfg.seed;
+        let [f1, f2, f3] = cfg.filters;
+        let lstm_in = if cfg.dimension_shuffle { len } else { vars };
+        let mut layers = Layers {
+            conv1: Conv1d::new(vars, f1, 8, seed),
+            bn1: BatchNorm1d::new(f1),
+            se1: SqueezeExcite::new(f1, 16, seed.wrapping_add(1)),
+            conv2: Conv1d::new(f1, f2, 5, seed.wrapping_add(2)),
+            bn2: BatchNorm1d::new(f2),
+            se2: SqueezeExcite::new(f2, 16, seed.wrapping_add(3)),
+            conv3: Conv1d::new(f2, f3, 3, seed.wrapping_add(4)),
+            bn3: BatchNorm1d::new(f3),
+            lstm: Lstm::new(lstm_in, cfg.lstm_cells, seed.wrapping_add(5)),
+            head: Dense::new(f3 + cfg.lstm_cells, n_classes, seed.wrapping_add(6)),
+        };
+
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_add(7));
+        let n = samples.len();
+        let mut order: Vec<usize> = (0..n).collect();
+        let batch_size = cfg.batch_size.max(1).min(n);
+        for _epoch in 0..cfg.epochs {
+            // Fisher-Yates via rand.
+            use rand::seq::SliceRandom;
+            order.shuffle(&mut rng);
+            for chunk in order.chunks(batch_size) {
+                let batch: Vec<Matrix> = chunk.iter().map(|&i| samples[i].clone()).collect();
+                let labels: Vec<usize> = chunk.iter().map(|&i| y[i]).collect();
+                self.train_step(&mut layers, &batch, &labels, &mut rng);
+            }
+        }
+        self.layers = Some(layers);
+        Ok(())
+    }
+
+    fn train_step(&self, l: &mut Layers, batch: &[Matrix], labels: &[usize], rng: &mut StdRng) {
+        let cfg = &self.config;
+        let bsz = batch.len();
+        let t_len = self.len as f64;
+
+        // ---- FCN branch forward ----
+        let a1 = l.conv1.forward(batch);
+        let mut b1 = l.bn1.forward_train(&a1);
+        let masks1: Vec<Vec<bool>> = b1
+            .iter_mut()
+            .map(|m| relu_forward(m.as_mut_slice()))
+            .collect();
+        let s1 = l.se1.forward(&b1);
+        let a2 = l.conv2.forward(&s1);
+        let mut b2 = l.bn2.forward_train(&a2);
+        let masks2: Vec<Vec<bool>> = b2
+            .iter_mut()
+            .map(|m| relu_forward(m.as_mut_slice()))
+            .collect();
+        let s2 = l.se2.forward(&b2);
+        let a3 = l.conv3.forward(&s2);
+        let mut b3 = l.bn3.forward_train(&a3);
+        let masks3: Vec<Vec<bool>> = b3
+            .iter_mut()
+            .map(|m| relu_forward(m.as_mut_slice()))
+            .collect();
+        // Global average pooling.
+        let gap: Vec<Vec<f64>> = b3
+            .iter()
+            .map(|m| {
+                (0..m.rows())
+                    .map(|c| m.row(c).iter().sum::<f64>() / t_len)
+                    .collect()
+            })
+            .collect();
+
+        // ---- LSTM branch forward ----
+        let lstm_in: Vec<Matrix> = batch.iter().map(|s| self.lstm_input(s)).collect();
+        let mut hs = l.lstm.forward(&lstm_in);
+        // Inverted dropout.
+        let mut drop_masks: Vec<Vec<bool>> = Vec::with_capacity(bsz);
+        if cfg.dropout > 0.0 {
+            let keep = 1.0 - cfg.dropout;
+            for h in hs.iter_mut() {
+                let mask: Vec<bool> = h.iter().map(|_| rng.random::<f64>() < keep).collect();
+                for (v, &m) in h.iter_mut().zip(&mask) {
+                    *v = if m { *v / keep } else { 0.0 };
+                }
+                drop_masks.push(mask);
+            }
+        } else {
+            drop_masks = vec![vec![true; cfg.lstm_cells]; bsz];
+        }
+
+        // ---- Head ----
+        let concat: Vec<Vec<f64>> = gap
+            .iter()
+            .zip(&hs)
+            .map(|(g, h)| {
+                let mut v = g.clone();
+                v.extend_from_slice(h);
+                v
+            })
+            .collect();
+        let logits = l.head.forward(&concat);
+
+        // Softmax + cross-entropy gradient.
+        let dlogits: Vec<Vec<f64>> = logits
+            .iter()
+            .zip(labels)
+            .map(|(z, &yi)| {
+                let p = crate::logistic::softmax(z);
+                p.iter()
+                    .enumerate()
+                    .map(|(c, &pc)| pc - if c == yi { 1.0 } else { 0.0 })
+                    .collect()
+            })
+            .collect();
+
+        // ---- Backward ----
+        let dconcat = l.head.backward(&dlogits);
+        let f3 = cfg.filters[2];
+        let dgap: Vec<&[f64]> = dconcat.iter().map(|v| &v[..f3]).collect();
+        let mut dh: Vec<Vec<f64>> = dconcat.iter().map(|v| v[f3..].to_vec()).collect();
+        // Dropout backward.
+        let keep = 1.0 - cfg.dropout;
+        for (h, mask) in dh.iter_mut().zip(&drop_masks) {
+            for (v, &m) in h.iter_mut().zip(mask) {
+                *v = if m && keep > 0.0 { *v / keep } else { 0.0 };
+            }
+        }
+        l.lstm.backward(&dh);
+
+        // GAP backward: spread over time.
+        let db3: Vec<Matrix> = dgap
+            .iter()
+            .map(|dg| {
+                let mut m = Matrix::zeros(f3, self.len);
+                for (c, &d) in dg.iter().enumerate() {
+                    let spread = d / t_len;
+                    for slot in m.row_mut(c) {
+                        *slot = spread;
+                    }
+                }
+                m
+            })
+            .collect();
+        let mut db3 = db3;
+        for (m, mask) in db3.iter_mut().zip(&masks3) {
+            relu_backward(m.as_mut_slice(), mask);
+        }
+        let da3 = l.bn3.backward(&db3);
+        let ds2 = l.conv3.backward(&da3);
+        let mut db2 = l.se2.backward(&ds2);
+        for (m, mask) in db2.iter_mut().zip(&masks2) {
+            relu_backward(m.as_mut_slice(), mask);
+        }
+        let da2 = l.bn2.backward(&db2);
+        let ds1 = l.conv2.backward(&da2);
+        let mut db1 = l.se1.backward(&ds1);
+        for (m, mask) in db1.iter_mut().zip(&masks1) {
+            relu_backward(m.as_mut_slice(), mask);
+        }
+        let da1 = l.bn1.backward(&db1);
+        let _ = l.conv1.backward(&da1);
+
+        // ---- Updates ----
+        let lr = cfg.learning_rate;
+        l.conv1.step(lr);
+        l.bn1.step(lr);
+        l.se1.step(lr);
+        l.conv2.step(lr);
+        l.bn2.step(lr);
+        l.se2.step(lr);
+        l.conv3.step(lr);
+        l.bn3.step(lr);
+        l.lstm.step(lr);
+        l.head.step(lr);
+    }
+
+    /// Class probabilities for one `vars × time` sample (inference mode).
+    ///
+    /// # Errors
+    /// [`MlError::NotFitted`] / [`MlError::DimensionMismatch`].
+    pub fn predict_proba(&self, sample: &Matrix) -> Result<Vec<f64>, MlError> {
+        let l = self.layers.as_ref().ok_or(MlError::NotFitted)?;
+        if sample.rows() != self.vars || sample.cols() != self.len {
+            return Err(MlError::DimensionMismatch {
+                expected: self.vars * self.len,
+                got: sample.rows() * sample.cols(),
+            });
+        }
+        // Clone the conv layers only for their (cheap) cached-forward API:
+        // convolution caches inputs on forward, which we don't want to
+        // mutate in a &self method.
+        let mut conv1 = l.conv1.clone();
+        let mut conv2 = l.conv2.clone();
+        let mut conv3 = l.conv3.clone();
+        let mut se1 = l.se1.clone();
+        let mut se2 = l.se2.clone();
+        let mut lstm = l.lstm.clone();
+
+        let batch = vec![sample.clone()];
+        let a1 = conv1.forward(&batch);
+        let mut b1 = l.bn1.forward_eval(&a1);
+        for m in &mut b1 {
+            relu_forward(m.as_mut_slice());
+        }
+        let s1 = se1.forward(&b1);
+        let a2 = conv2.forward(&s1);
+        let mut b2 = l.bn2.forward_eval(&a2);
+        for m in &mut b2 {
+            relu_forward(m.as_mut_slice());
+        }
+        let s2 = se2.forward(&b2);
+        let a3 = conv3.forward(&s2);
+        let mut b3 = l.bn3.forward_eval(&a3);
+        for m in &mut b3 {
+            relu_forward(m.as_mut_slice());
+        }
+        let t_len = self.len as f64;
+        let mut feat: Vec<f64> = (0..b3[0].rows())
+            .map(|c| b3[0].row(c).iter().sum::<f64>() / t_len)
+            .collect();
+        let h = lstm.forward(&[self.lstm_input(sample)]);
+        feat.extend_from_slice(&h[0]);
+        Ok(crate::logistic::softmax(&l.head.forward_eval(&feat)))
+    }
+
+    /// Hard prediction.
+    ///
+    /// # Errors
+    /// Propagates [`MlstmFcn::predict_proba`].
+    pub fn predict(&self, sample: &Matrix) -> Result<usize, MlError> {
+        Ok(crate::classifier::argmax(&self.predict_proba(sample)?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_dataset() -> (Vec<Matrix>, Vec<usize>) {
+        // Class 0: rising ramp; class 1: falling ramp (2 variables).
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for i in 0..12 {
+            let jitter = (i as f64 * 0.37).sin() * 0.1;
+            let up: Vec<f64> = (0..16).map(|t| t as f64 / 8.0 + jitter).collect();
+            let down: Vec<f64> = (0..16).map(|t| 2.0 - t as f64 / 8.0 - jitter).collect();
+            xs.push(Matrix::from_rows(&[up.clone(), down.clone()]).unwrap());
+            ys.push(0);
+            xs.push(Matrix::from_rows(&[down, up]).unwrap());
+            ys.push(1);
+        }
+        (xs, ys)
+    }
+
+    fn small_config() -> MlstmFcnConfig {
+        MlstmFcnConfig {
+            filters: [4, 8, 4],
+            lstm_cells: 4,
+            epochs: 40,
+            batch_size: 8,
+            dropout: 0.1,
+            ..MlstmFcnConfig::default()
+        }
+    }
+
+    #[test]
+    fn learns_ramp_direction() {
+        let (xs, ys) = toy_dataset();
+        let mut net = MlstmFcn::new(small_config());
+        net.fit(&xs, &ys, 2).unwrap();
+        let correct = xs
+            .iter()
+            .zip(&ys)
+            .filter(|(x, &y)| net.predict(x).unwrap() == y)
+            .count();
+        assert!(
+            correct as f64 / ys.len() as f64 > 0.9,
+            "train accuracy {correct}/{}",
+            ys.len()
+        );
+    }
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        let (xs, ys) = toy_dataset();
+        let mut net = MlstmFcn::new(small_config());
+        net.fit(&xs, &ys, 2).unwrap();
+        let p = net.predict_proba(&xs[0]).unwrap();
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn validation_failures() {
+        let mut net = MlstmFcn::new(small_config());
+        assert!(net.fit(&[], &[], 2).is_err());
+        let (xs, ys) = toy_dataset();
+        assert!(net.fit(&xs, &ys[..3], 2).is_err());
+        assert!(net.fit(&xs, &ys, 1).is_err());
+        let net2 = MlstmFcn::new(small_config());
+        assert!(matches!(
+            net2.predict_proba(&xs[0]),
+            Err(MlError::NotFitted)
+        ));
+    }
+
+    #[test]
+    fn shape_mismatch_at_predict() {
+        let (xs, ys) = toy_dataset();
+        let mut net = MlstmFcn::new(small_config());
+        net.fit(&xs, &ys, 2).unwrap();
+        let wrong = Matrix::zeros(2, 5);
+        assert!(net.predict_proba(&wrong).is_err());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (xs, ys) = toy_dataset();
+        let mut a = MlstmFcn::new(small_config());
+        let mut b = MlstmFcn::new(small_config());
+        a.fit(&xs, &ys, 2).unwrap();
+        b.fit(&xs, &ys, 2).unwrap();
+        assert_eq!(
+            a.predict_proba(&xs[0]).unwrap(),
+            b.predict_proba(&xs[0]).unwrap()
+        );
+    }
+}

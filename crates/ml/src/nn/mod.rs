@@ -1,0 +1,82 @@
+//! Neural-network layers with manual backpropagation.
+//!
+//! These compose into the MLSTM-FCN full-TSC model (Karim et al. 2019)
+//! that the paper's S-MLSTM variant wraps:
+//!
+//! * the FCN branch: [`conv::Conv1d`] → [`batchnorm::BatchNorm1d`] → ReLU
+//!   → [`se::SqueezeExcite`] (twice), a final conv block, and global
+//!   average pooling;
+//! * the recurrent branch: an [`lstm::Lstm`] over the (optionally
+//!   dimension-shuffled) input;
+//! * a softmax [`dense::Dense`] head over the concatenated branch outputs.
+//!
+//! Layers cache their forward activations and implement explicit
+//! `backward` passes; gradients are validated against finite differences
+//! in the test suites. The [`adam::Adam`] optimiser carries per-array
+//! moment estimates.
+//!
+//! Feature maps are represented as [`crate::linalg::Matrix`] values of
+//! shape `channels × time`, batched in plain `Vec`s.
+
+pub mod adam;
+pub mod batchnorm;
+pub mod conv;
+pub mod dense;
+pub mod lstm;
+pub mod mlstm_fcn;
+pub mod se;
+
+pub use adam::Adam;
+pub use mlstm_fcn::{MlstmFcn, MlstmFcnConfig};
+
+/// Leaky-free ReLU applied element-wise, returning the activation mask for
+/// the backward pass.
+pub(crate) fn relu_forward(x: &mut [f64]) -> Vec<bool> {
+    let mut mask = Vec::with_capacity(x.len());
+    for v in x.iter_mut() {
+        if *v > 0.0 {
+            mask.push(true);
+        } else {
+            *v = 0.0;
+            mask.push(false);
+        }
+    }
+    mask
+}
+
+/// Backward of ReLU given the stored mask.
+pub(crate) fn relu_backward(grad: &mut [f64], mask: &[bool]) {
+    for (g, &m) in grad.iter_mut().zip(mask) {
+        if !m {
+            *g = 0.0;
+        }
+    }
+}
+
+/// Logistic sigmoid.
+pub(crate) fn sigmoid(x: f64) -> f64 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_roundtrip() {
+        let mut x = vec![-1.0, 0.0, 2.0];
+        let mask = relu_forward(&mut x);
+        assert_eq!(x, vec![0.0, 0.0, 2.0]);
+        assert_eq!(mask, vec![false, false, true]);
+        let mut g = vec![1.0, 1.0, 1.0];
+        relu_backward(&mut g, &mask);
+        assert_eq!(g, vec![0.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn sigmoid_range() {
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-12);
+        assert!(sigmoid(100.0) > 0.999);
+        assert!(sigmoid(-100.0) < 0.001);
+    }
+}

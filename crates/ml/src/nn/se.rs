@@ -1,0 +1,291 @@
+//! Squeeze-and-excite block (Hu et al. 2018) for 1-D feature maps.
+//!
+//! Squeeze: global average pooling over time per channel. Excite: a
+//! two-layer bottleneck MLP ending in a sigmoid that rescales every
+//! channel. MLSTM-FCN inserts one of these after its first two conv
+//! blocks.
+
+// Indexed loops keep the gradient/index math readable here.
+#![allow(clippy::needless_range_loop)]
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::linalg::Matrix;
+use crate::nn::adam::Adam;
+use crate::nn::{relu_backward, relu_forward, sigmoid};
+
+/// Squeeze-and-excite block with reduction ratio `r`.
+#[derive(Debug, Clone)]
+pub struct SqueezeExcite {
+    channels: usize,
+    hidden: usize,
+    /// `hidden × channels`.
+    w1: Matrix,
+    /// `channels × hidden`.
+    w2: Matrix,
+    grad_w1: Matrix,
+    grad_w2: Matrix,
+    adam_w1: Adam,
+    adam_w2: Adam,
+    cache: Vec<SampleCache>,
+}
+
+#[derive(Debug, Clone)]
+struct SampleCache {
+    input: Matrix,
+    z: Vec<f64>,
+    u: Vec<f64>,
+    u_mask: Vec<bool>,
+    s: Vec<f64>,
+}
+
+impl SqueezeExcite {
+    /// New block; `reduction` divides the channel count for the bottleneck
+    /// (clamped so the hidden layer has at least one unit).
+    pub fn new(channels: usize, reduction: usize, seed: u64) -> SqueezeExcite {
+        assert!(channels > 0, "channels must be positive");
+        let hidden = (channels / reduction.max(1)).max(1);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut w1 = Matrix::zeros(hidden, channels);
+        let mut w2 = Matrix::zeros(channels, hidden);
+        let s1 = (1.0 / channels as f64).sqrt();
+        let s2 = (1.0 / hidden as f64).sqrt();
+        for o in 0..hidden {
+            for w in w1.row_mut(o) {
+                *w = s1 * (rng.random::<f64>() * 2.0 - 1.0);
+            }
+        }
+        for o in 0..channels {
+            for w in w2.row_mut(o) {
+                *w = s2 * (rng.random::<f64>() * 2.0 - 1.0);
+            }
+        }
+        SqueezeExcite {
+            channels,
+            hidden,
+            grad_w1: Matrix::zeros(hidden, channels),
+            grad_w2: Matrix::zeros(channels, hidden),
+            adam_w1: Adam::new(hidden * channels),
+            adam_w2: Adam::new(channels * hidden),
+            w1,
+            w2,
+            cache: Vec::new(),
+        }
+    }
+
+    /// Forward over a batch, caching per-sample intermediates.
+    ///
+    /// # Panics
+    /// On channel mismatch.
+    pub fn forward(&mut self, batch: &[Matrix]) -> Vec<Matrix> {
+        self.cache.clear();
+        let mut outs = Vec::with_capacity(batch.len());
+        for x in batch {
+            assert_eq!(x.rows(), self.channels, "SE channel mismatch");
+            let t_len = x.cols().max(1) as f64;
+            // Squeeze.
+            let z: Vec<f64> = (0..self.channels)
+                .map(|c| x.row(c).iter().sum::<f64>() / t_len)
+                .collect();
+            // Excite.
+            let mut u: Vec<f64> = (0..self.hidden)
+                .map(|h| crate::linalg::dot(self.w1.row(h), &z))
+                .collect();
+            let u_mask = relu_forward(&mut u);
+            let s: Vec<f64> = (0..self.channels)
+                .map(|c| sigmoid(crate::linalg::dot(self.w2.row(c), &u)))
+                .collect();
+            // Scale.
+            let mut out = Matrix::zeros(self.channels, x.cols());
+            for c in 0..self.channels {
+                let sc = s[c];
+                let out_row = out.row_mut(c);
+                for (j, &v) in x.row(c).iter().enumerate() {
+                    out_row[j] = v * sc;
+                }
+            }
+            self.cache.push(SampleCache {
+                input: x.clone(),
+                z,
+                u,
+                u_mask,
+                s,
+            });
+            outs.push(out);
+        }
+        outs
+    }
+
+    /// Backward pass; returns input gradients.
+    ///
+    /// # Panics
+    /// On batch mismatch with the cached forward.
+    pub fn backward(&mut self, grads: &[Matrix]) -> Vec<Matrix> {
+        assert_eq!(grads.len(), self.cache.len(), "SE backward batch mismatch");
+        self.grad_w1.as_mut_slice().fill(0.0);
+        self.grad_w2.as_mut_slice().fill(0.0);
+        let scale = 1.0 / grads.len().max(1) as f64;
+        let mut input_grads = Vec::with_capacity(grads.len());
+        for (cache, dout) in self.cache.iter().zip(grads) {
+            let x = &cache.input;
+            let t_len = x.cols().max(1) as f64;
+            let mut dx = Matrix::zeros(self.channels, x.cols());
+            // Direct path: dx = dout * s.
+            for c in 0..self.channels {
+                let sc = cache.s[c];
+                let dx_row = dx.row_mut(c);
+                for (j, &d) in dout.row(c).iter().enumerate() {
+                    dx_row[j] = d * sc;
+                }
+            }
+            // Gate path: ds_c = Σ_t dout[c][t] * x[c][t].
+            let ds: Vec<f64> = (0..self.channels)
+                .map(|c| {
+                    dout.row(c)
+                        .iter()
+                        .zip(x.row(c))
+                        .map(|(d, v)| d * v)
+                        .sum::<f64>()
+                })
+                .collect();
+            // Through the sigmoid.
+            let dpre2: Vec<f64> = ds
+                .iter()
+                .zip(&cache.s)
+                .map(|(&d, &s)| d * s * (1.0 - s))
+                .collect();
+            // w2 grads + du.
+            let mut du = vec![0.0; self.hidden];
+            for c in 0..self.channels {
+                let g = dpre2[c];
+                let g2_row = self.grad_w2.row_mut(c);
+                for (h, slot) in g2_row.iter_mut().enumerate() {
+                    *slot += scale * g * cache.u[h];
+                }
+                for (h, duh) in du.iter_mut().enumerate() {
+                    *duh += g * self.w2[(c, h)];
+                }
+            }
+            relu_backward(&mut du, &cache.u_mask);
+            // w1 grads + dz.
+            let mut dz = vec![0.0; self.channels];
+            for h in 0..self.hidden {
+                let g = du[h];
+                let g1_row = self.grad_w1.row_mut(h);
+                for (c, slot) in g1_row.iter_mut().enumerate() {
+                    *slot += scale * g * cache.z[c];
+                }
+                for (c, dzc) in dz.iter_mut().enumerate() {
+                    *dzc += g * self.w1[(h, c)];
+                }
+            }
+            // Squeeze backward: dz spreads uniformly over time.
+            for c in 0..self.channels {
+                let spread = dz[c] / t_len;
+                for slot in dx.row_mut(c) {
+                    *slot += spread;
+                }
+            }
+            input_grads.push(dx);
+        }
+        input_grads
+    }
+
+    /// Adam update.
+    pub fn step(&mut self, lr: f64) {
+        self.adam_w1
+            .step(lr, self.w1.as_mut_slice(), self.grad_w1.as_slice());
+        self.adam_w2
+            .step(lr, self.w2.as_mut_slice(), self.grad_w2.as_slice());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn output_is_channelwise_rescale() {
+        let mut se = SqueezeExcite::new(2, 2, 0);
+        let x = Matrix::from_rows(&[vec![1.0, 2.0], vec![-1.0, 3.0]]).unwrap();
+        let out = se.forward(std::slice::from_ref(&x));
+        // Each channel scaled by one factor: ratios within a channel hold.
+        let r0 = out[0][(0, 1)] / out[0][(0, 0)];
+        assert!((r0 - 2.0).abs() < 1e-9);
+        // Gate values stay in (0,1): magnitude never increases sign flips.
+        assert!(out[0][(0, 0)].abs() <= 1.0);
+    }
+
+    #[test]
+    fn gradient_check_inputs() {
+        let mut se = SqueezeExcite::new(2, 1, 3);
+        let x = Matrix::from_rows(&[vec![0.5, -0.3, 1.2], vec![0.9, 0.2, -0.8]]).unwrap();
+        let out = se.forward(std::slice::from_ref(&x));
+        let grad =
+            Matrix::from_vec(2, 3, out[0].as_slice().iter().map(|&v| 2.0 * v).collect()).unwrap();
+        let dx = se.backward(&[grad])[0].clone();
+        let eps = 1e-6;
+        let loss = |se: &mut SqueezeExcite, x: &Matrix| -> f64 {
+            se.forward(std::slice::from_ref(x))[0]
+                .as_slice()
+                .iter()
+                .map(|v| v * v)
+                .sum()
+        };
+        for c in 0..2 {
+            for t in 0..3 {
+                let mut xp = x.clone();
+                xp[(c, t)] += eps;
+                let mut xm = x.clone();
+                xm[(c, t)] -= eps;
+                let numeric = (loss(&mut se, &xp) - loss(&mut se, &xm)) / (2.0 * eps);
+                assert!(
+                    (numeric - dx[(c, t)]).abs() < 1e-4,
+                    "dX[{c},{t}]: numeric {numeric} analytic {}",
+                    dx[(c, t)]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gradient_check_weights() {
+        let mut se = SqueezeExcite::new(2, 1, 5);
+        let x = Matrix::from_rows(&[vec![0.7, -0.2], vec![0.1, 0.9]]).unwrap();
+        let out = se.forward(std::slice::from_ref(&x));
+        let grad =
+            Matrix::from_vec(2, 2, out[0].as_slice().iter().map(|&v| 2.0 * v).collect()).unwrap();
+        se.backward(&[grad]);
+        let analytic = se.grad_w2.clone();
+        let eps = 1e-6;
+        let loss = |se: &mut SqueezeExcite| -> f64 {
+            se.forward(std::slice::from_ref(&x))[0]
+                .as_slice()
+                .iter()
+                .map(|v| v * v)
+                .sum()
+        };
+        for c in 0..2 {
+            for h in 0..se.hidden {
+                let orig = se.w2[(c, h)];
+                se.w2[(c, h)] = orig + eps;
+                let up = loss(&mut se);
+                se.w2[(c, h)] = orig - eps;
+                let down = loss(&mut se);
+                se.w2[(c, h)] = orig;
+                let numeric = (up - down) / (2.0 * eps);
+                assert!(
+                    (numeric - analytic[(c, h)]).abs() < 1e-4,
+                    "dW2[{c},{h}]: {numeric} vs {}",
+                    analytic[(c, h)]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn hidden_clamped_to_one() {
+        let se = SqueezeExcite::new(2, 16, 0);
+        assert_eq!(se.hidden, 1);
+    }
+}

@@ -1,0 +1,249 @@
+//! Ridge-regression classifier (one-vs-rest, closed form).
+//!
+//! MiniROCKET's reference pipeline pairs its transform with a ridge
+//! classifier. We solve the normal equations `(XᵀX + λI) W = Xᵀ Y` via
+//! Cholesky, with `Y` the ±1 one-vs-rest target matrix, and convert the
+//! per-class scores into probabilities with a softmax so the classifier
+//! fits the common [`Classifier`] interface.
+
+// Indexed loops keep the gradient/index math readable here.
+#![allow(clippy::needless_range_loop)]
+use crate::classifier::{validate_training, Classifier};
+use crate::error::MlError;
+use crate::linalg::{self, Matrix};
+use crate::logistic::softmax;
+
+/// Hyper-parameters for [`RidgeClassifier`].
+#[derive(Debug, Clone)]
+pub struct RidgeConfig {
+    /// L2 regularisation strength `λ` added to the Gram diagonal.
+    pub alpha: f64,
+}
+
+impl Default for RidgeConfig {
+    fn default() -> Self {
+        RidgeConfig { alpha: 1.0 }
+    }
+}
+
+/// One-vs-rest ridge-regression classifier.
+#[derive(Debug, Clone)]
+pub struct RidgeClassifier {
+    config: RidgeConfig,
+    /// `n_classes × (d + 1)` weights (last column = intercept).
+    weights: Vec<Vec<f64>>,
+    n_features: usize,
+    /// Per-feature means used for centring.
+    feat_mean: Vec<f64>,
+    /// Per-feature standard deviations used for scaling.
+    feat_std: Vec<f64>,
+}
+
+impl RidgeClassifier {
+    /// Untrained classifier with the given hyper-parameters.
+    pub fn new(config: RidgeConfig) -> Self {
+        RidgeClassifier {
+            config,
+            weights: Vec::new(),
+            n_features: 0,
+            feat_mean: Vec::new(),
+            feat_std: Vec::new(),
+        }
+    }
+
+    /// Untrained classifier with λ = 1.
+    pub fn with_defaults() -> Self {
+        Self::new(RidgeConfig::default())
+    }
+
+    fn standardize(&self, x: &[f64]) -> Vec<f64> {
+        x.iter()
+            .enumerate()
+            .map(|(j, &v)| (v - self.feat_mean[j]) / self.feat_std[j])
+            .collect()
+    }
+}
+
+impl Classifier for RidgeClassifier {
+    fn fit(&mut self, x: &Matrix, y: &[usize], n_classes: usize) -> Result<(), MlError> {
+        validate_training(x, y, n_classes)?;
+        if self.config.alpha < 0.0 {
+            return Err(MlError::InvalidParameter {
+                name: "alpha",
+                message: format!("must be non-negative, got {}", self.config.alpha),
+            });
+        }
+        let (n, d) = (x.rows(), x.cols());
+        // Standardise features: centring makes the intercept separable,
+        // scaling conditions the Gram matrix.
+        let mut mean = vec![0.0; d];
+        let mut sq = vec![0.0; d];
+        for i in 0..n {
+            for (j, &v) in x.row(i).iter().enumerate() {
+                mean[j] += v;
+                sq[j] += v * v;
+            }
+        }
+        for j in 0..d {
+            mean[j] /= n as f64;
+            sq[j] = ((sq[j] / n as f64) - mean[j] * mean[j]).max(0.0).sqrt();
+            if sq[j] < 1e-12 {
+                sq[j] = 1.0; // constant feature: leave it centred at zero
+            }
+        }
+        self.feat_mean = mean;
+        self.feat_std = sq;
+        let mut xs = Matrix::zeros(n, d);
+        for i in 0..n {
+            let std_row = self.standardize(x.row(i));
+            xs.row_mut(i).copy_from_slice(&std_row);
+        }
+
+        // Gram with ridge jitter.
+        let mut gram = xs.gram();
+        for j in 0..d {
+            gram[(j, j)] += self.config.alpha;
+        }
+        // Right-hand sides: Xᵀ y_c with ±1 targets per class.
+        let mut rhs: Vec<Vec<f64>> = vec![vec![0.0; d]; n_classes];
+        for i in 0..n {
+            let row = xs.row(i);
+            for c in 0..n_classes {
+                let target = if y[i] == c { 1.0 } else { -1.0 };
+                linalg::axpy(target, row, &mut rhs[c]);
+            }
+        }
+        let sols = linalg::solve_spd_multi(&gram, &rhs)?;
+        // Intercept per class: mean of targets (features are centred).
+        let mut weights = Vec::with_capacity(n_classes);
+        for (c, mut w) in sols.into_iter().enumerate() {
+            let count_pos = y.iter().filter(|&&l| l == c).count() as f64;
+            let intercept = (2.0 * count_pos - n as f64) / n as f64;
+            w.push(intercept);
+            weights.push(w);
+        }
+        self.weights = weights;
+        self.n_features = d;
+        Ok(())
+    }
+
+    fn predict_proba(&self, x: &[f64]) -> Result<Vec<f64>, MlError> {
+        if self.weights.is_empty() {
+            return Err(MlError::NotFitted);
+        }
+        if x.len() != self.n_features {
+            return Err(MlError::DimensionMismatch {
+                expected: self.n_features,
+                got: x.len(),
+            });
+        }
+        let xs = self.standardize(x);
+        let scores: Vec<f64> = self
+            .weights
+            .iter()
+            .map(|w| linalg::dot(&w[..self.n_features], &xs) + w[self.n_features])
+            .collect();
+        Ok(softmax(&scores))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blobs() -> (Matrix, Vec<usize>) {
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..25 {
+            let e = (i as f64 * 0.37).sin() * 0.4;
+            rows.push(vec![2.0 + e, 2.0 - e]);
+            y.push(0);
+            rows.push(vec![-2.0 - e, -2.0 + e]);
+            y.push(1);
+        }
+        (Matrix::from_rows(&rows).unwrap(), y)
+    }
+
+    #[test]
+    fn separates_blobs() {
+        let (x, y) = blobs();
+        let mut r = RidgeClassifier::with_defaults();
+        r.fit(&x, &y, 2).unwrap();
+        assert_eq!(r.predict_batch(&x).unwrap(), y);
+    }
+
+    #[test]
+    fn multiclass_one_vs_rest() {
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        let centers = [(4.0, 0.0), (-4.0, 0.0), (0.0, 5.0)];
+        for (c, &(cx, cy)) in centers.iter().enumerate() {
+            for i in 0..20 {
+                let e = (i as f64 * 0.61).cos() * 0.5;
+                rows.push(vec![cx + e, cy - e]);
+                y.push(c);
+            }
+        }
+        let x = Matrix::from_rows(&rows).unwrap();
+        let mut r = RidgeClassifier::with_defaults();
+        r.fit(&x, &y, 3).unwrap();
+        let acc = r
+            .predict_batch(&x)
+            .unwrap()
+            .iter()
+            .zip(&y)
+            .filter(|(p, t)| p == t)
+            .count() as f64
+            / y.len() as f64;
+        assert!(acc > 0.95, "accuracy {acc}");
+    }
+
+    #[test]
+    fn handles_constant_features() {
+        let x = Matrix::from_rows(&[
+            vec![1.0, 0.0],
+            vec![1.0, 0.1],
+            vec![1.0, 5.0],
+            vec![1.0, 5.1],
+        ])
+        .unwrap();
+        let mut r = RidgeClassifier::with_defaults();
+        r.fit(&x, &[0, 0, 1, 1], 2).unwrap();
+        assert_eq!(r.predict(&[1.0, 0.05]).unwrap(), 0);
+        assert_eq!(r.predict(&[1.0, 5.05]).unwrap(), 1);
+    }
+
+    #[test]
+    fn probabilities_valid() {
+        let (x, y) = blobs();
+        let mut r = RidgeClassifier::with_defaults();
+        r.fit(&x, &y, 2).unwrap();
+        let p = r.predict_proba(&[0.0, 0.0]).unwrap();
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn more_features_than_samples_is_fine_with_ridge() {
+        // 4 samples, 10 features: XᵀX is singular, λ rescues it.
+        let mut rows = Vec::new();
+        for i in 0..4 {
+            let mut r = vec![0.0; 10];
+            r[i] = 1.0;
+            r[9] = if i < 2 { 1.0 } else { -1.0 };
+            rows.push(r);
+        }
+        let x = Matrix::from_rows(&rows).unwrap();
+        let mut r = RidgeClassifier::with_defaults();
+        r.fit(&x, &[0, 0, 1, 1], 2).unwrap();
+        assert_eq!(r.predict_batch(&x).unwrap(), vec![0, 0, 1, 1]);
+    }
+
+    #[test]
+    fn error_paths() {
+        let r = RidgeClassifier::with_defaults();
+        assert!(matches!(r.predict_proba(&[0.0]), Err(MlError::NotFitted)));
+        let mut r = RidgeClassifier::new(RidgeConfig { alpha: -1.0 });
+        let x = Matrix::from_rows(&[vec![1.0], vec![2.0]]).unwrap();
+        assert!(r.fit(&x, &[0, 1], 2).is_err());
+    }
+}

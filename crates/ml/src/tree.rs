@@ -1,0 +1,369 @@
+//! CART decision tree (Gini impurity) with probabilistic leaves.
+//!
+//! Used directly as a base learner and as the building block of
+//! [`crate::forest::RandomForest`], the framework's stand-in for the
+//! XGBoost base classifier the ECONOMY-K reference uses (see DESIGN.md,
+//! Substitution 2).
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::classifier::{validate_training, Classifier};
+use crate::error::MlError;
+use crate::linalg::Matrix;
+
+/// Hyper-parameters for [`DecisionTree`].
+#[derive(Debug, Clone)]
+pub struct TreeConfig {
+    /// Maximum tree depth (root = depth 0).
+    pub max_depth: usize,
+    /// Minimum samples required to split a node.
+    pub min_samples_split: usize,
+    /// Number of features examined per split; `None` = all features.
+    /// Random forests pass `Some(sqrt(d))`.
+    pub max_features: Option<usize>,
+    /// Seed for feature subsampling.
+    pub seed: u64,
+}
+
+impl Default for TreeConfig {
+    fn default() -> Self {
+        TreeConfig {
+            max_depth: 12,
+            min_samples_split: 2,
+            max_features: None,
+            seed: 11,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf {
+        /// Class-probability distribution at the leaf.
+        probs: Vec<f64>,
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: usize,
+        right: usize,
+    },
+}
+
+/// CART decision tree classifier.
+#[derive(Debug, Clone)]
+pub struct DecisionTree {
+    config: TreeConfig,
+    nodes: Vec<Node>,
+    n_features: usize,
+    n_classes: usize,
+}
+
+impl DecisionTree {
+    /// Untrained tree with the given hyper-parameters.
+    pub fn new(config: TreeConfig) -> Self {
+        DecisionTree {
+            config,
+            nodes: Vec::new(),
+            n_features: 0,
+            n_classes: 0,
+        }
+    }
+
+    /// Untrained tree with default hyper-parameters.
+    pub fn with_defaults() -> Self {
+        Self::new(TreeConfig::default())
+    }
+
+    /// Number of nodes in the fitted tree (0 before fit).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    fn class_distribution(&self, y: &[usize], idx: &[usize]) -> Vec<f64> {
+        let mut counts = vec![0.0; self.n_classes];
+        for &i in idx {
+            counts[y[i]] += 1.0;
+        }
+        let total: f64 = counts.iter().sum();
+        if total > 0.0 {
+            for c in &mut counts {
+                *c /= total;
+            }
+        } else {
+            counts.fill(1.0 / self.n_classes as f64);
+        }
+        counts
+    }
+
+    fn gini(counts: &[f64], total: f64) -> f64 {
+        if total <= 0.0 {
+            return 0.0;
+        }
+        1.0 - counts
+            .iter()
+            .map(|&c| {
+                let p = c / total;
+                p * p
+            })
+            .sum::<f64>()
+    }
+
+    /// Finds the best (feature, threshold) split of `idx` by Gini gain.
+    fn best_split(
+        &self,
+        x: &Matrix,
+        y: &[usize],
+        idx: &[usize],
+        features: &[usize],
+    ) -> Option<(usize, f64, f64)> {
+        let parent_total = idx.len() as f64;
+        let mut parent_counts = vec![0.0; self.n_classes];
+        for &i in idx {
+            parent_counts[y[i]] += 1.0;
+        }
+        let parent_gini = Self::gini(&parent_counts, parent_total);
+        if parent_gini == 0.0 {
+            return None;
+        }
+        let mut best: Option<(usize, f64, f64)> = None;
+        let mut best_balance = 0usize;
+        let mut sorted: Vec<usize> = idx.to_vec();
+        for &f in features {
+            sorted.sort_unstable_by(|&a, &b| {
+                x[(a, f)]
+                    .partial_cmp(&x[(b, f)])
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            });
+            let mut left_counts = vec![0.0; self.n_classes];
+            let mut left_n = 0.0;
+            for w in 0..sorted.len() - 1 {
+                let i = sorted[w];
+                left_counts[y[i]] += 1.0;
+                left_n += 1.0;
+                let cur = x[(i, f)];
+                let next = x[(sorted[w + 1], f)];
+                if next <= cur {
+                    continue; // no threshold between equal values
+                }
+                let right_n = parent_total - left_n;
+                let right_counts: Vec<f64> = parent_counts
+                    .iter()
+                    .zip(&left_counts)
+                    .map(|(p, l)| p - l)
+                    .collect();
+                let weighted = (left_n / parent_total) * Self::gini(&left_counts, left_n)
+                    + (right_n / parent_total) * Self::gini(&right_counts, right_n);
+                // Zero-gain splits are allowed on impure nodes (XOR-like
+                // data has zero marginal gain everywhere); recursion still
+                // terminates because both sides are non-empty. Gain ties
+                // prefer the more balanced split so degenerate data is
+                // halved instead of peeled one point per level.
+                let gain = parent_gini - weighted;
+                let balance = (left_n as usize).min(right_n as usize);
+                let better = match best {
+                    None => true,
+                    Some((_, _, g)) => {
+                        gain > g + 1e-12 || ((gain - g).abs() <= 1e-12 && balance > best_balance)
+                    }
+                };
+                if better {
+                    best = Some((f, (cur + next) / 2.0, gain));
+                    best_balance = balance;
+                }
+            }
+        }
+        best
+    }
+
+    fn build(
+        &mut self,
+        x: &Matrix,
+        y: &[usize],
+        idx: Vec<usize>,
+        depth: usize,
+        rng: &mut StdRng,
+    ) -> usize {
+        let probs = self.class_distribution(y, &idx);
+        let pure = probs.iter().any(|&p| (p - 1.0).abs() < 1e-12);
+        if depth >= self.config.max_depth || idx.len() < self.config.min_samples_split || pure {
+            self.nodes.push(Node::Leaf { probs });
+            return self.nodes.len() - 1;
+        }
+        // Feature subsample.
+        let d = x.cols();
+        let features: Vec<usize> = match self.config.max_features {
+            Some(k) if k < d => {
+                let mut all: Vec<usize> = (0..d).collect();
+                all.shuffle(rng);
+                all.truncate(k.max(1));
+                all
+            }
+            _ => (0..d).collect(),
+        };
+        let Some((feature, threshold, _)) = self.best_split(x, y, &idx, &features) else {
+            self.nodes.push(Node::Leaf { probs });
+            return self.nodes.len() - 1;
+        };
+        let (left_idx, right_idx): (Vec<usize>, Vec<usize>) =
+            idx.into_iter().partition(|&i| x[(i, feature)] <= threshold);
+        if left_idx.is_empty() || right_idx.is_empty() {
+            self.nodes.push(Node::Leaf { probs });
+            return self.nodes.len() - 1;
+        }
+        let left = self.build(x, y, left_idx, depth + 1, rng);
+        let right = self.build(x, y, right_idx, depth + 1, rng);
+        self.nodes.push(Node::Split {
+            feature,
+            threshold,
+            left,
+            right,
+        });
+        self.nodes.len() - 1
+    }
+}
+
+impl Classifier for DecisionTree {
+    fn fit(&mut self, x: &Matrix, y: &[usize], n_classes: usize) -> Result<(), MlError> {
+        validate_training(x, y, n_classes)?;
+        self.n_features = x.cols();
+        self.n_classes = n_classes;
+        self.nodes.clear();
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let all: Vec<usize> = (0..x.rows()).collect();
+        self.build(x, y, all, 0, &mut rng);
+        Ok(())
+    }
+
+    fn predict_proba(&self, x: &[f64]) -> Result<Vec<f64>, MlError> {
+        if self.nodes.is_empty() {
+            return Err(MlError::NotFitted);
+        }
+        if x.len() != self.n_features {
+            return Err(MlError::DimensionMismatch {
+                expected: self.n_features,
+                got: x.len(),
+            });
+        }
+        // Root is the last node pushed.
+        let mut node = self.nodes.len() - 1;
+        loop {
+            match &self.nodes[node] {
+                Node::Leaf { probs } => return Ok(probs.clone()),
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    node = if x[*feature] <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xor_data() -> (Matrix, Vec<usize>) {
+        // XOR is not linearly separable — a tree handles it. The quadrant
+        // counts are slightly unequal: with perfectly symmetric XOR every
+        // single-feature split has zero Gini gain, which correctly stops a
+        // greedy CART at the root.
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..10 {
+            let eps = i as f64 * 0.01;
+            rows.push(vec![0.0 + eps, 0.0 + eps]);
+            y.push(0);
+            if i > 0 {
+                rows.push(vec![1.0 - eps, 1.0 - eps]);
+                y.push(0);
+            }
+            rows.push(vec![0.0 + eps, 1.0 - eps]);
+            y.push(1);
+            rows.push(vec![1.0 - eps, 0.0 + eps]);
+            y.push(1);
+        }
+        (Matrix::from_rows(&rows).unwrap(), y)
+    }
+
+    #[test]
+    fn learns_xor() {
+        let (x, y) = xor_data();
+        let mut t = DecisionTree::with_defaults();
+        t.fit(&x, &y, 2).unwrap();
+        let preds = t.predict_batch(&x).unwrap();
+        assert_eq!(preds, y, "tree should fit XOR exactly");
+    }
+
+    #[test]
+    fn depth_limit_produces_stump() {
+        let (x, y) = xor_data();
+        let mut t = DecisionTree::new(TreeConfig {
+            max_depth: 0,
+            ..TreeConfig::default()
+        });
+        t.fit(&x, &y, 2).unwrap();
+        assert_eq!(t.node_count(), 1, "depth 0 means a single leaf");
+        let p = t.predict_proba(&[0.0, 0.0]).unwrap();
+        let prior0 = y.iter().filter(|&&l| l == 0).count() as f64 / y.len() as f64;
+        assert!((p[0] - prior0).abs() < 1e-9, "leaf carries class priors");
+    }
+
+    #[test]
+    fn pure_node_stops_splitting() {
+        let x = Matrix::from_rows(&[vec![1.0], vec![2.0], vec![3.0]]).unwrap();
+        let mut t = DecisionTree::with_defaults();
+        t.fit(&x, &[0, 0, 0], 1).unwrap();
+        assert_eq!(t.node_count(), 1);
+    }
+
+    #[test]
+    fn probabilities_are_leaf_distributions() {
+        // One feature, threshold separates 3:1 mix on the right.
+        let x = Matrix::from_rows(&[
+            vec![0.0],
+            vec![0.1],
+            vec![5.0],
+            vec![5.1],
+            vec![5.2],
+            vec![5.3],
+        ])
+        .unwrap();
+        let y = vec![0, 0, 1, 1, 1, 0];
+        let mut t = DecisionTree::new(TreeConfig {
+            max_depth: 1,
+            ..TreeConfig::default()
+        });
+        t.fit(&x, &y, 2).unwrap();
+        let p = t.predict_proba(&[6.0]).unwrap();
+        assert!((p[1] - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn error_paths() {
+        let t = DecisionTree::with_defaults();
+        assert!(matches!(t.predict_proba(&[0.0]), Err(MlError::NotFitted)));
+        let (x, y) = xor_data();
+        let mut t = DecisionTree::with_defaults();
+        t.fit(&x, &y, 2).unwrap();
+        assert!(t.predict_proba(&[0.0]).is_err());
+    }
+
+    #[test]
+    fn constant_features_yield_single_leaf() {
+        let x = Matrix::from_rows(&[vec![1.0], vec![1.0], vec![1.0], vec![1.0]]).unwrap();
+        let mut t = DecisionTree::with_defaults();
+        t.fit(&x, &[0, 1, 0, 1], 2).unwrap();
+        assert_eq!(t.node_count(), 1, "no valid split on constant data");
+    }
+}

@@ -1,0 +1,160 @@
+//! Property-based tests of the ML substrate's numerical invariants.
+
+use proptest::prelude::*;
+
+use etsc_ml::bayes::GaussianNb;
+use etsc_ml::kmeans::{KMeans, KMeansConfig};
+use etsc_ml::knn::{nearest_prefix, PrefixNnTable};
+use etsc_ml::linalg::{cholesky, solve_spd, Matrix};
+use etsc_ml::logistic::softmax;
+use etsc_ml::{Classifier, MlError};
+
+proptest! {
+    #[test]
+    fn cholesky_reconstructs_spd_matrices(
+        entries in prop::collection::vec(-2f64..2.0, 9),
+    ) {
+        // Build SPD as BᵀB + I from a random 3x3 B.
+        let b = Matrix::from_vec(3, 3, entries).unwrap();
+        let mut a = b.gram();
+        for i in 0..3 {
+            a[(i, i)] += 1.0;
+        }
+        let l = cholesky(&a).unwrap();
+        // L·Lᵀ == A
+        for i in 0..3 {
+            for j in 0..3 {
+                let mut s = 0.0;
+                for k in 0..3 {
+                    s += l[(i, k)] * l[(j, k)];
+                }
+                prop_assert!((s - a[(i, j)]).abs() < 1e-8, "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn spd_solve_satisfies_the_system(
+        entries in prop::collection::vec(-2f64..2.0, 9),
+        rhs in prop::collection::vec(-5f64..5.0, 3),
+    ) {
+        let b = Matrix::from_vec(3, 3, entries).unwrap();
+        let mut a = b.gram();
+        for i in 0..3 {
+            a[(i, i)] += 1.0;
+        }
+        let x = solve_spd(&a, &rhs).unwrap();
+        let back = a.matvec(&x);
+        for (u, v) in back.iter().zip(&rhs) {
+            prop_assert!((u - v).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn softmax_invariant_to_constant_shift(
+        logits in prop::collection::vec(-20f64..20.0, 2..6),
+        shift in -100f64..100.0,
+    ) {
+        let a = softmax(&logits);
+        let shifted: Vec<f64> = logits.iter().map(|v| v + shift).collect();
+        let b = softmax(&shifted);
+        for (x, y) in a.iter().zip(&b) {
+            prop_assert!((x - y).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn kmeans_centroids_lie_in_data_hull_bounds(
+        points in prop::collection::vec((-50f64..50.0, -50f64..50.0), 4..40),
+        k in 1usize..4,
+    ) {
+        let rows: Vec<Vec<f64>> = points.iter().map(|&(x, y)| vec![x, y]).collect();
+        let x = Matrix::from_rows(&rows).unwrap();
+        let mut km = KMeans::new(KMeansConfig { k, seed: 3, ..KMeansConfig::default() });
+        km.fit(&x).unwrap();
+        let (min_x, max_x) = points
+            .iter()
+            .fold((f64::MAX, f64::MIN), |(lo, hi), &(px, _)| (lo.min(px), hi.max(px)));
+        for c in km.centroids() {
+            prop_assert!(c[0] >= min_x - 1e-9 && c[0] <= max_x + 1e-9);
+        }
+        // Assignment returns a valid cluster id for every training point.
+        for r in &rows {
+            prop_assert!(km.assign(r).unwrap() < km.k());
+        }
+    }
+
+    #[test]
+    fn nearest_prefix_agrees_with_full_scan(
+        series in prop::collection::vec(
+            prop::collection::vec(-10f64..10.0, 6),
+            2..10,
+        ),
+        qlen in 1usize..6,
+    ) {
+        let refs: Vec<&[f64]> = series.iter().map(|s| s.as_slice()).collect();
+        let query = &series[0][..qlen];
+        let (idx, d) = nearest_prefix(&refs, query).unwrap();
+        // Brute force.
+        let mut best = (0usize, f64::INFINITY);
+        for (j, s) in series.iter().enumerate() {
+            let dd: f64 = s[..qlen]
+                .iter()
+                .zip(query)
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum();
+            if dd < best.1 {
+                best = (j, dd);
+            }
+        }
+        prop_assert_eq!(idx, best.0);
+        prop_assert!((d - best.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn prefix_nn_table_is_self_consistent(
+        series in prop::collection::vec(
+            prop::collection::vec(-10f64..10.0, 5),
+            3..8,
+        ),
+    ) {
+        let refs: Vec<&[f64]> = series.iter().map(|s| s.as_slice()).collect();
+        let table = PrefixNnTable::build(&refs).unwrap();
+        for l in 1..=5 {
+            let rnn = table.rnn_sets(l);
+            // Every series appears in exactly one RNN set.
+            let total: usize = rnn.iter().map(|r| r.len()).sum();
+            prop_assert_eq!(total, series.len());
+            for (i, members) in rnn.iter().enumerate() {
+                for &j in members {
+                    prop_assert_eq!(table.nn(l, j), i);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gaussian_nb_probabilities_are_valid(
+        features in prop::collection::vec((-10f64..10.0, -10f64..10.0), 6..30),
+        query in (-10f64..10.0, -10f64..10.0),
+    ) {
+        let rows: Vec<Vec<f64>> = features.iter().map(|&(a, b)| vec![a, b]).collect();
+        let y: Vec<usize> = (0..rows.len()).map(|i| i % 2).collect();
+        let x = Matrix::from_rows(&rows).unwrap();
+        let mut nb = GaussianNb::new();
+        nb.fit(&x, &y, 2).unwrap();
+        let p = nb.predict_proba(&[query.0, query.1]).unwrap();
+        prop_assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        prop_assert!(p.iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+}
+
+#[test]
+fn matrix_error_paths() {
+    assert!(matches!(
+        Matrix::from_vec(2, 2, vec![1.0]),
+        Err(MlError::DimensionMismatch { .. })
+    ));
+    let a = Matrix::from_vec(2, 2, vec![0.0, 1.0, 1.0, 0.0]).unwrap();
+    assert!(cholesky(&a).is_err(), "indefinite matrix must fail");
+}

@@ -1,0 +1,210 @@
+//! Real discrete Fourier transform of short windows.
+//!
+//! SFA keeps only the first few Fourier coefficients of each sliding
+//! window, so a direct `O(n · k)` evaluation beats an FFT for the window
+//! sizes WEASEL uses (k ≈ 2-4 complex coefficients).
+
+/// First `n_coeffs` *real-valued* Fourier features of a window:
+/// interleaved `[re(c1), im(c1), re(c2), im(c2), ...]`.
+///
+/// The DC coefficient `c0` is skipped — its magnitude only encodes the
+/// window mean, which WEASEL drops to gain shift invariance (the
+/// "mean-normalised" configuration the paper's no-z-norm variant keeps).
+/// When fewer coefficients exist than requested, the output is
+/// zero-padded so callers always receive `n_coeffs` values.
+pub fn dft_features(window: &[f64], n_coeffs: usize) -> Vec<f64> {
+    let n = window.len();
+    let mut out = Vec::with_capacity(n_coeffs);
+    if n == 0 {
+        return vec![0.0; n_coeffs];
+    }
+    let base = -2.0 * std::f64::consts::PI / n as f64;
+    let mut k = 1usize; // skip DC
+    while out.len() < n_coeffs {
+        if k > n / 2 {
+            out.push(0.0);
+            continue;
+        }
+        let mut re = 0.0;
+        let mut im = 0.0;
+        for (t, &v) in window.iter().enumerate() {
+            let angle = base * (k * t) as f64;
+            re += v * angle.cos();
+            im += v * angle.sin();
+        }
+        out.push(re);
+        if out.len() < n_coeffs {
+            out.push(im);
+        }
+        k += 1;
+    }
+    out
+}
+
+/// All sliding windows of `len` over `series` (step 1), transformed by
+/// [`dft_features`]. Returns an empty vector when the series is shorter
+/// than the window.
+///
+/// Uses the incremental **momentary Fourier transform** (MFT): after the
+/// first window's direct DFT, each shift updates every kept coefficient
+/// in O(1) via `F_k ← (F_k − x_out + x_in)·e^{i2πk/n}`, making the whole
+/// pass O(W·k) instead of O(W·n·k).
+pub fn sliding_dft(series: &[f64], len: usize, n_coeffs: usize) -> Vec<Vec<f64>> {
+    if series.len() < len || len == 0 {
+        return Vec::new();
+    }
+    let n_windows = series.len() - len + 1;
+    // Complex coefficients kept: ceil(n_coeffs / 2) of c1, c2, ...
+    let kept = n_coeffs.div_ceil(2);
+    let mut out = Vec::with_capacity(n_windows);
+
+    // First window: direct DFT, tracking complex values for the update.
+    let base = -2.0 * std::f64::consts::PI / len as f64;
+    let mut re = vec![0.0f64; kept];
+    let mut im = vec![0.0f64; kept];
+    for (kk, (r, i)) in re.iter_mut().zip(im.iter_mut()).enumerate() {
+        let k = kk + 1; // skip DC
+        if k > len / 2 {
+            break;
+        }
+        for (t, &v) in series[..len].iter().enumerate() {
+            let angle = base * (k * t) as f64;
+            *r += v * angle.cos();
+            *i += v * angle.sin();
+        }
+    }
+    let emit = |re: &[f64], im: &[f64]| -> Vec<f64> {
+        let mut f = Vec::with_capacity(n_coeffs);
+        for kk in 0..kept {
+            let k = kk + 1;
+            let (r, i) = if k > len / 2 {
+                (0.0, 0.0)
+            } else {
+                (re[kk], im[kk])
+            };
+            f.push(r);
+            if f.len() < n_coeffs {
+                f.push(i);
+            }
+        }
+        f.truncate(n_coeffs);
+        while f.len() < n_coeffs {
+            f.push(0.0);
+        }
+        f
+    };
+    out.push(emit(&re, &im));
+
+    // MFT updates for the remaining windows.
+    for w in 1..n_windows {
+        let x_out = series[w - 1];
+        let x_in = series[w - 1 + len];
+        for kk in 0..kept {
+            let k = kk + 1;
+            if k > len / 2 {
+                continue;
+            }
+            // Remove the outgoing sample (phase 0 in the old window),
+            // add the incoming one (phase n ≡ 0 mod n), then rotate.
+            let r = re[kk] - x_out + x_in;
+            let i = im[kk];
+            let angle = -base * k as f64; // e^{+i2πk/n}: indices shift left
+            let (c, s) = (angle.cos(), angle.sin());
+            re[kk] = r * c - i * s;
+            im[kk] = r * s + i * c;
+        }
+        out.push(emit(&re, &im));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_window_has_zero_ac_coefficients() {
+        let f = dft_features(&[3.0; 8], 4);
+        assert!(f.iter().all(|&v| v.abs() < 1e-9), "{f:?}");
+    }
+
+    #[test]
+    fn pure_cosine_concentrates_in_first_coefficient() {
+        let n = 16;
+        let w: Vec<f64> = (0..n)
+            .map(|t| (2.0 * std::f64::consts::PI * t as f64 / n as f64).cos())
+            .collect();
+        let f = dft_features(&w, 4);
+        // re(c1) = n/2, everything else ~0.
+        assert!((f[0] - n as f64 / 2.0).abs() < 1e-9, "{f:?}");
+        assert!(f[1].abs() < 1e-9);
+        assert!(f[2].abs() < 1e-9);
+        assert!(f[3].abs() < 1e-9);
+    }
+
+    #[test]
+    fn sine_shows_up_in_imaginary_part() {
+        let n = 16;
+        let w: Vec<f64> = (0..n)
+            .map(|t| (2.0 * std::f64::consts::PI * t as f64 / n as f64).sin())
+            .collect();
+        let f = dft_features(&w, 2);
+        assert!(f[0].abs() < 1e-9);
+        assert!((f[1] + n as f64 / 2.0).abs() < 1e-9, "{f:?}");
+    }
+
+    #[test]
+    fn output_always_has_requested_length() {
+        assert_eq!(dft_features(&[1.0, 2.0], 6).len(), 6);
+        assert_eq!(dft_features(&[], 4), vec![0.0; 4]);
+    }
+
+    #[test]
+    fn incremental_mft_matches_direct_dft() {
+        // The O(1)-per-shift MFT must agree with the direct transform on
+        // every window, for even and odd window lengths and coefficient
+        // counts beyond the Nyquist limit.
+        let series: Vec<f64> = (0..60)
+            .map(|t| (t as f64 * 0.37).sin() * 3.0 + (t as f64 * 1.7).cos())
+            .collect();
+        for &len in &[4usize, 5, 9, 16] {
+            for &n_coeffs in &[2usize, 4, 6, 12] {
+                let fast = sliding_dft(&series, len, n_coeffs);
+                let slow: Vec<Vec<f64>> = series
+                    .windows(len)
+                    .map(|w| dft_features(w, n_coeffs))
+                    .collect();
+                assert_eq!(fast.len(), slow.len());
+                for (wi, (a, b)) in fast.iter().zip(&slow).enumerate() {
+                    for (x, y) in a.iter().zip(b) {
+                        assert!(
+                            (x - y).abs() < 1e-7,
+                            "len {len} coeffs {n_coeffs} window {wi}: {x} vs {y}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sliding_windows_cover_series() {
+        let s: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let ws = sliding_dft(&s, 4, 2);
+        assert_eq!(ws.len(), 7);
+        assert!(sliding_dft(&s, 11, 2).is_empty());
+        assert!(sliding_dft(&s, 0, 2).is_empty());
+    }
+
+    #[test]
+    fn mean_shift_invariance() {
+        // Skipping c0 makes features invariant to adding a constant.
+        let a = [1.0, 5.0, 2.0, 8.0, 3.0, 4.0, 7.0, 2.0];
+        let b: Vec<f64> = a.iter().map(|v| v + 100.0).collect();
+        let fa = dft_features(&a, 4);
+        let fb = dft_features(&b, 4);
+        for (x, y) in fa.iter().zip(&fb) {
+            assert!((x - y).abs() < 1e-8);
+        }
+    }
+}

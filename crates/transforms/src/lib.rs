@@ -1,0 +1,29 @@
+//! # etsc-transforms
+//!
+//! Feature transforms for (early) time-series classification:
+//!
+//! * [`fourier`] — real discrete Fourier transform of sliding windows;
+//! * [`sfa`] — Symbolic Fourier Approximation: information-gain binning of
+//!   Fourier coefficients into discrete words;
+//! * [`weasel`] — the WEASEL bag-of-patterns (multiple window sizes,
+//!   unigrams + bigrams, chi-squared feature selection) used by S-WEASEL,
+//!   TEASER and ECEC;
+//! * [`muse`] — WEASEL+MUSE, the multivariate variant with per-dimension
+//!   words and derivative channels;
+//! * [`minirocket`] — the MiniROCKET transform: the fixed 84-kernel set
+//!   with exponential dilations, training-quantile biases and PPV
+//!   features.
+//!
+//! All transforms are fit on training data and produce dense feature
+//! vectors consumable by the classifiers in `etsc-ml`.
+
+pub mod fourier;
+pub mod minirocket;
+pub mod muse;
+pub mod sfa;
+pub mod weasel;
+
+pub use minirocket::{MiniRocket, MiniRocketConfig};
+pub use muse::{Muse, MuseConfig};
+pub use sfa::SfaModel;
+pub use weasel::{Weasel, WeaselConfig};

@@ -1,0 +1,365 @@
+//! MiniROCKET (Dempster et al. 2021): a fast, (almost) deterministic
+//! convolutional transform.
+//!
+//! The fixed kernel set is every length-9 kernel with exactly three taps
+//! of weight 2 and six taps of weight −1 (84 kernels, weights sum to ~0).
+//! Kernels are applied at exponentially spaced dilations, with and without
+//! padding (alternating), and each (kernel, dilation) pair produces a few
+//! **PPV** features — the Proportion of Positive Values of the
+//! convolution output above a bias drawn from training-set quantiles.
+//! Multivariate inputs are handled by summing a per-combination channel
+//! subset, as in the reference implementation.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use etsc_data::MultiSeries;
+use etsc_ml::MlError;
+
+/// Hyper-parameters for [`MiniRocket`].
+#[derive(Debug, Clone)]
+pub struct MiniRocketConfig {
+    /// Approximate total feature count (rounded to a multiple of the
+    /// kernel/dilation combinations).
+    pub num_features: usize,
+    /// Maximum number of dilations.
+    pub max_dilations: usize,
+    /// Seed for channel-subset selection.
+    pub seed: u64,
+}
+
+impl Default for MiniRocketConfig {
+    fn default() -> Self {
+        MiniRocketConfig {
+            num_features: 1000,
+            max_dilations: 8,
+            seed: 31,
+        }
+    }
+}
+
+/// One (kernel, dilation) feature group.
+#[derive(Debug, Clone)]
+struct Combo {
+    /// Indices (0..9) of the three weight-2 taps.
+    kernel: [usize; 3],
+    dilation: usize,
+    padded: bool,
+    /// Channels summed for this combination.
+    channels: Vec<usize>,
+    /// Bias per feature of this combination.
+    biases: Vec<f64>,
+}
+
+/// Fitted MiniROCKET transform.
+#[derive(Debug, Clone)]
+pub struct MiniRocket {
+    config: MiniRocketConfig,
+    combos: Vec<Combo>,
+    vars: usize,
+}
+
+/// Enumerates the 84 combinations of 3 positions among 9.
+fn kernel_set() -> Vec<[usize; 3]> {
+    let mut out = Vec::with_capacity(84);
+    for a in 0..9 {
+        for b in (a + 1)..9 {
+            for c in (b + 1)..9 {
+                out.push([a, b, c]);
+            }
+        }
+    }
+    out
+}
+
+/// Convolution output of one combo at every valid position.
+fn convolve(sample: &MultiSeries, combo: &Combo) -> Vec<f64> {
+    let len = sample.len();
+    let d = combo.dilation;
+    let span = 8 * d; // kernel reach: positions 0, d, ..., 8d
+                      // Summed channel signal.
+    let mut signal = vec![0.0; len];
+    for &ch in &combo.channels {
+        for (s, &v) in signal.iter_mut().zip(sample.var(ch)) {
+            *s += v;
+        }
+    }
+    let get = |t: isize| -> f64 {
+        if t < 0 || t as usize >= len {
+            0.0
+        } else {
+            signal[t as usize]
+        }
+    };
+    let starts: Vec<isize> = if combo.padded {
+        // Centre the kernel: output length = input length.
+        (0..len as isize).map(|t| t - (span / 2) as isize).collect()
+    } else {
+        if len <= span {
+            return Vec::new();
+        }
+        (0..(len - span) as isize).collect()
+    };
+    let mut out = Vec::with_capacity(starts.len());
+    for s in starts {
+        let mut acc = 0.0;
+        for k in 0..9 {
+            let pos = s + (k * d) as isize;
+            let w = if combo.kernel.contains(&k) { 2.0 } else { -1.0 };
+            acc += w * get(pos);
+        }
+        out.push(acc);
+    }
+    out
+}
+
+impl MiniRocket {
+    /// Untrained transform.
+    pub fn new(config: MiniRocketConfig) -> Self {
+        MiniRocket {
+            config,
+            combos: Vec::new(),
+            vars: 0,
+        }
+    }
+
+    /// Untrained transform with defaults (~1000 features).
+    pub fn with_defaults() -> Self {
+        Self::new(MiniRocketConfig::default())
+    }
+
+    /// Total number of PPV features (0 before fit).
+    pub fn n_features(&self) -> usize {
+        self.combos.iter().map(|c| c.biases.len()).sum()
+    }
+
+    /// Fits dilations, channel subsets and bias quantiles on training
+    /// samples.
+    ///
+    /// # Errors
+    /// [`MlError::EmptyTrainingSet`] on empty input.
+    pub fn fit(&mut self, samples: &[MultiSeries]) -> Result<(), MlError> {
+        if samples.is_empty() || samples[0].is_empty() {
+            return Err(MlError::EmptyTrainingSet);
+        }
+        let len = samples.iter().map(|s| s.len()).min().expect("non-empty");
+        let vars = samples[0].vars();
+        self.vars = vars;
+        let kernels = kernel_set();
+        // Exponentially spaced dilations with receptive field inside the
+        // series.
+        let max_d = ((len.saturating_sub(1)) / 8).max(1);
+        let k = self.config.max_dilations.max(1);
+        let mut dilations: Vec<usize> = (0..k)
+            .map(|i| {
+                let e = (max_d as f64).ln() * i as f64 / (k.saturating_sub(1).max(1)) as f64;
+                e.exp().round() as usize
+            })
+            .map(|d| d.max(1))
+            .collect();
+        dilations.dedup();
+
+        let n_combos = kernels.len() * dilations.len();
+        let feats_per_combo = (self.config.num_features / n_combos).max(1);
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        // Quantile positions via a low-discrepancy (golden ratio) sequence.
+        let phi = (5.0_f64.sqrt() - 1.0) / 2.0;
+
+        self.combos.clear();
+        let mut combo_idx = 0usize;
+        for &dilation in &dilations {
+            for kernel in &kernels {
+                // Channel subset: the reference samples a random subset of
+                // size 2^u; for small var counts take 1..=vars uniformly.
+                let subset = if vars == 1 {
+                    vec![0]
+                } else {
+                    let size = rng.random_range(1..=vars);
+                    let mut chans: Vec<usize> = (0..vars).collect();
+                    for i in (1..chans.len()).rev() {
+                        let j = rng.random_range(0..=i);
+                        chans.swap(i, j);
+                    }
+                    chans.truncate(size);
+                    chans.sort_unstable();
+                    chans
+                };
+                let mut combo = Combo {
+                    kernel: *kernel,
+                    dilation,
+                    padded: combo_idx.is_multiple_of(2),
+                    channels: subset,
+                    biases: Vec::new(),
+                };
+                // Bias quantiles from one training sample per combo
+                // (cycled), matching MiniROCKET's per-kernel sampling.
+                let sample = &samples[combo_idx % samples.len()];
+                let mut conv = convolve(sample, &combo);
+                if conv.is_empty() {
+                    // Unpadded kernel longer than series: fall back to padded.
+                    combo.padded = true;
+                    conv = convolve(sample, &combo);
+                }
+                conv.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+                for f in 0..feats_per_combo {
+                    let q = ((combo_idx * feats_per_combo + f + 1) as f64 * phi).fract();
+                    let pos = ((conv.len() as f64 - 1.0) * q).round() as usize;
+                    combo.biases.push(conv[pos.min(conv.len() - 1)]);
+                }
+                self.combos.push(combo);
+                combo_idx += 1;
+            }
+        }
+        Ok(())
+    }
+
+    /// Transforms a sample into its PPV feature vector.
+    ///
+    /// # Errors
+    /// [`MlError::NotFitted`] / [`MlError::DimensionMismatch`].
+    pub fn transform(&self, sample: &MultiSeries) -> Result<Vec<f64>, MlError> {
+        if self.combos.is_empty() {
+            return Err(MlError::NotFitted);
+        }
+        if sample.vars() != self.vars {
+            return Err(MlError::DimensionMismatch {
+                expected: self.vars,
+                got: sample.vars(),
+            });
+        }
+        let mut out = Vec::with_capacity(self.n_features());
+        for combo in &self.combos {
+            let conv = convolve(sample, combo);
+            if conv.is_empty() {
+                out.extend(std::iter::repeat_n(0.0, combo.biases.len()));
+                continue;
+            }
+            let n = conv.len() as f64;
+            for &bias in &combo.biases {
+                let ppv = conv.iter().filter(|&&v| v > bias).count() as f64 / n;
+                out.push(ppv);
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use etsc_data::Series;
+
+    fn uni(values: Vec<f64>) -> MultiSeries {
+        MultiSeries::univariate(Series::new(values))
+    }
+
+    fn toy() -> Vec<MultiSeries> {
+        (0..6)
+            .map(|i| {
+                let phase = i as f64 * 0.4;
+                uni((0..50).map(|t| ((t as f64 * 0.3) + phase).sin()).collect())
+            })
+            .collect()
+    }
+
+    #[test]
+    fn kernel_set_has_84_members() {
+        let ks = kernel_set();
+        assert_eq!(ks.len(), 84);
+        // All distinct, all strictly increasing triples.
+        for k in &ks {
+            assert!(k[0] < k[1] && k[1] < k[2] && k[2] < 9);
+        }
+    }
+
+    #[test]
+    fn feature_count_close_to_requested() {
+        let samples = toy();
+        let mut mr = MiniRocket::new(MiniRocketConfig {
+            num_features: 300,
+            max_dilations: 4,
+            seed: 0,
+        });
+        mr.fit(&samples).unwrap();
+        let n = mr.n_features();
+        assert!(n >= 84, "n = {n}");
+        let f = mr.transform(&samples[0]).unwrap();
+        assert_eq!(f.len(), n);
+    }
+
+    #[test]
+    fn ppv_features_are_proportions() {
+        let samples = toy();
+        let mut mr = MiniRocket::with_defaults();
+        mr.fit(&samples).unwrap();
+        let f = mr.transform(&samples[1]).unwrap();
+        assert!(f.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        // Not all features degenerate.
+        assert!(f.iter().any(|&v| v > 0.0 && v < 1.0));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let samples = toy();
+        let mut a = MiniRocket::with_defaults();
+        let mut b = MiniRocket::with_defaults();
+        a.fit(&samples).unwrap();
+        b.fit(&samples).unwrap();
+        assert_eq!(
+            a.transform(&samples[2]).unwrap(),
+            b.transform(&samples[2]).unwrap()
+        );
+    }
+
+    #[test]
+    fn distinguishes_different_signals() {
+        let samples = toy();
+        let mut mr = MiniRocket::with_defaults();
+        mr.fit(&samples).unwrap();
+        let flat = uni(vec![0.0; 50]);
+        let f_sin = mr.transform(&samples[0]).unwrap();
+        let f_flat = mr.transform(&flat).unwrap();
+        let dist: f64 = f_sin
+            .iter()
+            .zip(&f_flat)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
+            .sqrt();
+        assert!(dist > 0.5, "distance {dist}");
+    }
+
+    #[test]
+    fn multivariate_channels() {
+        let samples: Vec<MultiSeries> = (0..4)
+            .map(|i| {
+                let a: Vec<f64> = (0..40).map(|t| ((t + i) as f64 * 0.2).sin()).collect();
+                let b: Vec<f64> = (0..40).map(|t| ((t + i) as f64 * 0.9).cos()).collect();
+                MultiSeries::from_rows(vec![a, b]).unwrap()
+            })
+            .collect();
+        let mut mr = MiniRocket::with_defaults();
+        mr.fit(&samples).unwrap();
+        let f = mr.transform(&samples[0]).unwrap();
+        assert_eq!(f.len(), mr.n_features());
+        let wrong = uni(vec![0.0; 40]);
+        assert!(mr.transform(&wrong).is_err());
+    }
+
+    #[test]
+    fn error_paths() {
+        let mr = MiniRocket::with_defaults();
+        let s = toy();
+        assert!(matches!(mr.transform(&s[0]), Err(MlError::NotFitted)));
+        let mut mr = MiniRocket::with_defaults();
+        assert!(mr.fit(&[]).is_err());
+    }
+
+    #[test]
+    fn very_short_series_still_works() {
+        let samples: Vec<MultiSeries> = (0..3).map(|i| uni(vec![i as f64; 10])).collect();
+        let mut mr = MiniRocket::with_defaults();
+        mr.fit(&samples).unwrap();
+        let f = mr.transform(&samples[0]).unwrap();
+        assert_eq!(f.len(), mr.n_features());
+    }
+}

@@ -1,0 +1,202 @@
+//! WEASEL+MUSE (Schäfer & Leser 2017): the multivariate WEASEL variant.
+//!
+//! Each variable — and its first-difference derivative channel — gets its
+//! own WEASEL bag whose features are tagged by dimension; the final
+//! feature vector is the concatenation over all channels. As with WEASEL
+//! (and per the paper's Section 4), the default normalisation step is
+//! removed for the streaming ETSC setting.
+
+use etsc_data::MultiSeries;
+use etsc_ml::MlError;
+
+use crate::weasel::{Weasel, WeaselConfig};
+
+/// Hyper-parameters for [`Muse`].
+#[derive(Debug, Clone)]
+pub struct MuseConfig {
+    /// Per-channel WEASEL configuration template (its `top_features` is
+    /// divided by the channel count).
+    pub weasel: WeaselConfig,
+    /// Include first-difference derivative channels.
+    pub use_derivatives: bool,
+}
+
+impl Default for MuseConfig {
+    fn default() -> Self {
+        MuseConfig {
+            weasel: WeaselConfig::default(),
+            use_derivatives: true,
+        }
+    }
+}
+
+/// Fitted WEASEL+MUSE transform.
+#[derive(Debug, Clone)]
+pub struct Muse {
+    config: MuseConfig,
+    /// One WEASEL per channel (raw channels first, then derivatives).
+    channels: Vec<Weasel>,
+    vars: usize,
+}
+
+impl Muse {
+    /// Untrained transform.
+    pub fn new(config: MuseConfig) -> Self {
+        Muse {
+            config,
+            channels: Vec::new(),
+            vars: 0,
+        }
+    }
+
+    /// Untrained transform with defaults.
+    pub fn with_defaults() -> Self {
+        Self::new(MuseConfig::default())
+    }
+
+    /// Total feature dimensionality (0 before fit).
+    pub fn n_features(&self) -> usize {
+        self.channels.iter().map(|w| w.n_features()).sum()
+    }
+
+    fn expand(&self, sample: &MultiSeries) -> MultiSeries {
+        if self.config.use_derivatives {
+            sample.with_derivatives()
+        } else {
+            sample.clone()
+        }
+    }
+
+    /// Fits one WEASEL per (derivative-expanded) channel.
+    ///
+    /// # Errors
+    /// Propagates WEASEL validation failures.
+    pub fn fit(
+        &mut self,
+        samples: &[MultiSeries],
+        labels: &[usize],
+        n_classes: usize,
+    ) -> Result<(), MlError> {
+        if samples.is_empty() {
+            return Err(MlError::EmptyTrainingSet);
+        }
+        if samples.len() != labels.len() {
+            return Err(MlError::DimensionMismatch {
+                expected: samples.len(),
+                got: labels.len(),
+            });
+        }
+        self.vars = samples[0].vars();
+        let expanded: Vec<MultiSeries> = samples.iter().map(|s| self.expand(s)).collect();
+        let n_channels = expanded[0].vars();
+        let per_channel = (self.config.weasel.top_features / n_channels).max(16);
+        self.channels.clear();
+        for ch in 0..n_channels {
+            let rows: Vec<&[f64]> = expanded.iter().map(|s| s.var(ch)).collect();
+            let mut w = Weasel::new(WeaselConfig {
+                top_features: per_channel,
+                ..self.config.weasel.clone()
+            });
+            w.fit(&rows, labels, n_classes)?;
+            self.channels.push(w);
+        }
+        Ok(())
+    }
+
+    /// Transforms one multivariate sample into the concatenated feature
+    /// vector.
+    ///
+    /// # Errors
+    /// [`MlError::NotFitted`] before fit;
+    /// [`MlError::DimensionMismatch`] on variable-count mismatch.
+    pub fn transform(&self, sample: &MultiSeries) -> Result<Vec<f64>, MlError> {
+        if self.channels.is_empty() {
+            return Err(MlError::NotFitted);
+        }
+        if sample.vars() != self.vars {
+            return Err(MlError::DimensionMismatch {
+                expected: self.vars,
+                got: sample.vars(),
+            });
+        }
+        let expanded = self.expand(sample);
+        let mut out = Vec::with_capacity(self.n_features());
+        for (ch, w) in self.channels.iter().enumerate() {
+            out.extend(w.transform(expanded.var(ch))?);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> (Vec<MultiSeries>, Vec<usize>) {
+        let mut samples = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..8 {
+            let phase = i as f64 * 0.23;
+            let slow: Vec<f64> = (0..32).map(|t| ((t as f64 * 0.2) + phase).sin()).collect();
+            let fast: Vec<f64> = (0..32).map(|t| ((t as f64 * 1.4) + phase).sin()).collect();
+            samples.push(MultiSeries::from_rows(vec![slow.clone(), fast.clone()]).unwrap());
+            labels.push(0);
+            samples.push(MultiSeries::from_rows(vec![fast, slow]).unwrap());
+            labels.push(1);
+        }
+        (samples, labels)
+    }
+
+    #[test]
+    fn concatenates_channel_features() {
+        let (samples, labels) = toy();
+        let mut m = Muse::with_defaults();
+        m.fit(&samples, &labels, 2).unwrap();
+        // 2 raw + 2 derivative channels.
+        assert_eq!(m.channels.len(), 4);
+        let f = m.transform(&samples[0]).unwrap();
+        assert_eq!(f.len(), m.n_features());
+        assert!(f.iter().any(|&v| v > 0.0));
+    }
+
+    #[test]
+    fn derivative_channels_optional() {
+        let (samples, labels) = toy();
+        let mut m = Muse::new(MuseConfig {
+            use_derivatives: false,
+            ..MuseConfig::default()
+        });
+        m.fit(&samples, &labels, 2).unwrap();
+        assert_eq!(m.channels.len(), 2);
+    }
+
+    #[test]
+    fn error_paths() {
+        let m = Muse::with_defaults();
+        let (samples, _) = toy();
+        assert!(matches!(m.transform(&samples[0]), Err(MlError::NotFitted)));
+        let mut m = Muse::with_defaults();
+        assert!(m.fit(&[], &[], 2).is_err());
+        let (samples, labels) = toy();
+        let mut m2 = Muse::with_defaults();
+        m2.fit(&samples, &labels, 2).unwrap();
+        let wrong = MultiSeries::from_rows(vec![vec![0.0; 32]]).unwrap();
+        assert!(m2.transform(&wrong).is_err());
+    }
+
+    #[test]
+    fn separates_swapped_channels() {
+        let (samples, labels) = toy();
+        let mut m = Muse::with_defaults();
+        m.fit(&samples, &labels, 2).unwrap();
+        let f0 = m.transform(&samples[0]).unwrap();
+        let f1 = m.transform(&samples[1]).unwrap();
+        let dist: f64 = f0
+            .iter()
+            .zip(&f1)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
+            .sqrt();
+        assert!(dist > 0.5, "swapped channels should look different: {dist}");
+    }
+}

@@ -1,0 +1,246 @@
+//! Symbolic Fourier Approximation: discretising Fourier features into
+//! words via information-gain binning.
+//!
+//! For each Fourier coefficient, boundaries are chosen on the training
+//! data so that the resulting bins maximally discriminate the class
+//! labels (the "IG binning" of WEASEL). A window's word is the
+//! base-`alphabet` number formed by its per-coefficient symbols.
+
+/// Fitted SFA discretisation model.
+#[derive(Debug, Clone)]
+pub struct SfaModel {
+    /// `bins[c]` = sorted bin boundaries for coefficient `c`
+    /// (at most `alphabet - 1` values).
+    bins: Vec<Vec<f64>>,
+    alphabet: usize,
+}
+
+impl SfaModel {
+    /// Learns per-coefficient IG bin boundaries.
+    ///
+    /// `windows` are Fourier feature vectors (all the same length),
+    /// `labels` their class labels. `alphabet` is the number of symbols
+    /// per coefficient (≥ 2).
+    ///
+    /// Degenerate inputs (no windows, constant coefficients) yield empty
+    /// boundary sets — every value then maps to symbol 0, which is safe.
+    pub fn fit(windows: &[Vec<f64>], labels: &[usize], alphabet: usize) -> SfaModel {
+        let alphabet = alphabet.max(2);
+        let n_coeffs = windows.first().map_or(0, |w| w.len());
+        let mut bins = Vec::with_capacity(n_coeffs);
+        for c in 0..n_coeffs {
+            let mut pairs: Vec<(f64, usize)> = windows
+                .iter()
+                .zip(labels)
+                .map(|(w, &l)| (w[c], l))
+                .filter(|(v, _)| v.is_finite())
+                .collect();
+            pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+            bins.push(ig_boundaries(&pairs, alphabet));
+        }
+        SfaModel { bins, alphabet }
+    }
+
+    /// Number of Fourier coefficients per word.
+    pub fn word_length(&self) -> usize {
+        self.bins.len()
+    }
+
+    /// Alphabet size.
+    pub fn alphabet(&self) -> usize {
+        self.alphabet
+    }
+
+    /// The symbol (bin index) of one coefficient value.
+    pub fn symbol(&self, coeff: usize, value: f64) -> usize {
+        let bounds = &self.bins[coeff];
+        bounds.iter().take_while(|&&b| value > b).count()
+    }
+
+    /// Encodes a Fourier feature vector into a word
+    /// (base-`alphabet` integer).
+    ///
+    /// # Panics
+    /// When `features.len() != self.word_length()` (programming error).
+    pub fn word(&self, features: &[f64]) -> u32 {
+        assert_eq!(
+            features.len(),
+            self.bins.len(),
+            "feature length must match word length"
+        );
+        let mut w = 0u32;
+        for (c, &v) in features.iter().enumerate() {
+            w = w * self.alphabet as u32 + self.symbol(c, v) as u32;
+        }
+        w
+    }
+
+    /// Upper bound (exclusive) on word codes.
+    pub fn word_space(&self) -> u32 {
+        (self.alphabet as u32).pow(self.bins.len() as u32)
+    }
+}
+
+/// Shannon entropy of a label multiset given per-class counts.
+fn entropy(counts: &[usize], total: usize) -> f64 {
+    if total == 0 {
+        return 0.0;
+    }
+    let tf = total as f64;
+    counts
+        .iter()
+        .filter(|&&c| c > 0)
+        .map(|&c| {
+            let p = c as f64 / tf;
+            -p * p.log2()
+        })
+        .sum()
+}
+
+/// Greedy recursive IG binning: repeatedly apply the single best split
+/// (highest information gain) across all current segments until
+/// `alphabet` bins exist or no split helps.
+fn ig_boundaries(sorted: &[(f64, usize)], alphabet: usize) -> Vec<f64> {
+    if sorted.len() < 2 {
+        return Vec::new();
+    }
+    let n_classes = sorted.iter().map(|&(_, l)| l).max().unwrap_or(0) + 1;
+    // Segments as index ranges into `sorted`.
+    let mut segments: Vec<(usize, usize)> = vec![(0, sorted.len())];
+    let mut boundaries: Vec<f64> = Vec::new();
+    while segments.len() < alphabet {
+        let mut best: Option<(usize, usize, f64, f64)> = None; // (seg idx, split idx, boundary, gain)
+        for (si, &(lo, hi)) in segments.iter().enumerate() {
+            if hi - lo < 2 {
+                continue;
+            }
+            let mut total_counts = vec![0usize; n_classes];
+            for &(_, l) in &sorted[lo..hi] {
+                total_counts[l] += 1;
+            }
+            let seg_n = hi - lo;
+            let parent_h = entropy(&total_counts, seg_n);
+            if parent_h == 0.0 {
+                continue;
+            }
+            let mut left_counts = vec![0usize; n_classes];
+            for i in lo..hi - 1 {
+                left_counts[sorted[i].1] += 1;
+                if sorted[i + 1].0 <= sorted[i].0 {
+                    continue; // no boundary between equal values
+                }
+                let left_n = i - lo + 1;
+                let right_n = seg_n - left_n;
+                let right_counts: Vec<usize> = total_counts
+                    .iter()
+                    .zip(&left_counts)
+                    .map(|(t, l)| t - l)
+                    .collect();
+                let gain = parent_h
+                    - (left_n as f64 * entropy(&left_counts, left_n)
+                        + right_n as f64 * entropy(&right_counts, right_n))
+                        / seg_n as f64;
+                if best.is_none_or(|(_, _, _, g)| gain > g) {
+                    best = Some((si, i + 1, (sorted[i].0 + sorted[i + 1].0) / 2.0, gain));
+                }
+            }
+        }
+        let Some((si, split, boundary, gain)) = best else {
+            break;
+        };
+        if gain <= 0.0 {
+            break;
+        }
+        let (lo, hi) = segments[si];
+        segments[si] = (lo, split);
+        segments.insert(si + 1, (split, hi));
+        boundaries.push(boundary);
+    }
+    boundaries.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    boundaries
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn separable_classes_get_a_boundary_between_them() {
+        // Coefficient values: class 0 near 0, class 1 near 10.
+        let windows: Vec<Vec<f64>> = vec![
+            vec![0.1],
+            vec![0.2],
+            vec![0.3],
+            vec![9.8],
+            vec![9.9],
+            vec![10.0],
+        ];
+        let labels = vec![0, 0, 0, 1, 1, 1];
+        let m = SfaModel::fit(&windows, &labels, 2);
+        assert_eq!(m.bins[0].len(), 1);
+        let b = m.bins[0][0];
+        assert!(b > 0.3 && b < 9.8, "boundary {b}");
+        assert_eq!(m.symbol(0, 0.0), 0);
+        assert_eq!(m.symbol(0, 10.0), 1);
+    }
+
+    #[test]
+    fn word_encoding_is_base_alphabet() {
+        let windows: Vec<Vec<f64>> = vec![
+            vec![0.0, 0.0],
+            vec![1.0, 1.0],
+            vec![2.0, 2.0],
+            vec![3.0, 3.0],
+        ];
+        let labels = vec![0, 1, 2, 3];
+        let m = SfaModel::fit(&windows, &labels, 4);
+        assert_eq!(m.alphabet(), 4);
+        assert_eq!(m.word_length(), 2);
+        let w_low = m.word(&[-1.0, -1.0]);
+        let w_high = m.word(&[99.0, 99.0]);
+        assert_eq!(w_low, 0);
+        assert!(w_high < m.word_space());
+        assert!(w_high > w_low);
+    }
+
+    #[test]
+    fn constant_coefficient_maps_everything_to_symbol_zero() {
+        let windows: Vec<Vec<f64>> = vec![vec![5.0]; 6];
+        let labels = vec![0, 1, 0, 1, 0, 1];
+        let m = SfaModel::fit(&windows, &labels, 4);
+        assert!(m.bins[0].is_empty());
+        assert_eq!(m.symbol(0, 5.0), 0);
+        assert_eq!(m.word(&[5.0]), 0);
+    }
+
+    #[test]
+    fn alphabet_bounds_bin_count() {
+        let windows: Vec<Vec<f64>> = (0..32).map(|i| vec![i as f64]).collect();
+        let labels: Vec<usize> = (0..32).map(|i| i % 4).collect();
+        let m = SfaModel::fit(&windows, &labels, 4);
+        assert!(m.bins[0].len() <= 3);
+    }
+
+    #[test]
+    fn entropy_basics() {
+        assert_eq!(entropy(&[4, 0], 4), 0.0);
+        assert!((entropy(&[2, 2], 4) - 1.0).abs() < 1e-12);
+        assert_eq!(entropy(&[], 0), 0.0);
+    }
+
+    #[test]
+    fn empty_input_is_safe() {
+        let m = SfaModel::fit(&[], &[], 4);
+        assert_eq!(m.word_length(), 0);
+        assert_eq!(m.word(&[]), 0);
+    }
+
+    #[test]
+    fn nan_values_are_ignored_during_fit() {
+        let windows: Vec<Vec<f64>> =
+            vec![vec![f64::NAN], vec![0.0], vec![1.0], vec![10.0], vec![11.0]];
+        let labels = vec![0, 0, 0, 1, 1];
+        let m = SfaModel::fit(&windows, &labels, 2);
+        assert_eq!(m.bins[0].len(), 1);
+    }
+}

@@ -1,0 +1,357 @@
+//! WEASEL: Word ExtrAction for time SEries cLassification
+//! (Schäfer & Leser 2017).
+//!
+//! The transform slides windows of several lengths over a univariate
+//! series, approximates every window with its first Fourier coefficients
+//! ([`crate::fourier`]), discretises them into words with IG binning
+//! ([`crate::sfa`]), counts unigrams and (non-overlapping) bigrams per
+//! window length, and keeps the most class-discriminative counts by
+//! chi-squared selection. The result is a fixed-size dense feature vector
+//! for a linear classifier.
+//!
+//! Matching the paper's setup, the transform performs **no dataset-level
+//! z-normalisation** — Section 6.1 argues that assuming knowledge of the
+//! full series' mean/std is unrealistic for online ETSC.
+
+use std::collections::HashMap;
+
+use etsc_ml::MlError;
+
+use crate::fourier::sliding_dft;
+use crate::sfa::SfaModel;
+
+/// Hyper-parameters for [`Weasel`].
+#[derive(Debug, Clone)]
+pub struct WeaselConfig {
+    /// Number of Fourier features per window (word length).
+    pub word_length: usize,
+    /// Symbols per feature.
+    pub alphabet: usize,
+    /// Smallest window length considered.
+    pub min_window: usize,
+    /// Maximum number of distinct window lengths (spread linearly between
+    /// `min_window` and the series length).
+    pub max_windows: usize,
+    /// Count bigrams of non-overlapping adjacent words.
+    pub use_bigrams: bool,
+    /// Number of features kept by chi-squared selection.
+    pub top_features: usize,
+}
+
+impl Default for WeaselConfig {
+    fn default() -> Self {
+        WeaselConfig {
+            word_length: 4,
+            alphabet: 4,
+            min_window: 6,
+            max_windows: 8,
+            use_bigrams: true,
+            top_features: 384,
+        }
+    }
+}
+
+/// Sentinel marking a unigram in the packed feature key.
+const UNIGRAM: u64 = 0;
+
+/// Packs (window index, previous word + 1 or 0, word) into one key.
+fn pack(win_idx: usize, prev_plus1: u64, word: u32) -> u64 {
+    ((win_idx as u64) << 48) | (prev_plus1 << 24) | word as u64
+}
+
+/// Fitted WEASEL transform.
+///
+/// ```
+/// use etsc_transforms::weasel::Weasel;
+///
+/// let slow: Vec<f64> = (0..32).map(|t| (t as f64 * 0.2).sin()).collect();
+/// let fast: Vec<f64> = (0..32).map(|t| (t as f64 * 1.4).sin()).collect();
+/// let series: Vec<&[f64]> = vec![&slow, &fast, &slow, &fast];
+/// let labels = vec![0, 1, 0, 1];
+/// let mut weasel = Weasel::with_defaults();
+/// weasel.fit(&series, &labels, 2).unwrap();
+/// let features = weasel.transform(&slow).unwrap();
+/// assert_eq!(features.len(), weasel.n_features());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Weasel {
+    config: WeaselConfig,
+    /// `(window length, SFA model)` per window size.
+    models: Vec<(usize, SfaModel)>,
+    /// Selected feature key → dense feature index.
+    feature_map: HashMap<u64, usize>,
+}
+
+impl Weasel {
+    /// Untrained transform with the given hyper-parameters.
+    pub fn new(config: WeaselConfig) -> Self {
+        Weasel {
+            config,
+            models: Vec::new(),
+            feature_map: HashMap::new(),
+        }
+    }
+
+    /// Untrained transform with the paper's defaults.
+    pub fn with_defaults() -> Self {
+        Self::new(WeaselConfig::default())
+    }
+
+    /// Dimensionality of the transformed feature vectors (0 before fit).
+    pub fn n_features(&self) -> usize {
+        self.feature_map.len()
+    }
+
+    /// Window lengths in use after fitting.
+    pub fn window_lengths(&self) -> Vec<usize> {
+        self.models.iter().map(|(w, _)| *w).collect()
+    }
+
+    /// Chooses up to `max_windows` lengths spread over `[min_window, len]`.
+    fn choose_windows(&self, len: usize) -> Vec<usize> {
+        let lo = self.config.min_window.max(3).min(len);
+        let hi = len;
+        if lo >= hi {
+            return vec![lo];
+        }
+        let k = self.config.max_windows.max(1);
+        let mut sizes: Vec<usize> = (0..k)
+            .map(|i| lo + (hi - lo) * i / (k.saturating_sub(1).max(1)))
+            .collect();
+        sizes.dedup();
+        sizes
+    }
+
+    /// Fits SFA models and the chi-squared feature selection.
+    ///
+    /// # Errors
+    /// * [`MlError::EmptyTrainingSet`] on no series / empty series;
+    /// * [`MlError::DimensionMismatch`] on label count mismatch.
+    pub fn fit(
+        &mut self,
+        series: &[&[f64]],
+        labels: &[usize],
+        n_classes: usize,
+    ) -> Result<(), MlError> {
+        if series.is_empty() || series.iter().any(|s| s.is_empty()) {
+            return Err(MlError::EmptyTrainingSet);
+        }
+        if series.len() != labels.len() {
+            return Err(MlError::DimensionMismatch {
+                expected: series.len(),
+                got: labels.len(),
+            });
+        }
+        let min_len = series.iter().map(|s| s.len()).min().expect("non-empty");
+        let windows = self.choose_windows(min_len);
+        // Fit one SFA model per window size.
+        self.models.clear();
+        for &win in &windows {
+            let mut feats = Vec::new();
+            let mut flabels = Vec::new();
+            for (s, &l) in series.iter().zip(labels) {
+                for f in sliding_dft(s, win, self.config.word_length) {
+                    feats.push(f);
+                    flabels.push(l);
+                }
+            }
+            let model = SfaModel::fit(&feats, &flabels, self.config.alphabet);
+            self.models.push((win, model));
+        }
+        // Count features per class for chi-squared selection.
+        let mut counts: HashMap<u64, Vec<f64>> = HashMap::new();
+        let mut class_totals = vec![0.0; n_classes];
+        for (s, &l) in series.iter().zip(labels) {
+            for (key, c) in self.bag(s) {
+                let entry = counts.entry(key).or_insert_with(|| vec![0.0; n_classes]);
+                entry[l] += c;
+                class_totals[l] += c;
+            }
+        }
+        let grand: f64 = class_totals.iter().sum();
+        let mut scored: Vec<(u64, f64)> = counts
+            .iter()
+            .map(|(&key, per_class)| {
+                let feat_total: f64 = per_class.iter().sum();
+                let mut chi2 = 0.0;
+                for (c, &obs) in per_class.iter().enumerate() {
+                    let exp = feat_total * class_totals[c] / grand.max(1e-12);
+                    if exp > 0.0 {
+                        chi2 += (obs - exp) * (obs - exp) / exp;
+                    }
+                }
+                (key, chi2)
+            })
+            .collect();
+        scored.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.0.cmp(&b.0))
+        });
+        scored.truncate(self.config.top_features);
+        self.feature_map = scored
+            .into_iter()
+            .enumerate()
+            .map(|(i, (key, _))| (key, i))
+            .collect();
+        Ok(())
+    }
+
+    /// The raw bag of `(feature key, count)` for one series.
+    fn bag(&self, series: &[f64]) -> HashMap<u64, f64> {
+        let mut bag = HashMap::new();
+        for (wi, (win, model)) in self.models.iter().enumerate() {
+            let feats = sliding_dft(series, *win, self.config.word_length);
+            if feats.is_empty() {
+                continue;
+            }
+            let words: Vec<u32> = feats.iter().map(|f| model.word(f)).collect();
+            for (i, &w) in words.iter().enumerate() {
+                *bag.entry(pack(wi, UNIGRAM, w)).or_insert(0.0) += 1.0;
+                if self.config.use_bigrams && i >= *win {
+                    let prev = words[i - *win];
+                    *bag.entry(pack(wi, prev as u64 + 1, w)).or_insert(0.0) += 1.0;
+                }
+            }
+        }
+        bag
+    }
+
+    /// Transforms a series into the selected dense feature vector.
+    ///
+    /// Series shorter than every window produce the all-zero vector.
+    ///
+    /// # Errors
+    /// [`MlError::NotFitted`] before `fit`.
+    pub fn transform(&self, series: &[f64]) -> Result<Vec<f64>, MlError> {
+        if self.models.is_empty() {
+            return Err(MlError::NotFitted);
+        }
+        let mut out = vec![0.0; self.feature_map.len()];
+        for (key, c) in self.bag(series) {
+            if let Some(&idx) = self.feature_map.get(&key) {
+                out[idx] = c;
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two easily separable signal shapes.
+    fn toy() -> (Vec<Vec<f64>>, Vec<usize>) {
+        let mut series = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..10 {
+            let phase = i as f64 * 0.17;
+            // Class 0: low-frequency sine; class 1: high-frequency sine.
+            let slow: Vec<f64> = (0..40).map(|t| ((t as f64 * 0.2) + phase).sin()).collect();
+            let fast: Vec<f64> = (0..40).map(|t| ((t as f64 * 1.5) + phase).sin()).collect();
+            series.push(slow);
+            labels.push(0);
+            series.push(fast);
+            labels.push(1);
+        }
+        (series, labels)
+    }
+
+    fn refs(series: &[Vec<f64>]) -> Vec<&[f64]> {
+        series.iter().map(|s| s.as_slice()).collect()
+    }
+
+    #[test]
+    fn produces_fixed_size_vectors() {
+        let (series, labels) = toy();
+        let mut w = Weasel::with_defaults();
+        w.fit(&refs(&series), &labels, 2).unwrap();
+        assert!(w.n_features() > 0);
+        assert!(w.n_features() <= 384);
+        let f = w.transform(&series[0]).unwrap();
+        assert_eq!(f.len(), w.n_features());
+    }
+
+    #[test]
+    fn features_separate_frequency_classes() {
+        let (series, labels) = toy();
+        let mut w = Weasel::with_defaults();
+        w.fit(&refs(&series), &labels, 2).unwrap();
+        // Average feature vectors per class must differ substantially.
+        let mut mean0 = vec![0.0; w.n_features()];
+        let mut mean1 = vec![0.0; w.n_features()];
+        for (s, &l) in series.iter().zip(&labels) {
+            let f = w.transform(s).unwrap();
+            let target = if l == 0 { &mut mean0 } else { &mut mean1 };
+            for (m, v) in target.iter_mut().zip(f) {
+                *m += v;
+            }
+        }
+        let dist: f64 = mean0
+            .iter()
+            .zip(&mean1)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
+            .sqrt();
+        assert!(dist > 1.0, "class means too close: {dist}");
+    }
+
+    #[test]
+    fn short_series_transform_is_zero_vector() {
+        let (series, labels) = toy();
+        let mut w = Weasel::with_defaults();
+        w.fit(&refs(&series), &labels, 2).unwrap();
+        let f = w.transform(&[1.0, 2.0]).unwrap();
+        assert!(f.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn window_lengths_respect_series_length() {
+        let (series, labels) = toy();
+        let mut w = Weasel::with_defaults();
+        w.fit(&refs(&series), &labels, 2).unwrap();
+        assert!(w.window_lengths().iter().all(|&l| (3..=40).contains(&l)));
+    }
+
+    #[test]
+    fn bigrams_add_features() {
+        let (series, labels) = toy();
+        let mut with = Weasel::new(WeaselConfig {
+            top_features: 100_000,
+            ..WeaselConfig::default()
+        });
+        with.fit(&refs(&series), &labels, 2).unwrap();
+        let mut without = Weasel::new(WeaselConfig {
+            use_bigrams: false,
+            top_features: 100_000,
+            ..WeaselConfig::default()
+        });
+        without.fit(&refs(&series), &labels, 2).unwrap();
+        assert!(with.n_features() > without.n_features());
+    }
+
+    #[test]
+    fn error_paths() {
+        let w = Weasel::with_defaults();
+        assert!(matches!(w.transform(&[1.0]), Err(MlError::NotFitted)));
+        let mut w = Weasel::with_defaults();
+        assert!(w.fit(&[], &[], 2).is_err());
+        let s = vec![1.0, 2.0, 3.0];
+        let series: Vec<&[f64]> = vec![&s];
+        assert!(w.fit(&series, &[0, 1], 2).is_err());
+    }
+
+    #[test]
+    fn deterministic() {
+        let (series, labels) = toy();
+        let mut a = Weasel::with_defaults();
+        let mut b = Weasel::with_defaults();
+        a.fit(&refs(&series), &labels, 2).unwrap();
+        b.fit(&refs(&series), &labels, 2).unwrap();
+        assert_eq!(
+            a.transform(&series[3]).unwrap(),
+            b.transform(&series[3]).unwrap()
+        );
+    }
+}

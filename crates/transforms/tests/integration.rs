@@ -1,0 +1,178 @@
+//! Transform-level integration tests: the WEASEL/MUSE/MiniROCKET
+//! pipelines paired with their reference classifier heads, and
+//! cross-transform sanity properties.
+
+use etsc_data::{MultiSeries, Series};
+use etsc_ml::logistic::LogisticRegression;
+use etsc_ml::ridge::RidgeClassifier;
+use etsc_ml::{Classifier, Matrix};
+use etsc_transforms::minirocket::{MiniRocket, MiniRocketConfig};
+use etsc_transforms::muse::{Muse, MuseConfig};
+use etsc_transforms::weasel::{Weasel, WeaselConfig};
+
+/// Three-class signal zoo: sine frequencies + a square wave.
+fn zoo(n_per_class: usize, len: usize) -> (Vec<Vec<f64>>, Vec<usize>) {
+    let mut series = Vec::new();
+    let mut labels = Vec::new();
+    for i in 0..n_per_class {
+        let phase = i as f64 * 0.37;
+        series.push(
+            (0..len)
+                .map(|t| ((t as f64 * 0.25) + phase).sin())
+                .collect(),
+        );
+        labels.push(0);
+        series.push((0..len).map(|t| ((t as f64 * 1.3) + phase).sin()).collect());
+        labels.push(1);
+        series.push(
+            (0..len)
+                .map(|t| {
+                    if ((t as f64 * 0.4) + phase).sin() > 0.0 {
+                        1.0
+                    } else {
+                        -1.0
+                    }
+                })
+                .collect(),
+        );
+        labels.push(2);
+    }
+    (series, labels)
+}
+
+#[test]
+fn weasel_logistic_three_class_pipeline() {
+    let (series, labels) = zoo(10, 48);
+    let refs: Vec<&[f64]> = series.iter().map(|s| s.as_slice()).collect();
+    let mut w = Weasel::with_defaults();
+    w.fit(&refs, &labels, 3).unwrap();
+    let rows: Vec<Vec<f64>> = series.iter().map(|s| w.transform(s).unwrap()).collect();
+    let x = Matrix::from_rows(&rows).unwrap();
+    let mut head = LogisticRegression::with_defaults();
+    head.fit(&x, &labels, 3).unwrap();
+    let correct = rows
+        .iter()
+        .zip(&labels)
+        .filter(|(r, &l)| head.predict(r).unwrap() == l)
+        .count();
+    assert!(
+        correct as f64 / labels.len() as f64 > 0.9,
+        "{correct}/{}",
+        labels.len()
+    );
+}
+
+#[test]
+fn minirocket_ridge_three_class_pipeline() {
+    let (series, labels) = zoo(10, 48);
+    let samples: Vec<MultiSeries> = series
+        .iter()
+        .map(|s| MultiSeries::univariate(Series::new(s.clone())))
+        .collect();
+    let mut mr = MiniRocket::new(MiniRocketConfig {
+        num_features: 400,
+        max_dilations: 5,
+        seed: 1,
+    });
+    mr.fit(&samples).unwrap();
+    let rows: Vec<Vec<f64>> = samples.iter().map(|s| mr.transform(s).unwrap()).collect();
+    let x = Matrix::from_rows(&rows).unwrap();
+    let mut head = RidgeClassifier::with_defaults();
+    head.fit(&x, &labels, 3).unwrap();
+    let correct = rows
+        .iter()
+        .zip(&labels)
+        .filter(|(r, &l)| head.predict(r).unwrap() == l)
+        .count();
+    assert!(
+        correct as f64 / labels.len() as f64 > 0.9,
+        "{correct}/{}",
+        labels.len()
+    );
+}
+
+#[test]
+fn muse_separates_channel_swapped_classes() {
+    let mut samples = Vec::new();
+    let mut labels = Vec::new();
+    for i in 0..10 {
+        let phase = i as f64 * 0.29;
+        let a: Vec<f64> = (0..40).map(|t| ((t as f64 * 0.3) + phase).sin()).collect();
+        let b: Vec<f64> = (0..40).map(|t| ((t as f64 * 1.5) + phase).sin()).collect();
+        samples.push(MultiSeries::from_rows(vec![a.clone(), b.clone()]).unwrap());
+        labels.push(0);
+        samples.push(MultiSeries::from_rows(vec![b, a]).unwrap());
+        labels.push(1);
+    }
+    let mut m = Muse::new(MuseConfig::default());
+    m.fit(&samples, &labels, 2).unwrap();
+    let rows: Vec<Vec<f64>> = samples.iter().map(|s| m.transform(s).unwrap()).collect();
+    let x = Matrix::from_rows(&rows).unwrap();
+    let mut head = LogisticRegression::with_defaults();
+    head.fit(&x, &labels, 2).unwrap();
+    let correct = rows
+        .iter()
+        .zip(&labels)
+        .filter(|(r, &l)| head.predict(r).unwrap() == l)
+        .count();
+    assert!(correct as f64 / labels.len() as f64 > 0.9);
+}
+
+#[test]
+fn weasel_transform_counts_scale_with_series_length() {
+    // Doubling the series length roughly doubles the total bag mass —
+    // the counts are window counts, not normalised frequencies.
+    let (series, labels) = zoo(8, 32);
+    let refs: Vec<&[f64]> = series.iter().map(|s| s.as_slice()).collect();
+    let mut w = Weasel::new(WeaselConfig {
+        max_windows: 3,
+        ..WeaselConfig::default()
+    });
+    w.fit(&refs, &labels, 3).unwrap();
+    let short_mass: f64 = w.transform(&series[0]).unwrap().iter().sum();
+    let mut doubled = series[0].clone();
+    doubled.extend_from_slice(&series[0]);
+    let long_mass: f64 = w.transform(&doubled).unwrap().iter().sum();
+    assert!(long_mass > short_mass, "{long_mass} vs {short_mass}");
+}
+
+#[test]
+fn minirocket_is_length_tolerant_at_transform_time() {
+    // MiniROCKET transforms of longer series than trained on still work
+    // (padded kernels see more positions).
+    let (series, _) = zoo(4, 32);
+    let samples: Vec<MultiSeries> = series
+        .iter()
+        .map(|s| MultiSeries::univariate(Series::new(s.clone())))
+        .collect();
+    let mut mr = MiniRocket::with_defaults();
+    mr.fit(&samples).unwrap();
+    let mut longer = series[0].clone();
+    longer.extend_from_slice(&series[1]);
+    let f = mr
+        .transform(&MultiSeries::univariate(Series::new(longer)))
+        .unwrap();
+    assert_eq!(f.len(), mr.n_features());
+    assert!(f.iter().all(|v| v.is_finite()));
+}
+
+#[test]
+fn transforms_are_robust_to_constant_series() {
+    let (mut series, mut labels) = zoo(6, 32);
+    series.push(vec![0.0; 32]);
+    labels.push(0);
+    let refs: Vec<&[f64]> = series.iter().map(|s| s.as_slice()).collect();
+    let mut w = Weasel::with_defaults();
+    w.fit(&refs, &labels, 3).unwrap();
+    let f = w.transform(&series[series.len() - 1]).unwrap();
+    assert!(f.iter().all(|v| v.is_finite()));
+
+    let samples: Vec<MultiSeries> = series
+        .iter()
+        .map(|s| MultiSeries::univariate(Series::new(s.clone())))
+        .collect();
+    let mut mr = MiniRocket::with_defaults();
+    mr.fit(&samples).unwrap();
+    let f = mr.transform(samples.last().unwrap()).unwrap();
+    assert!(f.iter().all(|v| v.is_finite()));
+}

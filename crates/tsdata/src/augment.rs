@@ -1,0 +1,299 @@
+//! Minority-class oversampling for imbalanced ETSC datasets.
+//!
+//! The paper's future work names **T-SMOTE** (Zhao et al., IJCAI 2022) as
+//! a planned addition for its imbalanced benchmarks (Biological CIR 4.0,
+//! Maritime CIR 4.2, …). This module provides a time-series-aware SMOTE:
+//! synthetic minority instances are linear interpolations between a real
+//! minority instance and one of its k nearest same-class neighbours
+//! (point-wise over every variable), optionally with a small temporal
+//! jitter — T-SMOTE's core mechanism of generating samples along the
+//! data manifold near class boundaries, adapted to the framework's
+//! fixed-horizon setting.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::dataset::{Dataset, Label};
+use crate::error::DataError;
+use crate::series::MultiSeries;
+
+/// Configuration for [`tsmote_oversample`].
+#[derive(Debug, Clone)]
+pub struct TsmoteConfig {
+    /// Neighbours considered per minority instance.
+    pub k_neighbors: usize,
+    /// Target class-imbalance ratio after oversampling (1.0 = fully
+    /// balanced; values above 1 stop earlier).
+    pub target_cir: f64,
+    /// Maximum temporal jitter (in time points) applied to the synthetic
+    /// instance, shifting the interpolated series to vary event timing.
+    pub max_shift: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for TsmoteConfig {
+    fn default() -> Self {
+        TsmoteConfig {
+            k_neighbors: 5,
+            target_cir: 1.0,
+            max_shift: 2,
+            seed: 61,
+        }
+    }
+}
+
+/// Squared distance between two equal-shape instances over all variables.
+fn instance_distance(a: &MultiSeries, b: &MultiSeries) -> f64 {
+    a.flat()
+        .iter()
+        .zip(b.flat())
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum()
+}
+
+/// Interpolates `a` toward `b` with mixing factor `alpha ∈ [0, 1]`, then
+/// shifts the result by `shift` time points (repeating the edge value).
+fn interpolate(a: &MultiSeries, b: &MultiSeries, alpha: f64, shift: isize) -> MultiSeries {
+    let len = a.len();
+    let mut rows = Vec::with_capacity(a.vars());
+    for v in 0..a.vars() {
+        let mixed: Vec<f64> = a
+            .var(v)
+            .iter()
+            .zip(b.var(v))
+            .map(|(x, y)| x + alpha * (y - x))
+            .collect();
+        let shifted: Vec<f64> = (0..len)
+            .map(|t| {
+                let src = (t as isize - shift).clamp(0, len as isize - 1) as usize;
+                mixed[src]
+            })
+            .collect();
+        rows.push(shifted);
+    }
+    MultiSeries::from_rows(rows).expect("rows constructed with equal length")
+}
+
+/// Oversamples every minority class toward `target_cir` with synthetic
+/// interpolated instances appended after the originals.
+///
+/// ```
+/// use etsc_data::augment::{tsmote_oversample, TsmoteConfig};
+/// use etsc_data::{DatasetBuilder, MultiSeries, Series};
+///
+/// let mut b = DatasetBuilder::new("imbalanced");
+/// for i in 0..6 {
+///     b.push_named(MultiSeries::univariate(Series::new(vec![i as f64; 4])), "major");
+/// }
+/// b.push_named(MultiSeries::univariate(Series::new(vec![9.0; 4])), "minor");
+/// b.push_named(MultiSeries::univariate(Series::new(vec![9.5; 4])), "minor");
+/// let data = b.build().unwrap();
+/// let balanced = tsmote_oversample(&data, &TsmoteConfig::default()).unwrap();
+/// let counts = balanced.class_counts();
+/// assert_eq!(counts[0], counts[1]);
+/// ```
+///
+/// Classes with a single instance are duplicated with jitter only (no
+/// neighbour to interpolate toward). Instances must share one length.
+///
+/// # Errors
+/// [`DataError`] on ragged datasets.
+pub fn tsmote_oversample(data: &Dataset, config: &TsmoteConfig) -> Result<Dataset, DataError> {
+    if data.min_len() != data.max_len() {
+        return Err(DataError::ShapeMismatch {
+            what: "instance lengths (equalise before oversampling)",
+            expected: data.max_len(),
+            got: data.min_len(),
+        });
+    }
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let counts = data.class_counts();
+    let max_count = counts.iter().copied().max().unwrap_or(0);
+    let target_cir = config.target_cir.max(1.0);
+
+    let mut instances: Vec<MultiSeries> = data.instances().to_vec();
+    let mut labels: Vec<Label> = data.labels().to_vec();
+
+    for (class, &count) in counts.iter().enumerate() {
+        if count == 0 {
+            continue;
+        }
+        // Grow the class until max_count / class_count <= target_cir.
+        let needed = ((max_count as f64 / target_cir).ceil() as usize).saturating_sub(count);
+        if needed == 0 {
+            continue;
+        }
+        let members: Vec<usize> = (0..data.len())
+            .filter(|&i| data.label(i) == class)
+            .collect();
+        // k-NN inside the class (brute force; minority classes are small).
+        let k = config
+            .k_neighbors
+            .max(1)
+            .min(members.len().saturating_sub(1));
+        for s in 0..needed {
+            let &seed_idx = &members[s % members.len()];
+            let seed_inst = data.instance(seed_idx);
+            let synthetic = if k == 0 {
+                // Singleton class: jitter only.
+                let shift = rng.random_range(0..=config.max_shift) as isize;
+                interpolate(seed_inst, seed_inst, 0.0, shift)
+            } else {
+                let mut neighbours: Vec<(usize, f64)> = members
+                    .iter()
+                    .filter(|&&j| j != seed_idx)
+                    .map(|&j| (j, instance_distance(seed_inst, data.instance(j))))
+                    .collect();
+                neighbours
+                    .sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+                neighbours.truncate(k);
+                let pick = neighbours[rng.random_range(0..neighbours.len())].0;
+                let alpha = rng.random::<f64>();
+                let shift_mag = rng.random_range(0..=config.max_shift) as isize;
+                let shift = if rng.random::<bool>() {
+                    shift_mag
+                } else {
+                    -shift_mag
+                };
+                interpolate(seed_inst, data.instance(pick), alpha, shift)
+            };
+            instances.push(synthetic);
+            labels.push(class);
+        }
+    }
+    Dataset::new(
+        format!("{}+tsmote", data.name()),
+        instances,
+        labels,
+        data.class_names().to_vec(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::DatasetBuilder;
+    use crate::series::Series;
+    use crate::stats::DatasetStats;
+
+    fn imbalanced() -> Dataset {
+        let mut b = DatasetBuilder::new("imb");
+        for i in 0..16 {
+            b.push_named(
+                MultiSeries::univariate(Series::new(vec![i as f64, 0.0, 1.0, 2.0])),
+                "major",
+            );
+        }
+        for i in 0..4 {
+            b.push_named(
+                MultiSeries::univariate(Series::new(vec![10.0 + i as f64, 11.0, 12.0, 13.0])),
+                "minor",
+            );
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn balances_to_target_cir() {
+        let d = imbalanced();
+        assert!((DatasetStats::compute(&d).cir - 4.0).abs() < 1e-9);
+        let balanced = tsmote_oversample(&d, &TsmoteConfig::default()).unwrap();
+        let s = DatasetStats::compute(&balanced);
+        assert!((s.cir - 1.0).abs() < 1e-9, "CIR {}", s.cir);
+        assert_eq!(balanced.len(), 32);
+    }
+
+    #[test]
+    fn partial_target_stops_earlier() {
+        let d = imbalanced();
+        let half = tsmote_oversample(
+            &d,
+            &TsmoteConfig {
+                target_cir: 2.0,
+                ..TsmoteConfig::default()
+            },
+        )
+        .unwrap();
+        let s = DatasetStats::compute(&half);
+        assert!(s.cir <= 2.0 + 1e-9, "CIR {}", s.cir);
+        assert!(half.len() < 32);
+    }
+
+    #[test]
+    fn synthetic_instances_stay_near_the_minority_manifold() {
+        let d = imbalanced();
+        let balanced = tsmote_oversample(
+            &d,
+            &TsmoteConfig {
+                max_shift: 0,
+                ..TsmoteConfig::default()
+            },
+        )
+        .unwrap();
+        let minor = balanced
+            .class_names()
+            .iter()
+            .position(|c| c == "minor")
+            .unwrap();
+        for (inst, label) in balanced.iter() {
+            if label == minor {
+                // Minority values live in [10, 14); interpolations must too.
+                assert!(
+                    inst.flat().iter().all(|&v| (9.9..14.1).contains(&v)),
+                    "{:?}",
+                    inst.flat()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn original_instances_are_preserved_in_order() {
+        let d = imbalanced();
+        let out = tsmote_oversample(&d, &TsmoteConfig::default()).unwrap();
+        for i in 0..d.len() {
+            assert_eq!(out.instance(i).flat(), d.instance(i).flat());
+            assert_eq!(out.label(i), d.label(i));
+        }
+    }
+
+    #[test]
+    fn singleton_class_is_duplicated() {
+        let mut b = DatasetBuilder::new("s");
+        for _ in 0..5 {
+            b.push_named(MultiSeries::univariate(Series::new(vec![0.0; 4])), "a");
+        }
+        b.push_named(MultiSeries::univariate(Series::new(vec![9.0; 4])), "b");
+        let d = b.build().unwrap();
+        let out = tsmote_oversample(&d, &TsmoteConfig::default()).unwrap();
+        let counts = out.class_counts();
+        assert_eq!(counts[0], counts[1]);
+    }
+
+    #[test]
+    fn deterministic_and_rejects_ragged() {
+        let d = imbalanced();
+        let a = tsmote_oversample(&d, &TsmoteConfig::default()).unwrap();
+        let b = tsmote_oversample(&d, &TsmoteConfig::default()).unwrap();
+        assert_eq!(a.instance(25).flat(), b.instance(25).flat());
+
+        let mut rb = DatasetBuilder::new("ragged");
+        rb.push_named(MultiSeries::univariate(Series::new(vec![1.0, 2.0])), "a");
+        rb.push_named(
+            MultiSeries::univariate(Series::new(vec![1.0, 2.0, 3.0])),
+            "b",
+        );
+        let ragged = rb.build().unwrap();
+        assert!(tsmote_oversample(&ragged, &TsmoteConfig::default()).is_err());
+    }
+
+    #[test]
+    fn temporal_shift_moves_events() {
+        let a = MultiSeries::univariate(Series::new(vec![0.0, 0.0, 5.0, 0.0, 0.0]));
+        let shifted = interpolate(&a, &a, 0.0, 1);
+        assert_eq!(shifted.var(0), &[0.0, 0.0, 0.0, 5.0, 0.0]);
+        let back = interpolate(&a, &a, 0.0, -1);
+        assert_eq!(back.var(0), &[0.0, 5.0, 0.0, 0.0, 0.0]);
+    }
+}

@@ -1,0 +1,260 @@
+//! Seeded stratified cross-validation and train/validation splitting.
+//!
+//! The paper evaluates every (algorithm, dataset) pair with *stratified
+//! random-sampling 5-fold cross-validation* (Section 6.1). [`StratifiedKFold`]
+//! reproduces that: instances are shuffled per class with a seeded RNG and
+//! dealt round-robin into folds, so every fold's class mix matches the
+//! dataset's.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::dataset::Dataset;
+use crate::error::DataError;
+
+/// One cross-validation fold: index sets into the original dataset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fold {
+    /// Training instance indices.
+    pub train: Vec<usize>,
+    /// Held-out test instance indices.
+    pub test: Vec<usize>,
+}
+
+/// Stratified K-fold splitter with deterministic seeded shuffling.
+#[derive(Debug, Clone)]
+pub struct StratifiedKFold {
+    k: usize,
+    seed: u64,
+}
+
+impl StratifiedKFold {
+    /// Creates a splitter producing `k` folds using the given seed.
+    ///
+    /// # Errors
+    /// [`DataError::InvalidSplit`] when `k < 2`.
+    pub fn new(k: usize, seed: u64) -> Result<Self, DataError> {
+        if k < 2 {
+            return Err(DataError::InvalidSplit(format!(
+                "need at least 2 folds, got {k}"
+            )));
+        }
+        Ok(StratifiedKFold { k, seed })
+    }
+
+    /// Number of folds.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Splits a dataset into `k` stratified folds.
+    ///
+    /// Every instance appears in exactly one test set; train = complement.
+    /// Classes with fewer instances than `k` still work (they are simply
+    /// absent from some folds' test sets), but an entirely degenerate
+    /// request (`k` > dataset size) is rejected.
+    ///
+    /// # Errors
+    /// [`DataError::InvalidSplit`] when the dataset has fewer instances
+    /// than folds.
+    pub fn split(&self, dataset: &Dataset) -> Result<Vec<Fold>, DataError> {
+        if dataset.len() < self.k {
+            return Err(DataError::InvalidSplit(format!(
+                "{} instances cannot fill {} folds",
+                dataset.len(),
+                self.k
+            )));
+        }
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        // Group indices per class, shuffle each group, deal round-robin.
+        let mut per_class: Vec<Vec<usize>> = vec![Vec::new(); dataset.n_classes()];
+        for (i, &l) in dataset.labels().iter().enumerate() {
+            per_class[l].push(i);
+        }
+        let mut test_sets: Vec<Vec<usize>> = vec![Vec::new(); self.k];
+        // Offset the dealing start per class so small classes don't all
+        // land in fold 0.
+        let mut offset = 0usize;
+        for group in &mut per_class {
+            group.shuffle(&mut rng);
+            for (j, &idx) in group.iter().enumerate() {
+                test_sets[(offset + j) % self.k].push(idx);
+            }
+            offset = (offset + group.len()) % self.k;
+        }
+        let folds = test_sets
+            .into_iter()
+            .map(|mut test| {
+                test.sort_unstable();
+                let in_test: std::collections::HashSet<usize> = test.iter().copied().collect();
+                let train = (0..dataset.len())
+                    .filter(|i| !in_test.contains(i))
+                    .collect();
+                Fold { train, test }
+            })
+            .collect();
+        Ok(folds)
+    }
+}
+
+/// Stratified train/validation split with `validation_fraction` of each
+/// class held out (at least one instance per class stays in training).
+///
+/// Returns `(train_indices, validation_indices)`.
+///
+/// # Errors
+/// [`DataError::InvalidSplit`] for fractions outside `(0, 1)` or datasets
+/// too small to hold anything out.
+pub fn train_validation_split(
+    dataset: &Dataset,
+    validation_fraction: f64,
+    seed: u64,
+) -> Result<(Vec<usize>, Vec<usize>), DataError> {
+    if !(validation_fraction > 0.0 && validation_fraction < 1.0) {
+        return Err(DataError::InvalidSplit(format!(
+            "validation fraction must be in (0,1), got {validation_fraction}"
+        )));
+    }
+    if dataset.len() < 2 {
+        return Err(DataError::InvalidSplit(
+            "cannot split a single-instance dataset".into(),
+        ));
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut per_class: Vec<Vec<usize>> = vec![Vec::new(); dataset.n_classes()];
+    for (i, &l) in dataset.labels().iter().enumerate() {
+        per_class[l].push(i);
+    }
+    let mut train = Vec::new();
+    let mut val = Vec::new();
+    for group in &mut per_class {
+        if group.is_empty() {
+            continue;
+        }
+        group.shuffle(&mut rng);
+        // Hold out round(fraction * n) but always keep >= 1 in training;
+        // singleton classes contribute to training only.
+        let n = group.len();
+        let mut held = ((n as f64) * validation_fraction).round() as usize;
+        held = held.min(n - 1);
+        val.extend_from_slice(&group[..held]);
+        train.extend_from_slice(&group[held..]);
+    }
+    if val.is_empty() {
+        // Tiny dataset: fall back to holding out one instance overall.
+        let moved = train.pop().expect("dataset has >= 2 instances");
+        val.push(moved);
+    }
+    train.sort_unstable();
+    val.sort_unstable();
+    Ok((train, val))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::DatasetBuilder;
+    use crate::series::{MultiSeries, Series};
+
+    fn dataset(labels: &[&str]) -> Dataset {
+        let mut b = DatasetBuilder::new("cv");
+        for (i, &l) in labels.iter().enumerate() {
+            b.push_named(MultiSeries::univariate(Series::new(vec![i as f64, 0.0])), l);
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn rejects_k_below_two() {
+        assert!(StratifiedKFold::new(1, 0).is_err());
+        assert!(StratifiedKFold::new(2, 0).is_ok());
+    }
+
+    #[test]
+    fn folds_partition_the_dataset() {
+        let d = dataset(&["a", "a", "a", "b", "b", "b", "a", "b", "a", "b"]);
+        let folds = StratifiedKFold::new(5, 42).unwrap().split(&d).unwrap();
+        assert_eq!(folds.len(), 5);
+        let mut seen = vec![false; d.len()];
+        for f in &folds {
+            for &i in &f.test {
+                assert!(!seen[i], "instance {i} in two test sets");
+                seen[i] = true;
+            }
+            // train and test are disjoint and cover everything.
+            assert_eq!(f.train.len() + f.test.len(), d.len());
+            for &i in &f.train {
+                assert!(!f.test.contains(&i));
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn folds_are_stratified() {
+        // 10 a's and 5 b's over 5 folds: every fold should hold 2 a's, 1 b.
+        let labels: Vec<&str> = std::iter::repeat_n("a", 10)
+            .chain(std::iter::repeat_n("b", 5))
+            .collect();
+        let d = dataset(&labels);
+        let folds = StratifiedKFold::new(5, 7).unwrap().split(&d).unwrap();
+        for f in &folds {
+            let a = f.test.iter().filter(|&&i| d.label(i) == 0).count();
+            let b = f.test.iter().filter(|&&i| d.label(i) == 1).count();
+            assert_eq!((a, b), (2, 1));
+        }
+    }
+
+    #[test]
+    fn splits_are_deterministic_per_seed() {
+        let d = dataset(&["a", "b", "a", "b", "a", "b", "a", "b"]);
+        let s = StratifiedKFold::new(4, 99).unwrap();
+        assert_eq!(s.split(&d).unwrap(), s.split(&d).unwrap());
+        let other = StratifiedKFold::new(4, 100).unwrap().split(&d).unwrap();
+        // Different seed gives a different arrangement almost surely.
+        assert_ne!(s.split(&d).unwrap(), other);
+    }
+
+    #[test]
+    fn too_many_folds_rejected() {
+        let d = dataset(&["a", "b"]);
+        assert!(StratifiedKFold::new(3, 0).unwrap().split(&d).is_err());
+    }
+
+    #[test]
+    fn holdout_split_respects_fraction() {
+        let labels: Vec<&str> = std::iter::repeat_n("a", 20)
+            .chain(std::iter::repeat_n("b", 10))
+            .collect();
+        let d = dataset(&labels);
+        let (train, val) = train_validation_split(&d, 0.2, 3).unwrap();
+        assert_eq!(train.len() + val.len(), 30);
+        assert_eq!(val.len(), 6); // 4 a's + 2 b's
+        let a_val = val.iter().filter(|&&i| d.label(i) == 0).count();
+        assert_eq!(a_val, 4);
+    }
+
+    #[test]
+    fn holdout_rejects_bad_fraction() {
+        let d = dataset(&["a", "b"]);
+        assert!(train_validation_split(&d, 0.0, 0).is_err());
+        assert!(train_validation_split(&d, 1.0, 0).is_err());
+    }
+
+    #[test]
+    fn holdout_keeps_at_least_one_per_class_in_training() {
+        let d = dataset(&["a", "a", "b", "b"]);
+        let (train, _) = train_validation_split(&d, 0.5, 1).unwrap();
+        let a = train.iter().filter(|&&i| d.label(i) == 0).count();
+        let b = train.iter().filter(|&&i| d.label(i) == 1).count();
+        assert!(a >= 1 && b >= 1);
+    }
+
+    #[test]
+    fn holdout_never_returns_empty_validation() {
+        let d = dataset(&["a", "b", "a"]);
+        let (_, val) = train_validation_split(&d, 0.1, 5).unwrap();
+        assert!(!val.is_empty());
+    }
+}

@@ -1,0 +1,366 @@
+//! Labelled dataset abstraction.
+//!
+//! A [`Dataset`] owns a set of [`MultiSeries`] instances of equal variable
+//! count together with integer class labels. Labels are dense `usize`
+//! indices into a class-name registry so that algorithms can index arrays
+//! by class directly; loaders map arbitrary string labels into this space.
+
+use crate::error::DataError;
+use crate::series::MultiSeries;
+
+/// Dense class label: an index into [`Dataset::class_names`].
+pub type Label = usize;
+
+/// A labelled collection of multivariate time-series.
+///
+/// Invariants (enforced at construction):
+/// * at least one instance;
+/// * every instance has the same number of variables;
+/// * every label is a valid index into the class registry;
+/// * every class in the registry is distinct.
+///
+/// Instances may have *different lengths* (several UEA/UCR datasets do);
+/// [`Dataset::min_len`]/[`Dataset::max_len`] expose the range and
+/// [`Dataset::truncated`] produces the equal-length view most algorithms
+/// train on.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    instances: Vec<MultiSeries>,
+    labels: Vec<Label>,
+    class_names: Vec<String>,
+    name: String,
+}
+
+impl Dataset {
+    /// Builds a dataset, validating all invariants.
+    ///
+    /// # Errors
+    /// * [`DataError::Empty`] for zero instances or classes;
+    /// * [`DataError::ShapeMismatch`] for label/instance count mismatch,
+    ///   inconsistent variable counts, or out-of-range labels.
+    pub fn new(
+        name: impl Into<String>,
+        instances: Vec<MultiSeries>,
+        labels: Vec<Label>,
+        class_names: Vec<String>,
+    ) -> Result<Self, DataError> {
+        if instances.is_empty() {
+            return Err(DataError::Empty("dataset"));
+        }
+        if class_names.is_empty() {
+            return Err(DataError::Empty("class registry"));
+        }
+        if instances.len() != labels.len() {
+            return Err(DataError::ShapeMismatch {
+                what: "labels per instance",
+                expected: instances.len(),
+                got: labels.len(),
+            });
+        }
+        let vars = instances[0].vars();
+        for inst in &instances {
+            if inst.vars() != vars {
+                return Err(DataError::ShapeMismatch {
+                    what: "variables per instance",
+                    expected: vars,
+                    got: inst.vars(),
+                });
+            }
+        }
+        for &l in &labels {
+            if l >= class_names.len() {
+                return Err(DataError::ShapeMismatch {
+                    what: "label index",
+                    expected: class_names.len(),
+                    got: l,
+                });
+            }
+        }
+        Ok(Dataset {
+            instances,
+            labels,
+            class_names,
+            name: name.into(),
+        })
+    }
+
+    /// Human-readable dataset name (e.g. `"Maritime"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of instances ("height" in the paper's terminology).
+    pub fn len(&self) -> usize {
+        self.instances.len()
+    }
+
+    /// `true` is impossible by construction but kept for API completeness.
+    pub fn is_empty(&self) -> bool {
+        self.instances.is_empty()
+    }
+
+    /// Number of variables per instance.
+    pub fn vars(&self) -> usize {
+        self.instances[0].vars()
+    }
+
+    /// Number of distinct classes in the registry.
+    pub fn n_classes(&self) -> usize {
+        self.class_names.len()
+    }
+
+    /// Class-name registry, indexed by [`Label`].
+    pub fn class_names(&self) -> &[String] {
+        &self.class_names
+    }
+
+    /// Borrow instance `i`.
+    pub fn instance(&self, i: usize) -> &MultiSeries {
+        &self.instances[i]
+    }
+
+    /// Borrow all instances.
+    pub fn instances(&self) -> &[MultiSeries] {
+        &self.instances
+    }
+
+    /// Borrow all labels.
+    pub fn labels(&self) -> &[Label] {
+        &self.labels
+    }
+
+    /// Label of instance `i`.
+    pub fn label(&self, i: usize) -> Label {
+        self.labels[i]
+    }
+
+    /// Shortest instance length ("time-series horizon").
+    pub fn min_len(&self) -> usize {
+        self.instances.iter().map(|s| s.len()).min().unwrap_or(0)
+    }
+
+    /// Longest instance length — the "length" column of Table 3.
+    pub fn max_len(&self) -> usize {
+        self.instances.iter().map(|s| s.len()).max().unwrap_or(0)
+    }
+
+    /// Per-class instance counts, indexed by label.
+    pub fn class_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.class_names.len()];
+        for &l in &self.labels {
+            counts[l] += 1;
+        }
+        counts
+    }
+
+    /// A dataset containing only the listed instances (labels follow).
+    ///
+    /// # Panics
+    /// When an index is out of range.
+    pub fn subset(&self, indices: &[usize]) -> Dataset {
+        let instances = indices.iter().map(|&i| self.instances[i].clone()).collect();
+        let labels = indices.iter().map(|&i| self.labels[i]).collect();
+        Dataset {
+            instances,
+            labels,
+            class_names: self.class_names.clone(),
+            name: self.name.clone(),
+        }
+    }
+
+    /// Every instance truncated to its first `l` points.
+    ///
+    /// # Errors
+    /// [`DataError::PrefixOutOfRange`] when some instance is shorter than `l`.
+    pub fn truncated(&self, l: usize) -> Result<Dataset, DataError> {
+        let mut instances = Vec::with_capacity(self.instances.len());
+        for inst in &self.instances {
+            instances.push(inst.prefix(l)?);
+        }
+        Ok(Dataset {
+            instances,
+            labels: self.labels.clone(),
+            class_names: self.class_names.clone(),
+            name: self.name.clone(),
+        })
+    }
+
+    /// Project the dataset onto a single variable, yielding a univariate
+    /// dataset. Used by the voting adapter for univariate-only algorithms.
+    ///
+    /// # Panics
+    /// When `v >= self.vars()`.
+    pub fn project_variable(&self, v: usize) -> Dataset {
+        let instances = self
+            .instances
+            .iter()
+            .map(|inst| MultiSeries::univariate(inst.to_univariate(v)))
+            .collect();
+        Dataset {
+            instances,
+            labels: self.labels.clone(),
+            class_names: self.class_names.clone(),
+            name: format!("{}[var {v}]", self.name),
+        }
+    }
+
+    /// Iterate `(instance, label)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&MultiSeries, Label)> + '_ {
+        self.instances.iter().zip(self.labels.iter().copied())
+    }
+}
+
+/// Incremental builder used by loaders and generators.
+///
+/// ```
+/// use etsc_data::{DatasetBuilder, MultiSeries, Series};
+///
+/// let mut b = DatasetBuilder::new("toy");
+/// b.push_named(MultiSeries::univariate(Series::new(vec![1.0, 2.0])), "up");
+/// b.push_named(MultiSeries::univariate(Series::new(vec![2.0, 1.0])), "down");
+/// let dataset = b.build().unwrap();
+/// assert_eq!(dataset.len(), 2);
+/// assert_eq!(dataset.n_classes(), 2);
+/// ```
+#[derive(Debug, Default)]
+pub struct DatasetBuilder {
+    name: String,
+    instances: Vec<MultiSeries>,
+    labels: Vec<Label>,
+    class_names: Vec<String>,
+}
+
+impl DatasetBuilder {
+    /// Starts a builder for a dataset with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        DatasetBuilder {
+            name: name.into(),
+            ..Default::default()
+        }
+    }
+
+    /// Interns a class name, returning its dense label.
+    pub fn class(&mut self, name: &str) -> Label {
+        if let Some(pos) = self.class_names.iter().position(|c| c == name) {
+            return pos;
+        }
+        self.class_names.push(name.to_owned());
+        self.class_names.len() - 1
+    }
+
+    /// Appends an instance with an already-interned label.
+    pub fn push(&mut self, instance: MultiSeries, label: Label) -> &mut Self {
+        self.instances.push(instance);
+        self.labels.push(label);
+        self
+    }
+
+    /// Appends an instance, interning its class name on the fly.
+    pub fn push_named(&mut self, instance: MultiSeries, class: &str) -> &mut Self {
+        let label = self.class(class);
+        self.push(instance, label)
+    }
+
+    /// Number of instances added so far.
+    pub fn len(&self) -> usize {
+        self.instances.len()
+    }
+
+    /// `true` when no instance has been added yet.
+    pub fn is_empty(&self) -> bool {
+        self.instances.is_empty()
+    }
+
+    /// Finalises the dataset, validating all invariants.
+    ///
+    /// # Errors
+    /// Propagates [`Dataset::new`] validation failures.
+    pub fn build(self) -> Result<Dataset, DataError> {
+        Dataset::new(self.name, self.instances, self.labels, self.class_names)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::series::Series;
+
+    fn uni(values: Vec<f64>) -> MultiSeries {
+        MultiSeries::univariate(Series::new(values))
+    }
+
+    fn toy() -> Dataset {
+        let mut b = DatasetBuilder::new("toy");
+        b.push_named(uni(vec![1.0, 2.0, 3.0]), "a");
+        b.push_named(uni(vec![4.0, 5.0, 6.0]), "b");
+        b.push_named(uni(vec![7.0, 8.0, 9.0]), "a");
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn builder_interns_classes() {
+        let d = toy();
+        assert_eq!(d.n_classes(), 2);
+        assert_eq!(d.labels(), &[0, 1, 0]);
+        assert_eq!(d.class_names(), &["a".to_string(), "b".to_string()]);
+        assert_eq!(d.class_counts(), vec![2, 1]);
+    }
+
+    #[test]
+    fn rejects_empty_and_mismatched() {
+        assert!(Dataset::new("x", vec![], vec![], vec!["a".into()]).is_err());
+        let inst = vec![uni(vec![1.0])];
+        assert!(Dataset::new("x", inst.clone(), vec![], vec!["a".into()]).is_err());
+        assert!(Dataset::new("x", inst.clone(), vec![3], vec!["a".into()]).is_err());
+        assert!(Dataset::new("x", inst, vec![0], vec![]).is_err());
+    }
+
+    #[test]
+    fn rejects_mixed_variable_counts() {
+        let a = uni(vec![1.0, 2.0]);
+        let b = MultiSeries::from_rows(vec![vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        let err = Dataset::new("x", vec![a, b], vec![0, 0], vec!["c".into()]).unwrap_err();
+        assert!(matches!(err, DataError::ShapeMismatch { .. }));
+    }
+
+    #[test]
+    fn subset_keeps_registry() {
+        let d = toy();
+        let s = d.subset(&[2, 0]);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.labels(), &[0, 0]);
+        assert_eq!(s.n_classes(), 2);
+        assert_eq!(s.instance(0).var(0), &[7.0, 8.0, 9.0]);
+    }
+
+    #[test]
+    fn truncated_shortens_every_instance() {
+        let d = toy();
+        let t = d.truncated(2).unwrap();
+        assert!(t.instances().iter().all(|s| s.len() == 2));
+        assert!(d.truncated(4).is_err());
+    }
+
+    #[test]
+    fn project_variable_yields_univariate() {
+        let mut b = DatasetBuilder::new("mv");
+        b.push_named(
+            MultiSeries::from_rows(vec![vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap(),
+            "c",
+        );
+        let d = b.build().unwrap();
+        let p = d.project_variable(1);
+        assert_eq!(p.vars(), 1);
+        assert_eq!(p.instance(0).var(0), &[3.0, 4.0]);
+    }
+
+    #[test]
+    fn length_range_over_ragged_instances() {
+        let mut b = DatasetBuilder::new("ragged");
+        b.push_named(uni(vec![1.0, 2.0]), "a");
+        b.push_named(uni(vec![1.0, 2.0, 3.0, 4.0]), "a");
+        let d = b.build().unwrap();
+        assert_eq!(d.min_len(), 2);
+        assert_eq!(d.max_len(), 4);
+    }
+}

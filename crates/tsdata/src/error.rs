@@ -1,0 +1,114 @@
+//! Error type for data loading and dataset construction.
+
+use std::fmt;
+
+/// Errors produced while building, loading, or slicing datasets.
+#[derive(Debug)]
+pub enum DataError {
+    /// A series or dataset had no points / no instances.
+    Empty(&'static str),
+    /// Dimensions of an instance disagree with the rest of the dataset.
+    ShapeMismatch {
+        /// What was being checked (e.g. "variables per instance").
+        what: &'static str,
+        /// The value expected from earlier instances.
+        expected: usize,
+        /// The offending value.
+        got: usize,
+    },
+    /// A prefix length larger than the series length was requested.
+    PrefixOutOfRange {
+        /// Requested prefix length.
+        requested: usize,
+        /// Actual series length.
+        len: usize,
+    },
+    /// Parse failure while reading a `.csv` or `.arff` file.
+    Parse {
+        /// 1-based line number in the input.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A cross-validation request that cannot be satisfied
+    /// (e.g. more folds than instances of some class).
+    InvalidSplit(String),
+}
+
+impl fmt::Display for DataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataError::Empty(what) => write!(f, "empty {what}"),
+            DataError::ShapeMismatch {
+                what,
+                expected,
+                got,
+            } => write!(
+                f,
+                "shape mismatch for {what}: expected {expected}, got {got}"
+            ),
+            DataError::PrefixOutOfRange { requested, len } => {
+                write!(
+                    f,
+                    "prefix length {requested} out of range for series of length {len}"
+                )
+            }
+            DataError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+            DataError::Io(e) => write!(f, "i/o error: {e}"),
+            DataError::InvalidSplit(msg) => write!(f, "invalid split: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DataError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DataError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for DataError {
+    fn from(e: std::io::Error) -> Self {
+        DataError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_are_informative() {
+        let e = DataError::ShapeMismatch {
+            what: "variables",
+            expected: 3,
+            got: 2,
+        };
+        assert!(e.to_string().contains("variables"));
+        assert!(e.to_string().contains('3'));
+
+        let e = DataError::PrefixOutOfRange {
+            requested: 10,
+            len: 5,
+        };
+        assert!(e.to_string().contains("10"));
+
+        let e = DataError::Parse {
+            line: 7,
+            message: "bad float".into(),
+        };
+        assert!(e.to_string().contains("line 7"));
+    }
+
+    #[test]
+    fn io_error_preserves_source() {
+        let e = DataError::from(std::io::Error::new(std::io::ErrorKind::NotFound, "nope"));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

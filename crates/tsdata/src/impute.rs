@@ -1,0 +1,140 @@
+//! Missing-value imputation (Section 5.1 of the paper).
+//!
+//! Several UEA & UCR datasets contain gaps (encoded as `NaN`). The paper's
+//! rule: *"we fill in the missing values with the mean of the last value
+//! before the data gap and the first one after it."* Leading gaps take the
+//! first observed value, trailing gaps the last observed value, and a
+//! fully-missing series becomes all zeros.
+
+use crate::dataset::Dataset;
+use crate::error::DataError;
+use crate::series::MultiSeries;
+
+/// Fills `NaN` gaps in place using the paper's before/after-mean rule.
+///
+/// Returns the number of values imputed.
+pub fn impute_gaps(values: &mut [f64]) -> usize {
+    let n = values.len();
+    let mut imputed = 0;
+    let mut t = 0;
+    while t < n {
+        if !values[t].is_nan() {
+            t += 1;
+            continue;
+        }
+        // Locate the gap [t, end).
+        let mut end = t;
+        while end < n && values[end].is_nan() {
+            end += 1;
+        }
+        let before = if t > 0 { Some(values[t - 1]) } else { None };
+        let after = if end < n { Some(values[end]) } else { None };
+        let fill = match (before, after) {
+            (Some(b), Some(a)) => (b + a) / 2.0,
+            (Some(b), None) => b,
+            (None, Some(a)) => a,
+            (None, None) => 0.0,
+        };
+        for v in &mut values[t..end] {
+            *v = fill;
+            imputed += 1;
+        }
+        t = end;
+    }
+    imputed
+}
+
+/// Imputes every variable of every instance of a dataset, returning a new
+/// dataset and the total number of imputed values.
+///
+/// # Errors
+/// Never fails for a well-formed dataset; the `Result` mirrors the
+/// reconstruction step.
+pub fn impute_dataset(dataset: &Dataset) -> Result<(Dataset, usize), DataError> {
+    let mut total = 0;
+    let mut instances = Vec::with_capacity(dataset.len());
+    for inst in dataset.instances() {
+        let mut rows = Vec::with_capacity(inst.vars());
+        for v in 0..inst.vars() {
+            let mut row = inst.var(v).to_vec();
+            total += impute_gaps(&mut row);
+            rows.push(row);
+        }
+        instances.push(MultiSeries::from_rows(rows)?);
+    }
+    let ds = Dataset::new(
+        dataset.name().to_owned(),
+        instances,
+        dataset.labels().to_vec(),
+        dataset.class_names().to_vec(),
+    )?;
+    Ok((ds, total))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::DatasetBuilder;
+
+    #[test]
+    fn interior_gap_takes_surrounding_mean() {
+        let mut xs = vec![1.0, f64::NAN, f64::NAN, 5.0];
+        assert_eq!(impute_gaps(&mut xs), 2);
+        assert_eq!(xs, vec![1.0, 3.0, 3.0, 5.0]);
+    }
+
+    #[test]
+    fn leading_gap_takes_first_observed() {
+        let mut xs = vec![f64::NAN, f64::NAN, 4.0];
+        impute_gaps(&mut xs);
+        assert_eq!(xs, vec![4.0, 4.0, 4.0]);
+    }
+
+    #[test]
+    fn trailing_gap_takes_last_observed() {
+        let mut xs = vec![2.0, f64::NAN];
+        impute_gaps(&mut xs);
+        assert_eq!(xs, vec![2.0, 2.0]);
+    }
+
+    #[test]
+    fn all_missing_becomes_zeros() {
+        let mut xs = vec![f64::NAN; 3];
+        assert_eq!(impute_gaps(&mut xs), 3);
+        assert_eq!(xs, vec![0.0; 3]);
+    }
+
+    #[test]
+    fn no_gap_is_untouched() {
+        let mut xs = vec![1.0, 2.0];
+        assert_eq!(impute_gaps(&mut xs), 0);
+        assert_eq!(xs, vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn multiple_gaps_handled_independently() {
+        let mut xs = vec![0.0, f64::NAN, 2.0, f64::NAN, 4.0];
+        impute_gaps(&mut xs);
+        assert_eq!(xs, vec![0.0, 1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn dataset_imputation_counts_all_variables() {
+        let mut b = DatasetBuilder::new("gappy");
+        b.push_named(
+            MultiSeries::from_rows(vec![vec![1.0, f64::NAN, 3.0], vec![f64::NAN, 1.0, 1.0]])
+                .unwrap(),
+            "a",
+        );
+        b.push_named(
+            MultiSeries::from_rows(vec![vec![0.0, 0.0, 0.0], vec![2.0, 2.0, f64::NAN]]).unwrap(),
+            "b",
+        );
+        let d = b.build().unwrap();
+        let (fixed, n) = impute_dataset(&d).unwrap();
+        assert_eq!(n, 3);
+        assert_eq!(fixed.instance(0).var(0), &[1.0, 2.0, 3.0]);
+        assert_eq!(fixed.instance(0).var(1), &[1.0, 1.0, 1.0]);
+        assert_eq!(fixed.instance(1).var(1), &[2.0, 2.0, 2.0]);
+    }
+}

@@ -1,0 +1,317 @@
+//! Loaders for the framework's on-disk dataset formats (Section 5.5).
+//!
+//! **CSV**: each row is one variable of one instance; the first value of a
+//! row is the class label, the remaining values are observations. For a
+//! `d`-variate dataset, `d` consecutive rows (with identical labels) form
+//! one instance. Missing values may be written as `NaN`, `nan`, `?`, or an
+//! empty field; they are loaded as `f64::NAN` so that
+//! [`crate::impute::impute_dataset`] can fill them.
+//!
+//! **ARFF**: a minimal reader for the UEA/UCR flavour: `@attribute`
+//! declarations followed by `@data` rows of comma-separated values, last
+//! column = class label. Each data row is one univariate instance.
+
+use std::io::BufRead;
+use std::path::Path;
+
+use crate::dataset::{Dataset, DatasetBuilder};
+use crate::error::DataError;
+use crate::series::MultiSeries;
+
+/// Parses one numeric field, mapping the missing-value spellings to NaN.
+fn parse_value(field: &str, line: usize) -> Result<f64, DataError> {
+    let t = field.trim();
+    if t.is_empty() || t == "?" || t.eq_ignore_ascii_case("nan") {
+        return Ok(f64::NAN);
+    }
+    t.parse::<f64>().map_err(|_| DataError::Parse {
+        line,
+        message: format!("invalid number {t:?}"),
+    })
+}
+
+/// Reads the CSV format from any buffered reader.
+///
+/// `vars` is the number of variables per instance (1 for univariate data);
+/// consecutive groups of `vars` rows form one instance and must carry the
+/// same label.
+///
+/// # Errors
+/// Parse errors carry 1-based line numbers; group-label conflicts and
+/// ragged groups are reported as parse errors too.
+pub fn read_csv<R: BufRead>(reader: R, name: &str, vars: usize) -> Result<Dataset, DataError> {
+    if vars == 0 {
+        return Err(DataError::Parse {
+            line: 0,
+            message: "vars must be at least 1".into(),
+        });
+    }
+    let mut builder = DatasetBuilder::new(name);
+    let mut group: Vec<Vec<f64>> = Vec::with_capacity(vars);
+    let mut group_label: Option<String> = None;
+    let mut group_start_line = 0usize;
+
+    for (idx, line) in reader.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut fields = trimmed.split(',');
+        let label = fields
+            .next()
+            .ok_or(DataError::Parse {
+                line: lineno,
+                message: "missing label field".into(),
+            })?
+            .trim()
+            .to_owned();
+        let mut values = Vec::new();
+        for f in fields {
+            values.push(parse_value(f, lineno)?);
+        }
+        if values.is_empty() {
+            return Err(DataError::Parse {
+                line: lineno,
+                message: "row has a label but no observations".into(),
+            });
+        }
+        match &group_label {
+            None => {
+                group_label = Some(label);
+                group_start_line = lineno;
+            }
+            Some(existing) if *existing != label => {
+                return Err(DataError::Parse {
+                    line: lineno,
+                    message: format!(
+                        "variable rows of one instance disagree on label ({existing:?} vs {label:?}; group started at line {group_start_line})"
+                    ),
+                });
+            }
+            Some(_) => {}
+        }
+        group.push(values);
+        if group.len() == vars {
+            let label = group_label.take().expect("label set with first row");
+            let inst = MultiSeries::from_rows(std::mem::take(&mut group)).map_err(|e| {
+                DataError::Parse {
+                    line: lineno,
+                    message: format!("inconsistent group starting at line {group_start_line}: {e}"),
+                }
+            })?;
+            builder.push_named(inst, &label);
+        }
+    }
+    if !group.is_empty() {
+        return Err(DataError::Parse {
+            line: group_start_line,
+            message: format!(
+                "trailing incomplete instance: {} of {vars} variable rows",
+                group.len()
+            ),
+        });
+    }
+    builder.build()
+}
+
+/// Loads the CSV format from a file path. See [`read_csv`].
+///
+/// # Errors
+/// I/O and parse failures.
+pub fn load_csv(path: impl AsRef<Path>, vars: usize) -> Result<Dataset, DataError> {
+    let path = path.as_ref();
+    let name = path
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("dataset")
+        .to_owned();
+    let file = std::fs::File::open(path)?;
+    read_csv(std::io::BufReader::new(file), &name, vars)
+}
+
+/// Reads the minimal UEA/UCR ARFF flavour (univariate; last column is the
+/// class label) from any buffered reader.
+///
+/// # Errors
+/// Parse errors carry 1-based line numbers.
+pub fn read_arff<R: BufRead>(reader: R, name: &str) -> Result<Dataset, DataError> {
+    let mut builder = DatasetBuilder::new(name);
+    let mut in_data = false;
+    for (idx, line) in reader.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('%') {
+            continue;
+        }
+        if !in_data {
+            if trimmed.to_ascii_lowercase().starts_with("@data") {
+                in_data = true;
+            }
+            // @relation / @attribute headers are tolerated and skipped.
+            continue;
+        }
+        let fields: Vec<&str> = trimmed.split(',').collect();
+        if fields.len() < 2 {
+            return Err(DataError::Parse {
+                line: lineno,
+                message: "data row needs at least one observation and a label".into(),
+            });
+        }
+        let (obs, label) = fields.split_at(fields.len() - 1);
+        let label = label[0].trim().trim_matches('\'').to_owned();
+        let mut values = Vec::with_capacity(obs.len());
+        for f in obs {
+            values.push(parse_value(f, lineno)?);
+        }
+        let inst = MultiSeries::from_rows(vec![values]).map_err(|e| DataError::Parse {
+            line: lineno,
+            message: e.to_string(),
+        })?;
+        builder.push_named(inst, &label);
+    }
+    if !in_data {
+        return Err(DataError::Parse {
+            line: 0,
+            message: "no @data section found".into(),
+        });
+    }
+    builder.build()
+}
+
+/// Loads an ARFF file from a path. See [`read_arff`].
+///
+/// # Errors
+/// I/O and parse failures.
+pub fn load_arff(path: impl AsRef<Path>) -> Result<Dataset, DataError> {
+    let path = path.as_ref();
+    let name = path
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("dataset")
+        .to_owned();
+    let file = std::fs::File::open(path)?;
+    read_arff(std::io::BufReader::new(file), &name)
+}
+
+/// Writes a dataset back out in the CSV row format (one variable per row,
+/// label first). Useful for exporting the synthetic generators into the
+/// framework's interchange format.
+///
+/// # Errors
+/// Propagates writer failures.
+pub fn write_csv<W: std::io::Write>(dataset: &Dataset, mut w: W) -> Result<(), DataError> {
+    for (inst, label) in dataset.iter() {
+        let class = &dataset.class_names()[label];
+        for v in 0..inst.vars() {
+            write!(w, "{class}")?;
+            for x in inst.var(v) {
+                if x.is_nan() {
+                    write!(w, ",NaN")?;
+                } else {
+                    write!(w, ",{x}")?;
+                }
+            }
+            writeln!(w)?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn csv_univariate_roundtrip() {
+        let text = "pos,1,2,3\nneg,4,5,6\npos,7,8,9\n";
+        let d = read_csv(Cursor::new(text), "t", 1).unwrap();
+        assert_eq!(d.len(), 3);
+        assert_eq!(d.vars(), 1);
+        assert_eq!(d.class_names(), &["pos".to_string(), "neg".to_string()]);
+        assert_eq!(d.instance(1).var(0), &[4.0, 5.0, 6.0]);
+
+        let mut out = Vec::new();
+        write_csv(&d, &mut out).unwrap();
+        let d2 = read_csv(Cursor::new(out), "t", 1).unwrap();
+        assert_eq!(d2.len(), 3);
+        assert_eq!(d2.instance(2).var(0), &[7.0, 8.0, 9.0]);
+    }
+
+    #[test]
+    fn csv_multivariate_groups_rows() {
+        let text = "a,1,2\na,3,4\nb,5,6\nb,7,8\n";
+        let d = read_csv(Cursor::new(text), "mv", 2).unwrap();
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.vars(), 2);
+        assert_eq!(d.instance(0).var(1), &[3.0, 4.0]);
+    }
+
+    #[test]
+    fn csv_rejects_label_conflict_within_group() {
+        let text = "a,1,2\nb,3,4\n";
+        let err = read_csv(Cursor::new(text), "mv", 2).unwrap_err();
+        assert!(err.to_string().contains("disagree"));
+    }
+
+    #[test]
+    fn csv_rejects_trailing_partial_instance() {
+        let text = "a,1,2\na,3,4\nb,5,6\n";
+        let err = read_csv(Cursor::new(text), "mv", 2).unwrap_err();
+        assert!(err.to_string().contains("incomplete"));
+    }
+
+    #[test]
+    fn csv_missing_values_become_nan() {
+        let text = "a,1,?,3\na,NaN,2,\n";
+        let d = read_csv(Cursor::new(text), "m", 1).unwrap();
+        assert!(d.instance(0).var(0)[1].is_nan());
+        assert!(d.instance(1).var(0)[0].is_nan());
+        assert!(d.instance(1).var(0)[2].is_nan());
+    }
+
+    #[test]
+    fn csv_skips_comments_and_blank_lines() {
+        let text = "# header\n\na,1,2\n";
+        let d = read_csv(Cursor::new(text), "c", 1).unwrap();
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn csv_rejects_bad_number() {
+        let err = read_csv(Cursor::new("a,xyz\n"), "b", 1).unwrap_err();
+        assert!(matches!(err, DataError::Parse { line: 1, .. }));
+    }
+
+    #[test]
+    fn arff_basic() {
+        let text = "\
+@relation toy
+@attribute t0 numeric
+@attribute t1 numeric
+@attribute class {x,y}
+@data
+1.0,2.0,x
+3.0,4.0,'y'
+% comment
+";
+        let d = read_arff(Cursor::new(text), "toy").unwrap();
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.class_names(), &["x".to_string(), "y".to_string()]);
+        assert_eq!(d.instance(1).var(0), &[3.0, 4.0]);
+    }
+
+    #[test]
+    fn arff_without_data_section_fails() {
+        let err = read_arff(Cursor::new("@relation toy\n"), "t").unwrap_err();
+        assert!(err.to_string().contains("@data"));
+    }
+
+    #[test]
+    fn csv_zero_vars_rejected() {
+        assert!(read_csv(Cursor::new("a,1\n"), "x", 0).is_err());
+    }
+}

@@ -1,0 +1,288 @@
+//! Dataset statistics and the Table 3 category rules.
+//!
+//! The paper groups its 12 datasets into eight (non-exclusive) categories:
+//!
+//! * **Wide** — max series length > 1300;
+//! * **Large** — more than 1000 instances;
+//! * **Unstable** — coefficient of variation (CoV) > 1.08;
+//! * **Imbalanced** — class-imbalance ratio (CIR) > 1.73;
+//! * **Multiclass** — more than two classes;
+//! * **Common** — none of Wide/Large/Unstable/Imbalanced/Multiclass;
+//! * **Univariate** / **Multivariate** — one vs several variables.
+//!
+//! CoV is the standard deviation over all observations of all instances and
+//! variables divided by their mean (absolute value, to stay meaningful for
+//! negative-mean data); CIR is the size of the most populated class divided
+//! by the least populated one.
+
+use crate::dataset::Dataset;
+
+/// Category thresholds from Section 5.4 of the paper.
+pub const WIDE_LENGTH_THRESHOLD: usize = 1300;
+/// "Large" threshold on instance count.
+pub const LARGE_HEIGHT_THRESHOLD: usize = 1000;
+/// "Unstable" threshold on the coefficient of variation.
+pub const UNSTABLE_COV_THRESHOLD: f64 = 1.08;
+/// "Imbalanced" threshold on the class-imbalance ratio.
+pub const IMBALANCED_CIR_THRESHOLD: f64 = 1.73;
+
+/// The eight dataset categories of Table 3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Category {
+    /// Max length > 1300 time points.
+    Wide,
+    /// More than 1000 instances.
+    Large,
+    /// Coefficient of variation > 1.08.
+    Unstable,
+    /// Class-imbalance ratio > 1.73.
+    Imbalanced,
+    /// More than two classes.
+    Multiclass,
+    /// None of the above five.
+    Common,
+    /// Exactly one variable.
+    Univariate,
+    /// More than one variable.
+    Multivariate,
+}
+
+impl Category {
+    /// All categories in the paper's column order.
+    pub const ALL: [Category; 8] = [
+        Category::Wide,
+        Category::Large,
+        Category::Unstable,
+        Category::Imbalanced,
+        Category::Multiclass,
+        Category::Common,
+        Category::Univariate,
+        Category::Multivariate,
+    ];
+
+    /// The paper's column header for this category.
+    pub fn name(self) -> &'static str {
+        match self {
+            Category::Wide => "Wide",
+            Category::Large => "Large",
+            Category::Unstable => "Unstable",
+            Category::Imbalanced => "Imbalanced",
+            Category::Multiclass => "Multiclass",
+            Category::Common => "Common",
+            Category::Univariate => "Univariate",
+            Category::Multivariate => "Multivariate",
+        }
+    }
+}
+
+impl std::fmt::Display for Category {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Computed shape statistics of a dataset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetStats {
+    /// Number of instances ("height").
+    pub height: usize,
+    /// Maximum series length ("length" / time horizon).
+    pub length: usize,
+    /// Number of variables.
+    pub vars: usize,
+    /// Number of distinct classes actually present.
+    pub n_classes: usize,
+    /// Coefficient of variation over all observations.
+    pub cov: f64,
+    /// Class-imbalance ratio (max class count / min class count).
+    pub cir: f64,
+}
+
+impl DatasetStats {
+    /// Computes all shape statistics for a dataset.
+    pub fn compute(dataset: &Dataset) -> DatasetStats {
+        let mut n = 0usize;
+        let mut sum = 0.0;
+        let mut sumsq = 0.0;
+        for inst in dataset.instances() {
+            for x in inst.flat() {
+                if x.is_nan() {
+                    continue;
+                }
+                n += 1;
+                sum += x;
+                sumsq += x * x;
+            }
+        }
+        let cov = if n == 0 {
+            0.0
+        } else {
+            let mean = sum / n as f64;
+            let var = (sumsq / n as f64 - mean * mean).max(0.0);
+            if mean.abs() < 1e-12 {
+                f64::INFINITY
+            } else {
+                var.sqrt() / mean.abs()
+            }
+        };
+        let counts: Vec<usize> = dataset
+            .class_counts()
+            .into_iter()
+            .filter(|&c| c > 0)
+            .collect();
+        let cir = match (counts.iter().max(), counts.iter().min()) {
+            (Some(&max), Some(&min)) if min > 0 => max as f64 / min as f64,
+            _ => 1.0,
+        };
+        DatasetStats {
+            height: dataset.len(),
+            length: dataset.max_len(),
+            vars: dataset.vars(),
+            n_classes: counts.len(),
+            cov,
+            cir,
+        }
+    }
+
+    /// Applies the Table 3 rules, returning every category this dataset
+    /// belongs to (sorted in the paper's column order).
+    pub fn categories(&self) -> Vec<Category> {
+        let mut cats = Vec::new();
+        if self.length > WIDE_LENGTH_THRESHOLD {
+            cats.push(Category::Wide);
+        }
+        if self.height > LARGE_HEIGHT_THRESHOLD {
+            cats.push(Category::Large);
+        }
+        if self.cov > UNSTABLE_COV_THRESHOLD {
+            cats.push(Category::Unstable);
+        }
+        if self.cir > IMBALANCED_CIR_THRESHOLD {
+            cats.push(Category::Imbalanced);
+        }
+        if self.n_classes > 2 {
+            cats.push(Category::Multiclass);
+        }
+        if cats.is_empty() {
+            cats.push(Category::Common);
+        }
+        if self.vars == 1 {
+            cats.push(Category::Univariate);
+        } else {
+            cats.push(Category::Multivariate);
+        }
+        cats
+    }
+}
+
+/// Convenience: compute a dataset's categories in one call.
+pub fn categorize(dataset: &Dataset) -> Vec<Category> {
+    DatasetStats::compute(dataset).categories()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::DatasetBuilder;
+    use crate::series::{MultiSeries, Series};
+
+    fn uni_dataset(rows: Vec<(Vec<f64>, &str)>) -> Dataset {
+        let mut b = DatasetBuilder::new("s");
+        for (v, c) in rows {
+            b.push_named(MultiSeries::univariate(Series::new(v)), c);
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn stats_shape_fields() {
+        let d = uni_dataset(vec![(vec![1.0, 2.0, 3.0], "a"), (vec![4.0, 5.0, 6.0], "b")]);
+        let s = DatasetStats::compute(&d);
+        assert_eq!(s.height, 2);
+        assert_eq!(s.length, 3);
+        assert_eq!(s.vars, 1);
+        assert_eq!(s.n_classes, 2);
+        assert!((s.cir - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cov_matches_manual_computation() {
+        let d = uni_dataset(vec![(vec![2.0, 4.0], "a"), (vec![6.0, 8.0], "a")]);
+        let s = DatasetStats::compute(&d);
+        // mean 5, population std sqrt(5) => cov = sqrt(5)/5
+        assert!((s.cov - 5.0_f64.sqrt() / 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cov_ignores_nans() {
+        let d = uni_dataset(vec![(vec![2.0, f64::NAN, 4.0], "a")]);
+        let s = DatasetStats::compute(&d);
+        assert!((s.cov - 1.0 / 3.0).abs() < 1e-12); // mean 3, std 1
+    }
+
+    #[test]
+    fn zero_mean_data_is_maximally_unstable() {
+        let d = uni_dataset(vec![(vec![-1.0, 1.0], "a")]);
+        assert!(DatasetStats::compute(&d).cov.is_infinite());
+    }
+
+    #[test]
+    fn cir_uses_present_classes_only() {
+        let d = uni_dataset(vec![
+            (vec![0.0], "a"),
+            (vec![0.0], "a"),
+            (vec![0.0], "a"),
+            (vec![0.0], "b"),
+        ]);
+        let s = DatasetStats::compute(&d);
+        assert!((s.cir - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn common_when_no_other_category_applies() {
+        // Balanced binary, short, small, stable.
+        let d = uni_dataset(vec![(vec![10.0, 10.5], "a"), (vec![10.2, 10.7], "b")]);
+        let cats = categorize(&d);
+        assert_eq!(cats, vec![Category::Common, Category::Univariate]);
+    }
+
+    #[test]
+    fn multiclass_and_imbalanced_fire() {
+        let d = uni_dataset(vec![
+            (vec![10.0], "a"),
+            (vec![10.0], "a"),
+            (vec![10.0], "a"),
+            (vec![10.0], "b"),
+            (vec![10.0], "c"),
+        ]);
+        let cats = categorize(&d);
+        assert!(cats.contains(&Category::Imbalanced)); // CIR 3 > 1.73
+        assert!(cats.contains(&Category::Multiclass));
+        assert!(!cats.contains(&Category::Common));
+    }
+
+    #[test]
+    fn multivariate_category() {
+        let mut b = DatasetBuilder::new("mv");
+        b.push_named(
+            MultiSeries::from_rows(vec![vec![10.0, 10.0], vec![10.0, 10.0]]).unwrap(),
+            "a",
+        );
+        b.push_named(
+            MultiSeries::from_rows(vec![vec![10.0, 10.0], vec![10.0, 10.0]]).unwrap(),
+            "b",
+        );
+        let cats = categorize(&b.build().unwrap());
+        assert!(cats.contains(&Category::Multivariate));
+        assert!(!cats.contains(&Category::Univariate));
+    }
+
+    #[test]
+    fn wide_and_large_thresholds_are_strict() {
+        // Exactly at the threshold is NOT wide/large (paper: "> 1300", "> 1000").
+        let d = uni_dataset(vec![(vec![5.0; 1300], "a"), (vec![5.0; 1300], "b")]);
+        assert!(!categorize(&d).contains(&Category::Wide));
+        let d = uni_dataset(vec![(vec![5.0; 1301], "a"), (vec![5.0; 1301], "b")]);
+        assert!(categorize(&d).contains(&Category::Wide));
+    }
+}

@@ -1,0 +1,171 @@
+//! Property-based tests for the data layer.
+
+use proptest::prelude::*;
+
+use etsc_data::impute::impute_gaps;
+use etsc_data::loader::{read_arff, read_csv};
+use etsc_data::series::{derivative, euclidean, sq_euclidean, MultiSeries, Series};
+use etsc_data::stats::DatasetStats;
+use etsc_data::{DatasetBuilder, StratifiedKFold};
+
+proptest! {
+    #[test]
+    fn sq_euclidean_is_a_metric_core(
+        a in prop::collection::vec(-100f64..100.0, 1..30),
+        shift in -10f64..10.0,
+    ) {
+        // Identity.
+        prop_assert!(sq_euclidean(&a, &a) < 1e-12);
+        // Positivity under a non-zero shift.
+        let b: Vec<f64> = a.iter().map(|v| v + shift).collect();
+        if shift.abs() > 1e-9 {
+            prop_assert!(sq_euclidean(&a, &b) > 0.0);
+        }
+        // Symmetry.
+        prop_assert!((sq_euclidean(&a, &b) - sq_euclidean(&b, &a)).abs() < 1e-9);
+        // Euclidean is the square root.
+        prop_assert!((euclidean(&a, &b).powi(2) - sq_euclidean(&a, &b)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn derivative_reverses_cumsum(xs in prop::collection::vec(-50f64..50.0, 2..40)) {
+        // cumsum then derivative returns the original tail.
+        let mut cum = vec![0.0];
+        for &x in &xs {
+            cum.push(cum.last().unwrap() + x);
+        }
+        let d = derivative(&cum);
+        prop_assert_eq!(d.len(), xs.len());
+        for (a, b) in d.iter().zip(&xs) {
+            prop_assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn multiseries_prefix_len_and_vars(
+        rows in prop::collection::vec(prop::collection::vec(-10f64..10.0, 5..20), 1..5),
+        cut in 1usize..5,
+    ) {
+        let len = rows.iter().map(|r| r.len()).min().unwrap();
+        let equal: Vec<Vec<f64>> = rows.iter().map(|r| r[..len].to_vec()).collect();
+        let vars = equal.len();
+        let ms = MultiSeries::from_rows(equal).unwrap();
+        let p = ms.prefix(cut.min(len)).unwrap();
+        prop_assert_eq!(p.vars(), vars);
+        prop_assert_eq!(p.len(), cut.min(len));
+    }
+
+    #[test]
+    fn znorm_is_shift_and_scale_invariant_in_shape(
+        xs in prop::collection::vec(-100f64..100.0, 3..40),
+        shift in -50f64..50.0,
+        scale in 0.1f64..10.0,
+    ) {
+        let a = Series::new(xs.clone()).z_normalized();
+        let b = Series::new(xs.iter().map(|v| v * scale + shift).collect::<Vec<_>>())
+            .z_normalized();
+        for (x, y) in a.values().iter().zip(b.values()) {
+            prop_assert!((x - y).abs() < 1e-6, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn stats_cir_at_least_one(
+        labels in prop::collection::vec(0usize..4, 4..40)
+    ) {
+        let mut b = DatasetBuilder::new("p");
+        for (i, &l) in labels.iter().enumerate() {
+            b.push_named(
+                MultiSeries::univariate(Series::new(vec![i as f64, 1.0])),
+                &format!("c{l}"),
+            );
+        }
+        let d = b.build().unwrap();
+        let s = DatasetStats::compute(&d);
+        prop_assert!(s.cir >= 1.0);
+        prop_assert_eq!(s.height, labels.len());
+    }
+
+    #[test]
+    fn folds_cover_every_instance_exactly_once(
+        n_per_class in 3usize..15,
+        k in 2usize..4,
+    ) {
+        let mut b = DatasetBuilder::new("cv");
+        for i in 0..n_per_class * 3 {
+            b.push_named(
+                MultiSeries::univariate(Series::new(vec![i as f64])),
+                &format!("c{}", i % 3),
+            );
+        }
+        let d = b.build().unwrap();
+        let folds = StratifiedKFold::new(k, 17).unwrap().split(&d).unwrap();
+        let mut count = vec![0; d.len()];
+        for f in &folds {
+            for &i in &f.test {
+                count[i] += 1;
+            }
+            let mut both: Vec<usize> = f.train.iter().chain(&f.test).copied().collect();
+            both.sort_unstable();
+            prop_assert_eq!(both, (0..d.len()).collect::<Vec<_>>());
+        }
+        prop_assert!(count.iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn imputed_values_lie_within_neighbour_range(
+        xs in prop::collection::vec(-100f64..100.0, 3..30),
+        gap_start in 1usize..28,
+        gap_len in 1usize..5,
+    ) {
+        prop_assume!(gap_start + gap_len < xs.len());
+        let mut vals = xs.clone();
+        for v in vals.iter_mut().skip(gap_start).take(gap_len) {
+            *v = f64::NAN;
+        }
+        impute_gaps(&mut vals);
+        let before = xs[gap_start - 1];
+        let after = xs[gap_start + gap_len];
+        let (lo, hi) = (before.min(after), before.max(after));
+        for &v in &vals[gap_start..gap_start + gap_len] {
+            prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9);
+        }
+    }
+
+    #[test]
+    fn csv_reader_accepts_generated_numeric_rows(
+        rows in prop::collection::vec(
+            prop::collection::vec(-1e6f64..1e6, 2..8),
+            1..10,
+        )
+    ) {
+        let mut text = String::new();
+        for (i, r) in rows.iter().enumerate() {
+            text.push_str(&format!("c{}", i % 2));
+            for v in r {
+                text.push_str(&format!(",{v}"));
+            }
+            text.push('\n');
+        }
+        let d = read_csv(std::io::Cursor::new(text), "gen", 1).unwrap();
+        prop_assert_eq!(d.len(), rows.len());
+    }
+
+    #[test]
+    fn arff_reader_accepts_generated_rows(
+        rows in prop::collection::vec(
+            prop::collection::vec(-1e3f64..1e3, 2..6),
+            1..8,
+        )
+    ) {
+        let mut text = String::from("@relation gen\n@data\n");
+        for (i, r) in rows.iter().enumerate() {
+            for v in r {
+                text.push_str(&format!("{v},"));
+            }
+            text.push_str(&format!("c{}\n", i % 2));
+        }
+        let d = read_arff(std::io::Cursor::new(text), "gen").unwrap();
+        prop_assert_eq!(d.len(), rows.len());
+    }
+}

@@ -1,0 +1,61 @@
+//! Head-to-head comparison of the framework's algorithms on one dataset,
+//! printing the per-algorithm rows the paper's supplementary tables
+//! report: accuracy, F1, earliness, harmonic mean, and timings.
+//!
+//! ```text
+//! cargo run --release --example algorithm_comparison [dataset]
+//! ```
+//!
+//! `dataset` is any paper dataset name (default: DodgerLoopGame).
+
+use etsc::datasets::{GenOptions, PaperDataset};
+use etsc::eval::experiment::{run_cv, AlgoSpec, RunConfig};
+
+fn main() {
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "DodgerLoopGame".into());
+    let Some(ds) = PaperDataset::by_name(&name) else {
+        eprintln!("unknown dataset {name:?}; options:");
+        for d in PaperDataset::ALL {
+            eprintln!("  {}", d.spec().name);
+        }
+        std::process::exit(2);
+    };
+    let spec = ds.spec();
+    let data = ds.generate(GenOptions {
+        height_scale: (120.0 / spec.height as f64).min(1.0),
+        length_scale: (64.0 / spec.length as f64).min(1.0),
+        seed: 9,
+    });
+    println!(
+        "dataset {} (scaled to {} x {} x {}), 3-fold stratified CV\n",
+        spec.name,
+        data.len(),
+        data.vars(),
+        data.max_len()
+    );
+    println!(
+        "{:<10}{:>10}{:>10}{:>11}{:>9}{:>12}{:>12}",
+        "Algorithm", "Accuracy", "F1", "Earliness", "HM", "Train (s)", "Test (ms)"
+    );
+    let config = RunConfig::fast();
+    for algo in AlgoSpec::ALL {
+        match run_cv(algo, &data, &config) {
+            Ok(r) => match r.metrics {
+                Some(m) => println!(
+                    "{:<10}{:>10.3}{:>10.3}{:>11.3}{:>9.3}{:>12.2}{:>12.3}",
+                    algo.name(),
+                    m.accuracy,
+                    m.f1,
+                    m.earliness,
+                    m.harmonic_mean,
+                    r.train_secs,
+                    r.test_secs_per_instance * 1000.0
+                ),
+                None => println!("{:<10}{:>10}", algo.name(), "DNF"),
+            },
+            Err(e) => println!("{:<10}  error: {e}", algo.name()),
+        }
+    }
+}

@@ -1,0 +1,69 @@
+//! Quickstart: train an early classifier and classify a stream before it
+//! completes.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use etsc::core::{EarlyClassifier, Teaser, TeaserConfig};
+use etsc::datasets::{GenOptions, PaperDataset};
+use etsc::eval::metrics::{EvalOutcome, Metrics};
+
+fn main() {
+    // 1. A PowerCons-like dataset (reduced size for the example).
+    let data = PaperDataset::PowerCons.generate(GenOptions {
+        height_scale: 0.3,
+        length_scale: 0.5,
+        seed: 42,
+    });
+    println!(
+        "dataset: {} — {} instances, {} points each, classes {:?}",
+        data.name(),
+        data.len(),
+        data.max_len(),
+        data.class_names()
+    );
+
+    // 2. Split off a test set (last 20 instances).
+    let n = data.len();
+    let train_idx: Vec<usize> = (0..n - 20).collect();
+    let test_idx: Vec<usize> = (n - 20..n).collect();
+    let train = data.subset(&train_idx);
+
+    // 3. Train TEASER (WEASEL slaves + one-class SVM masters).
+    let mut teaser = Teaser::new(TeaserConfig {
+        s_prefixes: 8,
+        ..TeaserConfig::default()
+    });
+    teaser.fit(&train).expect("training succeeds");
+    println!(
+        "TEASER trained: consistency window v = {}, prefixes {:?}",
+        teaser.v(),
+        teaser.prefix_lengths()
+    );
+
+    // 4. Early-classify the held-out instances.
+    let mut outcomes = Vec::new();
+    for &i in &test_idx {
+        let inst = data.instance(i);
+        let p = teaser.predict_early(inst).expect("prediction succeeds");
+        println!(
+            "instance {i}: true = {}, predicted = {} after {}/{} points",
+            data.class_names()[data.label(i)],
+            data.class_names()[p.label],
+            p.prefix_len,
+            inst.len()
+        );
+        outcomes.push(EvalOutcome {
+            truth: data.label(i),
+            predicted: p.label,
+            prefix_len: p.prefix_len,
+            full_len: inst.len(),
+        });
+    }
+    let m = Metrics::compute(&outcomes, data.n_classes());
+    println!(
+        "\naccuracy {:.3} | earliness {:.3} | harmonic mean {:.3}",
+        m.accuracy, m.earliness, m.harmonic_mean
+    );
+}

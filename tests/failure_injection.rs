@@ -1,0 +1,155 @@
+//! Failure injection: malformed and adversarial inputs must produce
+//! errors (or graceful degradation), never panics.
+
+use etsc::core::{
+    EarlyClassifier, Ecec, EcecConfig, Ects, EctsConfig, Edsc, EdscConfig, Teaser, TeaserConfig,
+};
+use etsc::data::{Dataset, DatasetBuilder, MultiSeries, Series};
+
+fn trained_algorithms(data: &Dataset) -> Vec<Box<dyn EarlyClassifier>> {
+    let mut algos: Vec<Box<dyn EarlyClassifier>> = vec![
+        Box::new(Ects::new(EctsConfig { support: 0 })),
+        Box::new(Edsc::new(EdscConfig {
+            max_candidates: 200,
+            ..EdscConfig::default()
+        })),
+        Box::new(Ecec::new(EcecConfig {
+            n_prefixes: 4,
+            cv_folds: 2,
+            ..EcecConfig::default()
+        })),
+        Box::new(Teaser::new(TeaserConfig {
+            s_prefixes: 4,
+            v_max: 2,
+            ..TeaserConfig::default()
+        })),
+    ];
+    for a in &mut algos {
+        a.fit(data).expect("clean training data fits");
+    }
+    algos
+}
+
+fn toy() -> Dataset {
+    let mut b = DatasetBuilder::new("fi");
+    for i in 0..10 {
+        let phase = i as f64 * 0.3;
+        let slow: Vec<f64> = (0..20).map(|t| ((t as f64 * 0.3) + phase).sin()).collect();
+        let fast: Vec<f64> = (0..20).map(|t| ((t as f64 * 1.6) + phase).sin()).collect();
+        b.push_named(MultiSeries::univariate(Series::new(slow)), "slow");
+        b.push_named(MultiSeries::univariate(Series::new(fast)), "fast");
+    }
+    b.build().unwrap()
+}
+
+#[test]
+fn longer_test_instance_than_training_does_not_panic() {
+    let data = toy();
+    for clf in trained_algorithms(&data) {
+        let long = MultiSeries::univariate(Series::new(vec![0.3; 50]));
+        let p = clf.predict_early(&long).expect("longer instance handled");
+        assert!(p.prefix_len <= 50, "{}", clf.name());
+    }
+}
+
+#[test]
+fn shorter_test_instance_than_training_does_not_panic() {
+    let data = toy();
+    for clf in trained_algorithms(&data) {
+        let short = MultiSeries::univariate(Series::new(vec![0.3; 5]));
+        let p = clf.predict_early(&short).expect("shorter instance handled");
+        assert!(p.prefix_len <= 5, "{}", clf.name());
+    }
+}
+
+#[test]
+fn extreme_values_do_not_panic() {
+    let data = toy();
+    for clf in trained_algorithms(&data) {
+        let huge = MultiSeries::univariate(Series::new(vec![1e12; 20]));
+        let p = clf.predict_early(&huge);
+        assert!(
+            p.is_ok(),
+            "{}: {:?}",
+            clf.name(),
+            p.err().map(|e| e.to_string())
+        );
+        let tiny = MultiSeries::univariate(Series::new(vec![-1e12; 20]));
+        assert!(clf.predict_early(&tiny).is_ok(), "{}", clf.name());
+    }
+}
+
+#[test]
+fn single_class_training_data() {
+    // Degenerate but possible after aggressive filtering: one class only.
+    let mut b = DatasetBuilder::new("single");
+    for i in 0..6 {
+        b.push_named(
+            MultiSeries::univariate(Series::new(vec![i as f64; 10])),
+            "only",
+        );
+    }
+    let data = b.build().unwrap();
+    // ECTS and EDSC are distance/shapelet-based: they can fit one class.
+    let mut ects = Ects::new(EctsConfig { support: 0 });
+    ects.fit(&data).expect("1-NN handles a single class");
+    let p = ects
+        .predict_early(data.instance(0))
+        .expect("predicts the only class");
+    assert_eq!(p.label, 0);
+    // WEASEL-based heads need ≥ 2 classes and must say so, not panic.
+    let mut ecec = Ecec::new(EcecConfig {
+        n_prefixes: 3,
+        cv_folds: 2,
+        ..EcecConfig::default()
+    });
+    assert!(ecec.fit(&data).is_err());
+}
+
+#[test]
+fn two_instance_dataset_is_survivable_for_distance_methods() {
+    let mut b = DatasetBuilder::new("tiny");
+    b.push_named(MultiSeries::univariate(Series::new(vec![0.0; 8])), "a");
+    b.push_named(MultiSeries::univariate(Series::new(vec![9.0; 8])), "b");
+    let data = b.build().unwrap();
+    let mut ects = Ects::new(EctsConfig { support: 0 });
+    ects.fit(&data).unwrap();
+    assert_eq!(
+        ects.predict_early(data.instance(0)).unwrap().label,
+        data.label(0)
+    );
+}
+
+#[test]
+fn constant_training_series_do_not_panic() {
+    let mut b = DatasetBuilder::new("const");
+    for i in 0..8 {
+        let v = if i % 2 == 0 { 0.0 } else { 5.0 };
+        b.push_named(
+            MultiSeries::univariate(Series::new(vec![v; 12])),
+            if i % 2 == 0 { "lo" } else { "hi" },
+        );
+    }
+    let data = b.build().unwrap();
+    for clf in trained_algorithms(&data) {
+        let p = clf
+            .predict_early(data.instance(1))
+            .expect("constant data handled");
+        assert!(p.prefix_len >= 1, "{}", clf.name());
+    }
+}
+
+#[test]
+fn nan_in_test_instance_degrades_gracefully() {
+    // NaNs should be imputed upstream, but a stray NaN at predict time
+    // must not panic (distances/transforms may treat it as worst-case).
+    let data = toy();
+    let mut dirty = vec![0.3; 20];
+    dirty[7] = f64::NAN;
+    for clf in trained_algorithms(&data) {
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            clf.predict_early(&MultiSeries::univariate(Series::new(dirty.clone())))
+        }));
+        assert!(result.is_ok(), "{} panicked on NaN input", clf.name());
+    }
+}

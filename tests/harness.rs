@@ -1,0 +1,124 @@
+//! Integration tests of the evaluation harness: cross-validated runs,
+//! category aggregation, figure rendering, and the online heatmap —
+//! the machinery behind every figure of the paper.
+
+use std::collections::BTreeMap;
+
+use etsc::data::stats::Category;
+use etsc::datasets::{GenOptions, PaperDataset};
+use etsc::eval::aggregate::aggregate_by_category;
+use etsc::eval::experiment::{run_cv, AlgoSpec, RunConfig};
+use etsc::eval::online::online_cell;
+use etsc::eval::report::{figure_csv, render_figure, render_online_heatmap, FigureMetric};
+
+fn quick_config() -> RunConfig {
+    RunConfig::fast()
+}
+
+#[test]
+fn cv_run_produces_complete_results() {
+    let data = PaperDataset::PowerCons.generate(GenOptions {
+        height_scale: 0.2,
+        length_scale: 0.4,
+        seed: 3,
+    });
+    let r = run_cv(AlgoSpec::Ects, &data, &quick_config()).unwrap();
+    assert_eq!(r.dataset, "PowerCons");
+    assert!(!r.dnf);
+    let m = r.metrics.unwrap();
+    assert!(m.accuracy > 0.5);
+    assert!(m.earliness > 0.0 && m.earliness <= 1.0);
+    assert!(r.train_secs > 0.0);
+    assert!(r.test_secs_per_instance > 0.0);
+}
+
+#[test]
+fn sweep_aggregation_and_reports() {
+    // Two datasets x two algorithms, aggregated into categories and
+    // rendered through every figure path.
+    let datasets = [PaperDataset::PowerCons, PaperDataset::DodgerLoopWeekend];
+    let algos = [AlgoSpec::Ects, AlgoSpec::SWeasel];
+    let config = quick_config();
+    let mut results = Vec::new();
+    let mut categories: BTreeMap<String, Vec<Category>> = BTreeMap::new();
+    let mut meta = BTreeMap::new();
+    for ds in datasets {
+        let spec = ds.spec();
+        let data = ds.generate(GenOptions {
+            height_scale: (60.0 / spec.height as f64).min(1.0),
+            length_scale: (48.0 / spec.length as f64).min(1.0),
+            seed: 5,
+        });
+        categories.insert(spec.name.to_owned(), spec.categories.to_vec());
+        meta.insert(
+            spec.name.to_owned(),
+            (spec.obs_frequency_secs, data.max_len()),
+        );
+        for algo in algos {
+            results.push(run_cv(algo, &data, &config).unwrap());
+        }
+    }
+    let aggregated = aggregate_by_category(&results, &categories);
+    // PowerCons is Common+Univariate; DodgerLoopWeekend Imbalanced+Univariate.
+    assert!(aggregated.contains_key(&Category::Common));
+    assert!(aggregated.contains_key(&Category::Imbalanced));
+    assert!(aggregated.contains_key(&Category::Univariate));
+    let uni = &aggregated[&Category::Univariate];
+    assert_eq!(uni[&AlgoSpec::Ects].n_datasets, 2);
+
+    for metric in [
+        FigureMetric::Accuracy,
+        FigureMetric::F1,
+        FigureMetric::Earliness,
+        FigureMetric::HarmonicMean,
+        FigureMetric::TrainMinutes,
+    ] {
+        let table = render_figure(&aggregated, metric);
+        assert!(table.contains("Univariate"), "{table}");
+        let csv = figure_csv(&aggregated, metric);
+        assert!(csv.lines().count() > 2);
+    }
+
+    // Online heatmap.
+    let cells: Vec<_> = results
+        .iter()
+        .map(|r| {
+            let (freq, len) = meta[&r.dataset];
+            online_cell(r, freq, len, &config)
+        })
+        .collect();
+    let names: Vec<String> = datasets.iter().map(|d| d.spec().name.to_owned()).collect();
+    let heatmap = render_online_heatmap(&cells, &names);
+    assert!(heatmap.contains("PowerCons"));
+    // PowerCons observations arrive every 600 s; all algorithms keep up.
+    assert!(cells
+        .iter()
+        .filter(|c| c.dataset == "PowerCons")
+        .all(|c| c.feasible()));
+}
+
+#[test]
+fn results_are_reproducible_across_runs() {
+    let data = PaperDataset::DodgerLoopGame.generate(GenOptions {
+        height_scale: 0.3,
+        length_scale: 0.2,
+        seed: 11,
+    });
+    let a = run_cv(AlgoSpec::Ects, &data, &quick_config()).unwrap();
+    let b = run_cv(AlgoSpec::Ects, &data, &quick_config()).unwrap();
+    assert_eq!(a.metrics.unwrap(), b.metrics.unwrap());
+}
+
+#[test]
+fn multivariate_dataset_runs_univariate_algo_through_voting() {
+    let data = PaperDataset::Biological.generate(GenOptions {
+        height_scale: 0.12,
+        length_scale: 0.6,
+        seed: 13,
+    });
+    assert_eq!(data.vars(), 3);
+    let r = run_cv(AlgoSpec::Ects, &data, &quick_config()).unwrap();
+    let m = r.metrics.unwrap();
+    // Majority class is 80%; the ensemble must be in a sane band.
+    assert!(m.accuracy > 0.5, "accuracy {}", m.accuracy);
+}

@@ -1,0 +1,193 @@
+//! Property-based tests (proptest) over the framework's invariants:
+//! metric algebra, data-structure round trips, imputation, CV partitions
+//! and the SFA/transform layers.
+
+use proptest::prelude::*;
+
+use etsc::data::impute::impute_gaps;
+use etsc::data::loader::{read_csv, write_csv};
+use etsc::data::series::{z_normalize, MultiSeries, Series};
+use etsc::data::{DatasetBuilder, StratifiedKFold};
+use etsc::eval::metrics::{harmonic_mean, EvalOutcome, Metrics};
+use etsc::ml::logistic::softmax;
+use etsc::transforms::fourier::dft_features;
+
+proptest! {
+    #[test]
+    fn harmonic_mean_is_bounded_and_symmetric_in_credit(
+        acc in 0.0f64..=1.0,
+        earliness in 0.0f64..=1.0,
+    ) {
+        let hm = harmonic_mean(acc, earliness);
+        prop_assert!((0.0..=1.0).contains(&hm));
+        // HM lies between the min and max of its two arguments, and is
+        // zero whenever either argument is zero.
+        let credit = 1.0 - earliness;
+        let (lo, hi) = (acc.min(credit), acc.max(credit));
+        if lo > 0.0 {
+            prop_assert!(hm >= lo - 1e-12, "hm {hm} < lo {lo}");
+        } else {
+            prop_assert!(hm == 0.0);
+        }
+        prop_assert!(hm <= hi + 1e-12, "hm {hm} > hi {hi}");
+    }
+
+    #[test]
+    fn metrics_accuracy_matches_manual_count(
+        outcomes in prop::collection::vec((0usize..3, 0usize..3, 1usize..20), 1..40)
+    ) {
+        let evals: Vec<EvalOutcome> = outcomes
+            .iter()
+            .map(|&(truth, predicted, prefix)| EvalOutcome {
+                truth,
+                predicted,
+                prefix_len: prefix,
+                full_len: 20,
+            })
+            .collect();
+        let m = Metrics::compute(&evals, 3);
+        let manual = outcomes.iter().filter(|(t, p, _)| t == p).count() as f64
+            / outcomes.len() as f64;
+        prop_assert!((m.accuracy - manual).abs() < 1e-12);
+        prop_assert!(m.earliness > 0.0 && m.earliness <= 1.0);
+        prop_assert!((0.0..=1.0).contains(&m.f1));
+    }
+
+    #[test]
+    fn znormalize_produces_unit_stats(xs in prop::collection::vec(-1e3f64..1e3, 2..100)) {
+        let z = z_normalize(&xs);
+        prop_assert_eq!(z.len(), xs.len());
+        let mean: f64 = z.iter().sum::<f64>() / z.len() as f64;
+        prop_assert!(mean.abs() < 1e-6);
+        let var: f64 = z.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / z.len() as f64;
+        // Either unit variance or the degenerate all-zero case.
+        prop_assert!((var - 1.0).abs() < 1e-6 || var.abs() < 1e-12);
+    }
+
+    #[test]
+    fn imputation_removes_every_gap(
+        mut xs in prop::collection::vec(prop::option::of(-100f64..100.0), 1..60)
+    ) {
+        let mut values: Vec<f64> = xs
+            .drain(..)
+            .map(|o| o.unwrap_or(f64::NAN))
+            .collect();
+        impute_gaps(&mut values);
+        prop_assert!(values.iter().all(|v| !v.is_nan()));
+    }
+
+    #[test]
+    fn imputation_is_idempotent(
+        mut xs in prop::collection::vec(prop::option::of(-100f64..100.0), 1..60)
+    ) {
+        let mut values: Vec<f64> = xs
+            .drain(..)
+            .map(|o| o.unwrap_or(f64::NAN))
+            .collect();
+        impute_gaps(&mut values);
+        let snapshot = values.clone();
+        impute_gaps(&mut values);
+        prop_assert_eq!(values, snapshot);
+    }
+
+    #[test]
+    fn prefix_of_prefix_composes(
+        values in prop::collection::vec(-10f64..10.0, 2..50),
+        split in 1usize..49,
+    ) {
+        prop_assume!(split < values.len());
+        let series = MultiSeries::univariate(Series::new(values.clone()));
+        let p = series.prefix(split).unwrap();
+        let pp = p.prefix(split.min(p.len())).unwrap();
+        prop_assert_eq!(pp.var(0), &values[..split]);
+    }
+
+    #[test]
+    fn softmax_is_a_distribution(logits in prop::collection::vec(-50f64..50.0, 1..10)) {
+        let p = softmax(&logits);
+        prop_assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        prop_assert!(p.iter().all(|&v| v >= 0.0));
+        // Order-preserving.
+        for i in 0..logits.len() {
+            for j in 0..logits.len() {
+                if logits[i] > logits[j] {
+                    prop_assert!(p[i] >= p[j]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dft_is_linear(
+        a in prop::collection::vec(-10f64..10.0, 8..32),
+        scale in -3f64..3.0,
+    ) {
+        let fa = dft_features(&a, 4);
+        let scaled: Vec<f64> = a.iter().map(|v| v * scale).collect();
+        let fs = dft_features(&scaled, 4);
+        for (x, y) in fa.iter().zip(&fs) {
+            prop_assert!((x * scale - y).abs() < 1e-6 * (1.0 + x.abs() * scale.abs()));
+        }
+    }
+
+    #[test]
+    fn stratified_folds_partition_and_stratify(
+        per_class in 4usize..20,
+        folds in 2usize..4,
+    ) {
+        let mut b = DatasetBuilder::new("p");
+        for i in 0..per_class * 2 {
+            let class = if i % 2 == 0 { "a" } else { "b" };
+            b.push_named(
+                MultiSeries::univariate(Series::new(vec![i as f64, 0.0])),
+                class,
+            );
+        }
+        let data = b.build().unwrap();
+        let splits = StratifiedKFold::new(folds, 9).unwrap().split(&data).unwrap();
+        let mut seen = vec![0usize; data.len()];
+        for f in &splits {
+            for &i in &f.test {
+                seen[i] += 1;
+            }
+            // Class balance within each fold differs by at most 1+.
+            let a = f.test.iter().filter(|&&i| data.label(i) == 0).count() as i64;
+            let b_count = f.test.iter().filter(|&&i| data.label(i) == 1).count() as i64;
+            prop_assert!((a - b_count).abs() <= 1, "fold balance {a} vs {b_count}");
+        }
+        prop_assert!(seen.iter().all(|&s| s == 1));
+    }
+
+    #[test]
+    fn csv_roundtrip_preserves_data(
+        rows in prop::collection::vec(
+            (0usize..3, prop::collection::vec(-100f64..100.0, 3..10)),
+            1..12,
+        ),
+        len_choice in 3usize..10,
+    ) {
+        let mut b = DatasetBuilder::new("rt");
+        for (class, values) in &rows {
+            let mut v = values.clone();
+            v.truncate(len_choice.min(v.len()).max(3));
+            b.push_named(
+                MultiSeries::univariate(Series::new(v)),
+                &format!("c{class}"),
+            );
+        }
+        let original = b.build().unwrap();
+        let mut csv = Vec::new();
+        write_csv(&original, &mut csv).unwrap();
+        let loaded = read_csv(std::io::Cursor::new(csv), "rt", 1).unwrap();
+        prop_assert_eq!(loaded.len(), original.len());
+        for i in 0..original.len() {
+            prop_assert_eq!(loaded.label(i), original.label(i));
+            let a = original.instance(i).var(0);
+            let b = loaded.instance(i).var(0);
+            prop_assert_eq!(a.len(), b.len());
+            for (x, y) in a.iter().zip(b) {
+                prop_assert!((x - y).abs() < 1e-9);
+            }
+        }
+    }
+}
