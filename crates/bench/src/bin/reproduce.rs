@@ -2,6 +2,8 @@
 //!
 //! ```text
 //! reproduce <target> [--preset quick|standard|full] [--seed N] [--out DIR]
+//!           [--parallel THREADS] [--journal PATH] [--resume]
+//!           [--budget-secs N] [--retries N]
 //!
 //! targets:
 //!   table2       algorithm characteristics
@@ -25,16 +27,27 @@
 //! experiment at the chosen preset and print the same category × algorithm
 //! series the paper plots; CSVs are written next to the text output when
 //! `--out` is given.
+//!
+//! `--journal`, `--resume`, `--budget-secs` and `--retries` route the
+//! sweep through the fault-tolerant supervisor: every cell is isolated
+//! against panics, transient errors are retried, completed cells are
+//! checkpointed to the journal, and `--resume` picks an interrupted
+//! sweep up without recomputing finished cells. The matrix status table
+//! (OK/DNF/ERR/PANIC per cell) is printed after a supervised sweep.
 
 use etsc_bench::{
     biological_early_savings, render_table2, render_table3, render_table4, render_table5,
-    run_sweep, run_sweep_parallel, ScalePreset, SweepOutput,
+    run_sweep, run_sweep_parallel, run_sweep_supervised, ScalePreset, SweepOutput,
 };
 use etsc_datasets::PaperDataset;
 use etsc_eval::aggregate::aggregate_by_category;
 use etsc_eval::experiment::AlgoSpec;
 use etsc_eval::online::online_cell;
-use etsc_eval::report::{figure_csv, render_figure, render_online_heatmap, FigureMetric};
+use etsc_eval::report::{
+    figure_csv, matrix_status_csv, render_figure, render_matrix_status, render_online_heatmap,
+    FigureMetric,
+};
+use etsc_eval::supervisor::SupervisorOptions;
 
 struct Args {
     target: String,
@@ -43,6 +56,21 @@ struct Args {
     out_dir: Option<std::path::PathBuf>,
     /// Worker threads for the sweep (1 = sequential, timing-faithful).
     threads: usize,
+    /// Checkpoint journal path (enables the supervised sweep).
+    journal: Option<std::path::PathBuf>,
+    /// Resume from an existing journal instead of starting over.
+    resume: bool,
+    /// Training-budget override in seconds (the 48-hour rule, scaled).
+    budget_secs: Option<u64>,
+    /// Extra attempts after a transient cell error.
+    retries: usize,
+}
+
+impl Args {
+    /// The new robustness flags all imply the supervised sweep.
+    fn supervised(&self) -> bool {
+        self.journal.is_some() || self.resume || self.budget_secs.is_some() || self.retries > 0
+    }
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -52,6 +80,10 @@ fn parse_args() -> Result<Args, String> {
     let mut seed = 2024u64;
     let mut out_dir = None;
     let mut threads = 1usize;
+    let mut journal = None;
+    let mut resume = false;
+    let mut budget_secs = None;
+    let mut retries = 0usize;
     while let Some(flag) = args.next() {
         match flag.as_str() {
             "--parallel" => {
@@ -70,8 +102,24 @@ fn parse_args() -> Result<Args, String> {
                 let v = args.next().ok_or("--out needs a directory")?;
                 out_dir = Some(std::path::PathBuf::from(v));
             }
+            "--journal" => {
+                let v = args.next().ok_or("--journal needs a file path")?;
+                journal = Some(std::path::PathBuf::from(v));
+            }
+            "--resume" => resume = true,
+            "--budget-secs" => {
+                let v = args.next().ok_or("--budget-secs needs a value")?;
+                budget_secs = Some(v.parse().map_err(|_| format!("bad budget {v:?}"))?);
+            }
+            "--retries" => {
+                let v = args.next().ok_or("--retries needs a value")?;
+                retries = v.parse().map_err(|_| format!("bad retry count {v:?}"))?;
+            }
             other => return Err(format!("unknown flag {other:?}")),
         }
+    }
+    if resume && journal.is_none() {
+        return Err("--resume needs --journal PATH".to_owned());
     }
     Ok(Args {
         target,
@@ -79,6 +127,10 @@ fn parse_args() -> Result<Args, String> {
         seed,
         out_dir,
         threads,
+        journal,
+        resume,
+        budget_secs,
+        retries,
     })
 }
 
@@ -102,6 +154,41 @@ fn sweep(args: &Args) -> SweepOutput {
         "running sweep: 8 algorithms x 12 datasets, preset {:?}, seed {}, threads {}",
         args.preset, args.seed, args.threads
     );
+    if args.supervised() {
+        let options = SupervisorOptions {
+            max_threads: args.threads,
+            retries: args.retries,
+            journal: args.journal.clone(),
+            resume: args.resume,
+        };
+        let out = run_sweep_supervised(
+            &PaperDataset::ALL,
+            &AlgoSpec::ALL,
+            args.preset,
+            args.seed,
+            args.budget_secs.map(std::time::Duration::from_secs),
+            &options,
+            |line| println!("{line}"),
+        )
+        .unwrap_or_else(|e| {
+            eprintln!("supervised sweep failed: {e}");
+            std::process::exit(1);
+        });
+        let datasets: Vec<String> = out.dataset_meta.keys().cloned().collect();
+        println!("\n=== matrix status ===");
+        print!("{}", render_matrix_status(&out.outcomes, &datasets));
+        write_out(
+            &args.out_dir,
+            "matrix_status.csv",
+            &matrix_status_csv(&out.outcomes),
+        );
+        return SweepOutput {
+            results: out.results(),
+            categories: out.categories,
+            dataset_meta: out.dataset_meta,
+            config: out.config,
+        };
+    }
     let result = if args.threads > 1 {
         println!(
             "note: parallel timings include CPU contention; use --parallel 1 for Figures 12/13"
@@ -242,7 +329,7 @@ fn main() {
         Ok(a) => a,
         Err(e) => {
             eprintln!("error: {e}");
-            eprintln!("usage: reproduce <table2|table3|table4|table5|fig9|fig10|fig11|fig12|fig13|figures|supplementary|bio-savings|all> [--preset quick|standard|full] [--seed N] [--out DIR] [--parallel THREADS]");
+            eprintln!("usage: reproduce <table2|table3|table4|table5|fig9|fig10|fig11|fig12|fig13|figures|supplementary|bio-savings|all> [--preset quick|standard|full] [--seed N] [--out DIR] [--parallel THREADS] [--journal PATH] [--resume] [--budget-secs N] [--retries N]");
             std::process::exit(2);
         }
     };

@@ -9,6 +9,7 @@ use etsc_core::EtscError;
 use etsc_data::stats::{Category, DatasetStats};
 use etsc_datasets::{GenOptions, PaperDataset};
 use etsc_eval::experiment::{run_cv, AlgoSpec, RunConfig, RunResult};
+use etsc_eval::supervisor::{supervise_matrix, CellOutcome, CellStatus, SupervisorOptions};
 
 /// Scale preset for a sweep.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -197,7 +198,7 @@ pub fn render_table4(preset: ScalePreset) -> String {
     out.push_str("ECTS        support = 0\n");
     out.push_str(&format!(
         "EDSC        CHE, k = 3, minLen = 5, maxLen = L/2, budget = {:?}\n",
-        c.edsc_budget
+        c.train_budget
     ));
     out.push_str(&format!(
         "TEASER      S = {} (UCR/UEA), S = {} (Biological, Maritime)\n",
@@ -273,55 +274,6 @@ pub fn biological_early_savings(preset: ScalePreset, seed: u64) -> Result<f64, E
     Ok(identified_early as f64 / total.max(1) as f64)
 }
 
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn presets_parse_and_scale() {
-        assert_eq!(ScalePreset::parse("quick"), Some(ScalePreset::Quick));
-        assert_eq!(ScalePreset::parse("FULL"), Some(ScalePreset::Full));
-        assert_eq!(ScalePreset::parse("nope"), None);
-        let o = ScalePreset::Quick.options(PaperDataset::Maritime, 1);
-        assert!(o.height_scale < 0.01);
-        let o = ScalePreset::Full.options(PaperDataset::Maritime, 1);
-        assert_eq!(o.height_scale, 1.0);
-    }
-
-    #[test]
-    fn static_tables_render() {
-        let t2 = render_table2();
-        assert!(t2.contains("ECEC") && t2.contains("Model-based"));
-        let t4 = render_table4(ScalePreset::Quick);
-        assert!(t4.contains("TEASER"));
-        let t5 = render_table5();
-        assert!(t5.contains("S-MINI") && t5.contains("O("));
-    }
-
-    #[test]
-    fn table3_includes_all_datasets() {
-        let t3 = render_table3(ScalePreset::Quick, 3);
-        for ds in PaperDataset::ALL {
-            assert!(t3.contains(ds.spec().name), "{} missing", ds.spec().name);
-        }
-    }
-
-    #[test]
-    fn tiny_sweep_produces_results() {
-        let out = run_sweep(
-            &[PaperDataset::PowerCons],
-            &[AlgoSpec::Ects],
-            ScalePreset::Quick,
-            5,
-            |_| {},
-        )
-        .unwrap();
-        assert_eq!(out.results.len(), 1);
-        assert!(out.results[0].metrics.is_some());
-        assert!(out.categories.contains_key("PowerCons"));
-    }
-}
-
 /// Parallel variant of [`run_sweep`]: all datasets are generated first,
 /// then the (dataset × algorithm) matrix runs on `threads` workers via
 /// [`etsc_eval::experiment::run_matrix_parallel`]. Faster wall-clock, but
@@ -373,4 +325,186 @@ pub fn run_sweep_parallel(
         dataset_meta,
         config,
     })
+}
+
+/// A sweep run under the fault-tolerant supervisor: per-cell outcomes
+/// instead of a flat result list, so a panicking or erroring cell is
+/// reported rather than aborting the matrix.
+pub struct SupervisedSweepOutput {
+    /// Per-cell outcomes in (dataset × algorithm) row-major order.
+    pub outcomes: Vec<CellOutcome>,
+    /// Dataset name → Table 3 categories.
+    pub categories: BTreeMap<String, Vec<Category>>,
+    /// Dataset name → (observation frequency secs, generated length).
+    pub dataset_meta: BTreeMap<String, (f64, usize)>,
+    /// The run configuration used.
+    pub config: RunConfig,
+}
+
+impl SupervisedSweepOutput {
+    /// The finished runs (including DNF cells), for the figure
+    /// aggregations; `ERR`/`PANIC` cells are excluded, matching how the
+    /// paper's plots omit cells without results.
+    pub fn results(&self) -> Vec<RunResult> {
+        self.outcomes
+            .iter()
+            .filter_map(|c| c.run_result().cloned())
+            .collect()
+    }
+
+    /// (ok, dnf, err, panic) cell counts.
+    pub fn status_counts(&self) -> (usize, usize, usize, usize) {
+        let mut counts = (0, 0, 0, 0);
+        for c in &self.outcomes {
+            match c.status() {
+                CellStatus::Ok => counts.0 += 1,
+                CellStatus::Dnf => counts.1 += 1,
+                CellStatus::Err => counts.2 += 1,
+                CellStatus::Panic => counts.3 += 1,
+            }
+        }
+        counts
+    }
+}
+
+/// Supervised variant of [`run_sweep_parallel`]: the matrix runs under
+/// [`etsc_eval::supervisor::supervise_matrix`] with panic isolation,
+/// bounded retries, an optional training-budget override, and optional
+/// journal checkpoint/resume.
+///
+/// # Errors
+/// Only infrastructure failures (journal I/O, resume-header mismatch).
+/// Per-cell failures become `ERR`/`PANIC`/`DNF` outcomes.
+pub fn run_sweep_supervised(
+    datasets: &[PaperDataset],
+    algos: &[AlgoSpec],
+    preset: ScalePreset,
+    seed: u64,
+    budget: Option<std::time::Duration>,
+    options: &SupervisorOptions,
+    mut progress: impl FnMut(&str),
+) -> Result<SupervisedSweepOutput, EtscError> {
+    let mut config = preset.run_config();
+    if let Some(budget) = budget {
+        config.train_budget = budget;
+    }
+    let mut categories = BTreeMap::new();
+    let mut dataset_meta = BTreeMap::new();
+    let mut generated = Vec::with_capacity(datasets.len());
+    for &ds in datasets {
+        let spec = ds.spec();
+        let data = ds.generate(preset.options(ds, seed));
+        progress(&format!(
+            "dataset {} generated: {} instances x {} vars x {} points",
+            spec.name,
+            data.len(),
+            data.vars(),
+            data.max_len()
+        ));
+        categories.insert(spec.name.to_owned(), spec.categories.to_vec());
+        dataset_meta.insert(
+            spec.name.to_owned(),
+            (spec.obs_frequency_secs, data.max_len()),
+        );
+        generated.push(data);
+    }
+    progress(&format!(
+        "supervising {} x {} matrix on {} threads (retries {}, journal {:?})",
+        generated.len(),
+        algos.len(),
+        options.max_threads,
+        options.retries,
+        options.journal
+    ));
+    let outcomes = supervise_matrix(&generated, algos, &config, options)?;
+    Ok(SupervisedSweepOutput {
+        outcomes,
+        categories,
+        dataset_meta,
+        config,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_parse_and_scale() {
+        assert_eq!(ScalePreset::parse("quick"), Some(ScalePreset::Quick));
+        assert_eq!(ScalePreset::parse("FULL"), Some(ScalePreset::Full));
+        assert_eq!(ScalePreset::parse("nope"), None);
+        let o = ScalePreset::Quick.options(PaperDataset::Maritime, 1);
+        assert!(o.height_scale < 0.01);
+        let o = ScalePreset::Full.options(PaperDataset::Maritime, 1);
+        assert_eq!(o.height_scale, 1.0);
+    }
+
+    #[test]
+    fn static_tables_render() {
+        let t2 = render_table2();
+        assert!(t2.contains("ECEC") && t2.contains("Model-based"));
+        let t4 = render_table4(ScalePreset::Quick);
+        assert!(t4.contains("TEASER"));
+        let t5 = render_table5();
+        assert!(t5.contains("S-MINI") && t5.contains("O("));
+    }
+
+    #[test]
+    fn table3_includes_all_datasets() {
+        let t3 = render_table3(ScalePreset::Quick, 3);
+        for ds in PaperDataset::ALL {
+            assert!(t3.contains(ds.spec().name), "{} missing", ds.spec().name);
+        }
+    }
+
+    #[test]
+    fn supervised_sweep_reports_outcomes_and_budget_override() {
+        let options = SupervisorOptions {
+            max_threads: 1,
+            ..SupervisorOptions::default()
+        };
+        let out = run_sweep_supervised(
+            &[PaperDataset::PowerCons],
+            &[AlgoSpec::Ects],
+            ScalePreset::Quick,
+            5,
+            None,
+            &options,
+            |_| {},
+        )
+        .unwrap();
+        assert_eq!(out.outcomes.len(), 1);
+        assert_eq!(out.status_counts(), (1, 0, 0, 0));
+        assert_eq!(out.results().len(), 1);
+
+        // A zero-second budget override turns the cell into a DNF.
+        let out = run_sweep_supervised(
+            &[PaperDataset::PowerCons],
+            &[AlgoSpec::Ects],
+            ScalePreset::Quick,
+            5,
+            Some(std::time::Duration::ZERO),
+            &options,
+            |_| {},
+        )
+        .unwrap();
+        assert_eq!(out.status_counts(), (0, 1, 0, 0));
+        assert!(out.results()[0].dnf);
+    }
+
+    #[test]
+    fn tiny_sweep_produces_results() {
+        let out = run_sweep(
+            &[PaperDataset::PowerCons],
+            &[AlgoSpec::Ects],
+            ScalePreset::Quick,
+            5,
+            |_| {},
+        )
+        .unwrap();
+        assert_eq!(out.results.len(), 1);
+        assert!(out.results[0].metrics.is_some());
+        assert!(out.categories.contains_key("PowerCons"));
+    }
 }

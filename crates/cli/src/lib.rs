@@ -10,6 +10,8 @@ use etsc_data::loader::{load_csv, write_csv};
 use etsc_data::{train_validation_split, Dataset};
 use etsc_datasets::{GenOptions, PaperDataset};
 use etsc_eval::experiment::{run_cv, AlgoSpec, RunConfig};
+use etsc_eval::report::render_matrix_status;
+use etsc_eval::supervisor::{supervise_matrix, SupervisorOptions};
 
 /// Usage text shown on argument errors.
 pub const USAGE: &str = "\
@@ -23,7 +25,13 @@ commands:
                      [--height-scale S] [--length-scale S] [--seed N]
   evaluate           cross-validated metrics for one algorithm
                      (--dataset NAME | --data FILE --vars K) --algo NAME
-                     [--folds N] [--seed N]
+                     [--folds N] [--seed N] [--budget-secs N]
+  matrix             supervised (datasets x algorithms) evaluation:
+                     panic isolation, retries, checkpoint/resume
+                     [--datasets A,B,..] [--algos X,Y,..] [--folds N]
+                     [--seed N] [--budget-secs N] [--retries N]
+                     [--threads N] [--journal FILE] [--resume]
+                     [--height-scale S] [--length-scale S]
   stream             replay one instance point-by-point
                      (--dataset NAME | --data FILE --vars K) --algo NAME
                      [--instance I] [--seed N]";
@@ -155,11 +163,17 @@ pub fn run(command: &str, flags: &Flags, out: &mut dyn Write) -> Result<(), CliE
             let name = required(flags, "algo")?;
             let spec = AlgoSpec::by_name(name)
                 .ok_or_else(|| CliError::Usage(format!("unknown algorithm {name:?}")))?;
-            let config = RunConfig {
+            let mut config = RunConfig {
                 folds: parse(flags, "folds", 3_usize)?,
                 seed: parse(flags, "seed", 2024_u64)?,
                 ..RunConfig::fast()
             };
+            if let Some(budget) = flags.get("budget-secs") {
+                let secs: u64 = budget.parse().map_err(|_| {
+                    CliError::Usage(format!("invalid --budget-secs value {budget:?}"))
+                })?;
+                config.train_budget = std::time::Duration::from_secs(secs);
+            }
             let r = run_cv(spec, &data, &config)
                 .map_err(|e| CliError::Runtime(format!("evaluation failed: {e}")))?;
             match r.metrics {
@@ -193,6 +207,60 @@ pub fn run(command: &str, flags: &Flags, out: &mut dyn Write) -> Result<(), CliE
                     ),
                 ),
             }
+        }
+        "matrix" => {
+            let datasets: Vec<PaperDataset> = match flags.get("datasets") {
+                None => PaperDataset::ALL.to_vec(),
+                Some(list) => list
+                    .split(',')
+                    .map(|name| {
+                        PaperDataset::by_name(name.trim())
+                            .ok_or_else(|| CliError::Usage(format!("unknown dataset {name:?}")))
+                    })
+                    .collect::<Result<_, _>>()?,
+            };
+            let algos: Vec<AlgoSpec> = match flags.get("algos") {
+                None => AlgoSpec::ALL.to_vec(),
+                Some(list) => list
+                    .split(',')
+                    .map(|name| {
+                        AlgoSpec::by_name(name.trim())
+                            .ok_or_else(|| CliError::Usage(format!("unknown algorithm {name:?}")))
+                    })
+                    .collect::<Result<_, _>>()?,
+            };
+            let seed = parse(flags, "seed", 2024_u64)?;
+            let mut config = RunConfig {
+                folds: parse(flags, "folds", 3_usize)?,
+                seed,
+                ..RunConfig::fast()
+            };
+            if let Some(budget) = flags.get("budget-secs") {
+                let secs: u64 = budget.parse().map_err(|_| {
+                    CliError::Usage(format!("invalid --budget-secs value {budget:?}"))
+                })?;
+                config.train_budget = std::time::Duration::from_secs(secs);
+            }
+            let options = SupervisorOptions {
+                max_threads: parse(flags, "threads", 2_usize)?,
+                retries: parse(flags, "retries", 0_usize)?,
+                journal: flags.get("journal").map(std::path::PathBuf::from),
+                resume: parse(flags, "resume", false)?,
+            };
+            if options.resume && options.journal.is_none() {
+                return Err(CliError::Usage("--resume needs --journal FILE".into()));
+            }
+            let gen_options = GenOptions {
+                height_scale: parse(flags, "height-scale", 0.2_f64)?,
+                length_scale: parse(flags, "length-scale", 0.5_f64)?,
+                seed,
+            };
+            let generated: Vec<Dataset> =
+                datasets.iter().map(|d| d.generate(gen_options)).collect();
+            let names: Vec<String> = generated.iter().map(|d| d.name().to_owned()).collect();
+            let outcomes = supervise_matrix(&generated, &algos, &config, &options)
+                .map_err(|e| CliError::Runtime(format!("supervised matrix failed: {e}")))?;
+            emit(out, render_matrix_status(&outcomes, &names))
         }
         "stream" => {
             let data = load_input(flags)?;
@@ -319,6 +387,71 @@ mod tests {
         .unwrap();
         assert!(out.contains("accuracy"), "{out}");
         std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn matrix_runs_supervised_and_resumes_from_journal() {
+        let dir = std::env::temp_dir().join("etsc-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("matrix.jsonl");
+        std::fs::remove_file(&path).ok();
+        let path_str = path.to_str().unwrap().to_owned();
+        let base = [
+            ("datasets", "PowerCons"),
+            ("algos", "ECTS,ECO-K"),
+            ("height-scale", "0.15"),
+            ("length-scale", "0.3"),
+            ("threads", "1"),
+            ("journal", path_str.as_str()),
+        ];
+        let out = run_to_string("matrix", &flags(&base)).unwrap();
+        assert!(out.contains("ECTS"), "{out}");
+        assert!(
+            out.contains("2 OK, 0 DNF, 0 ERR, 0 PANIC of 2 cells"),
+            "{out}"
+        );
+        // Resume from the complete journal: identical status table.
+        let mut resumed = base.to_vec();
+        resumed.push(("resume", "true"));
+        let again = run_to_string("matrix", &flags(&resumed)).unwrap();
+        assert_eq!(out, again);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn matrix_budget_override_yields_dnf_cells() {
+        let out = run_to_string(
+            "matrix",
+            &flags(&[
+                ("datasets", "PowerCons"),
+                ("algos", "ECTS"),
+                ("height-scale", "0.15"),
+                ("length-scale", "0.3"),
+                ("threads", "1"),
+                ("budget-secs", "0"),
+            ]),
+        )
+        .unwrap();
+        assert!(
+            out.contains("0 OK, 1 DNF, 0 ERR, 0 PANIC of 1 cells"),
+            "{out}"
+        );
+    }
+
+    #[test]
+    fn matrix_usage_errors() {
+        assert!(matches!(
+            run_to_string("matrix", &flags(&[("algos", "nope")])),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run_to_string("matrix", &flags(&[("datasets", "nope")])),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run_to_string("matrix", &flags(&[("resume", "true")])),
+            Err(CliError::Usage(_))
+        ));
     }
 
     #[test]

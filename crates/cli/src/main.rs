@@ -8,7 +8,8 @@
 //! etsc list-algorithms
 //! etsc list-datasets
 //! etsc generate --dataset Maritime --out maritime.csv [--height-scale S] [--length-scale S] [--seed N]
-//! etsc evaluate (--dataset NAME | --data FILE --vars K) --algo NAME [--folds N] [--seed N]
+//! etsc evaluate (--dataset NAME | --data FILE --vars K) --algo NAME [--folds N] [--seed N] [--budget-secs N]
+//! etsc matrix   [--datasets A,B,..] [--algos X,Y,..] [--journal FILE] [--resume] [--budget-secs N] [--retries N] [--threads N]
 //! etsc stream   (--dataset NAME | --data FILE --vars K) --algo NAME [--instance I] [--seed N]
 //! ```
 
@@ -30,6 +31,11 @@ fn main() -> ExitCode {
             eprintln!("error: expected a --flag, got {flag:?}");
             return ExitCode::from(2);
         };
+        // Boolean flags take no value.
+        if name == "resume" {
+            flags.insert(name.to_owned(), "true".to_owned());
+            continue;
+        }
         let Some(value) = it.next() else {
             eprintln!("error: --{name} needs a value");
             return ExitCode::from(2);

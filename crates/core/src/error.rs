@@ -31,6 +31,34 @@ pub enum EtscError {
     /// A test instance is incompatible with the fitted model (length or
     /// variable count).
     IncompatibleInstance(String),
+    /// A worker thread panicked; the payload is preserved as text so the
+    /// caller can report the cell and keep the rest of the run alive.
+    Panicked {
+        /// Panic payload rendered as a message.
+        message: String,
+    },
+}
+
+/// Renders a caught panic payload (`Box<dyn Any + Send>`) as text: the
+/// `&str`/`String` message when the payload is one, a placeholder
+/// otherwise.
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+impl EtscError {
+    /// Wraps a caught panic payload as [`EtscError::Panicked`].
+    pub fn from_panic(payload: &(dyn std::any::Any + Send)) -> EtscError {
+        EtscError::Panicked {
+            message: panic_message(payload),
+        }
+    }
 }
 
 impl fmt::Display for EtscError {
@@ -48,6 +76,7 @@ impl fmt::Display for EtscError {
                 "univariate algorithm got {vars} variables; wrap it in VotingAdapter"
             ),
             EtscError::IncompatibleInstance(msg) => write!(f, "incompatible instance: {msg}"),
+            EtscError::Panicked { message } => write!(f, "worker panicked: {message}"),
         }
     }
 }
@@ -88,5 +117,16 @@ mod tests {
         assert!(EtscError::UnivariateOnly { vars: 3 }
             .to_string()
             .contains("VotingAdapter"));
+    }
+
+    #[test]
+    fn panic_payloads_render_as_text() {
+        let payload: Box<dyn std::any::Any + Send> = Box::new("static message");
+        assert_eq!(panic_message(payload.as_ref()), "static message");
+        let payload: Box<dyn std::any::Any + Send> = Box::new(String::from("owned message"));
+        let e = EtscError::from_panic(payload.as_ref());
+        assert_eq!(e.to_string(), "worker panicked: owned message");
+        let payload: Box<dyn std::any::Any + Send> = Box::new(42usize);
+        assert_eq!(panic_message(payload.as_ref()), "non-string panic payload");
     }
 }

@@ -34,7 +34,7 @@ pub use algos::ects::{Ects, EctsConfig};
 pub use algos::edsc::{Edsc, EdscConfig};
 pub use algos::strut::{Strut, StrutConfig, StrutMetric, TruncationSearch};
 pub use algos::teaser::{Teaser, TeaserConfig};
-pub use error::EtscError;
+pub use error::{panic_message, EtscError};
 pub use full::{FullClassifier, MiniRocketClassifier, MlstmClassifier, WeaselClassifier};
 pub use traits::{EarlyClassifier, EarlyPrediction, StreamState};
 pub use voting::{VotingAdapter, VotingScheme};

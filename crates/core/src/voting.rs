@@ -188,11 +188,11 @@ impl<C: EarlyClassifier + Send> VotingAdapter<C> {
                 });
             }
         })
-        .expect("voter thread panicked");
+        .map_err(|payload| crate::error::EtscError::from_panic(payload.as_ref()))?;
         for slot in slots {
-            let (voter, weight) = slot
-                .into_inner()
-                .expect("every slot is filled by its thread")?;
+            let (voter, weight) = slot.into_inner().ok_or_else(|| EtscError::Panicked {
+                message: "voter thread exited without reporting a result".to_owned(),
+            })??;
             self.voters.push(voter);
             self.weights.push(weight);
         }
@@ -507,6 +507,26 @@ mod tests {
         a.fit(&d).unwrap();
         let wrong = MultiSeries::univariate(Series::new(vec![0.0; 6]));
         assert!(a.predict_early(&wrong).is_err());
+    }
+
+    #[test]
+    fn parallel_fit_surfaces_voter_panic_as_error() {
+        let d = mv_dataset();
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let counter = AtomicUsize::new(0);
+        let mut a = VotingAdapter::new(move || {
+            if counter.fetch_add(1, Ordering::SeqCst) == 1 {
+                panic!("injected voter failure");
+            }
+            MeanVoter::new(2)
+        });
+        let err = a.fit_parallel(&d).unwrap_err();
+        match err {
+            EtscError::Panicked { message } => {
+                assert!(message.contains("injected voter failure"), "{message}");
+            }
+            other => panic!("expected Panicked, got {other:?}"),
+        }
     }
 
     #[test]

@@ -181,8 +181,12 @@ pub struct RunConfig {
     pub teaser_prefixes_ucr: usize,
     /// TEASER S for the Biological and Maritime datasets (Table 4: 10).
     pub teaser_prefixes_new: usize,
-    /// EDSC training budget — the framework's 48-hour rule, scaled.
-    pub edsc_budget: Duration,
+    /// Universal wall-clock training budget — the framework's 48-hour
+    /// rule, scaled. Every algorithm's cross-validated training is
+    /// checked against this deadline between folds (and EDSC also
+    /// checks it internally while enumerating candidates); an overrun
+    /// records a DNF instead of failing the run.
+    pub train_budget: Duration,
     /// EDSC candidate budget.
     pub edsc_candidates: usize,
     /// WEASEL feature budget (affects ECEC/TEASER/S-WEASEL).
@@ -209,7 +213,7 @@ impl Default for RunConfig {
             ecec_prefixes: 20,
             teaser_prefixes_ucr: 20,
             teaser_prefixes_new: 10,
-            edsc_budget: Duration::from_secs(120),
+            train_budget: Duration::from_secs(120),
             edsc_candidates: 1500,
             weasel_features: 256,
             weasel_windows: 6,
@@ -231,7 +235,7 @@ impl RunConfig {
             ecec_prefixes: 8,
             teaser_prefixes_ucr: 8,
             teaser_prefixes_new: 5,
-            edsc_budget: Duration::from_secs(20),
+            train_budget: Duration::from_secs(20),
             edsc_candidates: 400,
             weasel_features: 128,
             weasel_windows: 4,
@@ -278,10 +282,22 @@ impl RunConfig {
         }
     }
 
+    /// The training budget, under its pre-generalization name.
+    #[deprecated(note = "the budget now applies to every algorithm; use `train_budget`")]
+    pub fn edsc_budget(&self) -> Duration {
+        self.train_budget
+    }
+
+    /// Returns a copy with the universal training budget replaced.
+    pub fn with_train_budget(mut self, budget: Duration) -> RunConfig {
+        self.train_budget = budget;
+        self
+    }
+
     fn edsc_config(&self) -> EdscConfig {
         EdscConfig {
             max_candidates: self.edsc_candidates,
-            train_budget: Some(self.edsc_budget),
+            train_budget: Some(self.train_budget),
             ..EdscConfig::default()
         }
     }
@@ -321,7 +337,7 @@ impl RunConfig {
 }
 
 /// Result of one (algorithm, dataset) cross-validated run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunResult {
     /// Algorithm evaluated.
     pub algo: AlgoSpec,
@@ -347,9 +363,12 @@ impl RunResult {
 
 /// Runs one algorithm on one dataset with stratified K-fold CV.
 ///
-/// A training-budget overrun in any fold marks the whole run DNF
-/// (matching the paper's treatment of EDSC on Wide datasets); any other
-/// error propagates.
+/// Every algorithm runs under the universal `train_budget` deadline
+/// (the paper's 48-hour rule, scaled): accumulated training time is
+/// checked cooperatively before each fold, and EDSC additionally
+/// checks it while enumerating candidates. An overrun in any fold
+/// marks the whole run DNF (matching the paper's treatment of EDSC on
+/// Wide datasets); any other error propagates.
 ///
 /// # Errors
 /// Data/model failures other than budget overruns.
@@ -362,11 +381,24 @@ pub fn run_cv(
         .map_err(EtscError::from)?
         .split(dataset)
         .map_err(EtscError::from)?;
+    let budget_secs = config.train_budget.as_secs_f64();
     let mut outcomes = Vec::new();
     let mut train_total = 0.0;
     let mut test_total = 0.0;
     let mut test_count = 0usize;
     for fold in &folds {
+        // Cooperative universal deadline: refuse to start the next
+        // fold's training once the budget is spent.
+        if train_total >= budget_secs {
+            return Ok(RunResult {
+                algo,
+                dataset: dataset.name().to_owned(),
+                metrics: None,
+                train_secs: train_total,
+                test_secs_per_instance: 0.0,
+                dnf: true,
+            });
+        }
         let train = dataset.subset(&fold.train);
         let mut clf = algo.build(dataset, config);
         let t0 = Instant::now();
@@ -377,7 +409,7 @@ pub fn run_cv(
                     algo,
                     dataset: dataset.name().to_owned(),
                     metrics: None,
-                    train_secs: t0.elapsed().as_secs_f64(),
+                    train_secs: train_total + t0.elapsed().as_secs_f64(),
                     test_secs_per_instance: 0.0,
                     dnf: true,
                 });
@@ -478,12 +510,30 @@ mod tests {
     fn edsc_budget_yields_dnf() {
         let d = toy(1);
         let cfg = RunConfig {
-            edsc_budget: Duration::from_nanos(0),
+            train_budget: Duration::from_nanos(0),
             ..RunConfig::fast()
         };
         let r = run_cv(AlgoSpec::Edsc, &d, &cfg).unwrap();
         assert!(r.dnf);
         assert!(r.metrics.is_none());
+    }
+
+    #[test]
+    fn train_budget_applies_to_every_algorithm() {
+        let d = toy(1);
+        let cfg = RunConfig::fast().with_train_budget(Duration::from_nanos(0));
+        for algo in [AlgoSpec::Ects, AlgoSpec::Teaser, AlgoSpec::SMini] {
+            let r = run_cv(algo, &d, &cfg).unwrap();
+            assert!(r.dnf, "{} should DNF under a zero budget", algo.name());
+            assert!(r.metrics.is_none());
+        }
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_budget_alias_reads_train_budget() {
+        let cfg = RunConfig::fast().with_train_budget(Duration::from_secs(7));
+        assert_eq!(cfg.edsc_budget(), Duration::from_secs(7));
     }
 
     #[test]
@@ -506,47 +556,36 @@ mod tests {
 /// inflates them through CPU contention — use the sequential path when
 /// timing fidelity matters (the `reproduce` binary defaults to it).
 ///
+/// This is a compatibility wrapper over
+/// [`supervise_matrix`](crate::supervisor::supervise_matrix): every
+/// cell runs to completion under panic isolation, and only then is the
+/// first failure (if any) reported. Callers that want per-cell
+/// outcomes — completed work preserved alongside failed and panicked
+/// cells — should use the supervisor directly.
+///
 /// # Errors
-/// The first job failure, after all workers finish.
+/// The first cell failure or panic, after all cells have run.
 pub fn run_matrix_parallel(
     datasets: &[Dataset],
     algos: &[AlgoSpec],
     config: &RunConfig,
     max_threads: usize,
 ) -> Result<Vec<RunResult>, EtscError> {
-    use std::sync::atomic::{AtomicUsize, Ordering};
-    use std::sync::Mutex;
-
-    let jobs: Vec<(usize, usize)> = (0..datasets.len())
-        .flat_map(|d| (0..algos.len()).map(move |a| (d, a)))
-        .collect();
-    let next = AtomicUsize::new(0);
-    let results: Vec<Mutex<Option<Result<RunResult, EtscError>>>> =
-        jobs.iter().map(|_| Mutex::new(None)).collect();
-    let workers = max_threads
-        .max(1)
-        .min(jobs.len().max(1))
-        .min(std::thread::available_parallelism().map_or(4, |p| p.get()));
-    crossbeam::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|_| loop {
-                let j = next.fetch_add(1, Ordering::SeqCst);
-                if j >= jobs.len() {
-                    break;
-                }
-                let (d, a) = jobs[j];
-                let outcome = run_cv(algos[a], &datasets[d], config);
-                *results[j].lock().expect("result slot poisoned") = Some(outcome);
-            });
-        }
-    })
-    .expect("worker thread panicked");
-    results
+    let options = crate::supervisor::SupervisorOptions {
+        max_threads,
+        ..crate::supervisor::SupervisorOptions::default()
+    };
+    let outcomes = crate::supervisor::supervise_matrix(datasets, algos, config, &options)?;
+    outcomes
         .into_iter()
-        .map(|slot| {
-            slot.into_inner()
-                .expect("result slot poisoned")
-                .expect("every job was executed")
+        .map(|cell| match cell {
+            crate::supervisor::CellOutcome::Finished(result) => Ok(result),
+            crate::supervisor::CellOutcome::Failed { error, .. } => {
+                Err(EtscError::Config(format!("cell failed: {error}")))
+            }
+            crate::supervisor::CellOutcome::Panicked { message, .. } => {
+                Err(EtscError::Panicked { message })
+            }
         })
         .collect()
 }

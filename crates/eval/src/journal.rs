@@ -1,0 +1,610 @@
+//! Append-only JSONL checkpoint journal for evaluation-matrix runs.
+//!
+//! The journal lets an interrupted (dataset × algorithm) sweep resume
+//! from where it died without recomputing finished cells — the
+//! operational counterpart of the paper's partial-result reporting
+//! (DNF cells are recorded and the run continues).
+//!
+//! Format: one JSON object per line. The first line is a header
+//! binding the journal to a run configuration (seed, folds, budget,
+//! matrix shape); every following line is one completed cell. A
+//! process killed mid-write leaves at most one torn trailing line,
+//! which is ignored on resume. There is no serde in this workspace, so
+//! both the writer and the parser are hand-rolled for this flat
+//! schema.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::fs::{File, OpenOptions};
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+use etsc_core::EtscError;
+
+use crate::experiment::{AlgoSpec, RunConfig, RunResult};
+use crate::metrics::Metrics;
+use crate::supervisor::CellOutcome;
+
+/// Journal schema version; bumped on incompatible format changes.
+pub const JOURNAL_VERSION: u64 = 1;
+
+/// Run identity recorded in (and verified against) the journal header.
+/// Resuming under a different seed, fold count, budget, or matrix shape
+/// would silently mix incompatible results, so any mismatch is an error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JournalHeader {
+    /// CV/shuffling seed of the run.
+    pub seed: u64,
+    /// Cross-validation folds.
+    pub folds: usize,
+    /// Universal training budget, seconds.
+    pub budget_secs: f64,
+    /// Number of datasets in the matrix.
+    pub datasets: usize,
+    /// Number of algorithms in the matrix.
+    pub algos: usize,
+}
+
+impl JournalHeader {
+    /// Builds the header describing a matrix run.
+    pub fn for_run(config: &RunConfig, datasets: usize, algos: usize) -> JournalHeader {
+        JournalHeader {
+            seed: config.seed,
+            folds: config.folds,
+            budget_secs: config.train_budget.as_secs_f64(),
+            datasets,
+            algos,
+        }
+    }
+}
+
+/// Append-only writer over the journal file.
+#[derive(Debug)]
+pub struct Journal {
+    writer: BufWriter<File>,
+}
+
+impl Journal {
+    /// Creates (or truncates) a journal and writes the header line.
+    ///
+    /// # Errors
+    /// File-system failures, reported as [`EtscError::Config`].
+    pub fn create(path: &Path, header: &JournalHeader) -> Result<Journal, EtscError> {
+        let file = File::create(path).map_err(|e| io_error(path, &e))?;
+        let mut journal = Journal {
+            writer: BufWriter::new(file),
+        };
+        journal.write_line(&header_line(header))?;
+        Ok(journal)
+    }
+
+    /// Opens an existing journal for resumption: verifies the header
+    /// against `header`, returns the completed cells, and reopens the
+    /// file in append mode. A torn trailing line (from a mid-write
+    /// kill) is discarded.
+    ///
+    /// # Errors
+    /// Missing/unreadable file, or a header that does not match the
+    /// requested run.
+    pub fn open_resume(
+        path: &Path,
+        header: &JournalHeader,
+    ) -> Result<(Journal, Vec<CellOutcome>), EtscError> {
+        let (found, cells) = read_journal(path)?;
+        if &found != header {
+            return Err(EtscError::Config(format!(
+                "journal {} was written by a different run \
+                 (journal: {found:?}, requested: {header:?})",
+                path.display()
+            )));
+        }
+        let file = OpenOptions::new()
+            .append(true)
+            .open(path)
+            .map_err(|e| io_error(path, &e))?;
+        Ok((
+            Journal {
+                writer: BufWriter::new(file),
+            },
+            cells,
+        ))
+    }
+
+    /// Appends one completed cell and flushes, so a kill immediately
+    /// after loses at most the cell being written.
+    ///
+    /// # Errors
+    /// File-system failures, reported as [`EtscError::Config`].
+    pub fn append(&mut self, cell: &CellOutcome) -> Result<(), EtscError> {
+        self.write_line(&cell_line(cell))
+    }
+
+    fn write_line(&mut self, line: &str) -> Result<(), EtscError> {
+        self.writer
+            .write_all(line.as_bytes())
+            .and_then(|()| self.writer.write_all(b"\n"))
+            .and_then(|()| self.writer.flush())
+            .map_err(|e| EtscError::Config(format!("journal write failed: {e}")))
+    }
+}
+
+/// Reads a journal file: the header plus every parseable cell line.
+/// Parsing stops at the first malformed line (the torn tail of a
+/// killed run).
+///
+/// # Errors
+/// Unreadable file or missing/invalid header line.
+pub fn read_journal(path: &Path) -> Result<(JournalHeader, Vec<CellOutcome>), EtscError> {
+    let file = File::open(path).map_err(|e| io_error(path, &e))?;
+    let mut lines = BufReader::new(file).lines();
+    let header_text = match lines.next() {
+        Some(Ok(line)) => line,
+        _ => {
+            return Err(EtscError::Config(format!(
+                "journal {} has no header line",
+                path.display()
+            )))
+        }
+    };
+    let header = parse_header(&header_text).ok_or_else(|| {
+        EtscError::Config(format!(
+            "journal {} has an invalid header: {header_text}",
+            path.display()
+        ))
+    })?;
+    let mut cells = Vec::new();
+    for line in lines {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        match parse_cell(&line) {
+            Some(cell) => cells.push(cell),
+            None => break, // torn tail from a mid-write kill
+        }
+    }
+    Ok((header, cells))
+}
+
+fn io_error(path: &Path, e: &std::io::Error) -> EtscError {
+    EtscError::Config(format!("journal {}: {e}", path.display()))
+}
+
+// ---------------------------------------------------------------------
+// Serialization
+// ---------------------------------------------------------------------
+
+fn header_line(h: &JournalHeader) -> String {
+    format!(
+        "{{\"kind\":\"header\",\"version\":{JOURNAL_VERSION},\"seed\":{},\"folds\":{},\
+         \"budget_secs\":{},\"datasets\":{},\"algos\":{}}}",
+        h.seed,
+        h.folds,
+        num(h.budget_secs),
+        h.datasets,
+        h.algos
+    )
+}
+
+fn cell_line(cell: &CellOutcome) -> String {
+    let mut out = String::from("{\"kind\":\"cell\"");
+    let _ = write!(
+        out,
+        ",\"status\":\"{}\",\"algo\":\"{}\",\"dataset\":\"{}\"",
+        cell.status().label().to_ascii_lowercase(),
+        esc(cell.algo().name()),
+        esc(cell.dataset())
+    );
+    match cell {
+        CellOutcome::Finished(r) => {
+            let _ = write!(
+                out,
+                ",\"train_secs\":{},\"test_secs_per_instance\":{}",
+                num(r.train_secs),
+                num(r.test_secs_per_instance)
+            );
+            if let Some(m) = &r.metrics {
+                let _ = write!(
+                    out,
+                    ",\"accuracy\":{},\"f1\":{},\"earliness\":{},\"harmonic_mean\":{}",
+                    num(m.accuracy),
+                    num(m.f1),
+                    num(m.earliness),
+                    num(m.harmonic_mean)
+                );
+            }
+        }
+        CellOutcome::Failed {
+            error, attempts, ..
+        } => {
+            let _ = write!(out, ",\"attempts\":{attempts},\"error\":\"{}\"", esc(error));
+        }
+        CellOutcome::Panicked { message, .. } => {
+            let _ = write!(out, ",\"message\":\"{}\"", esc(message));
+        }
+    }
+    out.push('}');
+    out
+}
+
+/// Shortest-roundtrip numeric literal: Rust's `Display` for finite
+/// floats reparses to the identical bit pattern; non-finite values have
+/// no JSON literal and become `null`.
+fn num(x: f64) -> String {
+    if x.is_finite() {
+        let mut s = format!("{x}");
+        if !s.contains('.') && !s.contains('e') && !s.contains("inf") {
+            s.push_str(".0");
+        }
+        s
+    } else {
+        "null".to_owned()
+    }
+}
+
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// Parsing (flat objects only: string / number / bool / null values)
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum JsonValue {
+    Str(String),
+    Num(f64),
+    Bool(bool),
+    Null,
+}
+
+impl JsonValue {
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Num(x) => Some(*x),
+            JsonValue::Null => Some(f64::NAN),
+            _ => None,
+        }
+    }
+
+    fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonValue::Num(x) if *x >= 0.0 && x.fract() == 0.0 => Some(*x as u64),
+            _ => None,
+        }
+    }
+}
+
+fn parse_header(line: &str) -> Option<JournalHeader> {
+    let obj = parse_object(line)?;
+    if obj.get("kind")?.as_str()? != "header" || obj.get("version")?.as_u64()? != JOURNAL_VERSION {
+        return None;
+    }
+    Some(JournalHeader {
+        seed: obj.get("seed")?.as_u64()?,
+        folds: obj.get("folds")?.as_u64()? as usize,
+        budget_secs: obj.get("budget_secs")?.as_f64()?,
+        datasets: obj.get("datasets")?.as_u64()? as usize,
+        algos: obj.get("algos")?.as_u64()? as usize,
+    })
+}
+
+fn parse_cell(line: &str) -> Option<CellOutcome> {
+    let obj = parse_object(line)?;
+    if obj.get("kind")?.as_str()? != "cell" {
+        return None;
+    }
+    let algo = AlgoSpec::by_name(obj.get("algo")?.as_str()?)?;
+    let dataset = obj.get("dataset")?.as_str()?.to_owned();
+    match obj.get("status")?.as_str()? {
+        "ok" => Some(CellOutcome::Finished(RunResult {
+            algo,
+            dataset,
+            metrics: Some(Metrics {
+                accuracy: obj.get("accuracy")?.as_f64()?,
+                f1: obj.get("f1")?.as_f64()?,
+                earliness: obj.get("earliness")?.as_f64()?,
+                harmonic_mean: obj.get("harmonic_mean")?.as_f64()?,
+            }),
+            train_secs: obj.get("train_secs")?.as_f64()?,
+            test_secs_per_instance: obj.get("test_secs_per_instance")?.as_f64()?,
+            dnf: false,
+        })),
+        "dnf" => Some(CellOutcome::Finished(RunResult {
+            algo,
+            dataset,
+            metrics: None,
+            train_secs: obj.get("train_secs")?.as_f64()?,
+            test_secs_per_instance: obj.get("test_secs_per_instance")?.as_f64()?,
+            dnf: true,
+        })),
+        "err" => Some(CellOutcome::Failed {
+            algo,
+            dataset,
+            error: obj.get("error")?.as_str()?.to_owned(),
+            attempts: obj.get("attempts")?.as_u64()? as usize,
+        }),
+        "panic" => Some(CellOutcome::Panicked {
+            algo,
+            dataset,
+            message: obj.get("message")?.as_str()?.to_owned(),
+        }),
+        _ => None,
+    }
+}
+
+fn parse_object(line: &str) -> Option<BTreeMap<String, JsonValue>> {
+    let mut chars = line.trim().char_indices().peekable();
+    let text = line.trim();
+    let mut out = BTreeMap::new();
+    if chars.next()?.1 != '{' {
+        return None;
+    }
+    loop {
+        match chars.peek()?.1 {
+            '}' => {
+                chars.next();
+                break;
+            }
+            ',' => {
+                chars.next();
+            }
+            _ => {}
+        }
+        let key = parse_string(text, &mut chars)?;
+        if chars.next()?.1 != ':' {
+            return None;
+        }
+        let value = match chars.peek()?.1 {
+            '"' => JsonValue::Str(parse_string(text, &mut chars)?),
+            't' | 'f' | 'n' => {
+                let word: String = take_while(&mut chars, |c| c.is_ascii_alphabetic());
+                match word.as_str() {
+                    "true" => JsonValue::Bool(true),
+                    "false" => JsonValue::Bool(false),
+                    "null" => JsonValue::Null,
+                    _ => return None,
+                }
+            }
+            _ => {
+                let token: String =
+                    take_while(&mut chars, |c| !matches!(c, ',' | '}' | ' ' | '\t'));
+                JsonValue::Num(token.parse().ok()?)
+            }
+        };
+        out.insert(key, value);
+    }
+    // Anything after the closing brace means this wasn't a flat object.
+    if chars.next().is_some() {
+        return None;
+    }
+    Some(out)
+}
+
+fn take_while(
+    chars: &mut std::iter::Peekable<std::str::CharIndices<'_>>,
+    keep: impl Fn(char) -> bool,
+) -> String {
+    let mut out = String::new();
+    while let Some(&(_, c)) = chars.peek() {
+        if keep(c) {
+            out.push(c);
+            chars.next();
+        } else {
+            break;
+        }
+    }
+    out
+}
+
+fn parse_string(
+    _text: &str,
+    chars: &mut std::iter::Peekable<std::str::CharIndices<'_>>,
+) -> Option<String> {
+    if chars.next()?.1 != '"' {
+        return None;
+    }
+    let mut out = String::new();
+    loop {
+        let (_, c) = chars.next()?;
+        match c {
+            '"' => return Some(out),
+            '\\' => {
+                let (_, e) = chars.next()?;
+                match e {
+                    '"' => out.push('"'),
+                    '\\' => out.push('\\'),
+                    '/' => out.push('/'),
+                    'n' => out.push('\n'),
+                    'r' => out.push('\r'),
+                    't' => out.push('\t'),
+                    'u' => {
+                        let mut code = 0u32;
+                        for _ in 0..4 {
+                            code = code * 16 + chars.next()?.1.to_digit(16)?;
+                        }
+                        out.push(char::from_u32(code)?);
+                    }
+                    _ => return None,
+                }
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("etsc-journal-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    fn sample_cells() -> Vec<CellOutcome> {
+        vec![
+            CellOutcome::Finished(RunResult {
+                algo: AlgoSpec::Ects,
+                dataset: "PowerCons".into(),
+                metrics: Some(Metrics {
+                    accuracy: 0.9125,
+                    f1: 1.0 / 3.0,
+                    earliness: 0.1 + 0.2, // deliberately non-representable
+                    harmonic_mean: 0.666_666_666_666_7,
+                }),
+                train_secs: 0.012_345,
+                test_secs_per_instance: 1.5e-6,
+                dnf: false,
+            }),
+            CellOutcome::Finished(RunResult {
+                algo: AlgoSpec::Edsc,
+                dataset: "HouseTwenty".into(),
+                metrics: None,
+                train_secs: 120.0,
+                test_secs_per_instance: 0.0,
+                dnf: true,
+            }),
+            CellOutcome::Failed {
+                algo: AlgoSpec::Teaser,
+                dataset: "weird \"name\"\twith\nescapes\\".into(),
+                error: "data error: empty fold".into(),
+                attempts: 3,
+            },
+            CellOutcome::Panicked {
+                algo: AlgoSpec::SMini,
+                dataset: "Maritime".into(),
+                message: "index out of bounds: the len is 4".into(),
+            },
+        ]
+    }
+
+    fn header() -> JournalHeader {
+        JournalHeader {
+            seed: 2024,
+            folds: 5,
+            budget_secs: Duration::from_secs(120).as_secs_f64(),
+            datasets: 3,
+            algos: 8,
+        }
+    }
+
+    #[test]
+    fn roundtrip_preserves_every_outcome_exactly() {
+        let path = tmp("roundtrip.jsonl");
+        let mut journal = Journal::create(&path, &header()).unwrap();
+        for cell in &sample_cells() {
+            journal.append(cell).unwrap();
+        }
+        drop(journal);
+        let (found, cells) = read_journal(&path).unwrap();
+        assert_eq!(found, header());
+        assert_eq!(cells.len(), 4);
+        for (a, b) in cells.iter().zip(sample_cells().iter()) {
+            match (a, b) {
+                (CellOutcome::Finished(x), CellOutcome::Finished(y)) => {
+                    assert_eq!(x.algo, y.algo);
+                    assert_eq!(x.dataset, y.dataset);
+                    assert_eq!(x.metrics, y.metrics, "f64 roundtrip must be exact");
+                    assert_eq!(x.train_secs, y.train_secs);
+                    assert_eq!(x.test_secs_per_instance, y.test_secs_per_instance);
+                    assert_eq!(x.dnf, y.dnf);
+                }
+                (a, b) => assert_eq!(format!("{a:?}"), format!("{b:?}")),
+            }
+        }
+    }
+
+    #[test]
+    fn resume_rejects_mismatched_header() {
+        let path = tmp("mismatch.jsonl");
+        Journal::create(&path, &header()).unwrap();
+        let other = JournalHeader {
+            seed: 1,
+            ..header()
+        };
+        let err = Journal::open_resume(&path, &other).unwrap_err();
+        assert!(err.to_string().contains("different run"), "{err}");
+    }
+
+    #[test]
+    fn torn_tail_is_ignored() {
+        let path = tmp("torn.jsonl");
+        let mut journal = Journal::create(&path, &header()).unwrap();
+        for cell in &sample_cells()[..2] {
+            journal.append(cell).unwrap();
+        }
+        drop(journal);
+        // Simulate a kill mid-write: append half a record.
+        use std::io::Write as _;
+        let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+        write!(f, "{{\"kind\":\"cell\",\"status\":\"ok\",\"algo\":\"EC").unwrap();
+        drop(f);
+        let (_, cells) = read_journal(&path).unwrap();
+        assert_eq!(cells.len(), 2);
+    }
+
+    #[test]
+    fn resume_appends_after_existing_cells() {
+        let path = tmp("resume-append.jsonl");
+        let mut journal = Journal::create(&path, &header()).unwrap();
+        journal.append(&sample_cells()[0]).unwrap();
+        drop(journal);
+        let (mut journal, cells) = Journal::open_resume(&path, &header()).unwrap();
+        assert_eq!(cells.len(), 1);
+        journal.append(&sample_cells()[1]).unwrap();
+        drop(journal);
+        let (_, cells) = read_journal(&path).unwrap();
+        assert_eq!(cells.len(), 2);
+    }
+
+    #[test]
+    fn missing_file_and_missing_header_error() {
+        assert!(read_journal(&tmp("does-not-exist.jsonl")).is_err());
+        let path = tmp("empty.jsonl");
+        std::fs::write(&path, "").unwrap();
+        assert!(read_journal(&path).is_err());
+        std::fs::write(&path, "not json\n").unwrap();
+        assert!(read_journal(&path).is_err());
+    }
+
+    #[test]
+    fn numeric_literals_roundtrip_exactly() {
+        for x in [
+            0.1 + 0.2,
+            1.0 / 3.0,
+            f64::MIN_POSITIVE,
+            1e300,
+            -0.0,
+            123456.789,
+        ] {
+            let s = num(x);
+            let y: f64 = s.parse().unwrap();
+            assert_eq!(x.to_bits(), y.to_bits(), "{x} vs {s}");
+        }
+        assert_eq!(num(f64::NAN), "null");
+    }
+}

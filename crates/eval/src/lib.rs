@@ -16,16 +16,25 @@
 //! * [`tuning`] — hyper-parameter grid search over any algorithm (the
 //!   paper's MultiETSC-style future-work item);
 //! * [`moo`] — NSGA-II multi-objective optimisation of the
-//!   accuracy/earliness Pareto front (the paper's MOO-ETSC item).
+//!   accuracy/earliness Pareto front (the paper's MOO-ETSC item);
+//! * [`supervisor`] — fault-tolerant execution of the full
+//!   (dataset × algorithm) matrix: panic isolation, bounded retries,
+//!   and the universal training budget (the paper's 48-hour rule);
+//! * [`journal`] — append-only JSONL checkpointing so an interrupted
+//!   matrix run resumes without recomputing finished cells.
 
 pub mod aggregate;
 pub mod experiment;
+pub mod journal;
 pub mod metrics;
 pub mod moo;
 pub mod online;
 pub mod report;
+pub mod supervisor;
 pub mod tuning;
 
 pub use aggregate::aggregate_by_category;
 pub use experiment::{run_cv, AlgoSpec, RunConfig, RunResult};
+pub use journal::{Journal, JournalHeader};
 pub use metrics::{EvalOutcome, Metrics};
+pub use supervisor::{supervise_matrix, CellOutcome, CellStatus, SupervisorOptions};

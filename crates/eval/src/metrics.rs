@@ -75,6 +75,21 @@ impl Metrics {
             harmonic_mean: harmonic_mean(accuracy, earliness),
         }
     }
+
+    /// Non-panicking [`Metrics::compute`]: returns `None` on an empty
+    /// outcome set or an out-of-range label instead of aborting the
+    /// cell — for callers (like the run supervisor) that must degrade a
+    /// bad cell into a reportable failure rather than a panic.
+    pub fn try_compute(outcomes: &[EvalOutcome], n_classes: usize) -> Option<Metrics> {
+        if outcomes.is_empty()
+            || outcomes
+                .iter()
+                .any(|o| o.truth >= n_classes || o.predicted >= n_classes)
+        {
+            return None;
+        }
+        Some(Metrics::compute(outcomes, n_classes))
+    }
 }
 
 /// Macro-averaged F1 from a confusion matrix
@@ -137,6 +152,18 @@ mod tests {
         assert_eq!(m.f1, 1.0);
         assert_eq!(m.earliness, 0.5);
         assert!((m.harmonic_mean - 2.0 * 0.5 / 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn try_compute_rejects_empty_and_out_of_range() {
+        assert_eq!(Metrics::try_compute(&[], 2), None);
+        assert_eq!(Metrics::try_compute(&[o(0, 5, 1, 2)], 2), None);
+        assert_eq!(Metrics::try_compute(&[o(3, 0, 1, 2)], 2), None);
+        let outcomes = vec![o(0, 0, 5, 10), o(1, 1, 5, 10)];
+        assert_eq!(
+            Metrics::try_compute(&outcomes, 2),
+            Some(Metrics::compute(&outcomes, 2))
+        );
     }
 
     #[test]

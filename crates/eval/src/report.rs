@@ -13,6 +13,7 @@ use etsc_data::stats::Category;
 use crate::aggregate::CategoryScore;
 use crate::experiment::AlgoSpec;
 use crate::online::OnlineCell;
+use crate::supervisor::{CellOutcome, CellStatus};
 
 /// Which figure quantity to extract from a [`CategoryScore`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -139,6 +140,70 @@ pub fn render_online_heatmap(cells: &[OnlineCell], datasets: &[String]) -> Strin
     out
 }
 
+/// Renders the supervised-matrix status table: datasets as rows,
+/// algorithms as columns, each cell one of `OK`/`DNF`/`ERR`/`PANIC`
+/// (`--` for cells with no outcome). The paper reports DNF cells
+/// inline with results; `ERR`/`PANIC` are the supervisor's extension
+/// for cells that failed rather than timed out.
+pub fn render_matrix_status(outcomes: &[CellOutcome], datasets: &[String]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("{:<24}", "Status"));
+    for algo in AlgoSpec::ALL {
+        out.push_str(&format!("{:>10}", algo.name()));
+    }
+    out.push('\n');
+    for ds in datasets {
+        out.push_str(&format!("{ds:<24}"));
+        for algo in AlgoSpec::ALL {
+            let cell = outcomes
+                .iter()
+                .find(|c| c.algo() == algo && c.dataset() == ds);
+            match cell {
+                Some(c) => out.push_str(&format!("{:>10}", c.status().label())),
+                None => out.push_str(&format!("{:>10}", "--")),
+            }
+        }
+        out.push('\n');
+    }
+    let (mut ok, mut dnf, mut err, mut panic) = (0usize, 0usize, 0usize, 0usize);
+    for c in outcomes {
+        match c.status() {
+            CellStatus::Ok => ok += 1,
+            CellStatus::Dnf => dnf += 1,
+            CellStatus::Err => err += 1,
+            CellStatus::Panic => panic += 1,
+        }
+    }
+    out.push_str(&format!(
+        "{} OK, {dnf} DNF, {err} ERR, {panic} PANIC of {} cells\n",
+        ok,
+        outcomes.len()
+    ));
+    out
+}
+
+/// CSV version of [`render_matrix_status`]
+/// (`dataset,algorithm,status,detail` — detail is the error or panic
+/// message for failed cells, empty otherwise).
+pub fn matrix_status_csv(outcomes: &[CellOutcome]) -> String {
+    let mut out = String::from("dataset,algorithm,status,detail\n");
+    for c in outcomes {
+        let detail = match c {
+            CellOutcome::Finished(_) => String::new(),
+            CellOutcome::Failed { error, .. } => error.clone(),
+            CellOutcome::Panicked { message, .. } => message.clone(),
+        };
+        out.push_str(&format!(
+            "{},{},{},{}\n",
+            c.dataset(),
+            c.algo().name(),
+            c.status().label(),
+            detail.replace([',', '\n'], ";")
+        ));
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -208,6 +273,57 @@ mod tests {
         );
         assert!(csv.contains("Wide,ECTS,0.750000,3,0"));
         assert!(csv.contains("Wide,EDSC,,0,2"));
+    }
+
+    #[test]
+    fn status_table_and_csv_render_all_four_states() {
+        use crate::experiment::RunResult;
+        let outcomes = vec![
+            CellOutcome::Finished(RunResult {
+                algo: AlgoSpec::Ects,
+                dataset: "D1".into(),
+                metrics: Some(Metrics {
+                    accuracy: 0.9,
+                    f1: 0.9,
+                    earliness: 0.3,
+                    harmonic_mean: 0.78,
+                }),
+                train_secs: 1.0,
+                test_secs_per_instance: 0.001,
+                dnf: false,
+            }),
+            CellOutcome::Finished(RunResult {
+                algo: AlgoSpec::Edsc,
+                dataset: "D1".into(),
+                metrics: None,
+                train_secs: 120.0,
+                test_secs_per_instance: 0.0,
+                dnf: true,
+            }),
+            CellOutcome::Failed {
+                algo: AlgoSpec::Teaser,
+                dataset: "D1".into(),
+                error: "data error, with a comma".into(),
+                attempts: 2,
+            },
+            CellOutcome::Panicked {
+                algo: AlgoSpec::SMini,
+                dataset: "D1".into(),
+                message: "boom".into(),
+            },
+        ];
+        let text = render_matrix_status(&outcomes, &["D1".to_owned()]);
+        for label in ["OK", "DNF", "ERR", "PANIC"] {
+            assert!(text.contains(label), "missing {label} in:\n{text}");
+        }
+        assert!(text.contains("1 OK, 1 DNF, 1 ERR, 1 PANIC of 4 cells"));
+        let csv = matrix_status_csv(&outcomes);
+        assert_eq!(
+            csv.lines().next().unwrap(),
+            "dataset,algorithm,status,detail"
+        );
+        assert!(csv.contains("D1,TEASER,ERR,data error; with a comma"));
+        assert!(csv.contains("D1,S-MINI,PANIC,boom"));
     }
 
     #[test]

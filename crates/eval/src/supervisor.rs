@@ -1,0 +1,634 @@
+//! Fault-tolerant supervisor for the (dataset × algorithm) evaluation
+//! matrix.
+//!
+//! The paper's evaluation runs every algorithm on every dataset under a
+//! 48-hour training budget, and reports the cells that did not finish
+//! instead of abandoning the sweep. This module brings the same
+//! robustness to the reproduction: each cell runs isolated behind
+//! [`std::panic::catch_unwind`], transient errors are retried a bounded
+//! number of times, and — optionally — every completed cell is
+//! checkpointed to an append-only [`crate::journal`] so a killed run
+//! resumes without recomputing finished work.
+//!
+//! One misbehaving (algorithm, dataset) pair can therefore no longer
+//! abort the whole matrix: it becomes a `PANIC`/`ERR`/`DNF` cell in the
+//! report while every other cell completes.
+
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use etsc_core::{panic_message, EtscError};
+use etsc_data::Dataset;
+
+use crate::experiment::{run_cv, AlgoSpec, RunConfig, RunResult};
+use crate::journal::{Journal, JournalHeader};
+
+/// Terminal state of one evaluation-matrix cell.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CellOutcome {
+    /// The cell ran to completion — either with metrics, or as a DNF
+    /// under the training budget (`RunResult::dnf`).
+    Finished(RunResult),
+    /// Every attempt returned an error; the last error is preserved as
+    /// text so outcomes stay comparable and journal-serializable.
+    Failed {
+        /// Algorithm of the cell.
+        algo: AlgoSpec,
+        /// Dataset of the cell.
+        dataset: String,
+        /// Display rendering of the final error.
+        error: String,
+        /// Number of attempts made (1 + retries used).
+        attempts: usize,
+    },
+    /// The cell panicked; the payload is captured and the rest of the
+    /// matrix keeps running.
+    Panicked {
+        /// Algorithm of the cell.
+        algo: AlgoSpec,
+        /// Dataset of the cell.
+        dataset: String,
+        /// Panic payload rendered as text.
+        message: String,
+    },
+}
+
+/// Four-way status used by reports and the journal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CellStatus {
+    /// Finished with metrics.
+    Ok,
+    /// Did not finish within the training budget.
+    Dnf,
+    /// Failed with an error after exhausting retries.
+    Err,
+    /// Panicked.
+    Panic,
+}
+
+impl CellStatus {
+    /// Fixed-width uppercase label for tables: `OK`, `DNF`, `ERR`,
+    /// `PANIC`.
+    pub fn label(self) -> &'static str {
+        match self {
+            CellStatus::Ok => "OK",
+            CellStatus::Dnf => "DNF",
+            CellStatus::Err => "ERR",
+            CellStatus::Panic => "PANIC",
+        }
+    }
+}
+
+impl CellOutcome {
+    /// Algorithm of the cell.
+    pub fn algo(&self) -> AlgoSpec {
+        match self {
+            CellOutcome::Finished(r) => r.algo,
+            CellOutcome::Failed { algo, .. } | CellOutcome::Panicked { algo, .. } => *algo,
+        }
+    }
+
+    /// Dataset name of the cell.
+    pub fn dataset(&self) -> &str {
+        match self {
+            CellOutcome::Finished(r) => &r.dataset,
+            CellOutcome::Failed { dataset, .. } | CellOutcome::Panicked { dataset, .. } => dataset,
+        }
+    }
+
+    /// Status of the cell (`Finished` splits into `Ok`/`Dnf`).
+    pub fn status(&self) -> CellStatus {
+        match self {
+            CellOutcome::Finished(r) if r.dnf => CellStatus::Dnf,
+            CellOutcome::Finished(_) => CellStatus::Ok,
+            CellOutcome::Failed { .. } => CellStatus::Err,
+            CellOutcome::Panicked { .. } => CellStatus::Panic,
+        }
+    }
+
+    /// The completed run, when the cell finished.
+    pub fn run_result(&self) -> Option<&RunResult> {
+        match self {
+            CellOutcome::Finished(r) => Some(r),
+            _ => None,
+        }
+    }
+}
+
+/// Knobs for [`supervise_matrix`].
+#[derive(Debug, Clone)]
+pub struct SupervisorOptions {
+    /// Worker threads for the matrix (≥ 1).
+    pub max_threads: usize,
+    /// Extra attempts after a transient error (data/model errors are
+    /// retried; panics and configuration errors are not).
+    pub retries: usize,
+    /// Checkpoint journal path; `None` disables journaling.
+    pub journal: Option<PathBuf>,
+    /// Resume from an existing journal instead of truncating it. Cells
+    /// already recorded are not recomputed.
+    pub resume: bool,
+}
+
+impl Default for SupervisorOptions {
+    fn default() -> SupervisorOptions {
+        SupervisorOptions {
+            max_threads: 4,
+            retries: 0,
+            journal: None,
+            resume: false,
+        }
+    }
+}
+
+/// `true` for error classes worth retrying: data- and model-layer
+/// failures can be transient (e.g. a degenerate resample), while
+/// configuration errors and budget DNFs are deterministic.
+fn transient(error: &EtscError) -> bool {
+    matches!(error, EtscError::Data(_) | EtscError::Ml(_))
+}
+
+/// Runs the full (dataset × algorithm) matrix under supervision and
+/// returns one [`CellOutcome`] per cell in row-major order (datasets
+/// outer, algorithms inner) — the same order
+/// `run_matrix_parallel` used, so downstream aggregation is unchanged.
+///
+/// # Errors
+/// Only infrastructure failures (journal I/O, header mismatch on
+/// resume, a panic escaping the worker pool itself). Per-cell failures
+/// — including panics — are *outcomes*, not errors.
+pub fn supervise_matrix(
+    datasets: &[Dataset],
+    algos: &[AlgoSpec],
+    config: &RunConfig,
+    options: &SupervisorOptions,
+) -> Result<Vec<CellOutcome>, EtscError> {
+    supervise_matrix_with(datasets, algos, config, options, |algo, dataset, config| {
+        run_cv(algo, dataset, config)
+    })
+}
+
+/// [`supervise_matrix`] with an injectable cell runner, used by tests
+/// to exercise panic isolation and retry behaviour without building a
+/// misbehaving classifier.
+///
+/// # Errors
+/// See [`supervise_matrix`].
+pub fn supervise_matrix_with<F>(
+    datasets: &[Dataset],
+    algos: &[AlgoSpec],
+    config: &RunConfig,
+    options: &SupervisorOptions,
+    run: F,
+) -> Result<Vec<CellOutcome>, EtscError>
+where
+    F: Fn(AlgoSpec, &Dataset, &RunConfig) -> Result<RunResult, EtscError> + Sync,
+{
+    let cells: Vec<(usize, usize)> = (0..datasets.len())
+        .flat_map(|d| (0..algos.len()).map(move |a| (d, a)))
+        .collect();
+
+    // Journal setup: on resume, previously recorded cells prefill their
+    // slots and are skipped by the workers.
+    let header = JournalHeader::for_run(config, datasets.len(), algos.len());
+    let mut slots: Vec<Mutex<Option<CellOutcome>>> =
+        cells.iter().map(|_| Mutex::new(None)).collect();
+    let journal = match (&options.journal, options.resume) {
+        (Some(path), true) if path.exists() => {
+            let (journal, recorded) = Journal::open_resume(path, &header)?;
+            let mut by_key: HashMap<(String, AlgoSpec), CellOutcome> = recorded
+                .into_iter()
+                .map(|c| ((c.dataset().to_owned(), c.algo()), c))
+                .collect();
+            for (slot, &(d, a)) in slots.iter_mut().zip(&cells) {
+                let key = (datasets[d].name().to_owned(), algos[a]);
+                if let Some(cell) = by_key.remove(&key) {
+                    *slot
+                        .get_mut()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(cell);
+                }
+            }
+            Some(journal)
+        }
+        (Some(path), _) => Some(Journal::create(path, &header)?),
+        (None, _) => None,
+    };
+    let journal = Mutex::new(journal);
+    let journal_error: Mutex<Option<EtscError>> = Mutex::new(None);
+
+    // Only cells without a prefilled (resumed) outcome are scheduled.
+    let pending: Vec<usize> = slots
+        .iter()
+        .enumerate()
+        .filter(|(_, slot)| {
+            slot.lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .is_none()
+        })
+        .map(|(i, _)| i)
+        .collect();
+
+    let next = AtomicUsize::new(0);
+    let threads = options.max_threads.max(1).min(pending.len().max(1));
+    let scope_result = crossbeam::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| loop {
+                let job = next.fetch_add(1, Ordering::Relaxed);
+                let Some(&cell_idx) = pending.get(job) else {
+                    break;
+                };
+                let (d, a) = cells[cell_idx];
+                let outcome =
+                    run_supervised_cell(algos[a], &datasets[d], config, options.retries, &run);
+                if let Some(journal) = journal
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .as_mut()
+                {
+                    if let Err(e) = journal.append(&outcome) {
+                        journal_error
+                            .lock()
+                            .unwrap_or_else(std::sync::PoisonError::into_inner)
+                            .get_or_insert(e);
+                    }
+                }
+                *slots[cell_idx]
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(outcome);
+            });
+        }
+    });
+    if let Err(payload) = scope_result {
+        return Err(EtscError::from_panic(payload.as_ref()));
+    }
+    if let Some(e) = journal_error
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .take()
+    {
+        return Err(e);
+    }
+
+    Ok(slots
+        .into_iter()
+        .zip(cells)
+        .map(|(slot, (d, a))| {
+            slot.into_inner()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .unwrap_or_else(|| CellOutcome::Failed {
+                    algo: algos[a],
+                    dataset: datasets[d].name().to_owned(),
+                    error: "cell was never executed".to_owned(),
+                    attempts: 0,
+                })
+        })
+        .collect())
+}
+
+/// Runs one cell with panic isolation and bounded retries.
+fn run_supervised_cell<F>(
+    algo: AlgoSpec,
+    dataset: &Dataset,
+    config: &RunConfig,
+    retries: usize,
+    run: &F,
+) -> CellOutcome
+where
+    F: Fn(AlgoSpec, &Dataset, &RunConfig) -> Result<RunResult, EtscError> + Sync,
+{
+    let mut attempts = 0;
+    loop {
+        attempts += 1;
+        match catch_unwind(AssertUnwindSafe(|| run(algo, dataset, config))) {
+            Ok(Ok(result)) => return CellOutcome::Finished(result),
+            Ok(Err(error)) => {
+                if transient(&error) && attempts <= retries {
+                    continue;
+                }
+                return CellOutcome::Failed {
+                    algo,
+                    dataset: dataset.name().to_owned(),
+                    error: error.to_string(),
+                    attempts,
+                };
+            }
+            // Panics are never retried: a panic signals a bug, not a
+            // transient condition, and retrying would re-trip it.
+            Err(payload) => {
+                return CellOutcome::Panicked {
+                    algo,
+                    dataset: dataset.name().to_owned(),
+                    message: panic_message(payload.as_ref()),
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    use etsc_datasets::{GenOptions, PaperDataset};
+
+    fn small_datasets() -> Vec<Dataset> {
+        [PaperDataset::PowerCons, PaperDataset::DodgerLoopGame]
+            .iter()
+            .map(|d| {
+                d.generate(GenOptions {
+                    height_scale: 0.1,
+                    length_scale: 0.15,
+                    seed: 5,
+                })
+            })
+            .collect()
+    }
+
+    fn passthrough_result(algo: AlgoSpec, dataset: &Dataset) -> RunResult {
+        RunResult {
+            algo,
+            dataset: dataset.name().to_owned(),
+            metrics: None,
+            train_secs: 0.0,
+            test_secs_per_instance: 0.0,
+            dnf: true,
+        }
+    }
+
+    #[test]
+    fn panicking_cell_is_isolated_while_others_complete() {
+        let datasets = small_datasets();
+        let algos = [AlgoSpec::Ects, AlgoSpec::EcoK];
+        let config = RunConfig::fast();
+        let options = SupervisorOptions::default();
+        let outcomes =
+            supervise_matrix_with(&datasets, &algos, &config, &options, |algo, dataset, _| {
+                if algo == AlgoSpec::EcoK && dataset.name().contains("DodgerLoopGame") {
+                    panic!("injected cell failure");
+                }
+                Ok(passthrough_result(algo, dataset))
+            })
+            .unwrap();
+        assert_eq!(outcomes.len(), 4);
+        let panicked: Vec<_> = outcomes
+            .iter()
+            .filter(|c| c.status() == CellStatus::Panic)
+            .collect();
+        assert_eq!(panicked.len(), 1);
+        assert_eq!(panicked[0].algo(), AlgoSpec::EcoK);
+        match panicked[0] {
+            CellOutcome::Panicked { message, .. } => {
+                assert_eq!(message, "injected cell failure");
+            }
+            other => panic!("unexpected outcome {other:?}"),
+        }
+        assert_eq!(
+            outcomes
+                .iter()
+                .filter(|c| c.status() == CellStatus::Dnf)
+                .count(),
+            3,
+            "the three healthy cells must all complete"
+        );
+    }
+
+    #[test]
+    fn transient_errors_are_retried_then_succeed() {
+        let datasets = small_datasets()[..1].to_vec();
+        let algos = [AlgoSpec::Ects];
+        let config = RunConfig::fast();
+        let options = SupervisorOptions {
+            max_threads: 1,
+            retries: 2,
+            ..SupervisorOptions::default()
+        };
+        let calls = AtomicUsize::new(0);
+        let outcomes =
+            supervise_matrix_with(&datasets, &algos, &config, &options, |algo, dataset, _| {
+                if calls.fetch_add(1, Ordering::SeqCst) < 2 {
+                    return Err(EtscError::Data(etsc_data::DataError::Empty(
+                        "transient resample failure",
+                    )));
+                }
+                Ok(passthrough_result(algo, dataset))
+            })
+            .unwrap();
+        assert_eq!(calls.load(Ordering::SeqCst), 3);
+        assert_eq!(outcomes[0].status(), CellStatus::Dnf);
+    }
+
+    #[test]
+    fn retry_exhaustion_reports_attempts_and_last_error() {
+        let datasets = small_datasets()[..1].to_vec();
+        let algos = [AlgoSpec::Ects];
+        let config = RunConfig::fast();
+        let options = SupervisorOptions {
+            max_threads: 1,
+            retries: 2,
+            ..SupervisorOptions::default()
+        };
+        let calls = AtomicUsize::new(0);
+        let outcomes = supervise_matrix_with(&datasets, &algos, &config, &options, |_, _, _| {
+            calls.fetch_add(1, Ordering::SeqCst);
+            Err(EtscError::Data(etsc_data::DataError::Empty(
+                "always failing",
+            )))
+        })
+        .unwrap();
+        assert_eq!(calls.load(Ordering::SeqCst), 3, "1 attempt + 2 retries");
+        match &outcomes[0] {
+            CellOutcome::Failed {
+                attempts, error, ..
+            } => {
+                assert_eq!(*attempts, 3);
+                assert!(error.contains("always failing"), "{error}");
+            }
+            other => panic!("unexpected outcome {other:?}"),
+        }
+    }
+
+    #[test]
+    fn non_transient_errors_are_not_retried() {
+        let datasets = small_datasets()[..1].to_vec();
+        let algos = [AlgoSpec::Ects];
+        let config = RunConfig::fast();
+        let options = SupervisorOptions {
+            max_threads: 1,
+            retries: 5,
+            ..SupervisorOptions::default()
+        };
+        let calls = AtomicUsize::new(0);
+        let outcomes = supervise_matrix_with(&datasets, &algos, &config, &options, |_, _, _| {
+            calls.fetch_add(1, Ordering::SeqCst);
+            Err(EtscError::Config("bad knob".to_owned()))
+        })
+        .unwrap();
+        assert_eq!(calls.load(Ordering::SeqCst), 1, "config errors never retry");
+        assert_eq!(outcomes[0].status(), CellStatus::Err);
+    }
+
+    fn deterministic_runner(
+        calls: &AtomicUsize,
+    ) -> impl Fn(AlgoSpec, &Dataset, &RunConfig) -> Result<RunResult, EtscError> + Sync + '_ {
+        |algo, dataset, _| {
+            calls.fetch_add(1, Ordering::SeqCst);
+            // Deterministic pseudo-metrics derived from the cell identity.
+            let h = dataset.name().len() as f64 + algo as usize as f64;
+            if algo == AlgoSpec::Edsc {
+                return Err(EtscError::Config("always fails".to_owned()));
+            }
+            if algo == AlgoSpec::Teaser {
+                panic!("always panics");
+            }
+            Ok(RunResult {
+                algo,
+                dataset: dataset.name().to_owned(),
+                metrics: Some(crate::metrics::Metrics {
+                    accuracy: h / 100.0,
+                    f1: h / 120.0,
+                    earliness: 0.5,
+                    harmonic_mean: h / 150.0,
+                }),
+                train_secs: 0.001,
+                test_secs_per_instance: 0.0001,
+                dnf: false,
+            })
+        }
+    }
+
+    #[test]
+    fn journaled_run_resumes_without_recomputing_and_matches_cell_for_cell() {
+        let dir = std::env::temp_dir().join("etsc-supervisor-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("kill-and-resume.jsonl");
+        let datasets = small_datasets();
+        let algos = [
+            AlgoSpec::Ects,
+            AlgoSpec::Edsc,
+            AlgoSpec::Teaser,
+            AlgoSpec::EcoK,
+        ];
+        let config = RunConfig::fast();
+        let options = SupervisorOptions {
+            max_threads: 2,
+            journal: Some(path.clone()),
+            ..SupervisorOptions::default()
+        };
+
+        // Full reference run, journaled.
+        let calls = AtomicUsize::new(0);
+        let full = supervise_matrix_with(
+            &datasets,
+            &algos,
+            &config,
+            &options,
+            deterministic_runner(&calls),
+        )
+        .unwrap();
+        assert_eq!(full.len(), 8);
+        assert_eq!(calls.load(Ordering::SeqCst), 8);
+
+        // Simulate a kill after three completed cells: truncate the
+        // journal to the header plus its first three lines.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let keep: Vec<&str> = text.lines().take(4).collect();
+        std::fs::write(&path, format!("{}\n", keep.join("\n"))).unwrap();
+
+        // Resume: only the five missing cells are recomputed, and the
+        // outcome matrix is cell-for-cell identical to the full run.
+        let resume_options = SupervisorOptions {
+            resume: true,
+            ..options
+        };
+        let recomputed = AtomicUsize::new(0);
+        let resumed = supervise_matrix_with(
+            &datasets,
+            &algos,
+            &config,
+            &resume_options,
+            deterministic_runner(&recomputed),
+        )
+        .unwrap();
+        assert_eq!(recomputed.load(Ordering::SeqCst), 5);
+        assert_eq!(resumed, full, "resume must be cell-for-cell identical");
+
+        // The journal now holds the complete matrix: a second resume
+        // recomputes nothing.
+        let third = AtomicUsize::new(0);
+        let again = supervise_matrix_with(
+            &datasets,
+            &algos,
+            &config,
+            &resume_options,
+            deterministic_runner(&third),
+        )
+        .unwrap();
+        assert_eq!(third.load(Ordering::SeqCst), 0);
+        assert_eq!(again, full);
+    }
+
+    #[test]
+    fn resume_with_changed_config_is_rejected() {
+        let dir = std::env::temp_dir().join("etsc-supervisor-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("config-mismatch.jsonl");
+        let datasets = small_datasets()[..1].to_vec();
+        let algos = [AlgoSpec::Ects];
+        let config = RunConfig::fast();
+        let options = SupervisorOptions {
+            max_threads: 1,
+            journal: Some(path.clone()),
+            ..SupervisorOptions::default()
+        };
+        let calls = AtomicUsize::new(0);
+        supervise_matrix_with(
+            &datasets,
+            &algos,
+            &config,
+            &options,
+            deterministic_runner(&calls),
+        )
+        .unwrap();
+        let other = RunConfig {
+            seed: config.seed + 1,
+            ..config
+        };
+        let err = supervise_matrix_with(
+            &datasets,
+            &algos,
+            &other,
+            &SupervisorOptions {
+                resume: true,
+                ..options
+            },
+            deterministic_runner(&calls),
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("different run"), "{err}");
+    }
+
+    #[test]
+    fn statuses_and_labels() {
+        let ok = CellOutcome::Finished(RunResult {
+            algo: AlgoSpec::Ects,
+            dataset: "d".into(),
+            metrics: Some(crate::metrics::Metrics {
+                accuracy: 1.0,
+                f1: 1.0,
+                earliness: 0.5,
+                harmonic_mean: 0.6,
+            }),
+            train_secs: 0.0,
+            test_secs_per_instance: 0.0,
+            dnf: false,
+        });
+        assert_eq!(ok.status(), CellStatus::Ok);
+        assert!(ok.run_result().is_some());
+        assert_eq!(CellStatus::Panic.label(), "PANIC");
+        assert_eq!(CellStatus::Dnf.label(), "DNF");
+    }
+}

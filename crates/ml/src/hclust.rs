@@ -68,16 +68,21 @@ pub fn average_linkage(dist: &[Vec<f64>], n: usize) -> Result<Dendrogram, MlErro
     let mut merges = Vec::with_capacity(n.saturating_sub(1));
     let mut next_id = n;
     while active.len() > 1 {
-        // Find the closest active pair.
-        let mut best = (0usize, 0usize, f64::INFINITY);
+        // Find the closest active pair. NaN distances (NaN/Inf inputs)
+        // rank worst instead of poisoning the comparison — without the
+        // fallback no pair is ever selected and the cluster ids run out
+        // of bounds.
+        let mut best: Option<(usize, usize, f64)> = None;
         for (ai, &ca) in active.iter().enumerate() {
             for &cb in &active[ai + 1..] {
-                if d[ca][cb] < best.2 {
-                    best = (ca, cb, d[ca][cb]);
+                let dv = d[ca][cb];
+                let dv = if dv.is_nan() { f64::INFINITY } else { dv };
+                if best.is_none_or(|(_, _, bd)| dv < bd) {
+                    best = Some((ca, cb, dv));
                 }
             }
         }
-        let (a, b, dab) = best;
+        let (a, b, dab) = best.expect("two active clusters imply a pair");
         let na = members[a].len() as f64;
         let nb = members[b].len() as f64;
         // Lance–Williams for average linkage:
@@ -179,6 +184,22 @@ mod tests {
         let dendro = average_linkage(&d, 3).unwrap();
         assert_eq!((dendro.merges[0].a, dendro.merges[0].b), (0, 1));
         assert!((dendro.merges[1].distance - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nan_distances_still_produce_a_full_dendrogram() {
+        // A NaN row used to stall pair selection and push cluster ids
+        // past the matrix bounds.
+        let d = vec![
+            vec![0.0, 1.0, f64::NAN],
+            vec![1.0, 0.0, f64::NAN],
+            vec![f64::NAN, f64::NAN, 0.0],
+        ];
+        let dendro = average_linkage(&d, 3).unwrap();
+        assert_eq!(dendro.merges.len(), 2);
+        // The clean pair merges first; the NaN row joins last.
+        assert_eq!((dendro.merges[0].a, dendro.merges[0].b), (0, 1));
+        assert_eq!(dendro.members[dendro.merges[1].into].len(), 3);
     }
 
     #[test]

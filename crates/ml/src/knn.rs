@@ -67,9 +67,13 @@ impl PrefixNnTable {
                     } else {
                         acc[j * n + i]
                     };
+                    // NaN distances (NaN/Inf in the input) rank worst
+                    // instead of poisoning every comparison and leaving
+                    // `best` unset.
+                    let d = if d.is_nan() { f64::INFINITY } else { d };
                     // Strict < keeps the lowest index on ties, matching the
                     // deterministic tie-break used throughout the framework.
-                    if d < best_d {
+                    if best == usize::MAX || d < best_d {
                         best_d = d;
                         best = j;
                     }
@@ -224,6 +228,28 @@ mod tests {
         let d = vec![1.0];
         let refs: Vec<&[f64]> = vec![&c, &d];
         assert!(PrefixNnTable::build(&refs).is_err());
+    }
+
+    #[test]
+    fn nan_series_rank_worst_instead_of_breaking_the_table() {
+        // A NaN anywhere used to leave `best` unset (every comparison
+        // false), making rnn_sets index out of bounds.
+        let a = vec![0.0, 1.0, 2.0];
+        let b = vec![0.1, 1.1, 2.1];
+        let c = vec![0.0, f64::NAN, 2.0];
+        let refs: Vec<&[f64]> = vec![&a, &b, &c];
+        let table = PrefixNnTable::build(&refs).unwrap();
+        for l in 1..=3 {
+            for i in 0..3 {
+                assert!(table.nn(l, i) < 3, "nn must be a valid index");
+            }
+            let rnn = table.rnn_sets(l);
+            assert_eq!(rnn.iter().map(Vec::len).sum::<usize>(), 3);
+        }
+        // The clean pair prefers each other once the NaN taints c's
+        // distances (from t=2 on, c's accumulated distance is NaN).
+        assert_eq!(table.nn(3, 0), 1);
+        assert_eq!(table.nn(3, 1), 0);
     }
 
     #[test]

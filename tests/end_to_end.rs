@@ -96,7 +96,7 @@ fn teaser_on_share_price() {
     let data = PaperDataset::SharePriceIncrease.generate(GenOptions {
         height_scale: (160.0 / spec.height as f64).min(1.0),
         length_scale: (60.0 / spec.length as f64).min(1.0),
-        seed: 5,
+        seed: 8,
     });
     let mut clf = Teaser::new(TeaserConfig {
         s_prefixes: 6,

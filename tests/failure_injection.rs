@@ -1,33 +1,37 @@
 //! Failure injection: malformed and adversarial inputs must produce
-//! errors (or graceful degradation), never panics.
+//! errors (or graceful degradation), never panics — across all eight
+//! evaluated algorithms, including the STRUT variants.
 
-use etsc::core::{
-    EarlyClassifier, Ecec, EcecConfig, Ects, EctsConfig, Edsc, EdscConfig, Teaser, TeaserConfig,
-};
+use etsc::core::{EarlyClassifier, Ecec, EcecConfig, Ects, EctsConfig};
 use etsc::data::{Dataset, DatasetBuilder, MultiSeries, Series};
+use etsc::eval::experiment::{AlgoSpec, RunConfig};
 
-fn trained_algorithms(data: &Dataset) -> Vec<Box<dyn EarlyClassifier>> {
-    let mut algos: Vec<Box<dyn EarlyClassifier>> = vec![
-        Box::new(Ects::new(EctsConfig { support: 0 })),
-        Box::new(Edsc::new(EdscConfig {
-            max_candidates: 200,
-            ..EdscConfig::default()
-        })),
-        Box::new(Ecec::new(EcecConfig {
-            n_prefixes: 4,
-            cv_folds: 2,
-            ..EcecConfig::default()
-        })),
-        Box::new(Teaser::new(TeaserConfig {
-            s_prefixes: 4,
-            v_max: 2,
-            ..TeaserConfig::default()
-        })),
-    ];
-    for a in &mut algos {
-        a.fit(data).expect("clean training data fits");
+/// A run configuration trimmed far below `fast()` so fitting all eight
+/// algorithms on the toy dataset stays test-suite cheap.
+fn test_config() -> RunConfig {
+    RunConfig {
+        logistic_epochs: 20,
+        weasel_features: 32,
+        weasel_windows: 2,
+        mlstm_epochs: 2,
+        edsc_candidates: 100,
+        ..RunConfig::fast()
     }
-    algos
+}
+
+/// Every evaluated algorithm (all eight `AlgoSpec`s, so the STRUT
+/// variants are exercised too), fitted on `data`.
+fn trained_algorithms(data: &Dataset) -> Vec<Box<dyn EarlyClassifier>> {
+    let config = test_config();
+    AlgoSpec::ALL
+        .into_iter()
+        .map(|spec| {
+            let mut clf = spec.build(data, &config);
+            clf.fit(data)
+                .unwrap_or_else(|e| panic!("{} fails on clean training data: {e}", spec.name()));
+            clf
+        })
+        .collect()
 }
 
 fn toy() -> Dataset {
@@ -151,5 +155,64 @@ fn nan_in_test_instance_degrades_gracefully() {
             clf.predict_early(&MultiSeries::univariate(Series::new(dirty.clone())))
         }));
         assert!(result.is_ok(), "{} panicked on NaN input", clf.name());
+    }
+}
+
+#[test]
+fn infinities_in_test_instance_degrade_gracefully() {
+    let data = toy();
+    let mut dirty = vec![0.3; 20];
+    dirty[3] = f64::INFINITY;
+    dirty[11] = f64::NEG_INFINITY;
+    for clf in trained_algorithms(&data) {
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            clf.predict_early(&MultiSeries::univariate(Series::new(dirty.clone())))
+        }));
+        assert!(result.is_ok(), "{} panicked on Inf input", clf.name());
+    }
+}
+
+#[test]
+fn empty_test_instance_errors_instead_of_panicking() {
+    // A zero-length variable can reach predict when an upstream reader
+    // emits a truncated record; it must surface as an error (or a
+    // degraded prediction), never a panic.
+    let data = toy();
+    let empty = MultiSeries::univariate(Series::new(vec![]));
+    for clf in trained_algorithms(&data) {
+        let result =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| clf.predict_early(&empty)));
+        assert!(result.is_ok(), "{} panicked on empty input", clf.name());
+    }
+}
+
+#[test]
+fn nan_in_training_data_never_panics() {
+    // Training on dirty data may legitimately fail — but with an error,
+    // not an abort.
+    let mut b = DatasetBuilder::new("dirty-train");
+    for i in 0..10 {
+        let phase = i as f64 * 0.3;
+        let mut slow: Vec<f64> = (0..20).map(|t| ((t as f64 * 0.3) + phase).sin()).collect();
+        let mut fast: Vec<f64> = (0..20).map(|t| ((t as f64 * 1.6) + phase).sin()).collect();
+        if i == 4 {
+            slow[9] = f64::NAN;
+            fast[2] = f64::INFINITY;
+        }
+        b.push_named(MultiSeries::univariate(Series::new(slow)), "slow");
+        b.push_named(MultiSeries::univariate(Series::new(fast)), "fast");
+    }
+    let data = b.build().unwrap();
+    let config = test_config();
+    for spec in AlgoSpec::ALL {
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut clf = spec.build(&data, &config);
+            clf.fit(&data)
+        }));
+        assert!(
+            result.is_ok(),
+            "{} panicked while training on NaN/Inf data",
+            spec.name()
+        );
     }
 }

@@ -1,0 +1,143 @@
+//! End-to-end robustness of the experiment supervisor: a deliberately
+//! panicking classifier must become a `PANIC` cell while every other
+//! cell of the matrix completes, and a journaled run killed part-way
+//! must resume to a cell-for-cell identical result.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use etsc::data::Dataset;
+use etsc::datasets::{GenOptions, PaperDataset};
+use etsc::eval::experiment::{run_cv, AlgoSpec, RunConfig, RunResult};
+use etsc::eval::report::render_matrix_status;
+use etsc::eval::supervisor::{supervise_matrix_with, CellOutcome, CellStatus, SupervisorOptions};
+
+fn datasets() -> Vec<Dataset> {
+    [PaperDataset::PowerCons, PaperDataset::DodgerLoopGame]
+        .iter()
+        .map(|d| {
+            d.generate(GenOptions {
+                height_scale: 0.12,
+                length_scale: 0.25,
+                seed: 9,
+            })
+        })
+        .collect()
+}
+
+#[test]
+fn panicking_classifier_yields_a_panicked_cell_and_the_rest_complete() {
+    let datasets = datasets();
+    let algos = [AlgoSpec::Ects, AlgoSpec::EcoK, AlgoSpec::Teaser];
+    let config = RunConfig::fast();
+    let options = SupervisorOptions {
+        max_threads: 3,
+        ..SupervisorOptions::default()
+    };
+    // A "classifier" that aborts on one specific cell; every other cell
+    // runs the real cross-validation.
+    let outcomes = supervise_matrix_with(
+        &datasets,
+        &algos,
+        &config,
+        &options,
+        |algo, dataset, config| {
+            if algo == AlgoSpec::Teaser && dataset.name() == "PowerCons" {
+                panic!("injected classifier bug");
+            }
+            run_cv(algo, dataset, config)
+        },
+    )
+    .unwrap();
+
+    assert_eq!(outcomes.len(), 6);
+    let panicked: Vec<&CellOutcome> = outcomes
+        .iter()
+        .filter(|c| c.status() == CellStatus::Panic)
+        .collect();
+    assert_eq!(panicked.len(), 1);
+    assert_eq!(panicked[0].algo(), AlgoSpec::Teaser);
+    assert_eq!(panicked[0].dataset(), "PowerCons");
+    // Every other cell finished with real metrics.
+    let finished = outcomes
+        .iter()
+        .filter(|c| c.status() == CellStatus::Ok)
+        .count();
+    assert_eq!(finished, 5, "{outcomes:?}");
+
+    // The status table reports the failure without losing the matrix.
+    let names: Vec<String> = datasets.iter().map(|d| d.name().to_owned()).collect();
+    let table = render_matrix_status(&outcomes, &names);
+    assert!(table.contains("PANIC"), "{table}");
+    assert!(
+        table.contains("5 OK, 0 DNF, 0 ERR, 1 PANIC of 6 cells"),
+        "{table}"
+    );
+}
+
+#[test]
+fn killed_journaled_run_resumes_to_identical_results() {
+    let dir = std::env::temp_dir().join("etsc-supervisor-robustness");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("resume.jsonl");
+    std::fs::remove_file(&path).ok();
+
+    let datasets = datasets();
+    let algos = [AlgoSpec::Ects, AlgoSpec::EcoK];
+    let config = RunConfig::fast();
+    let options = SupervisorOptions {
+        max_threads: 2,
+        journal: Some(path.clone()),
+        ..SupervisorOptions::default()
+    };
+    let runner = |algo: AlgoSpec,
+                  dataset: &Dataset,
+                  config: &RunConfig|
+     -> Result<RunResult, etsc::core::EtscError> { run_cv(algo, dataset, config) };
+
+    let full = supervise_matrix_with(&datasets, &algos, &config, &options, runner).unwrap();
+    assert!(full.iter().all(|c| c.status() == CellStatus::Ok));
+
+    // Simulate a kill after two journaled cells.
+    let text = std::fs::read_to_string(&path).unwrap();
+    let keep: Vec<&str> = text.lines().take(3).collect();
+    std::fs::write(&path, format!("{}\n", keep.join("\n"))).unwrap();
+
+    let resumed_calls = AtomicUsize::new(0);
+    let resumed = supervise_matrix_with(
+        &datasets,
+        &algos,
+        &config,
+        &SupervisorOptions {
+            resume: true,
+            ..options
+        },
+        |algo, dataset, config| {
+            resumed_calls.fetch_add(1, Ordering::SeqCst);
+            runner(algo, dataset, config)
+        },
+    )
+    .unwrap();
+    assert_eq!(
+        resumed_calls.load(Ordering::SeqCst),
+        2,
+        "only the two lost cells are recomputed"
+    );
+    // Journaled cells roundtrip exactly; recomputed cells only differ in
+    // wall-clock timings, so compare the scientific payload.
+    assert_eq!(resumed.len(), full.len());
+    for (a, b) in resumed.iter().zip(&full) {
+        assert_eq!(a.status(), b.status());
+        assert_eq!(a.algo(), b.algo());
+        assert_eq!(a.dataset(), b.dataset());
+        let (ra, rb) = (a.run_result().unwrap(), b.run_result().unwrap());
+        assert_eq!(
+            ra.metrics,
+            rb.metrics,
+            "cell {}/{}",
+            ra.dataset,
+            ra.algo.name()
+        );
+        assert_eq!(ra.dnf, rb.dnf);
+    }
+    std::fs::remove_file(path).ok();
+}

@@ -1,0 +1,183 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the API surface the workspace's benches use
+//! (`criterion_group!` / `criterion_main!`, `Criterion::benchmark_group`,
+//! `BenchmarkGroup::bench_with_input`, `Bencher::iter`, `BenchmarkId`)
+//! backed by a simple wall-clock timing loop: each benchmark runs until
+//! ~200 ms or an iteration cap is reached and the mean time per
+//! iteration is printed. No statistics, plots, or baselines — just
+//! enough for `cargo bench` to run and report.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export matching `criterion::black_box` (benches may import either
+/// this or `std::hint::black_box`).
+pub use std::hint::black_box;
+
+/// Identifies one benchmark within a group, e.g. `("ECTS", "PowerCons")`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id from a function name and a parameter value.
+    pub fn new(function: impl Display, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            function: function.to_string(),
+            parameter: parameter.to_string(),
+        }
+    }
+}
+
+/// Drives the timing loop for one benchmark.
+pub struct Bencher {
+    sample_size: u64,
+    last_mean: Option<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine`, running it repeatedly until the time budget or
+    /// the group's sample size is exhausted.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        let budget = Duration::from_millis(200);
+        let start = Instant::now();
+        let mut iterations: u32 = 0;
+        loop {
+            black_box(routine());
+            iterations += 1;
+            if u64::from(iterations) >= self.sample_size || start.elapsed() >= budget {
+                break;
+            }
+        }
+        self.last_mean = Some(start.elapsed() / iterations);
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: u64,
+    _criterion: &'a mut Criterion,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Caps the number of timed iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1) as u64;
+        self
+    }
+
+    /// Runs one benchmark with an input value passed to the closure.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher {
+            sample_size: self.sample_size,
+            last_mean: None,
+        };
+        f(&mut bencher, input);
+        report(
+            &self.name,
+            &format!("{}/{}", id.function, id.parameter),
+            bencher.last_mean,
+        );
+        self
+    }
+
+    /// Runs one benchmark without an explicit input.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            sample_size: self.sample_size,
+            last_mean: None,
+        };
+        f(&mut bencher);
+        report(&self.name, &id.to_string(), bencher.last_mean);
+        self
+    }
+
+    /// Ends the group (kept for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+fn report(group: &str, bench: &str, mean: Option<Duration>) {
+    match mean {
+        Some(mean) => println!("bench {group}/{bench}: {mean:?}/iter"),
+        None => println!("bench {group}/{bench}: no iterations recorded"),
+    }
+}
+
+/// The top-level benchmark harness handle.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Display) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: 100,
+            _criterion: self,
+        }
+    }
+}
+
+/// Declares a group function that runs the listed benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_times_a_closure() {
+        let mut criterion = Criterion::default();
+        let mut group = criterion.benchmark_group("smoke");
+        group.sample_size(10);
+        let mut runs = 0u32;
+        group.bench_with_input(BenchmarkId::new("count", 1), &3u32, |b, &x| {
+            b.iter(|| {
+                runs += 1;
+                x * 2
+            });
+        });
+        group.finish();
+        assert!(runs > 0);
+    }
+
+    criterion_group!(smoke_group, smoke_fn);
+
+    fn smoke_fn(c: &mut Criterion) {
+        c.benchmark_group("macro")
+            .bench_function("noop", |b| b.iter(|| 1 + 1));
+    }
+
+    #[test]
+    fn macros_compose() {
+        smoke_group();
+    }
+}

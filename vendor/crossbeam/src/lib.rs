@@ -1,0 +1,182 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Implements the scoped-thread API the workspace uses
+//! (`crossbeam::thread::scope` + `Scope::spawn`) on top of
+//! `std::thread::scope`. The one behavioural difference from std that
+//! matters here is preserved from upstream crossbeam: a panicking
+//! spawned thread does not abort the scope — `scope` returns `Err`
+//! carrying the first panic payload after every thread has finished.
+
+pub mod thread {
+    use std::any::Any;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::sync::{Arc, Mutex, PoisonError};
+
+    /// A captured panic payload, as produced by `std::thread::JoinHandle::join`.
+    pub type Panic = Box<dyn Any + Send + 'static>;
+
+    /// Handle to a scope in which threads can be spawned. Mirrors
+    /// `crossbeam::thread::Scope`; spawn closures receive `&Scope` so
+    /// they can spawn nested threads.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+        first_panic: Arc<Mutex<Option<Panic>>>,
+    }
+
+    impl<'scope, 'env> Clone for Scope<'scope, 'env> {
+        fn clone(&self) -> Self {
+            Scope {
+                inner: self.inner,
+                first_panic: Arc::clone(&self.first_panic),
+            }
+        }
+    }
+
+    /// Handle to a spawned scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, Option<T>>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Waits for the thread to finish.
+        ///
+        /// # Errors
+        /// When the thread panicked. The payload itself is recorded on
+        /// the owning scope (and surfaced by [`scope`]); a placeholder
+        /// is returned here.
+        pub fn join(self) -> Result<T, Panic> {
+            match self.inner.join() {
+                Ok(Some(value)) => Ok(value),
+                Ok(None) => Err(Box::new("scoped thread panicked")),
+                Err(payload) => Err(payload),
+            }
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a thread scoped to `'env` borrows. Panics inside `f`
+        /// are caught and recorded; the scope keeps running its other
+        /// threads.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let child = self.clone();
+            let inner =
+                self.inner
+                    .spawn(move || match catch_unwind(AssertUnwindSafe(|| f(&child))) {
+                        Ok(value) => Some(value),
+                        Err(payload) => {
+                            let mut first = child
+                                .first_panic
+                                .lock()
+                                .unwrap_or_else(PoisonError::into_inner);
+                            if first.is_none() {
+                                *first = Some(payload);
+                            }
+                            None
+                        }
+                    });
+            ScopedJoinHandle { inner }
+        }
+    }
+
+    /// Creates a scope for spawning threads that borrow from the
+    /// enclosing stack frame. All spawned threads are joined before
+    /// this returns.
+    ///
+    /// # Errors
+    /// The first panic payload from any spawned thread (or from the
+    /// scope body itself).
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Panic>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        let first_panic: Arc<Mutex<Option<Panic>>> = Arc::new(Mutex::new(None));
+        let shared = Arc::clone(&first_panic);
+        let body = catch_unwind(AssertUnwindSafe(|| {
+            std::thread::scope(|s| {
+                f(&Scope {
+                    inner: s,
+                    first_panic: shared,
+                })
+            })
+        }));
+        let recorded = first_panic
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .take();
+        match (body, recorded) {
+            (Err(payload), _) => Err(payload),
+            (Ok(_), Some(payload)) => Err(payload),
+            (Ok(value), None) => Ok(value),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::thread;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scope_joins_all_threads() {
+        let counter = AtomicUsize::new(0);
+        let out = thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|_| {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+            "done"
+        })
+        .unwrap();
+        assert_eq!(out, "done");
+        assert_eq!(counter.load(Ordering::SeqCst), 8);
+    }
+
+    #[test]
+    fn panicking_thread_does_not_kill_siblings() {
+        let survived = AtomicUsize::new(0);
+        let result = thread::scope(|scope| {
+            scope.spawn(|_| panic!("boom {}", 42));
+            for _ in 0..4 {
+                scope.spawn(|_| {
+                    survived.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        });
+        let payload = result.unwrap_err();
+        let message = payload
+            .downcast_ref::<&str>()
+            .map(|s| (*s).to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_default();
+        assert_eq!(message, "boom 42");
+        assert_eq!(survived.load(Ordering::SeqCst), 4);
+    }
+
+    #[test]
+    fn join_returns_thread_result() {
+        thread::scope(|scope| {
+            let handle = scope.spawn(|_| 6 * 7);
+            assert_eq!(handle.join().unwrap(), 42);
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_argument() {
+        let hits = AtomicUsize::new(0);
+        thread::scope(|scope| {
+            scope.spawn(|inner| {
+                inner.spawn(|_| {
+                    hits.fetch_add(1, Ordering::SeqCst);
+                });
+            });
+        })
+        .unwrap();
+        assert_eq!(hits.load(Ordering::SeqCst), 1);
+    }
+}
