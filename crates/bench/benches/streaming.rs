@@ -1,0 +1,83 @@
+//! Streaming-service benchmarks: decisions/sec and p50/p99 decision
+//! latency for every algorithm served through `etsc-serve`'s scheduler,
+//! cross-checked against the offline Figure-13 cell.
+//!
+//! Each algorithm is trained once, persisted through the model store
+//! (so the bench exercises the loaded artifact, like a real serving
+//! process would), then replayed as concurrent sessions. After the
+//! timed section the measured ratio is compared against
+//! `etsc_eval::online::online_cell` fed with the same measured
+//! latency — the two verdicts must agree by construction, and the
+//! printout makes the measured numbers visible in CI logs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use etsc_bench::ScalePreset;
+use etsc_datasets::PaperDataset;
+use etsc_eval::experiment::{AlgoSpec, RunConfig, RunResult};
+use etsc_eval::online::online_cell;
+use etsc_serve::{fit_model, replay_dataset, ReplayOptions, SchedulerConfig, StoredModel};
+
+fn streaming_benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("streaming_serve");
+    group.sample_size(10);
+    let config = RunConfig::fast();
+    let ds = PaperDataset::PowerCons;
+    let data = ds.generate(ScalePreset::Quick.options(ds, 11));
+    let obs_freq = ds.spec().obs_frequency_secs;
+    for algo in AlgoSpec::ALL {
+        let Ok(stored) = fit_model(algo, &data, &config) else {
+            continue; // DNF under the tight budget: nothing to serve
+        };
+        // Round-trip through the store: serve the decoded artifact.
+        let bytes = stored.to_bytes().expect("persistable model");
+        let loaded = StoredModel::from_bytes(&bytes).expect("own bytes decode");
+        let options = ReplayOptions {
+            obs_frequency_secs: obs_freq,
+            batch: algo.decision_batch(data.max_len(), &config),
+            scheduler: SchedulerConfig::default(),
+        };
+        group.bench_with_input(
+            BenchmarkId::new(algo.name(), "PowerCons"),
+            &data,
+            |b, data| {
+                b.iter(|| black_box(replay_dataset(&loaded, data, &options).expect("replay runs")));
+            },
+        );
+        // Post-bench cross-check: the live verdict and the offline
+        // heatmap verdict agree when fed the same measured latency.
+        let outcome = replay_dataset(&loaded, &data, &options).expect("replay runs");
+        let offline = online_cell(
+            &RunResult {
+                algo,
+                dataset: data.name().to_owned(),
+                metrics: None,
+                train_secs: 0.0,
+                test_secs_per_instance: outcome.mean_latency_secs,
+                dnf: false,
+            },
+            obs_freq,
+            data.max_len(),
+            &config,
+        );
+        assert_eq!(outcome.feasible(), Some(offline.feasible()));
+        eprintln!(
+            "{:<9} {:>8.0} decisions/s  p50 {:>8.4} ms  p99 {:>8.4} ms  ratio {:>10.4e} ({})",
+            algo.name(),
+            outcome.decisions_per_sec,
+            outcome.p50_latency_secs * 1000.0,
+            outcome.p99_latency_secs * 1000.0,
+            outcome.measured_ratio.unwrap_or(f64::NAN),
+            if outcome.feasible() == Some(true) {
+                "feasible"
+            } else {
+                "infeasible"
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, streaming_benches);
+criterion_main!(benches);

@@ -12,6 +12,9 @@ use etsc_datasets::{GenOptions, PaperDataset};
 use etsc_eval::experiment::{run_cv, AlgoSpec, RunConfig};
 use etsc_eval::report::render_matrix_status;
 use etsc_eval::supervisor::{supervise_matrix, SupervisorOptions};
+use etsc_serve::{
+    fit_model, replay_dataset, Backpressure, ReplayOptions, SchedulerConfig, StoredModel,
+};
 
 /// Usage text shown on argument errors.
 pub const USAGE: &str = "\
@@ -34,7 +37,20 @@ commands:
                      [--height-scale S] [--length-scale S]
   stream             replay one instance point-by-point
                      (--dataset NAME | --data FILE --vars K) --algo NAME
-                     [--instance I] [--seed N]";
+                     [--instance I] [--seed N]
+  train              fit one algorithm and persist the model
+                     (--dataset NAME | --data FILE --vars K) --algo NAME
+                     --save FILE [--seed N] [--budget-secs N]
+                     [--height-scale S] [--length-scale S]
+  serve              replay a dataset through a saved model as
+                     concurrent streaming sessions
+                     --model FILE (--replay NAME | --data FILE --vars K)
+                     [--sessions N] [--workers N] [--queue N] [--shed]
+                     [--obs-freq SECS] [--height-scale S]
+                     [--length-scale S] [--seed N]
+  predict            classify instances with a saved model
+                     --model FILE (--dataset NAME | --data FILE --vars K)
+                     [--instance I] [--stream]";
 
 /// CLI failure modes.
 #[derive(Debug)]
@@ -316,6 +332,164 @@ pub fn run(command: &str, flags: &Flags, out: &mut dyn Write) -> Result<(), CliE
                 "stream ended without a decision (algorithm bug)".into(),
             ))
         }
+        "train" => {
+            let data = load_input(flags)?;
+            let name = required(flags, "algo")?;
+            let spec = AlgoSpec::by_name(name)
+                .ok_or_else(|| CliError::Usage(format!("unknown algorithm {name:?}")))?;
+            let save_path = required(flags, "save")?;
+            let mut config = RunConfig {
+                seed: parse(flags, "seed", 2024_u64)?,
+                ..RunConfig::fast()
+            };
+            if let Some(budget) = flags.get("budget-secs") {
+                let secs: u64 = budget.parse().map_err(|_| {
+                    CliError::Usage(format!("invalid --budget-secs value {budget:?}"))
+                })?;
+                config.train_budget = std::time::Duration::from_secs(secs);
+            }
+            let stored = fit_model(spec, &data, &config)
+                .map_err(|e| CliError::Runtime(format!("training failed: {e}")))?;
+            stored
+                .save(save_path)
+                .map_err(|e| CliError::Runtime(format!("saving {save_path:?}: {e}")))?;
+            let size = std::fs::metadata(save_path).map(|m| m.len()).unwrap_or(0);
+            emit(
+                out,
+                format!(
+                    "saved {} trained on {} ({} instances x {} vars x {} points, {} classes) \
+                     to {save_path} ({size} bytes)\n",
+                    spec.name(),
+                    data.name(),
+                    data.len(),
+                    data.vars(),
+                    data.max_len(),
+                    stored.meta.class_names.len(),
+                ),
+            )
+        }
+        "serve" => {
+            let model_path = required(flags, "model")?;
+            let stored = StoredModel::load(model_path)
+                .map_err(|e| CliError::Runtime(format!("loading {model_path:?}: {e}")))?;
+            // `--replay NAME` names a generated dataset; `--data` loads a
+            // CSV. Either way the stream is replayed at the dataset's (or
+            // an overridden) observation frequency.
+            let (data, default_freq) = if let Some(name) = flags.get("replay") {
+                let ds = PaperDataset::by_name(name)
+                    .ok_or_else(|| CliError::Usage(format!("unknown dataset {name:?}")))?;
+                let options = GenOptions {
+                    height_scale: parse(flags, "height-scale", 0.2_f64)?,
+                    length_scale: parse(flags, "length-scale", 0.5_f64)?,
+                    seed: parse(flags, "seed", 7_u64)?,
+                };
+                (ds.generate(options), ds.spec().obs_frequency_secs)
+            } else {
+                (load_input(flags)?, 1.0)
+            };
+            if data.vars() != stored.meta.vars {
+                return Err(CliError::Usage(format!(
+                    "model expects {} variables, dataset has {}",
+                    stored.meta.vars,
+                    data.vars()
+                )));
+            }
+            let sessions = parse(flags, "sessions", data.len())?;
+            if sessions == 0 || data.is_empty() {
+                return Err(CliError::Usage("nothing to serve (0 sessions)".into()));
+            }
+            let indices: Vec<usize> = (0..sessions).map(|i| i % data.len()).collect();
+            let data = data.subset(&indices);
+            let batch = stored
+                .meta
+                .algo
+                .decision_batch(data.max_len(), &RunConfig::fast());
+            let options = ReplayOptions {
+                obs_frequency_secs: parse(flags, "obs-freq", default_freq)?,
+                batch,
+                scheduler: SchedulerConfig {
+                    workers: parse(flags, "workers", 4_usize)?,
+                    queue_capacity: parse(flags, "queue", 1024_usize)?,
+                    backpressure: if parse(flags, "shed", false)? {
+                        Backpressure::Shed
+                    } else {
+                        Backpressure::Block
+                    },
+                },
+            };
+            let outcome = replay_dataset(&stored, &data, &options)
+                .map_err(|e| CliError::Runtime(format!("replay failed: {e}")))?;
+            emit(out, outcome.render())
+        }
+        "predict" => {
+            let model_path = required(flags, "model")?;
+            let stored = StoredModel::load(model_path)
+                .map_err(|e| CliError::Runtime(format!("loading {model_path:?}: {e}")))?;
+            let data = load_input(flags)?;
+            let instance_idx = parse(flags, "instance", 0_usize)?;
+            if instance_idx >= data.len() {
+                return Err(CliError::Usage(format!(
+                    "--instance {instance_idx} out of range (dataset has {})",
+                    data.len()
+                )));
+            }
+            let inst = data.instance(instance_idx);
+            let class_name = |label: usize| {
+                stored
+                    .meta
+                    .class_names
+                    .get(label)
+                    .map_or_else(|| format!("class {label}"), Clone::clone)
+            };
+            if parse(flags, "stream", false)? {
+                // Incremental mode: feed the instance observation by
+                // observation through a live session.
+                let mut session =
+                    etsc_serve::StreamSession::new(stored.classifier(), inst.vars(), inst.len(), 1)
+                        .map_err(|e| CliError::Runtime(e.to_string()))?;
+                let mut s = format!("streaming instance {instance_idx} through {model_path}\n");
+                for t in 0..inst.len() {
+                    let row: Vec<f64> = (0..inst.vars()).map(|v| inst.at(v, t)).collect();
+                    match session
+                        .push(&row)
+                        .map_err(|e| CliError::Runtime(e.to_string()))?
+                    {
+                        Some(p) => {
+                            s.push_str(&format!(
+                                "t={:>4}: COMMITTED -> {} (earliness {:.3})\n",
+                                t + 1,
+                                class_name(p.label),
+                                p.prefix_len as f64 / inst.len() as f64
+                            ));
+                            return emit(out, s);
+                        }
+                        None => {
+                            if (t + 1) % (inst.len() / 8).max(1) == 0 {
+                                s.push_str(&format!("t={:>4}: waiting for more data\n", t + 1));
+                            }
+                        }
+                    }
+                }
+                Err(CliError::Runtime(
+                    "stream ended without a decision (algorithm bug)".into(),
+                ))
+            } else {
+                let p = stored
+                    .classifier()
+                    .predict_early(inst)
+                    .map_err(|e| CliError::Runtime(e.to_string()))?;
+                emit(
+                    out,
+                    format!(
+                        "instance {instance_idx}: {} at prefix {} of {} (earliness {:.3})\n",
+                        class_name(p.label),
+                        p.prefix_len,
+                        inst.len(),
+                        p.prefix_len as f64 / inst.len() as f64
+                    ),
+                )
+            }
+        }
         other => Err(CliError::Usage(format!("unknown command {other:?}"))),
     }
 }
@@ -468,6 +642,108 @@ mod tests {
         )
         .unwrap();
         assert!(out.contains("COMMITTED"), "{out}");
+    }
+
+    #[test]
+    fn train_serve_predict_roundtrip() {
+        let dir = std::env::temp_dir().join("etsc-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let model_path = dir.join("powercons-ects.model");
+        let model_str = model_path.to_str().unwrap();
+        let out = run_to_string(
+            "train",
+            &flags(&[
+                ("dataset", "PowerCons"),
+                ("algo", "ECTS"),
+                ("height-scale", "0.15"),
+                ("length-scale", "0.3"),
+                ("save", model_str),
+            ]),
+        )
+        .unwrap();
+        assert!(out.contains("saved ECTS"), "{out}");
+        assert!(model_path.exists());
+
+        let out = run_to_string(
+            "serve",
+            &flags(&[
+                ("model", model_str),
+                ("replay", "PowerCons"),
+                ("height-scale", "0.15"),
+                ("length-scale", "0.3"),
+                ("sessions", "20"),
+                ("workers", "2"),
+            ]),
+        )
+        .unwrap();
+        assert!(out.contains("20 sessions"), "{out}");
+        assert!(out.contains("online ratio"), "{out}");
+        assert!(out.contains("0 dropped"), "{out}");
+
+        let out = run_to_string(
+            "predict",
+            &flags(&[
+                ("model", model_str),
+                ("dataset", "PowerCons"),
+                ("height-scale", "0.15"),
+                ("length-scale", "0.3"),
+                ("instance", "2"),
+            ]),
+        )
+        .unwrap();
+        assert!(out.contains("earliness"), "{out}");
+
+        let out = run_to_string(
+            "predict",
+            &flags(&[
+                ("model", model_str),
+                ("dataset", "PowerCons"),
+                ("height-scale", "0.15"),
+                ("length-scale", "0.3"),
+                ("instance", "2"),
+                ("stream", "true"),
+            ]),
+        )
+        .unwrap();
+        assert!(out.contains("COMMITTED"), "{out}");
+        std::fs::remove_file(&model_path).ok();
+    }
+
+    #[test]
+    fn serve_rejects_mismatched_model() {
+        let dir = std::env::temp_dir().join("etsc-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let model_path = dir.join("uni.model");
+        let model_str = model_path.to_str().unwrap();
+        run_to_string(
+            "train",
+            &flags(&[
+                ("dataset", "PowerCons"),
+                ("algo", "ECTS"),
+                ("height-scale", "0.15"),
+                ("length-scale", "0.3"),
+                ("save", model_str),
+            ]),
+        )
+        .unwrap();
+        // BasicMotions is multivariate; the univariate model must refuse.
+        assert!(matches!(
+            run_to_string(
+                "serve",
+                &flags(&[
+                    ("model", model_str),
+                    ("replay", "BasicMotions"),
+                    ("height-scale", "0.25"),
+                    ("length-scale", "0.3"),
+                ])
+            ),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run_to_string("serve", &flags(&[("replay", "PowerCons")])),
+            Err(CliError::Usage(_))
+        ));
+        std::fs::remove_file(&model_path).ok();
     }
 
     #[test]

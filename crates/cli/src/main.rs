@@ -11,6 +11,9 @@
 //! etsc evaluate (--dataset NAME | --data FILE --vars K) --algo NAME [--folds N] [--seed N] [--budget-secs N]
 //! etsc matrix   [--datasets A,B,..] [--algos X,Y,..] [--journal FILE] [--resume] [--budget-secs N] [--retries N] [--threads N]
 //! etsc stream   (--dataset NAME | --data FILE --vars K) --algo NAME [--instance I] [--seed N]
+//! etsc train    (--dataset NAME | --data FILE --vars K) --algo NAME --save FILE [--seed N] [--budget-secs N]
+//! etsc serve    --model FILE (--replay NAME | --data FILE --vars K) [--sessions N] [--workers N] [--queue N] [--shed] [--obs-freq SECS]
+//! etsc predict  --model FILE (--dataset NAME | --data FILE --vars K) [--instance I] [--stream]
 //! ```
 
 use std::collections::HashMap;
@@ -32,7 +35,7 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         };
         // Boolean flags take no value.
-        if name == "resume" {
+        if matches!(name, "resume" | "stream" | "shed") {
             flags.insert(name.to_owned(), "true".to_owned());
             continue;
         }

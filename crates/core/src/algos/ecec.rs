@@ -115,6 +115,67 @@ impl Ecec {
         }
     }
 
+    /// Serializes the fitted state (model store).
+    pub fn encode_state(&self, e: &mut etsc_data::Encoder) {
+        e.usize(self.config.n_prefixes);
+        e.f64(self.config.alpha);
+        e.usize(self.config.cv_folds);
+        e.usize(self.config.max_thresholds);
+        self.config.weasel.encode_state(e);
+        e.f64(self.config.logistic.l2);
+        e.f64(self.config.logistic.learning_rate);
+        e.usize(self.config.logistic.max_epochs);
+        e.usize(self.config.logistic.batch_size);
+        e.f64(self.config.logistic.tolerance);
+        e.u64(self.config.logistic.seed);
+        e.u64(self.config.seed);
+        e.usizes(&self.prefix_lengths);
+        e.usize(self.pipelines.len());
+        for p in &self.pipelines {
+            p.encode_state(e);
+        }
+        e.f64_rows(&self.reliability);
+        e.f64(self.theta);
+        e.usize(self.len);
+    }
+
+    /// Reconstructs a model written by [`Ecec::encode_state`].
+    ///
+    /// # Errors
+    /// [`etsc_data::CodecError`] on malformed input.
+    pub fn decode_state(d: &mut etsc_data::Decoder) -> Result<Self, etsc_data::CodecError> {
+        let config = EcecConfig {
+            n_prefixes: d.usize()?,
+            alpha: d.f64()?,
+            cv_folds: d.usize()?,
+            max_thresholds: d.usize()?,
+            weasel: WeaselConfig::decode_state(d)?,
+            logistic: LogisticConfig {
+                l2: d.f64()?,
+                learning_rate: d.f64()?,
+                max_epochs: d.usize()?,
+                batch_size: d.usize()?,
+                tolerance: d.f64()?,
+                seed: d.u64()?,
+            },
+            seed: d.u64()?,
+        };
+        let prefix_lengths = d.usizes()?;
+        let n = d.usize()?;
+        let mut pipelines = Vec::with_capacity(n.min(1 << 16));
+        for _ in 0..n {
+            pipelines.push(WeaselClassifier::decode_state(d)?);
+        }
+        Ok(Ecec {
+            config,
+            prefix_lengths,
+            pipelines,
+            reliability: d.f64_rows()?,
+            theta: d.f64()?,
+            len: d.usize()?,
+        })
+    }
+
     /// Confidence after observing consistent predictions of `label` whose
     /// reliabilities are given.
     fn confidence(history: &[(usize, Label)], reliability: &[Vec<f64>], label: Label) -> f64 {

@@ -73,7 +73,7 @@ impl Default for EconomyKConfig {
 struct Model {
     kmeans: KMeans,
     /// Per-prefix-length base classifier (index `t-1` → prefix length `t`).
-    classifiers: Vec<Box<dyn Classifier + Send>>,
+    classifiers: Vec<Box<dyn Classifier + Send + Sync>>,
     /// `expected_error[g][t-1]`: within cluster `g`, the probability that
     /// the prefix-`t` classifier mislabels a series (marginalised over the
     /// cluster's class distribution).
@@ -160,6 +160,82 @@ impl EconomyK {
         self.chosen_k
     }
 
+    /// Serializes the fitted state (model store).
+    ///
+    /// Only the [`EconomyBase::NaiveBayes`] base (the paper-default
+    /// configuration) is supported: the forest/GBM bases hold tree
+    /// ensembles the binary model format does not cover.
+    ///
+    /// # Errors
+    /// [`EtscError::Config`] for a non-NaiveBayes base.
+    pub fn encode_state(&self, e: &mut etsc_data::Encoder) -> Result<(), EtscError> {
+        if self.config.base != EconomyBase::NaiveBayes {
+            return Err(EtscError::Config(format!(
+                "ECONOMY-K persistence supports only the NaiveBayes base, got {:?}",
+                self.config.base
+            )));
+        }
+        e.usizes(&self.config.k_candidates);
+        e.f64(self.config.lambda);
+        e.f64(self.config.time_cost);
+        e.u64(self.config.seed);
+        match &self.model {
+            None => e.bool(false),
+            Some(m) => {
+                e.bool(true);
+                m.kmeans.encode_state(e);
+                e.usize(m.classifiers.len());
+                for clf in &m.classifiers {
+                    clf.as_any()
+                        .downcast_ref::<GaussianNb>()
+                        .expect("NaiveBayes base holds GaussianNb classifiers")
+                        .encode_state(e);
+                }
+                e.f64_rows(&m.expected_error);
+                e.usize(m.len);
+            }
+        }
+        e.usize(self.chosen_k);
+        Ok(())
+    }
+
+    /// Reconstructs a model written by [`EconomyK::encode_state`]
+    /// (always with the NaiveBayes base).
+    ///
+    /// # Errors
+    /// [`etsc_data::CodecError`] on malformed input.
+    pub fn decode_state(d: &mut etsc_data::Decoder) -> Result<Self, etsc_data::CodecError> {
+        let config = EconomyKConfig {
+            k_candidates: d.usizes()?,
+            lambda: d.f64()?,
+            time_cost: d.f64()?,
+            seed: d.u64()?,
+            base: EconomyBase::NaiveBayes,
+        };
+        let model = if d.bool()? {
+            let kmeans = KMeans::decode_state(d)?;
+            let n = d.usize()?;
+            let mut classifiers: Vec<Box<dyn Classifier + Send + Sync>> =
+                Vec::with_capacity(n.min(1 << 16));
+            for _ in 0..n {
+                classifiers.push(Box::new(GaussianNb::decode_state(d)?));
+            }
+            Some(Model {
+                kmeans,
+                classifiers,
+                expected_error: d.f64_rows()?,
+                len: d.usize()?,
+            })
+        } else {
+            None
+        };
+        Ok(EconomyK {
+            config,
+            model,
+            chosen_k: d.usize()?,
+        })
+    }
+
     fn train_candidate(&self, data: &Dataset, k: usize, len: usize) -> Result<Model, EtscError> {
         let n = data.len();
         let n_classes = data.n_classes();
@@ -183,7 +259,7 @@ impl EconomyK {
         for t in 1..=len {
             let prefix_rows: Vec<Vec<f64>> = rows.iter().map(|r| r[..t].to_vec()).collect();
             let xt = Matrix::from_rows(&prefix_rows)?;
-            let mut clf: Box<dyn Classifier + Send> = match self.config.base {
+            let mut clf: Box<dyn Classifier + Send + Sync> = match self.config.base {
                 EconomyBase::NaiveBayes => Box::new(GaussianNb::new()),
                 EconomyBase::RandomForest => Box::new(RandomForest::new(ForestConfig {
                     n_trees: 15,

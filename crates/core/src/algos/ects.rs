@@ -79,6 +79,31 @@ impl Ects {
     pub fn mpls(&self) -> &[usize] {
         &self.mpl
     }
+
+    /// Serializes the fitted state (model store).
+    pub fn encode_state(&self, e: &mut etsc_data::Encoder) {
+        e.usize(self.config.support);
+        e.f64_rows(&self.train);
+        e.usizes(&self.labels);
+        e.usizes(&self.mpl);
+        e.usize(self.len);
+    }
+
+    /// Reconstructs a model written by [`Ects::encode_state`].
+    ///
+    /// # Errors
+    /// [`etsc_data::CodecError`] on malformed input.
+    pub fn decode_state(d: &mut etsc_data::Decoder) -> Result<Self, etsc_data::CodecError> {
+        Ok(Ects {
+            config: EctsConfig {
+                support: d.usize()?,
+            },
+            train: d.f64_rows()?,
+            labels: d.usizes()?,
+            mpl: d.usizes()?,
+            len: d.usize()?,
+        })
+    }
 }
 
 /// Stable comparison of RNN sets (both sorted by construction).

@@ -139,6 +139,57 @@ impl Edsc {
     pub fn shapelets(&self) -> &[Shapelet] {
         &self.shapelets
     }
+
+    /// Serializes the fitted state (model store). The optional training
+    /// budget is stored as fractional seconds.
+    pub fn encode_state(&self, e: &mut etsc_data::Encoder) {
+        e.f64(self.config.chebyshev_k);
+        e.usize(self.config.min_len);
+        e.f64(self.config.max_len_frac);
+        e.usize(self.config.n_lengths);
+        e.usize(self.config.max_candidates);
+        e.opt_f64(self.config.train_budget.map(|b| b.as_secs_f64()));
+        e.usize(self.shapelets.len());
+        for s in &self.shapelets {
+            e.f64s(&s.values);
+            e.f64(s.threshold);
+            e.usize(s.class);
+            e.f64(s.utility);
+        }
+        e.usize(self.majority);
+        e.bool(self.fitted);
+    }
+
+    /// Reconstructs a model written by [`Edsc::encode_state`].
+    ///
+    /// # Errors
+    /// [`etsc_data::CodecError`] on malformed input.
+    pub fn decode_state(d: &mut etsc_data::Decoder) -> Result<Self, etsc_data::CodecError> {
+        let config = EdscConfig {
+            chebyshev_k: d.f64()?,
+            min_len: d.usize()?,
+            max_len_frac: d.f64()?,
+            n_lengths: d.usize()?,
+            max_candidates: d.usize()?,
+            train_budget: d.opt_f64()?.map(Duration::from_secs_f64),
+        };
+        let n = d.usize()?;
+        let mut shapelets = Vec::with_capacity(n.min(1 << 16));
+        for _ in 0..n {
+            shapelets.push(Shapelet {
+                values: d.f64s()?,
+                threshold: d.f64()?,
+                class: d.usize()?,
+                utility: d.f64()?,
+            });
+        }
+        Ok(Edsc {
+            config,
+            shapelets,
+            majority: d.usize()?,
+            fitted: d.bool()?,
+        })
+    }
 }
 
 impl EarlyClassifier for Edsc {

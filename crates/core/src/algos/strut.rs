@@ -177,6 +177,100 @@ impl<F: FullClassifierTrait> Strut<F> {
         self.best_t
     }
 
+    /// Serializes the fitted state (model store). The wrapped model is
+    /// written through `enc_model`, since `F` is generic; callers pass
+    /// the concrete classifier's `encode_state`.
+    pub fn encode_state(
+        &self,
+        e: &mut etsc_data::Encoder,
+        enc_model: impl Fn(&F, &mut etsc_data::Encoder),
+    ) {
+        e.tag(match self.config.metric {
+            StrutMetric::Accuracy => 0,
+            StrutMetric::MacroF1 => 1,
+            StrutMetric::HarmonicMean => 2,
+        });
+        match &self.config.search {
+            TruncationSearch::Exhaustive { step } => {
+                e.tag(0);
+                e.usize(*step);
+            }
+            TruncationSearch::FixedGrid(fracs) => {
+                e.tag(1);
+                e.f64s(fracs);
+            }
+            TruncationSearch::BinarySearch { tolerance } => {
+                e.tag(2);
+                e.f64(*tolerance);
+            }
+        }
+        e.f64(self.config.validation_fraction);
+        e.usize(self.config.min_len);
+        e.u64(self.config.seed);
+        e.str(&self.label);
+        match &self.model {
+            None => e.bool(false),
+            Some(m) => {
+                e.bool(true);
+                enc_model(m, e);
+            }
+        }
+        e.usize(self.best_t);
+        e.usize(self.len);
+    }
+
+    /// Reconstructs a model written by [`Strut::encode_state`]. `make`
+    /// rebuilds the factory (used only for refits); `dec_model` decodes
+    /// the wrapped classifier.
+    ///
+    /// # Errors
+    /// [`etsc_data::CodecError`] on malformed input.
+    pub fn decode_state(
+        d: &mut etsc_data::Decoder,
+        make: impl Fn() -> F + Send + Sync + 'static,
+        dec_model: impl Fn(&mut etsc_data::Decoder) -> Result<F, etsc_data::CodecError>,
+    ) -> Result<Self, etsc_data::CodecError> {
+        let metric = match d.tag()? {
+            0 => StrutMetric::Accuracy,
+            1 => StrutMetric::MacroF1,
+            2 => StrutMetric::HarmonicMean,
+            other => {
+                return Err(etsc_data::CodecError::Corrupt {
+                    detail: format!("unknown STRUT metric tag {other}"),
+                })
+            }
+        };
+        let search = match d.tag()? {
+            0 => TruncationSearch::Exhaustive { step: d.usize()? },
+            1 => TruncationSearch::FixedGrid(d.f64s()?),
+            2 => TruncationSearch::BinarySearch {
+                tolerance: d.f64()?,
+            },
+            other => {
+                return Err(etsc_data::CodecError::Corrupt {
+                    detail: format!("unknown STRUT search tag {other}"),
+                })
+            }
+        };
+        let config = StrutConfig {
+            metric,
+            search,
+            validation_fraction: d.f64()?,
+            min_len: d.usize()?,
+            seed: d.u64()?,
+        };
+        let label = d.str()?;
+        let model = if d.bool()? { Some(dec_model(d)?) } else { None };
+        Ok(Strut {
+            config,
+            make: Box::new(make),
+            label,
+            model,
+            best_t: d.usize()?,
+            len: d.usize()?,
+        })
+    }
+
     /// Fits the wrapped classifier at truncation `t` and scores it on the
     /// validation split with the configured metric.
     fn score_at(

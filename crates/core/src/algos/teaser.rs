@@ -143,6 +143,97 @@ impl Teaser {
         }
     }
 
+    /// Serializes the fitted state (model store).
+    pub fn encode_state(&self, e: &mut etsc_data::Encoder) {
+        e.usize(self.config.s_prefixes);
+        e.usize(self.config.v_max);
+        e.f64(self.config.ocsvm.nu);
+        e.opt_f64(self.config.ocsvm.gamma);
+        e.usize(self.config.ocsvm.max_iters);
+        e.f64(self.config.ocsvm.tolerance);
+        self.config.weasel.encode_state(e);
+        e.f64(self.config.logistic.l2);
+        e.f64(self.config.logistic.learning_rate);
+        e.usize(self.config.logistic.max_epochs);
+        e.usize(self.config.logistic.batch_size);
+        e.f64(self.config.logistic.tolerance);
+        e.u64(self.config.logistic.seed);
+        e.bool(self.config.z_normalize);
+        e.usize(self.config.cv_folds);
+        e.u64(self.config.seed);
+        e.bool(self.config.use_master);
+        e.usizes(&self.prefix_lengths);
+        e.usize(self.slaves.len());
+        for s in &self.slaves {
+            s.encode_state(e);
+        }
+        e.usize(self.masters.len());
+        for m in &self.masters {
+            match m {
+                None => e.bool(false),
+                Some(svm) => {
+                    e.bool(true);
+                    svm.encode_state(e);
+                }
+            }
+        }
+        e.usize(self.v);
+        e.usize(self.len);
+    }
+
+    /// Reconstructs a model written by [`Teaser::encode_state`].
+    ///
+    /// # Errors
+    /// [`etsc_data::CodecError`] on malformed input.
+    pub fn decode_state(d: &mut etsc_data::Decoder) -> Result<Self, etsc_data::CodecError> {
+        let config = TeaserConfig {
+            s_prefixes: d.usize()?,
+            v_max: d.usize()?,
+            ocsvm: OcSvmConfig {
+                nu: d.f64()?,
+                gamma: d.opt_f64()?,
+                max_iters: d.usize()?,
+                tolerance: d.f64()?,
+            },
+            weasel: WeaselConfig::decode_state(d)?,
+            logistic: LogisticConfig {
+                l2: d.f64()?,
+                learning_rate: d.f64()?,
+                max_epochs: d.usize()?,
+                batch_size: d.usize()?,
+                tolerance: d.f64()?,
+                seed: d.u64()?,
+            },
+            z_normalize: d.bool()?,
+            cv_folds: d.usize()?,
+            seed: d.u64()?,
+            use_master: d.bool()?,
+        };
+        let prefix_lengths = d.usizes()?;
+        let n_slaves = d.usize()?;
+        let mut slaves = Vec::with_capacity(n_slaves.min(1 << 16));
+        for _ in 0..n_slaves {
+            slaves.push(WeaselClassifier::decode_state(d)?);
+        }
+        let n_masters = d.usize()?;
+        let mut masters = Vec::with_capacity(n_masters.min(1 << 16));
+        for _ in 0..n_masters {
+            masters.push(if d.bool()? {
+                Some(OneClassSvm::decode_state(d)?)
+            } else {
+                None
+            });
+        }
+        Ok(Teaser {
+            config,
+            prefix_lengths,
+            slaves,
+            masters,
+            v: d.usize()?,
+            len: d.usize()?,
+        })
+    }
+
     /// Accepted prediction (if any) of prefix `i` for a normalised
     /// instance prefix.
     fn accepted_prediction(

@@ -40,6 +40,48 @@ impl MiniRocketClassifier {
     pub fn with_defaults() -> Self {
         Self::new(MiniRocketClassifierConfig::default())
     }
+
+    /// Serializes the fitted state (model store).
+    pub fn encode_state(&self, e: &mut etsc_data::Encoder) {
+        e.usize(self.config.transform.num_features);
+        e.usize(self.config.transform.max_dilations);
+        e.u64(self.config.transform.seed);
+        e.f64(self.config.ridge.alpha);
+        match &self.transform {
+            None => e.bool(false),
+            Some(t) => {
+                e.bool(true);
+                t.encode_state(e);
+            }
+        }
+        self.head.encode_state(e);
+    }
+
+    /// Reconstructs a classifier written by
+    /// [`MiniRocketClassifier::encode_state`].
+    ///
+    /// # Errors
+    /// [`etsc_data::CodecError`] on malformed input.
+    pub fn decode_state(d: &mut etsc_data::Decoder) -> Result<Self, etsc_data::CodecError> {
+        let config = MiniRocketClassifierConfig {
+            transform: MiniRocketConfig {
+                num_features: d.usize()?,
+                max_dilations: d.usize()?,
+                seed: d.u64()?,
+            },
+            ridge: RidgeConfig { alpha: d.f64()? },
+        };
+        let transform = if d.bool()? {
+            Some(MiniRocket::decode_state(d)?)
+        } else {
+            None
+        };
+        Ok(MiniRocketClassifier {
+            config,
+            transform,
+            head: RidgeClassifier::decode_state(d)?,
+        })
+    }
 }
 
 impl FullClassifierTrait for MiniRocketClassifier {

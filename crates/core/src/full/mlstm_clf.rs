@@ -56,6 +56,59 @@ impl MlstmClassifier {
     pub fn with_defaults() -> Self {
         Self::new(MlstmClassifierConfig::default())
     }
+
+    /// Serializes the fitted state (model store).
+    pub fn encode_state(&self, e: &mut etsc_data::Encoder) {
+        e.usize(self.config.network.filters[0]);
+        e.usize(self.config.network.filters[1]);
+        e.usize(self.config.network.filters[2]);
+        e.usize(self.config.network.lstm_cells);
+        e.f64(self.config.network.dropout);
+        e.usize(self.config.network.epochs);
+        e.usize(self.config.network.batch_size);
+        e.f64(self.config.network.learning_rate);
+        e.bool(self.config.network.dimension_shuffle);
+        e.u64(self.config.network.seed);
+        e.usizes(&self.config.lstm_grid);
+        match &self.network {
+            None => e.bool(false),
+            Some(net) => {
+                e.bool(true);
+                net.encode_state(e);
+            }
+        }
+    }
+
+    /// Reconstructs a classifier written by
+    /// [`MlstmClassifier::encode_state`].
+    ///
+    /// # Errors
+    /// [`etsc_data::CodecError`] on malformed input.
+    pub fn decode_state(d: &mut etsc_data::Decoder) -> Result<Self, etsc_data::CodecError> {
+        let network_config = MlstmFcnConfig {
+            filters: [d.usize()?, d.usize()?, d.usize()?],
+            lstm_cells: d.usize()?,
+            dropout: d.f64()?,
+            epochs: d.usize()?,
+            batch_size: d.usize()?,
+            learning_rate: d.f64()?,
+            dimension_shuffle: d.bool()?,
+            seed: d.u64()?,
+        };
+        let lstm_grid = d.usizes()?;
+        let network = if d.bool()? {
+            Some(MlstmFcn::decode_state(d)?)
+        } else {
+            None
+        };
+        Ok(MlstmClassifier {
+            config: MlstmClassifierConfig {
+                network: network_config,
+                lstm_grid,
+            },
+            network,
+        })
+    }
 }
 
 impl FullClassifierTrait for MlstmClassifier {

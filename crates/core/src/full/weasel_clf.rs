@@ -74,6 +74,63 @@ impl WeaselClassifier {
             WeaselPipeline::Multivariate(m) => Ok(m.transform(instance)?),
         }
     }
+
+    /// Serializes the fitted state (model store).
+    pub fn encode_state(&self, e: &mut etsc_data::Encoder) {
+        self.config.weasel.encode_state(e);
+        e.f64(self.config.logistic.l2);
+        e.f64(self.config.logistic.learning_rate);
+        e.usize(self.config.logistic.max_epochs);
+        e.usize(self.config.logistic.batch_size);
+        e.f64(self.config.logistic.tolerance);
+        e.u64(self.config.logistic.seed);
+        match &self.pipeline {
+            None => e.tag(0),
+            Some(WeaselPipeline::Univariate(w)) => {
+                e.tag(1);
+                w.encode_state(e);
+            }
+            Some(WeaselPipeline::Multivariate(m)) => {
+                e.tag(2);
+                m.encode_state(e);
+            }
+        }
+        self.head.encode_state(e);
+        e.usize(self.n_classes);
+    }
+
+    /// Reconstructs a classifier written by
+    /// [`WeaselClassifier::encode_state`].
+    ///
+    /// # Errors
+    /// [`etsc_data::CodecError`] on malformed input.
+    pub fn decode_state(d: &mut etsc_data::Decoder) -> Result<Self, etsc_data::CodecError> {
+        let weasel = WeaselConfig::decode_state(d)?;
+        let logistic = LogisticConfig {
+            l2: d.f64()?,
+            learning_rate: d.f64()?,
+            max_epochs: d.usize()?,
+            batch_size: d.usize()?,
+            tolerance: d.f64()?,
+            seed: d.u64()?,
+        };
+        let pipeline = match d.tag()? {
+            0 => None,
+            1 => Some(WeaselPipeline::Univariate(Weasel::decode_state(d)?)),
+            2 => Some(WeaselPipeline::Multivariate(Muse::decode_state(d)?)),
+            other => {
+                return Err(etsc_data::CodecError::Corrupt {
+                    detail: format!("unknown WEASEL pipeline tag {other}"),
+                })
+            }
+        };
+        Ok(WeaselClassifier {
+            config: WeaselClassifierConfig { weasel, logistic },
+            pipeline,
+            head: LogisticRegression::decode_state(d)?,
+            n_classes: d.usize()?,
+        })
+    }
 }
 
 impl FullClassifierTrait for WeaselClassifier {

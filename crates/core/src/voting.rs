@@ -73,9 +73,38 @@ impl<C: EarlyClassifier> VotingAdapter<C> {
         }
     }
 
+    /// Rebuilds an adapter from already-fitted voters — the model-store
+    /// path, where voters are deserialized rather than trained. `make` is
+    /// retained only for a potential refit.
+    pub fn from_fitted(
+        make: impl Fn() -> C + Send + Sync + 'static,
+        scheme: VotingScheme,
+        voters: Vec<C>,
+        weights: Vec<f64>,
+        n_classes: usize,
+    ) -> Self {
+        VotingAdapter {
+            make: Box::new(make),
+            scheme,
+            voters,
+            weights,
+            n_classes,
+        }
+    }
+
     /// Number of trained voters (= variables), 0 before fit.
     pub fn n_voters(&self) -> usize {
         self.voters.len()
+    }
+
+    /// The trained voters (empty before fit); exposed for serialization.
+    pub fn voters(&self) -> &[C] {
+        &self.voters
+    }
+
+    /// Class count seen at fit time (0 before fit).
+    pub fn n_classes(&self) -> usize {
+        self.n_classes
     }
 
     /// The active voting scheme.

@@ -248,7 +248,8 @@ impl RunConfig {
         }
     }
 
-    fn weasel_config(&self) -> WeaselConfig {
+    /// WEASEL configuration derived from this run profile.
+    pub fn weasel_config(&self) -> WeaselConfig {
         WeaselConfig {
             top_features: self.weasel_features,
             max_windows: self.weasel_windows,
@@ -256,7 +257,8 @@ impl RunConfig {
         }
     }
 
-    fn logistic_config(&self) -> LogisticConfig {
+    /// Logistic-regression configuration derived from this run profile.
+    pub fn logistic_config(&self) -> LogisticConfig {
         LogisticConfig {
             max_epochs: self.logistic_epochs,
             seed: self.seed,
@@ -264,7 +266,8 @@ impl RunConfig {
         }
     }
 
-    fn ecec_config(&self) -> EcecConfig {
+    /// ECEC configuration derived from this run profile.
+    pub fn ecec_config(&self) -> EcecConfig {
         EcecConfig {
             n_prefixes: self.ecec_prefixes,
             cv_folds: 3,
@@ -275,7 +278,8 @@ impl RunConfig {
         }
     }
 
-    fn economy_config(&self) -> EconomyKConfig {
+    /// Economy-K configuration derived from this run profile.
+    pub fn economy_config(&self) -> EconomyKConfig {
         EconomyKConfig {
             seed: self.seed,
             ..EconomyKConfig::default()
@@ -294,7 +298,8 @@ impl RunConfig {
         self
     }
 
-    fn edsc_config(&self) -> EdscConfig {
+    /// EDSC configuration derived from this run profile.
+    pub fn edsc_config(&self) -> EdscConfig {
         EdscConfig {
             max_candidates: self.edsc_candidates,
             train_budget: Some(self.train_budget),
@@ -302,7 +307,8 @@ impl RunConfig {
         }
     }
 
-    fn teaser_config(&self, s: usize) -> TeaserConfig {
+    /// TEASER configuration for `s` prefixes, derived from this run profile.
+    pub fn teaser_config(&self, s: usize) -> TeaserConfig {
         TeaserConfig {
             s_prefixes: s,
             weasel: self.weasel_config(),
@@ -311,14 +317,16 @@ impl RunConfig {
         }
     }
 
-    fn strut_config(&self) -> StrutConfig {
+    /// SR-CF (Strut) configuration derived from this run profile.
+    pub fn strut_config(&self) -> StrutConfig {
         StrutConfig {
             seed: self.seed,
             ..StrutConfig::default()
         }
     }
 
-    fn minirocket_config(&self) -> MiniRocketConfig {
+    /// MiniROCKET configuration derived from this run profile.
+    pub fn minirocket_config(&self) -> MiniRocketConfig {
         MiniRocketConfig {
             num_features: self.minirocket_features,
             seed: self.seed,
@@ -326,7 +334,8 @@ impl RunConfig {
         }
     }
 
-    fn mlstm_config(&self) -> MlstmFcnConfig {
+    /// MLSTM-FCN network configuration derived from this run profile.
+    pub fn mlstm_config(&self) -> MlstmFcnConfig {
         MlstmFcnConfig {
             epochs: self.mlstm_epochs,
             filters: self.mlstm_filters,

@@ -11,6 +11,8 @@
 //!   behind Figures 9-12);
 //! * [`online`] — the Figure 13 online-feasibility ratio (testing time per
 //!   decision over the dataset's observation frequency);
+//! * [`histogram`] — exact-quantile latency histograms used by the
+//!   streaming service for p50/p99 decision latencies;
 //! * [`report`] — plain-text and CSV renderers matching the layout of the
 //!   paper's tables and figures;
 //! * [`tuning`] — hyper-parameter grid search over any algorithm (the
@@ -25,6 +27,7 @@
 
 pub mod aggregate;
 pub mod experiment;
+pub mod histogram;
 pub mod journal;
 pub mod metrics;
 pub mod moo;
@@ -35,6 +38,7 @@ pub mod tuning;
 
 pub use aggregate::aggregate_by_category;
 pub use experiment::{run_cv, AlgoSpec, RunConfig, RunResult};
+pub use histogram::LatencyHistogram;
 pub use journal::{Journal, JournalHeader};
 pub use metrics::{EvalOutcome, Metrics};
 pub use supervisor::{supervise_matrix, CellOutcome, CellStatus, SupervisorOptions};

@@ -15,6 +15,20 @@
 
 use crate::experiment::{AlgoSpec, RunConfig, RunResult};
 
+/// The boundary convention for online feasibility, shared by the offline
+/// heatmap ([`OnlineCell::feasible`]) and the live measured ratio of the
+/// streaming service (`etsc-serve`).
+///
+/// A ratio of exactly `1.0` means decisions take precisely as long as
+/// observations take to arrive: the algorithm never catches up and any
+/// jitter makes it fall behind, so the boundary is **infeasible** —
+/// feasibility is strict `ratio < 1.0`. Both call sites must use this
+/// helper so the offline verdict and the live verdict can never disagree
+/// on the boundary.
+pub fn feasible_ratio(ratio: f64) -> bool {
+    ratio < 1.0
+}
+
 /// One heatmap cell.
 #[derive(Debug, Clone)]
 pub struct OnlineCell {
@@ -28,8 +42,11 @@ pub struct OnlineCell {
 
 impl OnlineCell {
     /// `true` when the algorithm keeps up with the stream.
+    ///
+    /// Uses the shared [`feasible_ratio`] convention: strictly below 1.0.
+    /// DNF cells (no ratio) are never feasible.
     pub fn feasible(&self) -> bool {
-        matches!(self.ratio, Some(r) if r < 1.0)
+        matches!(self.ratio, Some(r) if feasible_ratio(r))
     }
 }
 
@@ -109,6 +126,21 @@ mod tests {
         let batched = online_cell(&result(AlgoSpec::Ecec, 1.0, false), 0.1, 100, &cfg);
         // ECEC (batch = 100/20 = 5) has fewer, larger windows per decision.
         assert!(batched.ratio.unwrap() < per_point.ratio.unwrap());
+    }
+
+    #[test]
+    fn boundary_ratio_of_exactly_one_is_infeasible() {
+        // The shared convention: a decision that takes exactly as long as
+        // the observation interval cannot keep up. Checked both through
+        // the helper and through a cell constructed to land on 1.0.
+        assert!(!feasible_ratio(1.0));
+        assert!(feasible_ratio(1.0 - f64::EPSILON));
+
+        let cfg = RunConfig::default();
+        // 1s per decision against 1s arrivals, per-point algorithm.
+        let cell = online_cell(&result(AlgoSpec::Ects, 1.0, false), 1.0, 100, &cfg);
+        assert_eq!(cell.ratio, Some(1.0));
+        assert!(!cell.feasible());
     }
 
     #[test]

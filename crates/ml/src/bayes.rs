@@ -31,9 +31,36 @@ impl GaussianNb {
     pub fn new() -> Self {
         GaussianNb::default()
     }
+
+    /// Serializes the fitted state (model store).
+    pub fn encode_state(&self, e: &mut etsc_data::Encoder) {
+        e.f64s(&self.log_prior);
+        e.f64_rows(&self.means);
+        e.f64_rows(&self.vars);
+        e.usize(self.n_features);
+        e.bool(self.fitted);
+    }
+
+    /// Reconstructs a model written by [`GaussianNb::encode_state`].
+    ///
+    /// # Errors
+    /// [`etsc_data::CodecError`] on malformed input.
+    pub fn decode_state(d: &mut etsc_data::Decoder) -> Result<Self, etsc_data::CodecError> {
+        Ok(GaussianNb {
+            log_prior: d.f64s()?,
+            means: d.f64_rows()?,
+            vars: d.f64_rows()?,
+            n_features: d.usize()?,
+            fitted: d.bool()?,
+        })
+    }
 }
 
 impl Classifier for GaussianNb {
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
     fn fit(&mut self, x: &Matrix, y: &[usize], n_classes: usize) -> Result<(), MlError> {
         validate_training(x, y, n_classes)?;
         let d = x.cols();

@@ -30,6 +30,10 @@ pub trait Classifier {
     /// Implementation-specific validation/numerical failures.
     fn fit(&mut self, x: &Matrix, y: &[usize], n_classes: usize) -> Result<(), MlError>;
 
+    /// The concrete type behind a `dyn Classifier`, for callers (like the
+    /// model store) that must recover it.
+    fn as_any(&self) -> &dyn std::any::Any;
+
     /// Class-probability vector for one feature vector; sums to 1.
     ///
     /// # Errors

@@ -69,6 +69,10 @@ impl RandomForest {
 }
 
 impl Classifier for RandomForest {
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
     fn fit(&mut self, x: &Matrix, y: &[usize], n_classes: usize) -> Result<(), MlError> {
         validate_training(x, y, n_classes)?;
         if self.config.n_trees == 0 {

@@ -218,6 +218,10 @@ impl GradientBoosting {
 }
 
 impl Classifier for GradientBoosting {
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
     fn fit(&mut self, x: &Matrix, y: &[usize], n_classes: usize) -> Result<(), MlError> {
         validate_training(x, y, n_classes)?;
         if self.config.n_rounds == 0 {

@@ -64,6 +64,33 @@ impl KMeans {
         self.centroids.len()
     }
 
+    /// Serializes hyper-parameters and fitted state (model store).
+    pub fn encode_state(&self, e: &mut etsc_data::Encoder) {
+        e.usize(self.config.k);
+        e.usize(self.config.max_iters);
+        e.f64(self.config.tolerance);
+        e.u64(self.config.seed);
+        e.f64_rows(&self.centroids);
+        e.usize(self.n_features);
+    }
+
+    /// Reconstructs a model written by [`KMeans::encode_state`].
+    ///
+    /// # Errors
+    /// [`etsc_data::CodecError`] on malformed input.
+    pub fn decode_state(d: &mut etsc_data::Decoder) -> Result<Self, etsc_data::CodecError> {
+        Ok(KMeans {
+            config: KMeansConfig {
+                k: d.usize()?,
+                max_iters: d.usize()?,
+                tolerance: d.f64()?,
+                seed: d.u64()?,
+            },
+            centroids: d.f64_rows()?,
+            n_features: d.usize()?,
+        })
+    }
+
     /// Runs Lloyd's algorithm with k-means++ seeding.
     ///
     /// # Errors

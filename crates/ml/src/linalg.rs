@@ -111,6 +111,35 @@ impl Matrix {
         &mut self.data
     }
 
+    /// Serializes shape and entries into the model-store codec
+    /// (bit-exact, see [`etsc_data::codec`]).
+    pub fn encode_state(&self, e: &mut etsc_data::Encoder) {
+        e.usize(self.rows);
+        e.usize(self.cols);
+        for &x in &self.data {
+            e.f64(x);
+        }
+    }
+
+    /// Reconstructs a matrix written by [`Matrix::encode_state`].
+    ///
+    /// # Errors
+    /// [`etsc_data::CodecError`] on truncated or inconsistent input.
+    pub fn decode_state(d: &mut etsc_data::Decoder) -> Result<Matrix, etsc_data::CodecError> {
+        let rows = d.usize()?;
+        let cols = d.usize()?;
+        let n = rows
+            .checked_mul(cols)
+            .ok_or_else(|| etsc_data::CodecError::Corrupt {
+                detail: format!("matrix shape {rows}x{cols} overflows"),
+            })?;
+        let mut data = Vec::with_capacity(n.min(1 << 20));
+        for _ in 0..n {
+            data.push(d.f64()?);
+        }
+        Ok(Matrix { data, rows, cols })
+    }
+
     /// Transposed copy.
     pub fn transpose(&self) -> Matrix {
         let mut t = Matrix::zeros(self.cols, self.rows);

@@ -85,6 +85,54 @@ impl LogisticRegression {
         }
         z
     }
+
+    /// Serializes hyper-parameters and fitted state (model store).
+    pub fn encode_state(&self, e: &mut etsc_data::Encoder) {
+        e.f64(self.config.l2);
+        e.f64(self.config.learning_rate);
+        e.usize(self.config.max_epochs);
+        e.usize(self.config.batch_size);
+        e.f64(self.config.tolerance);
+        e.u64(self.config.seed);
+        match &self.weights {
+            Some(w) => {
+                e.bool(true);
+                w.encode_state(e);
+            }
+            None => e.bool(false),
+        }
+        e.f64s(&self.bias);
+        e.usize(self.n_features);
+        e.usize(self.n_classes);
+    }
+
+    /// Reconstructs a model written by
+    /// [`LogisticRegression::encode_state`].
+    ///
+    /// # Errors
+    /// [`etsc_data::CodecError`] on malformed input.
+    pub fn decode_state(d: &mut etsc_data::Decoder) -> Result<Self, etsc_data::CodecError> {
+        let config = LogisticConfig {
+            l2: d.f64()?,
+            learning_rate: d.f64()?,
+            max_epochs: d.usize()?,
+            batch_size: d.usize()?,
+            tolerance: d.f64()?,
+            seed: d.u64()?,
+        };
+        let weights = if d.bool()? {
+            Some(Matrix::decode_state(d)?)
+        } else {
+            None
+        };
+        Ok(LogisticRegression {
+            config,
+            weights,
+            bias: d.f64s()?,
+            n_features: d.usize()?,
+            n_classes: d.usize()?,
+        })
+    }
 }
 
 /// Numerically stable softmax (subtracts the max logit).
@@ -99,6 +147,10 @@ pub fn softmax(z: &[f64]) -> Vec<f64> {
 }
 
 impl Classifier for LogisticRegression {
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
     fn fit(&mut self, x: &Matrix, y: &[usize], n_classes: usize) -> Result<(), MlError> {
         validate_training(x, y, n_classes)?;
         if n_classes < 2 {

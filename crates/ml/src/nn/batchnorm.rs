@@ -53,6 +53,40 @@ impl BatchNorm1d {
         }
     }
 
+    /// Serializes the inference-relevant state: affine parameters and the
+    /// running statistics `forward_eval` normalises with.
+    pub fn encode_state(&self, e: &mut etsc_data::Encoder) {
+        e.usize(self.channels);
+        e.f64s(&self.gamma);
+        e.f64s(&self.beta);
+        e.f64s(&self.running_mean);
+        e.f64s(&self.running_var);
+        e.f64(self.momentum);
+        e.f64(self.eps);
+    }
+
+    /// Reconstructs a layer written by [`BatchNorm1d::encode_state`].
+    ///
+    /// # Errors
+    /// [`etsc_data::CodecError`] on malformed input.
+    pub fn decode_state(d: &mut etsc_data::Decoder) -> Result<Self, etsc_data::CodecError> {
+        let channels = d.usize()?;
+        Ok(BatchNorm1d {
+            channels,
+            gamma: d.f64s()?,
+            beta: d.f64s()?,
+            grad_gamma: vec![0.0; channels],
+            grad_beta: vec![0.0; channels],
+            running_mean: d.f64s()?,
+            running_var: d.f64s()?,
+            momentum: d.f64()?,
+            eps: d.f64()?,
+            adam_g: Adam::new(channels),
+            adam_b: Adam::new(channels),
+            cache: None,
+        })
+    }
+
     /// Training-mode forward: normalise with batch statistics, update the
     /// running estimates, cache for backward.
     ///

@@ -65,6 +65,40 @@ impl Conv1d {
         self.out_ch
     }
 
+    /// Serializes the inference-relevant state (weights only; optimiser
+    /// and gradient buffers are rebuilt fresh on decode).
+    pub fn encode_state(&self, e: &mut etsc_data::Encoder) {
+        e.usize(self.in_ch);
+        e.usize(self.out_ch);
+        e.usize(self.kernel);
+        self.weights.encode_state(e);
+        e.f64s(&self.bias);
+    }
+
+    /// Reconstructs a layer written by [`Conv1d::encode_state`].
+    ///
+    /// # Errors
+    /// [`etsc_data::CodecError`] on malformed input.
+    pub fn decode_state(d: &mut etsc_data::Decoder) -> Result<Self, etsc_data::CodecError> {
+        let in_ch = d.usize()?;
+        let out_ch = d.usize()?;
+        let kernel = d.usize()?;
+        let weights = Matrix::decode_state(d)?;
+        let bias = d.f64s()?;
+        Ok(Conv1d {
+            in_ch,
+            out_ch,
+            kernel,
+            grad_w: Matrix::zeros(weights.rows(), weights.cols()),
+            grad_b: vec![0.0; bias.len()],
+            adam_w: Adam::new(weights.rows() * weights.cols()),
+            adam_b: Adam::new(bias.len()),
+            weights,
+            bias,
+            cache: Vec::new(),
+        })
+    }
+
     /// Forward pass over a batch; caches inputs for backward.
     ///
     /// # Panics

@@ -51,6 +51,37 @@ impl Dense {
         self.out_dim
     }
 
+    /// Serializes the inference-relevant state (weights only; optimiser
+    /// and gradient buffers are rebuilt fresh on decode).
+    pub fn encode_state(&self, e: &mut etsc_data::Encoder) {
+        e.usize(self.in_dim);
+        e.usize(self.out_dim);
+        self.weights.encode_state(e);
+        e.f64s(&self.bias);
+    }
+
+    /// Reconstructs a layer written by [`Dense::encode_state`].
+    ///
+    /// # Errors
+    /// [`etsc_data::CodecError`] on malformed input.
+    pub fn decode_state(d: &mut etsc_data::Decoder) -> Result<Self, etsc_data::CodecError> {
+        let in_dim = d.usize()?;
+        let out_dim = d.usize()?;
+        let weights = Matrix::decode_state(d)?;
+        let bias = d.f64s()?;
+        Ok(Dense {
+            in_dim,
+            out_dim,
+            grad_w: Matrix::zeros(weights.rows(), weights.cols()),
+            grad_b: vec![0.0; bias.len()],
+            adam_w: Adam::new(weights.rows() * weights.cols()),
+            adam_b: Adam::new(bias.len()),
+            weights,
+            bias,
+            cache: Vec::new(),
+        })
+    }
+
     /// Forward over a batch of vectors; caches inputs.
     ///
     /// # Panics

@@ -93,6 +93,42 @@ impl Lstm {
         self.hidden
     }
 
+    /// Serializes the inference-relevant state (weights only; optimiser
+    /// and gradient buffers are rebuilt fresh on decode).
+    pub fn encode_state(&self, e: &mut etsc_data::Encoder) {
+        e.usize(self.input_size);
+        e.usize(self.hidden);
+        self.w.encode_state(e);
+        self.u.encode_state(e);
+        e.f64s(&self.b);
+    }
+
+    /// Reconstructs a layer written by [`Lstm::encode_state`].
+    ///
+    /// # Errors
+    /// [`etsc_data::CodecError`] on malformed input.
+    pub fn decode_state(d: &mut etsc_data::Decoder) -> Result<Self, etsc_data::CodecError> {
+        let input_size = d.usize()?;
+        let hidden = d.usize()?;
+        let w = Matrix::decode_state(d)?;
+        let u = Matrix::decode_state(d)?;
+        let b = d.f64s()?;
+        Ok(Lstm {
+            input_size,
+            hidden,
+            grad_w: Matrix::zeros(w.rows(), w.cols()),
+            grad_u: Matrix::zeros(u.rows(), u.cols()),
+            grad_b: vec![0.0; b.len()],
+            adam_w: Adam::new(w.rows() * w.cols()),
+            adam_u: Adam::new(u.rows() * u.cols()),
+            adam_b: Adam::new(b.len()),
+            w,
+            u,
+            b,
+            cache: Vec::new(),
+        })
+    }
+
     /// Forward over a batch of `input_size × steps` maps; returns the
     /// final hidden state per sample and caches everything for BPTT.
     ///

@@ -112,6 +112,82 @@ impl MlstmFcn {
         }
     }
 
+    /// Serializes hyper-parameters and all layer weights (model store).
+    pub fn encode_state(&self, e: &mut etsc_data::Encoder) {
+        e.usize(self.config.filters[0]);
+        e.usize(self.config.filters[1]);
+        e.usize(self.config.filters[2]);
+        e.usize(self.config.lstm_cells);
+        e.f64(self.config.dropout);
+        e.usize(self.config.epochs);
+        e.usize(self.config.batch_size);
+        e.f64(self.config.learning_rate);
+        e.bool(self.config.dimension_shuffle);
+        e.u64(self.config.seed);
+        e.usize(self.n_classes);
+        e.usize(self.vars);
+        e.usize(self.len);
+        match &self.layers {
+            None => e.bool(false),
+            Some(l) => {
+                e.bool(true);
+                l.conv1.encode_state(e);
+                l.bn1.encode_state(e);
+                l.se1.encode_state(e);
+                l.conv2.encode_state(e);
+                l.bn2.encode_state(e);
+                l.se2.encode_state(e);
+                l.conv3.encode_state(e);
+                l.bn3.encode_state(e);
+                l.lstm.encode_state(e);
+                l.head.encode_state(e);
+            }
+        }
+    }
+
+    /// Reconstructs a network written by [`MlstmFcn::encode_state`].
+    ///
+    /// # Errors
+    /// [`etsc_data::CodecError`] on malformed input.
+    pub fn decode_state(d: &mut etsc_data::Decoder) -> Result<Self, etsc_data::CodecError> {
+        let config = MlstmFcnConfig {
+            filters: [d.usize()?, d.usize()?, d.usize()?],
+            lstm_cells: d.usize()?,
+            dropout: d.f64()?,
+            epochs: d.usize()?,
+            batch_size: d.usize()?,
+            learning_rate: d.f64()?,
+            dimension_shuffle: d.bool()?,
+            seed: d.u64()?,
+        };
+        let n_classes = d.usize()?;
+        let vars = d.usize()?;
+        let len = d.usize()?;
+        let layers = if d.bool()? {
+            Some(Layers {
+                conv1: Conv1d::decode_state(d)?,
+                bn1: BatchNorm1d::decode_state(d)?,
+                se1: SqueezeExcite::decode_state(d)?,
+                conv2: Conv1d::decode_state(d)?,
+                bn2: BatchNorm1d::decode_state(d)?,
+                se2: SqueezeExcite::decode_state(d)?,
+                conv3: Conv1d::decode_state(d)?,
+                bn3: BatchNorm1d::decode_state(d)?,
+                lstm: Lstm::decode_state(d)?,
+                head: Dense::decode_state(d)?,
+            })
+        } else {
+            None
+        };
+        Ok(MlstmFcn {
+            config,
+            layers,
+            n_classes,
+            vars,
+            len,
+        })
+    }
+
     /// Trains on `vars × time` samples with dense labels.
     ///
     /// # Errors

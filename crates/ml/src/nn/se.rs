@@ -73,6 +73,37 @@ impl SqueezeExcite {
         }
     }
 
+    /// Serializes the inference-relevant state (weights only; optimiser
+    /// and gradient buffers are rebuilt fresh on decode).
+    pub fn encode_state(&self, e: &mut etsc_data::Encoder) {
+        e.usize(self.channels);
+        e.usize(self.hidden);
+        self.w1.encode_state(e);
+        self.w2.encode_state(e);
+    }
+
+    /// Reconstructs a block written by [`SqueezeExcite::encode_state`].
+    ///
+    /// # Errors
+    /// [`etsc_data::CodecError`] on malformed input.
+    pub fn decode_state(d: &mut etsc_data::Decoder) -> Result<Self, etsc_data::CodecError> {
+        let channels = d.usize()?;
+        let hidden = d.usize()?;
+        let w1 = Matrix::decode_state(d)?;
+        let w2 = Matrix::decode_state(d)?;
+        Ok(SqueezeExcite {
+            channels,
+            hidden,
+            grad_w1: Matrix::zeros(hidden, channels),
+            grad_w2: Matrix::zeros(channels, hidden),
+            adam_w1: Adam::new(hidden * channels),
+            adam_w2: Adam::new(channels * hidden),
+            w1,
+            w2,
+            cache: Vec::new(),
+        })
+    }
+
     /// Forward over a batch, caching per-sample intermediates.
     ///
     /// # Panics

@@ -78,6 +78,41 @@ impl OneClassSvm {
         self.support.len()
     }
 
+    /// Serializes hyper-parameters and fitted state (model store).
+    pub fn encode_state(&self, e: &mut etsc_data::Encoder) {
+        e.f64(self.config.nu);
+        e.opt_f64(self.config.gamma);
+        e.usize(self.config.max_iters);
+        e.f64(self.config.tolerance);
+        e.f64_rows(&self.support);
+        e.f64s(&self.alpha);
+        e.f64(self.rho);
+        e.f64(self.gamma);
+        e.usize(self.n_features);
+        e.bool(self.fitted);
+    }
+
+    /// Reconstructs a model written by [`OneClassSvm::encode_state`].
+    ///
+    /// # Errors
+    /// [`etsc_data::CodecError`] on malformed input.
+    pub fn decode_state(d: &mut etsc_data::Decoder) -> Result<Self, etsc_data::CodecError> {
+        Ok(OneClassSvm {
+            config: OcSvmConfig {
+                nu: d.f64()?,
+                gamma: d.opt_f64()?,
+                max_iters: d.usize()?,
+                tolerance: d.f64()?,
+            },
+            support: d.f64_rows()?,
+            alpha: d.f64s()?,
+            rho: d.f64()?,
+            gamma: d.f64()?,
+            n_features: d.usize()?,
+            fitted: d.bool()?,
+        })
+    }
+
     /// Trains on inlier samples (rows of `x`).
     ///
     /// # Errors

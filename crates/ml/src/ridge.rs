@@ -62,9 +62,36 @@ impl RidgeClassifier {
             .map(|(j, &v)| (v - self.feat_mean[j]) / self.feat_std[j])
             .collect()
     }
+
+    /// Serializes hyper-parameters and fitted state (model store).
+    pub fn encode_state(&self, e: &mut etsc_data::Encoder) {
+        e.f64(self.config.alpha);
+        e.f64_rows(&self.weights);
+        e.usize(self.n_features);
+        e.f64s(&self.feat_mean);
+        e.f64s(&self.feat_std);
+    }
+
+    /// Reconstructs a model written by [`RidgeClassifier::encode_state`].
+    ///
+    /// # Errors
+    /// [`etsc_data::CodecError`] on malformed input.
+    pub fn decode_state(d: &mut etsc_data::Decoder) -> Result<Self, etsc_data::CodecError> {
+        Ok(RidgeClassifier {
+            config: RidgeConfig { alpha: d.f64()? },
+            weights: d.f64_rows()?,
+            n_features: d.usize()?,
+            feat_mean: d.f64s()?,
+            feat_std: d.f64s()?,
+        })
+    }
 }
 
 impl Classifier for RidgeClassifier {
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
     fn fit(&mut self, x: &Matrix, y: &[usize], n_classes: usize) -> Result<(), MlError> {
         validate_training(x, y, n_classes)?;
         if self.config.alpha < 0.0 {

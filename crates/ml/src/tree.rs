@@ -226,6 +226,10 @@ impl DecisionTree {
 }
 
 impl Classifier for DecisionTree {
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
     fn fit(&mut self, x: &Matrix, y: &[usize], n_classes: usize) -> Result<(), MlError> {
         validate_training(x, y, n_classes)?;
         self.n_features = x.cols();

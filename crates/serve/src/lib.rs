@@ -1,0 +1,31 @@
+//! # etsc-serve
+//!
+//! The streaming inference service on top of the framework's algorithms:
+//! everything Figure 13 predicts *offline* about online feasibility,
+//! made *measurable* on a live replay.
+//!
+//! * [`store`] — a versioned, hand-rolled binary model store so
+//!   `etsc train` can persist a fitted model and `etsc serve` /
+//!   `etsc predict` can load it without refitting. Floats travel as
+//!   IEEE-754 bit patterns, so a loaded model predicts bit-identically
+//!   to the in-memory one;
+//! * [`session`] — one [`session::StreamSession`] per incoming time
+//!   series, feeding observations incrementally through the existing
+//!   [`etsc_core::StreamState`] machinery and re-evaluating per point or
+//!   per prefix batch (ECEC/TEASER semantics);
+//! * [`scheduler`] — a fixed worker pool multiplexing many sessions with
+//!   bounded ingress queues and explicit backpressure (block or shed);
+//! * [`replay`] — replays a whole dataset through the scheduler at a
+//!   dataset's observation frequency and reports the *measured*
+//!   Figure-13 ratio (`decision_latency / obs_interval`) next to the
+//!   offline verdict of [`etsc_eval::online`].
+
+pub mod replay;
+pub mod scheduler;
+pub mod session;
+pub mod store;
+
+pub use replay::{replay_dataset, ReplayOptions, ReplayOutcome};
+pub use scheduler::{serve_sessions, Backpressure, SchedulerConfig, ServeReport};
+pub use session::StreamSession;
+pub use store::{fit_model, ModelMeta, SavedModel, ServeError, StoredModel};

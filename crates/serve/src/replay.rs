@@ -1,0 +1,233 @@
+//! Dataset replay: measure the Figure-13 ratio live.
+//!
+//! [`replay_dataset`] pushes every instance of a dataset through the
+//! [`crate::scheduler`] as a concurrent streaming session and derives
+//! the *measured* online-feasibility ratio
+//!
+//! ```text
+//! ratio = mean decision latency / (obs_frequency · batch_len)
+//! ```
+//!
+//! — the same quantity [`etsc_eval::online::online_cell`] computes from
+//! offline cross-validation timings, but with the latency actually
+//! observed while serving. Both sides share the
+//! [`etsc_eval::online::feasible_ratio`] boundary convention (strictly
+//! below 1.0), so the live verdict and the heatmap verdict can only
+//! disagree when the measured latency itself differs, never on the
+//! boundary.
+
+use etsc_core::EtscError;
+use etsc_data::Dataset;
+use etsc_eval::experiment::AlgoSpec;
+use etsc_eval::online::feasible_ratio;
+
+use crate::scheduler::{serve_sessions, SchedulerConfig, ServeReport};
+use crate::store::StoredModel;
+
+/// Replay parameters.
+#[derive(Debug, Clone)]
+pub struct ReplayOptions {
+    /// Seconds between consecutive observations of the stream being
+    /// simulated (Figure 13's parenthetical frequency).
+    pub obs_frequency_secs: f64,
+    /// Re-evaluation granularity in points; use
+    /// [`AlgoSpec::decision_batch`] for the paper's ECEC/TEASER batch
+    /// credit.
+    pub batch: usize,
+    /// Scheduler (workers, queue, backpressure) configuration.
+    pub scheduler: SchedulerConfig,
+}
+
+/// Everything one replay measured.
+#[derive(Debug)]
+pub struct ReplayOutcome {
+    /// Replayed algorithm.
+    pub algo: AlgoSpec,
+    /// Dataset name.
+    pub dataset: String,
+    /// Sessions served (= instances replayed).
+    pub sessions: usize,
+    /// Fraction of sessions whose decision matched the true label.
+    pub accuracy: f64,
+    /// Mean earliness over committed decisions.
+    pub earliness: f64,
+    /// Mean decision latency, seconds per re-evaluation.
+    pub mean_latency_secs: f64,
+    /// Median decision latency, seconds.
+    pub p50_latency_secs: f64,
+    /// 99th-percentile decision latency, seconds.
+    pub p99_latency_secs: f64,
+    /// Committed decisions per wall-clock second.
+    pub decisions_per_sec: f64,
+    /// The measured Figure-13 ratio; `None` when nothing was measured
+    /// (no evaluations).
+    pub measured_ratio: Option<f64>,
+    /// Observation interval the ratio was computed against (s/obs).
+    pub obs_frequency_secs: f64,
+    /// Decision batch length the ratio was computed against.
+    pub batch_len: usize,
+    /// The raw scheduler report (shed/dropped counts, histograms).
+    pub report: ServeReport,
+}
+
+impl ReplayOutcome {
+    /// The live feasibility verdict under the shared boundary
+    /// convention; `None` when no ratio was measured.
+    pub fn feasible(&self) -> Option<bool> {
+        self.measured_ratio.map(feasible_ratio)
+    }
+
+    /// Plain-text rendering for the CLI.
+    pub fn render(&self) -> String {
+        let verdict = match self.feasible() {
+            Some(true) => "feasible (ratio < 1)",
+            Some(false) => "infeasible (ratio >= 1)",
+            None => "unmeasured",
+        };
+        format!(
+            "{} on {} — {} sessions\n\
+             decisions      {} committed, {} dropped, {} observations shed\n\
+             accuracy       {:.4}\n\
+             earliness      {:.4}\n\
+             latency        mean {:.3} ms, p50 {:.3} ms, p99 {:.3} ms\n\
+             throughput     {:.0} decisions/s\n\
+             online ratio   {} at {} s/obs x batch {} -> {}\n",
+            self.algo.name(),
+            self.dataset,
+            self.sessions,
+            self.report.committed(),
+            self.report.dropped_decisions,
+            self.report.shed_observations,
+            self.accuracy,
+            self.earliness,
+            self.mean_latency_secs * 1000.0,
+            self.p50_latency_secs * 1000.0,
+            self.p99_latency_secs * 1000.0,
+            self.decisions_per_sec,
+            self.measured_ratio
+                .map_or("n/a".to_owned(), |r| format!("{r:.4}")),
+            self.obs_frequency_secs,
+            self.batch_len,
+            verdict,
+        )
+    }
+}
+
+/// Replays every instance of `data` through `model`'s scheduler and
+/// measures accuracy, latency, and the live Figure-13 ratio.
+///
+/// # Errors
+/// Scheduler infrastructure failures; per-session errors land in the
+/// outcome's report instead.
+pub fn replay_dataset(
+    stored: &StoredModel,
+    data: &Dataset,
+    options: &ReplayOptions,
+) -> Result<ReplayOutcome, EtscError> {
+    let report = serve_sessions(
+        stored.classifier(),
+        data.instances(),
+        options.batch,
+        &options.scheduler,
+    )?;
+    let mut correct = 0usize;
+    let mut committed = 0usize;
+    let mut earliness_sum = 0.0;
+    for (i, decision) in report.decisions.iter().enumerate() {
+        if let Some(p) = decision {
+            committed += 1;
+            if p.label == data.label(i) {
+                correct += 1;
+            }
+            earliness_sum += p.prefix_len as f64 / data.instance(i).len().max(1) as f64;
+        }
+    }
+    let mut eval_latency = report.eval_latency.clone();
+    let mean = eval_latency.mean().unwrap_or(0.0);
+    let measured_ratio = eval_latency
+        .mean()
+        .map(|m| m / (options.obs_frequency_secs * options.batch.max(1) as f64));
+    Ok(ReplayOutcome {
+        algo: stored.meta.algo,
+        dataset: data.name().to_owned(),
+        sessions: data.len(),
+        accuracy: if committed > 0 {
+            correct as f64 / committed as f64
+        } else {
+            0.0
+        },
+        earliness: if committed > 0 {
+            earliness_sum / committed as f64
+        } else {
+            0.0
+        },
+        mean_latency_secs: mean,
+        p50_latency_secs: eval_latency.p50().unwrap_or(0.0),
+        p99_latency_secs: eval_latency.p99().unwrap_or(0.0),
+        decisions_per_sec: report.decisions_per_sec(),
+        measured_ratio,
+        obs_frequency_secs: options.obs_frequency_secs,
+        batch_len: options.batch.max(1),
+        report,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheduler::Backpressure;
+    use crate::store::fit_model;
+    use etsc_datasets::{GenOptions, PaperDataset};
+    use etsc_eval::experiment::RunConfig;
+
+    fn stored() -> (StoredModel, Dataset) {
+        let data = PaperDataset::PowerCons.generate(GenOptions {
+            height_scale: 0.1,
+            length_scale: 0.2,
+            seed: 5,
+        });
+        let config = RunConfig::fast();
+        let model = fit_model(AlgoSpec::Ects, &data, &config).unwrap();
+        (model, data)
+    }
+
+    #[test]
+    fn replay_reports_ratio_and_verdict() {
+        let (model, data) = stored();
+        // Generous observation interval: trivially feasible.
+        let slow = replay_dataset(
+            &model,
+            &data,
+            &ReplayOptions {
+                obs_frequency_secs: 1000.0,
+                batch: 1,
+                scheduler: SchedulerConfig {
+                    workers: 2,
+                    queue_capacity: 64,
+                    backpressure: Backpressure::Block,
+                },
+            },
+        )
+        .unwrap();
+        assert_eq!(slow.sessions, data.len());
+        assert_eq!(slow.report.dropped_decisions, 0);
+        assert_eq!(slow.feasible(), Some(true));
+        assert!(slow.accuracy > 0.0);
+        let text = slow.render();
+        assert!(text.contains("feasible"), "{text}");
+
+        // Impossible observation interval: the same latencies are
+        // infeasible.
+        let fast = replay_dataset(
+            &model,
+            &data,
+            &ReplayOptions {
+                obs_frequency_secs: 1e-12,
+                batch: 1,
+                scheduler: SchedulerConfig::default(),
+            },
+        )
+        .unwrap();
+        assert_eq!(fast.feasible(), Some(false));
+    }
+}

@@ -1,0 +1,449 @@
+//! Concurrent session scheduler: a fixed worker pool multiplexing many
+//! streaming sessions.
+//!
+//! Sessions are partitioned across workers by session id, so each
+//! session lives entirely on one thread (its [`StreamSession`] never
+//! crosses threads). Observations flow through one bounded ingress
+//! queue per worker; when a queue is full the configured
+//! [`Backpressure`] policy decides whether the producer blocks
+//! (lossless) or sheds the observation (lossy, counted). The pool
+//! reuses the supervisor's pattern — `crossbeam::thread::scope` plus
+//! shared slots — with a condvar-based queue in place of the job
+//! counter, since streaming work arrives over time instead of being
+//! enumerable up front.
+
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::time::Instant;
+
+use etsc_core::{EarlyClassifier, EarlyPrediction, EtscError};
+use etsc_data::MultiSeries;
+use etsc_eval::histogram::LatencyHistogram;
+
+use crate::session::StreamSession;
+
+/// What to do with an observation when its worker's ingress queue is
+/// full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backpressure {
+    /// Block the producer until the worker catches up: lossless, the
+    /// replay's decisions exactly match the offline ones.
+    Block,
+    /// Drop the observation and count it: the stream keeps its pace at
+    /// the cost of the session seeing a subsampled series (a session
+    /// whose final point is shed may never commit — reported as a
+    /// dropped decision).
+    Shed,
+}
+
+/// Scheduler knobs.
+#[derive(Debug, Clone)]
+pub struct SchedulerConfig {
+    /// Worker threads (≥ 1).
+    pub workers: usize,
+    /// Bounded capacity of each worker's ingress queue, in observations.
+    pub queue_capacity: usize,
+    /// Policy when a queue is full.
+    pub backpressure: Backpressure,
+}
+
+impl Default for SchedulerConfig {
+    fn default() -> SchedulerConfig {
+        SchedulerConfig {
+            workers: 4,
+            queue_capacity: 1024,
+            backpressure: Backpressure::Block,
+        }
+    }
+}
+
+/// What a replay produced, per session and in aggregate.
+#[derive(Debug)]
+pub struct ServeReport {
+    /// Final prediction per session; `None` when the session never
+    /// committed (only possible under [`Backpressure::Shed`]).
+    pub decisions: Vec<Option<EarlyPrediction>>,
+    /// Observations shed under backpressure.
+    pub shed_observations: usize,
+    /// Sessions that ended without a decision.
+    pub dropped_decisions: usize,
+    /// Total re-evaluations across all sessions.
+    pub evals: usize,
+    /// Wall-clock latency of each re-evaluation (seconds).
+    pub eval_latency: LatencyHistogram,
+    /// Per-decision lag from the triggering observation's enqueue to the
+    /// committed prediction (seconds) — includes queueing delay, unlike
+    /// [`ServeReport::eval_latency`].
+    pub decision_lag: LatencyHistogram,
+    /// Wall-clock duration of the whole replay (seconds).
+    pub wall_secs: f64,
+    /// Errors raised by sessions (first message kept).
+    pub errors: usize,
+    /// First session error, if any.
+    pub first_error: Option<String>,
+}
+
+impl ServeReport {
+    /// Committed decisions.
+    pub fn committed(&self) -> usize {
+        self.decisions.iter().filter(|d| d.is_some()).count()
+    }
+
+    /// Decision throughput over the replay wall-clock.
+    pub fn decisions_per_sec(&self) -> f64 {
+        if self.wall_secs > 0.0 {
+            self.committed() as f64 / self.wall_secs
+        } else {
+            0.0
+        }
+    }
+}
+
+/// One observation in flight to a worker. Finality is derived by the
+/// session from its expected length, so only the payload and timing
+/// travel.
+struct Item {
+    session: usize,
+    row: Vec<f64>,
+    enqueued: Instant,
+}
+
+/// Bounded MPSC ingress queue (std mutex + condvars; the vendored
+/// crossbeam stub has no channels).
+struct Ingress {
+    state: Mutex<IngressState>,
+    space: Condvar,
+    ready: Condvar,
+    capacity: usize,
+}
+
+struct IngressState {
+    items: VecDeque<Item>,
+    closed: bool,
+}
+
+impl Ingress {
+    fn new(capacity: usize) -> Ingress {
+        Ingress {
+            state: Mutex::new(IngressState {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            space: Condvar::new(),
+            ready: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Enqueues `item`; with `Block` waits for space, with `Shed`
+    /// returns `false` when full without enqueueing.
+    fn push(&self, item: Item, policy: Backpressure) -> bool {
+        let mut state = self
+            .state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        while state.items.len() >= self.capacity {
+            match policy {
+                Backpressure::Shed => return false,
+                Backpressure::Block => {
+                    state = self
+                        .space
+                        .wait(state)
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                }
+            }
+        }
+        state.items.push_back(item);
+        drop(state);
+        self.ready.notify_one();
+        true
+    }
+
+    /// Dequeues the next item, blocking; `None` once closed and drained.
+    fn pop(&self) -> Option<Item> {
+        let mut state = self
+            .state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        loop {
+            if let Some(item) = state.items.pop_front() {
+                drop(state);
+                self.space.notify_one();
+                return Some(item);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self
+                .ready
+                .wait(state)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+
+    fn close(&self) {
+        self.state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .closed = true;
+        self.ready.notify_all();
+    }
+}
+
+/// Replays `instances` as concurrent streaming sessions against one
+/// shared fitted model and reports decisions plus measured latencies.
+///
+/// `batch` is the re-evaluation granularity in points (the algorithm's
+/// `decision_batch`). Feeding is time-major: observation `t` of every
+/// session is enqueued before observation `t + 1` of any session, the
+/// interleaving a real multiplexed ingress would produce.
+///
+/// # Errors
+/// Infrastructure failures only (a worker panic escaping the pool).
+/// Per-session model errors are reported in the [`ServeReport`].
+pub fn serve_sessions(
+    model: &(dyn EarlyClassifier + Sync),
+    instances: &[MultiSeries],
+    batch: usize,
+    config: &SchedulerConfig,
+) -> Result<ServeReport, EtscError> {
+    let n = instances.len();
+    let workers = config.workers.max(1).min(n.max(1));
+    let queues: Vec<Ingress> = (0..workers)
+        .map(|_| Ingress::new(config.queue_capacity))
+        .collect();
+    let slots: Vec<Mutex<Option<EarlyPrediction>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let done: Vec<AtomicBool> = (0..n).map(|_| AtomicBool::new(false)).collect();
+    let shed = AtomicUsize::new(0);
+    let errors = AtomicUsize::new(0);
+    let first_error: Mutex<Option<String>> = Mutex::new(None);
+    let started = Instant::now();
+
+    let per_worker = crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(workers);
+        for queue in &queues {
+            let slots = &slots;
+            let done = &done;
+            let errors = &errors;
+            let first_error = &first_error;
+            handles.push(scope.spawn(move |_| {
+                let mut sessions: HashMap<usize, StreamSession<'_>> = HashMap::new();
+                let mut eval_latency = LatencyHistogram::new();
+                let mut decision_lag = LatencyHistogram::new();
+                let mut evals = 0usize;
+                while let Some(item) = queue.pop() {
+                    let s = item.session;
+                    if done[s].load(Ordering::Acquire) {
+                        continue;
+                    }
+                    let session = match sessions.entry(s) {
+                        std::collections::hash_map::Entry::Occupied(o) => o.into_mut(),
+                        std::collections::hash_map::Entry::Vacant(v) => {
+                            let inst = &instances[s];
+                            match StreamSession::new(model, inst.vars(), inst.len(), batch) {
+                                Ok(session) => v.insert(session),
+                                Err(e) => {
+                                    record_error(errors, first_error, &e);
+                                    done[s].store(true, Ordering::Release);
+                                    continue;
+                                }
+                            }
+                        }
+                    };
+                    let before = session.evals();
+                    match session.push(&item.row) {
+                        Ok(Some(prediction)) => {
+                            *slots[s]
+                                .lock()
+                                .unwrap_or_else(std::sync::PoisonError::into_inner) =
+                                Some(prediction);
+                            done[s].store(true, Ordering::Release);
+                            decision_lag.record(item.enqueued.elapsed().as_secs_f64());
+                        }
+                        Ok(None) => {}
+                        Err(e) => {
+                            record_error(errors, first_error, &e);
+                            done[s].store(true, Ordering::Release);
+                        }
+                    }
+                    evals += session.evals() - before;
+                    if done[s].load(Ordering::Acquire) {
+                        let finished = sessions.remove(&s).expect("session exists");
+                        eval_latency.merge(finished.latency());
+                    }
+                }
+                // Sessions still open when the stream closes (shed tail):
+                // collect their latencies too.
+                for (_, session) in sessions {
+                    eval_latency.merge(session.latency());
+                }
+                (eval_latency, decision_lag, evals)
+            }));
+        }
+
+        // Feed time-major from the calling thread.
+        let horizon = instances.iter().map(MultiSeries::len).max().unwrap_or(0);
+        for t in 0..horizon {
+            for (s, inst) in instances.iter().enumerate() {
+                if t >= inst.len() || done[s].load(Ordering::Acquire) {
+                    continue;
+                }
+                let row: Vec<f64> = (0..inst.vars()).map(|v| inst.at(v, t)).collect();
+                let item = Item {
+                    session: s,
+                    row,
+                    enqueued: Instant::now(),
+                };
+                if !queues[s % workers].push(item, config.backpressure) {
+                    shed.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        for queue in &queues {
+            queue.close();
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("scheduler worker panicked"))
+            .collect::<Vec<_>>()
+    })
+    .map_err(|p| EtscError::Panicked {
+        message: etsc_core::panic_message(&p),
+    })?;
+
+    let wall_secs = started.elapsed().as_secs_f64();
+    let mut eval_latency = LatencyHistogram::new();
+    let mut decision_lag = LatencyHistogram::new();
+    let mut evals = 0;
+    for (el, dl, n_evals) in per_worker {
+        eval_latency.merge(&el);
+        decision_lag.merge(&dl);
+        evals += n_evals;
+    }
+    let decisions: Vec<Option<EarlyPrediction>> = slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+        })
+        .collect();
+    let dropped_decisions = decisions.iter().filter(|d| d.is_none()).count();
+    Ok(ServeReport {
+        decisions,
+        shed_observations: shed.into_inner(),
+        dropped_decisions,
+        evals,
+        eval_latency,
+        decision_lag,
+        wall_secs,
+        errors: errors.into_inner(),
+        first_error: first_error
+            .into_inner()
+            .unwrap_or_else(std::sync::PoisonError::into_inner),
+    })
+}
+
+fn record_error(errors: &AtomicUsize, first_error: &Mutex<Option<String>>, e: &EtscError) {
+    errors.fetch_add(1, Ordering::Relaxed);
+    first_error
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .get_or_insert_with(|| e.to_string());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use etsc_core::{Ects, EctsConfig};
+    use etsc_data::{Dataset, DatasetBuilder, Series};
+
+    fn synthetic(n: usize) -> Dataset {
+        let mut b = DatasetBuilder::new("synthetic");
+        for i in 0..n {
+            let (class, base) = if i % 2 == 0 {
+                ("up", 1.0)
+            } else {
+                ("down", -1.0)
+            };
+            let values: Vec<f64> = (0..16)
+                .map(|t| base * (t as f64 + i as f64 * 0.1))
+                .collect();
+            b.push_named(MultiSeries::univariate(Series::new(values)), class);
+        }
+        b.build().unwrap()
+    }
+
+    fn fitted(data: &Dataset) -> Ects {
+        let mut model = Ects::new(EctsConfig { support: 0 });
+        model.fit(data).unwrap();
+        model
+    }
+
+    #[test]
+    fn block_mode_matches_offline_predictions() {
+        let data = synthetic(24);
+        let model = fitted(&data);
+        let report = serve_sessions(
+            &model,
+            data.instances(),
+            1,
+            &SchedulerConfig {
+                workers: 3,
+                queue_capacity: 8,
+                backpressure: Backpressure::Block,
+            },
+        )
+        .unwrap();
+        assert_eq!(report.shed_observations, 0);
+        assert_eq!(report.dropped_decisions, 0);
+        assert_eq!(report.errors, 0, "{:?}", report.first_error);
+        assert!(report.evals > 0);
+        assert_eq!(report.eval_latency.len(), report.evals);
+        for (i, decision) in report.decisions.iter().enumerate() {
+            let offline = model.predict_early(data.instance(i)).unwrap();
+            assert_eq!(*decision, Some(offline), "session {i}");
+        }
+    }
+
+    #[test]
+    fn tiny_queue_with_shed_counts_drops() {
+        let data = synthetic(30);
+        let model = fitted(&data);
+        let report = serve_sessions(
+            &model,
+            data.instances(),
+            1,
+            &SchedulerConfig {
+                workers: 1,
+                queue_capacity: 1,
+                backpressure: Backpressure::Shed,
+            },
+        )
+        .unwrap();
+        // With a single one-slot queue and 30 interleaved streams, the
+        // producer may outrun the worker; whatever happens, the books
+        // must balance.
+        assert_eq!(
+            report.decisions.iter().filter(|d| d.is_none()).count(),
+            report.dropped_decisions
+        );
+        assert_eq!(report.committed() + report.dropped_decisions, 30);
+    }
+
+    #[test]
+    fn single_worker_is_deterministic_and_lossless() {
+        let data = synthetic(10);
+        let model = fitted(&data);
+        let config = SchedulerConfig {
+            workers: 1,
+            queue_capacity: 4,
+            backpressure: Backpressure::Block,
+        };
+        let a = serve_sessions(&model, data.instances(), 2, &config).unwrap();
+        let b = serve_sessions(&model, data.instances(), 2, &config).unwrap();
+        assert_eq!(a.decisions, b.decisions);
+        assert_eq!(a.evals, b.evals);
+    }
+}

@@ -1,0 +1,215 @@
+//! Per-series streaming sessions.
+//!
+//! A [`StreamSession`] owns the server-side state of one incoming time
+//! series: the observations buffered so far, the algorithm's
+//! [`StreamState`], and the latency of every re-evaluation. Observations
+//! arrive one multivariate row at a time; the session re-evaluates the
+//! growing prefix either per point or per prefix batch — ECEC and
+//! TEASER only re-evaluate once a whole `L/N` batch has arrived, the
+//! same batch credit [`etsc_eval::online`] grants them in Figure 13.
+
+use std::time::Instant;
+
+use etsc_core::{EarlyClassifier, EarlyPrediction, EtscError, StreamState};
+use etsc_data::MultiSeries;
+use etsc_eval::histogram::LatencyHistogram;
+
+/// Streaming state for one time series being classified early.
+pub struct StreamSession<'m> {
+    stream: Box<dyn StreamState + 'm>,
+    /// Buffered observations, one inner vector per variable.
+    values: Vec<Vec<f64>>,
+    expected_len: usize,
+    batch: usize,
+    decided: Option<EarlyPrediction>,
+    evals: usize,
+    latency: LatencyHistogram,
+}
+
+impl<'m> StreamSession<'m> {
+    /// Opens a session against a fitted model.
+    ///
+    /// `vars` is the number of variables per observation, `expected_len`
+    /// the full series length (so the final observation can force a
+    /// decision), and `batch` the re-evaluation granularity in points
+    /// (1 = per point; [`crate::store::ModelMeta::algo`]'s
+    /// `decision_batch` for ECEC/TEASER).
+    ///
+    /// # Errors
+    /// [`EtscError::NotFitted`] when the model has not been trained.
+    pub fn new(
+        model: &'m dyn EarlyClassifier,
+        vars: usize,
+        expected_len: usize,
+        batch: usize,
+    ) -> Result<StreamSession<'m>, EtscError> {
+        Ok(StreamSession {
+            stream: model.start_stream()?,
+            values: vec![Vec::with_capacity(expected_len); vars.max(1)],
+            expected_len: expected_len.max(1),
+            batch: batch.max(1),
+            decided: None,
+            evals: 0,
+            latency: LatencyHistogram::new(),
+        })
+    }
+
+    /// Points observed so far.
+    pub fn observed(&self) -> usize {
+        self.values[0].len()
+    }
+
+    /// The committed prediction, once the trigger has fired.
+    pub fn decision(&self) -> Option<EarlyPrediction> {
+        self.decided
+    }
+
+    /// `true` once a prediction has been committed; later observations
+    /// are ignored.
+    pub fn is_done(&self) -> bool {
+        self.decided.is_some()
+    }
+
+    /// Number of re-evaluations performed.
+    pub fn evals(&self) -> usize {
+        self.evals
+    }
+
+    /// Per-re-evaluation decision latencies (seconds).
+    pub fn latency(&self) -> &LatencyHistogram {
+        &self.latency
+    }
+
+    /// Feeds one observation (one value per variable) and re-evaluates
+    /// when the batch boundary — or the final point — is reached.
+    ///
+    /// Returns the prediction when this observation triggered the
+    /// commit; afterwards the session is done and further observations
+    /// are no-ops.
+    ///
+    /// # Errors
+    /// [`EtscError::IncompatibleInstance`] on a wrong-arity observation;
+    /// otherwise whatever the algorithm's `observe` propagates.
+    pub fn push(&mut self, observation: &[f64]) -> Result<Option<EarlyPrediction>, EtscError> {
+        if self.decided.is_some() {
+            return Ok(None);
+        }
+        if observation.len() != self.values.len() {
+            return Err(EtscError::IncompatibleInstance(format!(
+                "observation has {} variables, session expects {}",
+                observation.len(),
+                self.values.len()
+            )));
+        }
+        for (var, &x) in self.values.iter_mut().zip(observation) {
+            var.push(x);
+        }
+        let t = self.values[0].len();
+        let is_final = t >= self.expected_len;
+        if !t.is_multiple_of(self.batch) && !is_final {
+            return Ok(None);
+        }
+        let prefix = MultiSeries::from_rows(self.values.clone()).map_err(EtscError::Data)?;
+        let started = Instant::now();
+        let label = self.stream.observe(&prefix, is_final)?;
+        self.latency.record(started.elapsed().as_secs_f64());
+        self.evals += 1;
+        if let Some(label) = label {
+            let prediction = EarlyPrediction {
+                label,
+                prefix_len: t,
+            };
+            self.decided = Some(prediction);
+            return Ok(Some(prediction));
+        }
+        Ok(None)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use etsc_data::{Dataset, DatasetBuilder, Series};
+    use etsc_eval::experiment::{AlgoSpec, RunConfig};
+
+    fn synthetic() -> Dataset {
+        let mut b = DatasetBuilder::new("synthetic");
+        for i in 0..12 {
+            let (class, base) = if i % 2 == 0 {
+                ("up", 1.0)
+            } else {
+                ("down", -1.0)
+            };
+            let values: Vec<f64> = (0..20)
+                .map(|t| base * (t as f64 + i as f64 * 0.1))
+                .collect();
+            b.push_named(MultiSeries::univariate(Series::new(values)), class);
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn session_matches_predict_early() {
+        let data = synthetic();
+        let mut model = AlgoSpec::Ects.build(&data, &RunConfig::fast());
+        model.fit(&data).unwrap();
+        for inst in data.instances() {
+            let offline = model.predict_early(inst).unwrap();
+            let mut session = StreamSession::new(&*model, inst.vars(), inst.len(), 1).unwrap();
+            let mut live = None;
+            for t in 0..inst.len() {
+                let row: Vec<f64> = (0..inst.vars()).map(|v| inst.at(v, t)).collect();
+                if let Some(p) = session.push(&row).unwrap() {
+                    live = Some(p);
+                    break;
+                }
+            }
+            assert_eq!(live, Some(offline));
+            assert!(session.is_done());
+            assert!(session.evals() > 0);
+            assert_eq!(session.latency().len(), session.evals());
+        }
+    }
+
+    #[test]
+    fn batched_session_evaluates_fewer_times() {
+        let data = synthetic();
+        let mut model = AlgoSpec::Ects.build(&data, &RunConfig::fast());
+        model.fit(&data).unwrap();
+        let inst = data.instance(0);
+        let run = |batch: usize| {
+            let mut s = StreamSession::new(&*model, 1, inst.len(), batch).unwrap();
+            for t in 0..inst.len() {
+                if s.push(&[inst.at(0, t)]).unwrap().is_some() {
+                    break;
+                }
+            }
+            (s.evals(), s.decision())
+        };
+        let (evals_per_point, d1) = run(1);
+        let (evals_batched, d2) = run(5);
+        assert!(evals_batched <= evals_per_point);
+        assert!(d1.is_some() && d2.is_some());
+        // A batched session can only commit on batch boundaries (or the
+        // final point).
+        let p = d2.unwrap().prefix_len;
+        assert!(p % 5 == 0 || p == inst.len(), "prefix_len {p}");
+    }
+
+    #[test]
+    fn wrong_arity_is_rejected_and_done_sessions_ignore_input() {
+        let data = synthetic();
+        let mut model = AlgoSpec::Ects.build(&data, &RunConfig::fast());
+        model.fit(&data).unwrap();
+        let inst = data.instance(0);
+        let mut s = StreamSession::new(&*model, 1, inst.len(), 1).unwrap();
+        assert!(s.push(&[1.0, 2.0]).is_err());
+        for t in 0..inst.len() {
+            s.push(&[inst.at(0, t)]).unwrap();
+        }
+        assert!(s.is_done());
+        let evals = s.evals();
+        assert_eq!(s.push(&[0.0]).unwrap(), None);
+        assert_eq!(s.evals(), evals);
+    }
+}

@@ -1,0 +1,664 @@
+//! Persistent model store: versioned binary files for fitted models.
+//!
+//! Layout (all scalars little-endian, via [`etsc_data::codec`]):
+//!
+//! ```text
+//! magic   u64   "ETSCMODL"
+//! version u64   bumped on any payload schema change
+//! meta          algorithm name, dataset name, vars, train length,
+//!               class names
+//! voting  bool  true when the payload is a voting adapter of
+//!               univariate voters (one per variable)
+//! payload       the algorithm's own `encode_state` field sequence
+//! ```
+//!
+//! Every float is stored as its IEEE-754 bit pattern, so a loaded model
+//! is *bit-identical* to the saved one: the round-trip property test in
+//! the workspace root asserts equal predictions on held-out data for
+//! every algorithm.
+
+use std::path::Path;
+
+use etsc_core::full::{MiniRocketClassifier, MlstmClassifier, WeaselClassifier};
+use etsc_core::{
+    EarlyClassifier, Ecec, EcecConfig, EconomyK, EconomyKConfig, Ects, EctsConfig, Edsc,
+    EdscConfig, EtscError, Strut, Teaser, TeaserConfig, VotingAdapter, VotingScheme,
+};
+use etsc_data::codec::{CodecError, Decoder, Encoder};
+use etsc_data::Dataset;
+use etsc_eval::experiment::{AlgoSpec, RunConfig};
+
+/// File magic: `b"ETSCMODL"` as a little-endian `u64`.
+const MAGIC: u64 = u64::from_le_bytes(*b"ETSCMODL");
+
+/// Payload schema version; bump when any `encode_state` sequence
+/// changes shape.
+const FORMAT_VERSION: u64 = 1;
+
+/// Failures of the model store.
+#[derive(Debug)]
+pub enum ServeError {
+    /// Filesystem failure reading or writing a model file.
+    Io(std::io::Error),
+    /// The file's bytes do not decode as a model of this version.
+    Codec(CodecError),
+    /// The underlying algorithm failed (training, prediction, or an
+    /// unsupported configuration for persistence).
+    Model(EtscError),
+    /// The file decoded but is not usable here (wrong magic, newer
+    /// version, unknown algorithm name).
+    Format(String),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Io(e) => write!(f, "model store I/O failed: {e}"),
+            ServeError::Codec(e) => write!(f, "model file does not decode: {e}"),
+            ServeError::Model(e) => write!(f, "model failure: {e}"),
+            ServeError::Format(msg) => write!(f, "unusable model file: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> Self {
+        ServeError::Io(e)
+    }
+}
+
+impl From<CodecError> for ServeError {
+    fn from(e: CodecError) -> Self {
+        ServeError::Codec(e)
+    }
+}
+
+impl From<EtscError> for ServeError {
+    fn from(e: EtscError) -> Self {
+        ServeError::Model(e)
+    }
+}
+
+/// What the service needs to know about a model besides its weights:
+/// which algorithm, what data shape it was trained on, and how to print
+/// its predictions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelMeta {
+    /// Trained algorithm.
+    pub algo: AlgoSpec,
+    /// Name of the training dataset.
+    pub dataset: String,
+    /// Variables per instance the model expects.
+    pub vars: usize,
+    /// Series length of the training data (the replay horizon).
+    pub train_len: usize,
+    /// Class display names, indexed by dense label.
+    pub class_names: Vec<String>,
+}
+
+impl ModelMeta {
+    fn encode(&self, e: &mut Encoder) {
+        e.str(self.algo.name());
+        e.str(&self.dataset);
+        e.usize(self.vars);
+        e.usize(self.train_len);
+        e.usize(self.class_names.len());
+        for name in &self.class_names {
+            e.str(name);
+        }
+    }
+
+    fn decode(d: &mut Decoder) -> Result<ModelMeta, ServeError> {
+        let algo_name = d.str()?;
+        let algo = AlgoSpec::by_name(&algo_name)
+            .ok_or_else(|| ServeError::Format(format!("unknown algorithm {algo_name:?}")))?;
+        let dataset = d.str()?;
+        let vars = d.usize()?;
+        let train_len = d.usize()?;
+        let n = d.usize()?;
+        let mut class_names = Vec::with_capacity(n.min(1024));
+        for _ in 0..n {
+            class_names.push(d.str()?);
+        }
+        Ok(ModelMeta {
+            algo,
+            dataset,
+            vars,
+            train_len,
+            class_names,
+        })
+    }
+}
+
+/// A fitted model in one of its thirteen persistable shapes: each of
+/// the five univariate algorithms either plain or wrapped in the
+/// multivariate voting adapter, plus the three natively-multivariate
+/// STRUT variants.
+// One value exists per serving process, so the size spread between the
+// MLSTM variant and the rest is irrelevant — not worth boxing.
+#[allow(clippy::large_enum_variant)]
+pub enum SavedModel {
+    /// ECEC on univariate data.
+    Ecec(Ecec),
+    /// ECEC voting per variable.
+    EcecVoting(VotingAdapter<Ecec>),
+    /// ECONOMY-K on univariate data.
+    EcoK(EconomyK),
+    /// ECONOMY-K voting per variable.
+    EcoKVoting(VotingAdapter<EconomyK>),
+    /// ECTS on univariate data.
+    Ects(Ects),
+    /// ECTS voting per variable.
+    EctsVoting(VotingAdapter<Ects>),
+    /// EDSC on univariate data.
+    Edsc(Edsc),
+    /// EDSC voting per variable.
+    EdscVoting(VotingAdapter<Edsc>),
+    /// TEASER on univariate data.
+    Teaser(Teaser),
+    /// TEASER voting per variable.
+    TeaserVoting(VotingAdapter<Teaser>),
+    /// STRUT + MiniROCKET.
+    SMini(Strut<MiniRocketClassifier>),
+    /// STRUT + MLSTM-FCN.
+    SMlstm(Strut<MlstmClassifier>),
+    /// STRUT + WEASEL(+MUSE).
+    SWeasel(Strut<WeaselClassifier>),
+}
+
+impl SavedModel {
+    /// The model as the trait object every downstream consumer
+    /// (sessions, scheduler, CLI) works against. `Sync` so the
+    /// scheduler's worker pool can share it.
+    pub fn classifier(&self) -> &(dyn EarlyClassifier + Sync) {
+        match self {
+            SavedModel::Ecec(m) => m,
+            SavedModel::EcecVoting(m) => m,
+            SavedModel::EcoK(m) => m,
+            SavedModel::EcoKVoting(m) => m,
+            SavedModel::Ects(m) => m,
+            SavedModel::EctsVoting(m) => m,
+            SavedModel::Edsc(m) => m,
+            SavedModel::EdscVoting(m) => m,
+            SavedModel::Teaser(m) => m,
+            SavedModel::TeaserVoting(m) => m,
+            SavedModel::SMini(m) => m,
+            SavedModel::SMlstm(m) => m,
+            SavedModel::SWeasel(m) => m,
+        }
+    }
+
+    /// `true` when the payload is a voting adapter.
+    fn is_voting(&self) -> bool {
+        matches!(
+            self,
+            SavedModel::EcecVoting(_)
+                | SavedModel::EcoKVoting(_)
+                | SavedModel::EctsVoting(_)
+                | SavedModel::EdscVoting(_)
+                | SavedModel::TeaserVoting(_)
+        )
+    }
+
+    fn encode(&self, e: &mut Encoder) -> Result<(), ServeError> {
+        match self {
+            SavedModel::Ecec(m) => m.encode_state(e),
+            SavedModel::EcecVoting(a) => encode_voting(a, e, |m, e| {
+                m.encode_state(e);
+                Ok(())
+            })?,
+            SavedModel::EcoK(m) => m.encode_state(e)?,
+            SavedModel::EcoKVoting(a) => encode_voting(a, e, |m, e| Ok(m.encode_state(e)?))?,
+            SavedModel::Ects(m) => m.encode_state(e),
+            SavedModel::EctsVoting(a) => encode_voting(a, e, |m, e| {
+                m.encode_state(e);
+                Ok(())
+            })?,
+            SavedModel::Edsc(m) => m.encode_state(e),
+            SavedModel::EdscVoting(a) => encode_voting(a, e, |m, e| {
+                m.encode_state(e);
+                Ok(())
+            })?,
+            SavedModel::Teaser(m) => m.encode_state(e),
+            SavedModel::TeaserVoting(a) => encode_voting(a, e, |m, e| {
+                m.encode_state(e);
+                Ok(())
+            })?,
+            SavedModel::SMini(m) => m.encode_state(e, |c, e| c.encode_state(e)),
+            SavedModel::SMlstm(m) => m.encode_state(e, |c, e| c.encode_state(e)),
+            SavedModel::SWeasel(m) => m.encode_state(e, |c, e| c.encode_state(e)),
+        }
+        Ok(())
+    }
+
+    fn decode(algo: AlgoSpec, voting: bool, d: &mut Decoder) -> Result<SavedModel, ServeError> {
+        // The `make` factories are only exercised on an explicit refit of
+        // a loaded model; they use default configurations, while the
+        // decoded voters/models carry the configuration they were trained
+        // with.
+        let model = match (algo, voting) {
+            (AlgoSpec::Ecec, false) => SavedModel::Ecec(Ecec::decode_state(d)?),
+            (AlgoSpec::Ecec, true) => SavedModel::EcecVoting(decode_voting(
+                d,
+                || Ecec::new(EcecConfig::default()),
+                Ecec::decode_state,
+            )?),
+            (AlgoSpec::EcoK, false) => SavedModel::EcoK(EconomyK::decode_state(d)?),
+            (AlgoSpec::EcoK, true) => SavedModel::EcoKVoting(decode_voting(
+                d,
+                || EconomyK::new(EconomyKConfig::default()),
+                EconomyK::decode_state,
+            )?),
+            (AlgoSpec::Ects, false) => SavedModel::Ects(Ects::decode_state(d)?),
+            (AlgoSpec::Ects, true) => SavedModel::EctsVoting(decode_voting(
+                d,
+                || Ects::new(EctsConfig { support: 0 }),
+                Ects::decode_state,
+            )?),
+            (AlgoSpec::Edsc, false) => SavedModel::Edsc(Edsc::decode_state(d)?),
+            (AlgoSpec::Edsc, true) => SavedModel::EdscVoting(decode_voting(
+                d,
+                || Edsc::new(EdscConfig::default()),
+                Edsc::decode_state,
+            )?),
+            (AlgoSpec::Teaser, false) => SavedModel::Teaser(Teaser::decode_state(d)?),
+            (AlgoSpec::Teaser, true) => SavedModel::TeaserVoting(decode_voting(
+                d,
+                || Teaser::new(TeaserConfig::default()),
+                Teaser::decode_state,
+            )?),
+            (AlgoSpec::SMini, _) => SavedModel::SMini(Strut::decode_state(
+                d,
+                MiniRocketClassifier::with_defaults,
+                MiniRocketClassifier::decode_state,
+            )?),
+            (AlgoSpec::SMlstm, _) => SavedModel::SMlstm(Strut::decode_state(
+                d,
+                MlstmClassifier::with_defaults,
+                MlstmClassifier::decode_state,
+            )?),
+            (AlgoSpec::SWeasel, _) => SavedModel::SWeasel(Strut::decode_state(
+                d,
+                WeaselClassifier::with_defaults,
+                WeaselClassifier::decode_state,
+            )?),
+        };
+        Ok(model)
+    }
+}
+
+fn scheme_tag(s: VotingScheme) -> u8 {
+    match s {
+        VotingScheme::Majority => 0,
+        VotingScheme::Earliest => 1,
+        VotingScheme::WeightedAccuracy => 2,
+    }
+}
+
+fn scheme_from_tag(t: u8) -> Result<VotingScheme, CodecError> {
+    match t {
+        0 => Ok(VotingScheme::Majority),
+        1 => Ok(VotingScheme::Earliest),
+        2 => Ok(VotingScheme::WeightedAccuracy),
+        other => Err(CodecError::Corrupt {
+            detail: format!("unknown voting scheme tag {other}"),
+        }),
+    }
+}
+
+fn encode_voting<C: EarlyClassifier>(
+    adapter: &VotingAdapter<C>,
+    e: &mut Encoder,
+    enc: impl Fn(&C, &mut Encoder) -> Result<(), ServeError>,
+) -> Result<(), ServeError> {
+    e.tag(scheme_tag(adapter.scheme()));
+    e.usize(adapter.n_classes());
+    e.f64s(adapter.weights());
+    e.usize(adapter.voters().len());
+    for voter in adapter.voters() {
+        enc(voter, e)?;
+    }
+    Ok(())
+}
+
+fn decode_voting<C: EarlyClassifier>(
+    d: &mut Decoder,
+    make: impl Fn() -> C + Send + Sync + 'static,
+    dec: impl Fn(&mut Decoder) -> Result<C, CodecError>,
+) -> Result<VotingAdapter<C>, CodecError> {
+    let scheme = scheme_from_tag(d.tag()?)?;
+    let n_classes = d.usize()?;
+    let weights = d.f64s()?;
+    let n = d.usize()?;
+    let mut voters = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        voters.push(dec(d)?);
+    }
+    Ok(VotingAdapter::from_fitted(
+        make, scheme, voters, weights, n_classes,
+    ))
+}
+
+/// A fitted model plus its serving metadata — the unit the store saves
+/// and loads.
+pub struct StoredModel {
+    /// Serving metadata (algorithm, shape, class names).
+    pub meta: ModelMeta,
+    /// The fitted model.
+    pub model: SavedModel,
+}
+
+impl StoredModel {
+    /// The model as a trait object.
+    pub fn classifier(&self) -> &(dyn EarlyClassifier + Sync) {
+        self.model.classifier()
+    }
+
+    /// Serializes into the versioned container format.
+    ///
+    /// # Errors
+    /// [`ServeError::Model`] when the model's configuration cannot be
+    /// persisted (e.g. an ECONOMY-K base other than naive Bayes).
+    pub fn to_bytes(&self) -> Result<Vec<u8>, ServeError> {
+        let mut e = Encoder::new();
+        e.u64(MAGIC);
+        e.u64(FORMAT_VERSION);
+        self.meta.encode(&mut e);
+        e.bool(self.model.is_voting());
+        self.model.encode(&mut e)?;
+        Ok(e.into_bytes())
+    }
+
+    /// Writes the model file at `path` (atomically: temp file + rename,
+    /// so a crash cannot leave a truncated model behind).
+    ///
+    /// # Errors
+    /// Encoding or filesystem failures.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), ServeError> {
+        let path = path.as_ref();
+        let bytes = self.to_bytes()?;
+        let tmp = path.with_extension("tmp");
+        std::fs::write(&tmp, &bytes)?;
+        std::fs::rename(&tmp, path)?;
+        Ok(())
+    }
+
+    /// Decodes the container format.
+    ///
+    /// # Errors
+    /// Wrong magic/version, unknown algorithm, or payload corruption.
+    pub fn from_bytes(bytes: &[u8]) -> Result<StoredModel, ServeError> {
+        let mut d = Decoder::new(bytes);
+        let magic = d.u64()?;
+        if magic != MAGIC {
+            return Err(ServeError::Format(
+                "not an etsc model file (bad magic)".into(),
+            ));
+        }
+        let version = d.u64()?;
+        if version != FORMAT_VERSION {
+            return Err(ServeError::Format(format!(
+                "model format version {version} is not supported (this build reads {FORMAT_VERSION})"
+            )));
+        }
+        let meta = ModelMeta::decode(&mut d)?;
+        let voting = d.bool()?;
+        if voting && !meta.algo.univariate_only() {
+            return Err(ServeError::Format(format!(
+                "{} is natively multivariate; a voting payload is inconsistent",
+                meta.algo.name()
+            )));
+        }
+        let model = SavedModel::decode(meta.algo, voting, &mut d)?;
+        if !d.is_exhausted() {
+            return Err(ServeError::Format(format!(
+                "{} trailing bytes after the model payload",
+                d.remaining()
+            )));
+        }
+        Ok(StoredModel { meta, model })
+    }
+
+    /// Reads a model file written by [`StoredModel::save`].
+    ///
+    /// # Errors
+    /// Filesystem or decoding failures.
+    pub fn load(path: impl AsRef<Path>) -> Result<StoredModel, ServeError> {
+        let bytes = std::fs::read(path.as_ref())?;
+        StoredModel::from_bytes(&bytes)
+    }
+}
+
+/// Trains `algo` on `data` with the concrete types the store can
+/// persist — the same construction rules as
+/// [`AlgoSpec::build`] (voting adapter on multivariate data, TEASER's
+/// dataset-dependent `S`, S-MLSTM's fixed truncation grid).
+///
+/// # Errors
+/// Training failures, including budget DNFs.
+pub fn fit_model(
+    algo: AlgoSpec,
+    data: &Dataset,
+    config: &RunConfig,
+) -> Result<StoredModel, ServeError> {
+    let multivariate = data.vars() > 1;
+    let teaser_s = if data.name() == "Biological" || data.name() == "Maritime" {
+        config.teaser_prefixes_new
+    } else {
+        config.teaser_prefixes_ucr
+    };
+    let c = config.clone();
+    let model = match algo {
+        AlgoSpec::Ecec => fit_univariate(
+            data,
+            multivariate,
+            move || Ecec::new(c.ecec_config()),
+            SavedModel::Ecec,
+            SavedModel::EcecVoting,
+        )?,
+        AlgoSpec::EcoK => fit_univariate(
+            data,
+            multivariate,
+            move || EconomyK::new(c.economy_config()),
+            SavedModel::EcoK,
+            SavedModel::EcoKVoting,
+        )?,
+        AlgoSpec::Ects => fit_univariate(
+            data,
+            multivariate,
+            || Ects::new(EctsConfig { support: 0 }),
+            SavedModel::Ects,
+            SavedModel::EctsVoting,
+        )?,
+        AlgoSpec::Edsc => fit_univariate(
+            data,
+            multivariate,
+            move || Edsc::new(c.edsc_config()),
+            SavedModel::Edsc,
+            SavedModel::EdscVoting,
+        )?,
+        AlgoSpec::Teaser => fit_univariate(
+            data,
+            multivariate,
+            move || Teaser::new(c.teaser_config(teaser_s)),
+            SavedModel::Teaser,
+            SavedModel::TeaserVoting,
+        )?,
+        AlgoSpec::SMini => {
+            let mut m = Strut::s_mini_with(
+                c.strut_config(),
+                etsc_core::full::MiniRocketClassifierConfig {
+                    transform: c.minirocket_config(),
+                    ..etsc_core::full::MiniRocketClassifierConfig::default()
+                },
+            );
+            m.fit(data)?;
+            SavedModel::SMini(m)
+        }
+        AlgoSpec::SMlstm => {
+            let mut m = Strut::s_mlstm_with(
+                etsc_core::StrutConfig {
+                    search: etsc_core::TruncationSearch::FixedGrid(vec![
+                        0.05, 0.2, 0.4, 0.6, 0.8, 1.0,
+                    ]),
+                    ..c.strut_config()
+                },
+                etsc_core::full::MlstmClassifierConfig {
+                    network: c.mlstm_config(),
+                    lstm_grid: c.mlstm_lstm_grid.clone(),
+                },
+            );
+            m.fit(data)?;
+            SavedModel::SMlstm(m)
+        }
+        AlgoSpec::SWeasel => {
+            let mut m = Strut::s_weasel_with(
+                c.strut_config(),
+                etsc_core::full::WeaselClassifierConfig {
+                    weasel: c.weasel_config(),
+                    logistic: c.logistic_config(),
+                },
+            );
+            m.fit(data)?;
+            SavedModel::SWeasel(m)
+        }
+    };
+    Ok(StoredModel {
+        meta: ModelMeta {
+            algo,
+            dataset: data.name().to_owned(),
+            vars: data.vars(),
+            train_len: data.max_len(),
+            class_names: data.class_names().to_vec(),
+        },
+        model,
+    })
+}
+
+fn fit_univariate<C: EarlyClassifier + 'static>(
+    data: &Dataset,
+    multivariate: bool,
+    make: impl Fn() -> C + Send + Sync + 'static,
+    plain: impl FnOnce(C) -> SavedModel,
+    voting: impl FnOnce(VotingAdapter<C>) -> SavedModel,
+) -> Result<SavedModel, ServeError> {
+    if multivariate {
+        let mut adapter = VotingAdapter::new(make);
+        adapter.fit(data)?;
+        Ok(voting(adapter))
+    } else {
+        let mut model = make();
+        model.fit(data)?;
+        Ok(plain(model))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use etsc_datasets::{GenOptions, PaperDataset};
+
+    fn tiny_config() -> RunConfig {
+        RunConfig {
+            folds: 2,
+            ecec_prefixes: 4,
+            teaser_prefixes_ucr: 4,
+            teaser_prefixes_new: 4,
+            edsc_candidates: 60,
+            weasel_features: 32,
+            weasel_windows: 2,
+            logistic_epochs: 10,
+            minirocket_features: 84,
+            mlstm_epochs: 1,
+            mlstm_filters: [2, 3, 2],
+            mlstm_lstm_grid: vec![2],
+            ..RunConfig::default()
+        }
+    }
+
+    fn tiny_dataset() -> Dataset {
+        PaperDataset::PowerCons.generate(GenOptions {
+            height_scale: 0.1,
+            length_scale: 0.2,
+            seed: 9,
+        })
+    }
+
+    #[test]
+    fn roundtrip_preserves_predictions_univariate() {
+        let data = tiny_dataset();
+        let stored = fit_model(AlgoSpec::Ects, &data, &tiny_config()).unwrap();
+        let bytes = stored.to_bytes().unwrap();
+        let loaded = StoredModel::from_bytes(&bytes).unwrap();
+        assert_eq!(loaded.meta, stored.meta);
+        for inst in data.instances() {
+            let a = stored.classifier().predict_early(inst).unwrap();
+            let b = loaded.classifier().predict_early(inst).unwrap();
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn roundtrip_preserves_predictions_voting() {
+        let data = PaperDataset::BasicMotions.generate(GenOptions {
+            height_scale: 0.25,
+            length_scale: 0.2,
+            seed: 9,
+        });
+        assert!(data.vars() > 1);
+        let stored = fit_model(AlgoSpec::Ects, &data, &tiny_config()).unwrap();
+        assert!(stored.model.is_voting());
+        let bytes = stored.to_bytes().unwrap();
+        let loaded = StoredModel::from_bytes(&bytes).unwrap();
+        for inst in data.instances() {
+            let a = stored.classifier().predict_early(inst).unwrap();
+            let b = loaded.classifier().predict_early(inst).unwrap();
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn save_and_load_file() {
+        let dir = std::env::temp_dir().join("etsc-serve-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ects.model");
+        let data = tiny_dataset();
+        let stored = fit_model(AlgoSpec::Ects, &data, &tiny_config()).unwrap();
+        stored.save(&path).unwrap();
+        let loaded = StoredModel::load(&path).unwrap();
+        assert_eq!(loaded.meta.algo, AlgoSpec::Ects);
+        assert_eq!(loaded.meta.class_names, data.class_names());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn bad_magic_and_truncation_are_rejected() {
+        let data = tiny_dataset();
+        let stored = fit_model(AlgoSpec::Ects, &data, &tiny_config()).unwrap();
+        let mut bytes = stored.to_bytes().unwrap();
+        assert!(matches!(
+            StoredModel::from_bytes(&bytes[..bytes.len() - 3]),
+            Err(ServeError::Codec(_))
+        ));
+        bytes[0] ^= 0xff;
+        assert!(matches!(
+            StoredModel::from_bytes(&bytes),
+            Err(ServeError::Format(_))
+        ));
+    }
+
+    #[test]
+    fn newer_version_is_rejected() {
+        let data = tiny_dataset();
+        let stored = fit_model(AlgoSpec::Ects, &data, &tiny_config()).unwrap();
+        let mut bytes = stored.to_bytes().unwrap();
+        // The version field is the second u64.
+        bytes[8..16].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(matches!(
+            StoredModel::from_bytes(&bytes),
+            Err(ServeError::Format(_))
+        ));
+    }
+}

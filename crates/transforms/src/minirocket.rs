@@ -213,6 +213,53 @@ impl MiniRocket {
         Ok(())
     }
 
+    /// Serializes the fitted state: config, kernel/dilation combinations
+    /// with their channel subsets and bias quantiles.
+    pub fn encode_state(&self, e: &mut etsc_data::Encoder) {
+        e.usize(self.config.num_features);
+        e.usize(self.config.max_dilations);
+        e.u64(self.config.seed);
+        e.usize(self.combos.len());
+        for c in &self.combos {
+            e.usize(c.kernel[0]);
+            e.usize(c.kernel[1]);
+            e.usize(c.kernel[2]);
+            e.usize(c.dilation);
+            e.bool(c.padded);
+            e.usizes(&c.channels);
+            e.f64s(&c.biases);
+        }
+        e.usize(self.vars);
+    }
+
+    /// Reconstructs a transform written by [`MiniRocket::encode_state`].
+    ///
+    /// # Errors
+    /// [`etsc_data::CodecError`] on malformed input.
+    pub fn decode_state(d: &mut etsc_data::Decoder) -> Result<Self, etsc_data::CodecError> {
+        let config = MiniRocketConfig {
+            num_features: d.usize()?,
+            max_dilations: d.usize()?,
+            seed: d.u64()?,
+        };
+        let n = d.usize()?;
+        let mut combos = Vec::with_capacity(n.min(1 << 16));
+        for _ in 0..n {
+            combos.push(Combo {
+                kernel: [d.usize()?, d.usize()?, d.usize()?],
+                dilation: d.usize()?,
+                padded: d.bool()?,
+                channels: d.usizes()?,
+                biases: d.f64s()?,
+            });
+        }
+        Ok(MiniRocket {
+            config,
+            combos,
+            vars: d.usize()?,
+        })
+    }
+
     /// Transforms a sample into its PPV feature vector.
     ///
     /// # Errors

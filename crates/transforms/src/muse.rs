@@ -103,6 +103,39 @@ impl Muse {
         Ok(())
     }
 
+    /// Serializes the fitted state (model store).
+    pub fn encode_state(&self, e: &mut etsc_data::Encoder) {
+        self.config.weasel.encode_state(e);
+        e.bool(self.config.use_derivatives);
+        e.usize(self.channels.len());
+        for w in &self.channels {
+            w.encode_state(e);
+        }
+        e.usize(self.vars);
+    }
+
+    /// Reconstructs a transform written by [`Muse::encode_state`].
+    ///
+    /// # Errors
+    /// [`etsc_data::CodecError`] on malformed input.
+    pub fn decode_state(d: &mut etsc_data::Decoder) -> Result<Self, etsc_data::CodecError> {
+        let weasel = WeaselConfig::decode_state(d)?;
+        let use_derivatives = d.bool()?;
+        let n = d.usize()?;
+        let mut channels = Vec::with_capacity(n.min(1 << 16));
+        for _ in 0..n {
+            channels.push(Weasel::decode_state(d)?);
+        }
+        Ok(Muse {
+            config: MuseConfig {
+                weasel,
+                use_derivatives,
+            },
+            channels,
+            vars: d.usize()?,
+        })
+    }
+
     /// Transforms one multivariate sample into the concatenated feature
     /// vector.
     ///

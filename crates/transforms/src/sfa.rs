@@ -79,6 +79,23 @@ impl SfaModel {
     pub fn word_space(&self) -> u32 {
         (self.alphabet as u32).pow(self.bins.len() as u32)
     }
+
+    /// Serializes the fitted bin boundaries (model store).
+    pub fn encode_state(&self, e: &mut etsc_data::Encoder) {
+        e.f64_rows(&self.bins);
+        e.usize(self.alphabet);
+    }
+
+    /// Reconstructs a model written by [`SfaModel::encode_state`].
+    ///
+    /// # Errors
+    /// [`etsc_data::CodecError`] on malformed input.
+    pub fn decode_state(d: &mut etsc_data::Decoder) -> Result<Self, etsc_data::CodecError> {
+        Ok(SfaModel {
+            bins: d.f64_rows()?,
+            alphabet: d.usize()?,
+        })
+    }
 }
 
 /// Shannon entropy of a label multiset given per-class counts.

@@ -51,6 +51,33 @@ impl Default for WeaselConfig {
     }
 }
 
+impl WeaselConfig {
+    /// Serializes the hyper-parameters (model store).
+    pub fn encode_state(&self, e: &mut etsc_data::Encoder) {
+        e.usize(self.word_length);
+        e.usize(self.alphabet);
+        e.usize(self.min_window);
+        e.usize(self.max_windows);
+        e.bool(self.use_bigrams);
+        e.usize(self.top_features);
+    }
+
+    /// Reconstructs a config written by [`WeaselConfig::encode_state`].
+    ///
+    /// # Errors
+    /// [`etsc_data::CodecError`] on malformed input.
+    pub fn decode_state(d: &mut etsc_data::Decoder) -> Result<Self, etsc_data::CodecError> {
+        Ok(WeaselConfig {
+            word_length: d.usize()?,
+            alphabet: d.usize()?,
+            min_window: d.usize()?,
+            max_windows: d.usize()?,
+            use_bigrams: d.bool()?,
+            top_features: d.usize()?,
+        })
+    }
+}
+
 /// Sentinel marking a unigram in the packed feature key.
 const UNIGRAM: u64 = 0;
 
@@ -215,6 +242,52 @@ impl Weasel {
             }
         }
         bag
+    }
+
+    /// Serializes the fitted state: config, per-window SFA models and the
+    /// selected feature map (written in sorted key order so the byte
+    /// stream is deterministic despite the `HashMap`).
+    pub fn encode_state(&self, e: &mut etsc_data::Encoder) {
+        self.config.encode_state(e);
+        e.usize(self.models.len());
+        for (win, model) in &self.models {
+            e.usize(*win);
+            model.encode_state(e);
+        }
+        let mut entries: Vec<(u64, usize)> =
+            self.feature_map.iter().map(|(&k, &v)| (k, v)).collect();
+        entries.sort_unstable();
+        e.usize(entries.len());
+        for (key, idx) in entries {
+            e.u64(key);
+            e.usize(idx);
+        }
+    }
+
+    /// Reconstructs a transform written by [`Weasel::encode_state`].
+    ///
+    /// # Errors
+    /// [`etsc_data::CodecError`] on malformed input.
+    pub fn decode_state(d: &mut etsc_data::Decoder) -> Result<Self, etsc_data::CodecError> {
+        let config = WeaselConfig::decode_state(d)?;
+        let n_models = d.usize()?;
+        let mut models = Vec::with_capacity(n_models.min(1 << 16));
+        for _ in 0..n_models {
+            let win = d.usize()?;
+            models.push((win, SfaModel::decode_state(d)?));
+        }
+        let n_feats = d.usize()?;
+        let mut feature_map = HashMap::with_capacity(n_feats.min(1 << 20));
+        for _ in 0..n_feats {
+            let key = d.u64()?;
+            let idx = d.usize()?;
+            feature_map.insert(key, idx);
+        }
+        Ok(Weasel {
+            config,
+            models,
+            feature_map,
+        })
     }
 
     /// Transforms a series into the selected dense feature vector.

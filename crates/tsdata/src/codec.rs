@@ -1,0 +1,352 @@
+//! Hand-rolled binary codec for the persistent model store.
+//!
+//! The journal (`etsc_eval::journal`) established the framework's
+//! serialization ground rules: no external serialization crates, exact
+//! `f64` round-trips, and versioned headers that reject incompatible
+//! files instead of misreading them. This module is the binary
+//! counterpart used by `etsc-serve`'s model store: floats travel as
+//! their IEEE-754 bit patterns (`f64::to_bits`, little-endian), so a
+//! decoded model is *bit-identical* to the encoded one — including
+//! NaNs, infinities and signed zeros, which the journal's textual
+//! format has to special-case.
+//!
+//! The format is deliberately primitive: length-prefixed sequences of
+//! little-endian scalars, no field names, no skipping. Every type's
+//! `encode_state`/`decode_state` pair must write and read exactly the
+//! same field sequence; the versioned container header (owned by the
+//! model store) is what guards against schema drift between releases.
+
+use std::fmt;
+
+/// Decoding failure: the byte stream does not match the expected shape.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// Fewer bytes than the next scalar needs.
+    UnexpectedEof {
+        /// What was being decoded.
+        what: &'static str,
+    },
+    /// A length or tag field holds an impossible value.
+    Corrupt {
+        /// Human-readable description of the inconsistency.
+        detail: String,
+    },
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::UnexpectedEof { what } => {
+                write!(f, "unexpected end of input while decoding {what}")
+            }
+            CodecError::Corrupt { detail } => write!(f, "corrupt model payload: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Append-only binary encoder.
+#[derive(Debug, Default)]
+pub struct Encoder {
+    buf: Vec<u8>,
+}
+
+impl Encoder {
+    /// A fresh, empty encoder.
+    pub fn new() -> Encoder {
+        Encoder::default()
+    }
+
+    /// Consumes the encoder, yielding the encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// `true` when nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Writes a `u64` little-endian.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a `usize` as `u64`.
+    pub fn usize(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+
+    /// Writes an `f64` as its IEEE-754 bit pattern (exact round-trip,
+    /// NaN payloads included).
+    pub fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    /// Writes a `bool` as one byte.
+    pub fn bool(&mut self, v: bool) {
+        self.buf.push(u8::from(v));
+    }
+
+    /// Writes a single tag byte (enum discriminants).
+    pub fn tag(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Writes a length-prefixed UTF-8 string.
+    pub fn str(&mut self, s: &str) {
+        self.usize(s.len());
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    /// Writes a length-prefixed `f64` slice.
+    pub fn f64s(&mut self, xs: &[f64]) {
+        self.usize(xs.len());
+        for &x in xs {
+            self.f64(x);
+        }
+    }
+
+    /// Writes a length-prefixed `usize` slice.
+    pub fn usizes(&mut self, xs: &[usize]) {
+        self.usize(xs.len());
+        for &x in xs {
+            self.usize(x);
+        }
+    }
+
+    /// Writes a length-prefixed vector of `f64` rows.
+    pub fn f64_rows(&mut self, rows: &[Vec<f64>]) {
+        self.usize(rows.len());
+        for row in rows {
+            self.f64s(row);
+        }
+    }
+
+    /// Writes an `Option<f64>` as a presence byte plus the value.
+    pub fn opt_f64(&mut self, v: Option<f64>) {
+        match v {
+            Some(x) => {
+                self.bool(true);
+                self.f64(x);
+            }
+            None => self.bool(false),
+        }
+    }
+}
+
+/// Sequential binary decoder over a byte slice.
+#[derive(Debug)]
+pub struct Decoder<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Decoder<'a> {
+    /// Starts decoding at the beginning of `bytes`.
+    pub fn new(bytes: &'a [u8]) -> Decoder<'a> {
+        Decoder { bytes, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    /// `true` when every byte has been consumed — decoders should end
+    /// exactly at the payload boundary.
+    pub fn is_exhausted(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    fn take(&mut self, n: usize, what: &'static str) -> Result<&'a [u8], CodecError> {
+        if self.remaining() < n {
+            return Err(CodecError::UnexpectedEof { what });
+        }
+        let out = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, CodecError> {
+        let raw = self.take(8, "u64")?;
+        Ok(u64::from_le_bytes(raw.try_into().expect("8 bytes")))
+    }
+
+    /// Reads a `usize` (stored as `u64`), rejecting values that do not
+    /// fit the platform's pointer width.
+    pub fn usize(&mut self) -> Result<usize, CodecError> {
+        let v = self.u64()?;
+        usize::try_from(v).map_err(|_| CodecError::Corrupt {
+            detail: format!("length {v} exceeds the platform usize range"),
+        })
+    }
+
+    /// Reads an `f64` from its bit pattern.
+    pub fn f64(&mut self) -> Result<f64, CodecError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// Reads a `bool`, rejecting bytes other than 0/1.
+    pub fn bool(&mut self) -> Result<bool, CodecError> {
+        match self.take(1, "bool")?[0] {
+            0 => Ok(false),
+            1 => Ok(true),
+            other => Err(CodecError::Corrupt {
+                detail: format!("invalid bool byte {other}"),
+            }),
+        }
+    }
+
+    /// Reads a tag byte.
+    pub fn tag(&mut self) -> Result<u8, CodecError> {
+        Ok(self.take(1, "tag")?[0])
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> Result<String, CodecError> {
+        let len = self.bounded_len("string")?;
+        let raw = self.take(len, "string bytes")?;
+        String::from_utf8(raw.to_vec()).map_err(|_| CodecError::Corrupt {
+            detail: "string is not valid UTF-8".to_owned(),
+        })
+    }
+
+    /// Reads a length-prefixed `f64` vector.
+    pub fn f64s(&mut self) -> Result<Vec<f64>, CodecError> {
+        let len = self.bounded_len("f64 vector")?;
+        let mut out = Vec::with_capacity(len.min(self.remaining() / 8));
+        for _ in 0..len {
+            out.push(self.f64()?);
+        }
+        Ok(out)
+    }
+
+    /// Reads a length-prefixed `usize` vector.
+    pub fn usizes(&mut self) -> Result<Vec<usize>, CodecError> {
+        let len = self.bounded_len("usize vector")?;
+        let mut out = Vec::with_capacity(len.min(self.remaining() / 8));
+        for _ in 0..len {
+            out.push(self.usize()?);
+        }
+        Ok(out)
+    }
+
+    /// Reads a length-prefixed vector of `f64` rows.
+    pub fn f64_rows(&mut self) -> Result<Vec<Vec<f64>>, CodecError> {
+        let len = self.bounded_len("row vector")?;
+        let mut out = Vec::new();
+        for _ in 0..len {
+            out.push(self.f64s()?);
+        }
+        Ok(out)
+    }
+
+    /// Reads an `Option<f64>`.
+    pub fn opt_f64(&mut self) -> Result<Option<f64>, CodecError> {
+        if self.bool()? {
+            Ok(Some(self.f64()?))
+        } else {
+            Ok(None)
+        }
+    }
+
+    /// A length prefix sanity-checked against the remaining bytes so a
+    /// corrupt length cannot trigger a huge allocation.
+    fn bounded_len(&mut self, what: &'static str) -> Result<usize, CodecError> {
+        let len = self.usize()?;
+        // Every element of every sequence occupies at least one byte.
+        if len > self.remaining() {
+            return Err(CodecError::Corrupt {
+                detail: format!(
+                    "{what} length {len} exceeds the {} remaining bytes",
+                    self.remaining()
+                ),
+            });
+        }
+        Ok(len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_roundtrip() {
+        let mut e = Encoder::new();
+        e.u64(u64::MAX);
+        e.usize(42);
+        e.f64(-0.0);
+        e.f64(f64::NAN);
+        e.bool(true);
+        e.tag(7);
+        e.str("wörd");
+        e.opt_f64(Some(1.5));
+        e.opt_f64(None);
+        let bytes = e.into_bytes();
+        let mut d = Decoder::new(&bytes);
+        assert_eq!(d.u64().unwrap(), u64::MAX);
+        assert_eq!(d.usize().unwrap(), 42);
+        assert_eq!(d.f64().unwrap().to_bits(), (-0.0f64).to_bits());
+        assert!(d.f64().unwrap().is_nan());
+        assert!(d.bool().unwrap());
+        assert_eq!(d.tag().unwrap(), 7);
+        assert_eq!(d.str().unwrap(), "wörd");
+        assert_eq!(d.opt_f64().unwrap(), Some(1.5));
+        assert_eq!(d.opt_f64().unwrap(), None);
+        assert!(d.is_exhausted());
+    }
+
+    #[test]
+    fn sequences_roundtrip_bit_exactly() {
+        let values = vec![1.0, f64::INFINITY, f64::MIN_POSITIVE, -3.25e-200];
+        let rows = vec![values.clone(), vec![], vec![f64::NEG_INFINITY]];
+        let mut e = Encoder::new();
+        e.f64s(&values);
+        e.usizes(&[0, 1, usize::MAX]);
+        e.f64_rows(&rows);
+        let bytes = e.into_bytes();
+        let mut d = Decoder::new(&bytes);
+        let back = d.f64s().unwrap();
+        assert_eq!(back.len(), values.len());
+        for (a, b) in back.iter().zip(&values) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        assert_eq!(d.usizes().unwrap(), vec![0, 1, usize::MAX]);
+        assert_eq!(d.f64_rows().unwrap(), rows);
+        assert!(d.is_exhausted());
+    }
+
+    #[test]
+    fn truncated_input_errors_instead_of_panicking() {
+        let mut e = Encoder::new();
+        e.f64s(&[1.0, 2.0, 3.0]);
+        let bytes = e.into_bytes();
+        let mut d = Decoder::new(&bytes[..bytes.len() - 4]);
+        assert!(d.f64s().is_err());
+    }
+
+    #[test]
+    fn absurd_length_prefix_is_rejected() {
+        let mut e = Encoder::new();
+        e.usize(usize::MAX);
+        let bytes = e.into_bytes();
+        let mut d = Decoder::new(&bytes);
+        let err = d.f64s().unwrap_err();
+        assert!(matches!(err, CodecError::Corrupt { .. }), "{err}");
+    }
+
+    #[test]
+    fn invalid_bool_is_rejected() {
+        let mut d = Decoder::new(&[9]);
+        assert!(matches!(d.bool(), Err(CodecError::Corrupt { .. })));
+    }
+}

@@ -17,12 +17,14 @@
 //!   splitting ([`cv`]);
 //! * T-SMOTE-style minority oversampling for imbalanced benchmarks
 //!   ([`augment`]), the paper's named future-work addition;
-//! * dataset statistics and the Table 3 category rules ([`stats`]).
+//! * dataset statistics and the Table 3 category rules ([`stats`]);
+//! * the bit-exact binary [`codec`] underlying the persistent model store.
 //!
 //! Everything stochastic takes an explicit seed so experiments are
 //! reproducible bit-for-bit.
 
 pub mod augment;
+pub mod codec;
 pub mod cv;
 pub mod dataset;
 pub mod error;
@@ -31,6 +33,7 @@ pub mod loader;
 pub mod series;
 pub mod stats;
 
+pub use codec::{CodecError, Decoder, Encoder};
 pub use cv::{train_validation_split, Fold, StratifiedKFold};
 pub use dataset::{Dataset, DatasetBuilder, Label};
 pub use error::DataError;

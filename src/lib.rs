@@ -16,7 +16,8 @@
 //! * [`transforms`] — DFT, SFA/WEASEL bags, MiniROCKET kernels;
 //! * [`datasets`] — the 12 paper datasets as scaled generators;
 //! * [`core`] — the ETSC algorithms and full-TSC models;
-//! * [`eval`] — the experiment harness behind every table and figure.
+//! * [`eval`] — the experiment harness behind every table and figure;
+//! * [`serve`] — streaming inference: model store, sessions, scheduler.
 //!
 //! ## Quickstart
 //!
@@ -41,4 +42,5 @@ pub use etsc_data as data;
 pub use etsc_datasets as datasets;
 pub use etsc_eval as eval;
 pub use etsc_ml as ml;
+pub use etsc_serve as serve;
 pub use etsc_transforms as transforms;

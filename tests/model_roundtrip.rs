@@ -1,0 +1,116 @@
+//! Model-store round-trip properties: for every algorithm, a model
+//! persisted with `etsc::serve` and decoded back must (a) predict
+//! bit-identically to the in-memory original on held-out instances and
+//! (b) re-encode to exactly the bytes it was decoded from.
+//!
+//! The eight models are fitted once (tiny configuration, synthetic
+//! PowerCons) and cached; the property then samples held-out instances.
+
+use std::sync::OnceLock;
+
+use proptest::prelude::*;
+
+use etsc::data::Dataset;
+use etsc::datasets::{GenOptions, PaperDataset};
+use etsc::eval::experiment::{AlgoSpec, RunConfig};
+use etsc::serve::{fit_model, StoredModel};
+
+struct Fitted {
+    algo: AlgoSpec,
+    bytes: Vec<u8>,
+    original: StoredModel,
+    decoded: StoredModel,
+}
+
+fn tiny_config() -> RunConfig {
+    RunConfig {
+        folds: 2,
+        ecec_prefixes: 4,
+        teaser_prefixes_ucr: 4,
+        teaser_prefixes_new: 4,
+        edsc_candidates: 60,
+        weasel_features: 32,
+        weasel_windows: 2,
+        logistic_epochs: 10,
+        minirocket_features: 84,
+        mlstm_epochs: 1,
+        mlstm_filters: [2, 3, 2],
+        mlstm_lstm_grid: vec![2],
+        ..RunConfig::default()
+    }
+}
+
+/// Train set, held-out set (same generator, different seed), and the
+/// eight fitted + round-tripped models. Built once for all cases.
+fn fixture() -> &'static (Dataset, Vec<Fitted>) {
+    static CELL: OnceLock<(Dataset, Vec<Fitted>)> = OnceLock::new();
+    CELL.get_or_init(|| {
+        let gen = |seed| {
+            PaperDataset::PowerCons.generate(GenOptions {
+                height_scale: 0.1,
+                length_scale: 0.2,
+                seed,
+            })
+        };
+        let train = gen(9);
+        let held_out = gen(10);
+        let config = tiny_config();
+        let models = AlgoSpec::ALL
+            .into_iter()
+            .map(|algo| {
+                let original = fit_model(algo, &train, &config)
+                    .unwrap_or_else(|e| panic!("{} fits: {e}", algo.name()));
+                let bytes = original.to_bytes().expect("model encodes");
+                let decoded = StoredModel::from_bytes(&bytes).expect("model decodes");
+                Fitted {
+                    algo,
+                    bytes,
+                    original,
+                    decoded,
+                }
+            })
+            .collect();
+        (held_out, models)
+    })
+}
+
+proptest! {
+    #[test]
+    fn decoded_models_predict_bit_identically(pick in 0usize..10_000) {
+        let (held_out, models) = fixture();
+        let instance = held_out.instance(pick % held_out.len());
+        for fitted in models {
+            let a = fitted
+                .original
+                .classifier()
+                .predict_early(instance)
+                .expect("original predicts");
+            let b = fitted
+                .decoded
+                .classifier()
+                .predict_early(instance)
+                .expect("decoded predicts");
+            prop_assert!(
+                a == b,
+                "{} diverged after round-trip: {a:?} vs {b:?}",
+                fitted.algo.name()
+            );
+        }
+    }
+
+    #[test]
+    fn decoded_models_reencode_to_the_same_bytes(_nothing in 0usize..1) {
+        // Byte-stability: encode(decode(bytes)) == bytes, so artifacts
+        // can be copied/verified by hash without a semantic diff.
+        for fitted in &fixture().1 {
+            let reencoded = fitted.decoded.to_bytes().expect("model re-encodes");
+            prop_assert!(
+                reencoded == fitted.bytes,
+                "{} is not byte-stable ({} vs {} bytes)",
+                fitted.algo.name(),
+                reencoded.len(),
+                fitted.bytes.len()
+            );
+        }
+    }
+}
