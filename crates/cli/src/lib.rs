@@ -12,8 +12,10 @@ use etsc_datasets::{GenOptions, PaperDataset};
 use etsc_eval::experiment::{run_cv, AlgoSpec, RunConfig};
 use etsc_eval::report::render_matrix_status;
 use etsc_eval::supervisor::{supervise_matrix, SupervisorOptions};
+use etsc_eval::FaultPlan;
 use etsc_serve::{
-    fit_model, replay_dataset, Backpressure, ReplayOptions, SchedulerConfig, StoredModel,
+    fit_model, load_resilient, replay_dataset, Backpressure, DeadlineConfig, FallbackPolicy,
+    ReplayOptions, SchedulerConfig, StoredModel, SupervisionConfig,
 };
 
 /// Usage text shown on argument errors.
@@ -48,6 +50,10 @@ commands:
                      [--sessions N] [--workers N] [--queue N] [--shed]
                      [--obs-freq SECS] [--height-scale S]
                      [--length-scale S] [--seed N]
+                     [--deadline-ms N] [--fallback wait|prior|decide-now]
+                     [--max-restarts N] [--faults SPEC]
+                     SPEC example: seed=42,panics=1,delay-rate=0.05,
+                     delay-ms=50,nan-rate=0.02,corrupt-model=true
   predict            classify instances with a saved model
                      --model FILE (--dataset NAME | --data FILE --vars K)
                      [--instance I] [--stream]";
@@ -99,6 +105,19 @@ fn load_input(flags: &Flags) -> Result<Dataset, CliError> {
             "provide --dataset NAME or --data FILE [--vars K]".into(),
         ))
     }
+}
+
+/// Loads a model through the crash-consistent path: a corrupt file is
+/// quarantined and the `.prev` last-good copy served instead, with the
+/// degradation reported on `out`.
+fn load_model(path: &std::path::Path, out: &mut dyn Write) -> Result<StoredModel, CliError> {
+    let outcome = load_resilient(path)
+        .map_err(|e| CliError::Runtime(format!("loading {}: {e}", path.display())))?;
+    for warning in &outcome.warnings {
+        writeln!(out, "warning: {warning}")
+            .map_err(|e| CliError::Runtime(format!("write failed: {e}")))?;
+    }
+    Ok(outcome.model)
 }
 
 fn build_algo(flags: &Flags, data: &Dataset) -> Result<Box<dyn EarlyClassifier>, CliError> {
@@ -370,8 +389,46 @@ pub fn run(command: &str, flags: &Flags, out: &mut dyn Write) -> Result<(), CliE
         }
         "serve" => {
             let model_path = required(flags, "model")?;
-            let stored = StoredModel::load(model_path)
-                .map_err(|e| CliError::Runtime(format!("loading {model_path:?}: {e}")))?;
+            let faults = match flags.get("faults") {
+                None => None,
+                Some(spec) => Some(
+                    FaultPlan::parse(spec)
+                        .map_err(|e| CliError::Usage(format!("invalid --faults: {e}")))?,
+                ),
+            };
+            let stored = match &faults {
+                // A corrupt-model fault stages a bit-flipped copy (with
+                // a pristine `.prev`) in a temp dir and loads it through
+                // the resilient path, demonstrating last-good fallback.
+                Some(plan) if plan.corrupt_model => {
+                    let bytes = std::fs::read(model_path)
+                        .map_err(|e| CliError::Runtime(format!("reading {model_path:?}: {e}")))?;
+                    if bytes.is_empty() {
+                        return Err(CliError::Runtime(format!("{model_path:?} is empty")));
+                    }
+                    let dir = std::env::temp_dir().join(format!("etsc-chaos-{}", plan.seed));
+                    std::fs::create_dir_all(&dir)
+                        .map_err(|e| CliError::Runtime(format!("creating {dir:?}: {e}")))?;
+                    let staged = dir.join("chaos.model");
+                    std::fs::remove_file(dir.join("chaos.model.quarantine")).ok();
+                    std::fs::write(dir.join("chaos.model.prev"), &bytes)
+                        .map_err(|e| CliError::Runtime(format!("staging last-good copy: {e}")))?;
+                    let mut corrupted = bytes;
+                    let offset = plan.corruption_offset(corrupted.len());
+                    corrupted[offset] ^= 0xff;
+                    std::fs::write(&staged, &corrupted)
+                        .map_err(|e| CliError::Runtime(format!("staging corrupt copy: {e}")))?;
+                    emit(
+                        out,
+                        format!(
+                            "fault: flipped byte {offset} of {} (pristine .prev kept)\n",
+                            staged.display()
+                        ),
+                    )?;
+                    load_model(&staged, out)?
+                }
+                _ => load_model(std::path::Path::new(model_path), out)?,
+            };
             // `--replay NAME` names a generated dataset; `--data` loads a
             // CSV. Either way the stream is replayed at the dataset's (or
             // an overridden) observation frequency.
@@ -404,6 +461,29 @@ pub fn run(command: &str, flags: &Flags, out: &mut dyn Write) -> Result<(), CliE
                 .meta
                 .algo
                 .decision_batch(data.max_len(), &RunConfig::fast());
+            let deadline = match flags.get("deadline-ms") {
+                None => None,
+                Some(_) => {
+                    let ms: u64 = parse(flags, "deadline-ms", 50_u64)?;
+                    let policy = match flags.get("fallback").map(String::as_str) {
+                        None | Some("wait") => FallbackPolicy::Wait,
+                        Some("prior") => FallbackPolicy::PriorClass,
+                        Some("decide-now") => FallbackPolicy::DecideNow,
+                        Some(other) => {
+                            return Err(CliError::Usage(format!(
+                                "invalid --fallback {other:?} (wait | prior | decide-now)"
+                            )))
+                        }
+                    };
+                    Some(DeadlineConfig {
+                        deadline: std::time::Duration::from_millis(ms),
+                        policy,
+                        // Overwritten with the stored model's majority
+                        // training class by `replay_dataset`.
+                        prior_label: 0,
+                    })
+                }
+            };
             let options = ReplayOptions {
                 obs_frequency_secs: parse(flags, "obs-freq", default_freq)?,
                 batch,
@@ -415,6 +495,12 @@ pub fn run(command: &str, flags: &Flags, out: &mut dyn Write) -> Result<(), CliE
                     } else {
                         Backpressure::Block
                     },
+                    deadline,
+                    supervision: SupervisionConfig {
+                        max_restarts: parse(flags, "max-restarts", 3_usize)?,
+                        ..SupervisionConfig::default()
+                    },
+                    faults,
                 },
             };
             let outcome = replay_dataset(&stored, &data, &options)
@@ -423,8 +509,7 @@ pub fn run(command: &str, flags: &Flags, out: &mut dyn Write) -> Result<(), CliE
         }
         "predict" => {
             let model_path = required(flags, "model")?;
-            let stored = StoredModel::load(model_path)
-                .map_err(|e| CliError::Runtime(format!("loading {model_path:?}: {e}")))?;
+            let stored = load_model(std::path::Path::new(model_path), out)?;
             let data = load_input(flags)?;
             let instance_idx = parse(flags, "instance", 0_usize)?;
             if instance_idx >= data.len() {
@@ -707,6 +792,76 @@ mod tests {
         .unwrap();
         assert!(out.contains("COMMITTED"), "{out}");
         std::fs::remove_file(&model_path).ok();
+    }
+
+    #[test]
+    fn serve_with_faults_reports_degraded_mode() {
+        let dir = std::env::temp_dir().join("etsc-cli-test-faults");
+        std::fs::create_dir_all(&dir).unwrap();
+        let model_path = dir.join("chaos-ects.model");
+        let model_str = model_path.to_str().unwrap();
+        run_to_string(
+            "train",
+            &flags(&[
+                ("dataset", "PowerCons"),
+                ("algo", "ECTS"),
+                ("height-scale", "0.15"),
+                ("length-scale", "0.3"),
+                ("save", model_str),
+            ]),
+        )
+        .unwrap();
+
+        // Injected panic + delays against a deadline with prior-class
+        // fallback, plus a corrupted model file recovered from .prev.
+        let out = run_to_string(
+            "serve",
+            &flags(&[
+                ("model", model_str),
+                ("replay", "PowerCons"),
+                ("height-scale", "0.15"),
+                ("length-scale", "0.3"),
+                ("sessions", "20"),
+                ("workers", "2"),
+                ("deadline-ms", "1"),
+                ("fallback", "prior"),
+                (
+                    "faults",
+                    "seed=11,panics=1,delay-rate=0.5,delay-ms=20,corrupt-model=true",
+                ),
+            ]),
+        )
+        .unwrap();
+        assert!(out.contains("fault: flipped byte"), "{out}");
+        assert!(out.contains("serving the last-good model"), "{out}");
+        assert!(out.contains("degraded"), "{out}");
+        assert!(out.contains("1 worker panics"), "{out}");
+        assert!(out.contains("faults         injected 1 panics"), "{out}");
+
+        assert!(matches!(
+            run_to_string(
+                "serve",
+                &flags(&[
+                    ("model", model_str),
+                    ("replay", "PowerCons"),
+                    ("faults", "seed=abc"),
+                ])
+            ),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run_to_string(
+                "serve",
+                &flags(&[
+                    ("model", model_str),
+                    ("replay", "PowerCons"),
+                    ("deadline-ms", "5"),
+                    ("fallback", "nope"),
+                ])
+            ),
+            Err(CliError::Usage(_))
+        ));
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -13,6 +13,7 @@
 //! etsc stream   (--dataset NAME | --data FILE --vars K) --algo NAME [--instance I] [--seed N]
 //! etsc train    (--dataset NAME | --data FILE --vars K) --algo NAME --save FILE [--seed N] [--budget-secs N]
 //! etsc serve    --model FILE (--replay NAME | --data FILE --vars K) [--sessions N] [--workers N] [--queue N] [--shed] [--obs-freq SECS]
+//!               [--deadline-ms N] [--fallback wait|prior|decide-now] [--max-restarts N] [--faults SPEC]
 //! etsc predict  --model FILE (--dataset NAME | --data FILE --vars K) [--instance I] [--stream]
 //! ```
 

@@ -1,0 +1,354 @@
+//! Deterministic, seeded fault injection for the serving stack.
+//!
+//! A [`FaultPlan`] describes *what* to break — worker panics, artificial
+//! decision latency, NaN observations, model-store corruption — as
+//! rates and counts; [`FaultPlan::schedule`] materialises it against a
+//! concrete replay (session count and lengths) into a [`FaultSchedule`]
+//! that pins every fault to an exact `(session, step)` coordinate.
+//! Everything is derived from one seed through the workspace's
+//! deterministic [`rand::rngs::StdRng`], so a chaos run is exactly
+//! reproducible: the same plan over the same dataset injects the same
+//! faults at the same points, and every injected fault is attributable
+//! after the fact via [`FaultSchedule`]'s accessors.
+//!
+//! The plan's textual form (`key=value` pairs, comma-separated) is what
+//! `etsc serve --faults` accepts:
+//!
+//! ```text
+//! seed=42,panics=1,delay-rate=0.05,delay-ms=50,nan-rate=0.02,corrupt-model=true
+//! ```
+
+use std::time::Duration;
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// What to inject, as seeded rates and counts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Seed every schedule is derived from.
+    pub seed: u64,
+    /// Number of sessions whose worker panics mid-evaluation.
+    pub worker_panics: usize,
+    /// Fraction of sessions receiving one artificially delayed
+    /// evaluation.
+    pub delay_rate: f64,
+    /// The injected evaluation delay.
+    pub delay: Duration,
+    /// Fraction of sessions receiving one all-NaN observation.
+    pub nan_rate: f64,
+    /// Flip one byte of the model file before loading (exercises the
+    /// store's quarantine + last-good fallback).
+    pub corrupt_model: bool,
+}
+
+impl Default for FaultPlan {
+    fn default() -> FaultPlan {
+        FaultPlan {
+            seed: 0,
+            worker_panics: 0,
+            delay_rate: 0.0,
+            delay: Duration::from_millis(0),
+            nan_rate: 0.0,
+            corrupt_model: false,
+        }
+    }
+}
+
+impl FaultPlan {
+    /// Parses the `key=value,key=value` spec accepted by
+    /// `etsc serve --faults`. Keys: `seed`, `panics`, `delay-rate`,
+    /// `delay-ms`, `nan-rate`, `corrupt-model`.
+    ///
+    /// # Errors
+    /// A human-readable message naming the offending key or value.
+    pub fn parse(spec: &str) -> Result<FaultPlan, String> {
+        let mut plan = FaultPlan::default();
+        for part in spec.split(',') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            let (key, value) = part
+                .split_once('=')
+                .ok_or_else(|| format!("fault spec entry {part:?} is not key=value"))?;
+            let bad = |what: &str| format!("invalid {what} value {value:?} in fault spec");
+            match key.trim() {
+                "seed" => plan.seed = value.parse().map_err(|_| bad("seed"))?,
+                "panics" => plan.worker_panics = value.parse().map_err(|_| bad("panics"))?,
+                "delay-rate" => {
+                    plan.delay_rate = value.parse().map_err(|_| bad("delay-rate"))?;
+                    if !(0.0..=1.0).contains(&plan.delay_rate) {
+                        return Err(bad("delay-rate"));
+                    }
+                }
+                "delay-ms" => {
+                    plan.delay = Duration::from_millis(value.parse().map_err(|_| bad("delay-ms"))?);
+                }
+                "nan-rate" => {
+                    plan.nan_rate = value.parse().map_err(|_| bad("nan-rate"))?;
+                    if !(0.0..=1.0).contains(&plan.nan_rate) {
+                        return Err(bad("nan-rate"));
+                    }
+                }
+                "corrupt-model" => {
+                    plan.corrupt_model = value.parse().map_err(|_| bad("corrupt-model"))?;
+                }
+                other => return Err(format!("unknown fault spec key {other:?}")),
+            }
+        }
+        Ok(plan)
+    }
+
+    /// The spec string this plan parses back from.
+    #[must_use]
+    pub fn render(&self) -> String {
+        format!(
+            "seed={},panics={},delay-rate={},delay-ms={},nan-rate={},corrupt-model={}",
+            self.seed,
+            self.worker_panics,
+            self.delay_rate,
+            self.delay.as_millis(),
+            self.nan_rate,
+            self.corrupt_model
+        )
+    }
+
+    /// Pins every fault to a `(session, step)` coordinate for a replay
+    /// of `lens.len()` sessions with the given per-session lengths
+    /// (steps are 1-based observation indices). Deterministic in the
+    /// plan: the same plan and lengths always produce the same
+    /// schedule.
+    #[must_use]
+    pub fn schedule(&self, lens: &[usize]) -> FaultSchedule {
+        let n = lens.len();
+        let mut rng = StdRng::seed_from_u64(self.seed ^ 0x4641_554C_5453); // "FAULTS"
+                                                                           // Every fault lands on step 1: a session may commit a decision
+                                                                           // at any later step, so the first observation is the only
+                                                                           // coordinate guaranteed to be reached — pinning faults there
+                                                                           // makes the injected counts equal the fired counts, which is
+                                                                           // what post-hoc attribution relies on.
+        let mut panic_at = vec![None; n];
+        let eligible: Vec<usize> = (0..n).filter(|&s| lens[s] > 0).collect();
+        if !eligible.is_empty() {
+            let mut order = eligible;
+            // Fisher-Yates prefix: pick `worker_panics` distinct sessions.
+            for i in 0..self.worker_panics.min(order.len()) {
+                let j = rng.random_range(i..order.len());
+                order.swap(i, j);
+                panic_at[order[i]] = Some(1);
+            }
+        }
+        let mut delay_at = vec![None; n];
+        let mut nan_at = vec![None; n];
+        for s in 0..n {
+            if rng.random::<f64>() < self.delay_rate && lens[s] > 0 {
+                delay_at[s] = Some(1);
+            }
+            if rng.random::<f64>() < self.nan_rate && lens[s] > 0 {
+                nan_at[s] = Some(1);
+            }
+        }
+        FaultSchedule {
+            panic_at,
+            delay_at,
+            nan_at,
+            delay: self.delay,
+            corrupt_model: self.corrupt_model,
+        }
+    }
+
+    /// Deterministic byte position to flip when corrupting a model file
+    /// of `len` bytes (skips the 16-byte magic+version header when the
+    /// file is long enough, so corruption lands in a checksummed
+    /// section).
+    #[must_use]
+    pub fn corruption_offset(&self, len: usize) -> usize {
+        if len == 0 {
+            return 0;
+        }
+        let mut rng = StdRng::seed_from_u64(self.seed ^ 0x434F_5252_5054); // "CORRPT"
+        let start = if len > 16 { 16 } else { 0 };
+        rng.random_range(start..len)
+    }
+}
+
+/// A [`FaultPlan`] pinned to exact `(session, step)` coordinates.
+/// Steps are 1-based: step `t` is the session's `t`-th observation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultSchedule {
+    panic_at: Vec<Option<usize>>,
+    delay_at: Vec<Option<usize>>,
+    nan_at: Vec<Option<usize>>,
+    delay: Duration,
+    corrupt_model: bool,
+}
+
+impl FaultSchedule {
+    /// An empty schedule (no faults) for `n` sessions.
+    #[must_use]
+    pub fn none(n: usize) -> FaultSchedule {
+        FaultSchedule {
+            panic_at: vec![None; n],
+            delay_at: vec![None; n],
+            nan_at: vec![None; n],
+            delay: Duration::ZERO,
+            corrupt_model: false,
+        }
+    }
+
+    /// `true` when the worker processing `session`'s observation `step`
+    /// must panic.
+    #[must_use]
+    pub fn panics_at(&self, session: usize, step: usize) -> bool {
+        self.panic_at.get(session).copied().flatten() == Some(step)
+    }
+
+    /// The artificial evaluation delay for `session`'s observation
+    /// `step`, if one is scheduled there.
+    #[must_use]
+    pub fn delay_at(&self, session: usize, step: usize) -> Option<Duration> {
+        (self.delay_at.get(session).copied().flatten() == Some(step)).then_some(self.delay)
+    }
+
+    /// `true` when `session`'s observation `step` must be replaced with
+    /// NaNs before it enters the stream.
+    #[must_use]
+    pub fn nan_at(&self, session: usize, step: usize) -> bool {
+        self.nan_at.get(session).copied().flatten() == Some(step)
+    }
+
+    /// `true` when the session has *any* fault scheduled — the cells on
+    /// which accuracy is allowed to degrade.
+    #[must_use]
+    pub fn touches(&self, session: usize) -> bool {
+        self.panic_at.get(session).copied().flatten().is_some()
+            || self.delay_at.get(session).copied().flatten().is_some()
+            || self.nan_at.get(session).copied().flatten().is_some()
+    }
+
+    /// Number of scheduled worker panics.
+    #[must_use]
+    pub fn injected_panics(&self) -> usize {
+        self.panic_at.iter().flatten().count()
+    }
+
+    /// Number of scheduled delayed evaluations.
+    #[must_use]
+    pub fn injected_delays(&self) -> usize {
+        self.delay_at.iter().flatten().count()
+    }
+
+    /// Number of scheduled NaN observations.
+    #[must_use]
+    pub fn injected_nans(&self) -> usize {
+        self.nan_at.iter().flatten().count()
+    }
+
+    /// `true` when the plan also asked for model-file corruption.
+    #[must_use]
+    pub fn corrupts_model(&self) -> bool {
+        self.corrupt_model
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_render_roundtrip() {
+        let spec = "seed=42,panics=2,delay-rate=0.25,delay-ms=50,nan-rate=0.1,corrupt-model=true";
+        let plan = FaultPlan::parse(spec).unwrap();
+        assert_eq!(plan.seed, 42);
+        assert_eq!(plan.worker_panics, 2);
+        assert_eq!(plan.delay, Duration::from_millis(50));
+        assert!(plan.corrupt_model);
+        let again = FaultPlan::parse(&plan.render()).unwrap();
+        assert_eq!(plan, again);
+    }
+
+    #[test]
+    fn parse_rejects_bad_specs() {
+        assert!(FaultPlan::parse("panics").is_err());
+        assert!(FaultPlan::parse("panics=x").is_err());
+        assert!(FaultPlan::parse("delay-rate=1.5").is_err());
+        assert!(FaultPlan::parse("nope=1").is_err());
+        // Empty spec is the empty plan.
+        assert_eq!(FaultPlan::parse("").unwrap(), FaultPlan::default());
+    }
+
+    #[test]
+    fn schedule_is_deterministic_and_attributable() {
+        let plan = FaultPlan {
+            seed: 7,
+            worker_panics: 3,
+            delay_rate: 0.2,
+            delay: Duration::from_millis(5),
+            nan_rate: 0.1,
+            corrupt_model: false,
+        };
+        let lens = vec![20; 50];
+        let a = plan.schedule(&lens);
+        let b = plan.schedule(&lens);
+        assert_eq!(a, b, "same plan, same lens => same schedule");
+        assert_eq!(a.injected_panics(), 3);
+        // Rates are per-session Bernoulli draws; with 50 sessions the
+        // counts are positive with overwhelming probability for this
+        // seed, and always bounded by the session count.
+        assert!(a.injected_delays() <= 50);
+        assert!(a.injected_nans() <= 50);
+        // Every scheduled fault is reachable through the accessors.
+        let mut seen_panics = 0;
+        for s in 0..50 {
+            for t in 1..=20 {
+                if a.panics_at(s, t) {
+                    seen_panics += 1;
+                    assert!(a.touches(s));
+                }
+            }
+        }
+        assert_eq!(seen_panics, 3);
+    }
+
+    #[test]
+    fn distinct_seeds_give_distinct_schedules() {
+        let lens = vec![16; 40];
+        let mk = |seed| {
+            FaultPlan {
+                seed,
+                worker_panics: 5,
+                delay_rate: 0.3,
+                nan_rate: 0.3,
+                ..FaultPlan::default()
+            }
+            .schedule(&lens)
+        };
+        assert_ne!(mk(1), mk(2));
+    }
+
+    #[test]
+    fn empty_schedule_injects_nothing() {
+        let s = FaultSchedule::none(10);
+        assert_eq!(
+            s.injected_panics() + s.injected_delays() + s.injected_nans(),
+            0
+        );
+        assert!(!s.touches(3));
+        assert!(!s.panics_at(0, 1));
+        assert_eq!(s.delay_at(0, 1), None);
+    }
+
+    #[test]
+    fn corruption_offset_skips_header() {
+        let plan = FaultPlan {
+            seed: 3,
+            corrupt_model: true,
+            ..FaultPlan::default()
+        };
+        let off = plan.corruption_offset(1000);
+        assert!((16..1000).contains(&off));
+        assert_eq!(off, plan.corruption_offset(1000), "deterministic");
+        assert_eq!(plan.corruption_offset(0), 0);
+    }
+}

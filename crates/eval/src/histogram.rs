@@ -17,6 +17,7 @@
 pub struct LatencyHistogram {
     samples: Vec<f64>,
     sorted: bool,
+    over_deadline: usize,
 }
 
 impl LatencyHistogram {
@@ -31,10 +32,30 @@ impl LatencyHistogram {
         self.sorted = false;
     }
 
+    /// Records one latency sample against a decision deadline: the
+    /// sample is kept like [`LatencyHistogram::record`], and when it
+    /// exceeds `deadline` the breach is counted so degraded-mode events
+    /// stay visible in the reported latency figures. Returns `true` on
+    /// a breach.
+    pub fn record_with_deadline(&mut self, secs: f64, deadline: f64) -> bool {
+        self.record(secs);
+        let breached = secs > deadline;
+        if breached {
+            self.over_deadline += 1;
+        }
+        breached
+    }
+
+    /// Number of samples that exceeded their deadline at record time.
+    pub fn over_deadline(&self) -> usize {
+        self.over_deadline
+    }
+
     /// Merges another histogram's samples into this one.
     pub fn merge(&mut self, other: &LatencyHistogram) {
         self.samples.extend_from_slice(&other.samples);
         self.sorted = false;
+        self.over_deadline += other.over_deadline;
     }
 
     /// Number of recorded samples.
@@ -134,5 +155,19 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.len(), 2);
         assert_eq!(a.max(), Some(3.0));
+    }
+
+    #[test]
+    fn deadline_breaches_are_counted_and_merged() {
+        let mut a = LatencyHistogram::new();
+        assert!(!a.record_with_deadline(0.5, 1.0));
+        assert!(a.record_with_deadline(2.0, 1.0));
+        assert_eq!(a.over_deadline(), 1);
+        assert_eq!(a.len(), 2, "breaching samples are still recorded");
+        let mut b = LatencyHistogram::new();
+        assert!(b.record_with_deadline(3.0, 1.0));
+        a.merge(&b);
+        assert_eq!(a.over_deadline(), 2);
+        assert_eq!(a.len(), 3);
     }
 }

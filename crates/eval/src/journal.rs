@@ -16,7 +16,7 @@
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::fs::{File, OpenOptions};
-use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::io::{BufWriter, Write};
 use std::path::Path;
 
 use etsc_core::EtscError;
@@ -79,35 +79,54 @@ impl Journal {
     }
 
     /// Opens an existing journal for resumption: verifies the header
-    /// against `header`, returns the completed cells, and reopens the
-    /// file in append mode. A torn trailing line (from a mid-write
-    /// kill) is discarded.
+    /// against `header`, returns the completed cells plus any non-fatal
+    /// warnings, and reopens the file in append mode. A torn trailing
+    /// line (from a mid-write kill) is treated as a not-yet-written
+    /// cell: it is reported as a warning, physically truncated away so
+    /// later appends stay well-formed, and the resume continues.
     ///
     /// # Errors
-    /// Missing/unreadable file, or a header that does not match the
-    /// requested run.
+    /// Missing/unreadable file, a header that does not match the
+    /// requested run, or mid-file corruption (a malformed line
+    /// *followed by* valid cells — that is tampering, not a torn tail,
+    /// and resuming over it would silently duplicate work).
     pub fn open_resume(
         path: &Path,
         header: &JournalHeader,
-    ) -> Result<(Journal, Vec<CellOutcome>), EtscError> {
-        let (found, cells) = read_journal(path)?;
-        if &found != header {
+    ) -> Result<(Journal, Vec<CellOutcome>, Vec<String>), EtscError> {
+        let read = read_journal(path)?;
+        if read.header != *header {
             return Err(EtscError::Config(format!(
                 "journal {} was written by a different run \
-                 (journal: {found:?}, requested: {header:?})",
-                path.display()
+                 (journal: {:?}, requested: {header:?})",
+                path.display(),
+                read.header
             )));
         }
         let file = OpenOptions::new()
-            .append(true)
+            .read(true)
+            .write(true)
             .open(path)
             .map_err(|e| io_error(path, &e))?;
-        Ok((
-            Journal {
-                writer: BufWriter::new(file),
-            },
-            cells,
-        ))
+        // Drop the torn tail (and any missing final newline) so the
+        // next append starts on a fresh line.
+        file.set_len(read.valid_len)
+            .map_err(|e| io_error(path, &e))?;
+        let mut file = file;
+        use std::io::Seek as _;
+        file.seek(std::io::SeekFrom::End(0))
+            .map_err(|e| io_error(path, &e))?;
+        let mut journal = Journal {
+            writer: BufWriter::new(file),
+        };
+        if read.needs_newline {
+            journal
+                .writer
+                .write_all(b"\n")
+                .and_then(|()| journal.writer.flush())
+                .map_err(|e| io_error(path, &e))?;
+        }
+        Ok((journal, read.cells, read.warnings))
     }
 
     /// Appends one completed cell and flushes, so a kill immediately
@@ -128,42 +147,89 @@ impl Journal {
     }
 }
 
+/// What [`read_journal`] recovered from a journal file.
+#[derive(Debug)]
+pub struct JournalRead {
+    /// The parsed header line.
+    pub header: JournalHeader,
+    /// Every valid cell line, in file order.
+    pub cells: Vec<CellOutcome>,
+    /// Non-fatal anomalies tolerated during the read (a torn trailing
+    /// line from a mid-write kill).
+    pub warnings: Vec<String>,
+    /// Byte length of the valid prefix (header + parsed cells,
+    /// newlines included); everything past it is the torn tail.
+    pub valid_len: u64,
+    /// `true` when the last valid line is missing its final newline
+    /// (the writer was killed between the line and the separator).
+    pub needs_newline: bool,
+}
+
 /// Reads a journal file: the header plus every parseable cell line.
-/// Parsing stops at the first malformed line (the torn tail of a
-/// killed run).
+/// A malformed *final* line — the torn tail of a killed run — is
+/// tolerated and reported as a warning; a malformed line followed by
+/// valid cells is corruption and an error.
 ///
 /// # Errors
-/// Unreadable file or missing/invalid header line.
-pub fn read_journal(path: &Path) -> Result<(JournalHeader, Vec<CellOutcome>), EtscError> {
-    let file = File::open(path).map_err(|e| io_error(path, &e))?;
-    let mut lines = BufReader::new(file).lines();
-    let header_text = match lines.next() {
-        Some(Ok(line)) => line,
-        _ => {
-            return Err(EtscError::Config(format!(
-                "journal {} has no header line",
-                path.display()
-            )))
-        }
-    };
-    let header = parse_header(&header_text).ok_or_else(|| {
+/// Unreadable file, missing/invalid header line, or mid-file
+/// corruption.
+pub fn read_journal(path: &Path) -> Result<JournalRead, EtscError> {
+    let text = std::fs::read_to_string(path).map_err(|e| io_error(path, &e))?;
+    let mut lines = text.split_inclusive('\n').peekable();
+    let header_raw = lines.next().ok_or_else(|| {
+        EtscError::Config(format!("journal {} has no header line", path.display()))
+    })?;
+    let header_text = header_raw.trim_end_matches(['\n', '\r']);
+    let header = parse_header(header_text).ok_or_else(|| {
         EtscError::Config(format!(
             "journal {} has an invalid header: {header_text}",
             path.display()
         ))
     })?;
     let mut cells = Vec::new();
-    for line in lines {
-        let Ok(line) = line else { break };
+    let mut warnings = Vec::new();
+    let mut valid_len = header_raw.len() as u64;
+    let mut needs_newline = !header_raw.ends_with('\n');
+    let mut line_no = 1usize;
+    while let Some(raw) = lines.next() {
+        line_no += 1;
+        let line = raw.trim_end_matches(['\n', '\r']);
         if line.trim().is_empty() {
+            valid_len += raw.len() as u64;
             continue;
         }
-        match parse_cell(&line) {
-            Some(cell) => cells.push(cell),
-            None => break, // torn tail from a mid-write kill
+        match parse_cell(line) {
+            Some(cell) => {
+                cells.push(cell);
+                valid_len += raw.len() as u64;
+                needs_newline = !raw.ends_with('\n');
+            }
+            None if lines.peek().is_none() => {
+                // Torn tail from a mid-write kill: the cell was never
+                // durably recorded, so it is simply not-yet-written.
+                warnings.push(format!(
+                    "journal {}: ignoring torn trailing line {line_no} \
+                     ({} bytes); the interrupted cell will be recomputed",
+                    path.display(),
+                    raw.len()
+                ));
+            }
+            None => {
+                return Err(EtscError::Config(format!(
+                    "journal {} is corrupt: line {line_no} is malformed but \
+                     valid cells follow it (not a torn tail)",
+                    path.display()
+                )));
+            }
         }
     }
-    Ok((header, cells))
+    Ok(JournalRead {
+        header,
+        cells,
+        warnings,
+        valid_len,
+        needs_newline,
+    })
 }
 
 fn io_error(path: &Path, e: &std::io::Error) -> EtscError {
@@ -520,8 +586,10 @@ mod tests {
             journal.append(cell).unwrap();
         }
         drop(journal);
-        let (found, cells) = read_journal(&path).unwrap();
-        assert_eq!(found, header());
+        let read = read_journal(&path).unwrap();
+        assert_eq!(read.header, header());
+        assert!(read.warnings.is_empty());
+        let cells = read.cells;
         assert_eq!(cells.len(), 4);
         for (a, b) in cells.iter().zip(sample_cells().iter()) {
             match (a, b) {
@@ -551,7 +619,7 @@ mod tests {
     }
 
     #[test]
-    fn torn_tail_is_ignored() {
+    fn torn_tail_is_ignored_with_warning() {
         let path = tmp("torn.jsonl");
         let mut journal = Journal::create(&path, &header()).unwrap();
         for cell in &sample_cells()[..2] {
@@ -563,8 +631,57 @@ mod tests {
         let mut f = OpenOptions::new().append(true).open(&path).unwrap();
         write!(f, "{{\"kind\":\"cell\",\"status\":\"ok\",\"algo\":\"EC").unwrap();
         drop(f);
-        let (_, cells) = read_journal(&path).unwrap();
-        assert_eq!(cells.len(), 2);
+        let read = read_journal(&path).unwrap();
+        assert_eq!(read.cells.len(), 2);
+        assert_eq!(read.warnings.len(), 1);
+        assert!(
+            read.warnings[0].contains("torn trailing line"),
+            "{:?}",
+            read.warnings
+        );
+        assert!((read.valid_len as usize) < std::fs::metadata(&path).unwrap().len() as usize);
+    }
+
+    #[test]
+    fn resume_truncates_torn_tail_and_appends_cleanly() {
+        let path = tmp("torn-resume.jsonl");
+        let mut journal = Journal::create(&path, &header()).unwrap();
+        journal.append(&sample_cells()[0]).unwrap();
+        drop(journal);
+        use std::io::Write as _;
+        let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+        write!(f, "{{\"kind\":\"cell\",\"sta").unwrap();
+        drop(f);
+        let (mut journal, cells, warnings) = Journal::open_resume(&path, &header()).unwrap();
+        assert_eq!(cells.len(), 1);
+        assert_eq!(warnings.len(), 1);
+        journal.append(&sample_cells()[1]).unwrap();
+        drop(journal);
+        // The torn bytes are gone and the new cell parses: a second
+        // resume sees both cells and no warnings.
+        let read = read_journal(&path).unwrap();
+        assert_eq!(read.cells.len(), 2);
+        assert!(read.warnings.is_empty(), "{:?}", read.warnings);
+    }
+
+    #[test]
+    fn midfile_corruption_is_an_error_not_a_silent_truncation() {
+        let path = tmp("midfile.jsonl");
+        let mut journal = Journal::create(&path, &header()).unwrap();
+        journal.append(&sample_cells()[0]).unwrap();
+        drop(journal);
+        use std::io::Write as _;
+        let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+        writeln!(f, "garbage line").unwrap();
+        drop(f);
+        // Valid cell after the garbage => corruption, not a torn tail.
+        let mut journal = Journal {
+            writer: BufWriter::new(OpenOptions::new().append(true).open(&path).unwrap()),
+        };
+        journal.append(&sample_cells()[1]).unwrap();
+        drop(journal);
+        let err = read_journal(&path).unwrap_err();
+        assert!(err.to_string().contains("corrupt"), "{err}");
     }
 
     #[test]
@@ -573,12 +690,12 @@ mod tests {
         let mut journal = Journal::create(&path, &header()).unwrap();
         journal.append(&sample_cells()[0]).unwrap();
         drop(journal);
-        let (mut journal, cells) = Journal::open_resume(&path, &header()).unwrap();
+        let (mut journal, cells, warnings) = Journal::open_resume(&path, &header()).unwrap();
         assert_eq!(cells.len(), 1);
+        assert!(warnings.is_empty());
         journal.append(&sample_cells()[1]).unwrap();
         drop(journal);
-        let (_, cells) = read_journal(&path).unwrap();
-        assert_eq!(cells.len(), 2);
+        assert_eq!(read_journal(&path).unwrap().cells.len(), 2);
     }
 
     #[test]

@@ -23,10 +23,14 @@
 //!   (dataset × algorithm) matrix: panic isolation, bounded retries,
 //!   and the universal training budget (the paper's 48-hour rule);
 //! * [`journal`] — append-only JSONL checkpointing so an interrupted
-//!   matrix run resumes without recomputing finished cells.
+//!   matrix run resumes without recomputing finished cells;
+//! * [`faults`] — deterministic, seeded fault injection (worker panics,
+//!   artificial latency, NaN observations, model corruption) used to
+//!   chaos-test the serving stack.
 
 pub mod aggregate;
 pub mod experiment;
+pub mod faults;
 pub mod histogram;
 pub mod journal;
 pub mod metrics;
@@ -38,6 +42,7 @@ pub mod tuning;
 
 pub use aggregate::aggregate_by_category;
 pub use experiment::{run_cv, AlgoSpec, RunConfig, RunResult};
+pub use faults::{FaultPlan, FaultSchedule};
 pub use histogram::LatencyHistogram;
 pub use journal::{Journal, JournalHeader};
 pub use metrics::{EvalOutcome, Metrics};

@@ -198,7 +198,10 @@ where
         cells.iter().map(|_| Mutex::new(None)).collect();
     let journal = match (&options.journal, options.resume) {
         (Some(path), true) if path.exists() => {
-            let (journal, recorded) = Journal::open_resume(path, &header)?;
+            let (journal, recorded, warnings) = Journal::open_resume(path, &header)?;
+            for warning in warnings {
+                eprintln!("warning: {warning}");
+            }
             let mut by_key: HashMap<(String, AlgoSpec), CellOutcome> = recorded
                 .into_iter()
                 .map(|c| ((c.dataset().to_owned(), c.algo()), c))

@@ -14,11 +14,20 @@
 //!   [`etsc_core::StreamState`] machinery and re-evaluating per point or
 //!   per prefix batch (ECEC/TEASER semantics);
 //! * [`scheduler`] — a fixed worker pool multiplexing many sessions with
-//!   bounded ingress queues and explicit backpressure (block or shed);
+//!   bounded ingress queues and explicit backpressure (block or shed).
+//!   Workers are supervised: a panic fails only the in-flight session
+//!   and the worker restarts (bounded, with exponential backoff);
 //! * [`replay`] — replays a whole dataset through the scheduler at a
 //!   dataset's observation frequency and reports the *measured*
 //!   Figure-13 ratio (`decision_latency / obs_interval`) next to the
 //!   offline verdict of [`etsc_eval::online`].
+//!
+//! Robustness is first-class: sessions can carry decision deadlines
+//! that degrade to a configurable fallback verdict, the model store is
+//! crash-consistent (per-section CRC64, `.prev` last-good fallback,
+//! quarantine on corruption), and a seeded [`etsc_eval::FaultPlan`] can
+//! inject worker panics, decision latency, and poisoned stream points
+//! deterministically for chaos testing.
 
 pub mod replay;
 pub mod scheduler;
@@ -26,6 +35,10 @@ pub mod session;
 pub mod store;
 
 pub use replay::{replay_dataset, ReplayOptions, ReplayOutcome};
-pub use scheduler::{serve_sessions, Backpressure, SchedulerConfig, ServeReport};
-pub use session::StreamSession;
-pub use store::{fit_model, ModelMeta, SavedModel, ServeError, StoredModel};
+pub use scheduler::{
+    serve_sessions, Backpressure, SchedulerConfig, ServeReport, SessionOutcome, SupervisionConfig,
+};
+pub use session::{DeadlineConfig, FallbackKind, FallbackPolicy, StreamSession};
+pub use store::{
+    fit_model, load_resilient, LoadOutcome, ModelMeta, SavedModel, ServeError, StoredModel,
+};

@@ -84,7 +84,7 @@ impl ReplayOutcome {
             Some(false) => "infeasible (ratio >= 1)",
             None => "unmeasured",
         };
-        format!(
+        let mut text = format!(
             "{} on {} — {} sessions\n\
              decisions      {} committed, {} dropped, {} observations shed\n\
              accuracy       {:.4}\n\
@@ -109,7 +109,34 @@ impl ReplayOutcome {
             self.obs_frequency_secs,
             self.batch_len,
             verdict,
-        )
+        );
+        let r = &self.report;
+        if r.worker_panics + r.worker_restarts + r.deadline_breaches + r.fallbacks > 0
+            || r.fault_schedule.is_some()
+        {
+            text.push_str(&format!(
+                "degraded       {} worker panics, {} restarts, {} deadline breaches, {} fallback decisions, {} starved\n",
+                r.worker_panics,
+                r.worker_restarts,
+                r.deadline_breaches,
+                r.fallbacks,
+                r.starved(),
+            ));
+        }
+        if let Some(schedule) = &r.fault_schedule {
+            text.push_str(&format!(
+                "faults         injected {} panics, {} delays, {} NaN points{}\n",
+                schedule.injected_panics(),
+                schedule.injected_delays(),
+                schedule.injected_nans(),
+                if schedule.corrupts_model() {
+                    ", model corruption"
+                } else {
+                    ""
+                },
+            ));
+        }
+        text
     }
 }
 
@@ -124,11 +151,17 @@ pub fn replay_dataset(
     data: &Dataset,
     options: &ReplayOptions,
 ) -> Result<ReplayOutcome, EtscError> {
+    let mut scheduler = options.scheduler.clone();
+    if let Some(deadline) = scheduler.deadline.as_mut() {
+        // The prior-class fallback verdict comes from the stored
+        // model's training distribution, not from the caller.
+        deadline.prior_label = stored.meta.prior_label;
+    }
     let report = serve_sessions(
         stored.classifier(),
         data.instances(),
         options.batch,
-        &options.scheduler,
+        &scheduler,
     )?;
     let mut correct = 0usize;
     let mut committed = 0usize;
@@ -205,6 +238,7 @@ mod tests {
                     workers: 2,
                     queue_capacity: 64,
                     backpressure: Backpressure::Block,
+                    ..SchedulerConfig::default()
                 },
             },
         )

@@ -12,17 +12,20 @@
 //! counter, since streaming work arrives over time instead of being
 //! enumerable up front.
 
+use std::cell::Cell;
 use std::collections::HashMap;
 use std::collections::VecDeque;
+use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use etsc_core::{EarlyClassifier, EarlyPrediction, EtscError};
 use etsc_data::MultiSeries;
 use etsc_eval::histogram::LatencyHistogram;
+use etsc_eval::{FaultPlan, FaultSchedule};
 
-use crate::session::StreamSession;
+use crate::session::{DeadlineConfig, FallbackKind, StreamSession};
 
 /// What to do with an observation when its worker's ingress queue is
 /// full.
@@ -38,6 +41,40 @@ pub enum Backpressure {
     Shed,
 }
 
+/// Bounds on how hard the pool fights to keep a worker alive after a
+/// panic.
+#[derive(Debug, Clone, Copy)]
+pub struct SupervisionConfig {
+    /// Restarts granted to each worker before it gives up and fails its
+    /// remaining sessions.
+    pub max_restarts: usize,
+    /// Backoff slept before the first restart; doubles per restart.
+    pub backoff_base: Duration,
+    /// Ceiling on the exponential backoff.
+    pub backoff_cap: Duration,
+}
+
+impl Default for SupervisionConfig {
+    fn default() -> SupervisionConfig {
+        SupervisionConfig {
+            max_restarts: 3,
+            backoff_base: Duration::from_millis(1),
+            backoff_cap: Duration::from_millis(100),
+        }
+    }
+}
+
+impl SupervisionConfig {
+    /// Backoff before restart number `restart` (1-based): base doubled
+    /// per prior restart, capped.
+    pub fn backoff(&self, restart: usize) -> Duration {
+        let shift = restart.saturating_sub(1).min(16) as u32;
+        self.backoff_base
+            .saturating_mul(1u32 << shift)
+            .min(self.backoff_cap)
+    }
+}
+
 /// Scheduler knobs.
 #[derive(Debug, Clone)]
 pub struct SchedulerConfig {
@@ -47,6 +84,13 @@ pub struct SchedulerConfig {
     pub queue_capacity: usize,
     /// Policy when a queue is full.
     pub backpressure: Backpressure,
+    /// Per-evaluation decision deadline; `None` serves without one.
+    pub deadline: Option<DeadlineConfig>,
+    /// Worker restart budget and backoff.
+    pub supervision: SupervisionConfig,
+    /// Deterministic fault injection for chaos testing; `None` in
+    /// production.
+    pub faults: Option<FaultPlan>,
 }
 
 impl Default for SchedulerConfig {
@@ -55,6 +99,39 @@ impl Default for SchedulerConfig {
             workers: 4,
             queue_capacity: 1024,
             backpressure: Backpressure::Block,
+            deadline: None,
+            supervision: SupervisionConfig::default(),
+            faults: None,
+        }
+    }
+}
+
+/// How one session ended — every session gets exactly one outcome, so
+/// faults are attributable instead of silently folded into a count.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SessionOutcome {
+    /// The model committed a genuine early decision.
+    Decided(EarlyPrediction),
+    /// A deadline breach degraded the session to a fallback verdict.
+    Fallback {
+        /// The committed fallback prediction.
+        prediction: EarlyPrediction,
+        /// Which degraded path produced it.
+        kind: FallbackKind,
+    },
+    /// The session died (model error, or its worker panicked mid-step).
+    Failed(String),
+    /// The session ended with no decision and no error (a shed final
+    /// point, or a worker that gave up before its stream finished).
+    Starved,
+}
+
+impl SessionOutcome {
+    /// The committed prediction, genuine or fallback.
+    pub fn prediction(&self) -> Option<EarlyPrediction> {
+        match self {
+            SessionOutcome::Decided(p) | SessionOutcome::Fallback { prediction: p, .. } => Some(*p),
+            SessionOutcome::Failed(_) | SessionOutcome::Starved => None,
         }
     }
 }
@@ -63,8 +140,12 @@ impl Default for SchedulerConfig {
 #[derive(Debug)]
 pub struct ServeReport {
     /// Final prediction per session; `None` when the session never
-    /// committed (only possible under [`Backpressure::Shed`]).
+    /// committed (shed final point, session failure, or a worker that
+    /// gave up).
     pub decisions: Vec<Option<EarlyPrediction>>,
+    /// How each session ended, parallel to
+    /// [`ServeReport::decisions`].
+    pub outcomes: Vec<SessionOutcome>,
     /// Observations shed under backpressure.
     pub shed_observations: usize,
     /// Sessions that ended without a decision.
@@ -83,12 +164,33 @@ pub struct ServeReport {
     pub errors: usize,
     /// First session error, if any.
     pub first_error: Option<String>,
+    /// Worker panics caught by the supervisor (injected or organic).
+    pub worker_panics: usize,
+    /// Worker loop restarts performed after those panics.
+    pub worker_restarts: usize,
+    /// Evaluations that exceeded the armed deadline (0 without one).
+    pub deadline_breaches: usize,
+    /// Sessions answered by a fallback verdict instead of a genuine
+    /// decision.
+    pub fallbacks: usize,
+    /// The exact fault coordinates injected, when a [`FaultPlan`] was
+    /// armed — lets callers attribute every degraded cell.
+    pub fault_schedule: Option<FaultSchedule>,
 }
 
 impl ServeReport {
-    /// Committed decisions.
+    /// Committed decisions (genuine or fallback).
     pub fn committed(&self) -> usize {
         self.decisions.iter().filter(|d| d.is_some()).count()
+    }
+
+    /// Sessions that ended [`SessionOutcome::Starved`] — no decision
+    /// and no attributable error.
+    pub fn starved(&self) -> usize {
+        self.outcomes
+            .iter()
+            .filter(|o| matches!(o, SessionOutcome::Starved))
+            .count()
     }
 
     /// Decision throughput over the replay wall-clock.
@@ -192,6 +294,29 @@ impl Ingress {
     }
 }
 
+/// A session's result slot while the replay runs; resolved into a
+/// [`SessionOutcome`] once the pool drains.
+enum SlotState {
+    Pending,
+    Decided(EarlyPrediction, Option<FallbackKind>),
+    Failed(String),
+}
+
+/// Per-worker tallies returned through the scope join.
+struct WorkerStats {
+    eval_latency: LatencyHistogram,
+    decision_lag: LatencyHistogram,
+    evals: usize,
+    panics: usize,
+    restarts: usize,
+}
+
+fn set_slot(slot: &Mutex<SlotState>, state: SlotState) {
+    *slot
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner) = state;
+}
+
 /// Replays `instances` as concurrent streaming sessions against one
 /// shared fitted model and reports decisions plus measured latencies.
 ///
@@ -200,9 +325,17 @@ impl Ingress {
 /// session is enqueued before observation `t + 1` of any session, the
 /// interleaving a real multiplexed ingress would produce.
 ///
+/// Workers are supervised: a panic (injected or organic) fails only the
+/// session whose step was in flight; the worker loop restarts — with
+/// exponential backoff, up to the configured restart budget — and the
+/// sibling sessions it hosts continue from their accumulated state.
+/// A worker out of restarts drains its queue, failing its remaining
+/// sessions, so a [`Backpressure::Block`] producer can never deadlock
+/// against a dead consumer.
+///
 /// # Errors
-/// Infrastructure failures only (a worker panic escaping the pool).
-/// Per-session model errors are reported in the [`ServeReport`].
+/// Infrastructure failures only. Per-session model errors, panics, and
+/// degraded decisions are reported in the [`ServeReport`].
 pub fn serve_sessions(
     model: &(dyn EarlyClassifier + Sync),
     instances: &[MultiSeries],
@@ -211,10 +344,12 @@ pub fn serve_sessions(
 ) -> Result<ServeReport, EtscError> {
     let n = instances.len();
     let workers = config.workers.max(1).min(n.max(1));
+    let lens: Vec<usize> = instances.iter().map(MultiSeries::len).collect();
+    let schedule = config.faults.as_ref().map(|plan| plan.schedule(&lens));
     let queues: Vec<Ingress> = (0..workers)
         .map(|_| Ingress::new(config.queue_capacity))
         .collect();
-    let slots: Vec<Mutex<Option<EarlyPrediction>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let slots: Vec<Mutex<SlotState>> = (0..n).map(|_| Mutex::new(SlotState::Pending)).collect();
     let done: Vec<AtomicBool> = (0..n).map(|_| AtomicBool::new(false)).collect();
     let shed = AtomicUsize::new(0);
     let errors = AtomicUsize::new(0);
@@ -228,69 +363,152 @@ pub fn serve_sessions(
             let done = &done;
             let errors = &errors;
             let first_error = &first_error;
+            let schedule = schedule.as_ref();
+            let deadline = config.deadline;
+            let supervision = config.supervision;
             handles.push(scope.spawn(move |_| {
+                // Session state lives OUTSIDE the unwind boundary: a
+                // panic poisons only the in-flight session, and the
+                // restarted loop resumes the siblings where they were.
                 let mut sessions: HashMap<usize, StreamSession<'_>> = HashMap::new();
-                let mut eval_latency = LatencyHistogram::new();
-                let mut decision_lag = LatencyHistogram::new();
-                let mut evals = 0usize;
-                while let Some(item) = queue.pop() {
-                    let s = item.session;
-                    if done[s].load(Ordering::Acquire) {
-                        continue;
-                    }
-                    let session = match sessions.entry(s) {
-                        std::collections::hash_map::Entry::Occupied(o) => o.into_mut(),
-                        std::collections::hash_map::Entry::Vacant(v) => {
-                            let inst = &instances[s];
-                            match StreamSession::new(model, inst.vars(), inst.len(), batch) {
-                                Ok(session) => v.insert(session),
-                                Err(e) => {
-                                    record_error(errors, first_error, &e);
-                                    done[s].store(true, Ordering::Release);
-                                    continue;
+                let mut stats = WorkerStats {
+                    eval_latency: LatencyHistogram::new(),
+                    decision_lag: LatencyHistogram::new(),
+                    evals: 0,
+                    panics: 0,
+                    restarts: 0,
+                };
+                let in_flight = Cell::new(None::<usize>);
+                loop {
+                    let run = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                        while let Some(item) = queue.pop() {
+                            let s = item.session;
+                            if done[s].load(Ordering::Acquire) {
+                                continue;
+                            }
+                            in_flight.set(Some(s));
+                            let session = match sessions.entry(s) {
+                                std::collections::hash_map::Entry::Occupied(o) => o.into_mut(),
+                                std::collections::hash_map::Entry::Vacant(v) => {
+                                    let inst = &instances[s];
+                                    match StreamSession::new(model, inst.vars(), inst.len(), batch)
+                                    {
+                                        Ok(mut session) => {
+                                            session.set_deadline(deadline);
+                                            v.insert(session)
+                                        }
+                                        Err(e) => {
+                                            record_error(errors, first_error, &e);
+                                            set_slot(&slots[s], SlotState::Failed(e.to_string()));
+                                            done[s].store(true, Ordering::Release);
+                                            in_flight.set(None);
+                                            continue;
+                                        }
+                                    }
+                                }
+                            };
+                            let step = session.observed() + 1;
+                            if let Some(sch) = schedule {
+                                if sch.panics_at(s, step) {
+                                    panic!(
+                                        "injected fault: worker panic serving session {s} at step {step}"
+                                    );
                                 }
                             }
+                            let delay = schedule.and_then(|sch| sch.delay_at(s, step));
+                            let before = session.evals();
+                            match session.push_with_delay(&item.row, delay) {
+                                Ok(Some(prediction)) => {
+                                    set_slot(
+                                        &slots[s],
+                                        SlotState::Decided(prediction, session.fallback()),
+                                    );
+                                    done[s].store(true, Ordering::Release);
+                                    stats
+                                        .decision_lag
+                                        .record(item.enqueued.elapsed().as_secs_f64());
+                                }
+                                Ok(None) => {}
+                                Err(e) => {
+                                    record_error(errors, first_error, &e);
+                                    set_slot(&slots[s], SlotState::Failed(e.to_string()));
+                                    done[s].store(true, Ordering::Release);
+                                }
+                            }
+                            stats.evals += session.evals() - before;
+                            if done[s].load(Ordering::Acquire) {
+                                if let Some(finished) = sessions.remove(&s) {
+                                    stats.eval_latency.merge(finished.latency());
+                                }
+                            }
+                            in_flight.set(None);
                         }
-                    };
-                    let before = session.evals();
-                    match session.push(&item.row) {
-                        Ok(Some(prediction)) => {
-                            *slots[s]
-                                .lock()
-                                .unwrap_or_else(std::sync::PoisonError::into_inner) =
-                                Some(prediction);
-                            done[s].store(true, Ordering::Release);
-                            decision_lag.record(item.enqueued.elapsed().as_secs_f64());
+                    }));
+                    match run {
+                        Ok(()) => break,
+                        Err(payload) => {
+                            stats.panics += 1;
+                            let message = etsc_core::panic_message(&payload);
+                            if let Some(s) = in_flight.take() {
+                                let e = EtscError::Panicked {
+                                    message: format!("session {s}: {message}"),
+                                };
+                                record_error(errors, first_error, &e);
+                                set_slot(&slots[s], SlotState::Failed(e.to_string()));
+                                done[s].store(true, Ordering::Release);
+                                if let Some(poisoned) = sessions.remove(&s) {
+                                    stats.eval_latency.merge(poisoned.latency());
+                                }
+                            }
+                            if stats.restarts >= supervision.max_restarts {
+                                // Out of budget: fail this worker's open
+                                // sessions and keep draining the queue so
+                                // a blocked producer can finish feeding.
+                                let reason = format!(
+                                    "worker gave up after {} restarts: {message}",
+                                    stats.restarts
+                                );
+                                for (s, session) in sessions.drain() {
+                                    set_slot(&slots[s], SlotState::Failed(reason.clone()));
+                                    done[s].store(true, Ordering::Release);
+                                    stats.eval_latency.merge(session.latency());
+                                }
+                                while let Some(item) = queue.pop() {
+                                    let s = item.session;
+                                    if !done[s].swap(true, Ordering::AcqRel) {
+                                        set_slot(&slots[s], SlotState::Failed(reason.clone()));
+                                    }
+                                }
+                                break;
+                            }
+                            stats.restarts += 1;
+                            std::thread::sleep(supervision.backoff(stats.restarts));
                         }
-                        Ok(None) => {}
-                        Err(e) => {
-                            record_error(errors, first_error, &e);
-                            done[s].store(true, Ordering::Release);
-                        }
-                    }
-                    evals += session.evals() - before;
-                    if done[s].load(Ordering::Acquire) {
-                        let finished = sessions.remove(&s).expect("session exists");
-                        eval_latency.merge(finished.latency());
                     }
                 }
                 // Sessions still open when the stream closes (shed tail):
                 // collect their latencies too.
                 for (_, session) in sessions {
-                    eval_latency.merge(session.latency());
+                    stats.eval_latency.merge(session.latency());
                 }
-                (eval_latency, decision_lag, evals)
+                stats
             }));
         }
 
         // Feed time-major from the calling thread.
-        let horizon = instances.iter().map(MultiSeries::len).max().unwrap_or(0);
+        let horizon = lens.iter().copied().max().unwrap_or(0);
         for t in 0..horizon {
             for (s, inst) in instances.iter().enumerate() {
                 if t >= inst.len() || done[s].load(Ordering::Acquire) {
                     continue;
                 }
-                let row: Vec<f64> = (0..inst.vars()).map(|v| inst.at(v, t)).collect();
+                let mut row: Vec<f64> = (0..inst.vars()).map(|v| inst.at(v, t)).collect();
+                if let Some(sch) = schedule.as_ref() {
+                    if sch.nan_at(s, t + 1) {
+                        // A poisoned sensor reading: every variable NaN.
+                        row.fill(f64::NAN);
+                    }
+                }
                 let item = Item {
                     session: s,
                     row,
@@ -306,7 +524,29 @@ pub fn serve_sessions(
         }
         handles
             .into_iter()
-            .map(|h| h.join().expect("scheduler worker panicked"))
+            .map(|h| match h.join() {
+                Ok(stats) => stats,
+                // The supervisor catches worker panics in-loop; reaching
+                // here means the panic escaped between loop iterations
+                // (e.g. inside the supervisor itself). Surface it as a
+                // dead worker instead of aborting the pool.
+                Err(payload) => {
+                    let e = EtscError::Panicked {
+                        message: format!(
+                            "scheduler worker died: {}",
+                            etsc_core::panic_message(&payload)
+                        ),
+                    };
+                    record_error(&errors, &first_error, &e);
+                    WorkerStats {
+                        eval_latency: LatencyHistogram::new(),
+                        decision_lag: LatencyHistogram::new(),
+                        evals: 0,
+                        panics: 1,
+                        restarts: 0,
+                    }
+                }
+            })
             .collect::<Vec<_>>()
     })
     .map_err(|p| EtscError::Panicked {
@@ -317,24 +557,45 @@ pub fn serve_sessions(
     let mut eval_latency = LatencyHistogram::new();
     let mut decision_lag = LatencyHistogram::new();
     let mut evals = 0;
-    for (el, dl, n_evals) in per_worker {
-        eval_latency.merge(&el);
-        decision_lag.merge(&dl);
-        evals += n_evals;
+    let mut worker_panics = 0;
+    let mut worker_restarts = 0;
+    for stats in per_worker {
+        eval_latency.merge(&stats.eval_latency);
+        decision_lag.merge(&stats.decision_lag);
+        evals += stats.evals;
+        worker_panics += stats.panics;
+        worker_restarts += stats.restarts;
     }
-    let decisions: Vec<Option<EarlyPrediction>> = slots
+    let outcomes: Vec<SessionOutcome> = slots
         .into_iter()
         .map(|slot| {
-            slot.into_inner()
+            match slot
+                .into_inner()
                 .unwrap_or_else(std::sync::PoisonError::into_inner)
+            {
+                SlotState::Pending => SessionOutcome::Starved,
+                SlotState::Decided(prediction, None) => SessionOutcome::Decided(prediction),
+                SlotState::Decided(prediction, Some(kind)) => {
+                    SessionOutcome::Fallback { prediction, kind }
+                }
+                SlotState::Failed(message) => SessionOutcome::Failed(message),
+            }
         })
         .collect();
+    let decisions: Vec<Option<EarlyPrediction>> =
+        outcomes.iter().map(SessionOutcome::prediction).collect();
     let dropped_decisions = decisions.iter().filter(|d| d.is_none()).count();
+    let fallbacks = outcomes
+        .iter()
+        .filter(|o| matches!(o, SessionOutcome::Fallback { .. }))
+        .count();
     Ok(ServeReport {
         decisions,
+        outcomes,
         shed_observations: shed.into_inner(),
         dropped_decisions,
         evals,
+        deadline_breaches: eval_latency.over_deadline(),
         eval_latency,
         decision_lag,
         wall_secs,
@@ -342,6 +603,10 @@ pub fn serve_sessions(
         first_error: first_error
             .into_inner()
             .unwrap_or_else(std::sync::PoisonError::into_inner),
+        worker_panics,
+        worker_restarts,
+        fallbacks,
+        fault_schedule: schedule,
     })
 }
 
@@ -393,12 +658,15 @@ mod tests {
                 workers: 3,
                 queue_capacity: 8,
                 backpressure: Backpressure::Block,
+                ..SchedulerConfig::default()
             },
         )
         .unwrap();
         assert_eq!(report.shed_observations, 0);
         assert_eq!(report.dropped_decisions, 0);
         assert_eq!(report.errors, 0, "{:?}", report.first_error);
+        assert_eq!(report.worker_panics, 0);
+        assert_eq!(report.fallbacks, 0);
         assert!(report.evals > 0);
         assert_eq!(report.eval_latency.len(), report.evals);
         for (i, decision) in report.decisions.iter().enumerate() {
@@ -419,6 +687,7 @@ mod tests {
                 workers: 1,
                 queue_capacity: 1,
                 backpressure: Backpressure::Shed,
+                ..SchedulerConfig::default()
             },
         )
         .unwrap();
@@ -440,10 +709,134 @@ mod tests {
             workers: 1,
             queue_capacity: 4,
             backpressure: Backpressure::Block,
+            ..SchedulerConfig::default()
         };
         let a = serve_sessions(&model, data.instances(), 2, &config).unwrap();
         let b = serve_sessions(&model, data.instances(), 2, &config).unwrap();
         assert_eq!(a.decisions, b.decisions);
         assert_eq!(a.evals, b.evals);
+    }
+
+    #[test]
+    fn injected_panic_fails_one_session_and_spares_siblings() {
+        let data = synthetic(12);
+        let model = fitted(&data);
+        let plan = FaultPlan::parse("seed=7,panics=1").unwrap();
+        let report = serve_sessions(
+            &model,
+            data.instances(),
+            1,
+            &SchedulerConfig {
+                workers: 2,
+                queue_capacity: 32,
+                faults: Some(plan),
+                ..SchedulerConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(report.worker_panics, 1);
+        assert_eq!(report.worker_restarts, 1);
+        assert_eq!(report.starved(), 0);
+        let failed: Vec<usize> = report
+            .outcomes
+            .iter()
+            .enumerate()
+            .filter(|(_, o)| matches!(o, SessionOutcome::Failed(_)))
+            .map(|(s, _)| s)
+            .collect();
+        assert_eq!(failed.len(), 1, "exactly the poisoned session fails");
+        let schedule = report.fault_schedule.as_ref().unwrap();
+        assert!(schedule.touches(failed[0]), "failure is attributable");
+        // Every untouched session still matches the offline prediction.
+        for (s, outcome) in report.outcomes.iter().enumerate() {
+            if schedule.touches(s) {
+                continue;
+            }
+            let offline = model.predict_early(data.instance(s)).unwrap();
+            assert_eq!(*outcome, SessionOutcome::Decided(offline), "session {s}");
+        }
+    }
+
+    #[test]
+    fn worker_out_of_restarts_fails_its_sessions_without_deadlock() {
+        let data = synthetic(8);
+        let model = fitted(&data);
+        // Four injected panics against a zero-restart budget on a
+        // single worker: it must give up, drain, and never deadlock the
+        // blocking producer.
+        let plan = FaultPlan::parse("seed=3,panics=4").unwrap();
+        let report = serve_sessions(
+            &model,
+            data.instances(),
+            1,
+            &SchedulerConfig {
+                workers: 1,
+                queue_capacity: 2,
+                supervision: SupervisionConfig {
+                    max_restarts: 0,
+                    ..SupervisionConfig::default()
+                },
+                faults: Some(plan),
+                ..SchedulerConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(report.worker_panics, 1, "gave up after the first panic");
+        assert_eq!(report.worker_restarts, 0);
+        assert_eq!(report.starved(), 0, "every session has an outcome");
+        assert_eq!(report.decisions.len(), 8);
+        assert!(report
+            .outcomes
+            .iter()
+            .any(|o| matches!(o, SessionOutcome::Failed(_))));
+    }
+
+    #[test]
+    fn deadline_with_injected_delay_degrades_to_prior_class() {
+        let data = synthetic(10);
+        let model = fitted(&data);
+        // Delay every step by 20ms against a 1ms deadline: every
+        // session that evaluates before its natural trigger degrades.
+        let plan = FaultPlan::parse("seed=5,delay-rate=1.0,delay-ms=20").unwrap();
+        let report = serve_sessions(
+            &model,
+            data.instances(),
+            1,
+            &SchedulerConfig {
+                workers: 2,
+                queue_capacity: 32,
+                deadline: Some(DeadlineConfig {
+                    deadline: Duration::from_millis(1),
+                    policy: crate::session::FallbackPolicy::PriorClass,
+                    prior_label: 0,
+                }),
+                faults: Some(plan),
+                ..SchedulerConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(report.starved(), 0);
+        assert!(report.deadline_breaches > 0);
+        assert!(report.fallbacks > 0);
+        for outcome in &report.outcomes {
+            if let SessionOutcome::Fallback { prediction, kind } = outcome {
+                assert_eq!(*kind, FallbackKind::DeadlinePrior);
+                assert_eq!(prediction.label, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let s = SupervisionConfig {
+            max_restarts: 10,
+            backoff_base: Duration::from_millis(1),
+            backoff_cap: Duration::from_millis(8),
+        };
+        assert_eq!(s.backoff(1), Duration::from_millis(1));
+        assert_eq!(s.backoff(2), Duration::from_millis(2));
+        assert_eq!(s.backoff(3), Duration::from_millis(4));
+        assert_eq!(s.backoff(4), Duration::from_millis(8));
+        assert_eq!(s.backoff(9), Duration::from_millis(8));
     }
 }

@@ -8,11 +8,55 @@
 //! TEASER only re-evaluate once a whole `L/N` batch has arrived, the
 //! same batch credit [`etsc_eval::online`] grants them in Figure 13.
 
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use etsc_core::{EarlyClassifier, EarlyPrediction, EtscError, StreamState};
 use etsc_data::MultiSeries;
 use etsc_eval::histogram::LatencyHistogram;
+
+/// What a session does when a re-evaluation misses its deadline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FallbackPolicy {
+    /// Count the breach but keep waiting for the algorithm's own
+    /// trigger — latency-tolerant consumers accept a late result.
+    Wait,
+    /// Commit the training prior class immediately: the cheapest
+    /// always-available baseline verdict. A genuine label the breaching
+    /// evaluation produces late is discarded — the consumer was already
+    /// answered when the budget expired.
+    PriorClass,
+    /// Force the algorithm to decide on the data seen so far (its
+    /// current best — the "last confident prediction" it would commit
+    /// if the stream ended now); falls back to the prior class when
+    /// even a forced evaluation yields nothing.
+    DecideNow,
+}
+
+/// Per-evaluation decision deadline and the degraded-mode behaviour
+/// applied on a breach.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeadlineConfig {
+    /// Budget for one re-evaluation.
+    pub deadline: Duration,
+    /// What to do when the budget is exceeded.
+    pub policy: FallbackPolicy,
+    /// Dense label committed by [`FallbackPolicy::PriorClass`] (and by
+    /// [`FallbackPolicy::DecideNow`] when the forced evaluation stays
+    /// undecided). [`crate::replay_dataset`] fills this with the stored
+    /// model's training prior.
+    pub prior_label: usize,
+}
+
+/// Why a committed decision was a degraded-mode fallback rather than
+/// the algorithm's own trigger.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FallbackKind {
+    /// Deadline breach answered with the training prior class.
+    DeadlinePrior,
+    /// Deadline breach answered by forcing the algorithm to decide on
+    /// the observed prefix.
+    DeadlineForced,
+}
 
 /// Streaming state for one time series being classified early.
 pub struct StreamSession<'m> {
@@ -24,6 +68,9 @@ pub struct StreamSession<'m> {
     decided: Option<EarlyPrediction>,
     evals: usize,
     latency: LatencyHistogram,
+    deadline: Option<DeadlineConfig>,
+    fallback: Option<FallbackKind>,
+    deadline_breaches: usize,
 }
 
 impl<'m> StreamSession<'m> {
@@ -51,7 +98,27 @@ impl<'m> StreamSession<'m> {
             decided: None,
             evals: 0,
             latency: LatencyHistogram::new(),
+            deadline: None,
+            fallback: None,
+            deadline_breaches: 0,
         })
+    }
+
+    /// Arms (or disarms) the per-evaluation decision deadline. Breaches
+    /// are counted in the session's latency histogram and answered
+    /// according to the configured [`FallbackPolicy`].
+    pub fn set_deadline(&mut self, deadline: Option<DeadlineConfig>) {
+        self.deadline = deadline;
+    }
+
+    /// Why the committed decision was a fallback, when it was one.
+    pub fn fallback(&self) -> Option<FallbackKind> {
+        self.fallback
+    }
+
+    /// Evaluations that exceeded the armed deadline.
+    pub fn deadline_breaches(&self) -> usize {
+        self.deadline_breaches
     }
 
     /// Points observed so far.
@@ -91,6 +158,21 @@ impl<'m> StreamSession<'m> {
     /// [`EtscError::IncompatibleInstance`] on a wrong-arity observation;
     /// otherwise whatever the algorithm's `observe` propagates.
     pub fn push(&mut self, observation: &[f64]) -> Result<Option<EarlyPrediction>, EtscError> {
+        self.push_with_delay(observation, None)
+    }
+
+    /// [`StreamSession::push`] with an artificial evaluation delay
+    /// injected *inside* the timed region — the fault-injection hook
+    /// used by chaos testing to make a fast algorithm miss its
+    /// deadline on demand.
+    ///
+    /// # Errors
+    /// See [`StreamSession::push`].
+    pub fn push_with_delay(
+        &mut self,
+        observation: &[f64],
+        injected_delay: Option<Duration>,
+    ) -> Result<Option<EarlyPrediction>, EtscError> {
         if self.decided.is_some() {
             return Ok(None);
         }
@@ -111,18 +193,85 @@ impl<'m> StreamSession<'m> {
         }
         let prefix = MultiSeries::from_rows(self.values.clone()).map_err(EtscError::Data)?;
         let started = Instant::now();
+        if let Some(delay) = injected_delay {
+            std::thread::sleep(delay);
+        }
         let label = self.stream.observe(&prefix, is_final)?;
-        self.latency.record(started.elapsed().as_secs_f64());
-        self.evals += 1;
+        let breached = self.record_eval(started.elapsed().as_secs_f64());
+        // Deadline breach: the consumer was answered per policy at the
+        // moment the budget expired, so a genuine label arriving late
+        // cannot un-send that verdict — it is discarded (`PriorClass`)
+        // or adopted as the forced current-best (`DecideNow`). Only
+        // `Wait` accepts the late result. The final observation never
+        // falls back — `observe(_, true)` was already the forced
+        // evaluation and the stream is over.
+        if let (true, false, Some(cfg)) = (breached, is_final, self.deadline) {
+            match cfg.policy {
+                FallbackPolicy::Wait => {}
+                FallbackPolicy::PriorClass => {
+                    return Ok(Some(self.commit(
+                        cfg.prior_label,
+                        t,
+                        Some(FallbackKind::DeadlinePrior),
+                    )));
+                }
+                FallbackPolicy::DecideNow => {
+                    let forced = match label {
+                        // The breaching evaluation itself produced the
+                        // algorithm's current best.
+                        Some(label) => Some(label),
+                        None => {
+                            let started = Instant::now();
+                            let forced = self.stream.observe(&prefix, true)?;
+                            self.record_eval(started.elapsed().as_secs_f64());
+                            forced
+                        }
+                    };
+                    let (label, kind) = match forced {
+                        Some(label) => (label, FallbackKind::DeadlineForced),
+                        None => (cfg.prior_label, FallbackKind::DeadlinePrior),
+                    };
+                    return Ok(Some(self.commit(label, t, Some(kind))));
+                }
+            }
+        }
         if let Some(label) = label {
-            let prediction = EarlyPrediction {
-                label,
-                prefix_len: t,
-            };
-            self.decided = Some(prediction);
-            return Ok(Some(prediction));
+            return Ok(Some(self.commit(label, t, None)));
         }
         Ok(None)
+    }
+
+    /// Records one evaluation latency (against the armed deadline, if
+    /// any) and reports whether it breached.
+    fn record_eval(&mut self, secs: f64) -> bool {
+        self.evals += 1;
+        match self.deadline {
+            Some(cfg) => {
+                let breached = self
+                    .latency
+                    .record_with_deadline(secs, cfg.deadline.as_secs_f64());
+                if breached {
+                    self.deadline_breaches += 1;
+                }
+                breached
+            }
+            None => {
+                self.latency.record(secs);
+                false
+            }
+        }
+    }
+
+    fn commit(
+        &mut self,
+        label: usize,
+        prefix_len: usize,
+        fallback: Option<FallbackKind>,
+    ) -> EarlyPrediction {
+        let prediction = EarlyPrediction { label, prefix_len };
+        self.decided = Some(prediction);
+        self.fallback = fallback;
+        prediction
     }
 }
 
@@ -194,6 +343,82 @@ mod tests {
         // final point).
         let p = d2.unwrap().prefix_len;
         assert!(p % 5 == 0 || p == inst.len(), "prefix_len {p}");
+    }
+
+    #[test]
+    fn injected_delay_breaches_deadline_and_prior_fallback_commits() {
+        let data = synthetic();
+        let mut model = AlgoSpec::Ects.build(&data, &RunConfig::fast());
+        model.fit(&data).unwrap();
+        let inst = data.instance(0);
+        let mut s = StreamSession::new(&*model, 1, inst.len(), 1).unwrap();
+        s.set_deadline(Some(DeadlineConfig {
+            deadline: Duration::from_micros(1),
+            policy: FallbackPolicy::PriorClass,
+            prior_label: 1,
+        }));
+        // A 20ms injected delay against a 1µs deadline must breach.
+        let p = s
+            .push_with_delay(&[inst.at(0, 0)], Some(Duration::from_millis(20)))
+            .unwrap()
+            .expect("prior-class fallback commits immediately");
+        assert_eq!(p.label, 1);
+        assert_eq!(p.prefix_len, 1);
+        assert_eq!(s.fallback(), Some(FallbackKind::DeadlinePrior));
+        assert_eq!(s.deadline_breaches(), 1);
+        assert_eq!(s.latency().over_deadline(), 1);
+        assert!(s.is_done());
+    }
+
+    #[test]
+    fn decide_now_fallback_forces_the_algorithms_current_best() {
+        let data = synthetic();
+        let mut model = AlgoSpec::Ects.build(&data, &RunConfig::fast());
+        model.fit(&data).unwrap();
+        let inst = data.instance(0);
+        // The offline decision on the full series = the forced verdict
+        // ceiling; forcing early must still yield a valid label.
+        let mut s = StreamSession::new(&*model, 1, inst.len(), 1).unwrap();
+        s.set_deadline(Some(DeadlineConfig {
+            deadline: Duration::from_micros(1),
+            policy: FallbackPolicy::DecideNow,
+            prior_label: 0,
+        }));
+        let p = s
+            .push_with_delay(&[inst.at(0, 0)], Some(Duration::from_millis(20)))
+            .unwrap()
+            .expect("decide-now fallback commits");
+        assert!(matches!(
+            s.fallback(),
+            Some(FallbackKind::DeadlineForced | FallbackKind::DeadlinePrior)
+        ));
+        assert_eq!(p.prefix_len, 1);
+        assert!(s.is_done());
+    }
+
+    #[test]
+    fn wait_policy_only_counts_breaches() {
+        let data = synthetic();
+        let mut model = AlgoSpec::Ects.build(&data, &RunConfig::fast());
+        model.fit(&data).unwrap();
+        let inst = data.instance(0);
+        let mut s = StreamSession::new(&*model, 1, inst.len(), 1).unwrap();
+        s.set_deadline(Some(DeadlineConfig {
+            deadline: Duration::from_micros(1),
+            policy: FallbackPolicy::Wait,
+            prior_label: 0,
+        }));
+        let p = s
+            .push_with_delay(&[inst.at(0, 0)], Some(Duration::from_millis(5)))
+            .unwrap();
+        // ECTS does not commit on a single point of this series; Wait
+        // keeps the session open despite the breach.
+        if p.is_none() {
+            assert!(!s.is_done());
+        }
+        assert!(s.deadline_breaches() >= 1);
+        // Wait never commits a fallback verdict.
+        assert_eq!(s.fallback(), None);
     }
 
     #[test]

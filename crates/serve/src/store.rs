@@ -1,30 +1,42 @@
-//! Persistent model store: versioned binary files for fitted models.
+//! Persistent model store: versioned, crash-consistent binary files
+//! for fitted models.
 //!
 //! Layout (all scalars little-endian, via [`etsc_data::codec`]):
 //!
 //! ```text
 //! magic   u64   "ETSCMODL"
 //! version u64   bumped on any payload schema change
-//! meta          algorithm name, dataset name, vars, train length,
-//!               class names
-//! voting  bool  true when the payload is a voting adapter of
-//!               univariate voters (one per variable)
-//! payload       the algorithm's own `encode_state` field sequence
+//! meta    section   algorithm name, dataset name, vars, train length,
+//!                   class names, training prior label, voting flag
+//! payload section   the algorithm's own `encode_state` field sequence
 //! ```
+//!
+//! where each *section* is `len u64 · bytes · crc64 u64` — the CRC-64/XZ
+//! checksum of the bytes. A flipped bit or torn write anywhere inside a
+//! section is detected as [`ServeError::Checksum`] instead of being
+//! decoded into garbage weights.
+//!
+//! Crash consistency: [`StoredModel::save`] writes a temp file, keeps
+//! the previous file as `<name>.prev` (last-good), and renames into
+//! place, so no crash can leave the primary path truncated.
+//! [`load_resilient`] completes the story: a corrupt primary file is
+//! quarantined as `<name>.quarantine` and serving transparently falls
+//! back to the last-good `.prev` copy, with warnings describing what
+//! happened.
 //!
 //! Every float is stored as its IEEE-754 bit pattern, so a loaded model
 //! is *bit-identical* to the saved one: the round-trip property test in
 //! the workspace root asserts equal predictions on held-out data for
 //! every algorithm.
 
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 use etsc_core::full::{MiniRocketClassifier, MlstmClassifier, WeaselClassifier};
 use etsc_core::{
     EarlyClassifier, Ecec, EcecConfig, EconomyK, EconomyKConfig, Ects, EctsConfig, Edsc,
     EdscConfig, EtscError, Strut, Teaser, TeaserConfig, VotingAdapter, VotingScheme,
 };
-use etsc_data::codec::{CodecError, Decoder, Encoder};
+use etsc_data::codec::{crc64, CodecError, Decoder, Encoder};
 use etsc_data::Dataset;
 use etsc_eval::experiment::{AlgoSpec, RunConfig};
 
@@ -32,8 +44,9 @@ use etsc_eval::experiment::{AlgoSpec, RunConfig};
 const MAGIC: u64 = u64::from_le_bytes(*b"ETSCMODL");
 
 /// Payload schema version; bump when any `encode_state` sequence
-/// changes shape.
-const FORMAT_VERSION: u64 = 1;
+/// changes shape. Version 2 introduced per-section CRC64 checksums and
+/// the training prior label.
+const FORMAT_VERSION: u64 = 2;
 
 /// Failures of the model store.
 #[derive(Debug)]
@@ -48,6 +61,12 @@ pub enum ServeError {
     /// The file decoded but is not usable here (wrong magic, newer
     /// version, unknown algorithm name).
     Format(String),
+    /// A section's CRC64 does not match its bytes: the file was
+    /// corrupted after it was written (bit rot, torn write, tampering).
+    Checksum {
+        /// Which section failed verification.
+        section: &'static str,
+    },
 }
 
 impl std::fmt::Display for ServeError {
@@ -57,6 +76,10 @@ impl std::fmt::Display for ServeError {
             ServeError::Codec(e) => write!(f, "model file does not decode: {e}"),
             ServeError::Model(e) => write!(f, "model failure: {e}"),
             ServeError::Format(msg) => write!(f, "unusable model file: {msg}"),
+            ServeError::Checksum { section } => write!(
+                f,
+                "model file is corrupt: CRC64 mismatch in the {section} section"
+            ),
         }
     }
 }
@@ -96,6 +119,9 @@ pub struct ModelMeta {
     pub train_len: usize,
     /// Class display names, indexed by dense label.
     pub class_names: Vec<String>,
+    /// Majority class of the training data — the baseline verdict
+    /// committed by the prior-class deadline fallback.
+    pub prior_label: usize,
 }
 
 impl ModelMeta {
@@ -108,6 +134,7 @@ impl ModelMeta {
         for name in &self.class_names {
             e.str(name);
         }
+        e.usize(self.prior_label);
     }
 
     fn decode(d: &mut Decoder) -> Result<ModelMeta, ServeError> {
@@ -122,12 +149,19 @@ impl ModelMeta {
         for _ in 0..n {
             class_names.push(d.str()?);
         }
+        let prior_label = d.usize()?;
+        if n > 0 && prior_label >= n {
+            return Err(ServeError::Format(format!(
+                "prior label {prior_label} out of range for {n} classes"
+            )));
+        }
         Ok(ModelMeta {
             algo,
             dataset,
             vars,
             train_len,
             class_names,
+            prior_label,
         })
     }
 }
@@ -356,7 +390,9 @@ impl StoredModel {
         self.model.classifier()
     }
 
-    /// Serializes into the versioned container format.
+    /// Serializes into the versioned container format: magic, version,
+    /// then one CRC64-checksummed section each for the metadata and the
+    /// model payload.
     ///
     /// # Errors
     /// [`ServeError::Model`] when the model's configuration cannot be
@@ -365,30 +401,41 @@ impl StoredModel {
         let mut e = Encoder::new();
         e.u64(MAGIC);
         e.u64(FORMAT_VERSION);
-        self.meta.encode(&mut e);
-        e.bool(self.model.is_voting());
-        self.model.encode(&mut e)?;
+        let mut meta = Encoder::new();
+        self.meta.encode(&mut meta);
+        meta.bool(self.model.is_voting());
+        write_section(&mut e, &meta.into_bytes());
+        let mut payload = Encoder::new();
+        self.model.encode(&mut payload)?;
+        write_section(&mut e, &payload.into_bytes());
         Ok(e.into_bytes())
     }
 
-    /// Writes the model file at `path` (atomically: temp file + rename,
-    /// so a crash cannot leave a truncated model behind).
+    /// Writes the model file at `path` crash-consistently: the bytes go
+    /// to a temp file first, the previous model (if any) is kept as
+    /// `<name>.prev` — the last-good copy [`load_resilient`] falls back
+    /// to — and the temp file is renamed into place.
     ///
     /// # Errors
     /// Encoding or filesystem failures.
     pub fn save(&self, path: impl AsRef<Path>) -> Result<(), ServeError> {
         let path = path.as_ref();
         let bytes = self.to_bytes()?;
-        let tmp = path.with_extension("tmp");
+        let tmp = sibling(path, "tmp");
         std::fs::write(&tmp, &bytes)?;
+        if path.exists() {
+            std::fs::rename(path, sibling(path, "prev"))?;
+        }
         std::fs::rename(&tmp, path)?;
         Ok(())
     }
 
-    /// Decodes the container format.
+    /// Decodes the container format, verifying each section's CRC64
+    /// before touching its contents.
     ///
     /// # Errors
-    /// Wrong magic/version, unknown algorithm, or payload corruption.
+    /// Wrong magic/version, unknown algorithm, checksum mismatch, or
+    /// payload corruption.
     pub fn from_bytes(bytes: &[u8]) -> Result<StoredModel, ServeError> {
         let mut d = Decoder::new(bytes);
         let magic = d.u64()?;
@@ -403,19 +450,35 @@ impl StoredModel {
                 "model format version {version} is not supported (this build reads {FORMAT_VERSION})"
             )));
         }
-        let meta = ModelMeta::decode(&mut d)?;
-        let voting = d.bool()?;
+        let meta_bytes = read_section(&mut d, "meta")?;
+        let mut md = Decoder::new(meta_bytes);
+        let meta = ModelMeta::decode(&mut md)?;
+        let voting = md.bool()?;
+        if !md.is_exhausted() {
+            return Err(ServeError::Format(format!(
+                "{} trailing bytes after the model metadata",
+                md.remaining()
+            )));
+        }
         if voting && !meta.algo.univariate_only() {
             return Err(ServeError::Format(format!(
                 "{} is natively multivariate; a voting payload is inconsistent",
                 meta.algo.name()
             )));
         }
-        let model = SavedModel::decode(meta.algo, voting, &mut d)?;
+        let payload = read_section(&mut d, "payload")?;
         if !d.is_exhausted() {
             return Err(ServeError::Format(format!(
                 "{} trailing bytes after the model payload",
                 d.remaining()
+            )));
+        }
+        let mut pd = Decoder::new(payload);
+        let model = SavedModel::decode(meta.algo, voting, &mut pd)?;
+        if !pd.is_exhausted() {
+            return Err(ServeError::Format(format!(
+                "{} trailing bytes inside the model payload section",
+                pd.remaining()
             )));
         }
         Ok(StoredModel { meta, model })
@@ -428,6 +491,120 @@ impl StoredModel {
     pub fn load(path: impl AsRef<Path>) -> Result<StoredModel, ServeError> {
         let bytes = std::fs::read(path.as_ref())?;
         StoredModel::from_bytes(&bytes)
+    }
+}
+
+/// `len · bytes · crc64` — one checksummed container section.
+fn write_section(e: &mut Encoder, bytes: &[u8]) {
+    e.usize(bytes.len());
+    e.raw(bytes);
+    e.u64(crc64(bytes));
+}
+
+/// Reads and CRC-verifies one container section, returning its bytes.
+fn read_section<'a>(d: &mut Decoder<'a>, section: &'static str) -> Result<&'a [u8], ServeError> {
+    let len = d.usize()?;
+    if len > d.remaining() {
+        return Err(ServeError::Format(format!(
+            "{section} section claims {len} bytes but only {} remain",
+            d.remaining()
+        )));
+    }
+    let bytes = d.raw(len, "section bytes")?;
+    let expected = d.u64()?;
+    if crc64(bytes) != expected {
+        return Err(ServeError::Checksum { section });
+    }
+    Ok(bytes)
+}
+
+/// `model.bin` → `model.bin.<suffix>` (the full file name is kept, so
+/// `.prev`/`.quarantine`/`.tmp` siblings never collide with a real
+/// model's extension).
+fn sibling(path: &Path, suffix: &str) -> PathBuf {
+    let mut name = path.file_name().map_or_else(
+        || std::ffi::OsString::from("model"),
+        std::ffi::OsStr::to_os_string,
+    );
+    name.push(".");
+    name.push(suffix);
+    path.with_file_name(name)
+}
+
+/// What [`load_resilient`] did to produce a servable model.
+pub struct LoadOutcome {
+    /// The loaded (or recovered) model.
+    pub model: StoredModel,
+    /// `true` when the primary file was corrupt and the `.prev`
+    /// last-good copy is being served instead.
+    pub recovered_from_prev: bool,
+    /// Where the corrupt primary file was quarantined, if it was.
+    pub quarantined: Option<PathBuf>,
+    /// Human-readable descriptions of everything degraded about this
+    /// load; empty on a clean load.
+    pub warnings: Vec<String>,
+}
+
+/// Loads `path`, degrading gracefully on corruption: a file that fails
+/// to decode (checksum mismatch, truncation, bad payload) is renamed to
+/// `<name>.quarantine` — preserving the evidence while making room for
+/// a healthy rewrite — and the `<name>.prev` last-good copy written by
+/// [`StoredModel::save`] is served instead, with warnings describing
+/// the degradation.
+///
+/// # Errors
+/// Filesystem failures (including a missing primary file) are
+/// propagated as-is; decode failures are propagated only when no
+/// usable `.prev` fallback exists.
+pub fn load_resilient(path: impl AsRef<Path>) -> Result<LoadOutcome, ServeError> {
+    let path = path.as_ref();
+    let primary = match StoredModel::load(path) {
+        Ok(model) => {
+            return Ok(LoadOutcome {
+                model,
+                recovered_from_prev: false,
+                quarantined: None,
+                warnings: Vec::new(),
+            })
+        }
+        // A missing or unreadable file is an operator error, not
+        // corruption — nothing to quarantine.
+        Err(ServeError::Io(e)) => return Err(ServeError::Io(e)),
+        Err(e) => e,
+    };
+    let mut warnings = vec![format!(
+        "model {} failed to load: {primary}",
+        path.display()
+    )];
+    let quarantine = sibling(path, "quarantine");
+    let quarantined = match std::fs::rename(path, &quarantine) {
+        Ok(()) => {
+            warnings.push(format!(
+                "quarantined the corrupt file as {}",
+                quarantine.display()
+            ));
+            Some(quarantine)
+        }
+        Err(e) => {
+            warnings.push(format!("could not quarantine {}: {e}", path.display()));
+            None
+        }
+    };
+    let prev = sibling(path, "prev");
+    match StoredModel::load(&prev) {
+        Ok(model) => {
+            warnings.push(format!(
+                "serving the last-good model from {}",
+                prev.display()
+            ));
+            Ok(LoadOutcome {
+                model,
+                recovered_from_prev: true,
+                quarantined,
+                warnings,
+            })
+        }
+        Err(_) => Err(primary),
     }
 }
 
@@ -532,9 +709,27 @@ pub fn fit_model(
             vars: data.vars(),
             train_len: data.max_len(),
             class_names: data.class_names().to_vec(),
+            prior_label: majority_label(data),
         },
         model,
     })
+}
+
+/// Most frequent training label — the prior-class verdict a deadline
+/// fallback commits to when a session must answer without a decision.
+fn majority_label(data: &Dataset) -> usize {
+    let mut counts = vec![0usize; data.n_classes()];
+    for i in 0..data.len() {
+        let label = data.label(i);
+        if label < counts.len() {
+            counts[label] += 1;
+        }
+    }
+    counts
+        .iter()
+        .enumerate()
+        .max_by_key(|&(_, c)| c)
+        .map_or(0, |(label, _)| label)
 }
 
 fn fit_univariate<C: EarlyClassifier + 'static>(
@@ -660,5 +855,88 @@ mod tests {
             StoredModel::from_bytes(&bytes),
             Err(ServeError::Format(_))
         ));
+    }
+
+    #[test]
+    fn bit_flip_in_payload_is_a_checksum_error() {
+        let data = tiny_dataset();
+        let stored = fit_model(AlgoSpec::Ects, &data, &tiny_config()).unwrap();
+        let mut bytes = stored.to_bytes().unwrap();
+        // Flip a bit well inside the payload section, past the header
+        // and the small metadata section.
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x10;
+        assert!(matches!(
+            StoredModel::from_bytes(&bytes),
+            Err(ServeError::Checksum { .. })
+        ));
+    }
+
+    #[test]
+    fn majority_label_is_recorded_as_prior() {
+        let data = tiny_dataset();
+        let stored = fit_model(AlgoSpec::Ects, &data, &tiny_config()).unwrap();
+        assert!(stored.meta.prior_label < data.n_classes());
+        let mut counts = vec![0usize; data.n_classes()];
+        for i in 0..data.len() {
+            counts[data.label(i)] += 1;
+        }
+        assert_eq!(
+            counts[stored.meta.prior_label],
+            *counts.iter().max().unwrap()
+        );
+    }
+
+    #[test]
+    fn save_keeps_previous_model_and_load_resilient_recovers() {
+        let dir = std::env::temp_dir().join("etsc-serve-test-resilient");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ects.model");
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(sibling(&path, "prev")).ok();
+        std::fs::remove_file(sibling(&path, "quarantine")).ok();
+
+        let data = tiny_dataset();
+        let stored = fit_model(AlgoSpec::Ects, &data, &tiny_config()).unwrap();
+        stored.save(&path).unwrap();
+        // A clean load touches nothing.
+        let clean = load_resilient(&path).unwrap();
+        assert!(!clean.recovered_from_prev);
+        assert!(clean.warnings.is_empty());
+
+        // A second save retains the first as `.prev`.
+        stored.save(&path).unwrap();
+        assert!(sibling(&path, "prev").exists());
+
+        // Corrupt the primary: load_resilient quarantines it and
+        // serves the last-good copy.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xff;
+        std::fs::write(&path, &bytes).unwrap();
+        let outcome = load_resilient(&path).unwrap();
+        assert!(outcome.recovered_from_prev);
+        assert_eq!(
+            outcome.quarantined.as_deref(),
+            Some(sibling(&path, "quarantine").as_path())
+        );
+        assert!(sibling(&path, "quarantine").exists());
+        assert!(!path.exists());
+        assert!(!outcome.warnings.is_empty());
+        assert_eq!(outcome.model.meta, stored.meta);
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn load_resilient_without_fallback_propagates_the_decode_error() {
+        let dir = std::env::temp_dir().join("etsc-serve-test-nofallback");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ects.model");
+        std::fs::write(&path, b"definitely not a model").unwrap();
+        assert!(load_resilient(&path).is_err());
+        // The corrupt file was still quarantined for inspection.
+        assert!(sibling(&path, "quarantine").exists());
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -18,6 +18,40 @@
 
 use std::fmt;
 
+/// CRC-64/XZ (ECMA-182 polynomial, reflected) lookup table, built at
+/// compile time.
+const CRC64_TABLE: [u64; 256] = {
+    let mut table = [0u64; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u64;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 == 1 {
+                (crc >> 1) ^ 0xC96C_5795_D787_0F42
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// CRC-64/XZ checksum of `bytes` — the per-section integrity check the
+/// model store appends so a flipped bit or torn write is detected as
+/// corruption instead of being decoded into garbage weights.
+#[must_use]
+pub fn crc64(bytes: &[u8]) -> u64 {
+    let mut crc = u64::MAX;
+    for &b in bytes {
+        crc = CRC64_TABLE[((crc ^ b as u64) & 0xff) as usize] ^ (crc >> 8);
+    }
+    !crc
+}
+
 /// Decoding failure: the byte stream does not match the expected shape.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum CodecError {
@@ -127,6 +161,12 @@ impl Encoder {
         for row in rows {
             self.f64s(row);
         }
+    }
+
+    /// Appends raw bytes verbatim (no length prefix) — used by the
+    /// model store to embed pre-encoded, checksummed sections.
+    pub fn raw(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
     }
 
     /// Writes an `Option<f64>` as a presence byte plus the value.
@@ -249,6 +289,15 @@ impl<'a> Decoder<'a> {
         Ok(out)
     }
 
+    /// Reads `n` raw bytes verbatim (the counterpart of
+    /// [`Encoder::raw`]).
+    ///
+    /// # Errors
+    /// [`CodecError::UnexpectedEof`] when fewer than `n` bytes remain.
+    pub fn raw(&mut self, n: usize, what: &'static str) -> Result<&'a [u8], CodecError> {
+        self.take(n, what)
+    }
+
     /// Reads an `Option<f64>`.
     pub fn opt_f64(&mut self) -> Result<Option<f64>, CodecError> {
         if self.bool()? {
@@ -342,6 +391,17 @@ mod tests {
         let mut d = Decoder::new(&bytes);
         let err = d.f64s().unwrap_err();
         assert!(matches!(err, CodecError::Corrupt { .. }), "{err}");
+    }
+
+    #[test]
+    fn crc64_matches_reference_vector() {
+        // The CRC-64/XZ check value for the standard "123456789" input.
+        assert_eq!(crc64(b"123456789"), 0x995D_C9BB_DF19_39FA);
+        assert_eq!(crc64(b""), 0);
+        // Sensitivity: one flipped bit changes the checksum.
+        let a = crc64(b"model payload");
+        let b = crc64(b"model pbyload");
+        assert_ne!(a, b);
     }
 
     #[test]

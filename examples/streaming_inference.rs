@@ -65,6 +65,7 @@ fn main() {
                 workers: 4,
                 queue_capacity: 256,
                 backpressure: Backpressure::Block,
+                ..SchedulerConfig::default()
             },
         },
     )

@@ -1,0 +1,207 @@
+//! Chaos suite: the serving stack under deterministic, seeded fault
+//! injection (PR 3's acceptance scenario).
+//!
+//! A 100-session replay runs with a [`FaultPlan`] that injects worker
+//! panics, ≥5% artificially delayed decisions against an armed
+//! deadline, and NaN stream points — while the model file itself is
+//! corrupted and recovered through the crash-consistent store. The
+//! invariants:
+//!
+//! * **zero session drops** — every session ends with an attributable
+//!   outcome (decided, fallback, or failed); none starve;
+//! * **bounded fallback rate** — fallbacks only happen where delays
+//!   were injected, and every fallback shows up in the deadline-breach
+//!   counter;
+//! * **fault attribution** — sessions untouched by the schedule commit
+//!   exactly the offline prediction; accuracy degrades only on
+//!   injected cells;
+//! * **store recovery** — the corrupted model file is quarantined and
+//!   the `.prev` last-good copy serves in its place.
+
+use std::time::Duration;
+
+use etsc::data::Dataset;
+use etsc::datasets::{GenOptions, PaperDataset};
+use etsc::eval::experiment::{AlgoSpec, RunConfig};
+use etsc::eval::FaultPlan;
+use etsc::serve::{
+    fit_model, load_resilient, serve_sessions, DeadlineConfig, FallbackPolicy, SchedulerConfig,
+    SessionOutcome, StoredModel,
+};
+
+/// The seeded plan the whole suite runs under (also exercised by the
+/// `--faults` CLI flag and the CI chaos step).
+const PLAN: &str = "seed=42,panics=2,delay-rate=0.10,delay-ms=30,nan-rate=0.05,corrupt-model=true";
+
+fn hundred_sessions() -> Dataset {
+    let data = PaperDataset::PowerCons.generate(GenOptions {
+        height_scale: 0.1,
+        length_scale: 0.2,
+        seed: 13,
+    });
+    let indices: Vec<usize> = (0..100).map(|i| i % data.len()).collect();
+    data.subset(&indices)
+}
+
+fn stored_model(data: &Dataset) -> StoredModel {
+    fit_model(AlgoSpec::Ects, data, &RunConfig::fast()).expect("ECTS fits")
+}
+
+#[test]
+fn chaos_replay_zero_session_drops_and_full_attribution() {
+    let data = hundred_sessions();
+    let stored = stored_model(&data);
+    let plan = FaultPlan::parse(PLAN).expect("plan parses");
+    let report = serve_sessions(
+        stored.classifier(),
+        data.instances(),
+        1,
+        &SchedulerConfig {
+            workers: 4,
+            queue_capacity: 256,
+            deadline: Some(DeadlineConfig {
+                deadline: Duration::from_millis(5),
+                policy: FallbackPolicy::PriorClass,
+                prior_label: stored.meta.prior_label,
+            }),
+            faults: Some(plan),
+            ..SchedulerConfig::default()
+        },
+    )
+    .expect("the pool survives every injected fault");
+    let schedule = report
+        .fault_schedule
+        .as_ref()
+        .expect("armed plan reports its schedule");
+
+    // The plan's guaranteed injection floor for the acceptance run.
+    assert!(schedule.injected_panics() >= 1, "plan injects a panic");
+    assert!(
+        schedule.injected_delays() >= 5,
+        "plan delays >=5% of 100 sessions (got {})",
+        schedule.injected_delays()
+    );
+
+    // Zero session drops: all 100 accounted for, none starved.
+    assert_eq!(report.outcomes.len(), 100);
+    assert_eq!(report.starved(), 0, "no session may vanish");
+
+    // Every injected panic fired, was caught, and restarted a worker.
+    assert_eq!(report.worker_panics, schedule.injected_panics());
+    assert_eq!(report.worker_restarts, schedule.injected_panics());
+
+    // Failures are attributable: a session may only fail where a fault
+    // was injected, and each panic kills exactly one session.
+    let failed: Vec<usize> = report
+        .outcomes
+        .iter()
+        .enumerate()
+        .filter(|(_, o)| matches!(o, SessionOutcome::Failed(_)))
+        .map(|(s, _)| s)
+        .collect();
+    assert_eq!(failed.len(), schedule.injected_panics());
+    for &s in &failed {
+        assert!(schedule.touches(s), "session {s} failed without a fault");
+    }
+
+    // Bounded fallback rate: the 30ms injected delay always breaches
+    // the 5ms deadline, so fallbacks happen — but only on sessions the
+    // schedule touched, and every one is counted as a breach.
+    assert!(report.fallbacks >= 1, "delays must provoke fallbacks");
+    assert!(
+        report.fallbacks <= schedule.injected_delays(),
+        "{} fallbacks from {} injected delays",
+        report.fallbacks,
+        schedule.injected_delays()
+    );
+    assert!(
+        report.deadline_breaches >= report.fallbacks,
+        "every fallback is a counted breach"
+    );
+    for (s, outcome) in report.outcomes.iter().enumerate() {
+        if matches!(outcome, SessionOutcome::Fallback { .. }) {
+            assert!(schedule.touches(s), "session {s} fell back without a fault");
+        }
+    }
+
+    // Accuracy degrades only on injected cells: every untouched session
+    // commits exactly the offline prediction.
+    for (s, outcome) in report.outcomes.iter().enumerate() {
+        if schedule.touches(s) {
+            continue;
+        }
+        let offline = stored
+            .classifier()
+            .predict_early(data.instance(s))
+            .expect("offline prediction");
+        assert_eq!(
+            *outcome,
+            SessionOutcome::Decided(offline),
+            "untouched session {s} diverged from offline"
+        );
+    }
+}
+
+#[test]
+fn chaos_corrupted_model_recovers_from_last_good_and_serves() {
+    let data = hundred_sessions();
+    let stored = stored_model(&data);
+    let plan = FaultPlan::parse(PLAN).expect("plan parses");
+    assert!(plan.corrupt_model, "the acceptance plan corrupts the store");
+
+    let dir = std::env::temp_dir().join("etsc-chaos-suite");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("chaos.model");
+    std::fs::remove_file(&path).ok();
+    std::fs::remove_file(dir.join("chaos.model.prev")).ok();
+    std::fs::remove_file(dir.join("chaos.model.quarantine")).ok();
+
+    // Two saves leave a pristine `.prev`; then the plan picks the byte
+    // to corrupt in the primary.
+    stored.save(&path).expect("first save");
+    stored.save(&path).expect("second save");
+    let mut bytes = std::fs::read(&path).expect("read model");
+    let offset = plan.corruption_offset(bytes.len());
+    bytes[offset] ^= 0xff;
+    std::fs::write(&path, &bytes).expect("write corrupted model");
+
+    let outcome = load_resilient(&path).expect("resilient load recovers");
+    assert!(outcome.recovered_from_prev, "served from last-good copy");
+    assert!(
+        outcome.quarantined.is_some(),
+        "corrupt file preserved as evidence"
+    );
+    assert!(!outcome.warnings.is_empty(), "degradation is reported");
+
+    // The recovered model serves a clean replay bit-identically to the
+    // original artifact.
+    let report = serve_sessions(
+        outcome.model.classifier(),
+        data.instances(),
+        1,
+        &SchedulerConfig::default(),
+    )
+    .expect("recovered model serves");
+    assert_eq!(report.starved(), 0);
+    assert_eq!(report.errors, 0, "{:?}", report.first_error);
+    for (s, decision) in report.decisions.iter().enumerate() {
+        let offline = stored
+            .classifier()
+            .predict_early(data.instance(s))
+            .expect("offline prediction");
+        assert_eq!(*decision, Some(offline), "session {s}");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn chaos_schedule_is_deterministic_across_runs() {
+    let plan = FaultPlan::parse(PLAN).expect("plan parses");
+    let lens = vec![144usize; 100];
+    assert_eq!(plan.schedule(&lens), plan.schedule(&lens));
+    assert_eq!(
+        plan.corruption_offset(4096),
+        plan.corruption_offset(4096),
+        "corruption lands on the same byte every run"
+    );
+}

@@ -74,6 +74,32 @@ fn fixture() -> &'static (Dataset, Vec<Fitted>) {
     })
 }
 
+/// Robustness: decoding any strict prefix of a valid model file must
+/// return a clean error — never panic, never allocate unboundedly. This
+/// covers torn writes at every possible byte offset.
+#[test]
+fn truncation_at_every_offset_errors_cleanly() {
+    let train = PaperDataset::PowerCons.generate(GenOptions {
+        height_scale: 0.1,
+        length_scale: 0.1,
+        seed: 9,
+    });
+    // A small subset keeps the encoded model tiny, so sweeping every
+    // one of its byte offsets stays fast.
+    let subset: Vec<usize> = (0..train.len().min(12)).collect();
+    let train = train.subset(&subset);
+    let stored = fit_model(AlgoSpec::Ects, &train, &tiny_config()).expect("ECTS fits");
+    let bytes = stored.to_bytes().expect("model encodes");
+    for len in 0..bytes.len() {
+        assert!(
+            StoredModel::from_bytes(&bytes[..len]).is_err(),
+            "a {len}-byte prefix of a {}-byte model decoded successfully",
+            bytes.len()
+        );
+    }
+    StoredModel::from_bytes(&bytes).expect("the untruncated buffer still decodes");
+}
+
 proptest! {
     #[test]
     fn decoded_models_predict_bit_identically(pick in 0usize..10_000) {
