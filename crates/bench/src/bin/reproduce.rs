@@ -1,9 +1,10 @@
 //! `reproduce` — regenerates every table and figure of the paper.
 //!
 //! ```text
-//! reproduce <target> [--preset quick|standard|full] [--seed N] [--out DIR]
-//!           [--parallel THREADS] [--journal PATH] [--resume]
-//!           [--budget-secs N] [--retries N]
+//! reproduce <target> [--preset quick|standard|full] [--fast] [--seed N]
+//!           [--out DIR] [--threads N] [--journal PATH] [--resume]
+//!           [--budget-secs N] [--retries N] [--folds N]
+//!           [--trace FILE] [--metrics FILE]
 //!
 //! targets:
 //!   table2       algorithm characteristics
@@ -20,8 +21,19 @@
 //!                non-interesting biological simulations
 //!   supplementary  per-dataset results (the paper's supplementary
 //!                material layout)                          (sweep)
+//!   smoke        small instrumented matrix (3 algorithms x 2
+//!                datasets) that validates the emitted trace:
+//!                fold/fit/predict span nesting, transform spans
+//!                under fits, and phase-duration accounting. The
+//!                default target when flags are given without one.
 //!   all          everything above
 //! ```
+//!
+//! The shared flags use the canonical spellings from
+//! `etsc_eval::opts` (`--threads`; `--parallel` is a deprecated
+//! alias). `--fast` pins the quick preset. `--trace`/`--metrics`
+//! write a JSONL span trace and a Prometheus metrics snapshot for any
+//! target; sweeps and the smoke matrix are instrumented end to end.
 //!
 //! Sweep targets run the full (8 algorithms × 12 datasets × k-fold CV)
 //! experiment at the chosen preset and print the same category × algorithm
@@ -48,89 +60,81 @@ use etsc_eval::report::{
     FigureMetric,
 };
 use etsc_eval::supervisor::SupervisorOptions;
+use etsc_eval::{CommonOpts, MatrixRunner};
+use etsc_obs::{Obs, TraceTree};
 
 struct Args {
     target: String,
     preset: ScalePreset,
-    seed: u64,
     out_dir: Option<std::path::PathBuf>,
-    /// Worker threads for the sweep (1 = sequential, timing-faithful).
-    threads: usize,
-    /// Checkpoint journal path (enables the supervised sweep).
-    journal: Option<std::path::PathBuf>,
-    /// Resume from an existing journal instead of starting over.
-    resume: bool,
-    /// Training-budget override in seconds (the 48-hour rule, scaled).
-    budget_secs: Option<u64>,
-    /// Extra attempts after a transient cell error.
-    retries: usize,
+    /// The shared evaluation options (seed, threads, journal, trace,
+    /// metrics, ...) under their canonical spellings.
+    opts: CommonOpts,
 }
 
 impl Args {
-    /// The new robustness flags all imply the supervised sweep.
+    /// The robustness flags all imply the supervised sweep.
     fn supervised(&self) -> bool {
-        self.journal.is_some() || self.resume || self.budget_secs.is_some() || self.retries > 0
+        self.opts.journal.is_some()
+            || self.opts.resume
+            || self.opts.budget_secs.is_some()
+            || self.opts.retries.unwrap_or(0) > 0
+    }
+
+    fn seed(&self) -> u64 {
+        self.opts.seed.unwrap_or(2024)
+    }
+
+    fn threads(&self) -> usize {
+        self.opts.threads.unwrap_or(1)
     }
 }
 
 fn parse_args() -> Result<Args, String> {
-    let mut args = std::env::args().skip(1);
-    let target = args.next().ok_or("missing target (try `reproduce all`)")?;
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    // `reproduce --fast --trace t.jsonl` with no target runs the smoke
+    // matrix; flags always start with '-', targets never do.
+    let (target, rest): (String, &[String]) = match argv.first() {
+        None => return Err("missing target (try `reproduce all`)".to_owned()),
+        Some(first) if first.starts_with('-') => ("smoke".to_owned(), &argv[..]),
+        Some(first) => (first.clone(), &argv[1..]),
+    };
     let mut preset = ScalePreset::Quick;
-    let mut seed = 2024u64;
     let mut out_dir = None;
-    let mut threads = 1usize;
-    let mut journal = None;
-    let mut resume = false;
-    let mut budget_secs = None;
-    let mut retries = 0usize;
-    while let Some(flag) = args.next() {
-        match flag.as_str() {
-            "--parallel" => {
-                let v = args.next().ok_or("--parallel needs a thread count")?;
-                threads = v.parse().map_err(|_| format!("bad thread count {v:?}"))?;
+    let mut opts = CommonOpts::default();
+    let mut it = rest.iter();
+    while let Some(flag) = it.next() {
+        let name = flag
+            .strip_prefix("--")
+            .ok_or_else(|| format!("expected a --flag, got {flag:?}"))?;
+        if name == "fast" {
+            preset = ScalePreset::Quick;
+            continue;
+        }
+        if name == "resume" {
+            opts.resume = true;
+            continue;
+        }
+        let value = it.next().ok_or_else(|| format!("--{name} needs a value"))?;
+        if opts.accept(name, value)? {
+            continue;
+        }
+        match name {
+            "preset" => {
+                preset = ScalePreset::parse(value).ok_or(format!("unknown preset {value:?}"))?;
             }
-            "--preset" => {
-                let v = args.next().ok_or("--preset needs a value")?;
-                preset = ScalePreset::parse(&v).ok_or(format!("unknown preset {v:?}"))?;
-            }
-            "--seed" => {
-                let v = args.next().ok_or("--seed needs a value")?;
-                seed = v.parse().map_err(|_| format!("bad seed {v:?}"))?;
-            }
-            "--out" => {
-                let v = args.next().ok_or("--out needs a directory")?;
-                out_dir = Some(std::path::PathBuf::from(v));
-            }
-            "--journal" => {
-                let v = args.next().ok_or("--journal needs a file path")?;
-                journal = Some(std::path::PathBuf::from(v));
-            }
-            "--resume" => resume = true,
-            "--budget-secs" => {
-                let v = args.next().ok_or("--budget-secs needs a value")?;
-                budget_secs = Some(v.parse().map_err(|_| format!("bad budget {v:?}"))?);
-            }
-            "--retries" => {
-                let v = args.next().ok_or("--retries needs a value")?;
-                retries = v.parse().map_err(|_| format!("bad retry count {v:?}"))?;
-            }
-            other => return Err(format!("unknown flag {other:?}")),
+            "out" => out_dir = Some(std::path::PathBuf::from(value)),
+            other => return Err(format!("unknown flag --{other}")),
         }
     }
-    if resume && journal.is_none() {
+    if opts.resume && opts.journal.is_none() {
         return Err("--resume needs --journal PATH".to_owned());
     }
     Ok(Args {
         target,
         preset,
-        seed,
         out_dir,
-        threads,
-        journal,
-        resume,
-        budget_secs,
-        retries,
+        opts,
     })
 }
 
@@ -152,21 +156,21 @@ fn write_out(dir: &Option<std::path::PathBuf>, name: &str, content: &str) {
 fn sweep(args: &Args) -> SweepOutput {
     println!(
         "running sweep: 8 algorithms x 12 datasets, preset {:?}, seed {}, threads {}",
-        args.preset, args.seed, args.threads
+        args.preset,
+        args.seed(),
+        args.threads()
     );
     if args.supervised() {
-        let options = SupervisorOptions {
-            max_threads: args.threads,
-            retries: args.retries,
-            journal: args.journal.clone(),
-            resume: args.resume,
-        };
+        let options = args.opts.supervisor_options(SupervisorOptions {
+            max_threads: 1,
+            ..SupervisorOptions::default()
+        });
         let out = run_sweep_supervised(
             &PaperDataset::ALL,
             &AlgoSpec::ALL,
             args.preset,
-            args.seed,
-            args.budget_secs.map(std::time::Duration::from_secs),
+            args.seed(),
+            args.opts.budget_secs.map(std::time::Duration::from_secs),
             &options,
             |line| println!("{line}"),
         )
@@ -189,16 +193,16 @@ fn sweep(args: &Args) -> SweepOutput {
             config: out.config,
         };
     }
-    let result = if args.threads > 1 {
+    let result = if args.threads() > 1 {
         println!(
-            "note: parallel timings include CPU contention; use --parallel 1 for Figures 12/13"
+            "note: parallel timings include CPU contention; use --threads 1 for Figures 12/13"
         );
         run_sweep_parallel(
             &PaperDataset::ALL,
             &AlgoSpec::ALL,
             args.preset,
-            args.seed,
-            args.threads,
+            args.seed(),
+            args.threads(),
             |line| println!("{line}"),
         )
     } else {
@@ -206,7 +210,7 @@ fn sweep(args: &Args) -> SweepOutput {
             &PaperDataset::ALL,
             &AlgoSpec::ALL,
             args.preset,
-            args.seed,
+            args.seed(),
             |line| println!("{line}"),
         )
     };
@@ -324,16 +328,163 @@ fn print_supplementary(out: &SweepOutput, args: &Args) {
     write_out(&args.out_dir, "supplementary.csv", &csv);
 }
 
+/// The instrumented smoke matrix: three algorithms (ECTS plus the two
+/// transform-backed STRUT variants) on two small datasets, followed by
+/// validation of the emitted trace — span nesting, transform
+/// attribution, and phase-duration accounting against the reported
+/// train times.
+fn run_smoke(args: &Args, obs: &Obs) {
+    let datasets = [PaperDataset::PowerCons, PaperDataset::DodgerLoopGame];
+    let algos = [AlgoSpec::Ects, AlgoSpec::SMini, AlgoSpec::SWeasel];
+    let mut config = args.preset.run_config();
+    args.opts.apply_config(&mut config);
+    let generated: Vec<_> = datasets
+        .iter()
+        .map(|d| d.generate(args.preset.options(*d, args.seed())))
+        .collect();
+    println!(
+        "smoke matrix: {} algorithms x {} datasets, seed {}, threads {}",
+        algos.len(),
+        generated.len(),
+        args.seed(),
+        args.threads()
+    );
+    let outcomes = MatrixRunner::new(config)
+        .parallel(args.threads())
+        .obs(obs.clone())
+        .run(&generated, &algos)
+        .unwrap_or_else(|e| {
+            eprintln!("smoke matrix failed: {e}");
+            std::process::exit(1);
+        });
+    let names: Vec<String> = generated.iter().map(|d| d.name().to_owned()).collect();
+    print!("{}", render_matrix_status(&outcomes, &names));
+    if !obs.is_enabled() {
+        println!("note: pass --trace/--metrics to validate the emitted trace");
+        return;
+    }
+
+    let records = obs.tracer.records();
+    let tree = TraceTree::build(&records).unwrap_or_else(|e| {
+        eprintln!("smoke trace is structurally invalid: {e}");
+        std::process::exit(1);
+    });
+    let mut checked_cells = 0usize;
+    let mut checked_folds = 0usize;
+    let mut transform_spans = 0usize;
+    for cv in tree.spans_named("cv") {
+        let (Some(dataset), Some(algo)) = (cv.attr("dataset"), cv.attr("algo")) else {
+            eprintln!("cv span {} is missing dataset/algo attributes", cv.id);
+            std::process::exit(1);
+        };
+        let result = outcomes
+            .iter()
+            .filter_map(|o| o.run_result())
+            .find(|r| r.dataset == dataset && r.algo.name() == algo)
+            .unwrap_or_else(|| {
+                eprintln!("cv span for {algo} on {dataset} has no matching result");
+                std::process::exit(1);
+            });
+        let folds: Vec<_> = tree
+            .children(cv.id)
+            .iter()
+            .filter_map(|&id| tree.span(id))
+            .filter(|s| s.name == "fold")
+            .collect();
+        let mut fit_sum = 0.0;
+        for fold in &folds {
+            let kids: Vec<_> = tree
+                .children(fold.id)
+                .iter()
+                .filter_map(|&id| tree.span(id))
+                .collect();
+            let fit = kids.iter().find(|s| s.name == "fit").unwrap_or_else(|| {
+                eprintln!("fold {} of {algo} on {dataset} has no fit span", fold.id);
+                std::process::exit(1);
+            });
+            if !kids.iter().any(|s| s.name == "predict") {
+                eprintln!(
+                    "fold {} of {algo} on {dataset} has no predict span",
+                    fold.id
+                );
+                std::process::exit(1);
+            }
+            transform_spans += tree
+                .children(fit.id)
+                .iter()
+                .filter_map(|&id| tree.span(id))
+                .filter(|s| s.name == "transform")
+                .count();
+            fit_sum += fit.duration_secs();
+            checked_folds += 1;
+        }
+        // The reported train time is the per-fold average of the timed
+        // fit calls; the fit spans wrap exactly those calls, so the
+        // two bookkeepings must agree to within 5% (plus a millisecond
+        // of slack for span overhead on near-zero cells).
+        if !folds.is_empty() {
+            let span_avg = fit_sum / folds.len() as f64;
+            let tolerance = result.train_secs * 0.05 + 1e-3;
+            if (span_avg - result.train_secs).abs() > tolerance {
+                eprintln!(
+                    "phase accounting drift for {algo} on {dataset}: \
+                     fit spans average {span_avg:.6}s, train_secs {:.6}s",
+                    result.train_secs
+                );
+                std::process::exit(1);
+            }
+        }
+        checked_cells += 1;
+    }
+    if checked_cells == 0 || transform_spans == 0 {
+        eprintln!(
+            "smoke trace incomplete: {checked_cells} cv spans, {transform_spans} transform spans"
+        );
+        std::process::exit(1);
+    }
+    println!(
+        "smoke trace validated: {checked_cells} cells, {checked_folds} folds with \
+         fit+predict spans, {transform_spans} transform spans nested under fits"
+    );
+    let counters = obs.metrics.snapshot_counters();
+    println!(
+        "metrics: {} cells, {} folds, {} spans recorded ({} dropped)",
+        counters.get("matrix_cells_total").copied().unwrap_or(0),
+        counters.get("eval_folds_total").copied().unwrap_or(0),
+        records.len(),
+        obs.tracer.dropped()
+    );
+}
+
 fn main() {
     let args = match parse_args() {
         Ok(a) => a,
         Err(e) => {
             eprintln!("error: {e}");
-            eprintln!("usage: reproduce <table2|table3|table4|table5|fig9|fig10|fig11|fig12|fig13|figures|supplementary|bio-savings|all> [--preset quick|standard|full] [--seed N] [--out DIR] [--parallel THREADS] [--journal PATH] [--resume] [--budget-secs N] [--retries N]");
+            eprintln!("usage: reproduce <table2|table3|table4|table5|fig9|fig10|fig11|fig12|fig13|figures|supplementary|bio-savings|smoke|all> [--preset quick|standard|full] [--fast] [--seed N] [--out DIR] [--threads N] [--journal PATH] [--resume] [--budget-secs N] [--retries N] [--folds N] [--trace FILE] [--metrics FILE]");
             std::process::exit(2);
         }
     };
+    let obs = args.opts.build_obs();
+    etsc_obs::with_ambient(&obs, || dispatch(&args, &obs));
+    if let Err(e) = args.opts.export(&obs) {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+    if let Some(path) = &args.opts.trace {
+        println!(
+            "wrote trace {path:?} ({} records)",
+            obs.tracer.records().len()
+        );
+    }
+    if let Some(path) = &args.opts.metrics {
+        println!("wrote metrics snapshot {path:?}");
+    }
+}
+
+fn dispatch(args: &Args, obs: &Obs) {
     match args.target.as_str() {
+        "smoke" => run_smoke(args, obs),
         "table2" => {
             println!("=== Table 2: algorithm characteristics ===");
             print!("{}", render_table2());
@@ -343,7 +494,7 @@ fn main() {
                 "=== Table 3: dataset characteristics (preset {:?}) ===",
                 args.preset
             );
-            print!("{}", render_table3(args.preset, args.seed));
+            print!("{}", render_table3(args.preset, args.seed()));
         }
         "table4" => {
             println!("=== Table 4: parameter values ===");
@@ -354,20 +505,20 @@ fn main() {
             print!("{}", render_table5());
         }
         "fig9" | "fig10" | "fig11" | "fig12" | "fig13" => {
-            let out = sweep(&args);
-            print_figures(&out, &args, &[args.target.as_str()]);
+            let out = sweep(args);
+            print_figures(&out, args, &[args.target.as_str()]);
         }
         "supplementary" => {
-            let out = sweep(&args);
-            print_supplementary(&out, &args);
+            let out = sweep(args);
+            print_supplementary(&out, args);
         }
         "figures" => {
-            let out = sweep(&args);
-            print_figures(&out, &args, &["fig9", "fig10", "fig11", "fig12", "fig13"]);
+            let out = sweep(args);
+            print_figures(&out, args, &["fig9", "fig10", "fig11", "fig12", "fig13"]);
         }
         "bio-savings" => {
             println!("=== Section 6.3: biological early-termination savings ===");
-            match biological_early_savings(args.preset, args.seed) {
+            match biological_early_savings(args.preset, args.seed()) {
                 Ok(fraction) => {
                     println!(
                         "non-interesting simulations identified before completion: {:.1}% (paper: 65%)",
@@ -387,15 +538,15 @@ fn main() {
                 "\n=== Table 3: dataset characteristics (preset {:?}) ===",
                 args.preset
             );
-            print!("{}", render_table3(args.preset, args.seed));
+            print!("{}", render_table3(args.preset, args.seed()));
             println!("\n=== Table 4: parameter values ===");
             print!("{}", render_table4(args.preset));
             println!("\n=== Table 5: worst-case training complexity ===");
             print!("{}", render_table5());
-            let out = sweep(&args);
-            print_figures(&out, &args, &["fig9", "fig10", "fig11", "fig12", "fig13"]);
+            let out = sweep(args);
+            print_figures(&out, args, &["fig9", "fig10", "fig11", "fig12", "fig13"]);
             println!("\n=== Section 6.3: biological early-termination savings ===");
-            match biological_early_savings(args.preset, args.seed) {
+            match biological_early_savings(args.preset, args.seed()) {
                 Ok(fraction) => println!(
                     "non-interesting simulations identified before completion: {:.1}% (paper: 65%)",
                     fraction * 100.0

@@ -8,8 +8,9 @@ use etsc_core::registry::{all_algorithms, AlgoFamily};
 use etsc_core::EtscError;
 use etsc_data::stats::{Category, DatasetStats};
 use etsc_datasets::{GenOptions, PaperDataset};
-use etsc_eval::experiment::{run_cv, AlgoSpec, RunConfig, RunResult};
-use etsc_eval::supervisor::{supervise_matrix, CellOutcome, CellStatus, SupervisorOptions};
+use etsc_eval::experiment::{run_cell, AlgoSpec, RunConfig, RunResult};
+use etsc_eval::supervisor::{CellOutcome, CellStatus, SupervisorOptions};
+use etsc_eval::MatrixRunner;
 
 /// Scale preset for a sweep.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -109,7 +110,7 @@ pub fn run_sweep(
             (spec.obs_frequency_secs, data.max_len()),
         );
         for &algo in algos {
-            let r = run_cv(algo, &data, &config)?;
+            let r = run_cell(algo, &data, &config, &etsc_obs::ambient())?;
             progress(&format!(
                 "  {} on {}: {}",
                 algo.name(),
@@ -276,9 +277,9 @@ pub fn biological_early_savings(preset: ScalePreset, seed: u64) -> Result<f64, E
 
 /// Parallel variant of [`run_sweep`]: all datasets are generated first,
 /// then the (dataset × algorithm) matrix runs on `threads` workers via
-/// [`etsc_eval::experiment::run_matrix_parallel`]. Faster wall-clock, but
-/// CPU contention inflates the per-run train/test timings — prefer the
-/// sequential sweep when reproducing Figures 12/13.
+/// [`MatrixRunner`]. Faster wall-clock, but CPU contention inflates the
+/// per-run train/test timings — prefer the sequential sweep when
+/// reproducing Figures 12/13.
 ///
 /// # Errors
 /// Propagates harness failures (budget overruns still surface as DNF
@@ -318,7 +319,10 @@ pub fn run_sweep_parallel(
         algos.len(),
         threads
     ));
-    let results = etsc_eval::experiment::run_matrix_parallel(&generated, algos, &config, threads)?;
+    let results = MatrixRunner::new(config.clone())
+        .parallel(threads)
+        .obs(etsc_obs::ambient())
+        .run_results(&generated, algos)?;
     Ok(SweepOutput {
         results,
         categories,
@@ -368,9 +372,9 @@ impl SupervisedSweepOutput {
 }
 
 /// Supervised variant of [`run_sweep_parallel`]: the matrix runs under
-/// [`etsc_eval::supervisor::supervise_matrix`] with panic isolation,
-/// bounded retries, an optional training-budget override, and optional
-/// journal checkpoint/resume.
+/// a supervised [`MatrixRunner`] with panic isolation, bounded retries,
+/// an optional training-budget override, and optional journal
+/// checkpoint/resume.
 ///
 /// # Errors
 /// Only infrastructure failures (journal I/O, resume-header mismatch).
@@ -416,7 +420,10 @@ pub fn run_sweep_supervised(
         options.retries,
         options.journal
     ));
-    let outcomes = supervise_matrix(&generated, algos, &config, options)?;
+    let outcomes = MatrixRunner::new(config.clone())
+        .supervised(options.clone())
+        .obs(etsc_obs::ambient())
+        .run(&generated, algos)?;
     Ok(SupervisedSweepOutput {
         outcomes,
         categories,

@@ -9,10 +9,10 @@ use etsc_core::EarlyClassifier;
 use etsc_data::loader::{load_csv, write_csv};
 use etsc_data::{train_validation_split, Dataset};
 use etsc_datasets::{GenOptions, PaperDataset};
-use etsc_eval::experiment::{run_cv, AlgoSpec, RunConfig};
+use etsc_eval::experiment::{run_cell, AlgoSpec, RunConfig};
 use etsc_eval::report::render_matrix_status;
-use etsc_eval::supervisor::{supervise_matrix, SupervisorOptions};
-use etsc_eval::FaultPlan;
+use etsc_eval::supervisor::SupervisorOptions;
+use etsc_eval::{CommonOpts, FaultPlan, MatrixRunner};
 use etsc_serve::{
     fit_model, load_resilient, replay_dataset, Backpressure, DeadlineConfig, FallbackPolicy,
     ReplayOptions, SchedulerConfig, StoredModel, SupervisionConfig,
@@ -21,6 +21,13 @@ use etsc_serve::{
 /// Usage text shown on argument errors.
 pub const USAGE: &str = "\
 usage: etsc <command> [--flag value ...]
+
+shared flags (canonical spellings, accepted by evaluate, matrix,
+train, and serve; `reproduce` uses the same names):
+  --seed N  --folds N  --threads N  --fit-threads N  --budget-secs N
+  --retries N  --journal FILE  --resume  --trace FILE  --metrics FILE
+  (--parallel is a deprecated alias for --threads; --trace writes a
+  JSONL span trace, --metrics a Prometheus text snapshot)
 
 commands:
   list-algorithms    the eight evaluated algorithms and their traits
@@ -31,11 +38,13 @@ commands:
   evaluate           cross-validated metrics for one algorithm
                      (--dataset NAME | --data FILE --vars K) --algo NAME
                      [--folds N] [--seed N] [--budget-secs N]
+                     [--trace FILE] [--metrics FILE]
   matrix             supervised (datasets x algorithms) evaluation:
                      panic isolation, retries, checkpoint/resume
                      [--datasets A,B,..] [--algos X,Y,..] [--folds N]
                      [--seed N] [--budget-secs N] [--retries N]
-                     [--threads N] [--journal FILE] [--resume]
+                     [--threads N] [--fit-threads N] [--journal FILE]
+                     [--resume] [--trace FILE] [--metrics FILE]
                      [--height-scale S] [--length-scale S]
   stream             replay one instance point-by-point
                      (--dataset NAME | --data FILE --vars K) --algo NAME
@@ -52,6 +61,7 @@ commands:
                      [--length-scale S] [--seed N]
                      [--deadline-ms N] [--fallback wait|prior|decide-now]
                      [--max-restarts N] [--faults SPEC]
+                     [--trace FILE] [--metrics FILE]
                      SPEC example: seed=42,panics=1,delay-rate=0.05,
                      delay-ms=50,nan-rate=0.02,corrupt-model=true
   predict            classify instances with a saved model
@@ -76,6 +86,17 @@ fn parse<T: std::str::FromStr>(flags: &Flags, name: &str, default: T) -> Result<
             .parse()
             .map_err(|_| CliError::Usage(format!("invalid --{name} value {v:?}"))),
     }
+}
+
+/// Decodes the canonical shared options (`--seed`, `--threads`,
+/// `--trace`, ...) out of the flag map; command-specific flags are left
+/// for the command to interpret.
+fn common_opts(flags: &Flags) -> Result<CommonOpts, CliError> {
+    let mut opts = CommonOpts::default();
+    for (name, value) in flags {
+        opts.accept(name, value).map_err(CliError::Usage)?;
+    }
+    Ok(opts)
 }
 
 fn required<'a>(flags: &'a Flags, name: &str) -> Result<&'a str, CliError> {
@@ -198,19 +219,18 @@ pub fn run(command: &str, flags: &Flags, out: &mut dyn Write) -> Result<(), CliE
             let name = required(flags, "algo")?;
             let spec = AlgoSpec::by_name(name)
                 .ok_or_else(|| CliError::Usage(format!("unknown algorithm {name:?}")))?;
+            let opts = common_opts(flags)?;
             let mut config = RunConfig {
-                folds: parse(flags, "folds", 3_usize)?,
-                seed: parse(flags, "seed", 2024_u64)?,
+                folds: 3,
+                seed: 2024,
                 ..RunConfig::fast()
             };
-            if let Some(budget) = flags.get("budget-secs") {
-                let secs: u64 = budget.parse().map_err(|_| {
-                    CliError::Usage(format!("invalid --budget-secs value {budget:?}"))
-                })?;
-                config.train_budget = std::time::Duration::from_secs(secs);
-            }
-            let r = run_cv(spec, &data, &config)
-                .map_err(|e| CliError::Runtime(format!("evaluation failed: {e}")))?;
+            opts.apply_config(&mut config);
+            let obs = opts.build_obs();
+            let result = run_cell(spec, &data, &config, &obs);
+            opts.export(&obs)
+                .map_err(|e| CliError::Runtime(e.to_string()))?;
+            let r = result.map_err(|e| CliError::Runtime(format!("evaluation failed: {e}")))?;
             match r.metrics {
                 Some(m) => emit(
                     out,
@@ -264,37 +284,36 @@ pub fn run(command: &str, flags: &Flags, out: &mut dyn Write) -> Result<(), CliE
                     })
                     .collect::<Result<_, _>>()?,
             };
-            let seed = parse(flags, "seed", 2024_u64)?;
+            let opts = common_opts(flags)?;
             let mut config = RunConfig {
-                folds: parse(flags, "folds", 3_usize)?,
-                seed,
+                folds: 3,
+                seed: 2024,
                 ..RunConfig::fast()
             };
-            if let Some(budget) = flags.get("budget-secs") {
-                let secs: u64 = budget.parse().map_err(|_| {
-                    CliError::Usage(format!("invalid --budget-secs value {budget:?}"))
-                })?;
-                config.train_budget = std::time::Duration::from_secs(secs);
-            }
-            let options = SupervisorOptions {
-                max_threads: parse(flags, "threads", 2_usize)?,
-                retries: parse(flags, "retries", 0_usize)?,
-                journal: flags.get("journal").map(std::path::PathBuf::from),
-                resume: parse(flags, "resume", false)?,
-            };
+            opts.apply_config(&mut config);
+            let options = opts.supervisor_options(SupervisorOptions {
+                max_threads: 2,
+                ..SupervisorOptions::default()
+            });
             if options.resume && options.journal.is_none() {
                 return Err(CliError::Usage("--resume needs --journal FILE".into()));
             }
             let gen_options = GenOptions {
                 height_scale: parse(flags, "height-scale", 0.2_f64)?,
                 length_scale: parse(flags, "length-scale", 0.5_f64)?,
-                seed,
+                seed: config.seed,
             };
             let generated: Vec<Dataset> =
                 datasets.iter().map(|d| d.generate(gen_options)).collect();
             let names: Vec<String> = generated.iter().map(|d| d.name().to_owned()).collect();
-            let outcomes = supervise_matrix(&generated, &algos, &config, &options)
+            let obs = opts.build_obs();
+            let outcomes = MatrixRunner::new(config)
+                .supervised(options)
+                .obs(obs.clone())
+                .run(&generated, &algos)
                 .map_err(|e| CliError::Runtime(format!("supervised matrix failed: {e}")))?;
+            opts.export(&obs)
+                .map_err(|e| CliError::Runtime(e.to_string()))?;
             emit(out, render_matrix_status(&outcomes, &names))
         }
         "stream" => {
@@ -357,16 +376,12 @@ pub fn run(command: &str, flags: &Flags, out: &mut dyn Write) -> Result<(), CliE
             let spec = AlgoSpec::by_name(name)
                 .ok_or_else(|| CliError::Usage(format!("unknown algorithm {name:?}")))?;
             let save_path = required(flags, "save")?;
+            let opts = common_opts(flags)?;
             let mut config = RunConfig {
-                seed: parse(flags, "seed", 2024_u64)?,
+                seed: 2024,
                 ..RunConfig::fast()
             };
-            if let Some(budget) = flags.get("budget-secs") {
-                let secs: u64 = budget.parse().map_err(|_| {
-                    CliError::Usage(format!("invalid --budget-secs value {budget:?}"))
-                })?;
-                config.train_budget = std::time::Duration::from_secs(secs);
-            }
+            opts.apply_config(&mut config);
             let stored = fit_model(spec, &data, &config)
                 .map_err(|e| CliError::Runtime(format!("training failed: {e}")))?;
             stored
@@ -484,6 +499,8 @@ pub fn run(command: &str, flags: &Flags, out: &mut dyn Write) -> Result<(), CliE
                     })
                 }
             };
+            let opts = common_opts(flags)?;
+            let obs = opts.build_obs();
             let options = ReplayOptions {
                 obs_frequency_secs: parse(flags, "obs-freq", default_freq)?,
                 batch,
@@ -501,11 +518,21 @@ pub fn run(command: &str, flags: &Flags, out: &mut dyn Write) -> Result<(), CliE
                         ..SupervisionConfig::default()
                     },
                     faults,
+                    obs: obs.clone(),
                 },
             };
             let outcome = replay_dataset(&stored, &data, &options)
                 .map_err(|e| CliError::Runtime(format!("replay failed: {e}")))?;
-            emit(out, outcome.render())
+            opts.export(&obs)
+                .map_err(|e| CliError::Runtime(e.to_string()))?;
+            let mut rendered = outcome.render();
+            if opts.metrics.is_some() {
+                // Dump the snapshot into the report too, so the figures
+                // and the scrape artifact can be eyeballed side by side.
+                rendered.push_str("\nmetrics snapshot:\n");
+                rendered.push_str(&obs.metrics.render_prometheus());
+            }
+            emit(out, rendered)
         }
         "predict" => {
             let model_path = required(flags, "model")?;
@@ -675,6 +702,36 @@ mod tests {
         let again = run_to_string("matrix", &flags(&resumed)).unwrap();
         assert_eq!(out, again);
         std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn matrix_writes_trace_and_metrics_artifacts() {
+        let dir = std::env::temp_dir().join("etsc-cli-test-obs");
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace = dir.join("matrix.trace.jsonl");
+        let metrics = dir.join("matrix.prom");
+        let out = run_to_string(
+            "matrix",
+            &flags(&[
+                ("datasets", "PowerCons"),
+                ("algos", "ECTS"),
+                ("height-scale", "0.15"),
+                ("length-scale", "0.3"),
+                ("threads", "1"),
+                ("trace", trace.to_str().unwrap()),
+                ("metrics", metrics.to_str().unwrap()),
+            ]),
+        )
+        .unwrap();
+        assert!(out.contains("1 OK"), "{out}");
+        let log = etsc_obs::parse_jsonl(&std::fs::read_to_string(&trace).unwrap()).unwrap();
+        let tree = etsc_obs::TraceTree::build(&log.records).unwrap();
+        assert!(!tree.spans_named("cell").is_empty());
+        assert!(!tree.spans_named("fit").is_empty());
+        let text = std::fs::read_to_string(&metrics).unwrap();
+        etsc_obs::validate_prometheus(&text).unwrap();
+        assert!(text.contains("matrix_cells_ok_total 1"), "{text}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

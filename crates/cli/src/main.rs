@@ -36,7 +36,7 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         };
         // Boolean flags take no value.
-        if matches!(name, "resume" | "stream" | "shed") {
+        if etsc_eval::CommonOpts::SWITCHES.contains(&name) || matches!(name, "stream" | "shed") {
             flags.insert(name.to_owned(), "true".to_owned());
             continue;
         }

@@ -54,6 +54,12 @@ pub struct VotingAdapter<C: EarlyClassifier> {
     /// 1.0 otherwise).
     weights: Vec<f64>,
     n_classes: usize,
+    /// Thread budget for [`EarlyClassifier::fit`]: 1 = sequential
+    /// (default), 0 = the machine's parallelism, n = at most n voter
+    /// threads. Runners that already parallelise across matrix cells
+    /// set this to their per-cell share so nested fits cannot
+    /// oversubscribe the machine.
+    fit_threads: usize,
 }
 
 impl<C: EarlyClassifier> VotingAdapter<C> {
@@ -70,7 +76,25 @@ impl<C: EarlyClassifier> VotingAdapter<C> {
             voters: Vec::new(),
             weights: Vec::new(),
             n_classes: 0,
+            fit_threads: 1,
         }
+    }
+
+    /// Sets the thread budget used by [`EarlyClassifier::fit`]: `1`
+    /// trains voters sequentially (the default), `0` uses the machine's
+    /// full parallelism, and any other `n` caps voter training at `n`
+    /// concurrent threads. The fitted model is identical in all cases —
+    /// every voter sees only its own variable and its own
+    /// deterministic seed path.
+    pub fn with_fit_threads(mut self, fit_threads: usize) -> Self {
+        self.fit_threads = fit_threads;
+        self
+    }
+
+    /// The configured fit thread budget (see
+    /// [`VotingAdapter::with_fit_threads`]).
+    pub fn fit_threads(&self) -> usize {
+        self.fit_threads
     }
 
     /// Rebuilds an adapter from already-fitted voters — the model-store
@@ -89,6 +113,7 @@ impl<C: EarlyClassifier> VotingAdapter<C> {
             voters,
             weights,
             n_classes,
+            fit_threads: 1,
         }
     }
 
@@ -186,34 +211,62 @@ pub(crate) fn majority(votes: &[Label], n_classes: usize) -> Label {
     weighted_majority(votes, &vec![1.0; votes.len()], n_classes)
 }
 
+/// The machine's parallelism, 1 when it cannot be determined.
+fn machine_parallelism() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
 impl<C: EarlyClassifier + Send> VotingAdapter<C> {
     /// Like [`EarlyClassifier::fit`], but trains the per-variable voters
-    /// on parallel threads (one per variable, capped by the machine's
-    /// parallelism). The result is identical to the sequential fit —
-    /// every voter sees only its own variable and its own deterministic
-    /// seed path.
+    /// on parallel threads capped by the machine's parallelism. The
+    /// result is identical to the sequential fit — every voter sees
+    /// only its own variable and its own deterministic seed path.
     ///
     /// # Errors
     /// The first voter failure, as in the sequential fit.
     pub fn fit_parallel(&mut self, data: &Dataset) -> Result<(), EtscError> {
+        self.fit_parallel_capped(data, machine_parallelism())
+    }
+
+    /// [`VotingAdapter::fit_parallel`] with an explicit thread cap:
+    /// at most `max_threads` worker threads train the voters, each
+    /// walking the variables with stride `max_threads`. Runners that
+    /// already parallelise across matrix cells pass their per-cell
+    /// thread share here so nested parallelism cannot oversubscribe
+    /// the machine (one thread per variable, the previous behaviour,
+    /// multiplied by a worker pool).
+    ///
+    /// # Errors
+    /// The first voter failure, as in the sequential fit.
+    pub fn fit_parallel_capped(
+        &mut self,
+        data: &Dataset,
+        max_threads: usize,
+    ) -> Result<(), EtscError> {
         self.n_classes = data.n_classes();
         self.voters.clear();
         self.weights.clear();
         let vars = data.vars();
+        let workers = max_threads.max(1).min(vars.max(1));
         type Slot<C> = parking_lot::Mutex<Option<Result<(C, f64), EtscError>>>;
         let slots: Vec<Slot<C>> = (0..vars).map(|_| parking_lot::Mutex::new(None)).collect();
         let make = &self.make;
         let scheme = self.scheme;
         crossbeam::thread::scope(|scope| {
-            for (v, slot) in slots.iter().enumerate() {
+            for w in 0..workers {
+                let slots = &slots;
                 scope.spawn(move |_| {
-                    let projected = data.project_variable(v);
-                    let mut voter = (make)();
-                    let result = voter
-                        .fit(&projected)
-                        .and_then(|()| voter_weight_for(scheme, &voter, &projected))
-                        .map(|w| (voter, w));
-                    *slot.lock() = Some(result);
+                    let mut v = w;
+                    while v < vars {
+                        let projected = data.project_variable(v);
+                        let mut voter = (make)();
+                        let result = voter
+                            .fit(&projected)
+                            .and_then(|()| voter_weight_for(scheme, &voter, &projected))
+                            .map(|wt| (voter, wt));
+                        *slots[v].lock() = Some(result);
+                        v += workers;
+                    }
                 });
             }
         })
@@ -229,7 +282,7 @@ impl<C: EarlyClassifier + Send> VotingAdapter<C> {
     }
 }
 
-impl<C: EarlyClassifier> EarlyClassifier for VotingAdapter<C> {
+impl<C: EarlyClassifier + Send> EarlyClassifier for VotingAdapter<C> {
     fn name(&self) -> String {
         match self.voters.first() {
             Some(v) => v.name(),
@@ -238,6 +291,13 @@ impl<C: EarlyClassifier> EarlyClassifier for VotingAdapter<C> {
     }
 
     fn fit(&mut self, data: &Dataset) -> Result<(), EtscError> {
+        let cap = match self.fit_threads {
+            0 => machine_parallelism(),
+            n => n,
+        };
+        if cap > 1 && data.vars() > 1 {
+            return self.fit_parallel_capped(data, cap);
+        }
         self.n_classes = data.n_classes();
         self.voters.clear();
         self.weights.clear();
@@ -536,6 +596,88 @@ mod tests {
         a.fit(&d).unwrap();
         let wrong = MultiSeries::univariate(Series::new(vec![0.0; 6]));
         assert!(a.predict_early(&wrong).is_err());
+    }
+
+    /// Voter that records the peak number of concurrently running fits.
+    #[derive(Clone)]
+    struct TrackingVoter {
+        inner: MeanVoter,
+        active: std::sync::Arc<std::sync::atomic::AtomicUsize>,
+        peak: std::sync::Arc<std::sync::atomic::AtomicUsize>,
+    }
+
+    impl EarlyClassifier for TrackingVoter {
+        fn name(&self) -> String {
+            "TrackingVoter".into()
+        }
+        fn fit(&mut self, data: &Dataset) -> Result<(), EtscError> {
+            use std::sync::atomic::Ordering;
+            let now = self.active.fetch_add(1, Ordering::SeqCst) + 1;
+            self.peak.fetch_max(now, Ordering::SeqCst);
+            std::thread::sleep(std::time::Duration::from_millis(15));
+            let result = self.inner.fit(data);
+            self.active.fetch_sub(1, Ordering::SeqCst);
+            result
+        }
+        fn start_stream(&self) -> Result<Box<dyn StreamState + '_>, EtscError> {
+            self.inner.start_stream()
+        }
+    }
+
+    #[test]
+    fn capped_parallel_fit_respects_thread_budget_and_matches_sequential() {
+        use std::sync::atomic::AtomicUsize;
+        use std::sync::Arc;
+        let d = mv_dataset();
+        let active = Arc::new(AtomicUsize::new(0));
+        let peak = Arc::new(AtomicUsize::new(0));
+        let (a2, p2) = (active.clone(), peak.clone());
+        let mut capped = VotingAdapter::new(move || TrackingVoter {
+            inner: MeanVoter::new(2),
+            active: a2.clone(),
+            peak: p2.clone(),
+        });
+        capped.fit_parallel_capped(&d, 2).unwrap();
+        let observed = peak.load(std::sync::atomic::Ordering::SeqCst);
+        assert!(
+            (1..=2).contains(&observed),
+            "3 variables under a budget of 2 threads ran {observed} fits at once"
+        );
+        let mut seq = VotingAdapter::new(|| MeanVoter::new(2));
+        seq.fit(&d).unwrap();
+        assert_eq!(capped.n_voters(), seq.n_voters());
+        for i in 0..d.len() {
+            assert_eq!(
+                capped.predict_early(d.instance(i)).unwrap(),
+                seq.predict_early(d.instance(i)).unwrap(),
+                "capped parallel fit must be prediction-identical to sequential"
+            );
+        }
+    }
+
+    #[test]
+    fn fit_threads_budget_routes_trait_fit_through_parallel_path() {
+        use std::sync::atomic::AtomicUsize;
+        use std::sync::Arc;
+        let d = mv_dataset();
+        let active = Arc::new(AtomicUsize::new(0));
+        let peak = Arc::new(AtomicUsize::new(0));
+        let (a2, p2) = (active.clone(), peak.clone());
+        let mut a = VotingAdapter::new(move || TrackingVoter {
+            inner: MeanVoter::new(2),
+            active: a2.clone(),
+            peak: p2.clone(),
+        })
+        .with_fit_threads(2);
+        assert_eq!(a.fit_threads(), 2);
+        a.fit(&d).unwrap();
+        assert_eq!(a.n_voters(), 3);
+        assert!(
+            peak.load(std::sync::atomic::Ordering::SeqCst) <= 2,
+            "trait fit must honour the configured thread budget"
+        );
+        let p = a.predict_early(d.instance(0)).unwrap();
+        assert_eq!(p.label, d.label(0));
     }
 
     #[test]

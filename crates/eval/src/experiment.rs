@@ -17,6 +17,7 @@ use etsc_core::{
 use etsc_data::{Dataset, StratifiedKFold};
 use etsc_ml::logistic::LogisticConfig;
 use etsc_ml::nn::MlstmFcnConfig;
+use etsc_obs::Obs;
 use etsc_transforms::minirocket::MiniRocketConfig;
 use etsc_transforms::weasel::WeaselConfig;
 
@@ -108,23 +109,23 @@ impl AlgoSpec {
         match self {
             AlgoSpec::Ecec => {
                 let make = move || Ecec::new(c.ecec_config());
-                wrap(multivariate, make)
+                wrap(multivariate, config.fit_threads, make)
             }
             AlgoSpec::EcoK => {
                 let make = move || EconomyK::new(c.economy_config());
-                wrap(multivariate, make)
+                wrap(multivariate, config.fit_threads, make)
             }
             AlgoSpec::Ects => {
                 let make = move || Ects::new(EctsConfig { support: 0 });
-                wrap(multivariate, make)
+                wrap(multivariate, config.fit_threads, make)
             }
             AlgoSpec::Edsc => {
                 let make = move || Edsc::new(c.edsc_config());
-                wrap(multivariate, make)
+                wrap(multivariate, config.fit_threads, make)
             }
             AlgoSpec::Teaser => {
                 let make = move || Teaser::new(c.teaser_config(teaser_s));
-                wrap(multivariate, make)
+                wrap(multivariate, config.fit_threads, make)
             }
             AlgoSpec::SMini => Box::new(Strut::s_mini_with(
                 c.strut_config(),
@@ -156,12 +157,13 @@ impl AlgoSpec {
     }
 }
 
-fn wrap<C: EarlyClassifier + 'static>(
+fn wrap<C: EarlyClassifier + Send + 'static>(
     multivariate: bool,
+    fit_threads: usize,
     make: impl Fn() -> C + Send + Sync + 'static,
 ) -> Box<dyn EarlyClassifier> {
     if multivariate {
-        Box::new(VotingAdapter::new(make))
+        Box::new(VotingAdapter::new(make).with_fit_threads(fit_threads))
     } else {
         Box::new(make())
     }
@@ -203,6 +205,13 @@ pub struct RunConfig {
     pub mlstm_filters: [usize; 3],
     /// MLSTM cell-count grid (paper: {8, 64, 128}).
     pub mlstm_lstm_grid: Vec<usize>,
+    /// Thread budget for parallelism *inside* one cell's fit (the
+    /// voting adapter trains per-variable voters concurrently up to
+    /// this cap): 1 = sequential (default), 0 = auto — resolved by
+    /// [`crate::runner::MatrixRunner`] to the machine parallelism
+    /// divided by its worker count, so nested parallelism never
+    /// oversubscribes the machine.
+    pub fit_threads: usize,
 }
 
 impl Default for RunConfig {
@@ -222,6 +231,7 @@ impl Default for RunConfig {
             mlstm_epochs: 30,
             mlstm_filters: [8, 16, 8],
             mlstm_lstm_grid: vec![8],
+            fit_threads: 1,
         }
     }
 }
@@ -284,12 +294,6 @@ impl RunConfig {
             seed: self.seed,
             ..EconomyKConfig::default()
         }
-    }
-
-    /// The training budget, under its pre-generalization name.
-    #[deprecated(note = "the budget now applies to every algorithm; use `train_budget`")]
-    pub fn edsc_budget(&self) -> Duration {
-        self.train_budget
     }
 
     /// Returns a copy with the universal training budget replaced.
@@ -372,6 +376,18 @@ impl RunResult {
 
 /// Runs one algorithm on one dataset with stratified K-fold CV.
 ///
+/// This is the instrumented primitive behind every runner entry point:
+/// the whole cell runs inside a `cv` span (attributes `dataset`,
+/// `algo`), each fold inside a `fold` span with `fit` and `predict`
+/// child spans, and metric aggregation inside a `metrics` span.
+/// Transform-backed algorithms (WEASEL, MiniROCKET) additionally emit
+/// `transform` spans nested under `fit`, because `obs` is installed as
+/// the [ambient context](etsc_obs::with_ambient) for the duration of
+/// the cell. Per-phase durations also land in the registry's
+/// `eval_fit_secs` / `eval_predict_secs` histograms. Pass
+/// [`Obs::disabled`] for an uninstrumented run — the result is
+/// identical either way.
+///
 /// Every algorithm runs under the universal `train_budget` deadline
 /// (the paper's 48-hour rule, scaled): accumulated training time is
 /// checked cooperatively before each fold, and EDSC additionally
@@ -381,11 +397,30 @@ impl RunResult {
 ///
 /// # Errors
 /// Data/model failures other than budget overruns.
-pub fn run_cv(
+pub fn run_cell(
     algo: AlgoSpec,
     dataset: &Dataset,
     config: &RunConfig,
+    obs: &Obs,
 ) -> Result<RunResult, EtscError> {
+    etsc_obs::with_ambient(obs, || run_cell_inner(algo, dataset, config, obs))
+}
+
+fn run_cell_inner(
+    algo: AlgoSpec,
+    dataset: &Dataset,
+    config: &RunConfig,
+    obs: &Obs,
+) -> Result<RunResult, EtscError> {
+    let mut cv_span = obs.tracer.span("cv");
+    cv_span.attr("dataset", dataset.name());
+    cv_span.attr("algo", algo.name());
+    obs.metrics.counter("eval_cells_total").inc();
+    let fit_hist = obs.metrics.histogram("eval_fit_secs");
+    let predict_hist = obs.metrics.histogram("eval_predict_secs");
+    let folds_counter = obs.metrics.counter("eval_folds_total");
+    let dnf_counter = obs.metrics.counter("eval_dnf_total");
+
     let folds = StratifiedKFold::new(config.folds, config.seed)
         .map_err(EtscError::from)?
         .split(dataset)
@@ -395,10 +430,11 @@ pub fn run_cv(
     let mut train_total = 0.0;
     let mut test_total = 0.0;
     let mut test_count = 0usize;
-    for fold in &folds {
+    for (fold_idx, fold) in folds.iter().enumerate() {
         // Cooperative universal deadline: refuse to start the next
         // fold's training once the budget is spent.
         if train_total >= budget_secs {
+            dnf_counter.inc();
             return Ok(RunResult {
                 algo,
                 dataset: dataset.name().to_owned(),
@@ -408,29 +444,40 @@ pub fn run_cv(
                 dnf: true,
             });
         }
+        let mut fold_span = obs.tracer.span("fold");
+        fold_span.attr("fold", &fold_idx.to_string());
         let train = dataset.subset(&fold.train);
         let mut clf = algo.build(dataset, config);
+        let fit_span = obs.tracer.span("fit");
         let t0 = Instant::now();
-        match clf.fit(&train) {
+        let fit_result = clf.fit(&train);
+        let fit_secs = t0.elapsed().as_secs_f64();
+        drop(fit_span);
+        fit_hist.record(fit_secs);
+        match fit_result {
             Ok(()) => {}
             Err(EtscError::TrainingBudgetExceeded { .. }) => {
+                dnf_counter.inc();
                 return Ok(RunResult {
                     algo,
                     dataset: dataset.name().to_owned(),
                     metrics: None,
-                    train_secs: train_total + t0.elapsed().as_secs_f64(),
+                    train_secs: train_total + fit_secs,
                     test_secs_per_instance: 0.0,
                     dnf: true,
                 });
             }
             Err(e) => return Err(e),
         }
-        train_total += t0.elapsed().as_secs_f64();
+        train_total += fit_secs;
+        let predict_span = obs.tracer.span("predict");
         for &i in &fold.test {
             let inst = dataset.instance(i);
             let t1 = Instant::now();
             let p = clf.predict_early(inst)?;
-            test_total += t1.elapsed().as_secs_f64();
+            let predict_secs = t1.elapsed().as_secs_f64();
+            predict_hist.record(predict_secs);
+            test_total += predict_secs;
             test_count += 1;
             outcomes.push(EvalOutcome {
                 truth: dataset.label(i),
@@ -439,8 +486,12 @@ pub fn run_cv(
                 full_len: inst.len(),
             });
         }
+        drop(predict_span);
+        folds_counter.inc();
     }
+    let metrics_span = obs.tracer.span("metrics");
     let metrics = Metrics::compute(&outcomes, dataset.n_classes());
+    drop(metrics_span);
     Ok(RunResult {
         algo,
         dataset: dataset.name().to_owned(),
@@ -449,6 +500,23 @@ pub fn run_cv(
         test_secs_per_instance: test_total / test_count.max(1) as f64,
         dnf: false,
     })
+}
+
+/// Runs one algorithm on one dataset with stratified K-fold CV.
+///
+/// Thin shim over [`run_cell`] with the thread's
+/// [ambient](etsc_obs::ambient) observability context — disabled
+/// unless a caller up-stack installed one.
+///
+/// # Errors
+/// Data/model failures other than budget overruns.
+#[deprecated(note = "use `run_cell` (explicit Obs) or drive whole matrices through `MatrixRunner`")]
+pub fn run_cv(
+    algo: AlgoSpec,
+    dataset: &Dataset,
+    config: &RunConfig,
+) -> Result<RunResult, EtscError> {
+    run_cell(algo, dataset, config, &etsc_obs::ambient())
 }
 
 #[cfg(test)]
@@ -497,9 +565,9 @@ mod tests {
     }
 
     #[test]
-    fn run_cv_ects_on_univariate() {
+    fn run_cell_ects_on_univariate() {
         let d = toy(1);
-        let r = run_cv(AlgoSpec::Ects, &d, &RunConfig::fast()).unwrap();
+        let r = run_cell(AlgoSpec::Ects, &d, &RunConfig::fast(), &Obs::disabled()).unwrap();
         assert!(!r.dnf);
         let m = r.metrics.unwrap();
         assert!(m.accuracy > 0.7, "accuracy {}", m.accuracy);
@@ -508,9 +576,9 @@ mod tests {
     }
 
     #[test]
-    fn run_cv_wraps_univariate_algo_on_multivariate_data() {
+    fn run_cell_wraps_univariate_algo_on_multivariate_data() {
         let d = toy(2);
-        let r = run_cv(AlgoSpec::Ects, &d, &RunConfig::fast()).unwrap();
+        let r = run_cell(AlgoSpec::Ects, &d, &RunConfig::fast(), &Obs::disabled()).unwrap();
         let m = r.metrics.unwrap();
         assert!(m.accuracy > 0.6, "accuracy {}", m.accuracy);
     }
@@ -522,7 +590,7 @@ mod tests {
             train_budget: Duration::from_nanos(0),
             ..RunConfig::fast()
         };
-        let r = run_cv(AlgoSpec::Edsc, &d, &cfg).unwrap();
+        let r = run_cell(AlgoSpec::Edsc, &d, &cfg, &Obs::disabled()).unwrap();
         assert!(r.dnf);
         assert!(r.metrics.is_none());
     }
@@ -532,7 +600,7 @@ mod tests {
         let d = toy(1);
         let cfg = RunConfig::fast().with_train_budget(Duration::from_nanos(0));
         for algo in [AlgoSpec::Ects, AlgoSpec::Teaser, AlgoSpec::SMini] {
-            let r = run_cv(algo, &d, &cfg).unwrap();
+            let r = run_cell(algo, &d, &cfg, &Obs::disabled()).unwrap();
             assert!(r.dnf, "{} should DNF under a zero budget", algo.name());
             assert!(r.metrics.is_none());
         }
@@ -540,9 +608,13 @@ mod tests {
 
     #[test]
     #[allow(deprecated)]
-    fn deprecated_budget_alias_reads_train_budget() {
-        let cfg = RunConfig::fast().with_train_budget(Duration::from_secs(7));
-        assert_eq!(cfg.edsc_budget(), Duration::from_secs(7));
+    fn deprecated_run_cv_shim_matches_run_cell() {
+        let d = toy(1);
+        let cfg = RunConfig::fast();
+        let legacy = run_cv(AlgoSpec::Ects, &d, &cfg).unwrap();
+        let current = run_cell(AlgoSpec::Ects, &d, &cfg, &Obs::disabled()).unwrap();
+        assert_eq!(legacy.metrics, current.metrics);
+        assert_eq!(legacy.dnf, current.dnf);
     }
 
     #[test]
@@ -556,47 +628,28 @@ mod tests {
     }
 }
 
-/// Runs the full (dataset × algorithm) matrix with a bounded worker pool
-/// (crossbeam scoped threads pulling jobs from a shared queue).
+/// Runs the full (dataset × algorithm) matrix with a bounded worker
+/// pool and strict error semantics: the first failed or panicked cell
+/// is reported as an error after all cells have run.
 ///
-/// Results come back in `(dataset, algorithm)` row-major order, exactly
-/// as the sequential double loop would produce them. Wall-clock
-/// train/test timings are still measured per job, so heavy parallelism
-/// inflates them through CPU contention — use the sequential path when
-/// timing fidelity matters (the `reproduce` binary defaults to it).
-///
-/// This is a compatibility wrapper over
-/// [`supervise_matrix`](crate::supervisor::supervise_matrix): every
-/// cell runs to completion under panic isolation, and only then is the
-/// first failure (if any) reported. Callers that want per-cell
-/// outcomes — completed work preserved alongside failed and panicked
-/// cells — should use the supervisor directly.
+/// Thin shim over [`MatrixRunner`](crate::runner::MatrixRunner) —
+/// equivalent to
+/// `MatrixRunner::new(config.clone()).parallel(max_threads).run_results(datasets, algos)`.
+/// The builder additionally exposes retries, journaling/resume, and
+/// observability (tracer + metrics).
 ///
 /// # Errors
 /// The first cell failure or panic, after all cells have run.
+#[deprecated(note = "use `MatrixRunner::new(config).parallel(n).run_results(datasets, algos)`")]
 pub fn run_matrix_parallel(
     datasets: &[Dataset],
     algos: &[AlgoSpec],
     config: &RunConfig,
     max_threads: usize,
 ) -> Result<Vec<RunResult>, EtscError> {
-    let options = crate::supervisor::SupervisorOptions {
-        max_threads,
-        ..crate::supervisor::SupervisorOptions::default()
-    };
-    let outcomes = crate::supervisor::supervise_matrix(datasets, algos, config, &options)?;
-    outcomes
-        .into_iter()
-        .map(|cell| match cell {
-            crate::supervisor::CellOutcome::Finished(result) => Ok(result),
-            crate::supervisor::CellOutcome::Failed { error, .. } => {
-                Err(EtscError::Config(format!("cell failed: {error}")))
-            }
-            crate::supervisor::CellOutcome::Panicked { message, .. } => {
-                Err(EtscError::Panicked { message })
-            }
-        })
-        .collect()
+    crate::runner::MatrixRunner::new(config.clone())
+        .parallel(max_threads)
+        .run_results(datasets, algos)
 }
 
 #[cfg(test)]
@@ -618,12 +671,15 @@ mod parallel_tests {
             .collect();
         let algos = [AlgoSpec::Ects, AlgoSpec::EcoK];
         let config = RunConfig::fast();
-        let parallel = run_matrix_parallel(&datasets, &algos, &config, 4).unwrap();
+        let parallel = crate::runner::MatrixRunner::new(config.clone())
+            .parallel(4)
+            .run_results(&datasets, &algos)
+            .unwrap();
         assert_eq!(parallel.len(), 4);
         let mut k = 0;
         for ds in &datasets {
             for &algo in &algos {
-                let sequential = run_cv(algo, ds, &config).unwrap();
+                let sequential = run_cell(algo, ds, &config, &Obs::disabled()).unwrap();
                 let p = &parallel[k];
                 assert_eq!(p.algo, algo);
                 assert_eq!(p.dataset, sequential.dataset);

@@ -1,173 +1,9 @@
-//! Latency histograms for the streaming service.
+//! Latency histograms for the streaming service — compatibility shim.
 //!
-//! `etsc-serve` measures two quantities per session: the wall-clock cost
-//! of each re-evaluation (decision latency) and the lag between the
-//! observation that made a decision possible and the decision itself.
-//! Both are summarised here with exact order statistics — samples are
-//! kept and sorted on demand, which is fine at the volumes a replay
-//! produces (one sample per decision) and keeps the quantiles exact
-//! rather than bucketed.
+//! The exact-quantile histogram moved to [`etsc_obs::Histogram`] so the
+//! evaluation harness and the serving stack share one implementation
+//! (and so the metrics registry can expose it as Prometheus summaries).
+//! This module re-exports it under its historical name; new code should
+//! use `etsc_obs::Histogram` directly.
 
-/// An exact-quantile latency recorder.
-///
-/// Samples are stored in seconds. Quantiles use the nearest-rank method
-/// on the sorted samples, so `p50`/`p99` are actual observed values, not
-/// interpolations.
-#[derive(Debug, Clone, Default)]
-pub struct LatencyHistogram {
-    samples: Vec<f64>,
-    sorted: bool,
-    over_deadline: usize,
-}
-
-impl LatencyHistogram {
-    /// An empty histogram.
-    pub fn new() -> LatencyHistogram {
-        LatencyHistogram::default()
-    }
-
-    /// Records one latency sample, in seconds.
-    pub fn record(&mut self, secs: f64) {
-        self.samples.push(secs);
-        self.sorted = false;
-    }
-
-    /// Records one latency sample against a decision deadline: the
-    /// sample is kept like [`LatencyHistogram::record`], and when it
-    /// exceeds `deadline` the breach is counted so degraded-mode events
-    /// stay visible in the reported latency figures. Returns `true` on
-    /// a breach.
-    pub fn record_with_deadline(&mut self, secs: f64, deadline: f64) -> bool {
-        self.record(secs);
-        let breached = secs > deadline;
-        if breached {
-            self.over_deadline += 1;
-        }
-        breached
-    }
-
-    /// Number of samples that exceeded their deadline at record time.
-    pub fn over_deadline(&self) -> usize {
-        self.over_deadline
-    }
-
-    /// Merges another histogram's samples into this one.
-    pub fn merge(&mut self, other: &LatencyHistogram) {
-        self.samples.extend_from_slice(&other.samples);
-        self.sorted = false;
-        self.over_deadline += other.over_deadline;
-    }
-
-    /// Number of recorded samples.
-    pub fn len(&self) -> usize {
-        self.samples.len()
-    }
-
-    /// `true` when nothing has been recorded.
-    pub fn is_empty(&self) -> bool {
-        self.samples.is_empty()
-    }
-
-    /// Mean of the samples; `None` when empty.
-    pub fn mean(&self) -> Option<f64> {
-        if self.samples.is_empty() {
-            None
-        } else {
-            Some(self.samples.iter().sum::<f64>() / self.samples.len() as f64)
-        }
-    }
-
-    /// The `q`-quantile (`0.0 ..= 1.0`) by nearest rank; `None` when
-    /// empty. `q` outside the unit interval is clamped.
-    pub fn quantile(&mut self, q: f64) -> Option<f64> {
-        if self.samples.is_empty() {
-            return None;
-        }
-        if !self.sorted {
-            self.samples
-                .sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
-            self.sorted = true;
-        }
-        let q = q.clamp(0.0, 1.0);
-        let rank = ((q * self.samples.len() as f64).ceil() as usize).max(1) - 1;
-        Some(self.samples[rank.min(self.samples.len() - 1)])
-    }
-
-    /// Median latency; `None` when empty.
-    pub fn p50(&mut self) -> Option<f64> {
-        self.quantile(0.5)
-    }
-
-    /// 99th-percentile latency; `None` when empty.
-    pub fn p99(&mut self) -> Option<f64> {
-        self.quantile(0.99)
-    }
-
-    /// Largest sample; `None` when empty.
-    pub fn max(&mut self) -> Option<f64> {
-        self.quantile(1.0)
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn empty_histogram_has_no_quantiles() {
-        let mut h = LatencyHistogram::new();
-        assert!(h.is_empty());
-        assert_eq!(h.p50(), None);
-        assert_eq!(h.p99(), None);
-        assert_eq!(h.mean(), None);
-    }
-
-    #[test]
-    fn quantiles_are_observed_values() {
-        let mut h = LatencyHistogram::new();
-        for i in 1..=100 {
-            h.record(i as f64);
-        }
-        assert_eq!(h.len(), 100);
-        assert_eq!(h.p50(), Some(50.0));
-        assert_eq!(h.p99(), Some(99.0));
-        assert_eq!(h.max(), Some(100.0));
-        assert_eq!(h.mean(), Some(50.5));
-    }
-
-    #[test]
-    fn recording_after_a_query_resorts() {
-        let mut h = LatencyHistogram::new();
-        h.record(5.0);
-        assert_eq!(h.p50(), Some(5.0));
-        h.record(1.0);
-        h.record(2.0);
-        assert_eq!(h.p50(), Some(2.0));
-        assert_eq!(h.max(), Some(5.0));
-    }
-
-    #[test]
-    fn merge_combines_samples() {
-        let mut a = LatencyHistogram::new();
-        let mut b = LatencyHistogram::new();
-        a.record(1.0);
-        b.record(3.0);
-        a.merge(&b);
-        assert_eq!(a.len(), 2);
-        assert_eq!(a.max(), Some(3.0));
-    }
-
-    #[test]
-    fn deadline_breaches_are_counted_and_merged() {
-        let mut a = LatencyHistogram::new();
-        assert!(!a.record_with_deadline(0.5, 1.0));
-        assert!(a.record_with_deadline(2.0, 1.0));
-        assert_eq!(a.over_deadline(), 1);
-        assert_eq!(a.len(), 2, "breaching samples are still recorded");
-        let mut b = LatencyHistogram::new();
-        assert!(b.record_with_deadline(3.0, 1.0));
-        a.merge(&b);
-        assert_eq!(a.over_deadline(), 2);
-        assert_eq!(a.len(), 3);
-    }
-}
+pub use etsc_obs::Histogram as LatencyHistogram;

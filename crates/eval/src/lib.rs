@@ -11,8 +11,14 @@
 //!   behind Figures 9-12);
 //! * [`online`] — the Figure 13 online-feasibility ratio (testing time per
 //!   decision over the dataset's observation frequency);
-//! * [`histogram`] — exact-quantile latency histograms used by the
-//!   streaming service for p50/p99 decision latencies;
+//! * [`runner`] — [`MatrixRunner`], the unified builder-style front door
+//!   to the evaluation matrix: parallelism, supervision, journaling, and
+//!   observability (spans + metrics via [`etsc_obs`]) in one API;
+//! * [`opts`] — the canonical command-line options shared by the `etsc`
+//!   CLI and the `reproduce` binary (`--seed`, `--threads`, `--trace`,
+//!   `--metrics`, ...);
+//! * [`histogram`] — compatibility re-export of the exact-quantile
+//!   histogram, which now lives in [`etsc_obs`];
 //! * [`report`] — plain-text and CSV renderers matching the layout of the
 //!   paper's tables and figures;
 //! * [`tuning`] — hyper-parameter grid search over any algorithm (the
@@ -36,14 +42,22 @@ pub mod journal;
 pub mod metrics;
 pub mod moo;
 pub mod online;
+pub mod opts;
 pub mod report;
+pub mod runner;
 pub mod supervisor;
 pub mod tuning;
 
 pub use aggregate::aggregate_by_category;
-pub use experiment::{run_cv, AlgoSpec, RunConfig, RunResult};
+pub use experiment::{run_cell, AlgoSpec, RunConfig, RunResult};
 pub use faults::{FaultPlan, FaultSchedule};
 pub use histogram::LatencyHistogram;
 pub use journal::{Journal, JournalHeader};
 pub use metrics::{EvalOutcome, Metrics};
-pub use supervisor::{supervise_matrix, CellOutcome, CellStatus, SupervisorOptions};
+pub use opts::CommonOpts;
+pub use runner::MatrixRunner;
+pub use supervisor::{CellOutcome, CellStatus, SupervisorOptions};
+#[allow(deprecated)]
+pub use {experiment::run_cv, supervisor::supervise_matrix};
+
+pub use etsc_obs::Obs;

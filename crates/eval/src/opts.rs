@@ -1,0 +1,256 @@
+//! Shared command-line options for evaluation entry points.
+//!
+//! The `etsc` CLI (`evaluate`/`matrix`/`serve`/`train`) and the
+//! `reproduce` binary grew the same knobs with drifting spellings. This
+//! module pins one canonical spelling per knob and one parser both
+//! front-ends share, so a flag learned on one entry point works on the
+//! others:
+//!
+//! | flag            | meaning                                          |
+//! |-----------------|--------------------------------------------------|
+//! | `--seed N`      | RNG seed for folds and generated datasets        |
+//! | `--folds N`     | cross-validation folds                           |
+//! | `--threads N`   | matrix worker threads (`--parallel` is a         |
+//! |                 | deprecated alias)                                |
+//! | `--fit-threads N` | per-cell voter-training threads (0 = auto)     |
+//! | `--budget-secs N` | universal training budget per fold             |
+//! | `--retries N`   | retry budget for transient cell errors           |
+//! | `--journal F`   | checkpoint journal path                          |
+//! | `--resume`      | resume from an existing journal                  |
+//! | `--trace F`     | write a JSONL span/event trace to `F`            |
+//! | `--metrics F`   | write a Prometheus text snapshot to `F`          |
+//!
+//! [`CommonOpts::accept`] is the single flag decoder; front-ends feed
+//! it `(name, value)` pairs from their own argv loops and keep full
+//! control of command-specific flags (which `accept` reports as
+//! unrecognised rather than erroring on).
+
+use std::path::PathBuf;
+
+use etsc_core::EtscError;
+use etsc_obs::Obs;
+
+use crate::experiment::RunConfig;
+use crate::runner::MatrixRunner;
+use crate::supervisor::SupervisorOptions;
+
+/// The options shared by every evaluation entry point, all optional so
+/// each front-end keeps its own defaults. See the [module docs](self)
+/// for the canonical flag spellings.
+#[derive(Debug, Clone, Default)]
+pub struct CommonOpts {
+    /// `--seed N`.
+    pub seed: Option<u64>,
+    /// `--folds N`.
+    pub folds: Option<usize>,
+    /// `--threads N` (canonical; `--parallel` is a deprecated alias).
+    pub threads: Option<usize>,
+    /// `--fit-threads N` (0 = auto: machine parallelism / `--threads`).
+    pub fit_threads: Option<usize>,
+    /// `--budget-secs N`.
+    pub budget_secs: Option<u64>,
+    /// `--retries N`.
+    pub retries: Option<usize>,
+    /// `--journal FILE`.
+    pub journal: Option<PathBuf>,
+    /// `--resume`.
+    pub resume: bool,
+    /// `--trace FILE` — JSONL span/event trace destination.
+    pub trace: Option<PathBuf>,
+    /// `--metrics FILE` — Prometheus text snapshot destination.
+    pub metrics: Option<PathBuf>,
+}
+
+impl CommonOpts {
+    /// Flag names (without `--`) that are switches — they take no
+    /// value. Front-ends use this to drive their argv loops.
+    pub const SWITCHES: &'static [&'static str] = &["resume"];
+
+    /// Tries to consume one `--name value` pair. Returns `Ok(true)`
+    /// when the flag is one of the shared options (now recorded),
+    /// `Ok(false)` when the front-end should handle it itself.
+    ///
+    /// `name` is the bare flag name, without the `--` prefix.
+    /// `--parallel` is accepted as a deprecated alias for `--threads`.
+    ///
+    /// # Errors
+    /// A human-readable message when the flag is shared but its value
+    /// does not parse.
+    pub fn accept(&mut self, name: &str, value: &str) -> Result<bool, String> {
+        fn parse<T: std::str::FromStr>(name: &str, value: &str) -> Result<T, String> {
+            value
+                .parse()
+                .map_err(|_| format!("invalid --{name} value {value:?}"))
+        }
+        match name {
+            "seed" => self.seed = Some(parse(name, value)?),
+            "folds" => self.folds = Some(parse(name, value)?),
+            "threads" | "parallel" => self.threads = Some(parse(name, value)?),
+            "fit-threads" => self.fit_threads = Some(parse(name, value)?),
+            "budget-secs" => self.budget_secs = Some(parse(name, value)?),
+            "retries" => self.retries = Some(parse(name, value)?),
+            "journal" => self.journal = Some(PathBuf::from(value)),
+            "resume" => self.resume = parse(name, value)?,
+            "trace" => self.trace = Some(PathBuf::from(value)),
+            "metrics" => self.metrics = Some(PathBuf::from(value)),
+            _ => return Ok(false),
+        }
+        Ok(true)
+    }
+
+    /// Applies the set options onto a [`RunConfig`], leaving unset ones
+    /// at the config's current values.
+    pub fn apply_config(&self, config: &mut RunConfig) {
+        if let Some(seed) = self.seed {
+            config.seed = seed;
+        }
+        if let Some(folds) = self.folds {
+            config.folds = folds;
+        }
+        if let Some(fit_threads) = self.fit_threads {
+            config.fit_threads = fit_threads;
+        }
+        if let Some(secs) = self.budget_secs {
+            config.train_budget = std::time::Duration::from_secs(secs);
+        }
+    }
+
+    /// Builds [`SupervisorOptions`] from `defaults` with the set
+    /// options applied on top.
+    pub fn supervisor_options(&self, defaults: SupervisorOptions) -> SupervisorOptions {
+        SupervisorOptions {
+            max_threads: self.threads.unwrap_or(defaults.max_threads),
+            retries: self.retries.unwrap_or(defaults.retries),
+            journal: self.journal.clone().or(defaults.journal),
+            resume: self.resume || defaults.resume,
+        }
+    }
+
+    /// An observability context sized to the request: enabled exactly
+    /// when `--trace` or `--metrics` was given, disabled (near-zero
+    /// overhead) otherwise.
+    pub fn build_obs(&self) -> Obs {
+        if self.trace.is_some() || self.metrics.is_some() {
+            Obs::enabled()
+        } else {
+            Obs::disabled()
+        }
+    }
+
+    /// Writes the requested artifacts — the JSONL trace and/or the
+    /// Prometheus snapshot — from `obs` to the paths given on the
+    /// command line. A no-op for paths that were not requested.
+    ///
+    /// # Errors
+    /// [`EtscError::Config`] describing the file that failed to write.
+    pub fn export(&self, obs: &Obs) -> Result<(), EtscError> {
+        if let Some(path) = &self.trace {
+            obs.tracer
+                .export_to_path(path)
+                .map_err(|e| EtscError::Config(format!("writing trace {}: {e}", path.display())))?;
+        }
+        if let Some(path) = &self.metrics {
+            obs.metrics.export_to_path(path).map_err(|e| {
+                EtscError::Config(format!("writing metrics {}: {e}", path.display()))
+            })?;
+        }
+        Ok(())
+    }
+
+    /// Assembles a fully configured [`MatrixRunner`]: options applied
+    /// onto `config`, supervision derived from defaults, observability
+    /// enabled when artifacts were requested. Callers still need
+    /// [`CommonOpts::export`] (with the runner's
+    /// [`obs`](MatrixRunner::new)) after the run; use
+    /// [`MatrixRunner::obs`]'s context via [`CommonOpts::build_obs`] to
+    /// keep a handle:
+    ///
+    /// ```no_run
+    /// # use etsc_eval::{CommonOpts, RunConfig};
+    /// # let (opts, datasets, algos) = (CommonOpts::default(), vec![], vec![]);
+    /// let obs = opts.build_obs();
+    /// let runner = opts.runner(RunConfig::fast()).obs(obs.clone());
+    /// let outcomes = runner.run(&datasets, &algos)?;
+    /// opts.export(&obs)?;
+    /// # Ok::<(), etsc_core::EtscError>(())
+    /// ```
+    pub fn runner(&self, mut config: RunConfig) -> MatrixRunner {
+        self.apply_config(&mut config);
+        MatrixRunner::new(config)
+            .supervised(self.supervisor_options(SupervisorOptions {
+                max_threads: 1,
+                ..SupervisorOptions::default()
+            }))
+            .obs(self.build_obs())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accept_decodes_shared_flags_and_skips_foreign_ones() {
+        let mut opts = CommonOpts::default();
+        assert!(opts.accept("seed", "9").unwrap());
+        assert!(opts.accept("parallel", "3").unwrap(), "deprecated alias");
+        assert!(opts.accept("fit-threads", "0").unwrap());
+        assert!(opts.accept("trace", "t.jsonl").unwrap());
+        assert!(!opts.accept("height-scale", "0.2").unwrap());
+        assert!(opts.accept("threads", "oops").is_err());
+        assert_eq!(opts.seed, Some(9));
+        assert_eq!(opts.threads, Some(3));
+        assert_eq!(opts.fit_threads, Some(0));
+        assert_eq!(opts.trace.as_deref(), Some(std::path::Path::new("t.jsonl")));
+    }
+
+    #[test]
+    fn runner_assembly_applies_config_and_supervision() {
+        let mut opts = CommonOpts::default();
+        opts.accept("seed", "77").unwrap();
+        opts.accept("folds", "4").unwrap();
+        opts.accept("threads", "2").unwrap();
+        opts.accept("retries", "1").unwrap();
+        opts.accept("budget-secs", "12").unwrap();
+        let runner = opts.runner(RunConfig::fast());
+        assert_eq!(runner.config().seed, 77);
+        assert_eq!(runner.config().folds, 4);
+        assert_eq!(
+            runner.config().train_budget,
+            std::time::Duration::from_secs(12)
+        );
+        assert_eq!(runner.options().max_threads, 2);
+        assert_eq!(runner.options().retries, 1);
+        assert!(!runner.options().resume);
+    }
+
+    #[test]
+    fn obs_enabled_only_when_artifacts_requested() {
+        let opts = CommonOpts::default();
+        assert!(!opts.build_obs().is_enabled());
+        let mut traced = CommonOpts::default();
+        traced.accept("metrics", "m.prom").unwrap();
+        assert!(traced.build_obs().is_enabled());
+    }
+
+    #[test]
+    fn export_writes_requested_artifacts() {
+        let dir = std::env::temp_dir().join("etsc-opts-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace = dir.join("t.jsonl");
+        let metrics = dir.join("m.prom");
+        let mut opts = CommonOpts::default();
+        opts.accept("trace", trace.to_str().unwrap()).unwrap();
+        opts.accept("metrics", metrics.to_str().unwrap()).unwrap();
+        let obs = opts.build_obs();
+        obs.metrics.counter("demo_total").inc();
+        drop(obs.tracer.span("demo"));
+        opts.export(&obs).unwrap();
+        let t = std::fs::read_to_string(&trace).unwrap();
+        assert!(t.contains("\"demo\""), "{t}");
+        let m = std::fs::read_to_string(&metrics).unwrap();
+        etsc_obs::validate_prometheus(&m).unwrap();
+        std::fs::remove_file(trace).ok();
+        std::fs::remove_file(metrics).ok();
+    }
+}

@@ -13,18 +13,19 @@
 //! One misbehaving (algorithm, dataset) pair can therefore no longer
 //! abort the whole matrix: it becomes a `PANIC`/`ERR`/`DNF` cell in the
 //! report while every other cell completes.
+//!
+//! The execution engine now lives in [`crate::runner::MatrixRunner`];
+//! this module keeps the cell-outcome vocabulary
+//! ([`CellOutcome`]/[`CellStatus`]), the [`SupervisorOptions`] knob
+//! struct, and thin compatibility wrappers over the runner.
 
-use std::collections::HashMap;
-use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
 
-use etsc_core::{panic_message, EtscError};
+use etsc_core::EtscError;
 use etsc_data::Dataset;
 
-use crate::experiment::{run_cv, AlgoSpec, RunConfig, RunResult};
-use crate::journal::{Journal, JournalHeader};
+use crate::experiment::{AlgoSpec, RunConfig, RunResult};
+use crate::runner::MatrixRunner;
 
 /// Terminal state of one evaluation-matrix cell.
 #[derive(Debug, Clone, PartialEq)]
@@ -118,7 +119,8 @@ impl CellOutcome {
     }
 }
 
-/// Knobs for [`supervise_matrix`].
+/// Supervision knobs, consumed by [`MatrixRunner::supervised`] (and
+/// the legacy [`supervise_matrix`] wrapper).
 #[derive(Debug, Clone)]
 pub struct SupervisorOptions {
     /// Worker threads for the matrix (≥ 1).
@@ -147,7 +149,7 @@ impl Default for SupervisorOptions {
 /// `true` for error classes worth retrying: data- and model-layer
 /// failures can be transient (e.g. a degenerate resample), while
 /// configuration errors and budget DNFs are deterministic.
-fn transient(error: &EtscError) -> bool {
+pub(crate) fn transient(error: &EtscError) -> bool {
     matches!(error, EtscError::Data(_) | EtscError::Ml(_))
 }
 
@@ -160,23 +162,28 @@ fn transient(error: &EtscError) -> bool {
 /// Only infrastructure failures (journal I/O, header mismatch on
 /// resume, a panic escaping the worker pool itself). Per-cell failures
 /// — including panics — are *outcomes*, not errors.
+#[deprecated(
+    since = "0.1.0",
+    note = "use MatrixRunner::new(config).supervised(options).run(datasets, algos)"
+)]
 pub fn supervise_matrix(
     datasets: &[Dataset],
     algos: &[AlgoSpec],
     config: &RunConfig,
     options: &SupervisorOptions,
 ) -> Result<Vec<CellOutcome>, EtscError> {
-    supervise_matrix_with(datasets, algos, config, options, |algo, dataset, config| {
-        run_cv(algo, dataset, config)
-    })
+    MatrixRunner::new(config.clone())
+        .supervised(options.clone())
+        .run(datasets, algos)
 }
 
-/// [`supervise_matrix`] with an injectable cell runner, used by tests
-/// to exercise panic isolation and retry behaviour without building a
-/// misbehaving classifier.
+/// Supervised matrix execution with an injectable cell runner — the
+/// documented test hook for exercising panic isolation and retry
+/// behaviour without building a misbehaving classifier. Equivalent to
+/// [`MatrixRunner::run_with`] on an un-instrumented runner.
 ///
 /// # Errors
-/// See [`supervise_matrix`].
+/// Infrastructure failures only; see [`MatrixRunner::run`].
 pub fn supervise_matrix_with<F>(
     datasets: &[Dataset],
     algos: &[AlgoSpec],
@@ -187,154 +194,15 @@ pub fn supervise_matrix_with<F>(
 where
     F: Fn(AlgoSpec, &Dataset, &RunConfig) -> Result<RunResult, EtscError> + Sync,
 {
-    let cells: Vec<(usize, usize)> = (0..datasets.len())
-        .flat_map(|d| (0..algos.len()).map(move |a| (d, a)))
-        .collect();
-
-    // Journal setup: on resume, previously recorded cells prefill their
-    // slots and are skipped by the workers.
-    let header = JournalHeader::for_run(config, datasets.len(), algos.len());
-    let mut slots: Vec<Mutex<Option<CellOutcome>>> =
-        cells.iter().map(|_| Mutex::new(None)).collect();
-    let journal = match (&options.journal, options.resume) {
-        (Some(path), true) if path.exists() => {
-            let (journal, recorded, warnings) = Journal::open_resume(path, &header)?;
-            for warning in warnings {
-                eprintln!("warning: {warning}");
-            }
-            let mut by_key: HashMap<(String, AlgoSpec), CellOutcome> = recorded
-                .into_iter()
-                .map(|c| ((c.dataset().to_owned(), c.algo()), c))
-                .collect();
-            for (slot, &(d, a)) in slots.iter_mut().zip(&cells) {
-                let key = (datasets[d].name().to_owned(), algos[a]);
-                if let Some(cell) = by_key.remove(&key) {
-                    *slot
-                        .get_mut()
-                        .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(cell);
-                }
-            }
-            Some(journal)
-        }
-        (Some(path), _) => Some(Journal::create(path, &header)?),
-        (None, _) => None,
-    };
-    let journal = Mutex::new(journal);
-    let journal_error: Mutex<Option<EtscError>> = Mutex::new(None);
-
-    // Only cells without a prefilled (resumed) outcome are scheduled.
-    let pending: Vec<usize> = slots
-        .iter()
-        .enumerate()
-        .filter(|(_, slot)| {
-            slot.lock()
-                .unwrap_or_else(std::sync::PoisonError::into_inner)
-                .is_none()
-        })
-        .map(|(i, _)| i)
-        .collect();
-
-    let next = AtomicUsize::new(0);
-    let threads = options.max_threads.max(1).min(pending.len().max(1));
-    let scope_result = crossbeam::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|_| loop {
-                let job = next.fetch_add(1, Ordering::Relaxed);
-                let Some(&cell_idx) = pending.get(job) else {
-                    break;
-                };
-                let (d, a) = cells[cell_idx];
-                let outcome =
-                    run_supervised_cell(algos[a], &datasets[d], config, options.retries, &run);
-                if let Some(journal) = journal
-                    .lock()
-                    .unwrap_or_else(std::sync::PoisonError::into_inner)
-                    .as_mut()
-                {
-                    if let Err(e) = journal.append(&outcome) {
-                        journal_error
-                            .lock()
-                            .unwrap_or_else(std::sync::PoisonError::into_inner)
-                            .get_or_insert(e);
-                    }
-                }
-                *slots[cell_idx]
-                    .lock()
-                    .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(outcome);
-            });
-        }
-    });
-    if let Err(payload) = scope_result {
-        return Err(EtscError::from_panic(payload.as_ref()));
-    }
-    if let Some(e) = journal_error
-        .lock()
-        .unwrap_or_else(std::sync::PoisonError::into_inner)
-        .take()
-    {
-        return Err(e);
-    }
-
-    Ok(slots
-        .into_iter()
-        .zip(cells)
-        .map(|(slot, (d, a))| {
-            slot.into_inner()
-                .unwrap_or_else(std::sync::PoisonError::into_inner)
-                .unwrap_or_else(|| CellOutcome::Failed {
-                    algo: algos[a],
-                    dataset: datasets[d].name().to_owned(),
-                    error: "cell was never executed".to_owned(),
-                    attempts: 0,
-                })
-        })
-        .collect())
-}
-
-/// Runs one cell with panic isolation and bounded retries.
-fn run_supervised_cell<F>(
-    algo: AlgoSpec,
-    dataset: &Dataset,
-    config: &RunConfig,
-    retries: usize,
-    run: &F,
-) -> CellOutcome
-where
-    F: Fn(AlgoSpec, &Dataset, &RunConfig) -> Result<RunResult, EtscError> + Sync,
-{
-    let mut attempts = 0;
-    loop {
-        attempts += 1;
-        match catch_unwind(AssertUnwindSafe(|| run(algo, dataset, config))) {
-            Ok(Ok(result)) => return CellOutcome::Finished(result),
-            Ok(Err(error)) => {
-                if transient(&error) && attempts <= retries {
-                    continue;
-                }
-                return CellOutcome::Failed {
-                    algo,
-                    dataset: dataset.name().to_owned(),
-                    error: error.to_string(),
-                    attempts,
-                };
-            }
-            // Panics are never retried: a panic signals a bug, not a
-            // transient condition, and retrying would re-trip it.
-            Err(payload) => {
-                return CellOutcome::Panicked {
-                    algo,
-                    dataset: dataset.name().to_owned(),
-                    message: panic_message(payload.as_ref()),
-                }
-            }
-        }
-    }
+    MatrixRunner::new(config.clone())
+        .supervised(options.clone())
+        .run_with(datasets, algos, run)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::AtomicUsize;
+    use std::sync::atomic::{AtomicUsize, Ordering};
 
     use etsc_datasets::{GenOptions, PaperDataset};
 

@@ -1,0 +1,290 @@
+//! Minimal hand-rolled JSON, just enough for the trace exporter.
+//!
+//! The workspace deliberately has no serde (no registry access), so the
+//! trace JSONL round-trip uses the same idiom as `etsc_eval::journal`:
+//! a tiny escaping writer and a recursive-descent parser covering the
+//! subset this crate emits — objects, arrays, strings, finite numbers,
+//! booleans and `null`.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number, held as `f64` (ids fit losslessly below 2^53).
+    Num(f64),
+    /// A string, unescaped.
+    Str(String),
+    /// An array.
+    Arr(Vec<JsonValue>),
+    /// An object. Key order is normalised; duplicate keys keep the last.
+    Obj(BTreeMap<String, JsonValue>),
+}
+
+impl JsonValue {
+    /// The value under `key` when this is an object.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Obj(map) => map.get(key),
+            _ => None,
+        }
+    }
+
+    /// String payload, when this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Numeric payload, when this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// Numeric payload as `u64`, when this is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonValue::Num(n) if *n >= 0.0 && n.fract() == 0.0 => Some(*n as u64),
+            _ => None,
+        }
+    }
+}
+
+/// Appends `s` to `out` as a JSON string literal, quotes included.
+pub fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Parses one JSON document from `text`, requiring it to be fully
+/// consumed (trailing whitespace allowed).
+pub fn parse(text: &str) -> Result<JsonValue, String> {
+    let mut p = Parser {
+        chars: text.chars().collect(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let value = p.value()?;
+    p.skip_ws();
+    if p.pos != p.chars.len() {
+        return Err(format!("trailing input at offset {}", p.pos));
+    }
+    Ok(value)
+}
+
+struct Parser {
+    chars: Vec<char>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek();
+        if c.is_some() {
+            self.pos += 1;
+        }
+        c
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(' ' | '\t' | '\n' | '\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, c: char) -> Result<(), String> {
+        match self.bump() {
+            Some(got) if got == c => Ok(()),
+            got => Err(format!(
+                "expected '{c}', got {got:?} at offset {}",
+                self.pos
+            )),
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: JsonValue) -> Result<JsonValue, String> {
+        for c in word.chars() {
+            self.expect(c)?;
+        }
+        Ok(value)
+    }
+
+    fn value(&mut self) -> Result<JsonValue, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some('{') => self.object(),
+            Some('[') => self.array(),
+            Some('"') => Ok(JsonValue::Str(self.string()?)),
+            Some('t') => self.literal("true", JsonValue::Bool(true)),
+            Some('f') => self.literal("false", JsonValue::Bool(false)),
+            Some('n') => self.literal("null", JsonValue::Null),
+            Some(c) if c == '-' || c.is_ascii_digit() => self.number(),
+            got => Err(format!("unexpected {got:?} at offset {}", self.pos)),
+        }
+    }
+
+    fn object(&mut self) -> Result<JsonValue, String> {
+        self.expect('{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some('}') {
+            self.pos += 1;
+            return Ok(JsonValue::Obj(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(':')?;
+            let value = self.value()?;
+            map.insert(key, value);
+            self.skip_ws();
+            match self.bump() {
+                Some(',') => continue,
+                Some('}') => return Ok(JsonValue::Obj(map)),
+                got => return Err(format!("expected ',' or '}}', got {got:?}")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<JsonValue, String> {
+        self.expect('[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(']') {
+            self.pos += 1;
+            return Ok(JsonValue::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.bump() {
+                Some(',') => continue,
+                Some(']') => return Ok(JsonValue::Arr(items)),
+                got => return Err(format!("expected ',' or ']', got {got:?}")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect('"')?;
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                None => return Err("unterminated string".to_string()),
+                Some('"') => return Ok(out),
+                Some('\\') => match self.bump() {
+                    Some('"') => out.push('"'),
+                    Some('\\') => out.push('\\'),
+                    Some('/') => out.push('/'),
+                    Some('n') => out.push('\n'),
+                    Some('r') => out.push('\r'),
+                    Some('t') => out.push('\t'),
+                    Some('b') => out.push('\u{8}'),
+                    Some('f') => out.push('\u{c}'),
+                    Some('u') => {
+                        let mut code = 0u32;
+                        for _ in 0..4 {
+                            let d = self
+                                .bump()
+                                .and_then(|c| c.to_digit(16))
+                                .ok_or("bad \\u escape")?;
+                            code = code * 16 + d;
+                        }
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                    }
+                    got => return Err(format!("bad escape {got:?}")),
+                },
+                Some(c) => out.push(c),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<JsonValue, String> {
+        let start = self.pos;
+        if self.peek() == Some('-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit() || matches!(c, '.' | 'e' | 'E' | '+' | '-'))
+        {
+            self.pos += 1;
+        }
+        let text: String = self.chars[start..self.pos].iter().collect();
+        text.parse::<f64>()
+            .map(JsonValue::Num)
+            .map_err(|e| format!("bad number {text:?}: {e}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_escaped_strings() {
+        let mut line = String::new();
+        write_escaped(&mut line, "a\"b\\c\nd\te\u{1}");
+        let parsed = parse(&line).unwrap();
+        assert_eq!(parsed.as_str(), Some("a\"b\\c\nd\te\u{1}"));
+    }
+
+    #[test]
+    fn parses_nested_objects_and_arrays() {
+        let v = parse(r#"{"a": [1, 2.5, -3], "b": {"c": "x"}, "d": null, "e": true}"#).unwrap();
+        assert_eq!(
+            v.get("a"),
+            Some(&JsonValue::Arr(vec![
+                JsonValue::Num(1.0),
+                JsonValue::Num(2.5),
+                JsonValue::Num(-3.0),
+            ]))
+        );
+        assert_eq!(v.get("b").unwrap().get("c").unwrap().as_str(), Some("x"));
+        assert_eq!(v.get("d"), Some(&JsonValue::Null));
+        assert_eq!(v.get("e"), Some(&JsonValue::Bool(true)));
+    }
+
+    #[test]
+    fn rejects_trailing_garbage_and_bad_numbers() {
+        assert!(parse("{} x").is_err());
+        assert!(parse("{\"a\": 1.2.3}").is_err());
+        assert!(parse("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn u64_ids_survive() {
+        let v = parse("{\"id\": 9007199254740992}").unwrap();
+        assert_eq!(v.get("id").unwrap().as_u64(), Some(1u64 << 53));
+        assert_eq!(
+            parse("{\"id\": 1.5}").unwrap().get("id").unwrap().as_u64(),
+            None
+        );
+    }
+}

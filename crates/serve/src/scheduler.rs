@@ -22,8 +22,8 @@ use std::time::{Duration, Instant};
 
 use etsc_core::{EarlyClassifier, EarlyPrediction, EtscError};
 use etsc_data::MultiSeries;
-use etsc_eval::histogram::LatencyHistogram;
 use etsc_eval::{FaultPlan, FaultSchedule};
+use etsc_obs::{Histogram as LatencyHistogram, Obs};
 
 use crate::session::{DeadlineConfig, FallbackKind, StreamSession};
 
@@ -91,6 +91,10 @@ pub struct SchedulerConfig {
     /// Deterministic fault injection for chaos testing; `None` in
     /// production.
     pub faults: Option<FaultPlan>,
+    /// Observability context: session-lifecycle events (enqueue,
+    /// deadline breach, fallback, worker restart) and `serve_*`
+    /// metrics are recorded here. Disabled by default.
+    pub obs: Obs,
 }
 
 impl Default for SchedulerConfig {
@@ -102,6 +106,7 @@ impl Default for SchedulerConfig {
             deadline: None,
             supervision: SupervisionConfig::default(),
             faults: None,
+            obs: Obs::disabled(),
         }
     }
 }
@@ -344,6 +349,20 @@ pub fn serve_sessions(
 ) -> Result<ServeReport, EtscError> {
     let n = instances.len();
     let workers = config.workers.max(1).min(n.max(1));
+    let obs = &config.obs;
+    let mut serve_span = obs.tracer.span("serve");
+    serve_span.attr("sessions", &n.to_string());
+    serve_span.attr("workers", &workers.to_string());
+    let serve_id = serve_span.id();
+    obs.metrics.gauge("serve_workers").set(workers as f64);
+    obs.metrics.counter("serve_sessions_total").add(n as u64);
+    let enqueued_counter = obs.metrics.counter("serve_enqueued_total");
+    let shed_counter = obs.metrics.counter("serve_shed_total");
+    // Per-decision counters are resolved once here: a registry lookup
+    // (lock + name clone) per decision would dominate tracer overhead.
+    let fallbacks_counter = obs.metrics.counter("serve_fallbacks_total");
+    let decisions_counter = obs.metrics.counter("serve_decisions_total");
+    let breaches_counter = obs.metrics.counter("serve_deadline_breaches_total");
     let lens: Vec<usize> = instances.iter().map(MultiSeries::len).collect();
     let schedule = config.faults.as_ref().map(|plan| plan.schedule(&lens));
     let queues: Vec<Ingress> = (0..workers)
@@ -366,6 +385,9 @@ pub fn serve_sessions(
             let schedule = schedule.as_ref();
             let deadline = config.deadline;
             let supervision = config.supervision;
+            let fallbacks_counter = fallbacks_counter.clone();
+            let decisions_counter = decisions_counter.clone();
+            let breaches_counter = breaches_counter.clone();
             handles.push(scope.spawn(move |_| {
                 // Session state lives OUTSIDE the unwind boundary: a
                 // panic poisons only the in-flight session, and the
@@ -417,8 +439,21 @@ pub fn serve_sessions(
                             }
                             let delay = schedule.and_then(|sch| sch.delay_at(s, step));
                             let before = session.evals();
+                            let breaches_before = session.latency().over_deadline();
                             match session.push_with_delay(&item.row, delay) {
                                 Ok(Some(prediction)) => {
+                                    if let Some(kind) = session.fallback() {
+                                        fallbacks_counter.inc();
+                                        obs.tracer.event_under(
+                                            "session.fallback",
+                                            serve_id,
+                                            &[
+                                                ("session", &s.to_string()),
+                                                ("kind", &format!("{kind:?}")),
+                                            ],
+                                        );
+                                    }
+                                    decisions_counter.inc();
                                     set_slot(
                                         &slots[s],
                                         SlotState::Decided(prediction, session.fallback()),
@@ -436,6 +471,14 @@ pub fn serve_sessions(
                                 }
                             }
                             stats.evals += session.evals() - before;
+                            if session.latency().over_deadline() > breaches_before {
+                                breaches_counter.inc();
+                                obs.tracer.event_under(
+                                    "session.deadline_breach",
+                                    serve_id,
+                                    &[("session", &s.to_string())],
+                                );
+                            }
                             if done[s].load(Ordering::Acquire) {
                                 if let Some(finished) = sessions.remove(&s) {
                                     stats.eval_latency.merge(finished.latency());
@@ -448,7 +491,13 @@ pub fn serve_sessions(
                         Ok(()) => break,
                         Err(payload) => {
                             stats.panics += 1;
+                            obs.metrics.counter("serve_worker_panics_total").inc();
                             let message = etsc_core::panic_message(&payload);
+                            obs.tracer.event_under(
+                                "worker.panic",
+                                serve_id,
+                                &[("message", &message)],
+                            );
                             if let Some(s) = in_flight.take() {
                                 let e = EtscError::Panicked {
                                     message: format!("session {s}: {message}"),
@@ -482,6 +531,12 @@ pub fn serve_sessions(
                                 break;
                             }
                             stats.restarts += 1;
+                            obs.metrics.counter("serve_worker_restarts_total").inc();
+                            obs.tracer.event_under(
+                                "worker.restart",
+                                serve_id,
+                                &[("restart", &stats.restarts.to_string())],
+                            );
                             std::thread::sleep(supervision.backoff(stats.restarts));
                         }
                     }
@@ -495,8 +550,24 @@ pub fn serve_sessions(
             }));
         }
 
-        // Feed time-major from the calling thread.
+        // Feed time-major from the calling thread. Every session's
+        // first observation goes out at t = 0, so admission is one
+        // summary event, not one per session: a per-session event
+        // (allocations + ring lock) measurably slows the producer,
+        // which paces the whole replay. Per-session volume lives in
+        // the serve_* counters instead.
+        obs.tracer.event_under(
+            "sessions.enqueue",
+            serve_id,
+            &[("sessions", &n.to_string())],
+        );
         let horizon = lens.iter().copied().max().unwrap_or(0);
+        // The feed loop runs on this one thread, so the stream counters
+        // accumulate locally and flush once after the loop: an atomic
+        // inc per observation (tens of thousands per replay) is the
+        // single largest tracer cost otherwise.
+        let mut enqueued_n = 0u64;
+        let mut shed_n = 0u64;
         for t in 0..horizon {
             for (s, inst) in instances.iter().enumerate() {
                 if t >= inst.len() || done[s].load(Ordering::Acquire) {
@@ -514,11 +585,16 @@ pub fn serve_sessions(
                     row,
                     enqueued: Instant::now(),
                 };
-                if !queues[s % workers].push(item, config.backpressure) {
+                if queues[s % workers].push(item, config.backpressure) {
+                    enqueued_n += 1;
+                } else {
                     shed.fetch_add(1, Ordering::Relaxed);
+                    shed_n += 1;
                 }
             }
         }
+        enqueued_counter.add(enqueued_n);
+        shed_counter.add(shed_n);
         for queue in &queues {
             queue.close();
         }
@@ -566,6 +642,13 @@ pub fn serve_sessions(
         worker_panics += stats.panics;
         worker_restarts += stats.restarts;
     }
+    obs.metrics
+        .histogram("serve_eval_latency_secs")
+        .merge_from(&eval_latency);
+    obs.metrics
+        .histogram("serve_decision_lag_secs")
+        .merge_from(&decision_lag);
+    obs.metrics.counter("serve_evals_total").add(evals as u64);
     let outcomes: Vec<SessionOutcome> = slots
         .into_iter()
         .map(|slot| {
@@ -824,6 +907,61 @@ mod tests {
                 assert_eq!(prediction.label, 0);
             }
         }
+    }
+
+    #[test]
+    fn scheduler_records_lifecycle_events_and_metrics() {
+        let data = synthetic(12);
+        let model = fitted(&data);
+        let plan = FaultPlan::parse("seed=7,panics=1").unwrap();
+        let obs = Obs::enabled();
+        let report = serve_sessions(
+            &model,
+            data.instances(),
+            1,
+            &SchedulerConfig {
+                workers: 2,
+                queue_capacity: 32,
+                faults: Some(plan),
+                obs: obs.clone(),
+                ..SchedulerConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(report.worker_panics, 1);
+        let tree = etsc_obs::TraceTree::build(&obs.tracer.records()).unwrap();
+        let roots = tree.roots();
+        assert_eq!(roots.len(), 1);
+        assert_eq!(tree.span(roots[0]).unwrap().name, "serve");
+        let enqueue = tree.events_named("sessions.enqueue");
+        assert_eq!(enqueue.len(), 1);
+        assert_eq!(
+            enqueue[0].attrs,
+            [("sessions".to_string(), "12".to_string())]
+        );
+        assert_eq!(tree.events_named("worker.panic").len(), 1);
+        assert_eq!(tree.events_named("worker.restart").len(), 1);
+        for event in tree.events() {
+            assert_eq!(event.span, Some(roots[0]), "events join the serve span");
+        }
+        let counters = obs.metrics.snapshot_counters();
+        assert_eq!(counters["serve_sessions_total"], 12);
+        assert_eq!(counters["serve_worker_panics_total"], 1);
+        assert_eq!(counters["serve_worker_restarts_total"], 1);
+        assert_eq!(
+            counters["serve_decisions_total"] as usize,
+            report.committed()
+        );
+        assert_eq!(counters["serve_evals_total"] as usize, report.evals);
+        assert_eq!(
+            obs.metrics
+                .histogram("serve_eval_latency_secs")
+                .snapshot()
+                .len(),
+            report.eval_latency.len()
+        );
+        let rendered = obs.metrics.render_prometheus();
+        etsc_obs::validate_prometheus(&rendered).unwrap();
     }
 
     #[test]

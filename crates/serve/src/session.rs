@@ -12,7 +12,7 @@ use std::time::{Duration, Instant};
 
 use etsc_core::{EarlyClassifier, EarlyPrediction, EtscError, StreamState};
 use etsc_data::MultiSeries;
-use etsc_eval::histogram::LatencyHistogram;
+use etsc_obs::Histogram as LatencyHistogram;
 
 /// What a session does when a re-evaluation misses its deadline.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

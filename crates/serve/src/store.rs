@@ -732,7 +732,7 @@ fn majority_label(data: &Dataset) -> usize {
         .map_or(0, |(label, _)| label)
 }
 
-fn fit_univariate<C: EarlyClassifier + 'static>(
+fn fit_univariate<C: EarlyClassifier + Send + 'static>(
     data: &Dataset,
     multivariate: bool,
     make: impl Fn() -> C + Send + Sync + 'static,

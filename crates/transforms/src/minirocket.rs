@@ -139,6 +139,9 @@ impl MiniRocket {
     /// # Errors
     /// [`MlError::EmptyTrainingSet`] on empty input.
     pub fn fit(&mut self, samples: &[MultiSeries]) -> Result<(), MlError> {
+        let mut span = etsc_obs::ambient_span("transform");
+        span.attr("name", "minirocket");
+        span.attr("samples", &samples.len().to_string());
         if samples.is_empty() || samples[0].is_empty() {
             return Err(MlError::EmptyTrainingSet);
         }

@@ -160,6 +160,9 @@ impl Weasel {
         labels: &[usize],
         n_classes: usize,
     ) -> Result<(), MlError> {
+        let mut span = etsc_obs::ambient_span("transform");
+        span.attr("name", "weasel");
+        span.attr("series", &series.len().to_string());
         if series.is_empty() || series.iter().any(|s| s.is_empty()) {
             return Err(MlError::EmptyTrainingSet);
         }

@@ -9,7 +9,8 @@
 //! `dataset` is any paper dataset name (default: DodgerLoopGame).
 
 use etsc::datasets::{GenOptions, PaperDataset};
-use etsc::eval::experiment::{run_cv, AlgoSpec, RunConfig};
+use etsc::eval::experiment::{run_cell, AlgoSpec, RunConfig};
+use etsc::obs::Obs;
 
 fn main() {
     let name = std::env::args()
@@ -41,7 +42,7 @@ fn main() {
     );
     let config = RunConfig::fast();
     for algo in AlgoSpec::ALL {
-        match run_cv(algo, &data, &config) {
+        match run_cell(algo, &data, &config, &Obs::disabled()) {
             Ok(r) => match r.metrics {
                 Some(m) => println!(
                     "{:<10}{:>10.3}{:>10.3}{:>11.3}{:>9.3}{:>12.2}{:>12.3}",

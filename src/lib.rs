@@ -17,6 +17,7 @@
 //! * [`datasets`] — the 12 paper datasets as scaled generators;
 //! * [`core`] — the ETSC algorithms and full-TSC models;
 //! * [`eval`] — the experiment harness behind every table and figure;
+//! * [`obs`] — span/event tracing and the metrics registry + exporters;
 //! * [`serve`] — streaming inference: model store, sessions, scheduler.
 //!
 //! ## Quickstart
@@ -42,5 +43,6 @@ pub use etsc_data as data;
 pub use etsc_datasets as datasets;
 pub use etsc_eval as eval;
 pub use etsc_ml as ml;
+pub use etsc_obs as obs;
 pub use etsc_serve as serve;
 pub use etsc_transforms as transforms;

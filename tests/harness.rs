@@ -7,9 +7,10 @@ use std::collections::BTreeMap;
 use etsc::data::stats::Category;
 use etsc::datasets::{GenOptions, PaperDataset};
 use etsc::eval::aggregate::aggregate_by_category;
-use etsc::eval::experiment::{run_cv, AlgoSpec, RunConfig};
+use etsc::eval::experiment::{run_cell, AlgoSpec, RunConfig};
 use etsc::eval::online::online_cell;
 use etsc::eval::report::{figure_csv, render_figure, render_online_heatmap, FigureMetric};
+use etsc::obs::Obs;
 
 fn quick_config() -> RunConfig {
     RunConfig::fast()
@@ -22,7 +23,7 @@ fn cv_run_produces_complete_results() {
         length_scale: 0.4,
         seed: 3,
     });
-    let r = run_cv(AlgoSpec::Ects, &data, &quick_config()).unwrap();
+    let r = run_cell(AlgoSpec::Ects, &data, &quick_config(), &Obs::disabled()).unwrap();
     assert_eq!(r.dataset, "PowerCons");
     assert!(!r.dnf);
     let m = r.metrics.unwrap();
@@ -55,7 +56,7 @@ fn sweep_aggregation_and_reports() {
             (spec.obs_frequency_secs, data.max_len()),
         );
         for algo in algos {
-            results.push(run_cv(algo, &data, &config).unwrap());
+            results.push(run_cell(algo, &data, &config, &Obs::disabled()).unwrap());
         }
     }
     let aggregated = aggregate_by_category(&results, &categories);
@@ -104,8 +105,8 @@ fn results_are_reproducible_across_runs() {
         length_scale: 0.2,
         seed: 11,
     });
-    let a = run_cv(AlgoSpec::Ects, &data, &quick_config()).unwrap();
-    let b = run_cv(AlgoSpec::Ects, &data, &quick_config()).unwrap();
+    let a = run_cell(AlgoSpec::Ects, &data, &quick_config(), &Obs::disabled()).unwrap();
+    let b = run_cell(AlgoSpec::Ects, &data, &quick_config(), &Obs::disabled()).unwrap();
     assert_eq!(a.metrics.unwrap(), b.metrics.unwrap());
 }
 
@@ -117,7 +118,7 @@ fn multivariate_dataset_runs_univariate_algo_through_voting() {
         seed: 13,
     });
     assert_eq!(data.vars(), 3);
-    let r = run_cv(AlgoSpec::Ects, &data, &quick_config()).unwrap();
+    let r = run_cell(AlgoSpec::Ects, &data, &quick_config(), &Obs::disabled()).unwrap();
     let m = r.metrics.unwrap();
     // Majority class is 80%; the ensemble must be in a sane band.
     assert!(m.accuracy > 0.5, "accuracy {}", m.accuracy);

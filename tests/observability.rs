@@ -1,0 +1,158 @@
+//! Integration tests of the observability layer end to end: a traced
+//! matrix run must export a JSONL trace that parses back into a
+//! well-formed span tree, the metrics registry must produce identical
+//! counter snapshots across repeated parallel runs, and the unified
+//! `MatrixRunner` must reproduce the legacy entry points' results
+//! bit-for-bit (same seed, same metrics).
+
+use std::collections::BTreeMap;
+
+use etsc::data::Dataset;
+use etsc::datasets::{GenOptions, PaperDataset};
+use etsc::eval::experiment::{run_cell, AlgoSpec, RunConfig};
+use etsc::eval::{MatrixRunner, Obs, SupervisorOptions};
+use etsc::obs::{parse_jsonl, validate_prometheus, TraceRecord, TraceTree};
+
+fn datasets() -> Vec<Dataset> {
+    [PaperDataset::PowerCons, PaperDataset::DodgerLoopGame]
+        .iter()
+        .map(|d| {
+            d.generate(GenOptions {
+                height_scale: 0.12,
+                length_scale: 0.25,
+                seed: 9,
+            })
+        })
+        .collect()
+}
+
+#[test]
+fn trace_jsonl_round_trips_into_a_well_formed_span_tree() {
+    let obs = Obs::enabled();
+    let datasets = &datasets()[..1];
+    let outcomes = MatrixRunner::new(RunConfig::fast())
+        .obs(obs.clone())
+        .run(datasets, &[AlgoSpec::Ects])
+        .unwrap();
+    assert_eq!(outcomes.len(), 1);
+
+    // Emit → parse: the meta line, every span, and every event survive
+    // the JSONL round trip.
+    let dir = std::env::temp_dir().join("etsc-observability-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("trace.jsonl");
+    obs.tracer.export_to_path(&path).unwrap();
+    let log = parse_jsonl(&std::fs::read_to_string(&path).unwrap()).unwrap();
+    assert_eq!(log.dropped, 0);
+    assert_eq!(log.records.len(), obs.tracer.records().len());
+
+    // Tree shape: one matrix root, every parent id resolves, every
+    // event joins a recorded span.
+    let tree = TraceTree::build(&log.records).unwrap();
+    assert_eq!(tree.roots().len(), 1);
+    let root = tree.span(tree.roots()[0]).unwrap();
+    assert_eq!(root.name, "matrix");
+    for record in &log.records {
+        let parent = match record {
+            TraceRecord::Span(s) => s.parent,
+            TraceRecord::Event(e) => e.span,
+        };
+        if let Some(parent) = parent {
+            assert!(tree.span(parent).is_some(), "dangling parent id {parent}");
+        }
+    }
+
+    // Per-phase instrumentation: every fold span carries fit and
+    // predict children, and each fit nests at least the ECTS fit work.
+    let folds = tree.spans_named("fold");
+    assert_eq!(folds.len(), RunConfig::fast().folds);
+    for fold in &folds {
+        let children: Vec<&str> = tree
+            .children(fold.id)
+            .iter()
+            .filter_map(|&id| tree.span(id))
+            .map(|s| s.name.as_str())
+            .collect();
+        assert!(children.contains(&"fit"), "fold children: {children:?}");
+        assert!(children.contains(&"predict"), "fold children: {children:?}");
+    }
+}
+
+/// Runs a 2x2 matrix on four worker threads with a fresh registry and
+/// returns the counter snapshot.
+fn parallel_counters() -> BTreeMap<String, u64> {
+    let obs = Obs::enabled();
+    let outcomes = MatrixRunner::new(RunConfig::fast())
+        .parallel(4)
+        .obs(obs.clone())
+        .run(&datasets(), &[AlgoSpec::Ects, AlgoSpec::SWeasel])
+        .unwrap();
+    assert_eq!(outcomes.len(), 4);
+    validate_prometheus(&obs.metrics.render_prometheus()).unwrap();
+    obs.metrics.snapshot_counters()
+}
+
+#[test]
+fn metrics_snapshot_is_deterministic_across_parallel_runs() {
+    let first = parallel_counters();
+    let second = parallel_counters();
+    assert_eq!(first, second);
+    assert_eq!(first["matrix_cells_total"], 4);
+    assert_eq!(first["matrix_cells_ok_total"], 4);
+    assert_eq!(
+        first["eval_folds_total"],
+        4 * RunConfig::fast().folds as u64
+    );
+}
+
+/// The deterministic half of a [`RunResult`]: everything except the
+/// wall-clock timings, which legitimately differ between executions.
+fn fingerprint(r: &etsc::eval::RunResult) -> (AlgoSpec, String, Option<etsc::eval::Metrics>, bool) {
+    (r.algo, r.dataset.clone(), r.metrics, r.dnf)
+}
+
+#[test]
+#[allow(deprecated)]
+fn matrix_runner_matches_legacy_entry_points() {
+    let datasets = datasets();
+    let algos = [AlgoSpec::Ects, AlgoSpec::SWeasel];
+    let config = RunConfig::fast();
+
+    // run_cv ≡ run_cell ≡ a single-cell MatrixRunner.
+    let legacy = etsc::eval::run_cv(AlgoSpec::Ects, &datasets[0], &config).unwrap();
+    let direct = run_cell(AlgoSpec::Ects, &datasets[0], &config, &Obs::disabled()).unwrap();
+    assert_eq!(fingerprint(&legacy), fingerprint(&direct));
+
+    // run_matrix_parallel ≡ MatrixRunner::parallel(n).run_results.
+    let legacy =
+        etsc::eval::experiment::run_matrix_parallel(&datasets, &algos, &config, 2).unwrap();
+    let modern = MatrixRunner::new(config.clone())
+        .parallel(2)
+        .run_results(&datasets, &algos)
+        .unwrap();
+    assert_eq!(legacy.len(), modern.len());
+    for (a, b) in legacy.iter().zip(&modern) {
+        assert_eq!(fingerprint(a), fingerprint(b));
+    }
+
+    // supervise_matrix ≡ MatrixRunner::supervised(opts).run.
+    let options = SupervisorOptions {
+        max_threads: 2,
+        ..SupervisorOptions::default()
+    };
+    let legacy = etsc::eval::supervise_matrix(&datasets, &algos, &config, &options).unwrap();
+    let modern = MatrixRunner::new(config)
+        .supervised(options)
+        .run(&datasets, &algos)
+        .unwrap();
+    assert_eq!(legacy.len(), modern.len());
+    for (a, b) in legacy.iter().zip(&modern) {
+        assert_eq!(a.status(), b.status());
+        assert_eq!(a.algo(), b.algo());
+        assert_eq!(a.dataset(), b.dataset());
+        match (a.run_result(), b.run_result()) {
+            (Some(x), Some(y)) => assert_eq!(fingerprint(x), fingerprint(y)),
+            (x, y) => assert_eq!(x.is_some(), y.is_some()),
+        }
+    }
+}

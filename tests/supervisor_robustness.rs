@@ -7,9 +7,10 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 
 use etsc::data::Dataset;
 use etsc::datasets::{GenOptions, PaperDataset};
-use etsc::eval::experiment::{run_cv, AlgoSpec, RunConfig, RunResult};
+use etsc::eval::experiment::{run_cell, AlgoSpec, RunConfig, RunResult};
 use etsc::eval::report::render_matrix_status;
 use etsc::eval::supervisor::{supervise_matrix_with, CellOutcome, CellStatus, SupervisorOptions};
+use etsc::obs::Obs;
 
 fn datasets() -> Vec<Dataset> {
     [PaperDataset::PowerCons, PaperDataset::DodgerLoopGame]
@@ -44,7 +45,7 @@ fn panicking_classifier_yields_a_panicked_cell_and_the_rest_complete() {
             if algo == AlgoSpec::Teaser && dataset.name() == "PowerCons" {
                 panic!("injected classifier bug");
             }
-            run_cv(algo, dataset, config)
+            run_cell(algo, dataset, config, &Obs::disabled())
         },
     )
     .unwrap();
@@ -92,7 +93,9 @@ fn killed_journaled_run_resumes_to_identical_results() {
     let runner = |algo: AlgoSpec,
                   dataset: &Dataset,
                   config: &RunConfig|
-     -> Result<RunResult, etsc::core::EtscError> { run_cv(algo, dataset, config) };
+     -> Result<RunResult, etsc::core::EtscError> {
+        run_cell(algo, dataset, config, &Obs::disabled())
+    };
 
     let full = supervise_matrix_with(&datasets, &algos, &config, &options, runner).unwrap();
     assert!(full.iter().all(|c| c.status() == CellStatus::Ok));
