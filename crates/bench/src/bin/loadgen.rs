@@ -1,0 +1,349 @@
+//! `loadgen` — drive a streaming inference server over real sockets
+//! and measure what the network edge costs.
+//!
+//! Two modes:
+//!
+//! * **Self-hosted** (default): for each requested algorithm, fit a
+//!   model on the chosen dataset, bind an `etsc-net` server on an
+//!   ephemeral loopback port, replay the dataset as streaming sessions
+//!   through `run_loadgen`, then drain the server gracefully and check
+//!   that nothing leaked. The measured decisions/sec and end-to-end
+//!   p50/p99 are merged into `BENCH_baseline.json` as a `"network"`
+//!   section, next to the in-process numbers from the `streaming`
+//!   bench (override the path with `BENCH_BASELINE_PATH`).
+//! * **External** (`--connect ADDR`): replay against an already
+//!   running server — e.g. one started with `etsc serve --model M
+//!   --listen ADDR` — and report; with `--shutdown` the run finishes
+//!   by requesting a graceful drain. This is the CI smoke path.
+//!
+//! ```text
+//! loadgen [--algo NAME|all] [--dataset NAME] [--sessions N]
+//!         [--connections N] [--rate ROWS_PER_SEC] [--min-secs S]
+//!         [--faults SPEC] [--connect ADDR] [--shutdown]
+//! ```
+//!
+//! Exits non-zero if any run drops a session, hits an unexpected
+//! error, or leaves sessions open server-side.
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use etsc_bench::ScalePreset;
+use etsc_data::Dataset;
+use etsc_datasets::PaperDataset;
+use etsc_eval::experiment::{AlgoSpec, RunConfig};
+use etsc_eval::FaultPlan;
+use etsc_net::{run_loadgen, ClientConfig, LoadReport, LoadgenOptions, NetServer, ServerConfig};
+use etsc_obs::Histogram;
+use etsc_serve::fit_model;
+
+struct Args {
+    algos: Vec<AlgoSpec>,
+    dataset: PaperDataset,
+    sessions: usize,
+    connections: usize,
+    rate: f64,
+    min_secs: f64,
+    faults: Option<FaultPlan>,
+    connect: Option<String>,
+    shutdown: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut flags: HashMap<String, String> = HashMap::new();
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        let name = flag
+            .strip_prefix("--")
+            .ok_or_else(|| format!("expected a --flag, got {flag:?}"))?;
+        if name == "shutdown" {
+            flags.insert(name.to_owned(), "true".to_owned());
+            continue;
+        }
+        let value = it.next().ok_or_else(|| format!("--{name} needs a value"))?;
+        flags.insert(name.to_owned(), value.clone());
+    }
+    let algos = match flags.get("algo").map(String::as_str) {
+        None | Some("all") => AlgoSpec::ALL.to_vec(),
+        Some(name) => {
+            vec![AlgoSpec::by_name(name).ok_or_else(|| format!("unknown algorithm {name:?}"))?]
+        }
+    };
+    let dataset_name = flags.get("dataset").map_or("PowerCons", String::as_str);
+    let dataset = PaperDataset::by_name(dataset_name)
+        .ok_or_else(|| format!("unknown dataset {dataset_name:?}"))?;
+    let num = |name: &str, default: f64| -> Result<f64, String> {
+        match flags.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("invalid --{name} value {v:?}")),
+        }
+    };
+    let faults = match flags.get("faults") {
+        None => None,
+        Some(spec) => Some(FaultPlan::parse(spec).map_err(|e| format!("invalid --faults: {e}"))?),
+    };
+    Ok(Args {
+        algos,
+        dataset,
+        sessions: num("sessions", 100.0)? as usize,
+        connections: num("connections", 4.0)? as usize,
+        rate: num("rate", 0.0)?,
+        min_secs: num("min-secs", 0.0)?,
+        faults,
+        connect: flags.get("connect").cloned(),
+        shutdown: flags.contains_key("shutdown"),
+    })
+}
+
+/// Accumulated numbers for one algorithm across repeated runs.
+struct NetRow {
+    algo: String,
+    decided: usize,
+    degraded: usize,
+    failed: usize,
+    disconnected: usize,
+    dropped: usize,
+    reconnects: u64,
+    rows_sent: u64,
+    wall: Duration,
+    latency: Histogram,
+    errors: Vec<String>,
+}
+
+impl NetRow {
+    fn new(algo: &str) -> NetRow {
+        NetRow {
+            algo: algo.to_owned(),
+            decided: 0,
+            degraded: 0,
+            failed: 0,
+            disconnected: 0,
+            dropped: 0,
+            reconnects: 0,
+            rows_sent: 0,
+            wall: Duration::ZERO,
+            latency: Histogram::default(),
+            errors: Vec::new(),
+        }
+    }
+
+    fn absorb(&mut self, r: &LoadReport) {
+        self.decided += r.decided;
+        self.degraded += r.degraded;
+        self.failed += r.failed;
+        self.disconnected += r.disconnected;
+        self.dropped += r.dropped;
+        self.reconnects += r.reconnects;
+        self.rows_sent += r.rows_sent;
+        self.wall += r.wall;
+        self.latency.merge(&r.latency);
+        self.errors.extend(r.errors.iter().cloned());
+    }
+
+    fn decisions_per_sec(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs > 0.0 {
+            self.decided as f64 / secs
+        } else {
+            0.0
+        }
+    }
+
+    fn p50_ms(&self) -> f64 {
+        self.latency.clone().p50().unwrap_or(0.0) * 1e3
+    }
+
+    fn p99_ms(&self) -> f64 {
+        self.latency.clone().p99().unwrap_or(0.0) * 1e3
+    }
+
+    fn clean(&self) -> bool {
+        self.dropped == 0 && self.errors.is_empty()
+    }
+
+    fn render(&self) -> String {
+        format!(
+            "{:<9} net {:>8.0} decisions/s  p50 {:>7.3} ms  p99 {:>7.3} ms  \
+             {} decided ({} degraded, {} failed, {} disconnected, {} dropped) \
+             {} rows in {:.2} s",
+            self.algo,
+            self.decisions_per_sec(),
+            self.p50_ms(),
+            self.p99_ms(),
+            self.decided,
+            self.degraded,
+            self.failed,
+            self.disconnected,
+            self.dropped,
+            self.rows_sent,
+            self.wall.as_secs_f64(),
+        )
+    }
+}
+
+/// Repeats `run_loadgen` until the accumulated wall-clock crosses
+/// `min_secs` (at least once), folding every run into one row.
+fn run_until(addr: &str, data: &Dataset, opts: &LoadgenOptions, min_secs: f64, row: &mut NetRow) {
+    let started = Instant::now();
+    loop {
+        let report = run_loadgen(addr, data, opts);
+        row.absorb(&report);
+        if !report.clean() || started.elapsed().as_secs_f64() >= min_secs {
+            break;
+        }
+    }
+}
+
+/// Merges the measured rows into `BENCH_baseline.json` as a
+/// `"network"` section, replacing any previous one. The file is plain
+/// hand-rolled JSON (the workspace carries no JSON dependency), so the
+/// merge is string surgery anchored on the section key.
+fn merge_baseline(rows: &[NetRow], connections: usize, sessions: usize) {
+    let path = std::env::var("BENCH_BASELINE_PATH").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_baseline.json").into()
+    });
+    let mut base = match std::fs::read_to_string(&path) {
+        Ok(text) => {
+            let mut base = text.trim_end().to_owned();
+            if let Some(idx) = base.find(",\n  \"network\"") {
+                // Replace the previous section (always appended last).
+                base.truncate(idx);
+            } else {
+                base.pop(); // the closing brace
+                base.truncate(base.trim_end().len());
+            }
+            base
+        }
+        Err(_) => String::from("{\n  \"bench\": \"streaming_serve\""),
+    };
+    base.push_str(",\n  \"network\": {\n");
+    base.push_str("    \"transport\": \"tcp-loopback\",\n");
+    base.push_str(&format!("    \"connections\": {connections},\n"));
+    base.push_str(&format!("    \"sessions\": {sessions},\n"));
+    base.push_str("    \"algorithms\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        base.push_str(&format!(
+            "      {{\"algo\": \"{}\", \"decisions_per_sec\": {:.1}, \"p50_ms\": {:.4}, \
+             \"p99_ms\": {:.4}, \"degraded\": {}, \"dropped\": {}}}{}\n",
+            row.algo,
+            row.decisions_per_sec(),
+            row.p50_ms(),
+            row.p99_ms(),
+            row.degraded,
+            row.dropped,
+            if i + 1 < rows.len() { "," } else { "" },
+        ));
+    }
+    base.push_str("    ]\n  }\n}\n");
+    std::fs::write(&path, base).expect("baseline file writable");
+    eprintln!("merged network section into {path}");
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let data = args
+        .dataset
+        .generate(ScalePreset::Quick.options(args.dataset, 11));
+    let opts = LoadgenOptions {
+        connections: args.connections,
+        sessions: args.sessions,
+        rate: args.rate,
+        faults: args.faults.clone(),
+        client: ClientConfig::default(),
+        wait_timeout: Duration::from_secs(60),
+        send_shutdown: false,
+    };
+    let mut ok = true;
+
+    if let Some(addr) = &args.connect {
+        // External mode: one server, whatever model it serves.
+        let mut row = NetRow::new("remote");
+        run_until(addr, &data, &opts, args.min_secs, &mut row);
+        if args.shutdown {
+            let drain = run_loadgen(
+                addr,
+                &data,
+                &LoadgenOptions {
+                    sessions: 1,
+                    connections: 1,
+                    send_shutdown: true,
+                    faults: None,
+                    ..opts
+                },
+            );
+            row.absorb(&drain);
+            if !drain.drained {
+                eprintln!("error: server did not acknowledge the drain");
+                ok = false;
+            }
+        }
+        println!("{}", row.render());
+        for e in &row.errors {
+            eprintln!("error: {e}");
+        }
+        ok = ok && row.clean();
+    } else {
+        // Self-hosted mode: fit, bind, measure, drain — per algorithm.
+        let config = RunConfig::fast();
+        let mut rows = Vec::new();
+        for algo in args.algos {
+            let stored = match fit_model(algo, &data, &config) {
+                Ok(stored) => Arc::new(stored),
+                Err(e) => {
+                    eprintln!("{:<9} skipped: {e}", algo.name());
+                    continue;
+                }
+            };
+            let server = match NetServer::bind(stored, "127.0.0.1:0", ServerConfig::default()) {
+                Ok(server) => server,
+                Err(e) => {
+                    eprintln!("error: binding loopback for {}: {e}", algo.name());
+                    ok = false;
+                    continue;
+                }
+            };
+            let addr = server.local_addr().to_string();
+            let mut row = NetRow::new(algo.name());
+            run_until(&addr, &data, &opts, args.min_secs, &mut row);
+            server.shutdown();
+            let stats = server.join();
+            if stats.open_sessions() != 0 {
+                eprintln!(
+                    "error: {} leaked {} sessions server-side",
+                    algo.name(),
+                    stats.open_sessions()
+                );
+                ok = false;
+            }
+            println!("{}", row.render());
+            for e in &row.errors {
+                eprintln!("error: {e}");
+            }
+            ok = ok && row.clean();
+            rows.push(row);
+        }
+        if rows.is_empty() {
+            eprintln!("error: no algorithm produced a servable model");
+            ok = false;
+        } else {
+            merge_baseline(&rows, args.connections, args.sessions);
+        }
+    }
+
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -4,6 +4,8 @@
 
 use std::collections::HashMap;
 use std::io::Write;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use etsc_core::EarlyClassifier;
 use etsc_data::loader::{load_csv, write_csv};
@@ -13,6 +15,7 @@ use etsc_eval::experiment::{run_cell, AlgoSpec, RunConfig};
 use etsc_eval::report::render_matrix_status;
 use etsc_eval::supervisor::SupervisorOptions;
 use etsc_eval::{CommonOpts, FaultPlan, MatrixRunner};
+use etsc_net::{Client, ClientConfig, NetError, NetServer, ServerConfig};
 use etsc_serve::{
     fit_model, load_resilient, replay_dataset, Backpressure, DeadlineConfig, FallbackPolicy,
     ReplayOptions, SchedulerConfig, StoredModel, SupervisionConfig,
@@ -54,7 +57,8 @@ commands:
                      --save FILE [--seed N] [--budget-secs N]
                      [--height-scale S] [--length-scale S]
   serve              replay a dataset through a saved model as
-                     concurrent streaming sessions
+                     concurrent streaming sessions, or (with --listen)
+                     serve the model over TCP
                      --model FILE (--replay NAME | --data FILE --vars K)
                      [--sessions N] [--workers N] [--queue N] [--shed]
                      [--obs-freq SECS] [--height-scale S]
@@ -62,11 +66,23 @@ commands:
                      [--deadline-ms N] [--fallback wait|prior|decide-now]
                      [--max-restarts N] [--faults SPEC]
                      [--trace FILE] [--metrics FILE]
+                     network mode: --model FILE --listen ADDR
+                     [--max-conns N] [--queue N] [--shed]
+                     [--deadline-ms N] [--fallback wait|prior|decide-now]
+                     [--faults SPEC --fault-sessions N]
+                     [--duration-secs N] (0 = until a client requests
+                     shutdown) [--trace FILE] [--metrics FILE]
                      SPEC example: seed=42,panics=1,delay-rate=0.05,
                      delay-ms=50,nan-rate=0.02,corrupt-model=true
-  predict            classify instances with a saved model
+                     (network faults: torn-rate, disconnect-rate,
+                     loris-rate, loris-ms)
+  predict            classify instances with a saved model, locally or
+                     against a remote server
                      --model FILE (--dataset NAME | --data FILE --vars K)
-                     [--instance I] [--stream]";
+                     [--instance I] [--stream]
+                     network mode: --connect ADDR
+                     (--dataset NAME | --data FILE --vars K)
+                     [--instance I]";
 
 /// CLI failure modes.
 #[derive(Debug)]
@@ -141,6 +157,45 @@ fn load_model(path: &std::path::Path, out: &mut dyn Write) -> Result<StoredModel
     Ok(outcome.model)
 }
 
+fn emit(out: &mut dyn Write, s: String) -> Result<(), CliError> {
+    out.write_all(s.as_bytes())
+        .map_err(|e| CliError::Runtime(format!("write failed: {e}")))
+}
+
+/// Decodes `--deadline-ms` + `--fallback` into a [`DeadlineConfig`].
+/// The prior label is a placeholder; both serving paths overwrite it
+/// with the stored model's majority training class.
+fn parse_deadline(flags: &Flags) -> Result<Option<DeadlineConfig>, CliError> {
+    if flags.get("deadline-ms").is_none() {
+        return Ok(None);
+    }
+    let ms: u64 = parse(flags, "deadline-ms", 50_u64)?;
+    let policy = match flags.get("fallback").map(String::as_str) {
+        None | Some("wait") => FallbackPolicy::Wait,
+        Some("prior") => FallbackPolicy::PriorClass,
+        Some("decide-now") => FallbackPolicy::DecideNow,
+        Some(other) => {
+            return Err(CliError::Usage(format!(
+                "invalid --fallback {other:?} (wait | prior | decide-now)"
+            )))
+        }
+    };
+    Ok(Some(DeadlineConfig {
+        deadline: Duration::from_millis(ms),
+        policy,
+        prior_label: 0,
+    }))
+}
+
+fn parse_faults(flags: &Flags) -> Result<Option<FaultPlan>, CliError> {
+    match flags.get("faults") {
+        None => Ok(None),
+        Some(spec) => FaultPlan::parse(spec)
+            .map(Some)
+            .map_err(|e| CliError::Usage(format!("invalid --faults: {e}"))),
+    }
+}
+
 fn build_algo(flags: &Flags, data: &Dataset) -> Result<Box<dyn EarlyClassifier>, CliError> {
     let name = required(flags, "algo")?;
     let spec = AlgoSpec::by_name(name)
@@ -154,10 +209,6 @@ fn build_algo(flags: &Flags, data: &Dataset) -> Result<Box<dyn EarlyClassifier>,
 /// [`CliError::Usage`] for bad arguments, [`CliError::Runtime`] for
 /// execution failures.
 pub fn run(command: &str, flags: &Flags, out: &mut dyn Write) -> Result<(), CliError> {
-    let emit = |out: &mut dyn Write, s: String| {
-        out.write_all(s.as_bytes())
-            .map_err(|e| CliError::Runtime(format!("write failed: {e}")))
-    };
     match command {
         "list-algorithms" => {
             let mut s = format!(
@@ -403,14 +454,11 @@ pub fn run(command: &str, flags: &Flags, out: &mut dyn Write) -> Result<(), CliE
             )
         }
         "serve" => {
+            if let Some(addr) = flags.get("listen") {
+                return serve_listen(addr, flags, out);
+            }
             let model_path = required(flags, "model")?;
-            let faults = match flags.get("faults") {
-                None => None,
-                Some(spec) => Some(
-                    FaultPlan::parse(spec)
-                        .map_err(|e| CliError::Usage(format!("invalid --faults: {e}")))?,
-                ),
-            };
+            let faults = parse_faults(flags)?;
             let stored = match &faults {
                 // A corrupt-model fault stages a bit-flipped copy (with
                 // a pristine `.prev`) in a temp dir and loads it through
@@ -476,29 +524,7 @@ pub fn run(command: &str, flags: &Flags, out: &mut dyn Write) -> Result<(), CliE
                 .meta
                 .algo
                 .decision_batch(data.max_len(), &RunConfig::fast());
-            let deadline = match flags.get("deadline-ms") {
-                None => None,
-                Some(_) => {
-                    let ms: u64 = parse(flags, "deadline-ms", 50_u64)?;
-                    let policy = match flags.get("fallback").map(String::as_str) {
-                        None | Some("wait") => FallbackPolicy::Wait,
-                        Some("prior") => FallbackPolicy::PriorClass,
-                        Some("decide-now") => FallbackPolicy::DecideNow,
-                        Some(other) => {
-                            return Err(CliError::Usage(format!(
-                                "invalid --fallback {other:?} (wait | prior | decide-now)"
-                            )))
-                        }
-                    };
-                    Some(DeadlineConfig {
-                        deadline: std::time::Duration::from_millis(ms),
-                        policy,
-                        // Overwritten with the stored model's majority
-                        // training class by `replay_dataset`.
-                        prior_label: 0,
-                    })
-                }
-            };
+            let deadline = parse_deadline(flags)?;
             let opts = common_opts(flags)?;
             let obs = opts.build_obs();
             let options = ReplayOptions {
@@ -521,10 +547,13 @@ pub fn run(command: &str, flags: &Flags, out: &mut dyn Write) -> Result<(), CliE
                     obs: obs.clone(),
                 },
             };
-            let outcome = replay_dataset(&stored, &data, &options)
-                .map_err(|e| CliError::Runtime(format!("replay failed: {e}")))?;
+            let outcome = replay_dataset(&stored, &data, &options);
+            // Flush the registry BEFORE propagating a replay failure: a
+            // run whose scheduler shed its final batch must still leave
+            // the shed counts in the scrape artifact.
             opts.export(&obs)
                 .map_err(|e| CliError::Runtime(e.to_string()))?;
+            let outcome = outcome.map_err(|e| CliError::Runtime(format!("replay failed: {e}")))?;
             let mut rendered = outcome.render();
             if opts.metrics.is_some() {
                 // Dump the snapshot into the report too, so the figures
@@ -535,6 +564,9 @@ pub fn run(command: &str, flags: &Flags, out: &mut dyn Write) -> Result<(), CliE
             emit(out, rendered)
         }
         "predict" => {
+            if let Some(addr) = flags.get("connect") {
+                return predict_connect(addr, flags, out);
+            }
             let model_path = required(flags, "model")?;
             let stored = load_model(std::path::Path::new(model_path), out)?;
             let data = load_input(flags)?;
@@ -606,9 +638,159 @@ pub fn run(command: &str, flags: &Flags, out: &mut dyn Write) -> Result<(), CliE
     }
 }
 
+/// `etsc serve --listen ADDR`: expose a saved model over TCP via the
+/// `etsc-net` wire protocol. With `--duration-secs 0` (the default)
+/// the server runs until a client sends a Shutdown frame; either way
+/// the stop is a graceful drain — in-flight sessions get answers.
+fn serve_listen(addr: &str, flags: &Flags, out: &mut dyn Write) -> Result<(), CliError> {
+    let model_path = required(flags, "model")?;
+    let faults = parse_faults(flags)?;
+    let fault_horizon = parse(flags, "fault-sessions", 0_usize)?;
+    if faults.is_some() && fault_horizon == 0 {
+        return Err(CliError::Usage(
+            "--faults on the network path needs --fault-sessions N".into(),
+        ));
+    }
+    let stored = load_model(std::path::Path::new(model_path), out)?;
+    let opts = common_opts(flags)?;
+    let obs = opts.build_obs();
+    let config = ServerConfig {
+        max_connections: parse(flags, "max-conns", 64_usize)?,
+        max_pending_frames: parse(flags, "queue", 1024_usize)?,
+        backpressure: if parse(flags, "shed", false)? {
+            Backpressure::Shed
+        } else {
+            Backpressure::Block
+        },
+        deadline: parse_deadline(flags)?.map(|mut d| {
+            d.prior_label = stored.meta.prior_label;
+            d
+        }),
+        faults,
+        fault_horizon,
+        obs: obs.clone(),
+        ..ServerConfig::default()
+    };
+    let meta = stored.meta.clone();
+    let server = NetServer::bind(Arc::new(stored), addr, config)
+        .map_err(|e| CliError::Runtime(format!("binding {addr}: {e}")))?;
+    emit(
+        out,
+        format!(
+            "serving {} trained on {} at {}\n",
+            meta.algo.name(),
+            meta.dataset,
+            server.local_addr()
+        ),
+    )?;
+    out.flush()
+        .map_err(|e| CliError::Runtime(format!("write failed: {e}")))?;
+    let duration = parse(flags, "duration-secs", 0_u64)?;
+    let started = Instant::now();
+    while !server.is_draining() {
+        if duration > 0 && started.elapsed() >= Duration::from_secs(duration) {
+            server.shutdown();
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    let stats = server.join();
+    opts.export(&obs)
+        .map_err(|e| CliError::Runtime(e.to_string()))?;
+    let mut s = format!(
+        "drained after {:.1} s\n\
+         connections    {} accepted, {} shed, {} closed\n\
+         sessions       {} opened, {} resumed, {} decided ({} at drain), \
+         {} failed, {} abandoned\n\
+         frames         {} read, {} written, {} shed\n\
+         faults         {} protocol errors, {} worker panics\n\
+         open sessions at exit: {}\n",
+        started.elapsed().as_secs_f64(),
+        stats.connections_accepted,
+        stats.connections_shed,
+        stats.connections_closed,
+        stats.sessions_opened,
+        stats.sessions_resumed,
+        stats.sessions_decided,
+        stats.drain_decisions,
+        stats.sessions_failed,
+        stats.sessions_abandoned,
+        stats.frames_read,
+        stats.frames_written,
+        stats.frames_shed,
+        stats.proto_errors,
+        stats.worker_panics,
+        stats.open_sessions(),
+    );
+    if opts.metrics.is_some() {
+        s.push_str("\nmetrics snapshot:\n");
+        s.push_str(&obs.metrics.render_prometheus());
+    }
+    emit(out, s)
+}
+
+/// `etsc predict --connect ADDR`: stream one instance to a remote
+/// server and report its verdict, using the class names the server
+/// advertised in its handshake.
+fn predict_connect(addr: &str, flags: &Flags, out: &mut dyn Write) -> Result<(), CliError> {
+    let net = |e: NetError| CliError::Runtime(format!("server {addr}: {e}"));
+    let data = load_input(flags)?;
+    let instance_idx = parse(flags, "instance", 0_usize)?;
+    if instance_idx >= data.len() {
+        return Err(CliError::Usage(format!(
+            "--instance {instance_idx} out of range (dataset has {})",
+            data.len()
+        )));
+    }
+    let mut client = Client::connect(addr, ClientConfig::default())
+        .map_err(|e| CliError::Runtime(format!("connecting to {addr}: {e}")))?;
+    let meta = client.meta().clone();
+    if data.vars() != meta.vars {
+        return Err(CliError::Usage(format!(
+            "served model ({} on {}) expects {} variables, dataset has {}",
+            meta.algo,
+            meta.dataset,
+            meta.vars,
+            data.vars()
+        )));
+    }
+    let inst = data.instance(instance_idx);
+    let started = Instant::now();
+    let id = client.open_session(inst.len()).map_err(net)?;
+    for t in 0..inst.len() {
+        let row: Vec<f64> = (0..inst.vars()).map(|v| inst.at(v, t)).collect();
+        client.observe(id, &row).map_err(net)?;
+        if client.outcome(id).is_some() {
+            break;
+        }
+        client.poll().map_err(net)?;
+    }
+    let d = client
+        .wait_decision(id, Duration::from_secs(60))
+        .map_err(net)?;
+    let class = meta
+        .classes
+        .get(d.label)
+        .cloned()
+        .unwrap_or_else(|| format!("class {}", d.label));
+    emit(
+        out,
+        format!(
+            "instance {instance_idx}: {class} at prefix {} of {} \
+             (earliness {:.3}, verdict {}, round trip {:.1} ms)\n",
+            d.prefix_len,
+            inst.len(),
+            d.prefix_len as f64 / inst.len().max(1) as f64,
+            d.kind.name(),
+            started.elapsed().as_secs_f64() * 1e3,
+        ),
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::Mutex;
 
     fn flags(pairs: &[(&str, &str)]) -> Flags {
         pairs
@@ -919,6 +1101,145 @@ mod tests {
             Err(CliError::Usage(_))
         ));
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn serve_flushes_metrics_even_when_shedding() {
+        let dir = std::env::temp_dir().join("etsc-cli-test-shed");
+        std::fs::create_dir_all(&dir).unwrap();
+        let model_path = dir.join("shed-ects.model");
+        let model_str = model_path.to_str().unwrap();
+        run_to_string(
+            "train",
+            &flags(&[
+                ("dataset", "PowerCons"),
+                ("algo", "ECTS"),
+                ("height-scale", "0.15"),
+                ("length-scale", "0.3"),
+                ("save", model_str),
+            ]),
+        )
+        .unwrap();
+        // A one-slot queue under shed policy with slowed workers must
+        // drop observations — and the dropped count has to reach the
+        // scrape artifact even though shedding starves the replay.
+        let metrics = dir.join("shed.prom");
+        run_to_string(
+            "serve",
+            &flags(&[
+                ("model", model_str),
+                ("replay", "PowerCons"),
+                ("height-scale", "0.15"),
+                ("length-scale", "0.3"),
+                ("sessions", "16"),
+                ("workers", "1"),
+                ("queue", "1"),
+                ("shed", "true"),
+                ("faults", "seed=3,delay-rate=1.0,delay-ms=5"),
+                ("metrics", metrics.to_str().unwrap()),
+            ]),
+        )
+        .unwrap();
+        let text = std::fs::read_to_string(&metrics).unwrap();
+        etsc_obs::validate_prometheus(&text).unwrap();
+        let shed: u64 = text
+            .lines()
+            .find_map(|l| l.strip_prefix("serve_shed_total "))
+            .expect("serve_shed_total exported")
+            .trim()
+            .parse()
+            .unwrap();
+        assert!(shed > 0, "expected sheds in:\n{text}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn serve_listen_and_predict_connect_roundtrip() {
+        let dir = std::env::temp_dir().join("etsc-cli-test-net");
+        std::fs::create_dir_all(&dir).unwrap();
+        let model_path = dir.join("net-ects.model");
+        let model_str = model_path.to_str().unwrap().to_owned();
+        run_to_string(
+            "train",
+            &flags(&[
+                ("dataset", "PowerCons"),
+                ("algo", "ECTS"),
+                ("height-scale", "0.15"),
+                ("length-scale", "0.3"),
+                ("save", &model_str),
+            ]),
+        )
+        .unwrap();
+        // The server picks an ephemeral port; grab it from the banner
+        // written through the shared pipe-backed buffer.
+        let out: std::sync::Arc<Mutex<Vec<u8>>> = std::sync::Arc::default();
+        let server_out = out.clone();
+        let server = std::thread::spawn(move || {
+            struct Shared(std::sync::Arc<Mutex<Vec<u8>>>);
+            impl Write for Shared {
+                fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                    self.0.lock().unwrap().extend_from_slice(buf);
+                    Ok(buf.len())
+                }
+                fn flush(&mut self) -> std::io::Result<()> {
+                    Ok(())
+                }
+            }
+            let f = flags(&[("model", model_str.as_str()), ("listen", "127.0.0.1:0")]);
+            run("serve", &f, &mut Shared(server_out))
+        });
+        let addr = loop {
+            std::thread::sleep(Duration::from_millis(25));
+            let buf = out.lock().unwrap();
+            let text = String::from_utf8_lossy(&buf);
+            if let Some(rest) = text.split(" at ").nth(1) {
+                if let Some(addr) = rest.split_whitespace().next() {
+                    break addr.to_owned();
+                }
+            }
+            drop(buf);
+        };
+        let predicted = run_to_string(
+            "predict",
+            &flags(&[
+                ("connect", addr.as_str()),
+                ("dataset", "PowerCons"),
+                ("height-scale", "0.15"),
+                ("length-scale", "0.3"),
+                ("instance", "2"),
+            ]),
+        )
+        .unwrap();
+        assert!(predicted.contains("earliness"), "{predicted}");
+        assert!(predicted.contains("verdict genuine"), "{predicted}");
+        // A second client asks the server to drain; the serve command
+        // must then return with its stats report.
+        let mut stopper = Client::connect(&addr, ClientConfig::default()).unwrap();
+        stopper.shutdown_server().unwrap();
+        stopper.wait_drain(Duration::from_secs(10)).unwrap();
+        server.join().unwrap().unwrap();
+        let text = String::from_utf8(out.lock().unwrap().clone()).unwrap();
+        assert!(text.contains("drained after"), "{text}");
+        assert!(text.contains("open sessions at exit: 0"), "{text}");
+        std::fs::remove_dir_all(&dir).ok();
+
+        // Usage guards for the network modes.
+        assert!(matches!(
+            run_to_string(
+                "serve",
+                &flags(&[
+                    ("model", "nope.model"),
+                    ("listen", "127.0.0.1:0"),
+                    ("faults", "seed=1,torn-rate=0.1"),
+                ])
+            ),
+            Err(CliError::Usage(_))
+        ));
+        assert!(run_to_string(
+            "predict",
+            &flags(&[("connect", "127.0.0.1:1"), ("dataset", "PowerCons")])
+        )
+        .is_err());
     }
 
     #[test]

@@ -14,7 +14,10 @@
 //! etsc train    (--dataset NAME | --data FILE --vars K) --algo NAME --save FILE [--seed N] [--budget-secs N]
 //! etsc serve    --model FILE (--replay NAME | --data FILE --vars K) [--sessions N] [--workers N] [--queue N] [--shed] [--obs-freq SECS]
 //!               [--deadline-ms N] [--fallback wait|prior|decide-now] [--max-restarts N] [--faults SPEC]
+//! etsc serve    --model FILE --listen ADDR [--max-conns N] [--queue N] [--shed] [--deadline-ms N] [--fallback POLICY]
+//!               [--faults SPEC --fault-sessions N] [--duration-secs N]
 //! etsc predict  --model FILE (--dataset NAME | --data FILE --vars K) [--instance I] [--stream]
+//! etsc predict  --connect ADDR (--dataset NAME | --data FILE --vars K) [--instance I]
 //! ```
 
 use std::collections::HashMap;

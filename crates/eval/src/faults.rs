@@ -40,6 +40,22 @@ pub struct FaultPlan {
     /// Flip one byte of the model file before loading (exercises the
     /// store's quarantine + last-good fallback).
     pub corrupt_model: bool,
+    /// Fraction of sessions whose client tears a frame mid-write: a
+    /// partial `Observe` frame followed by an abrupt disconnect and a
+    /// reconnect-with-resume (exercises the wire decoder and the
+    /// client library's resume path).
+    pub torn_rate: f64,
+    /// Fraction of sessions abandoned by an abrupt client disconnect
+    /// mid-session, never to return (exercises server-side session
+    /// cleanup).
+    pub disconnect_rate: f64,
+    /// Fraction of sessions whose client dribbles one frame slow-loris
+    /// style: the frame's bytes arrive in two halves separated by
+    /// [`FaultPlan::loris`] (exercises the server's patience with
+    /// partial reads).
+    pub loris_rate: f64,
+    /// The mid-frame stall applied to slow-loris sessions.
+    pub loris: Duration,
 }
 
 impl Default for FaultPlan {
@@ -51,6 +67,10 @@ impl Default for FaultPlan {
             delay: Duration::from_millis(0),
             nan_rate: 0.0,
             corrupt_model: false,
+            torn_rate: 0.0,
+            disconnect_rate: 0.0,
+            loris_rate: 0.0,
+            loris: Duration::from_millis(0),
         }
     }
 }
@@ -58,7 +78,8 @@ impl Default for FaultPlan {
 impl FaultPlan {
     /// Parses the `key=value,key=value` spec accepted by
     /// `etsc serve --faults`. Keys: `seed`, `panics`, `delay-rate`,
-    /// `delay-ms`, `nan-rate`, `corrupt-model`.
+    /// `delay-ms`, `nan-rate`, `corrupt-model`, plus the network-path
+    /// kinds `torn-rate`, `disconnect-rate`, `loris-rate`, `loris-ms`.
     ///
     /// # Errors
     /// A human-readable message naming the offending key or value.
@@ -94,6 +115,27 @@ impl FaultPlan {
                 "corrupt-model" => {
                     plan.corrupt_model = value.parse().map_err(|_| bad("corrupt-model"))?;
                 }
+                "torn-rate" => {
+                    plan.torn_rate = value.parse().map_err(|_| bad("torn-rate"))?;
+                    if !(0.0..=1.0).contains(&plan.torn_rate) {
+                        return Err(bad("torn-rate"));
+                    }
+                }
+                "disconnect-rate" => {
+                    plan.disconnect_rate = value.parse().map_err(|_| bad("disconnect-rate"))?;
+                    if !(0.0..=1.0).contains(&plan.disconnect_rate) {
+                        return Err(bad("disconnect-rate"));
+                    }
+                }
+                "loris-rate" => {
+                    plan.loris_rate = value.parse().map_err(|_| bad("loris-rate"))?;
+                    if !(0.0..=1.0).contains(&plan.loris_rate) {
+                        return Err(bad("loris-rate"));
+                    }
+                }
+                "loris-ms" => {
+                    plan.loris = Duration::from_millis(value.parse().map_err(|_| bad("loris-ms"))?);
+                }
                 other => return Err(format!("unknown fault spec key {other:?}")),
             }
         }
@@ -104,13 +146,18 @@ impl FaultPlan {
     #[must_use]
     pub fn render(&self) -> String {
         format!(
-            "seed={},panics={},delay-rate={},delay-ms={},nan-rate={},corrupt-model={}",
+            "seed={},panics={},delay-rate={},delay-ms={},nan-rate={},corrupt-model={},\
+             torn-rate={},disconnect-rate={},loris-rate={},loris-ms={}",
             self.seed,
             self.worker_panics,
             self.delay_rate,
             self.delay.as_millis(),
             self.nan_rate,
-            self.corrupt_model
+            self.corrupt_model,
+            self.torn_rate,
+            self.disconnect_rate,
+            self.loris_rate,
+            self.loris.as_millis(),
         )
     }
 
@@ -149,12 +196,34 @@ impl FaultPlan {
                 nan_at[s] = Some(1);
             }
         }
+        // Network-path faults draw AFTER the original kinds so a plan
+        // that only uses panics/delays/NaNs schedules them exactly as
+        // it did before these kinds existed (same seed, same stream
+        // prefix, same coordinates).
+        let mut torn_at = vec![None; n];
+        let mut disconnect_at = vec![None; n];
+        let mut loris_at = vec![None; n];
+        for s in 0..n {
+            if rng.random::<f64>() < self.torn_rate && lens[s] > 0 {
+                torn_at[s] = Some(1);
+            }
+            if rng.random::<f64>() < self.disconnect_rate && lens[s] > 0 {
+                disconnect_at[s] = Some(1);
+            }
+            if rng.random::<f64>() < self.loris_rate && lens[s] > 0 {
+                loris_at[s] = Some(1);
+            }
+        }
         FaultSchedule {
             panic_at,
             delay_at,
             nan_at,
             delay: self.delay,
             corrupt_model: self.corrupt_model,
+            torn_at,
+            disconnect_at,
+            loris_at,
+            loris: self.loris,
         }
     }
 
@@ -182,6 +251,10 @@ pub struct FaultSchedule {
     nan_at: Vec<Option<usize>>,
     delay: Duration,
     corrupt_model: bool,
+    torn_at: Vec<Option<usize>>,
+    disconnect_at: Vec<Option<usize>>,
+    loris_at: Vec<Option<usize>>,
+    loris: Duration,
 }
 
 impl FaultSchedule {
@@ -194,6 +267,10 @@ impl FaultSchedule {
             nan_at: vec![None; n],
             delay: Duration::ZERO,
             corrupt_model: false,
+            torn_at: vec![None; n],
+            disconnect_at: vec![None; n],
+            loris_at: vec![None; n],
+            loris: Duration::ZERO,
         }
     }
 
@@ -218,6 +295,28 @@ impl FaultSchedule {
         self.nan_at.get(session).copied().flatten() == Some(step)
     }
 
+    /// `true` when the client must tear the frame carrying `session`'s
+    /// observation `step` (write it partially, disconnect, and resume
+    /// on a fresh connection).
+    #[must_use]
+    pub fn tears_at(&self, session: usize, step: usize) -> bool {
+        self.torn_at.get(session).copied().flatten() == Some(step)
+    }
+
+    /// `true` when the client must abruptly disconnect — for good —
+    /// right after sending `session`'s observation `step`.
+    #[must_use]
+    pub fn disconnects_at(&self, session: usize, step: usize) -> bool {
+        self.disconnect_at.get(session).copied().flatten() == Some(step)
+    }
+
+    /// The slow-loris mid-frame stall for `session`'s observation
+    /// `step`, if one is scheduled there.
+    #[must_use]
+    pub fn loris_at(&self, session: usize, step: usize) -> Option<Duration> {
+        (self.loris_at.get(session).copied().flatten() == Some(step)).then_some(self.loris)
+    }
+
     /// `true` when the session has *any* fault scheduled — the cells on
     /// which accuracy is allowed to degrade.
     #[must_use]
@@ -225,6 +324,9 @@ impl FaultSchedule {
         self.panic_at.get(session).copied().flatten().is_some()
             || self.delay_at.get(session).copied().flatten().is_some()
             || self.nan_at.get(session).copied().flatten().is_some()
+            || self.torn_at.get(session).copied().flatten().is_some()
+            || self.disconnect_at.get(session).copied().flatten().is_some()
+            || self.loris_at.get(session).copied().flatten().is_some()
     }
 
     /// Number of scheduled worker panics.
@@ -243,6 +345,24 @@ impl FaultSchedule {
     #[must_use]
     pub fn injected_nans(&self) -> usize {
         self.nan_at.iter().flatten().count()
+    }
+
+    /// Number of scheduled torn frames.
+    #[must_use]
+    pub fn injected_torn(&self) -> usize {
+        self.torn_at.iter().flatten().count()
+    }
+
+    /// Number of scheduled abrupt client disconnects.
+    #[must_use]
+    pub fn injected_disconnects(&self) -> usize {
+        self.disconnect_at.iter().flatten().count()
+    }
+
+    /// Number of scheduled slow-loris frames.
+    #[must_use]
+    pub fn injected_loris(&self) -> usize {
+        self.loris_at.iter().flatten().count()
     }
 
     /// `true` when the plan also asked for model-file corruption.
@@ -286,7 +406,7 @@ mod tests {
             delay_rate: 0.2,
             delay: Duration::from_millis(5),
             nan_rate: 0.1,
-            corrupt_model: false,
+            ..FaultPlan::default()
         };
         let lens = vec![20; 50];
         let a = plan.schedule(&lens);
@@ -325,6 +445,65 @@ mod tests {
             .schedule(&lens)
         };
         assert_ne!(mk(1), mk(2));
+    }
+
+    #[test]
+    fn network_faults_parse_and_schedule() {
+        let spec = "seed=9,torn-rate=0.5,disconnect-rate=0.25,loris-rate=0.25,loris-ms=40";
+        let plan = FaultPlan::parse(spec).unwrap();
+        assert_eq!(plan.torn_rate, 0.5);
+        assert_eq!(plan.disconnect_rate, 0.25);
+        assert_eq!(plan.loris, Duration::from_millis(40));
+        let again = FaultPlan::parse(&plan.render()).unwrap();
+        assert_eq!(plan, again);
+        assert!(FaultPlan::parse("torn-rate=2.0").is_err());
+        assert!(FaultPlan::parse("disconnect-rate=-1").is_err());
+        assert!(FaultPlan::parse("loris-ms=x").is_err());
+
+        let lens = vec![20; 80];
+        let schedule = plan.schedule(&lens);
+        assert!(schedule.injected_torn() > 0);
+        assert!(schedule.injected_disconnects() > 0);
+        assert!(schedule.injected_loris() > 0);
+        for s in 0..80 {
+            if schedule.tears_at(s, 1) || schedule.disconnects_at(s, 1) {
+                assert!(schedule.touches(s));
+            }
+            if let Some(stall) = schedule.loris_at(s, 1) {
+                assert_eq!(stall, Duration::from_millis(40));
+                assert!(schedule.touches(s));
+            }
+        }
+    }
+
+    #[test]
+    fn network_kinds_leave_original_coordinates_unchanged() {
+        // Adding net-path rates to a plan must not move where the
+        // original kinds land: existing chaos suites stay pinned.
+        let lens = vec![20; 60];
+        let base = FaultPlan {
+            seed: 42,
+            worker_panics: 2,
+            delay_rate: 0.2,
+            nan_rate: 0.1,
+            ..FaultPlan::default()
+        };
+        let extended = FaultPlan {
+            torn_rate: 0.3,
+            disconnect_rate: 0.3,
+            loris_rate: 0.3,
+            loris: Duration::from_millis(10),
+            ..base.clone()
+        };
+        let a = base.schedule(&lens);
+        let b = extended.schedule(&lens);
+        for s in 0..60 {
+            for t in 1..=20 {
+                assert_eq!(a.panics_at(s, t), b.panics_at(s, t));
+                assert_eq!(a.delay_at(s, t), b.delay_at(s, t));
+                assert_eq!(a.nan_at(s, t), b.nan_at(s, t));
+            }
+        }
     }
 
     #[test]

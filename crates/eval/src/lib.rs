@@ -17,8 +17,6 @@
 //! * [`opts`] — the canonical command-line options shared by the `etsc`
 //!   CLI and the `reproduce` binary (`--seed`, `--threads`, `--trace`,
 //!   `--metrics`, ...);
-//! * [`histogram`] — compatibility re-export of the exact-quantile
-//!   histogram, which now lives in [`etsc_obs`];
 //! * [`report`] — plain-text and CSV renderers matching the layout of the
 //!   paper's tables and figures;
 //! * [`tuning`] — hyper-parameter grid search over any algorithm (the
@@ -37,7 +35,6 @@
 pub mod aggregate;
 pub mod experiment;
 pub mod faults;
-pub mod histogram;
 pub mod journal;
 pub mod metrics;
 pub mod moo;
@@ -51,7 +48,6 @@ pub mod tuning;
 pub use aggregate::aggregate_by_category;
 pub use experiment::{run_cell, AlgoSpec, RunConfig, RunResult};
 pub use faults::{FaultPlan, FaultSchedule};
-pub use histogram::LatencyHistogram;
 pub use journal::{Journal, JournalHeader};
 pub use metrics::{EvalOutcome, Metrics};
 pub use opts::CommonOpts;

@@ -1,0 +1,721 @@
+//! Blocking client for the ETSC wire protocol.
+//!
+//! One [`Client`] owns one TCP connection and multiplexes any number
+//! of streaming sessions over it. Observations are written eagerly;
+//! decisions are pulled by [`Client::poll`] (non-blocking) or
+//! [`Client::wait_decision`] (bounded blocking). When the connection
+//! dies mid-stream the client dials again and *resumes*: every
+//! undecided session is re-opened with `resume = true` and its
+//! buffered observations replayed, so a transient disconnect costs
+//! latency, not answers.
+//!
+//! The client is also where the chaos suite's network faults live:
+//! [`Client::inject_torn_frame`] (half a frame, then a hard
+//! disconnect), [`Client::inject_loris`] (a frame written byte-dribble
+//! slow), and [`Client::inject_disconnect`] (drop the connection with
+//! a session still open) exercise exactly the failure modes the
+//! server's decoder, idle guard, and abandon accounting must contain.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::io::Write as _;
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use crate::proto::{
+    encode_frame, DecisionKind, ErrorCode, Frame, FrameDecoder, ModelInfo, ProtoError,
+    MAX_FRAME_BYTES, PROTO_VERSION,
+};
+
+/// Tuning knobs for [`Client`].
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// Peer identification sent in the handshake.
+    pub agent: String,
+    /// Per-frame payload ceiling.
+    pub max_frame_bytes: usize,
+    /// Blocking-read poll granularity.
+    pub read_poll: Duration,
+    /// Budget for the Hello exchange.
+    pub handshake_timeout: Duration,
+    /// Redials attempted per broken connection before giving up.
+    pub reconnect_attempts: usize,
+    /// Pause between redial attempts.
+    pub reconnect_backoff: Duration,
+}
+
+impl Default for ClientConfig {
+    fn default() -> ClientConfig {
+        ClientConfig {
+            agent: "etsc-net-client".to_string(),
+            max_frame_bytes: MAX_FRAME_BYTES,
+            read_poll: Duration::from_millis(25),
+            handshake_timeout: Duration::from_secs(10),
+            reconnect_attempts: 3,
+            reconnect_backoff: Duration::from_millis(25),
+        }
+    }
+}
+
+/// A committed verdict as seen from the client side.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Decision {
+    /// Dense class label.
+    pub label: usize,
+    /// Prefix length the server committed at.
+    pub prefix_len: usize,
+    /// Genuine trigger or degraded fallback.
+    pub kind: DecisionKind,
+    /// End-to-end latency: decision arrival minus the send time of the
+    /// observation that triggered it.
+    pub latency: Duration,
+}
+
+/// Client-side failure.
+#[derive(Debug)]
+pub enum NetError {
+    /// Wire-protocol or socket failure.
+    Proto(ProtoError),
+    /// Connection-fatal error frame from the server.
+    Server {
+        /// Machine-readable reason.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+    /// A single session died server-side.
+    SessionFailed {
+        /// The session that died.
+        session: u64,
+        /// The server's explanation.
+        message: String,
+    },
+    /// A bounded wait elapsed.
+    Timeout(String),
+    /// The connection is gone and could not be re-established.
+    Closed(String),
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::Proto(e) => write!(f, "protocol error: {e}"),
+            NetError::Server { code, message } => write!(f, "server error [{code}]: {message}"),
+            NetError::SessionFailed { session, message } => {
+                write!(f, "session {session} failed: {message}")
+            }
+            NetError::Timeout(what) => write!(f, "timed out waiting for {what}"),
+            NetError::Closed(why) => write!(f, "connection closed: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NetError::Proto(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ProtoError> for NetError {
+    fn from(e: ProtoError) -> NetError {
+        NetError::Proto(e)
+    }
+}
+
+/// Client-side fault and recovery counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClientStats {
+    /// Successful redials (resume replays included).
+    pub reconnects: u64,
+    /// Torn frames deliberately injected.
+    pub torn_frames: u64,
+    /// Hard disconnects deliberately injected.
+    pub forced_disconnects: u64,
+    /// Slow-loris stalls deliberately injected.
+    pub loris_stalls: u64,
+}
+
+struct SessionState {
+    expected_len: usize,
+    sent: Vec<Vec<f64>>,
+    send_times: Vec<Instant>,
+    outcome: Option<Result<Decision, String>>,
+}
+
+/// A blocking connection to an [`crate::server::NetServer`],
+/// multiplexing many sessions.
+pub struct Client {
+    addr: String,
+    config: ClientConfig,
+    stream: TcpStream,
+    dec: FrameDecoder,
+    meta: ModelInfo,
+    sessions: HashMap<u64, SessionState>,
+    next_id: u64,
+    draining: bool,
+    closed: bool,
+    stats: ClientStats,
+}
+
+impl Client {
+    /// Dials `addr` and performs the Hello exchange.
+    ///
+    /// # Errors
+    /// [`NetError::Proto`] on dial/handshake failure, [`NetError::Server`]
+    /// when the server refuses the connection (shedding, draining).
+    pub fn connect(addr: &str, config: ClientConfig) -> Result<Client, NetError> {
+        let (stream, dec, meta) = dial(addr, &config)?;
+        Ok(Client {
+            addr: addr.to_string(),
+            config,
+            stream,
+            dec,
+            meta,
+            sessions: HashMap::new(),
+            next_id: 1,
+            draining: false,
+            closed: false,
+            stats: ClientStats::default(),
+        })
+    }
+
+    /// Shape of the model this server is exposing.
+    pub fn meta(&self) -> &ModelInfo {
+        &self.meta
+    }
+
+    /// Fault and recovery counters.
+    pub fn stats(&self) -> ClientStats {
+        self.stats
+    }
+
+    /// `true` once the server announced a drain.
+    pub fn is_draining(&self) -> bool {
+        self.draining
+    }
+
+    /// Opens a streaming session of `expected_len` observations,
+    /// returning its id.
+    ///
+    /// # Errors
+    /// [`NetError::Closed`] when the connection is gone for good.
+    pub fn open_session(&mut self, expected_len: usize) -> Result<u64, NetError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let expected_len = expected_len.max(1);
+        self.sessions.insert(
+            id,
+            SessionState {
+                expected_len,
+                sent: Vec::new(),
+                send_times: Vec::new(),
+                outcome: None,
+            },
+        );
+        self.send(&Frame::OpenSession {
+            id,
+            vars: self.meta.vars,
+            expected_len,
+            resume: false,
+        })?;
+        Ok(id)
+    }
+
+    /// Sends one observation row for session `id`. A no-op once the
+    /// session has an outcome.
+    ///
+    /// # Errors
+    /// [`NetError::Closed`] / [`NetError::Proto`].
+    pub fn observe(&mut self, id: u64, row: &[f64]) -> Result<(), NetError> {
+        let Some(state) = self.sessions.get_mut(&id) else {
+            return Ok(());
+        };
+        if state.outcome.is_some() {
+            return Ok(());
+        }
+        state.sent.push(row.to_vec());
+        state.send_times.push(Instant::now());
+        let step = state.sent.len() as u64;
+        self.send(&Frame::Observe {
+            session: id,
+            step,
+            row: row.to_vec(),
+        })
+    }
+
+    /// Drains every frame the server has already sent, without
+    /// blocking.
+    ///
+    /// # Errors
+    /// [`NetError::Server`] on a connection-fatal error frame,
+    /// [`NetError::Closed`] when an EOF could not be healed by
+    /// reconnecting.
+    pub fn poll(&mut self) -> Result<(), NetError> {
+        self.stream.set_nonblocking(true).map_err(ProtoError::Io)?;
+        let result = self.pump_available();
+        let _ = self.stream.set_nonblocking(false);
+        result
+    }
+
+    /// The session's outcome, if it arrived: the decision, or the
+    /// server's error message.
+    pub fn outcome(&self, id: u64) -> Option<&Result<Decision, String>> {
+        self.sessions.get(&id).and_then(|s| s.outcome.as_ref())
+    }
+
+    /// Blocks (bounded by `timeout`) until session `id` has an
+    /// outcome.
+    ///
+    /// # Errors
+    /// [`NetError::SessionFailed`] when the server answered with an
+    /// error, [`NetError::Timeout`] when nothing arrived in time,
+    /// [`NetError::Closed`] when the server drained or the connection
+    /// died without answering.
+    pub fn wait_decision(&mut self, id: u64, timeout: Duration) -> Result<Decision, NetError> {
+        let started = Instant::now();
+        loop {
+            match self.sessions.get(&id).and_then(|s| s.outcome.as_ref()) {
+                Some(Ok(d)) => return Ok(*d),
+                Some(Err(message)) => {
+                    return Err(NetError::SessionFailed {
+                        session: id,
+                        message: message.clone(),
+                    })
+                }
+                None => {}
+            }
+            if !self.sessions.contains_key(&id) {
+                return Err(NetError::Closed(format!("session {id} was dropped")));
+            }
+            if self.closed {
+                return Err(NetError::Closed(
+                    "connection gone before a decision arrived".to_string(),
+                ));
+            }
+            if self.draining && self.dec.buffered() == 0 {
+                // Drain verdicts precede the Shutdown frame, so a
+                // missing outcome now will never arrive.
+                return Err(NetError::Closed(
+                    "server drained without answering".to_string(),
+                ));
+            }
+            if started.elapsed() > timeout {
+                return Err(NetError::Timeout(format!("decision for session {id}")));
+            }
+            self.pump_blocking_once()?;
+        }
+    }
+
+    /// Abandons a session before its decision.
+    ///
+    /// # Errors
+    /// [`NetError::Closed`] / [`NetError::Proto`].
+    pub fn close_session(&mut self, id: u64) -> Result<(), NetError> {
+        if self.sessions.remove(&id).is_some() {
+            self.send(&Frame::CloseSession { session: id })?;
+        }
+        Ok(())
+    }
+
+    /// Asks the server to drain gracefully.
+    ///
+    /// # Errors
+    /// [`NetError::Closed`] / [`NetError::Proto`].
+    pub fn shutdown_server(&mut self) -> Result<(), NetError> {
+        self.send(&Frame::Shutdown)
+    }
+
+    /// Waits (bounded) until the server's `Shutdown` frame — i.e. its
+    /// drain finished — or the connection closes.
+    ///
+    /// # Errors
+    /// [`NetError::Timeout`].
+    pub fn wait_drain(&mut self, timeout: Duration) -> Result<(), NetError> {
+        let started = Instant::now();
+        while !self.draining && !self.closed {
+            if started.elapsed() > timeout {
+                return Err(NetError::Timeout("server drain".to_string()));
+            }
+            self.pump_blocking_once()?;
+        }
+        Ok(())
+    }
+
+    // -- fault-injection hooks (chaos + loadgen) ----------------------
+
+    /// Writes *half* an `Observe` frame, then hard-disconnects and
+    /// reconnects with resume. The row is not buffered — the torn
+    /// frame never existed as far as replay is concerned; deliver it
+    /// with a normal [`Client::observe`] afterwards.
+    ///
+    /// # Errors
+    /// [`NetError::Closed`] when the reconnect fails.
+    pub fn inject_torn_frame(&mut self, id: u64, row: &[f64]) -> Result<(), NetError> {
+        let step = self
+            .sessions
+            .get(&id)
+            .map(|s| s.sent.len() as u64 + 1)
+            .unwrap_or(1);
+        let wire = encode_frame(
+            &Frame::Observe {
+                session: id,
+                step,
+                row: row.to_vec(),
+            },
+            self.config.max_frame_bytes,
+        )?;
+        let half = wire.len() / 2;
+        let _ = self.stream.write_all(&wire[..half]);
+        let _ = self.stream.flush();
+        self.stats.torn_frames += 1;
+        let _ = self.stream.shutdown(std::net::Shutdown::Both);
+        self.reconnect()
+    }
+
+    /// Drops the connection with session `id` still open and *not*
+    /// resumed — the server must account it as abandoned. Every other
+    /// undecided session is resumed on the new connection.
+    ///
+    /// # Errors
+    /// [`NetError::Closed`] when the reconnect fails.
+    pub fn inject_disconnect(&mut self, id: u64) -> Result<(), NetError> {
+        self.sessions.remove(&id);
+        self.stats.forced_disconnects += 1;
+        let _ = self.stream.shutdown(std::net::Shutdown::Both);
+        self.reconnect()
+    }
+
+    /// Sends a real observation slow-loris style: half the frame, a
+    /// stall, then the rest. The server's idle guard must tolerate
+    /// stalls below its `idle_timeout` and the row must still count.
+    ///
+    /// # Errors
+    /// [`NetError::Closed`] / [`NetError::Proto`].
+    pub fn inject_loris(&mut self, id: u64, row: &[f64], stall: Duration) -> Result<(), NetError> {
+        let Some(state) = self.sessions.get_mut(&id) else {
+            return Ok(());
+        };
+        if state.outcome.is_some() {
+            return Ok(());
+        }
+        state.sent.push(row.to_vec());
+        state.send_times.push(Instant::now());
+        let step = state.sent.len() as u64;
+        let wire = encode_frame(
+            &Frame::Observe {
+                session: id,
+                step,
+                row: row.to_vec(),
+            },
+            self.config.max_frame_bytes,
+        )?;
+        self.stats.loris_stalls += 1;
+        let half = (wire.len() / 2).max(1);
+        let write = (|| -> std::io::Result<()> {
+            self.stream.write_all(&wire[..half])?;
+            self.stream.flush()?;
+            std::thread::sleep(stall);
+            self.stream.write_all(&wire[half..])?;
+            self.stream.flush()
+        })();
+        match write {
+            Ok(()) => Ok(()),
+            // The row is buffered, so a reconnect replays it.
+            Err(_) => self.reconnect(),
+        }
+    }
+
+    // -- internals ----------------------------------------------------
+
+    fn send(&mut self, frame: &Frame) -> Result<(), NetError> {
+        if self.closed {
+            return Err(NetError::Closed("client already closed".to_string()));
+        }
+        let wire = encode_frame(frame, self.config.max_frame_bytes)?;
+        if self
+            .stream
+            .write_all(&wire)
+            .and_then(|()| self.stream.flush())
+            .is_ok()
+        {
+            return Ok(());
+        }
+        // Broken pipe: heal the connection (replaying open sessions)
+        // and retry once. `frame` itself is already in the replay
+        // buffer when it is an Observe, so skip the resend for those.
+        self.reconnect()?;
+        match frame {
+            Frame::Observe { .. } => Ok(()),
+            _ => {
+                let wire = encode_frame(frame, self.config.max_frame_bytes)?;
+                self.stream
+                    .write_all(&wire)
+                    .and_then(|()| self.stream.flush())
+                    .map_err(|e| NetError::Closed(format!("resend after reconnect: {e}")))
+            }
+        }
+    }
+
+    fn pump_available(&mut self) -> Result<(), NetError> {
+        loop {
+            match self.dec.next_frame() {
+                Ok(Some(frame)) => self.dispatch(frame)?,
+                Ok(None) => match self.dec.read_from(&mut self.stream) {
+                    Ok(0) => return self.on_eof(),
+                    Ok(_) => {}
+                    Err(ProtoError::Io(e))
+                        if matches!(
+                            e.kind(),
+                            std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                        ) =>
+                    {
+                        return Ok(())
+                    }
+                    Err(e) => return Err(e.into()),
+                },
+                Err(e) => return Err(e.into()),
+            }
+        }
+    }
+
+    /// One bounded read (the configured poll interval), then dispatch
+    /// whatever arrived.
+    fn pump_blocking_once(&mut self) -> Result<(), NetError> {
+        match self.dec.read_from(&mut self.stream) {
+            Ok(0) => self.on_eof()?,
+            Ok(_) => {}
+            Err(ProtoError::Io(e))
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) => {}
+            Err(e) => return Err(e.into()),
+        }
+        loop {
+            match self.dec.next_frame() {
+                Ok(Some(frame)) => self.dispatch(frame)?,
+                Ok(None) => return Ok(()),
+                Err(e) => return Err(e.into()),
+            }
+        }
+    }
+
+    fn on_eof(&mut self) -> Result<(), NetError> {
+        if self.draining {
+            self.closed = true;
+            return Ok(());
+        }
+        self.reconnect()
+    }
+
+    fn dispatch(&mut self, frame: Frame) -> Result<(), NetError> {
+        match frame {
+            Frame::Decision {
+                session,
+                label,
+                prefix_len,
+                kind,
+            } => {
+                if let Some(state) = self.sessions.get_mut(&session) {
+                    let trigger = (prefix_len as usize)
+                        .saturating_sub(1)
+                        .min(state.send_times.len().saturating_sub(1));
+                    let latency = state
+                        .send_times
+                        .get(trigger)
+                        .map(|t| t.elapsed())
+                        .unwrap_or_default();
+                    state.outcome = Some(Ok(Decision {
+                        label: label as usize,
+                        prefix_len: prefix_len as usize,
+                        kind,
+                        latency,
+                    }));
+                    // The replay buffer is dead weight once answered.
+                    state.sent = Vec::new();
+                    state.send_times = Vec::new();
+                }
+                Ok(())
+            }
+            Frame::Error {
+                code,
+                session: Some(id),
+                message,
+            } => {
+                if let Some(state) = self.sessions.get_mut(&id) {
+                    state.outcome = Some(Err(format!("[{code}] {message}")));
+                    state.sent = Vec::new();
+                    state.send_times = Vec::new();
+                }
+                Ok(())
+            }
+            Frame::Error {
+                code,
+                session: None,
+                message,
+            } => Err(NetError::Server { code, message }),
+            Frame::Shutdown => {
+                self.draining = true;
+                Ok(())
+            }
+            // Duplicate Hello or client-only frames: ignore.
+            _ => Ok(()),
+        }
+    }
+
+    /// Dials again and resumes every undecided session by re-opening
+    /// it with `resume = true` and replaying its buffered rows.
+    fn reconnect(&mut self) -> Result<(), NetError> {
+        if self.draining {
+            self.closed = true;
+            return Err(NetError::Closed("server is draining".to_string()));
+        }
+        let mut last = String::new();
+        for attempt in 0..self.config.reconnect_attempts.max(1) {
+            if attempt > 0 {
+                std::thread::sleep(self.config.reconnect_backoff);
+            }
+            let (mut stream, dec, _meta) = match dial(&self.addr, &self.config) {
+                Ok(x) => x,
+                Err(e) => {
+                    last = e.to_string();
+                    continue;
+                }
+            };
+            match self.replay_sessions(&mut stream) {
+                Ok(()) => {
+                    self.stream = stream;
+                    self.dec = dec;
+                    self.stats.reconnects += 1;
+                    return Ok(());
+                }
+                Err(e) => {
+                    last = e.to_string();
+                    continue;
+                }
+            }
+        }
+        self.closed = true;
+        Err(NetError::Closed(format!(
+            "reconnect to {} failed: {last}",
+            self.addr
+        )))
+    }
+
+    fn replay_sessions(&mut self, stream: &mut TcpStream) -> Result<(), ProtoError> {
+        let max = self.config.max_frame_bytes;
+        let now = Instant::now();
+        let mut ids: Vec<u64> = self
+            .sessions
+            .iter()
+            .filter(|(_, s)| s.outcome.is_none())
+            .map(|(&id, _)| id)
+            .collect();
+        ids.sort_unstable();
+        for id in ids {
+            let state = self.sessions.get_mut(&id).expect("session present");
+            let open = encode_frame(
+                &Frame::OpenSession {
+                    id,
+                    vars: self.meta.vars,
+                    expected_len: state.expected_len,
+                    resume: true,
+                },
+                max,
+            )?;
+            stream.write_all(&open).map_err(ProtoError::Io)?;
+            for (i, row) in state.sent.iter().enumerate() {
+                let wire = encode_frame(
+                    &Frame::Observe {
+                        session: id,
+                        step: i as u64 + 1,
+                        row: row.clone(),
+                    },
+                    max,
+                )?;
+                stream.write_all(&wire).map_err(ProtoError::Io)?;
+            }
+            // Latency for replayed rows restarts at the replay — the
+            // disconnect's cost shows up in the tail, as it should.
+            for t in &mut state.send_times {
+                *t = now;
+            }
+        }
+        stream.flush().map_err(ProtoError::Io)
+    }
+}
+
+/// Dial + Hello exchange. Returns the connected stream (read timeout
+/// armed), its decoder, and the server's model info.
+fn dial(
+    addr: &str,
+    config: &ClientConfig,
+) -> Result<(TcpStream, FrameDecoder, ModelInfo), NetError> {
+    let mut stream = TcpStream::connect(addr).map_err(ProtoError::Io)?;
+    stream.set_nodelay(true).map_err(ProtoError::Io)?;
+    stream
+        .set_read_timeout(Some(config.read_poll))
+        .map_err(ProtoError::Io)?;
+    let hello = encode_frame(
+        &Frame::Hello {
+            version: PROTO_VERSION,
+            agent: config.agent.clone(),
+            meta: None,
+        },
+        config.max_frame_bytes,
+    )?;
+    stream
+        .write_all(&hello)
+        .and_then(|()| stream.flush())
+        .map_err(ProtoError::Io)?;
+    let mut dec = FrameDecoder::new(config.max_frame_bytes);
+    let started = Instant::now();
+    loop {
+        if let Some(frame) = dec.next_frame()? {
+            match frame {
+                Frame::Hello { version, meta, .. } => {
+                    if version != PROTO_VERSION {
+                        return Err(ProtoError::Version {
+                            got: version,
+                            want: PROTO_VERSION,
+                        }
+                        .into());
+                    }
+                    let Some(meta) = meta else {
+                        return Err(ProtoError::Corrupt(
+                            "server hello carried no model info".to_string(),
+                        )
+                        .into());
+                    };
+                    return Ok((stream, dec, meta));
+                }
+                Frame::Error { code, message, .. } => {
+                    return Err(NetError::Server { code, message });
+                }
+                other => {
+                    return Err(ProtoError::Corrupt(format!(
+                        "expected hello, got {} frame",
+                        other.kind_name()
+                    ))
+                    .into());
+                }
+            }
+        }
+        if started.elapsed() > config.handshake_timeout {
+            return Err(NetError::Timeout("server hello".to_string()));
+        }
+        match dec.read_from(&mut stream) {
+            Ok(0) => return Err(ProtoError::Closed.into()),
+            Ok(_) => {}
+            Err(ProtoError::Io(e))
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) => {}
+            Err(e) => return Err(e.into()),
+        }
+    }
+}

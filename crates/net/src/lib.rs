@@ -1,0 +1,43 @@
+//! # etsc-net
+//!
+//! The network edge of the streaming inference stack: everything the
+//! in-process `etsc-serve` scheduler can do, over a TCP socket, with
+//! zero dependencies beyond `std::net`.
+//!
+//! * [`proto`] — the versioned, length-prefixed, CRC-protected binary
+//!   wire protocol (Hello/OpenSession/Observe/Decision/CloseSession/
+//!   Shutdown/Error) with hard frame-size and queue-depth limits;
+//! * [`server`] — a multi-threaded TCP server: accept loop with
+//!   connection caps and accept-time shedding, per-connection
+//!   reader/writer threads bridging into [`etsc_serve::StreamSession`]
+//!   (deadlines, fallback policies, Block/Shed backpressure), seeded
+//!   server-side fault injection, `etsc-obs` instrumentation, and
+//!   graceful drain — in-flight sessions answered, new connections
+//!   refused;
+//! * [`client`] — a blocking client library multiplexing many sessions
+//!   over one connection, with reconnect-and-resume of open sessions
+//!   and the client-side fault hooks (torn frames, slow-loris writes,
+//!   mid-session disconnects) the chaos suite drives;
+//! * [`loadgen`] — the load-generator core shared by the `loadgen`
+//!   bench binary and the chaos tests: replays dataset streams over N
+//!   connections at a target rate and reports achieved decisions/sec
+//!   plus end-to-end p50/p99 latency.
+//!
+//! The paper's Figure 13 asks whether an algorithm's testing time per
+//! decision keeps up with the stream's observation frequency; this
+//! crate asks the production version of the same question — whether it
+//! keeps up *measured over a real socket*, framing, checksums, queues
+//! and all.
+
+pub mod client;
+pub mod loadgen;
+pub mod proto;
+pub mod server;
+
+pub use client::{Client, ClientConfig, Decision, NetError};
+pub use loadgen::{run_loadgen, LoadReport, LoadgenOptions};
+pub use proto::{
+    encode_frame, write_frame, DecisionKind, ErrorCode, Frame, FrameDecoder, ModelInfo, ProtoError,
+    HEADER_BYTES, MAX_FRAME_BYTES, MAX_PENDING_FRAMES, PROTO_VERSION,
+};
+pub use server::{NetServer, ServerConfig, ServerStats};

@@ -1,0 +1,346 @@
+//! Load-generator core: replay dataset streams against a live server
+//! over N connections and measure what actually comes back.
+//!
+//! This is the socketed counterpart of `etsc-serve`'s in-process
+//! replay: the same time-major feeding discipline (observation `t` of
+//! every session, then `t+1`), but through the full wire path —
+//! framing, checksums, kernel buffers, reader/writer threads, queue
+//! backpressure. The report carries achieved decisions/sec and
+//! end-to-end p50/p99 latency, the numbers `BENCH_baseline.json`
+//! places next to the in-process ones so the cost of the network edge
+//! is a measured quantity, not a guess.
+//!
+//! The same core drives the chaos suite: a seeded [`FaultPlan`] makes
+//! chosen sessions tear a frame, stall slow-loris, or drop their
+//! connection mid-stream, with the injected counts reported for
+//! attribution.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use etsc_data::Dataset;
+use etsc_eval::faults::{FaultPlan, FaultSchedule};
+use etsc_obs::Histogram;
+
+use crate::client::{Client, ClientConfig, NetError};
+
+/// Tuning knobs for [`run_loadgen`].
+#[derive(Debug, Clone)]
+pub struct LoadgenOptions {
+    /// Concurrent client connections.
+    pub connections: usize,
+    /// Total sessions, distributed round-robin across connections.
+    pub sessions: usize,
+    /// Target observation rate per connection (rows/sec); 0 = unpaced.
+    pub rate: f64,
+    /// Seeded client-side network faults (torn frames, disconnects,
+    /// slow-loris stalls), scheduled over all sessions.
+    pub faults: Option<FaultPlan>,
+    /// Connection configuration.
+    pub client: ClientConfig,
+    /// Budget for collecting outstanding decisions after the feed.
+    pub wait_timeout: Duration,
+    /// Ask the server to drain gracefully once everything is
+    /// collected, and wait for its Shutdown frame.
+    pub send_shutdown: bool,
+}
+
+impl Default for LoadgenOptions {
+    fn default() -> LoadgenOptions {
+        LoadgenOptions {
+            connections: 4,
+            sessions: 100,
+            rate: 0.0,
+            faults: None,
+            client: ClientConfig::default(),
+            wait_timeout: Duration::from_secs(30),
+            send_shutdown: false,
+        }
+    }
+}
+
+/// What a load run achieved and what it cost.
+#[derive(Debug, Default)]
+pub struct LoadReport {
+    /// Sessions the run opened.
+    pub sessions: usize,
+    /// Sessions answered with a decision.
+    pub decided: usize,
+    /// Decided sessions whose verdict was the algorithm's own trigger.
+    pub genuine: usize,
+    /// Decided sessions answered by a degraded fallback.
+    pub degraded: usize,
+    /// Sessions the server failed (evaluation error or worker panic).
+    pub failed: usize,
+    /// Sessions deliberately killed by an injected disconnect (the
+    /// server must account these as abandoned, not leak them).
+    pub disconnected: usize,
+    /// Sessions that got no answer within the wait budget — zero on a
+    /// healthy run.
+    pub dropped: usize,
+    /// Torn frames injected.
+    pub torn_frames: u64,
+    /// Slow-loris stalls injected.
+    pub loris_stalls: u64,
+    /// Client reconnects (each replays its open sessions).
+    pub reconnects: u64,
+    /// Observation rows delivered.
+    pub rows_sent: u64,
+    /// Wall-clock for the whole run.
+    pub wall: Duration,
+    /// End-to-end decision latency (seconds).
+    pub latency: Histogram,
+    /// Whether the server acknowledged the drain (when requested).
+    pub drained: bool,
+    /// Errors encountered, one line each.
+    pub errors: Vec<String>,
+}
+
+impl LoadReport {
+    /// Decisions per wall-clock second.
+    pub fn decisions_per_sec(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs > 0.0 {
+            self.decided as f64 / secs
+        } else {
+            0.0
+        }
+    }
+
+    /// Median end-to-end latency, milliseconds (0 when nothing was
+    /// decided).
+    pub fn p50_ms(&self) -> f64 {
+        self.latency.clone().p50().unwrap_or(0.0) * 1e3
+    }
+
+    /// Tail end-to-end latency, milliseconds (0 when nothing was
+    /// decided).
+    pub fn p99_ms(&self) -> f64 {
+        self.latency.clone().p99().unwrap_or(0.0) * 1e3
+    }
+
+    /// `true` when every non-disconnected session was answered or
+    /// failed with attribution — nothing silently dropped.
+    pub fn clean(&self) -> bool {
+        self.dropped == 0 && self.errors.is_empty()
+    }
+}
+
+/// Replays `data`'s instances as streaming sessions against the server
+/// at `addr`. Session `s` streams instance `s % data.len()`; sessions
+/// are spread round-robin over the connections and fed time-major.
+/// Failures are folded into [`LoadReport::errors`] rather than
+/// aborting the run — a load generator's job includes surviving the
+/// faults it injects.
+pub fn run_loadgen(addr: &str, data: &Dataset, opts: &LoadgenOptions) -> LoadReport {
+    let connections = opts.connections.max(1);
+    let sessions = opts.sessions.max(1);
+    let lens: Vec<usize> = (0..sessions)
+        .map(|s| data.instance(s % data.len()).len())
+        .collect();
+    let schedule = opts.faults.as_ref().map(|plan| plan.schedule(&lens));
+    let started = Instant::now();
+    let report = Mutex::new(LoadReport {
+        sessions,
+        ..LoadReport::default()
+    });
+    std::thread::scope(|scope| {
+        for conn_idx in 0..connections {
+            let report = &report;
+            let schedule = schedule.as_ref();
+            let mine: Vec<usize> = (conn_idx..sessions).step_by(connections).collect();
+            if mine.is_empty() {
+                continue;
+            }
+            scope.spawn(move || {
+                let partial = feed_connection(addr, data, opts, &mine, schedule);
+                merge(
+                    &mut report.lock().unwrap_or_else(|e| e.into_inner()),
+                    partial,
+                );
+            });
+        }
+    });
+    let mut report = report.into_inner().unwrap_or_else(|e| e.into_inner());
+    if opts.send_shutdown {
+        match drain_server(addr, &opts.client, opts.wait_timeout) {
+            Ok(()) => report.drained = true,
+            Err(e) => report.errors.push(format!("drain: {e}")),
+        }
+    }
+    report.wall = started.elapsed();
+    report
+}
+
+/// Everything one connection contributes to the final report.
+#[derive(Default)]
+struct Partial {
+    decided: usize,
+    genuine: usize,
+    degraded: usize,
+    failed: usize,
+    disconnected: usize,
+    dropped: usize,
+    torn_frames: u64,
+    loris_stalls: u64,
+    reconnects: u64,
+    rows_sent: u64,
+    latency: Histogram,
+    errors: Vec<String>,
+}
+
+fn merge(report: &mut LoadReport, p: Partial) {
+    report.decided += p.decided;
+    report.genuine += p.genuine;
+    report.degraded += p.degraded;
+    report.failed += p.failed;
+    report.disconnected += p.disconnected;
+    report.dropped += p.dropped;
+    report.torn_frames += p.torn_frames;
+    report.loris_stalls += p.loris_stalls;
+    report.reconnects += p.reconnects;
+    report.rows_sent += p.rows_sent;
+    report.latency.merge(&p.latency);
+    report.errors.extend(p.errors);
+}
+
+fn feed_connection(
+    addr: &str,
+    data: &Dataset,
+    opts: &LoadgenOptions,
+    mine: &[usize],
+    schedule: Option<&FaultSchedule>,
+) -> Partial {
+    let mut p = Partial::default();
+    let mut client = match Client::connect(addr, opts.client.clone()) {
+        Ok(c) => c,
+        Err(e) => {
+            p.errors.push(format!("connect: {e}"));
+            p.dropped = mine.len();
+            return p;
+        }
+    };
+    if client.meta().vars != data.vars() {
+        p.errors.push(format!(
+            "model expects {} variables, dataset has {}",
+            client.meta().vars,
+            data.vars()
+        ));
+        p.dropped = mine.len();
+        return p;
+    }
+    let mut ids: HashMap<usize, u64> = HashMap::new();
+    for &s in mine {
+        match client.open_session(data.instance(s % data.len()).len()) {
+            Ok(id) => {
+                ids.insert(s, id);
+            }
+            Err(e) => {
+                p.errors.push(format!("open session {s}: {e}"));
+                p.dropped += 1;
+            }
+        }
+    }
+    let interval = if opts.rate > 0.0 {
+        Duration::from_secs_f64(1.0 / opts.rate)
+    } else {
+        Duration::ZERO
+    };
+    let mut next_send = Instant::now();
+    let mut disconnected: HashSet<usize> = HashSet::new();
+    let max_len = mine
+        .iter()
+        .map(|&s| data.instance(s % data.len()).len())
+        .max()
+        .unwrap_or(0);
+    'feed: for t in 0..max_len {
+        let step = t + 1;
+        for &s in mine {
+            if disconnected.contains(&s) {
+                continue;
+            }
+            let Some(&id) = ids.get(&s) else { continue };
+            let inst = data.instance(s % data.len());
+            if t >= inst.len() || client.outcome(id).is_some() {
+                continue;
+            }
+            let row: Vec<f64> = (0..inst.vars()).map(|v| inst.at(v, t)).collect();
+            let sent = if let Some(sched) = schedule {
+                if sched.disconnects_at(s, step) {
+                    if let Err(e) = client.inject_disconnect(id) {
+                        p.errors.push(format!("session {s} disconnect: {e}"));
+                        break 'feed;
+                    }
+                    p.disconnected += 1;
+                    disconnected.insert(s);
+                    continue;
+                }
+                if sched.tears_at(s, step) {
+                    if let Err(e) = client.inject_torn_frame(id, &row) {
+                        p.errors.push(format!("session {s} torn frame: {e}"));
+                        break 'feed;
+                    }
+                }
+                if let Some(stall) = sched.loris_at(s, step) {
+                    client.inject_loris(id, &row, stall)
+                } else {
+                    client.observe(id, &row)
+                }
+            } else {
+                client.observe(id, &row)
+            };
+            if let Err(e) = sent {
+                p.errors.push(format!("session {s} step {step}: {e}"));
+                break 'feed;
+            }
+            p.rows_sent += 1;
+            if interval > Duration::ZERO {
+                next_send += interval;
+                let now = Instant::now();
+                if next_send > now {
+                    std::thread::sleep(next_send - now);
+                }
+            }
+        }
+        if let Err(e) = client.poll() {
+            p.errors.push(format!("poll at step {step}: {e}"));
+            break 'feed;
+        }
+    }
+    // Collect everything still owed.
+    for &s in mine {
+        if disconnected.contains(&s) {
+            continue;
+        }
+        let Some(&id) = ids.get(&s) else { continue };
+        match client.wait_decision(id, opts.wait_timeout) {
+            Ok(d) => {
+                p.decided += 1;
+                if d.kind.is_degraded() {
+                    p.degraded += 1;
+                } else {
+                    p.genuine += 1;
+                }
+                p.latency.record(d.latency.as_secs_f64());
+            }
+            Err(NetError::SessionFailed { .. }) => p.failed += 1,
+            Err(e) => {
+                p.dropped += 1;
+                p.errors.push(format!("session {s}: {e}"));
+            }
+        }
+    }
+    let stats = client.stats();
+    p.torn_frames = stats.torn_frames;
+    p.loris_stalls = stats.loris_stalls;
+    p.reconnects = stats.reconnects;
+    p
+}
+
+/// Opens a throwaway connection to request and await the drain.
+fn drain_server(addr: &str, config: &ClientConfig, timeout: Duration) -> Result<(), NetError> {
+    let mut client = Client::connect(addr, config.clone())?;
+    client.shutdown_server()?;
+    client.wait_drain(timeout)
+}

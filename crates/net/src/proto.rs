@@ -1,0 +1,901 @@
+//! The ETSC wire protocol: versioned, length-prefixed, CRC-protected
+//! binary frames.
+//!
+//! Every frame on the wire is
+//!
+//! ```text
+//! | len: u32 LE | crc: u64 LE | payload (len bytes) |
+//! ```
+//!
+//! where `crc` is the CRC-64/XZ of the payload (the same checksum the
+//! model store uses) and the payload is one tag byte followed by the
+//! frame body in [`etsc_data::codec`] conventions — all scalars
+//! little-endian, floats as IEEE-754 bit patterns, strings and vectors
+//! length-prefixed. A connection starts with a [`Frame::Hello`]
+//! exchange carrying [`PROTO_VERSION`]; everything after is sessions:
+//! `OpenSession` → `Observe`* → `Decision`, with `Error` for per-frame
+//! failures and `Shutdown` to request a graceful drain.
+//!
+//! Hard limits: a frame advertising more than the decoder's
+//! `max_frame` bytes (default [`MAX_FRAME_BYTES`]) is rejected before
+//! any allocation, and servers cap the outbound queue per connection
+//! at [`MAX_PENDING_FRAMES`] (see `server.rs`). Framing errors are
+//! never silent — every malformed input maps to a structured
+//! [`ProtoError`].
+
+use std::fmt;
+use std::io::{self, Read, Write};
+
+use etsc_data::codec::{crc64, CodecError, Decoder, Encoder};
+
+/// Protocol version sent in [`Frame::Hello`]; peers with a different
+/// version are refused.
+pub const PROTO_VERSION: u32 = 1;
+
+/// Bytes of wire framing before the payload: `len: u32` + `crc: u64`.
+pub const HEADER_BYTES: usize = 12;
+
+/// Default ceiling on a single frame's payload size. Generous for any
+/// realistic observation row (a 256 KiB frame holds a 32k-variable
+/// row) while bounding what one peer can make the other allocate.
+pub const MAX_FRAME_BYTES: usize = 256 * 1024;
+
+/// Default ceiling on encoded frames queued for write on one
+/// connection before backpressure (block or shed) kicks in.
+pub const MAX_PENDING_FRAMES: usize = 1024;
+
+const TAG_HELLO: u8 = 1;
+const TAG_OPEN: u8 = 2;
+const TAG_OBSERVE: u8 = 3;
+const TAG_DECISION: u8 = 4;
+const TAG_CLOSE: u8 = 5;
+const TAG_SHUTDOWN: u8 = 6;
+const TAG_ERROR: u8 = 7;
+
+/// Shape of the model a server is exposing, sent in its
+/// [`Frame::Hello`] reply so clients (and the load generator) know
+/// what to stream without out-of-band coordination.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModelInfo {
+    /// Algorithm name (`AlgoSpec::name`).
+    pub algo: String,
+    /// Dataset the model was trained on.
+    pub dataset: String,
+    /// Variables per observation row.
+    pub vars: usize,
+    /// Training series length (the natural `expected_len`).
+    pub train_len: usize,
+    /// Re-evaluation batch granularity (1 = per point).
+    pub batch: usize,
+    /// Dense training-prior label used for degraded verdicts.
+    pub prior_label: usize,
+    /// Class names indexed by dense label.
+    pub classes: Vec<String>,
+}
+
+impl ModelInfo {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.str(&self.algo);
+        enc.str(&self.dataset);
+        enc.usize(self.vars);
+        enc.usize(self.train_len);
+        enc.usize(self.batch);
+        enc.usize(self.prior_label);
+        enc.usize(self.classes.len());
+        for c in &self.classes {
+            enc.str(c);
+        }
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> Result<ModelInfo, ProtoError> {
+        let algo = dec.str()?;
+        let dataset = dec.str()?;
+        let vars = dec.usize()?;
+        let train_len = dec.usize()?;
+        let batch = dec.usize()?;
+        let prior_label = dec.usize()?;
+        let n = dec.usize()?;
+        if n > dec.remaining() {
+            return Err(ProtoError::Corrupt(format!(
+                "model info claims {n} classes but only {} bytes remain",
+                dec.remaining()
+            )));
+        }
+        let mut classes = Vec::with_capacity(n);
+        for _ in 0..n {
+            classes.push(dec.str()?);
+        }
+        Ok(ModelInfo {
+            algo,
+            dataset,
+            vars,
+            train_len,
+            batch,
+            prior_label,
+            classes,
+        })
+    }
+}
+
+/// Why a [`Frame::Decision`] verdict is (or is not) degraded — the
+/// wire image of `Option<etsc_serve::FallbackKind>`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecisionKind {
+    /// The algorithm's own trigger fired.
+    Genuine,
+    /// Deadline breach answered with the training prior.
+    DeadlinePrior,
+    /// Deadline breach answered by a forced evaluation.
+    DeadlineForced,
+    /// Graceful drain answered with the training prior.
+    DrainPrior,
+    /// Graceful drain answered by a forced evaluation.
+    DrainForced,
+}
+
+impl DecisionKind {
+    /// `true` for any verdict that is not the algorithm's own trigger.
+    pub fn is_degraded(self) -> bool {
+        !matches!(self, DecisionKind::Genuine)
+    }
+
+    /// Stable kebab-case label for reports and CLI output.
+    pub fn name(self) -> &'static str {
+        match self {
+            DecisionKind::Genuine => "genuine",
+            DecisionKind::DeadlinePrior => "deadline-prior",
+            DecisionKind::DeadlineForced => "deadline-forced",
+            DecisionKind::DrainPrior => "drain-prior",
+            DecisionKind::DrainForced => "drain-forced",
+        }
+    }
+
+    fn to_u8(self) -> u8 {
+        match self {
+            DecisionKind::Genuine => 0,
+            DecisionKind::DeadlinePrior => 1,
+            DecisionKind::DeadlineForced => 2,
+            DecisionKind::DrainPrior => 3,
+            DecisionKind::DrainForced => 4,
+        }
+    }
+
+    fn from_u8(v: u8) -> Result<DecisionKind, ProtoError> {
+        Ok(match v {
+            0 => DecisionKind::Genuine,
+            1 => DecisionKind::DeadlinePrior,
+            2 => DecisionKind::DeadlineForced,
+            3 => DecisionKind::DrainPrior,
+            4 => DecisionKind::DrainForced,
+            other => {
+                return Err(ProtoError::Corrupt(format!(
+                    "unknown decision kind {other}"
+                )))
+            }
+        })
+    }
+}
+
+/// Machine-readable reason carried by [`Frame::Error`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The peer sent a frame the receiver could not act on.
+    BadFrame,
+    /// Observe/Close referenced a session id never opened here.
+    UnknownSession,
+    /// Per-connection session cap reached.
+    SessionLimit,
+    /// Accept-time or queue-time shedding: the server is at capacity.
+    Overloaded,
+    /// The observation shape does not match the served model.
+    Incompatible,
+    /// The server is draining and refuses new work.
+    Draining,
+    /// Reader idle too long (slow-loris guard).
+    IdleTimeout,
+    /// Unexpected server-side failure (e.g. a worker panic).
+    Internal,
+}
+
+impl ErrorCode {
+    fn to_u8(self) -> u8 {
+        match self {
+            ErrorCode::BadFrame => 0,
+            ErrorCode::UnknownSession => 1,
+            ErrorCode::SessionLimit => 2,
+            ErrorCode::Overloaded => 3,
+            ErrorCode::Incompatible => 4,
+            ErrorCode::Draining => 5,
+            ErrorCode::IdleTimeout => 6,
+            ErrorCode::Internal => 7,
+        }
+    }
+
+    fn from_u8(v: u8) -> Result<ErrorCode, ProtoError> {
+        Ok(match v {
+            0 => ErrorCode::BadFrame,
+            1 => ErrorCode::UnknownSession,
+            2 => ErrorCode::SessionLimit,
+            3 => ErrorCode::Overloaded,
+            4 => ErrorCode::Incompatible,
+            5 => ErrorCode::Draining,
+            6 => ErrorCode::IdleTimeout,
+            7 => ErrorCode::Internal,
+            other => return Err(ProtoError::Corrupt(format!("unknown error code {other}"))),
+        })
+    }
+}
+
+impl fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ErrorCode::BadFrame => "bad-frame",
+            ErrorCode::UnknownSession => "unknown-session",
+            ErrorCode::SessionLimit => "session-limit",
+            ErrorCode::Overloaded => "overloaded",
+            ErrorCode::Incompatible => "incompatible",
+            ErrorCode::Draining => "draining",
+            ErrorCode::IdleTimeout => "idle-timeout",
+            ErrorCode::Internal => "internal",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One protocol frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    /// Connection handshake. The client sends `meta: None`; the server
+    /// replies with the served model's [`ModelInfo`].
+    Hello {
+        /// Protocol version ([`PROTO_VERSION`]).
+        version: u32,
+        /// Free-form peer identification for traces and logs.
+        agent: String,
+        /// Served model shape (server → client only).
+        meta: Option<ModelInfo>,
+    },
+    /// Opens (or, with `resume`, re-opens after a reconnect) a
+    /// streaming session. Ids are chosen by the client and scoped to
+    /// the connection.
+    OpenSession {
+        /// Client-chosen session id, unique per connection.
+        id: u64,
+        /// Variables per observation row.
+        vars: usize,
+        /// Full series length, so the final row forces a decision.
+        expected_len: usize,
+        /// `true` when this re-opens a session interrupted by a
+        /// disconnect; the client replays buffered observations.
+        resume: bool,
+    },
+    /// One observation row for an open session. `step` is 1-based and
+    /// must advance by exactly one per row.
+    Observe {
+        /// Session id from [`Frame::OpenSession`].
+        session: u64,
+        /// 1-based index of this row in the stream.
+        step: u64,
+        /// One value per variable.
+        row: Vec<f64>,
+    },
+    /// The committed verdict for a session (server → client).
+    Decision {
+        /// Session id the verdict answers.
+        session: u64,
+        /// Dense class label.
+        label: u64,
+        /// Prefix length the commitment was made at.
+        prefix_len: u64,
+        /// Whether the verdict is genuine or degraded (and how).
+        kind: DecisionKind,
+    },
+    /// Abandons a session before its decision (client → server).
+    CloseSession {
+        /// Session id to abandon.
+        session: u64,
+    },
+    /// Requests a graceful drain: the server force-decides in-flight
+    /// sessions, answers them, and stops accepting.
+    Shutdown,
+    /// A structured failure, fatal to one session (`session: Some`) or
+    /// to the connection (`session: None`).
+    Error {
+        /// Machine-readable reason.
+        code: ErrorCode,
+        /// Affected session, when the failure is session-scoped.
+        session: Option<u64>,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+impl Frame {
+    /// Short frame-type name for counters and histograms.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            Frame::Hello { .. } => "hello",
+            Frame::OpenSession { .. } => "open",
+            Frame::Observe { .. } => "observe",
+            Frame::Decision { .. } => "decision",
+            Frame::CloseSession { .. } => "close",
+            Frame::Shutdown => "shutdown",
+            Frame::Error { .. } => "error",
+        }
+    }
+
+    /// Encodes the payload (tag + body) without wire framing.
+    pub fn encode_payload(&self) -> Vec<u8> {
+        let mut enc = Encoder::new();
+        match self {
+            Frame::Hello {
+                version,
+                agent,
+                meta,
+            } => {
+                enc.tag(TAG_HELLO);
+                enc.u64(u64::from(*version));
+                enc.str(agent);
+                enc.bool(meta.is_some());
+                if let Some(meta) = meta {
+                    meta.encode(&mut enc);
+                }
+            }
+            Frame::OpenSession {
+                id,
+                vars,
+                expected_len,
+                resume,
+            } => {
+                enc.tag(TAG_OPEN);
+                enc.u64(*id);
+                enc.usize(*vars);
+                enc.usize(*expected_len);
+                enc.bool(*resume);
+            }
+            Frame::Observe { session, step, row } => {
+                enc.tag(TAG_OBSERVE);
+                enc.u64(*session);
+                enc.u64(*step);
+                enc.f64s(row);
+            }
+            Frame::Decision {
+                session,
+                label,
+                prefix_len,
+                kind,
+            } => {
+                enc.tag(TAG_DECISION);
+                enc.u64(*session);
+                enc.u64(*label);
+                enc.u64(*prefix_len);
+                enc.tag(kind.to_u8());
+            }
+            Frame::CloseSession { session } => {
+                enc.tag(TAG_CLOSE);
+                enc.u64(*session);
+            }
+            Frame::Shutdown => {
+                enc.tag(TAG_SHUTDOWN);
+            }
+            Frame::Error {
+                code,
+                session,
+                message,
+            } => {
+                enc.tag(TAG_ERROR);
+                enc.tag(code.to_u8());
+                enc.bool(session.is_some());
+                enc.u64(session.unwrap_or(0));
+                enc.str(message);
+            }
+        }
+        enc.into_bytes()
+    }
+
+    /// Decodes a payload (tag + body) produced by
+    /// [`Frame::encode_payload`]. The whole payload must be consumed —
+    /// trailing bytes are corruption, not extensibility.
+    ///
+    /// # Errors
+    /// [`ProtoError::UnknownTag`] / [`ProtoError::Codec`] /
+    /// [`ProtoError::Corrupt`] on any malformed input.
+    pub fn decode_payload(payload: &[u8]) -> Result<Frame, ProtoError> {
+        let mut dec = Decoder::new(payload);
+        let tag = dec.tag()?;
+        let frame = match tag {
+            TAG_HELLO => {
+                let version = dec.u64()?;
+                let version = u32::try_from(version)
+                    .map_err(|_| ProtoError::Corrupt(format!("hello version {version}")))?;
+                let agent = dec.str()?;
+                let meta = if dec.bool()? {
+                    Some(ModelInfo::decode(&mut dec)?)
+                } else {
+                    None
+                };
+                Frame::Hello {
+                    version,
+                    agent,
+                    meta,
+                }
+            }
+            TAG_OPEN => {
+                let id = dec.u64()?;
+                let vars = dec.usize()?;
+                let expected_len = dec.usize()?;
+                let resume = dec.bool()?;
+                if vars == 0 || expected_len == 0 {
+                    return Err(ProtoError::Corrupt(format!(
+                        "open session {id}: vars={vars} expected_len={expected_len}"
+                    )));
+                }
+                Frame::OpenSession {
+                    id,
+                    vars,
+                    expected_len,
+                    resume,
+                }
+            }
+            TAG_OBSERVE => {
+                let session = dec.u64()?;
+                let step = dec.u64()?;
+                let row = dec.f64s()?;
+                if row.is_empty() {
+                    return Err(ProtoError::Corrupt(format!(
+                        "observe session {session}: empty row"
+                    )));
+                }
+                Frame::Observe { session, step, row }
+            }
+            TAG_DECISION => Frame::Decision {
+                session: dec.u64()?,
+                label: dec.u64()?,
+                prefix_len: dec.u64()?,
+                kind: DecisionKind::from_u8(dec.tag()?)?,
+            },
+            TAG_CLOSE => Frame::CloseSession {
+                session: dec.u64()?,
+            },
+            TAG_SHUTDOWN => Frame::Shutdown,
+            TAG_ERROR => {
+                let code = ErrorCode::from_u8(dec.tag()?)?;
+                let has_session = dec.bool()?;
+                let session = dec.u64()?;
+                Frame::Error {
+                    code,
+                    session: has_session.then_some(session),
+                    message: dec.str()?,
+                }
+            }
+            other => return Err(ProtoError::UnknownTag(other)),
+        };
+        if !dec.is_exhausted() {
+            return Err(ProtoError::Corrupt(format!(
+                "{} bytes trailing after {} frame",
+                dec.remaining(),
+                frame.kind_name()
+            )));
+        }
+        Ok(frame)
+    }
+}
+
+/// Encodes a frame into its full wire image (header + payload).
+///
+/// # Errors
+/// [`ProtoError::TooLarge`] when the payload exceeds `max_frame`.
+pub fn encode_frame(frame: &Frame, max_frame: usize) -> Result<Vec<u8>, ProtoError> {
+    let payload = frame.encode_payload();
+    if payload.len() > max_frame {
+        return Err(ProtoError::TooLarge {
+            len: payload.len(),
+            max: max_frame,
+        });
+    }
+    let mut wire = Vec::with_capacity(HEADER_BYTES + payload.len());
+    wire.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    wire.extend_from_slice(&crc64(&payload).to_le_bytes());
+    wire.extend_from_slice(&payload);
+    Ok(wire)
+}
+
+/// Encodes and writes one frame.
+///
+/// # Errors
+/// [`ProtoError::TooLarge`] / [`ProtoError::Io`].
+pub fn write_frame<W: Write>(w: &mut W, frame: &Frame, max_frame: usize) -> Result<(), ProtoError> {
+    let wire = encode_frame(frame, max_frame)?;
+    w.write_all(&wire).map_err(ProtoError::Io)?;
+    w.flush().map_err(ProtoError::Io)
+}
+
+/// Incremental frame decoder: feed raw bytes in arbitrary chunks, pull
+/// complete frames out. Byte-stream reassembly and limits live here so
+/// both the server reader threads and the client share one
+/// implementation — and so the robustness suite can drive it directly.
+#[derive(Debug)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+    start: usize,
+    max_frame: usize,
+}
+
+impl FrameDecoder {
+    /// A decoder enforcing the given per-frame payload ceiling.
+    pub fn new(max_frame: usize) -> FrameDecoder {
+        FrameDecoder {
+            buf: Vec::new(),
+            start: 0,
+            max_frame,
+        }
+    }
+
+    /// Bytes buffered but not yet consumed as frames.
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.start
+    }
+
+    /// Appends raw bytes from the wire.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        // Reclaim consumed prefix before growing, so the buffer stays
+        // bounded by one frame plus one read chunk.
+        if self.start > 0 && (self.start >= 4096 || self.start == self.buf.len()) {
+            self.buf.drain(..self.start);
+            self.start = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Reads one chunk from `r` into the decoder.
+    ///
+    /// Returns the number of bytes read — 0 means clean EOF. Timeouts
+    /// (`WouldBlock`/`TimedOut`) are surfaced as `Io` for the caller's
+    /// poll loop to classify.
+    ///
+    /// # Errors
+    /// [`ProtoError::Io`].
+    pub fn read_from<R: Read>(&mut self, r: &mut R) -> Result<usize, ProtoError> {
+        let mut chunk = [0u8; 8192];
+        let n = r.read(&mut chunk).map_err(ProtoError::Io)?;
+        self.feed(&chunk[..n]);
+        Ok(n)
+    }
+
+    /// Pulls the next complete frame, or `None` when more bytes are
+    /// needed.
+    ///
+    /// Recoverable payload errors (checksum mismatch, undecodable
+    /// payload) consume the offending frame, so a test harness can keep
+    /// scanning; [`ProtoError::TooLarge`] does not — an oversized
+    /// length field means framing itself is untrusted and the
+    /// connection must be dropped.
+    ///
+    /// # Errors
+    /// [`ProtoError::TooLarge`] / [`ProtoError::Checksum`] /
+    /// [`ProtoError::UnknownTag`] / [`ProtoError::Codec`] /
+    /// [`ProtoError::Corrupt`].
+    pub fn next_frame(&mut self) -> Result<Option<Frame>, ProtoError> {
+        if self.buffered() < HEADER_BYTES {
+            return Ok(None);
+        }
+        let b = &self.buf[self.start..];
+        let len = u32::from_le_bytes([b[0], b[1], b[2], b[3]]) as usize;
+        if len > self.max_frame {
+            return Err(ProtoError::TooLarge {
+                len,
+                max: self.max_frame,
+            });
+        }
+        if self.buffered() < HEADER_BYTES + len {
+            return Ok(None);
+        }
+        let expected = u64::from_le_bytes([b[4], b[5], b[6], b[7], b[8], b[9], b[10], b[11]]);
+        let payload = &b[HEADER_BYTES..HEADER_BYTES + len];
+        let got = crc64(payload);
+        let result = if got != expected {
+            Err(ProtoError::Checksum { expected, got })
+        } else {
+            Frame::decode_payload(payload).map(Some)
+        };
+        self.start += HEADER_BYTES + len;
+        result
+    }
+
+    /// Declares the byte stream over: any bytes still buffered are a
+    /// torn frame.
+    ///
+    /// # Errors
+    /// [`ProtoError::Truncated`].
+    pub fn finish(&self) -> Result<(), ProtoError> {
+        if self.buffered() > 0 {
+            return Err(ProtoError::Truncated {
+                buffered: self.buffered(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Everything that can go wrong on the wire.
+#[derive(Debug)]
+pub enum ProtoError {
+    /// Socket-level failure (including read timeouts, which poll loops
+    /// classify via [`io::Error::kind`]).
+    Io(io::Error),
+    /// A frame advertised a payload larger than the negotiated cap.
+    TooLarge {
+        /// Advertised payload length.
+        len: usize,
+        /// The enforced ceiling.
+        max: usize,
+    },
+    /// Payload bytes did not match the frame checksum.
+    Checksum {
+        /// CRC carried in the header.
+        expected: u64,
+        /// CRC computed over the received payload.
+        got: u64,
+    },
+    /// The payload's leading tag names no known frame type.
+    UnknownTag(u8),
+    /// The payload body was undecodable.
+    Codec(CodecError),
+    /// The payload decoded but violated protocol invariants.
+    Corrupt(String),
+    /// The stream ended mid-frame.
+    Truncated {
+        /// Bytes of the torn frame that did arrive.
+        buffered: usize,
+    },
+    /// Handshake version mismatch.
+    Version {
+        /// Version the peer announced.
+        got: u32,
+        /// Version this end speaks.
+        want: u32,
+    },
+    /// The connection is gone (clean close where a frame was needed).
+    Closed,
+}
+
+impl fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtoError::Io(e) => write!(f, "socket error: {e}"),
+            ProtoError::TooLarge { len, max } => {
+                write!(f, "frame of {len} bytes exceeds the {max}-byte cap")
+            }
+            ProtoError::Checksum { expected, got } => write!(
+                f,
+                "frame checksum mismatch: header {expected:#018x}, payload {got:#018x}"
+            ),
+            ProtoError::UnknownTag(tag) => write!(f, "unknown frame tag {tag}"),
+            ProtoError::Codec(e) => write!(f, "undecodable frame payload: {e}"),
+            ProtoError::Corrupt(detail) => write!(f, "corrupt frame: {detail}"),
+            ProtoError::Truncated { buffered } => {
+                write!(f, "stream ended mid-frame with {buffered} bytes buffered")
+            }
+            ProtoError::Version { got, want } => {
+                write!(f, "peer speaks protocol v{got}, this end v{want}")
+            }
+            ProtoError::Closed => f.write_str("connection closed"),
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ProtoError::Io(e) => Some(e),
+            ProtoError::Codec(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CodecError> for ProtoError {
+    fn from(e: CodecError) -> ProtoError {
+        ProtoError::Codec(e)
+    }
+}
+
+impl From<io::Error> for ProtoError {
+    fn from(e: io::Error) -> ProtoError {
+        ProtoError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_frames() -> Vec<Frame> {
+        vec![
+            Frame::Hello {
+                version: PROTO_VERSION,
+                agent: "test-client".into(),
+                meta: None,
+            },
+            Frame::Hello {
+                version: PROTO_VERSION,
+                agent: "test-server".into(),
+                meta: Some(ModelInfo {
+                    algo: "ects".into(),
+                    dataset: "PowerCons".into(),
+                    vars: 1,
+                    train_len: 144,
+                    batch: 1,
+                    prior_label: 0,
+                    classes: vec!["warm".into(), "cold".into()],
+                }),
+            },
+            Frame::OpenSession {
+                id: 7,
+                vars: 2,
+                expected_len: 20,
+                resume: true,
+            },
+            Frame::Observe {
+                session: 7,
+                step: 3,
+                row: vec![1.5, -2.25, f64::NAN],
+            },
+            Frame::Decision {
+                session: 7,
+                label: 1,
+                prefix_len: 9,
+                kind: DecisionKind::DrainForced,
+            },
+            Frame::CloseSession { session: 7 },
+            Frame::Shutdown,
+            Frame::Error {
+                code: ErrorCode::Overloaded,
+                session: Some(7),
+                message: "queue full".into(),
+            },
+            Frame::Error {
+                code: ErrorCode::Draining,
+                session: None,
+                message: String::new(),
+            },
+        ]
+    }
+
+    fn frames_equal(a: &Frame, b: &Frame) -> bool {
+        // NaN-tolerant comparison for Observe rows.
+        match (a, b) {
+            (
+                Frame::Observe {
+                    session: s1,
+                    step: t1,
+                    row: r1,
+                },
+                Frame::Observe {
+                    session: s2,
+                    step: t2,
+                    row: r2,
+                },
+            ) => {
+                s1 == s2
+                    && t1 == t2
+                    && r1.len() == r2.len()
+                    && r1.iter().zip(r2).all(|(x, y)| x.to_bits() == y.to_bits())
+            }
+            _ => a == b,
+        }
+    }
+
+    #[test]
+    fn frames_roundtrip_through_decoder_in_single_byte_chunks() {
+        let frames = sample_frames();
+        let mut wire = Vec::new();
+        for f in &frames {
+            wire.extend_from_slice(&encode_frame(f, MAX_FRAME_BYTES).unwrap());
+        }
+        let mut dec = FrameDecoder::new(MAX_FRAME_BYTES);
+        let mut out = Vec::new();
+        for &b in &wire {
+            dec.feed(&[b]);
+            while let Some(f) = dec.next_frame().unwrap() {
+                out.push(f);
+            }
+        }
+        dec.finish().unwrap();
+        assert_eq!(out.len(), frames.len());
+        for (a, b) in frames.iter().zip(&out) {
+            assert!(frames_equal(a, b), "{a:?} != {b:?}");
+        }
+    }
+
+    #[test]
+    fn checksum_flip_is_detected_and_decoder_resyncs() {
+        let f1 = Frame::CloseSession { session: 1 };
+        let f2 = Frame::Shutdown;
+        let mut wire = encode_frame(&f1, MAX_FRAME_BYTES).unwrap();
+        let flip = HEADER_BYTES + 2; // corrupt a payload byte of f1
+        wire[flip] ^= 0x40;
+        wire.extend_from_slice(&encode_frame(&f2, MAX_FRAME_BYTES).unwrap());
+        let mut dec = FrameDecoder::new(MAX_FRAME_BYTES);
+        dec.feed(&wire);
+        assert!(matches!(dec.next_frame(), Err(ProtoError::Checksum { .. })));
+        // The corrupt frame was consumed; the next one still decodes.
+        assert_eq!(dec.next_frame().unwrap(), Some(Frame::Shutdown));
+        dec.finish().unwrap();
+    }
+
+    #[test]
+    fn oversized_frames_are_rejected_on_both_paths() {
+        let big = Frame::Observe {
+            session: 1,
+            step: 1,
+            row: vec![0.0; 1024],
+        };
+        assert!(matches!(
+            encode_frame(&big, 64),
+            Err(ProtoError::TooLarge { .. })
+        ));
+        // A length field beyond the cap is rejected before buffering
+        // the advertised payload.
+        let mut dec = FrameDecoder::new(64);
+        let wire = encode_frame(&big, MAX_FRAME_BYTES).unwrap();
+        dec.feed(&wire[..HEADER_BYTES]);
+        assert!(matches!(
+            dec.next_frame(),
+            Err(ProtoError::TooLarge { len: _, max: 64 })
+        ));
+    }
+
+    #[test]
+    fn semantic_invariants_are_enforced() {
+        // Unknown tag.
+        let mut enc = Encoder::new();
+        enc.tag(99);
+        assert!(matches!(
+            Frame::decode_payload(&enc.into_bytes()),
+            Err(ProtoError::UnknownTag(99))
+        ));
+        // Trailing bytes after a valid frame.
+        let mut payload = Frame::Shutdown.encode_payload();
+        payload.push(0);
+        assert!(matches!(
+            Frame::decode_payload(&payload),
+            Err(ProtoError::Corrupt(_))
+        ));
+        // Zero-variable open and empty observe rows.
+        let mut enc = Encoder::new();
+        enc.tag(super::TAG_OPEN);
+        enc.u64(1);
+        enc.usize(0);
+        enc.usize(10);
+        enc.bool(false);
+        assert!(matches!(
+            Frame::decode_payload(&enc.into_bytes()),
+            Err(ProtoError::Corrupt(_))
+        ));
+        let mut enc = Encoder::new();
+        enc.tag(super::TAG_OBSERVE);
+        enc.u64(1);
+        enc.u64(1);
+        enc.f64s(&[]);
+        assert!(matches!(
+            Frame::decode_payload(&enc.into_bytes()),
+            Err(ProtoError::Corrupt(_))
+        ));
+        // Truncated payload body.
+        let payload = Frame::CloseSession { session: 9 }.encode_payload();
+        assert!(matches!(
+            Frame::decode_payload(&payload[..payload.len() - 1]),
+            Err(ProtoError::Codec(_))
+        ));
+    }
+
+    #[test]
+    fn finish_reports_torn_tail() {
+        let wire = encode_frame(&Frame::Shutdown, MAX_FRAME_BYTES).unwrap();
+        let mut dec = FrameDecoder::new(MAX_FRAME_BYTES);
+        dec.feed(&wire[..wire.len() - 1]);
+        assert!(dec.next_frame().unwrap().is_none());
+        assert!(matches!(dec.finish(), Err(ProtoError::Truncated { .. })));
+    }
+}

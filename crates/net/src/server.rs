@@ -1,0 +1,978 @@
+//! Multi-threaded TCP server bridging the wire protocol into the
+//! `etsc-serve` session machinery.
+//!
+//! Thread model: one accept loop plus, per connection, a reader thread
+//! (owning the connection's [`etsc_serve::StreamSession`]s and
+//! evaluating inline, exactly like a scheduler worker) and a writer
+//! thread draining a bounded outbound queue. The queue honours the
+//! scheduler's [`Backpressure`] contract — `Block` makes the reader
+//! wait (lossless), `Shed` drops the frame and counts it. Deadlines
+//! and fallback policies are the session's own
+//! ([`etsc_serve::DeadlineConfig`]); the server adds the network
+//! concerns: connection caps with accept-time shedding, a slow-loris
+//! idle guard, seeded fault injection on the evaluation path, and a
+//! graceful drain that force-decides in-flight sessions before the
+//! socket closes.
+
+use std::collections::{HashMap, HashSet};
+use std::io::Write as _;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use etsc_eval::experiment::RunConfig;
+use etsc_eval::faults::{FaultPlan, FaultSchedule};
+use etsc_obs::Obs;
+use etsc_serve::{Backpressure, DeadlineConfig, FallbackKind, StoredModel, StreamSession};
+
+use crate::proto::{
+    encode_frame, DecisionKind, ErrorCode, Frame, FrameDecoder, ModelInfo, ProtoError,
+    MAX_FRAME_BYTES, MAX_PENDING_FRAMES, PROTO_VERSION,
+};
+
+/// Tuning knobs for [`NetServer`].
+#[derive(Clone)]
+pub struct ServerConfig {
+    /// Concurrent connections before accept-time shedding.
+    pub max_connections: usize,
+    /// Open sessions per connection before `SessionLimit` errors.
+    pub max_sessions_per_conn: usize,
+    /// Per-frame payload ceiling (both directions).
+    pub max_frame_bytes: usize,
+    /// Outbound frames queued per connection before backpressure.
+    pub max_pending_frames: usize,
+    /// What a full outbound queue does to the reader: block (lossless)
+    /// or shed the frame.
+    pub backpressure: Backpressure,
+    /// Per-evaluation decision deadline applied to every session.
+    pub deadline: Option<DeadlineConfig>,
+    /// Reader poll granularity — how often blocked reads re-check the
+    /// drain flag.
+    pub read_poll: Duration,
+    /// Silence budget per connection (slow-loris guard).
+    pub idle_timeout: Duration,
+    /// Seeded server-side fault plan (worker panics, evaluation
+    /// delays), scheduled over [`ServerConfig::fault_horizon`].
+    pub faults: Option<FaultPlan>,
+    /// Number of (arrival-ordered) sessions the fault schedule covers.
+    pub fault_horizon: usize,
+    /// Tracing + metrics sink.
+    pub obs: Obs,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            max_connections: 64,
+            max_sessions_per_conn: 1024,
+            max_frame_bytes: MAX_FRAME_BYTES,
+            max_pending_frames: MAX_PENDING_FRAMES,
+            backpressure: Backpressure::Block,
+            deadline: None,
+            read_poll: Duration::from_millis(25),
+            idle_timeout: Duration::from_secs(30),
+            faults: None,
+            fault_horizon: 0,
+            obs: Obs::disabled(),
+        }
+    }
+}
+
+/// Monotonic counters snapshotted by [`NetServer::stats`] and returned
+/// by [`NetServer::join`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Connections accepted and served.
+    pub connections_accepted: u64,
+    /// Connections refused at accept time (cap reached or draining).
+    pub connections_shed: u64,
+    /// Connections fully closed.
+    pub connections_closed: u64,
+    /// Fresh sessions opened.
+    pub sessions_opened: u64,
+    /// Sessions re-opened by a reconnecting client.
+    pub sessions_resumed: u64,
+    /// Sessions answered with a decision (including drain verdicts).
+    pub sessions_decided: u64,
+    /// Sessions that died to an evaluation error or worker panic.
+    pub sessions_failed: u64,
+    /// Sessions abandoned by the client (close frame, disconnect, or
+    /// a fatal connection error).
+    pub sessions_abandoned: u64,
+    /// Subset of decided sessions answered by the graceful drain.
+    pub drain_decisions: u64,
+    /// Frames decoded off the wire.
+    pub frames_read: u64,
+    /// Frames written to the wire.
+    pub frames_written: u64,
+    /// Outbound frames dropped by `Shed` backpressure.
+    pub frames_shed: u64,
+    /// Connections killed by a wire-protocol violation.
+    pub proto_errors: u64,
+    /// Injected (or genuine) evaluation panics caught and contained.
+    pub worker_panics: u64,
+}
+
+impl ServerStats {
+    /// Sessions the server still owes an answer: opened + resumed
+    /// minus every terminal outcome. Zero after a clean drain — the
+    /// leak check the chaos suite asserts.
+    pub fn open_sessions(&self) -> i64 {
+        (self.sessions_opened + self.sessions_resumed) as i64
+            - (self.sessions_decided + self.sessions_failed + self.sessions_abandoned) as i64
+    }
+}
+
+#[derive(Default)]
+struct StatsCells {
+    connections_accepted: AtomicU64,
+    connections_shed: AtomicU64,
+    connections_closed: AtomicU64,
+    sessions_opened: AtomicU64,
+    sessions_resumed: AtomicU64,
+    sessions_decided: AtomicU64,
+    sessions_failed: AtomicU64,
+    sessions_abandoned: AtomicU64,
+    drain_decisions: AtomicU64,
+    frames_read: AtomicU64,
+    frames_written: AtomicU64,
+    frames_shed: AtomicU64,
+    proto_errors: AtomicU64,
+    worker_panics: AtomicU64,
+}
+
+impl StatsCells {
+    fn snapshot(&self) -> ServerStats {
+        let get = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        ServerStats {
+            connections_accepted: get(&self.connections_accepted),
+            connections_shed: get(&self.connections_shed),
+            connections_closed: get(&self.connections_closed),
+            sessions_opened: get(&self.sessions_opened),
+            sessions_resumed: get(&self.sessions_resumed),
+            sessions_decided: get(&self.sessions_decided),
+            sessions_failed: get(&self.sessions_failed),
+            sessions_abandoned: get(&self.sessions_abandoned),
+            drain_decisions: get(&self.drain_decisions),
+            frames_read: get(&self.frames_read),
+            frames_written: get(&self.frames_written),
+            frames_shed: get(&self.frames_shed),
+            proto_errors: get(&self.proto_errors),
+            worker_panics: get(&self.worker_panics),
+        }
+    }
+}
+
+struct Shared {
+    model: Arc<StoredModel>,
+    info: ModelInfo,
+    batch: usize,
+    config: ServerConfig,
+    draining: AtomicBool,
+    session_seq: AtomicU64,
+    schedule: Option<FaultSchedule>,
+    stats: StatsCells,
+    serve_span: Option<u64>,
+}
+
+impl Shared {
+    fn count(&self, cell: impl Fn(&StatsCells) -> &AtomicU64, metric: &str) {
+        cell(&self.stats).fetch_add(1, Ordering::Relaxed);
+        self.config.obs.metrics.counter(metric).inc();
+    }
+}
+
+/// The running TCP server. Dropping the handle does *not* stop it —
+/// call [`NetServer::shutdown`] then [`NetServer::join`].
+pub struct NetServer {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+    conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl NetServer {
+    /// Binds `addr` (use port 0 for an ephemeral port) and starts
+    /// serving `model` on a background accept loop.
+    ///
+    /// # Errors
+    /// `std::io::Error` when the address cannot be bound.
+    pub fn bind<A: ToSocketAddrs>(
+        model: Arc<StoredModel>,
+        addr: A,
+        config: ServerConfig,
+    ) -> std::io::Result<NetServer> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let mut span = config.obs.tracer.span("net.serve");
+        span.attr("addr", &addr.to_string());
+        span.attr("algo", model.meta.algo.name());
+        let serve_span = span.id();
+        let batch = model
+            .meta
+            .algo
+            .decision_batch(model.meta.train_len, &RunConfig::fast());
+        let info = ModelInfo {
+            algo: model.meta.algo.name().to_string(),
+            dataset: model.meta.dataset.clone(),
+            vars: model.meta.vars,
+            train_len: model.meta.train_len,
+            batch,
+            prior_label: model.meta.prior_label,
+            classes: model.meta.class_names.clone(),
+        };
+        // Pin every scheduled fault to step 1 of its (arrival-ordered)
+        // session: the first evaluation of an unlucky session panics or
+        // stalls, which is the earliest moment a network fault can hit.
+        let schedule = config
+            .faults
+            .as_ref()
+            .filter(|_| config.fault_horizon > 0)
+            .map(|plan| plan.schedule(&vec![1; config.fault_horizon]));
+        let shared = Arc::new(Shared {
+            model,
+            info,
+            batch,
+            config,
+            draining: AtomicBool::new(false),
+            session_seq: AtomicU64::new(0),
+            schedule,
+            stats: StatsCells::default(),
+            serve_span,
+        });
+        let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let accept = {
+            let shared = Arc::clone(&shared);
+            let conns = Arc::clone(&conns);
+            std::thread::Builder::new()
+                .name("etsc-net-accept".into())
+                .spawn(move || {
+                    accept_loop(&shared, &listener, &conns);
+                    drop(span);
+                })
+                .expect("spawn accept thread")
+        };
+        Ok(NetServer {
+            addr,
+            shared,
+            accept: Some(accept),
+            conns,
+        })
+    }
+
+    /// The bound address (with the resolved ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Current counter snapshot.
+    pub fn stats(&self) -> ServerStats {
+        self.shared.stats.snapshot()
+    }
+
+    /// `true` once a drain was requested (locally or by a client
+    /// `Shutdown` frame).
+    pub fn is_draining(&self) -> bool {
+        self.shared.draining.load(Ordering::SeqCst)
+    }
+
+    /// Requests a graceful drain: stop accepting, answer in-flight
+    /// sessions, close connections. Returns immediately; use
+    /// [`NetServer::join`] to wait for completion.
+    pub fn shutdown(&self) {
+        self.shared.draining.store(true, Ordering::SeqCst);
+    }
+
+    /// Drains (if not already requested) and waits for the accept loop
+    /// and every connection to finish, returning the final counters.
+    pub fn join(mut self) -> ServerStats {
+        self.shutdown();
+        let obs = &self.shared.config.obs;
+        let mut drain = obs.tracer.span_under("net.drain", self.shared.serve_span);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        let handles = std::mem::take(&mut *self.conns.lock().unwrap_or_else(|e| e.into_inner()));
+        for h in handles {
+            let _ = h.join();
+        }
+        let stats = self.shared.stats.snapshot();
+        drain.attr("drain_decisions", &stats.drain_decisions.to_string());
+        drain.attr("open_sessions", &stats.open_sessions().to_string());
+        stats
+    }
+}
+
+fn accept_loop(
+    shared: &Arc<Shared>,
+    listener: &TcpListener,
+    conns: &Arc<Mutex<Vec<JoinHandle<()>>>>,
+) {
+    let obs = &shared.config.obs;
+    let active = Arc::new(AtomicU64::new(0));
+    let mut conn_seq: u64 = 0;
+    while !shared.draining.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, peer)) => {
+                let _ = stream.set_nonblocking(false);
+                if active.load(Ordering::SeqCst) >= shared.config.max_connections as u64 {
+                    shared.count(|s| &s.connections_shed, "net_connections_shed_total");
+                    obs.tracer.event_under(
+                        "net.conn.shed",
+                        shared.serve_span,
+                        &[("peer", &peer.to_string())],
+                    );
+                    shed_connection(shared, stream, ErrorCode::Overloaded, "connection cap");
+                    continue;
+                }
+                conn_seq += 1;
+                let conn_id = conn_seq;
+                shared.count(|s| &s.connections_accepted, "net_connections_total");
+                obs.tracer.event_under(
+                    "net.conn.accept",
+                    shared.serve_span,
+                    &[("conn", &conn_id.to_string()), ("peer", &peer.to_string())],
+                );
+                active.fetch_add(1, Ordering::SeqCst);
+                let shared2 = Arc::clone(shared);
+                let active2 = Arc::clone(&active);
+                let handle = std::thread::Builder::new()
+                    .name(format!("etsc-net-conn-{conn_id}"))
+                    .spawn(move || {
+                        connection_thread(&shared2, stream, conn_id);
+                        active2.fetch_sub(1, Ordering::SeqCst);
+                    })
+                    .expect("spawn connection thread");
+                conns.lock().unwrap_or_else(|e| e.into_inner()).push(handle);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(10)),
+        }
+    }
+}
+
+/// Refuses a connection at accept time with a best-effort error frame.
+fn shed_connection(shared: &Shared, mut stream: TcpStream, code: ErrorCode, why: &str) {
+    let frame = Frame::Error {
+        code,
+        session: None,
+        message: why.to_string(),
+    };
+    if let Ok(wire) = encode_frame(&frame, shared.config.max_frame_bytes) {
+        let _ = stream.set_write_timeout(Some(Duration::from_millis(100)));
+        let _ = stream.write_all(&wire);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Outbound writer: bounded queue + dedicated thread per connection.
+// ---------------------------------------------------------------------
+
+struct OutQueue {
+    frames: Mutex<(Vec<Vec<u8>>, bool)>, // (queued wire images, closed)
+    not_empty: Condvar,
+    not_full: Condvar,
+    cap: usize,
+    dead: AtomicBool, // writer hit an I/O error; the peer is gone
+}
+
+struct Writer {
+    queue: Arc<OutQueue>,
+    handle: JoinHandle<()>,
+}
+
+impl Writer {
+    fn spawn(shared: Arc<Shared>, mut stream: TcpStream, conn_id: u64) -> Writer {
+        let queue = Arc::new(OutQueue {
+            frames: Mutex::new((Vec::new(), false)),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            cap: shared.config.max_pending_frames.max(1),
+            dead: AtomicBool::new(false),
+        });
+        let q = Arc::clone(&queue);
+        let handle = std::thread::Builder::new()
+            .name(format!("etsc-net-write-{conn_id}"))
+            .spawn(move || {
+                let write_hist = shared
+                    .config
+                    .obs
+                    .metrics
+                    .histogram("net_frame_write_seconds");
+                loop {
+                    let batch = {
+                        let mut guard = q.frames.lock().unwrap_or_else(|e| e.into_inner());
+                        while guard.0.is_empty() && !guard.1 {
+                            guard = q.not_empty.wait(guard).unwrap_or_else(|e| e.into_inner());
+                        }
+                        if guard.0.is_empty() && guard.1 {
+                            break;
+                        }
+                        std::mem::take(&mut guard.0)
+                    };
+                    q.not_full.notify_all();
+                    let started = Instant::now();
+                    for wire in &batch {
+                        if q.dead.load(Ordering::SeqCst) {
+                            break;
+                        }
+                        if stream.write_all(wire).is_err() {
+                            q.dead.store(true, Ordering::SeqCst);
+                            break;
+                        }
+                        shared.count(|s| &s.frames_written, "net_frames_written_total");
+                    }
+                    let _ = stream.flush();
+                    write_hist.record(started.elapsed().as_secs_f64());
+                }
+                let _ = stream.flush();
+            })
+            .expect("spawn writer thread");
+        Writer { queue, handle }
+    }
+
+    /// Queues one encoded frame, honouring the backpressure policy.
+    /// Returns `false` when the frame was shed (or the peer is gone).
+    fn push(&self, wire: Vec<u8>, policy: Backpressure, shared: &Shared) -> bool {
+        if self.queue.dead.load(Ordering::SeqCst) {
+            return false;
+        }
+        let mut guard = self.queue.frames.lock().unwrap_or_else(|e| e.into_inner());
+        while guard.0.len() >= self.queue.cap && !guard.1 {
+            match policy {
+                Backpressure::Shed => {
+                    shared.count(|s| &s.frames_shed, "net_frames_shed_total");
+                    return false;
+                }
+                Backpressure::Block => {
+                    if self.queue.dead.load(Ordering::SeqCst) {
+                        return false;
+                    }
+                    let (g, timeout) = self
+                        .queue
+                        .not_full
+                        .wait_timeout(guard, Duration::from_millis(50))
+                        .unwrap_or_else(|e| e.into_inner());
+                    guard = g;
+                    let _ = timeout;
+                }
+            }
+        }
+        if guard.1 {
+            return false;
+        }
+        guard.0.push(wire);
+        drop(guard);
+        self.queue.not_empty.notify_one();
+        true
+    }
+
+    fn close_and_join(self) {
+        {
+            let mut guard = self.queue.frames.lock().unwrap_or_else(|e| e.into_inner());
+            guard.1 = true;
+        }
+        self.queue.not_empty.notify_all();
+        self.queue.not_full.notify_all();
+        let _ = self.handle.join();
+    }
+}
+
+// ---------------------------------------------------------------------
+// Per-connection reader: handshake, session table, evaluation.
+// ---------------------------------------------------------------------
+
+struct Conn<'m> {
+    shared: &'m Shared,
+    writer: Writer,
+    conn_id: u64,
+    sessions: HashMap<u64, SessionEntry<'m>>,
+    /// Ids that reached a terminal state; late frames for them are
+    /// ignored rather than UnknownSession errors.
+    finished: HashSet<u64>,
+}
+
+struct SessionEntry<'m> {
+    session: StreamSession<'m>,
+    seq: u64,
+}
+
+enum CloseReason {
+    Eof,
+    Drained,
+    IdleTimeout,
+    Proto(ProtoError),
+    Io,
+    WriterDead,
+}
+
+impl CloseReason {
+    fn name(&self) -> &'static str {
+        match self {
+            CloseReason::Eof => "eof",
+            CloseReason::Drained => "drained",
+            CloseReason::IdleTimeout => "idle-timeout",
+            CloseReason::Proto(_) => "proto-error",
+            CloseReason::Io => "io-error",
+            CloseReason::WriterDead => "writer-dead",
+        }
+    }
+}
+
+fn connection_thread(shared: &Arc<Shared>, stream: TcpStream, conn_id: u64) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(shared.config.read_poll));
+    let writer = match stream.try_clone() {
+        Ok(w) => Writer::spawn(Arc::clone(shared), w, conn_id),
+        Err(_) => {
+            shared.count(|s| &s.connections_closed, "net_connections_closed_total");
+            return;
+        }
+    };
+    let mut conn = Conn {
+        shared: shared.as_ref(),
+        writer,
+        conn_id,
+        sessions: HashMap::new(),
+        finished: HashSet::new(),
+    };
+    let reason = conn.serve(stream);
+    let abandoned = conn.abandon_all();
+    conn.writer.close_and_join();
+    shared.count(|s| &s.connections_closed, "net_connections_closed_total");
+    let obs = &shared.config.obs;
+    obs.tracer.event_under(
+        "net.conn.close",
+        shared.serve_span,
+        &[
+            ("conn", &conn_id.to_string()),
+            ("reason", reason.name()),
+            ("abandoned", &abandoned.to_string()),
+        ],
+    );
+    if let CloseReason::Proto(e) = &reason {
+        obs.tracer.event_under(
+            "net.conn.proto_error",
+            shared.serve_span,
+            &[("conn", &conn_id.to_string()), ("error", &e.to_string())],
+        );
+    }
+}
+
+impl<'m> Conn<'m> {
+    fn serve(&mut self, mut stream: TcpStream) -> CloseReason {
+        let shared = self.shared;
+        let obs = &shared.config.obs;
+        let observe_hist = obs.metrics.histogram("net_handle_observe_seconds");
+        let open_hist = obs.metrics.histogram("net_handle_open_seconds");
+        let mut dec = FrameDecoder::new(shared.config.max_frame_bytes);
+        let mut last_activity = Instant::now();
+        let mut said_hello = false;
+        loop {
+            if shared.draining.load(Ordering::SeqCst) {
+                self.drain();
+                return CloseReason::Drained;
+            }
+            if self.writer.queue.dead.load(Ordering::SeqCst) {
+                return CloseReason::WriterDead;
+            }
+            // Pull everything already buffered before touching the
+            // socket again.
+            loop {
+                match dec.next_frame() {
+                    Ok(Some(frame)) => {
+                        last_activity = Instant::now();
+                        shared.count(|s| &s.frames_read, "net_frames_read_total");
+                        obs.metrics
+                            .counter(&format!("net_frames_read_{}_total", frame.kind_name()))
+                            .inc();
+                        let started = Instant::now();
+                        let verdict = self.handle(frame, &mut said_hello);
+                        match verdict {
+                            Handled::Ok => {}
+                            Handled::Observe => {
+                                observe_hist.record(started.elapsed().as_secs_f64());
+                            }
+                            Handled::Open => {
+                                open_hist.record(started.elapsed().as_secs_f64());
+                            }
+                            Handled::Drain => {
+                                self.drain();
+                                return CloseReason::Drained;
+                            }
+                            Handled::Fatal(reason) => return reason,
+                        }
+                    }
+                    Ok(None) => break,
+                    Err(e) => {
+                        shared.count(|s| &s.proto_errors, "net_proto_errors_total");
+                        self.send(Frame::Error {
+                            code: ErrorCode::BadFrame,
+                            session: None,
+                            message: e.to_string(),
+                        });
+                        return CloseReason::Proto(e);
+                    }
+                }
+            }
+            match dec.read_from(&mut stream) {
+                Ok(0) => return CloseReason::Eof,
+                Ok(_) => {}
+                Err(ProtoError::Io(e))
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    if last_activity.elapsed() > shared.config.idle_timeout {
+                        self.send(Frame::Error {
+                            code: ErrorCode::IdleTimeout,
+                            session: None,
+                            message: format!("no frames for {:?}", shared.config.idle_timeout),
+                        });
+                        return CloseReason::IdleTimeout;
+                    }
+                }
+                Err(_) => return CloseReason::Io,
+            }
+        }
+    }
+
+    fn handle(&mut self, frame: Frame, said_hello: &mut bool) -> Handled {
+        let shared = self.shared;
+        match frame {
+            Frame::Hello { version, .. } => {
+                if version != PROTO_VERSION {
+                    shared.count(|s| &s.proto_errors, "net_proto_errors_total");
+                    self.send(Frame::Error {
+                        code: ErrorCode::BadFrame,
+                        session: None,
+                        message: ProtoError::Version {
+                            got: version,
+                            want: PROTO_VERSION,
+                        }
+                        .to_string(),
+                    });
+                    return Handled::Fatal(CloseReason::Proto(ProtoError::Version {
+                        got: version,
+                        want: PROTO_VERSION,
+                    }));
+                }
+                if !*said_hello {
+                    *said_hello = true;
+                    self.send(Frame::Hello {
+                        version: PROTO_VERSION,
+                        agent: "etsc-net-server".to_string(),
+                        meta: Some(shared.info.clone()),
+                    });
+                }
+                Handled::Ok
+            }
+            Frame::OpenSession {
+                id,
+                vars,
+                expected_len,
+                resume,
+            } => {
+                self.open_session(id, vars, expected_len, resume);
+                Handled::Open
+            }
+            Frame::Observe { session, step, row } => {
+                self.observe(session, step, &row);
+                Handled::Observe
+            }
+            Frame::CloseSession { session } => {
+                if self.sessions.remove(&session).is_some() {
+                    self.finished.insert(session);
+                    shared.count(|s| &s.sessions_abandoned, "net_sessions_abandoned_total");
+                }
+                Handled::Ok
+            }
+            Frame::Shutdown => {
+                shared.draining.store(true, Ordering::SeqCst);
+                Handled::Drain
+            }
+            Frame::Decision { .. } | Frame::Error { .. } => {
+                self.send(Frame::Error {
+                    code: ErrorCode::BadFrame,
+                    session: None,
+                    message: "server-only frame from client".to_string(),
+                });
+                Handled::Ok
+            }
+        }
+    }
+
+    fn open_session(&mut self, id: u64, vars: usize, expected_len: usize, resume: bool) {
+        let shared = self.shared;
+        if shared.draining.load(Ordering::SeqCst) {
+            self.send(Frame::Error {
+                code: ErrorCode::Draining,
+                session: Some(id),
+                message: "server is draining".to_string(),
+            });
+            return;
+        }
+        if self.sessions.len() >= shared.config.max_sessions_per_conn {
+            self.send(Frame::Error {
+                code: ErrorCode::SessionLimit,
+                session: Some(id),
+                message: format!(
+                    "connection already has {} open sessions",
+                    self.sessions.len()
+                ),
+            });
+            return;
+        }
+        if vars != shared.info.vars {
+            self.send(Frame::Error {
+                code: ErrorCode::Incompatible,
+                session: Some(id),
+                message: format!(
+                    "model expects {} variables, session declares {vars}",
+                    shared.info.vars
+                ),
+            });
+            return;
+        }
+        if self.sessions.contains_key(&id) {
+            self.send(Frame::Error {
+                code: ErrorCode::BadFrame,
+                session: Some(id),
+                message: "session id already open".to_string(),
+            });
+            return;
+        }
+        // A resume makes the id live again.
+        self.finished.remove(&id);
+        let mut session =
+            match StreamSession::new(shared.model.classifier(), vars, expected_len, shared.batch) {
+                Ok(s) => s,
+                Err(e) => {
+                    self.send(Frame::Error {
+                        code: ErrorCode::Internal,
+                        session: Some(id),
+                        message: e.to_string(),
+                    });
+                    return;
+                }
+            };
+        session.set_deadline(shared.config.deadline);
+        let seq = shared.session_seq.fetch_add(1, Ordering::SeqCst);
+        self.sessions.insert(id, SessionEntry { session, seq });
+        if resume {
+            shared.count(|s| &s.sessions_resumed, "net_sessions_resumed_total");
+        } else {
+            shared.count(|s| &s.sessions_opened, "net_sessions_opened_total");
+        }
+    }
+
+    fn observe(&mut self, id: u64, step: u64, row: &[f64]) {
+        let shared = self.shared;
+        if self.finished.contains(&id) {
+            return; // late frame for a decided/abandoned session
+        }
+        let Some(entry) = self.sessions.get_mut(&id) else {
+            self.send(Frame::Error {
+                code: ErrorCode::UnknownSession,
+                session: Some(id),
+                message: format!("observe for session {id} which was never opened"),
+            });
+            return;
+        };
+        let expected_step = entry.session.observed() as u64 + 1;
+        let seq = entry.seq;
+        if step != expected_step {
+            self.fail_session(
+                id,
+                seq,
+                ErrorCode::BadFrame,
+                &format!("observation step {step} out of order (expected {expected_step})"),
+            );
+            return;
+        }
+        let entry = self.sessions.get_mut(&id).expect("session still open");
+        let (panic_due, delay) = match &shared.schedule {
+            Some(sched) => {
+                let s = seq as usize;
+                let t = step as usize;
+                (sched.panics_at(s, t), sched.delay_at(s, t))
+            }
+            None => (false, None),
+        };
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            if panic_due {
+                panic!("injected fault: worker panic (session seq {seq})");
+            }
+            entry.session.push_with_delay(row, delay)
+        }));
+        match outcome {
+            Ok(Ok(None)) => {}
+            Ok(Ok(Some(p))) => {
+                let kind = decision_kind(self.sessions[&id].session.fallback());
+                self.finish_decided(id, p.label as u64, p.prefix_len as u64, kind, false);
+            }
+            Ok(Err(e)) => {
+                let code = match &e {
+                    etsc_core::EtscError::IncompatibleInstance(_) => ErrorCode::Incompatible,
+                    _ => ErrorCode::Internal,
+                };
+                self.fail_session(id, seq, code, &e.to_string());
+            }
+            Err(payload) => {
+                let msg = panic_message(payload.as_ref());
+                shared.count(|s| &s.worker_panics, "net_worker_panics_total");
+                shared.config.obs.tracer.event_under(
+                    "net.worker.panic",
+                    shared.serve_span,
+                    &[
+                        ("conn", &self.conn_id.to_string()),
+                        ("session", &id.to_string()),
+                        ("seq", &seq.to_string()),
+                        ("panic", &msg),
+                    ],
+                );
+                self.fail_session(
+                    id,
+                    seq,
+                    ErrorCode::Internal,
+                    &format!("evaluation panicked: {msg}"),
+                );
+            }
+        }
+    }
+
+    fn finish_decided(
+        &mut self,
+        id: u64,
+        label: u64,
+        prefix_len: u64,
+        kind: DecisionKind,
+        drain: bool,
+    ) {
+        let shared = self.shared;
+        self.sessions.remove(&id);
+        self.finished.insert(id);
+        shared.count(|s| &s.sessions_decided, "net_sessions_decided_total");
+        if drain {
+            shared.count(|s| &s.drain_decisions, "net_drain_decisions_total");
+        }
+        self.send(Frame::Decision {
+            session: id,
+            label,
+            prefix_len,
+            kind,
+        });
+    }
+
+    fn fail_session(&mut self, id: u64, seq: u64, code: ErrorCode, message: &str) {
+        let shared = self.shared;
+        self.sessions.remove(&id);
+        self.finished.insert(id);
+        shared.count(|s| &s.sessions_failed, "net_sessions_failed_total");
+        shared.config.obs.tracer.event_under(
+            "net.session.fail",
+            shared.serve_span,
+            &[
+                ("conn", &self.conn_id.to_string()),
+                ("session", &id.to_string()),
+                ("seq", &seq.to_string()),
+                ("code", &code.to_string()),
+            ],
+        );
+        self.send(Frame::Error {
+            code,
+            session: Some(id),
+            message: message.to_string(),
+        });
+    }
+
+    /// Answers every in-flight session with a forced drain verdict,
+    /// then announces the shutdown. Drain writes always block — a
+    /// drain that sheds its own answers would defeat its purpose.
+    fn drain(&mut self) {
+        let shared = self.shared;
+        let prior = shared.info.prior_label;
+        let ids: Vec<u64> = self.sessions.keys().copied().collect();
+        for id in ids {
+            let entry = self.sessions.get_mut(&id).expect("session present");
+            let seq = entry.seq;
+            let outcome = catch_unwind(AssertUnwindSafe(|| entry.session.force_decide(prior)));
+            match outcome {
+                Ok(Ok(p)) => {
+                    let kind = decision_kind(self.sessions[&id].session.fallback());
+                    self.finish_decided(id, p.label as u64, p.prefix_len as u64, kind, true);
+                }
+                Ok(Err(e)) => {
+                    self.fail_session(id, seq, ErrorCode::Internal, &e.to_string());
+                }
+                Err(payload) => {
+                    let msg = panic_message(payload.as_ref());
+                    shared.count(|s| &s.worker_panics, "net_worker_panics_total");
+                    self.fail_session(id, seq, ErrorCode::Internal, &msg);
+                }
+            }
+        }
+        self.send_blocking(Frame::Shutdown);
+    }
+
+    /// Abandons whatever is still open (disconnect, protocol error,
+    /// idle timeout). Returns how many sessions were abandoned.
+    fn abandon_all(&mut self) -> usize {
+        let shared = self.shared;
+        let n = self.sessions.len();
+        for (id, _) in self.sessions.drain() {
+            self.finished.insert(id);
+            shared.count(|s| &s.sessions_abandoned, "net_sessions_abandoned_total");
+        }
+        n
+    }
+
+    fn send(&self, frame: Frame) {
+        self.send_with(frame, self.shared.config.backpressure);
+    }
+
+    fn send_blocking(&self, frame: Frame) {
+        self.send_with(frame, Backpressure::Block);
+    }
+
+    fn send_with(&self, frame: Frame, policy: Backpressure) {
+        if let Ok(wire) = encode_frame(&frame, self.shared.config.max_frame_bytes) {
+            self.writer.push(wire, policy, self.shared);
+        }
+    }
+}
+
+enum Handled {
+    Ok,
+    Open,
+    Observe,
+    Drain,
+    Fatal(CloseReason),
+}
+
+fn decision_kind(fallback: Option<FallbackKind>) -> DecisionKind {
+    match fallback {
+        None => DecisionKind::Genuine,
+        Some(FallbackKind::DeadlinePrior) => DecisionKind::DeadlinePrior,
+        Some(FallbackKind::DeadlineForced) => DecisionKind::DeadlineForced,
+        Some(FallbackKind::DrainPrior) => DecisionKind::DrainPrior,
+        Some(FallbackKind::DrainForced) => DecisionKind::DrainForced,
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}

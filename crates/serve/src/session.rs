@@ -56,6 +56,12 @@ pub enum FallbackKind {
     /// Deadline breach answered by forcing the algorithm to decide on
     /// the observed prefix.
     DeadlineForced,
+    /// Graceful drain answered with the training prior class because
+    /// the forced evaluation yielded nothing (or nothing was observed).
+    DrainPrior,
+    /// Graceful drain answered by forcing the algorithm to decide on
+    /// the observed prefix.
+    DrainForced,
 }
 
 /// Streaming state for one time series being classified early.
@@ -241,6 +247,34 @@ impl<'m> StreamSession<'m> {
         Ok(None)
     }
 
+    /// Forces a decision on the prefix observed so far — the graceful-
+    /// drain path: the stream is shutting down before the series
+    /// completed, so the algorithm is asked for its current best,
+    /// falling back to `prior_label` when the forced evaluation yields
+    /// nothing (or nothing was observed at all). Idempotent: an
+    /// already-decided session returns its committed prediction.
+    ///
+    /// # Errors
+    /// Whatever the algorithm's forced `observe` propagates.
+    pub fn force_decide(&mut self, prior_label: usize) -> Result<EarlyPrediction, EtscError> {
+        if let Some(p) = self.decided {
+            return Ok(p);
+        }
+        let t = self.values[0].len();
+        if t == 0 {
+            return Ok(self.commit(prior_label, 0, Some(FallbackKind::DrainPrior)));
+        }
+        let prefix = MultiSeries::from_rows(self.values.clone()).map_err(EtscError::Data)?;
+        let started = Instant::now();
+        let label = self.stream.observe(&prefix, true)?;
+        self.record_eval(started.elapsed().as_secs_f64());
+        let (label, kind) = match label {
+            Some(label) => (label, FallbackKind::DrainForced),
+            None => (prior_label, FallbackKind::DrainPrior),
+        };
+        Ok(self.commit(label, t, Some(kind)))
+    }
+
     /// Records one evaluation latency (against the armed deadline, if
     /// any) and reports whether it breached.
     fn record_eval(&mut self, secs: f64) -> bool {
@@ -419,6 +453,33 @@ mod tests {
         assert!(s.deadline_breaches() >= 1);
         // Wait never commits a fallback verdict.
         assert_eq!(s.fallback(), None);
+    }
+
+    #[test]
+    fn force_decide_commits_on_drain_and_is_idempotent() {
+        let data = synthetic();
+        let mut model = AlgoSpec::Ects.build(&data, &RunConfig::fast());
+        model.fit(&data).unwrap();
+        let inst = data.instance(0);
+        // Nothing observed yet: the drain answers with the prior class.
+        let mut empty = StreamSession::new(&*model, 1, inst.len(), 1).unwrap();
+        let p = empty.force_decide(1).unwrap();
+        assert_eq!((p.label, p.prefix_len), (1, 0));
+        assert_eq!(empty.fallback(), Some(FallbackKind::DrainPrior));
+        assert!(empty.is_done());
+        // A partially-observed session is forced on its prefix.
+        let mut s = StreamSession::new(&*model, 1, inst.len(), 1).unwrap();
+        for t in 0..3 {
+            if s.push(&[inst.at(0, t)]).unwrap().is_some() {
+                break;
+            }
+        }
+        let observed = s.observed();
+        let p = s.force_decide(0).unwrap();
+        assert!(s.is_done());
+        assert_eq!(p.prefix_len, observed);
+        // Idempotent: a second drain returns the committed prediction.
+        assert_eq!(s.force_decide(0).unwrap(), p);
     }
 
     #[test]

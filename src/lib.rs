@@ -18,7 +18,9 @@
 //! * [`core`] — the ETSC algorithms and full-TSC models;
 //! * [`eval`] — the experiment harness behind every table and figure;
 //! * [`obs`] — span/event tracing and the metrics registry + exporters;
-//! * [`serve`] — streaming inference: model store, sessions, scheduler.
+//! * [`serve`] — streaming inference: model store, sessions, scheduler;
+//! * [`net`] — the network edge: binary wire protocol, TCP server,
+//!   client library, and the socketed load generator.
 //!
 //! ## Quickstart
 //!
@@ -43,6 +45,7 @@ pub use etsc_data as data;
 pub use etsc_datasets as datasets;
 pub use etsc_eval as eval;
 pub use etsc_ml as ml;
+pub use etsc_net as net;
 pub use etsc_obs as obs;
 pub use etsc_serve as serve;
 pub use etsc_transforms as transforms;

@@ -194,6 +194,155 @@ fn chaos_corrupted_model_recovers_from_last_good_and_serves() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// The network extension of the suite: the same dataset streamed over
+/// 100 concurrent loopback connections while seeded faults tear
+/// frames, drop connections mid-session, and panic a worker on the
+/// server side. Invariants: zero server-side session leaks, and every
+/// fault attributable — in the stats, in the report, and in the trace.
+#[test]
+fn chaos_network_hundred_connections_zero_leaks_full_attribution() {
+    use etsc::net::{run_loadgen, LoadgenOptions, NetServer, ServerConfig};
+    use etsc::obs::{EventRecord, Obs, TraceRecord};
+    use std::sync::Arc;
+
+    let data = hundred_sessions();
+    let stored = Arc::new(stored_model(&data));
+    // Client-side network faults ride the loadgen's schedule; the
+    // server draws its own plan for the worker panics so both ends of
+    // the wire are exercised.
+    let client_plan =
+        FaultPlan::parse("seed=7,torn-rate=0.05,disconnect-rate=0.05").expect("client plan");
+    let server_plan = FaultPlan::parse("seed=9,panics=2").expect("server plan");
+
+    // One full scenario run. Every invariant below holds on EVERY run;
+    // only whether a panic seq lands on an arrival that ever delivers
+    // a complete observation is timing-dependent (a tear or disconnect
+    // at step 1 kills the arrival before it evaluates), so the caller
+    // retries until a panic actually fires.
+    let run_once = || -> (u64, Vec<EventRecord>) {
+        let obs = Obs::enabled();
+        let server = NetServer::bind(
+            stored.clone(),
+            "127.0.0.1:0",
+            ServerConfig {
+                max_connections: 256,
+                faults: Some(server_plan.clone()),
+                // Keyed by arrival order; 100 opens are guaranteed, so
+                // panic seqs drawn below 100 always have a taker.
+                fault_horizon: 100,
+                obs: obs.clone(),
+                ..ServerConfig::default()
+            },
+        )
+        .expect("bind loopback");
+        let addr = server.local_addr().to_string();
+        let report = run_loadgen(
+            &addr,
+            &data,
+            &LoadgenOptions {
+                connections: 100,
+                sessions: 100,
+                faults: Some(client_plan.clone()),
+                wait_timeout: Duration::from_secs(60),
+                ..LoadgenOptions::default()
+            },
+        );
+        server.shutdown();
+        let stats = server.join();
+
+        // Nothing silently lost: every session decided, failed with
+        // attribution, or was deliberately disconnected.
+        assert!(report.clean(), "loadgen errors: {:?}", report.errors);
+        assert_eq!(
+            report.decided + report.failed + report.disconnected,
+            100,
+            "{report:?}"
+        );
+        assert!(report.torn_frames >= 1, "plan tears at least one frame");
+        assert!(report.disconnected >= 1, "plan drops at least one session");
+        // Every injected tear AND every injected disconnect kills the
+        // connection; each recovery is exactly one counted reconnect.
+        assert_eq!(
+            report.reconnects,
+            report.torn_frames + report.disconnected as u64,
+            "{report:?}"
+        );
+
+        // Zero server-side leaks: opens + resumes all reach a terminal
+        // state (decided, failed, or abandoned) even though
+        // connections died mid-session.
+        assert_eq!(stats.open_sessions(), 0, "leaked sessions: {stats:?}");
+        assert_eq!(stats.sessions_opened, 100);
+        // Only torn frames resume (a decision racing the tear onto the
+        // dying socket can pre-empt the resume, so this is a ceiling).
+        assert!(
+            stats.sessions_resumed <= report.torn_frames,
+            "{stats:?} vs {report:?}"
+        );
+        // Dying connections abandon their in-flight sessions; a
+        // session the server had already answered is counted decided
+        // instead.
+        assert!(
+            stats.sessions_abandoned <= report.disconnected as u64 + report.torn_frames,
+            "{stats:?} vs {report:?}"
+        );
+        assert!(
+            stats.sessions_abandoned >= 1,
+            "at least one kill lands mid-flight: {stats:?}"
+        );
+
+        // Each fired panic failed exactly one session, the loadgen saw
+        // exactly those failures, and the trace carries one attributed
+        // event per panic.
+        assert_eq!(stats.sessions_failed, stats.worker_panics, "{stats:?}");
+        assert_eq!(report.failed as u64, stats.worker_panics, "{report:?}");
+        let panic_events: Vec<EventRecord> = obs
+            .tracer
+            .records()
+            .into_iter()
+            .filter_map(|r| match r {
+                TraceRecord::Event(e) if e.name == "net.worker.panic" => Some(e),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(panic_events.len() as u64, stats.worker_panics);
+        (stats.worker_panics, panic_events)
+    };
+
+    let mut fired = Vec::new();
+    for _ in 0..3 {
+        let (panics, events) = run_once();
+        if panics >= 1 {
+            fired = events;
+            break;
+        }
+    }
+    assert!(
+        !fired.is_empty(),
+        "no injected panic fired in three attempts"
+    );
+    // Full attribution: the trace names the fault and pins it to a
+    // connection, session, and arrival seq.
+    for event in &fired {
+        let attr = |k: &str| {
+            event
+                .attrs
+                .iter()
+                .find(|(name, _)| name == k)
+                .map(|(_, v)| v.clone())
+                .unwrap_or_else(|| panic!("panic event missing {k:?} attr: {:?}", event.attrs))
+        };
+        assert!(
+            attr("panic").contains("injected fault"),
+            "{:?}",
+            event.attrs
+        );
+        attr("conn");
+        attr("session");
+        attr("seq");
+    }
+}
+
 #[test]
 fn chaos_schedule_is_deterministic_across_runs() {
     let plan = FaultPlan::parse(PLAN).expect("plan parses");
