@@ -15,11 +15,18 @@
 //!   running server — e.g. one started with `etsc serve --model M
 //!   --listen ADDR` — and report; with `--shutdown` the run finishes
 //!   by requesting a graceful drain. This is the CI smoke path.
+//! * **Fleet** (`--shards N`, N ≥ 2): fit one model, replicate it
+//!   through the versioned store, stand up N shard servers behind a
+//!   session-affine router, and replay through the whole stack while
+//!   the fault plan (default: a seeded `kill-shard=1`) kills a shard
+//!   mid-stream. Per-shard balance, migrated-session counts, and the
+//!   measured failover recovery time are merged into
+//!   `BENCH_baseline.json` as a `"fleet"` section.
 //!
 //! ```text
 //! loadgen [--algo NAME|all] [--dataset NAME] [--sessions N]
 //!         [--connections N] [--rate ROWS_PER_SEC] [--min-secs S]
-//!         [--faults SPEC] [--connect ADDR] [--shutdown]
+//!         [--faults SPEC] [--connect ADDR] [--shutdown] [--shards N]
 //! ```
 //!
 //! Exits non-zero if any run drops a session, hits an unexpected
@@ -35,9 +42,12 @@ use etsc_data::Dataset;
 use etsc_datasets::PaperDataset;
 use etsc_eval::experiment::{AlgoSpec, RunConfig};
 use etsc_eval::FaultPlan;
-use etsc_net::{run_loadgen, ClientConfig, LoadReport, LoadgenOptions, NetServer, ServerConfig};
+use etsc_net::{
+    run_fleet, run_loadgen, ClientConfig, FleetOptions, FleetReport, LoadReport, LoadgenOptions,
+    NetServer, ServerConfig,
+};
 use etsc_obs::Histogram;
-use etsc_serve::fit_model;
+use etsc_serve::{fit_model, replicate, StoredModel};
 
 struct Args {
     algos: Vec<AlgoSpec>,
@@ -49,6 +59,7 @@ struct Args {
     faults: Option<FaultPlan>,
     connect: Option<String>,
     shutdown: bool,
+    shards: usize,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -97,6 +108,7 @@ fn parse_args() -> Result<Args, String> {
         faults,
         connect: flags.get("connect").cloned(),
         shutdown: flags.contains_key("shutdown"),
+        shards: num("shards", 0.0)? as usize,
     })
 }
 
@@ -199,35 +211,72 @@ fn run_until(addr: &str, data: &Dataset, opts: &LoadgenOptions, min_secs: f64, r
     }
 }
 
-/// Merges the measured rows into `BENCH_baseline.json` as a
-/// `"network"` section, replacing any previous one. The file is plain
-/// hand-rolled JSON (the workspace carries no JSON dependency), so the
-/// merge is string surgery anchored on the section key.
-fn merge_baseline(rows: &[NetRow], connections: usize, sessions: usize) {
-    let path = std::env::var("BENCH_BASELINE_PATH").unwrap_or_else(|_| {
-        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_baseline.json").into()
-    });
-    let mut base = match std::fs::read_to_string(&path) {
-        Ok(text) => {
-            let mut base = text.trim_end().to_owned();
-            if let Some(idx) = base.find(",\n  \"network\"") {
-                // Replace the previous section (always appended last).
-                base.truncate(idx);
-            } else {
-                base.pop(); // the closing brace
-                base.truncate(base.trim_end().len());
+/// The baseline file split into its measured sections. The file is
+/// plain hand-rolled JSON (the workspace carries no JSON dependency),
+/// so the split is string surgery anchored on the section keys this
+/// binary itself appends — always in `network`, `fleet` order.
+struct Baseline {
+    path: String,
+    prefix: String,
+    network: Option<String>,
+    fleet: Option<String>,
+}
+
+impl Baseline {
+    fn load() -> Baseline {
+        let path = std::env::var("BENCH_BASELINE_PATH").unwrap_or_else(|_| {
+            concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_baseline.json").into()
+        });
+        let (prefix, network, fleet) = match std::fs::read_to_string(&path) {
+            Ok(text) => {
+                let mut base = text.trim_end().to_owned();
+                if base.ends_with('}') {
+                    base.pop(); // the file's closing brace
+                    base.truncate(base.trim_end().len());
+                }
+                let fleet = base.find(",\n  \"fleet\"").map(|i| base.split_off(i));
+                let network = base.find(",\n  \"network\"").map(|i| base.split_off(i));
+                (base, network, fleet)
             }
-            base
+            Err(_) => (
+                String::from("{\n  \"bench\": \"streaming_serve\""),
+                None,
+                None,
+            ),
+        };
+        Baseline {
+            path,
+            prefix,
+            network,
+            fleet,
         }
-        Err(_) => String::from("{\n  \"bench\": \"streaming_serve\""),
-    };
-    base.push_str(",\n  \"network\": {\n");
-    base.push_str("    \"transport\": \"tcp-loopback\",\n");
-    base.push_str(&format!("    \"connections\": {connections},\n"));
-    base.push_str(&format!("    \"sessions\": {sessions},\n"));
-    base.push_str("    \"algorithms\": [\n");
+    }
+
+    fn store(self) {
+        let mut out = self.prefix;
+        if let Some(s) = self.network {
+            out.push_str(&s);
+        }
+        if let Some(s) = self.fleet {
+            out.push_str(&s);
+        }
+        out.push_str("\n}\n");
+        std::fs::write(&self.path, out).expect("baseline file writable");
+    }
+}
+
+/// Merges the measured rows into `BENCH_baseline.json` as a
+/// `"network"` section, replacing any previous one and preserving a
+/// `"fleet"` section if present.
+fn merge_baseline(rows: &[NetRow], connections: usize, sessions: usize) {
+    let mut baseline = Baseline::load();
+    let mut s = String::from(",\n  \"network\": {\n");
+    s.push_str("    \"transport\": \"tcp-loopback\",\n");
+    s.push_str(&format!("    \"connections\": {connections},\n"));
+    s.push_str(&format!("    \"sessions\": {sessions},\n"));
+    s.push_str("    \"algorithms\": [\n");
     for (i, row) in rows.iter().enumerate() {
-        base.push_str(&format!(
+        s.push_str(&format!(
             "      {{\"algo\": \"{}\", \"decisions_per_sec\": {:.1}, \"p50_ms\": {:.4}, \
              \"p99_ms\": {:.4}, \"degraded\": {}, \"dropped\": {}}}{}\n",
             row.algo,
@@ -239,9 +288,148 @@ fn merge_baseline(rows: &[NetRow], connections: usize, sessions: usize) {
             if i + 1 < rows.len() { "," } else { "" },
         ));
     }
-    base.push_str("    ]\n  }\n}\n");
-    std::fs::write(&path, base).expect("baseline file writable");
+    s.push_str("    ]\n  }");
+    let path = baseline.path.clone();
+    baseline.network = Some(s);
+    baseline.store();
     eprintln!("merged network section into {path}");
+}
+
+/// Merges a fleet run into `BENCH_baseline.json` as a `"fleet"`
+/// section: per-shard balance, migration counts, and the measured
+/// failover recovery time.
+fn merge_fleet_baseline(report: &FleetReport, algo: &str, plan: &FaultPlan, connections: usize) {
+    let mut baseline = Baseline::load();
+    let r = &report.router;
+    let balance: Vec<String> = report.balance().iter().map(u64::to_string).collect();
+    let mut s = String::from(",\n  \"fleet\": {\n");
+    s.push_str("    \"transport\": \"tcp-loopback-router\",\n");
+    s.push_str(&format!("    \"shards\": {},\n", report.shards.len()));
+    s.push_str(&format!("    \"connections\": {connections},\n"));
+    s.push_str(&format!("    \"sessions\": {},\n", report.load.sessions));
+    s.push_str(&format!("    \"algo\": \"{algo}\",\n"));
+    s.push_str(&format!("    \"faults\": \"{}\",\n", plan.render()));
+    s.push_str(&format!(
+        "    \"decisions_per_sec\": {:.1},\n",
+        report.load.decisions_per_sec()
+    ));
+    s.push_str(&format!(
+        "    \"p50_ms\": {:.4},\n    \"p99_ms\": {:.4},\n",
+        report.load.latency.clone().p50().unwrap_or(0.0) * 1e3,
+        report.load.latency.clone().p99().unwrap_or(0.0) * 1e3,
+    ));
+    s.push_str(&format!("    \"balance\": [{}],\n", balance.join(", ")));
+    s.push_str(&format!(
+        "    \"migrated_sessions\": {},\n    \"handoffs\": {},\n",
+        r.sessions_migrated, r.handoffs_sent
+    ));
+    s.push_str(&format!(
+        "    \"failovers\": {},\n    \"failover_recovery_ms\": {:.3},\n",
+        r.failovers,
+        report.failover_ms()
+    ));
+    s.push_str(&format!(
+        "    \"planned_drains\": {},\n    \"dropped\": {}\n",
+        r.planned_drains, report.load.dropped
+    ));
+    s.push_str("  }");
+    let path = baseline.path.clone();
+    baseline.fleet = Some(s);
+    baseline.store();
+    eprintln!("merged fleet section into {path}");
+}
+
+/// Fleet mode: fit one model, fan it out through the versioned store
+/// (save + replicate + load per shard), stand up `--shards` servers
+/// behind a router, and replay the dataset through the whole stack
+/// while the fault plan kills a shard mid-stream. Reports per-shard
+/// balance, migration counts, and measured failover recovery time,
+/// and merges them into the baseline's `"fleet"` section.
+fn run_fleet_mode(args: &Args, algo: AlgoSpec, data: &Dataset) -> bool {
+    let stored = match fit_model(algo, data, &RunConfig::fast()) {
+        Ok(stored) => stored,
+        Err(e) => {
+            eprintln!("error: {} does not fit: {e}", algo.name());
+            return false;
+        }
+    };
+    let dir = std::env::temp_dir().join("etsc-loadgen-fleet");
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("error: creating model store dir: {e}");
+        return false;
+    }
+    let paths: Vec<std::path::PathBuf> = (0..args.shards)
+        .map(|i| dir.join(format!("shard{i}.model")))
+        .collect();
+    let models: Result<Vec<Arc<StoredModel>>, String> = (|| {
+        stored.save(&paths[0]).map_err(|e| e.to_string())?;
+        replicate(&paths[0], &paths[1..]).map_err(|e| e.to_string())?;
+        paths
+            .iter()
+            .map(|p| {
+                StoredModel::load(p)
+                    .map(Arc::new)
+                    .map_err(|e| e.to_string())
+            })
+            .collect()
+    })();
+    let models = match models {
+        Ok(models) => models,
+        Err(e) => {
+            eprintln!("error: replicating the model store: {e}");
+            return false;
+        }
+    };
+    let plan = args.faults.clone().unwrap_or_else(|| {
+        FaultPlan::parse("seed=11,kill-shard=1").expect("default fleet plan parses")
+    });
+    let report = run_fleet(
+        &models,
+        data,
+        &FleetOptions {
+            connections: args.connections,
+            sessions: args.sessions,
+            rate: args.rate,
+            faults: Some(plan.clone()),
+            wait_timeout: Duration::from_secs(60),
+            ..FleetOptions::default()
+        },
+    );
+    let r = &report.router;
+    println!(
+        "{:<9} fleet {} shards {:>8.0} decisions/s  p50 {:>7.3} ms  p99 {:>7.3} ms  \
+         balance {:?}  migrated {}  failover {:.3} ms ({} episodes)  planned drains {}",
+        algo.name(),
+        args.shards,
+        report.load.decisions_per_sec(),
+        report.load.latency.clone().p50().unwrap_or(0.0) * 1e3,
+        report.load.latency.clone().p99().unwrap_or(0.0) * 1e3,
+        report.balance(),
+        r.sessions_migrated,
+        report.failover_ms(),
+        r.failovers,
+        r.planned_drains,
+    );
+    for e in &report.load.errors {
+        eprintln!("error: {e}");
+    }
+    let mut ok = report.clean();
+    for (i, shard) in report.shards.iter().enumerate() {
+        if let Some(stats) = &shard.stats {
+            if stats.open_sessions() != 0 {
+                eprintln!("error: shard {i} leaked {} sessions", stats.open_sessions());
+                ok = false;
+            }
+        }
+    }
+    if plan.kill_shard.is_some() && report.kill_step.is_none() {
+        eprintln!("error: the armed shard kill never fired");
+        ok = false;
+    }
+    if ok {
+        merge_fleet_baseline(&report, algo.name(), &plan, args.connections);
+    }
+    ok
 }
 
 fn main() -> ExitCode {
@@ -266,7 +454,12 @@ fn main() -> ExitCode {
     };
     let mut ok = true;
 
-    if let Some(addr) = &args.connect {
+    if args.shards >= 2 && args.connect.is_none() {
+        // Fleet mode: N shards behind a router, with a seeded
+        // shard-kill unless the caller armed their own plan.
+        let algo = args.algos.first().copied().unwrap_or(AlgoSpec::Ects);
+        ok = run_fleet_mode(&args, algo, &data);
+    } else if let Some(addr) = &args.connect {
         // External mode: one server, whatever model it serves.
         let mut row = NetRow::new("remote");
         run_until(addr, &data, &opts, args.min_secs, &mut row);

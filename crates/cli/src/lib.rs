@@ -15,7 +15,7 @@ use etsc_eval::experiment::{run_cell, AlgoSpec, RunConfig};
 use etsc_eval::report::render_matrix_status;
 use etsc_eval::supervisor::SupervisorOptions;
 use etsc_eval::{CommonOpts, FaultPlan, MatrixRunner};
-use etsc_net::{Client, ClientConfig, NetError, NetServer, ServerConfig};
+use etsc_net::{Client, ClientConfig, NetError, NetServer, Router, RouterConfig, ServerConfig};
 use etsc_serve::{
     fit_model, load_resilient, replay_dataset, Backpressure, DeadlineConfig, FallbackPolicy,
     ReplayOptions, SchedulerConfig, StoredModel, SupervisionConfig,
@@ -76,6 +76,16 @@ commands:
                      delay-ms=50,nan-rate=0.02,corrupt-model=true
                      (network faults: torn-rate, disconnect-rate,
                      loris-rate, loris-ms)
+  route              front a fleet of serving shards with a
+                     consistent-hash session router (health probes,
+                     circuit breakers, migration on shard death)
+                     --listen ADDR --shards A,B,C
+                     [--max-conns N] [--vnodes N]
+                     [--probe-interval-ms N] [--probe-timeout-ms N]
+                     [--duration-secs N] (0 = until a client requests
+                     shutdown) [--trace FILE] [--metrics FILE]
+  replicate          copy a saved model to shard replica paths
+                     --model FILE --to F1,F2,..
   predict            classify instances with a saved model, locally or
                      against a remote server
                      --model FILE (--dataset NAME | --data FILE --vars K)
@@ -563,6 +573,31 @@ pub fn run(command: &str, flags: &Flags, out: &mut dyn Write) -> Result<(), CliE
             }
             emit(out, rendered)
         }
+        "route" => {
+            let addr = required(flags, "listen")?;
+            route_listen(addr, flags, out)
+        }
+        "replicate" => {
+            let model_path = required(flags, "model")?;
+            let to = required(flags, "to")?;
+            let dests: Vec<&str> = to.split(',').filter(|s| !s.is_empty()).collect();
+            if dests.is_empty() {
+                return Err(CliError::Usage("--to needs at least one path".into()));
+            }
+            let model = etsc_serve::replicate(model_path, &dests)
+                .map_err(|e| CliError::Runtime(format!("replicating {model_path:?}: {e}")))?;
+            emit(
+                out,
+                format!(
+                    "replicated {} ({} on {}) to {} path{}\n",
+                    model_path,
+                    model.meta.algo.name(),
+                    model.meta.dataset,
+                    dests.len(),
+                    if dests.len() == 1 { "" } else { "s" },
+                ),
+            )
+        }
         "predict" => {
             if let Some(addr) = flags.get("connect") {
                 return predict_connect(addr, flags, out);
@@ -720,6 +755,94 @@ fn serve_listen(addr: &str, flags: &Flags, out: &mut dyn Write) -> Result<(), Cl
         stats.frames_shed,
         stats.proto_errors,
         stats.worker_panics,
+        stats.open_sessions(),
+    );
+    if opts.metrics.is_some() {
+        s.push_str("\nmetrics snapshot:\n");
+        s.push_str(&obs.metrics.render_prometheus());
+    }
+    emit(out, s)
+}
+
+/// `etsc route --listen ADDR --shards A,B,C`: front a fleet of
+/// `etsc serve --listen` shards with the consistent-hash session
+/// router. Runs until a client sends a Shutdown frame (or the
+/// `--duration-secs` budget elapses), then drains gracefully.
+fn route_listen(addr: &str, flags: &Flags, out: &mut dyn Write) -> Result<(), CliError> {
+    let shards_flag = required(flags, "shards")?;
+    let shards: Vec<String> = shards_flag
+        .split(',')
+        .filter(|s| !s.is_empty())
+        .map(str::to_string)
+        .collect();
+    if shards.is_empty() {
+        return Err(CliError::Usage(
+            "--shards needs at least one address".into(),
+        ));
+    }
+    let opts = common_opts(flags)?;
+    let obs = opts.build_obs();
+    let config = RouterConfig {
+        max_connections: parse(flags, "max-conns", 64_usize)?,
+        vnodes: parse(flags, "vnodes", 64_usize)?,
+        probe_interval: Duration::from_millis(parse(flags, "probe-interval-ms", 200_u64)?),
+        probe_timeout: Duration::from_millis(parse(flags, "probe-timeout-ms", 500_u64)?),
+        obs: obs.clone(),
+        ..RouterConfig::default()
+    };
+    let router = Router::bind(addr, &shards, config)
+        .map_err(|e| CliError::Runtime(format!("binding {addr}: {e}")))?;
+    emit(
+        out,
+        format!(
+            "routing across {} shard{} at {}\n",
+            shards.len(),
+            if shards.len() == 1 { "" } else { "s" },
+            router.local_addr()
+        ),
+    )?;
+    out.flush()
+        .map_err(|e| CliError::Runtime(format!("write failed: {e}")))?;
+    let duration = parse(flags, "duration-secs", 0_u64)?;
+    let started = Instant::now();
+    while !router.is_draining() {
+        if duration > 0 && started.elapsed() >= Duration::from_secs(duration) {
+            router.shutdown();
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    let stats = router.join();
+    opts.export(&obs)
+        .map_err(|e| CliError::Runtime(e.to_string()))?;
+    let mut s = format!(
+        "drained after {:.1} s\n\
+         connections    {} accepted, {} shed, {} closed\n\
+         sessions       {} opened, {} resumed, {} decided, {} failed, \
+         {} abandoned\n\
+         fleet          {} migrated, {} handoffs, {} planned drains, \
+         {} retired\n\
+         health         {} probes, {} shard failures, {} recoveries, \
+         {} failovers ({:.1} ms recovering)\n\
+         open sessions at exit: {}\n",
+        started.elapsed().as_secs_f64(),
+        stats.connections_accepted,
+        stats.connections_shed,
+        stats.connections_closed,
+        stats.sessions_opened,
+        stats.sessions_resumed,
+        stats.sessions_decided,
+        stats.sessions_failed,
+        stats.sessions_abandoned,
+        stats.sessions_migrated,
+        stats.handoffs_sent,
+        stats.planned_drains,
+        stats.shards_retired,
+        stats.probes_sent,
+        stats.shard_failures,
+        stats.shard_recoveries,
+        stats.failovers,
+        stats.failover_ms(),
         stats.open_sessions(),
     );
     if opts.metrics.is_some() {
@@ -1240,6 +1363,142 @@ mod tests {
             &flags(&[("connect", "127.0.0.1:1"), ("dataset", "PowerCons")])
         )
         .is_err());
+    }
+
+    #[test]
+    fn route_fronts_replicated_shards_and_drains() {
+        struct Shared(std::sync::Arc<Mutex<Vec<u8>>>);
+        impl Write for Shared {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        type Running = (
+            std::sync::Arc<Mutex<Vec<u8>>>,
+            std::thread::JoinHandle<Result<(), CliError>>,
+        );
+        fn spawn(command: &'static str, f: Flags) -> Running {
+            let out: std::sync::Arc<Mutex<Vec<u8>>> = std::sync::Arc::default();
+            let sink = out.clone();
+            let handle = std::thread::spawn(move || run(command, &f, &mut Shared(sink)));
+            (out, handle)
+        }
+        // Both banners ("serving ... at ADDR", "routing across ... at
+        // ADDR") carry the bound ephemeral address after " at ".
+        fn banner_addr(out: &std::sync::Arc<Mutex<Vec<u8>>>) -> String {
+            loop {
+                std::thread::sleep(Duration::from_millis(25));
+                let buf = out.lock().unwrap();
+                let text = String::from_utf8_lossy(&buf);
+                if let Some(rest) = text.split(" at ").nth(1) {
+                    if let Some(addr) = rest.split_whitespace().next() {
+                        return addr.to_owned();
+                    }
+                }
+            }
+        }
+
+        let dir = std::env::temp_dir().join("etsc-cli-test-route");
+        std::fs::create_dir_all(&dir).unwrap();
+        let model_path = dir.join("shard0.model");
+        let model_str = model_path.to_str().unwrap().to_owned();
+        run_to_string(
+            "train",
+            &flags(&[
+                ("dataset", "PowerCons"),
+                ("algo", "ECTS"),
+                ("height-scale", "0.15"),
+                ("length-scale", "0.3"),
+                ("save", &model_str),
+            ]),
+        )
+        .unwrap();
+        // Stage the second shard's copy through the replicate command.
+        let replica = dir.join("shard1.model");
+        let replica_str = replica.to_str().unwrap().to_owned();
+        let replicated = run_to_string(
+            "replicate",
+            &flags(&[("model", &model_str), ("to", &replica_str)]),
+        )
+        .unwrap();
+        assert!(replicated.contains("replicated"), "{replicated}");
+        assert!(replica.exists());
+
+        let (out0, shard0) = spawn(
+            "serve",
+            flags(&[("model", &model_str), ("listen", "127.0.0.1:0")]),
+        );
+        let (out1, shard1) = spawn(
+            "serve",
+            flags(&[("model", &replica_str), ("listen", "127.0.0.1:0")]),
+        );
+        let (addr0, addr1) = (banner_addr(&out0), banner_addr(&out1));
+        let shard_list = format!("{addr0},{addr1}");
+        let (rout, router) = spawn(
+            "route",
+            flags(&[
+                ("listen", "127.0.0.1:0"),
+                ("shards", &shard_list),
+                ("probe-interval-ms", "50"),
+            ]),
+        );
+        let raddr = banner_addr(&rout);
+        // A client speaking to the router is indistinguishable from one
+        // speaking to a shard: predict --connect just works.
+        let predicted = run_to_string(
+            "predict",
+            &flags(&[
+                ("connect", raddr.as_str()),
+                ("dataset", "PowerCons"),
+                ("height-scale", "0.15"),
+                ("length-scale", "0.3"),
+                ("instance", "3"),
+            ]),
+        )
+        .unwrap();
+        assert!(predicted.contains("earliness"), "{predicted}");
+
+        let mut stopper = Client::connect(&raddr, ClientConfig::default()).unwrap();
+        stopper.shutdown_server().unwrap();
+        stopper.wait_drain(Duration::from_secs(10)).unwrap();
+        router.join().unwrap().unwrap();
+        let text = String::from_utf8(rout.lock().unwrap().clone()).unwrap();
+        assert!(text.contains("drained after"), "{text}");
+        assert!(text.contains("open sessions at exit: 0"), "{text}");
+
+        for addr in [&addr0, &addr1] {
+            let mut stop = Client::connect(addr, ClientConfig::default()).unwrap();
+            stop.shutdown_server().unwrap();
+            stop.wait_drain(Duration::from_secs(10)).unwrap();
+        }
+        shard0.join().unwrap().unwrap();
+        shard1.join().unwrap().unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+
+        // Usage guards for the fleet commands.
+        assert!(matches!(
+            run_to_string("route", &flags(&[("listen", "127.0.0.1:0")])),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run_to_string(
+                "route",
+                &flags(&[("listen", "127.0.0.1:0"), ("shards", "")])
+            ),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run_to_string("replicate", &flags(&[("model", "x.model")])),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run_to_string("replicate", &flags(&[("model", "x.model"), ("to", "")])),
+            Err(CliError::Usage(_))
+        ));
     }
 
     #[test]

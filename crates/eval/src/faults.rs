@@ -56,6 +56,22 @@ pub struct FaultPlan {
     pub loris_rate: f64,
     /// The mid-frame stall applied to slow-loris sessions.
     pub loris: Duration,
+    /// Fleet-level fault: index of the shard a router fleet kills
+    /// mid-stream — the shard's sockets drop with no drain handshake
+    /// and the router must migrate its resident sessions.
+    pub kill_shard: Option<usize>,
+    /// Total routed observation count at which the shard kill fires;
+    /// `0` derives a seeded step via [`FaultPlan::kill_step`].
+    pub kill_at_step: u64,
+    /// Fleet-level fault: index of a shard that accepts TCP
+    /// connections but never answers a byte — the router's health
+    /// probes must time it out rather than hang.
+    pub blackhole_shard: Option<usize>,
+    /// Fleet-level fault: index of a shard whose every evaluation is
+    /// artificially delayed by [`FaultPlan::slow_shard_delay`].
+    pub slow_shard: Option<usize>,
+    /// The slow shard's injected per-evaluation delay.
+    pub slow_shard_delay: Duration,
 }
 
 impl Default for FaultPlan {
@@ -71,6 +87,11 @@ impl Default for FaultPlan {
             disconnect_rate: 0.0,
             loris_rate: 0.0,
             loris: Duration::from_millis(0),
+            kill_shard: None,
+            kill_at_step: 0,
+            blackhole_shard: None,
+            slow_shard: None,
+            slow_shard_delay: Duration::from_millis(0),
         }
     }
 }
@@ -136,6 +157,22 @@ impl FaultPlan {
                 "loris-ms" => {
                     plan.loris = Duration::from_millis(value.parse().map_err(|_| bad("loris-ms"))?);
                 }
+                "kill-shard" => {
+                    plan.kill_shard = Some(value.parse().map_err(|_| bad("kill-shard"))?);
+                }
+                "kill-at-step" => {
+                    plan.kill_at_step = value.parse().map_err(|_| bad("kill-at-step"))?;
+                }
+                "blackhole-shard" => {
+                    plan.blackhole_shard = Some(value.parse().map_err(|_| bad("blackhole-shard"))?);
+                }
+                "slow-shard" => {
+                    plan.slow_shard = Some(value.parse().map_err(|_| bad("slow-shard"))?);
+                }
+                "slow-shard-ms" => {
+                    plan.slow_shard_delay =
+                        Duration::from_millis(value.parse().map_err(|_| bad("slow-shard-ms"))?);
+                }
                 other => return Err(format!("unknown fault spec key {other:?}")),
             }
         }
@@ -145,7 +182,7 @@ impl FaultPlan {
     /// The spec string this plan parses back from.
     #[must_use]
     pub fn render(&self) -> String {
-        format!(
+        let mut spec = format!(
             "seed={},panics={},delay-rate={},delay-ms={},nan-rate={},corrupt-model={},\
              torn-rate={},disconnect-rate={},loris-rate={},loris-ms={}",
             self.seed,
@@ -158,7 +195,40 @@ impl FaultPlan {
             self.disconnect_rate,
             self.loris_rate,
             self.loris.as_millis(),
-        )
+        );
+        // Shard-level faults render only when armed, so plans written
+        // before the fleet existed round-trip byte-identically.
+        if let Some(s) = self.kill_shard {
+            spec.push_str(&format!(
+                ",kill-shard={s},kill-at-step={}",
+                self.kill_at_step
+            ));
+        }
+        if let Some(s) = self.blackhole_shard {
+            spec.push_str(&format!(",blackhole-shard={s}"));
+        }
+        if let Some(s) = self.slow_shard {
+            spec.push_str(&format!(
+                ",slow-shard={s},slow-shard-ms={}",
+                self.slow_shard_delay.as_millis()
+            ));
+        }
+        spec
+    }
+
+    /// The routed-observation count at which a fleet run kills
+    /// [`FaultPlan::kill_shard`]: the explicit `kill-at-step` when one
+    /// was given, otherwise a seeded draw from `[1, total_rows / 2]` —
+    /// early enough that the killed shard still holds undecided
+    /// sessions. Deterministic in the plan.
+    #[must_use]
+    pub fn kill_step(&self, total_rows: u64) -> u64 {
+        if self.kill_at_step > 0 {
+            return self.kill_at_step;
+        }
+        let mut rng = StdRng::seed_from_u64(self.seed ^ 0x5348_4152_444B); // "SHARDK"
+        let hi = (total_rows / 2).max(1);
+        rng.random_range(1..=hi)
     }
 
     /// Pins every fault to a `(session, step)` coordinate for a replay
@@ -474,6 +544,61 @@ mod tests {
                 assert!(schedule.touches(s));
             }
         }
+    }
+
+    #[test]
+    fn shard_faults_parse_render_and_derive_a_seeded_kill_step() {
+        let spec = "seed=42,kill-shard=1,kill-at-step=120,blackhole-shard=2,\
+                    slow-shard=0,slow-shard-ms=15";
+        let plan = FaultPlan::parse(spec).unwrap();
+        assert_eq!(plan.kill_shard, Some(1));
+        assert_eq!(plan.kill_at_step, 120);
+        assert_eq!(plan.blackhole_shard, Some(2));
+        assert_eq!(plan.slow_shard, Some(0));
+        assert_eq!(plan.slow_shard_delay, Duration::from_millis(15));
+        let again = FaultPlan::parse(&plan.render()).unwrap();
+        assert_eq!(plan, again);
+        assert!(FaultPlan::parse("kill-shard=x").is_err());
+        assert!(FaultPlan::parse("slow-shard-ms=-1").is_err());
+
+        // Explicit step wins; step 0 derives deterministically in range.
+        assert_eq!(plan.kill_step(10_000), 120);
+        let auto = FaultPlan {
+            kill_at_step: 0,
+            ..plan.clone()
+        };
+        let k = auto.kill_step(10_000);
+        assert!((1..=5_000).contains(&k));
+        assert_eq!(k, auto.kill_step(10_000), "seeded draw is deterministic");
+        assert!(auto.kill_step(0) >= 1, "degenerate totals stay positive");
+
+        // Plans without shard faults render exactly as they used to.
+        let legacy = FaultPlan::parse("seed=7,panics=1").unwrap();
+        assert!(!legacy.render().contains("shard"));
+    }
+
+    #[test]
+    fn shard_faults_leave_session_schedules_unchanged() {
+        // Shard faults are plan-level: arming them must not move any
+        // per-session coordinate (they draw from a separate seed
+        // stream), so existing chaos suites stay pinned.
+        let lens = vec![20; 60];
+        let base = FaultPlan {
+            seed: 42,
+            worker_panics: 2,
+            delay_rate: 0.2,
+            nan_rate: 0.1,
+            torn_rate: 0.3,
+            ..FaultPlan::default()
+        };
+        let extended = FaultPlan {
+            kill_shard: Some(1),
+            blackhole_shard: Some(2),
+            slow_shard: Some(0),
+            slow_shard_delay: Duration::from_millis(5),
+            ..base.clone()
+        };
+        assert_eq!(base.schedule(&lens), extended.schedule(&lens));
     }
 
     #[test]

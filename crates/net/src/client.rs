@@ -40,12 +40,25 @@ pub struct ClientConfig {
     pub handshake_timeout: Duration,
     /// Redials attempted per broken connection before giving up.
     pub reconnect_attempts: usize,
-    /// Pause between redial attempts.
+    /// Base pause before the second dial; later attempts double it
+    /// (capped at [`ClientConfig::reconnect_backoff_cap`]) and add
+    /// seeded jitter so a fleet of clients orphaned by one shard death
+    /// does not thundering-herd the takeover shard.
     pub reconnect_backoff: Duration,
+    /// Ceiling on the exponential portion of the backoff.
+    pub reconnect_backoff_cap: Duration,
+    /// Jitter fraction in `[0, 1]`: each delay is stretched by up to
+    /// `1 + reconnect_jitter`, deterministically from
+    /// [`ClientConfig::jitter_seed`] and the attempt number.
+    pub reconnect_jitter: f64,
+    /// Seed for the jitter stream. The default draws a process-unique
+    /// value so concurrent clients spread out without any shared clock.
+    pub jitter_seed: u64,
 }
 
 impl Default for ClientConfig {
     fn default() -> ClientConfig {
+        static NEXT_SEED: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
         ClientConfig {
             agent: "etsc-net-client".to_string(),
             max_frame_bytes: MAX_FRAME_BYTES,
@@ -53,8 +66,43 @@ impl Default for ClientConfig {
             handshake_timeout: Duration::from_secs(10),
             reconnect_attempts: 3,
             reconnect_backoff: Duration::from_millis(25),
+            reconnect_backoff_cap: Duration::from_secs(1),
+            reconnect_jitter: 0.5,
+            jitter_seed: NEXT_SEED.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
         }
     }
+}
+
+/// SplitMix64: a tiny, high-quality bit mixer. The client uses it for
+/// backoff jitter; the router reuses it for ring hashing. No `rand`
+/// dependency needed — determinism from the seed is the whole point.
+pub(crate) fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// The pause before redial `attempt` (1-based): exponential from
+/// [`ClientConfig::reconnect_backoff`], capped at
+/// [`ClientConfig::reconnect_backoff_cap`], stretched by up to
+/// `1 + reconnect_jitter` using a uniform draw seeded from
+/// `jitter_seed ^ attempt`. Deterministic per (config, attempt); two
+/// clients with different seeds spread apart.
+#[must_use]
+pub fn reconnect_delay(config: &ClientConfig, attempt: usize) -> Duration {
+    let attempt = attempt.max(1);
+    let base = config.reconnect_backoff.max(Duration::from_micros(1));
+    let shift = (attempt - 1).min(20) as u32;
+    let exp = base
+        .saturating_mul(1u32 << shift.min(31))
+        .min(config.reconnect_backoff_cap.max(base));
+    let jitter = config.reconnect_jitter.clamp(0.0, 1.0);
+    // 53 uniform bits in [0, 1).
+    let u = (splitmix64(config.jitter_seed ^ (attempt as u64).wrapping_mul(0xA5A5_A5A5)) >> 11)
+        as f64
+        / (1u64 << 53) as f64;
+    exp.mul_f64(1.0 + jitter * u)
 }
 
 /// A committed verdict as seen from the client side.
@@ -553,6 +601,17 @@ impl Client {
                 Ok(())
             }
             Frame::Error {
+                code: ErrorCode::Shutdown,
+                session: None,
+                ..
+            } => {
+                // Planned drain, not a failure: the Shutdown frame (and
+                // the drain verdicts) precede or follow on this same
+                // stream. Mark the drain so a reconnect is not attempted.
+                self.draining = true;
+                Ok(())
+            }
+            Frame::Error {
                 code,
                 session: None,
                 message,
@@ -576,7 +635,7 @@ impl Client {
         let mut last = String::new();
         for attempt in 0..self.config.reconnect_attempts.max(1) {
             if attempt > 0 {
-                std::thread::sleep(self.config.reconnect_backoff);
+                std::thread::sleep(reconnect_delay(&self.config, attempt));
             }
             let (mut stream, dec, _meta) = match dial(&self.addr, &self.config) {
                 Ok(x) => x,
@@ -649,8 +708,10 @@ impl Client {
 }
 
 /// Dial + Hello exchange. Returns the connected stream (read timeout
-/// armed), its decoder, and the server's model info.
-fn dial(
+/// armed), its decoder, and the server's model info. Shared with the
+/// router, whose health probes and upstream connections speak the same
+/// handshake.
+pub(crate) fn dial(
     addr: &str,
     config: &ClientConfig,
 ) -> Result<(TcpStream, FrameDecoder, ModelInfo), NetError> {
@@ -717,5 +778,80 @@ fn dial(
                 ) => {}
             Err(e) => return Err(e.into()),
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config(seed: u64) -> ClientConfig {
+        ClientConfig {
+            reconnect_backoff: Duration::from_millis(25),
+            reconnect_backoff_cap: Duration::from_millis(400),
+            reconnect_jitter: 0.5,
+            jitter_seed: seed,
+            ..ClientConfig::default()
+        }
+    }
+
+    #[test]
+    fn backoff_schedule_is_exponential_within_jitter_bounds() {
+        for seed in 0..64u64 {
+            let cfg = config(seed);
+            for attempt in 1..=10usize {
+                let exp = Duration::from_millis(25)
+                    .saturating_mul(1u32 << (attempt as u32 - 1))
+                    .min(Duration::from_millis(400));
+                let d = reconnect_delay(&cfg, attempt);
+                assert!(
+                    d >= exp && d <= exp.mul_f64(1.5),
+                    "seed {seed} attempt {attempt}: {d:?} outside [{exp:?}, {:?}]",
+                    exp.mul_f64(1.5)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn backoff_is_deterministic_per_seed_and_spreads_across_seeds() {
+        let cfg = config(7);
+        assert_eq!(reconnect_delay(&cfg, 3), reconnect_delay(&cfg, 3));
+        // Distinct seeds must not collapse onto one schedule — that
+        // would reintroduce the thundering herd the jitter prevents.
+        let delays: std::collections::HashSet<Duration> =
+            (0..32u64).map(|s| reconnect_delay(&config(s), 1)).collect();
+        assert!(
+            delays.len() > 16,
+            "only {} distinct first-attempt delays from 32 seeds",
+            delays.len()
+        );
+    }
+
+    #[test]
+    fn backoff_tolerates_degenerate_configs() {
+        let zero = ClientConfig {
+            reconnect_backoff: Duration::ZERO,
+            reconnect_backoff_cap: Duration::ZERO,
+            reconnect_jitter: -3.0,
+            jitter_seed: 0,
+            ..ClientConfig::default()
+        };
+        // Never panics, never returns an unbounded delay.
+        assert!(reconnect_delay(&zero, 1) <= Duration::from_millis(1));
+        assert!(reconnect_delay(&zero, 100) <= Duration::from_millis(1));
+        let wild = ClientConfig {
+            reconnect_jitter: 9.0,
+            ..config(3)
+        };
+        // Jitter is clamped to [0, 1].
+        assert!(reconnect_delay(&wild, 1) <= Duration::from_millis(50));
+    }
+
+    #[test]
+    fn default_configs_draw_distinct_jitter_seeds() {
+        let a = ClientConfig::default();
+        let b = ClientConfig::default();
+        assert_ne!(a.jitter_seed, b.jitter_seed);
     }
 }

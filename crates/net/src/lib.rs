@@ -21,7 +21,16 @@
 //! * [`loadgen`] — the load-generator core shared by the `loadgen`
 //!   bench binary and the chaos tests: replays dataset streams over N
 //!   connections at a target rate and reports achieved decisions/sec
-//!   plus end-to-end p50/p99 latency.
+//!   plus end-to-end p50/p99 latency;
+//! * [`router`] — a session-affine router fronting N shard servers:
+//!   consistent-hash placement with virtual nodes, health-probed shard
+//!   pools with per-shard circuit breakers, planned-drain detection,
+//!   blue/green generation swaps, and session migration off dead
+//!   shards via handoff + resume + buffered-prefix replay;
+//! * [`fleet`] — the single-process fleet harness: N shards behind a
+//!   router, driven by the load generator, with the seeded shard-level
+//!   faults (kill, blackhole, slow shard) the chaos suite asserts
+//!   against.
 //!
 //! The paper's Figure 13 asks whether an algorithm's testing time per
 //! decision keeps up with the stream's observation frequency; this
@@ -30,14 +39,18 @@
 //! and all.
 
 pub mod client;
+pub mod fleet;
 pub mod loadgen;
 pub mod proto;
+pub mod router;
 pub mod server;
 
-pub use client::{Client, ClientConfig, Decision, NetError};
+pub use client::{reconnect_delay, Client, ClientConfig, Decision, NetError};
+pub use fleet::{run_fleet, FleetOptions, FleetReport, ShardReport};
 pub use loadgen::{run_loadgen, LoadReport, LoadgenOptions};
 pub use proto::{
     encode_frame, write_frame, DecisionKind, ErrorCode, Frame, FrameDecoder, ModelInfo, ProtoError,
     HEADER_BYTES, MAX_FRAME_BYTES, MAX_PENDING_FRAMES, PROTO_VERSION,
 };
+pub use router::{Router, RouterConfig, RouterStats, ShardSnapshot};
 pub use server::{NetServer, ServerConfig, ServerStats};

@@ -14,7 +14,12 @@
 //! length-prefixed. A connection starts with a [`Frame::Hello`]
 //! exchange carrying [`PROTO_VERSION`]; everything after is sessions:
 //! `OpenSession` → `Observe`* → `Decision`, with `Error` for per-frame
-//! failures and `Shutdown` to request a graceful drain.
+//! failures and `Shutdown` to request a graceful drain. Two additions
+//! serve fleet choreography: [`Frame::Handoff`] announces that the
+//! next resume is a router-driven *migration* off a dead or draining
+//! shard, and [`ErrorCode::Shutdown`] marks a connection that closed
+//! because its server drained on purpose — routers skip the
+//! circuit-breaker penalty on that code.
 //!
 //! Hard limits: a frame advertising more than the decoder's
 //! `max_frame` bytes (default [`MAX_FRAME_BYTES`]) is rejected before
@@ -51,6 +56,7 @@ const TAG_DECISION: u8 = 4;
 const TAG_CLOSE: u8 = 5;
 const TAG_SHUTDOWN: u8 = 6;
 const TAG_ERROR: u8 = 7;
+const TAG_HANDOFF: u8 = 8;
 
 /// Shape of the model a server is exposing, sent in its
 /// [`Frame::Hello`] reply so clients (and the load generator) know
@@ -195,6 +201,10 @@ pub enum ErrorCode {
     IdleTimeout,
     /// Unexpected server-side failure (e.g. a worker panic).
     Internal,
+    /// Planned, graceful shutdown: the connection is closing because
+    /// the server is draining on purpose, not because anything broke.
+    /// Routers skip the circuit-breaker penalty on this code.
+    Shutdown,
 }
 
 impl ErrorCode {
@@ -208,6 +218,7 @@ impl ErrorCode {
             ErrorCode::Draining => 5,
             ErrorCode::IdleTimeout => 6,
             ErrorCode::Internal => 7,
+            ErrorCode::Shutdown => 8,
         }
     }
 
@@ -221,6 +232,7 @@ impl ErrorCode {
             5 => ErrorCode::Draining,
             6 => ErrorCode::IdleTimeout,
             7 => ErrorCode::Internal,
+            8 => ErrorCode::Shutdown,
             other => return Err(ProtoError::Corrupt(format!("unknown error code {other}"))),
         })
     }
@@ -237,6 +249,7 @@ impl fmt::Display for ErrorCode {
             ErrorCode::Draining => "draining",
             ErrorCode::IdleTimeout => "idle-timeout",
             ErrorCode::Internal => "internal",
+            ErrorCode::Shutdown => "shutdown",
         };
         f.write_str(s)
     }
@@ -295,6 +308,21 @@ pub enum Frame {
         /// Session id to abandon.
         session: u64,
     },
+    /// Announces that the next `OpenSession { resume: true }` for
+    /// `session` is a *migration*: a router is moving the session off a
+    /// dead or draining shard and is about to replay its buffered
+    /// observation prefix. Advisory — the takeover shard counts it and
+    /// records the provenance in its trace, then treats the resume
+    /// exactly like a client reconnect.
+    Handoff {
+        /// Session id (in the receiving connection's namespace) the
+        /// migration is about to re-open.
+        session: u64,
+        /// Address of the shard the session is leaving.
+        origin: String,
+        /// Observation rows the router will replay.
+        replayed: u64,
+    },
     /// Requests a graceful drain: the server force-decides in-flight
     /// sessions, answers them, and stops accepting.
     Shutdown,
@@ -321,6 +349,7 @@ impl Frame {
             Frame::CloseSession { .. } => "close",
             Frame::Shutdown => "shutdown",
             Frame::Error { .. } => "error",
+            Frame::Handoff { .. } => "handoff",
         }
     }
 
@@ -374,6 +403,16 @@ impl Frame {
             Frame::CloseSession { session } => {
                 enc.tag(TAG_CLOSE);
                 enc.u64(*session);
+            }
+            Frame::Handoff {
+                session,
+                origin,
+                replayed,
+            } => {
+                enc.tag(TAG_HANDOFF);
+                enc.u64(*session);
+                enc.str(origin);
+                enc.u64(*replayed);
             }
             Frame::Shutdown => {
                 enc.tag(TAG_SHUTDOWN);
@@ -456,6 +495,11 @@ impl Frame {
             },
             TAG_CLOSE => Frame::CloseSession {
                 session: dec.u64()?,
+            },
+            TAG_HANDOFF => Frame::Handoff {
+                session: dec.u64()?,
+                origin: dec.str()?,
+                replayed: dec.u64()?,
             },
             TAG_SHUTDOWN => Frame::Shutdown,
             TAG_ERROR => {
@@ -758,6 +802,16 @@ mod tests {
                 code: ErrorCode::Draining,
                 session: None,
                 message: String::new(),
+            },
+            Frame::Error {
+                code: ErrorCode::Shutdown,
+                session: None,
+                message: "graceful drain".into(),
+            },
+            Frame::Handoff {
+                session: 7,
+                origin: "127.0.0.1:7971".into(),
+                replayed: 42,
             },
         ]
     }

@@ -1,0 +1,1605 @@
+//! `etsc-router`: a session-affine TCP router fronting a fleet of
+//! `etsc serve` shards speaking the same wire protocol.
+//!
+//! A streaming session is stateful — the shard that saw observation 1
+//! must see observation 2 — so the router maps every session onto one
+//! shard with a consistent-hash ring (virtual nodes per shard, stable
+//! under membership churn) and keeps a buffered copy of the session's
+//! observation prefix. That buffer is what makes shard death survivable:
+//! when an upstream connection dies, the router re-places every
+//! undecided session on a surviving shard, announces the move with a
+//! [`Frame::Handoff`], re-opens with `resume = true`, and replays the
+//! prefix — the client never learns its shard died.
+//!
+//! Shard health is an explicit state machine. A prober thread dials
+//! each shard on a fixed cadence (the `Hello` exchange doubles as the
+//! health check); failures trip a per-shard circuit breaker that backs
+//! off exponentially and re-probes half-open. Planned drains are *not*
+//! failures: a shard that announces [`ErrorCode::Shutdown`] before
+//! closing is retiring on purpose, so the breaker is skipped and the
+//! death is counted as a planned drain.
+//!
+//! Model rollout is blue/green: [`Router::swap`] installs a new shard
+//! generation for all *new* sessions while the old generation keeps
+//! answering its in-flight ones; once the old generation's resident
+//! count reaches zero the prober tells those shards to drain.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use etsc_obs::Obs;
+
+use crate::client::{dial, splitmix64, ClientConfig};
+use crate::proto::{
+    write_frame, ErrorCode, Frame, FrameDecoder, ModelInfo, ProtoError, MAX_FRAME_BYTES,
+    PROTO_VERSION,
+};
+
+/// Tuning knobs for [`Router`].
+#[derive(Clone)]
+pub struct RouterConfig {
+    /// Peer identification the router sends to shards.
+    pub agent: String,
+    /// Concurrent client connections before accept-time shedding.
+    pub max_connections: usize,
+    /// Per-frame payload ceiling (both directions).
+    pub max_frame_bytes: usize,
+    /// Client-socket poll granularity.
+    pub read_poll: Duration,
+    /// Upstream-socket poll granularity (per shard per connection).
+    pub upstream_poll: Duration,
+    /// Silence budget per client connection.
+    pub idle_timeout: Duration,
+    /// Budget for collecting shard drain verdicts during a router
+    /// drain before leftover sessions are failed with attribution.
+    pub drain_timeout: Duration,
+    /// Cadence of the health prober's `Hello` dials.
+    pub probe_interval: Duration,
+    /// Handshake budget per probe.
+    pub probe_timeout: Duration,
+    /// Consecutive failures before a shard's breaker opens.
+    pub breaker_threshold: u32,
+    /// First open interval; doubles per failed half-open probe.
+    pub breaker_backoff: Duration,
+    /// Ceiling on the breaker's exponential backoff.
+    pub breaker_backoff_cap: Duration,
+    /// Virtual nodes per shard on the hash ring.
+    pub vnodes: usize,
+    /// Tracing + metrics sink.
+    pub obs: Obs,
+}
+
+impl Default for RouterConfig {
+    fn default() -> RouterConfig {
+        RouterConfig {
+            agent: "etsc-router".to_string(),
+            max_connections: 64,
+            max_frame_bytes: MAX_FRAME_BYTES,
+            read_poll: Duration::from_millis(2),
+            upstream_poll: Duration::from_millis(1),
+            idle_timeout: Duration::from_secs(30),
+            drain_timeout: Duration::from_secs(10),
+            probe_interval: Duration::from_millis(200),
+            probe_timeout: Duration::from_millis(500),
+            breaker_threshold: 2,
+            breaker_backoff: Duration::from_millis(100),
+            breaker_backoff_cap: Duration::from_secs(2),
+            vnodes: 64,
+            obs: Obs::disabled(),
+        }
+    }
+}
+
+/// Monotonic counters snapshotted by [`Router::stats`] and returned by
+/// [`Router::join`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RouterStats {
+    /// Client connections accepted and served.
+    pub connections_accepted: u64,
+    /// Client connections refused at accept time.
+    pub connections_shed: u64,
+    /// Client connections fully closed.
+    pub connections_closed: u64,
+    /// Fresh sessions placed on a shard.
+    pub sessions_opened: u64,
+    /// Sessions re-opened by a reconnecting *client* (distinct from
+    /// router-initiated migrations).
+    pub sessions_resumed: u64,
+    /// Sessions answered with a decision forwarded to the client.
+    pub sessions_decided: u64,
+    /// Sessions that died with an error forwarded (or originated) to
+    /// the client.
+    pub sessions_failed: u64,
+    /// Sessions abandoned by the client (close frame or disconnect).
+    pub sessions_abandoned: u64,
+    /// Sessions moved off a dead or draining shard and resumed on a
+    /// survivor.
+    pub sessions_migrated: u64,
+    /// [`Frame::Handoff`] announcements sent to takeover shards.
+    pub handoffs_sent: u64,
+    /// Observation rows forwarded to shards (replays excluded).
+    pub rows_routed: u64,
+    /// Shard failures recorded (dial failures, dead connections).
+    pub shard_failures: u64,
+    /// Shards that came back through a successful half-open probe.
+    pub shard_recoveries: u64,
+    /// Shard connections that closed with a `Shutdown` reason — planned
+    /// drains that skipped the circuit-breaker penalty.
+    pub planned_drains: u64,
+    /// Health probes dialled.
+    pub probes_sent: u64,
+    /// Old-generation shards told to drain after a blue/green swap.
+    pub shards_retired: u64,
+    /// Failover episodes (an unplanned upstream death that migrated at
+    /// least one session).
+    pub failovers: u64,
+    /// Total wall-clock nanoseconds spent in failover episodes, from
+    /// death detection to the last replayed row.
+    pub failover_ns_total: u64,
+}
+
+impl RouterStats {
+    /// Sessions the router still owes an answer. Zero after a clean
+    /// drain.
+    pub fn open_sessions(&self) -> i64 {
+        (self.sessions_opened + self.sessions_resumed) as i64
+            - (self.sessions_decided + self.sessions_failed + self.sessions_abandoned) as i64
+    }
+
+    /// Mean failover recovery time in milliseconds (0 when no failover
+    /// happened).
+    pub fn failover_ms(&self) -> f64 {
+        if self.failovers == 0 {
+            0.0
+        } else {
+            self.failover_ns_total as f64 / self.failovers as f64 / 1e6
+        }
+    }
+}
+
+#[derive(Default)]
+struct Cells {
+    connections_accepted: AtomicU64,
+    connections_shed: AtomicU64,
+    connections_closed: AtomicU64,
+    sessions_opened: AtomicU64,
+    sessions_resumed: AtomicU64,
+    sessions_decided: AtomicU64,
+    sessions_failed: AtomicU64,
+    sessions_abandoned: AtomicU64,
+    sessions_migrated: AtomicU64,
+    handoffs_sent: AtomicU64,
+    rows_routed: AtomicU64,
+    shard_failures: AtomicU64,
+    shard_recoveries: AtomicU64,
+    planned_drains: AtomicU64,
+    probes_sent: AtomicU64,
+    shards_retired: AtomicU64,
+    failovers: AtomicU64,
+    failover_ns_total: AtomicU64,
+}
+
+impl Cells {
+    fn snapshot(&self) -> RouterStats {
+        let get = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        RouterStats {
+            connections_accepted: get(&self.connections_accepted),
+            connections_shed: get(&self.connections_shed),
+            connections_closed: get(&self.connections_closed),
+            sessions_opened: get(&self.sessions_opened),
+            sessions_resumed: get(&self.sessions_resumed),
+            sessions_decided: get(&self.sessions_decided),
+            sessions_failed: get(&self.sessions_failed),
+            sessions_abandoned: get(&self.sessions_abandoned),
+            sessions_migrated: get(&self.sessions_migrated),
+            handoffs_sent: get(&self.handoffs_sent),
+            rows_routed: get(&self.rows_routed),
+            shard_failures: get(&self.shard_failures),
+            shard_recoveries: get(&self.shard_recoveries),
+            planned_drains: get(&self.planned_drains),
+            probes_sent: get(&self.probes_sent),
+            shards_retired: get(&self.shards_retired),
+            failovers: get(&self.failovers),
+            failover_ns_total: get(&self.failover_ns_total),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Shards, circuit breakers, and the consistent-hash ring.
+// ---------------------------------------------------------------------
+
+/// Per-shard circuit-breaker state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Circuit {
+    /// Healthy: eligible for placement and probed on the cadence.
+    Closed,
+    /// Tripped: no placements until `until`, then half-open.
+    Open { until: Instant },
+    /// Probation: one probe decides between `Closed` and a longer
+    /// `Open`.
+    HalfOpen,
+}
+
+struct ShardState {
+    circuit: Circuit,
+    failures: u32,
+    backoff: Duration,
+    /// Retired by a swap or observed announcing a planned drain: no
+    /// new placements, existing sessions keep streaming.
+    draining: bool,
+}
+
+/// One backend `etsc serve` process as the router sees it.
+struct Shard {
+    addr: String,
+    state: Mutex<ShardState>,
+    /// Sessions ever placed here (fresh opens + migrations in).
+    placed: AtomicU64,
+    /// Currently-open sessions routed here.
+    resident: AtomicU64,
+    /// Sessions migrated away after this shard died or drained.
+    migrated_off: AtomicU64,
+}
+
+impl Shard {
+    fn new(addr: String, backoff: Duration) -> Shard {
+        Shard {
+            addr,
+            state: Mutex::new(ShardState {
+                circuit: Circuit::Closed,
+                failures: 0,
+                backoff,
+                draining: false,
+            }),
+            placed: AtomicU64::new(0),
+            resident: AtomicU64::new(0),
+            migrated_off: AtomicU64::new(0),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, ShardState> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Records one failure; returns `true` when this trips (or
+    /// re-trips) the breaker.
+    fn record_failure(&self, config: &RouterConfig) -> bool {
+        let mut st = self.lock();
+        st.failures = st.failures.saturating_add(1);
+        match st.circuit {
+            Circuit::Closed if st.failures >= config.breaker_threshold => {
+                st.backoff = config.breaker_backoff;
+                st.circuit = Circuit::Open {
+                    until: Instant::now() + st.backoff,
+                };
+                true
+            }
+            Circuit::HalfOpen => {
+                st.backoff = (st.backoff * 2).min(config.breaker_backoff_cap);
+                st.circuit = Circuit::Open {
+                    until: Instant::now() + st.backoff,
+                };
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Records one success; returns `true` when this closed a tripped
+    /// breaker (a recovery).
+    fn record_success(&self, config: &RouterConfig) -> bool {
+        let mut st = self.lock();
+        let recovered = st.circuit != Circuit::Closed;
+        st.circuit = Circuit::Closed;
+        st.failures = 0;
+        st.backoff = config.breaker_backoff;
+        recovered
+    }
+
+    /// Whether a probe is due now; flips an expired `Open` to
+    /// `HalfOpen` as a side effect.
+    fn probe_due(&self) -> bool {
+        let mut st = self.lock();
+        if st.draining {
+            return false;
+        }
+        match st.circuit {
+            Circuit::Closed | Circuit::HalfOpen => true,
+            Circuit::Open { until } => {
+                if Instant::now() >= until {
+                    st.circuit = Circuit::HalfOpen;
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// Placement eligibility: pass 0 takes healthy shards only, pass 1
+    /// also accepts half-open probation.
+    fn placeable(&self, pass: usize) -> bool {
+        let st = self.lock();
+        if st.draining {
+            return false;
+        }
+        match st.circuit {
+            Circuit::Closed => true,
+            Circuit::HalfOpen => pass > 0,
+            Circuit::Open { .. } => false,
+        }
+    }
+
+    fn circuit_name(&self) -> &'static str {
+        match self.lock().circuit {
+            Circuit::Closed => "closed",
+            Circuit::Open { .. } => "open",
+            Circuit::HalfOpen => "half-open",
+        }
+    }
+}
+
+/// Point-in-time view of one shard, for reports and the CLI.
+#[derive(Debug, Clone)]
+pub struct ShardSnapshot {
+    /// Backend address.
+    pub addr: String,
+    /// Sessions ever placed here (fresh opens + migrations in).
+    pub placed: u64,
+    /// Currently-open sessions.
+    pub resident: u64,
+    /// Sessions migrated away.
+    pub migrated_off: u64,
+    /// Breaker state: `closed`, `open`, or `half-open`.
+    pub circuit: &'static str,
+    /// Retired or observed draining.
+    pub draining: bool,
+}
+
+fn hash_str(s: &str) -> u64 {
+    s.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+        splitmix64(h ^ u64::from(b))
+    })
+}
+
+/// One shard generation: the shards plus their consistent-hash ring.
+struct Pool {
+    generation: u64,
+    shards: Vec<Arc<Shard>>,
+    /// Sorted (point, shard index) pairs — `vnodes` points per shard,
+    /// derived from the shard *address* so the same fleet always builds
+    /// the same ring.
+    ring: Vec<(u64, usize)>,
+}
+
+impl Pool {
+    fn new(generation: u64, addrs: &[String], config: &RouterConfig) -> Pool {
+        let shards: Vec<Arc<Shard>> = addrs
+            .iter()
+            .map(|a| Arc::new(Shard::new(a.clone(), config.breaker_backoff)))
+            .collect();
+        let vnodes = config.vnodes.max(1) as u64;
+        let mut ring = Vec::with_capacity(shards.len() * vnodes as usize);
+        for (idx, shard) in shards.iter().enumerate() {
+            let base = hash_str(&shard.addr);
+            for v in 0..vnodes {
+                ring.push((
+                    splitmix64(base ^ v.wrapping_mul(0x9e37_79b9_7f4a_7c15)),
+                    idx,
+                ));
+            }
+        }
+        ring.sort_unstable();
+        Pool {
+            generation,
+            shards,
+            ring,
+        }
+    }
+
+    /// Distinct shard indexes in ring order starting at `key`'s point —
+    /// the session's preferred shard first, then its failover order.
+    fn candidates(&self, key: u64) -> Vec<usize> {
+        if self.ring.is_empty() {
+            return Vec::new();
+        }
+        let h = splitmix64(key);
+        let start = self.ring.partition_point(|&(p, _)| p < h);
+        let mut seen = vec![false; self.shards.len()];
+        let mut order = Vec::with_capacity(self.shards.len());
+        for i in 0..self.ring.len() {
+            let (_, idx) = self.ring[(start + i) % self.ring.len()];
+            if !seen[idx] {
+                seen[idx] = true;
+                order.push(idx);
+                if order.len() == self.shards.len() {
+                    break;
+                }
+            }
+        }
+        order
+    }
+}
+
+struct RetiredPool {
+    pool: Arc<Pool>,
+    drained: bool,
+}
+
+// ---------------------------------------------------------------------
+// The router proper.
+// ---------------------------------------------------------------------
+
+struct RouterShared {
+    config: RouterConfig,
+    /// Config for upstream session connections.
+    upstream_cfg: ClientConfig,
+    /// Config for health probes (tighter handshake budget).
+    probe_cfg: ClientConfig,
+    pool: RwLock<Arc<Pool>>,
+    retired: Mutex<Vec<RetiredPool>>,
+    meta: Mutex<Option<ModelInfo>>,
+    draining: AtomicBool,
+    generation: AtomicU64,
+    stats: Cells,
+    serve_span: Option<u64>,
+}
+
+impl RouterShared {
+    fn count(&self, cell: impl Fn(&Cells) -> &AtomicU64, metric: &str) {
+        cell(&self.stats).fetch_add(1, Ordering::Relaxed);
+        self.config.obs.metrics.counter(metric).inc();
+    }
+
+    fn current_pool(&self) -> Arc<Pool> {
+        Arc::clone(&self.pool.read().unwrap_or_else(|e| e.into_inner()))
+    }
+
+    fn cached_meta(&self) -> Option<ModelInfo> {
+        self.meta.lock().unwrap_or_else(|e| e.into_inner()).clone()
+    }
+
+    fn cache_meta(&self, meta: &ModelInfo) {
+        let mut guard = self.meta.lock().unwrap_or_else(|e| e.into_inner());
+        if guard.is_none() {
+            *guard = Some(meta.clone());
+        }
+    }
+
+    /// The served model's shape, dialling a shard for it if no probe
+    /// has cached one yet.
+    fn fetch_meta(&self) -> Option<ModelInfo> {
+        if let Some(m) = self.cached_meta() {
+            return Some(m);
+        }
+        let pool = self.current_pool();
+        for shard in &pool.shards {
+            if !shard.placeable(1) {
+                continue;
+            }
+            if let Ok((_stream, _dec, meta)) = dial(&shard.addr, &self.probe_cfg) {
+                self.cache_meta(&meta);
+                return Some(meta);
+            }
+        }
+        None
+    }
+}
+
+/// The running router. Dropping the handle does *not* stop it — call
+/// [`Router::shutdown`] then [`Router::join`].
+pub struct Router {
+    addr: SocketAddr,
+    shared: Arc<RouterShared>,
+    accept: Option<JoinHandle<()>>,
+    prober: Option<JoinHandle<()>>,
+    conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl Router {
+    /// Binds `addr` (port 0 for ephemeral) and starts routing sessions
+    /// across `shards` (backend addresses) on background threads.
+    ///
+    /// # Errors
+    /// `std::io::Error` when the address cannot be bound.
+    pub fn bind<A: ToSocketAddrs>(
+        addr: A,
+        shards: &[String],
+        config: RouterConfig,
+    ) -> std::io::Result<Router> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let mut span = config.obs.tracer.span("router.serve");
+        span.attr("addr", &addr.to_string());
+        span.attr("shards", &shards.len().to_string());
+        let serve_span = span.id();
+        let upstream_cfg = ClientConfig {
+            agent: config.agent.clone(),
+            max_frame_bytes: config.max_frame_bytes,
+            read_poll: config.upstream_poll,
+            handshake_timeout: Duration::from_secs(5),
+            ..ClientConfig::default()
+        };
+        let probe_cfg = ClientConfig {
+            agent: format!("{}-probe", config.agent),
+            max_frame_bytes: config.max_frame_bytes,
+            read_poll: Duration::from_millis(5),
+            handshake_timeout: config.probe_timeout,
+            ..ClientConfig::default()
+        };
+        let pool = Arc::new(Pool::new(1, shards, &config));
+        let shared = Arc::new(RouterShared {
+            config,
+            upstream_cfg,
+            probe_cfg,
+            pool: RwLock::new(pool),
+            retired: Mutex::new(Vec::new()),
+            meta: Mutex::new(None),
+            draining: AtomicBool::new(false),
+            generation: AtomicU64::new(1),
+            stats: Cells::default(),
+            serve_span,
+        });
+        let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let accept = {
+            let shared = Arc::clone(&shared);
+            let conns = Arc::clone(&conns);
+            std::thread::Builder::new()
+                .name("etsc-router-accept".into())
+                .spawn(move || {
+                    accept_loop(&shared, &listener, &conns);
+                    drop(span);
+                })
+                .expect("spawn router accept thread")
+        };
+        let prober = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("etsc-router-probe".into())
+                .spawn(move || prober_loop(&shared))
+                .expect("spawn router prober thread")
+        };
+        Ok(Router {
+            addr,
+            shared,
+            accept: Some(accept),
+            prober: Some(prober),
+            conns,
+        })
+    }
+
+    /// The bound address (with the resolved ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Current counter snapshot.
+    pub fn stats(&self) -> RouterStats {
+        self.shared.stats.snapshot()
+    }
+
+    /// Point-in-time view of the *current* shard generation.
+    pub fn shard_snapshots(&self) -> Vec<ShardSnapshot> {
+        self.shared
+            .current_pool()
+            .shards
+            .iter()
+            .map(|s| ShardSnapshot {
+                addr: s.addr.clone(),
+                placed: s.placed.load(Ordering::Relaxed),
+                resident: s.resident.load(Ordering::Relaxed),
+                migrated_off: s.migrated_off.load(Ordering::Relaxed),
+                circuit: s.circuit_name(),
+                draining: s.lock().draining,
+            })
+            .collect()
+    }
+
+    /// The current shard generation number (starts at 1, bumped by
+    /// every [`Router::swap`]).
+    pub fn generation(&self) -> u64 {
+        self.shared.generation.load(Ordering::SeqCst)
+    }
+
+    /// Blue/green hot-swap: all *new* sessions go to `shards`; the old
+    /// generation keeps answering its in-flight sessions and is told
+    /// to drain once its resident count reaches zero.
+    pub fn swap(&self, shards: &[String]) {
+        let generation = self.shared.generation.fetch_add(1, Ordering::SeqCst) + 1;
+        let new_pool = Arc::new(Pool::new(generation, shards, &self.shared.config));
+        let old = {
+            let mut guard = self.shared.pool.write().unwrap_or_else(|e| e.into_inner());
+            std::mem::replace(&mut *guard, new_pool)
+        };
+        for shard in &old.shards {
+            shard.lock().draining = true;
+        }
+        self.shared.config.obs.tracer.event_under(
+            "router.swap",
+            self.shared.serve_span,
+            &[
+                ("generation", &generation.to_string()),
+                ("shards", &shards.len().to_string()),
+            ],
+        );
+        self.shared
+            .retired
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(RetiredPool {
+                pool: old,
+                drained: false,
+            });
+    }
+
+    /// `true` once a drain was requested (locally or by a client
+    /// `Shutdown` frame).
+    pub fn is_draining(&self) -> bool {
+        self.shared.draining.load(Ordering::SeqCst)
+    }
+
+    /// Requests a graceful drain: stop accepting, collect shard drain
+    /// verdicts for in-flight sessions, answer clients, close.
+    pub fn shutdown(&self) {
+        self.shared.draining.store(true, Ordering::SeqCst);
+    }
+
+    /// Drains (if not already requested) and waits for every thread,
+    /// returning the final counters.
+    pub fn join(mut self) -> RouterStats {
+        self.shutdown();
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.prober.take() {
+            let _ = h.join();
+        }
+        let handles = std::mem::take(&mut *self.conns.lock().unwrap_or_else(|e| e.into_inner()));
+        for h in handles {
+            let _ = h.join();
+        }
+        self.shared.stats.snapshot()
+    }
+}
+
+fn accept_loop(
+    shared: &Arc<RouterShared>,
+    listener: &TcpListener,
+    conns: &Arc<Mutex<Vec<JoinHandle<()>>>>,
+) {
+    let active = Arc::new(AtomicU64::new(0));
+    let mut conn_seq: u64 = 0;
+    while !shared.draining.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, peer)) => {
+                let _ = stream.set_nonblocking(false);
+                if active.load(Ordering::SeqCst) >= shared.config.max_connections as u64 {
+                    shared.count(|s| &s.connections_shed, "router_connections_shed_total");
+                    let _ = stream.set_write_timeout(Some(Duration::from_millis(100)));
+                    let mut stream = stream;
+                    let _ = write_frame(
+                        &mut stream,
+                        &Frame::Error {
+                            code: ErrorCode::Overloaded,
+                            session: None,
+                            message: "router connection cap".to_string(),
+                        },
+                        shared.config.max_frame_bytes,
+                    );
+                    continue;
+                }
+                conn_seq += 1;
+                let conn_id = conn_seq;
+                shared.count(|s| &s.connections_accepted, "router_connections_total");
+                shared.config.obs.tracer.event_under(
+                    "router.conn.accept",
+                    shared.serve_span,
+                    &[("conn", &conn_id.to_string()), ("peer", &peer.to_string())],
+                );
+                active.fetch_add(1, Ordering::SeqCst);
+                let shared2 = Arc::clone(shared);
+                let active2 = Arc::clone(&active);
+                let handle = std::thread::Builder::new()
+                    .name(format!("etsc-router-conn-{conn_id}"))
+                    .spawn(move || {
+                        connection_thread(&shared2, stream, conn_id);
+                        active2.fetch_sub(1, Ordering::SeqCst);
+                    })
+                    .expect("spawn router connection thread");
+                conns.lock().unwrap_or_else(|e| e.into_inner()).push(handle);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(10)),
+        }
+    }
+}
+
+/// Health prober: dials every probeable shard on the cadence, drives
+/// breaker transitions, and retires swapped-out generations once their
+/// resident counts hit zero.
+fn prober_loop(shared: &Arc<RouterShared>) {
+    let mut next_probe = Instant::now();
+    while !shared.draining.load(Ordering::SeqCst) {
+        if Instant::now() < next_probe {
+            std::thread::sleep(Duration::from_millis(5));
+            continue;
+        }
+        next_probe = Instant::now() + shared.config.probe_interval;
+        let pool = shared.current_pool();
+        for shard in &pool.shards {
+            if shared.draining.load(Ordering::SeqCst) {
+                return;
+            }
+            if !shard.probe_due() {
+                continue;
+            }
+            shared.count(|s| &s.probes_sent, "router_probes_total");
+            match dial(&shard.addr, &shared.probe_cfg) {
+                Ok((_stream, _dec, meta)) => {
+                    shared.cache_meta(&meta);
+                    if shard.record_success(&shared.config) {
+                        shared.count(|s| &s.shard_recoveries, "router_shard_recoveries_total");
+                        shared.config.obs.tracer.event_under(
+                            "router.shard.recover",
+                            shared.serve_span,
+                            &[("addr", shard.addr.as_str())],
+                        );
+                    }
+                }
+                Err(_) => {
+                    // A drain announcement may still be in flight when
+                    // the dial bounces off the closed listener; once it
+                    // lands the shard is draining and owes no penalty.
+                    if shard.lock().draining {
+                        continue;
+                    }
+                    shared.count(|s| &s.shard_failures, "router_shard_failures_total");
+                    if shard.record_failure(&shared.config) {
+                        shared.config.obs.tracer.event_under(
+                            "router.shard.trip",
+                            shared.serve_span,
+                            &[("addr", shard.addr.as_str())],
+                        );
+                    }
+                }
+            }
+        }
+        retire_idle_generations(shared);
+    }
+}
+
+/// Tells every shard of a swapped-out generation to drain once its last
+/// in-flight session is answered.
+fn retire_idle_generations(shared: &RouterShared) {
+    let mut retired = shared.retired.lock().unwrap_or_else(|e| e.into_inner());
+    for rp in retired.iter_mut() {
+        if rp.drained {
+            continue;
+        }
+        let idle = rp
+            .pool
+            .shards
+            .iter()
+            .all(|s| s.resident.load(Ordering::SeqCst) == 0);
+        if !idle {
+            continue;
+        }
+        for shard in &rp.pool.shards {
+            if let Ok((mut stream, _dec, _meta)) = dial(&shard.addr, &shared.probe_cfg) {
+                let _ = write_frame(&mut stream, &Frame::Shutdown, shared.config.max_frame_bytes);
+            }
+            shared.count(|s| &s.shards_retired, "router_shards_retired_total");
+            shared.config.obs.tracer.event_under(
+                "router.shard.retire",
+                shared.serve_span,
+                &[
+                    ("addr", shard.addr.as_str()),
+                    ("generation", &rp.pool.generation.to_string()),
+                ],
+            );
+        }
+        rp.drained = true;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Per-client-connection forwarding loop.
+// ---------------------------------------------------------------------
+
+/// One upstream connection from this client connection to one shard.
+struct Upstream {
+    stream: TcpStream,
+    dec: FrameDecoder,
+    shard: Arc<Shard>,
+    /// Saw `ErrorCode::Shutdown` or a `Shutdown` frame: the coming EOF
+    /// is a planned drain, not a crash.
+    planned: bool,
+}
+
+/// One routed client session.
+struct Routed {
+    /// Address of the shard currently owning the session.
+    addr: String,
+    shard: Arc<Shard>,
+    vars: usize,
+    expected_len: usize,
+    /// Buffered observation prefix, replayed on migration.
+    rows: Vec<Vec<f64>>,
+}
+
+struct RouterConn<'r> {
+    shared: &'r RouterShared,
+    conn_id: u64,
+    client: TcpStream,
+    upstreams: HashMap<String, Upstream>,
+    sessions: HashMap<u64, Routed>,
+    finished: HashSet<u64>,
+    said_hello: bool,
+}
+
+enum Flow {
+    Continue,
+    Drain,
+    Fatal(&'static str),
+}
+
+fn connection_thread(shared: &Arc<RouterShared>, stream: TcpStream, conn_id: u64) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(shared.config.read_poll));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(5)));
+    let mut conn = RouterConn {
+        shared: shared.as_ref(),
+        conn_id,
+        client: stream,
+        upstreams: HashMap::new(),
+        sessions: HashMap::new(),
+        finished: HashSet::new(),
+        said_hello: false,
+    };
+    let reason = conn.serve();
+    let abandoned = conn.abandon_all();
+    shared.count(|s| &s.connections_closed, "router_connections_closed_total");
+    shared.config.obs.tracer.event_under(
+        "router.conn.close",
+        shared.serve_span,
+        &[
+            ("conn", &conn_id.to_string()),
+            ("reason", reason),
+            ("abandoned", &abandoned.to_string()),
+        ],
+    );
+}
+
+impl<'r> RouterConn<'r> {
+    fn serve(&mut self) -> &'static str {
+        let mut dec = FrameDecoder::new(self.shared.config.max_frame_bytes);
+        let mut last_activity = Instant::now();
+        loop {
+            if self.shared.draining.load(Ordering::SeqCst) {
+                self.drain();
+                return "drained";
+            }
+            loop {
+                match dec.next_frame() {
+                    Ok(Some(frame)) => match self.handle_client(frame) {
+                        Flow::Continue => {}
+                        Flow::Drain => {
+                            self.drain();
+                            return "drained";
+                        }
+                        Flow::Fatal(reason) => return reason,
+                    },
+                    Ok(None) => break,
+                    Err(e) => {
+                        self.send_client(&Frame::Error {
+                            code: ErrorCode::BadFrame,
+                            session: None,
+                            message: e.to_string(),
+                        });
+                        return "proto-error";
+                    }
+                }
+            }
+            match dec.read_from(&mut self.client) {
+                Ok(0) => return "eof",
+                Ok(_) => last_activity = Instant::now(),
+                Err(ProtoError::Io(e))
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    if last_activity.elapsed() > self.shared.config.idle_timeout {
+                        self.send_client(&Frame::Error {
+                            code: ErrorCode::IdleTimeout,
+                            session: None,
+                            message: format!("no frames for {:?}", self.shared.config.idle_timeout),
+                        });
+                        return "idle-timeout";
+                    }
+                }
+                Err(_) => return "io-error",
+            }
+            self.pump_upstreams();
+        }
+    }
+
+    fn handle_client(&mut self, frame: Frame) -> Flow {
+        match frame {
+            Frame::Hello { version, .. } => {
+                if version != PROTO_VERSION {
+                    self.send_client(&Frame::Error {
+                        code: ErrorCode::BadFrame,
+                        session: None,
+                        message: ProtoError::Version {
+                            got: version,
+                            want: PROTO_VERSION,
+                        }
+                        .to_string(),
+                    });
+                    return Flow::Fatal("proto-error");
+                }
+                if !self.said_hello {
+                    self.said_hello = true;
+                    let Some(meta) = self.shared.fetch_meta() else {
+                        self.send_client(&Frame::Error {
+                            code: ErrorCode::Overloaded,
+                            session: None,
+                            message: "no healthy shard to answer the handshake".to_string(),
+                        });
+                        return Flow::Fatal("no-shard");
+                    };
+                    self.send_client(&Frame::Hello {
+                        version: PROTO_VERSION,
+                        agent: self.shared.config.agent.clone(),
+                        meta: Some(meta),
+                    });
+                }
+                Flow::Continue
+            }
+            Frame::OpenSession {
+                id,
+                vars,
+                expected_len,
+                resume,
+            } => {
+                self.open_session(id, vars, expected_len, resume);
+                Flow::Continue
+            }
+            Frame::Observe { session, step, row } => {
+                self.observe(session, step, row);
+                Flow::Continue
+            }
+            Frame::CloseSession { session } => {
+                if let Some(routed) = self.sessions.remove(&session) {
+                    self.finished.insert(session);
+                    routed.shard.resident.fetch_sub(1, Ordering::SeqCst);
+                    self.shared
+                        .count(|s| &s.sessions_abandoned, "router_sessions_abandoned_total");
+                    let addr = routed.addr.clone();
+                    if self
+                        .send_upstream(&addr, &Frame::CloseSession { session })
+                        .is_err()
+                    {
+                        self.upstream_dead(&addr);
+                    }
+                }
+                Flow::Continue
+            }
+            Frame::Shutdown => {
+                self.shared.draining.store(true, Ordering::SeqCst);
+                Flow::Drain
+            }
+            Frame::Decision { .. } | Frame::Error { .. } | Frame::Handoff { .. } => {
+                self.send_client(&Frame::Error {
+                    code: ErrorCode::BadFrame,
+                    session: None,
+                    message: "server-only frame from client".to_string(),
+                });
+                Flow::Continue
+            }
+        }
+    }
+
+    fn session_key(&self, id: u64) -> u64 {
+        splitmix64((self.conn_id << 32) ^ id)
+    }
+
+    fn open_session(&mut self, id: u64, vars: usize, expected_len: usize, resume: bool) {
+        if self.shared.draining.load(Ordering::SeqCst) {
+            self.send_client(&Frame::Error {
+                code: ErrorCode::Draining,
+                session: Some(id),
+                message: "router is draining".to_string(),
+            });
+            return;
+        }
+        if self.sessions.contains_key(&id) {
+            self.send_client(&Frame::Error {
+                code: ErrorCode::BadFrame,
+                session: Some(id),
+                message: "session id already open".to_string(),
+            });
+            return;
+        }
+        self.finished.remove(&id);
+        let mut exclude = HashSet::new();
+        let Some(addr) = self.pick_and_connect(self.session_key(id), &mut exclude) else {
+            self.send_client(&Frame::Error {
+                code: ErrorCode::Overloaded,
+                session: Some(id),
+                message: "no healthy shard available".to_string(),
+            });
+            self.shared
+                .count(|s| &s.sessions_failed, "router_sessions_failed_total");
+            self.finished.insert(id);
+            return;
+        };
+        let shard = Arc::clone(&self.upstreams[&addr].shard);
+        shard.placed.fetch_add(1, Ordering::SeqCst);
+        shard.resident.fetch_add(1, Ordering::SeqCst);
+        self.sessions.insert(
+            id,
+            Routed {
+                addr: addr.clone(),
+                shard,
+                vars,
+                expected_len,
+                rows: Vec::new(),
+            },
+        );
+        if resume {
+            self.shared
+                .count(|s| &s.sessions_resumed, "router_sessions_resumed_total");
+        } else {
+            self.shared
+                .count(|s| &s.sessions_opened, "router_sessions_opened_total");
+        }
+        if self
+            .send_upstream(
+                &addr,
+                &Frame::OpenSession {
+                    id,
+                    vars,
+                    expected_len,
+                    resume,
+                },
+            )
+            .is_err()
+        {
+            // The freshly-placed session is migrated with everything
+            // else resident on the dead upstream.
+            self.upstream_dead(&addr);
+        }
+    }
+
+    fn observe(&mut self, session: u64, step: u64, row: Vec<f64>) {
+        if self.finished.contains(&session) {
+            return; // late frame for a decided/abandoned session
+        }
+        let Some(routed) = self.sessions.get_mut(&session) else {
+            self.send_client(&Frame::Error {
+                code: ErrorCode::UnknownSession,
+                session: Some(session),
+                message: format!("observe for session {session} which was never opened"),
+            });
+            return;
+        };
+        routed.rows.push(row.clone());
+        let addr = routed.addr.clone();
+        self.shared
+            .count(|s| &s.rows_routed, "router_rows_routed_total");
+        if self
+            .send_upstream(&addr, &Frame::Observe { session, step, row })
+            .is_err()
+        {
+            self.upstream_dead(&addr);
+        }
+    }
+
+    /// Ring placement + upstream dial, excluding and breaker-penalising
+    /// shards whose dial fails. Returns the connected shard's address.
+    fn pick_and_connect(&mut self, key: u64, exclude: &mut HashSet<String>) -> Option<String> {
+        loop {
+            let pool = self.shared.current_pool();
+            let order = pool.candidates(key);
+            let mut choice: Option<Arc<Shard>> = None;
+            'pick: for pass in 0..2 {
+                for &idx in &order {
+                    let shard = &pool.shards[idx];
+                    if exclude.contains(&shard.addr) || !shard.placeable(pass) {
+                        continue;
+                    }
+                    choice = Some(Arc::clone(shard));
+                    break 'pick;
+                }
+            }
+            let shard = choice?;
+            let addr = shard.addr.clone();
+            if self.upstreams.contains_key(&addr) {
+                return Some(addr);
+            }
+            match dial(&addr, &self.shared.upstream_cfg) {
+                Ok((stream, dec, meta)) => {
+                    let _ = stream.set_read_timeout(Some(self.shared.config.upstream_poll));
+                    let _ = stream.set_write_timeout(Some(Duration::from_secs(5)));
+                    self.shared.cache_meta(&meta);
+                    if shard.record_success(&self.shared.config) {
+                        self.shared
+                            .count(|s| &s.shard_recoveries, "router_shard_recoveries_total");
+                    }
+                    self.upstreams.insert(
+                        addr.clone(),
+                        Upstream {
+                            stream,
+                            dec,
+                            shard,
+                            planned: false,
+                        },
+                    );
+                    return Some(addr);
+                }
+                Err(_) => {
+                    self.shared
+                        .count(|s| &s.shard_failures, "router_shard_failures_total");
+                    shard.record_failure(&self.shared.config);
+                    exclude.insert(addr);
+                }
+            }
+        }
+    }
+
+    fn send_upstream(&mut self, addr: &str, frame: &Frame) -> Result<(), ()> {
+        let max = self.shared.config.max_frame_bytes;
+        let Some(up) = self.upstreams.get_mut(addr) else {
+            return Err(());
+        };
+        write_frame(&mut up.stream, frame, max).map_err(|_| ())
+    }
+
+    fn send_client(&mut self, frame: &Frame) {
+        // Best-effort: a dead client surfaces as EOF on the next read.
+        let max = self.shared.config.max_frame_bytes;
+        let _ = write_frame(&mut self.client, frame, max);
+    }
+
+    /// Reads and dispatches whatever every upstream has sent; dead
+    /// upstreams trigger migration.
+    fn pump_upstreams(&mut self) {
+        let addrs: Vec<String> = self.upstreams.keys().cloned().collect();
+        for addr in addrs {
+            let mut dead = false;
+            {
+                let Some(up) = self.upstreams.get_mut(&addr) else {
+                    continue;
+                };
+                match up.dec.read_from(&mut up.stream) {
+                    Ok(0) => dead = true,
+                    Ok(_) => {}
+                    Err(ProtoError::Io(e))
+                        if matches!(
+                            e.kind(),
+                            std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                        ) => {}
+                    Err(_) => dead = true,
+                }
+            }
+            if !dead {
+                loop {
+                    let next = {
+                        let Some(up) = self.upstreams.get_mut(&addr) else {
+                            break;
+                        };
+                        up.dec.next_frame()
+                    };
+                    match next {
+                        Ok(Some(frame)) => self.handle_upstream(&addr, frame),
+                        Ok(None) => break,
+                        Err(_) => {
+                            dead = true;
+                            break;
+                        }
+                    }
+                }
+            }
+            if dead {
+                self.upstream_dead(&addr);
+            }
+        }
+    }
+
+    fn handle_upstream(&mut self, addr: &str, frame: Frame) {
+        match frame {
+            Frame::Decision { session, .. } => {
+                let owned = self.sessions.get(&session).is_some_and(|r| r.addr == addr);
+                if owned {
+                    let routed = self.sessions.remove(&session).expect("session present");
+                    routed.shard.resident.fetch_sub(1, Ordering::SeqCst);
+                    self.finished.insert(session);
+                    self.shared
+                        .count(|s| &s.sessions_decided, "router_sessions_decided_total");
+                    self.send_client(&frame);
+                }
+            }
+            Frame::Error {
+                session: Some(id), ..
+            } => {
+                let owned = self.sessions.get(&id).is_some_and(|r| r.addr == addr);
+                if owned {
+                    let routed = self.sessions.remove(&id).expect("session present");
+                    routed.shard.resident.fetch_sub(1, Ordering::SeqCst);
+                    self.finished.insert(id);
+                    self.shared
+                        .count(|s| &s.sessions_failed, "router_sessions_failed_total");
+                    self.send_client(&frame);
+                }
+            }
+            Frame::Error {
+                code: ErrorCode::Shutdown,
+                session: None,
+                ..
+            }
+            | Frame::Shutdown => {
+                // Planned drain: the coming EOF must not be penalised,
+                // and the shard must not take new placements.
+                if let Some(up) = self.upstreams.get_mut(addr) {
+                    if !up.planned {
+                        up.planned = true;
+                        let mut st = up.shard.lock();
+                        st.draining = true;
+                        // Amnesty: the shard announced a *planned*
+                        // exit, so dial failures raced against its
+                        // closing listener were noise, not ill health.
+                        st.failures = 0;
+                        drop(st);
+                        self.shared
+                            .count(|s| &s.planned_drains, "router_planned_drains_total");
+                    }
+                }
+            }
+            Frame::Hello { meta, .. } => {
+                if let Some(meta) = meta {
+                    self.shared.cache_meta(&meta);
+                }
+            }
+            Frame::Error { session: None, .. } => {
+                // Connection-fatal shard error: treat the upstream as
+                // dead and migrate its sessions.
+                self.upstream_dead(addr);
+            }
+            // Client-only frames from a server: ignore.
+            Frame::OpenSession { .. }
+            | Frame::Observe { .. }
+            | Frame::CloseSession { .. }
+            | Frame::Handoff { .. } => {}
+        }
+    }
+
+    /// An upstream connection is gone. Unplanned deaths penalise the
+    /// shard's breaker and migrate every resident session to a
+    /// survivor via handoff + resume + replay; planned drains only
+    /// sweep up (the shard answered its sessions before closing).
+    fn upstream_dead(&mut self, addr: &str) {
+        let Some(up) = self.upstreams.remove(addr) else {
+            return;
+        };
+        let planned = up.planned;
+        if !planned {
+            self.shared
+                .count(|s| &s.shard_failures, "router_shard_failures_total");
+            if up.shard.record_failure(&self.shared.config) {
+                self.shared.config.obs.tracer.event_under(
+                    "router.shard.trip",
+                    self.shared.serve_span,
+                    &[("addr", addr)],
+                );
+            }
+        }
+        let started = Instant::now();
+        let mut queue: VecDeque<(u64, String)> = self
+            .sessions
+            .iter()
+            .filter(|(_, r)| r.addr == addr)
+            .map(|(&id, r)| (id, r.addr.clone()))
+            .collect();
+        if queue.is_empty() {
+            return;
+        }
+        if self.shared.draining.load(Ordering::SeqCst) {
+            // No migration during a router drain: fail what the shard
+            // did not answer, with attribution.
+            while let Some((id, _)) = queue.pop_front() {
+                self.fail_session(id, ErrorCode::Draining, "shard closed during router drain");
+            }
+            return;
+        }
+        let mut migrated = 0u64;
+        let mut exclude: HashSet<String> = HashSet::new();
+        exclude.insert(addr.to_string());
+        while let Some((id, origin)) = queue.pop_front() {
+            if !self.sessions.contains_key(&id) {
+                continue;
+            }
+            let Some(new_addr) = self.pick_and_connect(self.session_key(id), &mut exclude) else {
+                self.fail_session(
+                    id,
+                    ErrorCode::Overloaded,
+                    "no shard available for migration",
+                );
+                continue;
+            };
+            match self.replay_to(id, &origin, &new_addr) {
+                Ok(()) => migrated += 1,
+                Err(()) => {
+                    // The takeover shard died mid-replay: penalise it,
+                    // exclude it, and re-queue everything now resident
+                    // there (this session included).
+                    if let Some(bad) = self.upstreams.remove(&new_addr) {
+                        if !bad.planned {
+                            self.shared
+                                .count(|s| &s.shard_failures, "router_shard_failures_total");
+                            bad.shard.record_failure(&self.shared.config);
+                        }
+                    }
+                    exclude.insert(new_addr.clone());
+                    for (&sid, r) in &self.sessions {
+                        if r.addr == new_addr {
+                            queue.push_back((sid, new_addr.clone()));
+                        }
+                    }
+                }
+            }
+        }
+        if migrated > 0 && !planned {
+            let elapsed = started.elapsed();
+            self.shared
+                .count(|s| &s.failovers, "router_failovers_total");
+            self.shared
+                .stats
+                .failover_ns_total
+                .fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
+            self.shared
+                .config
+                .obs
+                .metrics
+                .histogram("router_failover_seconds")
+                .record(elapsed.as_secs_f64());
+            self.shared.config.obs.tracer.event_under(
+                "router.failover",
+                self.shared.serve_span,
+                &[
+                    ("conn", &self.conn_id.to_string()),
+                    ("origin", addr),
+                    ("migrated", &migrated.to_string()),
+                    ("ms", &format!("{:.3}", elapsed.as_secs_f64() * 1e3)),
+                ],
+            );
+        }
+    }
+
+    /// Moves session `id` from `origin` to `new_addr`: handoff
+    /// announcement, resume open, buffered-prefix replay, accounting.
+    fn replay_to(&mut self, id: u64, origin: &str, new_addr: &str) -> Result<(), ()> {
+        let (vars, expected_len, rows, old_shard) = {
+            let routed = self.sessions.get(&id).expect("session present");
+            (
+                routed.vars,
+                routed.expected_len,
+                routed.rows.clone(),
+                Arc::clone(&routed.shard),
+            )
+        };
+        self.send_upstream(
+            new_addr,
+            &Frame::Handoff {
+                session: id,
+                origin: origin.to_string(),
+                replayed: rows.len() as u64,
+            },
+        )?;
+        self.shared
+            .count(|s| &s.handoffs_sent, "router_handoffs_total");
+        self.send_upstream(
+            new_addr,
+            &Frame::OpenSession {
+                id,
+                vars,
+                expected_len,
+                resume: true,
+            },
+        )?;
+        for (i, row) in rows.iter().enumerate() {
+            self.send_upstream(
+                new_addr,
+                &Frame::Observe {
+                    session: id,
+                    step: i as u64 + 1,
+                    row: row.clone(),
+                },
+            )?;
+        }
+        let new_shard = Arc::clone(&self.upstreams[new_addr].shard);
+        old_shard.resident.fetch_sub(1, Ordering::SeqCst);
+        old_shard.migrated_off.fetch_add(1, Ordering::SeqCst);
+        new_shard.placed.fetch_add(1, Ordering::SeqCst);
+        new_shard.resident.fetch_add(1, Ordering::SeqCst);
+        let routed = self.sessions.get_mut(&id).expect("session present");
+        routed.addr = new_addr.to_string();
+        routed.shard = new_shard;
+        self.shared
+            .count(|s| &s.sessions_migrated, "router_sessions_migrated_total");
+        self.shared.config.obs.tracer.event_under(
+            "router.session.migrate",
+            self.shared.serve_span,
+            &[
+                ("conn", &self.conn_id.to_string()),
+                ("session", &id.to_string()),
+                ("from", origin),
+                ("to", new_addr),
+                ("replayed", &rows.len().to_string()),
+            ],
+        );
+        Ok(())
+    }
+
+    fn fail_session(&mut self, id: u64, code: ErrorCode, message: &str) {
+        let Some(routed) = self.sessions.remove(&id) else {
+            return;
+        };
+        routed.shard.resident.fetch_sub(1, Ordering::SeqCst);
+        self.finished.insert(id);
+        self.shared
+            .count(|s| &s.sessions_failed, "router_sessions_failed_total");
+        self.send_client(&Frame::Error {
+            code,
+            session: Some(id),
+            message: message.to_string(),
+        });
+    }
+
+    /// Router drain: forward the drain to every upstream, pump their
+    /// drain verdicts through to the client, fail whatever remains,
+    /// and say goodbye with the `Shutdown` reason code so the client
+    /// knows the close was planned.
+    fn drain(&mut self) {
+        let addrs: Vec<String> = self.upstreams.keys().cloned().collect();
+        for addr in addrs {
+            let _ = self.send_upstream(&addr, &Frame::Shutdown);
+        }
+        let deadline = Instant::now() + self.shared.config.drain_timeout;
+        while !self.sessions.is_empty() && !self.upstreams.is_empty() && Instant::now() < deadline {
+            self.pump_upstreams();
+        }
+        let leftover: Vec<u64> = self.sessions.keys().copied().collect();
+        for id in leftover {
+            self.fail_session(id, ErrorCode::Draining, "router drained without an answer");
+        }
+        self.send_client(&Frame::Error {
+            code: ErrorCode::Shutdown,
+            session: None,
+            message: "router drain complete".to_string(),
+        });
+        self.send_client(&Frame::Shutdown);
+    }
+
+    /// Abandons whatever is still open (client disconnect, protocol
+    /// error). Returns how many sessions were abandoned.
+    fn abandon_all(&mut self) -> usize {
+        let n = self.sessions.len();
+        for (id, routed) in self.sessions.drain() {
+            self.finished.insert(id);
+            routed.shard.resident.fetch_sub(1, Ordering::SeqCst);
+            self.shared
+                .count(|s| &s.sessions_abandoned, "router_sessions_abandoned_total");
+        }
+        // Dropping the upstream sockets lets each shard see EOF and
+        // account its side of the abandonment.
+        self.upstreams.clear();
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool(addrs: &[&str]) -> Pool {
+        let addrs: Vec<String> = addrs.iter().map(|s| (*s).to_string()).collect();
+        Pool::new(1, &addrs, &RouterConfig::default())
+    }
+
+    #[test]
+    fn ring_spreads_keys_and_is_deterministic() {
+        let p = pool(&["a:1", "b:2", "c:3"]);
+        let mut counts = [0usize; 3];
+        for key in 0..3000u64 {
+            let order = p.candidates(splitmix64(key));
+            assert_eq!(order.len(), 3);
+            counts[order[0]] += 1;
+        }
+        for (idx, &n) in counts.iter().enumerate() {
+            assert!(
+                n > 3000 / 3 / 3,
+                "shard {idx} got only {n} of 3000 primary placements"
+            );
+        }
+        // Same key, same preference order — placement is a pure
+        // function of (ring, key).
+        assert_eq!(p.candidates(42), p.candidates(42));
+    }
+
+    #[test]
+    fn ring_preference_is_stable_for_surviving_shards() {
+        // Removing one shard must not reshuffle sessions between the
+        // survivors: every key whose first choice survives keeps it.
+        let full = pool(&["a:1", "b:2", "c:3"]);
+        let smaller = pool(&["a:1", "c:3"]); // "b:2" died
+        for key in 0..500u64 {
+            let first_full = full.candidates(key)[0];
+            if first_full == 1 {
+                continue; // was on the dead shard; must move
+            }
+            let addr_full = &full.shards[first_full].addr;
+            let first_small = smaller.candidates(key)[0];
+            assert_eq!(
+                addr_full, &smaller.shards[first_small].addr,
+                "key {key} moved between surviving shards"
+            );
+        }
+    }
+
+    #[test]
+    fn breaker_trips_after_threshold_and_recovers_half_open() {
+        let config = RouterConfig {
+            breaker_threshold: 2,
+            breaker_backoff: Duration::from_millis(1),
+            breaker_backoff_cap: Duration::from_millis(8),
+            ..RouterConfig::default()
+        };
+        let shard = Shard::new("x:1".to_string(), config.breaker_backoff);
+        assert!(shard.placeable(0));
+        assert!(!shard.record_failure(&config));
+        assert!(shard.placeable(0), "one failure must not trip");
+        assert!(shard.record_failure(&config), "threshold trips");
+        assert!(!shard.placeable(1), "open shard takes no placements");
+        std::thread::sleep(Duration::from_millis(3));
+        assert!(shard.probe_due(), "expired open goes half-open");
+        assert!(
+            !shard.placeable(0) && shard.placeable(1),
+            "half-open is probation only"
+        );
+        // A failed probation doubles the backoff…
+        assert!(shard.record_failure(&config));
+        assert_eq!(shard.lock().backoff, Duration::from_millis(2));
+        std::thread::sleep(Duration::from_millis(4));
+        assert!(shard.probe_due());
+        // …and a successful one closes the breaker and resets it.
+        assert!(
+            shard.record_success(&config),
+            "reopening counts as recovery"
+        );
+        assert!(shard.placeable(0));
+        assert_eq!(shard.lock().failures, 0);
+        assert!(
+            !shard.record_success(&config),
+            "steady health is not a recovery"
+        );
+    }
+
+    #[test]
+    fn drained_shards_are_never_placeable() {
+        let config = RouterConfig::default();
+        let shard = Shard::new("x:1".to_string(), config.breaker_backoff);
+        shard.lock().draining = true;
+        assert!(!shard.placeable(0) && !shard.placeable(1));
+        assert!(!shard.probe_due(), "retired shards are not probed");
+    }
+}

@@ -114,6 +114,9 @@ pub struct ServerStats {
     pub proto_errors: u64,
     /// Injected (or genuine) evaluation panics caught and contained.
     pub worker_panics: u64,
+    /// Migration announcements received: sessions a router moved here
+    /// off a dead or draining shard (each is followed by a resume).
+    pub sessions_handoff: u64,
 }
 
 impl ServerStats {
@@ -142,6 +145,7 @@ struct StatsCells {
     frames_shed: AtomicU64,
     proto_errors: AtomicU64,
     worker_panics: AtomicU64,
+    sessions_handoff: AtomicU64,
 }
 
 impl StatsCells {
@@ -162,6 +166,7 @@ impl StatsCells {
             frames_shed: get(&self.frames_shed),
             proto_errors: get(&self.proto_errors),
             worker_panics: get(&self.worker_panics),
+            sessions_handoff: get(&self.sessions_handoff),
         }
     }
 }
@@ -172,6 +177,7 @@ struct Shared {
     batch: usize,
     config: ServerConfig,
     draining: AtomicBool,
+    killed: AtomicBool,
     session_seq: AtomicU64,
     schedule: Option<FaultSchedule>,
     stats: StatsCells,
@@ -239,6 +245,7 @@ impl NetServer {
             batch,
             config,
             draining: AtomicBool::new(false),
+            killed: AtomicBool::new(false),
             session_seq: AtomicU64::new(0),
             schedule,
             stats: StatsCells::default(),
@@ -284,6 +291,17 @@ impl NetServer {
     /// sessions, close connections. Returns immediately; use
     /// [`NetServer::join`] to wait for completion.
     pub fn shutdown(&self) {
+        self.shared.draining.store(true, Ordering::SeqCst);
+    }
+
+    /// Simulates a shard crash: connections close abruptly with *no*
+    /// drain handshake — in-flight sessions are abandoned, not
+    /// answered, and no `Shutdown` or reason frame is sent. This is the
+    /// chaos suite's kill-shard-at-step-K fault: everything a router
+    /// learns about the death, it learns from the dropped sockets.
+    /// Returns immediately; use [`NetServer::join`] to reap threads.
+    pub fn kill(&self) {
+        self.shared.killed.store(true, Ordering::SeqCst);
         self.shared.draining.store(true, Ordering::SeqCst);
     }
 
@@ -506,6 +524,7 @@ struct SessionEntry<'m> {
 enum CloseReason {
     Eof,
     Drained,
+    Killed,
     IdleTimeout,
     Proto(ProtoError),
     Io,
@@ -517,6 +536,7 @@ impl CloseReason {
         match self {
             CloseReason::Eof => "eof",
             CloseReason::Drained => "drained",
+            CloseReason::Killed => "killed",
             CloseReason::IdleTimeout => "idle-timeout",
             CloseReason::Proto(_) => "proto-error",
             CloseReason::Io => "io-error",
@@ -575,6 +595,11 @@ impl<'m> Conn<'m> {
         let mut last_activity = Instant::now();
         let mut said_hello = false;
         loop {
+            if shared.killed.load(Ordering::SeqCst) {
+                // Crash simulation: drop the socket with sessions
+                // unanswered. The caller's abandon_all() accounts them.
+                return CloseReason::Killed;
+            }
             if shared.draining.load(Ordering::SeqCst) {
                 self.drain();
                 return CloseReason::Drained;
@@ -692,6 +717,27 @@ impl<'m> Conn<'m> {
                     self.finished.insert(session);
                     shared.count(|s| &s.sessions_abandoned, "net_sessions_abandoned_total");
                 }
+                Handled::Ok
+            }
+            Frame::Handoff {
+                session,
+                origin,
+                replayed,
+            } => {
+                // Advisory migration announcement from a router: count
+                // it and record the provenance; the resume that follows
+                // is handled like any client reconnect.
+                shared.count(|s| &s.sessions_handoff, "net_sessions_handoff_total");
+                shared.config.obs.tracer.event_under(
+                    "net.session.handoff",
+                    shared.serve_span,
+                    &[
+                        ("conn", &self.conn_id.to_string()),
+                        ("session", &session.to_string()),
+                        ("origin", &origin),
+                        ("replayed", &replayed.to_string()),
+                    ],
+                );
                 Handled::Ok
             }
             Frame::Shutdown => {
@@ -919,6 +965,15 @@ impl<'m> Conn<'m> {
                 }
             }
         }
+        // Announce the *reason* before the Shutdown frame: clients and
+        // routers that see this code know the close is a planned drain
+        // (no reconnect, no circuit-breaker penalty), unlike a crash
+        // where the socket just dies.
+        self.send_blocking(Frame::Error {
+            code: ErrorCode::Shutdown,
+            session: None,
+            message: "graceful drain complete".to_string(),
+        });
         self.send_blocking(Frame::Shutdown);
     }
 

@@ -416,6 +416,12 @@ impl StoredModel {
     /// `<name>.prev` — the last-good copy [`load_resilient`] falls back
     /// to — and the temp file is renamed into place.
     ///
+    /// The primary file is never absent or partial at any point: the
+    /// `.prev` copy is staged through its own temp file and both
+    /// updates land via rename, so a concurrent [`load_resilient`]
+    /// always reads either the old version or the new one — never a
+    /// missing file or a torn write.
+    ///
     /// # Errors
     /// Encoding or filesystem failures.
     pub fn save(&self, path: impl AsRef<Path>) -> Result<(), ServeError> {
@@ -424,7 +430,12 @@ impl StoredModel {
         let tmp = sibling(path, "tmp");
         std::fs::write(&tmp, &bytes)?;
         if path.exists() {
-            std::fs::rename(path, sibling(path, "prev"))?;
+            // Demote the current model by *copy*, not by moving it:
+            // renaming the primary away would leave a window where a
+            // concurrent reader finds no file at all.
+            let prev_tmp = sibling(path, "prev.tmp");
+            std::fs::copy(path, &prev_tmp)?;
+            std::fs::rename(&prev_tmp, sibling(path, "prev"))?;
         }
         std::fs::rename(&tmp, path)?;
         Ok(())
@@ -606,6 +617,32 @@ pub fn load_resilient(path: impl AsRef<Path>) -> Result<LoadOutcome, ServeError>
         }
         Err(_) => Err(primary),
     }
+}
+
+/// Replicates the model at `src` to every destination path, for
+/// fanning one versioned store entry out to a shard fleet: the source
+/// is read once, integrity-verified through a full decode (a corrupt
+/// master must not be replicated), and each destination is written
+/// with [`StoredModel::save`]'s crash-consistent discipline — so every
+/// replica also gains a `.prev` last-good copy when it overwrites an
+/// older version.
+///
+/// # Errors
+/// Filesystem failures, or a source that fails integrity verification.
+pub fn replicate(
+    src: impl AsRef<Path>,
+    dests: &[impl AsRef<Path>],
+) -> Result<StoredModel, ServeError> {
+    let src = src.as_ref();
+    let model = StoredModel::load(src)?;
+    for dest in dests {
+        let dest = dest.as_ref();
+        if dest == src {
+            continue;
+        }
+        model.save(dest)?;
+    }
+    Ok(model)
 }
 
 /// Trains `algo` on `data` with the concrete types the store can

@@ -343,6 +343,221 @@ fn chaos_network_hundred_connections_zero_leaks_full_attribution() {
     }
 }
 
+/// The fleet extension of the suite: 100 sessions streamed through a
+/// consistent-hash router over 3 shard servers while the seeded plan
+/// kills one shard mid-stream (no drain handshake — its sockets just
+/// drop). Invariants: zero lost sessions, exact migration accounting
+/// across every layer (router counters, per-shard stats, handoff
+/// frames, trace events), and a measured failover recovery time.
+#[test]
+fn chaos_kill_a_shard_mid_stream_zero_lost_sessions_exact_migration() {
+    use etsc::net::{run_fleet, FleetOptions, RouterConfig};
+    use etsc::obs::{Obs, TraceRecord};
+    use etsc::serve::replicate;
+    use std::sync::Arc;
+
+    let data = hundred_sessions();
+    let stored = stored_model(&data);
+
+    // Fan the fitted model out through the versioned store — the same
+    // crash-consistent replication path production shards load from.
+    let dir = std::env::temp_dir().join("etsc-chaos-fleet");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let paths: Vec<std::path::PathBuf> = (0..3)
+        .map(|i| dir.join(format!("shard{i}.model")))
+        .collect();
+    stored.save(&paths[0]).expect("save source replica");
+    replicate(&paths[0], &paths[1..]).expect("replicate to shard stores");
+    let models: Vec<Arc<StoredModel>> = paths
+        .iter()
+        .map(|p| Arc::new(StoredModel::load(p).expect("load shard replica")))
+        .collect();
+
+    let plan = FaultPlan::parse("seed=42,kill-shard=1,kill-at-step=120").expect("plan parses");
+    let obs = Obs::enabled();
+    let report = run_fleet(
+        &models,
+        &data,
+        &FleetOptions {
+            connections: 10,
+            sessions: 100,
+            faults: Some(plan),
+            router: RouterConfig {
+                obs: obs.clone(),
+                ..RouterConfig::default()
+            },
+            ..FleetOptions::default()
+        },
+    );
+
+    // Zero lost sessions: every one of the 100 decided, none dropped,
+    // none failed, and no layer still owes an answer.
+    assert!(
+        report.clean(),
+        "unclean fleet run: {:?}",
+        report.load.errors
+    );
+    assert_eq!(report.load.decided, 100, "{:?}", report.load);
+    assert_eq!(report.load.failed, 0, "{:?}", report.load);
+    assert_eq!(report.load.dropped, 0, "{:?}", report.load);
+    let r = &report.router;
+    assert_eq!(r.open_sessions(), 0, "router leaked sessions: {r:?}");
+    assert_eq!(r.sessions_opened, 100, "{r:?}");
+
+    // The kill fired at the plan's routed-row step, and the shard's
+    // resident sessions migrated instead of vanishing.
+    assert_eq!(report.kill_step, Some(120), "seeded kill must fire");
+    assert!(report.shards[1].killed, "shard 1 is the kill target");
+    assert!(
+        r.sessions_migrated >= 1,
+        "kill mid-stream must migrate: {r:?}"
+    );
+    assert_eq!(
+        r.sessions_migrated, r.handoffs_sent,
+        "every migration announces itself with a handoff: {r:?}"
+    );
+    assert!(
+        r.shard_failures >= 1,
+        "an unplanned death is a counted failure"
+    );
+
+    // Exact cross-layer accounting: the survivors' resume and handoff
+    // counters reconcile with the router's migration count (no client
+    // faults are armed, so shard-side resumes can only be migrations),
+    // and no shard — including the killed one — leaks a session.
+    let mut resumed = 0u64;
+    let mut handoffs = 0u64;
+    for (i, shard) in report.shards.iter().enumerate() {
+        let stats = shard.stats.as_ref().expect("real shard has stats");
+        assert_eq!(stats.open_sessions(), 0, "shard {i} leaked: {stats:?}");
+        resumed += stats.sessions_resumed;
+        handoffs += stats.sessions_handoff;
+    }
+    assert_eq!(resumed, r.sessions_migrated, "resumes reconcile: {r:?}");
+    assert_eq!(handoffs, r.handoffs_sent, "handoffs reconcile: {r:?}");
+
+    // Per-shard balance: the ring spread all 100 sessions, every shard
+    // took a share, and placements exceed opens by exactly the
+    // migrations (a migrated session is placed twice).
+    let balance = report.balance();
+    assert!(balance.iter().all(|&p| p > 0), "lopsided ring: {balance:?}");
+    assert_eq!(
+        balance.iter().sum::<u64>(),
+        100 + r.sessions_migrated,
+        "placements = opens + migrations: {balance:?} vs {r:?}"
+    );
+    assert_eq!(
+        report.shards.iter().map(|s| s.migrated_off).sum::<u64>(),
+        r.sessions_migrated,
+        "migrated-off per shard sums to the router's total"
+    );
+
+    // Failover recovery time is measured and attributed in the trace.
+    assert!(r.failovers >= 1, "{r:?}");
+    assert!(r.failover_ns_total > 0, "{r:?}");
+    assert!(report.failover_ms() > 0.0);
+    let failover_events = obs
+        .tracer
+        .records()
+        .into_iter()
+        .filter(|rec| matches!(rec, TraceRecord::Event(e) if e.name == "router.failover"))
+        .count() as u64;
+    assert_eq!(failover_events, r.failovers, "one trace event per failover");
+    assert_eq!(
+        obs.metrics
+            .histogram("router_failover_seconds")
+            .snapshot()
+            .len() as u64,
+        r.failovers,
+        "one recovery-time sample per failover"
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The store under concurrent replication pressure: one writer saving
+/// new model versions through the crash-consistent path while readers
+/// hammer [`load_resilient`]. Every read must land on the last-good or
+/// the new version — never an error, a torn read, or a degraded
+/// recovery — because `save` stages `.prev` by copy and only ever
+/// renames complete files over the primary.
+#[test]
+fn chaos_concurrent_saves_never_starve_a_resilient_reader() {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    let data = hundred_sessions();
+    let mut stored = stored_model(&data);
+    let dir = std::env::temp_dir().join("etsc-chaos-store-race");
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("race.model");
+    stored.meta.dataset = "v0".to_string();
+    stored.save(&path).expect("initial save");
+
+    const VERSIONS: usize = 60;
+    let done = Arc::new(AtomicBool::new(false));
+    let writer = {
+        let path = path.clone();
+        let done = Arc::clone(&done);
+        std::thread::spawn(move || {
+            for i in 1..=VERSIONS {
+                stored.meta.dataset = format!("v{i}");
+                stored.save(&path).expect("concurrent save");
+            }
+            done.store(true, Ordering::SeqCst);
+        })
+    };
+    let readers: Vec<_> = (0..4)
+        .map(|_| {
+            let path = path.clone();
+            let done = Arc::clone(&done);
+            std::thread::spawn(move || {
+                let mut reads = 0u64;
+                let deadline = std::time::Instant::now() + Duration::from_secs(120);
+                loop {
+                    assert!(std::time::Instant::now() < deadline, "writer stalled");
+                    let outcome = etsc::serve::load_resilient(&path)
+                        .expect("resilient load never errors mid-save");
+                    assert!(
+                        outcome.warnings.is_empty(),
+                        "no degraded recovery under clean concurrent saves: {:?}",
+                        outcome.warnings
+                    );
+                    assert!(!outcome.recovered_from_prev, "primary always present");
+                    let v = &outcome.model.meta.dataset;
+                    let num: usize = v
+                        .strip_prefix('v')
+                        .and_then(|n| n.parse().ok())
+                        .unwrap_or_else(|| panic!("torn version string {v:?}"));
+                    assert!(num <= VERSIONS, "impossible version {v:?}");
+                    reads += 1;
+                    if done.load(Ordering::SeqCst) {
+                        return reads;
+                    }
+                }
+            })
+        })
+        .collect();
+    writer.join().expect("writer survives");
+    let total: u64 = readers
+        .into_iter()
+        .map(|r| r.join().expect("reader survives"))
+        .sum();
+    assert!(
+        total >= 4,
+        "readers actually raced the writer ({total} reads)"
+    );
+
+    // After the dust settles: the primary is the final version and the
+    // `.prev` last-good copy is intact and loadable too.
+    let last = etsc::serve::load_resilient(&path).expect("final load");
+    assert_eq!(last.model.meta.dataset, format!("v{VERSIONS}"));
+    let prev = StoredModel::load(dir.join("race.model.prev")).expect("prev intact");
+    assert!(prev.meta.dataset.starts_with('v'));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 #[test]
 fn chaos_schedule_is_deterministic_across_runs() {
     let plan = FaultPlan::parse(PLAN).expect("plan parses");

@@ -54,11 +54,21 @@ fn transcript_frames() -> Vec<Frame> {
         prefix_len: 6,
         kind: DecisionKind::Genuine,
     });
+    frames.push(Frame::Handoff {
+        session: 1,
+        origin: "127.0.0.1:7971".to_owned(),
+        replayed: 6,
+    });
     frames.push(Frame::CloseSession { session: 1 });
     frames.push(Frame::Error {
         code: ErrorCode::Draining,
         session: None,
         message: "shutting down".to_owned(),
+    });
+    frames.push(Frame::Error {
+        code: ErrorCode::Shutdown,
+        session: None,
+        message: "graceful drain".to_owned(),
     });
     frames.push(Frame::Shutdown);
     frames
