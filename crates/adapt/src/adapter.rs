@@ -1,0 +1,578 @@
+//! The adaptation supervisor: feedback in, hot-swapped refits out.
+//!
+//! An [`Adapter`] sits between decision feedback and the model store.
+//! Serving code pushes [`FeedbackEvent`]s through the [`FeedbackSink`]
+//! trait (cheap: detector + reservoir bookkeeping under one mutex) and
+//! periodically calls [`Adapter::poll`], which does the expensive work
+//! *in the caller's thread*: when drift was signalled (or a periodic
+//! refit is due) it retrains on the labeled reservoir, bumps the model
+//! generation, saves through the crash-consistent store (the demoted
+//! generation becomes `.prev`, so last-good semantics are preserved)
+//! and announces the swap through a caller-supplied hook — e.g.
+//! `NetServer::reload`. After every swap the adapter watches a window
+//! of post-swap feedback and *rolls back* to the last good generation
+//! when accuracy regressed, because a refit on a skewed reservoir can
+//! be worse than the drifted model it replaced.
+//!
+//! Training runs outside the adapter lock — feedback keeps flowing
+//! while a refit is in progress, and a refit that raced a concurrent
+//! swap is discarded rather than committed.
+
+use std::collections::VecDeque;
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use etsc_eval::experiment::RunConfig;
+use etsc_obs::Obs;
+use etsc_serve::{fit_model, ServeError, StoredModel};
+
+use crate::detect::{DetectorKind, DriftMonitor, DriftSignal};
+use crate::reservoir::{LabeledExample, Reservoir};
+
+/// Ground truth for one answered session, reported after its decision.
+#[derive(Debug, Clone)]
+pub struct FeedbackEvent {
+    /// Aggregation key for drift attribution (connection id, shard id,
+    /// or 0 for in-process replay).
+    pub key: u64,
+    /// The session the truth belongs to.
+    pub session: u64,
+    /// Dense label the model committed.
+    pub predicted: usize,
+    /// Dense true label, under the deciding generation's class order.
+    pub truth: usize,
+    /// Prefix length consumed before committing.
+    pub prefix_len: usize,
+    /// Generation of the model that made the decision.
+    pub generation: u64,
+    /// Display name of the true class (stable across re-interning).
+    pub class_name: String,
+    /// The observed series, one inner vector per variable — empty when
+    /// the reporter chose not to retain values (detection still works;
+    /// the example just cannot join the refit reservoir).
+    pub rows: Vec<Vec<f64>>,
+}
+
+impl FeedbackEvent {
+    /// Was the committed decision right?
+    pub fn correct(&self) -> bool {
+        self.predicted == self.truth
+    }
+}
+
+/// Anything that consumes post-decision ground truth. The serving
+/// layers hold one behind an `Arc` and call it inline on the feedback
+/// path, so implementations must be cheap and thread-safe.
+pub trait FeedbackSink: Send + Sync {
+    /// Records one labeled outcome.
+    fn record(&self, event: FeedbackEvent);
+}
+
+/// Tuning for [`Adapter`].
+#[derive(Clone)]
+pub struct AdapterConfig {
+    /// Drift detector family for the [`DriftMonitor`].
+    pub detector: DetectorKind,
+    /// Labeled examples retained for refits.
+    pub reservoir_cap: usize,
+    /// Reservoir floor before a refit is attempted (a drift signal
+    /// stays pending until enough labeled data accumulates).
+    pub min_refit_examples: usize,
+    /// Also refit every N live feedbacks, drift or not (`None` = only
+    /// on drift signals).
+    pub refit_every: Option<u64>,
+    /// Post-swap feedbacks watched before the swap verdict, and the
+    /// width of the rolling pre-swap accuracy baseline.
+    pub rollback_window: usize,
+    /// Allowed post-swap accuracy regression before rolling back.
+    pub rollback_drop: f64,
+    /// Seed for the reservoir sampler.
+    pub seed: u64,
+    /// Training configuration for refits.
+    pub train: RunConfig,
+    /// Metrics + trace sink.
+    pub obs: Obs,
+}
+
+impl Default for AdapterConfig {
+    fn default() -> AdapterConfig {
+        AdapterConfig {
+            detector: DetectorKind::Ddm,
+            reservoir_cap: 256,
+            min_refit_examples: 16,
+            refit_every: None,
+            rollback_window: 24,
+            rollback_drop: 0.15,
+            seed: 0xADA9_7043,
+            train: RunConfig::fast(),
+            obs: Obs::disabled(),
+        }
+    }
+}
+
+/// Monotonic adaptation counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct AdapterStats {
+    /// Feedback events recorded (any generation).
+    pub feedbacks: u64,
+    /// Feedbacks whose decision was wrong.
+    pub errors: u64,
+    /// Warning signals from the monitor.
+    pub warnings: u64,
+    /// Drift signals from the monitor.
+    pub drifts: u64,
+    /// Refits that trained to completion.
+    pub refits: u64,
+    /// Refits that failed to train.
+    pub refit_failures: u64,
+    /// Hot-swaps committed (refits + rollbacks).
+    pub swaps: u64,
+    /// Swaps undone because post-swap accuracy regressed.
+    pub rollbacks: u64,
+    /// Generation currently served.
+    pub generation: u64,
+    /// Wall-clock seconds of the most recent refit.
+    pub last_refit_secs: f64,
+}
+
+/// What a [`Adapter::poll`] call did.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AdapterEvent {
+    /// A refit trained, saved and swapped in.
+    Refitted {
+        /// Generation now serving.
+        generation: u64,
+        /// Reservoir examples trained on.
+        examples: usize,
+        /// Training wall-clock seconds.
+        secs: f64,
+    },
+    /// A regressed swap was undone: the last good model is serving
+    /// again under a fresh (bumped) generation.
+    RolledBack {
+        /// The generation rolled away from.
+        from: u64,
+        /// The generation now serving the restored model.
+        generation: u64,
+        /// Pre-swap baseline accuracy.
+        baseline: f64,
+        /// Post-swap windowed accuracy that triggered the rollback.
+        post: f64,
+    },
+}
+
+/// Post-swap probation: the swap is provisional until `need` live
+/// feedbacks accumulate, then compared against `baseline`.
+#[derive(Debug, Clone, Copy)]
+struct Probation {
+    baseline: f64,
+    correct: usize,
+    total: usize,
+    need: usize,
+}
+
+struct Inner {
+    current: Arc<StoredModel>,
+    /// The generation to restore on rollback — the last one that
+    /// survived (or never entered) probation.
+    last_good: Arc<StoredModel>,
+    path: Option<PathBuf>,
+    monitor: DriftMonitor,
+    reservoir: Reservoir,
+    cfg: AdapterConfig,
+    /// Rolling correctness of live-generation decisions (baseline for
+    /// the next swap's probation).
+    window: VecDeque<bool>,
+    probation: Option<Probation>,
+    pending_drift: bool,
+    feedbacks_since_refit: u64,
+    /// Test hook: train the next refit on rotated labels, producing a
+    /// deterministically degraded model that must trip the rollback.
+    sabotage_next: bool,
+    /// A poll() is mid-refit outside the lock.
+    refitting: bool,
+    stats: AdapterStats,
+    swap_hook: Option<Arc<dyn Fn(Arc<StoredModel>) + Send + Sync>>,
+}
+
+/// The adaptation supervisor. Clones share state; implement
+/// [`FeedbackSink`] recording and call [`Adapter::poll`] from any
+/// thread.
+#[derive(Clone)]
+pub struct Adapter {
+    inner: Arc<Mutex<Inner>>,
+}
+
+impl Adapter {
+    /// Supervises `model`. When `path` is given, every committed swap
+    /// is saved there through the crash-consistent store (demoting the
+    /// replaced generation to `.prev`); with `None` swaps are
+    /// in-memory only (the in-process evaluation harness).
+    pub fn new(model: Arc<StoredModel>, path: Option<PathBuf>, cfg: AdapterConfig) -> Adapter {
+        let stats = AdapterStats {
+            generation: model.meta.generation,
+            ..AdapterStats::default()
+        };
+        Adapter {
+            inner: Arc::new(Mutex::new(Inner {
+                last_good: Arc::clone(&model),
+                current: model,
+                path,
+                monitor: DriftMonitor::new(cfg.detector),
+                reservoir: Reservoir::new(cfg.reservoir_cap, cfg.seed),
+                window: VecDeque::new(),
+                probation: None,
+                pending_drift: false,
+                feedbacks_since_refit: 0,
+                sabotage_next: false,
+                refitting: false,
+                stats,
+                swap_hook: None,
+                cfg,
+            })),
+        }
+    }
+
+    /// Installs the hot-swap announcement hook (e.g. a closure calling
+    /// `NetServer::reload`). Called outside the adapter lock, after
+    /// the store save, with the new generation.
+    pub fn set_swap_hook(&self, hook: impl Fn(Arc<StoredModel>) + Send + Sync + 'static) {
+        self.lock().swap_hook = Some(Arc::new(hook));
+    }
+
+    /// The generation currently serving.
+    pub fn current(&self) -> Arc<StoredModel> {
+        Arc::clone(&self.lock().current)
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> AdapterStats {
+        self.lock().stats
+    }
+
+    /// Generation counter of the serving model.
+    pub fn generation(&self) -> u64 {
+        self.lock().current.meta.generation
+    }
+
+    /// Labeled examples currently in the refit reservoir.
+    pub fn reservoir_len(&self) -> usize {
+        self.lock().reservoir.len()
+    }
+
+    /// Seeds the reservoir with already-labeled series (typically the
+    /// original training set) so the first refit is not starved.
+    pub fn seed_reservoir(&self, examples: impl IntoIterator<Item = LabeledExample>) {
+        let mut g = self.lock();
+        for ex in examples {
+            g.reservoir.push(ex);
+        }
+    }
+
+    /// Test hook: the next refit trains on label-rotated examples — a
+    /// deterministically degraded model that post-swap probation must
+    /// catch and roll back.
+    pub fn sabotage_next_refit(&self) {
+        self.lock().sabotage_next = true;
+    }
+
+    /// Ops hook: ask for a refit at the next [`Adapter::poll`] even
+    /// without a drift signal (a manual retrain, a scheduled refresh,
+    /// or a rollback drill). Subject to the same gates as a drift
+    /// signal: an open probation or a starved reservoir defers it.
+    pub fn request_refit(&self) {
+        self.lock().pending_drift = true;
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Runs due maintenance: a rollback verdict if probation is
+    /// complete, otherwise a refit + hot-swap if drift is pending (or
+    /// a periodic refit is due) and the reservoir is ready. Training
+    /// happens in *this* thread with the lock released; returns what
+    /// was done, `Ok(None)` when nothing was due.
+    ///
+    /// # Errors
+    /// [`ServeError`] when a refit fails to train or a swap fails to
+    /// save — the adapter stays on the old generation.
+    pub fn poll(&self) -> Result<Option<AdapterEvent>, ServeError> {
+        // Phase 1 (locked): settle probation, decide whether to refit,
+        // and snapshot the training set.
+        let (data, base_generation, sabotaged) = {
+            let mut g = self.lock();
+            if g.refitting {
+                return Ok(None);
+            }
+            if let Some(event) = settle_probation(&mut g)? {
+                let hook = g.swap_hook.clone();
+                let model = Arc::clone(&g.current);
+                drop(g);
+                if let Some(hook) = hook {
+                    hook(model);
+                }
+                return Ok(Some(event));
+            }
+            let periodic_due = g
+                .cfg
+                .refit_every
+                .is_some_and(|n| g.feedbacks_since_refit >= n);
+            if !(g.pending_drift || periodic_due) {
+                return Ok(None);
+            }
+            if g.probation.is_some() {
+                // Never stack swaps: the last one is still on trial.
+                return Ok(None);
+            }
+            if g.reservoir.len() < g.cfg.min_refit_examples || g.reservoir.distinct_classes() < 2 {
+                return Ok(None); // drift stays pending until data arrives
+            }
+            let sabotaged = std::mem::take(&mut g.sabotage_next);
+            let name = g.current.meta.dataset.clone();
+            let classes = g.current.meta.class_names.clone();
+            let data = if sabotaged {
+                let mut r = g.reservoir.clone();
+                rotate_labels(&mut r, &classes);
+                r.to_dataset(&name, &classes)
+            } else {
+                g.reservoir.to_dataset(&name, &classes)
+            }
+            .map_err(|e| ServeError::Model(etsc_core::EtscError::Data(e)))?;
+            g.refitting = true;
+            (data, g.current.meta.generation, sabotaged)
+        };
+
+        // Phase 2 (unlocked): train. Feedback keeps flowing meanwhile.
+        let (algo, cfg, obs) = {
+            let g = self.lock();
+            (g.current.meta.algo, g.cfg.train.clone(), g.cfg.obs.clone())
+        };
+        let mut span = obs.tracer.span("adapt.refit");
+        span.attr("algo", algo.name());
+        span.attr("examples", &data.len().to_string());
+        span.attr("sabotaged", if sabotaged { "true" } else { "false" });
+        let started = Instant::now();
+        let fitted = fit_model(algo, &data, &cfg);
+        let secs = started.elapsed().as_secs_f64();
+        obs.metrics.histogram("adapt_refit_seconds").record(secs);
+        drop(span);
+
+        // Phase 3 (locked): commit, unless the world moved on.
+        let mut g = self.lock();
+        g.refitting = false;
+        let mut fitted = match fitted {
+            Ok(m) => m,
+            Err(e) => {
+                g.stats.refit_failures += 1;
+                obs.metrics.counter("adapt_refit_failures_total").inc();
+                // Drop the pending signal: retrying the same reservoir
+                // immediately would spin on the same failure.
+                g.pending_drift = false;
+                g.feedbacks_since_refit = 0;
+                return Err(e);
+            }
+        };
+        if g.current.meta.generation != base_generation {
+            // Someone else swapped while we trained; their generation
+            // wins and our stale refit is discarded.
+            return Ok(None);
+        }
+        fitted.meta.generation = base_generation + 1;
+        let examples = data.len();
+        g.stats.refits += 1;
+        g.stats.last_refit_secs = secs;
+        obs.metrics.counter("adapt_refit_total").inc();
+        let baseline = window_accuracy(&g.window);
+        commit_swap(&mut g, Arc::new(fitted), &obs)?;
+        g.probation = baseline.map(|baseline| Probation {
+            baseline,
+            correct: 0,
+            total: 0,
+            need: g.cfg.rollback_window.max(1),
+        });
+        let hook = g.swap_hook.clone();
+        let model = Arc::clone(&g.current);
+        let generation = g.current.meta.generation;
+        drop(g);
+        if let Some(hook) = hook {
+            hook(model);
+        }
+        Ok(Some(AdapterEvent::Refitted {
+            generation,
+            examples,
+            secs,
+        }))
+    }
+}
+
+impl FeedbackSink for Adapter {
+    fn record(&self, event: FeedbackEvent) {
+        let mut g = self.lock();
+        let obs = g.cfg.obs.clone();
+        g.stats.feedbacks += 1;
+        obs.metrics.counter("adapt_feedback_total").inc();
+        let correct = event.correct();
+        if !correct {
+            g.stats.errors += 1;
+            obs.metrics.counter("adapt_feedback_errors_total").inc();
+        }
+        if !event.rows.is_empty() {
+            g.reservoir.push(LabeledExample {
+                rows: event.rows,
+                class: event.class_name,
+            });
+        }
+        // Only live-generation outcomes say anything about the serving
+        // model: feedback for a decision made before a swap is stale.
+        if event.generation != g.current.meta.generation {
+            return;
+        }
+        g.feedbacks_since_refit += 1;
+        let cap = g.cfg.rollback_window.max(1);
+        g.window.push_back(correct);
+        while g.window.len() > cap {
+            g.window.pop_front();
+        }
+        if let Some(p) = &mut g.probation {
+            p.total += 1;
+            if correct {
+                p.correct += 1;
+            }
+        }
+        match g.monitor.update(event.key, correct) {
+            DriftSignal::Stable => {}
+            DriftSignal::Warning => {
+                g.stats.warnings += 1;
+                obs.metrics.counter("adapt_drift_warnings_total").inc();
+            }
+            DriftSignal::Drift => {
+                g.stats.drifts += 1;
+                g.pending_drift = true;
+                obs.metrics.counter("adapt_drift_total").inc();
+                obs.tracer.event(
+                    "adapt.drift",
+                    &[
+                        ("key", &event.key.to_string()),
+                        ("detector", g.cfg.detector.name()),
+                        ("generation", &event.generation.to_string()),
+                    ],
+                );
+            }
+        }
+    }
+}
+
+/// Accuracy over the rolling window, `None` until it has any entries.
+fn window_accuracy(window: &VecDeque<bool>) -> Option<f64> {
+    if window.is_empty() {
+        return None;
+    }
+    let correct = window.iter().filter(|c| **c).count();
+    Some(correct as f64 / window.len() as f64)
+}
+
+/// If probation is complete and the swap regressed, restore the last
+/// good model under a bumped generation. Returns the rollback event
+/// with the inner lock still held (the caller announces the swap).
+fn settle_probation(g: &mut Inner) -> Result<Option<AdapterEvent>, ServeError> {
+    let Some(p) = g.probation else {
+        return Ok(None);
+    };
+    if p.total < p.need {
+        return Ok(None);
+    }
+    let post = p.correct as f64 / p.total as f64;
+    g.probation = None;
+    if post >= p.baseline - g.cfg.rollback_drop {
+        // Swap accepted: it becomes the rollback target from now on.
+        g.last_good = Arc::clone(&g.current);
+        return Ok(None);
+    }
+    let from = g.current.meta.generation;
+    // Restore the last good model through the codec (StoredModel holds
+    // fitted algorithms and is deliberately not Clone) and bump the
+    // generation so routers see the rollback as a fresh swap.
+    let mut restored = StoredModel::from_bytes(&g.last_good.to_bytes()?)?;
+    restored.meta.generation = from + 1;
+    let obs = g.cfg.obs.clone();
+    g.stats.rollbacks += 1;
+    obs.metrics.counter("adapt_rollback_total").inc();
+    obs.tracer.event(
+        "adapt.rollback",
+        &[
+            ("from", &from.to_string()),
+            ("baseline", &format!("{:.3}", p.baseline)),
+            ("post", &format!("{post:.3}")),
+        ],
+    );
+    commit_swap(g, Arc::new(restored), &obs)?;
+    // A rollback is evidence the refit was bad, not that the drift went
+    // away — re-arm the signal so a later poll retries once the
+    // reservoir has turned over further. (commit_swap just cleared it.)
+    g.pending_drift = true;
+    Ok(Some(AdapterEvent::RolledBack {
+        from,
+        generation: g.current.meta.generation,
+        baseline: p.baseline,
+        post,
+    }))
+}
+
+/// Commits `next` as the serving generation: saves through the
+/// crash-consistent store (when a path is configured), swaps the
+/// in-memory Arc, and resets detection state — the new generation's
+/// error process starts clean.
+fn commit_swap(g: &mut Inner, next: Arc<StoredModel>, obs: &Obs) -> Result<(), ServeError> {
+    if let Some(path) = &g.path {
+        next.save(path)?;
+    }
+    g.current = Arc::clone(&next);
+    g.stats.swaps += 1;
+    g.stats.generation = next.meta.generation;
+    g.monitor.reset();
+    g.window.clear();
+    g.pending_drift = false;
+    g.feedbacks_since_refit = 0;
+    obs.metrics.counter("adapt_swap_total").inc();
+    obs.metrics
+        .gauge("adapt_model_generation")
+        .set(next.meta.generation as f64);
+    obs.tracer.event(
+        "adapt.swap",
+        &[
+            ("generation", &next.meta.generation.to_string()),
+            ("algo", next.meta.algo.name()),
+        ],
+    );
+    Ok(())
+}
+
+/// Rotates every resident example's class name one step along the
+/// model's class order — the sabotage hook's deterministic poison.
+fn rotate_labels(reservoir: &mut Reservoir, classes: &[String]) {
+    if classes.len() < 2 {
+        return;
+    }
+    let rotated: Vec<LabeledExample> = reservoir
+        .items()
+        .iter()
+        .map(|item| {
+            let idx = classes.iter().position(|c| *c == item.class);
+            let class = match idx {
+                Some(i) => classes[(i + 1) % classes.len()].clone(),
+                None => item.class.clone(),
+            };
+            LabeledExample {
+                rows: item.rows.clone(),
+                class,
+            }
+        })
+        .collect();
+    let mut fresh = Reservoir::new(reservoir.len().max(1), 0);
+    for ex in rotated {
+        fresh.push(ex);
+    }
+    *reservoir = fresh;
+}

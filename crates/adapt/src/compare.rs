@@ -1,0 +1,305 @@
+//! Drift as an evaluation axis: adaptive vs frozen over one stream.
+//!
+//! The paper's matrix evaluates frozen models; this module replays a
+//! (possibly drifting) instance stream twice under identical decision
+//! machinery — once with the initial model frozen, once supervised by
+//! an [`Adapter`] receiving per-instance label feedback — and scores
+//! both arms with the framework's own [`Metrics`]. The instance order
+//! *is* the time axis: drift generators (see `etsc_datasets::drift`)
+//! place their regime change along it.
+//!
+//! [`compare_cell`] packages the adaptive arm as a
+//! `MatrixRunner::run_with`-compatible cell so drift datasets slot
+//! straight into the evaluation matrix.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use etsc_core::EtscError;
+use etsc_data::{Dataset, DatasetBuilder, MultiSeries};
+use etsc_eval::experiment::{AlgoSpec, RunConfig, RunResult};
+use etsc_eval::metrics::{EvalOutcome, Metrics};
+use etsc_serve::{fit_model, ServeError, StoredModel, StreamSession};
+
+use crate::adapter::{Adapter, AdapterConfig, FeedbackEvent, FeedbackSink};
+use crate::reservoir::LabeledExample;
+
+/// Options for [`adaptive_vs_frozen`].
+#[derive(Clone)]
+pub struct CompareOptions {
+    /// Leading fraction of the stream used to train the initial model
+    /// (both arms start from byte-identical copies of it).
+    pub train_frac: f64,
+    /// Supervisor configuration for the adaptive arm.
+    pub adapter: AdapterConfig,
+    /// Pre-fill the adaptive arm's reservoir with the training
+    /// examples so its first refit is not starved.
+    pub seed_reservoir: bool,
+}
+
+impl Default for CompareOptions {
+    fn default() -> CompareOptions {
+        CompareOptions {
+            train_frac: 0.3,
+            adapter: AdapterConfig::default(),
+            seed_reservoir: true,
+        }
+    }
+}
+
+/// Both arms' scores plus the adaptive arm's adaptation activity.
+#[derive(Debug, Clone, Copy)]
+pub struct CompareOutcome {
+    /// Frozen-model metrics over the evaluation tail.
+    pub frozen: Metrics,
+    /// Adapter-supervised metrics over the same tail.
+    pub adaptive: Metrics,
+    /// Initial training wall-clock seconds.
+    pub train_secs: f64,
+    /// Instances in the evaluation tail.
+    pub evaluated: usize,
+    /// Drift signals raised in the adaptive arm.
+    pub drifts: u64,
+    /// Refits trained.
+    pub refits: u64,
+    /// Hot-swaps committed.
+    pub swaps: u64,
+    /// Swaps rolled back.
+    pub rollbacks: u64,
+    /// Generation serving when the stream ended.
+    pub final_generation: u64,
+}
+
+/// Copies the instance's values out as per-variable rows.
+fn instance_rows(inst: &MultiSeries) -> Vec<Vec<f64>> {
+    (0..inst.vars())
+        .map(|v| (0..inst.len()).map(|t| inst.at(v, t)).collect())
+        .collect()
+}
+
+/// The leading `n_train` instances as a training dataset, with the
+/// full stream's class registry pre-interned so dense labels agree.
+fn head_subset(stream: &Dataset, n_train: usize) -> Result<Dataset, EtscError> {
+    let mut b = DatasetBuilder::new(stream.name());
+    for class in stream.class_names() {
+        b.class(class);
+    }
+    for i in 0..n_train {
+        let inst =
+            MultiSeries::from_rows(instance_rows(stream.instance(i))).map_err(EtscError::Data)?;
+        b.push_named(inst, &stream.class_names()[stream.label(i)]);
+    }
+    b.build().map_err(EtscError::Data)
+}
+
+/// Streams one instance through a fresh session against `model`,
+/// reporting the truth back through `StreamSession::feedback`.
+fn replay_one(
+    model: &StoredModel,
+    inst: &MultiSeries,
+    batch: usize,
+    truth: usize,
+) -> Result<EvalOutcome, EtscError> {
+    let vars = inst.vars();
+    let len = inst.len();
+    let mut session = StreamSession::new(model.classifier(), vars, len, batch)?;
+    let mut decided = None;
+    for t in 0..len {
+        let row: Vec<f64> = (0..vars).map(|v| inst.at(v, t)).collect();
+        if let Some(p) = session.push(&row)? {
+            decided = Some(p);
+            break;
+        }
+    }
+    let p = match decided {
+        Some(p) => p,
+        None => session.force_decide(model.meta.prior_label)?,
+    };
+    let correct = session.feedback(truth);
+    debug_assert_eq!(correct, Some(p.label == truth));
+    Ok(EvalOutcome {
+        truth,
+        predicted: p.label,
+        prefix_len: p.prefix_len.max(1),
+        full_len: len,
+    })
+}
+
+/// Replays the stream's evaluation tail through a frozen arm and an
+/// adapter-supervised arm and scores both.
+///
+/// # Errors
+/// Training or evaluation failures ([`ServeError`]); the stream must
+/// have enough instances for a split and at least two classes in the
+/// training head.
+pub fn adaptive_vs_frozen(
+    algo: AlgoSpec,
+    stream: &Dataset,
+    opts: &CompareOptions,
+) -> Result<CompareOutcome, ServeError> {
+    let n = stream.len();
+    let n_train = ((n as f64 * opts.train_frac) as usize).max(4);
+    if n_train + 1 >= n {
+        return Err(ServeError::Format(format!(
+            "stream of {n} instances is too short for an adaptive-vs-frozen split at train_frac {}",
+            opts.train_frac
+        )));
+    }
+    let train = head_subset(stream, n_train).map_err(ServeError::Model)?;
+    let started = Instant::now();
+    let frozen = fit_model(algo, &train, &opts.adapter.train)?;
+    let train_secs = started.elapsed().as_secs_f64();
+    // The adaptive arm starts from a byte-identical copy so any score
+    // difference is attributable to adaptation alone.
+    let initial = StoredModel::from_bytes(&frozen.to_bytes()?)?;
+    let adapter = Adapter::new(Arc::new(initial), None, opts.adapter.clone());
+    if opts.seed_reservoir {
+        adapter.seed_reservoir((0..n_train).map(|i| LabeledExample {
+            rows: instance_rows(stream.instance(i)),
+            class: stream.class_names()[stream.label(i)].clone(),
+        }));
+    }
+    let batch = algo.decision_batch(frozen.meta.train_len, &opts.adapter.train);
+    let mut frozen_outcomes = Vec::with_capacity(n - n_train);
+    let mut adaptive_outcomes = Vec::with_capacity(n - n_train);
+    for i in n_train..n {
+        let inst = stream.instance(i);
+        let truth = stream.label(i);
+        frozen_outcomes.push(replay_one(&frozen, inst, batch, truth).map_err(ServeError::Model)?);
+        let model = adapter.current();
+        let out = replay_one(&model, inst, batch, truth).map_err(ServeError::Model)?;
+        adapter.record(FeedbackEvent {
+            key: 0,
+            session: i as u64,
+            predicted: out.predicted,
+            truth,
+            prefix_len: out.prefix_len,
+            generation: model.meta.generation,
+            class_name: stream.class_names()[truth].clone(),
+            rows: instance_rows(inst),
+        });
+        adapter.poll()?;
+        adaptive_outcomes.push(out);
+    }
+    let stats = adapter.stats();
+    Ok(CompareOutcome {
+        frozen: Metrics::compute(&frozen_outcomes, stream.n_classes()),
+        adaptive: Metrics::compute(&adaptive_outcomes, stream.n_classes()),
+        train_secs,
+        evaluated: n - n_train,
+        drifts: stats.drifts,
+        refits: stats.refits,
+        swaps: stats.swaps,
+        rollbacks: stats.rollbacks,
+        final_generation: stats.generation,
+    })
+}
+
+/// An adaptive-evaluation cell for `MatrixRunner::run_with`: scores
+/// the *adaptive* arm of [`adaptive_vs_frozen`] so drift datasets run
+/// through the standard matrix machinery (journaling, retries,
+/// observability) like any other cell.
+///
+/// # Errors
+/// Propagates training/evaluation failures as [`EtscError`].
+pub fn compare_cell(
+    algo: AlgoSpec,
+    data: &Dataset,
+    config: &RunConfig,
+) -> Result<RunResult, EtscError> {
+    let opts = CompareOptions {
+        adapter: AdapterConfig {
+            train: config.clone(),
+            ..AdapterConfig::default()
+        },
+        ..CompareOptions::default()
+    };
+    let started = Instant::now();
+    let outcome = adaptive_vs_frozen(algo, data, &opts).map_err(|e| match e {
+        ServeError::Model(inner) => inner,
+        other => EtscError::Config(other.to_string()),
+    })?;
+    let total = started.elapsed().as_secs_f64();
+    Ok(RunResult {
+        algo,
+        dataset: data.name().to_string(),
+        metrics: Some(outcome.adaptive),
+        train_secs: outcome.train_secs,
+        test_secs_per_instance: if outcome.evaluated > 0 {
+            (total - outcome.train_secs).max(0.0) / outcome.evaluated as f64
+        } else {
+            0.0
+        },
+        dnf: false,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::detect::DetectorKind;
+    use etsc_data::Series;
+
+    /// A univariate stream whose label mapping flips halfway: class
+    /// "up" series slope upward and "down" downward for the first
+    /// half, then the *names* swap — P(y|x) changes, the model keeps
+    /// seeing familiar shapes with contradicting truths.
+    fn flipping_stream(n: usize, len: usize) -> Dataset {
+        let mut b = DatasetBuilder::new("flip");
+        for i in 0..n {
+            let up = i % 2 == 0;
+            let flipped = i >= n / 2;
+            let slope = if up { 1.0 } else { -1.0 };
+            let values: Vec<f64> = (0..len)
+                .map(|t| slope * (t as f64 + 1.0) + (i % 5) as f64 * 0.01)
+                .collect();
+            let class = match (up, flipped) {
+                (true, false) | (false, true) => "up",
+                _ => "down",
+            };
+            b.push_named(MultiSeries::univariate(Series::new(values)), class);
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn adaptation_beats_frozen_on_a_label_flip() {
+        let stream = flipping_stream(120, 16);
+        let opts = CompareOptions {
+            train_frac: 0.25,
+            adapter: AdapterConfig {
+                detector: DetectorKind::Ddm,
+                reservoir_cap: 48,
+                min_refit_examples: 12,
+                rollback_window: 12,
+                // Drift alone is not enough: a refit committed from a
+                // reservoir still dominated by the old concept yields a
+                // model that is wrong from birth, which a rate-*change*
+                // detector can never flag. The periodic schedule keeps
+                // refitting on ever-fresher reservoirs until accuracy
+                // recovers. Longer than DDM's 30-observation warm-up so
+                // the swap-time detector reset cannot starve detection.
+                refit_every: Some(32),
+                ..AdapterConfig::default()
+            },
+            seed_reservoir: false,
+        };
+        let out = adaptive_vs_frozen(AlgoSpec::Ects, &stream, &opts).unwrap();
+        assert!(out.drifts >= 1, "no drift detected: {out:?}");
+        assert!(out.swaps >= 1, "no hot-swap committed: {out:?}");
+        assert!(
+            out.adaptive.accuracy > out.frozen.accuracy,
+            "adaptive {:.3} did not beat frozen {:.3}",
+            out.adaptive.accuracy,
+            out.frozen.accuracy
+        );
+        assert!(out.final_generation > 1);
+    }
+
+    #[test]
+    fn short_streams_are_rejected() {
+        let stream = flipping_stream(5, 8);
+        let err = adaptive_vs_frozen(AlgoSpec::Ects, &stream, &CompareOptions::default());
+        assert!(err.is_err());
+    }
+}

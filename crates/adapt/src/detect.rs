@@ -1,0 +1,637 @@
+//! Streaming drift detectors over decision correctness.
+//!
+//! Each detector consumes one boolean per answered session — was the
+//! committed early decision correct, judged against the label feedback
+//! that arrived later — and raises [`DriftSignal::Warning`] /
+//! [`DriftSignal::Drift`] when the error process changes. Two families
+//! are implemented from scratch (no external dependencies):
+//!
+//! * [`Ddm`] / [`Eddm`] — the classic error-rate tests of Gama et al.
+//!   (DDM, 2004) and Baena-García et al. (EDDM, 2006): track the
+//!   binomial error rate (or the spacing between errors) and compare
+//!   against the best level seen since the last reset;
+//! * [`Adwin`] — an ADWIN-style adaptive window (Bifet & Gavaldà,
+//!   2007): an exponential-histogram window over the error indicator
+//!   that drops its oldest buckets whenever two sub-windows have
+//!   statistically distinct means.
+//!
+//! All three share the [`DriftDetector`] trait; [`DriftMonitor`]
+//! aggregates one global detector with bounded per-key (per session
+//! source / connection) detectors so a drift can be attributed.
+
+use std::collections::{HashMap, VecDeque};
+
+/// What a detector concluded after the latest observation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum DriftSignal {
+    /// The error process looks unchanged.
+    Stable,
+    /// Elevated error level: start hoarding labeled data.
+    Warning,
+    /// The concept has changed: refit.
+    Drift,
+}
+
+impl DriftSignal {
+    /// Short lowercase name for logs and metrics labels.
+    pub fn name(self) -> &'static str {
+        match self {
+            DriftSignal::Stable => "stable",
+            DriftSignal::Warning => "warning",
+            DriftSignal::Drift => "drift",
+        }
+    }
+}
+
+/// A streaming detector over per-decision correctness bits.
+pub trait DriftDetector: Send {
+    /// Feeds one decision outcome; returns the signal *after* it.
+    fn update(&mut self, correct: bool) -> DriftSignal;
+    /// Observations consumed since the last (self-)reset.
+    fn observed(&self) -> u64;
+    /// Total drift signals raised over the detector's lifetime.
+    fn drifts(&self) -> u64;
+    /// Forgets all state (a hot-swap starts detection afresh).
+    fn reset(&mut self);
+    /// Detector family name for attribution.
+    fn name(&self) -> &'static str;
+}
+
+/// Which detector family to instantiate — the configuration surface
+/// for [`DriftMonitor`] and `AdapterConfig`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DetectorKind {
+    /// Error-rate test (DDM).
+    Ddm,
+    /// Error-spacing test (EDDM).
+    Eddm,
+    /// Adaptive window (ADWIN).
+    Adwin,
+}
+
+impl DetectorKind {
+    /// Instantiates a detector of this family with default parameters.
+    pub fn build(self) -> Box<dyn DriftDetector> {
+        match self {
+            DetectorKind::Ddm => Box::new(Ddm::new()),
+            DetectorKind::Eddm => Box::new(Eddm::new()),
+            DetectorKind::Adwin => Box::new(Adwin::new(0.002)),
+        }
+    }
+
+    /// Parses a lowercase family name (`ddm`, `eddm`, `adwin`).
+    pub fn parse(s: &str) -> Option<DetectorKind> {
+        match s {
+            "ddm" => Some(DetectorKind::Ddm),
+            "eddm" => Some(DetectorKind::Eddm),
+            "adwin" => Some(DetectorKind::Adwin),
+            _ => None,
+        }
+    }
+
+    /// The family name [`DetectorKind::parse`] accepts.
+    pub fn name(self) -> &'static str {
+        match self {
+            DetectorKind::Ddm => "ddm",
+            DetectorKind::Eddm => "eddm",
+            DetectorKind::Adwin => "adwin",
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// DDM — drift detection method over the running error rate.
+// ---------------------------------------------------------------------
+
+/// DDM: models the error count as a binomial and tracks the minimum of
+/// `p + s` (error rate plus its standard deviation). A rise past
+/// `p_min + 2·s_min` is a warning, past `p_min + 3·s_min` a drift.
+#[derive(Debug, Clone)]
+pub struct Ddm {
+    n: u64,
+    errors: u64,
+    p_min: f64,
+    s_min: f64,
+    min_observations: u64,
+    drifts: u64,
+}
+
+impl Default for Ddm {
+    fn default() -> Ddm {
+        Ddm::new()
+    }
+}
+
+impl Ddm {
+    /// A fresh detector with the customary 30-observation warm-up.
+    pub fn new() -> Ddm {
+        Ddm {
+            n: 0,
+            errors: 0,
+            p_min: f64::INFINITY,
+            s_min: f64::INFINITY,
+            min_observations: 30,
+            drifts: 0,
+        }
+    }
+}
+
+impl DriftDetector for Ddm {
+    fn update(&mut self, correct: bool) -> DriftSignal {
+        self.n += 1;
+        if !correct {
+            self.errors += 1;
+        }
+        if self.n < self.min_observations {
+            return DriftSignal::Stable;
+        }
+        let p = self.errors as f64 / self.n as f64;
+        let s = (p * (1.0 - p) / self.n as f64).sqrt();
+        if p + s < self.p_min + self.s_min {
+            self.p_min = p;
+            self.s_min = s;
+        }
+        let level = p + s;
+        if level > self.p_min + 3.0 * self.s_min {
+            self.drifts += 1;
+            let drifts = self.drifts;
+            self.reset();
+            self.drifts = drifts;
+            DriftSignal::Drift
+        } else if level > self.p_min + 2.0 * self.s_min {
+            DriftSignal::Warning
+        } else {
+            DriftSignal::Stable
+        }
+    }
+
+    fn observed(&self) -> u64 {
+        self.n
+    }
+
+    fn drifts(&self) -> u64 {
+        self.drifts
+    }
+
+    fn reset(&mut self) {
+        let drifts = self.drifts;
+        *self = Ddm::new();
+        self.drifts = drifts;
+    }
+
+    fn name(&self) -> &'static str {
+        "ddm"
+    }
+}
+
+// ---------------------------------------------------------------------
+// EDDM — drift detection over the spacing between errors.
+// ---------------------------------------------------------------------
+
+/// EDDM: tracks the mean and deviation of the *distance between
+/// consecutive errors* (Welford), against the maximum of
+/// `mean + 2·std` seen since the last reset. Shrinking spacing —
+/// errors arriving closer together — signals drift even when the
+/// absolute error rate is still low, which makes EDDM the more
+/// sensitive test for slow/gradual drift.
+#[derive(Debug, Clone)]
+pub struct Eddm {
+    n: u64,
+    last_error_at: Option<u64>,
+    distances: u64,
+    mean: f64,
+    m2: f64,
+    max_level: f64,
+    min_errors: u64,
+    warning_ratio: f64,
+    drift_ratio: f64,
+    drifts: u64,
+}
+
+impl Default for Eddm {
+    fn default() -> Eddm {
+        Eddm::new()
+    }
+}
+
+impl Eddm {
+    /// A fresh detector with the customary 0.95 / 0.90 ratio cuts.
+    pub fn new() -> Eddm {
+        Eddm {
+            n: 0,
+            last_error_at: None,
+            distances: 0,
+            mean: 0.0,
+            m2: 0.0,
+            max_level: 0.0,
+            min_errors: 30,
+            warning_ratio: 0.95,
+            drift_ratio: 0.90,
+            drifts: 0,
+        }
+    }
+}
+
+impl DriftDetector for Eddm {
+    fn update(&mut self, correct: bool) -> DriftSignal {
+        self.n += 1;
+        if correct {
+            return DriftSignal::Stable;
+        }
+        let distance = match self.last_error_at {
+            Some(at) => (self.n - at) as f64,
+            None => self.n as f64,
+        };
+        self.last_error_at = Some(self.n);
+        self.distances += 1;
+        let delta = distance - self.mean;
+        self.mean += delta / self.distances as f64;
+        self.m2 += delta * (distance - self.mean);
+        if self.distances < self.min_errors {
+            return DriftSignal::Stable;
+        }
+        let std = (self.m2 / self.distances as f64).sqrt();
+        let level = self.mean + 2.0 * std;
+        if level > self.max_level {
+            self.max_level = level;
+        }
+        let ratio = if self.max_level > 0.0 {
+            level / self.max_level
+        } else {
+            1.0
+        };
+        if ratio < self.drift_ratio {
+            self.drifts += 1;
+            let drifts = self.drifts;
+            self.reset();
+            self.drifts = drifts;
+            DriftSignal::Drift
+        } else if ratio < self.warning_ratio {
+            DriftSignal::Warning
+        } else {
+            DriftSignal::Stable
+        }
+    }
+
+    fn observed(&self) -> u64 {
+        self.n
+    }
+
+    fn drifts(&self) -> u64 {
+        self.drifts
+    }
+
+    fn reset(&mut self) {
+        let drifts = self.drifts;
+        *self = Eddm::new();
+        self.drifts = drifts;
+    }
+
+    fn name(&self) -> &'static str {
+        "eddm"
+    }
+}
+
+// ---------------------------------------------------------------------
+// ADWIN — adaptive window over the error indicator.
+// ---------------------------------------------------------------------
+
+/// One exponential-histogram bucket: `count` observations (a power of
+/// two) summarised by their `sum`.
+#[derive(Debug, Clone, Copy)]
+struct Bucket {
+    sum: f64,
+    count: u64,
+}
+
+/// ADWIN-style adaptive window: keeps an exponential histogram of the
+/// error indicator (1.0 = wrong) and, after each insertion, drops the
+/// oldest buckets while any split of the window into old|new halves
+/// has means further apart than the Hoeffding-style cut threshold
+/// `ε = sqrt(ln(4/δ′) / (2m))` with `m` the harmonic mean of the two
+/// half sizes and `δ′ = δ / W`. A shrink is a drift; the surviving
+/// window is exactly the post-change data, so no explicit reset is
+/// needed.
+#[derive(Debug, Clone)]
+pub struct Adwin {
+    delta: f64,
+    buckets: VecDeque<Bucket>,
+    max_per_size: usize,
+    width: u64,
+    total: f64,
+    seen: u64,
+    min_width: u64,
+    drifts: u64,
+    near_cut: bool,
+}
+
+impl Adwin {
+    /// A fresh window with confidence `delta` (smaller = fewer false
+    /// alarms; 0.002 is the customary default).
+    pub fn new(delta: f64) -> Adwin {
+        Adwin {
+            delta: delta.clamp(1e-9, 0.5),
+            buckets: VecDeque::new(),
+            max_per_size: 5,
+            width: 0,
+            total: 0.0,
+            seen: 0,
+            min_width: 16,
+            drifts: 0,
+            near_cut: false,
+        }
+    }
+
+    /// Current window width (observations retained).
+    pub fn width(&self) -> u64 {
+        self.width
+    }
+
+    /// Mean of the error indicator over the current window.
+    pub fn mean(&self) -> f64 {
+        if self.width == 0 {
+            0.0
+        } else {
+            self.total / self.width as f64
+        }
+    }
+
+    /// Merge oldest same-capacity buckets once more than
+    /// `max_per_size` of a capacity accumulate.
+    fn compress(&mut self) {
+        let mut capacity = 1u64;
+        loop {
+            let of_size: Vec<usize> = self
+                .buckets
+                .iter()
+                .enumerate()
+                .filter(|(_, b)| b.count == capacity)
+                .map(|(i, _)| i)
+                .collect();
+            if of_size.len() <= self.max_per_size {
+                break;
+            }
+            // The deque is oldest-first: merge the two oldest of this
+            // capacity into one of double capacity.
+            let (a, b) = (of_size[0], of_size[1]);
+            let merged = Bucket {
+                sum: self.buckets[a].sum + self.buckets[b].sum,
+                count: capacity * 2,
+            };
+            self.buckets[a] = merged;
+            self.buckets.remove(b);
+            capacity *= 2;
+        }
+    }
+
+    /// Drops old buckets while any split is statistically significant.
+    /// Returns `true` when the window shrank.
+    fn shrink(&mut self) -> bool {
+        self.near_cut = false;
+        if self.width < self.min_width {
+            return false;
+        }
+        let mut shrank = false;
+        'outer: loop {
+            let mut n0 = 0u64;
+            let mut sum0 = 0.0;
+            let delta_prime = self.delta / self.width.max(2) as f64;
+            let ln_term = (4.0 / delta_prime).ln();
+            for i in 0..self.buckets.len().saturating_sub(1) {
+                n0 += self.buckets[i].count;
+                sum0 += self.buckets[i].sum;
+                let n1 = self.width - n0;
+                if n0 < 4 || n1 < 4 {
+                    continue;
+                }
+                let mu0 = sum0 / n0 as f64;
+                let mu1 = (self.total - sum0) / n1 as f64;
+                let m = 1.0 / (1.0 / n0 as f64 + 1.0 / n1 as f64);
+                let eps = (ln_term / (2.0 * m)).sqrt();
+                let gap = (mu0 - mu1).abs();
+                if gap > eps {
+                    let dropped = self.buckets.pop_front().expect("split implies a bucket");
+                    self.width -= dropped.count;
+                    self.total -= dropped.sum;
+                    shrank = true;
+                    if self.width < self.min_width {
+                        break 'outer;
+                    }
+                    continue 'outer;
+                }
+                if gap > 0.8 * eps {
+                    self.near_cut = true;
+                }
+            }
+            break;
+        }
+        shrank
+    }
+}
+
+impl DriftDetector for Adwin {
+    fn update(&mut self, correct: bool) -> DriftSignal {
+        self.seen += 1;
+        self.buckets.push_back(Bucket {
+            sum: if correct { 0.0 } else { 1.0 },
+            count: 1,
+        });
+        self.width += 1;
+        if !correct {
+            self.total += 1.0;
+        }
+        self.compress();
+        if self.shrink() {
+            self.drifts += 1;
+            DriftSignal::Drift
+        } else if self.near_cut {
+            DriftSignal::Warning
+        } else {
+            DriftSignal::Stable
+        }
+    }
+
+    fn observed(&self) -> u64 {
+        self.seen
+    }
+
+    fn drifts(&self) -> u64 {
+        self.drifts
+    }
+
+    fn reset(&mut self) {
+        let drifts = self.drifts;
+        *self = Adwin::new(self.delta);
+        self.drifts = drifts;
+    }
+
+    fn name(&self) -> &'static str {
+        "adwin"
+    }
+}
+
+// ---------------------------------------------------------------------
+// Aggregation: one global detector plus bounded per-key detectors.
+// ---------------------------------------------------------------------
+
+/// Aggregates drift detection across feedback sources: one *global*
+/// detector sees every correctness bit (model-level drift), and up to
+/// `max_keys` *per-key* detectors (keyed by connection / session
+/// source) attribute a drift to where it is concentrated. The combined
+/// signal is the stronger of the two.
+pub struct DriftMonitor {
+    kind: DetectorKind,
+    global: Box<dyn DriftDetector>,
+    per_key: HashMap<u64, Box<dyn DriftDetector>>,
+    max_keys: usize,
+    drifted_keys: u64,
+}
+
+impl DriftMonitor {
+    /// A monitor whose detectors are all of family `kind`.
+    pub fn new(kind: DetectorKind) -> DriftMonitor {
+        DriftMonitor {
+            kind,
+            global: kind.build(),
+            per_key: HashMap::new(),
+            max_keys: 1024,
+            drifted_keys: 0,
+        }
+    }
+
+    /// Feeds one decision outcome from source `key`; returns the
+    /// stronger of the global and per-key signals. Once `max_keys`
+    /// sources are tracked, new keys fold into the global detector
+    /// only (bounded memory under key churn).
+    pub fn update(&mut self, key: u64, correct: bool) -> DriftSignal {
+        let global = self.global.update(correct);
+        let per_key = if self.per_key.len() < self.max_keys || self.per_key.contains_key(&key) {
+            let kind = self.kind;
+            let det = self.per_key.entry(key).or_insert_with(|| kind.build());
+            let sig = det.update(correct);
+            if sig == DriftSignal::Drift {
+                self.drifted_keys += 1;
+            }
+            sig
+        } else {
+            DriftSignal::Stable
+        };
+        global.max(per_key)
+    }
+
+    /// The model-level detector.
+    pub fn global(&self) -> &dyn DriftDetector {
+        self.global.as_ref()
+    }
+
+    /// Total per-key drift signals (attribution counter).
+    pub fn drifted_keys(&self) -> u64 {
+        self.drifted_keys
+    }
+
+    /// Sources currently tracked.
+    pub fn tracked_keys(&self) -> usize {
+        self.per_key.len()
+    }
+
+    /// Forgets everything (called after a hot-swap: the new model's
+    /// error process starts clean).
+    pub fn reset(&mut self) {
+        self.global = self.kind.build();
+        self.per_key.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic Bernoulli stream: error with probability `p`.
+    fn feed(det: &mut dyn DriftDetector, n: usize, p: f64, seed: &mut u64) -> Vec<DriftSignal> {
+        (0..n)
+            .map(|_| {
+                *seed = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = *seed;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^= z >> 31;
+                let u = (z >> 11) as f64 / (1u64 << 53) as f64;
+                det.update(u >= p)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn detectors_stay_stable_on_a_constant_error_rate() {
+        for kind in [DetectorKind::Ddm, DetectorKind::Eddm, DetectorKind::Adwin] {
+            let mut det = kind.build();
+            let mut seed = 7;
+            let signals = feed(det.as_mut(), 600, 0.1, &mut seed);
+            let drifts = signals.iter().filter(|s| **s == DriftSignal::Drift).count();
+            assert_eq!(
+                drifts,
+                0,
+                "{} false-alarmed on a stable stream",
+                kind.name()
+            );
+        }
+    }
+
+    #[test]
+    fn detectors_fire_on_an_error_rate_step() {
+        for kind in [DetectorKind::Ddm, DetectorKind::Eddm, DetectorKind::Adwin] {
+            let mut det = kind.build();
+            let mut seed = 11;
+            feed(det.as_mut(), 300, 0.05, &mut seed);
+            let after = feed(det.as_mut(), 300, 0.7, &mut seed);
+            assert!(
+                after.contains(&DriftSignal::Drift),
+                "{} missed a 0.05 -> 0.7 error step",
+                kind.name()
+            );
+            assert!(det.drifts() >= 1);
+        }
+    }
+
+    #[test]
+    fn adwin_window_tracks_the_post_change_regime() {
+        let mut det = Adwin::new(0.002);
+        let mut seed = 3;
+        feed(&mut det, 400, 0.0, &mut seed);
+        feed(&mut det, 400, 1.0, &mut seed);
+        // After the change the surviving window should be dominated by
+        // the new all-error regime.
+        assert!(
+            det.mean() > 0.8,
+            "window mean {} kept stale data",
+            det.mean()
+        );
+        assert!(det.width() < 800);
+    }
+
+    #[test]
+    fn monitor_attributes_drift_to_the_drifting_key() {
+        let mut mon = DriftMonitor::new(DetectorKind::Ddm);
+        let mut drifted = false;
+        // Key 1 stays accurate; key 2 degrades sharply.
+        for round in 0..600 {
+            mon.update(1, true);
+            let p = if round < 200 { 0.05 } else { 0.8 };
+            let correct = (round * 7919 % 100) as f64 / 100.0 >= p;
+            if mon.update(2, correct) == DriftSignal::Drift {
+                drifted = true;
+            }
+        }
+        assert!(drifted, "monitor never signalled drift");
+        assert!(mon.drifted_keys() >= 1);
+        assert_eq!(mon.tracked_keys(), 2);
+    }
+
+    #[test]
+    fn kind_parse_round_trips() {
+        for kind in [DetectorKind::Ddm, DetectorKind::Eddm, DetectorKind::Adwin] {
+            assert_eq!(DetectorKind::parse(kind.name()), Some(kind));
+        }
+        assert_eq!(DetectorKind::parse("hoeffding"), None);
+    }
+}

@@ -1,0 +1,45 @@
+//! # etsc-adapt
+//!
+//! Online adaptation under concept drift for the ETSC serving stack.
+//!
+//! The paper's framework (and the serving layers built on it) treat a
+//! model as frozen after training, but streaming deployments see
+//! *concept drift*: the relationship between a prefix and its eventual
+//! label changes mid-stream, and a model that was accurate yesterday
+//! quietly is not today. This crate closes the loop from decision back
+//! to training:
+//!
+//! * [`FeedbackSink`] / [`FeedbackEvent`] — ground-truth labels
+//!   reported *after* a decision (over the wire via `Frame::Feedback`,
+//!   or in-process via `StreamSession::feedback`) become a stream of
+//!   per-decision correctness bits;
+//! * [`detect`] — from-scratch streaming drift detectors over that
+//!   bit stream: an error-rate test in the DDM/EDDM family and an
+//!   ADWIN-style adaptive window, behind one [`DriftDetector`] trait
+//!   with per-key and global aggregation ([`DriftMonitor`]);
+//! * [`reservoir`] — a bounded, seeded reservoir sample of recent
+//!   labeled series, the refit training set;
+//! * [`adapter`] — the [`Adapter`] supervisor: on a drift signal (or a
+//!   periodic schedule) it retrains on the reservoir, bumps the model
+//!   generation, saves through the crash-consistent store (`.prev`
+//!   last-good semantics preserved) and hot-swaps via a caller-supplied
+//!   hook, rolling back when post-swap windowed accuracy regresses;
+//! * [`compare`] — drift as an *evaluation axis*: an adaptive-vs-frozen
+//!   comparison over a drifting stream, runnable as a
+//!   `MatrixRunner::run_with` cell.
+//!
+//! Everything is dependency-free and deterministic under a seed; drift
+//! events, refit latency, swap counts and rollbacks are exported as
+//! `etsc-obs` metrics and trace events.
+
+pub mod adapter;
+pub mod compare;
+pub mod detect;
+pub mod reservoir;
+
+pub use adapter::{
+    Adapter, AdapterConfig, AdapterEvent, AdapterStats, FeedbackEvent, FeedbackSink,
+};
+pub use compare::{adaptive_vs_frozen, compare_cell, CompareOptions, CompareOutcome};
+pub use detect::{Adwin, Ddm, DetectorKind, DriftDetector, DriftMonitor, DriftSignal, Eddm};
+pub use reservoir::{LabeledExample, Reservoir};

@@ -1,0 +1,186 @@
+//! Bounded reservoir of recent labeled series — the refit training set.
+//!
+//! Label feedback arrives one series at a time and never stops; a
+//! refit needs a bounded, representative sample of the *recent*
+//! stream — after a concept change the refit must train on the new
+//! concept, not a uniform sample dominated by stale pre-drift data.
+//! This is biased reservoir sampling (Aggarwal, 2006): every offered
+//! example is admitted, evicting a uniformly random resident, so a
+//! resident's survival decays geometrically with mean lifetime `cap`.
+//! A splitmix64 PRNG makes a seeded run sample identically everywhere.
+
+use std::collections::HashMap;
+
+use etsc_data::{DataError, Dataset, DatasetBuilder, MultiSeries};
+
+/// One labeled series captured after its decision: the full observed
+/// values (one inner vector per variable) and the fed-back true class
+/// *name* — names, not dense labels, so examples stay meaningful
+/// across hot-swaps that re-intern the class registry.
+#[derive(Debug, Clone)]
+pub struct LabeledExample {
+    /// Observed values, one inner vector per variable.
+    pub rows: Vec<Vec<f64>>,
+    /// True class display name.
+    pub class: String,
+}
+
+/// A bounded recency-biased sample of the feedback stream: the last
+/// `cap` offers are over-represented and older examples decay away
+/// geometrically. Deterministic under its seed.
+#[derive(Debug, Clone)]
+pub struct Reservoir {
+    cap: usize,
+    seen: u64,
+    items: Vec<LabeledExample>,
+    state: u64,
+}
+
+impl Reservoir {
+    /// An empty reservoir holding at most `cap` examples.
+    pub fn new(cap: usize, seed: u64) -> Reservoir {
+        Reservoir {
+            cap: cap.max(1),
+            seen: 0,
+            items: Vec::new(),
+            state: seed,
+        }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Offers one example. Below capacity it is appended; at capacity
+    /// it *always* enters, evicting a uniformly random resident — the
+    /// biased-reservoir rule that keeps the sample anchored to the
+    /// recent stream.
+    pub fn push(&mut self, example: LabeledExample) {
+        self.seen += 1;
+        if self.items.len() < self.cap {
+            self.items.push(example);
+            return;
+        }
+        let j = (self.next_u64() % self.cap as u64) as usize;
+        self.items[j] = example;
+    }
+
+    /// Examples currently held.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// `true` when nothing has been sampled yet.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Examples ever offered.
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+
+    /// Residents per class name.
+    pub fn class_counts(&self) -> HashMap<&str, usize> {
+        let mut counts: HashMap<&str, usize> = HashMap::new();
+        for item in &self.items {
+            *counts.entry(item.class.as_str()).or_default() += 1;
+        }
+        counts
+    }
+
+    /// Distinct class names currently resident.
+    pub fn distinct_classes(&self) -> usize {
+        self.class_counts().len()
+    }
+
+    /// The current residents, oldest-offered first.
+    pub fn items(&self) -> &[LabeledExample] {
+        &self.items
+    }
+
+    /// Materialises the sample as a training [`Dataset`].
+    ///
+    /// `class_order` pre-interns the serving model's class registry so
+    /// the refit model's dense labels line up with the generation it
+    /// replaces whenever the classes overlap (decisions on the wire
+    /// are dense labels; keeping the mapping stable makes generations
+    /// comparable). Classes fed back that the registry never named are
+    /// interned after it, in first-seen order.
+    ///
+    /// # Errors
+    /// [`DataError`] when the reservoir is empty or examples disagree
+    /// on variable count.
+    pub fn to_dataset(&self, name: &str, class_order: &[String]) -> Result<Dataset, DataError> {
+        let mut b = DatasetBuilder::new(name);
+        for class in class_order {
+            b.class(class);
+        }
+        for item in &self.items {
+            b.push_named(MultiSeries::from_rows(item.rows.clone())?, &item.class);
+        }
+        b.build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ex(class: &str, fill: f64) -> LabeledExample {
+        LabeledExample {
+            rows: vec![vec![fill; 8]],
+            class: class.to_string(),
+        }
+    }
+
+    #[test]
+    fn fills_then_samples_within_capacity() {
+        let mut r = Reservoir::new(10, 42);
+        for i in 0..200 {
+            r.push(ex(if i % 2 == 0 { "a" } else { "b" }, i as f64));
+        }
+        assert_eq!(r.len(), 10);
+        assert_eq!(r.seen(), 200);
+        // A uniform sample of 200 alternating examples keeps late
+        // entries: at least one resident must come from the back half.
+        assert!(r.items().iter().any(|e| e.rows[0][0] >= 100.0));
+    }
+
+    #[test]
+    fn sampling_is_deterministic_under_a_seed() {
+        let run = |seed| {
+            let mut r = Reservoir::new(5, seed);
+            for i in 0..100 {
+                r.push(ex("a", i as f64));
+            }
+            r.items()
+                .iter()
+                .map(|e| e.rows[0][0] as u64)
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    fn dataset_keeps_the_served_class_order() {
+        let mut r = Reservoir::new(8, 1);
+        r.push(ex("hot", 1.0));
+        r.push(ex("cold", 2.0));
+        let order = vec!["cold".to_string(), "hot".to_string()];
+        let d = r.to_dataset("reservoir", &order).unwrap();
+        assert_eq!(d.class_names()[..2], order[..]);
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn empty_reservoir_refuses_to_build() {
+        let r = Reservoir::new(4, 0);
+        assert!(r.to_dataset("empty", &[]).is_err());
+    }
+}

@@ -22,11 +22,20 @@
 //!   mid-stream. Per-shard balance, migrated-session counts, and the
 //!   measured failover recovery time are merged into
 //!   `BENCH_baseline.json` as a `"fleet"` section.
+//! * **Drift** (`--drift`): build a seeded step-drift stream over the
+//!   dataset, fit the initial model on its pre-drift head, and serve it
+//!   with an `etsc-adapt` [`Adapter`] wired in as the feedback sink and
+//!   hot-swap hook. The loadgen replays the stream *with label
+//!   feedback* while a poller thread drives refits; a second wave over
+//!   the post-drift tail measures recovery on the swapped model. Drift
+//!   counts, refit latency, and pre/post/recovered accuracy are merged
+//!   into `BENCH_baseline.json` as an `"adapt"` section.
 //!
 //! ```text
 //! loadgen [--algo NAME|all] [--dataset NAME] [--sessions N]
 //!         [--connections N] [--rate ROWS_PER_SEC] [--min-secs S]
 //!         [--faults SPEC] [--connect ADDR] [--shutdown] [--shards N]
+//!         [--drift]
 //! ```
 //!
 //! Exits non-zero if any run drops a session, hits an unexpected
@@ -37,9 +46,10 @@ use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use etsc_adapt::{Adapter, AdapterConfig, DetectorKind};
 use etsc_bench::ScalePreset;
-use etsc_data::Dataset;
-use etsc_datasets::PaperDataset;
+use etsc_data::{Dataset, DatasetBuilder, MultiSeries};
+use etsc_datasets::{drift_stream, DriftKind, DriftOptions, PaperDataset};
 use etsc_eval::experiment::{AlgoSpec, RunConfig};
 use etsc_eval::FaultPlan;
 use etsc_net::{
@@ -60,6 +70,7 @@ struct Args {
     connect: Option<String>,
     shutdown: bool,
     shards: usize,
+    drift: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -70,7 +81,7 @@ fn parse_args() -> Result<Args, String> {
         let name = flag
             .strip_prefix("--")
             .ok_or_else(|| format!("expected a --flag, got {flag:?}"))?;
-        if name == "shutdown" {
+        if name == "shutdown" || name == "drift" {
             flags.insert(name.to_owned(), "true".to_owned());
             continue;
         }
@@ -109,6 +120,7 @@ fn parse_args() -> Result<Args, String> {
         connect: flags.get("connect").cloned(),
         shutdown: flags.contains_key("shutdown"),
         shards: num("shards", 0.0)? as usize,
+        drift: flags.contains_key("drift"),
     })
 }
 
@@ -214,12 +226,13 @@ fn run_until(addr: &str, data: &Dataset, opts: &LoadgenOptions, min_secs: f64, r
 /// The baseline file split into its measured sections. The file is
 /// plain hand-rolled JSON (the workspace carries no JSON dependency),
 /// so the split is string surgery anchored on the section keys this
-/// binary itself appends — always in `network`, `fleet` order.
+/// binary itself appends — always in `network`, `fleet`, `adapt` order.
 struct Baseline {
     path: String,
     prefix: String,
     network: Option<String>,
     fleet: Option<String>,
+    adapt: Option<String>,
 }
 
 impl Baseline {
@@ -227,19 +240,23 @@ impl Baseline {
         let path = std::env::var("BENCH_BASELINE_PATH").unwrap_or_else(|_| {
             concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_baseline.json").into()
         });
-        let (prefix, network, fleet) = match std::fs::read_to_string(&path) {
+        let (prefix, network, fleet, adapt) = match std::fs::read_to_string(&path) {
             Ok(text) => {
                 let mut base = text.trim_end().to_owned();
                 if base.ends_with('}') {
                     base.pop(); // the file's closing brace
                     base.truncate(base.trim_end().len());
                 }
+                // Sections split off back-to-front so each key's find
+                // sees only the text before later sections.
+                let adapt = base.find(",\n  \"adapt\"").map(|i| base.split_off(i));
                 let fleet = base.find(",\n  \"fleet\"").map(|i| base.split_off(i));
                 let network = base.find(",\n  \"network\"").map(|i| base.split_off(i));
-                (base, network, fleet)
+                (base, network, fleet, adapt)
             }
             Err(_) => (
                 String::from("{\n  \"bench\": \"streaming_serve\""),
+                None,
                 None,
                 None,
             ),
@@ -249,6 +266,7 @@ impl Baseline {
             prefix,
             network,
             fleet,
+            adapt,
         }
     }
 
@@ -258,6 +276,9 @@ impl Baseline {
             out.push_str(&s);
         }
         if let Some(s) = self.fleet {
+            out.push_str(&s);
+        }
+        if let Some(s) = self.adapt {
             out.push_str(&s);
         }
         out.push_str("\n}\n");
@@ -337,6 +358,249 @@ fn merge_fleet_baseline(report: &FleetReport, algo: &str, plan: &FaultPlan, conn
     baseline.fleet = Some(s);
     baseline.store();
     eprintln!("merged fleet section into {path}");
+}
+
+/// A contiguous slice of a stream as its own dataset, with the full
+/// stream's class registry pre-interned so dense labels agree.
+fn stream_slice(stream: &Dataset, lo: usize, hi: usize, name: &str) -> Dataset {
+    let mut b = DatasetBuilder::new(name);
+    for class in stream.class_names() {
+        b.class(class);
+    }
+    for i in lo..hi {
+        let inst = stream.instance(i);
+        let rows: Vec<Vec<f64>> = (0..inst.vars())
+            .map(|v| (0..inst.len()).map(|t| inst.at(v, t)).collect())
+            .collect();
+        b.push_named(
+            MultiSeries::from_rows(rows).expect("stream instance re-assembles"),
+            &stream.class_names()[stream.label(i)],
+        );
+    }
+    b.build().expect("stream slice assembles")
+}
+
+/// Merges a drift run into `BENCH_baseline.json` as an `"adapt"`
+/// section: adaptation activity, refit latency, and the three
+/// accuracies that frame recovery (pre-drift, post-drift under the
+/// initial model, post-swap on the adapted one).
+#[allow(clippy::too_many_arguments)]
+fn merge_adapt_baseline(
+    algo: &str,
+    sessions: usize,
+    stats: &etsc_adapt::AdapterStats,
+    pre: f64,
+    post: f64,
+    recovered: f64,
+    refit_ms: f64,
+    dropped: usize,
+) {
+    let mut baseline = Baseline::load();
+    let mut s = String::from(",\n  \"adapt\": {\n");
+    s.push_str("    \"transport\": \"tcp-loopback\",\n");
+    s.push_str(&format!("    \"algo\": \"{algo}\",\n"));
+    s.push_str(&format!("    \"sessions\": {sessions},\n"));
+    s.push_str("    \"drift\": \"step@0.5,rotate=1\",\n");
+    s.push_str(&format!(
+        "    \"drifts\": {},\n    \"refits\": {},\n    \"swaps\": {},\n    \"rollbacks\": {},\n",
+        stats.drifts, stats.refits, stats.swaps, stats.rollbacks
+    ));
+    s.push_str(&format!(
+        "    \"final_generation\": {},\n",
+        stats.generation
+    ));
+    s.push_str(&format!("    \"refit_ms\": {refit_ms:.3},\n"));
+    s.push_str(&format!(
+        "    \"pre_drift_accuracy\": {pre:.4},\n    \"post_drift_accuracy\": {post:.4},\n",
+    ));
+    s.push_str(&format!("    \"recovered_accuracy\": {recovered:.4},\n"));
+    s.push_str(&format!("    \"dropped\": {dropped}\n"));
+    s.push_str("  }");
+    let path = baseline.path.clone();
+    baseline.adapt = Some(s);
+    baseline.store();
+    eprintln!("merged adapt section into {path}");
+}
+
+/// Drift mode: serve an adapting model through the wire path and
+/// measure what online adaptation buys. Wave 1 replays a seeded
+/// step-drift stream with label feedback — the adapter's detector sees
+/// the error burst, refits on its reservoir, and hot-swaps through the
+/// crash-consistent store into the live server. Wave 2 replays the
+/// post-drift tail against the swapped model to measure recovery.
+fn run_drift_mode(args: &Args, algo: AlgoSpec) -> bool {
+    let n = args.sessions.max(40);
+    let stream = drift_stream(
+        args.dataset,
+        &DriftOptions {
+            kind: DriftKind::Step { at: 0.5 },
+            n,
+            rotate: 1,
+            gen: ScalePreset::Quick.options(args.dataset, 11),
+        },
+    );
+    let n_train = (n * 3 / 10).max(4);
+    let train = stream_slice(&stream, 0, n_train, "drift-train");
+    let stored = match fit_model(algo, &train, &RunConfig::fast()) {
+        Ok(stored) => Arc::new(stored),
+        Err(e) => {
+            eprintln!("error: {} does not fit: {e}", algo.name());
+            return false;
+        }
+    };
+    let dir = std::env::temp_dir().join("etsc-loadgen-drift");
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("error: creating model store dir: {e}");
+        return false;
+    }
+    let model_path = dir.join("adaptive.model");
+    let adapter = Adapter::new(
+        Arc::clone(&stored),
+        Some(model_path),
+        AdapterConfig {
+            detector: DetectorKind::Ddm,
+            reservoir_cap: 256,
+            min_refit_examples: 24,
+            rollback_window: 24,
+            ..AdapterConfig::default()
+        },
+    );
+    let server = match NetServer::bind(
+        stored,
+        "127.0.0.1:0",
+        ServerConfig {
+            feedback: Some(Arc::new(adapter.clone())),
+            ..ServerConfig::default()
+        },
+    ) {
+        Ok(server) => Arc::new(server),
+        Err(e) => {
+            eprintln!("error: binding loopback: {e}");
+            return false;
+        }
+    };
+    {
+        let server = Arc::clone(&server);
+        adapter.set_swap_hook(move |model| {
+            if let Err(e) = server.reload(model) {
+                eprintln!("error: hot-swap reload: {e}");
+            }
+        });
+    }
+    let addr = server.local_addr().to_string();
+    let opts = LoadgenOptions {
+        connections: args.connections,
+        sessions: n,
+        rate: args.rate,
+        faults: None,
+        client: ClientConfig::default(),
+        wait_timeout: Duration::from_secs(60),
+        feedback: true,
+        send_shutdown: false,
+    };
+
+    // Wave 1: the full stream, with a poller driving refits while
+    // feedback flows.
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let poller = {
+        let adapter = adapter.clone();
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            while !stop.load(std::sync::atomic::Ordering::SeqCst) {
+                if let Err(e) = adapter.poll() {
+                    eprintln!("error: adapter poll: {e}");
+                }
+                std::thread::sleep(Duration::from_millis(5));
+            }
+        })
+    };
+    let wave1 = run_loadgen(&addr, &stream, &opts);
+    // Let any drift signalled by the tail of wave 1 finish refitting
+    // before recovery is measured.
+    for _ in 0..200 {
+        if adapter.stats().swaps >= 1 {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    stop.store(true, std::sync::atomic::Ordering::SeqCst);
+    let _ = poller.join();
+
+    // Wave 2: the post-drift tail against the adapted model.
+    let tail = stream_slice(&stream, n / 2, n, "drift-tail");
+    let wave2 = run_loadgen(
+        &addr,
+        &tail,
+        &LoadgenOptions {
+            sessions: n - n / 2,
+            ..opts
+        },
+    );
+    adapter.set_swap_hook(|_| {}); // release the server handle
+    let mut stopper_ok = true;
+    match etsc_net::Client::connect(&addr, ClientConfig::default()) {
+        Ok(mut c) => {
+            let _ = c.shutdown_server();
+            let _ = c.wait_drain(Duration::from_secs(10));
+        }
+        Err(e) => {
+            eprintln!("error: drain connect: {e}");
+            stopper_ok = false;
+        }
+    }
+    let server = Arc::try_unwrap(server).unwrap_or_else(|_| panic!("server handle still shared"));
+    let stats = server.join();
+    let a = adapter.stats();
+    let pre = wave1.window_accuracy(0, n / 2).unwrap_or(0.0);
+    let post = wave1.window_accuracy(n / 2, n).unwrap_or(0.0);
+    let recovered = wave2.window_accuracy(0, n).unwrap_or(0.0);
+    println!(
+        "{:<9} drift {} sessions  drifts {}  refits {} ({:.1} ms)  swaps {}  rollbacks {}  \
+         gen {}  accuracy pre {:.3} / post {:.3} / recovered {:.3}",
+        algo.name(),
+        n,
+        a.drifts,
+        a.refits,
+        a.last_refit_secs * 1e3,
+        a.swaps,
+        a.rollbacks,
+        a.generation,
+        pre,
+        post,
+        recovered,
+    );
+    for e in wave1.errors.iter().chain(&wave2.errors) {
+        eprintln!("error: {e}");
+    }
+    let mut ok = stopper_ok && wave1.clean() && wave2.clean();
+    if stats.open_sessions() != 0 {
+        eprintln!(
+            "error: leaked {} sessions server-side",
+            stats.open_sessions()
+        );
+        ok = false;
+    }
+    if a.drifts == 0 {
+        eprintln!("error: the step drift was never detected");
+        ok = false;
+    }
+    if a.swaps == 0 {
+        eprintln!("error: no hot-swap was committed");
+        ok = false;
+    }
+    if ok {
+        merge_adapt_baseline(
+            algo.name(),
+            n,
+            &a,
+            pre,
+            post,
+            recovered,
+            a.last_refit_secs * 1e3,
+            wave1.dropped + wave2.dropped,
+        );
+    }
+    ok
 }
 
 /// Fleet mode: fit one model, fan it out through the versioned store
@@ -450,11 +714,16 @@ fn main() -> ExitCode {
         faults: args.faults.clone(),
         client: ClientConfig::default(),
         wait_timeout: Duration::from_secs(60),
+        feedback: false,
         send_shutdown: false,
     };
     let mut ok = true;
 
-    if args.shards >= 2 && args.connect.is_none() {
+    if args.drift && args.connect.is_none() {
+        // Drift mode: serve an adapting model and measure recovery.
+        let algo = args.algos.first().copied().unwrap_or(AlgoSpec::Ects);
+        ok = run_drift_mode(&args, algo);
+    } else if args.shards >= 2 && args.connect.is_none() {
         // Fleet mode: N shards behind a router, with a seeded
         // shard-kill unless the caller armed their own plan.
         let algo = args.algos.first().copied().unwrap_or(AlgoSpec::Ects);

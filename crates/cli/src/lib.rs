@@ -92,7 +92,9 @@ commands:
                      [--instance I] [--stream]
                      network mode: --connect ADDR
                      (--dataset NAME | --data FILE --vars K)
-                     [--instance I]";
+                     [--instance I] [--feedback] (report the true label
+                     back after the verdict so an adapting server can
+                     learn from it)";
 
 /// CLI failure modes.
 #[derive(Debug)]
@@ -896,18 +898,28 @@ fn predict_connect(addr: &str, flags: &Flags, out: &mut dyn Write) -> Result<(),
         .get(d.label)
         .cloned()
         .unwrap_or_else(|| format!("class {}", d.label));
-    emit(
-        out,
-        format!(
-            "instance {instance_idx}: {class} at prefix {} of {} \
-             (earliness {:.3}, verdict {}, round trip {:.1} ms)\n",
-            d.prefix_len,
-            inst.len(),
-            d.prefix_len as f64 / inst.len().max(1) as f64,
-            d.kind.name(),
-            started.elapsed().as_secs_f64() * 1e3,
-        ),
-    )
+    let mut s = format!(
+        "instance {instance_idx}: {class} at prefix {} of {} \
+         (earliness {:.3}, verdict {}, round trip {:.1} ms)\n",
+        d.prefix_len,
+        inst.len(),
+        d.prefix_len as f64 / inst.len().max(1) as f64,
+        d.kind.name(),
+        started.elapsed().as_secs_f64() * 1e3,
+    );
+    if parse(flags, "feedback", false)? {
+        let truth = data.label(instance_idx);
+        client.feedback(id, truth).map_err(net)?;
+        s.push_str(&format!(
+            "feedback sent: truth {} — prediction was {}\n",
+            meta.classes
+                .get(truth)
+                .cloned()
+                .unwrap_or_else(|| format!("class {truth}")),
+            if truth == d.label { "correct" } else { "wrong" },
+        ));
+    }
+    emit(out, s)
 }
 
 #[cfg(test)]
@@ -1330,11 +1342,13 @@ mod tests {
                 ("height-scale", "0.15"),
                 ("length-scale", "0.3"),
                 ("instance", "2"),
+                ("feedback", "true"),
             ]),
         )
         .unwrap();
         assert!(predicted.contains("earliness"), "{predicted}");
         assert!(predicted.contains("verdict genuine"), "{predicted}");
+        assert!(predicted.contains("feedback sent"), "{predicted}");
         // A second client asks the server to drain; the serve command
         // must then return with its stats report.
         let mut stopper = Client::connect(&addr, ClientConfig::default()).unwrap();

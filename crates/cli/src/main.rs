@@ -17,7 +17,7 @@
 //! etsc serve    --model FILE --listen ADDR [--max-conns N] [--queue N] [--shed] [--deadline-ms N] [--fallback POLICY]
 //!               [--faults SPEC --fault-sessions N] [--duration-secs N]
 //! etsc predict  --model FILE (--dataset NAME | --data FILE --vars K) [--instance I] [--stream]
-//! etsc predict  --connect ADDR (--dataset NAME | --data FILE --vars K) [--instance I]
+//! etsc predict  --connect ADDR (--dataset NAME | --data FILE --vars K) [--instance I] [--feedback]
 //! ```
 
 use std::collections::HashMap;
@@ -39,7 +39,9 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         };
         // Boolean flags take no value.
-        if etsc_eval::CommonOpts::SWITCHES.contains(&name) || matches!(name, "stream" | "shed") {
+        if etsc_eval::CommonOpts::SWITCHES.contains(&name)
+            || matches!(name, "stream" | "shed" | "feedback")
+        {
             flags.insert(name.to_owned(), "true".to_owned());
             continue;
         }

@@ -1,0 +1,252 @@
+//! Concept-drift stream generators over the paper datasets.
+//!
+//! The EDBT framework evaluates *frozen* models; `etsc-adapt` adds the
+//! drifting case, and this module supplies the streams: a
+//! [`drift_stream`] is an ordered [`Dataset`] whose instance index is
+//! the time axis and whose label mapping changes along it. Two regimes
+//! share one pool of generated instances; regime B rotates the dense
+//! label assignment by a fixed amount, a pure `P(y|x)` change — the
+//! model keeps seeing familiar shapes with contradicting truths, which
+//! is exactly the failure mode label-feedback drift detectors exist to
+//! catch.
+//!
+//! Three temporal shapes cover the standard drift taxonomy:
+//!
+//! * [`DriftKind::Step`] — abrupt: regime B from one instant onward;
+//! * [`DriftKind::Gradual`] — the probability of drawing from regime B
+//!   ramps linearly over a window;
+//! * [`DriftKind::Recurring`] — regimes alternate in fixed-size blocks,
+//!   the "seasonal" drift that punishes adapters which forget the old
+//!   concept entirely.
+
+use etsc_data::{Dataset, DatasetBuilder, MultiSeries};
+
+use crate::catalog::{GenOptions, PaperDataset};
+
+/// Where along the stream the concept changes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DriftKind {
+    /// Abrupt change: instances at positions `>= at · n` use the
+    /// drifted labels.
+    Step {
+        /// Change point as a fraction of the stream in `(0, 1)`.
+        at: f64,
+    },
+    /// Gradual change: the probability of the drifted labels ramps
+    /// linearly from 0 at `from · n` to 1 at `to · n`.
+    Gradual {
+        /// Ramp start as a fraction of the stream.
+        from: f64,
+        /// Ramp end as a fraction of the stream.
+        to: f64,
+    },
+    /// Recurring change: regimes alternate every `period` instances,
+    /// starting with the original.
+    Recurring {
+        /// Block length in instances.
+        period: usize,
+    },
+}
+
+impl DriftKind {
+    /// Short name for reports and CLI flags.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DriftKind::Step { .. } => "step",
+            DriftKind::Gradual { .. } => "gradual",
+            DriftKind::Recurring { .. } => "recurring",
+        }
+    }
+
+    /// Whether the instance at position `i` of `n` draws from the
+    /// drifted regime. Deterministic in `(self, i, n, seed)`.
+    pub fn drifted(&self, i: usize, n: usize, seed: u64) -> bool {
+        match *self {
+            DriftKind::Step { at } => (i as f64) >= at * n as f64,
+            DriftKind::Gradual { from, to } => {
+                let start = from * n as f64;
+                let end = (to * n as f64).max(start + 1.0);
+                let p = ((i as f64 - start) / (end - start)).clamp(0.0, 1.0);
+                // Deterministic per-position coin so the same options
+                // always produce the same stream.
+                let coin = splitmix64(seed ^ 0xD81F_7A52 ^ i as u64) as f64 / u64::MAX as f64;
+                coin < p
+            }
+            DriftKind::Recurring { period } => (i / period.max(1)) % 2 == 1,
+        }
+    }
+}
+
+/// Options for [`drift_stream`].
+#[derive(Debug, Clone, Copy)]
+pub struct DriftOptions {
+    /// Temporal shape of the change.
+    pub kind: DriftKind,
+    /// Stream length in instances.
+    pub n: usize,
+    /// How far the drifted regime rotates the label assignment
+    /// (`1` = every class becomes its successor in class order).
+    pub rotate: usize,
+    /// Scaling passed through to the underlying generator.
+    pub gen: GenOptions,
+}
+
+impl Default for DriftOptions {
+    fn default() -> DriftOptions {
+        DriftOptions {
+            kind: DriftKind::Step { at: 0.5 },
+            n: 200,
+            rotate: 1,
+            gen: GenOptions {
+                height_scale: 0.25,
+                length_scale: 0.25,
+                seed: 7,
+            },
+        }
+    }
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Copies one instance's values out as per-variable rows.
+fn rows_of(inst: &MultiSeries) -> Vec<Vec<f64>> {
+    (0..inst.vars())
+        .map(|v| (0..inst.len()).map(|t| inst.at(v, t)).collect())
+        .collect()
+}
+
+/// Builds a drifting instance stream over `dataset`.
+///
+/// The returned [`Dataset`] holds `opts.n` instances in *stream order*:
+/// position `i` is time `i`. Instances are drawn pseudo-randomly (but
+/// deterministically, from `opts.gen.seed`) out of one generated pool
+/// so classes interleave along the stream; positions the [`DriftKind`]
+/// marks as drifted get their label rotated by `opts.rotate` in class
+/// order.
+///
+/// # Panics
+/// Panics if the underlying generator produces an empty pool (it never
+/// does for in-range [`GenOptions`]).
+pub fn drift_stream(dataset: PaperDataset, opts: &DriftOptions) -> Dataset {
+    let pool = dataset.generate(opts.gen);
+    let k = pool.n_classes();
+    let names = pool.class_names();
+    let mut b = DatasetBuilder::new(format!("{}-drift-{}", pool.name(), opts.kind.name()));
+    // Pre-intern the pool's class registry so dense labels agree with
+    // the base dataset regardless of which class appears first.
+    for class in names {
+        b.class(class);
+    }
+    for i in 0..opts.n {
+        let idx = (splitmix64(opts.gen.seed ^ 0x5EED_57EA ^ i as u64) as usize) % pool.len();
+        let inst = MultiSeries::from_rows(rows_of(pool.instance(idx)))
+            .expect("pool instance re-assembles");
+        let mut label = pool.label(idx);
+        if opts.kind.drifted(i, opts.n, opts.gen.seed) {
+            label = (label + opts.rotate) % k;
+        }
+        b.push_named(inst, &names[label]);
+    }
+    b.build().expect("drift stream assembles")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn step_stream_flips_labels_only_after_the_change_point() {
+        let opts = DriftOptions {
+            kind: DriftKind::Step { at: 0.5 },
+            n: 80,
+            ..DriftOptions::default()
+        };
+        let stream = drift_stream(PaperDataset::PowerCons, &opts);
+        let plain = drift_stream(
+            PaperDataset::PowerCons,
+            &DriftOptions {
+                kind: DriftKind::Step { at: 1.1 }, // never drifts
+                ..opts
+            },
+        );
+        assert_eq!(stream.len(), 80);
+        let k = stream.n_classes();
+        for i in 0..80 {
+            let expect = if i < 40 {
+                plain.label(i)
+            } else {
+                (plain.label(i) + 1) % k
+            };
+            assert_eq!(stream.label(i), expect, "position {i}");
+        }
+    }
+
+    #[test]
+    fn streams_are_deterministic_per_seed() {
+        let opts = DriftOptions {
+            kind: DriftKind::Gradual { from: 0.3, to: 0.7 },
+            n: 60,
+            ..DriftOptions::default()
+        };
+        let a = drift_stream(PaperDataset::PowerCons, &opts);
+        let b = drift_stream(PaperDataset::PowerCons, &opts);
+        for i in 0..60 {
+            assert_eq!(a.label(i), b.label(i));
+        }
+    }
+
+    #[test]
+    fn gradual_ramp_is_monotone_in_aggregate() {
+        let opts = DriftOptions {
+            kind: DriftKind::Gradual { from: 0.2, to: 0.8 },
+            n: 300,
+            ..DriftOptions::default()
+        };
+        let stream = drift_stream(PaperDataset::PowerCons, &opts);
+        let plain = drift_stream(
+            PaperDataset::PowerCons,
+            &DriftOptions {
+                kind: DriftKind::Step { at: 1.1 },
+                ..opts
+            },
+        );
+        let drifted_in = |lo: usize, hi: usize| {
+            (lo..hi)
+                .filter(|&i| stream.label(i) != plain.label(i))
+                .count()
+        };
+        let head = drifted_in(0, 60);
+        let mid = drifted_in(120, 180);
+        let tail = drifted_in(240, 300);
+        assert_eq!(head, 0, "before the ramp nothing drifts");
+        assert_eq!(tail, 60, "after the ramp everything drifts");
+        assert!(mid > 10 && mid < 50, "mid-ramp is mixed: {mid}/60");
+    }
+
+    #[test]
+    fn recurring_blocks_alternate() {
+        let opts = DriftOptions {
+            kind: DriftKind::Recurring { period: 10 },
+            n: 40,
+            ..DriftOptions::default()
+        };
+        let stream = drift_stream(PaperDataset::PowerCons, &opts);
+        let plain = drift_stream(
+            PaperDataset::PowerCons,
+            &DriftOptions {
+                kind: DriftKind::Step { at: 1.1 },
+                ..opts
+            },
+        );
+        for i in 0..40 {
+            let drifted = stream.label(i) != plain.label(i);
+            assert_eq!(drifted, (i / 10) % 2 == 1, "position {i}");
+        }
+    }
+}

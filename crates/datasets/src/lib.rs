@@ -17,7 +17,9 @@
 //! against `etsc_data::stats`.
 
 pub mod catalog;
+pub mod drift;
 pub mod generators;
 pub mod signals;
 
 pub use catalog::{GenOptions, GeneratorSpec, PaperDataset};
+pub use drift::{drift_stream, DriftKind, DriftOptions};

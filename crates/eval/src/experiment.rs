@@ -502,23 +502,6 @@ fn run_cell_inner(
     })
 }
 
-/// Runs one algorithm on one dataset with stratified K-fold CV.
-///
-/// Thin shim over [`run_cell`] with the thread's
-/// [ambient](etsc_obs::ambient) observability context — disabled
-/// unless a caller up-stack installed one.
-///
-/// # Errors
-/// Data/model failures other than budget overruns.
-#[deprecated(note = "use `run_cell` (explicit Obs) or drive whole matrices through `MatrixRunner`")]
-pub fn run_cv(
-    algo: AlgoSpec,
-    dataset: &Dataset,
-    config: &RunConfig,
-) -> Result<RunResult, EtscError> {
-    run_cell(algo, dataset, config, &etsc_obs::ambient())
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -607,17 +590,6 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_run_cv_shim_matches_run_cell() {
-        let d = toy(1);
-        let cfg = RunConfig::fast();
-        let legacy = run_cv(AlgoSpec::Ects, &d, &cfg).unwrap();
-        let current = run_cell(AlgoSpec::Ects, &d, &cfg, &Obs::disabled()).unwrap();
-        assert_eq!(legacy.metrics, current.metrics);
-        assert_eq!(legacy.dnf, current.dnf);
-    }
-
-    #[test]
     fn build_produces_named_algorithms() {
         let d = toy(1);
         let cfg = RunConfig::fast();
@@ -626,30 +598,6 @@ mod tests {
             assert!(!clf.name().is_empty());
         }
     }
-}
-
-/// Runs the full (dataset × algorithm) matrix with a bounded worker
-/// pool and strict error semantics: the first failed or panicked cell
-/// is reported as an error after all cells have run.
-///
-/// Thin shim over [`MatrixRunner`](crate::runner::MatrixRunner) —
-/// equivalent to
-/// `MatrixRunner::new(config.clone()).parallel(max_threads).run_results(datasets, algos)`.
-/// The builder additionally exposes retries, journaling/resume, and
-/// observability (tracer + metrics).
-///
-/// # Errors
-/// The first cell failure or panic, after all cells have run.
-#[deprecated(note = "use `MatrixRunner::new(config).parallel(n).run_results(datasets, algos)`")]
-pub fn run_matrix_parallel(
-    datasets: &[Dataset],
-    algos: &[AlgoSpec],
-    config: &RunConfig,
-    max_threads: usize,
-) -> Result<Vec<RunResult>, EtscError> {
-    crate::runner::MatrixRunner::new(config.clone())
-        .parallel(max_threads)
-        .run_results(datasets, algos)
 }
 
 #[cfg(test)]

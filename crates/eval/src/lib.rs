@@ -53,7 +53,5 @@ pub use metrics::{EvalOutcome, Metrics};
 pub use opts::CommonOpts;
 pub use runner::MatrixRunner;
 pub use supervisor::{CellOutcome, CellStatus, SupervisorOptions};
-#[allow(deprecated)]
-pub use {experiment::run_cv, supervisor::supervise_matrix};
 
 pub use etsc_obs::Obs;

@@ -1,9 +1,8 @@
 //! The unified evaluation-matrix runner.
 //!
 //! [`MatrixRunner`] is the single front door to the (dataset ×
-//! algorithm) matrix, subsuming the three historical entry points —
-//! sequential `run_cv` loops, `run_matrix_parallel`, and
-//! `supervise_matrix` — behind one builder:
+//! algorithm) matrix — sequential or pooled execution, supervision,
+//! journaling and observability behind one builder:
 //!
 //! ```no_run
 //! use etsc_eval::{AlgoSpec, MatrixRunner, RunConfig, SupervisorOptions};
@@ -73,8 +72,7 @@ impl MatrixRunner {
     }
 
     /// Replaces the full supervision options (threads, retries,
-    /// journal, resume) at once — the migration path for former
-    /// `supervise_matrix` callers. Later builder calls still override
+    /// journal, resume) at once. Later builder calls still override
     /// individual fields.
     pub fn supervised(mut self, options: SupervisorOptions) -> MatrixRunner {
         self.options = options;
@@ -147,7 +145,7 @@ impl MatrixRunner {
     /// Like [`MatrixRunner::run`], but with strict error semantics:
     /// the first failed or panicked cell is reported as an error after
     /// all cells have run, and successful runs come back as plain
-    /// [`RunResult`]s (the former `run_matrix_parallel` contract).
+    /// [`RunResult`]s.
     ///
     /// # Errors
     /// Infrastructure failures, then the first cell failure or panic.

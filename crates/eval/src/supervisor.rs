@@ -119,8 +119,7 @@ impl CellOutcome {
     }
 }
 
-/// Supervision knobs, consumed by [`MatrixRunner::supervised`] (and
-/// the legacy [`supervise_matrix`] wrapper).
+/// Supervision knobs, consumed by [`MatrixRunner::supervised`].
 #[derive(Debug, Clone)]
 pub struct SupervisorOptions {
     /// Worker threads for the matrix (≥ 1).
@@ -151,30 +150,6 @@ impl Default for SupervisorOptions {
 /// configuration errors and budget DNFs are deterministic.
 pub(crate) fn transient(error: &EtscError) -> bool {
     matches!(error, EtscError::Data(_) | EtscError::Ml(_))
-}
-
-/// Runs the full (dataset × algorithm) matrix under supervision and
-/// returns one [`CellOutcome`] per cell in row-major order (datasets
-/// outer, algorithms inner) — the same order
-/// `run_matrix_parallel` used, so downstream aggregation is unchanged.
-///
-/// # Errors
-/// Only infrastructure failures (journal I/O, header mismatch on
-/// resume, a panic escaping the worker pool itself). Per-cell failures
-/// — including panics — are *outcomes*, not errors.
-#[deprecated(
-    since = "0.1.0",
-    note = "use MatrixRunner::new(config).supervised(options).run(datasets, algos)"
-)]
-pub fn supervise_matrix(
-    datasets: &[Dataset],
-    algos: &[AlgoSpec],
-    config: &RunConfig,
-    options: &SupervisorOptions,
-) -> Result<Vec<CellOutcome>, EtscError> {
-    MatrixRunner::new(config.clone())
-        .supervised(options.clone())
-        .run(datasets, algos)
 }
 
 /// Supervised matrix execution with an injectable cell runner — the

@@ -368,6 +368,20 @@ impl Client {
         Ok(())
     }
 
+    /// Reports the ground-truth label for a decided session so the
+    /// server can grade its call and feed online adaptation. Advisory:
+    /// the server replies with a structured error (not a teardown) if
+    /// it no longer remembers the session.
+    ///
+    /// # Errors
+    /// [`NetError::Closed`] / [`NetError::Proto`].
+    pub fn feedback(&mut self, id: u64, label: usize) -> Result<(), NetError> {
+        self.send(&Frame::Feedback {
+            session: id,
+            label: label as u64,
+        })
+    }
+
     /// Asks the server to drain gracefully.
     ///
     /// # Errors
@@ -594,9 +608,13 @@ impl Client {
                 message,
             } => {
                 if let Some(state) = self.sessions.get_mut(&id) {
-                    state.outcome = Some(Err(format!("[{code}] {message}")));
-                    state.sent = Vec::new();
-                    state.send_times = Vec::new();
+                    // First outcome wins: an advisory error answering
+                    // late feedback must not clobber a real decision.
+                    if state.outcome.is_none() {
+                        state.outcome = Some(Err(format!("[{code}] {message}")));
+                        state.sent = Vec::new();
+                        state.send_times = Vec::new();
+                    }
                 }
                 Ok(())
             }

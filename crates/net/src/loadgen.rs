@@ -41,6 +41,9 @@ pub struct LoadgenOptions {
     pub client: ClientConfig,
     /// Budget for collecting outstanding decisions after the feed.
     pub wait_timeout: Duration,
+    /// Report each session's true label back after its decision, so a
+    /// server running online adaptation can detect drift and refit.
+    pub feedback: bool,
     /// Ask the server to drain gracefully once everything is
     /// collected, and wait for its Shutdown frame.
     pub send_shutdown: bool,
@@ -55,6 +58,7 @@ impl Default for LoadgenOptions {
             faults: None,
             client: ClientConfig::default(),
             wait_timeout: Duration::from_secs(30),
+            feedback: false,
             send_shutdown: false,
         }
     }
@@ -87,6 +91,13 @@ pub struct LoadReport {
     pub reconnects: u64,
     /// Observation rows delivered.
     pub rows_sent: u64,
+    /// Feedback frames sent (with [`LoadgenOptions::feedback`]).
+    pub feedback_sent: u64,
+    /// Per-session (session index, prediction was correct) pairs,
+    /// recorded when feedback is on. Sorted by session index, which is
+    /// the stream's time axis — windowed accuracy over this sequence
+    /// is how drift impact and post-swap recovery are measured.
+    pub correctness: Vec<(usize, bool)>,
     /// Wall-clock for the whole run.
     pub wall: Duration,
     /// End-to-end decision latency (seconds).
@@ -124,6 +135,21 @@ impl LoadReport {
     /// failed with attribution — nothing silently dropped.
     pub fn clean(&self) -> bool {
         self.dropped == 0 && self.errors.is_empty()
+    }
+
+    /// Accuracy over the sessions with indexes in `[lo, hi)` — a
+    /// window along the stream's time axis. `None` when feedback was
+    /// off or the window is empty.
+    pub fn window_accuracy(&self, lo: usize, hi: usize) -> Option<f64> {
+        let mut correct = 0usize;
+        let mut total = 0usize;
+        for &(s, ok) in &self.correctness {
+            if s >= lo && s < hi {
+                total += 1;
+                correct += usize::from(ok);
+            }
+        }
+        (total > 0).then(|| correct as f64 / total as f64)
     }
 }
 
@@ -186,6 +212,8 @@ struct Partial {
     loris_stalls: u64,
     reconnects: u64,
     rows_sent: u64,
+    feedback_sent: u64,
+    correctness: Vec<(usize, bool)>,
     latency: Histogram,
     errors: Vec<String>,
 }
@@ -201,6 +229,9 @@ fn merge(report: &mut LoadReport, p: Partial) {
     report.loris_stalls += p.loris_stalls;
     report.reconnects += p.reconnects;
     report.rows_sent += p.rows_sent;
+    report.feedback_sent += p.feedback_sent;
+    report.correctness.extend(p.correctness);
+    report.correctness.sort_unstable();
     report.latency.merge(&p.latency);
     report.errors.extend(p.errors);
 }
@@ -323,6 +354,16 @@ fn feed_connection(
                     p.genuine += 1;
                 }
                 p.latency.record(d.latency.as_secs_f64());
+                if opts.feedback {
+                    let truth = data.label(s % data.len());
+                    match client.feedback(id, truth) {
+                        Ok(()) => {
+                            p.feedback_sent += 1;
+                            p.correctness.push((s, d.label == truth));
+                        }
+                        Err(e) => p.errors.push(format!("session {s} feedback: {e}")),
+                    }
+                }
             }
             Err(NetError::SessionFailed { .. }) => p.failed += 1,
             Err(e) => {

@@ -57,6 +57,7 @@ const TAG_CLOSE: u8 = 5;
 const TAG_SHUTDOWN: u8 = 6;
 const TAG_ERROR: u8 = 7;
 const TAG_HANDOFF: u8 = 8;
+const TAG_FEEDBACK: u8 = 9;
 
 /// Shape of the model a server is exposing, sent in its
 /// [`Frame::Hello`] reply so clients (and the load generator) know
@@ -77,6 +78,10 @@ pub struct ModelInfo {
     pub prior_label: usize,
     /// Class names indexed by dense label.
     pub classes: Vec<String>,
+    /// Model generation this server (or connection) is pinned to —
+    /// bumped by each adaptive hot-swap, so routers and clients can
+    /// tell blue from green without out-of-band state.
+    pub generation: u64,
 }
 
 impl ModelInfo {
@@ -91,6 +96,7 @@ impl ModelInfo {
         for c in &self.classes {
             enc.str(c);
         }
+        enc.u64(self.generation);
     }
 
     fn decode(dec: &mut Decoder<'_>) -> Result<ModelInfo, ProtoError> {
@@ -111,6 +117,7 @@ impl ModelInfo {
         for _ in 0..n {
             classes.push(dec.str()?);
         }
+        let generation = dec.u64()?;
         Ok(ModelInfo {
             algo,
             dataset,
@@ -119,6 +126,7 @@ impl ModelInfo {
             batch,
             prior_label,
             classes,
+            generation,
         })
     }
 }
@@ -323,6 +331,18 @@ pub enum Frame {
         /// Observation rows the router will replay.
         replayed: u64,
     },
+    /// Ground-truth label reported by the client for a session that
+    /// already received its [`Frame::Decision`] — the raw material of
+    /// online adaptation: drift detectors consume the
+    /// correct/incorrect stream and the adapter's refit reservoir
+    /// collects the labeled series. Advisory: a server without an
+    /// adaptation sink just counts it.
+    Feedback {
+        /// Session id the ground truth belongs to.
+        session: u64,
+        /// True dense class label of the completed series.
+        label: u64,
+    },
     /// Requests a graceful drain: the server force-decides in-flight
     /// sessions, answers them, and stops accepting.
     Shutdown,
@@ -347,6 +367,7 @@ impl Frame {
             Frame::Observe { .. } => "observe",
             Frame::Decision { .. } => "decision",
             Frame::CloseSession { .. } => "close",
+            Frame::Feedback { .. } => "feedback",
             Frame::Shutdown => "shutdown",
             Frame::Error { .. } => "error",
             Frame::Handoff { .. } => "handoff",
@@ -403,6 +424,11 @@ impl Frame {
             Frame::CloseSession { session } => {
                 enc.tag(TAG_CLOSE);
                 enc.u64(*session);
+            }
+            Frame::Feedback { session, label } => {
+                enc.tag(TAG_FEEDBACK);
+                enc.u64(*session);
+                enc.u64(*label);
             }
             Frame::Handoff {
                 session,
@@ -495,6 +521,10 @@ impl Frame {
             },
             TAG_CLOSE => Frame::CloseSession {
                 session: dec.u64()?,
+            },
+            TAG_FEEDBACK => Frame::Feedback {
+                session: dec.u64()?,
+                label: dec.u64()?,
             },
             TAG_HANDOFF => Frame::Handoff {
                 session: dec.u64()?,
@@ -772,6 +802,7 @@ mod tests {
                     batch: 1,
                     prior_label: 0,
                     classes: vec!["warm".into(), "cold".into()],
+                    generation: 3,
                 }),
             },
             Frame::OpenSession {
@@ -792,6 +823,10 @@ mod tests {
                 kind: DecisionKind::DrainForced,
             },
             Frame::CloseSession { session: 7 },
+            Frame::Feedback {
+                session: 7,
+                label: 1,
+            },
             Frame::Shutdown,
             Frame::Error {
                 code: ErrorCode::Overloaded,
@@ -942,6 +977,30 @@ mod tests {
             Frame::decode_payload(&payload[..payload.len() - 1]),
             Err(ProtoError::Codec(_))
         ));
+    }
+
+    #[test]
+    fn unknown_tag_consumes_one_frame_and_the_decoder_keeps_going() {
+        // Forward compatibility: a frame tag from a newer protocol
+        // revision (here: a fictitious tag 42) must cost exactly one
+        // frame, not the connection — the decoder consumes it, reports
+        // UnknownTag, and decodes the next frame normally. This is the
+        // contract the server relies on to answer unknown frames with
+        // a structured Error instead of tearing the connection down.
+        let mut enc = Encoder::new();
+        enc.tag(42);
+        enc.u64(123); // arbitrary body a future peer might send
+        let future = enc.into_bytes();
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&(future.len() as u32).to_le_bytes());
+        wire.extend_from_slice(&crc64(&future).to_le_bytes());
+        wire.extend_from_slice(&future);
+        wire.extend_from_slice(&encode_frame(&Frame::Shutdown, MAX_FRAME_BYTES).unwrap());
+        let mut dec = FrameDecoder::new(MAX_FRAME_BYTES);
+        dec.feed(&wire);
+        assert!(matches!(dec.next_frame(), Err(ProtoError::UnknownTag(42))));
+        assert_eq!(dec.next_frame().unwrap(), Some(Frame::Shutdown));
+        dec.finish().unwrap();
     }
 
     #[test]

@@ -140,6 +140,11 @@ pub struct RouterStats {
     /// Total wall-clock nanoseconds spent in failover episodes, from
     /// death detection to the last replayed row.
     pub failover_ns_total: u64,
+    /// Feedback frames forwarded to the shard that decided the session.
+    pub feedback_routed: u64,
+    /// Model-generation changes observed in shard `Hello` metadata —
+    /// a hot-swap on the fleet becoming visible through the router.
+    pub generation_changes: u64,
 }
 
 impl RouterStats {
@@ -181,6 +186,8 @@ struct Cells {
     shards_retired: AtomicU64,
     failovers: AtomicU64,
     failover_ns_total: AtomicU64,
+    feedback_routed: AtomicU64,
+    generation_changes: AtomicU64,
 }
 
 impl Cells {
@@ -205,6 +212,8 @@ impl Cells {
             shards_retired: get(&self.shards_retired),
             failovers: get(&self.failovers),
             failover_ns_total: get(&self.failover_ns_total),
+            feedback_routed: get(&self.feedback_routed),
+            generation_changes: get(&self.generation_changes),
         }
     }
 }
@@ -466,8 +475,31 @@ impl RouterShared {
 
     fn cache_meta(&self, meta: &ModelInfo) {
         let mut guard = self.meta.lock().unwrap_or_else(|e| e.into_inner());
-        if guard.is_none() {
-            *guard = Some(meta.clone());
+        match guard.as_ref() {
+            None => *guard = Some(meta.clone()),
+            // A shard announcing a newer generation means an adapter
+            // hot-swapped its model; surface it so operators can line
+            // fleet visibility up with adaptation events.
+            Some(old) if meta.generation > old.generation => {
+                let from = old.generation;
+                *guard = Some(meta.clone());
+                drop(guard);
+                self.count(|s| &s.generation_changes, "router_generation_changes_total");
+                self.config
+                    .obs
+                    .metrics
+                    .gauge("router_model_generation")
+                    .set(meta.generation as f64);
+                self.config.obs.tracer.event_under(
+                    "router.model.generation",
+                    self.serve_span,
+                    &[
+                        ("from", &from.to_string()),
+                        ("to", &meta.generation.to_string()),
+                    ],
+                );
+            }
+            Some(_) => {}
         }
     }
 
@@ -835,6 +867,10 @@ struct Routed {
     rows: Vec<Vec<f64>>,
 }
 
+/// Decided sessions the router remembers so late `Feedback` frames can
+/// reach the shard that made the call.
+const DECIDED_MEMORY: usize = 1024;
+
 struct RouterConn<'r> {
     shared: &'r RouterShared,
     conn_id: u64,
@@ -842,6 +878,10 @@ struct RouterConn<'r> {
     upstreams: HashMap<String, Upstream>,
     sessions: HashMap<u64, Routed>,
     finished: HashSet<u64>,
+    /// Session id → address of the shard that decided it, FIFO-bounded
+    /// by [`DECIDED_MEMORY`].
+    decided_addr: HashMap<u64, String>,
+    decided_order: VecDeque<u64>,
     said_hello: bool,
 }
 
@@ -862,6 +902,8 @@ fn connection_thread(shared: &Arc<RouterShared>, stream: TcpStream, conn_id: u64
         upstreams: HashMap::new(),
         sessions: HashMap::new(),
         finished: HashSet::new(),
+        decided_addr: HashMap::new(),
+        decided_order: VecDeque::new(),
         said_hello: false,
     };
     let reason = conn.serve();
@@ -994,6 +1036,10 @@ impl<'r> RouterConn<'r> {
                 }
                 Flow::Continue
             }
+            Frame::Feedback { session, label } => {
+                self.feedback(session, label);
+                Flow::Continue
+            }
             Frame::Shutdown => {
                 self.shared.draining.store(true, Ordering::SeqCst);
                 Flow::Drain
@@ -1103,6 +1149,35 @@ impl<'r> RouterConn<'r> {
         {
             self.upstream_dead(&addr);
         }
+    }
+
+    /// Forwards ground truth to the shard that decided the session.
+    /// Feedback is advisory: if that shard is gone (or the memory of
+    /// who decided has aged out), the frame is dropped with a
+    /// structured error, never a teardown.
+    fn feedback(&mut self, session: u64, label: u64) {
+        let Some(addr) = self.decided_addr.remove(&session) else {
+            self.send_client(&Frame::Error {
+                code: ErrorCode::UnknownSession,
+                session: Some(session),
+                message: format!("feedback for session {session} with no decision on this router"),
+            });
+            return;
+        };
+        if self
+            .send_upstream(&addr, &Frame::Feedback { session, label })
+            .is_err()
+        {
+            self.upstream_dead(&addr);
+            self.send_client(&Frame::Error {
+                code: ErrorCode::UnknownSession,
+                session: Some(session),
+                message: "deciding shard is gone; feedback dropped".to_string(),
+            });
+            return;
+        }
+        self.shared
+            .count(|s| &s.feedback_routed, "router_feedback_routed_total");
     }
 
     /// Ring placement + upstream dial, excluding and breaker-penalising
@@ -1224,6 +1299,15 @@ impl<'r> RouterConn<'r> {
                     let routed = self.sessions.remove(&session).expect("session present");
                     routed.shard.resident.fetch_sub(1, Ordering::SeqCst);
                     self.finished.insert(session);
+                    // Remember who decided so late feedback finds the
+                    // shard whose reservoir should learn from it.
+                    if self.decided_addr.len() >= DECIDED_MEMORY {
+                        if let Some(oldest) = self.decided_order.pop_front() {
+                            self.decided_addr.remove(&oldest);
+                        }
+                    }
+                    self.decided_addr.insert(session, addr.to_string());
+                    self.decided_order.push_back(session);
                     self.shared
                         .count(|s| &s.sessions_decided, "router_sessions_decided_total");
                     self.send_client(&frame);
@@ -1279,6 +1363,7 @@ impl<'r> RouterConn<'r> {
             Frame::OpenSession { .. }
             | Frame::Observe { .. }
             | Frame::CloseSession { .. }
+            | Frame::Feedback { .. }
             | Frame::Handoff { .. } => {}
         }
     }

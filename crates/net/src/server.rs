@@ -14,15 +14,16 @@
 //! graceful drain that force-decides in-flight sessions before the
 //! socket closes.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::io::Write as _;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use etsc_adapt::{FeedbackEvent, FeedbackSink};
 use etsc_eval::experiment::RunConfig;
 use etsc_eval::faults::{FaultPlan, FaultSchedule};
 use etsc_obs::Obs;
@@ -59,6 +60,10 @@ pub struct ServerConfig {
     pub faults: Option<FaultPlan>,
     /// Number of (arrival-ordered) sessions the fault schedule covers.
     pub fault_horizon: usize,
+    /// Where post-decision ground truth (`Frame::Feedback`) is
+    /// delivered — typically an `etsc_adapt::Adapter`. `None` grades
+    /// feedback for the counters but retains nothing.
+    pub feedback: Option<Arc<dyn FeedbackSink>>,
     /// Tracing + metrics sink.
     pub obs: Obs,
 }
@@ -76,6 +81,7 @@ impl Default for ServerConfig {
             idle_timeout: Duration::from_secs(30),
             faults: None,
             fault_horizon: 0,
+            feedback: None,
             obs: Obs::disabled(),
         }
     }
@@ -117,6 +123,13 @@ pub struct ServerStats {
     /// Migration announcements received: sessions a router moved here
     /// off a dead or draining shard (each is followed by a resume).
     pub sessions_handoff: u64,
+    /// Ground-truth labels received for decided sessions.
+    pub feedback_received: u64,
+    /// Frames with a tag this server does not know (newer peer),
+    /// answered with a structured error and skipped.
+    pub frames_unknown: u64,
+    /// Hot-swaps committed by [`NetServer::reload`].
+    pub model_swaps: u64,
 }
 
 impl ServerStats {
@@ -146,6 +159,9 @@ struct StatsCells {
     proto_errors: AtomicU64,
     worker_panics: AtomicU64,
     sessions_handoff: AtomicU64,
+    feedback_received: AtomicU64,
+    frames_unknown: AtomicU64,
+    model_swaps: AtomicU64,
 }
 
 impl StatsCells {
@@ -167,14 +183,48 @@ impl StatsCells {
             proto_errors: get(&self.proto_errors),
             worker_panics: get(&self.worker_panics),
             sessions_handoff: get(&self.sessions_handoff),
+            feedback_received: get(&self.feedback_received),
+            frames_unknown: get(&self.frames_unknown),
+            model_swaps: get(&self.model_swaps),
         }
     }
 }
 
-struct Shared {
+/// One immutable serving generation: the model plus everything the
+/// wire advertises about it. Hot-swaps replace the *shared* current
+/// generation, but each connection pins the generation live at accept
+/// time — session stream state borrows into the model, so in-flight
+/// connections finish on the generation they started with while the
+/// next accepted connection picks up the swap (the same blue/green
+/// contract the fleet router's `swap_shards` documents).
+struct Generation {
     model: Arc<StoredModel>,
     info: ModelInfo,
     batch: usize,
+}
+
+impl Generation {
+    fn build(model: Arc<StoredModel>) -> Generation {
+        let batch = model
+            .meta
+            .algo
+            .decision_batch(model.meta.train_len, &RunConfig::fast());
+        let info = ModelInfo {
+            algo: model.meta.algo.name().to_string(),
+            dataset: model.meta.dataset.clone(),
+            vars: model.meta.vars,
+            train_len: model.meta.train_len,
+            batch,
+            prior_label: model.meta.prior_label,
+            classes: model.meta.class_names.clone(),
+            generation: model.meta.generation,
+        };
+        Generation { model, info, batch }
+    }
+}
+
+struct Shared {
+    gen: RwLock<Arc<Generation>>,
     config: ServerConfig,
     draining: AtomicBool,
     killed: AtomicBool,
@@ -188,6 +238,11 @@ impl Shared {
     fn count(&self, cell: impl Fn(&StatsCells) -> &AtomicU64, metric: &str) {
         cell(&self.stats).fetch_add(1, Ordering::Relaxed);
         self.config.obs.metrics.counter(metric).inc();
+    }
+
+    /// The generation new connections will pin.
+    fn current_gen(&self) -> Arc<Generation> {
+        Arc::clone(&self.gen.read().unwrap_or_else(|e| e.into_inner()))
     }
 }
 
@@ -217,20 +272,9 @@ impl NetServer {
         let mut span = config.obs.tracer.span("net.serve");
         span.attr("addr", &addr.to_string());
         span.attr("algo", model.meta.algo.name());
+        span.attr("generation", &model.meta.generation.to_string());
         let serve_span = span.id();
-        let batch = model
-            .meta
-            .algo
-            .decision_batch(model.meta.train_len, &RunConfig::fast());
-        let info = ModelInfo {
-            algo: model.meta.algo.name().to_string(),
-            dataset: model.meta.dataset.clone(),
-            vars: model.meta.vars,
-            train_len: model.meta.train_len,
-            batch,
-            prior_label: model.meta.prior_label,
-            classes: model.meta.class_names.clone(),
-        };
+        let generation = Generation::build(model);
         // Pin every scheduled fault to step 1 of its (arrival-ordered)
         // session: the first evaluation of an unlucky session panics or
         // stalls, which is the earliest moment a network fault can hit.
@@ -240,9 +284,7 @@ impl NetServer {
             .filter(|_| config.fault_horizon > 0)
             .map(|plan| plan.schedule(&vec![1; config.fault_horizon]));
         let shared = Arc::new(Shared {
-            model,
-            info,
-            batch,
+            gen: RwLock::new(Arc::new(generation)),
             config,
             draining: AtomicBool::new(false),
             killed: AtomicBool::new(false),
@@ -279,6 +321,43 @@ impl NetServer {
     /// Current counter snapshot.
     pub fn stats(&self) -> ServerStats {
         self.shared.stats.snapshot()
+    }
+
+    /// Generation counter served to *new* connections.
+    pub fn model_generation(&self) -> u64 {
+        self.shared.current_gen().info.generation
+    }
+
+    /// Atomically hot-swaps the serving model. Connections accepted
+    /// after this call serve `model`; connections already accepted
+    /// finish on the generation they pinned — their sessions hold
+    /// stream state borrowed into the old model, which stays alive
+    /// until the last pinned connection closes (the router's
+    /// blue/green semantics: the old generation keeps answering its
+    /// in-flight work). Returns the new generation counter.
+    ///
+    /// # Errors
+    /// When the variable count differs from the serving generation —
+    /// every advertised session shape would become a lie mid-protocol.
+    pub fn reload(&self, model: Arc<StoredModel>) -> Result<u64, String> {
+        let next = Generation::build(model);
+        let current = self.shared.current_gen();
+        if next.info.vars != current.info.vars {
+            return Err(format!(
+                "new model expects {} variables, serving generation expects {}",
+                next.info.vars, current.info.vars
+            ));
+        }
+        let generation = next.info.generation;
+        *self.shared.gen.write().unwrap_or_else(|e| e.into_inner()) = Arc::new(next);
+        self.shared
+            .count(|s| &s.model_swaps, "net_model_swaps_total");
+        self.shared.config.obs.tracer.event_under(
+            "net.model.swap",
+            self.shared.serve_span,
+            &[("generation", &generation.to_string())],
+        );
+        Ok(generation)
     }
 
     /// `true` once a drain was requested (locally or by a client
@@ -508,12 +587,28 @@ impl Writer {
 
 struct Conn<'m> {
     shared: &'m Shared,
+    /// The serving generation pinned at accept time.
+    gen: &'m Generation,
     writer: Writer,
     conn_id: u64,
     sessions: HashMap<u64, SessionEntry<'m>>,
     /// Ids that reached a terminal state; late frames for them are
     /// ignored rather than UnknownSession errors.
     finished: HashSet<u64>,
+    /// Verdicts (and, when a feedback sink is configured, the observed
+    /// series) of decided sessions, retained so late ground truth can
+    /// be graded. FIFO-bounded by `max_sessions_per_conn`.
+    decided: HashMap<u64, DecidedInfo>,
+    decided_order: VecDeque<u64>,
+}
+
+/// What feedback needs to know about a decided session.
+struct DecidedInfo {
+    label: u64,
+    prefix_len: u64,
+    /// Observed values, one row per variable; empty unless a feedback
+    /// sink is configured (no reason to hold series hostage otherwise).
+    rows: Vec<Vec<f64>>,
 }
 
 struct SessionEntry<'m> {
@@ -555,12 +650,19 @@ fn connection_thread(shared: &Arc<Shared>, stream: TcpStream, conn_id: u64) {
             return;
         }
     };
+    // Pin the serving generation for this connection's whole life:
+    // sessions borrow stream state into this model, so a concurrent
+    // hot-swap must not pull it out from under them.
+    let generation = shared.current_gen();
     let mut conn = Conn {
         shared: shared.as_ref(),
+        gen: generation.as_ref(),
         writer,
         conn_id,
         sessions: HashMap::new(),
         finished: HashSet::new(),
+        decided: HashMap::new(),
+        decided_order: VecDeque::new(),
     };
     let reason = conn.serve(stream);
     let abandoned = conn.abandon_all();
@@ -635,6 +737,21 @@ impl<'m> Conn<'m> {
                         }
                     }
                     Ok(None) => break,
+                    Err(ProtoError::UnknownTag(tag)) => {
+                        // Forward compatibility: a newer peer sent a
+                        // frame kind this server does not speak (e.g.
+                        // Feedback hitting a pre-adapt server). The
+                        // decoder already consumed the whole frame, so
+                        // answer with a structured error and keep
+                        // serving instead of tearing the session table
+                        // down with the connection.
+                        shared.count(|s| &s.frames_unknown, "net_frames_unknown_total");
+                        self.send(Frame::Error {
+                            code: ErrorCode::BadFrame,
+                            session: None,
+                            message: format!("unknown frame tag {tag} (newer protocol?)"),
+                        });
+                    }
                     Err(e) => {
                         shared.count(|s| &s.proto_errors, "net_proto_errors_total");
                         self.send(Frame::Error {
@@ -694,7 +811,7 @@ impl<'m> Conn<'m> {
                     self.send(Frame::Hello {
                         version: PROTO_VERSION,
                         agent: "etsc-net-server".to_string(),
-                        meta: Some(shared.info.clone()),
+                        meta: Some(self.gen.info.clone()),
                     });
                 }
                 Handled::Ok
@@ -740,6 +857,10 @@ impl<'m> Conn<'m> {
                 );
                 Handled::Ok
             }
+            Frame::Feedback { session, label } => {
+                self.feedback(session, label);
+                Handled::Ok
+            }
             Frame::Shutdown => {
                 shared.draining.store(true, Ordering::SeqCst);
                 Handled::Drain
@@ -776,13 +897,13 @@ impl<'m> Conn<'m> {
             });
             return;
         }
-        if vars != shared.info.vars {
+        if vars != self.gen.info.vars {
             self.send(Frame::Error {
                 code: ErrorCode::Incompatible,
                 session: Some(id),
                 message: format!(
                     "model expects {} variables, session declares {vars}",
-                    shared.info.vars
+                    self.gen.info.vars
                 ),
             });
             return;
@@ -797,18 +918,22 @@ impl<'m> Conn<'m> {
         }
         // A resume makes the id live again.
         self.finished.remove(&id);
-        let mut session =
-            match StreamSession::new(shared.model.classifier(), vars, expected_len, shared.batch) {
-                Ok(s) => s,
-                Err(e) => {
-                    self.send(Frame::Error {
-                        code: ErrorCode::Internal,
-                        session: Some(id),
-                        message: e.to_string(),
-                    });
-                    return;
-                }
-            };
+        let mut session = match StreamSession::new(
+            self.gen.model.classifier(),
+            vars,
+            expected_len,
+            self.gen.batch,
+        ) {
+            Ok(s) => s,
+            Err(e) => {
+                self.send(Frame::Error {
+                    code: ErrorCode::Internal,
+                    session: Some(id),
+                    message: e.to_string(),
+                });
+                return;
+            }
+        };
         session.set_deadline(shared.config.deadline);
         let seq = shared.session_seq.fetch_add(1, Ordering::SeqCst);
         self.sessions.insert(id, SessionEntry { session, seq });
@@ -903,8 +1028,28 @@ impl<'m> Conn<'m> {
         drain: bool,
     ) {
         let shared = self.shared;
-        self.sessions.remove(&id);
+        let removed = self.sessions.remove(&id);
         self.finished.insert(id);
+        // Remember the verdict so late ground truth can be graded; the
+        // observed series rides along only when a sink will refit on it.
+        let rows = match (&shared.config.feedback, removed) {
+            (Some(_), Some(entry)) => entry.session.series().to_vec(),
+            _ => Vec::new(),
+        };
+        if self.decided.len() >= shared.config.max_sessions_per_conn {
+            if let Some(oldest) = self.decided_order.pop_front() {
+                self.decided.remove(&oldest);
+            }
+        }
+        self.decided.insert(
+            id,
+            DecidedInfo {
+                label,
+                prefix_len,
+                rows,
+            },
+        );
+        self.decided_order.push_back(id);
         shared.count(|s| &s.sessions_decided, "net_sessions_decided_total");
         if drain {
             shared.count(|s| &s.drain_decisions, "net_drain_decisions_total");
@@ -915,6 +1060,58 @@ impl<'m> Conn<'m> {
             prefix_len,
             kind,
         });
+    }
+
+    /// Grades late ground truth against the remembered verdict and
+    /// forwards it to the configured sink. Feedback is advisory:
+    /// unknown or undecided sessions get a structured error, never a
+    /// teardown.
+    fn feedback(&mut self, id: u64, truth: u64) {
+        let shared = self.shared;
+        if !self.decided.contains_key(&id) {
+            self.send(Frame::Error {
+                code: ErrorCode::UnknownSession,
+                session: Some(id),
+                message: format!("feedback for session {id} with no decision on this connection"),
+            });
+            return;
+        }
+        let classes = &self.gen.info.classes;
+        if truth as usize >= classes.len() {
+            self.send(Frame::Error {
+                code: ErrorCode::BadFrame,
+                session: Some(id),
+                message: format!(
+                    "feedback label {truth} out of range ({} classes)",
+                    classes.len()
+                ),
+            });
+            return;
+        }
+        let info = self.decided.remove(&id).expect("checked above");
+        shared.count(|s| &s.feedback_received, "net_feedback_total");
+        let correct = info.label == truth;
+        shared.config.obs.tracer.event_under(
+            "net.session.feedback",
+            shared.serve_span,
+            &[
+                ("conn", &self.conn_id.to_string()),
+                ("session", &id.to_string()),
+                ("correct", if correct { "true" } else { "false" }),
+            ],
+        );
+        if let Some(sink) = &shared.config.feedback {
+            sink.record(FeedbackEvent {
+                key: self.conn_id,
+                session: id,
+                predicted: info.label as usize,
+                truth: truth as usize,
+                prefix_len: info.prefix_len as usize,
+                generation: self.gen.info.generation,
+                class_name: classes[truth as usize].clone(),
+                rows: info.rows,
+            });
+        }
     }
 
     fn fail_session(&mut self, id: u64, seq: u64, code: ErrorCode, message: &str) {
@@ -944,7 +1141,7 @@ impl<'m> Conn<'m> {
     /// drain that sheds its own answers would defeat its purpose.
     fn drain(&mut self) {
         let shared = self.shared;
-        let prior = shared.info.prior_label;
+        let prior = self.gen.info.prior_label;
         let ids: Vec<u64> = self.sessions.keys().copied().collect();
         for id in ids {
             let entry = self.sessions.get_mut(&id).expect("session present");

@@ -77,6 +77,7 @@ pub struct StreamSession<'m> {
     deadline: Option<DeadlineConfig>,
     fallback: Option<FallbackKind>,
     deadline_breaches: usize,
+    truth: Option<usize>,
 }
 
 impl<'m> StreamSession<'m> {
@@ -107,6 +108,7 @@ impl<'m> StreamSession<'m> {
             deadline: None,
             fallback: None,
             deadline_breaches: 0,
+            truth: None,
         })
     }
 
@@ -151,6 +153,36 @@ impl<'m> StreamSession<'m> {
     /// Per-re-evaluation decision latencies (seconds).
     pub fn latency(&self) -> &LatencyHistogram {
         &self.latency
+    }
+
+    /// The buffered observations, one inner slice per variable — what
+    /// an adaptation layer captures as a labeled refit example once
+    /// ground truth arrives.
+    pub fn series(&self) -> &[Vec<f64>] {
+        &self.values
+    }
+
+    /// Reports the ground-truth label after the fact (label feedback:
+    /// the true class became known once the stream completed). Returns
+    /// whether the committed decision was correct, or `None` while the
+    /// session is still undecided — feedback only grades a decision
+    /// that was actually made.
+    pub fn feedback(&mut self, truth: usize) -> Option<bool> {
+        let decided = self.decided?;
+        self.truth = Some(truth);
+        Some(decided.label == truth)
+    }
+
+    /// The fed-back ground truth, once reported.
+    pub fn truth(&self) -> Option<usize> {
+        self.truth
+    }
+
+    /// Whether the committed decision matched the fed-back truth;
+    /// `None` until both exist.
+    pub fn correct(&self) -> Option<bool> {
+        let decided = self.decided?;
+        Some(decided.label == self.truth?)
     }
 
     /// Feeds one observation (one value per variable) and re-evaluates

@@ -46,7 +46,7 @@ const MAGIC: u64 = u64::from_le_bytes(*b"ETSCMODL");
 /// Payload schema version; bump when any `encode_state` sequence
 /// changes shape. Version 2 introduced per-section CRC64 checksums and
 /// the training prior label.
-const FORMAT_VERSION: u64 = 2;
+const FORMAT_VERSION: u64 = 3;
 
 /// Failures of the model store.
 #[derive(Debug)]
@@ -122,6 +122,10 @@ pub struct ModelMeta {
     /// Majority class of the training data — the baseline verdict
     /// committed by the prior-class deadline fallback.
     pub prior_label: usize,
+    /// Monotonic model generation, starting at 1 for a fresh
+    /// `fit_model` and bumped by each adaptive refit — the counter the
+    /// fleet router's blue/green machinery keys swaps on.
+    pub generation: u64,
 }
 
 impl ModelMeta {
@@ -135,6 +139,7 @@ impl ModelMeta {
             e.str(name);
         }
         e.usize(self.prior_label);
+        e.u64(self.generation);
     }
 
     fn decode(d: &mut Decoder) -> Result<ModelMeta, ServeError> {
@@ -155,6 +160,12 @@ impl ModelMeta {
                 "prior label {prior_label} out of range for {n} classes"
             )));
         }
+        let generation = d.u64()?;
+        if generation == 0 {
+            return Err(ServeError::Format(
+                "model generation 0 is reserved (generations start at 1)".into(),
+            ));
+        }
         Ok(ModelMeta {
             algo,
             dataset,
@@ -162,6 +173,7 @@ impl ModelMeta {
             train_len,
             class_names,
             prior_label,
+            generation,
         })
     }
 }
@@ -747,6 +759,7 @@ pub fn fit_model(
             train_len: data.max_len(),
             class_names: data.class_names().to_vec(),
             prior_label: majority_label(data),
+            generation: 1,
         },
         model,
     })

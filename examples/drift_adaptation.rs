@@ -1,0 +1,78 @@
+//! Drift as an evaluation axis: the same seeded drift stream replayed
+//! through a frozen early classifier and through an
+//! [`Adapter`](etsc::adapt::Adapter)-supervised one, for each drift
+//! shape (step, gradual, recurring).
+//!
+//! Both arms start from byte-identical copies of a model trained on the
+//! leading 30% of the stream; the adaptive arm additionally receives
+//! label feedback, watches it with a DDM monitor, and hot-swaps refits
+//! trained on its recency-biased reservoir.
+//!
+//! ```text
+//! cargo run --release --example drift_adaptation
+//! ```
+
+use etsc::adapt::{adaptive_vs_frozen, AdapterConfig, CompareOptions, DetectorKind};
+use etsc::datasets::{drift_stream, DriftKind, DriftOptions, GenOptions, PaperDataset};
+use etsc::eval::experiment::AlgoSpec;
+
+fn main() {
+    let shapes: [(&str, DriftKind); 3] = [
+        ("step@0.5", DriftKind::Step { at: 0.5 }),
+        ("gradual 0.4→0.8", DriftKind::Gradual { from: 0.4, to: 0.8 }),
+        ("recurring p=60", DriftKind::Recurring { period: 60 }),
+    ];
+
+    println!("adaptive vs frozen — ECTS on a PowerCons-like stream, 240 sessions, labels rotated by 1 after the change\n");
+    println!(
+        "{:<16} {:>8} {:>10} {:>6} {:>6} {:>6} {:>9} {:>4}",
+        "drift", "frozen", "adaptive", "drift", "refit", "swap", "rollback", "gen"
+    );
+
+    for (name, kind) in shapes {
+        let stream = drift_stream(
+            PaperDataset::PowerCons,
+            &DriftOptions {
+                kind,
+                n: 240,
+                rotate: 1,
+                gen: GenOptions {
+                    height_scale: 0.1,
+                    length_scale: 0.2,
+                    seed: 13,
+                },
+            },
+        );
+        let outcome = adaptive_vs_frozen(
+            AlgoSpec::Ects,
+            &stream,
+            &CompareOptions {
+                adapter: AdapterConfig {
+                    detector: DetectorKind::Ddm,
+                    // A tight reservoir keeps the refit sample dominated
+                    // by the concept that is live when the drift fires.
+                    reservoir_cap: 32,
+                    min_refit_examples: 16,
+                    rollback_window: 16,
+                    ..AdapterConfig::default()
+                },
+                ..CompareOptions::default()
+            },
+        )
+        .expect("adaptive-vs-frozen cell");
+
+        println!(
+            "{:<16} {:>8.3} {:>10.3} {:>6} {:>6} {:>6} {:>9} {:>4}",
+            name,
+            outcome.frozen.accuracy,
+            outcome.adaptive.accuracy,
+            outcome.drifts,
+            outcome.refits,
+            outcome.swaps,
+            outcome.rollbacks,
+            outcome.final_generation,
+        );
+    }
+
+    println!("\naccuracy is over the evaluation tail (the 70% of the stream after the shared training head).");
+}

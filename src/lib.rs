@@ -20,7 +20,9 @@
 //! * [`obs`] — span/event tracing and the metrics registry + exporters;
 //! * [`serve`] — streaming inference: model store, sessions, scheduler;
 //! * [`net`] — the network edge: binary wire protocol, TCP server,
-//!   client library, and the socketed load generator.
+//!   client library, and the socketed load generator;
+//! * [`adapt`] — online adaptation: label feedback, drift detection,
+//!   and hot-swapped refits with rollback.
 //!
 //! ## Quickstart
 //!
@@ -40,6 +42,7 @@
 //! assert!(prediction.prefix_len <= data.instance(0).len());
 //! ```
 
+pub use etsc_adapt as adapt;
 pub use etsc_core as core;
 pub use etsc_data as data;
 pub use etsc_datasets as datasets;

@@ -569,3 +569,110 @@ fn chaos_schedule_is_deterministic_across_runs() {
         "corruption lands on the same byte every run"
     );
 }
+
+/// Satellite of the online-adaptation PR: a real [`Adapter`] commits
+/// repeated refit + hot-swap cycles through the crash-consistent store
+/// while resilient readers hammer the same path. No reader may ever
+/// see a torn, absent, or degraded model — the atomic-rename protocol
+/// must hold under the adapter's swap cadence exactly as it does under
+/// plain concurrent saves.
+#[test]
+fn chaos_adapter_swap_cycles_never_tear_resilient_readers() {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    use etsc::adapt::{Adapter, AdapterConfig, LabeledExample};
+
+    let data = hundred_sessions();
+    let stored = Arc::new(stored_model(&data));
+    let dir = std::env::temp_dir().join("etsc-chaos-adapt-swap");
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("adaptive.model");
+    stored.save(&path).expect("initial save");
+
+    let adapter = Adapter::new(
+        Arc::clone(&stored),
+        Some(path.clone()),
+        AdapterConfig {
+            min_refit_examples: 8,
+            ..AdapterConfig::default()
+        },
+    );
+    // Refit training data: real labeled series, seeded once — every
+    // cycle retrains on the same sample and swaps the result in.
+    adapter.seed_reservoir((0..24).map(|i| {
+        let inst = data.instance(i);
+        LabeledExample {
+            rows: (0..inst.vars())
+                .map(|v| (0..inst.len()).map(|t| inst.at(v, t)).collect())
+                .collect(),
+            class: data.class_names()[data.label(i)].clone(),
+        }
+    }));
+
+    const SWAPS: u64 = 40;
+    let done = Arc::new(AtomicBool::new(false));
+    let writer = {
+        let adapter = adapter.clone();
+        let done = Arc::clone(&done);
+        std::thread::spawn(move || {
+            for _ in 0..SWAPS {
+                adapter.request_refit();
+                adapter.poll().expect("refit trains and swap saves");
+            }
+            done.store(true, Ordering::SeqCst);
+        })
+    };
+    let readers: Vec<_> = (0..4)
+        .map(|_| {
+            let path = path.clone();
+            let done = Arc::clone(&done);
+            std::thread::spawn(move || {
+                let mut reads = 0u64;
+                let deadline = std::time::Instant::now() + Duration::from_secs(120);
+                loop {
+                    assert!(std::time::Instant::now() < deadline, "swapper stalled");
+                    let outcome = etsc::serve::load_resilient(&path)
+                        .expect("resilient load never errors mid-swap");
+                    assert!(
+                        outcome.warnings.is_empty(),
+                        "no degraded recovery under adapter swaps: {:?}",
+                        outcome.warnings
+                    );
+                    assert!(!outcome.recovered_from_prev, "primary always present");
+                    let gen = outcome.model.meta.generation;
+                    assert!(
+                        (1..=1 + SWAPS).contains(&gen),
+                        "impossible generation {gen}"
+                    );
+                    reads += 1;
+                    if done.load(Ordering::SeqCst) {
+                        return reads;
+                    }
+                }
+            })
+        })
+        .collect();
+    writer.join().expect("writer survives");
+    let total: u64 = readers
+        .into_iter()
+        .map(|r| r.join().expect("reader survives"))
+        .sum();
+    assert!(
+        total >= 4,
+        "readers actually raced the swapper ({total} reads)"
+    );
+
+    // Every cycle refitted and swapped; the store's primary holds the
+    // final generation and the `.prev` last-good copy is loadable.
+    let a = adapter.stats();
+    assert_eq!(a.refits, SWAPS);
+    assert_eq!(a.swaps, SWAPS);
+    assert_eq!(a.generation, 1 + SWAPS);
+    let last = etsc::serve::load_resilient(&path).expect("final load");
+    assert_eq!(last.model.meta.generation, 1 + SWAPS);
+    let prev = StoredModel::load(dir.join("adaptive.model.prev")).expect("prev intact");
+    assert_eq!(prev.meta.generation, SWAPS);
+    std::fs::remove_dir_all(&dir).ok();
+}

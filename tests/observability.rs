@@ -112,47 +112,36 @@ fn fingerprint(r: &etsc::eval::RunResult) -> (AlgoSpec, String, Option<etsc::eva
 }
 
 #[test]
-#[allow(deprecated)]
-fn matrix_runner_matches_legacy_entry_points() {
+fn matrix_runner_entry_points_agree() {
     let datasets = datasets();
     let algos = [AlgoSpec::Ects, AlgoSpec::SWeasel];
     let config = RunConfig::fast();
 
-    // run_cv ≡ run_cell ≡ a single-cell MatrixRunner.
-    let legacy = etsc::eval::run_cv(AlgoSpec::Ects, &datasets[0], &config).unwrap();
+    // run_cell ≡ a single-cell MatrixRunner.
     let direct = run_cell(AlgoSpec::Ects, &datasets[0], &config, &Obs::disabled()).unwrap();
-    assert_eq!(fingerprint(&legacy), fingerprint(&direct));
+    let single = MatrixRunner::new(config.clone())
+        .run_results(&datasets[..1], &algos[..1])
+        .unwrap();
+    assert_eq!(fingerprint(&direct), fingerprint(&single[0]));
 
-    // run_matrix_parallel ≡ MatrixRunner::parallel(n).run_results.
-    let legacy =
-        etsc::eval::experiment::run_matrix_parallel(&datasets, &algos, &config, 2).unwrap();
-    let modern = MatrixRunner::new(config.clone())
+    // parallel(n).run_results ≡ supervised(opts).run on the same matrix.
+    let parallel = MatrixRunner::new(config.clone())
         .parallel(2)
         .run_results(&datasets, &algos)
         .unwrap();
-    assert_eq!(legacy.len(), modern.len());
-    for (a, b) in legacy.iter().zip(&modern) {
-        assert_eq!(fingerprint(a), fingerprint(b));
-    }
-
-    // supervise_matrix ≡ MatrixRunner::supervised(opts).run.
     let options = SupervisorOptions {
         max_threads: 2,
         ..SupervisorOptions::default()
     };
-    let legacy = etsc::eval::supervise_matrix(&datasets, &algos, &config, &options).unwrap();
-    let modern = MatrixRunner::new(config)
+    let supervised = MatrixRunner::new(config)
         .supervised(options)
         .run(&datasets, &algos)
         .unwrap();
-    assert_eq!(legacy.len(), modern.len());
-    for (a, b) in legacy.iter().zip(&modern) {
-        assert_eq!(a.status(), b.status());
-        assert_eq!(a.algo(), b.algo());
-        assert_eq!(a.dataset(), b.dataset());
-        match (a.run_result(), b.run_result()) {
-            (Some(x), Some(y)) => assert_eq!(fingerprint(x), fingerprint(y)),
-            (x, y) => assert_eq!(x.is_some(), y.is_some()),
-        }
+    assert_eq!(parallel.len(), supervised.len());
+    for (a, b) in parallel.iter().zip(&supervised) {
+        let outcome = b.run_result().expect("supervised cell finished");
+        assert_eq!(fingerprint(a), fingerprint(outcome));
+        assert_eq!(a.algo, b.algo());
+        assert_eq!(a.dataset, b.dataset());
     }
 }

@@ -32,6 +32,7 @@ fn transcript_frames() -> Vec<Frame> {
                 batch: 1,
                 prior_label: 0,
                 classes: vec!["warm".to_owned(), "cold".to_owned()],
+                generation: 1,
             }),
         },
         Frame::OpenSession {
@@ -53,6 +54,10 @@ fn transcript_frames() -> Vec<Frame> {
         label: 1,
         prefix_len: 6,
         kind: DecisionKind::Genuine,
+    });
+    frames.push(Frame::Feedback {
+        session: 1,
+        label: 1,
     });
     frames.push(Frame::Handoff {
         session: 1,
