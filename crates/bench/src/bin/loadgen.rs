@@ -30,12 +30,18 @@
 //!   the post-drift tail measures recovery on the swapped model. Drift
 //!   counts, refit latency, and pre/post/recovered accuracy are merged
 //!   into `BENCH_baseline.json` as an `"adapt"` section.
+//! * **Overload** (`--overload`): pin the server's capacity with a
+//!   seeded per-session evaluation delay, then ramp offered load past
+//!   it — a sliding window of 1×, 2×, and 5× the service depth — once
+//!   without admission control and once with it. Goodput, shed ratio,
+//!   and p99 at every point form the goodput-vs-offered-load curve
+//!   merged into `BENCH_baseline.json` as an `"overload"` section.
 //!
 //! ```text
 //! loadgen [--algo NAME|all] [--dataset NAME] [--sessions N]
 //!         [--connections N] [--rate ROWS_PER_SEC] [--min-secs S]
 //!         [--faults SPEC] [--connect ADDR] [--shutdown] [--shards N]
-//!         [--drift]
+//!         [--drift] [--overload]
 //! ```
 //!
 //! Exits non-zero if any run drops a session, hits an unexpected
@@ -53,11 +59,11 @@ use etsc_datasets::{drift_stream, DriftKind, DriftOptions, PaperDataset};
 use etsc_eval::experiment::{AlgoSpec, RunConfig};
 use etsc_eval::FaultPlan;
 use etsc_net::{
-    run_fleet, run_loadgen, ClientConfig, FleetOptions, FleetReport, LoadReport, LoadgenOptions,
-    NetServer, ServerConfig,
+    run_fleet, run_loadgen, AdmissionConfig, ClientConfig, FleetOptions, FleetReport, LoadReport,
+    LoadgenOptions, NetServer, ServerConfig,
 };
 use etsc_obs::Histogram;
-use etsc_serve::{fit_model, replicate, StoredModel};
+use etsc_serve::{fit_model, replicate, BrownoutConfig, CodelConfig, StoredModel};
 
 struct Args {
     algos: Vec<AlgoSpec>,
@@ -71,6 +77,7 @@ struct Args {
     shutdown: bool,
     shards: usize,
     drift: bool,
+    overload: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -81,7 +88,7 @@ fn parse_args() -> Result<Args, String> {
         let name = flag
             .strip_prefix("--")
             .ok_or_else(|| format!("expected a --flag, got {flag:?}"))?;
-        if name == "shutdown" || name == "drift" {
+        if name == "shutdown" || name == "drift" || name == "overload" {
             flags.insert(name.to_owned(), "true".to_owned());
             continue;
         }
@@ -121,6 +128,7 @@ fn parse_args() -> Result<Args, String> {
         shutdown: flags.contains_key("shutdown"),
         shards: num("shards", 0.0)? as usize,
         drift: flags.contains_key("drift"),
+        overload: flags.contains_key("overload"),
     })
 }
 
@@ -226,13 +234,15 @@ fn run_until(addr: &str, data: &Dataset, opts: &LoadgenOptions, min_secs: f64, r
 /// The baseline file split into its measured sections. The file is
 /// plain hand-rolled JSON (the workspace carries no JSON dependency),
 /// so the split is string surgery anchored on the section keys this
-/// binary itself appends — always in `network`, `fleet`, `adapt` order.
+/// binary itself appends — always in `network`, `fleet`, `adapt`,
+/// `overload` order.
 struct Baseline {
     path: String,
     prefix: String,
     network: Option<String>,
     fleet: Option<String>,
     adapt: Option<String>,
+    overload: Option<String>,
 }
 
 impl Baseline {
@@ -240,7 +250,7 @@ impl Baseline {
         let path = std::env::var("BENCH_BASELINE_PATH").unwrap_or_else(|_| {
             concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_baseline.json").into()
         });
-        let (prefix, network, fleet, adapt) = match std::fs::read_to_string(&path) {
+        let (prefix, network, fleet, adapt, overload) = match std::fs::read_to_string(&path) {
             Ok(text) => {
                 let mut base = text.trim_end().to_owned();
                 if base.ends_with('}') {
@@ -249,13 +259,15 @@ impl Baseline {
                 }
                 // Sections split off back-to-front so each key's find
                 // sees only the text before later sections.
+                let overload = base.find(",\n  \"overload\"").map(|i| base.split_off(i));
                 let adapt = base.find(",\n  \"adapt\"").map(|i| base.split_off(i));
                 let fleet = base.find(",\n  \"fleet\"").map(|i| base.split_off(i));
                 let network = base.find(",\n  \"network\"").map(|i| base.split_off(i));
-                (base, network, fleet, adapt)
+                (base, network, fleet, adapt, overload)
             }
             Err(_) => (
                 String::from("{\n  \"bench\": \"streaming_serve\""),
+                None,
                 None,
                 None,
                 None,
@@ -267,6 +279,7 @@ impl Baseline {
             network,
             fleet,
             adapt,
+            overload,
         }
     }
 
@@ -279,6 +292,9 @@ impl Baseline {
             out.push_str(&s);
         }
         if let Some(s) = self.adapt {
+            out.push_str(&s);
+        }
+        if let Some(s) = self.overload {
             out.push_str(&s);
         }
         out.push_str("\n}\n");
@@ -495,6 +511,8 @@ fn run_drift_mode(args: &Args, algo: AlgoSpec) -> bool {
         faults: None,
         client: ClientConfig::default(),
         wait_timeout: Duration::from_secs(60),
+        low_priority_share: 0.0,
+        open_ahead: 0,
         feedback: true,
         send_shutdown: false,
     };
@@ -599,6 +617,237 @@ fn run_drift_mode(args: &Args, algo: AlgoSpec) -> bool {
             a.last_refit_secs * 1e3,
             wave1.dropped + wave2.dropped,
         );
+    }
+    ok
+}
+
+/// One measured point on the goodput-vs-offered-load curve.
+struct OverloadPoint {
+    /// Offered load as a multiple of the service depth (the sliding
+    /// window each connection keeps in flight).
+    offered: usize,
+    /// Whether the server ran with admission control armed.
+    admission: bool,
+    report: LoadReport,
+}
+
+impl OverloadPoint {
+    fn goodput(&self) -> f64 {
+        self.report.decisions_per_sec()
+    }
+
+    fn shed_ratio(&self) -> f64 {
+        if self.report.sessions > 0 {
+            self.report.shed as f64 / self.report.sessions as f64
+        } else {
+            0.0
+        }
+    }
+
+    fn p99_ms(&self) -> f64 {
+        self.report.latency.clone().p99().unwrap_or(0.0) * 1e3
+    }
+}
+
+/// Merges an overload ramp into `BENCH_baseline.json` as an
+/// `"overload"` section: the calibrated capacity and, per ramp point,
+/// goodput, shed ratio, and tail latency with and without admission.
+fn merge_overload_baseline(
+    algo: &str,
+    connections: usize,
+    delay_ms: u64,
+    base_goodput: f64,
+    points: &[OverloadPoint],
+) {
+    let mut baseline = Baseline::load();
+    let mut s = String::from(",\n  \"overload\": {\n");
+    s.push_str("    \"transport\": \"tcp-loopback\",\n");
+    s.push_str(&format!("    \"algo\": \"{algo}\",\n"));
+    s.push_str(&format!("    \"connections\": {connections},\n"));
+    s.push_str(&format!("    \"eval_delay_ms\": {delay_ms},\n"));
+    s.push_str(&format!(
+        "    \"calibrated_goodput_per_sec\": {base_goodput:.1},\n"
+    ));
+    s.push_str("    \"ramp\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        s.push_str(&format!(
+            "      {{\"offered_x\": {}, \"admission\": {}, \"sessions\": {}, \
+             \"goodput_per_sec\": {:.1}, \"shed_ratio\": {:.4}, \"expired\": {}, \
+             \"degraded\": {}, \"p99_ms\": {:.4}}}{}\n",
+            p.offered,
+            p.admission,
+            p.report.sessions,
+            p.goodput(),
+            p.shed_ratio(),
+            p.report.expired,
+            p.report.degraded,
+            p.p99_ms(),
+            if i + 1 < points.len() { "," } else { "" },
+        ));
+    }
+    s.push_str("    ]\n  }");
+    let path = baseline.path.clone();
+    baseline.overload = Some(s);
+    baseline.store();
+    eprintln!("merged overload section into {path}");
+}
+
+/// Overload mode: make server capacity a known quantity by arming a
+/// seeded evaluation delay on every session (the server evaluates
+/// inline per connection, so capacity is `1000/delay` sessions per
+/// second per connection), calibrate goodput with a closed loop of
+/// depth 1, then ramp the in-flight window to 1×, 2×, and 5× that
+/// depth — each point once with admission control off and once with it
+/// on. Without admission the queue inflates the tail; with it the
+/// CoDel/brownout ladder sheds the excess while goodput holds.
+fn run_overload_mode(args: &Args, algo: AlgoSpec, data: &Dataset) -> bool {
+    const DELAY_MS: u64 = 10;
+    let connections = args.connections.max(1);
+    let sessions = args.sessions.max(75 * connections);
+    let stored = match fit_model(algo, data, &RunConfig::fast()) {
+        Ok(stored) => Arc::new(stored),
+        Err(e) => {
+            eprintln!("error: {} does not fit: {e}", algo.name());
+            return false;
+        }
+    };
+    let plan = FaultPlan {
+        seed: 11,
+        delay_rate: 1.0,
+        delay: Duration::from_millis(DELAY_MS),
+        ..FaultPlan::default()
+    };
+    // Thresholds in service-time multiples: a session's own rows queue
+    // behind its step-1 evaluation for up to one service time even at
+    // capacity, so shedding and brownout only engage once sojourns
+    // stack at least two service times deep — the curve stays clean at
+    // 1× offered load and degrades progressively at 2× and 5×.
+    let admission = AdmissionConfig {
+        open_rate: 5000.0,
+        open_burst: 200.0,
+        codel: CodelConfig {
+            target: Duration::from_millis(2 * DELAY_MS),
+            interval: Duration::from_millis(10 * DELAY_MS),
+        },
+        brownout: BrownoutConfig {
+            high_water: Duration::from_millis(5 * DELAY_MS / 2),
+            low_water: Duration::from_millis(DELAY_MS),
+            up_after: 8,
+            down_after: 16,
+        },
+        brownout_poll: Duration::from_millis(2 * DELAY_MS),
+        tightened_deadline: Duration::from_millis(5 * DELAY_MS / 2),
+    };
+
+    let mut ok = true;
+    let mut run_point = |depth: usize, armed: bool| -> Option<OverloadPoint> {
+        let server = match NetServer::bind(
+            Arc::clone(&stored),
+            "127.0.0.1:0",
+            ServerConfig {
+                faults: Some(plan.clone()),
+                fault_horizon: sessions,
+                admission: armed.then(|| admission.clone()),
+                ..ServerConfig::default()
+            },
+        ) {
+            Ok(server) => server,
+            Err(e) => {
+                eprintln!("error: binding loopback: {e}");
+                return None;
+            }
+        };
+        let addr = server.local_addr().to_string();
+        let report = run_loadgen(
+            &addr,
+            data,
+            &LoadgenOptions {
+                connections,
+                sessions,
+                rate: 0.0,
+                faults: None,
+                // Budget 0: every server refusal is one client-visible
+                // shed, so the curve's shed ratio is exact.
+                client: ClientConfig {
+                    open_retry_budget: 0,
+                    ..ClientConfig::default()
+                },
+                wait_timeout: Duration::from_secs(60),
+                low_priority_share: 0.25,
+                open_ahead: depth,
+                feedback: false,
+                send_shutdown: true,
+            },
+        );
+        let stats = server.join();
+        if !report.accounted() || report.dropped != 0 || !report.errors.is_empty() {
+            eprintln!(
+                "error: overload point x{depth} admission={armed} lost sessions: \
+                 {} dropped, errors: {:?}",
+                report.dropped, report.errors
+            );
+            ok = false;
+        }
+        if stats.open_sessions() != 0 {
+            eprintln!(
+                "error: overload point x{depth} admission={armed} leaked {} sessions",
+                stats.open_sessions()
+            );
+            ok = false;
+        }
+        Some(OverloadPoint {
+            offered: depth,
+            admission: armed,
+            report,
+        })
+    };
+
+    let mut points = Vec::new();
+    for depth in [1usize, 2, 5] {
+        for armed in [false, true] {
+            match run_point(depth, armed) {
+                Some(p) => points.push(p),
+                None => return false,
+            }
+        }
+    }
+    // The depth-1, admission-off point is the calibrated capacity: a
+    // closed loop exactly as deep as the server's service pipeline.
+    let base_goodput = points[0].goodput();
+    for p in &points {
+        println!(
+            "{:<9} overload x{} admission {:<5} goodput {:>7.1}/s ({:>5.1}% of capacity)  \
+             shed {:>5.1}%  expired {:>3}  degraded {:>3}  p99 {:>8.3} ms",
+            algo.name(),
+            p.offered,
+            p.admission,
+            p.goodput(),
+            if base_goodput > 0.0 {
+                p.goodput() / base_goodput * 100.0
+            } else {
+                0.0
+            },
+            p.shed_ratio() * 100.0,
+            p.report.expired,
+            p.report.degraded,
+            p.p99_ms(),
+        );
+    }
+    // The resilience claim: at 5× offered load with admission armed,
+    // goodput holds at ≥80% of calibrated capacity — shed, don't
+    // collapse.
+    if let Some(worst) = points.iter().find(|p| p.offered == 5 && p.admission) {
+        if worst.goodput() < 0.8 * base_goodput {
+            eprintln!(
+                "error: goodput collapsed under 5x offered load: {:.1}/s vs {:.1}/s calibrated",
+                worst.goodput(),
+                base_goodput
+            );
+            ok = false;
+        }
+    }
+    if ok {
+        merge_overload_baseline(algo.name(), connections, DELAY_MS, base_goodput, &points);
     }
     ok
 }
@@ -714,12 +963,19 @@ fn main() -> ExitCode {
         faults: args.faults.clone(),
         client: ClientConfig::default(),
         wait_timeout: Duration::from_secs(60),
+        low_priority_share: 0.0,
+        open_ahead: 0,
         feedback: false,
         send_shutdown: false,
     };
     let mut ok = true;
 
-    if args.drift && args.connect.is_none() {
+    if args.overload && args.connect.is_none() {
+        // Overload mode: ramp offered load past a pinned capacity with
+        // and without admission control.
+        let algo = args.algos.first().copied().unwrap_or(AlgoSpec::Ects);
+        ok = run_overload_mode(&args, algo, &data);
+    } else if args.drift && args.connect.is_none() {
         // Drift mode: serve an adapting model and measure recovery.
         let algo = args.algos.first().copied().unwrap_or(AlgoSpec::Ects);
         ok = run_drift_mode(&args, algo);

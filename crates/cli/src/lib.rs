@@ -15,10 +15,12 @@ use etsc_eval::experiment::{run_cell, AlgoSpec, RunConfig};
 use etsc_eval::report::render_matrix_status;
 use etsc_eval::supervisor::SupervisorOptions;
 use etsc_eval::{CommonOpts, FaultPlan, MatrixRunner};
-use etsc_net::{Client, ClientConfig, NetError, NetServer, Router, RouterConfig, ServerConfig};
+use etsc_net::{
+    AdmissionConfig, Client, ClientConfig, NetError, NetServer, Router, RouterConfig, ServerConfig,
+};
 use etsc_serve::{
-    fit_model, load_resilient, replay_dataset, Backpressure, DeadlineConfig, FallbackPolicy,
-    ReplayOptions, SchedulerConfig, StoredModel, SupervisionConfig,
+    fit_model, load_resilient, replay_dataset, Backpressure, BrownoutConfig, CodelConfig,
+    DeadlineConfig, FallbackPolicy, ReplayOptions, SchedulerConfig, StoredModel, SupervisionConfig,
 };
 
 /// Usage text shown on argument errors.
@@ -72,6 +74,10 @@ commands:
                      [--faults SPEC --fault-sessions N]
                      [--duration-secs N] (0 = until a client requests
                      shutdown) [--trace FILE] [--metrics FILE]
+                     [--admission] (CoDel shedding + per-client rate
+                     limits + brownout degradation under overload)
+                     [--admission-open-rate R] [--codel-target-ms N]
+                     [--brownout-high-ms N] [--brownout-tighten-ms N]
                      SPEC example: seed=42,panics=1,delay-rate=0.05,
                      delay-ms=50,nan-rate=0.02,corrupt-model=true
                      (network faults: torn-rate, disconnect-rate,
@@ -691,6 +697,27 @@ fn serve_listen(addr: &str, flags: &Flags, out: &mut dyn Write) -> Result<(), Cl
     let stored = load_model(std::path::Path::new(model_path), out)?;
     let opts = common_opts(flags)?;
     let obs = opts.build_obs();
+    // `--admission` arms overload control: CoDel-style shedding on
+    // measured sojourn, per-client open rate limits, and the brownout
+    // degradation ladder. The tuning flags override the defaults.
+    let admission = if parse(flags, "admission", false)? {
+        let defaults = AdmissionConfig::default();
+        Some(AdmissionConfig {
+            open_rate: parse(flags, "admission-open-rate", defaults.open_rate)?,
+            codel: CodelConfig {
+                target: Duration::from_millis(parse(flags, "codel-target-ms", 5_u64)?),
+                ..CodelConfig::default()
+            },
+            brownout: BrownoutConfig {
+                high_water: Duration::from_millis(parse(flags, "brownout-high-ms", 20_u64)?),
+                ..BrownoutConfig::default()
+            },
+            tightened_deadline: Duration::from_millis(parse(flags, "brownout-tighten-ms", 10_u64)?),
+            ..defaults
+        })
+    } else {
+        None
+    };
     let config = ServerConfig {
         max_connections: parse(flags, "max-conns", 64_usize)?,
         max_pending_frames: parse(flags, "queue", 1024_usize)?,
@@ -705,6 +732,7 @@ fn serve_listen(addr: &str, flags: &Flags, out: &mut dyn Write) -> Result<(), Cl
         }),
         faults,
         fault_horizon,
+        admission,
         obs: obs.clone(),
         ..ServerConfig::default()
     };
@@ -741,6 +769,8 @@ fn serve_listen(addr: &str, flags: &Flags, out: &mut dyn Write) -> Result<(), Cl
          {} failed, {} abandoned\n\
          frames         {} read, {} written, {} shed\n\
          faults         {} protocol errors, {} worker panics\n\
+         overload       {} sessions shed, {} rate-limited, {} observations expired, \
+         {} decisions degraded, {} brownout transitions\n\
          open sessions at exit: {}\n",
         started.elapsed().as_secs_f64(),
         stats.connections_accepted,
@@ -757,6 +787,11 @@ fn serve_listen(addr: &str, flags: &Flags, out: &mut dyn Write) -> Result<(), Cl
         stats.frames_shed,
         stats.proto_errors,
         stats.worker_panics,
+        stats.sessions_shed,
+        stats.sessions_rate_limited,
+        stats.observations_expired,
+        stats.decisions_degraded,
+        stats.brownout_transitions,
         stats.open_sessions(),
     );
     if opts.metrics.is_some() {

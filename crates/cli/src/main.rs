@@ -15,7 +15,8 @@
 //! etsc serve    --model FILE (--replay NAME | --data FILE --vars K) [--sessions N] [--workers N] [--queue N] [--shed] [--obs-freq SECS]
 //!               [--deadline-ms N] [--fallback wait|prior|decide-now] [--max-restarts N] [--faults SPEC]
 //! etsc serve    --model FILE --listen ADDR [--max-conns N] [--queue N] [--shed] [--deadline-ms N] [--fallback POLICY]
-//!               [--faults SPEC --fault-sessions N] [--duration-secs N]
+//!               [--faults SPEC --fault-sessions N] [--duration-secs N] [--admission] [--admission-open-rate R]
+//!               [--codel-target-ms N] [--brownout-high-ms N] [--brownout-tighten-ms N]
 //! etsc predict  --model FILE (--dataset NAME | --data FILE --vars K) [--instance I] [--stream]
 //! etsc predict  --connect ADDR (--dataset NAME | --data FILE --vars K) [--instance I] [--feedback]
 //! ```
@@ -40,7 +41,7 @@ fn main() -> ExitCode {
         };
         // Boolean flags take no value.
         if etsc_eval::CommonOpts::SWITCHES.contains(&name)
-            || matches!(name, "stream" | "shed" | "feedback")
+            || matches!(name, "stream" | "shed" | "feedback" | "admission")
         {
             flags.insert(name.to_owned(), "true".to_owned());
             continue;

@@ -23,8 +23,8 @@ use std::net::TcpStream;
 use std::time::{Duration, Instant};
 
 use crate::proto::{
-    encode_frame, DecisionKind, ErrorCode, Frame, FrameDecoder, ModelInfo, ProtoError,
-    MAX_FRAME_BYTES, PROTO_VERSION,
+    encode_frame, DecisionKind, ErrorCode, Frame, FrameDecoder, ModelInfo, ProtoError, RetryClass,
+    MAX_FRAME_BYTES, PRIORITY_NORMAL, PROTO_VERSION,
 };
 
 /// Tuning knobs for [`Client`].
@@ -54,6 +54,24 @@ pub struct ClientConfig {
     /// Seed for the jitter stream. The default draws a process-unique
     /// value so concurrent clients spread out without any shared clock.
     pub jitter_seed: u64,
+    /// Per-decision deadline (ms) propagated on every `OpenSession`;
+    /// 0 propagates nothing.
+    pub deadline_ms: u64,
+    /// Priority propagated on every `OpenSession` (`PRIORITY_LOW` /
+    /// `PRIORITY_NORMAL` / `PRIORITY_HIGH`).
+    pub priority: u8,
+    /// Remaining per-row budget (ms) propagated on every `Observe`;
+    /// 0 propagates nothing. A server whose queue outlives this budget
+    /// skips the evaluation instead of computing a dead answer.
+    pub observe_deadline_ms: u64,
+    /// Automatic re-opens (under a fresh id) a session refused with a
+    /// retryable error gets before the refusal becomes its outcome.
+    /// Each retry honours the server's `retry_after_ms` hint,
+    /// stretched by seeded jitter.
+    pub open_retry_budget: u32,
+    /// Redials [`Client::connect`] spends on retryable refusals
+    /// (accept-time shed, draining) before giving up.
+    pub connect_retry_budget: u32,
 }
 
 impl Default for ClientConfig {
@@ -69,6 +87,11 @@ impl Default for ClientConfig {
             reconnect_backoff_cap: Duration::from_secs(1),
             reconnect_jitter: 0.5,
             jitter_seed: NEXT_SEED.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
+            deadline_ms: 0,
+            priority: PRIORITY_NORMAL,
+            observe_deadline_ms: 0,
+            open_retry_budget: 3,
+            connect_retry_budget: 3,
         }
     }
 }
@@ -130,6 +153,8 @@ pub enum NetError {
         code: ErrorCode,
         /// Human-readable detail.
         message: String,
+        /// Whether (and roughly when) retrying can succeed.
+        retry: RetryClass,
     },
     /// A single session died server-side.
     SessionFailed {
@@ -148,7 +173,7 @@ impl fmt::Display for NetError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             NetError::Proto(e) => write!(f, "protocol error: {e}"),
-            NetError::Server { code, message } => write!(f, "server error [{code}]: {message}"),
+            NetError::Server { code, message, .. } => write!(f, "server error [{code}]: {message}"),
             NetError::SessionFailed { session, message } => {
                 write!(f, "session {session} failed: {message}")
             }
@@ -184,6 +209,8 @@ pub struct ClientStats {
     pub forced_disconnects: u64,
     /// Slow-loris stalls deliberately injected.
     pub loris_stalls: u64,
+    /// Sessions automatically re-opened after a retryable refusal.
+    pub session_retries: u64,
 }
 
 struct SessionState {
@@ -191,6 +218,8 @@ struct SessionState {
     sent: Vec<Vec<f64>>,
     send_times: Vec<Instant>,
     outcome: Option<Result<Decision, String>>,
+    /// Automatic re-opens already spent on this logical session.
+    retries: u32,
 }
 
 /// A blocking connection to an [`crate::server::NetServer`],
@@ -202,20 +231,52 @@ pub struct Client {
     dec: FrameDecoder,
     meta: ModelInfo,
     sessions: HashMap<u64, SessionState>,
+    /// Refused-then-retried session ids, mapped to their replacement.
+    /// Late frames for the refused id stop resolving to a session;
+    /// callers holding the original id are followed to the live one.
+    aliases: HashMap<u64, u64>,
     next_id: u64,
+    /// Connection-level retryable errors already answered with a
+    /// backoff + reconnect.
+    conn_retries: u32,
     draining: bool,
     closed: bool,
     stats: ClientStats,
 }
 
 impl Client {
-    /// Dials `addr` and performs the Hello exchange.
+    /// Dials `addr` and performs the Hello exchange. Retryable
+    /// refusals (accept-time shed, rate limit) are redialled up to
+    /// [`ClientConfig::connect_retry_budget`] times, honouring the
+    /// server's `retry_after_ms` hint under the usual seeded jitter.
     ///
     /// # Errors
     /// [`NetError::Proto`] on dial/handshake failure, [`NetError::Server`]
     /// when the server refuses the connection (shedding, draining).
     pub fn connect(addr: &str, config: ClientConfig) -> Result<Client, NetError> {
-        let (stream, dec, meta) = dial(addr, &config)?;
+        let mut attempt: u32 = 0;
+        let (stream, dec, meta) = loop {
+            match dial(addr, &config) {
+                Ok(x) => break x,
+                Err(NetError::Server {
+                    code,
+                    message,
+                    retry,
+                }) => {
+                    if !retry.is_retryable() || attempt >= config.connect_retry_budget {
+                        return Err(NetError::Server {
+                            code,
+                            message,
+                            retry,
+                        });
+                    }
+                    attempt += 1;
+                    let hint = retry.retry_after().unwrap_or_default();
+                    std::thread::sleep(hint.max(reconnect_delay(&config, attempt as usize)));
+                }
+                Err(e) => return Err(e),
+            }
+        };
         Ok(Client {
             addr: addr.to_string(),
             config,
@@ -223,11 +284,28 @@ impl Client {
             dec,
             meta,
             sessions: HashMap::new(),
+            aliases: HashMap::new(),
             next_id: 1,
+            conn_retries: 0,
             draining: false,
             closed: false,
             stats: ClientStats::default(),
         })
+    }
+
+    /// Follows the alias chain from a caller-held session id to the id
+    /// currently live on the wire (identity for never-retried ids).
+    fn resolve(&self, id: u64) -> u64 {
+        let mut cur = id;
+        // The chain is acyclic by construction (aliases always point at
+        // strictly newer ids); the bound is sheer paranoia.
+        for _ in 0..64 {
+            match self.aliases.get(&cur) {
+                Some(&next) => cur = next,
+                None => break,
+            }
+        }
+        cur
     }
 
     /// Shape of the model this server is exposing.
@@ -261,13 +339,17 @@ impl Client {
                 sent: Vec::new(),
                 send_times: Vec::new(),
                 outcome: None,
+                retries: 0,
             },
         );
+        let vars = self.meta.vars;
         self.send(&Frame::OpenSession {
             id,
-            vars: self.meta.vars,
+            vars,
             expected_len,
             resume: false,
+            deadline_ms: self.config.deadline_ms,
+            priority: self.config.priority,
         })?;
         Ok(id)
     }
@@ -278,6 +360,7 @@ impl Client {
     /// # Errors
     /// [`NetError::Closed`] / [`NetError::Proto`].
     pub fn observe(&mut self, id: u64, row: &[f64]) -> Result<(), NetError> {
+        let id = self.resolve(id);
         let Some(state) = self.sessions.get_mut(&id) else {
             return Ok(());
         };
@@ -291,6 +374,7 @@ impl Client {
             session: id,
             step,
             row: row.to_vec(),
+            deadline_ms: self.config.observe_deadline_ms,
         })
     }
 
@@ -311,7 +395,9 @@ impl Client {
     /// The session's outcome, if it arrived: the decision, or the
     /// server's error message.
     pub fn outcome(&self, id: u64) -> Option<&Result<Decision, String>> {
-        self.sessions.get(&id).and_then(|s| s.outcome.as_ref())
+        self.sessions
+            .get(&self.resolve(id))
+            .and_then(|s| s.outcome.as_ref())
     }
 
     /// Blocks (bounded by `timeout`) until session `id` has an
@@ -325,7 +411,10 @@ impl Client {
     pub fn wait_decision(&mut self, id: u64, timeout: Duration) -> Result<Decision, NetError> {
         let started = Instant::now();
         loop {
-            match self.sessions.get(&id).and_then(|s| s.outcome.as_ref()) {
+            // Re-resolve every lap: a retryable refusal handled during
+            // the pump below remaps the session to a fresh id.
+            let cur = self.resolve(id);
+            match self.sessions.get(&cur).and_then(|s| s.outcome.as_ref()) {
                 Some(Ok(d)) => return Ok(*d),
                 Some(Err(message)) => {
                     return Err(NetError::SessionFailed {
@@ -335,7 +424,7 @@ impl Client {
                 }
                 None => {}
             }
-            if !self.sessions.contains_key(&id) {
+            if !self.sessions.contains_key(&cur) {
                 return Err(NetError::Closed(format!("session {id} was dropped")));
             }
             if self.closed {
@@ -362,6 +451,7 @@ impl Client {
     /// # Errors
     /// [`NetError::Closed`] / [`NetError::Proto`].
     pub fn close_session(&mut self, id: u64) -> Result<(), NetError> {
+        let id = self.resolve(id);
         if self.sessions.remove(&id).is_some() {
             self.send(&Frame::CloseSession { session: id })?;
         }
@@ -376,6 +466,7 @@ impl Client {
     /// # Errors
     /// [`NetError::Closed`] / [`NetError::Proto`].
     pub fn feedback(&mut self, id: u64, label: usize) -> Result<(), NetError> {
+        let id = self.resolve(id);
         self.send(&Frame::Feedback {
             session: id,
             label: label as u64,
@@ -426,6 +517,7 @@ impl Client {
                 session: id,
                 step,
                 row: row.to_vec(),
+                deadline_ms: self.config.observe_deadline_ms,
             },
             self.config.max_frame_bytes,
         )?;
@@ -471,6 +563,7 @@ impl Client {
                 session: id,
                 step,
                 row: row.to_vec(),
+                deadline_ms: self.config.observe_deadline_ms,
             },
             self.config.max_frame_bytes,
         )?;
@@ -606,7 +699,18 @@ impl Client {
                 code,
                 session: Some(id),
                 message,
+                retry,
             } => {
+                let retryable = self.sessions.get(&id).is_some_and(|s| {
+                    s.outcome.is_none() && s.retries < self.config.open_retry_budget
+                }) && retry.is_retryable();
+                if retryable {
+                    // A refused-but-retryable session (admission shed,
+                    // rate limit) re-opens under a fresh id after the
+                    // server's hinted pause. Late errors for the old id
+                    // no longer resolve to anything.
+                    return self.retry_session(id, retry.retry_after().unwrap_or_default());
+                }
                 if let Some(state) = self.sessions.get_mut(&id) {
                     // First outcome wins: an advisory error answering
                     // late feedback must not clobber a real decision.
@@ -633,7 +737,22 @@ impl Client {
                 code,
                 session: None,
                 message,
-            } => Err(NetError::Server { code, message }),
+                retry,
+            } => {
+                if retry.is_retryable() && self.conn_retries < self.config.connect_retry_budget {
+                    // Connection-level overload: honour the hint, then
+                    // heal the connection (resuming open sessions)
+                    // instead of surfacing a fatal error.
+                    self.conn_retries += 1;
+                    std::thread::sleep(self.jittered(retry.retry_after().unwrap_or_default()));
+                    return self.reconnect();
+                }
+                Err(NetError::Server {
+                    code,
+                    message,
+                    retry,
+                })
+            }
             Frame::Shutdown => {
                 self.draining = true;
                 Ok(())
@@ -641,6 +760,59 @@ impl Client {
             // Duplicate Hello or client-only frames: ignore.
             _ => Ok(()),
         }
+    }
+
+    /// The duration stretched by up to `1 + reconnect_jitter` (seeded,
+    /// deterministic), floored at 1ms and capped at 5s — the pause
+    /// before acting on a server's `retry_after_ms` hint.
+    fn jittered(&self, hint: Duration) -> Duration {
+        let jitter = self.config.reconnect_jitter.clamp(0.0, 1.0);
+        let u =
+            (splitmix64(self.config.jitter_seed ^ self.next_id) >> 11) as f64 / (1u64 << 53) as f64;
+        hint.max(Duration::from_millis(1))
+            .mul_f64(1.0 + jitter * u)
+            .min(Duration::from_secs(5))
+    }
+
+    /// Re-opens a refused session under a fresh id after the server's
+    /// hinted pause, replaying anything already sent. The refused id
+    /// becomes an alias of the new one, so stale errors referencing it
+    /// fall on the floor while callers keep their handle.
+    fn retry_session(&mut self, old: u64, hint: Duration) -> Result<(), NetError> {
+        let Some(mut state) = self.sessions.remove(&old) else {
+            return Ok(());
+        };
+        state.retries += 1;
+        self.stats.session_retries += 1;
+        let new = self.next_id;
+        self.next_id += 1;
+        self.aliases.insert(old, new);
+        std::thread::sleep(self.jittered(hint));
+        let rows = state.sent.clone();
+        let expected_len = state.expected_len;
+        let now = Instant::now();
+        for t in &mut state.send_times {
+            *t = now;
+        }
+        self.sessions.insert(new, state);
+        let vars = self.meta.vars;
+        self.send(&Frame::OpenSession {
+            id: new,
+            vars,
+            expected_len,
+            resume: false,
+            deadline_ms: self.config.deadline_ms,
+            priority: self.config.priority,
+        })?;
+        for (i, row) in rows.iter().enumerate() {
+            self.send(&Frame::Observe {
+                session: new,
+                step: i as u64 + 1,
+                row: row.clone(),
+                deadline_ms: self.config.observe_deadline_ms,
+            })?;
+        }
+        Ok(())
     }
 
     /// Dials again and resumes every undecided session by re-opening
@@ -692,14 +864,22 @@ impl Client {
             .map(|(&id, _)| id)
             .collect();
         ids.sort_unstable();
+        let vars = self.meta.vars;
+        let deadline_ms = self.config.deadline_ms;
+        let priority = self.config.priority;
+        let observe_deadline_ms = self.config.observe_deadline_ms;
         for id in ids {
-            let state = self.sessions.get_mut(&id).expect("session present");
+            let Some(state) = self.sessions.get_mut(&id) else {
+                continue;
+            };
             let open = encode_frame(
                 &Frame::OpenSession {
                     id,
-                    vars: self.meta.vars,
+                    vars,
                     expected_len: state.expected_len,
                     resume: true,
+                    deadline_ms,
+                    priority,
                 },
                 max,
             )?;
@@ -710,6 +890,7 @@ impl Client {
                         session: id,
                         step: i as u64 + 1,
                         row: row.clone(),
+                        deadline_ms: observe_deadline_ms,
                     },
                     max,
                 )?;
@@ -739,11 +920,7 @@ pub(crate) fn dial(
         .set_read_timeout(Some(config.read_poll))
         .map_err(ProtoError::Io)?;
     let hello = encode_frame(
-        &Frame::Hello {
-            version: PROTO_VERSION,
-            agent: config.agent.clone(),
-            meta: None,
-        },
+        &Frame::hello(config.agent.clone(), None),
         config.max_frame_bytes,
     )?;
     stream
@@ -771,8 +948,17 @@ pub(crate) fn dial(
                     };
                     return Ok((stream, dec, meta));
                 }
-                Frame::Error { code, message, .. } => {
-                    return Err(NetError::Server { code, message });
+                Frame::Error {
+                    code,
+                    message,
+                    retry,
+                    ..
+                } => {
+                    return Err(NetError::Server {
+                        code,
+                        message,
+                        retry,
+                    });
                 }
                 other => {
                     return Err(ProtoError::Corrupt(format!(

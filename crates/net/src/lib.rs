@@ -7,21 +7,30 @@
 //! * [`proto`] — the versioned, length-prefixed, CRC-protected binary
 //!   wire protocol (Hello/OpenSession/Observe/Decision/CloseSession/
 //!   Shutdown/Error) with hard frame-size and queue-depth limits;
+//!   rev 1 adds client deadlines and priorities on open/observe and
+//!   retry classification with `retry_after_ms` hints on errors,
+//!   forward-compatibly — rev-0 peers still interoperate;
 //! * [`server`] — a multi-threaded TCP server: accept loop with
 //!   connection caps and accept-time shedding, per-connection
 //!   reader/writer threads bridging into [`etsc_serve::StreamSession`]
-//!   (deadlines, fallback policies, Block/Shed backpressure), seeded
-//!   server-side fault injection, `etsc-obs` instrumentation, and
-//!   graceful drain — in-flight sessions answered, new connections
-//!   refused;
+//!   (deadlines, fallback policies, Block/Shed backpressure), overload
+//!   control when [`AdmissionConfig`] is armed — CoDel-style shedding
+//!   on measured sojourn, per-client token-bucket open limits, the
+//!   brownout degradation ladder, and expired-deadline discard of
+//!   queued dead work — seeded server-side fault injection, `etsc-obs`
+//!   instrumentation, and graceful drain — in-flight sessions
+//!   answered, new connections refused;
 //! * [`client`] — a blocking client library multiplexing many sessions
-//!   over one connection, with reconnect-and-resume of open sessions
-//!   and the client-side fault hooks (torn frames, slow-loris writes,
-//!   mid-session disconnects) the chaos suite drives;
+//!   over one connection, with reconnect-and-resume of open sessions,
+//!   budgeted jittered retries honouring the server's `retry_after_ms`
+//!   hints, and the client-side fault hooks (torn frames, slow-loris
+//!   writes, mid-session disconnects) the chaos suite drives;
 //! * [`loadgen`] — the load-generator core shared by the `loadgen`
 //!   bench binary and the chaos tests: replays dataset streams over N
-//!   connections at a target rate and reports achieved decisions/sec
-//!   plus end-to-end p50/p99 latency;
+//!   connections at a target rate — batch replay or a sliding
+//!   in-flight window for overload ramps — and reports achieved
+//!   decisions/sec, shed/expired classification, and end-to-end
+//!   p50/p99 latency;
 //! * [`router`] — a session-affine router fronting N shard servers:
 //!   consistent-hash placement with virtual nodes, health-probed shard
 //!   pools with per-shard circuit breakers, planned-drain detection,
@@ -50,7 +59,8 @@ pub use fleet::{run_fleet, FleetOptions, FleetReport, ShardReport};
 pub use loadgen::{run_loadgen, LoadReport, LoadgenOptions};
 pub use proto::{
     encode_frame, write_frame, DecisionKind, ErrorCode, Frame, FrameDecoder, ModelInfo, ProtoError,
-    HEADER_BYTES, MAX_FRAME_BYTES, MAX_PENDING_FRAMES, PROTO_VERSION,
+    RetryClass, HEADER_BYTES, MAX_FRAME_BYTES, MAX_PENDING_FRAMES, PRIORITY_HIGH, PRIORITY_LOW,
+    PRIORITY_NORMAL, PROTO_MINOR, PROTO_VERSION,
 };
 pub use router::{Router, RouterConfig, RouterStats, ShardSnapshot};
-pub use server::{NetServer, ServerConfig, ServerStats};
+pub use server::{AdmissionConfig, NetServer, ServerConfig, ServerStats};

@@ -24,6 +24,7 @@ use etsc_eval::faults::{FaultPlan, FaultSchedule};
 use etsc_obs::Histogram;
 
 use crate::client::{Client, ClientConfig, NetError};
+use crate::proto::PRIORITY_LOW;
 
 /// Tuning knobs for [`run_loadgen`].
 #[derive(Debug, Clone)]
@@ -41,6 +42,18 @@ pub struct LoadgenOptions {
     pub client: ClientConfig,
     /// Budget for collecting outstanding decisions after the feed.
     pub wait_timeout: Duration,
+    /// Fraction of connections that dial with [`PRIORITY_LOW`], so an
+    /// overload run exercises the brownout ladder's shed-low-priority
+    /// rung. 0 = everything at the configured priority.
+    pub low_priority_share: f64,
+    /// Sessions each connection keeps in flight at once (0 = every
+    /// assigned session opens up front, the time-major batch replay).
+    /// A non-zero window opens a replacement the moment an outcome
+    /// lands — mid-stream, while the server is still busy with the
+    /// rest of the window — so session opens arrive against the real
+    /// backlog, the arrival pattern open-time admission control
+    /// exists for.
+    pub open_ahead: usize,
     /// Report each session's true label back after its decision, so a
     /// server running online adaptation can detect drift and refit.
     pub feedback: bool,
@@ -58,6 +71,8 @@ impl Default for LoadgenOptions {
             faults: None,
             client: ClientConfig::default(),
             wait_timeout: Duration::from_secs(30),
+            low_priority_share: 0.0,
+            open_ahead: 0,
             feedback: false,
             send_shutdown: false,
         }
@@ -75,8 +90,20 @@ pub struct LoadReport {
     pub genuine: usize,
     /// Decided sessions answered by a degraded fallback.
     pub degraded: usize,
-    /// Sessions the server failed (evaluation error or worker panic).
+    /// Sessions the server failed (evaluation error, worker panic, or
+    /// an overload refusal — the `shed`/`expired` sub-counts below).
     pub failed: usize,
+    /// Of the failed sessions, those refused for load (admission shed,
+    /// rate limit, session cap) after the client's retry budget ran
+    /// out. Overload turned away with attribution, not work lost.
+    pub shed: usize,
+    /// Of the failed sessions, those whose propagated deadline lapsed
+    /// before evaluation — the server skipped dead work instead of
+    /// computing an answer nobody would read.
+    pub expired: usize,
+    /// Sessions transparently re-opened after a retryable refusal (the
+    /// client's retry budget absorbing overload before it fails).
+    pub session_retries: u64,
     /// Sessions deliberately killed by an injected disconnect (the
     /// server must account these as abandoned, not leak them).
     pub disconnected: usize,
@@ -135,6 +162,14 @@ impl LoadReport {
     /// failed with attribution — nothing silently dropped.
     pub fn clean(&self) -> bool {
         self.dropped == 0 && self.errors.is_empty()
+    }
+
+    /// `true` when every opened session has exactly one recorded fate:
+    /// decided, failed (shed and expired included), disconnected, or
+    /// dropped. The overload chaos test's "every rejected request is
+    /// accounted for" invariant.
+    pub fn accounted(&self) -> bool {
+        self.decided + self.failed + self.disconnected + self.dropped == self.sessions
     }
 
     /// Accuracy over the sessions with indexes in `[lo, hi)` — a
@@ -206,6 +241,9 @@ struct Partial {
     genuine: usize,
     degraded: usize,
     failed: usize,
+    shed: usize,
+    expired: usize,
+    session_retries: u64,
     disconnected: usize,
     dropped: usize,
     torn_frames: u64,
@@ -223,6 +261,9 @@ fn merge(report: &mut LoadReport, p: Partial) {
     report.genuine += p.genuine;
     report.degraded += p.degraded;
     report.failed += p.failed;
+    report.shed += p.shed;
+    report.expired += p.expired;
+    report.session_retries += p.session_retries;
     report.disconnected += p.disconnected;
     report.dropped += p.dropped;
     report.torn_frames += p.torn_frames;
@@ -244,7 +285,14 @@ fn feed_connection(
     schedule: Option<&FaultSchedule>,
 ) -> Partial {
     let mut p = Partial::default();
-    let mut client = match Client::connect(addr, opts.client.clone()) {
+    let mut config = opts.client.clone();
+    // `mine[0]` is this thread's connection index (sessions are dealt
+    // round-robin), so the first `share × connections` threads dial low.
+    let low_conns = (opts.low_priority_share * opts.connections.max(1) as f64).round() as usize;
+    if mine.first().is_some_and(|&first| first < low_conns) {
+        config.priority = PRIORITY_LOW;
+    }
+    let mut client = match Client::connect(addr, config) {
         Ok(c) => c,
         Err(e) => {
             p.errors.push(format!("connect: {e}"));
@@ -261,6 +309,29 @@ fn feed_connection(
         p.dropped = mine.len();
         return p;
     }
+    if opts.open_ahead > 0 {
+        feed_windowed(&mut client, data, opts, mine, schedule, &mut p);
+    } else {
+        feed_wave(&mut client, data, opts, mine, schedule, &mut p);
+    }
+    let stats = client.stats();
+    p.torn_frames = stats.torn_frames;
+    p.loris_stalls = stats.loris_stalls;
+    p.reconnects = stats.reconnects;
+    p.session_retries = stats.session_retries;
+    p
+}
+
+/// Opens one wave of sessions, feeds it time-major, and collects every
+/// decision the wave is owed before the caller opens the next wave.
+fn feed_wave(
+    client: &mut Client,
+    data: &Dataset,
+    opts: &LoadgenOptions,
+    mine: &[usize],
+    schedule: Option<&FaultSchedule>,
+    p: &mut Partial,
+) {
     let mut ids: HashMap<usize, u64> = HashMap::new();
     for &s in mine {
         match client.open_session(data.instance(s % data.len()).len()) {
@@ -345,38 +416,216 @@ fn feed_connection(
             continue;
         }
         let Some(&id) = ids.get(&s) else { continue };
-        match client.wait_decision(id, opts.wait_timeout) {
-            Ok(d) => {
-                p.decided += 1;
-                if d.kind.is_degraded() {
-                    p.degraded += 1;
-                } else {
-                    p.genuine += 1;
+        collect_outcome(client, data, opts, s, id, p);
+    }
+}
+
+/// Waits out one session's fate and folds it into the partial report.
+fn collect_outcome(
+    client: &mut Client,
+    data: &Dataset,
+    opts: &LoadgenOptions,
+    s: usize,
+    id: u64,
+    p: &mut Partial,
+) {
+    match client.wait_decision(id, opts.wait_timeout) {
+        Ok(d) => {
+            p.decided += 1;
+            if d.kind.is_degraded() {
+                p.degraded += 1;
+            } else {
+                p.genuine += 1;
+            }
+            p.latency.record(d.latency.as_secs_f64());
+            if opts.feedback {
+                let truth = data.label(s % data.len());
+                match client.feedback(id, truth) {
+                    Ok(()) => {
+                        p.feedback_sent += 1;
+                        p.correctness.push((s, d.label == truth));
+                    }
+                    Err(e) => p.errors.push(format!("session {s} feedback: {e}")),
                 }
-                p.latency.record(d.latency.as_secs_f64());
-                if opts.feedback {
-                    let truth = data.label(s % data.len());
-                    match client.feedback(id, truth) {
-                        Ok(()) => {
-                            p.feedback_sent += 1;
-                            p.correctness.push((s, d.label == truth));
+            }
+        }
+        Err(NetError::SessionFailed { message, .. }) => {
+            p.failed += 1;
+            // The outcome string is "[{code}] {detail}" — classify
+            // overload refusals and expired deadlines so rejected
+            // work is attributed, not lumped in with crashes.
+            if message.starts_with("[overloaded]") || message.starts_with("[session-limit]") {
+                p.shed += 1;
+            } else if message.starts_with("[expired]") {
+                p.expired += 1;
+            }
+        }
+        Err(e) => {
+            p.dropped += 1;
+            p.errors.push(format!("session {s}: {e}"));
+        }
+    }
+}
+
+/// The sliding-window feed behind [`LoadgenOptions::open_ahead`]:
+/// at most `open_ahead` sessions in flight, rows dealt round-robin
+/// across the window, outcomes collected (and the window refilled)
+/// the moment they land. Opens therefore arrive while earlier
+/// sessions still occupy the server, which is what lets admission
+/// control see — and shed — genuine overload.
+fn feed_windowed(
+    client: &mut Client,
+    data: &Dataset,
+    opts: &LoadgenOptions,
+    mine: &[usize],
+    schedule: Option<&FaultSchedule>,
+    p: &mut Partial,
+) {
+    struct InFlight {
+        s: usize,
+        id: u64,
+        next_t: usize,
+        /// Fate already assigned (injected disconnect): drop from the
+        /// window without collecting an outcome.
+        abandoned: bool,
+    }
+    let interval = if opts.rate > 0.0 {
+        Duration::from_secs_f64(1.0 / opts.rate)
+    } else {
+        Duration::ZERO
+    };
+    let mut next_send = Instant::now();
+    let mut pending = mine.iter().copied();
+    let mut inflight: Vec<InFlight> = Vec::new();
+    let mut exhausted = false;
+    let mut fatal = false;
+    // Refreshed whenever anything moves; a stall this long with
+    // sessions still in flight means the server stopped answering.
+    let mut give_up = Instant::now() + opts.wait_timeout;
+    'window: loop {
+        while !fatal && !exhausted && inflight.len() < opts.open_ahead {
+            match pending.next() {
+                Some(s) => match client.open_session(data.instance(s % data.len()).len()) {
+                    Ok(id) => inflight.push(InFlight {
+                        s,
+                        id,
+                        next_t: 0,
+                        abandoned: false,
+                    }),
+                    Err(e) => {
+                        p.errors.push(format!("open session {s}: {e}"));
+                        p.dropped += 1;
+                    }
+                },
+                None => exhausted = true,
+            }
+        }
+        if inflight.is_empty() && (exhausted || fatal) {
+            break 'window;
+        }
+        // One row per in-flight session: time-major across the window.
+        let mut sent_any = false;
+        if !fatal {
+            for f in inflight.iter_mut() {
+                let inst = data.instance(f.s % data.len());
+                if f.next_t >= inst.len() || client.outcome(f.id).is_some() {
+                    continue;
+                }
+                let t = f.next_t;
+                f.next_t += 1;
+                let step = t + 1;
+                let s = f.s;
+                let row: Vec<f64> = (0..inst.vars()).map(|v| inst.at(v, t)).collect();
+                let sent = if let Some(sched) = schedule {
+                    if sched.disconnects_at(s, step) {
+                        if let Err(e) = client.inject_disconnect(f.id) {
+                            p.errors.push(format!("session {s} disconnect: {e}"));
+                            fatal = true;
+                            break;
                         }
-                        Err(e) => p.errors.push(format!("session {s} feedback: {e}")),
+                        p.disconnected += 1;
+                        f.abandoned = true;
+                        continue;
+                    }
+                    if sched.tears_at(s, step) {
+                        if let Err(e) = client.inject_torn_frame(f.id, &row) {
+                            p.errors.push(format!("session {s} torn frame: {e}"));
+                            fatal = true;
+                            break;
+                        }
+                    }
+                    if let Some(stall) = sched.loris_at(s, step) {
+                        client.inject_loris(f.id, &row, stall)
+                    } else {
+                        client.observe(f.id, &row)
+                    }
+                } else {
+                    client.observe(f.id, &row)
+                };
+                if let Err(e) = sent {
+                    p.errors.push(format!("session {s} step {step}: {e}"));
+                    fatal = true;
+                    break;
+                }
+                p.rows_sent += 1;
+                sent_any = true;
+                if interval > Duration::ZERO {
+                    next_send += interval;
+                    let now = Instant::now();
+                    if next_send > now {
+                        std::thread::sleep(next_send - now);
                     }
                 }
             }
-            Err(NetError::SessionFailed { .. }) => p.failed += 1,
-            Err(e) => {
-                p.dropped += 1;
-                p.errors.push(format!("session {s}: {e}"));
+        }
+        if !fatal {
+            if let Err(e) = client.poll() {
+                p.errors.push(format!("poll: {e}"));
+                fatal = true;
             }
         }
+        // Collect what landed; each collection frees a window slot.
+        let mut collected = false;
+        let mut i = 0;
+        while i < inflight.len() {
+            let f = &inflight[i];
+            if f.abandoned {
+                inflight.swap_remove(i);
+                collected = true;
+            } else if fatal || client.outcome(f.id).is_some() {
+                // On a dead connection wait_decision resolves (or
+                // times out) each remaining fate with attribution.
+                let f = inflight.swap_remove(i);
+                collect_outcome(client, data, opts, f.s, f.id, p);
+                collected = true;
+            } else {
+                i += 1;
+            }
+        }
+        if collected || sent_any {
+            give_up = Instant::now() + opts.wait_timeout;
+        } else {
+            if Instant::now() > give_up {
+                for f in &inflight {
+                    p.errors
+                        .push(format!("session {} timed out in flight", f.s));
+                    p.dropped += 1;
+                }
+                inflight.clear();
+                break 'window;
+            }
+            // Everything is fed and nothing has landed yet: yield
+            // instead of spinning on poll().
+            std::thread::sleep(Duration::from_micros(500));
+        }
     }
-    let stats = client.stats();
-    p.torn_frames = stats.torn_frames;
-    p.loris_stalls = stats.loris_stalls;
-    p.reconnects = stats.reconnects;
-    p
+    // Sessions never opened have no fate: account them as dropped so
+    // the run's arithmetic still closes.
+    for s in pending {
+        p.errors
+            .push(format!("session {s} never opened (feed aborted)"));
+        p.dropped += 1;
+    }
 }
 
 /// Opens a throwaway connection to request and await the drain.

@@ -30,12 +30,30 @@
 
 use std::fmt;
 use std::io::{self, Read, Write};
+use std::time::Duration;
 
 use etsc_data::codec::{crc64, CodecError, Decoder, Encoder};
 
 /// Protocol version sent in [`Frame::Hello`]; peers with a different
 /// version are refused.
 pub const PROTO_VERSION: u32 = 1;
+
+/// Minor protocol revision, advertised in [`Frame::Hello`] as an
+/// optional trailing field. Minor revisions only *append* optional
+/// fields to existing frames — peers never refuse on a minor mismatch,
+/// they just ignore extensions they don't understand. Revision 1 adds
+/// deadline/priority propagation on `OpenSession`/`Observe` and the
+/// retry classification on `Error`.
+pub const PROTO_MINOR: u32 = 1;
+
+/// Lowest scheduling priority — first to be shed under brownout.
+pub const PRIORITY_LOW: u8 = 0;
+
+/// Default scheduling priority.
+pub const PRIORITY_NORMAL: u8 = 1;
+
+/// Highest scheduling priority — last to be shed under brownout.
+pub const PRIORITY_HIGH: u8 = 2;
 
 /// Bytes of wire framing before the payload: `len: u32` + `crc: u64`.
 pub const HEADER_BYTES: usize = 12;
@@ -213,6 +231,10 @@ pub enum ErrorCode {
     /// the server is draining on purpose, not because anything broke.
     /// Routers skip the circuit-breaker penalty on this code.
     Shutdown,
+    /// The propagated client deadline had already expired when the
+    /// server got to the work — the answer would have been dead on
+    /// arrival, so it was never computed.
+    Expired,
 }
 
 impl ErrorCode {
@@ -227,6 +249,7 @@ impl ErrorCode {
             ErrorCode::IdleTimeout => 6,
             ErrorCode::Internal => 7,
             ErrorCode::Shutdown => 8,
+            ErrorCode::Expired => 9,
         }
     }
 
@@ -241,8 +264,62 @@ impl ErrorCode {
             6 => ErrorCode::IdleTimeout,
             7 => ErrorCode::Internal,
             8 => ErrorCode::Shutdown,
+            9 => ErrorCode::Expired,
             other => return Err(ProtoError::Corrupt(format!("unknown error code {other}"))),
         })
+    }
+
+    /// The retry classification this code carries unless the sender
+    /// overrides it: load-induced refusals are retryable (with a
+    /// default backoff hint), everything else is terminal — resending
+    /// the same frame cannot succeed.
+    pub fn default_retry(self) -> RetryClass {
+        match self {
+            ErrorCode::Overloaded => RetryClass::Retryable { retry_after_ms: 50 },
+            ErrorCode::SessionLimit => RetryClass::Retryable { retry_after_ms: 25 },
+            ErrorCode::Draining | ErrorCode::Shutdown => RetryClass::Retryable {
+                retry_after_ms: 200,
+            },
+            ErrorCode::BadFrame
+            | ErrorCode::UnknownSession
+            | ErrorCode::Incompatible
+            | ErrorCode::IdleTimeout
+            | ErrorCode::Internal
+            | ErrorCode::Expired => RetryClass::Terminal,
+        }
+    }
+}
+
+/// Whether (and when) the peer should retry the work an
+/// [`Frame::Error`] refused — the machine-readable half of overload
+/// handling: clients and routers back off on `Retryable` and give up
+/// immediately on `Terminal` instead of burning their retry budget on
+/// errors that can never succeed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RetryClass {
+    /// Retrying the same work cannot succeed (bad frame, incompatible
+    /// shape, expired deadline, internal failure).
+    Terminal,
+    /// The refusal was load-induced; the same work may succeed later.
+    Retryable {
+        /// Sender's backoff hint: earliest useful retry, in
+        /// milliseconds (0 = retry whenever convenient).
+        retry_after_ms: u64,
+    },
+}
+
+impl RetryClass {
+    /// `true` when the peer is invited to retry.
+    pub fn is_retryable(self) -> bool {
+        matches!(self, RetryClass::Retryable { .. })
+    }
+
+    /// The backoff hint, when one was sent.
+    pub fn retry_after(self) -> Option<Duration> {
+        match self {
+            RetryClass::Terminal => None,
+            RetryClass::Retryable { retry_after_ms } => Some(Duration::from_millis(retry_after_ms)),
+        }
     }
 }
 
@@ -258,6 +335,7 @@ impl fmt::Display for ErrorCode {
             ErrorCode::IdleTimeout => "idle-timeout",
             ErrorCode::Internal => "internal",
             ErrorCode::Shutdown => "shutdown",
+            ErrorCode::Expired => "expired",
         };
         f.write_str(s)
     }
@@ -269,8 +347,13 @@ pub enum Frame {
     /// Connection handshake. The client sends `meta: None`; the server
     /// replies with the served model's [`ModelInfo`].
     Hello {
-        /// Protocol version ([`PROTO_VERSION`]).
+        /// Protocol version ([`PROTO_VERSION`]). A mismatch here is
+        /// refused.
         version: u32,
+        /// Minor revision ([`PROTO_MINOR`]) — advisory: tells the
+        /// peer which optional extensions it may expect. Minor
+        /// revision 1; older peers report 0.
+        minor: u32,
         /// Free-form peer identification for traces and logs.
         agent: String,
         /// Served model shape (server → client only).
@@ -289,6 +372,16 @@ pub enum Frame {
         /// `true` when this re-opens a session interrupted by a
         /// disconnect; the client replays buffered observations.
         resume: bool,
+        /// Client's per-decision latency budget in milliseconds
+        /// (0 = none). The server arms its evaluation deadline with
+        /// the tighter of this and its own configuration. Minor
+        /// revision 1; absent on older peers.
+        deadline_ms: u64,
+        /// Scheduling priority ([`PRIORITY_LOW`]..[`PRIORITY_HIGH`]):
+        /// under brownout the server sheds lowest-priority sessions
+        /// first. Minor revision 1; older peers default to
+        /// [`PRIORITY_NORMAL`].
+        priority: u8,
     },
     /// One observation row for an open session. `step` is 1-based and
     /// must advance by exactly one per row.
@@ -299,6 +392,13 @@ pub enum Frame {
         step: u64,
         /// One value per variable.
         row: Vec<f64>,
+        /// Remaining client budget for acting on this row, in
+        /// milliseconds (0 = unbounded). When the budget has already
+        /// lapsed by the time the server dequeues the row, the
+        /// evaluation is skipped — the caller has given up — and the
+        /// session fails with [`ErrorCode::Expired`]. Minor revision
+        /// 1; absent on older peers.
+        deadline_ms: u64,
     },
     /// The committed verdict for a session (server → client).
     Decision {
@@ -355,10 +455,73 @@ pub enum Frame {
         session: Option<u64>,
         /// Human-readable detail.
         message: String,
+        /// Whether the refused work is worth retrying, and how soon.
+        /// Minor revision 1; older peers see [`RetryClass::Terminal`].
+        retry: RetryClass,
     },
 }
 
 impl Frame {
+    /// A `Hello` frame announcing this build's [`PROTO_VERSION`] and
+    /// [`PROTO_MINOR`].
+    pub fn hello(agent: impl Into<String>, meta: Option<ModelInfo>) -> Frame {
+        Frame::Hello {
+            version: PROTO_VERSION,
+            minor: PROTO_MINOR,
+            agent: agent.into(),
+            meta,
+        }
+    }
+
+    /// An `OpenSession` frame with revision-1 fields at their
+    /// defaults (no client deadline, normal priority).
+    pub fn open(id: u64, vars: usize, expected_len: usize, resume: bool) -> Frame {
+        Frame::OpenSession {
+            id,
+            vars,
+            expected_len,
+            resume,
+            deadline_ms: 0,
+            priority: PRIORITY_NORMAL,
+        }
+    }
+
+    /// An `Observe` frame with no propagated deadline.
+    pub fn observe(session: u64, step: u64, row: Vec<f64>) -> Frame {
+        Frame::Observe {
+            session,
+            step,
+            row,
+            deadline_ms: 0,
+        }
+    }
+
+    /// An `Error` frame carrying the code's default retry
+    /// classification ([`ErrorCode::default_retry`]).
+    pub fn error(code: ErrorCode, session: Option<u64>, message: impl Into<String>) -> Frame {
+        Frame::Error {
+            code,
+            session,
+            message: message.into(),
+            retry: code.default_retry(),
+        }
+    }
+
+    /// An `Error` frame with an explicit retryable backoff hint —
+    /// what admission controllers use to spread the retry herd.
+    pub fn error_after(
+        code: ErrorCode,
+        session: Option<u64>,
+        message: impl Into<String>,
+        retry_after_ms: u64,
+    ) -> Frame {
+        Frame::Error {
+            code,
+            session,
+            message: message.into(),
+            retry: RetryClass::Retryable { retry_after_ms },
+        }
+    }
     /// Short frame-type name for counters and histograms.
     pub fn kind_name(&self) -> &'static str {
         match self {
@@ -380,6 +543,7 @@ impl Frame {
         match self {
             Frame::Hello {
                 version,
+                minor,
                 agent,
                 meta,
             } => {
@@ -390,24 +554,44 @@ impl Frame {
                 if let Some(meta) = meta {
                     meta.encode(&mut enc);
                 }
+                if *minor != 0 {
+                    enc.u64(u64::from(*minor));
+                }
             }
             Frame::OpenSession {
                 id,
                 vars,
                 expected_len,
                 resume,
+                deadline_ms,
+                priority,
             } => {
                 enc.tag(TAG_OPEN);
                 enc.u64(*id);
                 enc.usize(*vars);
                 enc.usize(*expected_len);
                 enc.bool(*resume);
+                // Revision-1 extension, appended only when it carries
+                // information so default frames stay byte-identical
+                // with revision 0.
+                if *deadline_ms != 0 || *priority != PRIORITY_NORMAL {
+                    enc.u64(*deadline_ms);
+                    enc.tag(*priority);
+                }
             }
-            Frame::Observe { session, step, row } => {
+            Frame::Observe {
+                session,
+                step,
+                row,
+                deadline_ms,
+            } => {
                 enc.tag(TAG_OBSERVE);
                 enc.u64(*session);
                 enc.u64(*step);
                 enc.f64s(row);
+                if *deadline_ms != 0 {
+                    enc.u64(*deadline_ms);
+                }
             }
             Frame::Decision {
                 session,
@@ -447,20 +631,31 @@ impl Frame {
                 code,
                 session,
                 message,
+                retry,
             } => {
                 enc.tag(TAG_ERROR);
                 enc.tag(code.to_u8());
                 enc.bool(session.is_some());
                 enc.u64(session.unwrap_or(0));
                 enc.str(message);
+                if let RetryClass::Retryable { retry_after_ms } = retry {
+                    enc.tag(1);
+                    enc.u64(*retry_after_ms);
+                }
             }
         }
         enc.into_bytes()
     }
 
     /// Decodes a payload (tag + body) produced by
-    /// [`Frame::encode_payload`]. The whole payload must be consumed —
-    /// trailing bytes are corruption, not extensibility.
+    /// [`Frame::encode_payload`]. For non-extensible frames the whole
+    /// payload must be consumed — trailing bytes are corruption. The
+    /// extensible frames (`Hello`/`OpenSession`/`Observe`/`Error`)
+    /// decode the minor-revision-1 trailing fields when present and
+    /// *ignore* any bytes beyond them: that is the forward-compat
+    /// contract letting a future minor revision append more fields
+    /// without breaking this decoder (the CRC already guards against
+    /// actual corruption).
     ///
     /// # Errors
     /// [`ProtoError::UnknownTag`] / [`ProtoError::Codec`] /
@@ -468,6 +663,7 @@ impl Frame {
     pub fn decode_payload(payload: &[u8]) -> Result<Frame, ProtoError> {
         let mut dec = Decoder::new(payload);
         let tag = dec.tag()?;
+        let extensible = matches!(tag, TAG_HELLO | TAG_OPEN | TAG_OBSERVE | TAG_ERROR);
         let frame = match tag {
             TAG_HELLO => {
                 let version = dec.u64()?;
@@ -479,8 +675,16 @@ impl Frame {
                 } else {
                     None
                 };
+                let minor = if dec.remaining() > 0 {
+                    let minor = dec.u64()?;
+                    u32::try_from(minor)
+                        .map_err(|_| ProtoError::Corrupt(format!("hello minor {minor}")))?
+                } else {
+                    0
+                };
                 Frame::Hello {
                     version,
+                    minor,
                     agent,
                     meta,
                 }
@@ -495,11 +699,23 @@ impl Frame {
                         "open session {id}: vars={vars} expected_len={expected_len}"
                     )));
                 }
+                let (deadline_ms, priority) = if dec.remaining() > 0 {
+                    (dec.u64()?, dec.tag()?)
+                } else {
+                    (0, PRIORITY_NORMAL)
+                };
+                if priority > PRIORITY_HIGH {
+                    return Err(ProtoError::Corrupt(format!(
+                        "open session {id}: priority {priority}"
+                    )));
+                }
                 Frame::OpenSession {
                     id,
                     vars,
                     expected_len,
                     resume,
+                    deadline_ms,
+                    priority,
                 }
             }
             TAG_OBSERVE => {
@@ -511,7 +727,13 @@ impl Frame {
                         "observe session {session}: empty row"
                     )));
                 }
-                Frame::Observe { session, step, row }
+                let deadline_ms = if dec.remaining() > 0 { dec.u64()? } else { 0 };
+                Frame::Observe {
+                    session,
+                    step,
+                    row,
+                    deadline_ms,
+                }
             }
             TAG_DECISION => Frame::Decision {
                 session: dec.u64()?,
@@ -536,15 +758,30 @@ impl Frame {
                 let code = ErrorCode::from_u8(dec.tag()?)?;
                 let has_session = dec.bool()?;
                 let session = dec.u64()?;
+                let message = dec.str()?;
+                let retry = if dec.remaining() > 0 {
+                    match dec.tag()? {
+                        0 => RetryClass::Terminal,
+                        1 => RetryClass::Retryable {
+                            retry_after_ms: dec.u64()?,
+                        },
+                        other => {
+                            return Err(ProtoError::Corrupt(format!("unknown retry class {other}")))
+                        }
+                    }
+                } else {
+                    RetryClass::Terminal
+                };
                 Frame::Error {
                     code,
                     session: has_session.then_some(session),
-                    message: dec.str()?,
+                    message,
+                    retry,
                 }
             }
             other => return Err(ProtoError::UnknownTag(other)),
         };
-        if !dec.is_exhausted() {
+        if !dec.is_exhausted() && !extensible {
             return Err(ProtoError::Corrupt(format!(
                 "{} bytes trailing after {} frame",
                 dec.remaining(),
@@ -786,15 +1023,10 @@ mod tests {
 
     fn sample_frames() -> Vec<Frame> {
         vec![
-            Frame::Hello {
-                version: PROTO_VERSION,
-                agent: "test-client".into(),
-                meta: None,
-            },
-            Frame::Hello {
-                version: PROTO_VERSION,
-                agent: "test-server".into(),
-                meta: Some(ModelInfo {
+            Frame::hello("test-client", None),
+            Frame::hello(
+                "test-server",
+                Some(ModelInfo {
                     algo: "ects".into(),
                     dataset: "PowerCons".into(),
                     vars: 1,
@@ -804,17 +1036,22 @@ mod tests {
                     classes: vec!["warm".into(), "cold".into()],
                     generation: 3,
                 }),
-            },
+            ),
+            Frame::open(7, 2, 20, true),
             Frame::OpenSession {
-                id: 7,
+                id: 8,
                 vars: 2,
                 expected_len: 20,
-                resume: true,
+                resume: false,
+                deadline_ms: 250,
+                priority: PRIORITY_HIGH,
             },
+            Frame::observe(7, 3, vec![1.5, -2.25, f64::NAN]),
             Frame::Observe {
-                session: 7,
-                step: 3,
-                row: vec![1.5, -2.25, f64::NAN],
+                session: 8,
+                step: 1,
+                row: vec![0.5],
+                deadline_ms: 40,
             },
             Frame::Decision {
                 session: 7,
@@ -828,21 +1065,11 @@ mod tests {
                 label: 1,
             },
             Frame::Shutdown,
-            Frame::Error {
-                code: ErrorCode::Overloaded,
-                session: Some(7),
-                message: "queue full".into(),
-            },
-            Frame::Error {
-                code: ErrorCode::Draining,
-                session: None,
-                message: String::new(),
-            },
-            Frame::Error {
-                code: ErrorCode::Shutdown,
-                session: None,
-                message: "graceful drain".into(),
-            },
+            Frame::error(ErrorCode::Overloaded, Some(7), "queue full"),
+            Frame::error_after(ErrorCode::Overloaded, None, "admission shed", 125),
+            Frame::error(ErrorCode::Draining, None, ""),
+            Frame::error(ErrorCode::Shutdown, None, "graceful drain"),
+            Frame::error(ErrorCode::Expired, Some(9), "deadline lapsed in queue"),
             Frame::Handoff {
                 session: 7,
                 origin: "127.0.0.1:7971".into(),
@@ -859,15 +1086,18 @@ mod tests {
                     session: s1,
                     step: t1,
                     row: r1,
+                    deadline_ms: d1,
                 },
                 Frame::Observe {
                     session: s2,
                     step: t2,
                     row: r2,
+                    deadline_ms: d2,
                 },
             ) => {
                 s1 == s2
                     && t1 == t2
+                    && d1 == d2
                     && r1.len() == r2.len()
                     && r1.iter().zip(r2).all(|(x, y)| x.to_bits() == y.to_bits())
             }
@@ -919,6 +1149,7 @@ mod tests {
             session: 1,
             step: 1,
             row: vec![0.0; 1024],
+            deadline_ms: 0,
         };
         assert!(matches!(
             encode_frame(&big, 64),
@@ -1001,6 +1232,136 @@ mod tests {
         assert!(matches!(dec.next_frame(), Err(ProtoError::UnknownTag(42))));
         assert_eq!(dec.next_frame().unwrap(), Some(Frame::Shutdown));
         dec.finish().unwrap();
+    }
+
+    #[test]
+    fn revision0_frames_decode_with_defaults() {
+        // A revision-0 peer encodes only the base fields. This decoder
+        // must accept them and fill the revision-1 fields with their
+        // documented defaults — and a default-valued revision-1 frame
+        // must encode byte-identically to revision 0, so old decoders
+        // keep parsing it.
+        let mut enc = Encoder::new();
+        enc.tag(TAG_OPEN);
+        enc.u64(7);
+        enc.usize(2);
+        enc.usize(20);
+        enc.bool(true);
+        let rev0 = enc.into_bytes();
+        assert_eq!(Frame::open(7, 2, 20, true).encode_payload(), rev0);
+        assert_eq!(
+            Frame::decode_payload(&rev0).unwrap(),
+            Frame::open(7, 2, 20, true)
+        );
+
+        let mut enc = Encoder::new();
+        enc.tag(TAG_OBSERVE);
+        enc.u64(7);
+        enc.u64(3);
+        enc.f64s(&[1.0, 2.0]);
+        let rev0 = enc.into_bytes();
+        assert_eq!(Frame::observe(7, 3, vec![1.0, 2.0]).encode_payload(), rev0);
+        assert_eq!(
+            Frame::decode_payload(&rev0).unwrap(),
+            Frame::observe(7, 3, vec![1.0, 2.0])
+        );
+
+        let mut enc = Encoder::new();
+        enc.tag(TAG_ERROR);
+        enc.tag(ErrorCode::Internal.to_u8());
+        enc.bool(false);
+        enc.u64(0);
+        enc.str("boom");
+        let rev0 = enc.into_bytes();
+        assert_eq!(
+            Frame::error(ErrorCode::Internal, None, "boom").encode_payload(),
+            rev0
+        );
+        match Frame::decode_payload(&rev0).unwrap() {
+            Frame::Error { retry, .. } => assert_eq!(retry, RetryClass::Terminal),
+            other => panic!("expected error frame, got {other:?}"),
+        }
+
+        let mut enc = Encoder::new();
+        enc.tag(TAG_HELLO);
+        enc.u64(u64::from(PROTO_VERSION));
+        enc.str("legacy");
+        enc.bool(false);
+        match Frame::decode_payload(&enc.into_bytes()).unwrap() {
+            Frame::Hello { minor, .. } => assert_eq!(minor, 0),
+            other => panic!("expected hello frame, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn future_extension_bytes_on_extensible_frames_are_ignored() {
+        // A future minor revision may append further optional fields
+        // after the revision-1 ones; this decoder must not refuse
+        // them. Non-extensible frames stay strict (pinned in
+        // semantic_invariants_are_enforced).
+        let frames = vec![
+            Frame::OpenSession {
+                id: 1,
+                vars: 1,
+                expected_len: 5,
+                resume: false,
+                deadline_ms: 100,
+                priority: PRIORITY_LOW,
+            },
+            Frame::Observe {
+                session: 1,
+                step: 1,
+                row: vec![1.0],
+                deadline_ms: 10,
+            },
+            Frame::error_after(ErrorCode::Overloaded, None, "shed", 30),
+            Frame::hello("future", None),
+        ];
+        for f in frames {
+            let mut payload = f.encode_payload();
+            payload.extend_from_slice(&[0xAB, 0xCD, 0xEF]);
+            assert_eq!(Frame::decode_payload(&payload).unwrap(), f, "{f:?}");
+        }
+    }
+
+    #[test]
+    fn old_clients_parse_retry_bearing_errors() {
+        // Accept-time shed happens before any Hello exchange, so the
+        // server cannot know the client's revision: the retry
+        // classification must ride as appended extension bytes with
+        // the base fields in their revision-0 positions. A revision-0
+        // reader stops after `message` and still gets code + session
+        // + message.
+        let payload =
+            Frame::error_after(ErrorCode::Overloaded, None, "connection cap", 50).encode_payload();
+        let mut dec = Decoder::new(&payload);
+        assert_eq!(dec.tag().unwrap(), TAG_ERROR);
+        assert_eq!(
+            ErrorCode::from_u8(dec.tag().unwrap()).unwrap(),
+            ErrorCode::Overloaded
+        );
+        assert!(!dec.bool().unwrap());
+        assert_eq!(dec.u64().unwrap(), 0);
+        assert_eq!(dec.str().unwrap(), "connection cap");
+        // ...and the extension is still there for revision-1 readers.
+        match Frame::decode_payload(&payload).unwrap() {
+            Frame::Error { retry, .. } => {
+                assert_eq!(retry, RetryClass::Retryable { retry_after_ms: 50 });
+                assert_eq!(retry.retry_after(), Some(Duration::from_millis(50)));
+            }
+            other => panic!("expected error frame, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn retry_classification_defaults_follow_the_code() {
+        assert!(ErrorCode::Overloaded.default_retry().is_retryable());
+        assert!(ErrorCode::SessionLimit.default_retry().is_retryable());
+        assert!(ErrorCode::Draining.default_retry().is_retryable());
+        assert!(!ErrorCode::BadFrame.default_retry().is_retryable());
+        assert!(!ErrorCode::Incompatible.default_retry().is_retryable());
+        assert!(!ErrorCode::Expired.default_retry().is_retryable());
+        assert_eq!(RetryClass::Terminal.retry_after(), None);
     }
 
     #[test]

@@ -125,6 +125,12 @@ pub struct RouterStats {
     pub rows_routed: u64,
     /// Shard failures recorded (dial failures, dead connections).
     pub shard_failures: u64,
+    /// Retryable overload signals from shards — placement cooled for
+    /// the hinted backoff without tripping the breaker.
+    pub shard_overloads: u64,
+    /// Sessions re-placed on another shard after a retryable refusal
+    /// (admission shed, rate limit) instead of failing the client.
+    pub sessions_requeued: u64,
     /// Shards that came back through a successful half-open probe.
     pub shard_recoveries: u64,
     /// Shard connections that closed with a `Shutdown` reason — planned
@@ -180,6 +186,8 @@ struct Cells {
     handoffs_sent: AtomicU64,
     rows_routed: AtomicU64,
     shard_failures: AtomicU64,
+    shard_overloads: AtomicU64,
+    sessions_requeued: AtomicU64,
     shard_recoveries: AtomicU64,
     planned_drains: AtomicU64,
     probes_sent: AtomicU64,
@@ -206,6 +214,8 @@ impl Cells {
             handoffs_sent: get(&self.handoffs_sent),
             rows_routed: get(&self.rows_routed),
             shard_failures: get(&self.shard_failures),
+            shard_overloads: get(&self.shard_overloads),
+            sessions_requeued: get(&self.sessions_requeued),
             shard_recoveries: get(&self.shard_recoveries),
             planned_drains: get(&self.planned_drains),
             probes_sent: get(&self.probes_sent),
@@ -241,6 +251,10 @@ struct ShardState {
     /// Retired by a swap or observed announcing a planned drain: no
     /// new placements, existing sessions keep streaming.
     draining: bool,
+    /// Placement pause after a retryable overload signal: the shard is
+    /// alive but saturated, so it keeps its sessions and its closed
+    /// breaker — it just takes no *new* work until this passes.
+    cool_until: Option<Instant>,
 }
 
 /// One backend `etsc serve` process as the router sees it.
@@ -264,6 +278,7 @@ impl Shard {
                 failures: 0,
                 backoff,
                 draining: false,
+                cool_until: None,
             }),
             placed: AtomicU64::new(0),
             resident: AtomicU64::new(0),
@@ -330,11 +345,20 @@ impl Shard {
         }
     }
 
+    /// Pauses placements for `backoff` without recording a failure:
+    /// the shard reported load, not ill health.
+    fn cool(&self, backoff: Duration) {
+        self.lock().cool_until = Some(Instant::now() + backoff);
+    }
+
     /// Placement eligibility: pass 0 takes healthy shards only, pass 1
     /// also accepts half-open probation.
     fn placeable(&self, pass: usize) -> bool {
         let st = self.lock();
         if st.draining {
+            return false;
+        }
+        if st.cool_until.is_some_and(|t| Instant::now() < t) {
             return false;
         }
         match st.circuit {
@@ -587,15 +611,13 @@ impl Router {
                 .spawn(move || {
                     accept_loop(&shared, &listener, &conns);
                     drop(span);
-                })
-                .expect("spawn router accept thread")
+                })?
         };
         let prober = {
             let shared = Arc::clone(&shared);
             std::thread::Builder::new()
                 .name("etsc-router-probe".into())
-                .spawn(move || prober_loop(&shared))
-                .expect("spawn router prober thread")
+                .spawn(move || prober_loop(&shared))?
         };
         Ok(Router {
             addr,
@@ -717,11 +739,7 @@ fn accept_loop(
                     let mut stream = stream;
                     let _ = write_frame(
                         &mut stream,
-                        &Frame::Error {
-                            code: ErrorCode::Overloaded,
-                            session: None,
-                            message: "router connection cap".to_string(),
-                        },
+                        &Frame::error(ErrorCode::Overloaded, None, "router connection cap"),
                         shared.config.max_frame_bytes,
                     );
                     continue;
@@ -737,14 +755,22 @@ fn accept_loop(
                 active.fetch_add(1, Ordering::SeqCst);
                 let shared2 = Arc::clone(shared);
                 let active2 = Arc::clone(&active);
-                let handle = std::thread::Builder::new()
+                match std::thread::Builder::new()
                     .name(format!("etsc-router-conn-{conn_id}"))
                     .spawn(move || {
                         connection_thread(&shared2, stream, conn_id);
                         active2.fetch_sub(1, Ordering::SeqCst);
-                    })
-                    .expect("spawn router connection thread");
-                conns.lock().unwrap_or_else(|e| e.into_inner()).push(handle);
+                    }) {
+                    Ok(handle) => {
+                        conns.lock().unwrap_or_else(|e| e.into_inner()).push(handle);
+                    }
+                    Err(_) => {
+                        // Thread exhaustion: the closure (and the socket
+                        // inside it) is gone, so just undo the accounting.
+                        active.fetch_sub(1, Ordering::SeqCst);
+                        shared.count(|s| &s.connections_closed, "router_connections_closed_total");
+                    }
+                }
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                 std::thread::sleep(Duration::from_millis(2));
@@ -863,8 +889,14 @@ struct Routed {
     shard: Arc<Shard>,
     vars: usize,
     expected_len: usize,
-    /// Buffered observation prefix, replayed on migration.
-    rows: Vec<Vec<f64>>,
+    /// Client-declared session deadline, preserved across migrations.
+    deadline_ms: u64,
+    /// Client-declared priority, preserved across migrations.
+    priority: u8,
+    /// Requeue attempts spent on retryable shard refusals.
+    retries: u32,
+    /// Buffered `(deadline_ms, row)` prefix, replayed on migration.
+    rows: Vec<(u64, Vec<f64>)>,
 }
 
 /// Decided sessions the router remembers so late `Feedback` frames can
@@ -941,11 +973,7 @@ impl<'r> RouterConn<'r> {
                     },
                     Ok(None) => break,
                     Err(e) => {
-                        self.send_client(&Frame::Error {
-                            code: ErrorCode::BadFrame,
-                            session: None,
-                            message: e.to_string(),
-                        });
+                        self.send_client(&Frame::error(ErrorCode::BadFrame, None, e.to_string()));
                         return "proto-error";
                     }
                 }
@@ -960,11 +988,11 @@ impl<'r> RouterConn<'r> {
                     ) =>
                 {
                     if last_activity.elapsed() > self.shared.config.idle_timeout {
-                        self.send_client(&Frame::Error {
-                            code: ErrorCode::IdleTimeout,
-                            session: None,
-                            message: format!("no frames for {:?}", self.shared.config.idle_timeout),
-                        });
+                        self.send_client(&Frame::error(
+                            ErrorCode::IdleTimeout,
+                            None,
+                            format!("no frames for {:?}", self.shared.config.idle_timeout),
+                        ));
                         return "idle-timeout";
                     }
                 }
@@ -978,32 +1006,28 @@ impl<'r> RouterConn<'r> {
         match frame {
             Frame::Hello { version, .. } => {
                 if version != PROTO_VERSION {
-                    self.send_client(&Frame::Error {
-                        code: ErrorCode::BadFrame,
-                        session: None,
-                        message: ProtoError::Version {
+                    self.send_client(&Frame::error(
+                        ErrorCode::BadFrame,
+                        None,
+                        ProtoError::Version {
                             got: version,
                             want: PROTO_VERSION,
                         }
                         .to_string(),
-                    });
+                    ));
                     return Flow::Fatal("proto-error");
                 }
                 if !self.said_hello {
                     self.said_hello = true;
                     let Some(meta) = self.shared.fetch_meta() else {
-                        self.send_client(&Frame::Error {
-                            code: ErrorCode::Overloaded,
-                            session: None,
-                            message: "no healthy shard to answer the handshake".to_string(),
-                        });
+                        self.send_client(&Frame::error(
+                            ErrorCode::Overloaded,
+                            None,
+                            "no healthy shard to answer the handshake",
+                        ));
                         return Flow::Fatal("no-shard");
                     };
-                    self.send_client(&Frame::Hello {
-                        version: PROTO_VERSION,
-                        agent: self.shared.config.agent.clone(),
-                        meta: Some(meta),
-                    });
+                    self.send_client(&Frame::hello(self.shared.config.agent.clone(), Some(meta)));
                 }
                 Flow::Continue
             }
@@ -1012,12 +1036,19 @@ impl<'r> RouterConn<'r> {
                 vars,
                 expected_len,
                 resume,
+                deadline_ms,
+                priority,
             } => {
-                self.open_session(id, vars, expected_len, resume);
+                self.open_session(id, vars, expected_len, resume, deadline_ms, priority);
                 Flow::Continue
             }
-            Frame::Observe { session, step, row } => {
-                self.observe(session, step, row);
+            Frame::Observe {
+                session,
+                step,
+                row,
+                deadline_ms,
+            } => {
+                self.observe(session, step, row, deadline_ms);
                 Flow::Continue
             }
             Frame::CloseSession { session } => {
@@ -1045,11 +1076,11 @@ impl<'r> RouterConn<'r> {
                 Flow::Drain
             }
             Frame::Decision { .. } | Frame::Error { .. } | Frame::Handoff { .. } => {
-                self.send_client(&Frame::Error {
-                    code: ErrorCode::BadFrame,
-                    session: None,
-                    message: "server-only frame from client".to_string(),
-                });
+                self.send_client(&Frame::error(
+                    ErrorCode::BadFrame,
+                    None,
+                    "server-only frame from client",
+                ));
                 Flow::Continue
             }
         }
@@ -1059,37 +1090,58 @@ impl<'r> RouterConn<'r> {
         splitmix64((self.conn_id << 32) ^ id)
     }
 
-    fn open_session(&mut self, id: u64, vars: usize, expected_len: usize, resume: bool) {
+    fn open_session(
+        &mut self,
+        id: u64,
+        vars: usize,
+        expected_len: usize,
+        resume: bool,
+        deadline_ms: u64,
+        priority: u8,
+    ) {
         if self.shared.draining.load(Ordering::SeqCst) {
-            self.send_client(&Frame::Error {
-                code: ErrorCode::Draining,
-                session: Some(id),
-                message: "router is draining".to_string(),
-            });
+            self.send_client(&Frame::error(
+                ErrorCode::Draining,
+                Some(id),
+                "router is draining",
+            ));
             return;
         }
         if self.sessions.contains_key(&id) {
-            self.send_client(&Frame::Error {
-                code: ErrorCode::BadFrame,
-                session: Some(id),
-                message: "session id already open".to_string(),
-            });
+            self.send_client(&Frame::error(
+                ErrorCode::BadFrame,
+                Some(id),
+                "session id already open",
+            ));
             return;
         }
         self.finished.remove(&id);
         let mut exclude = HashSet::new();
         let Some(addr) = self.pick_and_connect(self.session_key(id), &mut exclude) else {
-            self.send_client(&Frame::Error {
-                code: ErrorCode::Overloaded,
-                session: Some(id),
-                message: "no healthy shard available".to_string(),
-            });
+            self.send_client(&Frame::error(
+                ErrorCode::Overloaded,
+                Some(id),
+                "no healthy shard available",
+            ));
             self.shared
                 .count(|s| &s.sessions_failed, "router_sessions_failed_total");
             self.finished.insert(id);
             return;
         };
-        let shard = Arc::clone(&self.upstreams[&addr].shard);
+        let Some(up) = self.upstreams.get(&addr) else {
+            // pick_and_connect only returns connected addresses; if the
+            // entry is gone anyway, treat it like no shard at all.
+            self.send_client(&Frame::error(
+                ErrorCode::Overloaded,
+                Some(id),
+                "no healthy shard available",
+            ));
+            self.shared
+                .count(|s| &s.sessions_failed, "router_sessions_failed_total");
+            self.finished.insert(id);
+            return;
+        };
+        let shard = Arc::clone(&up.shard);
         shard.placed.fetch_add(1, Ordering::SeqCst);
         shard.resident.fetch_add(1, Ordering::SeqCst);
         self.sessions.insert(
@@ -1099,6 +1151,9 @@ impl<'r> RouterConn<'r> {
                 shard,
                 vars,
                 expected_len,
+                deadline_ms,
+                priority,
+                retries: 0,
                 rows: Vec::new(),
             },
         );
@@ -1117,6 +1172,8 @@ impl<'r> RouterConn<'r> {
                     vars,
                     expected_len,
                     resume,
+                    deadline_ms,
+                    priority,
                 },
             )
             .is_err()
@@ -1127,24 +1184,32 @@ impl<'r> RouterConn<'r> {
         }
     }
 
-    fn observe(&mut self, session: u64, step: u64, row: Vec<f64>) {
+    fn observe(&mut self, session: u64, step: u64, row: Vec<f64>, deadline_ms: u64) {
         if self.finished.contains(&session) {
             return; // late frame for a decided/abandoned session
         }
         let Some(routed) = self.sessions.get_mut(&session) else {
-            self.send_client(&Frame::Error {
-                code: ErrorCode::UnknownSession,
-                session: Some(session),
-                message: format!("observe for session {session} which was never opened"),
-            });
+            self.send_client(&Frame::error(
+                ErrorCode::UnknownSession,
+                Some(session),
+                format!("observe for session {session} which was never opened"),
+            ));
             return;
         };
-        routed.rows.push(row.clone());
+        routed.rows.push((deadline_ms, row.clone()));
         let addr = routed.addr.clone();
         self.shared
             .count(|s| &s.rows_routed, "router_rows_routed_total");
         if self
-            .send_upstream(&addr, &Frame::Observe { session, step, row })
+            .send_upstream(
+                &addr,
+                &Frame::Observe {
+                    session,
+                    step,
+                    row,
+                    deadline_ms,
+                },
+            )
             .is_err()
         {
             self.upstream_dead(&addr);
@@ -1157,11 +1222,11 @@ impl<'r> RouterConn<'r> {
     /// structured error, never a teardown.
     fn feedback(&mut self, session: u64, label: u64) {
         let Some(addr) = self.decided_addr.remove(&session) else {
-            self.send_client(&Frame::Error {
-                code: ErrorCode::UnknownSession,
-                session: Some(session),
-                message: format!("feedback for session {session} with no decision on this router"),
-            });
+            self.send_client(&Frame::error(
+                ErrorCode::UnknownSession,
+                Some(session),
+                format!("feedback for session {session} with no decision on this router"),
+            ));
             return;
         };
         if self
@@ -1169,11 +1234,11 @@ impl<'r> RouterConn<'r> {
             .is_err()
         {
             self.upstream_dead(&addr);
-            self.send_client(&Frame::Error {
-                code: ErrorCode::UnknownSession,
-                session: Some(session),
-                message: "deciding shard is gone; feedback dropped".to_string(),
-            });
+            self.send_client(&Frame::error(
+                ErrorCode::UnknownSession,
+                Some(session),
+                "deciding shard is gone; feedback dropped",
+            ));
             return;
         }
         self.shared
@@ -1296,8 +1361,9 @@ impl<'r> RouterConn<'r> {
             Frame::Decision { session, .. } => {
                 let owned = self.sessions.get(&session).is_some_and(|r| r.addr == addr);
                 if owned {
-                    let routed = self.sessions.remove(&session).expect("session present");
-                    routed.shard.resident.fetch_sub(1, Ordering::SeqCst);
+                    if let Some(routed) = self.sessions.remove(&session) {
+                        routed.shard.resident.fetch_sub(1, Ordering::SeqCst);
+                    }
                     self.finished.insert(session);
                     // Remember who decided so late feedback finds the
                     // shard whose reservoir should learn from it.
@@ -1314,12 +1380,27 @@ impl<'r> RouterConn<'r> {
                 }
             }
             Frame::Error {
-                session: Some(id), ..
+                session: Some(id),
+                code,
+                retry,
+                ..
             } => {
                 let owned = self.sessions.get(&id).is_some_and(|r| r.addr == addr);
                 if owned {
-                    let routed = self.sessions.remove(&id).expect("session present");
-                    routed.shard.resident.fetch_sub(1, Ordering::SeqCst);
+                    // A load-induced refusal of work the shard never
+                    // processed (admission shed, rate limit) is the
+                    // router's to absorb: re-place the session on a
+                    // sibling shard instead of bouncing the overload
+                    // back to the client.
+                    let requeueable = retry.is_retryable()
+                        && matches!(code, ErrorCode::Overloaded | ErrorCode::SessionLimit)
+                        && self.sessions.get(&id).is_some_and(|r| r.retries == 0);
+                    if requeueable && self.requeue_session(id, addr) {
+                        return;
+                    }
+                    if let Some(routed) = self.sessions.remove(&id) {
+                        routed.shard.resident.fetch_sub(1, Ordering::SeqCst);
+                    }
                     self.finished.insert(id);
                     self.shared
                         .count(|s| &s.sessions_failed, "router_sessions_failed_total");
@@ -1354,10 +1435,35 @@ impl<'r> RouterConn<'r> {
                     self.shared.cache_meta(&meta);
                 }
             }
-            Frame::Error { session: None, .. } => {
-                // Connection-fatal shard error: treat the upstream as
-                // dead and migrate its sessions.
-                self.upstream_dead(addr);
+            Frame::Error {
+                session: None,
+                retry,
+                ..
+            } => {
+                if retry.is_retryable() {
+                    // Connection-scoped overload signal: the shard is
+                    // alive but saturated. Pause placements for the
+                    // hinted backoff instead of declaring it dead and
+                    // migrating its in-flight sessions.
+                    let hint = retry
+                        .retry_after()
+                        .filter(|d| !d.is_zero())
+                        .unwrap_or(self.shared.config.breaker_backoff);
+                    if let Some(up) = self.upstreams.get(addr) {
+                        up.shard.cool(hint);
+                    }
+                    self.shared
+                        .count(|s| &s.shard_overloads, "router_shard_overloads_total");
+                    self.shared.config.obs.tracer.event_under(
+                        "router.shard.overload",
+                        self.shared.serve_span,
+                        &[("addr", addr), ("cool_ms", &hint.as_millis().to_string())],
+                    );
+                } else {
+                    // Terminal connection-fatal shard error: treat the
+                    // upstream as dead and migrate its sessions.
+                    self.upstream_dead(addr);
+                }
             }
             // Client-only frames from a server: ignore.
             Frame::OpenSession { .. }
@@ -1470,14 +1576,49 @@ impl<'r> RouterConn<'r> {
         }
     }
 
+    /// Re-places a session refused by `refused_by` for load reasons on
+    /// a sibling shard, replaying its buffered prefix. Returns `true`
+    /// when the session found a new home.
+    fn requeue_session(&mut self, id: u64, refused_by: &str) -> bool {
+        if let Some(routed) = self.sessions.get_mut(&id) {
+            routed.retries += 1;
+        }
+        let mut exclude = HashSet::new();
+        exclude.insert(refused_by.to_string());
+        let Some(new_addr) = self.pick_and_connect(self.session_key(id), &mut exclude) else {
+            return false;
+        };
+        if self.replay_to(id, refused_by, &new_addr).is_err() {
+            return false;
+        }
+        self.shared
+            .count(|s| &s.sessions_requeued, "router_sessions_requeued_total");
+        self.shared.config.obs.tracer.event_under(
+            "router.session.requeue",
+            self.shared.serve_span,
+            &[
+                ("session", &id.to_string()),
+                ("from", refused_by),
+                ("to", &new_addr),
+            ],
+        );
+        true
+    }
+
     /// Moves session `id` from `origin` to `new_addr`: handoff
     /// announcement, resume open, buffered-prefix replay, accounting.
     fn replay_to(&mut self, id: u64, origin: &str, new_addr: &str) -> Result<(), ()> {
-        let (vars, expected_len, rows, old_shard) = {
-            let routed = self.sessions.get(&id).expect("session present");
+        let (vars, expected_len, deadline_ms, priority, rows, old_shard) = {
+            let Some(routed) = self.sessions.get(&id) else {
+                // Caller guarantees presence; nothing to move if the
+                // session vanished anyway.
+                return Ok(());
+            };
             (
                 routed.vars,
                 routed.expected_len,
+                routed.deadline_ms,
+                routed.priority,
                 routed.rows.clone(),
                 Arc::clone(&routed.shard),
             )
@@ -1499,24 +1640,32 @@ impl<'r> RouterConn<'r> {
                 vars,
                 expected_len,
                 resume: true,
+                deadline_ms,
+                priority,
             },
         )?;
-        for (i, row) in rows.iter().enumerate() {
+        for (i, (row_deadline_ms, row)) in rows.iter().enumerate() {
             self.send_upstream(
                 new_addr,
                 &Frame::Observe {
                     session: id,
                     step: i as u64 + 1,
                     row: row.clone(),
+                    deadline_ms: *row_deadline_ms,
                 },
             )?;
         }
-        let new_shard = Arc::clone(&self.upstreams[new_addr].shard);
+        let Some(new_up) = self.upstreams.get(new_addr) else {
+            return Err(());
+        };
+        let new_shard = Arc::clone(&new_up.shard);
         old_shard.resident.fetch_sub(1, Ordering::SeqCst);
         old_shard.migrated_off.fetch_add(1, Ordering::SeqCst);
         new_shard.placed.fetch_add(1, Ordering::SeqCst);
         new_shard.resident.fetch_add(1, Ordering::SeqCst);
-        let routed = self.sessions.get_mut(&id).expect("session present");
+        let Some(routed) = self.sessions.get_mut(&id) else {
+            return Ok(());
+        };
         routed.addr = new_addr.to_string();
         routed.shard = new_shard;
         self.shared
@@ -1543,11 +1692,7 @@ impl<'r> RouterConn<'r> {
         self.finished.insert(id);
         self.shared
             .count(|s| &s.sessions_failed, "router_sessions_failed_total");
-        self.send_client(&Frame::Error {
-            code,
-            session: Some(id),
-            message: message.to_string(),
-        });
+        self.send_client(&Frame::error(code, Some(id), message));
     }
 
     /// Router drain: forward the drain to every upstream, pump their
@@ -1567,11 +1712,11 @@ impl<'r> RouterConn<'r> {
         for id in leftover {
             self.fail_session(id, ErrorCode::Draining, "router drained without an answer");
         }
-        self.send_client(&Frame::Error {
-            code: ErrorCode::Shutdown,
-            session: None,
-            message: "router drain complete".to_string(),
-        });
+        self.send_client(&Frame::error(
+            ErrorCode::Shutdown,
+            None,
+            "router drain complete",
+        ));
         self.send_client(&Frame::Shutdown);
     }
 

@@ -16,9 +16,9 @@
 
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::io::Write as _;
-use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::net::{IpAddr, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -27,12 +27,52 @@ use etsc_adapt::{FeedbackEvent, FeedbackSink};
 use etsc_eval::experiment::RunConfig;
 use etsc_eval::faults::{FaultPlan, FaultSchedule};
 use etsc_obs::Obs;
-use etsc_serve::{Backpressure, DeadlineConfig, FallbackKind, StoredModel, StreamSession};
+use etsc_serve::{
+    Backpressure, BrownoutConfig, BrownoutController, BrownoutLevel, CodelConfig, CodelController,
+    DeadlineConfig, FallbackKind, FallbackPolicy, PressureSensor, StoredModel, StreamSession,
+    TokenBucket,
+};
 
 use crate::proto::{
     encode_frame, DecisionKind, ErrorCode, Frame, FrameDecoder, ModelInfo, ProtoError,
-    MAX_FRAME_BYTES, MAX_PENDING_FRAMES, PROTO_VERSION,
+    MAX_FRAME_BYTES, MAX_PENDING_FRAMES, PRIORITY_LOW, PROTO_VERSION,
 };
+
+/// Overload-admission knobs: per-client token buckets on session
+/// opens, CoDel-style adaptive admission keyed on measured frame
+/// sojourn, and the brownout degradation ladder. `None` in
+/// [`ServerConfig::admission`] keeps the pre-admission behaviour
+/// (static caps only).
+#[derive(Clone)]
+pub struct AdmissionConfig {
+    /// Session opens per second each client IP may sustain.
+    pub open_rate: f64,
+    /// Opens a client may burst above the sustained rate.
+    pub open_burst: f64,
+    /// Adaptive admission over measured frame-handling sojourn.
+    pub codel: CodelConfig,
+    /// Brownout ladder hysteresis.
+    pub brownout: BrownoutConfig,
+    /// How often the brownout controller samples peak pressure.
+    pub brownout_poll: Duration,
+    /// Per-decision deadline forced on new sessions at brownout level
+    /// `Tightened` and deeper (min'd with any configured or
+    /// client-propagated deadline).
+    pub tightened_deadline: Duration,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> AdmissionConfig {
+        AdmissionConfig {
+            open_rate: 200.0,
+            open_burst: 50.0,
+            codel: CodelConfig::default(),
+            brownout: BrownoutConfig::default(),
+            brownout_poll: Duration::from_millis(50),
+            tightened_deadline: Duration::from_millis(10),
+        }
+    }
+}
 
 /// Tuning knobs for [`NetServer`].
 #[derive(Clone)]
@@ -64,6 +104,9 @@ pub struct ServerConfig {
     /// delivered — typically an `etsc_adapt::Adapter`. `None` grades
     /// feedback for the counters but retains nothing.
     pub feedback: Option<Arc<dyn FeedbackSink>>,
+    /// Overload controllers (token buckets, CoDel admission, brownout
+    /// ladder); `None` disables adaptive admission entirely.
+    pub admission: Option<AdmissionConfig>,
     /// Tracing + metrics sink.
     pub obs: Obs,
 }
@@ -82,6 +125,7 @@ impl Default for ServerConfig {
             faults: None,
             fault_horizon: 0,
             feedback: None,
+            admission: None,
             obs: Obs::disabled(),
         }
     }
@@ -130,6 +174,18 @@ pub struct ServerStats {
     pub frames_unknown: u64,
     /// Hot-swaps committed by [`NetServer::reload`].
     pub model_swaps: u64,
+    /// Session opens refused by adaptive admission (CoDel shed or
+    /// brownout low-priority shed) — answered with a retryable error.
+    pub sessions_shed: u64,
+    /// Session opens refused by a per-client token bucket.
+    pub sessions_rate_limited: u64,
+    /// Observations whose propagated deadline had already lapsed at
+    /// handling time: evaluation skipped, session failed `Expired`.
+    pub observations_expired: u64,
+    /// Decisions forced early by the brownout `DecideNow` rung.
+    pub decisions_degraded: u64,
+    /// Brownout ladder transitions (either direction).
+    pub brownout_transitions: u64,
 }
 
 impl ServerStats {
@@ -162,6 +218,11 @@ struct StatsCells {
     feedback_received: AtomicU64,
     frames_unknown: AtomicU64,
     model_swaps: AtomicU64,
+    sessions_shed: AtomicU64,
+    sessions_rate_limited: AtomicU64,
+    observations_expired: AtomicU64,
+    decisions_degraded: AtomicU64,
+    brownout_transitions: AtomicU64,
 }
 
 impl StatsCells {
@@ -186,6 +247,11 @@ impl StatsCells {
             feedback_received: get(&self.feedback_received),
             frames_unknown: get(&self.frames_unknown),
             model_swaps: get(&self.model_swaps),
+            sessions_shed: get(&self.sessions_shed),
+            sessions_rate_limited: get(&self.sessions_rate_limited),
+            observations_expired: get(&self.observations_expired),
+            decisions_degraded: get(&self.decisions_degraded),
+            brownout_transitions: get(&self.brownout_transitions),
         }
     }
 }
@@ -223,9 +289,44 @@ impl Generation {
     }
 }
 
+/// Shared overload controllers: one CoDel loop and one brownout
+/// ladder for the whole server, one token bucket per client IP.
+struct AdmissionState {
+    cfg: AdmissionConfig,
+    codel: Mutex<CodelController>,
+    buckets: Mutex<HashMap<IpAddr, TokenBucket>>,
+    pressure: PressureSensor,
+    /// Ladder controller plus the last time it sampled pressure.
+    brownout: Mutex<(BrownoutController, Instant)>,
+    level: AtomicU8,
+}
+
+impl AdmissionState {
+    fn new(cfg: AdmissionConfig) -> AdmissionState {
+        AdmissionState {
+            codel: Mutex::new(CodelController::new(cfg.codel)),
+            brownout: Mutex::new((BrownoutController::new(cfg.brownout), Instant::now())),
+            buckets: Mutex::new(HashMap::new()),
+            pressure: PressureSensor::new(),
+            level: AtomicU8::new(BrownoutLevel::Normal.as_u8()),
+            cfg,
+        }
+    }
+}
+
+/// How an `OpenSession` fared against the admission controllers.
+enum OpenVerdict {
+    Admit,
+    /// Per-client token bucket dry; retry after the hinted backoff.
+    RateLimited(Duration),
+    /// CoDel or brownout shed; retry after the hinted backoff.
+    Shed(Duration),
+}
+
 struct Shared {
     gen: RwLock<Arc<Generation>>,
     config: ServerConfig,
+    admission: Option<AdmissionState>,
     draining: AtomicBool,
     killed: AtomicBool,
     session_seq: AtomicU64,
@@ -243,6 +344,83 @@ impl Shared {
     /// The generation new connections will pin.
     fn current_gen(&self) -> Arc<Generation> {
         Arc::clone(&self.gen.read().unwrap_or_else(|e| e.into_inner()))
+    }
+
+    /// Current brownout rung (Normal when admission is off).
+    fn brownout_level(&self) -> BrownoutLevel {
+        self.admission
+            .as_ref()
+            .map_or(BrownoutLevel::Normal, |adm| {
+                BrownoutLevel::from_u8(adm.level.load(Ordering::SeqCst))
+            })
+    }
+
+    /// Feeds one measured frame sojourn to the CoDel loop and, at the
+    /// configured poll cadence, lets the brownout controller walk the
+    /// ladder on the peak pressure since its last look.
+    fn record_pressure(&self, sojourn: Duration) {
+        let Some(adm) = &self.admission else { return };
+        adm.pressure.record(sojourn);
+        {
+            let now = Instant::now();
+            let mut codel = adm.codel.lock().unwrap_or_else(|e| e.into_inner());
+            codel.record_sojourn(sojourn, now);
+        }
+        let mut guard = adm.brownout.lock().unwrap_or_else(|e| e.into_inner());
+        if guard.1.elapsed() < adm.cfg.brownout_poll {
+            return;
+        }
+        guard.1 = Instant::now();
+        let peak = adm.pressure.drain();
+        if let Some((from, to)) = guard.0.observe(peak) {
+            adm.level.store(to.as_u8(), Ordering::SeqCst);
+            self.count(
+                |s| &s.brownout_transitions,
+                "net_brownout_transitions_total",
+            );
+            self.config
+                .obs
+                .metrics
+                .gauge("net_brownout_level")
+                .set(f64::from(to.as_u8()));
+            self.config.obs.tracer.event_under(
+                "net.brownout",
+                self.serve_span,
+                &[
+                    ("from", from.name()),
+                    ("to", to.name()),
+                    ("pressure_ms", &peak.as_millis().to_string()),
+                ],
+            );
+        }
+    }
+
+    /// Runs one `OpenSession` through the admission controllers:
+    /// brownout low-priority shed, then the client's token bucket,
+    /// then CoDel. Always admits when admission is off.
+    fn admit_open(&self, peer: Option<IpAddr>, priority: u8) -> OpenVerdict {
+        let Some(adm) = &self.admission else {
+            return OpenVerdict::Admit;
+        };
+        if self.brownout_level() >= BrownoutLevel::ShedLowPriority && priority == PRIORITY_LOW {
+            return OpenVerdict::Shed(adm.cfg.codel.interval);
+        }
+        if let Some(ip) = peer {
+            // One bucket per client IP; loadgen-scale peer sets are
+            // small, so the map is left to grow with distinct clients.
+            let mut buckets = adm.buckets.lock().unwrap_or_else(|e| e.into_inner());
+            let bucket = buckets
+                .entry(ip)
+                .or_insert_with(|| TokenBucket::new(adm.cfg.open_rate, adm.cfg.open_burst));
+            if !bucket.try_acquire(Instant::now()) {
+                return OpenVerdict::RateLimited(bucket.retry_after());
+            }
+        }
+        let mut codel = adm.codel.lock().unwrap_or_else(|e| e.into_inner());
+        if !codel.admit(Instant::now()) {
+            return OpenVerdict::Shed(adm.cfg.codel.interval);
+        }
+        OpenVerdict::Admit
     }
 }
 
@@ -283,9 +461,11 @@ impl NetServer {
             .as_ref()
             .filter(|_| config.fault_horizon > 0)
             .map(|plan| plan.schedule(&vec![1; config.fault_horizon]));
+        let admission = config.admission.clone().map(AdmissionState::new);
         let shared = Arc::new(Shared {
             gen: RwLock::new(Arc::new(generation)),
             config,
+            admission,
             draining: AtomicBool::new(false),
             killed: AtomicBool::new(false),
             session_seq: AtomicU64::new(0),
@@ -302,8 +482,7 @@ impl NetServer {
                 .spawn(move || {
                     accept_loop(&shared, &listener, &conns);
                     drop(span);
-                })
-                .expect("spawn accept thread")
+                })?
         };
         Ok(NetServer {
             addr,
@@ -437,14 +616,24 @@ fn accept_loop(
                 active.fetch_add(1, Ordering::SeqCst);
                 let shared2 = Arc::clone(shared);
                 let active2 = Arc::clone(&active);
-                let handle = std::thread::Builder::new()
+                let spawned = std::thread::Builder::new()
                     .name(format!("etsc-net-conn-{conn_id}"))
                     .spawn(move || {
                         connection_thread(&shared2, stream, conn_id);
                         active2.fetch_sub(1, Ordering::SeqCst);
-                    })
-                    .expect("spawn connection thread");
-                conns.lock().unwrap_or_else(|e| e.into_inner()).push(handle);
+                    });
+                match spawned {
+                    Ok(handle) => {
+                        conns.lock().unwrap_or_else(|e| e.into_inner()).push(handle);
+                    }
+                    Err(_) => {
+                        // Thread exhaustion: the closure (and the
+                        // socket inside it) is gone, so undo the
+                        // occupancy and account the connection closed.
+                        active.fetch_sub(1, Ordering::SeqCst);
+                        shared.count(|s| &s.connections_closed, "net_connections_closed_total");
+                    }
+                }
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                 std::thread::sleep(Duration::from_millis(2));
@@ -454,13 +643,11 @@ fn accept_loop(
     }
 }
 
-/// Refuses a connection at accept time with a best-effort error frame.
+/// Refuses a connection at accept time with a best-effort error frame
+/// carrying the code's retry classification, so clients know whether
+/// (and roughly when) a reconnect is worth attempting.
 fn shed_connection(shared: &Shared, mut stream: TcpStream, code: ErrorCode, why: &str) {
-    let frame = Frame::Error {
-        code,
-        session: None,
-        message: why.to_string(),
-    };
+    let frame = Frame::error(code, None, why);
     if let Ok(wire) = encode_frame(&frame, shared.config.max_frame_bytes) {
         let _ = stream.set_write_timeout(Some(Duration::from_millis(100)));
         let _ = stream.write_all(&wire);
@@ -485,7 +672,7 @@ struct Writer {
 }
 
 impl Writer {
-    fn spawn(shared: Arc<Shared>, mut stream: TcpStream, conn_id: u64) -> Writer {
+    fn spawn(shared: Arc<Shared>, mut stream: TcpStream, conn_id: u64) -> std::io::Result<Writer> {
         let queue = Arc::new(OutQueue {
             frames: Mutex::new((Vec::new(), false)),
             not_empty: Condvar::new(),
@@ -529,9 +716,8 @@ impl Writer {
                     write_hist.record(started.elapsed().as_secs_f64());
                 }
                 let _ = stream.flush();
-            })
-            .expect("spawn writer thread");
-        Writer { queue, handle }
+            })?;
+        Ok(Writer { queue, handle })
     }
 
     /// Queues one encoded frame, honouring the backpressure policy.
@@ -543,7 +729,10 @@ impl Writer {
         let mut guard = self.queue.frames.lock().unwrap_or_else(|e| e.into_inner());
         while guard.0.len() >= self.queue.cap && !guard.1 {
             match policy {
-                Backpressure::Shed => {
+                // The outbound queue has no sojourn signal of its own;
+                // adaptive admission governs ingress, so a full writer
+                // queue under `Adaptive` sheds like `Shed`.
+                Backpressure::Shed | Backpressure::Adaptive(_) => {
                     shared.count(|s| &s.frames_shed, "net_frames_shed_total");
                     return false;
                 }
@@ -591,6 +780,21 @@ struct Conn<'m> {
     gen: &'m Generation,
     writer: Writer,
     conn_id: u64,
+    /// Client IP, the token-bucket key (None for unnamed peers).
+    peer: Option<IpAddr>,
+    /// When the bytes of the frame batch currently being handled
+    /// landed — the epoch propagated deadlines are measured against.
+    read_at: Instant,
+    /// The pressure epoch: bytes already waiting when the previous
+    /// batch finished handling arrived *during* that handling, so
+    /// their queue sojourn is measured from the previous read — not
+    /// from the moment the reader finally got to them. Reset to "now"
+    /// only after the reader has observed an empty queue. Without
+    /// this, the first frame of every batch reads as a zero sojourn
+    /// and a standing queue never shows up in the admission signal.
+    read_epoch: Instant,
+    /// Whether the last read attempt found the inbound queue empty.
+    idle: bool,
     sessions: HashMap<u64, SessionEntry<'m>>,
     /// Ids that reached a terminal state; late frames for them are
     /// ignored rather than UnknownSession errors.
@@ -643,8 +847,12 @@ impl CloseReason {
 fn connection_thread(shared: &Arc<Shared>, stream: TcpStream, conn_id: u64) {
     let _ = stream.set_nodelay(true);
     let _ = stream.set_read_timeout(Some(shared.config.read_poll));
-    let writer = match stream.try_clone() {
-        Ok(w) => Writer::spawn(Arc::clone(shared), w, conn_id),
+    let peer = stream.peer_addr().ok().map(|a| a.ip());
+    let writer = match stream
+        .try_clone()
+        .and_then(|w| Writer::spawn(Arc::clone(shared), w, conn_id))
+    {
+        Ok(w) => w,
         Err(_) => {
             shared.count(|s| &s.connections_closed, "net_connections_closed_total");
             return;
@@ -659,6 +867,10 @@ fn connection_thread(shared: &Arc<Shared>, stream: TcpStream, conn_id: u64) {
         gen: generation.as_ref(),
         writer,
         conn_id,
+        peer,
+        read_at: Instant::now(),
+        read_epoch: Instant::now(),
+        idle: false,
         sessions: HashMap::new(),
         finished: HashSet::new(),
         decided: HashMap::new(),
@@ -693,6 +905,7 @@ impl<'m> Conn<'m> {
         let obs = &shared.config.obs;
         let observe_hist = obs.metrics.histogram("net_handle_observe_seconds");
         let open_hist = obs.metrics.histogram("net_handle_open_seconds");
+        let sojourn_hist = obs.metrics.histogram("net_frame_sojourn_seconds");
         let mut dec = FrameDecoder::new(shared.config.max_frame_bytes);
         let mut last_activity = Instant::now();
         let mut said_hello = false;
@@ -725,9 +938,17 @@ impl<'m> Conn<'m> {
                             Handled::Ok => {}
                             Handled::Observe => {
                                 observe_hist.record(started.elapsed().as_secs_f64());
+                                // Sojourn: time since this frame's bytes
+                                // landed (pressure epoch), including the
+                                // wait behind earlier frames of the same
+                                // busy period.
+                                let sojourn = self.read_epoch.elapsed();
+                                sojourn_hist.record(sojourn.as_secs_f64());
+                                shared.record_pressure(sojourn);
                             }
                             Handled::Open => {
                                 open_hist.record(started.elapsed().as_secs_f64());
+                                shared.record_pressure(self.read_epoch.elapsed());
                             }
                             Handled::Drain => {
                                 self.drain();
@@ -746,38 +967,40 @@ impl<'m> Conn<'m> {
                         // serving instead of tearing the session table
                         // down with the connection.
                         shared.count(|s| &s.frames_unknown, "net_frames_unknown_total");
-                        self.send(Frame::Error {
-                            code: ErrorCode::BadFrame,
-                            session: None,
-                            message: format!("unknown frame tag {tag} (newer protocol?)"),
-                        });
+                        self.send(Frame::error(
+                            ErrorCode::BadFrame,
+                            None,
+                            format!("unknown frame tag {tag} (newer protocol?)"),
+                        ));
                     }
                     Err(e) => {
                         shared.count(|s| &s.proto_errors, "net_proto_errors_total");
-                        self.send(Frame::Error {
-                            code: ErrorCode::BadFrame,
-                            session: None,
-                            message: e.to_string(),
-                        });
+                        self.send(Frame::error(ErrorCode::BadFrame, None, e.to_string()));
                         return CloseReason::Proto(e);
                     }
                 }
             }
             match dec.read_from(&mut stream) {
                 Ok(0) => return CloseReason::Eof,
-                Ok(_) => {}
+                Ok(_) => {
+                    let now = Instant::now();
+                    self.read_epoch = if self.idle { now } else { self.read_at };
+                    self.read_at = now;
+                    self.idle = false;
+                }
                 Err(ProtoError::Io(e))
                     if matches!(
                         e.kind(),
                         std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
                     ) =>
                 {
+                    self.idle = true;
                     if last_activity.elapsed() > shared.config.idle_timeout {
-                        self.send(Frame::Error {
-                            code: ErrorCode::IdleTimeout,
-                            session: None,
-                            message: format!("no frames for {:?}", shared.config.idle_timeout),
-                        });
+                        self.send(Frame::error(
+                            ErrorCode::IdleTimeout,
+                            None,
+                            format!("no frames for {:?}", shared.config.idle_timeout),
+                        ));
                         return CloseReason::IdleTimeout;
                     }
                 }
@@ -792,15 +1015,15 @@ impl<'m> Conn<'m> {
             Frame::Hello { version, .. } => {
                 if version != PROTO_VERSION {
                     shared.count(|s| &s.proto_errors, "net_proto_errors_total");
-                    self.send(Frame::Error {
-                        code: ErrorCode::BadFrame,
-                        session: None,
-                        message: ProtoError::Version {
+                    self.send(Frame::error(
+                        ErrorCode::BadFrame,
+                        None,
+                        ProtoError::Version {
                             got: version,
                             want: PROTO_VERSION,
                         }
                         .to_string(),
-                    });
+                    ));
                     return Handled::Fatal(CloseReason::Proto(ProtoError::Version {
                         got: version,
                         want: PROTO_VERSION,
@@ -808,11 +1031,7 @@ impl<'m> Conn<'m> {
                 }
                 if !*said_hello {
                     *said_hello = true;
-                    self.send(Frame::Hello {
-                        version: PROTO_VERSION,
-                        agent: "etsc-net-server".to_string(),
-                        meta: Some(self.gen.info.clone()),
-                    });
+                    self.send(Frame::hello("etsc-net-server", Some(self.gen.info.clone())));
                 }
                 Handled::Ok
             }
@@ -821,12 +1040,19 @@ impl<'m> Conn<'m> {
                 vars,
                 expected_len,
                 resume,
+                deadline_ms,
+                priority,
             } => {
-                self.open_session(id, vars, expected_len, resume);
+                self.open_session(id, vars, expected_len, resume, deadline_ms, priority);
                 Handled::Open
             }
-            Frame::Observe { session, step, row } => {
-                self.observe(session, step, &row);
+            Frame::Observe {
+                session,
+                step,
+                row,
+                deadline_ms,
+            } => {
+                self.observe(session, step, &row, deadline_ms);
                 Handled::Observe
             }
             Frame::CloseSession { session } => {
@@ -866,54 +1092,97 @@ impl<'m> Conn<'m> {
                 Handled::Drain
             }
             Frame::Decision { .. } | Frame::Error { .. } => {
-                self.send(Frame::Error {
-                    code: ErrorCode::BadFrame,
-                    session: None,
-                    message: "server-only frame from client".to_string(),
-                });
+                self.send(Frame::error(
+                    ErrorCode::BadFrame,
+                    None,
+                    "server-only frame from client",
+                ));
                 Handled::Ok
             }
         }
     }
 
-    fn open_session(&mut self, id: u64, vars: usize, expected_len: usize, resume: bool) {
+    fn open_session(
+        &mut self,
+        id: u64,
+        vars: usize,
+        expected_len: usize,
+        resume: bool,
+        deadline_ms: u64,
+        priority: u8,
+    ) {
         let shared = self.shared;
         if shared.draining.load(Ordering::SeqCst) {
-            self.send(Frame::Error {
-                code: ErrorCode::Draining,
-                session: Some(id),
-                message: "server is draining".to_string(),
-            });
+            self.send(Frame::error(
+                ErrorCode::Draining,
+                Some(id),
+                "server is draining",
+            ));
             return;
         }
+        match shared.admit_open(self.peer, priority) {
+            OpenVerdict::Admit => {}
+            OpenVerdict::RateLimited(after) => {
+                shared.count(
+                    |s| &s.sessions_rate_limited,
+                    "net_sessions_rate_limited_total",
+                );
+                self.send(Frame::error_after(
+                    ErrorCode::Overloaded,
+                    Some(id),
+                    "per-client open rate limit",
+                    after.as_millis().max(1) as u64,
+                ));
+                return;
+            }
+            OpenVerdict::Shed(after) => {
+                shared.count(|s| &s.sessions_shed, "net_sessions_shed_total");
+                shared.config.obs.tracer.event_under(
+                    "net.session.shed",
+                    shared.serve_span,
+                    &[
+                        ("conn", &self.conn_id.to_string()),
+                        ("session", &id.to_string()),
+                        ("level", shared.brownout_level().name()),
+                    ],
+                );
+                self.send(Frame::error_after(
+                    ErrorCode::Overloaded,
+                    Some(id),
+                    "admission control shed",
+                    after.as_millis().max(1) as u64,
+                ));
+                return;
+            }
+        }
         if self.sessions.len() >= shared.config.max_sessions_per_conn {
-            self.send(Frame::Error {
-                code: ErrorCode::SessionLimit,
-                session: Some(id),
-                message: format!(
+            self.send(Frame::error(
+                ErrorCode::SessionLimit,
+                Some(id),
+                format!(
                     "connection already has {} open sessions",
                     self.sessions.len()
                 ),
-            });
+            ));
             return;
         }
         if vars != self.gen.info.vars {
-            self.send(Frame::Error {
-                code: ErrorCode::Incompatible,
-                session: Some(id),
-                message: format!(
+            self.send(Frame::error(
+                ErrorCode::Incompatible,
+                Some(id),
+                format!(
                     "model expects {} variables, session declares {vars}",
                     self.gen.info.vars
                 ),
-            });
+            ));
             return;
         }
         if self.sessions.contains_key(&id) {
-            self.send(Frame::Error {
-                code: ErrorCode::BadFrame,
-                session: Some(id),
-                message: "session id already open".to_string(),
-            });
+            self.send(Frame::error(
+                ErrorCode::BadFrame,
+                Some(id),
+                "session id already open",
+            ));
             return;
         }
         // A resume makes the id live again.
@@ -926,15 +1195,11 @@ impl<'m> Conn<'m> {
         ) {
             Ok(s) => s,
             Err(e) => {
-                self.send(Frame::Error {
-                    code: ErrorCode::Internal,
-                    session: Some(id),
-                    message: e.to_string(),
-                });
+                self.send(Frame::error(ErrorCode::Internal, Some(id), e.to_string()));
                 return;
             }
         };
-        session.set_deadline(shared.config.deadline);
+        session.set_deadline(self.effective_deadline(deadline_ms));
         let seq = shared.session_seq.fetch_add(1, Ordering::SeqCst);
         self.sessions.insert(id, SessionEntry { session, seq });
         if resume {
@@ -944,17 +1209,50 @@ impl<'m> Conn<'m> {
         }
     }
 
-    fn observe(&mut self, id: u64, step: u64, row: &[f64]) {
+    /// The per-decision deadline a new session is armed with: the
+    /// tightest of the configured deadline, the client's propagated
+    /// `deadline_ms`, and the brownout tightened deadline (when the
+    /// ladder is at `Tightened` or deeper). Client- and
+    /// brownout-imposed deadlines decide-now on breach — a degraded
+    /// best-effort answer beats a late one under pressure.
+    fn effective_deadline(&self, deadline_ms: u64) -> Option<DeadlineConfig> {
+        let shared = self.shared;
+        let mut deadline = shared.config.deadline;
+        let mut tighten = |budget: Duration| {
+            deadline = Some(match deadline {
+                Some(cfg) => DeadlineConfig {
+                    deadline: cfg.deadline.min(budget),
+                    ..cfg
+                },
+                None => DeadlineConfig {
+                    deadline: budget,
+                    policy: FallbackPolicy::DecideNow,
+                    prior_label: self.gen.info.prior_label,
+                },
+            });
+        };
+        if deadline_ms > 0 {
+            tighten(Duration::from_millis(deadline_ms));
+        }
+        if let Some(adm) = &shared.admission {
+            if shared.brownout_level() >= BrownoutLevel::Tightened {
+                tighten(adm.cfg.tightened_deadline);
+            }
+        }
+        deadline
+    }
+
+    fn observe(&mut self, id: u64, step: u64, row: &[f64], deadline_ms: u64) {
         let shared = self.shared;
         if self.finished.contains(&id) {
             return; // late frame for a decided/abandoned session
         }
         let Some(entry) = self.sessions.get_mut(&id) else {
-            self.send(Frame::Error {
-                code: ErrorCode::UnknownSession,
-                session: Some(id),
-                message: format!("observe for session {id} which was never opened"),
-            });
+            self.send(Frame::error(
+                ErrorCode::UnknownSession,
+                Some(id),
+                format!("observe for session {id} which was never opened"),
+            ));
             return;
         };
         let expected_step = entry.session.observed() as u64 + 1;
@@ -968,7 +1266,33 @@ impl<'m> Conn<'m> {
             );
             return;
         }
-        let entry = self.sessions.get_mut(&id).expect("session still open");
+        // Propagated deadline: the client's remaining budget for this
+        // row, measured from when its bytes landed. Already lapsed
+        // means the answer is dead on arrival — skip the evaluation
+        // instead of computing it.
+        if deadline_ms > 0 && self.read_at.elapsed() >= Duration::from_millis(deadline_ms) {
+            shared.count(
+                |s| &s.observations_expired,
+                "net_observations_expired_total",
+            );
+            self.fail_session(
+                id,
+                seq,
+                ErrorCode::Expired,
+                &format!("deadline of {deadline_ms}ms lapsed before evaluation"),
+            );
+            return;
+        }
+        // Brownout `DecideNow`: answer from what the session has seen
+        // instead of evaluating further — the cheapest verdict that is
+        // still the algorithm's own, and one less session to feed.
+        if shared.brownout_level() >= BrownoutLevel::DecideNow {
+            self.force_decide_now(id, seq);
+            return;
+        }
+        let Some(entry) = self.sessions.get_mut(&id) else {
+            return; // unreachable: nothing above removed the session
+        };
         let (panic_due, delay) = match &shared.schedule {
             Some(sched) => {
                 let s = seq as usize;
@@ -986,8 +1310,7 @@ impl<'m> Conn<'m> {
         match outcome {
             Ok(Ok(None)) => {}
             Ok(Ok(Some(p))) => {
-                let kind = decision_kind(self.sessions[&id].session.fallback());
-                self.finish_decided(id, p.label as u64, p.prefix_len as u64, kind, false);
+                self.finish_decided(id, p.label as u64, p.prefix_len as u64, false);
             }
             Ok(Err(e)) => {
                 let code = match &e {
@@ -1019,17 +1342,49 @@ impl<'m> Conn<'m> {
         }
     }
 
-    fn finish_decided(
-        &mut self,
-        id: u64,
-        label: u64,
-        prefix_len: u64,
-        kind: DecisionKind,
-        drain: bool,
-    ) {
+    /// Forces the session's verdict from its current state — the
+    /// brownout ladder's `DecideNow` rung. Counted as a degraded
+    /// decision; the wire kind says whether the verdict was forced
+    /// from observed data or fell back to the prior.
+    fn force_decide_now(&mut self, id: u64, seq: u64) {
+        let shared = self.shared;
+        let prior = self.gen.info.prior_label;
+        let Some(entry) = self.sessions.get_mut(&id) else {
+            return;
+        };
+        let outcome = catch_unwind(AssertUnwindSafe(|| entry.session.force_decide(prior)));
+        match outcome {
+            Ok(Ok(p)) => {
+                shared.count(|s| &s.decisions_degraded, "net_decisions_degraded_total");
+                shared.config.obs.tracer.event_under(
+                    "net.session.degraded",
+                    shared.serve_span,
+                    &[
+                        ("conn", &self.conn_id.to_string()),
+                        ("session", &id.to_string()),
+                        ("level", shared.brownout_level().name()),
+                    ],
+                );
+                self.finish_decided(id, p.label as u64, p.prefix_len as u64, false);
+            }
+            Ok(Err(e)) => {
+                self.fail_session(id, seq, ErrorCode::Internal, &e.to_string());
+            }
+            Err(payload) => {
+                let msg = panic_message(payload.as_ref());
+                shared.count(|s| &s.worker_panics, "net_worker_panics_total");
+                self.fail_session(id, seq, ErrorCode::Internal, &msg);
+            }
+        }
+    }
+
+    fn finish_decided(&mut self, id: u64, label: u64, prefix_len: u64, drain: bool) {
         let shared = self.shared;
         let removed = self.sessions.remove(&id);
         self.finished.insert(id);
+        let kind = removed.as_ref().map_or(DecisionKind::Genuine, |e| {
+            decision_kind(e.session.fallback())
+        });
         // Remember the verdict so late ground truth can be graded; the
         // observed series rides along only when a sink will refit on it.
         let rows = match (&shared.config.feedback, removed) {
@@ -1069,26 +1424,28 @@ impl<'m> Conn<'m> {
     fn feedback(&mut self, id: u64, truth: u64) {
         let shared = self.shared;
         if !self.decided.contains_key(&id) {
-            self.send(Frame::Error {
-                code: ErrorCode::UnknownSession,
-                session: Some(id),
-                message: format!("feedback for session {id} with no decision on this connection"),
-            });
+            self.send(Frame::error(
+                ErrorCode::UnknownSession,
+                Some(id),
+                format!("feedback for session {id} with no decision on this connection"),
+            ));
             return;
         }
         let classes = &self.gen.info.classes;
         if truth as usize >= classes.len() {
-            self.send(Frame::Error {
-                code: ErrorCode::BadFrame,
-                session: Some(id),
-                message: format!(
+            self.send(Frame::error(
+                ErrorCode::BadFrame,
+                Some(id),
+                format!(
                     "feedback label {truth} out of range ({} classes)",
                     classes.len()
                 ),
-            });
+            ));
             return;
         }
-        let info = self.decided.remove(&id).expect("checked above");
+        let Some(info) = self.decided.remove(&id) else {
+            return; // unreachable: containment checked above
+        };
         shared.count(|s| &s.feedback_received, "net_feedback_total");
         let correct = info.label == truth;
         shared.config.obs.tracer.event_under(
@@ -1129,11 +1486,7 @@ impl<'m> Conn<'m> {
                 ("code", &code.to_string()),
             ],
         );
-        self.send(Frame::Error {
-            code,
-            session: Some(id),
-            message: message.to_string(),
-        });
+        self.send(Frame::error(code, Some(id), message));
     }
 
     /// Answers every in-flight session with a forced drain verdict,
@@ -1144,13 +1497,14 @@ impl<'m> Conn<'m> {
         let prior = self.gen.info.prior_label;
         let ids: Vec<u64> = self.sessions.keys().copied().collect();
         for id in ids {
-            let entry = self.sessions.get_mut(&id).expect("session present");
+            let Some(entry) = self.sessions.get_mut(&id) else {
+                continue;
+            };
             let seq = entry.seq;
             let outcome = catch_unwind(AssertUnwindSafe(|| entry.session.force_decide(prior)));
             match outcome {
                 Ok(Ok(p)) => {
-                    let kind = decision_kind(self.sessions[&id].session.fallback());
-                    self.finish_decided(id, p.label as u64, p.prefix_len as u64, kind, true);
+                    self.finish_decided(id, p.label as u64, p.prefix_len as u64, true);
                 }
                 Ok(Err(e)) => {
                     self.fail_session(id, seq, ErrorCode::Internal, &e.to_string());
@@ -1166,11 +1520,11 @@ impl<'m> Conn<'m> {
         // routers that see this code know the close is a planned drain
         // (no reconnect, no circuit-breaker penalty), unlike a crash
         // where the socket just dies.
-        self.send_blocking(Frame::Error {
-            code: ErrorCode::Shutdown,
-            session: None,
-            message: "graceful drain complete".to_string(),
-        });
+        self.send_blocking(Frame::error(
+            ErrorCode::Shutdown,
+            None,
+            "graceful drain complete",
+        ));
         self.send_blocking(Frame::Shutdown);
     }
 

@@ -174,6 +174,7 @@ fn version_mismatch_is_refused() {
     let mut raw = std::net::TcpStream::connect(addr).unwrap();
     let hello = Frame::Hello {
         version: 999,
+        minor: 0,
         agent: "time-traveller".to_string(),
         meta: None,
     };

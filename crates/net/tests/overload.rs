@@ -1,0 +1,368 @@
+//! Overload chaos: drive a server far past its evaluation capacity and
+//! assert graceful brownout, exact accounting, and no collapse.
+//!
+//! Capacity is made analytically known with a seeded fault plan: every
+//! session's first evaluation sleeps a fixed delay, so one connection's
+//! handler can clear at most `1000 / delay_ms` sessions per second. The
+//! overload run then keeps several sessions in flight per connection —
+//! a multiple of the service depth the handler actually has — and the
+//! admission/brownout stack must shed the excess with retryable errors
+//! instead of letting queues (and tail latency) grow without bound.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use etsc_data::{Dataset, DatasetBuilder, MultiSeries, Series};
+use etsc_eval::experiment::{AlgoSpec, RunConfig};
+use etsc_eval::faults::FaultPlan;
+use etsc_net::{
+    run_loadgen, AdmissionConfig, ClientConfig, LoadgenOptions, NetServer, ServerConfig,
+};
+use etsc_obs::Obs;
+use etsc_serve::{fit_model, BrownoutConfig, CodelConfig, StoredModel};
+
+fn synthetic() -> Dataset {
+    let mut b = DatasetBuilder::new("overload");
+    for i in 0..12 {
+        let (class, base) = if i % 2 == 0 {
+            ("up", 1.0)
+        } else {
+            ("down", -1.0)
+        };
+        let values: Vec<f64> = (0..20)
+            .map(|t| base * (t as f64 + i as f64 * 0.1))
+            .collect();
+        b.push_named(MultiSeries::univariate(Series::new(values)), class);
+    }
+    b.build().unwrap()
+}
+
+fn model(data: &Dataset) -> Arc<StoredModel> {
+    Arc::new(fit_model(AlgoSpec::Ects, data, &RunConfig::fast()).unwrap())
+}
+
+/// Every session's first evaluation sleeps `delay_ms` — the knob that
+/// pins the server's session-clearing capacity.
+fn delay_plan(delay_ms: u64) -> FaultPlan {
+    FaultPlan {
+        seed: 11,
+        delay_rate: 1.0,
+        delay: Duration::from_millis(delay_ms),
+        ..FaultPlan::default()
+    }
+}
+
+/// A twitchy admission stack sized for a test run: short CoDel
+/// interval, low waters, fast brownout polling.
+fn test_admission() -> AdmissionConfig {
+    AdmissionConfig {
+        open_rate: 5000.0,
+        open_burst: 200.0,
+        codel: CodelConfig {
+            target: Duration::from_millis(2),
+            interval: Duration::from_millis(20),
+        },
+        // The ladder climbs deliberately slowly (a rung per ~160ms of
+        // sustained pressure) so CoDel shedding is visible before
+        // decide-now starts absorbing the backlog for free.
+        brownout: BrownoutConfig {
+            high_water: Duration::from_millis(8),
+            low_water: Duration::from_millis(2),
+            up_after: 8,
+            down_after: 16,
+        },
+        brownout_poll: Duration::from_millis(20),
+        tightened_deadline: Duration::from_millis(10),
+    }
+}
+
+#[test]
+fn overload_5x_sheds_gracefully_without_collapsing_goodput() {
+    const DELAY_MS: u64 = 10;
+    let data = synthetic();
+    let model = model(&data);
+
+    // Calibration: closed-loop depth 1 per connection — offered load
+    // equals capacity, nothing queues, nothing should shed. This is
+    // the goodput yardstick, measured on this very machine.
+    let base_sessions = 120;
+    let base_server = NetServer::bind(
+        Arc::clone(&model),
+        "127.0.0.1:0",
+        ServerConfig {
+            faults: Some(delay_plan(DELAY_MS)),
+            fault_horizon: base_sessions,
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let base = run_loadgen(
+        &base_server.local_addr().to_string(),
+        &data,
+        &LoadgenOptions {
+            connections: 4,
+            sessions: base_sessions,
+            open_ahead: 1,
+            wait_timeout: Duration::from_secs(60),
+            send_shutdown: true,
+            ..LoadgenOptions::default()
+        },
+    );
+    base_server.join();
+    assert!(base.clean(), "calibration run dirty: {:?}", base.errors);
+    assert_eq!(base.decided, base_sessions, "calibration run shed work");
+    let base_goodput = base.decisions_per_sec();
+    assert!(base_goodput > 0.0);
+
+    // Overload: five sessions in flight per connection against a
+    // service depth of one — 5x capacity, sustained. Retries are
+    // disabled so every admission refusal becomes a visible, counted
+    // session outcome instead of eventually squeezing through.
+    let obs = Obs::enabled();
+    let over_sessions = 300;
+    let over_server = NetServer::bind(
+        Arc::clone(&model),
+        "127.0.0.1:0",
+        ServerConfig {
+            faults: Some(delay_plan(DELAY_MS)),
+            fault_horizon: over_sessions,
+            admission: Some(test_admission()),
+            obs: obs.clone(),
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let over = run_loadgen(
+        &over_server.local_addr().to_string(),
+        &data,
+        &LoadgenOptions {
+            connections: 4,
+            sessions: over_sessions,
+            open_ahead: 5,
+            low_priority_share: 0.25,
+            wait_timeout: Duration::from_secs(60),
+            client: ClientConfig {
+                open_retry_budget: 0,
+                ..ClientConfig::default()
+            },
+            send_shutdown: true,
+            ..LoadgenOptions::default()
+        },
+    );
+    let stats = over_server.join();
+
+    // Every rejected request is accounted for: each opened session has
+    // exactly one fate, none timed out, and shed outcomes carried the
+    // structured overload code (that is what classified them).
+    assert!(
+        over.accounted(),
+        "fates {} + {} + {} + {} != sessions {}",
+        over.decided,
+        over.failed,
+        over.disconnected,
+        over.dropped,
+        over.sessions
+    );
+    assert_eq!(over.dropped, 0, "sessions vanished: {:?}", over.errors);
+    assert!(over.errors.is_empty(), "{:?}", over.errors);
+    assert_eq!(
+        over.failed, over.shed,
+        "every failure under pure overload is an attributed shed"
+    );
+    assert!(
+        stats.sessions_shed + stats.sessions_rate_limited > 0,
+        "5x offered load never tripped admission: {stats:?}"
+    );
+    assert_eq!(
+        over.shed as u64,
+        stats.sessions_shed + stats.sessions_rate_limited,
+        "client-observed sheds disagree with the server's count"
+    );
+    assert!(
+        stats.brownout_transitions > 0,
+        "sustained overload never moved the brownout ladder: {stats:?}"
+    );
+    assert!(
+        stats.decisions_degraded > 0,
+        "the deeper rungs never forced an early verdict: {stats:?}"
+    );
+    assert_eq!(stats.open_sessions(), 0, "session leak: {stats:?}");
+
+    // No collapse: goodput under 5x offered load stays within 20% of
+    // the calibrated capacity (brownout's forced-early verdicts may
+    // push it higher; falling far below means admission let queues,
+    // retries, or head-of-line blocking eat the machine).
+    let goodput = over.decisions_per_sec();
+    assert!(
+        goodput >= 0.8 * base_goodput,
+        "goodput collapsed under overload: {goodput:.1}/s vs calibrated {base_goodput:.1}/s"
+    );
+
+    // The pressure telemetry is exported: sojourn histogram, shed
+    // counters, and the brownout gauge all flow through etsc-obs.
+    let counters = obs.metrics.snapshot_counters();
+    assert_eq!(
+        counters
+            .get("net_sessions_shed_total")
+            .copied()
+            .unwrap_or(0)
+            + counters
+                .get("net_sessions_rate_limited_total")
+                .copied()
+                .unwrap_or(0),
+        stats.sessions_shed + stats.sessions_rate_limited
+    );
+    assert_eq!(
+        counters
+            .get("net_brownout_transitions_total")
+            .copied()
+            .unwrap_or(0),
+        stats.brownout_transitions
+    );
+    let prom = obs.metrics.render_prometheus();
+    assert!(prom.contains("net_frame_sojourn_seconds"), "{prom}");
+    assert!(prom.contains("net_brownout_level"), "{prom}");
+}
+
+#[test]
+fn expired_deadlines_skip_dead_work() {
+    // Two clients against a server whose first evaluation per session
+    // sleeps 30ms, both propagating a 5ms per-row budget. The deadline
+    // is measured from when a frame's bytes land: the paced client
+    // (whose rows always arrive after the slow evaluation finished)
+    // must decide, while the flooding client (whose rows queue behind
+    // its own slow evaluation) must be refused with `Expired` instead
+    // of getting a stale answer computed.
+    let data = synthetic();
+    let model = model(&data);
+    let obs = Obs::enabled();
+    let server = NetServer::bind(
+        Arc::clone(&model),
+        "127.0.0.1:0",
+        ServerConfig {
+            faults: Some(delay_plan(30)),
+            fault_horizon: 2,
+            obs: obs.clone(),
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = server.local_addr().to_string();
+    let config = ClientConfig {
+        observe_deadline_ms: 5,
+        ..ClientConfig::default()
+    };
+    let inst = data.instance(0);
+    let row = |t: usize| -> Vec<f64> { (0..inst.vars()).map(|v| inst.at(v, t)).collect() };
+
+    // Paced: wait out the slow step-1 evaluation before sending more,
+    // so every frame is handled fresh and the budget never lapses.
+    let mut paced = etsc_net::Client::connect(&addr, config.clone()).unwrap();
+    let paced_id = paced.open_session(inst.len()).unwrap();
+    paced.observe(paced_id, &row(0)).unwrap();
+    std::thread::sleep(Duration::from_millis(60));
+    for t in 1..inst.len() {
+        paced.observe(paced_id, &row(t)).unwrap();
+        if paced.poll().is_ok() && paced.outcome(paced_id).is_some() {
+            break;
+        }
+    }
+    let decision = paced.wait_decision(paced_id, Duration::from_secs(20));
+    assert!(
+        decision.is_ok(),
+        "fresh frames must not expire: {decision:?}"
+    );
+
+    // Flooding: every row lands at once, so rows behind the 30ms
+    // evaluation are already dead when their turn comes.
+    let mut flood = etsc_net::Client::connect(&addr, config).unwrap();
+    let flood_id = flood.open_session(inst.len()).unwrap();
+    for t in 0..inst.len() {
+        flood.observe(flood_id, &row(t)).unwrap();
+    }
+    match flood.wait_decision(flood_id, Duration::from_secs(20)) {
+        Err(etsc_net::NetError::SessionFailed { message, .. }) => {
+            // The outcome prefix is what the load generator's expired
+            // classification keys on.
+            assert!(message.starts_with("[expired]"), "{message}");
+        }
+        other => panic!("queued-dead rows were still answered: {other:?}"),
+    }
+
+    drop(paced);
+    drop(flood);
+    let stats = server.join();
+    assert_eq!(stats.sessions_decided, 1, "{stats:?}");
+    assert_eq!(stats.observations_expired, 1, "{stats:?}");
+    assert_eq!(stats.open_sessions(), 0, "session leak: {stats:?}");
+    let counters = obs.metrics.snapshot_counters();
+    assert_eq!(
+        counters
+            .get("net_observations_expired_total")
+            .copied()
+            .unwrap_or(0),
+        stats.observations_expired
+    );
+}
+
+#[test]
+fn retry_budget_honours_rate_limit_hints() {
+    // A bucket of one token refilling at 20/s: of four back-to-back
+    // opens, three are refused with a retry hint. A client with budget
+    // left must absorb the refusals — sleep the hinted pause, re-open
+    // under a fresh id — and still land every decision.
+    let data = synthetic();
+    let model = model(&data);
+    let server = NetServer::bind(
+        Arc::clone(&model),
+        "127.0.0.1:0",
+        ServerConfig {
+            admission: Some(AdmissionConfig {
+                open_rate: 20.0,
+                open_burst: 1.0,
+                // Park CoDel and the brownout ladder: this test isolates
+                // the token bucket.
+                codel: CodelConfig {
+                    target: Duration::from_secs(5),
+                    interval: Duration::from_secs(5),
+                },
+                brownout: BrownoutConfig {
+                    high_water: Duration::from_secs(5),
+                    low_water: Duration::from_secs(1),
+                    up_after: 1000,
+                    down_after: 1,
+                },
+                ..AdmissionConfig::default()
+            }),
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let report = run_loadgen(
+        &server.local_addr().to_string(),
+        &data,
+        &LoadgenOptions {
+            connections: 1,
+            sessions: 4,
+            wait_timeout: Duration::from_secs(60),
+            client: ClientConfig {
+                open_retry_budget: 8,
+                ..ClientConfig::default()
+            },
+            send_shutdown: true,
+            ..LoadgenOptions::default()
+        },
+    );
+    let stats = server.join();
+    assert_eq!(
+        report.decided, 4,
+        "retry budget failed to absorb the rate limit: {report:?}"
+    );
+    assert_eq!(report.shed, 0, "{report:?}");
+    assert!(
+        report.session_retries >= 1,
+        "no retry was ever needed — the bucket never refused: {stats:?}"
+    );
+    assert!(stats.sessions_rate_limited >= 1, "{stats:?}");
+    assert_eq!(stats.open_sessions(), 0, "session leak: {stats:?}");
+}

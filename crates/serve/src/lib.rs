@@ -17,6 +17,10 @@
 //!   bounded ingress queues and explicit backpressure (block or shed).
 //!   Workers are supervised: a panic fails only the in-flight session
 //!   and the worker restarts (bounded, with exponential backoff);
+//! * [`admission`] — the overload controllers shared by the scheduler
+//!   and the network edge: per-client token buckets, CoDel-style
+//!   sojourn-keyed adaptive admission, and the brownout degradation
+//!   ladder with hysteresis;
 //! * [`replay`] — replays a whole dataset through the scheduler at a
 //!   dataset's observation frequency and reports the *measured*
 //!   Figure-13 ratio (`decision_latency / obs_interval`) next to the
@@ -29,11 +33,16 @@
 //! inject worker panics, decision latency, and poisoned stream points
 //! deterministically for chaos testing.
 
+pub mod admission;
 pub mod replay;
 pub mod scheduler;
 pub mod session;
 pub mod store;
 
+pub use admission::{
+    BrownoutConfig, BrownoutController, BrownoutLevel, CodelConfig, CodelController,
+    PressureSensor, TokenBucket,
+};
 pub use replay::{replay_dataset, ReplayOptions, ReplayOutcome};
 pub use scheduler::{
     serve_sessions, Backpressure, SchedulerConfig, ServeReport, SessionOutcome, SupervisionConfig,

@@ -25,10 +25,13 @@ use etsc_data::MultiSeries;
 use etsc_eval::{FaultPlan, FaultSchedule};
 use etsc_obs::{Histogram as LatencyHistogram, Obs};
 
+use crate::admission::{CodelConfig, CodelController};
 use crate::session::{DeadlineConfig, FallbackKind, StreamSession};
 
-/// What to do with an observation when its worker's ingress queue is
-/// full.
+/// What to do with an observation when a worker's ingress queue holds
+/// more work than the service is clearing. `Block` and `Shed` are the
+/// original static policies; [`Backpressure::Adaptive`] replaces that
+/// binary with sojourn-keyed admission.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Backpressure {
     /// Block the producer until the worker catches up: lossless, the
@@ -39,6 +42,13 @@ pub enum Backpressure {
     /// whose final point is shed may never commit — reported as a
     /// dropped decision).
     Shed,
+    /// CoDel-style adaptive admission: dequeues feed measured queue
+    /// sojourn into a [`CodelController`]; enqueues are refused at an
+    /// accelerating cadence while sojourn stays above target, and a
+    /// full queue still sheds (the capacity is the hard backstop).
+    /// Lossy like `Shed`, but it only becomes lossy when latency —
+    /// not an arbitrary queue depth — says the service is behind.
+    Adaptive(CodelConfig),
 }
 
 /// Bounds on how hard the pool fights to keep a worker alive after a
@@ -229,6 +239,9 @@ struct Ingress {
 struct IngressState {
     items: VecDeque<Item>,
     closed: bool,
+    /// Lazily armed by the first [`Backpressure::Adaptive`] push;
+    /// dequeues feed it sojourn, enqueues consult it.
+    codel: Option<CodelController>,
 }
 
 impl Ingress {
@@ -237,6 +250,7 @@ impl Ingress {
             state: Mutex::new(IngressState {
                 items: VecDeque::new(),
                 closed: false,
+                codel: None,
             }),
             space: Condvar::new(),
             ready: Condvar::new(),
@@ -245,15 +259,23 @@ impl Ingress {
     }
 
     /// Enqueues `item`; with `Block` waits for space, with `Shed`
-    /// returns `false` when full without enqueueing.
+    /// returns `false` when full without enqueueing, and with
+    /// `Adaptive` additionally sheds whenever the CoDel controller —
+    /// fed by measured dequeue sojourns — says the queue is standing.
     fn push(&self, item: Item, policy: Backpressure) -> bool {
         let mut state = self
             .state
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if let Backpressure::Adaptive(cfg) = policy {
+            let codel = state.codel.get_or_insert_with(|| CodelController::new(cfg));
+            if !codel.admit(Instant::now()) {
+                return false;
+            }
+        }
         while state.items.len() >= self.capacity {
             match policy {
-                Backpressure::Shed => return false,
+                Backpressure::Shed | Backpressure::Adaptive(_) => return false,
                 Backpressure::Block => {
                     state = self
                         .space
@@ -276,6 +298,10 @@ impl Ingress {
             .unwrap_or_else(std::sync::PoisonError::into_inner);
         loop {
             if let Some(item) = state.items.pop_front() {
+                if let Some(codel) = state.codel.as_mut() {
+                    let now = Instant::now();
+                    codel.record_sojourn(now.saturating_duration_since(item.enqueued), now);
+                }
                 drop(state);
                 self.space.notify_one();
                 return Some(item);
@@ -782,6 +808,56 @@ mod tests {
             report.dropped_decisions
         );
         assert_eq!(report.committed() + report.dropped_decisions, 30);
+    }
+
+    #[test]
+    fn adaptive_admission_sheds_under_pressure_and_stays_quiet_without() {
+        let data = synthetic(24);
+        let model = fitted(&data);
+        let adaptive = Backpressure::Adaptive(CodelConfig {
+            target: Duration::from_millis(2),
+            interval: Duration::from_millis(10),
+        });
+        // Unloaded: a fast model with ample workers keeps sojourn
+        // under target, so adaptive admission behaves like Block that
+        // never has to block — lossless.
+        let calm = serve_sessions(
+            &model,
+            data.instances(),
+            1,
+            &SchedulerConfig {
+                workers: 3,
+                queue_capacity: 1024,
+                backpressure: adaptive,
+                ..SchedulerConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(calm.errors, 0, "{:?}", calm.first_error);
+        assert_eq!(calm.committed() + calm.dropped_decisions, 24);
+        // Overloaded: a 5ms injected delay per evaluation on a single
+        // worker makes sojourn stand far above the 2ms target, so the
+        // controller must start refusing enqueues — and the books
+        // still balance exactly.
+        let plan = FaultPlan::parse("seed=9,delay-rate=1.0,delay-ms=5").unwrap();
+        let hot = serve_sessions(
+            &model,
+            data.instances(),
+            1,
+            &SchedulerConfig {
+                workers: 1,
+                queue_capacity: 64,
+                backpressure: adaptive,
+                faults: Some(plan),
+                ..SchedulerConfig::default()
+            },
+        )
+        .unwrap();
+        assert!(
+            hot.shed_observations > 0,
+            "sustained overload must trigger adaptive shedding"
+        );
+        assert_eq!(hot.committed() + hot.dropped_decisions, 24);
     }
 
     #[test]

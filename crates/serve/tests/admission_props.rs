@@ -1,0 +1,153 @@
+//! Property tests for the overload-admission primitives: the token
+//! bucket's refill arithmetic, the CoDel controller's convergence to
+//! its sojourn target, and the brownout ladder's hysteresis.
+
+use std::time::{Duration, Instant};
+
+use proptest::prelude::*;
+
+use etsc_serve::admission::{
+    BrownoutConfig, BrownoutController, BrownoutLevel, CodelConfig, CodelController, TokenBucket,
+};
+
+proptest! {
+    #[test]
+    fn token_bucket_refill_is_monotone_and_capped(
+        rate in 0.5f64..500.0,
+        burst in 1.0f64..64.0,
+        gaps_ms in prop::collection::vec(0u64..200, 1..40),
+    ) {
+        // Between acquisitions, available tokens never decrease as
+        // time advances and never exceed the burst capacity; and over
+        // any window the bucket admits at most burst + rate·window
+        // units of work.
+        let start = Instant::now();
+        let mut bucket = TokenBucket::new(rate, burst);
+        let mut now = start;
+        let mut admitted = 0u64;
+        let mut last_available = bucket.available();
+        for &gap in &gaps_ms {
+            now += Duration::from_millis(gap);
+            let took = bucket.try_acquire(now);
+            let available = bucket.available();
+            prop_assert!(available <= burst + 1e-9, "overfilled: {available} > {burst}");
+            if took {
+                admitted += 1;
+            } else {
+                // A refusal consumed nothing, so the fill level can
+                // only have grown since the last look.
+                prop_assert!(
+                    available + 1e-9 >= last_available.min(burst),
+                    "refill went backwards: {last_available} -> {available}"
+                );
+                prop_assert!(bucket.retry_after() > Duration::ZERO);
+            }
+            last_available = available;
+        }
+        let window = now.duration_since(start).as_secs_f64();
+        let ceiling = burst + rate * window + 1.0;
+        prop_assert!(
+            (admitted as f64) <= ceiling,
+            "admitted {admitted} > ceiling {ceiling}"
+        );
+    }
+
+    #[test]
+    fn codel_converges_to_target_under_any_sustained_overload(
+        overload in 2u64..6,
+        target_ms in 2u64..12,
+    ) {
+        // Closed loop: service clears 1 item/ms, arrivals offer
+        // `overload`×that. Whatever the overload factor and target,
+        // admission must hold the steady-state sojourn near the
+        // target instead of letting the queue diverge.
+        let cfg = CodelConfig {
+            target: Duration::from_millis(target_ms),
+            interval: Duration::from_millis(20),
+        };
+        let mut c = CodelController::new(cfg);
+        let start = Instant::now();
+        let mut queue: u64 = 0;
+        let mut tail_peak = Duration::ZERO;
+        let horizon = 5000u64;
+        for ms in 0..horizon {
+            let now = start + Duration::from_millis(ms);
+            let spread = 1000 / overload.max(1);
+            for j in 0..overload {
+                // Arrivals spread inside the tick, as on a real wire.
+                if c.admit(now + Duration::from_micros(j * spread)) {
+                    queue += 1;
+                }
+            }
+            if queue > 0 {
+                queue -= 1;
+                let sojourn = Duration::from_millis(queue);
+                c.record_sojourn(sojourn, now);
+                if ms >= horizon - 1000 {
+                    tail_peak = tail_peak.max(sojourn);
+                }
+            }
+        }
+        // Unbounded growth would reach ~overload×horizon ms; converged
+        // operation oscillates around the target with amplitude
+        // bounded by the control interval (the re-entry window), not
+        // by the offered load.
+        prop_assert!(
+            tail_peak <= cfg.target + cfg.interval * 2,
+            "tail sojourn {tail_peak:?} diverged from target {:?} at {overload}x",
+            cfg.target
+        );
+        prop_assert!(c.shed_count() > 0, "overload shed nothing");
+    }
+
+    #[test]
+    fn brownout_hysteresis_never_oscillates_per_step(
+        up_after in 1u32..5,
+        down_after in 1u32..8,
+        samples in prop::collection::vec(0u64..60, 1..300),
+    ) {
+        // Three invariants under arbitrary pressure signals: the level
+        // moves at most one rung per sample; a direction reversal
+        // needs a full opposite streak (so no up-then-down inside one
+        // hysteresis window); and pressure inside the dead band never
+        // moves the ladder at all.
+        let cfg = BrownoutConfig {
+            high_water: Duration::from_millis(20),
+            low_water: Duration::from_millis(5),
+            up_after,
+            down_after,
+        };
+        let mut b = BrownoutController::new(cfg);
+        let mut last_dir: i32 = 0;
+        let mut samples_since_move = u32::MAX;
+        for &ms in &samples {
+            samples_since_move = samples_since_move.saturating_add(1);
+            let before = b.level().as_u8() as i32;
+            let moved = b.observe(Duration::from_millis(ms));
+            let after = b.level().as_u8() as i32;
+            let delta = after - before;
+            prop_assert!(delta.abs() <= 1, "moved {delta} rungs in one step");
+            prop_assert_eq!(moved.is_some(), delta != 0);
+            if let Some((from, to)) = moved {
+                prop_assert_eq!(from.as_u8() as i32, before);
+                prop_assert_eq!(to.as_u8() as i32, after);
+                // A reversal must have waited out the opposite streak.
+                if last_dir != 0 && delta != last_dir {
+                    let needed = if delta > 0 { up_after } else { down_after };
+                    prop_assert!(
+                        samples_since_move >= needed,
+                        "reversed direction after {samples_since_move} < {needed} samples"
+                    );
+                }
+                last_dir = delta;
+                samples_since_move = 0;
+            }
+            // Dead-band samples reset streaks: holding there forever
+            // must never move the ladder.
+            if (6..20).contains(&ms) {
+                prop_assert!(delta == 0, "dead-band sample moved the ladder");
+            }
+        }
+        prop_assert!(b.level() <= BrownoutLevel::ShedLowPriority);
+    }
+}

@@ -9,8 +9,8 @@
 //! payload codec path the protocol has.
 
 use etsc::net::{
-    encode_frame, DecisionKind, ErrorCode, Frame, FrameDecoder, ModelInfo, ProtoError,
-    MAX_FRAME_BYTES, PROTO_VERSION,
+    encode_frame, DecisionKind, ErrorCode, Frame, FrameDecoder, ModelInfo, ProtoError, RetryClass,
+    MAX_FRAME_BYTES, PRIORITY_HIGH, PROTO_MINOR, PROTO_VERSION,
 };
 
 /// A realistic session transcript covering every frame type.
@@ -18,11 +18,13 @@ fn transcript_frames() -> Vec<Frame> {
     let mut frames = vec![
         Frame::Hello {
             version: PROTO_VERSION,
+            minor: 0,
             agent: "recorder".to_owned(),
             meta: None,
         },
         Frame::Hello {
             version: PROTO_VERSION,
+            minor: PROTO_MINOR,
             agent: "etsc-net-server".to_owned(),
             meta: Some(ModelInfo {
                 algo: "ECTS".to_owned(),
@@ -35,11 +37,15 @@ fn transcript_frames() -> Vec<Frame> {
                 generation: 1,
             }),
         },
+        // Deadline and priority are revision-1 trailing extensions, so
+        // the corruption sweeps below also cover the extension bytes.
         Frame::OpenSession {
             id: 1,
             vars: 1,
             expected_len: 96,
             resume: false,
+            deadline_ms: 250,
+            priority: PRIORITY_HIGH,
         },
     ];
     for t in 0..6u64 {
@@ -47,6 +53,7 @@ fn transcript_frames() -> Vec<Frame> {
             session: 1,
             step: t + 1,
             row: vec![t as f64 * 0.25 - 0.5],
+            deadline_ms: if t % 2 == 0 { 40 } else { 0 },
         });
     }
     frames.push(Frame::Decision {
@@ -69,11 +76,13 @@ fn transcript_frames() -> Vec<Frame> {
         code: ErrorCode::Draining,
         session: None,
         message: "shutting down".to_owned(),
+        retry: RetryClass::Retryable { retry_after_ms: 75 },
     });
     frames.push(Frame::Error {
         code: ErrorCode::Shutdown,
         session: None,
         message: "graceful drain".to_owned(),
+        retry: RetryClass::Terminal,
     });
     frames.push(Frame::Shutdown);
     frames
@@ -183,6 +192,7 @@ fn flipped_frames_never_round_trip_as_different_valid_frames() {
         session: 7,
         step: 3,
         row: vec![1.5, -2.25, 0.0],
+        deadline_ms: 12,
     };
     let bytes = encode_frame(&frame, MAX_FRAME_BYTES).expect("encodes");
     for pos in 0..bytes.len() {
