@@ -39,9 +39,9 @@
 //!
 //! ```text
 //! loadgen [--algo NAME|all] [--dataset NAME] [--sessions N]
-//!         [--connections N] [--rate ROWS_PER_SEC] [--min-secs S]
-//!         [--faults SPEC] [--connect ADDR] [--shutdown] [--shards N]
-//!         [--drift] [--overload]
+//!         [--connections N] [--rate ROWS_PER_SEC] [--batch N]
+//!         [--min-secs S] [--faults SPEC] [--connect ADDR]
+//!         [--shutdown] [--shards N] [--drift] [--overload]
 //! ```
 //!
 //! Exits non-zero if any run drops a session, hits an unexpected
@@ -71,6 +71,7 @@ struct Args {
     sessions: usize,
     connections: usize,
     rate: f64,
+    batch: usize,
     min_secs: f64,
     faults: Option<FaultPlan>,
     connect: Option<String>,
@@ -122,6 +123,7 @@ fn parse_args() -> Result<Args, String> {
         sessions: num("sessions", 100.0)? as usize,
         connections: num("connections", 4.0)? as usize,
         rate: num("rate", 0.0)?,
+        batch: (num("batch", 32.0)? as usize).max(1),
         min_secs: num("min-secs", 0.0)?,
         faults,
         connect: flags.get("connect").cloned(),
@@ -305,12 +307,22 @@ impl Baseline {
 /// Merges the measured rows into `BENCH_baseline.json` as a
 /// `"network"` section, replacing any previous one and preserving a
 /// `"fleet"` section if present.
-fn merge_baseline(rows: &[NetRow], connections: usize, sessions: usize) {
+fn merge_baseline(
+    rows: &[NetRow],
+    connections: usize,
+    sessions: usize,
+    batch: usize,
+    event_loop_threads: usize,
+) {
     let mut baseline = Baseline::load();
     let mut s = String::from(",\n  \"network\": {\n");
     s.push_str("    \"transport\": \"tcp-loopback\",\n");
     s.push_str(&format!("    \"connections\": {connections},\n"));
     s.push_str(&format!("    \"sessions\": {sessions},\n"));
+    s.push_str(&format!("    \"batch\": {batch},\n"));
+    s.push_str(&format!(
+        "    \"event_loop_threads\": {event_loop_threads},\n"
+    ));
     s.push_str("    \"algorithms\": [\n");
     for (i, row) in rows.iter().enumerate() {
         s.push_str(&format!(
@@ -335,7 +347,13 @@ fn merge_baseline(rows: &[NetRow], connections: usize, sessions: usize) {
 /// Merges a fleet run into `BENCH_baseline.json` as a `"fleet"`
 /// section: per-shard balance, migration counts, and the measured
 /// failover recovery time.
-fn merge_fleet_baseline(report: &FleetReport, algo: &str, plan: &FaultPlan, connections: usize) {
+fn merge_fleet_baseline(
+    report: &FleetReport,
+    algo: &str,
+    plan: &FaultPlan,
+    connections: usize,
+    batch: usize,
+) {
     let mut baseline = Baseline::load();
     let r = &report.router;
     let balance: Vec<String> = report.balance().iter().map(u64::to_string).collect();
@@ -343,6 +361,7 @@ fn merge_fleet_baseline(report: &FleetReport, algo: &str, plan: &FaultPlan, conn
     s.push_str("    \"transport\": \"tcp-loopback-router\",\n");
     s.push_str(&format!("    \"shards\": {},\n", report.shards.len()));
     s.push_str(&format!("    \"connections\": {connections},\n"));
+    s.push_str(&format!("    \"batch\": {batch},\n"));
     s.push_str(&format!("    \"sessions\": {},\n", report.load.sessions));
     s.push_str(&format!("    \"algo\": \"{algo}\",\n"));
     s.push_str(&format!("    \"faults\": \"{}\",\n", plan.render()));
@@ -508,6 +527,9 @@ fn run_drift_mode(args: &Args, algo: AlgoSpec) -> bool {
         connections: args.connections,
         sessions: n,
         rate: args.rate,
+        // Per-row frames: feedback grading wants the same cadence the
+        // adapter was tuned against.
+        batch: 1,
         faults: None,
         client: ClientConfig::default(),
         wait_timeout: Duration::from_secs(60),
@@ -765,6 +787,8 @@ fn run_overload_mode(args: &Args, algo: AlgoSpec, data: &Dataset) -> bool {
                 connections,
                 sessions,
                 rate: 0.0,
+                // The windowed feed ignores batching; state it anyway.
+                batch: 1,
                 faults: None,
                 // Budget 0: every server refusal is one client-visible
                 // shed, so the curve's shed ratio is exact.
@@ -903,6 +927,7 @@ fn run_fleet_mode(args: &Args, algo: AlgoSpec, data: &Dataset) -> bool {
             connections: args.connections,
             sessions: args.sessions,
             rate: args.rate,
+            batch: args.batch,
             faults: Some(plan.clone()),
             wait_timeout: Duration::from_secs(60),
             ..FleetOptions::default()
@@ -940,7 +965,7 @@ fn run_fleet_mode(args: &Args, algo: AlgoSpec, data: &Dataset) -> bool {
         ok = false;
     }
     if ok {
-        merge_fleet_baseline(&report, algo.name(), &plan, args.connections);
+        merge_fleet_baseline(&report, algo.name(), &plan, args.connections, args.batch);
     }
     ok
 }
@@ -960,6 +985,7 @@ fn main() -> ExitCode {
         connections: args.connections,
         sessions: args.sessions,
         rate: args.rate,
+        batch: args.batch,
         faults: args.faults.clone(),
         client: ClientConfig::default(),
         wait_timeout: Duration::from_secs(60),
@@ -1015,6 +1041,7 @@ fn main() -> ExitCode {
         // Self-hosted mode: fit, bind, measure, drain — per algorithm.
         let config = RunConfig::fast();
         let mut rows = Vec::new();
+        let mut event_loops = 0usize;
         for algo in args.algos {
             let stored = match fit_model(algo, &data, &config) {
                 Ok(stored) => Arc::new(stored),
@@ -1032,6 +1059,7 @@ fn main() -> ExitCode {
                 }
             };
             let addr = server.local_addr().to_string();
+            event_loops = server.event_loops();
             let mut row = NetRow::new(algo.name());
             run_until(&addr, &data, &opts, args.min_secs, &mut row);
             server.shutdown();
@@ -1055,7 +1083,13 @@ fn main() -> ExitCode {
             eprintln!("error: no algorithm produced a servable model");
             ok = false;
         } else {
-            merge_baseline(&rows, args.connections, args.sessions);
+            merge_baseline(
+                &rows,
+                args.connections,
+                args.sessions,
+                args.batch,
+                event_loops,
+            );
         }
     }
 

@@ -16,7 +16,7 @@ use etsc_eval::report::render_matrix_status;
 use etsc_eval::supervisor::SupervisorOptions;
 use etsc_eval::{CommonOpts, FaultPlan, MatrixRunner};
 use etsc_net::{
-    AdmissionConfig, Client, ClientConfig, NetError, NetServer, Router, RouterConfig, ServerConfig,
+    AdmissionConfig, Client, ClientConfig, Endpoint, NetError, RouterBuilder, ServerBuilder,
 };
 use etsc_serve::{
     fit_model, load_resilient, replay_dataset, Backpressure, BrownoutConfig, CodelConfig,
@@ -70,6 +70,7 @@ commands:
                      [--trace FILE] [--metrics FILE]
                      network mode: --model FILE --listen ADDR
                      [--max-conns N] [--queue N] [--shed]
+                     [--event-loops N] (0 = auto-size to the machine)
                      [--deadline-ms N] [--fallback wait|prior|decide-now]
                      [--faults SPEC --fault-sessions N]
                      [--duration-secs N] (0 = until a client requests
@@ -718,26 +719,29 @@ fn serve_listen(addr: &str, flags: &Flags, out: &mut dyn Write) -> Result<(), Cl
     } else {
         None
     };
-    let config = ServerConfig {
-        max_connections: parse(flags, "max-conns", 64_usize)?,
-        max_pending_frames: parse(flags, "queue", 1024_usize)?,
-        backpressure: if parse(flags, "shed", false)? {
+    let mut builder = ServerBuilder::new()
+        .max_connections(parse(flags, "max-conns", 64_usize)?)
+        .max_pending_frames(parse(flags, "queue", 1024_usize)?)
+        .backpressure(if parse(flags, "shed", false)? {
             Backpressure::Shed
         } else {
             Backpressure::Block
-        },
-        deadline: parse_deadline(flags)?.map(|mut d| {
-            d.prior_label = stored.meta.prior_label;
-            d
-        }),
-        faults,
-        fault_horizon,
-        admission,
-        obs: obs.clone(),
-        ..ServerConfig::default()
-    };
+        })
+        // 0 = auto-size to the machine (clamped by the server).
+        .event_loop_threads(parse(flags, "event-loops", 0_usize)?)
+        .obs(obs.clone());
+    if let Some(mut d) = parse_deadline(flags)? {
+        d.prior_label = stored.meta.prior_label;
+        builder = builder.deadline(d);
+    }
+    if let Some(plan) = faults {
+        builder = builder.faults(plan, fault_horizon);
+    }
+    if let Some(a) = admission {
+        builder = builder.admission(a);
+    }
     let meta = stored.meta.clone();
-    let server = NetServer::bind(Arc::new(stored), addr, config)
+    let server = Endpoint::serve(Arc::new(stored), addr, builder)
         .map_err(|e| CliError::Runtime(format!("binding {addr}: {e}")))?;
     emit(
         out,
@@ -819,15 +823,15 @@ fn route_listen(addr: &str, flags: &Flags, out: &mut dyn Write) -> Result<(), Cl
     }
     let opts = common_opts(flags)?;
     let obs = opts.build_obs();
-    let config = RouterConfig {
-        max_connections: parse(flags, "max-conns", 64_usize)?,
-        vnodes: parse(flags, "vnodes", 64_usize)?,
-        probe_interval: Duration::from_millis(parse(flags, "probe-interval-ms", 200_u64)?),
-        probe_timeout: Duration::from_millis(parse(flags, "probe-timeout-ms", 500_u64)?),
-        obs: obs.clone(),
-        ..RouterConfig::default()
-    };
-    let router = Router::bind(addr, &shards, config)
+    let builder = RouterBuilder::new()
+        .max_connections(parse(flags, "max-conns", 64_usize)?)
+        .vnodes(parse(flags, "vnodes", 64_usize)?)
+        .probes(
+            Duration::from_millis(parse(flags, "probe-interval-ms", 200_u64)?),
+            Duration::from_millis(parse(flags, "probe-timeout-ms", 500_u64)?),
+        )
+        .obs(obs.clone());
+    let router = Endpoint::route(addr, &shards, builder)
         .map_err(|e| CliError::Runtime(format!("binding {addr}: {e}")))?;
     emit(
         out,

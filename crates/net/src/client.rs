@@ -24,18 +24,25 @@ use std::time::{Duration, Instant};
 
 use crate::proto::{
     encode_frame, DecisionKind, ErrorCode, Frame, FrameDecoder, ModelInfo, ProtoError, RetryClass,
-    MAX_FRAME_BYTES, PRIORITY_NORMAL, PROTO_VERSION,
+    BATCH_MINOR, MAX_FRAME_BYTES, PRIORITY_NORMAL, PROTO_MINOR, PROTO_VERSION,
 };
 
-/// Tuning knobs for [`Client`].
+/// Read-timeout granularity for the blocking pump: short enough that
+/// bounded waits stay responsive, long enough not to spin.
+const READ_POLL: Duration = Duration::from_millis(25);
+
+/// Tuning knobs for [`Client`]. Prefer building this through
+/// [`crate::ClientBuilder`], which validates the combination.
 #[derive(Debug, Clone)]
 pub struct ClientConfig {
     /// Peer identification sent in the handshake.
     pub agent: String,
     /// Per-frame payload ceiling.
     pub max_frame_bytes: usize,
-    /// Blocking-read poll granularity.
-    pub read_poll: Duration,
+    /// Highest protocol minor revision this client negotiates —
+    /// [`PROTO_MINOR`] normally; interop tests lower it to impersonate
+    /// an older peer.
+    pub protocol_minor: u32,
     /// Budget for the Hello exchange.
     pub handshake_timeout: Duration,
     /// Redials attempted per broken connection before giving up.
@@ -80,7 +87,7 @@ impl Default for ClientConfig {
         ClientConfig {
             agent: "etsc-net-client".to_string(),
             max_frame_bytes: MAX_FRAME_BYTES,
-            read_poll: Duration::from_millis(25),
+            protocol_minor: PROTO_MINOR,
             handshake_timeout: Duration::from_secs(10),
             reconnect_attempts: 3,
             reconnect_backoff: Duration::from_millis(25),
@@ -167,6 +174,9 @@ pub enum NetError {
     Timeout(String),
     /// The connection is gone and could not be re-established.
     Closed(String),
+    /// A builder refused the config combination before dialing (see
+    /// [`crate::ConfigError`]).
+    Config(String),
 }
 
 impl fmt::Display for NetError {
@@ -179,6 +189,7 @@ impl fmt::Display for NetError {
             }
             NetError::Timeout(what) => write!(f, "timed out waiting for {what}"),
             NetError::Closed(why) => write!(f, "connection closed: {why}"),
+            NetError::Config(why) => write!(f, "{why}"),
         }
     }
 }
@@ -230,6 +241,9 @@ pub struct Client {
     stream: TcpStream,
     dec: FrameDecoder,
     meta: ModelInfo,
+    /// Negotiated minor revision: `min(server minor, ours)`. Batch
+    /// frames flow only at [`BATCH_MINOR`] and above.
+    negotiated: u32,
     sessions: HashMap<u64, SessionState>,
     /// Refused-then-retried session ids, mapped to their replacement.
     /// Late frames for the refused id stop resolving to a session;
@@ -255,7 +269,7 @@ impl Client {
     /// when the server refuses the connection (shedding, draining).
     pub fn connect(addr: &str, config: ClientConfig) -> Result<Client, NetError> {
         let mut attempt: u32 = 0;
-        let (stream, dec, meta) = loop {
+        let (stream, dec, meta, negotiated) = loop {
             match dial(addr, &config) {
                 Ok(x) => break x,
                 Err(NetError::Server {
@@ -283,6 +297,7 @@ impl Client {
             stream,
             dec,
             meta,
+            negotiated,
             sessions: HashMap::new(),
             aliases: HashMap::new(),
             next_id: 1,
@@ -311,6 +326,13 @@ impl Client {
     /// Shape of the model this server is exposing.
     pub fn meta(&self) -> &ModelInfo {
         &self.meta
+    }
+
+    /// The protocol minor revision negotiated with the server:
+    /// `min(server minor, ours)`. [`Client::observe_batch`] coalesces
+    /// rows into `ObserveBatch` frames only at [`BATCH_MINOR`] and up.
+    pub fn negotiated_minor(&self) -> u32 {
+        self.negotiated
     }
 
     /// Fault and recovery counters.
@@ -376,6 +398,59 @@ impl Client {
             row: row.to_vec(),
             deadline_ms: self.config.observe_deadline_ms,
         })
+    }
+
+    /// Sends many observation rows for session `id` in one shot. When
+    /// the connection negotiated rev [`BATCH_MINOR`], the rows are
+    /// coalesced into `ObserveBatch` frames (chunked so each frame
+    /// stays under the payload ceiling); against an older server each
+    /// row goes out as a plain `Observe`. Either way, every row is
+    /// buffered for replay individually — a reconnect mid-batch
+    /// resumes row by row. A no-op once the session has an outcome.
+    ///
+    /// # Errors
+    /// [`NetError::Closed`] / [`NetError::Proto`].
+    pub fn observe_batch(&mut self, id: u64, rows: &[Vec<f64>]) -> Result<(), NetError> {
+        if rows.is_empty() {
+            return Ok(());
+        }
+        let id = self.resolve(id);
+        let Some(state) = self.sessions.get_mut(&id) else {
+            return Ok(());
+        };
+        if state.outcome.is_some() {
+            return Ok(());
+        }
+        let start_step = state.sent.len() as u64 + 1;
+        let now = Instant::now();
+        for row in rows {
+            state.sent.push(row.clone());
+            state.send_times.push(now);
+        }
+        if self.negotiated < BATCH_MINOR {
+            for (i, row) in rows.iter().enumerate() {
+                self.send(&Frame::Observe {
+                    session: id,
+                    step: start_step + i as u64,
+                    row: row.clone(),
+                    deadline_ms: self.config.observe_deadline_ms,
+                })?;
+            }
+            return Ok(());
+        }
+        // Rows per frame such that the payload (8 bytes per value plus
+        // slack for the envelope) stays under the ceiling.
+        let row_len = rows[0].len().max(1);
+        let max_rows = (self.config.max_frame_bytes.saturating_sub(64) / (8 * row_len)).max(1);
+        for (chunk_i, chunk) in rows.chunks(max_rows).enumerate() {
+            self.send(&Frame::ObserveBatch {
+                session: id,
+                start_step: start_step + (chunk_i * max_rows) as u64,
+                rows: chunk.to_vec(),
+                deadline_ms: self.config.observe_deadline_ms,
+            })?;
+        }
+        Ok(())
     }
 
     /// Drains every frame the server has already sent, without
@@ -603,7 +678,8 @@ impl Client {
         // buffer when it is an Observe, so skip the resend for those.
         self.reconnect()?;
         match frame {
-            Frame::Observe { .. } => Ok(()),
+            // Already in the replay buffer; the reconnect resent them.
+            Frame::Observe { .. } | Frame::ObserveBatch { .. } => Ok(()),
             _ => {
                 let wire = encode_frame(frame, self.config.max_frame_bytes)?;
                 self.stream
@@ -636,7 +712,7 @@ impl Client {
         }
     }
 
-    /// One bounded read (the configured poll interval), then dispatch
+    /// One bounded read (the [`READ_POLL`] granularity), then dispatch
     /// whatever arrived.
     fn pump_blocking_once(&mut self) -> Result<(), NetError> {
         match self.dec.read_from(&mut self.stream) {
@@ -674,24 +750,12 @@ impl Client {
                 prefix_len,
                 kind,
             } => {
-                if let Some(state) = self.sessions.get_mut(&session) {
-                    let trigger = (prefix_len as usize)
-                        .saturating_sub(1)
-                        .min(state.send_times.len().saturating_sub(1));
-                    let latency = state
-                        .send_times
-                        .get(trigger)
-                        .map(|t| t.elapsed())
-                        .unwrap_or_default();
-                    state.outcome = Some(Ok(Decision {
-                        label: label as usize,
-                        prefix_len: prefix_len as usize,
-                        kind,
-                        latency,
-                    }));
-                    // The replay buffer is dead weight once answered.
-                    state.sent = Vec::new();
-                    state.send_times = Vec::new();
+                self.on_decision(session, label, prefix_len, kind);
+                Ok(())
+            }
+            Frame::DecisionBatch { decisions } => {
+                for d in decisions {
+                    self.on_decision(d.session, d.label, d.prefix_len, d.kind);
                 }
                 Ok(())
             }
@@ -762,6 +826,31 @@ impl Client {
         }
     }
 
+    /// Commits one verdict (single frame or batch member) against its
+    /// session: record the decision, compute end-to-end latency from
+    /// the triggering observation's send time, free the replay buffer.
+    fn on_decision(&mut self, session: u64, label: u64, prefix_len: u64, kind: DecisionKind) {
+        if let Some(state) = self.sessions.get_mut(&session) {
+            let trigger = (prefix_len as usize)
+                .saturating_sub(1)
+                .min(state.send_times.len().saturating_sub(1));
+            let latency = state
+                .send_times
+                .get(trigger)
+                .map(|t| t.elapsed())
+                .unwrap_or_default();
+            state.outcome = Some(Ok(Decision {
+                label: label as usize,
+                prefix_len: prefix_len as usize,
+                kind,
+                latency,
+            }));
+            // The replay buffer is dead weight once answered.
+            state.sent = Vec::new();
+            state.send_times = Vec::new();
+        }
+    }
+
     /// The duration stretched by up to `1 + reconnect_jitter` (seeded,
     /// deterministic), floored at 1ms and capped at 5s — the pause
     /// before acting on a server's `retry_after_ms` hint.
@@ -827,7 +916,7 @@ impl Client {
             if attempt > 0 {
                 std::thread::sleep(reconnect_delay(&self.config, attempt));
             }
-            let (mut stream, dec, _meta) = match dial(&self.addr, &self.config) {
+            let (mut stream, dec, _meta, negotiated) = match dial(&self.addr, &self.config) {
                 Ok(x) => x,
                 Err(e) => {
                     last = e.to_string();
@@ -838,6 +927,9 @@ impl Client {
                 Ok(()) => {
                     self.stream = stream;
                     self.dec = dec;
+                    // Renegotiated per connection: a failover may land
+                    // on a peer speaking a different revision.
+                    self.negotiated = negotiated;
                     self.stats.reconnects += 1;
                     return Ok(());
                 }
@@ -907,20 +999,28 @@ impl Client {
 }
 
 /// Dial + Hello exchange. Returns the connected stream (read timeout
-/// armed), its decoder, and the server's model info. Shared with the
-/// router, whose health probes and upstream connections speak the same
+/// armed), its decoder, the server's model info, and the negotiated
+/// minor revision (`min(server minor, ours)`). Shared with the router,
+/// whose health probes and upstream connections speak the same
 /// handshake.
 pub(crate) fn dial(
     addr: &str,
     config: &ClientConfig,
-) -> Result<(TcpStream, FrameDecoder, ModelInfo), NetError> {
+) -> Result<(TcpStream, FrameDecoder, ModelInfo, u32), NetError> {
     let mut stream = TcpStream::connect(addr).map_err(ProtoError::Io)?;
     stream.set_nodelay(true).map_err(ProtoError::Io)?;
     stream
-        .set_read_timeout(Some(config.read_poll))
+        .set_read_timeout(Some(READ_POLL))
         .map_err(ProtoError::Io)?;
+    // Built by hand (not `Frame::hello`) so an interop test can
+    // impersonate an older peer via `protocol_minor`.
     let hello = encode_frame(
-        &Frame::hello(config.agent.clone(), None),
+        &Frame::Hello {
+            version: PROTO_VERSION,
+            minor: config.protocol_minor,
+            agent: config.agent.clone(),
+            meta: None,
+        },
         config.max_frame_bytes,
     )?;
     stream
@@ -932,7 +1032,12 @@ pub(crate) fn dial(
     loop {
         if let Some(frame) = dec.next_frame()? {
             match frame {
-                Frame::Hello { version, meta, .. } => {
+                Frame::Hello {
+                    version,
+                    minor,
+                    meta,
+                    ..
+                } => {
                     if version != PROTO_VERSION {
                         return Err(ProtoError::Version {
                             got: version,
@@ -946,7 +1051,7 @@ pub(crate) fn dial(
                         )
                         .into());
                     };
-                    return Ok((stream, dec, meta));
+                    return Ok((stream, dec, meta, minor.min(config.protocol_minor)));
                 }
                 Frame::Error {
                     code,

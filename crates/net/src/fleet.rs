@@ -45,6 +45,9 @@ pub struct FleetOptions {
     pub sessions: usize,
     /// Target observation rate per connection (rows/sec); 0 = unpaced.
     pub rate: f64,
+    /// Rows per `ObserveBatch` frame on the client→router edge (see
+    /// [`LoadgenOptions::batch`]).
+    pub batch: usize,
     /// Seeded faults: client-side kinds feed the load generator,
     /// shard-level kinds (`kill-shard`, `blackhole-shard`,
     /// `slow-shard`) are applied to the fleet itself.
@@ -65,6 +68,7 @@ impl Default for FleetOptions {
             connections: 4,
             sessions: 100,
             rate: 0.0,
+            batch: 1,
             faults: None,
             server: ServerConfig::default(),
             router: RouterConfig::default(),
@@ -260,6 +264,7 @@ pub fn run_fleet(models: &[Arc<StoredModel>], data: &Dataset, opts: &FleetOption
             connections: opts.connections,
             sessions,
             rate: opts.rate,
+            batch: opts.batch,
             faults: opts.faults.clone(),
             client: opts.client.clone(),
             wait_timeout: opts.wait_timeout,

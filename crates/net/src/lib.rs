@@ -8,16 +8,23 @@
 //!   wire protocol (Hello/OpenSession/Observe/Decision/CloseSession/
 //!   Shutdown/Error) with hard frame-size and queue-depth limits;
 //!   rev 1 adds client deadlines and priorities on open/observe and
-//!   retry classification with `retry_after_ms` hints on errors,
-//!   forward-compatibly — rev-0 peers still interoperate;
-//! * [`server`] — a multi-threaded TCP server: accept loop with
-//!   connection caps and accept-time shedding, per-connection
-//!   reader/writer threads bridging into [`etsc_serve::StreamSession`]
-//!   (deadlines, fallback policies, Block/Shed backpressure), overload
-//!   control when [`AdmissionConfig`] is armed — CoDel-style shedding
-//!   on measured sojourn, per-client token-bucket open limits, the
-//!   brownout degradation ladder, and expired-deadline discard of
-//!   queued dead work — seeded server-side fault injection, `etsc-obs`
+//!   retry classification with `retry_after_ms` hints on errors; rev 2
+//!   adds the pipelined batch frames (`ObserveBatch`/`DecisionBatch`)
+//!   — the minor revision is negotiated down to the common minimum at
+//!   `Hello`, so rev-0 and rev-1 peers still interoperate;
+//! * [`poll`] — a hand-rolled epoll readiness poller: level-triggered,
+//!   a self-pipe waker for cross-thread nudges, and reserved tokens
+//!   for the waker and listener;
+//! * [`server`] — a readiness-driven TCP server: a fixed pool of
+//!   event-loop threads, each owning a [`poll::Poller`] over its share
+//!   of nonblocking connections (dealt round-robin at accept), reads
+//!   drained to `EWOULDBLOCK`, vectored writes from pooled buffers,
+//!   bridging into [`etsc_serve::StreamSession`] (deadlines, fallback
+//!   policies, Block/Shed backpressure), overload control when
+//!   [`AdmissionConfig`] is armed — CoDel-style shedding on measured
+//!   sojourn, per-client token-bucket open limits, the brownout
+//!   degradation ladder, and expired-deadline discard of queued dead
+//!   work — seeded server-side fault injection, `etsc-obs`
 //!   instrumentation, and graceful drain — in-flight sessions
 //!   answered, new connections refused;
 //! * [`client`] — a blocking client library multiplexing many sessions
@@ -39,7 +46,12 @@
 //! * [`fleet`] — the single-process fleet harness: N shards behind a
 //!   router, driven by the load generator, with the seeded shard-level
 //!   faults (kill, blackhole, slow shard) the chaos suite asserts
-//!   against.
+//!   against;
+//! * [`options`] — the embedding API: validated [`ServerBuilder`] /
+//!   [`ClientBuilder`] / [`RouterBuilder`] sharing a [`NetOptions`]
+//!   core, and [`Endpoint`] as the unified front door
+//!   (`serve`/`route`/`connect`/`fleet`). The legacy flat-field config
+//!   structs remain for one release with `into_builder()` lifts.
 //!
 //! The paper's Figure 13 asks whether an algorithm's testing time per
 //! decision keeps up with the stream's observation frequency; this
@@ -50,6 +62,8 @@
 pub mod client;
 pub mod fleet;
 pub mod loadgen;
+pub mod options;
+pub mod poll;
 pub mod proto;
 pub mod router;
 pub mod server;
@@ -57,10 +71,13 @@ pub mod server;
 pub use client::{reconnect_delay, Client, ClientConfig, Decision, NetError};
 pub use fleet::{run_fleet, FleetOptions, FleetReport, ShardReport};
 pub use loadgen::{run_loadgen, LoadReport, LoadgenOptions};
+pub use options::{ClientBuilder, ConfigError, Endpoint, NetOptions, RouterBuilder, ServerBuilder};
+pub use poll::{Event, Poller, WAKE_TOKEN};
 pub use proto::{
-    encode_frame, write_frame, DecisionKind, ErrorCode, Frame, FrameDecoder, ModelInfo, ProtoError,
-    RetryClass, HEADER_BYTES, MAX_FRAME_BYTES, MAX_PENDING_FRAMES, PRIORITY_HIGH, PRIORITY_LOW,
-    PRIORITY_NORMAL, PROTO_MINOR, PROTO_VERSION,
+    encode_frame, encode_frame_into, write_frame, BatchDecision, BufferPool, DecisionKind,
+    ErrorCode, Frame, FrameDecoder, ModelInfo, ProtoError, RetryClass, BATCH_MINOR, HEADER_BYTES,
+    MAX_FRAME_BYTES, MAX_PENDING_FRAMES, PRIORITY_HIGH, PRIORITY_LOW, PRIORITY_NORMAL, PROTO_MINOR,
+    PROTO_VERSION,
 };
 pub use router::{Router, RouterConfig, RouterStats, ShardSnapshot};
 pub use server::{AdmissionConfig, NetServer, ServerConfig, ServerStats};

@@ -35,6 +35,11 @@ pub struct LoadgenOptions {
     pub sessions: usize,
     /// Target observation rate per connection (rows/sec); 0 = unpaced.
     pub rate: f64,
+    /// Rows per `ObserveBatch` frame in the unpaced, fault-free wave
+    /// feed: the time axis is walked in chunks of this many steps and
+    /// each session's chunk ships as one frame. 1 (or a paced/faulted
+    /// run, where per-row timing matters) = one `Observe` per row.
+    pub batch: usize,
     /// Seeded client-side network faults (torn frames, disconnects,
     /// slow-loris stalls), scheduled over all sessions.
     pub faults: Option<FaultPlan>,
@@ -68,6 +73,7 @@ impl Default for LoadgenOptions {
             connections: 4,
             sessions: 100,
             rate: 0.0,
+            batch: 1,
             faults: None,
             client: ClientConfig::default(),
             wait_timeout: Duration::from_secs(30),
@@ -349,13 +355,48 @@ fn feed_wave(
     } else {
         Duration::ZERO
     };
-    let mut next_send = Instant::now();
-    let mut disconnected: HashSet<usize> = HashSet::new();
     let max_len = mine
         .iter()
         .map(|&s| data.instance(s % data.len()).len())
         .max()
         .unwrap_or(0);
+    // The batched fast path: chunk the time axis and ship each
+    // session's chunk as one ObserveBatch. Pacing and fault injection
+    // both need per-row timing, so they keep the row-at-a-time loop.
+    if opts.batch > 1 && interval == Duration::ZERO && schedule.is_none() {
+        let batch = opts.batch;
+        'batched: for t0 in (0..max_len).step_by(batch) {
+            for &s in mine {
+                let Some(&id) = ids.get(&s) else { continue };
+                let inst = data.instance(s % data.len());
+                if t0 >= inst.len() || client.outcome(id).is_some() {
+                    continue;
+                }
+                let hi = (t0 + batch).min(inst.len());
+                let rows: Vec<Vec<f64>> = (t0..hi)
+                    .map(|t| (0..inst.vars()).map(|v| inst.at(v, t)).collect())
+                    .collect();
+                let n = rows.len() as u64;
+                if let Err(e) = client.observe_batch(id, &rows) {
+                    p.errors
+                        .push(format!("session {s} steps {}..{hi}: {e}", t0 + 1));
+                    break 'batched;
+                }
+                p.rows_sent += n;
+            }
+            if let Err(e) = client.poll() {
+                p.errors.push(format!("poll at step {}: {e}", t0 + 1));
+                break 'batched;
+            }
+        }
+        for &s in mine {
+            let Some(&id) = ids.get(&s) else { continue };
+            collect_outcome(client, data, opts, s, id, p);
+        }
+        return;
+    }
+    let mut next_send = Instant::now();
+    let mut disconnected: HashSet<usize> = HashSet::new();
     'feed: for t in 0..max_len {
         let step = t + 1;
         for &s in mine {

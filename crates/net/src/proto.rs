@@ -40,11 +40,21 @@ pub const PROTO_VERSION: u32 = 1;
 
 /// Minor protocol revision, advertised in [`Frame::Hello`] as an
 /// optional trailing field. Minor revisions only *append* optional
-/// fields to existing frames — peers never refuse on a minor mismatch,
-/// they just ignore extensions they don't understand. Revision 1 adds
-/// deadline/priority propagation on `OpenSession`/`Observe` and the
-/// retry classification on `Error`.
-pub const PROTO_MINOR: u32 = 1;
+/// fields to existing frames or add new frame types that are only sent
+/// once both sides advertised support — peers never refuse on a minor
+/// mismatch, they just ignore extensions they don't understand.
+/// Revision 1 adds deadline/priority propagation on
+/// `OpenSession`/`Observe` and retry classification on `Error`.
+/// Revision 2 adds the pipelined [`Frame::ObserveBatch`] /
+/// [`Frame::DecisionBatch`] frames, used only when
+/// `min(client minor, server minor) >= 2` — a rev-0/rev-1 peer never
+/// sees a batch frame, and one arriving anyway is answered with a
+/// structured [`ErrorCode::BadFrame`] reply, not a teardown.
+pub const PROTO_MINOR: u32 = 2;
+
+/// Lowest minor revision at which the batch frames
+/// ([`Frame::ObserveBatch`] / [`Frame::DecisionBatch`]) may be sent.
+pub const BATCH_MINOR: u32 = 2;
 
 /// Lowest scheduling priority — first to be shed under brownout.
 pub const PRIORITY_LOW: u8 = 0;
@@ -76,6 +86,8 @@ const TAG_SHUTDOWN: u8 = 6;
 const TAG_ERROR: u8 = 7;
 const TAG_HANDOFF: u8 = 8;
 const TAG_FEEDBACK: u8 = 9;
+const TAG_OBSERVE_BATCH: u8 = 10;
+const TAG_DECISION_BATCH: u8 = 11;
 
 /// Shape of the model a server is exposing, sent in its
 /// [`Frame::Hello`] reply so clients (and the load generator) know
@@ -341,6 +353,20 @@ impl fmt::Display for ErrorCode {
     }
 }
 
+/// One verdict inside a [`Frame::DecisionBatch`] — the same fields as
+/// [`Frame::Decision`], flattened for batching.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchDecision {
+    /// Session id the verdict answers.
+    pub session: u64,
+    /// Dense class label.
+    pub label: u64,
+    /// Prefix length the commitment was made at.
+    pub prefix_len: u64,
+    /// Whether the verdict is genuine or degraded (and how).
+    pub kind: DecisionKind,
+}
+
 /// One protocol frame.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Frame {
@@ -399,6 +425,32 @@ pub enum Frame {
         /// session fails with [`ErrorCode::Expired`]. Minor revision
         /// 1; absent on older peers.
         deadline_ms: u64,
+    },
+    /// Many observation rows for one session in a single frame —
+    /// revision 2's pipelining primitive. Semantically identical to
+    /// the equivalent run of [`Frame::Observe`] frames with
+    /// consecutive steps starting at `start_step`; the server streams
+    /// back at most one decision per session regardless of how many
+    /// rows a batch carried. Sent only when both peers advertised
+    /// minor revision [`BATCH_MINOR`] in the `Hello` exchange.
+    ObserveBatch {
+        /// Session id from [`Frame::OpenSession`].
+        session: u64,
+        /// 1-based step of the first row; row `i` lands at
+        /// `start_step + i`.
+        start_step: u64,
+        /// Observation rows, one value per variable each.
+        rows: Vec<Vec<f64>>,
+        /// Remaining client budget (ms, 0 = unbounded) for acting on
+        /// these rows, as in [`Frame::Observe`].
+        deadline_ms: u64,
+    },
+    /// Several committed verdicts in one frame (server → client) —
+    /// the write-coalescing dual of [`Frame::ObserveBatch`], sent only
+    /// when both peers advertised minor revision [`BATCH_MINOR`].
+    DecisionBatch {
+        /// The verdicts, in commit order.
+        decisions: Vec<BatchDecision>,
     },
     /// The committed verdict for a session (server → client).
     Decision {
@@ -496,6 +548,16 @@ impl Frame {
         }
     }
 
+    /// An `ObserveBatch` frame with no propagated deadline.
+    pub fn observe_batch(session: u64, start_step: u64, rows: Vec<Vec<f64>>) -> Frame {
+        Frame::ObserveBatch {
+            session,
+            start_step,
+            rows,
+            deadline_ms: 0,
+        }
+    }
+
     /// An `Error` frame carrying the code's default retry
     /// classification ([`ErrorCode::default_retry`]).
     pub fn error(code: ErrorCode, session: Option<u64>, message: impl Into<String>) -> Frame {
@@ -528,7 +590,9 @@ impl Frame {
             Frame::Hello { .. } => "hello",
             Frame::OpenSession { .. } => "open",
             Frame::Observe { .. } => "observe",
+            Frame::ObserveBatch { .. } => "observe_batch",
             Frame::Decision { .. } => "decision",
+            Frame::DecisionBatch { .. } => "decision_batch",
             Frame::CloseSession { .. } => "close",
             Frame::Feedback { .. } => "feedback",
             Frame::Shutdown => "shutdown",
@@ -540,6 +604,14 @@ impl Frame {
     /// Encodes the payload (tag + body) without wire framing.
     pub fn encode_payload(&self) -> Vec<u8> {
         let mut enc = Encoder::new();
+        self.encode_body(&mut enc);
+        enc.into_bytes()
+    }
+
+    /// Appends the payload (tag + body) to `enc` — the allocation-free
+    /// half of [`Frame::encode_payload`] that [`encode_frame_into`]
+    /// and the [`BufferPool`] build on.
+    fn encode_body(&self, enc: &mut Encoder) {
         match self {
             Frame::Hello {
                 version,
@@ -552,7 +624,7 @@ impl Frame {
                 enc.str(agent);
                 enc.bool(meta.is_some());
                 if let Some(meta) = meta {
-                    meta.encode(&mut enc);
+                    meta.encode(enc);
                 }
                 if *minor != 0 {
                     enc.u64(u64::from(*minor));
@@ -593,6 +665,18 @@ impl Frame {
                     enc.u64(*deadline_ms);
                 }
             }
+            Frame::ObserveBatch {
+                session,
+                start_step,
+                rows,
+                deadline_ms,
+            } => {
+                enc.tag(TAG_OBSERVE_BATCH);
+                enc.u64(*session);
+                enc.u64(*start_step);
+                enc.f64_rows(rows);
+                enc.u64(*deadline_ms);
+            }
             Frame::Decision {
                 session,
                 label,
@@ -604,6 +688,16 @@ impl Frame {
                 enc.u64(*label);
                 enc.u64(*prefix_len);
                 enc.tag(kind.to_u8());
+            }
+            Frame::DecisionBatch { decisions } => {
+                enc.tag(TAG_DECISION_BATCH);
+                enc.usize(decisions.len());
+                for d in decisions {
+                    enc.u64(d.session);
+                    enc.u64(d.label);
+                    enc.u64(d.prefix_len);
+                    enc.tag(d.kind.to_u8());
+                }
             }
             Frame::CloseSession { session } => {
                 enc.tag(TAG_CLOSE);
@@ -644,7 +738,6 @@ impl Frame {
                 }
             }
         }
-        enc.into_bytes()
     }
 
     /// Decodes a payload (tag + body) produced by
@@ -735,12 +828,71 @@ impl Frame {
                     deadline_ms,
                 }
             }
+            TAG_OBSERVE_BATCH => {
+                let session = dec.u64()?;
+                let start_step = dec.u64()?;
+                let n = dec.usize()?;
+                // Each row costs at least a length prefix: an insane
+                // count is corruption, not an allocation request.
+                if n > dec.remaining() {
+                    return Err(ProtoError::Corrupt(format!(
+                        "observe batch claims {n} rows but only {} bytes remain",
+                        dec.remaining()
+                    )));
+                }
+                if n == 0 {
+                    return Err(ProtoError::Corrupt(format!(
+                        "observe batch for session {session} carries no rows"
+                    )));
+                }
+                let mut rows = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let row = dec.f64s()?;
+                    if row.is_empty() {
+                        return Err(ProtoError::Corrupt(format!(
+                            "observe batch session {session}: empty row"
+                        )));
+                    }
+                    rows.push(row);
+                }
+                let deadline_ms = dec.u64()?;
+                Frame::ObserveBatch {
+                    session,
+                    start_step,
+                    rows,
+                    deadline_ms,
+                }
+            }
             TAG_DECISION => Frame::Decision {
                 session: dec.u64()?,
                 label: dec.u64()?,
                 prefix_len: dec.u64()?,
                 kind: DecisionKind::from_u8(dec.tag()?)?,
             },
+            TAG_DECISION_BATCH => {
+                let n = dec.usize()?;
+                if n > dec.remaining() {
+                    return Err(ProtoError::Corrupt(format!(
+                        "decision batch claims {n} verdicts but only {} bytes remain",
+                        dec.remaining()
+                    )));
+                }
+                if n == 0 {
+                    return Err(ProtoError::Corrupt(
+                        "decision batch carries no verdicts".to_string(),
+                    ));
+                }
+                let mut decisions = Vec::with_capacity(n);
+                for _ in 0..n {
+                    decisions.push(BatchDecision {
+                        session: dec.u64()?,
+                        label: dec.u64()?,
+                        prefix_len: dec.u64()?,
+                        kind: DecisionKind::from_u8(dec.tag()?)?,
+                    });
+                }
+                Frame::DecisionBatch { decisions }
+            }
             TAG_CLOSE => Frame::CloseSession {
                 session: dec.u64()?,
             },
@@ -809,6 +961,88 @@ pub fn encode_frame(frame: &Frame, max_frame: usize) -> Result<Vec<u8>, ProtoErr
     wire.extend_from_slice(&crc64(&payload).to_le_bytes());
     wire.extend_from_slice(&payload);
     Ok(wire)
+}
+
+/// Encodes a frame into its full wire image, reusing `buf`'s
+/// allocation (header and payload land in one buffer, no copy). The
+/// returned vector *is* `buf`, cleared and refilled.
+///
+/// # Errors
+/// [`ProtoError::TooLarge`] when the payload exceeds `max_frame`.
+pub fn encode_frame_into(
+    frame: &Frame,
+    max_frame: usize,
+    buf: Vec<u8>,
+) -> Result<Vec<u8>, ProtoError> {
+    let mut enc = Encoder::from_vec(buf);
+    enc.raw(&[0u8; HEADER_BYTES]);
+    frame.encode_body(&mut enc);
+    let mut wire = enc.into_bytes();
+    let len = wire.len() - HEADER_BYTES;
+    if len > max_frame {
+        return Err(ProtoError::TooLarge {
+            len,
+            max: max_frame,
+        });
+    }
+    let crc = crc64(&wire[HEADER_BYTES..]);
+    wire[..4].copy_from_slice(&(len as u32).to_le_bytes());
+    wire[4..HEADER_BYTES].copy_from_slice(&crc.to_le_bytes());
+    Ok(wire)
+}
+
+/// A small stack of recycled encode buffers. The event-loop server
+/// encodes every outbound frame through one of these, so a steady
+/// connection reaches zero allocations per frame once the pool is
+/// warm. Single-threaded by design — each event loop owns its own
+/// pool; there is no lock to contend on.
+#[derive(Debug)]
+pub struct BufferPool {
+    bufs: Vec<Vec<u8>>,
+    max_pooled: usize,
+}
+
+impl Default for BufferPool {
+    fn default() -> BufferPool {
+        BufferPool::new(64)
+    }
+}
+
+impl BufferPool {
+    /// A pool holding at most `max_pooled` idle buffers.
+    pub fn new(max_pooled: usize) -> BufferPool {
+        BufferPool {
+            bufs: Vec::new(),
+            max_pooled,
+        }
+    }
+
+    /// A cleared buffer — recycled when one is idle, fresh otherwise.
+    pub fn take(&mut self) -> Vec<u8> {
+        self.bufs.pop().unwrap_or_default()
+    }
+
+    /// Returns a buffer to the pool (dropped when the pool is full or
+    /// the buffer ballooned past any sane frame size).
+    pub fn give(&mut self, buf: Vec<u8>) {
+        if self.bufs.len() < self.max_pooled && buf.capacity() <= MAX_FRAME_BYTES + HEADER_BYTES {
+            self.bufs.push(buf);
+        }
+    }
+
+    /// Encodes `frame` through a recycled buffer — see
+    /// [`encode_frame_into`].
+    ///
+    /// # Errors
+    /// [`ProtoError::TooLarge`].
+    pub fn encode(&mut self, frame: &Frame, max_frame: usize) -> Result<Vec<u8>, ProtoError> {
+        encode_frame_into(frame, max_frame, self.take())
+    }
+
+    /// Idle buffers currently pooled.
+    pub fn idle(&self) -> usize {
+        self.bufs.len()
+    }
 }
 
 /// Encodes and writes one frame.
@@ -1075,6 +1309,29 @@ mod tests {
                 origin: "127.0.0.1:7971".into(),
                 replayed: 42,
             },
+            Frame::observe_batch(8, 1, vec![vec![0.5, 1.5], vec![2.5, 3.5]]),
+            Frame::ObserveBatch {
+                session: 9,
+                start_step: 17,
+                rows: vec![vec![1.0], vec![f64::NAN], vec![-0.25]],
+                deadline_ms: 80,
+            },
+            Frame::DecisionBatch {
+                decisions: vec![
+                    BatchDecision {
+                        session: 8,
+                        label: 1,
+                        prefix_len: 2,
+                        kind: DecisionKind::Genuine,
+                    },
+                    BatchDecision {
+                        session: 9,
+                        label: 0,
+                        prefix_len: 3,
+                        kind: DecisionKind::DeadlinePrior,
+                    },
+                ],
+            },
         ]
     }
 
@@ -1100,6 +1357,29 @@ mod tests {
                     && d1 == d2
                     && r1.len() == r2.len()
                     && r1.iter().zip(r2).all(|(x, y)| x.to_bits() == y.to_bits())
+            }
+            (
+                Frame::ObserveBatch {
+                    session: s1,
+                    start_step: t1,
+                    rows: r1,
+                    deadline_ms: d1,
+                },
+                Frame::ObserveBatch {
+                    session: s2,
+                    start_step: t2,
+                    rows: r2,
+                    deadline_ms: d2,
+                },
+            ) => {
+                s1 == s2
+                    && t1 == t2
+                    && d1 == d2
+                    && r1.len() == r2.len()
+                    && r1.iter().zip(r2).all(|(x, y)| {
+                        x.len() == y.len()
+                            && x.iter().zip(y).all(|(a, b)| a.to_bits() == b.to_bits())
+                    })
             }
             _ => a == b,
         }
@@ -1362,6 +1642,100 @@ mod tests {
         assert!(!ErrorCode::Incompatible.default_retry().is_retryable());
         assert!(!ErrorCode::Expired.default_retry().is_retryable());
         assert_eq!(RetryClass::Terminal.retry_after(), None);
+    }
+
+    #[test]
+    fn batch_frames_are_strict_and_guard_their_counts() {
+        // Batch frames are revision-2 *new frame types*, not appended
+        // fields: they stay strict, so trailing bytes are corruption.
+        let batch = Frame::observe_batch(1, 1, vec![vec![1.0]]);
+        let mut payload = batch.encode_payload();
+        payload.push(0);
+        assert!(matches!(
+            Frame::decode_payload(&payload),
+            Err(ProtoError::Corrupt(_))
+        ));
+        let mut payload = Frame::DecisionBatch {
+            decisions: vec![BatchDecision {
+                session: 1,
+                label: 0,
+                prefix_len: 1,
+                kind: DecisionKind::Genuine,
+            }],
+        }
+        .encode_payload();
+        payload.push(0);
+        assert!(matches!(
+            Frame::decode_payload(&payload),
+            Err(ProtoError::Corrupt(_))
+        ));
+
+        // Empty batches carry no information: corruption.
+        let mut enc = Encoder::new();
+        enc.tag(TAG_OBSERVE_BATCH);
+        enc.u64(1);
+        enc.u64(1);
+        enc.usize(0);
+        enc.u64(0);
+        assert!(matches!(
+            Frame::decode_payload(&enc.into_bytes()),
+            Err(ProtoError::Corrupt(_))
+        ));
+        let mut enc = Encoder::new();
+        enc.tag(TAG_DECISION_BATCH);
+        enc.usize(0);
+        assert!(matches!(
+            Frame::decode_payload(&enc.into_bytes()),
+            Err(ProtoError::Corrupt(_))
+        ));
+
+        // An insane row count is rejected before any allocation.
+        let mut enc = Encoder::new();
+        enc.tag(TAG_OBSERVE_BATCH);
+        enc.u64(1);
+        enc.u64(1);
+        enc.usize(u32::MAX as usize);
+        assert!(matches!(
+            Frame::decode_payload(&enc.into_bytes()),
+            Err(ProtoError::Corrupt(_))
+        ));
+        let mut enc = Encoder::new();
+        enc.tag(TAG_DECISION_BATCH);
+        enc.usize(u32::MAX as usize);
+        assert!(matches!(
+            Frame::decode_payload(&enc.into_bytes()),
+            Err(ProtoError::Corrupt(_))
+        ));
+
+        // A batch with an empty row inside is corruption too.
+        let mut enc = Encoder::new();
+        enc.tag(TAG_OBSERVE_BATCH);
+        enc.u64(1);
+        enc.u64(1);
+        enc.f64_rows(&[vec![1.0], vec![]]);
+        enc.u64(0);
+        assert!(matches!(
+            Frame::decode_payload(&enc.into_bytes()),
+            Err(ProtoError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn pooled_encode_matches_the_allocating_path() {
+        let mut pool = BufferPool::new(8);
+        for f in sample_frames() {
+            let classic = encode_frame(&f, MAX_FRAME_BYTES).unwrap();
+            let pooled = pool.encode(&f, MAX_FRAME_BYTES).unwrap();
+            assert_eq!(classic, pooled, "{f:?}");
+            pool.give(pooled);
+        }
+        assert_eq!(pool.idle(), 1, "round-tripped buffers should recycle");
+        // TooLarge surfaces through the pooled path as well.
+        let big = Frame::observe(1, 1, vec![0.0; 1024]);
+        assert!(matches!(
+            pool.encode(&big, 64),
+            Err(ProtoError::TooLarge { .. })
+        ));
     }
 
     #[test]

@@ -26,20 +26,32 @@
 
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::os::fd::AsRawFd;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use etsc_obs::Obs;
 
 use crate::client::{dial, splitmix64, ClientConfig};
+use crate::poll::{Event, Poller, WAKE_TOKEN};
 use crate::proto::{
-    write_frame, ErrorCode, Frame, FrameDecoder, ModelInfo, ProtoError, MAX_FRAME_BYTES,
-    PROTO_VERSION,
+    write_frame, ErrorCode, Frame, FrameDecoder, ModelInfo, ProtoError, BATCH_MINOR,
+    MAX_FRAME_BYTES, PROTO_VERSION,
 };
 
-/// Tuning knobs for [`Router`].
+/// Poller token for the socket a connection thread serves (client side)
+/// or the accept loop's listener; upstream tokens start above it.
+const CLIENT_TOKEN: u64 = 0;
+
+/// Read-timeout backstop on blocking sockets the pollers drive: reads
+/// happen on readiness so they normally never block, but a spurious
+/// wakeup must not hang a thread forever.
+const READ_BACKSTOP: Duration = Duration::from_millis(100);
+
+/// Tuning knobs for [`Router`]. Prefer building this through
+/// [`crate::RouterBuilder`], which validates the combination.
 #[derive(Clone)]
 pub struct RouterConfig {
     /// Peer identification the router sends to shards.
@@ -48,10 +60,6 @@ pub struct RouterConfig {
     pub max_connections: usize,
     /// Per-frame payload ceiling (both directions).
     pub max_frame_bytes: usize,
-    /// Client-socket poll granularity.
-    pub read_poll: Duration,
-    /// Upstream-socket poll granularity (per shard per connection).
-    pub upstream_poll: Duration,
     /// Silence budget per client connection.
     pub idle_timeout: Duration,
     /// Budget for collecting shard drain verdicts during a router
@@ -79,8 +87,6 @@ impl Default for RouterConfig {
             agent: "etsc-router".to_string(),
             max_connections: 64,
             max_frame_bytes: MAX_FRAME_BYTES,
-            read_poll: Duration::from_millis(2),
-            upstream_poll: Duration::from_millis(1),
             idle_timeout: Duration::from_secs(30),
             drain_timeout: Duration::from_secs(10),
             probe_interval: Duration::from_millis(200),
@@ -481,6 +487,11 @@ struct RouterShared {
     generation: AtomicU64,
     stats: Cells,
     serve_span: Option<u64>,
+    /// Wakes the accept loop's poller so a drain interrupts its wait.
+    accept_waker: Arc<Poller>,
+    /// Parks the prober between probe cadences; notified on drain so
+    /// shutdown does not wait out a probe interval.
+    prober_park: (Mutex<()>, Condvar),
 }
 
 impl RouterShared {
@@ -538,7 +549,7 @@ impl RouterShared {
             if !shard.placeable(1) {
                 continue;
             }
-            if let Ok((_stream, _dec, meta)) = dial(&shard.addr, &self.probe_cfg) {
+            if let Ok((_stream, _dec, meta, _minor)) = dial(&shard.addr, &self.probe_cfg) {
                 self.cache_meta(&meta);
                 return Some(meta);
             }
@@ -578,18 +589,17 @@ impl Router {
         let upstream_cfg = ClientConfig {
             agent: config.agent.clone(),
             max_frame_bytes: config.max_frame_bytes,
-            read_poll: config.upstream_poll,
             handshake_timeout: Duration::from_secs(5),
             ..ClientConfig::default()
         };
         let probe_cfg = ClientConfig {
             agent: format!("{}-probe", config.agent),
             max_frame_bytes: config.max_frame_bytes,
-            read_poll: Duration::from_millis(5),
             handshake_timeout: config.probe_timeout,
             ..ClientConfig::default()
         };
         let pool = Arc::new(Pool::new(1, shards, &config));
+        let accept_waker = Arc::new(Poller::new()?);
         let shared = Arc::new(RouterShared {
             config,
             upstream_cfg,
@@ -601,6 +611,8 @@ impl Router {
             generation: AtomicU64::new(1),
             stats: Cells::default(),
             serve_span,
+            accept_waker,
+            prober_park: (Mutex::new(()), Condvar::new()),
         });
         let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
         let accept = {
@@ -702,6 +714,8 @@ impl Router {
     /// verdicts for in-flight sessions, answer clients, close.
     pub fn shutdown(&self) {
         self.shared.draining.store(true, Ordering::SeqCst);
+        self.shared.accept_waker.wake();
+        self.shared.prober_park.1.notify_all();
     }
 
     /// Drains (if not already requested) and waits for every thread,
@@ -729,53 +743,78 @@ fn accept_loop(
 ) {
     let active = Arc::new(AtomicU64::new(0));
     let mut conn_seq: u64 = 0;
+    let poller = Arc::clone(&shared.accept_waker);
+    if poller
+        .register(listener.as_raw_fd(), CLIENT_TOKEN, true, false)
+        .is_err()
+    {
+        return;
+    }
+    let mut events: Vec<Event> = Vec::new();
     while !shared.draining.load(Ordering::SeqCst) {
-        match listener.accept() {
-            Ok((stream, peer)) => {
-                let _ = stream.set_nonblocking(false);
-                if active.load(Ordering::SeqCst) >= shared.config.max_connections as u64 {
-                    shared.count(|s| &s.connections_shed, "router_connections_shed_total");
-                    let _ = stream.set_write_timeout(Some(Duration::from_millis(100)));
-                    let mut stream = stream;
-                    let _ = write_frame(
-                        &mut stream,
-                        &Frame::error(ErrorCode::Overloaded, None, "router connection cap"),
-                        shared.config.max_frame_bytes,
+        if poller
+            .wait(&mut events, Some(Duration::from_millis(500)))
+            .is_err()
+        {
+            // Broken-poller backstop: never spin a core.
+            std::thread::sleep(Duration::from_millis(5));
+            continue;
+        }
+        loop {
+            if shared.draining.load(Ordering::SeqCst) {
+                return;
+            }
+            match listener.accept() {
+                Ok((stream, peer)) => {
+                    let _ = stream.set_nonblocking(false);
+                    if active.load(Ordering::SeqCst) >= shared.config.max_connections as u64 {
+                        shared.count(|s| &s.connections_shed, "router_connections_shed_total");
+                        let _ = stream.set_write_timeout(Some(Duration::from_millis(100)));
+                        let mut stream = stream;
+                        let _ = write_frame(
+                            &mut stream,
+                            &Frame::error(ErrorCode::Overloaded, None, "router connection cap"),
+                            shared.config.max_frame_bytes,
+                        );
+                        continue;
+                    }
+                    conn_seq += 1;
+                    let conn_id = conn_seq;
+                    shared.count(|s| &s.connections_accepted, "router_connections_total");
+                    shared.config.obs.tracer.event_under(
+                        "router.conn.accept",
+                        shared.serve_span,
+                        &[("conn", &conn_id.to_string()), ("peer", &peer.to_string())],
                     );
-                    continue;
-                }
-                conn_seq += 1;
-                let conn_id = conn_seq;
-                shared.count(|s| &s.connections_accepted, "router_connections_total");
-                shared.config.obs.tracer.event_under(
-                    "router.conn.accept",
-                    shared.serve_span,
-                    &[("conn", &conn_id.to_string()), ("peer", &peer.to_string())],
-                );
-                active.fetch_add(1, Ordering::SeqCst);
-                let shared2 = Arc::clone(shared);
-                let active2 = Arc::clone(&active);
-                match std::thread::Builder::new()
-                    .name(format!("etsc-router-conn-{conn_id}"))
-                    .spawn(move || {
-                        connection_thread(&shared2, stream, conn_id);
-                        active2.fetch_sub(1, Ordering::SeqCst);
-                    }) {
-                    Ok(handle) => {
-                        conns.lock().unwrap_or_else(|e| e.into_inner()).push(handle);
-                    }
-                    Err(_) => {
-                        // Thread exhaustion: the closure (and the socket
-                        // inside it) is gone, so just undo the accounting.
-                        active.fetch_sub(1, Ordering::SeqCst);
-                        shared.count(|s| &s.connections_closed, "router_connections_closed_total");
+                    active.fetch_add(1, Ordering::SeqCst);
+                    let shared2 = Arc::clone(shared);
+                    let active2 = Arc::clone(&active);
+                    match std::thread::Builder::new()
+                        .name(format!("etsc-router-conn-{conn_id}"))
+                        .spawn(move || {
+                            connection_thread(&shared2, stream, conn_id);
+                            active2.fetch_sub(1, Ordering::SeqCst);
+                        }) {
+                        Ok(handle) => {
+                            conns.lock().unwrap_or_else(|e| e.into_inner()).push(handle);
+                        }
+                        Err(_) => {
+                            // Thread exhaustion: the closure (and the socket
+                            // inside it) is gone, so just undo the accounting.
+                            active.fetch_sub(1, Ordering::SeqCst);
+                            shared.count(
+                                |s| &s.connections_closed,
+                                "router_connections_closed_total",
+                            );
+                        }
                     }
                 }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                // Transient accept errors: the level-triggered listener
+                // stays readable while a backlog remains, so retry on
+                // the next readiness instead of spinning here.
+                Err(_) => break,
             }
-            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                std::thread::sleep(Duration::from_millis(2));
-            }
-            Err(_) => std::thread::sleep(Duration::from_millis(10)),
         }
     }
 }
@@ -784,13 +823,7 @@ fn accept_loop(
 /// breaker transitions, and retires swapped-out generations once their
 /// resident counts hit zero.
 fn prober_loop(shared: &Arc<RouterShared>) {
-    let mut next_probe = Instant::now();
     while !shared.draining.load(Ordering::SeqCst) {
-        if Instant::now() < next_probe {
-            std::thread::sleep(Duration::from_millis(5));
-            continue;
-        }
-        next_probe = Instant::now() + shared.config.probe_interval;
         let pool = shared.current_pool();
         for shard in &pool.shards {
             if shared.draining.load(Ordering::SeqCst) {
@@ -801,7 +834,7 @@ fn prober_loop(shared: &Arc<RouterShared>) {
             }
             shared.count(|s| &s.probes_sent, "router_probes_total");
             match dial(&shard.addr, &shared.probe_cfg) {
-                Ok((_stream, _dec, meta)) => {
+                Ok((_stream, _dec, meta, _minor)) => {
                     shared.cache_meta(&meta);
                     if shard.record_success(&shared.config) {
                         shared.count(|s| &s.shard_recoveries, "router_shard_recoveries_total");
@@ -831,6 +864,11 @@ fn prober_loop(shared: &Arc<RouterShared>) {
             }
         }
         retire_idle_generations(shared);
+        // Park until the next cadence; a drain notification cuts the
+        // wait short instead of sleep-polling a flag.
+        let (lock, cv) = &shared.prober_park;
+        let guard = lock.lock().unwrap_or_else(|e| e.into_inner());
+        let _ = cv.wait_timeout(guard, shared.config.probe_interval);
     }
 }
 
@@ -851,7 +889,7 @@ fn retire_idle_generations(shared: &RouterShared) {
             continue;
         }
         for shard in &rp.pool.shards {
-            if let Ok((mut stream, _dec, _meta)) = dial(&shard.addr, &shared.probe_cfg) {
+            if let Ok((mut stream, _dec, _meta, _minor)) = dial(&shard.addr, &shared.probe_cfg) {
                 let _ = write_frame(&mut stream, &Frame::Shutdown, shared.config.max_frame_bytes);
             }
             shared.count(|s| &s.shards_retired, "router_shards_retired_total");
@@ -880,6 +918,11 @@ struct Upstream {
     /// Saw `ErrorCode::Shutdown` or a `Shutdown` frame: the coming EOF
     /// is a planned drain, not a crash.
     planned: bool,
+    /// This connection's token on the conn thread's poller.
+    token: u64,
+    /// Minor revision negotiated with the shard; observation batches
+    /// forward as batches only at [`BATCH_MINOR`] and above.
+    minor: u32,
 }
 
 /// One routed client session.
@@ -915,6 +958,12 @@ struct RouterConn<'r> {
     decided_addr: HashMap<u64, String>,
     decided_order: VecDeque<u64>,
     said_hello: bool,
+    /// Drives this thread's sockets: client under [`CLIENT_TOKEN`],
+    /// upstreams under the tokens in `tokens`.
+    poller: Poller,
+    /// Poller token → upstream address.
+    tokens: HashMap<u64, String>,
+    next_token: u64,
 }
 
 enum Flow {
@@ -925,8 +974,12 @@ enum Flow {
 
 fn connection_thread(shared: &Arc<RouterShared>, stream: TcpStream, conn_id: u64) {
     let _ = stream.set_nodelay(true);
-    let _ = stream.set_read_timeout(Some(shared.config.read_poll));
+    let _ = stream.set_read_timeout(Some(READ_BACKSTOP));
     let _ = stream.set_write_timeout(Some(Duration::from_secs(5)));
+    let Ok(poller) = Poller::new() else {
+        shared.count(|s| &s.connections_closed, "router_connections_closed_total");
+        return;
+    };
     let mut conn = RouterConn {
         shared: shared.as_ref(),
         conn_id,
@@ -937,6 +990,9 @@ fn connection_thread(shared: &Arc<RouterShared>, stream: TcpStream, conn_id: u64
         decided_addr: HashMap::new(),
         decided_order: VecDeque::new(),
         said_hello: false,
+        poller,
+        tokens: HashMap::new(),
+        next_token: CLIENT_TOKEN + 1,
     };
     let reason = conn.serve();
     let abandoned = conn.abandon_all();
@@ -956,6 +1012,14 @@ impl<'r> RouterConn<'r> {
     fn serve(&mut self) -> &'static str {
         let mut dec = FrameDecoder::new(self.shared.config.max_frame_bytes);
         let mut last_activity = Instant::now();
+        if self
+            .poller
+            .register(self.client.as_raw_fd(), CLIENT_TOKEN, true, false)
+            .is_err()
+        {
+            return "io-error";
+        }
+        let mut events: Vec<Event> = Vec::new();
         loop {
             if self.shared.draining.load(Ordering::SeqCst) {
                 self.drain();
@@ -978,27 +1042,44 @@ impl<'r> RouterConn<'r> {
                     }
                 }
             }
-            match dec.read_from(&mut self.client) {
-                Ok(0) => return "eof",
-                Ok(_) => last_activity = Instant::now(),
-                Err(ProtoError::Io(e))
-                    if matches!(
-                        e.kind(),
-                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
-                    ) =>
-                {
-                    if last_activity.elapsed() > self.shared.config.idle_timeout {
-                        self.send_client(&Frame::error(
-                            ErrorCode::IdleTimeout,
-                            None,
-                            format!("no frames for {:?}", self.shared.config.idle_timeout),
-                        ));
-                        return "idle-timeout";
-                    }
-                }
-                Err(_) => return "io-error",
+            if last_activity.elapsed() > self.shared.config.idle_timeout {
+                self.send_client(&Frame::error(
+                    ErrorCode::IdleTimeout,
+                    None,
+                    format!("no frames for {:?}", self.shared.config.idle_timeout),
+                ));
+                return "idle-timeout";
             }
-            self.pump_upstreams();
+            // Capped so the drain flag (set by another thread with no
+            // handle on this poller) is noticed promptly.
+            let budget = self
+                .shared
+                .config
+                .idle_timeout
+                .saturating_sub(last_activity.elapsed())
+                .min(Duration::from_millis(50))
+                .max(Duration::from_millis(1));
+            if self.poller.wait(&mut events, Some(budget)).is_err() {
+                // Broken-poller backstop: never spin a core.
+                std::thread::sleep(Duration::from_millis(5));
+                continue;
+            }
+            for &ev in &events {
+                match ev.token {
+                    WAKE_TOKEN => {}
+                    CLIENT_TOKEN => match dec.read_from(&mut self.client) {
+                        Ok(0) => return "eof",
+                        Ok(_) => last_activity = Instant::now(),
+                        Err(ProtoError::Io(e))
+                            if matches!(
+                                e.kind(),
+                                std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                            ) => {}
+                        Err(_) => return "io-error",
+                    },
+                    token => self.pump_upstream_token(token),
+                }
+            }
         }
     }
 
@@ -1051,6 +1132,15 @@ impl<'r> RouterConn<'r> {
                 self.observe(session, step, row, deadline_ms);
                 Flow::Continue
             }
+            Frame::ObserveBatch {
+                session,
+                start_step,
+                rows,
+                deadline_ms,
+            } => {
+                self.observe_batch(session, start_step, rows, deadline_ms);
+                Flow::Continue
+            }
             Frame::CloseSession { session } => {
                 if let Some(routed) = self.sessions.remove(&session) {
                     self.finished.insert(session);
@@ -1075,7 +1165,10 @@ impl<'r> RouterConn<'r> {
                 self.shared.draining.store(true, Ordering::SeqCst);
                 Flow::Drain
             }
-            Frame::Decision { .. } | Frame::Error { .. } | Frame::Handoff { .. } => {
+            Frame::Decision { .. }
+            | Frame::DecisionBatch { .. }
+            | Frame::Error { .. }
+            | Frame::Handoff { .. } => {
                 self.send_client(&Frame::error(
                     ErrorCode::BadFrame,
                     None,
@@ -1216,6 +1309,80 @@ impl<'r> RouterConn<'r> {
         }
     }
 
+    /// Forwards a client observation batch: recorded row by row in the
+    /// migration buffer (replay is always per-row), then sent upstream
+    /// as one batch when the shard negotiated rev [`BATCH_MINOR`], or
+    /// translated into singles for an older shard.
+    fn observe_batch(
+        &mut self,
+        session: u64,
+        start_step: u64,
+        rows: Vec<Vec<f64>>,
+        deadline_ms: u64,
+    ) {
+        if rows.is_empty() || self.finished.contains(&session) {
+            return;
+        }
+        let Some(routed) = self.sessions.get_mut(&session) else {
+            self.send_client(&Frame::error(
+                ErrorCode::UnknownSession,
+                Some(session),
+                format!("observe for session {session} which was never opened"),
+            ));
+            return;
+        };
+        for row in &rows {
+            routed.rows.push((deadline_ms, row.clone()));
+        }
+        let addr = routed.addr.clone();
+        let n = rows.len() as u64;
+        self.shared
+            .stats
+            .rows_routed
+            .fetch_add(n, Ordering::Relaxed);
+        self.shared
+            .config
+            .obs
+            .metrics
+            .counter("router_rows_routed_total")
+            .add(n);
+        let batched = self
+            .upstreams
+            .get(&addr)
+            .is_some_and(|u| u.minor >= BATCH_MINOR);
+        let sent = if batched {
+            self.send_upstream(
+                &addr,
+                &Frame::ObserveBatch {
+                    session,
+                    start_step,
+                    rows,
+                    deadline_ms,
+                },
+            )
+        } else {
+            let mut sent = Ok(());
+            for (i, row) in rows.iter().enumerate() {
+                sent = self.send_upstream(
+                    &addr,
+                    &Frame::Observe {
+                        session,
+                        step: start_step + i as u64,
+                        row: row.clone(),
+                        deadline_ms,
+                    },
+                );
+                if sent.is_err() {
+                    break;
+                }
+            }
+            sent
+        };
+        if sent.is_err() {
+            self.upstream_dead(&addr);
+        }
+    }
+
     /// Forwards ground truth to the shard that decided the session.
     /// Feedback is advisory: if that shard is gone (or the memory of
     /// who decided has aged out), the frame is dropped with a
@@ -1268,14 +1435,30 @@ impl<'r> RouterConn<'r> {
                 return Some(addr);
             }
             match dial(&addr, &self.shared.upstream_cfg) {
-                Ok((stream, dec, meta)) => {
-                    let _ = stream.set_read_timeout(Some(self.shared.config.upstream_poll));
+                Ok((stream, dec, meta, minor)) => {
+                    let _ = stream.set_read_timeout(Some(READ_BACKSTOP));
                     let _ = stream.set_write_timeout(Some(Duration::from_secs(5)));
                     self.shared.cache_meta(&meta);
+                    let token = self.next_token;
+                    if self
+                        .poller
+                        .register(stream.as_raw_fd(), token, true, false)
+                        .is_err()
+                    {
+                        // Treated like a failed dial: the socket is
+                        // useless if its replies cannot wake us.
+                        self.shared
+                            .count(|s| &s.shard_failures, "router_shard_failures_total");
+                        shard.record_failure(&self.shared.config);
+                        exclude.insert(addr);
+                        continue;
+                    }
+                    self.next_token += 1;
                     if shard.record_success(&self.shared.config) {
                         self.shared
                             .count(|s| &s.shard_recoveries, "router_shard_recoveries_total");
                     }
+                    self.tokens.insert(token, addr.clone());
                     self.upstreams.insert(
                         addr.clone(),
                         Upstream {
@@ -1283,6 +1466,8 @@ impl<'r> RouterConn<'r> {
                             dec,
                             shard,
                             planned: false,
+                            token,
+                            minor,
                         },
                     );
                     return Some(addr);
@@ -1311,72 +1496,105 @@ impl<'r> RouterConn<'r> {
         let _ = write_frame(&mut self.client, frame, max);
     }
 
-    /// Reads and dispatches whatever every upstream has sent; dead
-    /// upstreams trigger migration.
-    fn pump_upstreams(&mut self) {
-        let addrs: Vec<String> = self.upstreams.keys().cloned().collect();
-        for addr in addrs {
-            let mut dead = false;
-            {
-                let Some(up) = self.upstreams.get_mut(&addr) else {
-                    continue;
-                };
-                match up.dec.read_from(&mut up.stream) {
-                    Ok(0) => dead = true,
-                    Ok(_) => {}
-                    Err(ProtoError::Io(e))
-                        if matches!(
-                            e.kind(),
-                            std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
-                        ) => {}
-                    Err(_) => dead = true,
-                }
+    /// Reads and dispatches whatever the upstream behind `token` has
+    /// sent; a dead upstream triggers migration.
+    fn pump_upstream_token(&mut self, token: u64) {
+        let Some(addr) = self.tokens.get(&token).cloned() else {
+            return;
+        };
+        // A stale token can outlive its upstream (the address may even
+        // have been re-dialled under a new token); serve only the
+        // pairing that is still current.
+        if self.upstreams.get(&addr).is_none_or(|u| u.token != token) {
+            self.tokens.remove(&token);
+            return;
+        }
+        let mut dead = false;
+        {
+            let Some(up) = self.upstreams.get_mut(&addr) else {
+                return;
+            };
+            match up.dec.read_from(&mut up.stream) {
+                Ok(0) => dead = true,
+                Ok(_) => {}
+                Err(ProtoError::Io(e))
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) => {}
+                Err(_) => dead = true,
             }
-            if !dead {
-                loop {
-                    let next = {
-                        let Some(up) = self.upstreams.get_mut(&addr) else {
-                            break;
-                        };
-                        up.dec.next_frame()
+        }
+        if !dead {
+            loop {
+                let next = {
+                    let Some(up) = self.upstreams.get_mut(&addr) else {
+                        break;
                     };
-                    match next {
-                        Ok(Some(frame)) => self.handle_upstream(&addr, frame),
-                        Ok(None) => break,
-                        Err(_) => {
-                            dead = true;
-                            break;
-                        }
+                    up.dec.next_frame()
+                };
+                match next {
+                    Ok(Some(frame)) => self.handle_upstream(&addr, frame),
+                    Ok(None) => break,
+                    Err(_) => {
+                        dead = true;
+                        break;
                     }
                 }
             }
-            if dead {
-                self.upstream_dead(&addr);
+        }
+        if dead {
+            self.upstream_dead(&addr);
+        }
+    }
+
+    /// Commits one upstream decision (single frame or batch member):
+    /// session bookkeeping, decided-shard memory for late feedback,
+    /// and the forward to the client — always as a single `Decision`
+    /// frame, since the client may predate batch framing.
+    fn on_upstream_decision(&mut self, addr: &str, frame: Frame) {
+        let Frame::Decision { session, .. } = frame else {
+            return;
+        };
+        let owned = self.sessions.get(&session).is_some_and(|r| r.addr == addr);
+        if !owned {
+            return;
+        }
+        if let Some(routed) = self.sessions.remove(&session) {
+            routed.shard.resident.fetch_sub(1, Ordering::SeqCst);
+        }
+        self.finished.insert(session);
+        // Remember who decided so late feedback finds the shard whose
+        // reservoir should learn from it.
+        if self.decided_addr.len() >= DECIDED_MEMORY {
+            if let Some(oldest) = self.decided_order.pop_front() {
+                self.decided_addr.remove(&oldest);
             }
         }
+        self.decided_addr.insert(session, addr.to_string());
+        self.decided_order.push_back(session);
+        self.shared
+            .count(|s| &s.sessions_decided, "router_sessions_decided_total");
+        self.send_client(&frame);
     }
 
     fn handle_upstream(&mut self, addr: &str, frame: Frame) {
         match frame {
-            Frame::Decision { session, .. } => {
-                let owned = self.sessions.get(&session).is_some_and(|r| r.addr == addr);
-                if owned {
-                    if let Some(routed) = self.sessions.remove(&session) {
-                        routed.shard.resident.fetch_sub(1, Ordering::SeqCst);
-                    }
-                    self.finished.insert(session);
-                    // Remember who decided so late feedback finds the
-                    // shard whose reservoir should learn from it.
-                    if self.decided_addr.len() >= DECIDED_MEMORY {
-                        if let Some(oldest) = self.decided_order.pop_front() {
-                            self.decided_addr.remove(&oldest);
-                        }
-                    }
-                    self.decided_addr.insert(session, addr.to_string());
-                    self.decided_order.push_back(session);
-                    self.shared
-                        .count(|s| &s.sessions_decided, "router_sessions_decided_total");
-                    self.send_client(&frame);
+            Frame::Decision { .. } => self.on_upstream_decision(addr, frame),
+            Frame::DecisionBatch { decisions } => {
+                // Split toward the client: batch framing is negotiated
+                // per connection, and the client's revision may lag the
+                // shard's.
+                for d in decisions {
+                    self.on_upstream_decision(
+                        addr,
+                        Frame::Decision {
+                            session: d.session,
+                            label: d.label,
+                            prefix_len: d.prefix_len,
+                            kind: d.kind,
+                        },
+                    );
                 }
             }
             Frame::Error {
@@ -1468,6 +1686,7 @@ impl<'r> RouterConn<'r> {
             // Client-only frames from a server: ignore.
             Frame::OpenSession { .. }
             | Frame::Observe { .. }
+            | Frame::ObserveBatch { .. }
             | Frame::CloseSession { .. }
             | Frame::Feedback { .. }
             | Frame::Handoff { .. } => {}
@@ -1482,6 +1701,8 @@ impl<'r> RouterConn<'r> {
         let Some(up) = self.upstreams.remove(addr) else {
             return;
         };
+        let _ = self.poller.deregister(up.stream.as_raw_fd());
+        self.tokens.remove(&up.token);
         let planned = up.planned;
         if !planned {
             self.shared
@@ -1534,6 +1755,8 @@ impl<'r> RouterConn<'r> {
                     // exclude it, and re-queue everything now resident
                     // there (this session included).
                     if let Some(bad) = self.upstreams.remove(&new_addr) {
+                        let _ = self.poller.deregister(bad.stream.as_raw_fd());
+                        self.tokens.remove(&bad.token);
                         if !bad.planned {
                             self.shared
                                 .count(|s| &s.shard_failures, "router_shard_failures_total");
@@ -1705,8 +1928,24 @@ impl<'r> RouterConn<'r> {
             let _ = self.send_upstream(&addr, &Frame::Shutdown);
         }
         let deadline = Instant::now() + self.shared.config.drain_timeout;
+        let mut events: Vec<Event> = Vec::new();
         while !self.sessions.is_empty() && !self.upstreams.is_empty() && Instant::now() < deadline {
-            self.pump_upstreams();
+            if self
+                .poller
+                .wait(&mut events, Some(Duration::from_millis(50)))
+                .is_err()
+            {
+                std::thread::sleep(Duration::from_millis(5));
+                continue;
+            }
+            let ready: Vec<u64> = events
+                .iter()
+                .map(|e| e.token)
+                .filter(|&t| t != CLIENT_TOKEN && t != WAKE_TOKEN)
+                .collect();
+            for token in ready {
+                self.pump_upstream_token(token);
+            }
         }
         let leftover: Vec<u64> = self.sessions.keys().copied().collect();
         for id in leftover {

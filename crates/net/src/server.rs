@@ -1,42 +1,57 @@
-//! Multi-threaded TCP server bridging the wire protocol into the
+//! Event-driven TCP server bridging the wire protocol into the
 //! `etsc-serve` session machinery.
 //!
-//! Thread model: one accept loop plus, per connection, a reader thread
-//! (owning the connection's [`etsc_serve::StreamSession`]s and
-//! evaluating inline, exactly like a scheduler worker) and a writer
-//! thread draining a bounded outbound queue. The queue honours the
-//! scheduler's [`Backpressure`] contract — `Block` makes the reader
-//! wait (lossless), `Shed` drops the frame and counts it. Deadlines
-//! and fallback policies are the session's own
-//! ([`etsc_serve::DeadlineConfig`]); the server adds the network
-//! concerns: connection caps with accept-time shedding, a slow-loris
-//! idle guard, seeded fault injection on the evaluation path, and a
-//! graceful drain that force-decides in-flight sessions before the
-//! socket closes.
+//! Thread model: a small fixed pool of event-loop threads, each owning
+//! a [`Poller`] (epoll) and a share of the connections. Loop 0 also
+//! owns the listener; accepted sockets are dealt round-robin to the
+//! loops through per-loop inboxes plus a poller wake. Every socket is
+//! nonblocking: reads pump the frame decoder until `WouldBlock`,
+//! writes drain a per-connection outbound queue with vectored writes,
+//! arming `EPOLLOUT` only while bytes are pending. The queue honours
+//! the scheduler's [`Backpressure`] contract — `Block` pauses the
+//! connection's *reads* until the queue drains below its cap
+//! (lossless, bounded by what was already read), `Shed` drops the
+//! frame and counts it. Deadlines and fallback policies are the
+//! session's own ([`etsc_serve::DeadlineConfig`]); the server adds the
+//! network concerns: connection caps with accept-time shedding, a
+//! slow-loris idle guard, seeded fault injection on the evaluation
+//! path, rev-2 `ObserveBatch`/`DecisionBatch` pipelining for peers
+//! that negotiated it, and a graceful drain that force-decides
+//! in-flight sessions before the socket closes.
 
 use std::collections::{HashMap, HashSet, VecDeque};
-use std::io::Write as _;
+use std::io::{IoSlice, Write as _};
 use std::net::{IpAddr, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::os::fd::AsRawFd;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
-use std::sync::{Arc, Condvar, Mutex, RwLock};
+use std::sync::{Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use etsc_adapt::{FeedbackEvent, FeedbackSink};
 use etsc_eval::experiment::RunConfig;
 use etsc_eval::faults::{FaultPlan, FaultSchedule};
-use etsc_obs::Obs;
+use etsc_obs::{HistogramHandle, Obs};
 use etsc_serve::{
     Backpressure, BrownoutConfig, BrownoutController, BrownoutLevel, CodelConfig, CodelController,
     DeadlineConfig, FallbackKind, FallbackPolicy, PressureSensor, StoredModel, StreamSession,
     TokenBucket,
 };
 
+use crate::poll::{Event, Poller, WAKE_TOKEN};
 use crate::proto::{
-    encode_frame, DecisionKind, ErrorCode, Frame, FrameDecoder, ModelInfo, ProtoError,
-    MAX_FRAME_BYTES, MAX_PENDING_FRAMES, PRIORITY_LOW, PROTO_VERSION,
+    encode_frame, BatchDecision, BufferPool, DecisionKind, ErrorCode, Frame, FrameDecoder,
+    ModelInfo, ProtoError, BATCH_MINOR, MAX_FRAME_BYTES, MAX_PENDING_FRAMES, PRIORITY_LOW,
+    PROTO_MINOR, PROTO_VERSION,
 };
+
+/// Poller token reserved for the listener (loop 0 only).
+const LISTENER_TOKEN: u64 = u64::MAX - 1;
+
+/// Decisions per `DecisionBatch` frame — keeps the frame comfortably
+/// under any sane `max_frame_bytes` while still coalescing writes.
+const MAX_DECISIONS_PER_BATCH: usize = 512;
 
 /// Overload-admission knobs: per-client token buckets on session
 /// opens, CoDel-style adaptive admission keyed on measured frame
@@ -74,7 +89,8 @@ impl Default for AdmissionConfig {
     }
 }
 
-/// Tuning knobs for [`NetServer`].
+/// Tuning knobs for [`NetServer`]. Prefer building this through
+/// [`crate::ServerBuilder`], which validates the combination.
 #[derive(Clone)]
 pub struct ServerConfig {
     /// Concurrent connections before accept-time shedding.
@@ -85,14 +101,18 @@ pub struct ServerConfig {
     pub max_frame_bytes: usize,
     /// Outbound frames queued per connection before backpressure.
     pub max_pending_frames: usize,
-    /// What a full outbound queue does to the reader: block (lossless)
-    /// or shed the frame.
+    /// What a full outbound queue does to the connection: pause its
+    /// reads (lossless) or shed the frame.
     pub backpressure: Backpressure,
     /// Per-evaluation decision deadline applied to every session.
     pub deadline: Option<DeadlineConfig>,
-    /// Reader poll granularity — how often blocked reads re-check the
-    /// drain flag.
-    pub read_poll: Duration,
+    /// Event-loop threads sharing the connections (0 = one per
+    /// available core, capped at 4).
+    pub event_loop_threads: usize,
+    /// Highest protocol minor revision this server negotiates —
+    /// [`PROTO_MINOR`] normally; interop tests lower it to impersonate
+    /// an older peer.
+    pub protocol_minor: u32,
     /// Silence budget per connection (slow-loris guard).
     pub idle_timeout: Duration,
     /// Seeded server-side fault plan (worker panics, evaluation
@@ -120,7 +140,8 @@ impl Default for ServerConfig {
             max_pending_frames: MAX_PENDING_FRAMES,
             backpressure: Backpressure::Block,
             deadline: None,
-            read_poll: Duration::from_millis(25),
+            event_loop_threads: 0,
+            protocol_minor: PROTO_MINOR,
             idle_timeout: Duration::from_secs(30),
             faults: None,
             fault_horizon: 0,
@@ -128,6 +149,19 @@ impl Default for ServerConfig {
             admission: None,
             obs: Obs::disabled(),
         }
+    }
+}
+
+/// Resolves [`ServerConfig::event_loop_threads`]: explicit when
+/// nonzero, otherwise one loop per available core capped at four — the
+/// loops multiplex sockets, they do not need to scale with load.
+pub(crate) fn resolve_event_loops(configured: usize) -> usize {
+    if configured > 0 {
+        configured
+    } else {
+        std::thread::available_parallelism()
+            .map_or(2, std::num::NonZeroUsize::get)
+            .clamp(1, 4)
     }
 }
 
@@ -330,15 +364,26 @@ struct Shared {
     draining: AtomicBool,
     killed: AtomicBool,
     session_seq: AtomicU64,
+    /// Live connections across all loops — the accept-time cap.
+    active: AtomicU64,
     schedule: Option<FaultSchedule>,
     stats: StatsCells,
     serve_span: Option<u64>,
+    /// One waker per event loop, so state changes (drain, kill,
+    /// inbox handoffs) interrupt a parked `epoll_wait`.
+    wakers: Vec<Arc<Poller>>,
 }
 
 impl Shared {
     fn count(&self, cell: impl Fn(&StatsCells) -> &AtomicU64, metric: &str) {
         cell(&self.stats).fetch_add(1, Ordering::Relaxed);
         self.config.obs.metrics.counter(metric).inc();
+    }
+
+    fn wake_all(&self) {
+        for waker in &self.wakers {
+            waker.wake();
+        }
     }
 
     /// The generation new connections will pin.
@@ -429,16 +474,16 @@ impl Shared {
 pub struct NetServer {
     addr: SocketAddr,
     shared: Arc<Shared>,
-    accept: Option<JoinHandle<()>>,
-    conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    loops: Vec<JoinHandle<()>>,
 }
 
 impl NetServer {
     /// Binds `addr` (use port 0 for an ephemeral port) and starts
-    /// serving `model` on a background accept loop.
+    /// serving `model` on a pool of background event loops.
     ///
     /// # Errors
-    /// `std::io::Error` when the address cannot be bound.
+    /// `std::io::Error` when the address cannot be bound or the event
+    /// loops cannot be created.
     pub fn bind<A: ToSocketAddrs>(
         model: Arc<StoredModel>,
         addr: A,
@@ -462,6 +507,13 @@ impl NetServer {
             .filter(|_| config.fault_horizon > 0)
             .map(|plan| plan.schedule(&vec![1; config.fault_horizon]));
         let admission = config.admission.clone().map(AdmissionState::new);
+        let n_loops = resolve_event_loops(config.event_loop_threads);
+        let mut pollers = Vec::with_capacity(n_loops);
+        let mut inboxes: Vec<Inbox> = Vec::with_capacity(n_loops);
+        for _ in 0..n_loops {
+            pollers.push(Arc::new(Poller::new()?));
+            inboxes.push(Arc::new(Mutex::new(Vec::new())));
+        }
         let shared = Arc::new(Shared {
             gen: RwLock::new(Arc::new(generation)),
             config,
@@ -469,32 +521,78 @@ impl NetServer {
             draining: AtomicBool::new(false),
             killed: AtomicBool::new(false),
             session_seq: AtomicU64::new(0),
+            active: AtomicU64::new(0),
             schedule,
             stats: StatsCells::default(),
             serve_span,
+            wakers: pollers.clone(),
         });
-        let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
-        let accept = {
-            let shared = Arc::clone(&shared);
-            let conns = Arc::clone(&conns);
-            std::thread::Builder::new()
-                .name("etsc-net-accept".into())
+        let mut loops = Vec::with_capacity(n_loops);
+        let mut listener = Some(listener);
+        let mut span = Some(span);
+        for i in 0..n_loops {
+            let shared2 = Arc::clone(&shared);
+            let poller = Arc::clone(&pollers[i]);
+            let inbox = Arc::clone(&inboxes[i]);
+            // Loop 0 owns the listener (and the serve span, dropped
+            // when it exits) and deals accepted sockets to every loop.
+            let listener = listener.take();
+            let span = span.take();
+            let peers: Vec<(Inbox, Arc<Poller>)> = if i == 0 {
+                inboxes
+                    .iter()
+                    .cloned()
+                    .zip(pollers.iter().cloned())
+                    .collect()
+            } else {
+                Vec::new()
+            };
+            let spawned = std::thread::Builder::new()
+                .name(format!("etsc-net-loop-{i}"))
                 .spawn(move || {
-                    accept_loop(&shared, &listener, &conns);
+                    let mut el = EventLoop {
+                        shared: shared2,
+                        poller,
+                        inbox,
+                        listener,
+                        peers,
+                        next_loop: 0,
+                        conn_seq: 0,
+                        conns: HashMap::new(),
+                    };
+                    el.run();
                     drop(span);
-                })?
-        };
+                });
+            match spawned {
+                Ok(handle) => loops.push(handle),
+                Err(e) => {
+                    // Unwind the loops already running before
+                    // propagating the bind failure.
+                    shared.draining.store(true, Ordering::SeqCst);
+                    shared.wake_all();
+                    for h in loops {
+                        let _ = h.join();
+                    }
+                    return Err(e);
+                }
+            }
+        }
         Ok(NetServer {
             addr,
             shared,
-            accept: Some(accept),
-            conns,
+            loops,
         })
     }
 
     /// The bound address (with the resolved ephemeral port).
     pub fn local_addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// How many event-loop threads are multiplexing the connections
+    /// (the resolved value of [`ServerConfig::event_loop_threads`]).
+    pub fn event_loops(&self) -> usize {
+        self.loops.len()
     }
 
     /// Current counter snapshot.
@@ -550,6 +648,7 @@ impl NetServer {
     /// [`NetServer::join`] to wait for completion.
     pub fn shutdown(&self) {
         self.shared.draining.store(true, Ordering::SeqCst);
+        self.shared.wake_all();
     }
 
     /// Simulates a shard crash: connections close abruptly with *no*
@@ -559,21 +658,23 @@ impl NetServer {
     /// learns about the death, it learns from the dropped sockets.
     /// Returns immediately; use [`NetServer::join`] to reap threads.
     pub fn kill(&self) {
+        // Deliberately NOT `draining`: a crash must never be observable
+        // as a drain. Were the flag set, a frame handled between this
+        // store and the loop's next lap (an `OpenSession` racing the
+        // kill) would be answered with a polite retryable `Draining`
+        // error — a handshake no crashed process could send — and the
+        // client would re-open instead of letting the router migrate.
         self.shared.killed.store(true, Ordering::SeqCst);
-        self.shared.draining.store(true, Ordering::SeqCst);
+        self.shared.wake_all();
     }
 
-    /// Drains (if not already requested) and waits for the accept loop
-    /// and every connection to finish, returning the final counters.
+    /// Drains (if not already requested) and waits for every event
+    /// loop to finish, returning the final counters.
     pub fn join(mut self) -> ServerStats {
         self.shutdown();
         let obs = &self.shared.config.obs;
         let mut drain = obs.tracer.span_under("net.drain", self.shared.serve_span);
-        if let Some(h) = self.accept.take() {
-            let _ = h.join();
-        }
-        let handles = std::mem::take(&mut *self.conns.lock().unwrap_or_else(|e| e.into_inner()));
-        for h in handles {
+        for h in std::mem::take(&mut self.loops) {
             let _ = h.join();
         }
         let stats = self.shared.stats.snapshot();
@@ -583,219 +684,411 @@ impl NetServer {
     }
 }
 
-fn accept_loop(
-    shared: &Arc<Shared>,
-    listener: &TcpListener,
-    conns: &Arc<Mutex<Vec<JoinHandle<()>>>>,
-) {
-    let obs = &shared.config.obs;
-    let active = Arc::new(AtomicU64::new(0));
-    let mut conn_seq: u64 = 0;
-    while !shared.draining.load(Ordering::SeqCst) {
-        match listener.accept() {
-            Ok((stream, peer)) => {
-                let _ = stream.set_nonblocking(false);
-                if active.load(Ordering::SeqCst) >= shared.config.max_connections as u64 {
-                    shared.count(|s| &s.connections_shed, "net_connections_shed_total");
-                    obs.tracer.event_under(
-                        "net.conn.shed",
-                        shared.serve_span,
-                        &[("peer", &peer.to_string())],
-                    );
-                    shed_connection(shared, stream, ErrorCode::Overloaded, "connection cap");
-                    continue;
-                }
-                conn_seq += 1;
-                let conn_id = conn_seq;
-                shared.count(|s| &s.connections_accepted, "net_connections_total");
-                obs.tracer.event_under(
-                    "net.conn.accept",
-                    shared.serve_span,
-                    &[("conn", &conn_id.to_string()), ("peer", &peer.to_string())],
-                );
-                active.fetch_add(1, Ordering::SeqCst);
-                let shared2 = Arc::clone(shared);
-                let active2 = Arc::clone(&active);
-                let spawned = std::thread::Builder::new()
-                    .name(format!("etsc-net-conn-{conn_id}"))
-                    .spawn(move || {
-                        connection_thread(&shared2, stream, conn_id);
-                        active2.fetch_sub(1, Ordering::SeqCst);
-                    });
-                match spawned {
-                    Ok(handle) => {
-                        conns.lock().unwrap_or_else(|e| e.into_inner()).push(handle);
-                    }
-                    Err(_) => {
-                        // Thread exhaustion: the closure (and the
-                        // socket inside it) is gone, so undo the
-                        // occupancy and account the connection closed.
-                        active.fetch_sub(1, Ordering::SeqCst);
-                        shared.count(|s| &s.connections_closed, "net_connections_closed_total");
-                    }
-                }
-            }
-            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                std::thread::sleep(Duration::from_millis(2));
-            }
-            Err(_) => std::thread::sleep(Duration::from_millis(10)),
-        }
-    }
-}
-
 /// Refuses a connection at accept time with a best-effort error frame
 /// carrying the code's retry classification, so clients know whether
 /// (and roughly when) a reconnect is worth attempting.
 fn shed_connection(shared: &Shared, mut stream: TcpStream, code: ErrorCode, why: &str) {
     let frame = Frame::error(code, None, why);
     if let Ok(wire) = encode_frame(&frame, shared.config.max_frame_bytes) {
+        let _ = stream.set_nonblocking(false);
         let _ = stream.set_write_timeout(Some(Duration::from_millis(100)));
         let _ = stream.write_all(&wire);
     }
 }
 
 // ---------------------------------------------------------------------
-// Outbound writer: bounded queue + dedicated thread per connection.
+// Event loop: poller, inbox adoption, accept burst, connection table.
 // ---------------------------------------------------------------------
 
-struct OutQueue {
-    frames: Mutex<(Vec<Vec<u8>>, bool)>, // (queued wire images, closed)
-    not_empty: Condvar,
-    not_full: Condvar,
-    cap: usize,
-    dead: AtomicBool, // writer hit an I/O error; the peer is gone
+type Inbox = Arc<Mutex<Vec<(TcpStream, u64)>>>;
+
+struct EventLoop {
+    shared: Arc<Shared>,
+    poller: Arc<Poller>,
+    /// Sockets dealt to this loop by loop 0's accept burst.
+    inbox: Inbox,
+    /// Loop 0 only: the listening socket.
+    listener: Option<TcpListener>,
+    /// Loop 0 only: every loop's (inbox, waker), self included, for
+    /// round-robin placement of accepted sockets.
+    peers: Vec<(Inbox, Arc<Poller>)>,
+    next_loop: usize,
+    conn_seq: u64,
+    conns: HashMap<u64, Conn>,
 }
 
-struct Writer {
-    queue: Arc<OutQueue>,
-    handle: JoinHandle<()>,
+/// Per-loop latency instruments, built once per thread.
+struct Hists {
+    observe: HistogramHandle,
+    open: HistogramHandle,
+    sojourn: HistogramHandle,
+    write: HistogramHandle,
 }
 
-impl Writer {
-    fn spawn(shared: Arc<Shared>, mut stream: TcpStream, conn_id: u64) -> std::io::Result<Writer> {
-        let queue = Arc::new(OutQueue {
-            frames: Mutex::new((Vec::new(), false)),
-            not_empty: Condvar::new(),
-            not_full: Condvar::new(),
-            cap: shared.config.max_pending_frames.max(1),
-            dead: AtomicBool::new(false),
-        });
-        let q = Arc::clone(&queue);
-        let handle = std::thread::Builder::new()
-            .name(format!("etsc-net-write-{conn_id}"))
-            .spawn(move || {
-                let write_hist = shared
-                    .config
-                    .obs
-                    .metrics
-                    .histogram("net_frame_write_seconds");
-                loop {
-                    let batch = {
-                        let mut guard = q.frames.lock().unwrap_or_else(|e| e.into_inner());
-                        while guard.0.is_empty() && !guard.1 {
-                            guard = q.not_empty.wait(guard).unwrap_or_else(|e| e.into_inner());
-                        }
-                        if guard.0.is_empty() && guard.1 {
-                            break;
-                        }
-                        std::mem::take(&mut guard.0)
-                    };
-                    q.not_full.notify_all();
-                    let started = Instant::now();
-                    for wire in &batch {
-                        if q.dead.load(Ordering::SeqCst) {
-                            break;
-                        }
-                        if stream.write_all(wire).is_err() {
-                            q.dead.store(true, Ordering::SeqCst);
-                            break;
-                        }
-                        shared.count(|s| &s.frames_written, "net_frames_written_total");
-                    }
-                    let _ = stream.flush();
-                    write_hist.record(started.elapsed().as_secs_f64());
-                }
-                let _ = stream.flush();
-            })?;
-        Ok(Writer { queue, handle })
-    }
-
-    /// Queues one encoded frame, honouring the backpressure policy.
-    /// Returns `false` when the frame was shed (or the peer is gone).
-    fn push(&self, wire: Vec<u8>, policy: Backpressure, shared: &Shared) -> bool {
-        if self.queue.dead.load(Ordering::SeqCst) {
-            return false;
-        }
-        let mut guard = self.queue.frames.lock().unwrap_or_else(|e| e.into_inner());
-        while guard.0.len() >= self.queue.cap && !guard.1 {
-            match policy {
-                // The outbound queue has no sojourn signal of its own;
-                // adaptive admission governs ingress, so a full writer
-                // queue under `Adaptive` sheds like `Shed`.
-                Backpressure::Shed | Backpressure::Adaptive(_) => {
-                    shared.count(|s| &s.frames_shed, "net_frames_shed_total");
-                    return false;
-                }
-                Backpressure::Block => {
-                    if self.queue.dead.load(Ordering::SeqCst) {
-                        return false;
-                    }
-                    let (g, timeout) = self
-                        .queue
-                        .not_full
-                        .wait_timeout(guard, Duration::from_millis(50))
-                        .unwrap_or_else(|e| e.into_inner());
-                    guard = g;
-                    let _ = timeout;
-                }
+impl EventLoop {
+    fn run(&mut self) {
+        let metrics = &self.shared.config.obs.metrics;
+        let hists = Hists {
+            observe: metrics.histogram("net_handle_observe_seconds"),
+            open: metrics.histogram("net_handle_open_seconds"),
+            sojourn: metrics.histogram("net_frame_sojourn_seconds"),
+            write: metrics.histogram("net_frame_write_seconds"),
+        };
+        if let Some(listener) = &self.listener {
+            if self
+                .poller
+                .register(listener.as_raw_fd(), LISTENER_TOKEN, true, false)
+                .is_err()
+            {
+                return;
             }
         }
-        if guard.1 {
-            return false;
+        let mut events: Vec<Event> = Vec::new();
+        loop {
+            self.adopt_inbox();
+            if self.shared.killed.load(Ordering::SeqCst) {
+                self.kill_all();
+                return;
+            }
+            if self.shared.draining.load(Ordering::SeqCst) {
+                self.drain_all();
+                return;
+            }
+            let timeout = self.next_timeout();
+            if self.poller.wait(&mut events, Some(timeout)).is_err() {
+                // epoll_wait failing (other than EINTR, already
+                // swallowed) means the poller itself is broken; back
+                // off so a persistent failure cannot spin a core.
+                std::thread::sleep(Duration::from_millis(5));
+                continue;
+            }
+            for &ev in &events {
+                match ev.token {
+                    WAKE_TOKEN => {} // inbox/flags re-checked at loop top
+                    LISTENER_TOKEN => self.accept_burst(),
+                    token => self.service_conn(token, ev, &hists),
+                }
+            }
+            self.idle_scan();
         }
-        guard.0.push(wire);
-        drop(guard);
-        self.queue.not_empty.notify_one();
-        true
     }
 
-    fn close_and_join(self) {
-        {
-            let mut guard = self.queue.frames.lock().unwrap_or_else(|e| e.into_inner());
-            guard.1 = true;
+    /// Registers sockets loop 0 dealt to this loop.
+    fn adopt_inbox(&mut self) {
+        let handoffs = std::mem::take(&mut *self.inbox.lock().unwrap_or_else(|e| e.into_inner()));
+        for (stream, conn_id) in handoffs {
+            self.adopt(stream, conn_id);
         }
-        self.queue.not_empty.notify_all();
-        self.queue.not_full.notify_all();
-        let _ = self.handle.join();
+    }
+
+    /// Accepts until the backlog is empty, shedding over the cap and
+    /// dealing admitted sockets round-robin across the loops.
+    fn accept_burst(&mut self) {
+        let shared = Arc::clone(&self.shared);
+        let obs = &shared.config.obs;
+        loop {
+            if shared.draining.load(Ordering::SeqCst) {
+                return;
+            }
+            let Some(listener) = &self.listener else {
+                return;
+            };
+            match listener.accept() {
+                Ok((stream, peer)) => {
+                    if shared.active.load(Ordering::SeqCst) >= shared.config.max_connections as u64
+                    {
+                        shared.count(|s| &s.connections_shed, "net_connections_shed_total");
+                        obs.tracer.event_under(
+                            "net.conn.shed",
+                            shared.serve_span,
+                            &[("peer", &peer.to_string())],
+                        );
+                        shed_connection(&shared, stream, ErrorCode::Overloaded, "connection cap");
+                        continue;
+                    }
+                    self.conn_seq += 1;
+                    let conn_id = self.conn_seq;
+                    shared.count(|s| &s.connections_accepted, "net_connections_total");
+                    obs.tracer.event_under(
+                        "net.conn.accept",
+                        shared.serve_span,
+                        &[("conn", &conn_id.to_string()), ("peer", &peer.to_string())],
+                    );
+                    shared.active.fetch_add(1, Ordering::SeqCst);
+                    let target = self.next_loop % self.peers.len();
+                    self.next_loop = self.next_loop.wrapping_add(1);
+                    if target == 0 {
+                        self.adopt(stream, conn_id);
+                    } else {
+                        let (inbox, waker) = &self.peers[target];
+                        inbox
+                            .lock()
+                            .unwrap_or_else(|e| e.into_inner())
+                            .push((stream, conn_id));
+                        waker.wake();
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return,
+                // Transient accept errors (ECONNABORTED and friends):
+                // the listener stays level-triggered readable while a
+                // backlog remains, so simply retry on next readiness.
+                Err(_) => return,
+            }
+        }
+    }
+
+    /// Takes ownership of one accepted socket: nonblocking, pinned
+    /// generation, registered for readiness under its conn id.
+    fn adopt(&mut self, stream: TcpStream, conn_id: u64) {
+        let shared = Arc::clone(&self.shared);
+        if stream.set_nonblocking(true).is_err() {
+            shared.active.fetch_sub(1, Ordering::SeqCst);
+            shared.count(|s| &s.connections_closed, "net_connections_closed_total");
+            return;
+        }
+        let _ = stream.set_nodelay(true);
+        let peer = stream.peer_addr().ok().map(|a| a.ip());
+        // Pin the serving generation for this connection's whole life:
+        // sessions borrow stream state into this model, so a concurrent
+        // hot-swap must not pull it out from under them.
+        let gen_pin = shared.current_gen();
+        // SAFETY: `gen` points into the allocation owned by `gen_pin`.
+        // `gen_pin` is stored in the same `Conn` and declared *after*
+        // every field that borrows from it, so the allocation is alive
+        // (and at a stable address — it is behind an `Arc`) for as
+        // long as any borrow exists.
+        let gen: &'static Generation = unsafe { &*Arc::as_ptr(&gen_pin) };
+        if self
+            .poller
+            .register(stream.as_raw_fd(), conn_id, true, false)
+            .is_err()
+        {
+            shared.active.fetch_sub(1, Ordering::SeqCst);
+            shared.count(|s| &s.connections_closed, "net_connections_closed_total");
+            return;
+        }
+        let now = Instant::now();
+        let max_frame = shared.config.max_frame_bytes;
+        let cap = shared.config.max_pending_frames.max(1);
+        let conn = Conn {
+            shared,
+            stream,
+            dec: FrameDecoder::new(max_frame),
+            out: OutBuf {
+                queue: VecDeque::new(),
+                head_off: 0,
+                cap,
+                dead: false,
+                pool: BufferPool::default(),
+            },
+            conn_id,
+            peer,
+            gen,
+            read_at: now,
+            read_epoch: now,
+            idle: false,
+            last_activity: now,
+            said_hello: false,
+            negotiated: 0,
+            pending_drain: false,
+            closing: None,
+            pending_decisions: Vec::new(),
+            sessions: HashMap::new(),
+            finished: HashSet::new(),
+            decided: HashMap::new(),
+            decided_order: VecDeque::new(),
+            want_read: true,
+            want_write: false,
+            gen_pin,
+        };
+        self.conns.insert(conn_id, conn);
+    }
+
+    /// One connection's readiness: flush first (freeing queue space
+    /// can resume paused reads), then pump the decoder.
+    fn service_conn(&mut self, token: u64, ev: Event, hists: &Hists) {
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        if ev.writable {
+            conn.try_flush(&hists.write);
+        }
+        if ev.readable || ev.hangup {
+            conn.pump(hists);
+        }
+        // Writes the pump produced go out now if the socket has room.
+        if !conn.out.queue.is_empty() && !conn.out.dead {
+            conn.try_flush(&hists.write);
+        }
+        if conn.out.dead && conn.closing.is_none() {
+            conn.closing = Some(CloseReason::WriterDead);
+        }
+        if conn.closing.is_some() {
+            self.close_conn(token);
+        } else {
+            let conn = self.conns.get_mut(&token).expect("conn still present");
+            conn.sync_interest(&self.poller);
+        }
+    }
+
+    /// Evicts connections that stayed silent past the idle budget —
+    /// the slow-loris guard, now driven off the poll timeout.
+    fn idle_scan(&mut self) {
+        let idle_timeout = self.shared.config.idle_timeout;
+        let expired: Vec<u64> = self
+            .conns
+            .iter()
+            .filter(|(_, c)| c.last_activity.elapsed() > idle_timeout)
+            .map(|(&t, _)| t)
+            .collect();
+        for token in expired {
+            if let Some(conn) = self.conns.get_mut(&token) {
+                conn.send(Frame::error(
+                    ErrorCode::IdleTimeout,
+                    None,
+                    format!("no frames for {idle_timeout:?}"),
+                ));
+                conn.closing = Some(CloseReason::IdleTimeout);
+                self.close_conn(token);
+            }
+        }
+    }
+
+    /// How long the poller may park: until the nearest idle deadline,
+    /// capped so flag changes never wait long even if a wake is lost.
+    fn next_timeout(&self) -> Duration {
+        let mut timeout = Duration::from_millis(500);
+        let idle_timeout = self.shared.config.idle_timeout;
+        for conn in self.conns.values() {
+            let budget = idle_timeout.saturating_sub(conn.last_activity.elapsed());
+            timeout = timeout.min(budget);
+        }
+        timeout.max(Duration::from_millis(1))
+    }
+
+    /// Graceful drain: answer every in-flight session, announce the
+    /// shutdown, flush, close.
+    fn drain_all(&mut self) {
+        let tokens: Vec<u64> = self.conns.keys().copied().collect();
+        for token in tokens {
+            if let Some(conn) = self.conns.get_mut(&token) {
+                conn.drain();
+                conn.closing = Some(CloseReason::Drained);
+                self.close_conn(token);
+            }
+        }
+    }
+
+    /// Crash simulation: drop every socket with sessions unanswered
+    /// and nothing flushed.
+    fn kill_all(&mut self) {
+        let tokens: Vec<u64> = self.conns.keys().copied().collect();
+        for token in tokens {
+            if let Some(conn) = self.conns.get_mut(&token) {
+                conn.out.dead = true; // suppress the teardown flush
+                conn.closing = Some(CloseReason::Killed);
+                self.close_conn(token);
+            }
+        }
+    }
+
+    /// Removes a connection: deregister, abandon leftovers, flush what
+    /// the outbound queue still holds (blocking, bounded), account.
+    fn close_conn(&mut self, token: u64) {
+        let Some(mut conn) = self.conns.remove(&token) else {
+            return;
+        };
+        let shared = Arc::clone(&conn.shared);
+        let _ = self.poller.deregister(conn.stream.as_raw_fd());
+        let reason = conn.closing.take().unwrap_or(CloseReason::Eof);
+        let abandoned = conn.abandon_all();
+        conn.teardown_flush();
+        shared.active.fetch_sub(1, Ordering::SeqCst);
+        shared.count(|s| &s.connections_closed, "net_connections_closed_total");
+        let obs = &shared.config.obs;
+        obs.tracer.event_under(
+            "net.conn.close",
+            shared.serve_span,
+            &[
+                ("conn", &conn.conn_id.to_string()),
+                ("reason", reason.name()),
+                ("abandoned", &abandoned.to_string()),
+            ],
+        );
+        if let CloseReason::Proto(e) = &reason {
+            obs.tracer.event_under(
+                "net.conn.proto_error",
+                shared.serve_span,
+                &[
+                    ("conn", &conn.conn_id.to_string()),
+                    ("error", &e.to_string()),
+                ],
+            );
+        }
     }
 }
 
 // ---------------------------------------------------------------------
-// Per-connection reader: handshake, session table, evaluation.
+// Per-connection state: handshake, session table, evaluation, output.
 // ---------------------------------------------------------------------
 
-struct Conn<'m> {
-    shared: &'m Shared,
-    /// The serving generation pinned at accept time.
-    gen: &'m Generation,
-    writer: Writer,
+/// Outbound frame queue: encoded wire images awaiting a writable
+/// socket, drained with vectored writes. `head_off` is how much of the
+/// front frame already went out on a short write.
+struct OutBuf {
+    queue: VecDeque<Vec<u8>>,
+    head_off: usize,
+    cap: usize,
+    dead: bool,
+    /// Recycles written frame buffers back into the encoder.
+    pool: BufferPool,
+}
+
+impl OutBuf {
+    fn over_cap(&self) -> bool {
+        self.queue.len() >= self.cap
+    }
+}
+
+struct Conn {
+    shared: Arc<Shared>,
+    stream: TcpStream,
+    dec: FrameDecoder,
+    out: OutBuf,
     conn_id: u64,
     /// Client IP, the token-bucket key (None for unnamed peers).
     peer: Option<IpAddr>,
+    /// The serving generation pinned at accept time; points into
+    /// `gen_pin` (see the SAFETY note at construction).
+    gen: &'static Generation,
     /// When the bytes of the frame batch currently being handled
     /// landed — the epoch propagated deadlines are measured against.
     read_at: Instant,
     /// The pressure epoch: bytes already waiting when the previous
     /// batch finished handling arrived *during* that handling, so
     /// their queue sojourn is measured from the previous read — not
-    /// from the moment the reader finally got to them. Reset to "now"
-    /// only after the reader has observed an empty queue. Without
+    /// from the moment the loop finally got to them. Reset to "now"
+    /// only after a read attempt found the socket empty. Without
     /// this, the first frame of every batch reads as a zero sojourn
     /// and a standing queue never shows up in the admission signal.
     read_epoch: Instant,
-    /// Whether the last read attempt found the inbound queue empty.
+    /// Whether the last read attempt found the socket empty.
     idle: bool,
-    sessions: HashMap<u64, SessionEntry<'m>>,
+    /// Last time a complete frame arrived — the idle guard's clock
+    /// (bytes alone do not count: a drip-feeding loris must still
+    /// trip the timeout).
+    last_activity: Instant,
+    said_hello: bool,
+    /// Negotiated minor revision: `min(client minor, ours)`. Batch
+    /// frames flow only at [`BATCH_MINOR`] and above.
+    negotiated: u32,
+    /// A client `Shutdown` frame arrived; the loop drains next lap.
+    pending_drain: bool,
+    closing: Option<CloseReason>,
+    /// Verdicts awaiting coalescing into a `DecisionBatch` (rev-2
+    /// peers only), flushed after each pump.
+    pending_decisions: Vec<BatchDecision>,
+    sessions: HashMap<u64, SessionEntry<'static>>,
     /// Ids that reached a terminal state; late frames for them are
     /// ignored rather than UnknownSession errors.
     finished: HashSet<u64>,
@@ -804,6 +1097,13 @@ struct Conn<'m> {
     /// be graded. FIFO-bounded by `max_sessions_per_conn`.
     decided: HashMap<u64, DecidedInfo>,
     decided_order: VecDeque<u64>,
+    want_read: bool,
+    want_write: bool,
+    /// Keeps the pinned generation alive. Declared last so every
+    /// borrowing field above drops first. Never read — holding it is
+    /// its whole job.
+    #[allow(dead_code)]
+    gen_pin: Arc<Generation>,
 }
 
 /// What feedback needs to know about a decided session.
@@ -844,175 +1144,130 @@ impl CloseReason {
     }
 }
 
-fn connection_thread(shared: &Arc<Shared>, stream: TcpStream, conn_id: u64) {
-    let _ = stream.set_nodelay(true);
-    let _ = stream.set_read_timeout(Some(shared.config.read_poll));
-    let peer = stream.peer_addr().ok().map(|a| a.ip());
-    let writer = match stream
-        .try_clone()
-        .and_then(|w| Writer::spawn(Arc::clone(shared), w, conn_id))
-    {
-        Ok(w) => w,
-        Err(_) => {
-            shared.count(|s| &s.connections_closed, "net_connections_closed_total");
-            return;
-        }
-    };
-    // Pin the serving generation for this connection's whole life:
-    // sessions borrow stream state into this model, so a concurrent
-    // hot-swap must not pull it out from under them.
-    let generation = shared.current_gen();
-    let mut conn = Conn {
-        shared: shared.as_ref(),
-        gen: generation.as_ref(),
-        writer,
-        conn_id,
-        peer,
-        read_at: Instant::now(),
-        read_epoch: Instant::now(),
-        idle: false,
-        sessions: HashMap::new(),
-        finished: HashSet::new(),
-        decided: HashMap::new(),
-        decided_order: VecDeque::new(),
-    };
-    let reason = conn.serve(stream);
-    let abandoned = conn.abandon_all();
-    conn.writer.close_and_join();
-    shared.count(|s| &s.connections_closed, "net_connections_closed_total");
-    let obs = &shared.config.obs;
-    obs.tracer.event_under(
-        "net.conn.close",
-        shared.serve_span,
-        &[
-            ("conn", &conn_id.to_string()),
-            ("reason", reason.name()),
-            ("abandoned", &abandoned.to_string()),
-        ],
-    );
-    if let CloseReason::Proto(e) = &reason {
-        obs.tracer.event_under(
-            "net.conn.proto_error",
-            shared.serve_span,
-            &[("conn", &conn_id.to_string()), ("error", &e.to_string())],
-        );
-    }
-}
-
-impl<'m> Conn<'m> {
-    fn serve(&mut self, mut stream: TcpStream) -> CloseReason {
-        let shared = self.shared;
-        let obs = &shared.config.obs;
-        let observe_hist = obs.metrics.histogram("net_handle_observe_seconds");
-        let open_hist = obs.metrics.histogram("net_handle_open_seconds");
-        let sojourn_hist = obs.metrics.histogram("net_frame_sojourn_seconds");
-        let mut dec = FrameDecoder::new(shared.config.max_frame_bytes);
-        let mut last_activity = Instant::now();
-        let mut said_hello = false;
+impl Conn {
+    /// Reads until the socket runs dry (or a close condition), decoding
+    /// and handling frames after every chunk.
+    fn pump(&mut self, hists: &Hists) {
         loop {
-            if shared.killed.load(Ordering::SeqCst) {
-                // Crash simulation: drop the socket with sessions
-                // unanswered. The caller's abandon_all() accounts them.
-                return CloseReason::Killed;
+            if self.closing.is_some() || self.pending_drain || self.out.dead {
+                return;
             }
-            if shared.draining.load(Ordering::SeqCst) {
-                self.drain();
-                return CloseReason::Drained;
+            // Lossless backpressure: a full outbound queue pauses this
+            // connection's reads; `sync_interest` disarms EPOLLIN until
+            // the flush path drains the queue below its cap.
+            if self.out.over_cap() {
+                return;
             }
-            if self.writer.queue.dead.load(Ordering::SeqCst) {
-                return CloseReason::WriterDead;
-            }
-            // Pull everything already buffered before touching the
-            // socket again.
-            loop {
-                match dec.next_frame() {
-                    Ok(Some(frame)) => {
-                        last_activity = Instant::now();
-                        shared.count(|s| &s.frames_read, "net_frames_read_total");
-                        obs.metrics
-                            .counter(&format!("net_frames_read_{}_total", frame.kind_name()))
-                            .inc();
-                        let started = Instant::now();
-                        let verdict = self.handle(frame, &mut said_hello);
-                        match verdict {
-                            Handled::Ok => {}
-                            Handled::Observe => {
-                                observe_hist.record(started.elapsed().as_secs_f64());
-                                // Sojourn: time since this frame's bytes
-                                // landed (pressure epoch), including the
-                                // wait behind earlier frames of the same
-                                // busy period.
-                                let sojourn = self.read_epoch.elapsed();
-                                sojourn_hist.record(sojourn.as_secs_f64());
-                                shared.record_pressure(sojourn);
-                            }
-                            Handled::Open => {
-                                open_hist.record(started.elapsed().as_secs_f64());
-                                shared.record_pressure(self.read_epoch.elapsed());
-                            }
-                            Handled::Drain => {
-                                self.drain();
-                                return CloseReason::Drained;
-                            }
-                            Handled::Fatal(reason) => return reason,
-                        }
-                    }
-                    Ok(None) => break,
-                    Err(ProtoError::UnknownTag(tag)) => {
-                        // Forward compatibility: a newer peer sent a
-                        // frame kind this server does not speak (e.g.
-                        // Feedback hitting a pre-adapt server). The
-                        // decoder already consumed the whole frame, so
-                        // answer with a structured error and keep
-                        // serving instead of tearing the session table
-                        // down with the connection.
-                        shared.count(|s| &s.frames_unknown, "net_frames_unknown_total");
-                        self.send(Frame::error(
-                            ErrorCode::BadFrame,
-                            None,
-                            format!("unknown frame tag {tag} (newer protocol?)"),
-                        ));
-                    }
-                    Err(e) => {
-                        shared.count(|s| &s.proto_errors, "net_proto_errors_total");
-                        self.send(Frame::error(ErrorCode::BadFrame, None, e.to_string()));
-                        return CloseReason::Proto(e);
-                    }
+            match self.dec.read_from(&mut self.stream) {
+                Ok(0) => {
+                    self.closing = Some(CloseReason::Eof);
+                    return;
                 }
-            }
-            match dec.read_from(&mut stream) {
-                Ok(0) => return CloseReason::Eof,
                 Ok(_) => {
                     let now = Instant::now();
                     self.read_epoch = if self.idle { now } else { self.read_at };
                     self.read_at = now;
                     self.idle = false;
+                    self.process_frames(hists);
+                    self.flush_decisions();
                 }
-                Err(ProtoError::Io(e))
-                    if matches!(
-                        e.kind(),
-                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
-                    ) =>
-                {
+                Err(ProtoError::Io(e)) if e.kind() == std::io::ErrorKind::WouldBlock => {
                     self.idle = true;
-                    if last_activity.elapsed() > shared.config.idle_timeout {
-                        self.send(Frame::error(
-                            ErrorCode::IdleTimeout,
-                            None,
-                            format!("no frames for {:?}", shared.config.idle_timeout),
-                        ));
-                        return CloseReason::IdleTimeout;
-                    }
+                    return;
                 }
-                Err(_) => return CloseReason::Io,
+                Err(ProtoError::Io(e)) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(_) => {
+                    self.closing = Some(CloseReason::Io);
+                    return;
+                }
             }
         }
     }
 
-    fn handle(&mut self, frame: Frame, said_hello: &mut bool) -> Handled {
-        let shared = self.shared;
+    /// Drains every complete frame currently buffered in the decoder.
+    fn process_frames(&mut self, hists: &Hists) {
+        let shared = Arc::clone(&self.shared);
+        let obs = &shared.config.obs;
+        loop {
+            if self.closing.is_some() || self.pending_drain {
+                return;
+            }
+            // A crash (`kill`) stops the world mid-burst: frames still
+            // queued behind this check are never handled, exactly as if
+            // the process had died before reading them. Answering any
+            // of them (even with an error) would be a goodbye no real
+            // crash could say, and peers would act on it.
+            if shared.killed.load(Ordering::SeqCst) {
+                return;
+            }
+            match self.dec.next_frame() {
+                Ok(Some(frame)) => {
+                    self.last_activity = Instant::now();
+                    shared.count(|s| &s.frames_read, "net_frames_read_total");
+                    obs.metrics
+                        .counter(&format!("net_frames_read_{}_total", frame.kind_name()))
+                        .inc();
+                    let started = Instant::now();
+                    match self.handle(frame) {
+                        Handled::Ok => {}
+                        Handled::Observe => {
+                            hists.observe.record(started.elapsed().as_secs_f64());
+                            // Sojourn: time since this frame's bytes
+                            // landed (pressure epoch), including the
+                            // wait behind earlier frames of the same
+                            // busy period.
+                            let sojourn = self.read_epoch.elapsed();
+                            hists.sojourn.record(sojourn.as_secs_f64());
+                            shared.record_pressure(sojourn);
+                        }
+                        Handled::Open => {
+                            hists.open.record(started.elapsed().as_secs_f64());
+                            shared.record_pressure(self.read_epoch.elapsed());
+                        }
+                        Handled::Drain => {
+                            // Flag first, then wake every loop: each
+                            // drains its own connections (this one
+                            // included) at the top of its next lap.
+                            shared.draining.store(true, Ordering::SeqCst);
+                            shared.wake_all();
+                            self.pending_drain = true;
+                            return;
+                        }
+                        Handled::Fatal(reason) => {
+                            self.closing = Some(reason);
+                            return;
+                        }
+                    }
+                }
+                Ok(None) => return,
+                Err(ProtoError::UnknownTag(tag)) => {
+                    // Forward compatibility: a newer peer sent a frame
+                    // kind this server does not speak. The decoder
+                    // already consumed the whole frame, so answer with
+                    // a structured error and keep serving instead of
+                    // tearing the session table down with the
+                    // connection.
+                    shared.count(|s| &s.frames_unknown, "net_frames_unknown_total");
+                    self.send(Frame::error(
+                        ErrorCode::BadFrame,
+                        None,
+                        format!("unknown frame tag {tag} (newer protocol?)"),
+                    ));
+                }
+                Err(e) => {
+                    shared.count(|s| &s.proto_errors, "net_proto_errors_total");
+                    self.send(Frame::error(ErrorCode::BadFrame, None, e.to_string()));
+                    self.closing = Some(CloseReason::Proto(e));
+                    return;
+                }
+            }
+        }
+    }
+
+    fn handle(&mut self, frame: Frame) -> Handled {
+        let shared = Arc::clone(&self.shared);
         match frame {
-            Frame::Hello { version, .. } => {
+            Frame::Hello { version, minor, .. } => {
                 if version != PROTO_VERSION {
                     shared.count(|s| &s.proto_errors, "net_proto_errors_total");
                     self.send(Frame::error(
@@ -1029,9 +1284,15 @@ impl<'m> Conn<'m> {
                         want: PROTO_VERSION,
                     }));
                 }
-                if !*said_hello {
-                    *said_hello = true;
-                    self.send(Frame::hello("etsc-net-server", Some(self.gen.info.clone())));
+                if !self.said_hello {
+                    self.said_hello = true;
+                    self.negotiated = minor.min(shared.config.protocol_minor);
+                    self.send(Frame::Hello {
+                        version: PROTO_VERSION,
+                        minor: shared.config.protocol_minor,
+                        agent: "etsc-net-server".into(),
+                        meta: Some(self.gen.info.clone()),
+                    });
                 }
                 Handled::Ok
             }
@@ -1053,6 +1314,37 @@ impl<'m> Conn<'m> {
                 deadline_ms,
             } => {
                 self.observe(session, step, &row, deadline_ms);
+                Handled::Observe
+            }
+            Frame::ObserveBatch {
+                session,
+                start_step,
+                rows,
+                deadline_ms,
+            } => {
+                if self.negotiated < BATCH_MINOR {
+                    // A peer that never negotiated rev 2 sent a batch
+                    // frame anyway: refuse it cleanly, keep the
+                    // connection — the structured reply is the interop
+                    // contract for mismatched minors.
+                    shared.count(|s| &s.proto_errors, "net_proto_errors_total");
+                    self.send(Frame::error(
+                        ErrorCode::BadFrame,
+                        Some(session),
+                        format!(
+                            "batch frames need negotiated minor revision {BATCH_MINOR} \
+                             (negotiated {})",
+                            self.negotiated
+                        ),
+                    ));
+                    return Handled::Ok;
+                }
+                for (i, row) in rows.iter().enumerate() {
+                    // A mid-batch decision (or failure) moves the
+                    // session to `finished`; the remaining rows fall
+                    // through `observe`'s late-frame skip.
+                    self.observe(session, start_step + i as u64, row, deadline_ms);
+                }
                 Handled::Observe
             }
             Frame::CloseSession { session } => {
@@ -1087,11 +1379,8 @@ impl<'m> Conn<'m> {
                 self.feedback(session, label);
                 Handled::Ok
             }
-            Frame::Shutdown => {
-                shared.draining.store(true, Ordering::SeqCst);
-                Handled::Drain
-            }
-            Frame::Decision { .. } | Frame::Error { .. } => {
+            Frame::Shutdown => Handled::Drain,
+            Frame::Decision { .. } | Frame::DecisionBatch { .. } | Frame::Error { .. } => {
                 self.send(Frame::error(
                     ErrorCode::BadFrame,
                     None,
@@ -1111,7 +1400,7 @@ impl<'m> Conn<'m> {
         deadline_ms: u64,
         priority: u8,
     ) {
-        let shared = self.shared;
+        let shared = Arc::clone(&self.shared);
         if shared.draining.load(Ordering::SeqCst) {
             self.send(Frame::error(
                 ErrorCode::Draining,
@@ -1216,8 +1505,9 @@ impl<'m> Conn<'m> {
     /// brownout-imposed deadlines decide-now on breach — a degraded
     /// best-effort answer beats a late one under pressure.
     fn effective_deadline(&self, deadline_ms: u64) -> Option<DeadlineConfig> {
-        let shared = self.shared;
+        let shared = &self.shared;
         let mut deadline = shared.config.deadline;
+        let prior_label = self.gen.info.prior_label;
         let mut tighten = |budget: Duration| {
             deadline = Some(match deadline {
                 Some(cfg) => DeadlineConfig {
@@ -1227,7 +1517,7 @@ impl<'m> Conn<'m> {
                 None => DeadlineConfig {
                     deadline: budget,
                     policy: FallbackPolicy::DecideNow,
-                    prior_label: self.gen.info.prior_label,
+                    prior_label,
                 },
             });
         };
@@ -1243,7 +1533,7 @@ impl<'m> Conn<'m> {
     }
 
     fn observe(&mut self, id: u64, step: u64, row: &[f64], deadline_ms: u64) {
-        let shared = self.shared;
+        let shared = Arc::clone(&self.shared);
         if self.finished.contains(&id) {
             return; // late frame for a decided/abandoned session
         }
@@ -1347,7 +1637,7 @@ impl<'m> Conn<'m> {
     /// decision; the wire kind says whether the verdict was forced
     /// from observed data or fell back to the prior.
     fn force_decide_now(&mut self, id: u64, seq: u64) {
-        let shared = self.shared;
+        let shared = Arc::clone(&self.shared);
         let prior = self.gen.info.prior_label;
         let Some(entry) = self.sessions.get_mut(&id) else {
             return;
@@ -1379,7 +1669,7 @@ impl<'m> Conn<'m> {
     }
 
     fn finish_decided(&mut self, id: u64, label: u64, prefix_len: u64, drain: bool) {
-        let shared = self.shared;
+        let shared = Arc::clone(&self.shared);
         let removed = self.sessions.remove(&id);
         self.finished.insert(id);
         let kind = removed.as_ref().map_or(DecisionKind::Genuine, |e| {
@@ -1409,12 +1699,47 @@ impl<'m> Conn<'m> {
         if drain {
             shared.count(|s| &s.drain_decisions, "net_drain_decisions_total");
         }
-        self.send(Frame::Decision {
-            session: id,
-            label,
-            prefix_len,
-            kind,
-        });
+        if self.negotiated >= BATCH_MINOR {
+            // Coalesce: verdicts stream out as one `DecisionBatch` (or
+            // a lone `Decision`) when the pump finishes this chunk.
+            self.pending_decisions.push(BatchDecision {
+                session: id,
+                label,
+                prefix_len,
+                kind,
+            });
+        } else {
+            self.send(Frame::Decision {
+                session: id,
+                label,
+                prefix_len,
+                kind,
+            });
+        }
+    }
+
+    /// Flushes coalesced verdicts: one lone decision stays a plain
+    /// `Decision` frame, several become `DecisionBatch` chunks.
+    fn flush_decisions(&mut self) {
+        if self.pending_decisions.is_empty() {
+            return;
+        }
+        if self.pending_decisions.len() == 1 {
+            let d = self.pending_decisions.remove(0);
+            self.send(Frame::Decision {
+                session: d.session,
+                label: d.label,
+                prefix_len: d.prefix_len,
+                kind: d.kind,
+            });
+            return;
+        }
+        let pending = std::mem::take(&mut self.pending_decisions);
+        for chunk in pending.chunks(MAX_DECISIONS_PER_BATCH) {
+            self.send(Frame::DecisionBatch {
+                decisions: chunk.to_vec(),
+            });
+        }
     }
 
     /// Grades late ground truth against the remembered verdict and
@@ -1422,7 +1747,7 @@ impl<'m> Conn<'m> {
     /// unknown or undecided sessions get a structured error, never a
     /// teardown.
     fn feedback(&mut self, id: u64, truth: u64) {
-        let shared = self.shared;
+        let shared = Arc::clone(&self.shared);
         if !self.decided.contains_key(&id) {
             self.send(Frame::error(
                 ErrorCode::UnknownSession,
@@ -1431,15 +1756,12 @@ impl<'m> Conn<'m> {
             ));
             return;
         }
-        let classes = &self.gen.info.classes;
-        if truth as usize >= classes.len() {
+        let n_classes = self.gen.info.classes.len();
+        if truth as usize >= n_classes {
             self.send(Frame::error(
                 ErrorCode::BadFrame,
                 Some(id),
-                format!(
-                    "feedback label {truth} out of range ({} classes)",
-                    classes.len()
-                ),
+                format!("feedback label {truth} out of range ({n_classes} classes)"),
             ));
             return;
         }
@@ -1465,14 +1787,14 @@ impl<'m> Conn<'m> {
                 truth: truth as usize,
                 prefix_len: info.prefix_len as usize,
                 generation: self.gen.info.generation,
-                class_name: classes[truth as usize].clone(),
+                class_name: self.gen.info.classes[truth as usize].clone(),
                 rows: info.rows,
             });
         }
     }
 
     fn fail_session(&mut self, id: u64, seq: u64, code: ErrorCode, message: &str) {
-        let shared = self.shared;
+        let shared = Arc::clone(&self.shared);
         self.sessions.remove(&id);
         self.finished.insert(id);
         shared.count(|s| &s.sessions_failed, "net_sessions_failed_total");
@@ -1490,10 +1812,11 @@ impl<'m> Conn<'m> {
     }
 
     /// Answers every in-flight session with a forced drain verdict,
-    /// then announces the shutdown. Drain writes always block — a
-    /// drain that sheds its own answers would defeat its purpose.
+    /// then announces the shutdown. Drain writes always enqueue — a
+    /// drain that sheds its own answers would defeat its purpose — and
+    /// the close path flushes them with a blocking, bounded write.
     fn drain(&mut self) {
-        let shared = self.shared;
+        let shared = Arc::clone(&self.shared);
         let prior = self.gen.info.prior_label;
         let ids: Vec<u64> = self.sessions.keys().copied().collect();
         for id in ids {
@@ -1516,22 +1839,22 @@ impl<'m> Conn<'m> {
                 }
             }
         }
+        self.flush_decisions();
         // Announce the *reason* before the Shutdown frame: clients and
         // routers that see this code know the close is a planned drain
         // (no reconnect, no circuit-breaker penalty), unlike a crash
         // where the socket just dies.
-        self.send_blocking(Frame::error(
-            ErrorCode::Shutdown,
-            None,
-            "graceful drain complete",
-        ));
-        self.send_blocking(Frame::Shutdown);
+        self.send_with(
+            Frame::error(ErrorCode::Shutdown, None, "graceful drain complete"),
+            Backpressure::Block,
+        );
+        self.send_with(Frame::Shutdown, Backpressure::Block);
     }
 
     /// Abandons whatever is still open (disconnect, protocol error,
     /// idle timeout). Returns how many sessions were abandoned.
     fn abandon_all(&mut self) -> usize {
-        let shared = self.shared;
+        let shared = Arc::clone(&self.shared);
         let n = self.sessions.len();
         for (id, _) in self.sessions.drain() {
             self.finished.insert(id);
@@ -1540,18 +1863,129 @@ impl<'m> Conn<'m> {
         n
     }
 
-    fn send(&self, frame: Frame) {
+    fn send(&mut self, frame: Frame) {
         self.send_with(frame, self.shared.config.backpressure);
     }
 
-    fn send_blocking(&self, frame: Frame) {
-        self.send_with(frame, Backpressure::Block);
+    fn send_with(&mut self, frame: Frame, policy: Backpressure) {
+        if self.out.dead {
+            return;
+        }
+        let shared = Arc::clone(&self.shared);
+        if self.out.over_cap() {
+            match policy {
+                // The outbound queue has no sojourn signal of its own;
+                // adaptive admission governs ingress, so a full queue
+                // under `Adaptive` sheds like `Shed`. `Block` enqueues
+                // past the cap — losslessly bounded, because a full
+                // queue also pauses this connection's reads.
+                Backpressure::Shed | Backpressure::Adaptive(_) => {
+                    shared.count(|s| &s.frames_shed, "net_frames_shed_total");
+                    return;
+                }
+                Backpressure::Block => {}
+            }
+        }
+        if let Ok(wire) = self.out.pool.encode(&frame, shared.config.max_frame_bytes) {
+            self.out.queue.push_back(wire);
+        }
     }
 
-    fn send_with(&self, frame: Frame, policy: Backpressure) {
-        if let Ok(wire) = encode_frame(&frame, self.shared.config.max_frame_bytes) {
-            self.writer.push(wire, policy, self.shared);
+    /// Writes as much of the outbound queue as the socket accepts,
+    /// coalescing frames with vectored writes.
+    fn try_flush(&mut self, write_hist: &HistogramHandle) {
+        if self.out.dead || self.out.queue.is_empty() {
+            return;
         }
+        let shared = Arc::clone(&self.shared);
+        let started = Instant::now();
+        while !self.out.queue.is_empty() {
+            let mut slices: Vec<IoSlice<'_>> = Vec::with_capacity(self.out.queue.len().min(64));
+            for (i, buf) in self.out.queue.iter().take(64).enumerate() {
+                let from = if i == 0 { self.out.head_off } else { 0 };
+                slices.push(IoSlice::new(&buf[from..]));
+            }
+            match self.stream.write_vectored(&slices) {
+                Ok(0) => {
+                    self.out.dead = true;
+                    break;
+                }
+                Ok(mut n) => {
+                    while n > 0 {
+                        let head_len = self
+                            .out
+                            .queue
+                            .front()
+                            .map_or(0, |b| b.len() - self.out.head_off);
+                        if head_len == 0 {
+                            break;
+                        }
+                        if n >= head_len {
+                            n -= head_len;
+                            self.out.head_off = 0;
+                            if let Some(buf) = self.out.queue.pop_front() {
+                                self.out.pool.give(buf);
+                            }
+                            shared.count(|s| &s.frames_written, "net_frames_written_total");
+                        } else {
+                            self.out.head_off += n;
+                            n = 0;
+                        }
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(_) => {
+                    self.out.dead = true;
+                    break;
+                }
+            }
+        }
+        write_hist.record(started.elapsed().as_secs_f64());
+    }
+
+    /// Re-arms the poller to match what the connection currently
+    /// needs: reads unless paused by backpressure, writes only while
+    /// outbound bytes are pending.
+    fn sync_interest(&mut self, poller: &Poller) {
+        let want_read = !self.pending_drain && self.closing.is_none() && !self.out.over_cap();
+        let want_write = !self.out.queue.is_empty() && !self.out.dead;
+        if want_read != self.want_read || want_write != self.want_write {
+            if poller
+                .modify(self.stream.as_raw_fd(), self.conn_id, want_read, want_write)
+                .is_err()
+            {
+                self.closing = Some(CloseReason::Io);
+                return;
+            }
+            self.want_read = want_read;
+            self.want_write = want_write;
+        }
+    }
+
+    /// Final flush at close: whatever the queue still holds is written
+    /// with the socket back in blocking mode under a bounded write
+    /// timeout — drains and teardown errors must reach the peer even
+    /// when it is slow, but never hold the event loop hostage.
+    fn teardown_flush(&mut self) {
+        if self.out.dead || self.out.queue.is_empty() {
+            return;
+        }
+        let shared = Arc::clone(&self.shared);
+        if self.stream.set_nonblocking(false).is_err() {
+            return;
+        }
+        let _ = self.stream.set_write_timeout(Some(Duration::from_secs(2)));
+        while let Some(buf) = self.out.queue.pop_front() {
+            let from = self.out.head_off;
+            self.out.head_off = 0;
+            if self.stream.write_all(&buf[from..]).is_err() {
+                self.out.dead = true;
+                return;
+            }
+            shared.count(|s| &s.frames_written, "net_frames_written_total");
+        }
+        let _ = self.stream.flush();
     }
 }
 

@@ -1,0 +1,193 @@
+//! Old-vs-new API equivalence: the deprecated flat-field config path
+//! and the validated-builder path must stand up byte-for-byte
+//! equivalent stacks — same negotiation, same decisions, same final
+//! accounting — and the deprecated shims must keep compiling (inertly)
+//! for one release.
+
+#![allow(deprecated)]
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use etsc_data::{Dataset, DatasetBuilder, MultiSeries, Series};
+use etsc_eval::experiment::{AlgoSpec, RunConfig};
+use etsc_net::{
+    Client, ClientBuilder, ClientConfig, Endpoint, NetServer, Router, RouterBuilder, RouterConfig,
+    ServerBuilder, ServerConfig,
+};
+use etsc_serve::fit_model;
+
+fn synthetic() -> Dataset {
+    let mut b = DatasetBuilder::new("api-compat");
+    for i in 0..12 {
+        let (class, base) = if i % 2 == 0 {
+            ("up", 1.0)
+        } else {
+            ("down", -1.0)
+        };
+        let values: Vec<f64> = (0..20)
+            .map(|t| base * (t as f64 + i as f64 * 0.1))
+            .collect();
+        b.push_named(MultiSeries::univariate(Series::new(values)), class);
+    }
+    b.build().unwrap()
+}
+
+/// One (label, prefix_len) pair per instance, streamed through the
+/// given client — the observable behaviour of a whole stack.
+fn decisions(client: &mut Client, data: &Dataset) -> Vec<(usize, usize)> {
+    let mut out = Vec::with_capacity(data.len());
+    for i in 0..data.len() {
+        let inst = data.instance(i);
+        let id = client.open_session(inst.len()).unwrap();
+        let rows: Vec<Vec<f64>> = (0..inst.len())
+            .map(|t| (0..inst.vars()).map(|v| inst.at(v, t)).collect())
+            .collect();
+        client.observe_batch(id, &rows).unwrap();
+        let d = client.wait_decision(id, Duration::from_secs(20)).unwrap();
+        out.push((d.label, d.prefix_len));
+    }
+    out
+}
+
+#[test]
+fn old_config_and_new_builder_stand_up_equivalent_servers() {
+    let data = synthetic();
+    let model = Arc::new(fit_model(AlgoSpec::Ects, &data, &RunConfig::fast()).unwrap());
+
+    // Old API: flat public-field config structs straight into bind.
+    let old_server = NetServer::bind(
+        Arc::clone(&model),
+        "127.0.0.1:0",
+        ServerConfig {
+            max_frame_bytes: 1 << 18,
+            max_sessions_per_conn: 32,
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let old_addr = old_server.local_addr().to_string();
+    let mut old_client = Client::connect(
+        &old_addr,
+        ClientConfig {
+            agent: "compat".to_string(),
+            ..ClientConfig::default()
+        },
+    )
+    .unwrap();
+
+    // New API: validated builders through the Endpoint front door.
+    let new_server = Endpoint::serve(
+        Arc::clone(&model),
+        "127.0.0.1:0",
+        ServerBuilder::new()
+            .max_frame_bytes(1 << 18)
+            .max_sessions_per_conn(32),
+    )
+    .unwrap();
+    let new_addr = new_server.local_addr().to_string();
+    let mut new_client =
+        Endpoint::connect(&new_addr, ClientBuilder::new().agent("compat")).unwrap();
+
+    assert_eq!(
+        old_client.negotiated_minor(),
+        new_client.negotiated_minor(),
+        "both paths negotiate the same wire revision"
+    );
+    let old_decisions = decisions(&mut old_client, &data);
+    let new_decisions = decisions(&mut new_client, &data);
+    assert_eq!(old_decisions, new_decisions);
+
+    drop(old_client);
+    drop(new_client);
+    let old_stats = old_server.join();
+    let new_stats = new_server.join();
+    assert_eq!(old_stats.sessions_opened, new_stats.sessions_opened);
+    assert_eq!(old_stats.sessions_decided, new_stats.sessions_decided);
+    assert_eq!(old_stats.proto_errors, 0);
+    assert_eq!(new_stats.proto_errors, 0);
+}
+
+#[test]
+fn old_router_config_and_new_builder_route_identically() {
+    let data = synthetic();
+    let model = Arc::new(fit_model(AlgoSpec::Ects, &data, &RunConfig::fast()).unwrap());
+
+    let run = |router_of: &dyn Fn(&[String]) -> Router| -> Vec<(usize, usize)> {
+        let shard =
+            NetServer::bind(Arc::clone(&model), "127.0.0.1:0", ServerConfig::default()).unwrap();
+        let addrs = vec![shard.local_addr().to_string()];
+        let router = router_of(&addrs);
+        let mut client =
+            Client::connect(&router.local_addr().to_string(), ClientConfig::default()).unwrap();
+        let out = decisions(&mut client, &data);
+        drop(client);
+        let rstats = router.join();
+        assert_eq!(rstats.open_sessions(), 0, "{rstats:?}");
+        let sstats = shard.join();
+        assert_eq!(sstats.proto_errors, 0);
+        out
+    };
+
+    let old = run(&|addrs: &[String]| {
+        Router::bind(
+            "127.0.0.1:0",
+            addrs,
+            RouterConfig {
+                vnodes: 16,
+                ..RouterConfig::default()
+            },
+        )
+        .unwrap()
+    });
+    let new = run(&|addrs: &[String]| {
+        Endpoint::route("127.0.0.1:0", addrs, RouterBuilder::new().vnodes(16)).unwrap()
+    });
+    assert_eq!(old, new);
+}
+
+#[test]
+fn into_builder_migration_preserves_behaviour() {
+    let data = synthetic();
+    let model = Arc::new(fit_model(AlgoSpec::Ects, &data, &RunConfig::fast()).unwrap());
+
+    // The migration path README documents: take the old struct you
+    // already have, lift it into a builder, keep going.
+    let legacy = ServerConfig {
+        max_sessions_per_conn: 16,
+        ..ServerConfig::default()
+    };
+    let server = Endpoint::serve(Arc::clone(&model), "127.0.0.1:0", legacy.into_builder()).unwrap();
+    let addr = server.local_addr().to_string();
+
+    let legacy_client = ClientConfig {
+        agent: "migrated".to_string(),
+        ..ClientConfig::default()
+    };
+    let mut client = Endpoint::connect(&addr, legacy_client.into_builder()).unwrap();
+    let offline = fit_model(AlgoSpec::Ects, &data, &RunConfig::fast()).unwrap();
+    for (i, (label, prefix_len)) in decisions(&mut client, &data).into_iter().enumerate() {
+        let expect = offline
+            .classifier()
+            .predict_early(data.instance(i))
+            .unwrap();
+        assert_eq!(label, expect.label, "instance {i}");
+        assert_eq!(prefix_len, expect.prefix_len, "instance {i}");
+    }
+    drop(client);
+    let stats = server.join();
+    assert_eq!(stats.sessions_decided, data.len() as u64);
+}
+
+#[test]
+fn deprecated_poll_shims_still_compile_and_do_nothing() {
+    // One release of grace: the removed poll knobs keep compiling as
+    // inert builder methods, so downstream code migrates on its own
+    // schedule.
+    let s = ServerBuilder::new().read_poll(Duration::from_millis(2));
+    assert!(s.build().is_ok());
+    let c = ClientBuilder::new().read_poll(Duration::from_millis(10));
+    assert!(c.build().is_ok());
+    let r = RouterBuilder::new().upstream_poll(Duration::from_millis(10));
+    assert!(r.build().is_ok());
+}

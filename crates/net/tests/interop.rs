@@ -1,0 +1,153 @@
+//! Wire-revision interop: a rev-1 peer and a rev-2 peer must agree on
+//! `min(minor, minor)` at `Hello` and speak only that revision — batch
+//! frames flow when both sides are rev 2, and never otherwise, with
+//! identical decisions either way.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use etsc_data::{Dataset, DatasetBuilder, MultiSeries, Series};
+use etsc_eval::experiment::{AlgoSpec, RunConfig};
+use etsc_net::{Client, ClientConfig, NetServer, ServerConfig, BATCH_MINOR};
+use etsc_obs::Obs;
+use etsc_serve::fit_model;
+
+fn synthetic() -> Dataset {
+    let mut b = DatasetBuilder::new("interop");
+    for i in 0..12 {
+        let (class, base) = if i % 2 == 0 {
+            ("up", 1.0)
+        } else {
+            ("down", -1.0)
+        };
+        let values: Vec<f64> = (0..20)
+            .map(|t| base * (t as f64 + i as f64 * 0.1))
+            .collect();
+        b.push_named(MultiSeries::univariate(Series::new(values)), class);
+    }
+    b.build().unwrap()
+}
+
+/// Streams every instance through `client` with `observe_batch` (the
+/// rev-sensitive path) and asserts each decision matches the offline
+/// prediction. Returns the number of decisions checked.
+fn stream_and_check(client: &mut Client, data: &Dataset) -> usize {
+    let model = fit_model(AlgoSpec::Ects, data, &RunConfig::fast()).unwrap();
+    let mut checked = 0;
+    for i in 0..data.len() {
+        let inst = data.instance(i);
+        let offline = model.classifier().predict_early(inst).unwrap();
+        let id = client.open_session(inst.len()).unwrap();
+        let rows: Vec<Vec<f64>> = (0..inst.len())
+            .map(|t| (0..inst.vars()).map(|v| inst.at(v, t)).collect())
+            .collect();
+        client.observe_batch(id, &rows).unwrap();
+        let d = client.wait_decision(id, Duration::from_secs(20)).unwrap();
+        assert_eq!(d.label, offline.label, "instance {i}");
+        assert_eq!(d.prefix_len, offline.prefix_len, "instance {i}");
+        checked += 1;
+    }
+    checked
+}
+
+fn serve(config: ServerConfig) -> (NetServer, Dataset) {
+    let data = synthetic();
+    let model = Arc::new(fit_model(AlgoSpec::Ects, &data, &RunConfig::fast()).unwrap());
+    let server = NetServer::bind(model, "127.0.0.1:0", config).unwrap();
+    (server, data)
+}
+
+#[test]
+fn rev1_client_against_rev2_server_negotiates_down_and_decides() {
+    let obs = Obs::enabled();
+    let (server, data) = serve(ServerConfig {
+        obs: obs.clone(),
+        ..ServerConfig::default()
+    });
+    let addr = server.local_addr().to_string();
+    let mut client = Client::connect(
+        &addr,
+        ClientConfig {
+            protocol_minor: 1,
+            ..ClientConfig::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(client.negotiated_minor(), 1);
+    let n = stream_and_check(&mut client, &data);
+    drop(client);
+    let stats = server.join();
+    assert_eq!(stats.sessions_decided, n as u64);
+    assert_eq!(stats.proto_errors, 0);
+    // The negotiated revision held: not one batch frame on the wire.
+    let counters = obs.metrics.snapshot_counters();
+    assert_eq!(
+        counters
+            .get("net_frames_read_observe_batch_total")
+            .copied()
+            .unwrap_or(0),
+        0,
+        "rev-1 connection must never carry batch frames: {counters:?}"
+    );
+    assert!(
+        counters
+            .get("net_frames_read_observe_total")
+            .copied()
+            .unwrap_or(0)
+            > 0,
+        "rows must have flowed as plain observes: {counters:?}"
+    );
+}
+
+#[test]
+fn rev2_client_against_rev1_server_negotiates_down_and_decides() {
+    let obs = Obs::enabled();
+    let (server, data) = serve(ServerConfig {
+        protocol_minor: 1,
+        obs: obs.clone(),
+        ..ServerConfig::default()
+    });
+    let addr = server.local_addr().to_string();
+    let mut client = Client::connect(&addr, ClientConfig::default()).unwrap();
+    assert_eq!(client.negotiated_minor(), 1);
+    let n = stream_and_check(&mut client, &data);
+    drop(client);
+    let stats = server.join();
+    assert_eq!(stats.sessions_decided, n as u64);
+    assert_eq!(stats.proto_errors, 0);
+    let counters = obs.metrics.snapshot_counters();
+    assert_eq!(
+        counters
+            .get("net_frames_read_observe_batch_total")
+            .copied()
+            .unwrap_or(0),
+        0,
+        "a rev-1 server must never see batch frames: {counters:?}"
+    );
+}
+
+#[test]
+fn rev2_peers_pipeline_batches_end_to_end() {
+    let obs = Obs::enabled();
+    let (server, data) = serve(ServerConfig {
+        obs: obs.clone(),
+        ..ServerConfig::default()
+    });
+    let addr = server.local_addr().to_string();
+    let mut client = Client::connect(&addr, ClientConfig::default()).unwrap();
+    assert_eq!(client.negotiated_minor(), BATCH_MINOR);
+    let n = stream_and_check(&mut client, &data);
+    drop(client);
+    let stats = server.join();
+    assert_eq!(stats.sessions_decided, n as u64);
+    assert_eq!(stats.proto_errors, 0);
+    let counters = obs.metrics.snapshot_counters();
+    assert!(
+        counters
+            .get("net_frames_read_observe_batch_total")
+            .copied()
+            .unwrap_or(0)
+            >= n as u64,
+        "rev-2 peers must coalesce rows into batch frames: {counters:?}"
+    );
+}

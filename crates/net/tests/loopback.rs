@@ -118,6 +118,9 @@ fn accept_cap_sheds_excess_connections() {
         &addr,
         ClientConfig {
             reconnect_attempts: 1,
+            // No redials on the retryable refusal: the shed count
+            // below is exact.
+            connect_retry_budget: 0,
             ..ClientConfig::default()
         },
     );

@@ -92,6 +92,14 @@ impl Encoder {
         Encoder::default()
     }
 
+    /// An empty encoder reusing `buf`'s allocation (the buffer is
+    /// cleared first) — lets hot encode paths recycle buffers through
+    /// a pool instead of allocating per message.
+    pub fn from_vec(mut buf: Vec<u8>) -> Encoder {
+        buf.clear();
+        Encoder { buf }
+    }
+
     /// Consumes the encoder, yielding the encoded bytes.
     pub fn into_bytes(self) -> Vec<u8> {
         self.buf

@@ -119,6 +119,10 @@ fn adaptation_under_step_drift_survives_sabotage_and_attributes_everything() {
         open_ahead: 0,
         feedback: true,
         send_shutdown: false,
+        // One row per frame: feedback grading below counts on strict
+        // session-order arrival, which batching would not change, but
+        // the drift replay predates rev 2 and is pinned as-is.
+        batch: 1,
     };
 
     // Wave 1: the full stream, label feedback after every decision.

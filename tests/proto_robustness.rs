@@ -9,8 +9,8 @@
 //! payload codec path the protocol has.
 
 use etsc::net::{
-    encode_frame, DecisionKind, ErrorCode, Frame, FrameDecoder, ModelInfo, ProtoError, RetryClass,
-    MAX_FRAME_BYTES, PRIORITY_HIGH, PROTO_MINOR, PROTO_VERSION,
+    encode_frame, BatchDecision, DecisionKind, ErrorCode, Frame, FrameDecoder, ModelInfo,
+    ProtoError, RetryClass, MAX_FRAME_BYTES, PRIORITY_HIGH, PROTO_MINOR, PROTO_VERSION,
 };
 
 /// A realistic session transcript covering every frame type.
@@ -56,6 +56,39 @@ fn transcript_frames() -> Vec<Frame> {
             deadline_ms: if t % 2 == 0 { 40 } else { 0 },
         });
     }
+    // Revision-2 pipelining frames: a multi-row batch with a deadline,
+    // a single-row batch without one (empty batches are corruption by
+    // contract, not a degenerate), and the coalesced verdict dual — so
+    // the truncation and corruption sweeps below also walk every batch
+    // codec path.
+    frames.push(Frame::ObserveBatch {
+        session: 1,
+        start_step: 7,
+        rows: vec![vec![1.0], vec![1.25], vec![-0.75]],
+        deadline_ms: 80,
+    });
+    frames.push(Frame::ObserveBatch {
+        session: 1,
+        start_step: 10,
+        rows: vec![vec![2.5]],
+        deadline_ms: 0,
+    });
+    frames.push(Frame::DecisionBatch {
+        decisions: vec![
+            BatchDecision {
+                session: 1,
+                label: 1,
+                prefix_len: 9,
+                kind: DecisionKind::Genuine,
+            },
+            BatchDecision {
+                session: 2,
+                label: 0,
+                prefix_len: 4,
+                kind: DecisionKind::DrainPrior,
+            },
+        ],
+    });
     frames.push(Frame::Decision {
         session: 1,
         label: 1,
@@ -179,6 +212,141 @@ fn every_single_byte_flip_is_detected_and_structured() {
             "flip at byte {pos} decoded all frames as if untouched"
         );
     }
+}
+
+/// A rev-1 peer that sends a rev-2 batch frame anyway must get a
+/// structured `Error` reply on the same connection — not a hangup, not
+/// a panic — and the connection must keep serving rev-1 traffic.
+#[test]
+fn rev1_peer_sending_batch_frame_gets_clean_error_reply() {
+    use etsc::data::{DatasetBuilder, MultiSeries, Series};
+    use etsc::eval::experiment::{AlgoSpec, RunConfig};
+    use etsc::net::{NetServer, ServerConfig};
+    use etsc::serve::fit_model;
+    use std::io::Write;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    let mut b = DatasetBuilder::new("synthetic");
+    for i in 0..8 {
+        let (class, base) = if i % 2 == 0 {
+            ("up", 1.0)
+        } else {
+            ("down", -1.0)
+        };
+        let values: Vec<f64> = (0..16)
+            .map(|t| base * (t as f64 + i as f64 * 0.1))
+            .collect();
+        b.push_named(MultiSeries::univariate(Series::new(values)), class);
+    }
+    let data = b.build().unwrap();
+    let model = Arc::new(fit_model(AlgoSpec::Ects, &data, &RunConfig::fast()).unwrap());
+    let server = NetServer::bind(model, "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let addr = server.local_addr();
+
+    let mut raw = std::net::TcpStream::connect(addr).unwrap();
+    raw.set_read_timeout(Some(Duration::from_millis(50)))
+        .unwrap();
+    let send = |raw: &mut std::net::TcpStream, frame: &Frame| {
+        raw.write_all(&encode_frame(frame, MAX_FRAME_BYTES).unwrap())
+            .unwrap();
+        raw.flush().unwrap();
+    };
+    // Advertise minor 1: the negotiated revision excludes batching.
+    send(
+        &mut raw,
+        &Frame::Hello {
+            version: PROTO_VERSION,
+            minor: 1,
+            agent: "stuck-in-rev1".to_owned(),
+            meta: None,
+        },
+    );
+    let mut dec = FrameDecoder::new(MAX_FRAME_BYTES);
+    let next = |raw: &mut std::net::TcpStream, dec: &mut FrameDecoder, what: &str| -> Frame {
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        loop {
+            if let Some(f) = dec.next_frame().unwrap() {
+                return f;
+            }
+            assert!(std::time::Instant::now() < deadline, "timed out on {what}");
+            match dec.read_from(raw) {
+                Ok(0) => panic!("server hung up waiting for {what}"),
+                Ok(_) => {}
+                Err(ProtoError::Io(e))
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) => {}
+                Err(e) => panic!("decode failed waiting for {what}: {e}"),
+            }
+        }
+    };
+    match next(&mut raw, &mut dec, "hello") {
+        Frame::Hello { minor, .. } => assert!(minor >= 1, "server hello advertises its minor"),
+        other => panic!("expected hello, got {other:?}"),
+    }
+    send(
+        &mut raw,
+        &Frame::OpenSession {
+            id: 1,
+            vars: 1,
+            expected_len: 16,
+            resume: false,
+            deadline_ms: 0,
+            priority: 0,
+        },
+    );
+    // The forbidden frame: a batch on a rev-1 connection.
+    send(
+        &mut raw,
+        &Frame::ObserveBatch {
+            session: 1,
+            start_step: 1,
+            rows: vec![vec![0.5], vec![0.75]],
+            deadline_ms: 0,
+        },
+    );
+    match next(&mut raw, &mut dec, "batch refusal") {
+        Frame::Error {
+            code,
+            session,
+            message,
+            ..
+        } => {
+            assert_eq!(code, ErrorCode::BadFrame, "{message}");
+            assert_eq!(session, Some(1));
+            assert!(message.contains("minor revision"), "{message}");
+        }
+        other => panic!("expected error reply, got {other:?}"),
+    }
+    // The connection survived the refusal: plain rev-1 observes still
+    // stream and the session still decides.
+    for t in 0..16u64 {
+        send(
+            &mut raw,
+            &Frame::Observe {
+                session: 1,
+                step: t + 1,
+                row: vec![(t as f64) + 1.0],
+                deadline_ms: 0,
+            },
+        );
+    }
+    loop {
+        match next(&mut raw, &mut dec, "decision") {
+            Frame::Decision { session, .. } => {
+                assert_eq!(session, 1);
+                break;
+            }
+            Frame::Error { message, .. } => panic!("session failed: {message}"),
+            _ => {}
+        }
+    }
+    drop(raw);
+    let stats = server.join();
+    assert_eq!(stats.sessions_decided, 1);
+    assert_eq!(stats.open_sessions(), 0, "{stats:?}");
 }
 
 #[test]
