@@ -21,11 +21,15 @@ use std::hint::black_box;
 use std::time::Instant;
 
 use etsc_bench::ScalePreset;
+use etsc_core::TriggeredBase;
 use etsc_datasets::PaperDataset;
 use etsc_eval::experiment::{AlgoSpec, RunConfig, RunResult};
 use etsc_eval::online::online_cell;
 use etsc_obs::Obs;
-use etsc_serve::{fit_model, replay_dataset, ReplayOptions, SchedulerConfig, StoredModel};
+use etsc_serve::{
+    fit_model, fit_triggered_model, replay_dataset, ReplayOptions, SchedulerConfig, StoredModel,
+};
+use etsc_trigger::TriggerSpec;
 
 /// One `BENCH_baseline.json` row: the measured serving numbers for one
 /// algorithm.
@@ -35,6 +39,59 @@ struct BaselineRow {
     p50_ms: f64,
     p99_ms: f64,
     feasible: Option<bool>,
+}
+
+/// One `"triggers"` row: the measured serving numbers for one
+/// (base classifier × trigger) combination, with earliness reported as
+/// a delta against the same base under the fixed-threshold baseline.
+struct TriggerRow {
+    combo: String,
+    spec: String,
+    decisions_per_sec: f64,
+    accuracy: f64,
+    earliness: f64,
+    earliness_delta: f64,
+    harmonic_mean: f64,
+}
+
+/// Harmonic mean of accuracy and (1 − earliness), the paper's combined
+/// score.
+fn harmonic_mean(accuracy: f64, earliness: f64) -> f64 {
+    let e = 1.0 - earliness;
+    if accuracy + e == 0.0 {
+        0.0
+    } else {
+        2.0 * accuracy * e / (accuracy + e)
+    }
+}
+
+/// Sections the loadgen bin appends after the streaming prefix. A
+/// re-run of this bench rewrites its own prefix (header, algorithms,
+/// triggers) but must carry these forward instead of clobbering them.
+const APPENDED_SECTIONS: [&str; 4] = [
+    ",\n  \"network\"",
+    ",\n  \"fleet\"",
+    ",\n  \"adapt\"",
+    ",\n  \"overload\"",
+];
+
+/// Returns the loadgen-owned tail of an existing baseline file (without
+/// the closing brace), or an empty string when there is none.
+fn appended_tail(path: &str) -> String {
+    let Ok(existing) = std::fs::read_to_string(path) else {
+        return String::new();
+    };
+    let mut base = existing.trim_end().to_owned();
+    if base.ends_with('}') {
+        base.pop();
+        base.truncate(base.trim_end().len());
+    }
+    APPENDED_SECTIONS
+        .iter()
+        .filter_map(|key| base.find(key))
+        .min()
+        .map(|i| base[i..].to_owned())
+        .unwrap_or_default()
 }
 
 /// Replays `reps` times and returns the total wall-clock seconds. A
@@ -68,13 +125,14 @@ fn timed_replays(
 
 /// Serialises the measured baseline by hand (the workspace carries no
 /// JSON dependency) and writes it where CI expects it.
-fn write_baseline(rows: &[BaselineRow], overhead_pct: f64) {
+fn write_baseline(rows: &[BaselineRow], triggers: &[TriggerRow], overhead_pct: f64) {
     let path = std::env::var("BENCH_BASELINE_PATH").unwrap_or_else(|_| {
         // cargo runs benches with the package as CWD; anchor the
         // default at the workspace root so the trajectory file is
         // versioned alongside the code.
         concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_baseline.json").into()
     });
+    let tail = appended_tail(&path);
     let mut out = String::from("{\n");
     out.push_str("  \"bench\": \"streaming_serve\",\n");
     out.push_str("  \"dataset\": \"PowerCons\",\n");
@@ -97,9 +155,96 @@ fn write_baseline(rows: &[BaselineRow], overhead_pct: f64) {
             if i + 1 < rows.len() { "," } else { "" },
         ));
     }
-    out.push_str("  ]\n}\n");
+    out.push_str("  ],\n");
+    out.push_str("  \"triggers\": [\n");
+    for (i, row) in triggers.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"combo\": \"{}\", \"spec\": \"{}\", \"decisions_per_sec\": {:.1}, \"accuracy\": {:.4}, \"earliness\": {:.4}, \"earliness_delta\": {:.4}, \"harmonic_mean\": {:.4}}}{}\n",
+            row.combo,
+            row.spec,
+            row.decisions_per_sec,
+            row.accuracy,
+            row.earliness,
+            row.earliness_delta,
+            row.harmonic_mean,
+            if i + 1 < triggers.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ]");
+    out.push_str(&tail);
+    out.push_str("\n}\n");
     std::fs::write(&path, out).expect("baseline file writable");
     eprintln!("wrote baseline: {path}");
+}
+
+/// The trigger corpus the bench sweeps per base: the fixed-threshold
+/// baseline first (deltas are computed against it), then one spec from
+/// each remaining family.
+const TRIGGER_SPECS: [&str; 4] = [
+    "threshold:0.8",
+    "patience:k=2,threshold=0.7",
+    "cost:0.05",
+    "calibrated:cal=platt,threshold=0.7",
+];
+
+/// Fits, persists, and replays every (base × trigger) combination,
+/// benching the replay and collecting the `"triggers"` baseline rows.
+fn trigger_benches(
+    group: &mut criterion::BenchmarkGroup,
+    data: &etsc_data::Dataset,
+    config: &RunConfig,
+    obs_freq: f64,
+) -> Vec<TriggerRow> {
+    let mut rows = Vec::new();
+    for base in [TriggeredBase::MiniRocket, TriggeredBase::Weasel] {
+        let mut baseline_earliness = None;
+        for text in TRIGGER_SPECS {
+            let spec = TriggerSpec::parse(text).expect("bench spec parses");
+            let Ok(stored) = fit_triggered_model(base, &spec, data, config) else {
+                continue; // DNF under the tight budget: nothing to serve
+            };
+            // Round-trip through the store, like the algorithm rows: a
+            // real serving process replays the decoded artifact.
+            let bytes = stored.to_bytes().expect("persistable model");
+            let loaded = StoredModel::from_bytes(&bytes).expect("own bytes decode");
+            let options = ReplayOptions {
+                obs_frequency_secs: obs_freq,
+                batch: loaded.meta.decision_batch(data.max_len(), config),
+                scheduler: SchedulerConfig::default(),
+            };
+            let combo = format!("{}+{}", base.name(), spec.kind.name());
+            group.bench_with_input(BenchmarkId::new(&combo, "PowerCons"), data, |b, data| {
+                b.iter(|| black_box(replay_dataset(&loaded, data, &options).expect("replay runs")));
+            });
+            let outcome = replay_dataset(&loaded, data, &options).expect("replay runs");
+            let delta = match baseline_earliness {
+                Some(b) => outcome.earliness - b,
+                None => {
+                    baseline_earliness = Some(outcome.earliness);
+                    0.0
+                }
+            };
+            eprintln!(
+                "{:<22} {:>8.0} decisions/s  acc {:.4}  earliness {:.4} ({:+.4} vs threshold)  hm {:.4}",
+                combo,
+                outcome.decisions_per_sec,
+                outcome.accuracy,
+                outcome.earliness,
+                delta,
+                harmonic_mean(outcome.accuracy, outcome.earliness),
+            );
+            rows.push(TriggerRow {
+                combo,
+                spec: spec.canonical(),
+                decisions_per_sec: outcome.decisions_per_sec,
+                accuracy: outcome.accuracy,
+                earliness: outcome.earliness,
+                earliness_delta: delta,
+                harmonic_mean: harmonic_mean(outcome.accuracy, outcome.earliness),
+            });
+        }
+    }
+    rows
 }
 
 fn streaming_benches(c: &mut Criterion) {
@@ -211,8 +356,9 @@ fn streaming_benches(c: &mut Criterion) {
             },
         );
     }
+    let trigger_rows = trigger_benches(&mut group, &data, &config, obs_freq);
     group.finish();
-    write_baseline(&rows, overhead_probe.unwrap_or(f64::NAN));
+    write_baseline(&rows, &trigger_rows, overhead_probe.unwrap_or(f64::NAN));
 }
 
 criterion_group!(benches, streaming_benches);

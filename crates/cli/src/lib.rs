@@ -7,21 +7,24 @@ use std::io::Write;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use etsc_core::EarlyClassifier;
+use etsc_core::registry::trigger_combos;
+use etsc_core::{EarlyClassifier, TriggeredBase};
 use etsc_data::loader::{load_csv, write_csv};
 use etsc_data::{train_validation_split, Dataset};
 use etsc_datasets::{GenOptions, PaperDataset};
 use etsc_eval::experiment::{run_cell, AlgoSpec, RunConfig};
 use etsc_eval::report::render_matrix_status;
 use etsc_eval::supervisor::SupervisorOptions;
-use etsc_eval::{CommonOpts, FaultPlan, MatrixRunner};
+use etsc_eval::{CommonOpts, FaultPlan, MatrixRunner, TriggerCellResult};
 use etsc_net::{
     AdmissionConfig, Client, ClientConfig, Endpoint, NetError, RouterBuilder, ServerBuilder,
 };
 use etsc_serve::{
-    fit_model, load_resilient, replay_dataset, Backpressure, BrownoutConfig, CodelConfig,
-    DeadlineConfig, FallbackPolicy, ReplayOptions, SchedulerConfig, StoredModel, SupervisionConfig,
+    fit_model, fit_triggered_model, load_resilient, replay_dataset, Backpressure, BrownoutConfig,
+    CodelConfig, DeadlineConfig, FallbackPolicy, ReplayOptions, SchedulerConfig, StoredModel,
+    SupervisionConfig,
 };
+use etsc_trigger::{CalibrationKind, TriggerKind, TriggerSpec};
 
 /// Usage text shown on argument errors.
 pub const USAGE: &str = "\
@@ -34,8 +37,21 @@ train, and serve; `reproduce` uses the same names):
   (--parallel is a deprecated alias for --threads; --trace writes a
   JSONL span trace, --metrics a Prometheus text snapshot)
 
+trigger flags (train, matrix, serve):
+  --trigger NAME[:PARAMS]   wrap a probability-emitting base classifier
+                            (MiniROCKET | WEASEL | MLSTM) in a decision
+                            trigger; families: threshold, patience,
+                            cost, calibrated (see list-triggers)
+  --calibrate platt|isotonic|none   calibration layer for the trigger's
+                            confidence scores
+  on matrix, --trigger takes a ';'-separated list of specs and --algos
+  names base classifiers; on serve, --trigger re-parameterizes the
+  stored trigger without refitting (data-free families only)
+
 commands:
   list-algorithms    the eight evaluated algorithms and their traits
+  list-triggers      the trigger families and every registered
+                     base-classifier x trigger combination
   list-datasets      the twelve paper datasets and their shapes
   generate           write a generated dataset as interchange CSV
                      --dataset NAME --out FILE
@@ -215,6 +231,101 @@ fn parse_faults(flags: &Flags) -> Result<Option<FaultPlan>, CliError> {
     }
 }
 
+/// Decodes `--trigger NAME[:PARAMS]` (+ optional `--calibrate`) into a
+/// [`TriggerSpec`]. `None` when `--trigger` is absent.
+fn parse_trigger(flags: &Flags) -> Result<Option<TriggerSpec>, CliError> {
+    let spec = match flags.get("trigger") {
+        None => {
+            if flags.contains_key("calibrate") {
+                return Err(CliError::Usage(
+                    "--calibrate needs --trigger NAME[:PARAMS]".into(),
+                ));
+            }
+            return Ok(None);
+        }
+        Some(s) => {
+            TriggerSpec::parse(s).map_err(|e| CliError::Usage(format!("invalid --trigger: {e}")))?
+        }
+    };
+    Ok(Some(apply_calibrate(spec, flags)?))
+}
+
+/// Applies the `--calibrate` override to one parsed spec.
+fn apply_calibrate(spec: TriggerSpec, flags: &Flags) -> Result<TriggerSpec, CliError> {
+    match flags.get("calibrate") {
+        None => Ok(spec),
+        Some(c) => {
+            let kind = CalibrationKind::parse(c).ok_or_else(|| {
+                CliError::Usage(format!(
+                    "invalid --calibrate {c:?} (platt | isotonic | none)"
+                ))
+            })?;
+            if spec.kind == TriggerKind::Calibrated && kind == CalibrationKind::None {
+                return Err(CliError::Usage(
+                    "the calibrated trigger requires platt or isotonic calibration".into(),
+                ));
+            }
+            Ok(spec.with_calibration(kind))
+        }
+    }
+}
+
+/// Serve-time `--trigger` override: re-parameterizes the stored trigger
+/// of a loaded trigger-wrapped model without refitting.
+fn apply_trigger_override(stored: &mut StoredModel, flags: &Flags) -> Result<(), CliError> {
+    let Some(spec) = parse_trigger(flags)? else {
+        return Ok(());
+    };
+    let prior = stored.model.fitted_trigger().cloned().ok_or_else(|| {
+        CliError::Usage(
+            "--trigger on serve needs a trigger-wrapped model (train ... --trigger)".into(),
+        )
+    })?;
+    let trigger = spec.refit_from(&prior).map_err(CliError::Usage)?;
+    stored.model.install_trigger(trigger);
+    if let Some(desc) = &mut stored.meta.trigger {
+        desc.spec = spec.canonical();
+    }
+    Ok(())
+}
+
+/// Renders the trigger-axis matrix results as a fixed-width table.
+fn render_trigger_cells(results: &[TriggerCellResult]) -> String {
+    let mut s = format!(
+        "{:<16}{:<12}{:<36}{:>9}{:>11}{:>9}\n",
+        "Dataset", "Base", "Trigger", "acc", "earliness", "HM"
+    );
+    let mut ok = 0;
+    for r in results {
+        match (&r.metrics, r.dnf, &r.error) {
+            (Some(m), _, _) => {
+                ok += 1;
+                s.push_str(&format!(
+                    "{:<16}{:<12}{:<36}{:>9.4}{:>11.4}{:>9.4}\n",
+                    r.dataset, r.base, r.trigger, m.accuracy, m.earliness, m.harmonic_mean
+                ));
+            }
+            (None, true, _) => {
+                s.push_str(&format!(
+                    "{:<16}{:<12}{:<36}{:>29}\n",
+                    r.dataset, r.base, r.trigger, "DNF"
+                ));
+            }
+            (None, _, err) => {
+                s.push_str(&format!(
+                    "{:<16}{:<12}{:<36}  ERR {}\n",
+                    r.dataset,
+                    r.base,
+                    r.trigger,
+                    err.as_deref().unwrap_or("unknown")
+                ));
+            }
+        }
+    }
+    s.push_str(&format!("{ok} OK of {} trigger cells\n", results.len()));
+    s
+}
+
 fn build_algo(flags: &Flags, data: &Dataset) -> Result<Box<dyn EarlyClassifier>, CliError> {
     let name = required(flags, "algo")?;
     let spec = AlgoSpec::by_name(name)
@@ -244,6 +355,28 @@ pub fn run(command: &str, flags: &Flags, out: &mut dyn Write) -> Result<(), CliE
                     } else {
                         "native"
                     },
+                ));
+            }
+            emit(out, s)
+        }
+        "list-triggers" => {
+            let mut s = String::from("trigger families (--trigger NAME[:PARAMS]):\n");
+            for info in etsc_trigger::all_triggers() {
+                s.push_str(&format!(
+                    "  {:<12}{:<12}{}\n  {:<12}params: {}\n",
+                    info.name,
+                    if info.myopic { "myopic" } else { "non-myopic" },
+                    info.summary,
+                    "",
+                    info.params,
+                ));
+            }
+            s.push_str("\nregistered base x trigger combos (train/matrix --trigger):\n");
+            for combo in trigger_combos() {
+                s.push_str(&format!(
+                    "  {:<24}default spec: {}\n",
+                    combo.name(),
+                    combo.default_spec
                 ));
             }
             emit(out, s)
@@ -344,16 +477,6 @@ pub fn run(command: &str, flags: &Flags, out: &mut dyn Write) -> Result<(), CliE
                     })
                     .collect::<Result<_, _>>()?,
             };
-            let algos: Vec<AlgoSpec> = match flags.get("algos") {
-                None => AlgoSpec::ALL.to_vec(),
-                Some(list) => list
-                    .split(',')
-                    .map(|name| {
-                        AlgoSpec::by_name(name.trim())
-                            .ok_or_else(|| CliError::Usage(format!("unknown algorithm {name:?}")))
-                    })
-                    .collect::<Result<_, _>>()?,
-            };
             let opts = common_opts(flags)?;
             let mut config = RunConfig {
                 folds: 3,
@@ -377,6 +500,55 @@ pub fn run(command: &str, flags: &Flags, out: &mut dyn Write) -> Result<(), CliE
                 datasets.iter().map(|d| d.generate(gen_options)).collect();
             let names: Vec<String> = generated.iter().map(|d| d.name().to_owned()).collect();
             let obs = opts.build_obs();
+            // `--trigger` switches the matrix to its trigger axis:
+            // `--algos` then names base classifiers and the trigger list
+            // is ';'-separated (spec params use ',').
+            if let Some(list) = flags.get("trigger") {
+                let specs: Vec<TriggerSpec> = list
+                    .split(';')
+                    .filter(|s| !s.trim().is_empty())
+                    .map(|s| {
+                        let spec = TriggerSpec::parse(s.trim())
+                            .map_err(|e| CliError::Usage(format!("invalid --trigger: {e}")))?;
+                        apply_calibrate(spec, flags)
+                    })
+                    .collect::<Result<_, _>>()?;
+                if specs.is_empty() {
+                    return Err(CliError::Usage("--trigger names no specs".into()));
+                }
+                let bases: Vec<TriggeredBase> = match flags.get("algos") {
+                    None => vec![TriggeredBase::MiniRocket, TriggeredBase::Weasel],
+                    Some(list) => list
+                        .split(',')
+                        .map(|name| {
+                            TriggeredBase::parse(name.trim()).ok_or_else(|| {
+                                CliError::Usage(format!(
+                                    "unknown base classifier {name:?} \
+                                     (MiniROCKET | WEASEL | MLSTM)"
+                                ))
+                            })
+                        })
+                        .collect::<Result<_, _>>()?,
+                };
+                let results = MatrixRunner::new(config)
+                    .supervised(options)
+                    .obs(obs.clone())
+                    .run_triggered(&generated, &bases, &specs)
+                    .map_err(|e| CliError::Runtime(format!("trigger matrix failed: {e}")))?;
+                opts.export(&obs)
+                    .map_err(|e| CliError::Runtime(e.to_string()))?;
+                return emit(out, render_trigger_cells(&results));
+            }
+            let algos: Vec<AlgoSpec> = match flags.get("algos") {
+                None => AlgoSpec::ALL.to_vec(),
+                Some(list) => list
+                    .split(',')
+                    .map(|name| {
+                        AlgoSpec::by_name(name.trim())
+                            .ok_or_else(|| CliError::Usage(format!("unknown algorithm {name:?}")))
+                    })
+                    .collect::<Result<_, _>>()?,
+            };
             let outcomes = MatrixRunner::new(config)
                 .supervised(options)
                 .obs(obs.clone())
@@ -443,8 +615,6 @@ pub fn run(command: &str, flags: &Flags, out: &mut dyn Write) -> Result<(), CliE
         "train" => {
             let data = load_input(flags)?;
             let name = required(flags, "algo")?;
-            let spec = AlgoSpec::by_name(name)
-                .ok_or_else(|| CliError::Usage(format!("unknown algorithm {name:?}")))?;
             let save_path = required(flags, "save")?;
             let opts = common_opts(flags)?;
             let mut config = RunConfig {
@@ -452,8 +622,25 @@ pub fn run(command: &str, flags: &Flags, out: &mut dyn Write) -> Result<(), CliE
                 ..RunConfig::fast()
             };
             opts.apply_config(&mut config);
-            let stored = fit_model(spec, &data, &config)
-                .map_err(|e| CliError::Runtime(format!("training failed: {e}")))?;
+            let stored = match parse_trigger(flags)? {
+                // `--trigger` wraps a probability-emitting base
+                // classifier instead of training a built-in algorithm.
+                Some(spec) => {
+                    let base = TriggeredBase::parse(name).ok_or_else(|| {
+                        CliError::Usage(format!(
+                            "--trigger wraps a base classifier, not an algorithm; \
+                             unknown base {name:?} (MiniROCKET | WEASEL | MLSTM)"
+                        ))
+                    })?;
+                    fit_triggered_model(base, &spec, &data, &config)
+                }
+                None => {
+                    let spec = AlgoSpec::by_name(name)
+                        .ok_or_else(|| CliError::Usage(format!("unknown algorithm {name:?}")))?;
+                    fit_model(spec, &data, &config)
+                }
+            }
+            .map_err(|e| CliError::Runtime(format!("training failed: {e}")))?;
             stored
                 .save(save_path)
                 .map_err(|e| CliError::Runtime(format!("saving {save_path:?}: {e}")))?;
@@ -463,7 +650,7 @@ pub fn run(command: &str, flags: &Flags, out: &mut dyn Write) -> Result<(), CliE
                 format!(
                     "saved {} trained on {} ({} instances x {} vars x {} points, {} classes) \
                      to {save_path} ({size} bytes)\n",
-                    spec.name(),
+                    stored.meta.algo_label(),
                     data.name(),
                     data.len(),
                     data.vars(),
@@ -478,7 +665,7 @@ pub fn run(command: &str, flags: &Flags, out: &mut dyn Write) -> Result<(), CliE
             }
             let model_path = required(flags, "model")?;
             let faults = parse_faults(flags)?;
-            let stored = match &faults {
+            let mut stored = match &faults {
                 // A corrupt-model fault stages a bit-flipped copy (with
                 // a pristine `.prev`) in a temp dir and loads it through
                 // the resilient path, demonstrating last-good fallback.
@@ -511,6 +698,7 @@ pub fn run(command: &str, flags: &Flags, out: &mut dyn Write) -> Result<(), CliE
                 }
                 _ => load_model(std::path::Path::new(model_path), out)?,
             };
+            apply_trigger_override(&mut stored, flags)?;
             // `--replay NAME` names a generated dataset; `--data` loads a
             // CSV. Either way the stream is replayed at the dataset's (or
             // an overridden) observation frequency.
@@ -541,7 +729,6 @@ pub fn run(command: &str, flags: &Flags, out: &mut dyn Write) -> Result<(), CliE
             let data = data.subset(&indices);
             let batch = stored
                 .meta
-                .algo
                 .decision_batch(data.max_len(), &RunConfig::fast());
             let deadline = parse_deadline(flags)?;
             let opts = common_opts(flags)?;
@@ -600,7 +787,7 @@ pub fn run(command: &str, flags: &Flags, out: &mut dyn Write) -> Result<(), CliE
                 format!(
                     "replicated {} ({} on {}) to {} path{}\n",
                     model_path,
-                    model.meta.algo.name(),
+                    model.meta.algo_label(),
                     model.meta.dataset,
                     dests.len(),
                     if dests.len() == 1 { "" } else { "s" },
@@ -695,7 +882,8 @@ fn serve_listen(addr: &str, flags: &Flags, out: &mut dyn Write) -> Result<(), Cl
             "--faults on the network path needs --fault-sessions N".into(),
         ));
     }
-    let stored = load_model(std::path::Path::new(model_path), out)?;
+    let mut stored = load_model(std::path::Path::new(model_path), out)?;
+    apply_trigger_override(&mut stored, flags)?;
     let opts = common_opts(flags)?;
     let obs = opts.build_obs();
     // `--admission` arms overload control: CoDel-style shedding on
@@ -747,7 +935,7 @@ fn serve_listen(addr: &str, flags: &Flags, out: &mut dyn Write) -> Result<(), Cl
         out,
         format!(
             "serving {} trained on {} at {}\n",
-            meta.algo.name(),
+            meta.algo_label(),
             meta.dataset,
             server.local_addr()
         ),
@@ -1205,6 +1393,152 @@ mod tests {
         .unwrap();
         assert!(out.contains("COMMITTED"), "{out}");
         std::fs::remove_file(&model_path).ok();
+    }
+
+    #[test]
+    fn list_triggers_enumerates_families_and_combos() {
+        let out = run_to_string("list-triggers", &flags(&[])).unwrap();
+        for family in ["threshold", "patience", "cost", "calibrated"] {
+            assert!(out.contains(family), "missing {family}: {out}");
+        }
+        assert!(out.contains("non-myopic"), "{out}");
+        assert!(out.contains("WEASEL+calibrated"), "{out}");
+        assert!(out.contains("default spec"), "{out}");
+    }
+
+    #[test]
+    fn train_trigger_serve_roundtrip_and_overrides() {
+        let dir = std::env::temp_dir().join("etsc-cli-test-trigger");
+        std::fs::create_dir_all(&dir).unwrap();
+        let model_path = dir.join("powercons-trig.model");
+        let model_str = model_path.to_str().unwrap();
+        let gen = [
+            ("dataset", "PowerCons"),
+            ("height-scale", "0.1"),
+            ("length-scale", "0.2"),
+        ];
+        let mut train = gen.to_vec();
+        train.extend([
+            ("algo", "WEASEL"),
+            ("trigger", "threshold:0.7"),
+            ("save", model_str),
+        ]);
+        let out = run_to_string("train", &flags(&train)).unwrap();
+        assert!(out.contains("saved WEASEL+threshold"), "{out}");
+
+        // Replay honors the persisted trigger (decision batch 1).
+        let mut serve = gen.to_vec();
+        serve.extend([
+            ("model", model_str),
+            ("replay", "PowerCons"),
+            ("sessions", "8"),
+            ("workers", "2"),
+        ]);
+        let out = run_to_string("serve", &flags(&serve)).unwrap();
+        assert!(out.contains("8 sessions"), "{out}");
+        assert!(out.contains("0 dropped"), "{out}");
+
+        // Serve-time re-parameterization without refitting.
+        serve.push(("trigger", "threshold:0.95"));
+        let out = run_to_string("serve", &flags(&serve)).unwrap();
+        assert!(out.contains("8 sessions"), "{out}");
+
+        let mut predict = gen.to_vec();
+        predict.extend([("model", model_str), ("instance", "1")]);
+        let out = run_to_string("predict", &flags(&predict)).unwrap();
+        assert!(out.contains("earliness"), "{out}");
+        std::fs::remove_file(&model_path).ok();
+    }
+
+    fn error_message(e: CliError) -> String {
+        match e {
+            CliError::Usage(m) | CliError::Runtime(m) => m,
+        }
+    }
+
+    #[test]
+    fn trigger_usage_errors_are_actionable() {
+        // --calibrate without --trigger.
+        let err = error_message(
+            run_to_string(
+                "train",
+                &flags(&[
+                    ("dataset", "PowerCons"),
+                    ("algo", "WEASEL"),
+                    ("calibrate", "platt"),
+                    ("save", "/tmp/never-written.model"),
+                ]),
+            )
+            .unwrap_err(),
+        );
+        assert!(err.contains("--calibrate needs --trigger"), "{err}");
+
+        // --trigger with a non-base algorithm name.
+        let err = error_message(
+            run_to_string(
+                "train",
+                &flags(&[
+                    ("dataset", "PowerCons"),
+                    ("algo", "ECTS"),
+                    ("trigger", "threshold:0.7"),
+                    ("save", "/tmp/never-written.model"),
+                ]),
+            )
+            .unwrap_err(),
+        );
+        assert!(err.contains("unknown base"), "{err}");
+
+        // --trigger on serve with an untriggered model.
+        let dir = std::env::temp_dir().join("etsc-cli-test-trigger-err");
+        std::fs::create_dir_all(&dir).unwrap();
+        let model_path = dir.join("plain.model");
+        let model_str = model_path.to_str().unwrap();
+        run_to_string(
+            "train",
+            &flags(&[
+                ("dataset", "PowerCons"),
+                ("algo", "ECTS"),
+                ("height-scale", "0.1"),
+                ("length-scale", "0.2"),
+                ("save", model_str),
+            ]),
+        )
+        .unwrap();
+        let err = error_message(
+            run_to_string(
+                "serve",
+                &flags(&[
+                    ("model", model_str),
+                    ("replay", "PowerCons"),
+                    ("height-scale", "0.1"),
+                    ("length-scale", "0.2"),
+                    ("trigger", "threshold:0.9"),
+                ]),
+            )
+            .unwrap_err(),
+        );
+        assert!(err.contains("trigger-wrapped model"), "{err}");
+        std::fs::remove_file(&model_path).ok();
+    }
+
+    #[test]
+    fn matrix_runs_the_trigger_axis() {
+        let out = run_to_string(
+            "matrix",
+            &flags(&[
+                ("datasets", "PowerCons"),
+                ("algos", "WEASEL"),
+                ("trigger", "threshold:0.7;patience:2"),
+                ("height-scale", "0.1"),
+                ("length-scale", "0.2"),
+                ("threads", "1"),
+            ]),
+        )
+        .unwrap();
+        assert!(out.contains("Trigger"), "{out}");
+        assert!(out.contains("threshold:"), "{out}");
+        assert!(out.contains("patience:k=2"), "{out}");
+        assert!(out.contains("2 OK of 2 trigger cells"), "{out}");
     }
 
     #[test]

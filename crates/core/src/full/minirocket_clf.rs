@@ -109,6 +109,12 @@ impl FullClassifierTrait for MiniRocketClassifier {
         let features = transform.transform(instance)?;
         Ok(self.head.predict(&features)?)
     }
+
+    fn predict_proba(&self, instance: &MultiSeries) -> Result<Vec<f64>, EtscError> {
+        let transform = self.transform.as_ref().ok_or(EtscError::NotFitted)?;
+        let features = transform.transform(instance)?;
+        Ok(self.head.predict_proba(&features)?)
+    }
 }
 
 #[cfg(test)]

@@ -147,6 +147,11 @@ impl FullClassifierTrait for MlstmClassifier {
         let net = self.network.as_ref().ok_or(EtscError::NotFitted)?;
         Ok(net.predict(&to_matrix(instance))?)
     }
+
+    fn predict_proba(&self, instance: &MultiSeries) -> Result<Vec<f64>, EtscError> {
+        let net = self.network.as_ref().ok_or(EtscError::NotFitted)?;
+        Ok(net.predict_proba(&to_matrix(instance))?)
+    }
 }
 
 #[cfg(test)]

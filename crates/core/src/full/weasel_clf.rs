@@ -178,6 +178,10 @@ impl FullClassifierTrait for WeaselClassifier {
         let features = self.features(instance)?;
         Ok(self.head.predict(&features)?)
     }
+
+    fn predict_proba(&self, instance: &MultiSeries) -> Result<Vec<f64>, EtscError> {
+        WeaselClassifier::predict_proba(self, instance)
+    }
 }
 
 #[cfg(test)]

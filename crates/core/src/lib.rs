@@ -12,6 +12,8 @@
 //!   baseline, with the S-WEASEL / S-MINI / S-MLSTM variants;
 //! * [`full`] — full time-series classifiers (WEASEL(+MUSE), MiniROCKET,
 //!   MLSTM-FCN) consumed by STRUT;
+//! * [`triggered`] — the decision-trigger adapter: any full classifier
+//!   plus an `etsc-trigger` halting rule becomes an early classifier;
 //! * [`voting`] — the univariate-on-multivariate voting adapter
 //!   (Section 6.1);
 //! * [`registry`] — static algorithm metadata behind Tables 2 and 5.
@@ -26,6 +28,7 @@ pub mod error;
 pub mod full;
 pub mod registry;
 pub mod traits;
+pub mod triggered;
 pub mod voting;
 
 pub use algos::ecec::{Ecec, EcecConfig};
@@ -37,4 +40,8 @@ pub use algos::teaser::{Teaser, TeaserConfig};
 pub use error::{panic_message, EtscError};
 pub use full::{FullClassifier, MiniRocketClassifier, MlstmClassifier, WeaselClassifier};
 pub use traits::{EarlyClassifier, EarlyPrediction, StreamState};
+pub use triggered::{
+    build_triggered, decode_calibrator, decode_trigger, encode_calibrator, encode_trigger,
+    TriggeredBase, TriggeredClassifier, TriggeredConfig,
+};
 pub use voting::{VotingAdapter, VotingScheme};

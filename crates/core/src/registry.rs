@@ -124,6 +124,43 @@ pub fn algorithm(name: &str) -> Option<AlgoInfo> {
         .find(|a| a.name.eq_ignore_ascii_case(name))
 }
 
+/// One registered trigger × base-classifier combination: a full-TSC
+/// model from Table 2 wrapped by an `etsc-trigger` halting rule.
+#[derive(Debug, Clone)]
+pub struct TriggerCombo {
+    /// Base classifier (registry spelling, e.g. `"MiniROCKET"`).
+    pub base: &'static str,
+    /// Trigger family metadata (name, parameter docs, myopia).
+    pub trigger: etsc_trigger::TriggerInfo,
+    /// The default spec string for this combination, in the CLI
+    /// `--trigger` syntax.
+    pub default_spec: String,
+}
+
+impl TriggerCombo {
+    /// Display name of the combination (e.g. `"WEASEL+cost"`).
+    pub fn name(&self) -> String {
+        format!("{}+{}", self.base, self.trigger.name)
+    }
+}
+
+/// Every registered trigger × classifier combination (base-major order,
+/// triggers in reporting order within each base).
+pub fn trigger_combos() -> Vec<TriggerCombo> {
+    let mut combos = Vec::new();
+    for base in crate::triggered::TriggeredBase::ALL {
+        for trigger in etsc_trigger::all_triggers() {
+            let default_spec = etsc_trigger::TriggerSpec::of(trigger.kind).canonical();
+            combos.push(TriggerCombo {
+                base: base.name(),
+                trigger,
+                default_spec,
+            });
+        }
+    }
+    combos
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -161,6 +198,22 @@ mod tests {
     fn complexities_present_for_all() {
         for a in all_algorithms() {
             assert!(a.complexity.starts_with("O("), "{}", a.name);
+        }
+    }
+
+    #[test]
+    fn trigger_combos_cover_every_base_and_family() {
+        let combos = trigger_combos();
+        assert_eq!(combos.len(), 3 * 4);
+        for combo in &combos {
+            // Every base is a registered full-TSC algorithm.
+            let info = algorithm(combo.base).unwrap();
+            assert!(!info.early, "{} is already early", combo.base);
+            // Every default spec parses back to its own family.
+            let spec = etsc_trigger::TriggerSpec::parse(&combo.default_spec).unwrap();
+            assert_eq!(spec.kind, combo.trigger.kind);
+            assert!(combo.name().contains('+'));
+            assert!(!combo.trigger.params.is_empty());
         }
     }
 }

@@ -100,6 +100,23 @@ pub trait FullClassifierTrait {
     /// # Errors
     /// [`EtscError::NotFitted`] / incompatibility failures.
     fn predict(&self, instance: &MultiSeries) -> Result<Label, EtscError>;
+
+    /// Class-probability vector for one instance, as consumed by
+    /// decision triggers ([`crate::triggered::TriggeredClassifier`]).
+    ///
+    /// The default degrades a hard classifier to a one-hot vector —
+    /// maximally confident in its single prediction — so every full
+    /// classifier is trigger-compatible; models with real probability
+    /// heads override this.
+    ///
+    /// # Errors
+    /// Same failures as [`FullClassifierTrait::predict`].
+    fn predict_proba(&self, instance: &MultiSeries) -> Result<Vec<f64>, EtscError> {
+        let label = self.predict(instance)?;
+        let mut probs = vec![0.0; label + 1];
+        probs[label] = 1.0;
+        Ok(probs)
+    }
 }
 
 #[cfg(test)]

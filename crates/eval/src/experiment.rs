@@ -403,18 +403,33 @@ pub fn run_cell(
     config: &RunConfig,
     obs: &Obs,
 ) -> Result<RunResult, EtscError> {
-    etsc_obs::with_ambient(obs, || run_cell_inner(algo, dataset, config, obs))
+    etsc_obs::with_ambient(obs, || {
+        run_cell_inner(
+            algo,
+            algo.name(),
+            &|d, c| algo.build(d, c),
+            dataset,
+            config,
+            obs,
+        )
+    })
 }
 
-fn run_cell_inner(
+/// [`run_cell`] with an injected classifier builder and display name —
+/// the shared CV engine behind the algorithm axis and the trigger axis
+/// ([`crate::trigger_axis`]). `algo` is only carried into the
+/// [`RunResult`] for journal compatibility; `display` labels the spans.
+pub(crate) fn run_cell_inner(
     algo: AlgoSpec,
+    display: &str,
+    build: &(dyn Fn(&Dataset, &RunConfig) -> Box<dyn EarlyClassifier> + Sync),
     dataset: &Dataset,
     config: &RunConfig,
     obs: &Obs,
 ) -> Result<RunResult, EtscError> {
     let mut cv_span = obs.tracer.span("cv");
     cv_span.attr("dataset", dataset.name());
-    cv_span.attr("algo", algo.name());
+    cv_span.attr("algo", display);
     obs.metrics.counter("eval_cells_total").inc();
     let fit_hist = obs.metrics.histogram("eval_fit_secs");
     let predict_hist = obs.metrics.histogram("eval_predict_secs");
@@ -447,7 +462,7 @@ fn run_cell_inner(
         let mut fold_span = obs.tracer.span("fold");
         fold_span.attr("fold", &fold_idx.to_string());
         let train = dataset.subset(&fold.train);
-        let mut clf = algo.build(dataset, config);
+        let mut clf = build(dataset, config);
         let fit_span = obs.tracer.span("fit");
         let t0 = Instant::now();
         let fit_result = clf.fit(&train);

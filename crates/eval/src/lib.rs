@@ -26,6 +26,9 @@
 //! * [`supervisor`] — fault-tolerant execution of the full
 //!   (dataset × algorithm) matrix: panic isolation, bounded retries,
 //!   and the universal training budget (the paper's 48-hour rule);
+//! * [`trigger_axis`] — the (dataset × base classifier × trigger)
+//!   dimension of the matrix: any full classifier under any
+//!   `etsc-trigger` halting rule, same metrics and supervision;
 //! * [`journal`] — append-only JSONL checkpointing so an interrupted
 //!   matrix run resumes without recomputing finished cells;
 //! * [`faults`] — deterministic, seeded fault injection (worker panics,
@@ -43,6 +46,7 @@ pub mod opts;
 pub mod report;
 pub mod runner;
 pub mod supervisor;
+pub mod trigger_axis;
 pub mod tuning;
 
 pub use aggregate::aggregate_by_category;
@@ -53,5 +57,6 @@ pub use metrics::{EvalOutcome, Metrics};
 pub use opts::CommonOpts;
 pub use runner::MatrixRunner;
 pub use supervisor::{CellOutcome, CellStatus, SupervisorOptions};
+pub use trigger_axis::{build_triggered_cell, run_triggered_cell, TriggerCellResult};
 
 pub use etsc_obs::Obs;

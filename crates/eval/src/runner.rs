@@ -42,6 +42,7 @@ use etsc_obs::{with_ambient, MetricsRegistry, Obs, Tracer};
 use crate::experiment::{run_cell, AlgoSpec, RunConfig, RunResult};
 use crate::journal::{Journal, JournalHeader};
 use crate::supervisor::{transient, CellOutcome, CellStatus, SupervisorOptions};
+use crate::trigger_axis::{base_of, pseudo_algo, run_triggered_cell, TriggerCellResult};
 
 /// Builder-style runner for the (dataset × algorithm) evaluation
 /// matrix; see the [module docs](self) for the full feature set.
@@ -164,6 +165,46 @@ impl MatrixRunner {
                 CellOutcome::Panicked { message, .. } => Err(EtscError::Panicked { message }),
             })
             .collect()
+    }
+
+    /// Runs the trigger axis of the matrix: every (dataset × base ×
+    /// trigger) cell through the same supervised worker pool, one
+    /// supervised sweep per trigger spec. Results come back flat in
+    /// (spec-major, then dataset-major, then base) order.
+    ///
+    /// Journaling is disabled for trigger sweeps even when configured:
+    /// journal keys are (dataset, algorithm) and do not carry the
+    /// trigger dimension, so resume would conflate specs.
+    ///
+    /// # Errors
+    /// Infrastructure failures only; per-cell failures come back inside
+    /// [`TriggerCellResult::error`].
+    pub fn run_triggered(
+        &self,
+        datasets: &[Dataset],
+        bases: &[etsc_core::TriggeredBase],
+        specs: &[etsc_trigger::TriggerSpec],
+    ) -> Result<Vec<TriggerCellResult>, EtscError> {
+        let mut sub = self.clone();
+        sub.options.journal = None;
+        sub.options.resume = false;
+        let algos: Vec<AlgoSpec> = bases.iter().map(|&b| pseudo_algo(b)).collect();
+        let mut results = Vec::with_capacity(datasets.len() * bases.len() * specs.len());
+        for spec in specs {
+            let outcomes = sub.run_with(datasets, &algos, |algo, dataset, config| {
+                run_triggered_cell(base_of(algo), spec, dataset, config, &etsc_obs::ambient())
+            })?;
+            for (i, outcome) in outcomes.into_iter().enumerate() {
+                let (d, b) = (i / bases.len(), i % bases.len());
+                results.push(TriggerCellResult::from_outcome(
+                    datasets[d].name(),
+                    bases[b],
+                    spec,
+                    outcome,
+                ));
+            }
+        }
+        Ok(results)
     }
 
     /// [`MatrixRunner::run`] with an injectable cell runner, used by

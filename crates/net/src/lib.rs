@@ -50,8 +50,8 @@
 //! * [`options`] — the embedding API: validated [`ServerBuilder`] /
 //!   [`ClientBuilder`] / [`RouterBuilder`] sharing a [`NetOptions`]
 //!   core, and [`Endpoint`] as the unified front door
-//!   (`serve`/`route`/`connect`/`fleet`). The legacy flat-field config
-//!   structs remain for one release with `into_builder()` lifts.
+//!   (`serve`/`route`/`connect`/`fleet`). The flat-field config
+//!   structs remain the runtime representation behind the builders.
 //!
 //! The paper's Figure 13 asks whether an algorithm's testing time per
 //! decision keeps up with the stream's observation frequency; this

@@ -23,9 +23,9 @@
 //! ```
 //!
 //! `read_poll`/`upstream_poll` no longer exist: the readiness poller
-//! ([`crate::poll`]) replaced interval polling wholesale. The builders
-//! keep deprecated no-op shims of those knobs for one release so old
-//! call sites migrate with a warning instead of a build break.
+//! ([`crate::poll`]) replaced interval polling wholesale. The
+//! transitional deprecated shims of those knobs (and the
+//! `into_builder` literal-migration path) have been removed.
 
 use std::fmt;
 use std::sync::Arc;
@@ -270,17 +270,6 @@ impl ServerBuilder {
         self
     }
 
-    /// The old interval-polling knob. The readiness poller made it
-    /// meaningless; the value is ignored.
-    #[deprecated(
-        since = "0.9.0",
-        note = "the readiness poller replaced interval polling; this knob is ignored"
-    )]
-    #[must_use]
-    pub fn read_poll(self, _interval: Duration) -> Self {
-        self
-    }
-
     /// Validates the combination and produces the runtime config.
     pub fn build(self) -> Result<ServerConfig, ConfigError> {
         self.net.validate()?;
@@ -321,22 +310,6 @@ impl ServerBuilder {
         config.idle_timeout = self.net.idle_timeout;
         config.obs = self.net.obs;
         Ok(config)
-    }
-}
-
-impl ServerConfig {
-    /// Decomposes a flat config back into the builder — the migration
-    /// path for call sites that assembled a [`ServerConfig`] literal.
-    #[must_use]
-    pub fn into_builder(self) -> ServerBuilder {
-        let net = NetOptions {
-            max_frame_bytes: self.max_frame_bytes,
-            max_connections: self.max_connections,
-            idle_timeout: self.idle_timeout,
-            obs: self.obs.clone(),
-            ..NetOptions::default()
-        };
-        ServerBuilder { net, extras: self }
     }
 }
 
@@ -453,17 +426,6 @@ impl ClientBuilder {
         self
     }
 
-    /// The old blocking-pump polling knob. The readiness-driven pump
-    /// made it meaningless; the value is ignored.
-    #[deprecated(
-        since = "0.9.0",
-        note = "the readiness-driven pump replaced interval polling; this knob is ignored"
-    )]
-    #[must_use]
-    pub fn read_poll(self, _interval: Duration) -> Self {
-        self
-    }
-
     /// Validates the combination and produces the runtime config.
     pub fn build(self) -> Result<ClientConfig, ConfigError> {
         self.net.validate()?;
@@ -502,20 +464,6 @@ impl ClientBuilder {
     pub fn connect(self, addr: &str) -> Result<Client, NetError> {
         let config = self.build().map_err(|e| NetError::Config(e.to_string()))?;
         Client::connect(addr, config)
-    }
-}
-
-impl ClientConfig {
-    /// Decomposes a flat config back into the builder — the migration
-    /// path for call sites that assembled a [`ClientConfig`] literal.
-    #[must_use]
-    pub fn into_builder(self) -> ClientBuilder {
-        let net = NetOptions {
-            agent: self.agent.clone(),
-            max_frame_bytes: self.max_frame_bytes,
-            ..NetOptions::default()
-        };
-        ClientBuilder { net, extras: self }
     }
 }
 
@@ -621,17 +569,6 @@ impl RouterBuilder {
         self
     }
 
-    /// The old upstream polling knob. The per-connection poller made
-    /// it meaningless; the value is ignored.
-    #[deprecated(
-        since = "0.9.0",
-        note = "the per-connection poller replaced interval polling; this knob is ignored"
-    )]
-    #[must_use]
-    pub fn upstream_poll(self, _interval: Duration) -> Self {
-        self
-    }
-
     /// Validates the combination and produces the runtime config.
     pub fn build(self) -> Result<RouterConfig, ConfigError> {
         self.net.validate()?;
@@ -666,22 +603,6 @@ impl RouterBuilder {
         config.idle_timeout = self.net.idle_timeout;
         config.obs = self.net.obs;
         Ok(config)
-    }
-}
-
-impl RouterConfig {
-    /// Decomposes a flat config back into the builder — the migration
-    /// path for call sites that assembled a [`RouterConfig`] literal.
-    #[must_use]
-    pub fn into_builder(self) -> RouterBuilder {
-        let net = NetOptions {
-            agent: self.agent.clone(),
-            max_frame_bytes: self.max_frame_bytes,
-            max_connections: self.max_connections,
-            idle_timeout: self.idle_timeout,
-            obs: self.obs.clone(),
-        };
-        RouterBuilder { net, extras: self }
     }
 }
 
@@ -806,32 +727,5 @@ mod tests {
             .map(|_| ())
             .unwrap_err();
         assert_eq!(err.field, "vnodes");
-    }
-
-    #[test]
-    fn roundtrip_through_into_builder_preserves_knobs() {
-        let config = ServerBuilder::new()
-            .max_connections(9)
-            .max_sessions_per_conn(5)
-            .event_loop_threads(2)
-            .build()
-            .unwrap();
-        let back = config.into_builder().build().unwrap();
-        assert_eq!(back.max_connections, 9);
-        assert_eq!(back.max_sessions_per_conn, 5);
-        assert_eq!(back.event_loop_threads, 2);
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn poll_shims_are_inert() {
-        let a = ServerBuilder::new().build().unwrap();
-        let b = ServerBuilder::new()
-            .read_poll(Duration::from_millis(10))
-            .build()
-            .unwrap();
-        assert_eq!(a.max_connections, b.max_connections);
-        let _ = ClientBuilder::new().read_poll(Duration::from_millis(1));
-        let _ = RouterBuilder::new().upstream_poll(Duration::from_millis(1));
     }
 }

@@ -307,10 +307,9 @@ impl Generation {
     fn build(model: Arc<StoredModel>) -> Generation {
         let batch = model
             .meta
-            .algo
             .decision_batch(model.meta.train_len, &RunConfig::fast());
         let info = ModelInfo {
-            algo: model.meta.algo.name().to_string(),
+            algo: model.meta.algo_label(),
             dataset: model.meta.dataset.clone(),
             vars: model.meta.vars,
             train_len: model.meta.train_len,
@@ -494,7 +493,7 @@ impl NetServer {
         let addr = listener.local_addr()?;
         let mut span = config.obs.tracer.span("net.serve");
         span.attr("addr", &addr.to_string());
-        span.attr("algo", model.meta.algo.name());
+        span.attr("algo", &model.meta.algo_label());
         span.attr("generation", &model.meta.generation.to_string());
         let serve_span = span.id();
         let generation = Generation::build(model);

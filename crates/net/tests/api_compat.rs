@@ -1,10 +1,8 @@
-//! Old-vs-new API equivalence: the deprecated flat-field config path
-//! and the validated-builder path must stand up byte-for-byte
-//! equivalent stacks — same negotiation, same decisions, same final
-//! accounting — and the deprecated shims must keep compiling (inertly)
-//! for one release.
-
-#![allow(deprecated)]
+//! Old-vs-new API equivalence: the flat-field config path (still the
+//! runtime representation) and the validated-builder path must stand
+//! up byte-for-byte equivalent stacks — same negotiation, same
+//! decisions, same final accounting. The transitional deprecated
+//! shims (`read_poll`/`upstream_poll`, `into_builder`) are gone.
 
 use std::sync::Arc;
 use std::time::Duration;
@@ -147,24 +145,18 @@ fn old_router_config_and_new_builder_route_identically() {
 }
 
 #[test]
-fn into_builder_migration_preserves_behaviour() {
+fn flat_config_served_model_matches_offline_predictions() {
     let data = synthetic();
     let model = Arc::new(fit_model(AlgoSpec::Ects, &data, &RunConfig::fast()).unwrap());
 
-    // The migration path README documents: take the old struct you
-    // already have, lift it into a builder, keep going.
-    let legacy = ServerConfig {
-        max_sessions_per_conn: 16,
-        ..ServerConfig::default()
-    };
-    let server = Endpoint::serve(Arc::clone(&model), "127.0.0.1:0", legacy.into_builder()).unwrap();
+    let server = Endpoint::serve(
+        Arc::clone(&model),
+        "127.0.0.1:0",
+        ServerBuilder::new().max_sessions_per_conn(16),
+    )
+    .unwrap();
     let addr = server.local_addr().to_string();
-
-    let legacy_client = ClientConfig {
-        agent: "migrated".to_string(),
-        ..ClientConfig::default()
-    };
-    let mut client = Endpoint::connect(&addr, legacy_client.into_builder()).unwrap();
+    let mut client = Endpoint::connect(&addr, ClientBuilder::new().agent("migrated")).unwrap();
     let offline = fit_model(AlgoSpec::Ects, &data, &RunConfig::fast()).unwrap();
     for (i, (label, prefix_len)) in decisions(&mut client, &data).into_iter().enumerate() {
         let expect = offline
@@ -177,17 +169,4 @@ fn into_builder_migration_preserves_behaviour() {
     drop(client);
     let stats = server.join();
     assert_eq!(stats.sessions_decided, data.len() as u64);
-}
-
-#[test]
-fn deprecated_poll_shims_still_compile_and_do_nothing() {
-    // One release of grace: the removed poll knobs keep compiling as
-    // inert builder methods, so downstream code migrates on its own
-    // schedule.
-    let s = ServerBuilder::new().read_poll(Duration::from_millis(2));
-    assert!(s.build().is_ok());
-    let c = ClientBuilder::new().read_poll(Duration::from_millis(10));
-    assert!(c.build().is_ok());
-    let r = RouterBuilder::new().upstream_poll(Duration::from_millis(10));
-    assert!(r.build().is_ok());
 }

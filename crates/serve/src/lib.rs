@@ -49,6 +49,6 @@ pub use scheduler::{
 };
 pub use session::{DeadlineConfig, FallbackKind, FallbackPolicy, StreamSession};
 pub use store::{
-    fit_model, load_resilient, replicate, LoadOutcome, ModelMeta, SavedModel, ServeError,
-    StoredModel,
+    fit_model, fit_triggered_model, load_resilient, replicate, LoadOutcome, ModelMeta, SavedModel,
+    ServeError, StoredModel, TriggerDesc,
 };

@@ -7,8 +7,12 @@
 //! magic   u64   "ETSCMODL"
 //! version u64   bumped on any payload schema change
 //! meta    section   algorithm name, dataset name, vars, train length,
-//!                   class names, training prior label, voting flag
+//!                   class names, training prior label, trigger
+//!                   descriptor (version ≥ 4), voting flag
 //! payload section   the algorithm's own `encode_state` field sequence
+//! trigger section   (version ≥ 4, trigger-wrapped models only) the
+//!                   fitted decision trigger + calibration map, every
+//!                   float as its exact IEEE-754 bit pattern
 //! ```
 //!
 //! where each *section* is `len u64 · bytes · crc64 u64` — the CRC-64/XZ
@@ -31,22 +35,32 @@
 
 use std::path::{Path, PathBuf};
 
-use etsc_core::full::{MiniRocketClassifier, MlstmClassifier, WeaselClassifier};
+use etsc_core::full::{
+    MiniRocketClassifier, MiniRocketClassifierConfig, MlstmClassifier, MlstmClassifierConfig,
+    WeaselClassifier, WeaselClassifierConfig,
+};
 use etsc_core::{
-    EarlyClassifier, Ecec, EcecConfig, EconomyK, EconomyKConfig, Ects, EctsConfig, Edsc,
-    EdscConfig, EtscError, Strut, Teaser, TeaserConfig, VotingAdapter, VotingScheme,
+    decode_trigger, encode_trigger, EarlyClassifier, Ecec, EcecConfig, EconomyK, EconomyKConfig,
+    Ects, EctsConfig, Edsc, EdscConfig, EtscError, Strut, Teaser, TeaserConfig, TriggeredBase,
+    TriggeredClassifier, TriggeredConfig, VotingAdapter, VotingScheme,
 };
 use etsc_data::codec::{crc64, CodecError, Decoder, Encoder};
 use etsc_data::Dataset;
 use etsc_eval::experiment::{AlgoSpec, RunConfig};
+use etsc_trigger::{FittedTrigger, TriggerSpec};
 
 /// File magic: `b"ETSCMODL"` as a little-endian `u64`.
 const MAGIC: u64 = u64::from_le_bytes(*b"ETSCMODL");
 
 /// Payload schema version; bump when any `encode_state` sequence
 /// changes shape. Version 2 introduced per-section CRC64 checksums and
-/// the training prior label.
-const FORMAT_VERSION: u64 = 3;
+/// the training prior label; version 4 the trigger descriptor in the
+/// metadata plus the CRC-guarded trigger section.
+const FORMAT_VERSION: u64 = 4;
+
+/// Oldest version this build still reads. Version-3 files (no trigger
+/// machinery) load as plain models with `trigger: None`.
+const MIN_FORMAT_VERSION: u64 = 3;
 
 /// Failures of the model store.
 #[derive(Debug)]
@@ -126,9 +140,52 @@ pub struct ModelMeta {
     /// `fit_model` and bumped by each adaptive refit — the counter the
     /// fleet router's blue/green machinery keys swaps on.
     pub generation: u64,
+    /// Present when the payload is a trigger-wrapped classifier: which
+    /// base it wraps and the canonical trigger spec it was fitted with.
+    /// For such models [`ModelMeta::algo`] holds the nearest STRUT slot
+    /// (`S-MiniROCKET` for a triggered MiniROCKET, ...), kept only so
+    /// version-agnostic consumers still have a valid [`AlgoSpec`];
+    /// display paths should prefer [`ModelMeta::algo_label`].
+    pub trigger: Option<TriggerDesc>,
+}
+
+/// How a trigger-wrapped model identifies itself in the metadata.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TriggerDesc {
+    /// The wrapped base classifier.
+    pub base: TriggeredBase,
+    /// Canonical [`TriggerSpec`] string (round-trips through
+    /// `TriggerSpec::parse`).
+    pub spec: String,
 }
 
 impl ModelMeta {
+    /// The prefix-batch size serving sessions should re-evaluate at.
+    /// Trigger-wrapped models gate their own evaluation on internal
+    /// checkpoints, so they observe per point; plain models defer to
+    /// the algorithm's batch rule.
+    pub fn decision_batch(&self, len: usize, config: &RunConfig) -> usize {
+        if self.trigger.is_some() {
+            1
+        } else {
+            self.algo.decision_batch(len, config)
+        }
+    }
+
+    /// Human-facing algorithm label: the algorithm name for plain
+    /// models, `BASE+family` (e.g. `MiniROCKET+cost`) for triggered
+    /// ones.
+    pub fn algo_label(&self) -> String {
+        match &self.trigger {
+            Some(t) => format!(
+                "{}+{}",
+                t.base.name(),
+                t.spec.split(':').next().unwrap_or("trigger")
+            ),
+            None => self.algo.name().to_owned(),
+        }
+    }
+
     fn encode(&self, e: &mut Encoder) {
         e.str(self.algo.name());
         e.str(&self.dataset);
@@ -140,9 +197,17 @@ impl ModelMeta {
         }
         e.usize(self.prior_label);
         e.u64(self.generation);
+        match &self.trigger {
+            None => e.bool(false),
+            Some(t) => {
+                e.bool(true);
+                e.str(t.base.name());
+                e.str(&t.spec);
+            }
+        }
     }
 
-    fn decode(d: &mut Decoder) -> Result<ModelMeta, ServeError> {
+    fn decode(d: &mut Decoder, version: u64) -> Result<ModelMeta, ServeError> {
         let algo_name = d.str()?;
         let algo = AlgoSpec::by_name(&algo_name)
             .ok_or_else(|| ServeError::Format(format!("unknown algorithm {algo_name:?}")))?;
@@ -166,6 +231,18 @@ impl ModelMeta {
                 "model generation 0 is reserved (generations start at 1)".into(),
             ));
         }
+        // Version 3 predates the trigger machinery: no descriptor byte.
+        let trigger = if version >= 4 && d.bool()? {
+            let base_name = d.str()?;
+            let base = TriggeredBase::parse(&base_name)
+                .ok_or_else(|| ServeError::Format(format!("unknown trigger base {base_name:?}")))?;
+            let spec = d.str()?;
+            TriggerSpec::parse(&spec)
+                .map_err(|e| ServeError::Format(format!("bad trigger spec {spec:?}: {e}")))?;
+            Some(TriggerDesc { base, spec })
+        } else {
+            None
+        };
         Ok(ModelMeta {
             algo,
             dataset,
@@ -174,14 +251,15 @@ impl ModelMeta {
             class_names,
             prior_label,
             generation,
+            trigger,
         })
     }
 }
 
-/// A fitted model in one of its thirteen persistable shapes: each of
+/// A fitted model in one of its sixteen persistable shapes: each of
 /// the five univariate algorithms either plain or wrapped in the
-/// multivariate voting adapter, plus the three natively-multivariate
-/// STRUT variants.
+/// multivariate voting adapter, the three natively-multivariate
+/// STRUT variants, plus the three trigger-wrapped snapshot ensembles.
 // One value exists per serving process, so the size spread between the
 // MLSTM variant and the rest is irrelevant — not worth boxing.
 #[allow(clippy::large_enum_variant)]
@@ -212,6 +290,12 @@ pub enum SavedModel {
     SMlstm(Strut<MlstmClassifier>),
     /// STRUT + WEASEL(+MUSE).
     SWeasel(Strut<WeaselClassifier>),
+    /// Trigger-wrapped MiniROCKET snapshot ensemble.
+    TrigMini(TriggeredClassifier<MiniRocketClassifier>),
+    /// Trigger-wrapped WEASEL snapshot ensemble.
+    TrigWeasel(TriggeredClassifier<WeaselClassifier>),
+    /// Trigger-wrapped MLSTM-FCN snapshot ensemble.
+    TrigMlstm(TriggeredClassifier<MlstmClassifier>),
 }
 
 impl SavedModel {
@@ -233,6 +317,31 @@ impl SavedModel {
             SavedModel::SMini(m) => m,
             SavedModel::SMlstm(m) => m,
             SavedModel::SWeasel(m) => m,
+            SavedModel::TrigMini(m) => m,
+            SavedModel::TrigWeasel(m) => m,
+            SavedModel::TrigMlstm(m) => m,
+        }
+    }
+
+    /// The fitted decision trigger, for the trigger-wrapped variants.
+    pub fn fitted_trigger(&self) -> Option<&FittedTrigger> {
+        match self {
+            SavedModel::TrigMini(m) => m.trigger(),
+            SavedModel::TrigWeasel(m) => m.trigger(),
+            SavedModel::TrigMlstm(m) => m.trigger(),
+            _ => None,
+        }
+    }
+
+    /// Installs a trigger into a trigger-wrapped variant (the
+    /// authoritative trigger-section load path and the serve-time
+    /// override). No-op on plain models.
+    pub fn install_trigger(&mut self, trigger: FittedTrigger) {
+        match self {
+            SavedModel::TrigMini(m) => m.set_trigger(trigger),
+            SavedModel::TrigWeasel(m) => m.set_trigger(trigger),
+            SavedModel::TrigMlstm(m) => m.set_trigger(trigger),
+            _ => {}
         }
     }
 
@@ -275,8 +384,31 @@ impl SavedModel {
             SavedModel::SMini(m) => m.encode_state(e, |c, e| c.encode_state(e)),
             SavedModel::SMlstm(m) => m.encode_state(e, |c, e| c.encode_state(e)),
             SavedModel::SWeasel(m) => m.encode_state(e, |c, e| c.encode_state(e)),
+            SavedModel::TrigMini(m) => m.encode_state(e, |c, e| c.encode_state(e)),
+            SavedModel::TrigWeasel(m) => m.encode_state(e, |c, e| c.encode_state(e)),
+            SavedModel::TrigMlstm(m) => m.encode_state(e, |c, e| c.encode_state(e)),
         }
         Ok(())
+    }
+
+    fn decode_triggered(base: TriggeredBase, d: &mut Decoder) -> Result<SavedModel, ServeError> {
+        Ok(match base {
+            TriggeredBase::MiniRocket => SavedModel::TrigMini(TriggeredClassifier::decode_state(
+                d,
+                MiniRocketClassifier::with_defaults,
+                MiniRocketClassifier::decode_state,
+            )?),
+            TriggeredBase::Weasel => SavedModel::TrigWeasel(TriggeredClassifier::decode_state(
+                d,
+                WeaselClassifier::with_defaults,
+                WeaselClassifier::decode_state,
+            )?),
+            TriggeredBase::Mlstm => SavedModel::TrigMlstm(TriggeredClassifier::decode_state(
+                d,
+                MlstmClassifier::with_defaults,
+                MlstmClassifier::decode_state,
+            )?),
+        })
     }
 
     fn decode(algo: AlgoSpec, voting: bool, d: &mut Decoder) -> Result<SavedModel, ServeError> {
@@ -410,6 +542,11 @@ impl StoredModel {
     /// [`ServeError::Model`] when the model's configuration cannot be
     /// persisted (e.g. an ECONOMY-K base other than naive Bayes).
     pub fn to_bytes(&self) -> Result<Vec<u8>, ServeError> {
+        if self.meta.trigger.is_some() != self.model.fitted_trigger().is_some() {
+            return Err(ServeError::Format(
+                "metadata trigger descriptor and payload shape disagree".into(),
+            ));
+        }
         let mut e = Encoder::new();
         e.u64(MAGIC);
         e.u64(FORMAT_VERSION);
@@ -420,6 +557,14 @@ impl StoredModel {
         let mut payload = Encoder::new();
         self.model.encode(&mut payload)?;
         write_section(&mut e, &payload.into_bytes());
+        // Trigger-wrapped models get a dedicated section for the fitted
+        // trigger + calibration map, CRC-guarded independently of the
+        // (much larger) snapshot payload. It is authoritative on load.
+        if let Some(trigger) = self.model.fitted_trigger() {
+            let mut t = Encoder::new();
+            encode_trigger(&mut t, trigger);
+            write_section(&mut e, &t.into_bytes());
+        }
         Ok(e.into_bytes())
     }
 
@@ -468,14 +613,15 @@ impl StoredModel {
             ));
         }
         let version = d.u64()?;
-        if version != FORMAT_VERSION {
+        if !(MIN_FORMAT_VERSION..=FORMAT_VERSION).contains(&version) {
             return Err(ServeError::Format(format!(
-                "model format version {version} is not supported (this build reads {FORMAT_VERSION})"
+                "model format version {version} is not supported (this build reads \
+                 {MIN_FORMAT_VERSION}..={FORMAT_VERSION})"
             )));
         }
         let meta_bytes = read_section(&mut d, "meta")?;
         let mut md = Decoder::new(meta_bytes);
-        let meta = ModelMeta::decode(&mut md)?;
+        let meta = ModelMeta::decode(&mut md, version)?;
         let voting = md.bool()?;
         if !md.is_exhausted() {
             return Err(ServeError::Format(format!(
@@ -490,18 +636,36 @@ impl StoredModel {
             )));
         }
         let payload = read_section(&mut d, "payload")?;
-        if !d.is_exhausted() {
-            return Err(ServeError::Format(format!(
-                "{} trailing bytes after the model payload",
-                d.remaining()
-            )));
-        }
         let mut pd = Decoder::new(payload);
-        let model = SavedModel::decode(meta.algo, voting, &mut pd)?;
+        let mut model = match &meta.trigger {
+            Some(desc) => SavedModel::decode_triggered(desc.base, &mut pd)?,
+            None => SavedModel::decode(meta.algo, voting, &mut pd)?,
+        };
         if !pd.is_exhausted() {
             return Err(ServeError::Format(format!(
                 "{} trailing bytes inside the model payload section",
                 pd.remaining()
+            )));
+        }
+        if meta.trigger.is_some() {
+            // The dedicated trigger section is authoritative: decode it
+            // under its own CRC and install it over whatever the payload
+            // carried.
+            let trigger_bytes = read_section(&mut d, "trigger")?;
+            let mut td = Decoder::new(trigger_bytes);
+            let trigger = decode_trigger(&mut td)?;
+            if !td.is_exhausted() {
+                return Err(ServeError::Format(format!(
+                    "{} trailing bytes inside the trigger section",
+                    td.remaining()
+                )));
+            }
+            model.install_trigger(trigger);
+        }
+        if !d.is_exhausted() {
+            return Err(ServeError::Format(format!(
+                "{} trailing bytes after the model payload",
+                d.remaining()
             )));
         }
         Ok(StoredModel { meta, model })
@@ -760,6 +924,85 @@ pub fn fit_model(
             class_names: data.class_names().to_vec(),
             prior_label: majority_label(data),
             generation: 1,
+            trigger: None,
+        },
+        model,
+    })
+}
+
+/// The STRUT slot a trigger-wrapped model's [`ModelMeta::algo`] holds —
+/// the nearest `AlgoSpec` relative, so version-agnostic consumers
+/// (batch sizing, display fallbacks) keep working.
+fn pseudo_slot(base: TriggeredBase) -> AlgoSpec {
+    match base {
+        TriggeredBase::MiniRocket => AlgoSpec::SMini,
+        TriggeredBase::Weasel => AlgoSpec::SWeasel,
+        TriggeredBase::Mlstm => AlgoSpec::SMlstm,
+    }
+}
+
+/// Trains a trigger-wrapped snapshot ensemble of `base` under `spec`,
+/// with the base hyper-parameters derived from `config` exactly as the
+/// evaluation matrix derives them — the `train --trigger` path.
+///
+/// # Errors
+/// Training failures.
+pub fn fit_triggered_model(
+    base: TriggeredBase,
+    spec: &TriggerSpec,
+    data: &Dataset,
+    config: &RunConfig,
+) -> Result<StoredModel, ServeError> {
+    let tcfg = TriggeredConfig {
+        seed: config.seed,
+        ..TriggeredConfig::default()
+    };
+    let c = config.clone();
+    let model = match base {
+        TriggeredBase::MiniRocket => {
+            let mut m = TriggeredClassifier::new(base.name(), tcfg, spec.clone(), move || {
+                MiniRocketClassifier::new(MiniRocketClassifierConfig {
+                    transform: c.minirocket_config(),
+                    ..MiniRocketClassifierConfig::default()
+                })
+            });
+            m.fit(data)?;
+            SavedModel::TrigMini(m)
+        }
+        TriggeredBase::Weasel => {
+            let mut m = TriggeredClassifier::new(base.name(), tcfg, spec.clone(), move || {
+                WeaselClassifier::new(WeaselClassifierConfig {
+                    weasel: c.weasel_config(),
+                    logistic: c.logistic_config(),
+                })
+            });
+            m.fit(data)?;
+            SavedModel::TrigWeasel(m)
+        }
+        TriggeredBase::Mlstm => {
+            let mut m = TriggeredClassifier::new(base.name(), tcfg, spec.clone(), move || {
+                MlstmClassifier::new(MlstmClassifierConfig {
+                    network: c.mlstm_config(),
+                    lstm_grid: c.mlstm_lstm_grid.clone(),
+                })
+            });
+            m.fit(data)?;
+            SavedModel::TrigMlstm(m)
+        }
+    };
+    Ok(StoredModel {
+        meta: ModelMeta {
+            algo: pseudo_slot(base),
+            dataset: data.name().to_owned(),
+            vars: data.vars(),
+            train_len: data.max_len(),
+            class_names: data.class_names().to_vec(),
+            prior_label: majority_label(data),
+            generation: 1,
+            trigger: Some(TriggerDesc {
+                base,
+                spec: spec.canonical(),
+            }),
         },
         model,
     })
@@ -892,6 +1135,76 @@ mod tests {
             StoredModel::from_bytes(&bytes),
             Err(ServeError::Format(_))
         ));
+    }
+
+    #[test]
+    fn triggered_model_roundtrips_with_trigger_section() {
+        let data = tiny_dataset();
+        let spec = TriggerSpec::parse("calibrated:cal=platt,threshold=0.7").unwrap();
+        let stored =
+            fit_triggered_model(TriggeredBase::Weasel, &spec, &data, &tiny_config()).unwrap();
+        assert_eq!(stored.meta.algo_label(), "WEASEL+calibrated");
+        assert!(stored.model.fitted_trigger().is_some());
+        let bytes = stored.to_bytes().unwrap();
+        let loaded = StoredModel::from_bytes(&bytes).unwrap();
+        assert_eq!(loaded.meta, stored.meta);
+        assert_eq!(loaded.model.fitted_trigger(), stored.model.fitted_trigger());
+        for inst in data.instances() {
+            let a = stored.classifier().predict_early(inst).unwrap();
+            let b = loaded.classifier().predict_early(inst).unwrap();
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn corrupt_trigger_section_is_a_checksum_error() {
+        let data = tiny_dataset();
+        let spec = TriggerSpec::parse("threshold:0.8").unwrap();
+        let stored =
+            fit_triggered_model(TriggeredBase::Weasel, &spec, &data, &tiny_config()).unwrap();
+        let mut bytes = stored.to_bytes().unwrap();
+        // The trigger section is last; flip a bit inside its CRC.
+        let n = bytes.len();
+        bytes[n - 4] ^= 0x01;
+        assert!(matches!(
+            StoredModel::from_bytes(&bytes),
+            Err(ServeError::Checksum { section: "trigger" })
+        ));
+    }
+
+    #[test]
+    fn version_3_files_still_load_as_untriggered() {
+        let data = tiny_dataset();
+        let stored = fit_model(AlgoSpec::Ects, &data, &tiny_config()).unwrap();
+        // Hand-roll a version-3 container: identical sections except
+        // the meta carries no trigger descriptor byte.
+        let mut e = Encoder::new();
+        e.u64(MAGIC);
+        e.u64(3);
+        let mut meta = Encoder::new();
+        meta.str(stored.meta.algo.name());
+        meta.str(&stored.meta.dataset);
+        meta.usize(stored.meta.vars);
+        meta.usize(stored.meta.train_len);
+        meta.usize(stored.meta.class_names.len());
+        for name in &stored.meta.class_names {
+            meta.str(name);
+        }
+        meta.usize(stored.meta.prior_label);
+        meta.u64(stored.meta.generation);
+        meta.bool(false); // voting
+        write_section(&mut e, &meta.into_bytes());
+        let mut payload = Encoder::new();
+        stored.model.encode(&mut payload).unwrap();
+        write_section(&mut e, &payload.into_bytes());
+        let loaded = StoredModel::from_bytes(&e.into_bytes()).unwrap();
+        assert_eq!(loaded.meta, stored.meta);
+        assert!(loaded.meta.trigger.is_none());
+        for inst in data.instances().iter().take(4) {
+            let a = stored.classifier().predict_early(inst).unwrap();
+            let b = loaded.classifier().predict_early(inst).unwrap();
+            assert_eq!(a, b);
+        }
     }
 
     #[test]

@@ -1,0 +1,102 @@
+//! Property tests for the model-store trigger codec: a fitted
+//! calibration map — and the whole fitted trigger around it — must
+//! round-trip through the store's binary codec *exactly*, bit for bit,
+//! so a model served after save/load emits the same calibrated
+//! probabilities as the one that was trained.
+
+use proptest::prelude::*;
+
+use etsc_core::{decode_calibrator, decode_trigger, encode_calibrator, encode_trigger};
+use etsc_data::codec::{Decoder, Encoder};
+use etsc_trigger::{CalibrationKind, Calibrator, TriggerFitData, TriggerSpec};
+
+/// Reshapes flat generated material into the (fractions, trajectories,
+/// correctness) triple a trigger fits on: `instances` trajectories over
+/// an ascending `points`-long fraction grid.
+fn shape(
+    grid: Vec<f64>,
+    instances: usize,
+    flat_scores: &[f64],
+    flat_correct: &[u8],
+) -> (Vec<f64>, Vec<Vec<f64>>, Vec<Vec<bool>>) {
+    let mut fractions = grid;
+    fractions.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let points = fractions.len();
+    let trajectories: Vec<Vec<f64>> = (0..instances)
+        .map(|i| (0..points).map(|j| flat_scores[i * points + j]).collect())
+        .collect();
+    let correct: Vec<Vec<bool>> = (0..instances)
+        .map(|i| {
+            (0..points)
+                .map(|j| flat_correct[i * points + j] == 1)
+                .collect()
+        })
+        .collect();
+    (fractions, trajectories, correct)
+}
+
+/// The spec corpus the round-trip sweeps: every trigger family, both
+/// calibration families where they apply.
+const SPECS: [&str; 6] = [
+    "threshold:0.7",
+    "patience:k=3,threshold=0.6",
+    "cost:0.08",
+    "cost:cal=isotonic,delay=0.12",
+    "calibrated:cal=platt,threshold=0.75",
+    "calibrated:cal=isotonic,threshold=0.65",
+];
+
+proptest! {
+    #[test]
+    fn calibrators_roundtrip_exactly(
+        pairs in prop::collection::vec((0.0f64..=1.0, 0u8..2), 0..60),
+        probes in prop::collection::vec(0.0f64..=1.0, 1..20),
+    ) {
+        let (scores, ok): (Vec<f64>, Vec<bool>) =
+            pairs.into_iter().map(|(s, c)| (s, c == 1)).unzip();
+        for kind in [CalibrationKind::None, CalibrationKind::Platt, CalibrationKind::Isotonic] {
+            let fitted = Calibrator::fit(kind, &scores, &ok);
+            let mut e = Encoder::new();
+            encode_calibrator(&mut e, &fitted);
+            let bytes = e.into_bytes();
+            let mut d = Decoder::new(&bytes);
+            let back = decode_calibrator(&mut d).unwrap();
+            prop_assert!(d.is_exhausted(), "codec left trailing bytes");
+            prop_assert_eq!(&back, &fitted);
+            // Exactness down to the bit pattern of every probability.
+            for &p in &probes {
+                prop_assert_eq!(back.map(p).to_bits(), fitted.map(p).to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn fitted_triggers_roundtrip_exactly(
+        grid in prop::collection::vec(0.01f64..=1.0, 2..6),
+        instances in 1usize..12,
+        flat_scores in prop::collection::vec(0.0f64..=1.0, 72),
+        flat_correct in prop::collection::vec(0u8..2, 72),
+        spec_idx in 0usize..6,
+    ) {
+        let (fractions, trajectories, correct) =
+            shape(grid, instances, &flat_scores, &flat_correct);
+        let spec = TriggerSpec::parse(SPECS[spec_idx]).unwrap();
+        let fitted = spec.fit(&TriggerFitData {
+            fractions: &fractions,
+            trajectories: &trajectories,
+            correct: &correct,
+        });
+        let mut e = Encoder::new();
+        encode_trigger(&mut e, &fitted);
+        let bytes = e.into_bytes();
+        let mut d = Decoder::new(&bytes);
+        let back = decode_trigger(&mut d).unwrap();
+        prop_assert!(d.is_exhausted(), "codec left trailing bytes");
+        prop_assert_eq!(&back, &fitted);
+        // A second encode of the decoded value is byte-identical —
+        // the codec is canonical, not merely value-preserving.
+        let mut e2 = Encoder::new();
+        encode_trigger(&mut e2, &back);
+        prop_assert_eq!(e2.into_bytes(), bytes);
+    }
+}

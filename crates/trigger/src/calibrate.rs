@@ -1,0 +1,337 @@
+//! From-scratch probability calibration: Platt scaling and isotonic
+//! regression, fit on held-out (score, correctness) pairs.
+//!
+//! Both calibrators map a raw confidence score (typically the winning
+//! class probability of a base classifier) to an estimate of the
+//! probability that the prediction is *correct*. Triggers that halt on
+//! "confidence ≥ threshold" become far better behaved when the
+//! confidence actually means what the threshold assumes it means.
+
+/// Which calibration map to fit, if any.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CalibrationKind {
+    /// Pass raw scores through unchanged.
+    None,
+    /// Platt scaling: a fitted sigmoid `p = σ(a·s + b)` with `a > 0`.
+    Platt,
+    /// Isotonic regression via pool-adjacent-violators: a monotone
+    /// non-decreasing step function.
+    Isotonic,
+}
+
+impl CalibrationKind {
+    /// Canonical lowercase name (the CLI `--calibrate` spelling).
+    pub fn name(self) -> &'static str {
+        match self {
+            CalibrationKind::None => "none",
+            CalibrationKind::Platt => "platt",
+            CalibrationKind::Isotonic => "isotonic",
+        }
+    }
+
+    /// Parses a `--calibrate` value (case-insensitive).
+    pub fn parse(name: &str) -> Option<CalibrationKind> {
+        match name.to_ascii_lowercase().as_str() {
+            "none" => Some(CalibrationKind::None),
+            "platt" => Some(CalibrationKind::Platt),
+            "isotonic" => Some(CalibrationKind::Isotonic),
+            _ => None,
+        }
+    }
+}
+
+/// A fitted Platt scaler: `map(s) = 1 / (1 + exp(-(a·s + b)))`.
+///
+/// `a` is clamped positive at fit time, so the map is strictly
+/// monotone increasing — a higher raw score never calibrates to a
+/// lower probability.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Platt {
+    /// Slope of the fitted sigmoid (always `> 0`).
+    pub a: f64,
+    /// Intercept of the fitted sigmoid.
+    pub b: f64,
+}
+
+impl Platt {
+    /// Fits the sigmoid by gradient descent on the negative
+    /// log-likelihood with Platt's smoothed targets
+    /// `(n⁺ + 1)/(n⁺ + 2)` and `1/(n⁻ + 2)`, which regularise the
+    /// degenerate perfectly-separated case.
+    ///
+    /// Returns an identity-like map when `scores` is empty or contains
+    /// only one outcome class.
+    pub fn fit(scores: &[f64], correct: &[bool]) -> Platt {
+        let n = scores.len().min(correct.len());
+        let pos = correct.iter().take(n).filter(|&&c| c).count();
+        let neg = n - pos;
+        if n == 0 || pos == 0 || neg == 0 {
+            // Degenerate held-out sample: fall back to a steep sigmoid
+            // centred at 0.5, close to the identity on [0, 1].
+            return Platt { a: 8.0, b: -4.0 };
+        }
+        let t_pos = (pos as f64 + 1.0) / (pos as f64 + 2.0);
+        let t_neg = 1.0 / (neg as f64 + 2.0);
+        let (mut a, mut b) = (1.0_f64, 0.0_f64);
+        let mut lr = 0.5;
+        let mut last_nll = f64::INFINITY;
+        for _ in 0..500 {
+            let (mut ga, mut gb, mut nll) = (0.0, 0.0, 0.0);
+            for i in 0..n {
+                let t = if correct[i] { t_pos } else { t_neg };
+                let z = a * scores[i] + b;
+                let p = sigmoid(z);
+                let d = p - t;
+                ga += d * scores[i];
+                gb += d;
+                // Numerically safe NLL.
+                let p = p.clamp(1e-12, 1.0 - 1e-12);
+                nll -= t * p.ln() + (1.0 - t) * (1.0 - p).ln();
+            }
+            if nll > last_nll {
+                lr *= 0.5;
+                if lr < 1e-6 {
+                    break;
+                }
+            }
+            last_nll = nll;
+            a -= lr * ga / n as f64;
+            b -= lr * gb / n as f64;
+            // Strict monotonicity is a published contract of this map.
+            if a < 1e-6 {
+                a = 1e-6;
+            }
+        }
+        Platt { a, b }
+    }
+
+    /// Applies the fitted sigmoid to one raw score.
+    pub fn map(&self, score: f64) -> f64 {
+        sigmoid(self.a * score + self.b)
+    }
+}
+
+fn sigmoid(z: f64) -> f64 {
+    if z >= 0.0 {
+        1.0 / (1.0 + (-z).exp())
+    } else {
+        let e = z.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// A fitted isotonic regression: a monotone non-decreasing step
+/// function over score thresholds, produced by pool-adjacent-violators
+/// on (score, correctness) pairs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Isotonic {
+    /// Block boundaries (ascending scores); `map` returns the value of
+    /// the last boundary ≤ the query score.
+    pub thresholds: Vec<f64>,
+    /// Calibrated value per block, non-decreasing and inside `[0, 1]`.
+    pub values: Vec<f64>,
+}
+
+impl Isotonic {
+    /// Fits by pool-adjacent-violators: sort by score, then repeatedly
+    /// merge adjacent blocks that violate monotonicity into their
+    /// weighted mean.
+    ///
+    /// Returns an identity-like single block when `scores` is empty.
+    pub fn fit(scores: &[f64], correct: &[bool]) -> Isotonic {
+        let n = scores.len().min(correct.len());
+        if n == 0 {
+            return Isotonic {
+                thresholds: vec![0.0],
+                values: vec![0.5],
+            };
+        }
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by(|&i, &j| {
+            scores[i]
+                .partial_cmp(&scores[j])
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        // Each block: (first score, mean value, weight).
+        let mut blocks: Vec<(f64, f64, f64)> = Vec::with_capacity(n);
+        for &i in &order {
+            let y = if correct[i] { 1.0 } else { 0.0 };
+            blocks.push((scores[i], y, 1.0));
+            // Pool adjacent violators.
+            while blocks.len() >= 2 {
+                let (_, v2, w2) = blocks[blocks.len() - 1];
+                let (s1, v1, w1) = blocks[blocks.len() - 2];
+                if v1 <= v2 {
+                    break;
+                }
+                let merged = (s1, (v1 * w1 + v2 * w2) / (w1 + w2), w1 + w2);
+                blocks.pop();
+                blocks.pop();
+                blocks.push(merged);
+            }
+        }
+        Isotonic {
+            thresholds: blocks.iter().map(|b| b.0).collect(),
+            values: blocks.iter().map(|b| b.1.clamp(0.0, 1.0)).collect(),
+        }
+    }
+
+    /// Applies the fitted step function: the value of the last block
+    /// whose threshold is ≤ `score` (the first block's value below the
+    /// smallest threshold). The output is always inside `[0, 1]` and
+    /// non-decreasing in `score`.
+    pub fn map(&self, score: f64) -> f64 {
+        if self.values.is_empty() {
+            return score.clamp(0.0, 1.0);
+        }
+        // partition_point: first index whose threshold exceeds `score`.
+        let idx = self.thresholds.partition_point(|&t| t <= score);
+        if idx == 0 {
+            self.values[0]
+        } else {
+            self.values[idx - 1]
+        }
+    }
+}
+
+/// A fitted calibration map of either family, or the identity.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Calibrator {
+    /// Raw scores pass through unchanged.
+    Identity,
+    /// Fitted Platt sigmoid.
+    Platt(Platt),
+    /// Fitted isotonic step function.
+    Isotonic(Isotonic),
+}
+
+impl Calibrator {
+    /// Fits the requested calibration family on held-out
+    /// (score, correctness) pairs.
+    pub fn fit(kind: CalibrationKind, scores: &[f64], correct: &[bool]) -> Calibrator {
+        match kind {
+            CalibrationKind::None => Calibrator::Identity,
+            CalibrationKind::Platt => Calibrator::Platt(Platt::fit(scores, correct)),
+            CalibrationKind::Isotonic => Calibrator::Isotonic(Isotonic::fit(scores, correct)),
+        }
+    }
+
+    /// The family this map was fit with.
+    pub fn kind(&self) -> CalibrationKind {
+        match self {
+            Calibrator::Identity => CalibrationKind::None,
+            Calibrator::Platt(_) => CalibrationKind::Platt,
+            Calibrator::Isotonic(_) => CalibrationKind::Isotonic,
+        }
+    }
+
+    /// Calibrates one raw score.
+    pub fn map(&self, score: f64) -> f64 {
+        match self {
+            Calibrator::Identity => score,
+            Calibrator::Platt(p) => p.map(score),
+            Calibrator::Isotonic(i) => i.map(score),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn held_out() -> (Vec<f64>, Vec<bool>) {
+        // Higher scores are more often correct, with noise.
+        let scores: Vec<f64> = (0..60).map(|i| i as f64 / 59.0).collect();
+        let correct: Vec<bool> = (0..60)
+            .map(|i| {
+                let flip = (i * 7) % 10 == 0;
+                (i >= 25) ^ flip
+            })
+            .collect();
+        (scores, correct)
+    }
+
+    #[test]
+    fn platt_is_strictly_monotone_and_bounded() {
+        let (s, c) = held_out();
+        let p = Platt::fit(&s, &c);
+        assert!(p.a > 0.0);
+        let mut last = -1.0;
+        for i in 0..=100 {
+            let v = p.map(i as f64 / 100.0);
+            assert!(v > last, "not strictly monotone at {i}");
+            assert!((0.0..=1.0).contains(&v));
+            last = v;
+        }
+    }
+
+    #[test]
+    fn platt_separates_correct_from_incorrect() {
+        let (s, c) = held_out();
+        let p = Platt::fit(&s, &c);
+        assert!(
+            p.map(0.9) > p.map(0.1) + 0.2,
+            "{} vs {}",
+            p.map(0.9),
+            p.map(0.1)
+        );
+    }
+
+    #[test]
+    fn isotonic_is_monotone_and_bounded() {
+        let (s, c) = held_out();
+        let iso = Isotonic::fit(&s, &c);
+        let mut last = f64::NEG_INFINITY;
+        for i in -10..=110 {
+            let v = iso.map(i as f64 / 100.0);
+            assert!(v >= last, "violation at {i}: {v} < {last}");
+            assert!((0.0..=1.0).contains(&v));
+            last = v;
+        }
+    }
+
+    #[test]
+    fn isotonic_blocks_are_sorted_and_nondecreasing() {
+        let (s, c) = held_out();
+        let iso = Isotonic::fit(&s, &c);
+        assert!(iso.thresholds.windows(2).all(|w| w[0] <= w[1]));
+        assert!(iso.values.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn degenerate_inputs_do_not_panic() {
+        let p = Platt::fit(&[], &[]);
+        assert!(p.map(0.5) > 0.0);
+        let p = Platt::fit(&[0.5, 0.6], &[true, true]);
+        assert!(p.a > 0.0);
+        let iso = Isotonic::fit(&[], &[]);
+        assert!((0.0..=1.0).contains(&iso.map(0.3)));
+    }
+
+    #[test]
+    fn kinds_roundtrip_by_name() {
+        for k in [
+            CalibrationKind::None,
+            CalibrationKind::Platt,
+            CalibrationKind::Isotonic,
+        ] {
+            assert_eq!(CalibrationKind::parse(k.name()), Some(k));
+        }
+        assert_eq!(
+            CalibrationKind::parse("PLATT"),
+            Some(CalibrationKind::Platt)
+        );
+        assert!(CalibrationKind::parse("bogus").is_none());
+    }
+
+    #[test]
+    fn calibrator_dispatch_matches_families() {
+        let (s, c) = held_out();
+        let ident = Calibrator::fit(CalibrationKind::None, &s, &c);
+        assert_eq!(ident.map(0.37), 0.37);
+        let platt = Calibrator::fit(CalibrationKind::Platt, &s, &c);
+        assert_eq!(platt.kind(), CalibrationKind::Platt);
+        let iso = Calibrator::fit(CalibrationKind::Isotonic, &s, &c);
+        assert_eq!(iso.kind(), CalibrationKind::Isotonic);
+    }
+}

@@ -1,0 +1,545 @@
+//! `etsc-trigger` — pluggable decision triggers and calibrated
+//! confidence for early time-series classification.
+//!
+//! The paper's algorithms each hard-wire their own stopping rule; this
+//! crate decouples *when to decide* from *what to predict* (ROADMAP
+//! item 4, following the Renault et al. taxonomy). A [`Trigger`]
+//! watches the class-probability stream a base classifier emits for
+//! growing prefixes and decides when to halt; four families ship:
+//!
+//! * [`FixedThreshold`] — myopic confidence threshold;
+//! * [`Patience`] — k consecutive agreeing predictions;
+//! * [`ExpectedCost`] — the non-myopic Dachraoui-2015 rule trading
+//!   misclassification cost against delay cost over every remaining
+//!   timestamp;
+//! * [`CalibratedThreshold`] — a confidence threshold over scores
+//!   recalibrated with from-scratch [Platt scaling](Platt) or
+//!   [isotonic regression](Isotonic) fit on held-out training scores.
+//!
+//! The crate is dependency-free on purpose: triggers consume plain
+//! `&[f64]` probability vectors, so the same rule runs inside the
+//! evaluation matrix, the streaming server, and the benchmarks without
+//! dragging any of those layers in here.
+
+mod calibrate;
+mod triggers;
+
+pub use calibrate::{CalibrationKind, Calibrator, Isotonic, Platt};
+pub use triggers::{
+    CalibratedThreshold, Decision, ExpectedCost, FittedTrigger, FixedThreshold, Patience, Trigger,
+};
+
+/// The trigger families, as selectable on the CLI.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum TriggerKind {
+    /// Myopic fixed-threshold confidence.
+    Threshold,
+    /// Stability/patience (k consecutive agreeing predictions).
+    Patience,
+    /// Non-myopic Dachraoui-2015 expected cost.
+    ExpectedCost,
+    /// Calibrated-confidence threshold (Platt or isotonic).
+    Calibrated,
+}
+
+impl TriggerKind {
+    /// Every family, in reporting order.
+    pub const ALL: [TriggerKind; 4] = [
+        TriggerKind::Threshold,
+        TriggerKind::Patience,
+        TriggerKind::ExpectedCost,
+        TriggerKind::Calibrated,
+    ];
+
+    /// Canonical lowercase name (the CLI `--trigger` spelling).
+    pub fn name(self) -> &'static str {
+        match self {
+            TriggerKind::Threshold => "threshold",
+            TriggerKind::Patience => "patience",
+            TriggerKind::ExpectedCost => "cost",
+            TriggerKind::Calibrated => "calibrated",
+        }
+    }
+}
+
+/// Static documentation for one trigger family — what `etsc
+/// list-triggers` prints.
+#[derive(Debug, Clone)]
+pub struct TriggerInfo {
+    /// Family.
+    pub kind: TriggerKind,
+    /// Canonical name.
+    pub name: &'static str,
+    /// Parameter spellings accepted after `name:`.
+    pub params: &'static str,
+    /// One-line description.
+    pub summary: &'static str,
+    /// Myopic (decides from the present only) vs non-myopic
+    /// (estimates future decision costs).
+    pub myopic: bool,
+}
+
+/// Documentation rows for every trigger family.
+pub fn all_triggers() -> Vec<TriggerInfo> {
+    vec![
+        TriggerInfo {
+            kind: TriggerKind::Threshold,
+            name: "threshold",
+            params: "threshold=P (shorthand: threshold:P; default 0.8)",
+            summary: "halt when the winning class probability reaches P",
+            myopic: true,
+        },
+        TriggerInfo {
+            kind: TriggerKind::Patience,
+            name: "patience",
+            params: "k=N,threshold=P (shorthand: patience:N; defaults k=2, threshold=0)",
+            summary: "halt after N consecutive agreeing predictions above P",
+            myopic: true,
+        },
+        TriggerInfo {
+            kind: TriggerKind::ExpectedCost,
+            name: "cost",
+            params: "delay=C (shorthand: cost:C; default 0.05)",
+            summary: "Dachraoui-2015: halt when deciding now beats every estimated future cost",
+            myopic: false,
+        },
+        TriggerInfo {
+            kind: TriggerKind::Calibrated,
+            name: "calibrated",
+            params: "platt|isotonic,threshold=P (shorthand: calibrated:platt; default platt, 0.8)",
+            summary: "halt when the Platt/isotonic-calibrated confidence reaches P",
+            myopic: true,
+        },
+    ]
+}
+
+/// A parsed, not-yet-fitted trigger configuration: the family plus its
+/// parameters plus the calibration layer to fit. Parses from and
+/// prints to the CLI `NAME[:PARAMS]` syntax, round-tripping exactly
+/// (f64 parameters use Rust's shortest-exact formatting).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TriggerSpec {
+    /// Trigger family.
+    pub kind: TriggerKind,
+    /// Confidence threshold (threshold/patience/calibrated families).
+    pub threshold: f64,
+    /// Patience streak length (patience family).
+    pub patience: usize,
+    /// Delay-cost coefficient (expected-cost family).
+    pub delay_cost: f64,
+    /// Calibration layer to fit (mandatory for the calibrated family,
+    /// optional confidence transform for expected-cost).
+    pub calibration: CalibrationKind,
+}
+
+impl TriggerSpec {
+    /// The fixed-threshold baseline at 0.8 — the reference point the
+    /// benchmark's earliness deltas are computed against.
+    pub fn baseline() -> TriggerSpec {
+        TriggerSpec::of(TriggerKind::Threshold)
+    }
+
+    /// A spec of `kind` with that family's default parameters.
+    pub fn of(kind: TriggerKind) -> TriggerSpec {
+        TriggerSpec {
+            kind,
+            threshold: match kind {
+                TriggerKind::Patience => 0.0,
+                _ => 0.8,
+            },
+            patience: 2,
+            delay_cost: 0.05,
+            calibration: match kind {
+                TriggerKind::Calibrated => CalibrationKind::Platt,
+                _ => CalibrationKind::None,
+            },
+        }
+    }
+
+    /// Parses the CLI syntax `NAME[:PARAMS]`, where `PARAMS` is a
+    /// comma-separated list of `key=value` pairs, or a single bare
+    /// value for the family's primary parameter (`threshold:0.9`,
+    /// `patience:3`, `cost:0.1`, `calibrated:isotonic`).
+    ///
+    /// # Errors
+    /// A human-readable message naming the unknown family or parameter.
+    pub fn parse(s: &str) -> Result<TriggerSpec, String> {
+        let (name, params) = match s.split_once(':') {
+            Some((n, p)) => (n.trim(), Some(p.trim())),
+            None => (s.trim(), None),
+        };
+        let kind = TriggerKind::ALL
+            .into_iter()
+            .find(|k| k.name().eq_ignore_ascii_case(name))
+            .ok_or_else(|| {
+                format!(
+                    "unknown trigger {name:?} (expected one of: {})",
+                    TriggerKind::ALL.map(TriggerKind::name).join(", ")
+                )
+            })?;
+        let mut spec = TriggerSpec::of(kind);
+        let Some(params) = params else {
+            return Ok(spec);
+        };
+        for part in params.split(',').filter(|p| !p.trim().is_empty()) {
+            let part = part.trim();
+            let (key, value) = match part.split_once('=') {
+                Some((k, v)) => (k.trim(), v.trim()),
+                // Bare value: the family's primary parameter.
+                None => match kind {
+                    TriggerKind::Threshold => ("threshold", part),
+                    TriggerKind::Patience => ("k", part),
+                    TriggerKind::ExpectedCost => ("delay", part),
+                    TriggerKind::Calibrated => {
+                        if part.parse::<f64>().is_ok() {
+                            ("threshold", part)
+                        } else {
+                            ("calibration", part)
+                        }
+                    }
+                },
+            };
+            match key {
+                "threshold" => {
+                    spec.threshold = parse_f64(key, value)?;
+                    if !(0.0..=1.0).contains(&spec.threshold) {
+                        return Err(format!("trigger threshold {value} is outside [0, 1]"));
+                    }
+                }
+                "k" | "patience" => {
+                    spec.patience = value
+                        .parse()
+                        .map_err(|_| format!("invalid trigger patience {value:?}"))?;
+                    if spec.patience == 0 {
+                        return Err("trigger patience must be at least 1".into());
+                    }
+                }
+                "delay" | "delay_cost" => {
+                    spec.delay_cost = parse_f64(key, value)?;
+                    if !spec.delay_cost.is_finite() || spec.delay_cost < 0.0 {
+                        return Err(format!("trigger delay cost {value} must be ≥ 0"));
+                    }
+                }
+                "calibration" | "cal" => {
+                    spec.calibration = CalibrationKind::parse(value)
+                        .ok_or_else(|| format!("unknown calibration {value:?}"))?;
+                }
+                other => return Err(format!("unknown trigger parameter {other:?} in {s:?}")),
+            }
+        }
+        if kind == TriggerKind::Calibrated && spec.calibration == CalibrationKind::None {
+            return Err("the calibrated trigger requires platt or isotonic calibration".into());
+        }
+        Ok(spec)
+    }
+
+    /// Overrides the calibration layer (the CLI `--calibrate` flag).
+    /// For the calibrated family, `none` is ignored — that family is
+    /// defined by its calibration map.
+    #[must_use]
+    pub fn with_calibration(mut self, kind: CalibrationKind) -> TriggerSpec {
+        if !(self.kind == TriggerKind::Calibrated && kind == CalibrationKind::None) {
+            self.calibration = kind;
+        }
+        self
+    }
+
+    /// The canonical `NAME:PARAMS` form; `TriggerSpec::parse` of this
+    /// string reproduces the spec exactly.
+    pub fn canonical(&self) -> String {
+        match self.kind {
+            TriggerKind::Threshold => format!("threshold:threshold={}", self.threshold),
+            TriggerKind::Patience => {
+                format!("patience:k={},threshold={}", self.patience, self.threshold)
+            }
+            TriggerKind::ExpectedCost => format!(
+                "cost:delay={},cal={}",
+                self.delay_cost,
+                self.calibration.name()
+            ),
+            TriggerKind::Calibrated => format!(
+                "calibrated:cal={},threshold={}",
+                self.calibration.name(),
+                self.threshold
+            ),
+        }
+    }
+
+    /// Fits this spec on held-out score data, producing the runnable
+    /// [`FittedTrigger`]. Families without fitted state (threshold,
+    /// patience) ignore `data`.
+    pub fn fit(&self, data: &TriggerFitData<'_>) -> FittedTrigger {
+        match self.kind {
+            TriggerKind::Threshold => FittedTrigger::Threshold(FixedThreshold {
+                threshold: self.threshold,
+            }),
+            TriggerKind::Patience => {
+                FittedTrigger::Patience(Patience::new(self.patience, self.threshold))
+            }
+            TriggerKind::ExpectedCost => {
+                let calibrator = self.fit_calibrator(data);
+                FittedTrigger::ExpectedCost(ExpectedCost::fit(
+                    self.delay_cost,
+                    data.fractions,
+                    data.trajectories,
+                    calibrator,
+                ))
+            }
+            TriggerKind::Calibrated => FittedTrigger::Calibrated(CalibratedThreshold {
+                threshold: self.threshold,
+                calibrator: self.fit_calibrator(data),
+            }),
+        }
+    }
+
+    /// Re-parameterizes an already-fitted trigger under this spec
+    /// *without* fitting data — the serve-time `--trigger` override on
+    /// a loaded model. Threshold and patience rebuild freely;
+    /// calibrated reuses `prior`'s calibration map (and requires it to
+    /// match the requested kind); expected-cost reuses `prior`'s fitted
+    /// confidence-gain curve with the new delay cost.
+    ///
+    /// # Errors
+    /// A human-readable message when `prior` lacks the fitted state the
+    /// family needs.
+    pub fn refit_from(&self, prior: &FittedTrigger) -> Result<FittedTrigger, String> {
+        match self.kind {
+            TriggerKind::Threshold => Ok(FittedTrigger::Threshold(FixedThreshold {
+                threshold: self.threshold,
+            })),
+            TriggerKind::Patience => Ok(FittedTrigger::Patience(Patience::new(
+                self.patience,
+                self.threshold,
+            ))),
+            TriggerKind::ExpectedCost => match prior {
+                FittedTrigger::ExpectedCost(c) => Ok(FittedTrigger::ExpectedCost(ExpectedCost {
+                    delay_cost: self.delay_cost,
+                    fractions: c.fractions.clone(),
+                    confidence_curve: c.confidence_curve.clone(),
+                    calibrator: c.calibrator.clone(),
+                })),
+                _ => Err(
+                    "the cost trigger needs a confidence-gain curve fitted at training time \
+                     (retrain with --trigger cost)"
+                        .into(),
+                ),
+            },
+            TriggerKind::Calibrated => {
+                let calibrator = prior
+                    .calibrator()
+                    .filter(|c| c.kind() != CalibrationKind::None)
+                    .ok_or_else(|| {
+                        "the calibrated trigger needs a calibration map fitted at training \
+                         time (retrain with --calibrate platt|isotonic)"
+                            .to_string()
+                    })?;
+                if calibrator.kind() != self.calibration {
+                    return Err(format!(
+                        "the stored model carries a {} calibration map, not {}",
+                        calibrator.kind().name(),
+                        self.calibration.name()
+                    ));
+                }
+                Ok(FittedTrigger::Calibrated(CalibratedThreshold {
+                    threshold: self.threshold,
+                    calibrator: calibrator.clone(),
+                }))
+            }
+        }
+    }
+
+    /// Fits the spec's calibration layer on the pooled
+    /// (score, correctness) pairs of every trajectory point.
+    fn fit_calibrator(&self, data: &TriggerFitData<'_>) -> Calibrator {
+        let mut scores = Vec::new();
+        let mut correct = Vec::new();
+        for (traj, ok) in data.trajectories.iter().zip(data.correct) {
+            for (s, c) in traj.iter().zip(ok) {
+                scores.push(*s);
+                correct.push(*c);
+            }
+        }
+        Calibrator::fit(self.calibration, &scores, &correct)
+    }
+}
+
+impl std::fmt::Display for TriggerSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.canonical())
+    }
+}
+
+fn parse_f64(key: &str, value: &str) -> Result<f64, String> {
+    value
+        .parse()
+        .map_err(|_| format!("invalid trigger {key} {value:?}"))
+}
+
+/// Held-out material a trigger family may fit on: for each held-out
+/// instance, the winning-class score trajectory across the evaluation
+/// fractions, and whether the winning class was correct at each point.
+#[derive(Debug, Clone, Copy)]
+pub struct TriggerFitData<'a> {
+    /// Evaluation-point fractions of the series length (ascending).
+    pub fractions: &'a [f64],
+    /// `trajectories[i][j]`: winning-class score of instance `i` at
+    /// fraction `fractions[j]`.
+    pub trajectories: &'a [Vec<f64>],
+    /// `correct[i][j]`: whether instance `i`'s winning class at
+    /// fraction `fractions[j]` matched its true label.
+    pub correct: &'a [Vec<bool>],
+}
+
+impl TriggerFitData<'_> {
+    /// An empty fitting set (for families without fitted state).
+    pub const EMPTY: TriggerFitData<'static> = TriggerFitData {
+        fractions: &[],
+        trajectories: &[],
+        correct: &[],
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn refit_from_reuses_fitted_state() {
+        let prior = FittedTrigger::ExpectedCost(ExpectedCost {
+            delay_cost: 0.05,
+            fractions: vec![0.2, 1.0],
+            confidence_curve: vec![0.6, 0.9],
+            calibrator: Calibrator::Platt(Platt { a: 2.0, b: -1.0 }),
+        });
+        // Same family: new delay cost, everything fitted carried over.
+        let re = TriggerSpec::parse("cost:0.2")
+            .unwrap()
+            .refit_from(&prior)
+            .unwrap();
+        match re {
+            FittedTrigger::ExpectedCost(c) => {
+                assert!((c.delay_cost - 0.2).abs() < 1e-12);
+                assert_eq!(c.confidence_curve, vec![0.6, 0.9]);
+            }
+            other => panic!("{other:?}"),
+        }
+        // Calibrated: reuses the map when kinds agree, rejects otherwise.
+        let ok = TriggerSpec::parse("calibrated:cal=platt,threshold=0.9")
+            .unwrap()
+            .refit_from(&prior)
+            .unwrap();
+        assert!(matches!(ok, FittedTrigger::Calibrated(_)));
+        assert!(TriggerSpec::parse("calibrated:cal=isotonic")
+            .unwrap()
+            .refit_from(&prior)
+            .is_err());
+        // Data-free families rebuild from any prior.
+        let plain = FittedTrigger::Threshold(FixedThreshold { threshold: 0.8 });
+        assert!(TriggerSpec::parse("patience:3")
+            .unwrap()
+            .refit_from(&plain)
+            .is_ok());
+        // Fitted families cannot be conjured from a data-free prior.
+        assert!(TriggerSpec::parse("cost")
+            .unwrap()
+            .refit_from(&plain)
+            .is_err());
+        assert!(TriggerSpec::parse("calibrated")
+            .unwrap()
+            .refit_from(&plain)
+            .is_err());
+    }
+
+    #[test]
+    fn parse_shorthands_and_defaults() {
+        let t = TriggerSpec::parse("threshold").unwrap();
+        assert_eq!(t.kind, TriggerKind::Threshold);
+        assert!((t.threshold - 0.8).abs() < 1e-12);
+        let t = TriggerSpec::parse("threshold:0.9").unwrap();
+        assert!((t.threshold - 0.9).abs() < 1e-12);
+        let t = TriggerSpec::parse("patience:3").unwrap();
+        assert_eq!(t.patience, 3);
+        let t = TriggerSpec::parse("cost:0.1").unwrap();
+        assert!((t.delay_cost - 0.1).abs() < 1e-12);
+        let t = TriggerSpec::parse("calibrated:isotonic").unwrap();
+        assert_eq!(t.calibration, CalibrationKind::Isotonic);
+        let t = TriggerSpec::parse("patience:k=4,threshold=0.6").unwrap();
+        assert_eq!(t.patience, 4);
+        assert!((t.threshold - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parse_rejects_nonsense() {
+        assert!(TriggerSpec::parse("wat").is_err());
+        assert!(TriggerSpec::parse("threshold:1.5").is_err());
+        assert!(TriggerSpec::parse("patience:k=0").is_err());
+        assert!(TriggerSpec::parse("cost:delay=-1").is_err());
+        assert!(TriggerSpec::parse("threshold:wat=1").is_err());
+        assert!(TriggerSpec::parse("calibrated:cal=none").is_err());
+    }
+
+    #[test]
+    fn canonical_roundtrips_exactly() {
+        for s in [
+            "threshold:0.8375",
+            "patience:k=3,threshold=0.65",
+            "cost:delay=0.017",
+            "calibrated:cal=isotonic,threshold=0.9",
+            "cost:delay=0.1,cal=platt",
+        ] {
+            let spec = TriggerSpec::parse(s).unwrap();
+            let back = TriggerSpec::parse(&spec.canonical()).unwrap();
+            assert_eq!(spec, back, "{s}");
+        }
+    }
+
+    #[test]
+    fn calibrate_flag_layers_on() {
+        let spec = TriggerSpec::parse("threshold:0.8")
+            .unwrap()
+            .with_calibration(CalibrationKind::Isotonic);
+        assert_eq!(spec.calibration, CalibrationKind::Isotonic);
+        // `none` never strips the calibrated family's map.
+        let spec = TriggerSpec::parse("calibrated:platt")
+            .unwrap()
+            .with_calibration(CalibrationKind::None);
+        assert_eq!(spec.calibration, CalibrationKind::Platt);
+    }
+
+    #[test]
+    fn fit_produces_each_family() {
+        let fractions = [0.25, 0.5, 0.75, 1.0];
+        let trajectories = vec![vec![0.5, 0.6, 0.8, 0.9]; 6];
+        let correct = vec![vec![false, true, true, true]; 6];
+        let data = TriggerFitData {
+            fractions: &fractions,
+            trajectories: &trajectories,
+            correct: &correct,
+        };
+        for kind in TriggerKind::ALL {
+            let mut fitted = TriggerSpec::of(kind).fit(&data);
+            assert!(!fitted.name().is_empty());
+            // Every family halts at the final timestamp.
+            assert_eq!(fitted.observe(&[0.5, 0.5], 8, 8), Decision::Halt);
+        }
+    }
+
+    #[test]
+    fn all_triggers_covers_every_kind() {
+        let infos = all_triggers();
+        assert_eq!(infos.len(), TriggerKind::ALL.len());
+        for kind in TriggerKind::ALL {
+            let info = infos.iter().find(|i| i.kind == kind).unwrap();
+            assert_eq!(info.name, kind.name());
+            assert!(!info.params.is_empty());
+            assert!(!info.summary.is_empty());
+        }
+        assert!(
+            !infos
+                .iter()
+                .find(|i| i.kind == TriggerKind::ExpectedCost)
+                .unwrap()
+                .myopic
+        );
+    }
+}

@@ -1,0 +1,405 @@
+//! The trigger families: when to stop watching a stream and commit.
+//!
+//! Every trigger consumes the *class-probability vector* a base
+//! classifier emitted for the prefix seen so far, plus where in the
+//! series that prefix ends, and answers one question: halt now or wait
+//! for more data. Triggers are deliberately decoupled from the
+//! classifiers that feed them (the Renault et al. taxonomy): the same
+//! base model can run under a myopic confidence rule, a stability
+//! rule, or the non-myopic expected-cost rule of Dachraoui et al. 2015
+//! without retraining.
+
+use crate::calibrate::Calibrator;
+
+/// A trigger's verdict for the prefix observed so far.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Decision {
+    /// Commit to the current prediction now.
+    Halt,
+    /// Keep streaming.
+    Wait,
+}
+
+/// A halting rule over a stream of class-probability vectors.
+///
+/// `observe` is called once per evaluation point with the probabilities
+/// for the prefix ending at time `t` (1-based, `t ≤ series_len`).
+/// Implementations must halt at `t == series_len` — a stream that ends
+/// must produce a decision.
+pub trait Trigger: Send {
+    /// Display name of the fitted rule (e.g. `"threshold(0.80)"`).
+    fn name(&self) -> String;
+
+    /// Decides whether to halt given the class probabilities at time
+    /// `t` of a series of length `series_len`.
+    fn observe(&mut self, probs: &[f64], t: usize, series_len: usize) -> Decision;
+
+    /// Clears any per-stream state (e.g. a patience streak) so the
+    /// trigger can be reused for the next stream.
+    fn reset(&mut self) {}
+}
+
+/// Index and value of the winning class.
+fn top(probs: &[f64]) -> (usize, f64) {
+    let mut best = (0usize, f64::NEG_INFINITY);
+    for (i, &p) in probs.iter().enumerate() {
+        if p > best.1 {
+            best = (i, p);
+        }
+    }
+    if best.1.is_finite() {
+        best
+    } else {
+        (0, 0.0)
+    }
+}
+
+/// Myopic fixed-threshold confidence: halt as soon as the winning
+/// class probability reaches `threshold`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FixedThreshold {
+    /// Minimum winning-class probability to halt on.
+    pub threshold: f64,
+}
+
+impl Trigger for FixedThreshold {
+    fn name(&self) -> String {
+        format!("threshold({:.2})", self.threshold)
+    }
+
+    fn observe(&mut self, probs: &[f64], t: usize, series_len: usize) -> Decision {
+        if t >= series_len || top(probs).1 >= self.threshold {
+            Decision::Halt
+        } else {
+            Decision::Wait
+        }
+    }
+}
+
+/// Stability/patience: halt once the predicted class has stayed the
+/// same for `patience` consecutive evaluation points and its
+/// probability clears `threshold` (0 disables the confidence floor).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Patience {
+    /// Consecutive agreeing evaluation points required.
+    pub patience: usize,
+    /// Confidence floor the winning class must also clear (0 = none).
+    pub threshold: f64,
+    streak: usize,
+    last_label: Option<usize>,
+}
+
+impl Patience {
+    /// A fresh patience rule.
+    pub fn new(patience: usize, threshold: f64) -> Patience {
+        Patience {
+            patience: patience.max(1),
+            threshold,
+            streak: 0,
+            last_label: None,
+        }
+    }
+}
+
+impl Trigger for Patience {
+    fn name(&self) -> String {
+        format!("patience(k={},{:.2})", self.patience, self.threshold)
+    }
+
+    fn observe(&mut self, probs: &[f64], t: usize, series_len: usize) -> Decision {
+        let (label, p) = top(probs);
+        if self.last_label == Some(label) {
+            self.streak += 1;
+        } else {
+            self.streak = 1;
+            self.last_label = Some(label);
+        }
+        if t >= series_len || (self.streak >= self.patience && p >= self.threshold) {
+            Decision::Halt
+        } else {
+            Decision::Wait
+        }
+    }
+
+    fn reset(&mut self) {
+        self.streak = 0;
+        self.last_label = None;
+    }
+}
+
+/// Non-myopic expected-cost trigger after Dachraoui et al. 2015: halt
+/// when the expected cost of deciding *now* is no worse than the
+/// estimated expected cost of deciding at any *future* evaluation
+/// point.
+///
+/// The cost of deciding at fraction `τ` of the series is
+/// `P(error | τ) + delay_cost · τ`, where the error probability now is
+/// `1 − p_top` and the error probability at a future point is
+/// extrapolated from the fitted confidence-gain curve: the mean
+/// (calibrated) winning-class probability the base classifier achieved
+/// at each evaluation fraction on held-out training data. This is the
+/// non-myopic part — the rule looks ahead over every remaining
+/// timestamp instead of comparing against a static threshold.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExpectedCost {
+    /// Cost per unit of delay, in the same units as one
+    /// misclassification (Dachraoui's time-cost parameter).
+    pub delay_cost: f64,
+    /// Evaluation-point fractions the curve was fitted on (ascending).
+    pub fractions: Vec<f64>,
+    /// Mean held-out winning-class probability at each fraction.
+    pub confidence_curve: Vec<f64>,
+    /// Calibration applied to raw winning-class scores before costing.
+    pub calibrator: Calibrator,
+}
+
+impl ExpectedCost {
+    /// Fits the confidence-gain curve from held-out score trajectories:
+    /// `trajectories[i][j]` is the winning-class score of held-out
+    /// instance `i` at fraction `fractions[j]`.
+    pub fn fit(
+        delay_cost: f64,
+        fractions: &[f64],
+        trajectories: &[Vec<f64>],
+        calibrator: Calibrator,
+    ) -> ExpectedCost {
+        let mut curve = vec![0.0; fractions.len()];
+        if !trajectories.is_empty() {
+            for traj in trajectories {
+                for (j, &s) in traj.iter().take(curve.len()).enumerate() {
+                    curve[j] += calibrator.map(s);
+                }
+            }
+            for c in &mut curve {
+                *c /= trajectories.len() as f64;
+            }
+        }
+        ExpectedCost {
+            delay_cost,
+            fractions: fractions.to_vec(),
+            confidence_curve: curve,
+            calibrator,
+        }
+    }
+
+    /// Expected confidence at curve index `j`, for extrapolating from
+    /// the currently observed confidence `p` at curve index `now`.
+    fn projected(&self, p: f64, now: usize, j: usize) -> f64 {
+        let gain = self.confidence_curve[j] - self.confidence_curve[now];
+        (p + gain).clamp(0.0, 1.0)
+    }
+}
+
+impl Trigger for ExpectedCost {
+    fn name(&self) -> String {
+        format!("cost(delay={})", self.delay_cost)
+    }
+
+    fn observe(&mut self, probs: &[f64], t: usize, series_len: usize) -> Decision {
+        if t >= series_len || self.fractions.is_empty() {
+            return Decision::Halt;
+        }
+        let frac = t as f64 / series_len as f64;
+        let p = self.calibrator.map(top(probs).1);
+        // Current position on the fitted grid: last fraction ≤ frac.
+        let now = self
+            .fractions
+            .partition_point(|&f| f <= frac + 1e-12)
+            .saturating_sub(1);
+        let cost_now = (1.0 - p) + self.delay_cost * frac;
+        for j in (now + 1)..self.fractions.len() {
+            let future = (1.0 - self.projected(p, now, j)) + self.delay_cost * self.fractions[j];
+            if future < cost_now - 1e-12 {
+                return Decision::Wait;
+            }
+        }
+        Decision::Halt
+    }
+}
+
+/// Calibrated-confidence trigger: the winning-class score is passed
+/// through a fitted Platt or isotonic map before the threshold
+/// comparison, so "0.8 confident" means an estimated 80% chance of
+/// being right rather than whatever the base model's raw scores mean.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CalibratedThreshold {
+    /// Minimum *calibrated* winning-class probability to halt on.
+    pub threshold: f64,
+    /// The fitted calibration map.
+    pub calibrator: Calibrator,
+}
+
+impl Trigger for CalibratedThreshold {
+    fn name(&self) -> String {
+        format!(
+            "calibrated({},{:.2})",
+            self.calibrator.kind().name(),
+            self.threshold
+        )
+    }
+
+    fn observe(&mut self, probs: &[f64], t: usize, series_len: usize) -> Decision {
+        if t >= series_len || self.calibrator.map(top(probs).1) >= self.threshold {
+            Decision::Halt
+        } else {
+            Decision::Wait
+        }
+    }
+}
+
+/// A fitted trigger of any family — the owned, persistable form the
+/// rest of the stack threads through streams and the model store.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FittedTrigger {
+    /// Myopic fixed-threshold confidence.
+    Threshold(FixedThreshold),
+    /// Stability/patience rule.
+    Patience(Patience),
+    /// Non-myopic Dachraoui-2015 expected cost.
+    ExpectedCost(ExpectedCost),
+    /// Calibrated-confidence threshold.
+    Calibrated(CalibratedThreshold),
+}
+
+impl Trigger for FittedTrigger {
+    fn name(&self) -> String {
+        match self {
+            FittedTrigger::Threshold(x) => x.name(),
+            FittedTrigger::Patience(x) => x.name(),
+            FittedTrigger::ExpectedCost(x) => x.name(),
+            FittedTrigger::Calibrated(x) => x.name(),
+        }
+    }
+
+    fn observe(&mut self, probs: &[f64], t: usize, series_len: usize) -> Decision {
+        match self {
+            FittedTrigger::Threshold(x) => x.observe(probs, t, series_len),
+            FittedTrigger::Patience(x) => x.observe(probs, t, series_len),
+            FittedTrigger::ExpectedCost(x) => x.observe(probs, t, series_len),
+            FittedTrigger::Calibrated(x) => x.observe(probs, t, series_len),
+        }
+    }
+
+    fn reset(&mut self) {
+        match self {
+            FittedTrigger::Threshold(x) => x.reset(),
+            FittedTrigger::Patience(x) => x.reset(),
+            FittedTrigger::ExpectedCost(x) => x.reset(),
+            FittedTrigger::Calibrated(x) => x.reset(),
+        }
+    }
+}
+
+impl FittedTrigger {
+    /// The calibration map the rule carries, if any.
+    pub fn calibrator(&self) -> Option<&Calibrator> {
+        match self {
+            FittedTrigger::Threshold(_) | FittedTrigger::Patience(_) => None,
+            FittedTrigger::ExpectedCost(x) => Some(&x.calibrator),
+            FittedTrigger::Calibrated(x) => Some(&x.calibrator),
+        }
+    }
+
+    /// Applies the rule's calibration map to a raw winning-class
+    /// score (identity for uncalibrated rules).
+    pub fn calibrate(&self, score: f64) -> f64 {
+        self.calibrator().map_or(score, |c| c.map(score))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::calibrate::Platt;
+
+    #[test]
+    fn threshold_halts_on_confidence_and_at_end() {
+        let mut t = FixedThreshold { threshold: 0.8 };
+        assert_eq!(t.observe(&[0.5, 0.5], 1, 10), Decision::Wait);
+        assert_eq!(t.observe(&[0.85, 0.15], 2, 10), Decision::Halt);
+        assert_eq!(t.observe(&[0.5, 0.5], 10, 10), Decision::Halt);
+    }
+
+    #[test]
+    fn patience_requires_consecutive_agreement() {
+        let mut t = Patience::new(3, 0.0);
+        assert_eq!(t.observe(&[0.9, 0.1], 1, 10), Decision::Wait);
+        assert_eq!(t.observe(&[0.2, 0.8], 2, 10), Decision::Wait);
+        assert_eq!(t.observe(&[0.3, 0.7], 3, 10), Decision::Wait);
+        // A flip back to class 0 resets the streak.
+        assert_eq!(t.observe(&[0.9, 0.1], 4, 10), Decision::Wait);
+        assert_eq!(t.observe(&[0.1, 0.9], 5, 10), Decision::Wait);
+        assert_eq!(t.observe(&[0.2, 0.8], 6, 10), Decision::Wait);
+        assert_eq!(t.observe(&[0.2, 0.8], 7, 10), Decision::Halt);
+        t.reset();
+        assert_eq!(t.observe(&[0.2, 0.8], 1, 10), Decision::Wait);
+    }
+
+    #[test]
+    fn patience_confidence_floor_applies() {
+        let mut t = Patience::new(2, 0.75);
+        assert_eq!(t.observe(&[0.4, 0.6], 1, 10), Decision::Wait);
+        assert_eq!(t.observe(&[0.4, 0.6], 2, 10), Decision::Wait, "floor");
+        assert_eq!(t.observe(&[0.2, 0.8], 3, 10), Decision::Halt);
+    }
+
+    #[test]
+    fn expected_cost_waits_while_big_gains_remain() {
+        // Confidence climbs steeply from 0.5 to 0.95 across the series;
+        // a tiny delay cost makes waiting worthwhile early on.
+        let fractions = vec![0.2, 0.4, 0.6, 0.8, 1.0];
+        let trajectories = vec![vec![0.5, 0.7, 0.9, 0.95, 0.95]; 8];
+        let mut t = ExpectedCost::fit(0.01, &fractions, &trajectories, Calibrator::Identity);
+        assert_eq!(t.observe(&[0.5, 0.5], 2, 10), Decision::Wait);
+        assert_eq!(t.observe(&[0.95, 0.05], 8, 10), Decision::Halt);
+    }
+
+    #[test]
+    fn expected_cost_halts_early_when_delay_is_expensive() {
+        let fractions = vec![0.2, 0.4, 0.6, 0.8, 1.0];
+        let trajectories = vec![vec![0.5, 0.55, 0.6, 0.62, 0.63]; 8];
+        // Delay dominates the modest confidence gains.
+        let mut t = ExpectedCost::fit(1.0, &fractions, &trajectories, Calibrator::Identity);
+        assert_eq!(t.observe(&[0.55, 0.45], 2, 10), Decision::Halt);
+    }
+
+    #[test]
+    fn expected_cost_halts_at_end_even_with_empty_curve() {
+        let mut t = ExpectedCost::fit(0.1, &[], &[], Calibrator::Identity);
+        assert_eq!(t.observe(&[0.5, 0.5], 3, 10), Decision::Halt);
+    }
+
+    #[test]
+    fn calibrated_threshold_uses_the_map() {
+        // A sigmoid that pushes raw 0.6 well above 0.8.
+        let cal = Calibrator::Platt(Platt { a: 20.0, b: -8.0 });
+        let mut t = CalibratedThreshold {
+            threshold: 0.8,
+            calibrator: cal,
+        };
+        assert_eq!(t.observe(&[0.6, 0.4], 1, 10), Decision::Halt);
+        let mut raw = FixedThreshold { threshold: 0.8 };
+        assert_eq!(raw.observe(&[0.6, 0.4], 1, 10), Decision::Wait);
+    }
+
+    #[test]
+    fn fitted_enum_dispatches_and_names() {
+        let mut f = FittedTrigger::Threshold(FixedThreshold { threshold: 0.7 });
+        assert!(f.name().starts_with("threshold"));
+        assert_eq!(f.observe(&[0.9, 0.1], 1, 10), Decision::Halt);
+        assert!(f.calibrator().is_none());
+        let c = FittedTrigger::Calibrated(CalibratedThreshold {
+            threshold: 0.5,
+            calibrator: Calibrator::Identity,
+        });
+        assert!(c.calibrator().is_some());
+        assert_eq!(c.calibrate(0.4), 0.4);
+    }
+
+    #[test]
+    fn empty_probs_do_not_panic() {
+        let mut t = FixedThreshold { threshold: 0.5 };
+        assert_eq!(t.observe(&[], 1, 10), Decision::Wait);
+        assert_eq!(t.observe(&[], 10, 10), Decision::Halt);
+    }
+}

@@ -1,0 +1,79 @@
+//! Property tests for the calibration maps: the published contracts —
+//! isotonic regression is monotone non-decreasing and bounded in
+//! [0, 1], Platt scaling is strictly monotone increasing — must hold
+//! for *arbitrary* held-out (score, correctness) samples, not just the
+//! friendly ones in the unit tests.
+
+use proptest::prelude::*;
+
+use etsc_trigger::{CalibrationKind, Calibrator, Isotonic, Platt};
+
+/// Splits generated (score, correctness-bit) pairs into the two
+/// parallel slices the calibrators fit on.
+fn unzip(pairs: Vec<(f64, u8)>) -> (Vec<f64>, Vec<bool>) {
+    pairs.into_iter().map(|(s, c)| (s, c == 1)).unzip()
+}
+
+proptest! {
+    #[test]
+    fn isotonic_is_monotone_and_bounded_on_any_sample(
+        pairs in prop::collection::vec((0.0f64..=1.0, 0u8..2), 0..80),
+        probes in prop::collection::vec(-0.5f64..=1.5, 1..50),
+    ) {
+        let (scores, correct) = unzip(pairs);
+        let iso = Isotonic::fit(&scores, &correct);
+        let mut sorted = probes;
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mut last = f64::NEG_INFINITY;
+        for &p in &sorted {
+            let v = iso.map(p);
+            prop_assert!((0.0..=1.0).contains(&v), "map({p}) = {v} out of [0, 1]");
+            prop_assert!(v >= last, "map({p}) = {v} < previous {last}");
+            last = v;
+        }
+        // The fitted blocks themselves honour the same contract.
+        prop_assert!(iso.thresholds.windows(2).all(|w| w[0] <= w[1]));
+        prop_assert!(iso.values.windows(2).all(|w| w[0] <= w[1]));
+        prop_assert!(iso.values.iter().all(|v| (0.0..=1.0).contains(v)));
+    }
+
+    #[test]
+    fn platt_is_strictly_monotone_on_any_sample(
+        pairs in prop::collection::vec((0.0f64..=1.0, 0u8..2), 0..80),
+    ) {
+        let (scores, correct) = unzip(pairs);
+        let platt = Platt::fit(&scores, &correct);
+        prop_assert!(platt.a > 0.0, "slope {} not positive", platt.a);
+        let mut last = -1.0f64;
+        for i in 0..=100 {
+            let v = platt.map(i as f64 / 100.0);
+            prop_assert!((0.0..=1.0).contains(&v), "map = {v} out of [0, 1]");
+            // Strict monotonicity is the published contract; at f64
+            // precision it can only soften to non-strict inside the
+            // saturated tails of the sigmoid.
+            if (0.001..=0.999).contains(&v) && (0.001..=0.999).contains(&last) {
+                prop_assert!(v > last, "not strictly monotone: {v} <= {last}");
+            } else {
+                prop_assert!(v >= last, "monotonicity violated: {v} < {last}");
+            }
+            last = v;
+        }
+    }
+
+    #[test]
+    fn every_calibrator_family_stays_inside_the_unit_interval(
+        pairs in prop::collection::vec((0.0f64..=1.0, 0u8..2), 0..80),
+        probe in 0.0f64..=1.0,
+    ) {
+        let (scores, correct) = unzip(pairs);
+        for kind in [CalibrationKind::Platt, CalibrationKind::Isotonic] {
+            let c = Calibrator::fit(kind, &scores, &correct);
+            let v = c.map(probe);
+            prop_assert!((0.0..=1.0).contains(&v), "{kind:?}.map({probe}) = {v}");
+            prop_assert_eq!(c.kind(), kind);
+        }
+        // Identity passes unit-interval scores through untouched.
+        let v = Calibrator::fit(CalibrationKind::None, &scores, &correct).map(probe);
+        prop_assert_eq!(v.to_bits(), probe.to_bits());
+    }
+}
